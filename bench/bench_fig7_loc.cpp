@@ -1,0 +1,48 @@
+// Figure 7: lines of generated persona P4 source as a function of the
+// number of emulated match-action stages (1..5) and primitives per action
+// (1,3,5,7,9): (a) whole program, (b) drop-primitive support only,
+// (c) modify_field-primitive support only.
+#include <cstdio>
+
+#include "hp4/p4_emit.h"
+#include "hp4/persona.h"
+
+namespace {
+
+void sweep(const char* title, const char* needle) {
+  using namespace hyper4;
+  std::printf("--- %s ---\n", title);
+  std::printf("%-8s", "stages");
+  for (int p : {1, 3, 5, 7, 9}) std::printf(" | prims=%-2d", p);
+  std::puts("");
+  for (std::size_t stages = 1; stages <= 5; ++stages) {
+    std::printf("%-8zu", stages);
+    for (std::size_t prims : {1u, 3u, 5u, 7u, 9u}) {
+      hp4::PersonaConfig cfg;
+      cfg.num_stages = stages;
+      cfg.max_primitives = prims;
+      hp4::PersonaGenerator gen{cfg};
+      const auto prog = gen.generate();
+      const std::string src = needle == nullptr
+                                  ? hp4::emit_p4(prog)
+                                  : hp4::emit_p4_subset(prog, needle);
+      std::printf(" | %8zu", hp4::count_loc(src));
+    }
+    std::puts("");
+  }
+  std::puts("");
+}
+
+}  // namespace
+
+int main() {
+  std::puts("=== Figure 7: HyPer4 P4 LoC by stages and primitives per stage ===");
+  sweep("(a) entire persona source", nullptr);
+  sweep("(b) drop-primitive support", "_drop");
+  sweep("(c) modify_field-primitive support", "_mod");
+  std::puts("Paper: ~6400 LoC at the (4 stages, 9 primitives) test");
+  std::puts("configuration, growing linearly in both dimensions; our");
+  std::puts("generator reproduces the linear growth (exact LoC differs with");
+  std::puts("persona layout and the write-back action granularity).");
+  return 0;
+}

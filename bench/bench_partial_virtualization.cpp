@@ -1,0 +1,71 @@
+// §7.1 / Figure 9: partial virtualization analysis.
+//
+// Decomposes each emulated program's measured per-packet match stages into
+// the persona's functional blocks and projects the per-packet cost of the
+// four virtualization mixes of Figure 9:
+//   (a) full virtualization           : all blocks
+//   (b) virtual parser + direct MA    : parse-emulation blocks + native MA
+//   (c) direct parser + virtual MA    : match-action blocks (+ deparse)
+//   (d) fully direct (native)         : the native program
+#include <cstdio>
+
+#include "bench/common.h"
+#include "hp4/persona.h"
+
+using namespace hyper4;
+
+namespace {
+
+struct Blocks {
+  std::size_t parse = 0;    // setup_a, setup_b, vparse (+ resubmit passes)
+  std::size_t ma = 0;       // stage matches + primitive slots + vnet
+  std::size_t deparse = 0;  // egress checksum + write-back
+  std::size_t total() const { return parse + ma + deparse; }
+};
+
+Blocks decompose(const bm::ProcessResult& res) {
+  Blocks b;
+  for (const auto& a : res.applied) {
+    if (a.table == hp4::tbl_setup_a() || a.table == hp4::tbl_setup_b() ||
+        a.table == hp4::tbl_vparse()) {
+      ++b.parse;
+    } else if (a.table.rfind("tbl_eg_", 0) == 0) {
+      ++b.deparse;
+    } else {
+      ++b.ma;
+    }
+  }
+  return b;
+}
+
+}  // namespace
+
+int main() {
+  std::puts("=== Figure 9: projected match stages per virtualization mix ===");
+  std::printf("%-10s | %7s | %11s | %11s | %9s | %28s\n", "program", "native",
+              "(a) full", "(b) v-parse", "(c) v-MA",
+              "blocks (parse / MA / deparse)");
+  std::puts("-----------+---------+-------------+-------------+-----------+"
+            "-----------------------------");
+  for (const auto& app : bench::function_names()) {
+    bench::Harness h(app);
+    const auto pkt = bench::worst_case_packet(app);
+    const std::size_t native = h.native->inject(1, pkt).match_count();
+    const auto res = h.ctl->dataplane().inject(1, pkt);
+    const Blocks blk = decompose(res);
+    // (b): keep the emulated parse and deparse (the flexible part), run the
+    // target's own match-action stages directly.
+    const std::size_t mix_b = blk.parse + native + blk.deparse;
+    // (c): a direct parser feeds the virtual match-action pipeline; the
+    // write-back/deparse emulation is still needed to serialize changes.
+    const std::size_t mix_c = blk.ma + blk.deparse;
+    std::printf("%-10s | %7zu | %11zu | %11zu | %9zu | %9zu / %3zu / %zu\n",
+                app.c_str(), native, blk.total(), mix_b, mix_c, blk.parse,
+                blk.ma, blk.deparse);
+  }
+  std::puts("\nReading: mix (b) keeps runtime-reconfigurable parsing at a");
+  std::puts("small overhead over native; mix (c) keeps reprogrammable");
+  std::puts("behaviour while shedding the parse emulation — the middle");
+  std::puts("options the paper proposes for resource-constrained targets.");
+  return 0;
+}

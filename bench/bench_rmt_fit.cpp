@@ -1,0 +1,54 @@
+// §6.5: can HyPer4 run on RMT-like ASIC hardware? PHV footprint and the
+// physical-stage expansion of the arp_proxy worst case, measured from the
+// actual emulation trace.
+#include <cstdio>
+
+#include "bench/common.h"
+#include "rmt/rmt.h"
+
+int main() {
+  using namespace hyper4;
+  const rmt::RmtSpec spec;
+  hp4::PersonaGenerator gen{hp4::PersonaConfig{}};
+  const auto persona = gen.generate();
+
+  std::puts("=== §6.5: deploying HyPer4 on RMT ===");
+  std::printf("RMT: %zu-bit PHV, %zu+%zu stages, %zu-bit SRAM / %zu-bit TCAM "
+              "match per stage\n",
+              spec.phv_bits, spec.ingress_stages, spec.egress_stages,
+              spec.sram_match_bits, spec.tcam_match_bits);
+  const std::size_t phv = rmt::phv_bits(persona);
+  std::printf("persona PHV footprint: %zu bits (paper: 3312; RMT capacity "
+              "%zu) -> %s\n",
+              phv, spec.phv_bits, phv <= spec.phv_bits ? "fits" : "DOES NOT FIT");
+
+  // Stage requirements measured from the arp_proxy worst-case trace (the
+  // paper's most demanding single program).
+  for (const auto& name : bench::function_names()) {
+    bench::Harness h(name);
+    const auto res =
+        h.ctl->dataplane().inject(1, bench::worst_case_packet(name));
+    std::vector<rmt::StageRequirement> ingress, egress;
+    for (const auto& a : res.applied) {
+      rmt::StageRequirement s;
+      s.table = a.table;
+      s.ternary = a.used_ternary;
+      s.match_bits = a.used_ternary ? a.ternary_bits_total : 64;
+      const bool is_egress =
+          a.table.rfind("tbl_eg_", 0) == 0;  // csum + write-back stages
+      (is_egress ? egress : ingress).push_back(s);
+    }
+    const auto fit = rmt::fit(spec, phv, ingress, egress);
+    std::printf(
+        "%-10s: %2zu ingress + %zu egress logical -> %2zu + %zu physical "
+        "stages; ingress at %3zu%% of RMT capacity -> %s\n",
+        name.c_str(), fit.ingress_logical, fit.egress_logical,
+        fit.ingress_physical, fit.egress_physical,
+        fit.ingress_capacity_pct(spec), fit.fits() ? "fits" : "exceeds");
+  }
+  std::puts("\nPaper: arp_proxy needs 46 ingress (+2 egress) HyPer4 stages =");
+  std::puts("51 physical stages, 60% over RMT's 32-stage ingress pipeline; a");
+  std::puts("variant shifting 19 egress stages to ingress could host it. The");
+  std::puts("simpler functions fit comfortably — same conclusion here.");
+  return 0;
+}

@@ -1,0 +1,53 @@
+// §6.2 space accounting: per-entry storage for the wide ternary matches,
+// persona action census, and the test-configuration table count.
+#include <cstdio>
+
+#include "hp4/analysis.h"
+#include "hp4/persona.h"
+
+int main() {
+  using namespace hyper4;
+  hp4::PersonaConfig cfg;  // the paper's test configuration (4 stages, 9 prims)
+  hp4::PersonaGenerator gen{cfg};
+  const auto prog = gen.generate();
+
+  std::puts("=== §6.2: space requirements ===");
+  std::printf("extracted-data match entry : %zu bits "
+              "(paper: >= 1600 value+mask, +program id)\n",
+              hp4::extracted_entry_bits(cfg));
+  std::printf("emulated-metadata entry    : %zu bits "
+              "(paper: >= 512 value+mask, +program id)\n",
+              hp4::meta_entry_bits(cfg));
+  std::printf("tables declared            : %zu (paper: 346)\n",
+              prog.tables.size());
+  std::printf("actions declared           : %zu (paper: 130, of which 80\n",
+              prog.actions.size());
+  std::puts("                             resize the parsed representation;");
+
+  std::size_t wb = 0, concat = 0, mod = 0;
+  for (const auto& a : prog.actions) {
+    if (a.name.rfind("a_wb_", 0) == 0) ++wb;
+    if (a.name.rfind("a_concat_", 0) == 0) ++concat;
+    if (a.name.rfind("a_mod_", 0) == 0) ++mod;
+  }
+  std::printf("                             ours: %zu write-back + %zu concat\n",
+              wb, concat);
+  std::printf("                             at %zu-byte granularity, %zu\n",
+              cfg.writeback_step_bytes, mod);
+  std::puts("                             modify_field variants)");
+
+  // Maximum actions referenced by a single table (paper: up to 14 for the
+  // modify_field tables).
+  std::size_t max_actions = 0;
+  std::string max_table;
+  for (const auto& t : prog.tables) {
+    if (t.actions.size() > max_actions) {
+      max_actions = t.actions.size();
+      max_table = t.name;
+    }
+  }
+  std::printf("max actions on one table   : %zu (%s; paper: up to 14 on the\n",
+              max_actions, max_table.c_str());
+  std::puts("                             modify_field tables)");
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Microbenchmarks (google-benchmark): raw behavioral-model throughput for
+// native programs vs. HyPer4 emulation. Not a paper table — these quantify
+// the *interpreter's* cost so the simulated Table 5 numbers can be
+// distinguished from host overheads.
+#include <benchmark/benchmark.h>
+
+#include "bench/common.h"
+
+namespace {
+
+using namespace hyper4;
+
+void BM_NativeSwitch(benchmark::State& state,
+                     const std::string& name) {
+  bench::Harness h(name);
+  const auto pkt = bench::worst_case_packet(name);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(h.native->inject(1, pkt));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+
+void BM_Hyper4Switch(benchmark::State& state,
+                     const std::string& name) {
+  bench::Harness h(name);
+  const auto pkt = bench::worst_case_packet(name);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(h.ctl->dataplane().inject(1, pkt));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+
+void BM_PersonaLoad(benchmark::State& state) {
+  for (auto _ : state) {
+    hp4::Controller ctl;
+    auto id = ctl.load("fw", apps::firewall());
+    benchmark::DoNotOptimize(id);
+  }
+}
+
+void BM_CompileArtifact(benchmark::State& state) {
+  hp4::Hp4Compiler compiler{hp4::PersonaConfig{}};
+  const auto prog = apps::arp_proxy();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(compiler.compile(prog));
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  for (const auto& name : bench::function_names()) {
+    benchmark::RegisterBenchmark(("BM_Native/" + name).c_str(),
+                                 [name](benchmark::State& s) {
+                                   BM_NativeSwitch(s, name);
+                                 });
+    benchmark::RegisterBenchmark(("BM_Hyper4/" + name).c_str(),
+                                 [name](benchmark::State& s) {
+                                   BM_Hyper4Switch(s, name);
+                                 });
+  }
+  benchmark::RegisterBenchmark("BM_PersonaLoad", BM_PersonaLoad);
+  benchmark::RegisterBenchmark("BM_CompileArtifact", BM_CompileArtifact);
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,47 @@
+// Table 1: number of match-action stages incurred by the most complex
+// processing of each function, native vs. HyPer4 emulation.
+#include <cstdio>
+
+#include "bench/common.h"
+
+namespace {
+
+struct PaperRow {
+  int native;
+  int hp4;
+};
+// The paper's reported values for reference alongside our measurements.
+PaperRow paper(const std::string& name) {
+  if (name == "l2_sw") return {2, 13};
+  if (name == "firewall") return {3, 22};
+  if (name == "router") return {4, 28};
+  return {4, 48};  // arp_proxy
+}
+
+}  // namespace
+
+int main() {
+  using namespace hyper4;
+  std::puts("=== Table 1: matches for most complex processing, native vs HyPer4 ===");
+  std::printf("%-10s | %14s | %14s | %8s | %18s\n", "program", "native (meas.)",
+              "hyper4 (meas.)", "ratio", "paper (nat / hp4)");
+  std::puts("-----------+----------------+----------------+----------+-------------------");
+  for (const auto& name : bench::function_names()) {
+    bench::Harness h(name);
+    const auto pkt = bench::worst_case_packet(name);
+    const auto rn = h.native->inject(1, pkt);
+    const auto re = h.ctl->dataplane().inject(1, pkt);
+    const auto p = paper(name);
+    std::printf("%-10s | %14zu | %14zu | %7.1fx | %8d / %d\n", name.c_str(),
+                rn.match_count(), re.match_count(),
+                rn.match_count()
+                    ? static_cast<double>(re.match_count()) /
+                          static_cast<double>(rn.match_count())
+                    : 0.0,
+                p.native, p.hp4);
+  }
+  std::puts("\nNote: the HyPer4 counts depend on the persona's table layout;");
+  std::puts("ours folds the paper's separate setup-b/virtual-parse tables into");
+  std::puts("one of each and one egress write-back stage (see EXPERIMENTS.md).");
+  return 0;
+}

@@ -1,0 +1,45 @@
+// Table 4: ternary match usage in HyPer4 for packets incurring the most
+// complex processing: total bits offered (including wildcards), bits
+// actively compared (mask popcount), and the number of ternary matches.
+#include <cstdio>
+
+#include "bench/common.h"
+
+namespace {
+
+struct PaperRow {
+  int total, active, matches;
+};
+PaperRow paper(const std::string& name) {
+  if (name == "l2_sw") return {808, 56, 2};
+  if (name == "router") return {1224, 80, 4};
+  if (name == "arp_proxy") return {1848, 66, 5};
+  return {1928, 59, 6};  // firewall
+}
+
+}  // namespace
+
+int main() {
+  using namespace hyper4;
+  std::puts("=== Table 4: ternary match usage in HyPer4 (worst-case packet) ===");
+  std::printf("%-10s | %11s | %12s | %15s | %26s\n", "program", "total bits",
+              "active bits", "ternary matches", "paper (total/active/cnt)");
+  std::puts("-----------+-------------+--------------+-----------------+---------------------------");
+  for (const auto& name : bench::function_names()) {
+    bench::Harness h(name);
+    const auto res =
+        h.ctl->dataplane().inject(1, bench::worst_case_packet(name));
+    const auto p = paper(name);
+    std::printf("%-10s | %11zu | %12zu | %15zu | %10d / %4d / %d\n",
+                name.c_str(), res.ternary_bits_total(),
+                res.ternary_bits_active(), res.ternary_match_count(), p.total,
+                p.active, p.matches);
+  }
+  std::puts("\nOur persona keys every stage table on [program, validity,");
+  std::puts("extracted(800b)] ternary triples and also prices setup/vparse/");
+  std::puts("vnet lookups, so absolute totals exceed the paper's; the ordering");
+  std::puts("(l2_sw lightest, multi-stage programs heaviest) is preserved and");
+  std::puts("active bits stay small relative to totals, the paper's TCAM-");
+  std::puts("pressure point (§6.3).");
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Table 5: iperf-style bandwidth and ping-flood latency, native vs HyPer4,
+// for the four measured configurations (l2_sw, firewall, Ex.1 B, Ex.1 C).
+// Mean and standard deviation over 10 runs, as in the paper.
+#include <cstdio>
+#include <vector>
+
+#include "sim/scenarios.h"
+
+namespace {
+
+struct PaperRow {
+  double native_mbps, hp4_mbps, native_ms, hp4_ms;
+};
+PaperRow paper(const std::string& kind) {
+  if (kind == "l2_sw") return {110.3, 18.7, 451, 1540};
+  if (kind == "firewall") return {63.7, 7.2, 483, 2277};
+  if (kind == "ex1b") return {37.7, 6.3, 1454, 5011};
+  return {26.3, 3.1, 2247, 8736};  // ex1c
+}
+
+}  // namespace
+
+int main() {
+  using namespace hyper4;
+  constexpr int kRuns = 10;
+  constexpr std::size_t kIperfPackets = 120;
+  constexpr std::size_t kPings = 200;  // scaled from the paper's 1000
+
+  std::puts("=== Table 5: bandwidth (iperf-style) and latency (ping flood) ===");
+  std::printf("%-9s | %-21s | %-21s | %-23s | %-23s\n", "", "native Mbps (u/s)",
+              "hp4 Mbps (u/s)", "native ms/1000 (u/s)", "hp4 ms/1000 (u/s)");
+  std::puts("----------+-----------------------+-----------------------+"
+            "-------------------------+------------------------");
+  for (const char* kind : {"l2_sw", "firewall", "ex1b", "ex1c"}) {
+    sim::Stats mbps[2], ms[2];
+    for (int variant = 0; variant < 2; ++variant) {
+      const bool hyper4 = variant == 1;
+      auto sc = sim::Scenario::make(kind, hyper4);
+      util::Rng rng(0xBEEF + static_cast<std::uint64_t>(variant));
+      std::vector<double> bw, lat;
+      for (int run = 0; run < kRuns; ++run) {
+        bw.push_back(sc->iperf(kIperfPackets, &rng).mbps);
+        // Scale the flood to the paper's 1000-ping column.
+        lat.push_back(sc->ping_flood(kPings, &rng).total_ms * 1000.0 /
+                      static_cast<double>(kPings));
+      }
+      mbps[variant] = sim::mean_stddev(bw);
+      ms[variant] = sim::mean_stddev(lat);
+    }
+    const PaperRow p = paper(kind);
+    std::printf("%-9s | %8.1f / %-10.2f | %8.1f / %-10.2f | %9.0f / %-11.1f | %9.0f / %-9.1f\n",
+                kind, mbps[0].mean, mbps[0].stddev, mbps[1].mean,
+                mbps[1].stddev, ms[0].mean, ms[0].stddev, ms[1].mean,
+                ms[1].stddev);
+    std::printf("%-9s | paper: %8.1f       | %8.1f              | %9.0f"
+                "               | %9.0f\n",
+                "", p.native_mbps, p.hp4_mbps, p.native_ms, p.hp4_ms);
+    const double bw_penalty =
+        100.0 * (1.0 - mbps[1].mean / (mbps[0].mean > 0 ? mbps[0].mean : 1));
+    const double lat_factor = ms[0].mean > 0 ? ms[1].mean / ms[0].mean : 0;
+    std::printf("%-9s | measured bandwidth penalty %.0f%%, latency factor %.1fx"
+                " (paper: %.0f%%, %.1fx)\n\n",
+                "", bw_penalty, lat_factor,
+                100.0 * (1.0 - p.hp4_mbps / p.native_mbps),
+                p.hp4_ms / p.native_ms);
+  }
+  std::puts("Cost model: per-stage/resubmit/recirculate pricing calibrated to");
+  std::puts("the paper's native L2 row; see DESIGN.md for the substitution.");
+  return 0;
+}

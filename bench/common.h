@@ -1,0 +1,97 @@
+// Shared fixtures for the evaluation benches: canonical rule sets and
+// worst-case probe packets for the paper's four network functions, plus a
+// harness that runs a function natively and under HyPer4 side by side.
+#pragma once
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "apps/apps.h"
+#include "hp4/controller.h"
+
+namespace hyper4::bench {
+
+inline constexpr const char* kMacH1 = "02:00:00:00:00:01";
+inline constexpr const char* kMacH2 = "02:00:00:00:00:02";
+inline constexpr const char* kMacRtr = "02:aa:00:00:00:ff";
+
+inline hp4::VirtualRule vr(const apps::Rule& r) {
+  return hp4::VirtualRule{r.table, r.action, r.keys, r.args, r.priority};
+}
+
+// Canonical demo rule set per function (what §3.1's controllers install).
+inline std::vector<apps::Rule> demo_rules(const std::string& name) {
+  if (name == "l2_sw") {
+    return {apps::l2_forward(kMacH1, 1), apps::l2_forward(kMacH2, 2)};
+  }
+  if (name == "router") {
+    return {apps::router_accept_mac(kMacRtr),
+            apps::router_route("10.0.1.0", 24, "10.0.1.10", 2),
+            apps::router_route("10.0.0.0", 16, "10.0.99.1", 3),
+            apps::router_arp_entry("10.0.1.10", kMacH2),
+            apps::router_arp_entry("10.0.99.1", kMacH1),
+            apps::router_port_mac(2, kMacRtr),
+            apps::router_port_mac(3, kMacRtr)};
+  }
+  if (name == "arp_proxy") {
+    return {apps::arp_proxy_entry("10.0.0.2", kMacH2),
+            apps::arp_proxy_l2_forward(kMacH1, 1),
+            apps::arp_proxy_l2_forward(kMacH2, 2)};
+  }
+  if (name == "firewall") {
+    return {apps::firewall_l2_forward(kMacH1, 1),
+            apps::firewall_l2_forward(kMacH2, 2),
+            apps::firewall_block_tcp_dport(22, 10),
+            apps::firewall_block_udp_dport(53, 11)};
+  }
+  throw util::ConfigError("bench: unknown function '" + name + "'");
+}
+
+// The packet incurring each function's most complex processing (Table 1's
+// "most complex processing per function").
+inline net::Packet worst_case_packet(const std::string& name) {
+  if (name == "arp_proxy") {
+    return net::make_arp_request(net::mac_from_string(kMacH1),
+                                 net::ipv4_from_string("10.0.0.1"),
+                                 net::ipv4_from_string("10.0.0.2"));
+  }
+  net::EthHeader eth;
+  eth.src = net::mac_from_string(kMacH1);
+  eth.dst = net::mac_from_string(name == "router" ? kMacRtr : kMacH2);
+  net::Ipv4Header ip;
+  ip.src = net::ipv4_from_string("10.0.0.1");
+  ip.dst = net::ipv4_from_string("10.0.1.7");
+  net::TcpHeader tcp;
+  tcp.src_port = 40000;
+  tcp.dst_port = 80;
+  return net::make_ipv4_tcp(eth, ip, tcp, 64);
+}
+
+inline const std::vector<std::string>& function_names() {
+  static const std::vector<std::string> names{"l2_sw", "firewall", "router",
+                                              "arp_proxy"};
+  return names;
+}
+
+// Side-by-side native / emulated instance of one function.
+struct Harness {
+  std::unique_ptr<bm::Switch> native;
+  std::unique_ptr<hp4::Controller> ctl;
+  hp4::VdevId vdev = 0;
+
+  explicit Harness(const std::string& name) {
+    native = std::make_unique<bm::Switch>(apps::program_by_name(name));
+    ctl = std::make_unique<hp4::Controller>();
+    vdev = ctl->load(name, apps::program_by_name(name));
+    ctl->attach_ports(vdev, {1, 2, 3});
+    for (std::uint16_t p : {1, 2, 3}) ctl->bind(vdev, p);
+    for (const auto& r : demo_rules(name)) {
+      apps::apply_rule(*native, r);
+      ctl->add_rule(vdev, vr(r));
+    }
+  }
+};
+
+}  // namespace hyper4::bench

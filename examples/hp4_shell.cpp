@@ -1,0 +1,205 @@
+// hp4_shell: an interactive operator console for a HyPer4 switch.
+//
+// Drives one persona dataplane through the controller/DPMU with simple
+// commands (type `help`). Reads stdin, so it works interactively or
+// scripted:
+//
+//   $ ./hp4_shell < examples/shell_demo.txt
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "apps/apps.h"
+#include "bm/cli.h"
+#include "hp4/controller.h"
+#include "p4/frontend.h"
+#include "util/strings.h"
+
+using namespace hyper4;
+
+namespace {
+
+const char* kHelp = R"(commands:
+  load <name> <l2_sw|router|arp_proxy|firewall|file.p4>   compile & load a program
+  ports <vdev> <p1> [p2 ...]        allot vports for physical ports
+  bind <vdev> <port|all>            steer ingress traffic to the device
+  link <vdev> <port> <next_vdev>    virtual link: vport -> next device
+  unload <vdev>                     remove a device and all its state
+  rule <vdev> <table> <action> <keys...> => <args...> [prio]
+  send <port> tcp <smac> <dmac> <sip> <dip> <dport>
+  send <port> arp <smac> <sip> <tip>
+  send <port> raw <hexbytes>
+  dump <persona-table>              list a persona table's entries
+  intermediate <vdev>               show the device's compiled artifact
+  report                            DPMU inventory
+  stats                             dataplane counters
+  ! <cli command>                   raw persona CLI (table_add, ...)
+  help | quit
+)";
+
+p4::Program resolve_program(const std::string& spec) {
+  if (spec.size() > 3 && spec.substr(spec.size() - 3) == ".p4") {
+    std::ifstream in(spec);
+    if (!in) throw util::ConfigError("cannot open '" + spec + "'");
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return p4::parse_p4(ss.str(), spec);
+  }
+  return apps::program_by_name(spec);
+}
+
+net::Packet parse_send(const std::vector<std::string>& tok) {
+  const std::string& kind = tok[2];
+  if (kind == "tcp") {
+    if (tok.size() != 8) throw util::ParseError("send tcp: wrong arity");
+    net::EthHeader eth;
+    eth.src = net::mac_from_string(tok[3]);
+    eth.dst = net::mac_from_string(tok[4]);
+    net::Ipv4Header ip;
+    ip.src = net::ipv4_from_string(tok[5]);
+    ip.dst = net::ipv4_from_string(tok[6]);
+    net::TcpHeader tcp;
+    tcp.src_port = 40000;
+    tcp.dst_port = static_cast<std::uint16_t>(util::parse_uint(tok[7]));
+    return net::make_ipv4_tcp(eth, ip, tcp, 64);
+  }
+  if (kind == "arp") {
+    if (tok.size() != 6) throw util::ParseError("send arp: wrong arity");
+    return net::make_arp_request(net::mac_from_string(tok[3]),
+                                 net::ipv4_from_string(tok[4]),
+                                 net::ipv4_from_string(tok[5]));
+  }
+  if (kind == "raw") {
+    if (tok.size() != 4) throw util::ParseError("send raw: wrong arity");
+    std::vector<std::uint8_t> bytes;
+    const std::string& hex = tok[3];
+    if (hex.size() % 2) throw util::ParseError("send raw: odd hex length");
+    for (std::size_t i = 0; i < hex.size(); i += 2) {
+      bytes.push_back(static_cast<std::uint8_t>(
+          util::parse_uint("0x" + hex.substr(i, 2))));
+    }
+    return net::Packet(std::move(bytes));
+  }
+  throw util::ParseError("send: unknown packet kind '" + kind + "'");
+}
+
+}  // namespace
+
+int main() {
+  hp4::Controller ctl;
+  std::printf("hp4_shell: persona up (%zu tables); type 'help'\n",
+              ctl.dataplane().table_names().size());
+
+  std::string line;
+  while (std::printf("hp4> "), std::fflush(stdout), std::getline(std::cin, line)) {
+    // Echo scripted input so piped sessions read like transcripts.
+    const auto trimmed = util::trim(line);
+    if (trimmed.empty() || trimmed[0] == '#') continue;
+    std::printf("%s\n", std::string(trimmed).c_str());
+    try {
+      const auto tok = util::split(trimmed);
+      const std::string& cmd = tok[0];
+      if (cmd == "quit" || cmd == "exit") break;
+      if (cmd == "help") {
+        std::fputs(kHelp, stdout);
+      } else if (cmd == "load" && tok.size() == 3) {
+        const auto id = ctl.load(tok[1], resolve_program(tok[2]));
+        std::printf("loaded '%s' as vdev %llu\n", tok[1].c_str(),
+                    static_cast<unsigned long long>(id));
+      } else if (cmd == "ports" && tok.size() >= 3) {
+        std::vector<std::uint16_t> ports;
+        for (std::size_t i = 2; i < tok.size(); ++i) {
+          ports.push_back(static_cast<std::uint16_t>(util::parse_uint(tok[i])));
+        }
+        ctl.attach_ports(util::parse_uint(tok[1]), ports);
+        std::printf("attached %zu port(s)\n", ports.size());
+      } else if (cmd == "bind" && tok.size() == 3) {
+        if (tok[2] == "all") {
+          ctl.bind(util::parse_uint(tok[1]));
+        } else {
+          ctl.bind(util::parse_uint(tok[1]),
+                   static_cast<std::uint16_t>(util::parse_uint(tok[2])));
+        }
+        std::puts("bound");
+      } else if (cmd == "link" && tok.size() == 4) {
+        ctl.dpmu().set_vport_target_vdev(
+            util::parse_uint(tok[1]),
+            static_cast<std::uint16_t>(util::parse_uint(tok[2])),
+            util::parse_uint(tok[3]));
+        std::puts("linked");
+      } else if (cmd == "unload" && tok.size() == 2) {
+        ctl.unload(util::parse_uint(tok[1]));
+        std::puts("unloaded");
+      } else if (cmd == "rule" && tok.size() >= 5) {
+        hp4::VirtualRule rule;
+        const hp4::VdevId id = util::parse_uint(tok[1]);
+        rule.table = tok[2];
+        rule.action = tok[3];
+        std::size_t i = 4;
+        while (i < tok.size() && tok[i] != "=>") rule.keys.push_back(tok[i++]);
+        if (i == tok.size()) throw util::ParseError("rule: missing '=>'");
+        ++i;
+        std::vector<std::string> rest(tok.begin() + static_cast<long>(i),
+                                      tok.end());
+        // Trailing integer = priority when the table needs one; keep the
+        // CLI convention: priority only when a ternary/lpm table.
+        rule.args = rest;
+        if (!rest.empty() && util::is_uint(rest.back())) {
+          const auto& ts = ctl.dpmu().artifact(id).table(rule.table);
+          bool needs_prio = false;
+          for (const auto& k : ts.keys) {
+            if (k.type == p4::MatchType::kTernary) needs_prio = true;
+          }
+          if (needs_prio) {
+            rule.priority = static_cast<std::int32_t>(util::parse_uint(rest.back()));
+            rule.args.pop_back();
+          }
+        }
+        const auto vh = ctl.add_rule(id, rule);
+        std::printf("virtual entry %llu\n", static_cast<unsigned long long>(vh));
+      } else if (cmd == "send" && tok.size() >= 4) {
+        const auto port = static_cast<std::uint16_t>(util::parse_uint(tok[1]));
+        const auto res = ctl.dataplane().inject(port, parse_send(tok));
+        if (res.outputs.empty()) {
+          std::printf("dropped (%zu stages", res.match_count());
+        } else {
+          std::printf("-> port %u (%zu bytes, %zu stages",
+                      res.outputs[0].port, res.outputs[0].packet.size(),
+                      res.match_count());
+        }
+        std::printf(", %zu resubmit, %zu recirculate)\n", res.resubmits,
+                    res.recirculations);
+      } else if (cmd == "dump" && tok.size() == 2) {
+        std::fputs(ctl.dataplane().table_dump(tok[1]).c_str(), stdout);
+      } else if (cmd == "intermediate" && tok.size() == 2) {
+        std::fputs(
+            ctl.dpmu().artifact(util::parse_uint(tok[1])).intermediate_text().c_str(),
+            stdout);
+      } else if (cmd == "report") {
+        std::fputs(ctl.dpmu().report().c_str(), stdout);
+      } else if (cmd == "stats") {
+        const auto& s = ctl.dataplane().stats();
+        std::printf("in=%llu out=%llu drops=%llu resubmits=%llu "
+                    "recirculations=%llu parse_errors=%llu\n",
+                    static_cast<unsigned long long>(s.packets_in),
+                    static_cast<unsigned long long>(s.packets_out),
+                    static_cast<unsigned long long>(s.drops),
+                    static_cast<unsigned long long>(s.resubmits),
+                    static_cast<unsigned long long>(s.recirculations),
+                    static_cast<unsigned long long>(s.parse_errors));
+      } else if (cmd == "!") {
+        const auto r = bm::run_cli_command(
+            ctl.dataplane(), std::string(trimmed.substr(1)));
+        std::printf("%s%s\n", r.ok ? "" : "error: ", r.message.c_str());
+      } else {
+        std::printf("unknown command (try 'help'): %s\n",
+                    std::string(trimmed).c_str());
+      }
+    } catch (const std::exception& e) {
+      std::printf("error: %s\n", e.what());
+    }
+  }
+  std::puts("bye");
+  return 0;
+}

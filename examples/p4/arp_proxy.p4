@@ -1,0 +1,134 @@
+// arp_proxy (generated P4-14 source)
+
+header_type ethernet_t {
+    fields {
+        dstAddr : 48;
+        srcAddr : 48;
+        etherType : 16;
+    }
+}
+
+header_type arp_t {
+    fields {
+        htype : 16;
+        ptype : 16;
+        hlen : 8;
+        plen : 8;
+        oper : 16;
+        sha : 48;
+        spa : 32;
+        tha : 48;
+        tpa : 32;
+    }
+}
+
+header_type arp_meta_t {
+    fields {
+        tmp_ip : 32;
+    }
+}
+
+header ethernet_t ethernet;
+header arp_t arp;
+metadata arp_meta_t meta;
+
+counter arp_seen {
+    type : packets;
+    direct : arp_monitor;
+}
+
+parser start {
+    extract(ethernet);
+    return select(ethernet.etherType) {
+        0x0806 : parse_arp;
+        default : ingress;
+    }
+}
+
+parser parse_arp {
+    extract(arp);
+    return ingress;
+}
+
+action nop() {
+    no_op();
+}
+
+action forward(port) {
+    modify_field(standard_metadata.egress_spec, port);
+}
+
+action _drop() {
+    drop();
+}
+
+action arp_reply(mac) {
+    modify_field(ethernet.dstAddr, ethernet.srcAddr);
+    modify_field(arp.oper, 0x0002);
+    modify_field(arp.tha, arp.sha);
+    modify_field(arp.sha, mac);
+    modify_field(ethernet.srcAddr, mac);
+    modify_field(meta.tmp_ip, arp.spa);
+    modify_field(arp.spa, arp.tpa);
+    modify_field(arp.tpa, meta.tmp_ip);
+    modify_field(standard_metadata.egress_spec, standard_metadata.ingress_port);
+}
+
+table smac {
+    reads {
+        ethernet.srcAddr : exact;
+    }
+    actions {
+        nop;
+    }
+    default_action : nop;
+    size : 1024;
+}
+
+table arp_resp {
+    reads {
+        arp : valid;
+        arp.oper : ternary;
+        arp.tpa : ternary;
+    }
+    actions {
+        arp_reply;
+        nop;
+    }
+    default_action : nop;
+    size : 1024;
+}
+
+table dmac {
+    reads {
+        ethernet.dstAddr : exact;
+    }
+    actions {
+        forward;
+        _drop;
+    }
+    default_action : _drop;
+    size : 1024;
+}
+
+table arp_monitor {
+    reads {
+        arp : valid;
+    }
+    actions {
+        nop;
+    }
+    default_action : nop;
+    size : 1024;
+}
+
+control ingress {
+    apply(smac);
+    apply(arp_resp);
+    apply(dmac);
+}
+
+control egress {
+    apply(arp_monitor);
+}
+

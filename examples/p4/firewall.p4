@@ -1,0 +1,107 @@
+// The paper's firewall (§3.1 #4): filters traffic on IPv4, TCP and UDP
+// sources and destinations, forwarding at L2 otherwise.
+header_type ethernet_t {
+    fields {
+        dstAddr : 48;
+        srcAddr : 48;
+        etherType : 16;
+    }
+}
+header_type ipv4_t {
+    fields {
+        version : 4;
+        ihl : 4;
+        diffserv : 8;
+        totalLen : 16;
+        identification : 16;
+        flags : 3;
+        fragOffset : 13;
+        ttl : 8;
+        protocol : 8;
+        hdrChecksum : 16;
+        srcAddr : 32;
+        dstAddr : 32;
+    }
+}
+header_type tcp_t {
+    fields {
+        srcPort : 16;
+        dstPort : 16;
+        seqNo : 32;
+        ackNo : 32;
+        dataOffset : 4;
+        res : 4;
+        flags : 8;
+        window : 16;
+        checksum : 16;
+        urgentPtr : 16;
+    }
+}
+header_type udp_t {
+    fields {
+        srcPort : 16;
+        dstPort : 16;
+        length_ : 16;
+        checksum : 16;
+    }
+}
+
+header ethernet_t ethernet;
+header ipv4_t ipv4;
+header tcp_t tcp;
+header udp_t udp;
+
+parser start {
+    extract(ethernet);
+    return select(ethernet.etherType) {
+        0x0800 : parse_ipv4;
+        default : ingress;
+    }
+}
+parser parse_ipv4 {
+    extract(ipv4);
+    return select(ipv4.protocol) {
+        6 : parse_tcp;
+        17 : parse_udp;
+        default : ingress;
+    }
+}
+parser parse_tcp { extract(tcp); return ingress; }
+parser parse_udp { extract(udp); return ingress; }
+
+action nop() { no_op(); }
+action forward(port) { modify_field(standard_metadata.egress_spec, port); }
+action _drop() { drop(); }
+action fw_drop() { drop(); }
+
+table dmac {
+    reads { ethernet.dstAddr : exact; }
+    actions { forward; _drop; }
+    default_action : _drop;
+}
+table ip_filter {
+    reads {
+        ipv4.srcAddr : ternary;
+        ipv4.dstAddr : ternary;
+    }
+    actions { fw_drop; nop; }
+    default_action : nop;
+}
+table l4_filter {
+    reads {
+        tcp : valid;
+        tcp.dstPort : ternary;
+        udp : valid;
+        udp.dstPort : ternary;
+    }
+    actions { fw_drop; nop; }
+    default_action : nop;
+}
+
+control ingress {
+    apply(dmac);
+    if (valid(ipv4)) {
+        apply(ip_filter);
+        apply(l4_filter);
+    }
+}

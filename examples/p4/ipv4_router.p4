@@ -1,0 +1,153 @@
+// ipv4_router (generated P4-14 source)
+
+header_type ethernet_t {
+    fields {
+        dstAddr : 48;
+        srcAddr : 48;
+        etherType : 16;
+    }
+}
+
+header_type ipv4_t {
+    fields {
+        version : 4;
+        ihl : 4;
+        diffserv : 8;
+        totalLen : 16;
+        identification : 16;
+        flags : 3;
+        fragOffset : 13;
+        ttl : 8;
+        protocol : 8;
+        hdrChecksum : 16;
+        srcAddr : 32;
+        dstAddr : 32;
+    }
+}
+
+header_type router_meta_t {
+    fields {
+        nhop_ipv4 : 32;
+    }
+}
+
+header ethernet_t ethernet;
+header ipv4_t ipv4;
+metadata router_meta_t meta;
+
+field_list ipv4_checksum_list {
+    ipv4.version;
+    ipv4.ihl;
+    ipv4.diffserv;
+    ipv4.totalLen;
+    ipv4.identification;
+    ipv4.flags;
+    ipv4.fragOffset;
+    ipv4.ttl;
+    ipv4.protocol;
+    ipv4.srcAddr;
+    ipv4.dstAddr;
+}
+
+field_list_calculation ipv4_hdrChecksum_calc {
+    input { ipv4_checksum_list; }
+    algorithm : csum16;
+    output_width : 16;
+}
+calculated_field ipv4.hdrChecksum {
+    update ipv4_hdrChecksum_calc;
+}
+
+parser start {
+    extract(ethernet);
+    return select(ethernet.etherType) {
+        0x0800 : parse_ipv4;
+        default : parse_drop;
+    }
+}
+
+parser parse_ipv4 {
+    extract(ipv4);
+    return ingress;
+}
+
+action nop() {
+    no_op();
+}
+
+action _drop() {
+    drop();
+}
+
+action set_nhop(nhop_ipv4, port) {
+    modify_field(meta.nhop_ipv4, nhop_ipv4);
+    modify_field(standard_metadata.egress_spec, port);
+    add_to_field(ipv4.ttl, 0xff);
+}
+
+action set_dmac(dmac) {
+    modify_field(ethernet.dstAddr, dmac);
+}
+
+action rewrite_mac(smac) {
+    modify_field(ethernet.srcAddr, smac);
+}
+
+table dmac_check {
+    reads {
+        ethernet.dstAddr : exact;
+    }
+    actions {
+        nop;
+        _drop;
+    }
+    default_action : _drop;
+    size : 1024;
+}
+
+table ipv4_lpm {
+    reads {
+        ipv4.dstAddr : lpm;
+    }
+    actions {
+        set_nhop;
+        _drop;
+    }
+    default_action : _drop;
+    size : 1024;
+}
+
+table forward {
+    reads {
+        meta.nhop_ipv4 : exact;
+    }
+    actions {
+        set_dmac;
+        _drop;
+    }
+    default_action : _drop;
+    size : 1024;
+}
+
+table send_frame {
+    reads {
+        standard_metadata.egress_port : exact;
+    }
+    actions {
+        rewrite_mac;
+        _drop;
+    }
+    default_action : _drop;
+    size : 1024;
+}
+
+control ingress {
+    apply(ipv4_lpm);
+    apply(dmac_check);
+    apply(forward);
+}
+
+control egress {
+    apply(send_frame);
+}
+

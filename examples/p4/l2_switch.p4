@@ -1,0 +1,60 @@
+// l2_switch (generated P4-14 source)
+
+header_type ethernet_t {
+    fields {
+        dstAddr : 48;
+        srcAddr : 48;
+        etherType : 16;
+    }
+}
+
+header ethernet_t ethernet;
+
+parser start {
+    extract(ethernet);
+    return ingress;
+}
+
+action nop() {
+    no_op();
+}
+
+action forward(port) {
+    modify_field(standard_metadata.egress_spec, port);
+}
+
+action _drop() {
+    drop();
+}
+
+table smac {
+    reads {
+        ethernet.srcAddr : exact;
+    }
+    actions {
+        nop;
+    }
+    default_action : nop;
+    size : 1024;
+}
+
+table dmac {
+    reads {
+        ethernet.dstAddr : exact;
+    }
+    actions {
+        forward;
+        _drop;
+    }
+    default_action : _drop;
+    size : 1024;
+}
+
+control ingress {
+    apply(smac);
+    apply(dmac);
+}
+
+control egress {
+}
+

@@ -1,0 +1,115 @@
+// §5.2 workflow tour: foo.p4 → HLIR → HyPer4 commands.
+//
+// Parses a P4-14 source file (default: examples/p4/firewall.p4, or pass a
+// path), compiles it for the persona, prints the *intermediate* commands
+// file (with load-time tokens), loads it into a live persona, and pushes
+// traffic through the emulated program.
+//
+//   $ ./p4_frontend_tour [path/to/program.p4]
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "hp4/controller.h"
+#include "net/headers.h"
+#include "p4/frontend.h"
+
+using namespace hyper4;
+
+namespace {
+
+// Embedded fallback so the tour runs from any working directory.
+const char* kFallbackSource = R"(
+header_type ethernet_t {
+    fields { dstAddr : 48; srcAddr : 48; etherType : 16; }
+}
+header ethernet_t ethernet;
+parser start { extract(ethernet); return ingress; }
+action nop() { no_op(); }
+action forward(port) { modify_field(standard_metadata.egress_spec, port); }
+action _drop() { drop(); }
+table smac {
+    reads { ethernet.srcAddr : exact; }
+    actions { nop; }
+    default_action : nop;
+}
+table dmac {
+    reads { ethernet.dstAddr : exact; }
+    actions { forward; _drop; }
+    default_action : _drop;
+}
+control ingress { apply(smac); apply(dmac); }
+)";
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::puts("== P4 front-end tour: foo.p4 -> HyPer4 commands ==\n");
+
+  // 1. Read and parse the source.
+  std::string source;
+  std::string origin = "embedded l2 switch";
+  const char* path = argc > 1 ? argv[1] : "examples/p4/firewall.p4";
+  if (std::ifstream in{path}) {
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    source = ss.str();
+    origin = path;
+  } else {
+    source = kFallbackSource;
+  }
+  std::printf("parsing %s (%zu bytes)\n", origin.c_str(), source.size());
+  p4::Program prog = p4::parse_p4(source, "tour_program");
+  std::printf("parsed: %zu header types, %zu parser states, %zu actions, "
+              "%zu tables\n\n",
+              prog.header_types.size(), prog.parser_states.size(),
+              prog.actions.size(), prog.tables.size());
+
+  // 2. Compile for the persona; show the intermediate artifact.
+  hp4::Controller ctl;
+  hp4::Hp4Artifact art = ctl.compile(prog);
+  std::puts("-- intermediate commands file --");
+  std::fputs(art.intermediate_text().c_str(), stdout);
+
+  // 3. Load (token substitution happens here) and steer ports 1-2 into it.
+  hp4::VdevId vdev = ctl.load("tour", prog);
+  ctl.attach_ports(vdev, {1, 2});
+  ctl.bind(vdev, 1);
+  ctl.bind(vdev, 2);
+  std::printf("\nloaded as virtual device %llu (numbytes=%zu%s)\n",
+              static_cast<unsigned long long>(vdev), art.numbytes,
+              art.needs_resubmit ? ", resubmits for extra bytes" : "");
+
+  // 4. Populate one forwarding entry through the DPMU and send a packet.
+  //    The demo rule assumes an l2-style `dmac` table; programs without one
+  //    still get loaded and inspected above.
+  bool has_dmac = false;
+  for (const auto& ts : art.tables) has_dmac |= ts.name == "dmac";
+  if (!has_dmac) {
+    std::puts("\n(program has no 'dmac' table; skipping the traffic demo)");
+    return 0;
+  }
+  ctl.add_rule(vdev, hp4::VirtualRule{"dmac",
+                                      "forward",
+                                      {"02:00:00:00:00:02"},
+                                      {"2"},
+                                      -1});
+  net::EthHeader eth;
+  eth.src = net::mac_from_string("02:00:00:00:00:01");
+  eth.dst = net::mac_from_string("02:00:00:00:00:02");
+  net::Ipv4Header ip;
+  ip.src = net::ipv4_from_string("10.0.0.1");
+  ip.dst = net::ipv4_from_string("10.0.0.2");
+  net::TcpHeader tcp;
+  tcp.dst_port = 80;
+  auto res =
+      ctl.dataplane().inject(1, net::make_ipv4_tcp(eth, ip, tcp, 64));
+  if (res.outputs.empty()) {
+    std::puts("packet dropped (unexpected)");
+    return 1;
+  }
+  std::printf("packet emulated through '%s': out port %u, %zu persona match "
+              "stages\n",
+              origin.c_str(), res.outputs[0].port, res.match_count());
+  return 0;
+}

@@ -1,0 +1,89 @@
+// The paper's four native P4 network functions (§3.1):
+//   1. a layer-2 Ethernet switch,
+//   2. an IPv4 router,
+//   3. an ARP proxy answering ARP requests on behalf of IPv4 hosts,
+//   4. a firewall filtering on IPv4/TCP/UDP sources and destinations.
+//
+// Each program is expressed in the P4 IR and can run either natively on a
+// bm::Switch or emulated by the HyPer4 persona. Runtime table state is
+// described by target-program-level Rules, which a native controller
+// applies directly and the DPMU translates into persona entries — the same
+// Rule feeds both paths, which is what makes the equivalence tests honest.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "bm/switch.h"
+#include "net/headers.h"
+#include "p4/ir.h"
+
+namespace hyper4::apps {
+
+// --- programs --------------------------------------------------------------
+
+// Two match stages: smac (learning point, no_op) and dmac (forward/port).
+p4::Program l2_switch();
+
+// Four match stages: dmac_check (router MAC filter), ipv4_lpm (set next
+// hop + TTL decrement), forward (next-hop IP → dst MAC), and send_frame
+// (egress: source MAC rewrite). Recomputes the IPv4 header checksum.
+p4::Program ipv4_router();
+
+// Four match stages on the ARP-request path: smac, arp_resp (the paper's
+// nine-primitive ARP reply builder), dmac, and an egress monitor table.
+p4::Program arp_proxy();
+
+// Three match stages: dmac (L2 forwarding), ip_filter (ternary IPv4
+// src/dst), l4_filter (ternary TCP/UDP ports gated on header validity).
+p4::Program firewall();
+
+// All four, keyed by the names used throughout the benches.
+std::vector<std::pair<std::string, p4::Program>> all_programs();
+p4::Program program_by_name(const std::string& name);
+
+// --- runtime rules -----------------------------------------------------------
+
+// One table entry in the *target program's* terms. Key/argument tokens use
+// the CLI value syntax (bm/cli.h).
+struct Rule {
+  std::string table;
+  std::string action;
+  std::vector<std::string> keys;
+  std::vector<std::string> args;
+  std::int32_t priority = -1;  // required for ternary tables
+};
+
+// l2_switch: forward dst MAC on `port`.
+Rule l2_forward(const std::string& mac, std::uint16_t port);
+
+// ipv4_router: accept frames addressed to the router's MAC.
+Rule router_accept_mac(const std::string& mac);
+// route `prefix/len` to next hop `nhop_ip` out of `port`.
+Rule router_route(const std::string& prefix, std::size_t prefix_len,
+                  const std::string& nhop_ip, std::uint16_t port);
+// next-hop IP → destination MAC.
+Rule router_arp_entry(const std::string& nhop_ip, const std::string& mac);
+// egress port → source MAC rewrite.
+Rule router_port_mac(std::uint16_t port, const std::string& mac);
+
+// arp_proxy: answer requests for `ip` with `mac`.
+Rule arp_proxy_entry(const std::string& ip, const std::string& mac);
+// arp_proxy also forwards like an L2 switch.
+Rule arp_proxy_l2_forward(const std::string& mac, std::uint16_t port);
+
+// firewall: L2 forwarding plus filters. Filters with empty mask strings
+// wildcard that dimension.
+Rule firewall_l2_forward(const std::string& mac, std::uint16_t port);
+Rule firewall_block_ip(const std::string& src_ip, const std::string& src_mask,
+                       const std::string& dst_ip, const std::string& dst_mask,
+                       std::int32_t priority);
+Rule firewall_block_tcp_dport(std::uint16_t dport, std::int32_t priority);
+Rule firewall_block_udp_dport(std::uint16_t dport, std::int32_t priority);
+
+// Apply a rule to a native switch running the corresponding program.
+std::uint64_t apply_rule(bm::Switch& sw, const Rule& rule);
+void apply_rules(bm::Switch& sw, const std::vector<Rule>& rules);
+
+}  // namespace hyper4::apps

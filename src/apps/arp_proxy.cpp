@@ -1,0 +1,87 @@
+#include "apps/apps.h"
+#include "p4/builder.h"
+
+namespace hyper4::apps {
+
+using namespace p4;
+
+Program arp_proxy() {
+  ProgramBuilder b("arp_proxy");
+  b.header_type("ethernet_t",
+                {{"dstAddr", 48}, {"srcAddr", 48}, {"etherType", 16}});
+  b.header_type("arp_t", {{"htype", 16},
+                          {"ptype", 16},
+                          {"hlen", 8},
+                          {"plen", 8},
+                          {"oper", 16},
+                          {"sha", 48},
+                          {"spa", 32},
+                          {"tha", 48},
+                          {"tpa", 32}});
+  b.header_type("arp_meta_t", {{"tmp_ip", 32}});
+  b.header("ethernet_t", "ethernet");
+  b.header("arp_t", "arp");
+  b.metadata("arp_meta_t", "meta");
+
+  b.parser("start")
+      .extract("ethernet")
+      .select_field("ethernet", "etherType")
+      .when(net::kEtherTypeArp, "parse_arp")
+      .otherwise(kParserAccept);  // non-ARP traffic is switched at L2
+  b.parser("parse_arp").extract("arp").to_ingress();
+
+  b.action("nop").no_op();
+  b.action("forward", {{"port", kPortWidth}})
+      .modify_field({kStandardMetadata, kFieldEgressSpec}, Param(0));
+  b.action("_drop").drop();
+  // The paper's nine-primitive ARP reply builder (§6.1): turn the request
+  // around in place, answering with the proxied MAC.
+  b.action("arp_reply", {{"mac", 48}})
+      .modify_field({"ethernet", "dstAddr"}, F("ethernet", "srcAddr"))
+      .modify_field({"arp", "oper"}, Const(16, net::kArpOpReply))
+      .modify_field({"arp", "tha"}, F("arp", "sha"))
+      .modify_field({"arp", "sha"}, Param(0))
+      .modify_field({"ethernet", "srcAddr"}, Param(0))
+      .modify_field({"meta", "tmp_ip"}, F("arp", "spa"))
+      .modify_field({"arp", "spa"}, F("arp", "tpa"))
+      .modify_field({"arp", "tpa"}, F("meta", "tmp_ip"))
+      .modify_field({kStandardMetadata, kFieldEgressSpec},
+                    F(kStandardMetadata, kFieldIngressPort));
+
+  b.table("smac")
+      .key_exact({"ethernet", "srcAddr"})
+      .action_ref("nop")
+      .default_action("nop");
+  // Hit = this is an ARP request for a proxied IP; build the reply. The
+  // reply then traverses dmac like any other frame (egress_spec already
+  // points back at the requester's port if dmac has no entry).
+  b.table("arp_resp")
+      .key_valid("arp")
+      .key_ternary({"arp", "oper"})
+      .key_ternary({"arp", "tpa"})
+      .action_ref("arp_reply")
+      .action_ref("nop")
+      .default_action("nop");
+  b.table("dmac")
+      .key_exact({"ethernet", "dstAddr"})
+      .action_ref("forward")
+      .action_ref("_drop")
+      .default_action("_drop");
+  // Egress monitoring hook with a direct counter (ARP replies served are
+  // the hits of arp_seen-attached entries).
+  b.table("arp_monitor")
+      .key_valid("arp")
+      .action_ref("nop")
+      .default_action("nop")
+      .direct_counter("arp_seen");
+  b.counter("arp_seen", 0, "arp_monitor");
+
+  auto ing = b.ingress();
+  ing.apply("smac");
+  ing.then_apply("arp_resp");
+  ing.then_apply("dmac");
+  b.egress().apply("arp_monitor");
+  return b.build();
+}
+
+}  // namespace hyper4::apps

@@ -1,0 +1,94 @@
+#include "apps/apps.h"
+#include "p4/builder.h"
+
+namespace hyper4::apps {
+
+using namespace p4;
+
+Program firewall() {
+  ProgramBuilder b("firewall");
+  b.header_type("ethernet_t",
+                {{"dstAddr", 48}, {"srcAddr", 48}, {"etherType", 16}});
+  b.header_type("ipv4_t", {{"version", 4},
+                           {"ihl", 4},
+                           {"diffserv", 8},
+                           {"totalLen", 16},
+                           {"identification", 16},
+                           {"flags", 3},
+                           {"fragOffset", 13},
+                           {"ttl", 8},
+                           {"protocol", 8},
+                           {"hdrChecksum", 16},
+                           {"srcAddr", 32},
+                           {"dstAddr", 32}});
+  b.header_type("tcp_t", {{"srcPort", 16},
+                          {"dstPort", 16},
+                          {"seqNo", 32},
+                          {"ackNo", 32},
+                          {"dataOffset", 4},
+                          {"res", 4},
+                          {"flags", 8},
+                          {"window", 16},
+                          {"checksum", 16},
+                          {"urgentPtr", 16}});
+  b.header_type("udp_t",
+                {{"srcPort", 16}, {"dstPort", 16}, {"length_", 16}, {"checksum", 16}});
+  b.header("ethernet_t", "ethernet");
+  b.header("ipv4_t", "ipv4");
+  b.header("tcp_t", "tcp");
+  b.header("udp_t", "udp");
+
+  b.parser("start")
+      .extract("ethernet")
+      .select_field("ethernet", "etherType")
+      .when(net::kEtherTypeIpv4, "parse_ipv4")
+      .otherwise(kParserAccept);
+  b.parser("parse_ipv4")
+      .extract("ipv4")
+      .select_field("ipv4", "protocol")
+      .when(net::kIpProtoTcp, "parse_tcp")
+      .when(net::kIpProtoUdp, "parse_udp")
+      .otherwise(kParserAccept);
+  b.parser("parse_tcp").extract("tcp").to_ingress();
+  b.parser("parse_udp").extract("udp").to_ingress();
+
+  b.action("nop").no_op();
+  b.action("forward", {{"port", kPortWidth}})
+      .modify_field({kStandardMetadata, kFieldEgressSpec}, Param(0));
+  b.action("_drop").drop();
+  b.action("fw_drop").drop();
+
+  b.table("dmac")
+      .key_exact({"ethernet", "dstAddr"})
+      .action_ref("forward")
+      .action_ref("_drop")
+      .default_action("_drop");
+  b.table("ip_filter")
+      .key_ternary({"ipv4", "srcAddr"})
+      .key_ternary({"ipv4", "dstAddr"})
+      .action_ref("fw_drop")
+      .action_ref("nop")
+      .default_action("nop");
+  // TCP and UDP ports share one stage; validity bits disambiguate.
+  b.table("l4_filter")
+      .key_valid("tcp")
+      .key_ternary({"tcp", "dstPort"})
+      .key_valid("udp")
+      .key_ternary({"udp", "dstPort"})
+      .action_ref("fw_drop")
+      .action_ref("nop")
+      .default_action("nop");
+
+  auto ing = b.ingress();
+  const std::size_t n_dmac = ing.apply("dmac");
+  const std::size_t n_if = ing.branch(Expr::valid("ipv4"));
+  const std::size_t n_ip = ing.apply("ip_filter");
+  const std::size_t n_l4 = ing.apply("l4_filter");
+  ing.on_default(n_dmac, n_if);
+  ing.on_true(n_if, n_ip);
+  ing.on_false(n_if, p4::kEndOfControl);
+  ing.on_default(n_ip, n_l4);
+  return b.build();
+}
+
+}  // namespace hyper4::apps

@@ -1,0 +1,39 @@
+#include "apps/apps.h"
+#include "p4/builder.h"
+
+namespace hyper4::apps {
+
+using namespace p4;
+
+Program l2_switch() {
+  ProgramBuilder b("l2_switch");
+  b.header_type("ethernet_t",
+                {{"dstAddr", 48}, {"srcAddr", 48}, {"etherType", 16}});
+  b.header("ethernet_t", "ethernet");
+
+  b.parser("start").extract("ethernet").to_ingress();
+
+  b.action("nop").no_op();
+  b.action("forward", {{"port", kPortWidth}})
+      .modify_field({kStandardMetadata, kFieldEgressSpec}, Param(0));
+  b.action("_drop").drop();
+
+  // smac is the learning point: a hit means the source is known; the
+  // controller installs entries out of band.
+  b.table("smac")
+      .key_exact({"ethernet", "srcAddr"})
+      .action_ref("nop")
+      .default_action("nop");
+  b.table("dmac")
+      .key_exact({"ethernet", "dstAddr"})
+      .action_ref("forward")
+      .action_ref("_drop")
+      .default_action("_drop");
+
+  auto ing = b.ingress();
+  ing.apply("smac");
+  ing.then_apply("dmac");
+  return b.build();
+}
+
+}  // namespace hyper4::apps

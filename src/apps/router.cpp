@@ -1,0 +1,95 @@
+#include "apps/apps.h"
+#include "p4/builder.h"
+
+namespace hyper4::apps {
+
+using namespace p4;
+
+Program ipv4_router() {
+  ProgramBuilder b("ipv4_router");
+  b.header_type("ethernet_t",
+                {{"dstAddr", 48}, {"srcAddr", 48}, {"etherType", 16}});
+  b.header_type("ipv4_t", {{"version", 4},
+                           {"ihl", 4},
+                           {"diffserv", 8},
+                           {"totalLen", 16},
+                           {"identification", 16},
+                           {"flags", 3},
+                           {"fragOffset", 13},
+                           {"ttl", 8},
+                           {"protocol", 8},
+                           {"hdrChecksum", 16},
+                           {"srcAddr", 32},
+                           {"dstAddr", 32}});
+  b.header_type("router_meta_t", {{"nhop_ipv4", 32}});
+  b.header("ethernet_t", "ethernet");
+  b.header("ipv4_t", "ipv4");
+  b.metadata("router_meta_t", "meta");
+
+  b.parser("start")
+      .extract("ethernet")
+      .select_field("ethernet", "etherType")
+      .when(net::kEtherTypeIpv4, "parse_ipv4")
+      .otherwise(kParserDrop);  // a pure router: non-IPv4 is not handled
+  b.parser("parse_ipv4").extract("ipv4").to_ingress();
+
+  b.action("nop").no_op();
+  b.action("_drop").drop();
+  // Set next hop, output port, and decrement TTL (add 0xff mod 2^8).
+  b.action("set_nhop", {{"nhop_ipv4", 32}, {"port", kPortWidth}})
+      .modify_field({"meta", "nhop_ipv4"}, Param(0))
+      .modify_field({kStandardMetadata, kFieldEgressSpec}, Param(1))
+      .add_to_field({"ipv4", "ttl"}, Const(8, 0xff));
+  b.action("set_dmac", {{"dmac", 48}})
+      .modify_field({"ethernet", "dstAddr"}, Param(0));
+  b.action("rewrite_mac", {{"smac", 48}})
+      .modify_field({"ethernet", "srcAddr"}, Param(0));
+
+  // Only frames addressed to the router's MAC are routed.
+  b.table("dmac_check")
+      .key_exact({"ethernet", "dstAddr"})
+      .action_ref("nop")
+      .action_ref("_drop")
+      .default_action("_drop");
+  b.table("ipv4_lpm")
+      .key_lpm({"ipv4", "dstAddr"})
+      .action_ref("set_nhop")
+      .action_ref("_drop")
+      .default_action("_drop");
+  b.table("forward")
+      .key_exact({"meta", "nhop_ipv4"})
+      .action_ref("set_dmac")
+      .action_ref("_drop")
+      .default_action("_drop");
+  b.table("send_frame")
+      .key_exact({kStandardMetadata, kFieldEgressPort})
+      .action_ref("rewrite_mac")
+      .action_ref("_drop")
+      .default_action("_drop");
+
+  // dmac_check runs after ipv4_lpm: P4-14 drop merely sets egress_spec, so
+  // set_nhop ordered later would overwrite (un-drop) the MAC filter; and it
+  // must precede forward, which rewrites the destination MAC it reads.
+  auto ing = b.ingress();
+  ing.apply("ipv4_lpm");
+  ing.then_apply("dmac_check");
+  ing.then_apply("forward");
+  b.egress().apply("send_frame");
+
+  b.field_list("ipv4_checksum_list",
+               {{"ipv4", "version"},
+                {"ipv4", "ihl"},
+                {"ipv4", "diffserv"},
+                {"ipv4", "totalLen"},
+                {"ipv4", "identification"},
+                {"ipv4", "flags"},
+                {"ipv4", "fragOffset"},
+                {"ipv4", "ttl"},
+                {"ipv4", "protocol"},
+                {"ipv4", "srcAddr"},
+                {"ipv4", "dstAddr"}});
+  b.checksum({"ipv4", "hdrChecksum"}, "ipv4_checksum_list");
+  return b.build();
+}
+
+}  // namespace hyper4::apps

@@ -1,0 +1,109 @@
+#include <sstream>
+
+#include "apps/apps.h"
+#include "bm/cli.h"
+#include "util/error.h"
+
+namespace hyper4::apps {
+
+std::vector<std::pair<std::string, p4::Program>> all_programs() {
+  std::vector<std::pair<std::string, p4::Program>> out;
+  out.emplace_back("l2_sw", l2_switch());
+  out.emplace_back("router", ipv4_router());
+  out.emplace_back("arp_proxy", arp_proxy());
+  out.emplace_back("firewall", firewall());
+  return out;
+}
+
+p4::Program program_by_name(const std::string& name) {
+  if (name == "l2_sw" || name == "l2_switch") return l2_switch();
+  if (name == "router" || name == "ipv4_router") return ipv4_router();
+  if (name == "arp_proxy") return arp_proxy();
+  if (name == "firewall") return firewall();
+  throw util::ConfigError("unknown app program '" + name + "'");
+}
+
+Rule l2_forward(const std::string& mac, std::uint16_t port) {
+  return Rule{"dmac", "forward", {mac}, {std::to_string(port)}, -1};
+}
+
+Rule router_accept_mac(const std::string& mac) {
+  return Rule{"dmac_check", "nop", {mac}, {}, -1};
+}
+
+Rule router_route(const std::string& prefix, std::size_t prefix_len,
+                  const std::string& nhop_ip, std::uint16_t port) {
+  return Rule{"ipv4_lpm",
+              "set_nhop",
+              {prefix + "/" + std::to_string(prefix_len)},
+              {nhop_ip, std::to_string(port)},
+              -1};
+}
+
+Rule router_arp_entry(const std::string& nhop_ip, const std::string& mac) {
+  return Rule{"forward", "set_dmac", {nhop_ip}, {mac}, -1};
+}
+
+Rule router_port_mac(std::uint16_t port, const std::string& mac) {
+  return Rule{"send_frame", "rewrite_mac", {std::to_string(port)}, {mac}, -1};
+}
+
+Rule arp_proxy_entry(const std::string& ip, const std::string& mac) {
+  return Rule{"arp_resp",
+              "arp_reply",
+              {"1", "1&&&0xffff", ip + "&&&0xffffffff"},
+              {mac},
+              10};
+}
+
+Rule arp_proxy_l2_forward(const std::string& mac, std::uint16_t port) {
+  return Rule{"dmac", "forward", {mac}, {std::to_string(port)}, -1};
+}
+
+Rule firewall_l2_forward(const std::string& mac, std::uint16_t port) {
+  return Rule{"dmac", "forward", {mac}, {std::to_string(port)}, -1};
+}
+
+Rule firewall_block_ip(const std::string& src_ip, const std::string& src_mask,
+                       const std::string& dst_ip, const std::string& dst_mask,
+                       std::int32_t priority) {
+  return Rule{"ip_filter",
+              "fw_drop",
+              {src_ip + "&&&" + src_mask, dst_ip + "&&&" + dst_mask},
+              {},
+              priority};
+}
+
+Rule firewall_block_tcp_dport(std::uint16_t dport, std::int32_t priority) {
+  return Rule{"l4_filter",
+              "fw_drop",
+              {"1", std::to_string(dport) + "&&&0xffff", "0", "0&&&0"},
+              {},
+              priority};
+}
+
+Rule firewall_block_udp_dport(std::uint16_t dport, std::int32_t priority) {
+  return Rule{"l4_filter",
+              "fw_drop",
+              {"0", "0&&&0", "1", std::to_string(dport) + "&&&0xffff"},
+              {},
+              priority};
+}
+
+std::uint64_t apply_rule(bm::Switch& sw, const Rule& rule) {
+  std::ostringstream line;
+  line << "table_add " << rule.table << " " << rule.action;
+  for (const auto& k : rule.keys) line << " " << k;
+  line << " =>";
+  for (const auto& a : rule.args) line << " " << a;
+  if (rule.priority >= 0) line << " " << rule.priority;
+  const bm::CliResult r = bm::run_cli_command(sw, line.str());
+  if (!r.ok) throw util::CommandError("apply_rule: " + r.message);
+  return r.handle;
+}
+
+void apply_rules(bm::Switch& sw, const std::vector<Rule>& rules) {
+  for (const auto& r : rules) apply_rule(sw, r);
+}
+
+}  // namespace hyper4::apps

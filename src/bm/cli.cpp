@@ -1,0 +1,235 @@
+#include "bm/cli.h"
+
+#include <sstream>
+
+#include "net/headers.h"
+#include "util/error.h"
+#include "util/strings.h"
+
+namespace hyper4::bm {
+
+using util::BitVec;
+using util::CommandError;
+
+util::BitVec parse_value(const std::string& token, std::size_t width) {
+  if (token.find(':') != std::string::npos) {
+    return BitVec(width, net::mac_to_u64(net::mac_from_string(token)));
+  }
+  if (token.find('.') != std::string::npos) {
+    return BitVec(width, net::ipv4_from_string(token));
+  }
+  if (token.size() > 2 && token[0] == '0' &&
+      (token[1] == 'x' || token[1] == 'X')) {
+    return BitVec::from_hex(width, token);
+  }
+  return BitVec(width, util::parse_uint(token));
+}
+
+namespace {
+
+KeyParam parse_key_param(const std::string& token, const KeySpec& spec) {
+  switch (spec.type) {
+    case p4::MatchType::kExact:
+      return KeyParam::exact(parse_value(token, spec.width));
+    case p4::MatchType::kValid: {
+      const std::uint64_t v = util::parse_uint(token);
+      return KeyParam::valid(v != 0);
+    }
+    case p4::MatchType::kTernary: {
+      const auto pos = token.find("&&&");
+      if (pos == std::string::npos)
+        throw CommandError("ternary key '" + spec.display_name +
+                           "' expects value&&&mask, got '" + token + "'");
+      return KeyParam::ternary(parse_value(token.substr(0, pos), spec.width),
+                               parse_value(token.substr(pos + 3), spec.width));
+    }
+    case p4::MatchType::kLpm: {
+      const auto pos = token.rfind('/');
+      if (pos == std::string::npos)
+        throw CommandError("lpm key '" + spec.display_name +
+                           "' expects value/prefix_len, got '" + token + "'");
+      return KeyParam::lpm(
+          parse_value(token.substr(0, pos), spec.width),
+          static_cast<std::size_t>(util::parse_uint(token.substr(pos + 1))));
+    }
+    case p4::MatchType::kRange: {
+      const auto pos = token.find("->");
+      if (pos == std::string::npos)
+        throw CommandError("range key '" + spec.display_name +
+                           "' expects lo->hi, got '" + token + "'");
+      return KeyParam::range(parse_value(token.substr(0, pos), spec.width),
+                             parse_value(token.substr(pos + 2), spec.width));
+    }
+  }
+  throw CommandError("unhandled match type");
+}
+
+bool table_needs_priority(const RuntimeTable& t) {
+  for (const auto& k : t.keys()) {
+    if (k.type == p4::MatchType::kTernary || k.type == p4::MatchType::kRange)
+      return true;
+  }
+  return false;
+}
+
+CliResult do_table_add(Switch& sw, const std::vector<std::string>& tok) {
+  if (tok.size() < 3) throw CommandError("table_add: too few arguments");
+  const std::string& tname = tok[1];
+  const std::string& aname = tok[2];
+  const RuntimeTable& t = sw.table(tname);
+
+  // Locate "=>".
+  std::size_t arrow = tok.size();
+  for (std::size_t i = 3; i < tok.size(); ++i) {
+    if (tok[i] == "=>") {
+      arrow = i;
+      break;
+    }
+  }
+  if (arrow == tok.size())
+    throw CommandError("table_add: missing '=>' separator");
+  const std::size_t nkeys = arrow - 3;
+  if (nkeys != t.keys().size())
+    throw CommandError("table_add: table '" + tname + "' expects " +
+                       std::to_string(t.keys().size()) + " key(s), got " +
+                       std::to_string(nkeys));
+  std::vector<KeyParam> key;
+  for (std::size_t i = 0; i < nkeys; ++i) {
+    key.push_back(parse_key_param(tok[3 + i], t.keys()[i]));
+  }
+
+  std::vector<std::string> arg_toks(tok.begin() + static_cast<std::ptrdiff_t>(arrow) + 1,
+                                    tok.end());
+  std::int32_t priority = -1;
+  if (table_needs_priority(t)) {
+    if (arg_toks.empty())
+      throw CommandError("table_add: table '" + tname +
+                         "' requires a trailing priority");
+    priority = static_cast<std::int32_t>(util::parse_uint(arg_toks.back()));
+    arg_toks.pop_back();
+  }
+  std::vector<BitVec> args;
+  for (const auto& a : arg_toks) args.push_back(parse_value(a, 1024));
+
+  CliResult r;
+  r.handle = sw.table_add(tname, aname, std::move(key), std::move(args), priority);
+  r.message = "added entry " + std::to_string(r.handle) + " to " + tname;
+  return r;
+}
+
+}  // namespace
+
+CliResult run_cli_command(Switch& sw, const std::string& line) {
+  try {
+    const auto tok = util::split(util::trim(line));
+    if (tok.empty()) return CliResult{true, "", 0};
+    const std::string& cmd = tok[0];
+    if (cmd == "table_add") return do_table_add(sw, tok);
+    if (cmd == "table_set_default") {
+      if (tok.size() < 3) throw CommandError("table_set_default: usage");
+      std::vector<BitVec> args;
+      for (std::size_t i = 3; i < tok.size(); ++i)
+        args.push_back(parse_value(tok[i], 1024));
+      sw.table_set_default(tok[1], tok[2], std::move(args));
+      return CliResult{true, "default set on " + tok[1], 0};
+    }
+    if (cmd == "table_delete") {
+      if (tok.size() != 3) throw CommandError("table_delete: usage");
+      sw.table_delete(tok[1], util::parse_uint(tok[2]));
+      return CliResult{true, "deleted", 0};
+    }
+    if (cmd == "table_modify") {
+      if (tok.size() < 4) throw CommandError("table_modify: usage");
+      std::vector<BitVec> args;
+      for (std::size_t i = 4; i < tok.size(); ++i)
+        args.push_back(parse_value(tok[i], 1024));
+      sw.table_modify(tok[1], tok[2], util::parse_uint(tok[3]), std::move(args));
+      return CliResult{true, "modified", 0};
+    }
+    if (cmd == "register_write") {
+      if (tok.size() != 4) throw CommandError("register_write: usage");
+      sw.register_write(tok[1], util::parse_uint(tok[2]),
+                        parse_value(tok[3], 64));
+      return CliResult{true, "ok", 0};
+    }
+    if (cmd == "register_read") {
+      if (tok.size() != 3) throw CommandError("register_read: usage");
+      const BitVec v = sw.register_read(tok[1], util::parse_uint(tok[2]));
+      return CliResult{true, "0x" + v.to_hex(), 0};
+    }
+    if (cmd == "counter_read") {
+      if (tok.size() != 3) throw CommandError("counter_read: usage");
+      const auto idx = util::parse_uint(tok[2]);
+      std::ostringstream os;
+      os << sw.counter_packets(tok[1], idx) << " packets, "
+         << sw.counter_bytes(tok[1], idx) << " bytes";
+      return CliResult{true, os.str(), 0};
+    }
+    if (cmd == "counter_reset") {
+      if (tok.size() != 2) throw CommandError("counter_reset: usage");
+      sw.counter_reset(tok[1]);
+      return CliResult{true, "ok", 0};
+    }
+    if (cmd == "table_dump") {
+      if (tok.size() != 2) throw CommandError("table_dump: usage");
+      return CliResult{true, sw.table_dump(tok[1]), 0};
+    }
+    if (cmd == "mirroring_add") {
+      if (tok.size() != 3) throw CommandError("mirroring_add: usage");
+      sw.mirror_add(static_cast<std::uint32_t>(util::parse_uint(tok[1])),
+                    static_cast<std::uint16_t>(util::parse_uint(tok[2])));
+      return CliResult{true, "ok", 0};
+    }
+    if (cmd == "mc_group_set") {
+      if (tok.size() < 3) throw CommandError("mc_group_set: usage");
+      std::vector<std::pair<std::uint16_t, std::uint16_t>> members;
+      for (std::size_t i = 2; i < tok.size(); ++i) {
+        const auto pos = tok[i].find(':');
+        if (pos == std::string::npos)
+          throw CommandError("mc_group_set: expected port:rid, got '" +
+                             tok[i] + "'");
+        members.emplace_back(
+            static_cast<std::uint16_t>(util::parse_uint(tok[i].substr(0, pos))),
+            static_cast<std::uint16_t>(util::parse_uint(tok[i].substr(pos + 1))));
+      }
+      sw.mc_group_set(static_cast<std::uint16_t>(util::parse_uint(tok[1])),
+                      std::move(members));
+      return CliResult{true, "ok", 0};
+    }
+    throw CommandError("unknown command '" + cmd + "'");
+  } catch (const util::Error& e) {
+    return CliResult{false, e.what(), 0};
+  }
+}
+
+std::vector<CliResult> run_cli_text(
+    Switch& sw, const std::string& text,
+    const std::map<std::string, std::string>& substitutions) {
+  std::vector<CliResult> results;
+  std::istringstream in(text);
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    // Strip comments.
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line = line.substr(0, hash);
+    for (const auto& [from, to] : substitutions) {
+      std::size_t pos = 0;
+      while ((pos = line.find(from, pos)) != std::string::npos) {
+        line.replace(pos, from.size(), to);
+        pos += to.size();
+      }
+    }
+    if (util::trim(line).empty()) continue;
+    CliResult r = run_cli_command(sw, line);
+    if (!r.ok) {
+      throw CommandError("command file line " + std::to_string(lineno) +
+                         ": " + r.message + "  [" + line + "]");
+    }
+    results.push_back(std::move(r));
+  }
+  return results;
+}
+
+}  // namespace hyper4::bm

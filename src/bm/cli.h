@@ -1,0 +1,54 @@
+// bmv2-style runtime CLI.
+//
+// The HyPer4 compiler (src/hp4) emits "commands files" in this syntax,
+// exactly as the paper's workflow does (§5.2); the loader replays them
+// against a Switch after token substitution. Supported commands:
+//
+//   table_add <table> <action> <k1> <k2> ... => <a1> <a2> ... [priority]
+//   table_set_default <table> <action> [args...]
+//   table_delete <table> <handle>
+//   table_modify <table> <action> <handle> [args...]
+//   table_dump <table>
+//   register_write <register> <index> <value>
+//   register_read <register> <index>
+//   counter_read <counter> <index>
+//   counter_reset <counter>
+//   mirroring_add <session> <port>
+//   mc_group_set <group> <port:rid> [<port:rid> ...]
+//
+// Match key formats per the table's key spec: exact values as decimal,
+// 0x-hex, aa:bb:cc:dd:ee:ff or a.b.c.d; ternary as value&&&mask; lpm as
+// value/prefix_len; valid as 0/1; range as lo->hi. Tables with ternary or
+// range keys take a trailing priority (smaller wins), like bmv2.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "bm/switch.h"
+
+namespace hyper4::bm {
+
+struct CliResult {
+  bool ok = true;
+  std::string message;       // human-readable outcome or error
+  std::uint64_t handle = 0;  // entry handle for table_add
+};
+
+// Execute a single command. Returns ok=false (with message) on failure
+// instead of throwing, so command files can report per-line errors.
+CliResult run_cli_command(Switch& sw, const std::string& line);
+
+// Execute a multi-line command text: '#' comments and blank lines are
+// skipped; occurrences of each substitution key (e.g. "[program]") are
+// replaced before parsing. Throws CommandError on the first failing line.
+std::vector<CliResult> run_cli_text(
+    Switch& sw, const std::string& text,
+    const std::map<std::string, std::string>& substitutions = {});
+
+// Parse one value token into a BitVec of the given width (decimal, hex,
+// MAC, or dotted-quad forms).
+util::BitVec parse_value(const std::string& token, std::size_t width);
+
+}  // namespace hyper4::bm

@@ -1,0 +1,95 @@
+#include "bm/layout.h"
+
+#include "util/error.h"
+
+namespace hyper4::bm {
+
+using util::ConfigError;
+
+Layout::Layout(const p4::Program& prog) {
+  add_instance(p4::kStandardMetadata, p4::standard_metadata_type(),
+               /*metadata=*/true, false, "", 0);
+  for (const auto& inst : prog.instances) {
+    const p4::HeaderType& type = prog.header_type(inst.type);
+    if (inst.is_stack()) {
+      auto& elems = stacks_[inst.name];
+      for (std::size_t i = 0; i < inst.stack_size; ++i) {
+        const std::string ename = inst.name + "[" + std::to_string(i) + "]";
+        add_instance(ename, type, inst.metadata, true, inst.name, i);
+        elems.push_back(static_cast<InstanceId>(instances_.size() - 1));
+      }
+    } else {
+      add_instance(inst.name, type, inst.metadata, false, "", 0);
+    }
+  }
+}
+
+void Layout::add_instance(const std::string& name, const p4::HeaderType& type,
+                          bool metadata, bool stack_element,
+                          const std::string& stack_base,
+                          std::size_t stack_index) {
+  InstanceInfo info;
+  info.name = name;
+  info.type_name = type.name;
+  info.metadata = metadata;
+  info.stack_element = stack_element;
+  info.stack_base = stack_base;
+  info.stack_index = stack_index;
+  info.width_bits = type.width_bits();
+  info.first_field = static_cast<FieldId>(fields_.size());
+  info.field_count = type.fields.size();
+  const InstanceId id = static_cast<InstanceId>(instances_.size());
+  std::size_t off = 0;
+  for (const auto& f : type.fields) {
+    FieldInfo fi;
+    fi.instance = id;
+    fi.name = f.name;
+    fi.width = f.width;
+    fi.offset_bits = off;
+    off += f.width;
+    field_by_name_[name + "." + f.name] = static_cast<FieldId>(fields_.size());
+    fields_.push_back(std::move(fi));
+  }
+  by_name_[name] = id;
+  instances_.push_back(std::move(info));
+}
+
+InstanceId Layout::instance_id(const std::string& name) const {
+  auto it = by_name_.find(name);
+  if (it != by_name_.end()) return it->second;
+  // A bare stack name refers to element 0 outside the parser.
+  auto st = stacks_.find(name);
+  if (st != stacks_.end() && !st->second.empty()) return st->second[0];
+  throw ConfigError("layout: unknown instance '" + name + "'");
+}
+
+bool Layout::has_instance(const std::string& name) const {
+  return by_name_.contains(name) || stacks_.contains(name);
+}
+
+FieldId Layout::field_id(const p4::FieldRef& ref) const {
+  return field_id(ref.header, ref.field);
+}
+
+FieldId Layout::field_id(const std::string& instance,
+                         const std::string& field) const {
+  auto it = field_by_name_.find(instance + "." + field);
+  if (it != field_by_name_.end()) return it->second;
+  // Bare stack name → element 0.
+  auto st = stacks_.find(instance);
+  if (st != stacks_.end()) {
+    auto it2 = field_by_name_.find(instances_[st->second[0]].name + "." + field);
+    if (it2 != field_by_name_.end()) return it2->second;
+  }
+  throw ConfigError("layout: unknown field '" + instance + "." + field + "'");
+}
+
+const std::vector<InstanceId>& Layout::stack_elements(
+    const std::string& base) const {
+  auto it = stacks_.find(base);
+  if (it == stacks_.end())
+    throw ConfigError("layout: '" + base + "' is not a header stack");
+  return it->second;
+}
+
+}  // namespace hyper4::bm

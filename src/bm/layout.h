@@ -1,0 +1,77 @@
+// Layout: the compiled, id-based view of a p4::Program used by the switch
+// interpreter. Header stacks are expanded into per-element instances
+// ("pr" with stack_size 3 becomes runtime instances "pr[0]".."pr[2]").
+// standard_metadata is always instance 0.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "p4/ir.h"
+
+namespace hyper4::bm {
+
+using InstanceId = std::uint32_t;
+using FieldId = std::uint32_t;
+
+inline constexpr InstanceId kStandardMetadataId = 0;
+
+struct InstanceInfo {
+  std::string name;          // "ethernet" or "pr[4]"
+  std::string type_name;
+  bool metadata = false;
+  // Stack bookkeeping: elements know their base and index.
+  bool stack_element = false;
+  std::string stack_base;
+  std::size_t stack_index = 0;
+  std::size_t width_bits = 0;
+  FieldId first_field = 0;
+  std::size_t field_count = 0;
+};
+
+struct FieldInfo {
+  InstanceId instance = 0;
+  std::string name;
+  std::size_t width = 0;
+  std::size_t offset_bits = 0;  // from start of header, MSB side
+};
+
+class Layout {
+ public:
+  explicit Layout(const p4::Program& prog);
+
+  const std::vector<InstanceInfo>& instances() const { return instances_; }
+  const std::vector<FieldInfo>& fields() const { return fields_; }
+
+  const InstanceInfo& instance(InstanceId id) const { return instances_[id]; }
+  const FieldInfo& field(FieldId id) const { return fields_[id]; }
+
+  // Resolve an instance name (accepts "stack[3]"); throws ConfigError.
+  InstanceId instance_id(const std::string& name) const;
+  bool has_instance(const std::string& name) const;
+
+  // Resolve "instance.field"; throws ConfigError.
+  FieldId field_id(const p4::FieldRef& ref) const;
+  FieldId field_id(const std::string& instance, const std::string& field) const;
+
+  // For a stack base name, the element instance ids in index order.
+  const std::vector<InstanceId>& stack_elements(const std::string& base) const;
+  bool is_stack(const std::string& name) const {
+    return stacks_.contains(name);
+  }
+
+ private:
+  void add_instance(const std::string& name, const p4::HeaderType& type,
+                    bool metadata, bool stack_element,
+                    const std::string& stack_base, std::size_t stack_index);
+
+  std::vector<InstanceInfo> instances_;
+  std::vector<FieldInfo> fields_;
+  std::unordered_map<std::string, InstanceId> by_name_;
+  std::unordered_map<std::string, FieldId> field_by_name_;  // "inst.field"
+  std::unordered_map<std::string, std::vector<InstanceId>> stacks_;
+};
+
+}  // namespace hyper4::bm

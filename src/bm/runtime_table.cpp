@@ -1,0 +1,284 @@
+#include "bm/runtime_table.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+
+namespace hyper4::bm {
+
+using util::BitVec;
+using util::CommandError;
+
+KeyParam KeyParam::exact(BitVec v) {
+  KeyParam k;
+  k.value = std::move(v);
+  return k;
+}
+KeyParam KeyParam::ternary(BitVec v, BitVec m) {
+  KeyParam k;
+  k.value = v & m;  // store pre-masked
+  k.mask = std::move(m);
+  return k;
+}
+KeyParam KeyParam::lpm(BitVec v, std::size_t prefix_len) {
+  KeyParam k;
+  k.value = std::move(v);
+  k.prefix_len = prefix_len;
+  return k;
+}
+KeyParam KeyParam::valid(bool v) {
+  KeyParam k;
+  k.value = BitVec(1, v ? 1 : 0);
+  return k;
+}
+KeyParam KeyParam::range(BitVec lo, BitVec hi) {
+  KeyParam k;
+  k.value = std::move(lo);
+  k.range_hi = std::move(hi);
+  return k;
+}
+
+RuntimeTable::RuntimeTable(std::string name, std::vector<KeySpec> keys,
+                           std::size_t max_size)
+    : name_(std::move(name)), keys_(std::move(keys)), max_size_(max_size) {
+  for (const auto& k : keys_) {
+    if (k.type != p4::MatchType::kExact && k.type != p4::MatchType::kValid) {
+      all_exact_ = false;
+    }
+  }
+}
+
+std::uint64_t RuntimeTable::add(std::vector<KeyParam> key, std::size_t action,
+                                std::vector<BitVec> action_args,
+                                std::int32_t priority) {
+  if (entries_.size() >= max_size_)
+    throw CommandError("table " + name_ + ": capacity (" +
+                       std::to_string(max_size_) + ") exhausted");
+  if (key.size() != keys_.size())
+    throw CommandError("table " + name_ + ": key arity " +
+                       std::to_string(key.size()) + " != " +
+                       std::to_string(keys_.size()));
+  for (std::size_t i = 0; i < key.size(); ++i) {
+    const KeySpec& spec = keys_[i];
+    KeyParam& kp = key[i];
+    switch (spec.type) {
+      case p4::MatchType::kExact:
+      case p4::MatchType::kValid:
+        if (kp.mask || kp.prefix_len || kp.range_hi)
+          throw CommandError("table " + name_ + ": key " + spec.display_name +
+                             " expects an exact value");
+        break;
+      case p4::MatchType::kTernary:
+        if (!kp.mask)
+          throw CommandError("table " + name_ + ": key " + spec.display_name +
+                             " expects value&&&mask");
+        kp.mask = kp.mask->resized(spec.width);
+        break;
+      case p4::MatchType::kLpm:
+        if (!kp.prefix_len)
+          throw CommandError("table " + name_ + ": key " + spec.display_name +
+                             " expects value/prefix_len");
+        if (*kp.prefix_len > spec.width)
+          throw CommandError("table " + name_ + ": prefix length " +
+                             std::to_string(*kp.prefix_len) + " > width " +
+                             std::to_string(spec.width));
+        break;
+      case p4::MatchType::kRange:
+        if (!kp.range_hi)
+          throw CommandError("table " + name_ + ": key " + spec.display_name +
+                             " expects lo->hi");
+        kp.range_hi = kp.range_hi->resized(spec.width);
+        break;
+    }
+    kp.value = kp.value.resized(spec.width);
+    if (spec.type == p4::MatchType::kTernary) kp.value = kp.value & *kp.mask;
+  }
+
+  if (all_exact_) {
+    const std::string ks = exact_key_string(key);
+    if (exact_index_.contains(ks))
+      throw CommandError("table " + name_ + ": duplicate exact match entry");
+  }
+
+  TableEntry e;
+  e.handle = next_handle_++;
+  e.key = std::move(key);
+  e.priority = priority;
+  e.action = action;
+  e.action_args = std::move(action_args);
+  const std::uint64_t h = e.handle;
+  if (all_exact_) exact_index_[exact_key_string(e.key)] = h;
+  // Unspecified priority sorts after every explicit priority.
+  const std::int64_t prio =
+      priority < 0 ? (std::int64_t{1} << 40) : priority;
+  order_.emplace_back(prio, insert_seq_++, h);
+  entries_.emplace(h, std::move(e));
+  std::sort(order_.begin(), order_.end());
+  return h;
+}
+
+void RuntimeTable::remove(std::uint64_t handle) {
+  auto it = entries_.find(handle);
+  if (it == entries_.end())
+    throw CommandError("table " + name_ + ": no entry with handle " +
+                       std::to_string(handle));
+  if (all_exact_) exact_index_.erase(exact_key_string(it->second.key));
+  entries_.erase(it);
+  rebuild_order();
+}
+
+void RuntimeTable::modify(std::uint64_t handle, std::size_t action,
+                          std::vector<BitVec> action_args) {
+  TableEntry& e = mutable_entry(handle);
+  e.action = action;
+  e.action_args = std::move(action_args);
+}
+
+bool RuntimeTable::has_entry(std::uint64_t handle) const {
+  return entries_.contains(handle);
+}
+
+const TableEntry& RuntimeTable::entry(std::uint64_t handle) const {
+  auto it = entries_.find(handle);
+  if (it == entries_.end())
+    throw CommandError("table " + name_ + ": no entry with handle " +
+                       std::to_string(handle));
+  return it->second;
+}
+
+TableEntry& RuntimeTable::mutable_entry(std::uint64_t handle) {
+  auto it = entries_.find(handle);
+  if (it == entries_.end())
+    throw CommandError("table " + name_ + ": no entry with handle " +
+                       std::to_string(handle));
+  return it->second;
+}
+
+std::vector<std::uint64_t> RuntimeTable::handles() const {
+  std::vector<std::uint64_t> out;
+  out.reserve(entries_.size());
+  for (const auto& [h, e] : entries_) out.push_back(h);
+  return out;
+}
+
+void RuntimeTable::set_default(std::size_t action, std::vector<BitVec> args) {
+  default_action_ = action;
+  default_args_ = std::move(args);
+}
+
+std::size_t RuntimeTable::default_action() const {
+  if (!default_action_)
+    throw CommandError("table " + name_ + ": no default action set");
+  return *default_action_;
+}
+
+void RuntimeTable::rebuild_order() {
+  order_.clear();
+  // Preserve original priorities; re-derive insertion order from handles
+  // (handles are monotonic, so relative order is stable).
+  for (const auto& [h, e] : entries_) {
+    const std::int64_t prio =
+        e.priority < 0 ? (std::int64_t{1} << 40) : e.priority;
+    order_.emplace_back(prio, h, h);
+  }
+  std::sort(order_.begin(), order_.end());
+}
+
+std::string RuntimeTable::exact_key_string(
+    const std::vector<KeyParam>& key) const {
+  std::string s;
+  for (const auto& k : key) {
+    s += k.value.to_hex();
+    s.push_back('|');
+  }
+  return s;
+}
+
+std::string RuntimeTable::exact_key_string(
+    const std::vector<BitVec>& key) const {
+  std::string s;
+  for (std::size_t i = 0; i < key.size(); ++i) {
+    s += key[i].resized(keys_[i].width).to_hex();
+    s.push_back('|');
+  }
+  return s;
+}
+
+const TableEntry* RuntimeTable::lookup(const std::vector<BitVec>& key) {
+  ++applied_;
+  if (all_exact_) {
+    auto it = exact_index_.find(exact_key_string(key));
+    if (it == exact_index_.end()) return nullptr;
+    TableEntry& e = entries_.at(it->second);
+    ++e.hits;
+    ++hits_;
+    return &e;
+  }
+  const TableEntry* best = nullptr;
+  std::size_t best_lpm_len = 0;
+  // Entries are sorted by (priority, insertion); the first match wins,
+  // except for a pure single-key lpm table where the longest prefix wins.
+  const bool pure_lpm =
+      keys_.size() == 1 && keys_[0].type == p4::MatchType::kLpm;
+  for (const auto& [prio, seq, h] : order_) {
+    const TableEntry& e = entries_.at(h);
+    if (!entry_matches(e, key)) continue;
+    if (pure_lpm && e.priority < 0) {
+      if (!best || *e.key[0].prefix_len > best_lpm_len) {
+        best = &e;
+        best_lpm_len = *e.key[0].prefix_len;
+      }
+      continue;
+    }
+    best = &e;
+    break;
+  }
+  if (best) {
+    TableEntry& e = entries_.at(best->handle);
+    ++e.hits;
+    ++hits_;
+    return &e;
+  }
+  return nullptr;
+}
+
+bool RuntimeTable::entry_matches(const TableEntry& e,
+                                 const std::vector<BitVec>& key) const {
+  for (std::size_t i = 0; i < keys_.size(); ++i) {
+    const KeySpec& spec = keys_[i];
+    const KeyParam& kp = e.key[i];
+    const BitVec v = key[i].resized(spec.width);
+    switch (spec.type) {
+      case p4::MatchType::kExact:
+      case p4::MatchType::kValid:
+        if (!(v == kp.value)) return false;
+        break;
+      case p4::MatchType::kTernary:
+        if (!((v & *kp.mask) == kp.value)) return false;
+        break;
+      case p4::MatchType::kLpm: {
+        const std::size_t plen = *kp.prefix_len;
+        if (plen == 0) break;
+        const BitVec mask =
+            util::BitVec::mask_range(spec.width, spec.width - plen, plen);
+        if (!((v & mask) == (kp.value & mask))) return false;
+        break;
+      }
+      case p4::MatchType::kRange:
+        if (v < kp.value || *kp.range_hi < v) return false;
+        break;
+    }
+  }
+  return true;
+}
+
+void RuntimeTable::reset_counters() {
+  applied_ = 0;
+  hits_ = 0;
+  for (auto& [h, e] : entries_) {
+    e.hits = 0;
+    e.hit_bytes = 0;
+  }
+}
+
+}  // namespace hyper4::bm

@@ -1,0 +1,123 @@
+// Runtime match-action table: entry storage and lookup for the five P4-14
+// match kinds. Entries carry an action id and bound action parameters;
+// per-entry hit counters double as direct counters.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "p4/ir.h"
+#include "util/bitvec.h"
+
+namespace hyper4::bm {
+
+// One component of an entry's match key, interpreted per the table's key
+// spec at the same position.
+struct KeyParam {
+  util::BitVec value;                     // exact value / ternary value /
+                                          // lpm value / valid flag / range lo
+  std::optional<util::BitVec> mask;       // ternary
+  std::optional<std::size_t> prefix_len;  // lpm
+  std::optional<util::BitVec> range_hi;   // range
+
+  static KeyParam exact(util::BitVec v);
+  static KeyParam ternary(util::BitVec v, util::BitVec m);
+  static KeyParam lpm(util::BitVec v, std::size_t prefix_len);
+  static KeyParam valid(bool v);
+  static KeyParam range(util::BitVec lo, util::BitVec hi);
+};
+
+struct TableEntry {
+  std::uint64_t handle = 0;
+  std::vector<KeyParam> key;
+  // Smaller = higher precedence (bmv2 convention). Entries with equal
+  // priority match in insertion order.
+  std::int32_t priority = 0;
+  std::size_t action = 0;  // action id within the switch
+  std::vector<util::BitVec> action_args;
+  std::uint64_t hits = 0;
+  std::uint64_t hit_bytes = 0;
+};
+
+// Static description of one key component (bound to compiled field ids by
+// the switch).
+struct KeySpec {
+  p4::MatchType type = p4::MatchType::kExact;
+  std::uint32_t field = 0;     // FieldId; for kValid: InstanceId
+  std::size_t width = 0;       // bits (1 for kValid)
+  std::string display_name;    // "ethernet.dstAddr" / "valid(ipv4)"
+};
+
+class RuntimeTable {
+ public:
+  RuntimeTable(std::string name, std::vector<KeySpec> keys,
+               std::size_t max_size);
+
+  const std::string& name() const { return name_; }
+  const std::vector<KeySpec>& keys() const { return keys_; }
+  std::size_t size() const { return entries_.size(); }
+  std::size_t max_size() const { return max_size_; }
+
+  // True when every key component is exact (enables hashed lookup).
+  bool all_exact() const { return all_exact_; }
+
+  // Insert an entry; validates arity/kinds/widths. `priority` < 0 means
+  // "unspecified": ordered after all prioritized entries, by insertion.
+  // Throws CommandError on validation failure or capacity exhaustion.
+  std::uint64_t add(std::vector<KeyParam> key, std::size_t action,
+                    std::vector<util::BitVec> action_args,
+                    std::int32_t priority = -1);
+
+  void remove(std::uint64_t handle);
+  void modify(std::uint64_t handle, std::size_t action,
+              std::vector<util::BitVec> action_args);
+  bool has_entry(std::uint64_t handle) const;
+  const TableEntry& entry(std::uint64_t handle) const;
+  TableEntry& mutable_entry(std::uint64_t handle);
+  std::vector<std::uint64_t> handles() const;
+
+  void set_default(std::size_t action, std::vector<util::BitVec> args);
+  bool has_default() const { return default_action_.has_value(); }
+  std::size_t default_action() const;
+  const std::vector<util::BitVec>& default_args() const { return default_args_; }
+
+  // Look up; returns the matched entry or nullptr (miss → default applies).
+  // `key` holds the evaluated key field values in spec order.
+  const TableEntry* lookup(const std::vector<util::BitVec>& key);
+
+  // Cumulative applied-count (every lookup, hit or miss).
+  std::uint64_t applied_count() const { return applied_; }
+  std::uint64_t hit_count() const { return hits_; }
+  void reset_counters();
+
+ private:
+  bool entry_matches(const TableEntry& e,
+                     const std::vector<util::BitVec>& key) const;
+  std::string exact_key_string(const std::vector<KeyParam>& key) const;
+  std::string exact_key_string(const std::vector<util::BitVec>& key) const;
+  void rebuild_order();
+
+  std::string name_;
+  std::vector<KeySpec> keys_;
+  std::size_t max_size_;
+  bool all_exact_ = true;
+
+  std::map<std::uint64_t, TableEntry> entries_;  // by handle
+  std::uint64_t next_handle_ = 1;
+  std::uint64_t insert_seq_ = 0;
+  // (priority, insert order, handle), kept sorted for the general path.
+  std::vector<std::tuple<std::int64_t, std::uint64_t, std::uint64_t>> order_;
+  std::unordered_map<std::string, std::uint64_t> exact_index_;
+
+  std::optional<std::size_t> default_action_;
+  std::vector<util::BitVec> default_args_;
+
+  std::uint64_t applied_ = 0;
+  std::uint64_t hits_ = 0;
+};
+
+}  // namespace hyper4::bm

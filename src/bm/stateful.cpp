@@ -1,0 +1,94 @@
+#include "bm/stateful.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+
+namespace hyper4::bm {
+
+using util::CommandError;
+
+CounterArray::CounterArray(std::string name, std::size_t instances)
+    : name_(std::move(name)), packets_(instances, 0), bytes_(instances, 0) {}
+
+void CounterArray::count(std::size_t index, std::size_t bytes) {
+  if (index >= packets_.size())
+    throw CommandError("counter " + name_ + ": index " +
+                       std::to_string(index) + " out of range");
+  ++packets_[index];
+  bytes_[index] += bytes;
+}
+
+std::uint64_t CounterArray::packets(std::size_t index) const {
+  if (index >= packets_.size())
+    throw CommandError("counter " + name_ + ": index out of range");
+  return packets_[index];
+}
+
+std::uint64_t CounterArray::bytes(std::size_t index) const {
+  if (index >= bytes_.size())
+    throw CommandError("counter " + name_ + ": index out of range");
+  return bytes_[index];
+}
+
+void CounterArray::reset() {
+  std::fill(packets_.begin(), packets_.end(), 0);
+  std::fill(bytes_.begin(), bytes_.end(), 0);
+}
+
+RegisterArray::RegisterArray(std::string name, std::size_t width,
+                             std::size_t instances)
+    : name_(std::move(name)),
+      width_(width),
+      cells_(instances, util::BitVec(width)) {}
+
+const util::BitVec& RegisterArray::read(std::size_t index) const {
+  if (index >= cells_.size())
+    throw CommandError("register " + name_ + ": index " +
+                       std::to_string(index) + " out of range");
+  return cells_[index];
+}
+
+void RegisterArray::write(std::size_t index, const util::BitVec& v) {
+  if (index >= cells_.size())
+    throw CommandError("register " + name_ + ": index " +
+                       std::to_string(index) + " out of range");
+  cells_[index] = v.resized(width_);
+}
+
+void RegisterArray::reset() {
+  std::fill(cells_.begin(), cells_.end(), util::BitVec(width_));
+}
+
+MeterArray::MeterArray(std::string name, std::size_t instances,
+                       std::uint64_t rate_pps, std::uint64_t burst)
+    : name_(std::move(name)),
+      rate_pps_(rate_pps),
+      burst_(burst),
+      buckets_(instances) {}
+
+MeterColor MeterArray::execute(std::size_t index, double now) {
+  if (index >= buckets_.size())
+    throw CommandError("meter " + name_ + ": index " + std::to_string(index) +
+                       " out of range");
+  Bucket& b = buckets_[index];
+  if (!b.primed) {
+    b.tokens = static_cast<double>(burst_);
+    b.last = now;
+    b.primed = true;
+  }
+  b.tokens = std::min(static_cast<double>(burst_),
+                      b.tokens + (now - b.last) * static_cast<double>(rate_pps_));
+  b.last = now;
+  if (b.tokens >= 1.0) {
+    b.tokens -= 1.0;
+    return MeterColor::kGreen;
+  }
+  return MeterColor::kRed;
+}
+
+void MeterArray::reset() {
+  for (auto& b : buckets_) b = Bucket{};
+}
+
+}  // namespace hyper4::bm

@@ -1,0 +1,79 @@
+// Stateful dataplane objects: counters, registers and (token-bucket)
+// meters. HyPer4 preallocates sets of these per virtual device (§4.5);
+// the allocation logic lives in src/hp4, these are the physical objects.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/bitvec.h"
+
+namespace hyper4::bm {
+
+class CounterArray {
+ public:
+  CounterArray(std::string name, std::size_t instances);
+
+  const std::string& name() const { return name_; }
+  std::size_t size() const { return packets_.size(); }
+
+  void count(std::size_t index, std::size_t bytes);
+  std::uint64_t packets(std::size_t index) const;
+  std::uint64_t bytes(std::size_t index) const;
+  void reset();
+
+ private:
+  std::string name_;
+  std::vector<std::uint64_t> packets_;
+  std::vector<std::uint64_t> bytes_;
+};
+
+class RegisterArray {
+ public:
+  RegisterArray(std::string name, std::size_t width, std::size_t instances);
+
+  const std::string& name() const { return name_; }
+  std::size_t size() const { return cells_.size(); }
+  std::size_t width() const { return width_; }
+
+  const util::BitVec& read(std::size_t index) const;
+  void write(std::size_t index, const util::BitVec& v);
+  void reset();
+
+ private:
+  std::string name_;
+  std::size_t width_;
+  std::vector<util::BitVec> cells_;
+};
+
+// Meter color results per RFC 2697-style single-rate marking (simplified
+// to a single token bucket: conform = green, exceed = red; yellow unused).
+enum class MeterColor : std::uint64_t { kGreen = 0, kYellow = 1, kRed = 2 };
+
+class MeterArray {
+ public:
+  MeterArray(std::string name, std::size_t instances, std::uint64_t rate_pps,
+             std::uint64_t burst);
+
+  const std::string& name() const { return name_; }
+  std::size_t size() const { return buckets_.size(); }
+
+  // Executes the meter for one packet at logical time `now` (seconds are
+  // abstract units: tokens accrue at rate_pps per unit).
+  MeterColor execute(std::size_t index, double now);
+  void reset();
+
+ private:
+  struct Bucket {
+    double tokens = 0;
+    double last = 0;
+    bool primed = false;
+  };
+  std::string name_;
+  std::uint64_t rate_pps_;
+  std::uint64_t burst_;
+  std::vector<Bucket> buckets_;
+};
+
+}  // namespace hyper4::bm

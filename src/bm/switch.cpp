@@ -1,0 +1,1215 @@
+#include "bm/switch.h"
+
+#include <algorithm>
+#include <deque>
+
+#include "net/checksum.h"
+#include "util/error.h"
+
+namespace hyper4::bm {
+
+using util::BitVec;
+using util::CommandError;
+using util::ConfigError;
+
+namespace {
+
+// Read `width` bits starting at bit offset `off` (bit 0 = MSB of byte 0)
+// from `data`, as a BitVec whose MSB is the first bit read.
+BitVec read_bits(std::span<const std::uint8_t> data, std::size_t off,
+                 std::size_t width) {
+  BitVec v(width);
+  for (std::size_t i = 0; i < width; ++i) {
+    const std::size_t bit = off + i;
+    const std::size_t byte = bit / 8;
+    if (byte >= data.size()) break;  // callers bound-check; zero-fill guard
+    const bool b = (data[byte] >> (7 - bit % 8)) & 1;
+    v.set_bit(width - 1 - i, b);
+  }
+  return v;
+}
+
+// Append `width` bits of `v` (MSB first) at bit position `pos` of `out`,
+// growing `out` as needed.
+void append_bits(std::vector<std::uint8_t>& out, std::size_t& pos,
+                 const BitVec& v, std::size_t width) {
+  for (std::size_t i = 0; i < width; ++i) {
+    const std::size_t bit = pos + i;
+    if (bit / 8 >= out.size()) out.push_back(0);
+    const bool b = v.get_bit(width - 1 - i);
+    if (b) out[bit / 8] |= static_cast<std::uint8_t>(1u << (7 - bit % 8));
+  }
+  pos += width;
+}
+
+}  // namespace
+
+Switch::Switch(p4::Program prog, Options opts)
+    : prog_(std::move(prog)), opts_(opts), layout_(prog_) {
+  prog_.validate();
+  compile();
+}
+
+// ---------------------------------------------------------------------------
+// Compilation
+
+std::size_t Switch::named_index(const std::vector<std::string>& names,
+                                const std::string& n, const char* what) const {
+  for (std::size_t i = 0; i < names.size(); ++i)
+    if (names[i] == n) return i;
+  throw ConfigError(std::string("switch: unknown ") + what + " '" + n + "'");
+}
+
+Switch::CompiledExpr Switch::compile_expr(const p4::ExprPtr& e) const {
+  CompiledExpr c;
+  if (!e) {
+    c.op = p4::ExprOp::kConst;
+    c.value = BitVec(1, 1);  // "always true"
+    return c;
+  }
+  c.op = e->op;
+  switch (e->op) {
+    case p4::ExprOp::kConst:
+      c.value = e->value;
+      break;
+    case p4::ExprOp::kField:
+      c.field = layout_.field_id(e->fref);
+      break;
+    case p4::ExprOp::kValid:
+      c.instance = layout_.instance_id(e->fref.header);
+      break;
+    default:
+      for (const auto& ch : e->children) c.children.push_back(compile_expr(ch));
+      break;
+  }
+  return c;
+}
+
+Switch::CompiledArg Switch::compile_arg(const p4::ActionArg& a,
+                                        p4::Primitive op, std::size_t arg_pos,
+                                        const p4::ActionDef& action) const {
+  CompiledArg c;
+  switch (a.kind) {
+    case p4::ActionArg::Kind::kConst:
+      c.kind = CompiledArg::Kind::kConst;
+      c.value = a.value;
+      break;
+    case p4::ActionArg::Kind::kParam:
+      c.kind = CompiledArg::Kind::kParam;
+      c.index = a.param_index;
+      break;
+    case p4::ActionArg::Kind::kField:
+      c.kind = CompiledArg::Kind::kField;
+      c.field = layout_.field_id(a.field);
+      break;
+    case p4::ActionArg::Kind::kHeader:
+      if ((op == p4::Primitive::kPush || op == p4::Primitive::kPop) &&
+          arg_pos == 0) {
+        c.kind = CompiledArg::Kind::kStack;
+        c.stack_base = a.name;
+        if (!layout_.is_stack(a.name))
+          throw ConfigError("action " + action.name + ": '" + a.name +
+                            "' is not a header stack");
+      } else {
+        c.kind = CompiledArg::Kind::kInstance;
+        c.instance = layout_.instance_id(a.name);
+      }
+      break;
+    case p4::ActionArg::Kind::kNamedRef:
+      switch (op) {
+        case p4::Primitive::kCount:
+          c.kind = CompiledArg::Kind::kCounter;
+          c.index = named_index(counter_names_, a.name, "counter");
+          break;
+        case p4::Primitive::kExecuteMeter:
+          c.kind = CompiledArg::Kind::kMeter;
+          c.index = named_index(meter_names_, a.name, "meter");
+          break;
+        case p4::Primitive::kRegisterRead:
+        case p4::Primitive::kRegisterWrite:
+          c.kind = CompiledArg::Kind::kRegister;
+          c.index = named_index(register_names_, a.name, "register");
+          break;
+        default:
+          c.kind = CompiledArg::Kind::kFieldList;
+          c.index = named_index(field_list_names_, a.name, "field list");
+          break;
+      }
+      break;
+  }
+  return c;
+}
+
+void Switch::compile() {
+  // Standard metadata field ids.
+  f_ingress_port_ = layout_.field_id(p4::kStandardMetadata, p4::kFieldIngressPort);
+  f_egress_spec_ = layout_.field_id(p4::kStandardMetadata, p4::kFieldEgressSpec);
+  f_egress_port_ = layout_.field_id(p4::kStandardMetadata, p4::kFieldEgressPort);
+  f_instance_type_ =
+      layout_.field_id(p4::kStandardMetadata, p4::kFieldInstanceType);
+  f_packet_length_ =
+      layout_.field_id(p4::kStandardMetadata, p4::kFieldPacketLength);
+  f_mcast_grp_ = layout_.field_id(p4::kStandardMetadata, p4::kFieldMcastGrp);
+  f_egress_rid_ = layout_.field_id(p4::kStandardMetadata, p4::kFieldEgressRid);
+
+  // Stateful objects first (actions reference them by name).
+  for (const auto& fl : prog_.field_lists) {
+    std::vector<FieldId> ids;
+    for (const auto& f : fl.fields) ids.push_back(layout_.field_id(f));
+    field_lists_.push_back(std::move(ids));
+    field_list_names_.push_back(fl.name);
+  }
+  for (const auto& c : prog_.counters) {
+    counters_.emplace_back(c.name,
+                           c.direct_table.empty() ? c.instance_count : 0);
+    counter_names_.push_back(c.name);
+  }
+  for (const auto& m : prog_.meters) {
+    meters_.emplace_back(m.name, m.instance_count, m.rate_pps, m.burst);
+    meter_names_.push_back(m.name);
+  }
+  for (const auto& r : prog_.registers) {
+    registers_.emplace_back(r.name, r.width, r.instance_count);
+    register_names_.push_back(r.name);
+  }
+
+  // Actions.
+  for (const auto& a : prog_.actions) {
+    CompiledAction ca;
+    ca.name = a.name;
+    for (const auto& p : a.params) ca.param_widths.push_back(p.width);
+    for (const auto& call : a.body) {
+      CompiledPrim cp;
+      cp.op = call.op;
+      for (std::size_t i = 0; i < call.args.size(); ++i) {
+        cp.args.push_back(compile_arg(call.args[i], call.op, i, a));
+      }
+      ca.body.push_back(std::move(cp));
+    }
+    action_ids_[a.name] = actions_.size();
+    actions_.push_back(std::move(ca));
+  }
+
+  // Tables.
+  for (const auto& t : prog_.tables) {
+    std::vector<KeySpec> keys;
+    for (const auto& k : t.keys) {
+      KeySpec spec;
+      spec.type = k.type;
+      if (k.type == p4::MatchType::kValid) {
+        spec.field = layout_.instance_id(k.field.header);
+        spec.width = 1;
+        spec.display_name = "valid(" + k.field.header + ")";
+      } else {
+        spec.field = layout_.field_id(k.field);
+        spec.width = layout_.field(spec.field).width;
+        spec.display_name = k.field.str();
+      }
+      keys.push_back(std::move(spec));
+    }
+    table_ids_[t.name] = tables_.size();
+    tables_.push_back(
+        std::make_unique<RuntimeTable>(t.name, std::move(keys), t.max_size));
+    std::vector<std::size_t> aids;
+    for (const auto& an : t.actions) aids.push_back(action_ids_.at(an));
+    table_actions_.push_back(std::move(aids));
+    if (!t.default_action.empty()) {
+      tables_.back()->set_default(action_ids_.at(t.default_action),
+                                  t.default_action_args);
+    }
+  }
+
+  // Parser.
+  for (const auto& st : prog_.parser_states) {
+    parser_ids_[st.name] = parser_.size();
+    parser_.push_back(CompiledParserState{});
+    parser_.back().name = st.name;
+  }
+  for (const auto& st : prog_.parser_states) {
+    CompiledParserState& cs = parser_[parser_ids_.at(st.name)];
+    for (const auto& ex : st.extracts) {
+      CompiledParserState::Extract e;
+      auto [base, idx] = p4::split_stack_ref(ex);
+      if (idx.has_value()) {
+        e.instance = layout_.instance_id(ex);
+      } else if (layout_.is_stack(base)) {
+        e.is_stack = true;
+        e.stack_base = base;
+      } else {
+        e.instance = layout_.instance_id(base);
+      }
+      cs.extracts.push_back(std::move(e));
+    }
+    for (const auto& [f, expr] : st.sets) {
+      cs.sets.emplace_back(layout_.field_id(f), compile_expr(expr));
+    }
+    std::size_t select_width = 0;
+    for (const auto& k : st.select) {
+      CompiledSelectKey ck;
+      ck.is_current = k.is_current;
+      if (k.is_current) {
+        ck.current_offset = k.current_offset;
+        ck.current_width = k.current_width;
+        ck.width = k.current_width;
+      } else {
+        ck.field = layout_.field_id(k.field);
+        ck.width = layout_.field(ck.field).width;
+      }
+      select_width += ck.width;
+      cs.select.push_back(ck);
+    }
+    for (const auto& c : st.cases) {
+      CompiledCase cc;
+      cc.is_default = c.is_default;
+      if (!c.is_default) {
+        cc.value = c.value.resized(select_width);
+        if (c.mask) cc.mask = c.mask->resized(select_width);
+      }
+      if (c.next_state == p4::kParserAccept) cc.next = CompiledCase::kAccept;
+      else if (c.next_state == p4::kParserDrop) cc.next = CompiledCase::kDrop;
+      else cc.next = static_cast<std::ptrdiff_t>(parser_ids_.at(c.next_state));
+      cs.cases.push_back(std::move(cc));
+    }
+  }
+
+  // Controls.
+  auto compile_control = [&](const p4::Control& c,
+                             std::vector<CompiledControlNode>& out) {
+    for (const auto& n : c.nodes) {
+      CompiledControlNode cn;
+      cn.kind = n.kind;
+      if (n.kind == p4::ControlNode::Kind::kApply) {
+        cn.table = table_ids_.at(n.table);
+        for (const auto& [an, nx] : n.on_action)
+          cn.on_action[action_ids_.at(an)] = nx;
+        cn.on_hit = n.on_hit;
+        cn.on_miss = n.on_miss;
+        cn.next_default = n.next_default;
+      } else {
+        cn.condition = compile_expr(n.condition);
+        cn.next_true = n.next_true;
+        cn.next_false = n.next_false;
+      }
+      out.push_back(std::move(cn));
+    }
+  };
+  compile_control(prog_.ingress, ingress_);
+  compile_control(prog_.egress, egress_);
+
+  // Calculated fields.
+  for (const auto& cf : prog_.calculated_fields) {
+    CompiledChecksum cc;
+    cc.field = layout_.field_id(cf.field);
+    cc.owner = layout_.field(cc.field).instance;
+    cc.field_list = named_index(field_list_names_, cf.field_list, "field list");
+    if (cf.update_condition) cc.condition = compile_expr(cf.update_condition);
+    checksums_.push_back(std::move(cc));
+  }
+
+  // Deparse order.
+  for (const auto& name : prog_.deparse_order) {
+    if (layout_.is_stack(name)) {
+      for (InstanceId id : layout_.stack_elements(name))
+        deparse_instances_.push_back(id);
+    } else {
+      deparse_instances_.push_back(layout_.instance_id(name));
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Runtime API
+
+std::uint64_t Switch::table_add(const std::string& table,
+                                const std::string& action,
+                                std::vector<KeyParam> key,
+                                std::vector<BitVec> action_args,
+                                std::int32_t priority) {
+  auto it = table_ids_.find(table);
+  if (it == table_ids_.end())
+    throw CommandError("no table named '" + table + "'");
+  auto ait = action_ids_.find(action);
+  if (ait == action_ids_.end())
+    throw CommandError("no action named '" + action + "'");
+  const auto& allowed = table_actions_[it->second];
+  if (std::find(allowed.begin(), allowed.end(), ait->second) == allowed.end())
+    throw CommandError("table '" + table + "' cannot invoke action '" +
+                       action + "'");
+  const CompiledAction& ca = actions_[ait->second];
+  if (action_args.size() != ca.param_widths.size())
+    throw CommandError("action '" + action + "' expects " +
+                       std::to_string(ca.param_widths.size()) +
+                       " argument(s), got " +
+                       std::to_string(action_args.size()));
+  for (std::size_t i = 0; i < action_args.size(); ++i) {
+    if (ca.param_widths[i] != 0)
+      action_args[i] = action_args[i].resized(ca.param_widths[i]);
+  }
+  return tables_[it->second]->add(std::move(key), ait->second,
+                                  std::move(action_args), priority);
+}
+
+void Switch::table_set_default(const std::string& table,
+                               const std::string& action,
+                               std::vector<BitVec> action_args) {
+  auto it = table_ids_.find(table);
+  if (it == table_ids_.end())
+    throw CommandError("no table named '" + table + "'");
+  auto ait = action_ids_.find(action);
+  if (ait == action_ids_.end())
+    throw CommandError("no action named '" + action + "'");
+  const CompiledAction& ca = actions_[ait->second];
+  if (action_args.size() != ca.param_widths.size())
+    throw CommandError("action '" + action + "' expects " +
+                       std::to_string(ca.param_widths.size()) +
+                       " argument(s)");
+  for (std::size_t i = 0; i < action_args.size(); ++i) {
+    if (ca.param_widths[i] != 0)
+      action_args[i] = action_args[i].resized(ca.param_widths[i]);
+  }
+  tables_[it->second]->set_default(ait->second, std::move(action_args));
+}
+
+void Switch::table_delete(const std::string& table, std::uint64_t handle) {
+  mutable_table(table).remove(handle);
+}
+
+void Switch::table_modify(const std::string& table, const std::string& action,
+                          std::uint64_t handle,
+                          std::vector<BitVec> action_args) {
+  auto tit = table_ids_.find(table);
+  if (tit == table_ids_.end())
+    throw CommandError("no table named '" + table + "'");
+  auto ait = action_ids_.find(action);
+  if (ait == action_ids_.end())
+    throw CommandError("no action named '" + action + "'");
+  const auto& allowed = table_actions_[tit->second];
+  if (std::find(allowed.begin(), allowed.end(), ait->second) == allowed.end())
+    throw CommandError("table '" + table + "' cannot invoke action '" +
+                       action + "'");
+  const CompiledAction& ca = actions_[ait->second];
+  if (action_args.size() != ca.param_widths.size())
+    throw CommandError("action '" + action + "' expects " +
+                       std::to_string(ca.param_widths.size()) +
+                       " argument(s), got " +
+                       std::to_string(action_args.size()));
+  for (std::size_t i = 0; i < action_args.size(); ++i) {
+    if (ca.param_widths[i] != 0)
+      action_args[i] = action_args[i].resized(ca.param_widths[i]);
+  }
+  tables_[tit->second]->modify(handle, ait->second, std::move(action_args));
+}
+
+const RuntimeTable& Switch::table(const std::string& name) const {
+  auto it = table_ids_.find(name);
+  if (it == table_ids_.end())
+    throw CommandError("no table named '" + name + "'");
+  return *tables_[it->second];
+}
+
+RuntimeTable& Switch::mutable_table(const std::string& name) {
+  auto it = table_ids_.find(name);
+  if (it == table_ids_.end())
+    throw CommandError("no table named '" + name + "'");
+  return *tables_[it->second];
+}
+
+bool Switch::has_table(const std::string& name) const {
+  return table_ids_.contains(name);
+}
+
+std::vector<std::string> Switch::table_names() const {
+  std::vector<std::string> out;
+  out.reserve(tables_.size());
+  for (const auto& t : tables_) out.push_back(t->name());
+  return out;
+}
+
+const std::string& Switch::action_name(std::size_t action_id) const {
+  if (action_id >= actions_.size())
+    throw CommandError("no action with id " + std::to_string(action_id));
+  return actions_[action_id].name;
+}
+
+std::string Switch::table_dump(const std::string& name) const {
+  const RuntimeTable& t = table(name);
+  std::string out = "table " + name + " (" + std::to_string(t.size()) + "/" +
+                    std::to_string(t.max_size()) + " entries)\n";
+  for (const auto h : t.handles()) {
+    const TableEntry& e = t.entry(h);
+    out += "  [" + std::to_string(h) + "]";
+    for (std::size_t i = 0; i < e.key.size(); ++i) {
+      const KeySpec& spec = t.keys()[i];
+      const KeyParam& k = e.key[i];
+      out += " " + spec.display_name + "=";
+      switch (spec.type) {
+        case p4::MatchType::kExact:
+        case p4::MatchType::kValid:
+          out += "0x" + k.value.to_hex();
+          break;
+        case p4::MatchType::kTernary:
+          out += "0x" + k.value.to_hex() + "&&&0x" + k.mask->to_hex();
+          break;
+        case p4::MatchType::kLpm:
+          out += "0x" + k.value.to_hex() + "/" + std::to_string(*k.prefix_len);
+          break;
+        case p4::MatchType::kRange:
+          out += "0x" + k.value.to_hex() + "->0x" + k.range_hi->to_hex();
+          break;
+      }
+    }
+    out += " -> " + action_name(e.action) + "(";
+    for (std::size_t i = 0; i < e.action_args.size(); ++i) {
+      if (i) out += ", ";
+      out += "0x" + e.action_args[i].to_hex();
+    }
+    out += ")";
+    if (e.priority >= 0) out += " prio=" + std::to_string(e.priority);
+    out += " hits=" + std::to_string(e.hits) + "\n";
+  }
+  return out;
+}
+
+void Switch::mirror_add(std::uint32_t session, std::uint16_t port) {
+  mirror_sessions_[session] = port;
+}
+
+void Switch::mc_group_set(
+    std::uint16_t group,
+    std::vector<std::pair<std::uint16_t, std::uint16_t>> port_rid_pairs) {
+  mcast_groups_[group] = std::move(port_rid_pairs);
+}
+
+BitVec Switch::register_read(const std::string& reg, std::size_t index) const {
+  return registers_[named_index(register_names_, reg, "register")].read(index);
+}
+
+void Switch::register_write(const std::string& reg, std::size_t index,
+                            const BitVec& v) {
+  registers_[named_index(register_names_, reg, "register")].write(index, v);
+}
+
+std::uint64_t Switch::counter_packets(const std::string& counter,
+                                      std::size_t index) const {
+  return counters_[named_index(counter_names_, counter, "counter")].packets(
+      index);
+}
+
+std::uint64_t Switch::counter_bytes(const std::string& counter,
+                                    std::size_t index) const {
+  return counters_[named_index(counter_names_, counter, "counter")].bytes(index);
+}
+
+void Switch::counter_reset(const std::string& counter) {
+  counters_[named_index(counter_names_, counter, "counter")].reset();
+}
+
+void Switch::reset_stats() {
+  stats_ = Stats{};
+  for (auto& t : tables_) t->reset_counters();
+}
+
+// ---------------------------------------------------------------------------
+// Packet path
+
+Switch::Phv Switch::fresh_phv() const {
+  Phv phv;
+  phv.fields.reserve(layout_.fields().size());
+  for (const auto& f : layout_.fields()) phv.fields.emplace_back(f.width);
+  phv.valid.assign(layout_.instances().size(), 0);
+  for (std::size_t i = 0; i < layout_.instances().size(); ++i) {
+    if (layout_.instance(static_cast<InstanceId>(i)).metadata) phv.valid[i] = 1;
+  }
+  return phv;
+}
+
+ProcessResult Switch::inject(std::uint16_t ingress_port,
+                             const net::Packet& packet) {
+  ++stats_.packets_in;
+  ProcessResult res;
+
+  std::deque<Work> queue;
+  {
+    Work w;
+    w.where = Work::Where::kParser;
+    w.ctx.packet = packet;
+    w.ctx.ingress_port = ingress_port;
+    queue.push_back(std::move(w));
+  }
+
+  std::size_t parser_entries = 0;
+  std::size_t total_work = 0;
+  const std::size_t work_limit = opts_.max_traversals * 8;
+
+  while (!queue.empty()) {
+    Work w = std::move(queue.front());
+    queue.pop_front();
+    if (++total_work > work_limit) {
+      ++stats_.loop_kills;
+      ++res.loop_kills;
+      break;
+    }
+    Ctx& ctx = w.ctx;
+
+    if (w.where == Work::Where::kParser) {
+      if (++parser_entries > opts_.max_traversals) {
+        ++stats_.loop_kills;
+        ++res.loop_kills;
+        ++stats_.drops;
+        ++res.drops;
+        continue;
+      }
+      ctx.phv = fresh_phv();
+      set_field_u64(ctx.phv, f_ingress_port_, ctx.ingress_port);
+      set_field_u64(ctx.phv, f_instance_type_,
+                    static_cast<std::uint64_t>(ctx.itype));
+      set_field_u64(ctx.phv, f_packet_length_, ctx.packet.size());
+      for (const auto& [f, v] : ctx.preserved) {
+        ctx.phv.fields[f] = v.resized(layout_.field(f).width);
+      }
+      ctx.preserved.clear();
+
+      if (!run_parser(ctx, res)) {
+        ++stats_.drops;
+        ++res.drops;
+        continue;
+      }
+
+      run_control(ingress_, ctx, res);
+
+      // Ingress-to-egress clones are scheduled regardless of the original
+      // packet's fate.
+      for (const auto& [session, fl] : ctx.clones_i2e) {
+        auto mit = mirror_sessions_.find(session);
+        if (mit == mirror_sessions_.end()) continue;
+        Work cw;
+        cw.where = Work::Where::kEgress;
+        cw.ctx.packet = ctx.packet;
+        cw.ctx.ingress_port = ctx.ingress_port;
+        cw.ctx.itype = p4::InstanceType::kIngressClone;
+        cw.ctx.phv = ctx.phv;  // PHV as at end of ingress (see DESIGN.md)
+        cw.ctx.payload_offset = ctx.payload_offset;
+        cw.egress_port = mit->second;
+        queue.push_back(std::move(cw));
+        ++stats_.clones;
+        ++res.clones_i2e;
+      }
+      ctx.clones_i2e.clear();
+
+      if (ctx.resubmit_flag) {
+        ++stats_.resubmits;
+        ++res.resubmits;
+        Work rw;
+        rw.where = Work::Where::kParser;
+        rw.ctx.packet = std::move(ctx.packet);
+        rw.ctx.ingress_port = ctx.ingress_port;
+        rw.ctx.itype = p4::InstanceType::kResubmit;
+        if (ctx.resubmit_fl)
+          rw.ctx.preserved = capture_field_list(*ctx.resubmit_fl, ctx.phv);
+        queue.push_back(std::move(rw));
+        continue;
+      }
+
+      const std::uint64_t mcast = field_u64(ctx.phv, f_mcast_grp_);
+      const std::uint64_t espec = field_u64(ctx.phv, f_egress_spec_);
+      if (mcast != 0) {
+        auto git = mcast_groups_.find(static_cast<std::uint16_t>(mcast));
+        if (git != mcast_groups_.end()) {
+          for (const auto& [port, rid] : git->second) {
+            Work ew;
+            ew.where = Work::Where::kEgress;
+            ew.ctx = ctx;  // copy, replication semantics
+            ew.ctx.itype = p4::InstanceType::kReplication;
+            ew.egress_port = port;
+            ew.egress_rid = rid;
+            queue.push_back(std::move(ew));
+            ++res.multicast_copies;
+          }
+        }
+        continue;
+      }
+      if (espec == p4::kDropPort) {
+        ++stats_.drops;
+        ++res.drops;
+        continue;
+      }
+      Work ew;
+      ew.where = Work::Where::kEgress;
+      ew.ctx = std::move(ctx);
+      ew.egress_port = static_cast<std::uint16_t>(espec);
+      queue.push_back(std::move(ew));
+      continue;
+    }
+
+    // ---- egress ----
+    set_field_u64(ctx.phv, f_egress_port_, w.egress_port);
+    set_field_u64(ctx.phv, f_egress_rid_, w.egress_rid);
+    set_field_u64(ctx.phv, f_instance_type_,
+                  static_cast<std::uint64_t>(ctx.itype));
+    ctx.drop_flag = false;  // egress fate decided by egress processing
+    ctx.in_egress = true;
+
+    run_control(egress_, ctx, res);
+
+    for (const auto& [session, fl] : ctx.clones_e2e) {
+      auto mit = mirror_sessions_.find(session);
+      if (mit == mirror_sessions_.end()) continue;
+      Work cw;
+      cw.where = Work::Where::kEgress;
+      cw.ctx.packet = ctx.packet;
+      cw.ctx.ingress_port = ctx.ingress_port;
+      cw.ctx.payload_offset = ctx.payload_offset;
+      cw.ctx.itype = p4::InstanceType::kEgressClone;
+      cw.ctx.phv = ctx.phv;  // PHV as at end of egress
+      cw.egress_port = mit->second;
+      queue.push_back(std::move(cw));
+      ++stats_.clones;
+      ++res.clones_e2e;
+    }
+    ctx.clones_e2e.clear();
+
+    if (ctx.drop_flag) {
+      ++stats_.drops;
+      ++res.drops;
+      continue;
+    }
+
+    apply_checksums(ctx);
+    net::Packet out = deparse(ctx);
+
+    if (ctx.recirc_flag) {
+      ++stats_.recirculations;
+      ++res.recirculations;
+      Work rw;
+      rw.where = Work::Where::kParser;
+      rw.ctx.ingress_port = w.egress_port;
+      rw.ctx.itype = p4::InstanceType::kRecirculate;
+      if (ctx.recirc_fl)
+        rw.ctx.preserved = capture_field_list(*ctx.recirc_fl, ctx.phv);
+      rw.ctx.packet = std::move(out);
+      queue.push_back(std::move(rw));
+      continue;
+    }
+
+    ++stats_.packets_out;
+    res.outputs.push_back(OutputPacket{w.egress_port, std::move(out)});
+  }
+
+  return res;
+}
+
+bool Switch::run_parser(Ctx& ctx, ProcessResult& res) {
+  if (parser_.empty()) return true;  // no parser: whole packet is payload
+  auto sit = parser_ids_.find("start");
+  if (sit == parser_ids_.end()) return true;
+  std::size_t state = sit->second;
+  std::size_t cursor = 0;  // bits
+  const auto data = ctx.packet.bytes();
+  const std::size_t total_bits = data.size() * 8;
+  std::size_t visits = 0;
+
+  while (true) {
+    if (++visits > 1024) {
+      ++stats_.parse_errors;
+      ++res.parse_errors;
+      return false;
+    }
+    const CompiledParserState& st = parser_[state];
+    for (const auto& ex : st.extracts) {
+      InstanceId inst;
+      if (ex.is_stack) {
+        std::size_t& next = ctx.phv.stack_next[ex.stack_base];
+        const auto& elems = layout_.stack_elements(ex.stack_base);
+        if (next >= elems.size()) {
+          ++stats_.parse_errors;
+          ++res.parse_errors;
+          return false;
+        }
+        inst = elems[next++];
+      } else {
+        inst = ex.instance;
+      }
+      const InstanceInfo& info = layout_.instance(inst);
+      if (cursor + info.width_bits > total_bits) {
+        ++stats_.parse_errors;
+        ++res.parse_errors;
+        return false;
+      }
+      for (std::size_t fi = 0; fi < info.field_count; ++fi) {
+        const FieldId fid = info.first_field + static_cast<FieldId>(fi);
+        const FieldInfo& finfo = layout_.field(fid);
+        ctx.phv.fields[fid] = read_bits(data, cursor + finfo.offset_bits,
+                                        finfo.width);
+      }
+      ctx.phv.valid[inst] = 1;
+      cursor += info.width_bits;
+    }
+    for (const auto& [fid, expr] : st.sets) {
+      ctx.phv.fields[fid] =
+          eval_expr(expr, ctx.phv).resized(layout_.field(fid).width);
+    }
+
+    // Transition.
+    std::ptrdiff_t next = CompiledCase::kDrop;
+    if (st.select.empty()) {
+      next = st.cases[0].next;
+    } else {
+      BitVec key(0);
+      std::size_t key_width = 0;
+      for (const auto& k : st.select) key_width += k.width;
+      key = BitVec(key_width);
+      std::size_t pos = key_width;
+      for (const auto& k : st.select) {
+        BitVec v = k.is_current
+                       ? read_bits(data, cursor + k.current_offset,
+                                   k.current_width)
+                       : ctx.phv.fields[k.field];
+        pos -= k.width;
+        key.set_slice(pos, v.resized(k.width));
+      }
+      bool matched = false;
+      for (const auto& c : st.cases) {
+        if (c.is_default) {
+          next = c.next;
+          matched = true;
+          break;
+        }
+        if (c.mask ? ((key & *c.mask) == (c.value & *c.mask))
+                   : (key == c.value)) {
+          next = c.next;
+          matched = true;
+          break;
+        }
+      }
+      if (!matched) {
+        // No case and no default: P4-14 implicit drop.
+        next = CompiledCase::kDrop;
+      }
+    }
+
+    if (next == CompiledCase::kAccept) break;
+    if (next == CompiledCase::kDrop) return false;
+    state = static_cast<std::size_t>(next);
+  }
+
+  if (cursor % 8 != 0) {
+    ++stats_.parse_errors;
+    ++res.parse_errors;
+    return false;
+  }
+  ctx.payload_offset = cursor / 8;
+  return true;
+}
+
+util::BitVec Switch::eval_expr(const CompiledExpr& e, const Phv& phv) const {
+  using p4::ExprOp;
+  auto b1 = [](bool b) { return BitVec(1, b ? 1 : 0); };
+  switch (e.op) {
+    case ExprOp::kConst: return e.value;
+    case ExprOp::kField: return phv.fields[e.field];
+    case ExprOp::kValid: return b1(phv.valid[e.instance] != 0);
+    case ExprOp::kLNot: return b1(!eval_expr(e.children[0], phv).any());
+    case ExprOp::kBitNot: return ~eval_expr(e.children[0], phv);
+    default: break;
+  }
+  const BitVec a = eval_expr(e.children[0], phv);
+  const BitVec b = eval_expr(e.children[1], phv);
+  switch (e.op) {
+    case ExprOp::kAdd: return a + b;
+    case ExprOp::kSub: return a - b;
+    case ExprOp::kBitAnd: return a & b;
+    case ExprOp::kBitOr: return a | b;
+    case ExprOp::kBitXor: return a ^ b;
+    case ExprOp::kShl: return a << b.low_u64();
+    case ExprOp::kShr: return a >> b.low_u64();
+    case ExprOp::kEq: return b1(a == b);
+    case ExprOp::kNe: return b1(!(a == b));
+    case ExprOp::kLt: return b1(a < b);
+    case ExprOp::kGt: return b1(a > b);
+    case ExprOp::kLe: return b1(a <= b);
+    case ExprOp::kGe: return b1(a >= b);
+    case ExprOp::kLAnd: return b1(a.any() && b.any());
+    case ExprOp::kLOr: return b1(a.any() || b.any());
+    default:
+      throw ConfigError("eval_expr: unsupported operator");
+  }
+}
+
+void Switch::run_control(const std::vector<CompiledControlNode>& nodes,
+                         Ctx& ctx, ProcessResult& res) {
+  if (nodes.empty()) return;
+  std::size_t idx = 0;
+  std::size_t steps = 0;
+  const std::size_t step_limit = nodes.size() * 4 + 64;
+  while (idx != p4::kEndOfControl) {
+    if (++steps > step_limit)
+      throw ConfigError("control graph did not terminate (cycle?)");
+    const CompiledControlNode& n = nodes[idx];
+    if (n.kind == p4::ControlNode::Kind::kIf) {
+      idx = eval_expr(n.condition, ctx.phv).any() ? n.next_true : n.next_false;
+      continue;
+    }
+
+    RuntimeTable& t = *tables_[n.table];
+    std::vector<BitVec> key;
+    key.reserve(t.keys().size());
+    std::size_t ternary_total = 0;
+    bool uses_ternary = false;
+    for (const auto& spec : t.keys()) {
+      if (spec.type == p4::MatchType::kValid) {
+        key.emplace_back(1, ctx.phv.valid[spec.field] ? 1 : 0);
+      } else {
+        key.push_back(ctx.phv.fields[spec.field]);
+      }
+      if (spec.type == p4::MatchType::kTernary ||
+          spec.type == p4::MatchType::kLpm) {
+        uses_ternary = true;
+        ternary_total += spec.width;
+      }
+    }
+    const TableEntry* entry = t.lookup(key);
+
+    AppliedTable applied;
+    applied.table = t.name();
+    applied.hit = entry != nullptr;
+    applied.used_ternary = uses_ternary;
+    applied.ternary_bits_total = uses_ternary ? ternary_total : 0;
+    if (entry) {
+      applied.entry_handle = entry->handle;
+      if (uses_ternary) {
+        std::size_t active = 0;
+        for (std::size_t i = 0; i < t.keys().size(); ++i) {
+          const auto& spec = t.keys()[i];
+          if (spec.type == p4::MatchType::kTernary && entry->key[i].mask) {
+            active += entry->key[i].mask->popcount();
+          } else if (spec.type == p4::MatchType::kLpm) {
+            active += *entry->key[i].prefix_len;
+          }
+        }
+        applied.ternary_bits_active = active;
+      }
+    }
+    res.applied.push_back(applied);
+
+    std::optional<std::size_t> ran_action;
+    if (entry) {
+      exec_action(entry->action, entry->action_args, ctx, res);
+      ran_action = entry->action;
+      RuntimeTable& mt = *tables_[n.table];
+      mt.mutable_entry(entry->handle).hit_bytes += ctx.packet.size();
+    } else if (t.has_default()) {
+      exec_action(t.default_action(), t.default_args(), ctx, res);
+      ran_action = t.default_action();
+    }
+
+    // Successor: action edge first, then hit/miss, then default.
+    std::size_t next = n.next_default;
+    bool found = false;
+    if (ran_action) {
+      auto ait = n.on_action.find(*ran_action);
+      if (ait != n.on_action.end()) {
+        next = ait->second;
+        found = true;
+      }
+    }
+    if (!found && entry && n.on_hit) {
+      next = *n.on_hit;
+      found = true;
+    }
+    if (!found && !entry && n.on_miss) {
+      next = *n.on_miss;
+    }
+    idx = next;
+  }
+}
+
+void Switch::exec_action(std::size_t action_id,
+                         const std::vector<BitVec>& args, Ctx& ctx,
+                         ProcessResult& res) {
+  const CompiledAction& a = actions_[action_id];
+  for (const auto& prim : a.body) exec_primitive(prim, args, ctx, res);
+}
+
+util::BitVec Switch::read_arg(const CompiledArg& a,
+                              const std::vector<BitVec>& args,
+                              const Phv& phv) const {
+  switch (a.kind) {
+    case CompiledArg::Kind::kConst: return a.value;
+    case CompiledArg::Kind::kParam: return args.at(a.index);
+    case CompiledArg::Kind::kField: return phv.fields[a.field];
+    default:
+      throw ConfigError("action argument is not a value");
+  }
+}
+
+FieldId Switch::dst_field(const CompiledArg& a) const {
+  if (a.kind != CompiledArg::Kind::kField)
+    throw ConfigError("primitive destination must be a field");
+  return a.field;
+}
+
+std::vector<std::pair<FieldId, util::BitVec>> Switch::capture_field_list(
+    std::size_t fl_index, const Phv& phv) const {
+  std::vector<std::pair<FieldId, BitVec>> out;
+  for (FieldId f : field_lists_[fl_index]) out.emplace_back(f, phv.fields[f]);
+  return out;
+}
+
+void Switch::exec_primitive(const CompiledPrim& prim,
+                            const std::vector<BitVec>& args, Ctx& ctx,
+                            ProcessResult& res) {
+  using p4::Primitive;
+  Phv& phv = ctx.phv;
+  auto write_field = [&](FieldId f, const BitVec& v) {
+    phv.fields[f] = v.resized(layout_.field(f).width);
+  };
+  switch (prim.op) {
+    case Primitive::kNoOp:
+      break;
+    case Primitive::kModifyField: {
+      const FieldId dst = dst_field(prim.args[0]);
+      const BitVec src = read_arg(prim.args[1], args, phv);
+      if (prim.args.size() >= 3) {
+        const BitVec mask =
+            read_arg(prim.args[2], args, phv).resized(layout_.field(dst).width);
+        write_field(dst, (phv.fields[dst] & ~mask) | (src & mask));
+      } else {
+        write_field(dst, src);
+      }
+      break;
+    }
+    case Primitive::kAddToField: {
+      const FieldId dst = dst_field(prim.args[0]);
+      write_field(dst, phv.fields[dst] + read_arg(prim.args[1], args, phv));
+      break;
+    }
+    case Primitive::kSubtractFromField: {
+      const FieldId dst = dst_field(prim.args[0]);
+      write_field(dst, phv.fields[dst] - read_arg(prim.args[1], args, phv));
+      break;
+    }
+    case Primitive::kAdd:
+    case Primitive::kSubtract:
+    case Primitive::kBitAnd:
+    case Primitive::kBitOr:
+    case Primitive::kBitXor:
+    case Primitive::kShiftLeft:
+    case Primitive::kShiftRight: {
+      const FieldId dst = dst_field(prim.args[0]);
+      const BitVec a = read_arg(prim.args[1], args, phv);
+      const BitVec b = read_arg(prim.args[2], args, phv);
+      BitVec r;
+      switch (prim.op) {
+        case Primitive::kAdd: r = a + b; break;
+        case Primitive::kSubtract: r = a - b; break;
+        case Primitive::kBitAnd: r = a & b; break;
+        case Primitive::kBitOr: r = a | b; break;
+        case Primitive::kBitXor: r = a ^ b; break;
+        case Primitive::kShiftLeft:
+          r = a.resized(layout_.field(dst).width) << b.low_u64();
+          break;
+        default:
+          r = a >> b.low_u64();
+          break;
+      }
+      write_field(dst, r);
+      break;
+    }
+    case Primitive::kAddHeader: {
+      const InstanceId h = prim.args[0].instance;
+      phv.valid[h] = 1;
+      const InstanceInfo& info = layout_.instance(h);
+      for (std::size_t i = 0; i < info.field_count; ++i) {
+        const FieldId f = info.first_field + static_cast<FieldId>(i);
+        phv.fields[f] = BitVec(layout_.field(f).width);
+      }
+      break;
+    }
+    case Primitive::kCopyHeader: {
+      const InstanceId dst = prim.args[0].instance;
+      const InstanceId src = prim.args[1].instance;
+      const InstanceInfo& di = layout_.instance(dst);
+      const InstanceInfo& si = layout_.instance(src);
+      if (di.type_name != si.type_name)
+        throw ConfigError("copy_header: type mismatch");
+      phv.valid[dst] = phv.valid[src];
+      for (std::size_t i = 0; i < di.field_count; ++i) {
+        phv.fields[di.first_field + i] = phv.fields[si.first_field + i];
+      }
+      break;
+    }
+    case Primitive::kRemoveHeader:
+      phv.valid[prim.args[0].instance] = 0;
+      break;
+    case Primitive::kPush: {
+      const auto& elems = layout_.stack_elements(prim.args[0].stack_base);
+      const std::size_t n = static_cast<std::size_t>(
+          read_arg(prim.args[1], args, phv).low_u64());
+      for (std::size_t i = elems.size(); i-- > n;) {
+        const InstanceInfo& di = layout_.instance(elems[i]);
+        const InstanceInfo& si = layout_.instance(elems[i - n]);
+        phv.valid[elems[i]] = phv.valid[elems[i - n]];
+        for (std::size_t fi = 0; fi < di.field_count; ++fi)
+          phv.fields[di.first_field + fi] = phv.fields[si.first_field + fi];
+      }
+      for (std::size_t i = 0; i < std::min(n, elems.size()); ++i) {
+        const InstanceInfo& di = layout_.instance(elems[i]);
+        phv.valid[elems[i]] = 1;
+        for (std::size_t fi = 0; fi < di.field_count; ++fi)
+          phv.fields[di.first_field + fi] =
+              BitVec(layout_.field(di.first_field + fi).width);
+      }
+      auto& next = phv.stack_next[prim.args[0].stack_base];
+      next = std::min(elems.size(), next + n);
+      break;
+    }
+    case Primitive::kPop: {
+      const auto& elems = layout_.stack_elements(prim.args[0].stack_base);
+      const std::size_t n = static_cast<std::size_t>(
+          read_arg(prim.args[1], args, phv).low_u64());
+      for (std::size_t i = 0; i + n < elems.size(); ++i) {
+        const InstanceInfo& di = layout_.instance(elems[i]);
+        const InstanceInfo& si = layout_.instance(elems[i + n]);
+        phv.valid[elems[i]] = phv.valid[elems[i + n]];
+        for (std::size_t fi = 0; fi < di.field_count; ++fi)
+          phv.fields[di.first_field + fi] = phv.fields[si.first_field + fi];
+      }
+      for (std::size_t i = elems.size() - std::min(n, elems.size());
+           i < elems.size(); ++i) {
+        phv.valid[elems[i]] = 0;
+      }
+      auto& next = phv.stack_next[prim.args[0].stack_base];
+      next = next > n ? next - n : 0;
+      break;
+    }
+    case Primitive::kDrop:
+      // bmv2 semantics: in ingress, drop marks egress_spec (a later write
+      // to egress_spec un-drops); in egress the drop is final.
+      if (ctx.in_egress) {
+        ctx.drop_flag = true;
+      } else {
+        set_field_u64(phv, f_egress_spec_, p4::kDropPort);
+      }
+      break;
+    case Primitive::kTruncate:
+      ctx.truncate_bytes = static_cast<std::size_t>(
+          read_arg(prim.args[0], args, phv).low_u64());
+      break;
+    case Primitive::kCount: {
+      const std::size_t idx = static_cast<std::size_t>(
+          read_arg(prim.args[1], args, phv).low_u64());
+      counters_[prim.args[0].index].count(idx, ctx.packet.size());
+      break;
+    }
+    case Primitive::kExecuteMeter: {
+      const std::size_t idx = static_cast<std::size_t>(
+          read_arg(prim.args[1], args, phv).low_u64());
+      const MeterColor c = meters_[prim.args[0].index].execute(idx, now_);
+      write_field(dst_field(prim.args[2]),
+                  BitVec(layout_.field(dst_field(prim.args[2])).width,
+                         static_cast<std::uint64_t>(c)));
+      break;
+    }
+    case Primitive::kRegisterRead: {
+      const std::size_t idx = static_cast<std::size_t>(
+          read_arg(prim.args[2], args, phv).low_u64());
+      write_field(dst_field(prim.args[0]),
+                  registers_[prim.args[1].index].read(idx));
+      break;
+    }
+    case Primitive::kRegisterWrite: {
+      const std::size_t idx = static_cast<std::size_t>(
+          read_arg(prim.args[1], args, phv).low_u64());
+      registers_[prim.args[0].index].write(
+          idx, read_arg(prim.args[2], args, phv));
+      break;
+    }
+    case Primitive::kResubmit:
+      ctx.resubmit_flag = true;
+      if (!prim.args.empty()) ctx.resubmit_fl = prim.args[0].index;
+      break;
+    case Primitive::kRecirculate:
+      ctx.recirc_flag = true;
+      if (!prim.args.empty()) ctx.recirc_fl = prim.args[0].index;
+      break;
+    case Primitive::kCloneIngressToEgress: {
+      const std::uint32_t session = static_cast<std::uint32_t>(
+          read_arg(prim.args[0], args, phv).low_u64());
+      std::optional<std::size_t> fl;
+      if (prim.args.size() >= 2) fl = prim.args[1].index;
+      ctx.clones_i2e.emplace_back(session, fl);
+      break;
+    }
+    case Primitive::kCloneEgressToEgress: {
+      const std::uint32_t session = static_cast<std::uint32_t>(
+          read_arg(prim.args[0], args, phv).low_u64());
+      std::optional<std::size_t> fl;
+      if (prim.args.size() >= 2) fl = prim.args[1].index;
+      ctx.clones_e2e.emplace_back(session, fl);
+      break;
+    }
+    case Primitive::kGenerateDigest: {
+      DigestMessage d;
+      d.receiver = std::to_string(read_arg(prim.args[0], args, phv).low_u64());
+      for (FieldId f : field_lists_[prim.args[1].index]) {
+        d.field_names.push_back(layout_.instance(layout_.field(f).instance).name +
+                                "." + layout_.field(f).name);
+        d.low_values.push_back(phv.fields[f].low_u64());
+      }
+      res.digests.push_back(std::move(d));
+      break;
+    }
+    case Primitive::kModifyFieldRngUniform: {
+      const FieldId dst = dst_field(prim.args[0]);
+      const std::uint64_t lo = read_arg(prim.args[1], args, phv).low_u64();
+      const std::uint64_t hi = read_arg(prim.args[2], args, phv).low_u64();
+      rng_state_ ^= rng_state_ << 13;
+      rng_state_ ^= rng_state_ >> 7;
+      rng_state_ ^= rng_state_ << 17;
+      const std::uint64_t span = hi >= lo ? hi - lo + 1 : 1;
+      write_field(dst, BitVec(layout_.field(dst).width,
+                              lo + (span ? rng_state_ % span : 0)));
+      break;
+    }
+  }
+}
+
+void Switch::apply_checksums(Ctx& ctx) {
+  for (const auto& cs : checksums_) {
+    if (!ctx.phv.valid[cs.owner]) continue;
+    if (cs.condition && !eval_expr(*cs.condition, ctx.phv).any()) continue;
+    std::vector<std::uint8_t> buf;
+    std::size_t pos = 0;
+    for (FieldId f : field_lists_[cs.field_list]) {
+      append_bits(buf, pos, ctx.phv.fields[f], layout_.field(f).width);
+    }
+    if (pos % 8 != 0)
+      throw ConfigError("checksum field list is not byte-aligned");
+    const std::uint16_t c = net::internet_checksum(buf);
+    ctx.phv.fields[cs.field] = BitVec(layout_.field(cs.field).width, c);
+  }
+}
+
+net::Packet Switch::deparse(Ctx& ctx) {
+  std::vector<std::uint8_t> out;
+  std::size_t pos = 0;
+  for (InstanceId inst : deparse_instances_) {
+    if (!ctx.phv.valid[inst]) continue;
+    const InstanceInfo& info = layout_.instance(inst);
+    for (std::size_t i = 0; i < info.field_count; ++i) {
+      const FieldId f = info.first_field + static_cast<FieldId>(i);
+      append_bits(out, pos, ctx.phv.fields[f], layout_.field(f).width);
+    }
+  }
+  if (pos % 8 != 0)
+    throw ConfigError("deparsed headers are not byte-aligned");
+  net::Packet p(std::move(out));
+  const auto payload = ctx.packet.bytes();
+  if (ctx.payload_offset < payload.size()) {
+    p.append(payload.subspan(ctx.payload_offset));
+  }
+  if (ctx.truncate_bytes) p.truncate(*ctx.truncate_bytes);
+  return p;
+}
+
+}  // namespace hyper4::bm

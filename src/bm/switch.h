@@ -1,0 +1,297 @@
+// The behavioral-model switch: an interpreter for p4::Program with the
+// architectural contract of bmv2's simple_switch.
+//
+// Pipeline per packet: parse → ingress match-action → traffic manager
+// (resubmit / unicast / multicast / ingress-to-egress clones) → egress
+// match-action → checksum update → deparse → (recirculate | emit).
+//
+// The switch is single-threaded and deterministic; injected packets are
+// processed to completion (including all derived packet instances) before
+// inject() returns, which is what makes the native-vs-HyPer4 equivalence
+// tests and the evaluation benches exact.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "bm/layout.h"
+#include "bm/runtime_table.h"
+#include "bm/stateful.h"
+#include "bm/trace.h"
+#include "net/packet.h"
+#include "p4/ir.h"
+
+namespace hyper4::bm {
+
+class Switch {
+ public:
+  struct Options {
+    // Maximum parser entries (initial + resubmits + recirculations) per
+    // injected packet before the engine declares a loop and kills the
+    // packet. Models the paper's ingress-buffer interference concern.
+    std::size_t max_traversals = 128;
+    std::uint16_t num_ports = 64;
+  };
+
+  explicit Switch(p4::Program prog) : Switch(std::move(prog), Options{}) {}
+  Switch(p4::Program prog, Options opts);
+
+  const p4::Program& program() const { return prog_; }
+  const Layout& layout() const { return layout_; }
+  const Options& options() const { return opts_; }
+
+  // --- packet path --------------------------------------------------------
+  ProcessResult inject(std::uint16_t ingress_port, const net::Packet& packet);
+
+  // --- runtime API (used directly and via the CLI in cli.h) ---------------
+  std::uint64_t table_add(const std::string& table, const std::string& action,
+                          std::vector<KeyParam> key,
+                          std::vector<util::BitVec> action_args,
+                          std::int32_t priority = -1);
+  void table_set_default(const std::string& table, const std::string& action,
+                         std::vector<util::BitVec> action_args = {});
+  void table_delete(const std::string& table, std::uint64_t handle);
+  void table_modify(const std::string& table, const std::string& action,
+                    std::uint64_t handle, std::vector<util::BitVec> action_args);
+  const RuntimeTable& table(const std::string& name) const;
+  RuntimeTable& mutable_table(const std::string& name);
+  bool has_table(const std::string& name) const;
+  std::vector<std::string> table_names() const;
+  // Action name for a compiled action id (for table dumps / diagnostics).
+  const std::string& action_name(std::size_t action_id) const;
+  // Human-readable listing of a table's entries (bmv2's table_dump).
+  std::string table_dump(const std::string& name) const;
+
+  void mirror_add(std::uint32_t session, std::uint16_t port);
+  void mc_group_set(std::uint16_t group,
+                    std::vector<std::pair<std::uint16_t, std::uint16_t>>
+                        port_rid_pairs);
+
+  util::BitVec register_read(const std::string& reg, std::size_t index) const;
+  void register_write(const std::string& reg, std::size_t index,
+                      const util::BitVec& v);
+  std::uint64_t counter_packets(const std::string& counter,
+                                std::size_t index) const;
+  std::uint64_t counter_bytes(const std::string& counter,
+                              std::size_t index) const;
+  void counter_reset(const std::string& counter);
+
+  // Logical clock for meters (abstract seconds). Advance from the harness.
+  double now() const { return now_; }
+  void set_time(double t) { now_ = t; }
+  void advance_time(double dt) { now_ += dt; }
+
+  // --- statistics ----------------------------------------------------------
+  struct Stats {
+    std::uint64_t packets_in = 0;
+    std::uint64_t packets_out = 0;
+    std::uint64_t drops = 0;
+    std::uint64_t resubmits = 0;
+    std::uint64_t recirculations = 0;
+    std::uint64_t clones = 0;
+    std::uint64_t parse_errors = 0;
+    std::uint64_t loop_kills = 0;
+  };
+  const Stats& stats() const { return stats_; }
+  void reset_stats();
+
+ private:
+  // ---- compiled representations ----
+  struct CompiledExpr {
+    p4::ExprOp op = p4::ExprOp::kConst;
+    util::BitVec value;
+    FieldId field = 0;
+    InstanceId instance = 0;
+    std::vector<CompiledExpr> children;
+  };
+
+  struct CompiledArg {
+    enum class Kind {
+      kConst, kParam, kField, kInstance, kStack,
+      kFieldList, kCounter, kMeter, kRegister,
+    };
+    Kind kind = Kind::kConst;
+    util::BitVec value;
+    std::size_t index = 0;   // param index or object index
+    FieldId field = 0;
+    InstanceId instance = 0;
+    std::string stack_base;
+  };
+
+  struct CompiledPrim {
+    p4::Primitive op;
+    std::vector<CompiledArg> args;
+  };
+
+  struct CompiledAction {
+    std::string name;
+    std::vector<std::size_t> param_widths;
+    std::vector<CompiledPrim> body;
+  };
+
+  struct CompiledCase {
+    util::BitVec value;
+    std::optional<util::BitVec> mask;
+    bool is_default = false;
+    // >= 0: state index; kAccept / kDrop otherwise.
+    std::ptrdiff_t next = 0;
+    static constexpr std::ptrdiff_t kAccept = -1;
+    static constexpr std::ptrdiff_t kDrop = -2;
+  };
+
+  struct CompiledSelectKey {
+    bool is_current = false;
+    FieldId field = 0;
+    std::size_t current_offset = 0;
+    std::size_t current_width = 0;
+    std::size_t width = 0;
+  };
+
+  struct CompiledParserState {
+    std::string name;
+    // Each extract is either a concrete instance or a stack base (next
+    // free element extracted at runtime).
+    struct Extract {
+      bool is_stack = false;
+      InstanceId instance = 0;
+      std::string stack_base;
+    };
+    std::vector<Extract> extracts;
+    std::vector<std::pair<FieldId, CompiledExpr>> sets;
+    std::vector<CompiledSelectKey> select;
+    std::vector<CompiledCase> cases;
+  };
+
+  struct CompiledControlNode {
+    p4::ControlNode::Kind kind = p4::ControlNode::Kind::kApply;
+    std::size_t table = 0;
+    std::unordered_map<std::size_t, std::size_t> on_action;  // action id→node
+    std::optional<std::size_t> on_hit, on_miss;
+    std::size_t next_default = p4::kEndOfControl;
+    CompiledExpr condition;
+    std::size_t next_true = p4::kEndOfControl;
+    std::size_t next_false = p4::kEndOfControl;
+  };
+
+  struct CompiledChecksum {
+    FieldId field = 0;
+    InstanceId owner = 0;
+    std::size_t field_list = 0;
+    std::optional<CompiledExpr> condition;
+  };
+
+  // ---- per-packet state ----
+  struct Phv {
+    std::vector<util::BitVec> fields;  // by FieldId
+    std::vector<char> valid;           // by InstanceId
+    std::unordered_map<std::string, std::size_t> stack_next;
+  };
+
+  struct Ctx {
+    net::Packet packet;  // bytes as they entered the parser this traversal
+    Phv phv;
+    std::size_t payload_offset = 0;  // bytes consumed by the parser
+    std::uint16_t ingress_port = 0;
+    p4::InstanceType itype = p4::InstanceType::kNormal;
+    bool drop_flag = false;
+    bool in_egress = false;
+    std::optional<std::size_t> truncate_bytes;
+    bool resubmit_flag = false;
+    std::optional<std::size_t> resubmit_fl;
+    bool recirc_flag = false;
+    std::optional<std::size_t> recirc_fl;
+    std::vector<std::pair<std::uint32_t, std::optional<std::size_t>>> clones_i2e;
+    std::vector<std::pair<std::uint32_t, std::optional<std::size_t>>> clones_e2e;
+    // (field, value) pairs restored right after PHV initialization.
+    std::vector<std::pair<FieldId, util::BitVec>> preserved;
+  };
+
+  // A unit of work for the traversal queue.
+  struct Work {
+    enum class Where { kParser, kEgress } where = Where::kParser;
+    Ctx ctx;
+    std::uint16_t egress_port = 0;  // when kEgress
+    std::uint16_t egress_rid = 0;
+  };
+
+  // ---- compilation ----
+  void compile();
+  CompiledExpr compile_expr(const p4::ExprPtr& e) const;
+  CompiledArg compile_arg(const p4::ActionArg& a, p4::Primitive op,
+                          std::size_t arg_pos,
+                          const p4::ActionDef& action) const;
+  std::size_t named_index(const std::vector<std::string>& names,
+                          const std::string& n, const char* what) const;
+
+  // ---- execution ----
+  Phv fresh_phv() const;
+  bool run_parser(Ctx& ctx, ProcessResult& res);
+  // Returns false when the packet was consumed (dropped) by the control.
+  void run_control(const std::vector<CompiledControlNode>& nodes, Ctx& ctx,
+                   ProcessResult& res);
+  util::BitVec eval_expr(const CompiledExpr& e, const Phv& phv) const;
+  void exec_action(std::size_t action_id,
+                   const std::vector<util::BitVec>& args, Ctx& ctx,
+                   ProcessResult& res);
+  void exec_primitive(const CompiledPrim& prim,
+                      const std::vector<util::BitVec>& args, Ctx& ctx,
+                      ProcessResult& res);
+  util::BitVec read_arg(const CompiledArg& a,
+                        const std::vector<util::BitVec>& args,
+                        const Phv& phv) const;
+  FieldId dst_field(const CompiledArg& a) const;
+  std::vector<std::pair<FieldId, util::BitVec>> capture_field_list(
+      std::size_t fl_index, const Phv& phv) const;
+  net::Packet deparse(Ctx& ctx);
+  void apply_checksums(Ctx& ctx);
+  std::uint64_t field_u64(const Phv& phv, FieldId f) const {
+    return phv.fields[f].low_u64();
+  }
+  void set_field_u64(Phv& phv, FieldId f, std::uint64_t v) {
+    phv.fields[f] = util::BitVec(layout_.field(f).width, v);
+  }
+
+  p4::Program prog_;
+  Options opts_;
+  Layout layout_;
+
+  // Compiled program.
+  std::vector<CompiledAction> actions_;
+  std::unordered_map<std::string, std::size_t> action_ids_;
+  std::vector<std::unique_ptr<RuntimeTable>> tables_;
+  std::unordered_map<std::string, std::size_t> table_ids_;
+  std::vector<std::vector<std::size_t>> table_actions_;  // table → action ids
+  std::vector<CompiledParserState> parser_;
+  std::unordered_map<std::string, std::size_t> parser_ids_;
+  std::vector<CompiledControlNode> ingress_, egress_;
+  std::vector<std::vector<FieldId>> field_lists_;
+  std::vector<std::string> field_list_names_;
+  std::vector<CounterArray> counters_;
+  std::vector<std::string> counter_names_;
+  std::vector<MeterArray> meters_;
+  std::vector<std::string> meter_names_;
+  std::vector<RegisterArray> registers_;
+  std::vector<std::string> register_names_;
+  std::vector<CompiledChecksum> checksums_;
+  std::vector<InstanceId> deparse_instances_;
+
+  // Pre-resolved standard metadata field ids.
+  FieldId f_ingress_port_, f_egress_spec_, f_egress_port_, f_instance_type_,
+      f_packet_length_, f_mcast_grp_, f_egress_rid_;
+
+  // Switch config.
+  std::unordered_map<std::uint32_t, std::uint16_t> mirror_sessions_;
+  std::unordered_map<std::uint16_t,
+                     std::vector<std::pair<std::uint16_t, std::uint16_t>>>
+      mcast_groups_;
+
+  double now_ = 0;
+  Stats stats_;
+  std::uint64_t rng_state_ = 0x9e3779b97f4a7c15ull;
+};
+
+}  // namespace hyper4::bm

@@ -1,0 +1,70 @@
+// Per-injection processing trace. The evaluation benches (Tables 1, 4, 5)
+// are computed from these records: stages incurred, ternary bits matched,
+// resubmit / recirculation counts.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/packet.h"
+
+namespace hyper4::bm {
+
+struct OutputPacket {
+  std::uint16_t port = 0;
+  net::Packet packet;
+};
+
+// One table application (the paper's unit for "number of matches").
+struct AppliedTable {
+  std::string table;
+  bool hit = false;
+  std::uint64_t entry_handle = 0;  // valid when hit
+  // Ternary accounting for Table 4: bits offered to ternary/lpm match keys
+  // of this table (total includes wildcards) and bits actively compared
+  // (popcount of the matched entry's masks; 0 on miss).
+  std::size_t ternary_bits_total = 0;
+  std::size_t ternary_bits_active = 0;
+  bool used_ternary = false;
+};
+
+struct DigestMessage {
+  std::string receiver;
+  std::vector<std::string> field_names;
+  std::vector<std::uint64_t> low_values;  // low 64 bits of each field
+};
+
+struct ProcessResult {
+  std::vector<OutputPacket> outputs;
+  std::vector<AppliedTable> applied;
+  std::size_t resubmits = 0;
+  std::size_t recirculations = 0;
+  std::size_t clones_i2e = 0;
+  std::size_t clones_e2e = 0;
+  std::size_t multicast_copies = 0;
+  std::size_t drops = 0;
+  std::size_t parse_errors = 0;
+  // Traversal limit hit (a recirculation loop was cut off).
+  std::size_t loop_kills = 0;
+  std::vector<DigestMessage> digests;
+
+  std::size_t match_count() const { return applied.size(); }
+  std::size_t ternary_match_count() const {
+    std::size_t n = 0;
+    for (const auto& a : applied) n += a.used_ternary ? 1 : 0;
+    return n;
+  }
+  std::size_t ternary_bits_total() const {
+    std::size_t n = 0;
+    for (const auto& a : applied) n += a.ternary_bits_total;
+    return n;
+  }
+  std::size_t ternary_bits_active() const {
+    std::size_t n = 0;
+    for (const auto& a : applied) n += a.ternary_bits_active;
+    return n;
+  }
+};
+
+}  // namespace hyper4::bm

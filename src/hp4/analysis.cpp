@@ -1,0 +1,64 @@
+#include "hp4/analysis.h"
+
+namespace hyper4::hp4 {
+
+std::set<std::string> referenced_tables(const Hp4Artifact& art) {
+  std::set<std::string> out;
+  out.insert(tbl_setup_a());
+  out.insert(tbl_setup_b());
+  out.insert(tbl_vparse());
+  out.insert(tbl_vnet());
+  out.insert(tbl_eg_writeback());
+  if (art.csum_offset != 0) out.insert(tbl_eg_csum());
+
+  for (const auto& ts : art.tables) {
+    out.insert(tbl_stage_match(ts.stage, ts.source));
+  }
+  // Parse the static commands for slot-table references — exact by
+  // construction (they were generated per (stage, action, slot)).
+  for (const auto& cmd : art.static_commands) {
+    // "table_add <table> ..." — take the second token.
+    const auto sp1 = cmd.find(' ');
+    const auto sp2 = cmd.find(' ', sp1 + 1);
+    if (sp1 == std::string::npos || sp2 == std::string::npos) continue;
+    out.insert(cmd.substr(sp1 + 1, sp2 - sp1 - 1));
+  }
+  // Transition tables accompany every setup table referenced.
+  std::set<std::string> with_tx = out;
+  for (const auto& t : out) {
+    const auto pos = t.rfind("_setup");
+    if (pos != std::string::npos && t[0] == 's') {
+      with_tx.insert(t.substr(0, pos) + "_tx");
+      // The noop/drop exec tables are reachable for every staged slot.
+    }
+  }
+  return with_tx;
+}
+
+std::size_t shared_table_count(const Hp4Artifact& a, const Hp4Artifact& b) {
+  const auto ta = referenced_tables(a);
+  const auto tb = referenced_tables(b);
+  std::size_t n = 0;
+  for (const auto& t : ta)
+    if (tb.contains(t)) ++n;
+  return n;
+}
+
+std::size_t unique_table_count(const Hp4Artifact& a, const Hp4Artifact& b) {
+  const auto ta = referenced_tables(a);
+  const auto tb = referenced_tables(b);
+  std::size_t n = 0;
+  for (const auto& t : ta)
+    if (!tb.contains(t)) ++n;
+  return n;
+}
+
+std::size_t extracted_entry_bits(const PersonaConfig& cfg) {
+  return 2 * cfg.extracted_bits + kProgramBits;
+}
+
+std::size_t meta_entry_bits(const PersonaConfig& cfg) {
+  return 2 * cfg.meta_bits + kProgramBits;
+}
+
+}  // namespace hyper4::hp4

@@ -1,0 +1,28 @@
+// Static analysis over compiled artifacts, backing Tables 2 and 3 of the
+// paper (shared vs. uniquely referenced persona tables per program pair)
+// and the §6.2 space accounting.
+#pragma once
+
+#include <set>
+#include <string>
+
+#include "hp4/compiler.h"
+
+namespace hyper4::hp4 {
+
+// The persona tables a program's emulation references: the fixed pipeline
+// tables it traverses plus every stage/slot table its actions exercise.
+std::set<std::string> referenced_tables(const Hp4Artifact& art);
+
+// |A ∩ B| — Table 2's off-diagonal; |A| on the diagonal.
+std::size_t shared_table_count(const Hp4Artifact& a, const Hp4Artifact& b);
+
+// |A \ B| — Table 3.
+std::size_t unique_table_count(const Hp4Artifact& a, const Hp4Artifact& b);
+
+// §6.2: storage for one match entry against `extracted` is value+mask
+// (2 × extracted width) plus the program id; against `ext_meta` likewise.
+std::size_t extracted_entry_bits(const PersonaConfig& cfg);
+std::size_t meta_entry_bits(const PersonaConfig& cfg);
+
+}  // namespace hyper4::hp4

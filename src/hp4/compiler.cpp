@@ -1,0 +1,1026 @@
+#include "hp4/compiler.h"
+
+#include <algorithm>
+#include <functional>
+#include <set>
+#include <sstream>
+
+#include "bm/cli.h"
+#include "util/strings.h"
+
+namespace hyper4::hp4 {
+
+using p4::Program;
+using util::BitVec;
+using util::CommandError;
+using util::ConfigError;
+
+namespace {
+
+std::string hexv(const BitVec& v) { return "0x" + v.to_hex(); }
+
+// Entry priorities inside the shared persona stage tables.
+constexpr std::int32_t kGuardPriority = 1;
+constexpr std::int32_t kRuleBasePriority = 10;
+constexpr std::int32_t kDefaultRulePriority = 500;
+constexpr std::int32_t kLoadTimeExecPriority = 100;
+constexpr std::int32_t kPerEntryExecPriority = 10;
+constexpr std::int32_t kCatchAllPriority = 1000000;
+
+struct PathWalkState {
+  std::string state;
+  std::size_t cursor_bits = 0;
+  std::vector<std::pair<std::string, std::size_t>> headers;  // name, byte off
+  std::vector<ParsePath::Constraint> constraints;
+};
+
+}  // namespace
+
+const TableSpec& Hp4Artifact::table(const std::string& name) const {
+  for (const auto& t : tables)
+    if (t.name == name) return t;
+  throw ConfigError("hp4: program '" + program_name + "' has no emulated table '" +
+                    name + "'");
+}
+
+std::uint64_t VPortMap::to_vport(std::uint16_t phys) const {
+  auto it = phys_to_vport.find(phys);
+  if (it == phys_to_vport.end())
+    throw CommandError("hp4: no vport mapped to physical port " +
+                       std::to_string(phys));
+  return it->second;
+}
+
+// ---------------------------------------------------------------------------
+// Compilation
+
+Hp4Artifact Hp4Compiler::compile(const Program& target) const {
+  cfg_.validate();
+  Hp4Artifact art;
+  art.program_name = target.name;
+  art.cfg = cfg_;
+  const std::size_t E = cfg_.extracted_bits;
+  const std::size_t M = cfg_.meta_bits;
+
+  // --- metadata layout & validity bits --------------------------------------
+  {
+    std::size_t moff = 0;
+    std::size_t vbit = 0;
+    for (const auto& inst : target.instances) {
+      if (inst.is_stack())
+        throw UnsupportedFeature("hp4: header stacks are not emulated ('" +
+                                 inst.name + "')");
+      if (inst.metadata) {
+        const p4::HeaderType& t = target.header_type(inst.type);
+        for (const auto& f : t.fields) {
+          if (moff + f.width > M)
+            throw UnsupportedFeature("hp4: emulated metadata exceeds " +
+                                     std::to_string(M) + " bits");
+          art.field_locs[inst.name + "." + f.name] =
+              FieldLoc{Domain::kMeta, M - moff - f.width, f.width};
+          moff += f.width;
+        }
+      } else {
+        if (vbit >= kValidityBits)
+          throw UnsupportedFeature("hp4: too many header instances");
+        art.validity_bits[inst.name] = vbit++;
+      }
+    }
+  }
+  art.field_locs[p4::kStandardMetadata + "." + p4::kFieldEgressSpec] =
+      FieldLoc{Domain::kVEgress, 0, kVPortBits};
+  art.field_locs[p4::kStandardMetadata + "." + p4::kFieldEgressPort] =
+      FieldLoc{Domain::kVEgress, 0, kVPortBits};
+  art.field_locs[p4::kStandardMetadata + "." + p4::kFieldIngressPort] =
+      FieldLoc{Domain::kVIngress, 0, kVPortBits};
+
+  // --- parse-path enumeration -------------------------------------------------
+  {
+    std::map<std::string, std::size_t> header_offsets;  // byte offset, fixed
+    std::int32_t prio = kRuleBasePriority;
+    if (!target.has_parser_state("start"))
+      throw UnsupportedFeature("hp4: target has no parser");
+
+    // Recursive DFS, visiting non-default select cases before the default
+    // so vparse entry priorities reproduce first-match-wins semantics.
+    std::function<void(PathWalkState, std::size_t)> walk =
+        [&](PathWalkState st, std::size_t depth) {
+          if (depth > 32)
+            throw UnsupportedFeature("hp4: parse graph too deep (loop?)");
+          if (art.parse_paths.size() > 256)
+            throw UnsupportedFeature("hp4: too many parse paths");
+
+          auto finish = [&](bool drops) {
+            ParsePath p;
+            p.headers = st.headers;
+            p.constraints = st.constraints;
+            p.drops = drops;
+            p.bytes_needed = (st.cursor_bits + 7) / 8;
+            p.priority = prio++;
+            art.parse_paths.push_back(std::move(p));
+          };
+
+          const p4::ParserState& ps = target.parser_state(st.state);
+          for (const auto& ex : ps.extracts) {
+            const std::size_t off = st.cursor_bits / 8;
+            if (st.cursor_bits % 8 != 0)
+              throw UnsupportedFeature("hp4: non-byte-aligned header '" + ex + "'");
+            auto it = header_offsets.find(ex);
+            if (it != header_offsets.end() && it->second != off)
+              throw UnsupportedFeature(
+                  "hp4: header '" + ex +
+                  "' has different offsets on different parse paths");
+            header_offsets[ex] = off;
+            st.headers.emplace_back(ex, off);
+            st.cursor_bits += target.instance_type(ex).width_bits();
+            if (st.cursor_bits > 8 * cfg_.parse_max_bytes)
+              throw UnsupportedFeature(
+                  "hp4: parse path needs more than the persona's maximum of " +
+                  std::to_string(cfg_.parse_max_bytes) + " bytes");
+          }
+          for (const auto& s : ps.sets) {
+            (void)s;
+            throw UnsupportedFeature(
+                "hp4: parser set_metadata is not emulated");
+          }
+
+          // Bit position of each select key within `extracted`.
+          struct KeyBits {
+            std::size_t lsb;
+            std::size_t width;
+          };
+          std::vector<KeyBits> kb;
+          std::size_t total_w = 0;
+          for (const auto& k : ps.select) {
+            if (k.is_current) {
+              kb.push_back(KeyBits{E - st.cursor_bits - k.current_offset -
+                                       k.current_width,
+                                   k.current_width});
+              total_w += k.current_width;
+            } else {
+              bool found = false;
+              for (const auto& [hname, hoff] : st.headers) {
+                const p4::HeaderType& ht = target.instance_type(hname);
+                if (k.field.header == hname && ht.has_field(k.field.field)) {
+                  const std::size_t foff = ht.field_offset(k.field.field);
+                  const std::size_t fw = ht.field_def(k.field.field).width;
+                  kb.push_back(KeyBits{E - 8 * hoff - foff - fw, fw});
+                  total_w += fw;
+                  found = true;
+                  break;
+                }
+              }
+              if (!found)
+                throw UnsupportedFeature("hp4: select on '" + k.field.str() +
+                                         "' which is not extracted packet data");
+            }
+          }
+
+          if (ps.select.empty()) {
+            const auto& c = ps.cases[0];
+            if (c.next_state == p4::kParserAccept) return finish(false);
+            if (c.next_state == p4::kParserDrop) return finish(true);
+            PathWalkState nxt = st;
+            nxt.state = c.next_state;
+            return walk(std::move(nxt), depth + 1);
+          }
+
+          auto follow = [&](const p4::ParserCase& c, PathWalkState nxt) {
+            if (c.next_state == p4::kParserAccept) {
+              std::swap(st, nxt);
+              finish(false);
+              std::swap(st, nxt);
+            } else if (c.next_state == p4::kParserDrop) {
+              std::swap(st, nxt);
+              finish(true);
+              std::swap(st, nxt);
+            } else {
+              nxt.state = c.next_state;
+              walk(std::move(nxt), depth + 1);
+            }
+          };
+
+          for (const auto& c : ps.cases) {
+            PathWalkState nxt = st;
+            if (!c.is_default) {
+              // Slice the case value/mask across the keys (MSB first).
+              std::size_t consumed = 0;
+              for (const auto& k : kb) {
+                const std::size_t vlsb = total_w - consumed - k.width;
+                BitVec seg = c.value.slice(vlsb, k.width);
+                BitVec segm = c.mask ? c.mask->slice(vlsb, k.width)
+                                     : BitVec::ones(k.width);
+                ParsePath::Constraint con;
+                con.value = BitVec(E);
+                con.mask = BitVec(E);
+                con.value.set_slice(k.lsb, seg & segm);
+                con.mask.set_slice(k.lsb, segm);
+                nxt.constraints.push_back(std::move(con));
+                consumed += k.width;
+              }
+            }
+            follow(c, std::move(nxt));
+            if (c.is_default) break;  // cases after a default are dead
+          }
+        };
+
+    PathWalkState init;
+    init.state = "start";
+    walk(std::move(init), 0);
+
+    // Field locations for packet headers (offsets are path-invariant by
+    // construction above).
+    for (const auto& [hname, hoff] : header_offsets) {
+      const p4::HeaderType& ht = target.instance_type(hname);
+      for (const auto& f : ht.fields) {
+        const std::size_t foff = ht.field_offset(f.name);
+        art.field_locs[hname + "." + f.name] = FieldLoc{
+            Domain::kExtracted, E - 8 * hoff - foff - f.width, f.width};
+      }
+    }
+  }
+
+  // --- numbytes ------------------------------------------------------------------
+  {
+    std::size_t raw = 0;
+    for (const auto& p : art.parse_paths)
+      raw = std::max(raw, p.bytes_needed);
+    const auto ladder = cfg_.parse_ladder();
+    auto it = std::find_if(ladder.begin(), ladder.end(),
+                           [&](std::size_t n) { return n >= raw; });
+    if (it == ladder.end())
+      throw UnsupportedFeature("hp4: program needs " + std::to_string(raw) +
+                               " bytes, beyond the parse ladder maximum");
+    art.numbytes = *it;
+    art.needs_resubmit = art.numbytes > ladder.front();
+  }
+
+  // --- checksum fix-up ---------------------------------------------------------
+  for (const auto& cf : target.calculated_fields) {
+    const p4::HeaderType& ht = target.instance_type(cf.field.header);
+    if (ht.width_bits() != 160 || ht.field_offset(cf.field.field) != 80)
+      throw UnsupportedFeature(
+          "hp4: only the IPv4 header checksum is supported (§5.3)");
+    std::size_t offset = 0;
+    bool found = false;
+    for (const auto& p : art.parse_paths) {
+      for (const auto& [h, off] : p.headers) {
+        if (h == cf.field.header) {
+          offset = off;
+          found = true;
+        }
+      }
+    }
+    if (!found) continue;
+    if (std::find(cfg_.ipv4_csum_offsets.begin(), cfg_.ipv4_csum_offsets.end(),
+                  offset) == cfg_.ipv4_csum_offsets.end())
+      throw UnsupportedFeature(
+          "hp4: IPv4 checksum at byte offset " + std::to_string(offset) +
+          " is not in the persona's configured offset set");
+    art.csum_offset = offset;
+  }
+
+  // --- control linearization -----------------------------------------------------
+  struct Cond {
+    std::string header;
+    bool expect_valid = true;
+  };
+  struct Lin {
+    std::string table;
+    std::vector<Cond> conds;
+    bool egress = false;
+  };
+  std::vector<Lin> lins;
+  {
+    std::function<void(const p4::Control&, std::size_t, std::vector<Cond>, bool)>
+        walk = [&](const p4::Control& c, std::size_t idx, std::vector<Cond> conds,
+                   bool egress) {
+          std::size_t steps = 0;
+          while (idx != p4::kEndOfControl) {
+            if (++steps > c.nodes.size() + 1)
+              throw UnsupportedFeature("hp4: control graph loop");
+            const p4::ControlNode& n = c.nodes[idx];
+            if (n.kind == p4::ControlNode::Kind::kApply) {
+              if (!n.on_action.empty() || n.on_hit || n.on_miss)
+                throw UnsupportedFeature(
+                    "hp4: hit/miss/action-based control flow on table '" +
+                    n.table + "' is not emulated");
+              lins.push_back(Lin{n.table, conds, egress});
+              idx = n.next_default;
+            } else {
+              // Supported: valid(h) / not valid(h).
+              const p4::ExprPtr& e = n.condition;
+              std::string hdr;
+              bool expect = true;
+              if (e && e->op == p4::ExprOp::kValid) {
+                hdr = e->fref.header;
+              } else if (e && e->op == p4::ExprOp::kLNot &&
+                         e->children[0]->op == p4::ExprOp::kValid) {
+                hdr = e->children[0]->fref.header;
+                expect = false;
+              } else {
+                throw UnsupportedFeature(
+                    "hp4: only valid()-based conditionals are emulated (got " +
+                    (e ? e->str() : std::string("null")) + ")");
+              }
+              auto tconds = conds;
+              tconds.push_back(Cond{hdr, expect});
+              auto fconds = conds;
+              fconds.push_back(Cond{hdr, !expect});
+              walk(c, n.next_true, std::move(tconds), egress);
+              walk(c, n.next_false, std::move(fconds), egress);
+              return;
+            }
+          }
+        };
+    if (!target.ingress.empty()) walk(target.ingress, 0, {}, false);
+    if (!target.egress.empty()) walk(target.egress, 0, {}, true);
+  }
+  if (lins.size() > cfg_.num_stages)
+    throw UnsupportedFeature(
+        "hp4: program needs " + std::to_string(lins.size()) +
+        " match-action stages; persona is configured for " +
+        std::to_string(cfg_.num_stages));
+  if (lins.empty())
+    throw UnsupportedFeature("hp4: program applies no tables");
+
+  // --- table specs ------------------------------------------------------------------
+  for (std::size_t i = 0; i < lins.size(); ++i) {
+    const p4::TableDef& td = target.table(lins[i].table);
+    TableSpec ts;
+    ts.name = td.name;
+    ts.stage = i + 1;
+    ts.in_egress = lins[i].egress;
+
+    bool any_std = false, any_other = false, all_meta = true;
+    for (const auto& k : td.keys) {
+      TableSpec::Key key;
+      key.type = k.type;
+      if (k.type == p4::MatchType::kValid) {
+        auto it = art.validity_bits.find(k.field.header);
+        if (it == art.validity_bits.end())
+          throw UnsupportedFeature("hp4: valid() match on unknown header '" +
+                                   k.field.header + "'");
+        key.is_valid_key = true;
+        key.validity_bit = it->second;
+        all_meta = false;
+        any_other = true;
+      } else {
+        auto it = art.field_locs.find(k.field.str());
+        if (it == art.field_locs.end())
+          throw UnsupportedFeature("hp4: match field '" + k.field.str() +
+                                   "' is never extracted");
+        key.loc = it->second;
+        if (key.loc.domain == Domain::kVEgress ||
+            key.loc.domain == Domain::kVIngress) {
+          any_std = true;
+        } else {
+          any_other = true;
+          if (key.loc.domain != Domain::kMeta) all_meta = false;
+        }
+      }
+      ts.keys.push_back(key);
+      if (k.type == p4::MatchType::kRange)
+        throw UnsupportedFeature("hp4: range matching is not emulated (§5.3)");
+    }
+    if (any_std && any_other)
+      throw UnsupportedFeature(
+          "hp4: table '" + td.name +
+          "' mixes standard-metadata keys with other keys");
+    ts.source = any_std ? MatchSource::kStdMeta
+                        : (all_meta && !td.keys.empty() ? MatchSource::kMeta
+                                                        : MatchSource::kExtracted);
+    ts.next_code = 0;  // patched below
+    art.tables.push_back(std::move(ts));
+  }
+  for (std::size_t i = 0; i + 1 < art.tables.size(); ++i) {
+    art.tables[i].next_code =
+        next_table_code(art.tables[i + 1].stage, art.tables[i + 1].source);
+  }
+
+  // Guards from path conditions: the first (and only) condition guards the
+  // stage; the skip target is the first later stage whose conditions do not
+  // include it.
+  for (std::size_t i = 0; i < lins.size(); ++i) {
+    if (lins[i].conds.empty()) continue;
+    if (lins[i].conds.size() > 1)
+      throw UnsupportedFeature("hp4: nested conditionals are not emulated");
+    const Cond& c = lins[i].conds[0];
+    TableSpec::Guard g;
+    auto it = art.validity_bits.find(c.header);
+    if (it == art.validity_bits.end())
+      throw UnsupportedFeature("hp4: conditional on unknown header '" +
+                               c.header + "'");
+    g.validity_bit = it->second;
+    g.expect_valid = c.expect_valid;
+    g.next_code_on_skip = 0;
+    for (std::size_t j = i + 1; j < lins.size(); ++j) {
+      const bool same_branch =
+          !lins[j].conds.empty() && lins[j].conds[0].header == c.header &&
+          lins[j].conds[0].expect_valid == c.expect_valid;
+      if (!same_branch) {
+        g.next_code_on_skip =
+            next_table_code(art.tables[j].stage, art.tables[j].source);
+        break;
+      }
+    }
+    if (art.tables[i].source == MatchSource::kStdMeta)
+      throw UnsupportedFeature(
+          "hp4: conditionals guarding standard-metadata tables");
+    art.tables[i].guard = g;
+  }
+
+  // --- action specs --------------------------------------------------------------
+  {
+    std::set<std::string> action_names;
+    for (const auto& ts : art.tables) {
+      const p4::TableDef& td = target.table(ts.name);
+      for (const auto& a : td.actions) action_names.insert(a);
+      if (!td.default_action.empty()) action_names.insert(td.default_action);
+    }
+    std::size_t next_id = 1;
+    for (const auto& an : action_names) {
+      const p4::ActionDef& ad = target.action(an);
+      ActionSpec spec;
+      spec.name = an;
+      spec.action_id = next_id++;
+
+      auto loc_of = [&](const p4::FieldRef& f) -> FieldLoc {
+        auto it = art.field_locs.find(f.str());
+        if (it == art.field_locs.end())
+          throw UnsupportedFeature("hp4: action '" + an + "' touches '" +
+                                   f.str() + "' which is never extracted");
+        return it->second;
+      };
+      for (const auto& call : ad.body) {
+        PrimSpec ps;
+        using PK = PrimSpec::Arg::Kind;
+        auto const_arg = [&](BitVec v) {
+          PrimSpec::Arg a;
+          a.kind = PK::kConst;
+          a.value = std::move(v);
+          return a;
+        };
+        auto param_arg = [&](std::size_t idx, std::size_t shift,
+                             std::size_t width, bool negate = false) {
+          PrimSpec::Arg a;
+          a.kind = PK::kParam;
+          a.param_index = idx;
+          a.shift = shift;
+          a.width = width;
+          a.negate = negate;
+          ps.per_entry = true;
+          return a;
+        };
+
+        switch (call.op) {
+          case p4::Primitive::kNoOp:
+            ps.type = PrimType::kNoop;
+            break;
+          case p4::Primitive::kDrop:
+            ps.type = PrimType::kDrop;
+            break;
+          case p4::Primitive::kModifyField: {
+            const p4::ActionArg& dst_a = call.args[0];
+            const p4::ActionArg& src_a = call.args[1];
+            if (dst_a.kind != p4::ActionArg::Kind::kField)
+              throw UnsupportedFeature("hp4: modify_field destination kind");
+            const FieldLoc dst = loc_of(dst_a.field);
+            BitVec opt_mask;  // optional third arg, const only
+            bool has_mask = call.args.size() >= 3;
+            if (has_mask) {
+              if (call.args[2].kind != p4::ActionArg::Kind::kConst)
+                throw UnsupportedFeature(
+                    "hp4: modify_field with non-constant mask");
+              opt_mask = call.args[2].value;
+            }
+
+            ps.type = PrimType::kMod;
+            const std::size_t wide =
+                dst.domain == Domain::kMeta ? M : E;
+            auto dst_mask = [&]() {
+              BitVec m = BitVec::mask_range(wide, dst.lsb, dst.width);
+              if (has_mask) {
+                BitVec shifted(wide);
+                shifted.set_slice(dst.lsb, opt_mask.resized(dst.width));
+                m = m & shifted;
+              }
+              return m;
+            };
+
+            if (dst.domain == Domain::kVEgress) {
+              if (src_a.kind == p4::ActionArg::Kind::kParam) {
+                ps.exec_action = kActModVegressConst;
+                PrimSpec::Arg a;
+                a.kind = PK::kParamVPort;
+                a.param_index = src_a.param_index;
+                ps.per_entry = true;
+                ps.args = {a};
+              } else if (src_a.kind == p4::ActionArg::Kind::kConst) {
+                throw UnsupportedFeature(
+                    "hp4: constant egress ports must be action parameters");
+              } else if (src_a.kind == p4::ActionArg::Kind::kField) {
+                const FieldLoc src = loc_of(src_a.field);
+                if (src.domain == Domain::kVIngress) {
+                  ps.exec_action = kActModVegressVingress;
+                } else if (src.domain == Domain::kMeta) {
+                  ps.exec_action = kActModVegressMeta;
+                  ps.args = {
+                      const_arg(BitVec::mask_range(M, src.lsb, src.width)),
+                      const_arg(BitVec(16, src.lsb))};
+                } else {
+                  throw UnsupportedFeature(
+                      "hp4: egress_spec from packet data is not emulated");
+                }
+              }
+              break;
+            }
+            if (dst.domain == Domain::kVIngress)
+              throw UnsupportedFeature("hp4: writing the ingress port");
+
+            const bool dst_ext = dst.domain == Domain::kExtracted;
+            switch (src_a.kind) {
+              case p4::ActionArg::Kind::kConst: {
+                BitVec v(wide);
+                v.set_slice(dst.lsb, src_a.value.resized(dst.width));
+                ps.exec_action = dst_ext ? kActModExtConst : kActModMetaConst;
+                ps.args = {const_arg(std::move(v)), const_arg(dst_mask())};
+                break;
+              }
+              case p4::ActionArg::Kind::kParam: {
+                ps.exec_action = dst_ext ? kActModExtConst : kActModMetaConst;
+                ps.args = {param_arg(src_a.param_index, dst.lsb, dst.width),
+                           const_arg(dst_mask())};
+                break;
+              }
+              case p4::ActionArg::Kind::kField: {
+                const FieldLoc src = loc_of(src_a.field);
+                if (src.domain == Domain::kVIngress) {
+                  if (dst_ext)
+                    throw UnsupportedFeature(
+                        "hp4: ingress port into packet data is not emulated");
+                  ps.exec_action = kActModMetaVingress;
+                  ps.args = {const_arg(BitVec(16, dst.lsb)),
+                             const_arg(dst_mask())};
+                  break;
+                }
+                if (src.domain == Domain::kVEgress)
+                  throw UnsupportedFeature("hp4: reading egress_spec");
+                const bool src_ext = src.domain == Domain::kExtracted;
+                const std::size_t src_wide = src_ext ? E : M;
+                if (src.width < dst.width)
+                  throw UnsupportedFeature(
+                      "hp4: widening field-to-field modify_field");
+                // Copy dst.width low-order bits of the source field.
+                const std::size_t eff_src_lsb = src.lsb;
+                ps.exec_action = dst_ext
+                                     ? (src_ext ? kActModExtExt : kActModExtMeta)
+                                     : (src_ext ? kActModMetaExt : kActModMetaMeta);
+                ps.args = {const_arg(BitVec::mask_range(src_wide, eff_src_lsb,
+                                                        dst.width)),
+                           const_arg(BitVec(16, eff_src_lsb)),
+                           const_arg(BitVec(16, dst.lsb)),
+                           const_arg(dst_mask())};
+                break;
+              }
+              default:
+                throw UnsupportedFeature("hp4: modify_field source kind");
+            }
+            break;
+          }
+          case p4::Primitive::kAddToField:
+          case p4::Primitive::kSubtractFromField: {
+            const bool sub = call.op == p4::Primitive::kSubtractFromField;
+            const p4::ActionArg& dst_a = call.args[0];
+            const p4::ActionArg& v_a = call.args[1];
+            if (dst_a.kind != p4::ActionArg::Kind::kField)
+              throw UnsupportedFeature("hp4: add_to_field destination kind");
+            const FieldLoc dst = loc_of(dst_a.field);
+            if (dst.domain != Domain::kExtracted && dst.domain != Domain::kMeta)
+              throw UnsupportedFeature("hp4: add_to_field on this destination");
+            const bool dst_ext = dst.domain == Domain::kExtracted;
+            const std::size_t wide = dst_ext ? E : M;
+            ps.type = PrimType::kAddSub;
+            ps.exec_action = dst_ext ? kActAddExt : kActAddMeta;
+            PrimSpec::Arg delta;
+            if (v_a.kind == p4::ActionArg::Kind::kConst) {
+              BitVec d = v_a.value.resized(dst.width);
+              if (sub) d = BitVec(dst.width) - d;
+              delta = const_arg(d.resized(wide));
+            } else if (v_a.kind == p4::ActionArg::Kind::kParam) {
+              delta = param_arg(v_a.param_index, 0, dst.width, sub);
+            } else {
+              throw UnsupportedFeature("hp4: field-valued add_to_field");
+            }
+            ps.args = {delta,
+                       const_arg(BitVec::mask_range(wide, dst.lsb, dst.width)),
+                       const_arg(BitVec(16, dst.lsb))};
+            break;
+          }
+          case p4::Primitive::kAddHeader:
+          case p4::Primitive::kRemoveHeader: {
+            // Only supported for single-parse-path programs (offsets are
+            // unambiguous); see DESIGN.md.
+            std::size_t accept_paths = 0;
+            for (const auto& p : art.parse_paths)
+              if (!p.drops) ++accept_paths;
+            if (accept_paths != 1)
+              throw UnsupportedFeature(
+                  "hp4: add/remove_header needs a single-path parser");
+            const std::string& hname = call.args[0].name;
+            const p4::HeaderType& ht = target.instance_type(hname);
+            const std::size_t nbytes = ht.width_bits() / 8;
+            // Offset: position of the header on the path (for remove) or
+            // its deparse position (for add).
+            std::size_t off = 0;
+            bool found = false;
+            for (const auto& p : art.parse_paths) {
+              for (const auto& [h, o] : p.headers) {
+                if (h == hname) {
+                  off = o;
+                  found = true;
+                }
+              }
+            }
+            if (!found)
+              throw UnsupportedFeature(
+                  "hp4: add/remove_header on a never-parsed header");
+            const std::size_t pos_bits = 8 * off;
+            const BitVec himask =
+                pos_bits == 0 ? BitVec(E)
+                              : BitVec::mask_range(E, E - pos_bits, pos_bits);
+            ps.type = PrimType::kResize;
+            if (call.op == p4::Primitive::kAddHeader) {
+              ps.exec_action = kActResizeInsert;
+              ps.args = {const_arg(BitVec(8, nbytes)), const_arg(himask),
+                         const_arg(~himask), const_arg(BitVec(16, 8 * nbytes))};
+            } else {
+              ps.exec_action = kActResizeRemove;
+              const BitVec tail = BitVec::mask_range(
+                  E, 0, E - pos_bits - 8 * nbytes);
+              ps.args = {const_arg(BitVec(8, (256 - nbytes) & 0xff)),
+                         const_arg(himask), const_arg(tail),
+                         const_arg(BitVec(16, 8 * nbytes))};
+            }
+            break;
+          }
+          default:
+            throw UnsupportedFeature(std::string("hp4: primitive '") +
+                                     p4::primitive_name(call.op) +
+                                     "' is not emulated (§5.3)");
+        }
+        spec.prims.push_back(std::move(ps));
+      }
+      if (spec.prims.size() > cfg_.max_primitives)
+        throw UnsupportedFeature(
+            "hp4: action '" + an + "' uses " +
+            std::to_string(spec.prims.size()) +
+            " primitives; persona allows " +
+            std::to_string(cfg_.max_primitives));
+      art.actions[an] = std::move(spec);
+    }
+  }
+
+  // --- static commands -----------------------------------------------------------
+  {
+    auto& out = art.static_commands;
+    const std::uint64_t first_code =
+        next_table_code(art.tables[0].stage, art.tables[0].source);
+
+    // vparse entries, one per parse path.
+    for (const auto& p : art.parse_paths) {
+      BitVec value(E), mask(E);
+      for (const auto& c : p.constraints) {
+        value = value | c.value;
+        mask = mask | c.mask;
+      }
+      std::ostringstream os;
+      if (p.drops) {
+        os << "table_add " << tbl_vparse() << " " << kActParseMiss
+           << " [program] " << hexv(value) << "&&&" << hexv(mask) << " => "
+           << p.priority;
+      } else {
+        BitVec validity(kValidityBits);
+        for (const auto& [h, off] : p.headers)
+          validity.set_bit(art.validity_bits.at(h), true);
+        std::size_t csum = 0;
+        if (art.csum_offset != 0) {
+          for (const auto& [h, off] : p.headers) {
+            if (off == art.csum_offset &&
+                target.instance_type(h).width_bits() == 160)
+              csum = art.csum_offset;
+          }
+        }
+        os << "table_add " << tbl_vparse() << " " << kActSetParse
+           << " [program] " << hexv(value) << "&&&" << hexv(mask) << " => "
+           << hexv(validity) << " " << first_code << " " << csum << " "
+           << p.priority;
+      }
+      out.push_back(os.str());
+    }
+
+    // Guard + catch-all entries per stage table.
+    for (std::size_t i = 0; i < art.tables.size(); ++i) {
+      const TableSpec& ts = art.tables[i];
+      const std::string tname = tbl_stage_match(ts.stage, ts.source);
+      auto key_cols = [&](const std::string& second,
+                          const std::string& third) {
+        return " [program] " + second + " " + third + " ";
+      };
+      const std::string wild_ext = "0x0&&&0x0";
+
+      if (ts.guard) {
+        BitVec gv(kValidityBits), gm(kValidityBits);
+        gm.set_bit(ts.guard->validity_bit, true);
+        // Guard entry matches the *negation* of the condition.
+        gv.set_bit(ts.guard->validity_bit, !ts.guard->expect_valid);
+        std::ostringstream os;
+        os << "table_add " << tname << " " << kActMatchResult
+           << key_cols(hexv(gv) + "&&&" + hexv(gm), wild_ext) << "=> 0 0 0 "
+           << ts.guard->next_code_on_skip << " " << kGuardPriority;
+        out.push_back(os.str());
+      }
+
+      // Catch-all: the target's default action (or "continue, no prims").
+      const p4::TableDef& td = target.table(ts.name);
+      std::size_t aid = 0, pc = 0;
+      if (!td.default_action.empty()) {
+        const ActionSpec& as = art.actions.at(td.default_action);
+        for (const auto& prim : as.prims) {
+          if (prim.per_entry)
+            throw UnsupportedFeature(
+                "hp4: default action '" + td.default_action +
+                "' with runtime parameters");
+        }
+        aid = as.action_id;
+        pc = as.prims.size();
+      }
+      std::ostringstream os;
+      os << "table_add " << tname << " " << kActMatchResult
+         << key_cols(wild_ext, wild_ext) << "=> 0 " << aid << " " << pc << " "
+         << ts.next_code << " " << kCatchAllPriority;
+      out.push_back(os.str());
+    }
+
+    // Primitive setup entries + load-time exec entries, deduplicated per
+    // (stage, action, slot).
+    std::set<std::string> seen;
+    for (const auto& ts : art.tables) {
+      const p4::TableDef& td = target.table(ts.name);
+      std::set<std::string> acts(td.actions.begin(), td.actions.end());
+      if (!td.default_action.empty()) acts.insert(td.default_action);
+      for (const auto& an : acts) {
+        const ActionSpec& as = art.actions.at(an);
+        for (std::size_t slot = 1; slot <= as.prims.size(); ++slot) {
+          const PrimSpec& prim = as.prims[slot - 1];
+          const std::string dedup = std::to_string(ts.stage) + ":" +
+                                    std::to_string(as.action_id) + ":" +
+                                    std::to_string(slot);
+          if (!seen.insert(dedup).second) continue;
+          {
+            std::ostringstream os;
+            os << "table_add " << tbl_prim_setup(ts.stage, slot) << " "
+               << kActLoadPrim << " [program] " << as.action_id << " => "
+               << static_cast<std::uint64_t>(prim.type);
+            out.push_back(os.str());
+          }
+          if (!prim.per_entry && (prim.type == PrimType::kMod ||
+                                  prim.type == PrimType::kAddSub ||
+                                  prim.type == PrimType::kResize)) {
+            std::ostringstream os;
+            os << "table_add " << tbl_prim_exec(ts.stage, slot, prim.type)
+               << " " << prim.exec_action << " [program] " << as.action_id
+               << " 0x0&&&0x0 =>";
+            for (const auto& a : prim.args) os << " " << hexv(a.value);
+            os << " " << kLoadTimeExecPriority;
+            out.push_back(os.str());
+          }
+        }
+      }
+    }
+  }
+
+  return art;
+}
+
+// ---------------------------------------------------------------------------
+// Intermediate artifact rendering
+
+std::string Hp4Artifact::intermediate_text() const {
+  std::ostringstream os;
+  os << "# HyPer4 intermediate commands file\n";
+  os << "# target program: " << program_name << "\n";
+  os << "# numbytes: " << numbytes
+     << (needs_resubmit ? " (resubmit required)" : "") << "\n";
+  os << "# tokens resolved at load time: [program]\n";
+  os << "#\n# -- virtual parse paths (" << parse_paths.size() << ")\n";
+  std::size_t i = 0;
+  for (const auto& cmd : static_commands) {
+    if (i == parse_paths.size()) os << "#\n# -- stage guards and defaults\n";
+    os << cmd << "\n";
+    ++i;
+  }
+  return os.str();
+}
+
+// ---------------------------------------------------------------------------
+// Runtime rule translation
+
+namespace {
+
+// Parse one CLI key token into (value, mask) within `width` bits.
+std::pair<BitVec, BitVec> parse_key_vm(const std::string& tok,
+                                       p4::MatchType type, std::size_t width) {
+  switch (type) {
+    case p4::MatchType::kExact:
+      return {bm::parse_value(tok, width), BitVec::ones(width)};
+    case p4::MatchType::kValid: {
+      const bool v = util::parse_uint(tok) != 0;
+      return {BitVec(1, v ? 1 : 0), BitVec::ones(1)};
+    }
+    case p4::MatchType::kTernary: {
+      const auto pos = tok.find("&&&");
+      if (pos == std::string::npos)
+        throw CommandError("hp4: ternary key expects value&&&mask: " + tok);
+      const BitVec m = bm::parse_value(tok.substr(pos + 3), width);
+      return {bm::parse_value(tok.substr(0, pos), width) & m, m};
+    }
+    case p4::MatchType::kLpm: {
+      const auto pos = tok.rfind('/');
+      if (pos == std::string::npos)
+        throw CommandError("hp4: lpm key expects value/len: " + tok);
+      const std::size_t len = util::parse_uint(tok.substr(pos + 1));
+      const BitVec m =
+          len == 0 ? BitVec(width) : BitVec::mask_range(width, width - len, len);
+      return {bm::parse_value(tok.substr(0, pos), width) & m, m};
+    }
+    default:
+      throw CommandError("hp4: unsupported match type in rule");
+  }
+}
+
+}  // namespace
+
+std::vector<std::string> translate_rule(const Hp4Artifact& art,
+                                        const VirtualRule& rule,
+                                        std::uint64_t program_id,
+                                        std::uint64_t match_id,
+                                        const VPortMap& ports) {
+  const TableSpec& ts = art.table(rule.table);
+  const std::size_t E = art.cfg.extracted_bits;
+  const std::size_t M = art.cfg.meta_bits;
+  if (rule.keys.size() != ts.keys.size())
+    throw CommandError("hp4: rule for '" + rule.table + "' has " +
+                       std::to_string(rule.keys.size()) + " keys, expected " +
+                       std::to_string(ts.keys.size()));
+  auto ait = art.actions.find(rule.action);
+  if (ait == art.actions.end())
+    throw CommandError("hp4: unknown action '" + rule.action +
+                       "' for emulated program");
+  const ActionSpec& as = ait->second;
+
+  // Accumulate the persona match key.
+  BitVec val_v(kValidityBits), msk_v(kValidityBits);
+  BitVec val_e(E), msk_e(E);
+  BitVec val_m(M), msk_m(M);
+  BitVec val_vi(kVPortBits), msk_vi(kVPortBits);
+  BitVec val_ve(kVPortBits), msk_ve(kVPortBits);
+  std::size_t total_lpm_len = 0;
+  bool has_lpm = false;
+
+  // Distinct target fields can overlap in `extracted` (e.g. tcp.dstPort and
+  // udp.dstPort share bytes, disambiguated by validity bits), so slices are
+  // OR-merged; genuinely conflicting constraints are rejected.
+  auto merge_slice = [&](BitVec& val, BitVec& msk, std::size_t lsb,
+                         const BitVec& v, const BitVec& m) {
+    const std::size_t w = m.width();
+    const BitVec old_m = msk.slice(lsb, w);
+    const BitVec both = old_m & m;
+    if (both.any() && !((val.slice(lsb, w) & both) == (v & both)))
+      throw CommandError("hp4: rule for '" + rule.table +
+                         "' has conflicting overlapping key constraints");
+    val.set_slice(lsb, val.slice(lsb, w) | (v & m));
+    msk.set_slice(lsb, old_m | m);
+  };
+
+  for (std::size_t i = 0; i < ts.keys.size(); ++i) {
+    const TableSpec::Key& k = ts.keys[i];
+    if (k.is_valid_key) {
+      auto [v, m] = parse_key_vm(rule.keys[i], p4::MatchType::kValid, 1);
+      val_v.set_bit(k.validity_bit, v.get_bit(0));
+      msk_v.set_bit(k.validity_bit, true);
+      continue;
+    }
+    auto [v, m] = parse_key_vm(rule.keys[i], k.type, k.loc.width);
+    if (k.type == p4::MatchType::kLpm) {
+      has_lpm = true;
+      total_lpm_len += m.popcount();
+    }
+    switch (k.loc.domain) {
+      case Domain::kExtracted:
+        merge_slice(val_e, msk_e, k.loc.lsb, v, m);
+        break;
+      case Domain::kMeta:
+        merge_slice(val_m, msk_m, k.loc.lsb, v, m);
+        break;
+      case Domain::kVEgress: {
+        // Port-valued: translate the physical port to the vdev's vport.
+        const std::uint64_t vport =
+            ports.to_vport(static_cast<std::uint16_t>(v.low_u64()));
+        val_ve = BitVec(kVPortBits, vport);
+        msk_ve = BitVec::ones(kVPortBits);
+        break;
+      }
+      case Domain::kVIngress: {
+        const std::uint64_t vport =
+            ports.to_vport(static_cast<std::uint16_t>(v.low_u64()));
+        val_vi = BitVec(kVPortBits, vport);
+        msk_vi = BitVec::ones(kVPortBits);
+        break;
+      }
+    }
+  }
+
+  std::int32_t prio = kRuleBasePriority;
+  if (rule.priority >= 0) {
+    prio += rule.priority;
+  } else if (has_lpm) {
+    // DPMU-managed priorities emulate longest-prefix-first (§5.3).
+    const std::size_t max_len = E;
+    prio += static_cast<std::int32_t>(max_len - total_lpm_len);
+  } else {
+    prio += kDefaultRulePriority;
+  }
+
+  std::vector<std::string> out;
+  {
+    std::ostringstream os;
+    os << "table_add " << tbl_stage_match(ts.stage, ts.source) << " "
+       << kActMatchResult << " " << program_id << " ";
+    switch (ts.source) {
+      case MatchSource::kExtracted:
+        os << hexv(val_v) << "&&&" << hexv(msk_v) << " " << hexv(val_e)
+           << "&&&" << hexv(msk_e);
+        break;
+      case MatchSource::kMeta:
+        os << hexv(val_v) << "&&&" << hexv(msk_v) << " " << hexv(val_m)
+           << "&&&" << hexv(msk_m);
+        break;
+      case MatchSource::kStdMeta:
+        os << hexv(val_vi) << "&&&" << hexv(msk_vi) << " " << hexv(val_ve)
+           << "&&&" << hexv(msk_ve);
+        break;
+    }
+    os << " => " << match_id << " " << as.action_id << " " << as.prims.size()
+       << " " << ts.next_code << " " << prio;
+    out.push_back(os.str());
+  }
+
+  // Per-entry exec entries for parameter-dependent primitives.
+  for (std::size_t slot = 1; slot <= as.prims.size(); ++slot) {
+    const PrimSpec& prim = as.prims[slot - 1];
+    if (!prim.per_entry) continue;
+    std::ostringstream os;
+    os << "table_add " << tbl_prim_exec(ts.stage, slot, prim.type) << " "
+       << prim.exec_action << " " << program_id << " " << as.action_id << " "
+       << match_id << "&&&0xffffffff =>";
+    for (const auto& a : prim.args) {
+      switch (a.kind) {
+        case PrimSpec::Arg::Kind::kConst:
+          os << " " << hexv(a.value);
+          break;
+        case PrimSpec::Arg::Kind::kParam: {
+          if (a.param_index >= rule.args.size())
+            throw CommandError("hp4: rule for '" + rule.table +
+                               "' is missing action arguments");
+          BitVec v = bm::parse_value(rule.args[a.param_index], a.width);
+          if (a.negate) v = BitVec(a.width) - v;
+          // Place into the wide operand space expected by the exec action.
+          const std::size_t wide_bits =
+              prim.exec_action == kActModMetaConst ||
+                      prim.exec_action == kActAddMeta
+                  ? M
+                  : E;
+          BitVec placed(wide_bits);
+          placed.set_slice(a.shift, v);
+          os << " " << hexv(placed);
+          break;
+        }
+        case PrimSpec::Arg::Kind::kParamVPort: {
+          if (a.param_index >= rule.args.size())
+            throw CommandError("hp4: rule for '" + rule.table +
+                               "' is missing action arguments");
+          const BitVec v = bm::parse_value(rule.args[a.param_index], 16);
+          os << " "
+             << ports.to_vport(static_cast<std::uint16_t>(v.low_u64()));
+          break;
+        }
+      }
+    }
+    os << " " << kPerEntryExecPriority;
+    out.push_back(os.str());
+  }
+  return out;
+}
+
+}  // namespace hyper4::hp4

@@ -1,0 +1,189 @@
+// The HyPer4 compiler (§5.2): translates a target p4::Program into the
+// table entries that make the persona emulate it.
+//
+// Compilation produces an Hp4Artifact holding
+//   - the static analysis (parse paths, field layout inside `extracted` /
+//     `ext_meta`, validity-bit assignment, stage assignment for every
+//     target table, per-action primitive specs), and
+//   - the *intermediate commands file*: human-readable command lines with
+//     load-time tokens such as [program] (exactly the paper's two-step
+//     artifact flow — tokens are substituted when the program is loaded
+//     into a slot).
+//
+// Runtime table operations on the emulated program (the DPMU's job) are
+// translated entry-by-entry with translate_rule(): one native-style Rule
+// becomes one persona match entry plus per-primitive exec entries.
+//
+// Supported target-language subset (limits mirror §5.3):
+//   - parser DAGs over non-stack headers with field/current selects;
+//   - exact / ternary / lpm / valid match keys (lpm via DPMU-managed
+//     priorities, the paper's "second option");
+//   - ingress control: linear apply chains with valid()-conditional
+//     branches whose arms do not re-join; egress: linear apply chain;
+//   - primitives: modify_field (incl. mask), add_to_field,
+//     subtract_from_field, drop, no_op, add_header/remove_header
+//     (single-parse-path programs), and reads of standard metadata
+//     ingress_port / writes of egress_spec (virtualised through vports);
+//   - one IPv4-style checksum calculated field at a configured offset.
+// Anything else throws UnsupportedFeature with a precise message.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "hp4/persona.h"
+#include "p4/ir.h"
+#include "util/bitvec.h"
+#include "util/error.h"
+
+namespace hyper4::hp4 {
+
+class UnsupportedFeature : public util::Error {
+ public:
+  explicit UnsupportedFeature(const std::string& what) : util::Error(what) {}
+};
+
+// Where an emulated value lives inside the persona.
+enum class Domain { kExtracted, kMeta, kVEgress, kVIngress };
+
+struct FieldLoc {
+  Domain domain = Domain::kExtracted;
+  std::size_t lsb = 0;    // within extracted / ext_meta (LSB-based)
+  std::size_t width = 0;  // bits
+};
+
+// One enumerated path through the target's parse graph.
+struct ParsePath {
+  struct Constraint {
+    util::BitVec value;  // over the persona `extracted` field
+    util::BitVec mask;
+  };
+  std::vector<std::pair<std::string, std::size_t>> headers;  // name, byte off
+  std::vector<Constraint> constraints;
+  bool drops = false;
+  std::size_t bytes_needed = 0;
+  std::int32_t priority = 0;  // vparse entry priority (specific first)
+};
+
+// How one primitive of a target action maps onto the persona.
+struct PrimSpec {
+  PrimType type = PrimType::kNoop;
+  std::string exec_action;  // persona exec action (MOD/ADDSUB/RESIZE only)
+  struct Arg {
+    enum class Kind { kConst, kParam, kParamVPort };
+    Kind kind = Kind::kConst;
+    util::BitVec value;           // kConst: final value
+    std::size_t param_index = 0;  // kParam / kParamVPort
+    // kParam transform: place the (width)-bit value at bit `shift`, after
+    // optional two's-complement negation (subtract_from_field).
+    std::size_t shift = 0;
+    std::size_t width = 0;
+    bool negate = false;
+  };
+  std::vector<Arg> args;
+  // True when any arg depends on runtime action parameters: the exec entry
+  // must then be installed per table entry (keyed by match_id) rather than
+  // once per action.
+  bool per_entry = false;
+};
+
+struct ActionSpec {
+  std::string name;
+  std::size_t action_id = 0;  // persona action_id (per program; 0 = none)
+  std::vector<PrimSpec> prims;
+};
+
+struct TableSpec {
+  std::string name;
+  std::size_t stage = 0;  // 1-based persona stage
+  MatchSource source = MatchSource::kExtracted;
+  // Per-target-key translation info, in key order.
+  struct Key {
+    p4::MatchType type = p4::MatchType::kExact;
+    FieldLoc loc;                   // for field keys
+    std::size_t validity_bit = 0;   // for valid keys
+    bool is_valid_key = false;
+  };
+  std::vector<Key> keys;
+  // next_table code installed by this stage's hit entries.
+  std::uint64_t next_code = 0;
+  // Guard: when set, packets failing `cond` skip this table.
+  struct Guard {
+    std::size_t validity_bit = 0;
+    bool expect_valid = true;        // condition was valid(h) (vs !valid(h))
+    std::uint64_t next_code_on_skip = 0;
+  };
+  std::optional<Guard> guard;
+  bool in_egress = false;  // target placed it in egress (see DESIGN.md note)
+};
+
+struct Hp4Artifact {
+  std::string program_name;
+  PersonaConfig cfg;
+  std::size_t numbytes = 0;        // ladder-rounded extraction requirement
+  bool needs_resubmit = false;     // numbytes > ladder default
+  std::map<std::string, std::size_t> validity_bits;  // header → bit index
+  std::map<std::string, FieldLoc> field_locs;        // "hdr.field" → location
+  std::vector<ParsePath> parse_paths;
+  std::map<std::string, ActionSpec> actions;
+  std::vector<TableSpec> tables;   // in stage order
+  std::size_t csum_offset = 0;     // 0 = no IPv4 checksum fix-up
+
+  // Static (load-time) persona commands with [program] tokens: vparse
+  // entries, guard entries, catch-all (default-action) entries, primitive
+  // setup entries and action-constant exec entries.
+  std::vector<std::string> static_commands;
+
+  const TableSpec& table(const std::string& name) const;
+
+  // Pretty, commented rendition of the static commands — the paper's
+  // *intermediate* commands file.
+  std::string intermediate_text() const;
+};
+
+class Hp4Compiler {
+ public:
+  explicit Hp4Compiler(PersonaConfig cfg) : cfg_(std::move(cfg)) {}
+
+  // Compile `target`; throws UnsupportedFeature / ConfigError on programs
+  // outside the supported subset.
+  Hp4Artifact compile(const p4::Program& target) const;
+
+ private:
+  PersonaConfig cfg_;
+};
+
+// --- runtime translation (used by the DPMU) ---------------------------------
+
+// Physical port ↔ vport mapping for one virtual device instance.
+struct VPortMap {
+  // vport → physical port (for a_vfwd_phys) — owned by the controller.
+  std::map<std::uint64_t, std::uint16_t> vport_to_phys;
+  // physical port token → vport (translating port-valued rule arguments).
+  std::map<std::uint16_t, std::uint64_t> phys_to_vport;
+
+  std::uint64_t to_vport(std::uint16_t phys) const;
+};
+
+// A native-style rule (same shape as apps::Rule, duplicated here to keep
+// hp4 independent of the apps library).
+struct VirtualRule {
+  std::string table;
+  std::string action;
+  std::vector<std::string> keys;  // CLI value syntax per target key
+  std::vector<std::string> args;
+  std::int32_t priority = -1;
+};
+
+// Translate one rule into persona command lines (no tokens — program id,
+// vports and match id are resolved here).
+std::vector<std::string> translate_rule(const Hp4Artifact& art,
+                                        const VirtualRule& rule,
+                                        std::uint64_t program_id,
+                                        std::uint64_t match_id,
+                                        const VPortMap& ports);
+
+}  // namespace hyper4::hp4

@@ -1,0 +1,118 @@
+#include "hp4/controller.h"
+
+#include <set>
+#include "util/error.h"
+
+namespace hyper4::hp4 {
+
+using util::ConfigError;
+
+Controller::Controller(PersonaConfig cfg)
+    : Controller(std::move(cfg), bm::Switch::Options{}) {}
+
+Controller::Controller(PersonaConfig cfg, bm::Switch::Options opts)
+    : gen_(std::move(cfg)),
+      sw_(std::make_unique<bm::Switch>(gen_.generate(), opts)),
+      dpmu_(std::make_unique<Dpmu>(*sw_, gen_)),
+      compiler_(gen_.config()) {}
+
+Hp4Artifact Controller::compile(const p4::Program& target) const {
+  return compiler_.compile(target);
+}
+
+VdevId Controller::load(const std::string& name, const p4::Program& target,
+                        const std::string& owner, std::size_t quota) {
+  return dpmu_->load_program(name, compiler_.compile(target), owner, quota);
+}
+
+void Controller::attach_ports(VdevId id,
+                              const std::vector<std::uint16_t>& ports) {
+  for (auto p : ports) dpmu_->attach_port(id, p);
+}
+
+void Controller::chain(const std::vector<VdevId>& devices,
+                       const std::vector<std::uint16_t>& ports) {
+  if (devices.empty()) throw ConfigError("controller: empty chain");
+  for (VdevId id : devices) {
+    for (auto p : ports) {
+      if (!dpmu_->ports(id).phys_to_vport.contains(p)) dpmu_->attach_port(id, p);
+    }
+  }
+  for (std::size_t i = 0; i + 1 < devices.size(); ++i) {
+    for (auto p : ports) {
+      dpmu_->set_vport_target_vdev(devices[i], p, devices[i + 1]);
+    }
+  }
+  for (auto p : ports) bind(devices.front(), p);
+}
+
+void Controller::bind(VdevId id, std::optional<std::uint16_t> port) {
+  const PortKey key = port_key(port);
+  auto it = live_bindings_.find(key);
+  // A binding can disappear underneath us when its device is unloaded
+  // through the DPMU directly; treat it as gone.
+  if (it != live_bindings_.end() && !dpmu_->has_binding(it->second)) {
+    live_bindings_.erase(it);
+    it = live_bindings_.end();
+  }
+  if (it != live_bindings_.end()) {
+    dpmu_->rebind_ingress(it->second, id);
+  } else {
+    live_bindings_[key] = dpmu_->bind_ingress(id, port);
+  }
+}
+
+void Controller::unload(VdevId id) {
+  dpmu_->unload(id);
+  for (auto it = live_bindings_.begin(); it != live_bindings_.end();) {
+    if (!dpmu_->has_binding(it->second)) {
+      it = live_bindings_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+std::uint64_t Controller::add_rule(VdevId id, const VirtualRule& rule,
+                                   const std::string& requester) {
+  return dpmu_->table_add(id, rule, requester);
+}
+
+void Controller::define_config(
+    const std::string& name,
+    std::vector<std::pair<std::optional<std::uint16_t>, VdevId>> bindings) {
+  configs_[name] = std::move(bindings);
+}
+
+void Controller::activate_config(const std::string& name) {
+  auto it = configs_.find(name);
+  if (it == configs_.end())
+    throw ConfigError("controller: no configuration named '" + name + "'");
+  last_activation_ops_ = 0;
+  // Rebind (or create) each binding in the configuration.
+  std::set<PortKey> wanted;
+  for (const auto& [port, vdev] : it->second) {
+    const PortKey key = port_key(port);
+    wanted.insert(key);
+    auto lit = live_bindings_.find(key);
+    if (lit != live_bindings_.end()) {
+      dpmu_->rebind_ingress(lit->second, vdev);
+    } else {
+      live_bindings_[key] = dpmu_->bind_ingress(vdev, port);
+    }
+    ++last_activation_ops_;
+  }
+  // Remove bindings not present in the new configuration.
+  for (auto lit = live_bindings_.begin(); lit != live_bindings_.end();) {
+    if (!wanted.contains(lit->first)) {
+      dpmu_->unbind_ingress(lit->second);
+      ++last_activation_ops_;
+      lit = live_bindings_.erase(lit);
+    } else {
+      ++lit;
+    }
+  }
+  active_config_ = name;
+}
+
+}  // namespace hyper4::hp4

@@ -1,0 +1,90 @@
+// The HyPer4 controller: owns a persona-running switch and its DPMU, and
+// provides the operator-level workflows from §3 —
+//   - program slots (compile + load a target program as a virtual device),
+//   - network snapshots (named configurations hot-swapped with table
+//     modifications on setup_a),
+//   - composition chains (virtual links between consecutive devices), and
+//   - slicing (per-port ingress bindings).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "bm/switch.h"
+#include "hp4/compiler.h"
+#include "hp4/dpmu.h"
+#include "hp4/persona.h"
+
+namespace hyper4::hp4 {
+
+class Controller {
+ public:
+  explicit Controller(PersonaConfig cfg = PersonaConfig{});
+  Controller(PersonaConfig cfg, bm::Switch::Options opts);
+
+  bm::Switch& dataplane() { return *sw_; }
+  Dpmu& dpmu() { return *dpmu_; }
+  const PersonaGenerator& generator() const { return gen_; }
+
+  // Compile `target` and load it as a virtual device.
+  VdevId load(const std::string& name, const p4::Program& target,
+              const std::string& owner = "admin", std::size_t quota = 1024);
+  // Compile only (for inspection of the intermediate artifact).
+  Hp4Artifact compile(const p4::Program& target) const;
+
+  // Unload a device and drop any ingress bindings that pointed at it.
+  void unload(VdevId id);
+
+  // Allot vports for the given physical ports (egress targets default to
+  // the physical ports themselves).
+  void attach_ports(VdevId id, const std::vector<std::uint16_t>& ports);
+
+  // Compose devices in sequence over the given physical ports: every
+  // non-final device's vports are retargeted at the next device; the final
+  // device emits physically. Ingress is bound to the first device.
+  void chain(const std::vector<VdevId>& devices,
+             const std::vector<std::uint16_t>& ports);
+
+  // Bind traffic entering `port` (all ports when nullopt) to the device.
+  void bind(VdevId id, std::optional<std::uint16_t> port = std::nullopt);
+
+  // Virtual table operation, forwarded through the DPMU.
+  std::uint64_t add_rule(VdevId id, const VirtualRule& rule,
+                         const std::string& requester = "admin");
+
+  // --- snapshots (§3.2) --------------------------------------------------------
+  // A configuration is a set of ingress bindings. Activating a different
+  // configuration re-points the existing setup_a entries (table_modify),
+  // without touching any program state.
+  void define_config(const std::string& name,
+                     std::vector<std::pair<std::optional<std::uint16_t>, VdevId>>
+                         bindings);
+  void activate_config(const std::string& name);
+  const std::string& active_config() const { return active_config_; }
+  // Number of dataplane operations the last activation needed (the paper:
+  // "a single table entry modification" per device for whole-switch swaps).
+  std::size_t last_activation_ops() const { return last_activation_ops_; }
+
+ private:
+  PersonaGenerator gen_;
+  std::unique_ptr<bm::Switch> sw_;
+  std::unique_ptr<Dpmu> dpmu_;
+  Hp4Compiler compiler_;
+
+  using PortKey = std::int32_t;  // -1 = wildcard
+  static PortKey port_key(std::optional<std::uint16_t> p) {
+    return p ? static_cast<PortKey>(*p) : -1;
+  }
+  std::map<PortKey, std::uint64_t> live_bindings_;  // port → binding handle
+  std::map<std::string,
+           std::vector<std::pair<std::optional<std::uint16_t>, VdevId>>>
+      configs_;
+  std::string active_config_;
+  std::size_t last_activation_ops_ = 0;
+};
+
+}  // namespace hyper4::hp4

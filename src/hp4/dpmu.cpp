@@ -1,0 +1,322 @@
+#include "hp4/dpmu.h"
+
+#include <sstream>
+
+#include "bm/cli.h"
+#include "util/strings.h"
+#include "util/error.h"
+
+namespace hyper4::hp4 {
+
+using util::CommandError;
+using util::ConfigError;
+using util::IsolationError;
+
+Dpmu::Dpmu(bm::Switch& sw, const PersonaGenerator& gen)
+    : sw_(sw), cfg_(gen.config()) {
+  bm::run_cli_text(sw_, gen.base_commands());
+}
+
+Dpmu::Vdev& Dpmu::vdev(VdevId id) {
+  auto it = vdevs_.find(id);
+  if (it == vdevs_.end())
+    throw ConfigError("dpmu: no virtual device " + std::to_string(id));
+  return it->second;
+}
+
+const Dpmu::Vdev& Dpmu::vdev(VdevId id) const {
+  auto it = vdevs_.find(id);
+  if (it == vdevs_.end())
+    throw ConfigError("dpmu: no virtual device " + std::to_string(id));
+  return it->second;
+}
+
+const Hp4Artifact& Dpmu::artifact(VdevId id) const { return vdev(id).art; }
+const std::string& Dpmu::vdev_name(VdevId id) const { return vdev(id).name; }
+
+std::vector<VdevId> Dpmu::vdev_ids() const {
+  std::vector<VdevId> out;
+  for (const auto& [id, v] : vdevs_) out.push_back(id);
+  return out;
+}
+
+void Dpmu::check_auth(const Vdev& v, const std::string& requester) const {
+  if (requester == v.owner) return;
+  for (const auto& a : v.authorized)
+    if (a == requester) return;
+  throw IsolationError("dpmu: requester '" + requester +
+                       "' is not authorized for device '" + v.name + "'");
+}
+
+std::uint64_t Dpmu::run(
+    const std::string& cmd,
+    std::vector<std::pair<std::string, std::uint64_t>>* sink) {
+  const bm::CliResult r = bm::run_cli_command(sw_, cmd);
+  if (!r.ok) throw CommandError("dpmu: " + r.message + "  [" + cmd + "]");
+  if (sink && r.handle != 0) {
+    const auto tok = util::split(cmd);
+    sink->emplace_back(tok.at(1), r.handle);
+  }
+  return r.handle;
+}
+
+VdevId Dpmu::load_program(const std::string& name, const Hp4Artifact& art,
+                          const std::string& owner, std::size_t entry_quota) {
+  const VdevId id = next_id_++;
+  Vdev v;
+  v.name = name;
+  v.art = art;
+  v.owner = owner;
+  v.quota = entry_quota;
+  vdevs_.emplace(id, std::move(v));
+  Vdev& ref = vdevs_.at(id);
+  try {
+    for (const auto& tmpl : art.static_commands) {
+      std::string cmd = tmpl;
+      std::size_t pos;
+      while ((pos = cmd.find("[program]")) != std::string::npos) {
+        cmd.replace(pos, 9, std::to_string(id));
+      }
+      run(cmd, &ref.static_handles);
+    }
+  } catch (...) {
+    // Roll back whatever was installed so a failed load leaves no residue.
+    for (auto it = ref.static_handles.rbegin(); it != ref.static_handles.rend();
+         ++it) {
+      sw_.table_delete(it->first, it->second);
+    }
+    vdevs_.erase(id);
+    throw;
+  }
+  return id;
+}
+
+void Dpmu::unload(VdevId id) {
+  Vdev& v = vdev(id);
+  for (const auto& [vh, phys] : v.entries) {
+    for (const auto& [table, handle] : phys) sw_.table_delete(table, handle);
+  }
+  for (const auto& [vport, handle] : v.vnet_handles) {
+    sw_.table_delete(tbl_vnet(), handle);
+  }
+  for (auto group : v.mcast_groups) sw_.mc_group_set(group, {});
+  for (auto it = v.static_handles.rbegin(); it != v.static_handles.rend();
+       ++it) {
+    sw_.table_delete(it->first, it->second);
+  }
+  // Remove ingress bindings pointing at this device.
+  for (auto it = bindings_.begin(); it != bindings_.end();) {
+    if (it->second.vdev == id) {
+      sw_.table_delete(tbl_setup_a(), it->second.handle);
+      it = bindings_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  vdevs_.erase(id);
+}
+
+// ---------------------------------------------------------------------------
+// Virtual networking
+
+std::uint64_t Dpmu::attach_port(VdevId id, std::uint16_t phys) {
+  Vdev& v = vdev(id);
+  if (v.ports.phys_to_vport.contains(phys))
+    throw ConfigError("dpmu: device '" + v.name + "' already has a vport for port " +
+                      std::to_string(phys));
+  const std::uint64_t vport = next_vport_++;
+  v.ports.phys_to_vport[phys] = vport;
+  v.ports.vport_to_phys[vport] = phys;
+  std::ostringstream os;
+  os << "table_add " << tbl_vnet() << " " << kActVfwdPhys << " " << id << " "
+     << vport << "&&&0xffff => " << phys << " 10";
+  v.vnet_handles[vport] = run(os.str(), nullptr);
+  return vport;
+}
+
+void Dpmu::set_vport_target_phys(VdevId id, std::uint16_t phys) {
+  Vdev& v = vdev(id);
+  const std::uint64_t vport = vport_of(id, phys);
+  sw_.table_modify(tbl_vnet(), kActVfwdPhys, v.vnet_handles.at(vport),
+                   {util::BitVec(p4::kPortWidth, phys)});
+}
+
+void Dpmu::set_vport_target_vdev(VdevId id, std::uint16_t phys, VdevId next) {
+  Vdev& v = vdev(id);
+  const Vdev& nv = vdev(next);
+  const std::uint64_t vport = vport_of(id, phys);
+  const std::uint64_t next_vingress =
+      nv.ports.phys_to_vport.contains(phys) ? nv.ports.phys_to_vport.at(phys)
+                                            : 0;
+  sw_.table_modify(tbl_vnet(), kActVfwdVdev, v.vnet_handles.at(vport),
+                   {util::BitVec(kProgramBits, next),
+                    util::BitVec(8, nv.art.numbytes),
+                    util::BitVec(kVPortBits, next_vingress)});
+}
+
+void Dpmu::set_vport_target_mcast(VdevId id, std::uint16_t phys,
+                                  const std::vector<std::uint16_t>& ports) {
+  Vdev& v = vdev(id);
+  const std::uint64_t vport = vport_of(id, phys);
+  const std::uint16_t group = next_mcast_group_++;
+  std::vector<std::pair<std::uint16_t, std::uint16_t>> members;
+  std::uint16_t rid = 1;
+  for (auto p : ports) members.emplace_back(p, rid++);
+  sw_.mc_group_set(group, std::move(members));
+  v.mcast_groups.push_back(group);
+  sw_.table_modify(tbl_vnet(), kActVfwdMcast, v.vnet_handles.at(vport),
+                   {util::BitVec(16, group)});
+}
+
+std::uint64_t Dpmu::vport_of(VdevId id, std::uint16_t phys) const {
+  return vdev(id).ports.to_vport(phys);
+}
+
+const VPortMap& Dpmu::ports(VdevId id) const { return vdev(id).ports; }
+
+// ---------------------------------------------------------------------------
+// Ingress steering
+
+void Dpmu::bind_args(std::ostringstream& os, const Vdev& v,
+                     std::optional<std::uint16_t> port) const {
+  // program, numbytes, vingress
+  std::uint64_t vingress = 0;
+  if (port && v.ports.phys_to_vport.contains(*port)) {
+    vingress = v.ports.phys_to_vport.at(*port);
+  }
+  os << v.art.numbytes << " " << vingress;
+}
+
+std::uint64_t Dpmu::bind_ingress(VdevId id,
+                                 std::optional<std::uint16_t> port) {
+  Vdev& v = vdev(id);
+  const std::string action =
+      v.art.needs_resubmit ? kActSetProgramResub : kActSetProgram;
+  std::ostringstream os;
+  os << "table_add " << tbl_setup_a() << " " << action << " 0&&&0xffff ";
+  if (port) {
+    os << *port << "&&&0x1ff";
+  } else {
+    os << "0&&&0";
+  }
+  os << " => " << id << " ";
+  bind_args(os, v, port);
+  os << " " << (port ? 10 : 100);
+  const std::uint64_t handle = run(os.str(), nullptr);
+  const std::uint64_t b = next_binding_++;
+  bindings_[b] = Binding{handle, port, id};
+  return b;
+}
+
+void Dpmu::rebind_ingress(std::uint64_t binding, VdevId new_vdev) {
+  auto it = bindings_.find(binding);
+  if (it == bindings_.end())
+    throw ConfigError("dpmu: unknown ingress binding " + std::to_string(binding));
+  Vdev& v = vdev(new_vdev);
+  const std::string action =
+      v.art.needs_resubmit ? kActSetProgramResub : kActSetProgram;
+  std::uint64_t vingress = 0;
+  if (it->second.port && v.ports.phys_to_vport.contains(*it->second.port)) {
+    vingress = v.ports.phys_to_vport.at(*it->second.port);
+  }
+  sw_.table_modify(tbl_setup_a(), action, it->second.handle,
+                   {util::BitVec(kProgramBits, new_vdev),
+                    util::BitVec(8, v.art.numbytes),
+                    util::BitVec(kVPortBits, vingress)});
+  it->second.vdev = new_vdev;
+}
+
+void Dpmu::unbind_ingress(std::uint64_t binding) {
+  auto it = bindings_.find(binding);
+  if (it == bindings_.end())
+    throw ConfigError("dpmu: unknown ingress binding " + std::to_string(binding));
+  sw_.table_delete(tbl_setup_a(), it->second.handle);
+  bindings_.erase(it);
+}
+
+// ---------------------------------------------------------------------------
+// Virtual table operations
+
+std::uint64_t Dpmu::table_add(VdevId id, const VirtualRule& rule,
+                              const std::string& requester) {
+  Vdev& v = vdev(id);
+  check_auth(v, requester);
+  if (v.entries.size() >= v.quota)
+    throw IsolationError("dpmu: device '" + v.name + "' exceeded its quota of " +
+                         std::to_string(v.quota) + " entries");
+  const std::uint64_t mid = next_match_id_++;
+  const auto cmds = translate_rule(v.art, rule, id, mid, v.ports);
+  std::vector<std::pair<std::string, std::uint64_t>> installed;
+  try {
+    for (const auto& c : cmds) run(c, &installed);
+  } catch (...) {
+    for (auto it = installed.rbegin(); it != installed.rend(); ++it) {
+      sw_.table_delete(it->first, it->second);
+    }
+    throw;
+  }
+  const std::uint64_t vh = v.next_vhandle++;
+  v.entries[vh] = std::move(installed);
+  return vh;
+}
+
+void Dpmu::table_delete(VdevId id, std::uint64_t vhandle,
+                        const std::string& requester) {
+  Vdev& v = vdev(id);
+  check_auth(v, requester);
+  auto it = v.entries.find(vhandle);
+  if (it == v.entries.end())
+    throw CommandError("dpmu: device '" + v.name + "' has no entry " +
+                       std::to_string(vhandle));
+  for (const auto& [table, handle] : it->second) {
+    sw_.table_delete(table, handle);
+  }
+  v.entries.erase(it);
+}
+
+std::size_t Dpmu::entry_count(VdevId id) const { return vdev(id).entries.size(); }
+
+std::uint64_t Dpmu::entry_hits(VdevId id, std::uint64_t vhandle) const {
+  const Vdev& v = vdev(id);
+  auto it = v.entries.find(vhandle);
+  if (it == v.entries.end())
+    throw CommandError("dpmu: no entry " + std::to_string(vhandle));
+  // The first installed command is always the stage-table match entry.
+  const auto& [table, handle] = it->second.front();
+  return sw_.table(table).entry(handle).hits;
+}
+
+void Dpmu::authorize(VdevId id, const std::string& requester) {
+  vdev(id).authorized.push_back(requester);
+}
+
+std::string Dpmu::report() const {
+  std::ostringstream os;
+  os << "DPMU: " << vdevs_.size() << " virtual device(s), "
+     << bindings_.size() << " ingress binding(s)\n";
+  for (const auto& [id, v] : vdevs_) {
+    std::size_t phys_entries = 0;
+    for (const auto& [vh, list] : v.entries) phys_entries += list.size();
+    os << "  vdev " << id << " '" << v.name << "' owner=" << v.owner
+       << " program=" << v.art.program_name << " numbytes=" << v.art.numbytes
+       << (v.art.needs_resubmit ? " (resubmit)" : "") << "\n";
+    os << "    entries: " << v.entries.size() << "/" << v.quota
+       << " virtual (" << phys_entries << " persona, "
+       << v.static_handles.size() << " static)\n";
+    for (const auto& [phys, vport] : v.ports.phys_to_vport) {
+      os << "    vport " << vport << " <-> phys " << phys << "\n";
+    }
+  }
+  for (const auto& [b, binding] : bindings_) {
+    os << "  binding " << b << ": ";
+    if (binding.port) {
+      os << "port " << *binding.port;
+    } else {
+      os << "all ports";
+    }
+    os << " -> vdev " << binding.vdev << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace hyper4::hp4

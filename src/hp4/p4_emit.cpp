@@ -1,0 +1,240 @@
+#include "hp4/p4_emit.h"
+
+#include <functional>
+#include <sstream>
+
+#include "util/strings.h"
+
+namespace hyper4::hp4 {
+
+namespace {
+
+void emit_header_type(std::ostringstream& os, const p4::HeaderType& t) {
+  os << "header_type " << t.name << " {\n    fields {\n";
+  for (const auto& f : t.fields) {
+    os << "        " << f.name << " : " << f.width << ";\n";
+  }
+  os << "    }\n}\n\n";
+}
+
+std::string arg_str(const p4::ActionArg& a, const p4::ActionDef& act) {
+  switch (a.kind) {
+    case p4::ActionArg::Kind::kConst:
+      return "0x" + a.value.to_hex();
+    case p4::ActionArg::Kind::kParam:
+      return act.params[a.param_index].name;
+    case p4::ActionArg::Kind::kField:
+      return a.field.str();
+    case p4::ActionArg::Kind::kHeader:
+    case p4::ActionArg::Kind::kNamedRef:
+      return a.name;
+  }
+  return "?";
+}
+
+void emit_action(std::ostringstream& os, const p4::ActionDef& a) {
+  os << "action " << a.name << "(";
+  for (std::size_t i = 0; i < a.params.size(); ++i) {
+    if (i) os << ", ";
+    os << a.params[i].name;
+  }
+  os << ") {\n";
+  for (const auto& call : a.body) {
+    os << "    " << p4::primitive_name(call.op) << "(";
+    for (std::size_t i = 0; i < call.args.size(); ++i) {
+      if (i) os << ", ";
+      os << arg_str(call.args[i], a);
+    }
+    os << ");\n";
+  }
+  os << "}\n\n";
+}
+
+void emit_table(std::ostringstream& os, const p4::TableDef& t) {
+  os << "table " << t.name << " {\n";
+  if (!t.keys.empty()) {
+    os << "    reads {\n";
+    for (const auto& k : t.keys) {
+      if (k.type == p4::MatchType::kValid) {
+        os << "        " << k.field.header << " : valid;\n";
+      } else {
+        os << "        " << k.field.str() << " : "
+           << p4::match_type_name(k.type) << ";\n";
+      }
+    }
+    os << "    }\n";
+  }
+  os << "    actions {\n";
+  for (const auto& a : t.actions) os << "        " << a << ";\n";
+  os << "    }\n";
+  if (!t.default_action.empty()) {
+    os << "    default_action : " << t.default_action << ";\n";
+  }
+  os << "    size : " << t.max_size << ";\n";
+  os << "}\n\n";
+}
+
+void emit_parser_state(std::ostringstream& os, const p4::ParserState& s) {
+  os << "parser " << (s.name == "start" ? "start" : s.name) << " {\n";
+  for (const auto& e : s.extracts) os << "    extract(" << e << ");\n";
+  for (const auto& [f, expr] : s.sets) {
+    os << "    set_metadata(" << f.str() << ", " << (expr ? expr->str() : "0")
+       << ");\n";
+  }
+  auto state_name = [](const std::string& n) {
+    if (n == p4::kParserAccept) return std::string("ingress");
+    if (n == p4::kParserDrop) return std::string("parse_drop");
+    return n;
+  };
+  if (s.select.empty()) {
+    os << "    return " << state_name(s.cases[0].next_state) << ";\n";
+  } else {
+    os << "    return select(";
+    for (std::size_t i = 0; i < s.select.size(); ++i) {
+      if (i) os << ", ";
+      const auto& k = s.select[i];
+      if (k.is_current) {
+        os << "current(" << k.current_offset << ", " << k.current_width << ")";
+      } else {
+        os << k.field.str();
+      }
+    }
+    os << ") {\n";
+    for (const auto& c : s.cases) {
+      if (c.is_default) {
+        os << "        default : " << state_name(c.next_state) << ";\n";
+      } else if (c.mask) {
+        os << "        0x" << c.value.to_hex() << " mask 0x" << c.mask->to_hex()
+           << " : " << state_name(c.next_state) << ";\n";
+      } else {
+        os << "        0x" << c.value.to_hex() << " : "
+           << state_name(c.next_state) << ";\n";
+      }
+    }
+    os << "    }\n";
+  }
+  os << "}\n\n";
+}
+
+// Render a control graph as nested apply/if blocks. Control graphs are
+// DAGs; shared continuations are emitted once via explicit "goto-style"
+// sequencing: we emit each node at its first visit and reference
+// already-emitted nodes with a comment (sufficient for LoC accounting and
+// human inspection).
+void emit_control(std::ostringstream& os, const p4::Control& c) {
+  if (c.empty()) {
+    os << "control " << c.name << " {\n}\n\n";
+    return;
+  }
+  os << "control " << c.name << " {\n";
+  std::vector<bool> emitted(c.nodes.size(), false);
+
+  std::function<void(std::size_t, int)> emit = [&](std::size_t idx, int depth) {
+    std::string ind(static_cast<std::size_t>(depth) * 4, ' ');
+    while (idx != p4::kEndOfControl) {
+      if (emitted[idx]) {
+        os << ind << "// continue at node " << idx << "\n";
+        return;
+      }
+      emitted[idx] = true;
+      const p4::ControlNode& n = c.nodes[idx];
+      if (n.kind == p4::ControlNode::Kind::kApply) {
+        os << ind << "apply(" << n.table << ");\n";
+        idx = n.next_default;
+      } else {
+        os << ind << "if (" << (n.condition ? n.condition->str() : "true")
+           << ") {\n";
+        emit(n.next_true, depth + 1);
+        os << ind << "} else {\n";
+        emit(n.next_false, depth + 1);
+        os << ind << "}\n";
+        return;
+      }
+    }
+  };
+  emit(0, 1);
+  os << "}\n\n";
+}
+
+}  // namespace
+
+std::string emit_p4(const p4::Program& prog) {
+  std::ostringstream os;
+  os << "// " << prog.name << " (generated P4-14 source)\n\n";
+  for (const auto& t : prog.header_types) emit_header_type(os, t);
+  for (const auto& i : prog.instances) {
+    if (i.metadata) {
+      os << "metadata " << i.type << " " << i.name << ";\n";
+    } else if (i.is_stack()) {
+      os << "header " << i.type << " " << i.name << "[" << i.stack_size
+         << "];\n";
+    } else {
+      os << "header " << i.type << " " << i.name << ";\n";
+    }
+  }
+  os << "\n";
+  for (const auto& fl : prog.field_lists) {
+    os << "field_list " << fl.name << " {\n";
+    for (const auto& f : fl.fields) os << "    " << f.str() << ";\n";
+    os << "}\n\n";
+  }
+  for (const auto& cf : prog.calculated_fields) {
+    std::string calc_name = cf.field.header + "_" + cf.field.field + "_calc";
+    os << "field_list_calculation " << calc_name << " {\n"
+       << "    input { " << cf.field_list << "; }\n"
+       << "    algorithm : csum16;\n    output_width : 16;\n}\n"
+       << "calculated_field " << cf.field.str() << " {\n"
+       << "    update " << calc_name
+       << (cf.update_condition ? " if (" + cf.update_condition->str() + ")" : "")
+       << ";\n}\n\n";
+  }
+  for (const auto& r : prog.registers) {
+    os << "register " << r.name << " {\n    width : " << r.width
+       << ";\n    instance_count : " << r.instance_count << ";\n}\n\n";
+  }
+  for (const auto& cnt : prog.counters) {
+    os << "counter " << cnt.name << " {\n    type : packets;\n";
+    if (!cnt.direct_table.empty()) {
+      os << "    direct : " << cnt.direct_table << ";\n";
+    } else {
+      os << "    instance_count : " << cnt.instance_count << ";\n";
+    }
+    os << "}\n\n";
+  }
+  for (const auto& m : prog.meters) {
+    os << "meter " << m.name << " {\n    type : packets;\n    instance_count : "
+       << m.instance_count << ";\n}\n\n";
+  }
+  for (const auto& s : prog.parser_states) emit_parser_state(os, s);
+  for (const auto& a : prog.actions) emit_action(os, a);
+  for (const auto& t : prog.tables) emit_table(os, t);
+  emit_control(os, prog.ingress);
+  emit_control(os, prog.egress);
+  return os.str();
+}
+
+std::size_t count_loc(const std::string& source) {
+  std::size_t n = 0;
+  std::istringstream in(source);
+  std::string line;
+  while (std::getline(in, line)) {
+    const auto t = util::trim(line);
+    if (t.empty()) continue;
+    if (t.size() >= 2 && t[0] == '/' && t[1] == '/') continue;
+    ++n;
+  }
+  return n;
+}
+
+std::string emit_p4_subset(const p4::Program& prog, const std::string& needle) {
+  std::ostringstream os;
+  for (const auto& a : prog.actions) {
+    if (a.name.find(needle) != std::string::npos) emit_action(os, a);
+  }
+  for (const auto& t : prog.tables) {
+    if (t.name.find(needle) != std::string::npos) emit_table(os, t);
+  }
+  return os.str();
+}
+
+}  // namespace hyper4::hp4

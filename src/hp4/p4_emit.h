@@ -1,0 +1,26 @@
+// P4-14 source emission from the IR.
+//
+// Renders any p4::Program as P4-14 source text. Its primary role is the
+// paper's Figure 7: the persona generator's output is emitted as source and
+// its line count measured across (stages × primitives) configurations; it
+// also makes generated programs inspectable.
+#pragma once
+
+#include <string>
+
+#include "p4/ir.h"
+
+namespace hyper4::hp4 {
+
+// Full program text.
+std::string emit_p4(const p4::Program& prog);
+
+// Non-empty, non-comment line count of `source` (the Fig. 7 metric).
+std::size_t count_loc(const std::string& source);
+
+// Source text of only the pieces that implement one primitive behaviour in
+// a persona program: tables/actions whose names contain `needle` (used for
+// Fig. 7(b)/(c): drop-support LoC and modify_field-support LoC).
+std::string emit_p4_subset(const p4::Program& prog, const std::string& needle);
+
+}  // namespace hyper4::hp4

@@ -1,0 +1,775 @@
+#include "hp4/persona.h"
+
+#include <sstream>
+
+#include "p4/builder.h"
+#include "util/error.h"
+
+namespace hyper4::hp4 {
+
+using p4::ActionArg;
+using p4::Const;
+using p4::Expr;
+using p4::ExprOp;
+using p4::F;
+using p4::Param;
+using p4::Primitive;
+using p4::ProgramBuilder;
+using util::BitVec;
+using util::ConfigError;
+
+// ---------------------------------------------------------------------------
+// Config
+
+std::vector<std::size_t> PersonaConfig::parse_ladder() const {
+  std::vector<std::size_t> v;
+  for (std::size_t n = parse_default_bytes; n <= parse_max_bytes;
+       n += parse_step_bytes) {
+    v.push_back(n);
+    if (parse_step_bytes == 0) break;
+  }
+  return v;
+}
+
+std::vector<std::size_t> PersonaConfig::writeback_ladder() const {
+  std::vector<std::size_t> v;
+  for (std::size_t n = parse_default_bytes; n <= parse_max_bytes;
+       n += writeback_step_bytes) {
+    v.push_back(n);
+    if (writeback_step_bytes == 0) break;
+  }
+  return v;
+}
+
+void PersonaConfig::validate() const {
+  if (num_stages == 0 || num_stages > 32)
+    throw ConfigError("persona: num_stages must be in [1, 32]");
+  if (max_primitives == 0 || max_primitives > 32)
+    throw ConfigError("persona: max_primitives must be in [1, 32]");
+  if (parse_default_bytes == 0 || parse_default_bytes > parse_max_bytes)
+    throw ConfigError("persona: parse byte ladder is inconsistent");
+  if (parse_step_bytes == 0 && parse_max_bytes != parse_default_bytes)
+    throw ConfigError("persona: zero parse step with max > default");
+  if (writeback_step_bytes == 0)
+    throw ConfigError("persona: writeback step must be positive");
+  if (extracted_bits < parse_max_bytes * 8)
+    throw ConfigError("persona: extracted field narrower than parse maximum");
+  if (meta_bits == 0) throw ConfigError("persona: meta_bits must be positive");
+}
+
+// ---------------------------------------------------------------------------
+// Names
+
+const char* prim_type_name(PrimType t) {
+  switch (t) {
+    case PrimType::kNoop: return "noop";
+    case PrimType::kMod: return "mod";
+    case PrimType::kAddSub: return "addsub";
+    case PrimType::kDrop: return "drop";
+    case PrimType::kResize: return "resize";
+  }
+  return "?";
+}
+
+std::string tbl_setup_a() { return "tbl_setup_a"; }
+std::string tbl_setup_b() { return "tbl_setup_b"; }
+std::string tbl_vparse() { return "tbl_vparse"; }
+std::string tbl_stage_match(std::size_t stage, MatchSource m) {
+  const char* src = m == MatchSource::kExtracted  ? "ext"
+                    : m == MatchSource::kMeta     ? "meta"
+                                                  : "stdmeta";
+  return "t" + std::to_string(stage) + "_" + src;
+}
+std::string tbl_prim_setup(std::size_t stage, std::size_t slot) {
+  return "s" + std::to_string(stage) + "p" + std::to_string(slot) + "_setup";
+}
+std::string tbl_prim_exec(std::size_t stage, std::size_t slot, PrimType t) {
+  return "s" + std::to_string(stage) + "p" + std::to_string(slot) + "_" +
+         prim_type_name(t);
+}
+std::string tbl_prim_tx(std::size_t stage, std::size_t slot) {
+  return "s" + std::to_string(stage) + "p" + std::to_string(slot) + "_tx";
+}
+std::string tbl_vnet() { return "tbl_vnet"; }
+std::string tbl_meter() { return "tbl_meter"; }
+std::string tbl_meter_drop() { return "tbl_meter_drop"; }
+std::string tbl_eg_csum() { return "tbl_eg_csum"; }
+std::string tbl_eg_writeback() { return "tbl_eg_writeback"; }
+
+// ---------------------------------------------------------------------------
+// Generator
+
+PersonaGenerator::PersonaGenerator(PersonaConfig cfg) : cfg_(std::move(cfg)) {
+  cfg_.validate();
+}
+
+namespace {
+
+// Decompose [lo, 2^width) into (value, mask) pairs for masked select cases
+// (classic TCAM range expansion), used for the packet-length guards in the
+// parse ladder.
+std::vector<std::pair<std::uint64_t, std::uint64_t>> ge_ranges(
+    std::uint64_t lo, std::size_t width) {
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> out;
+  const std::uint64_t limit = std::uint64_t{1} << width;
+  std::uint64_t v = lo;
+  while (v < limit) {
+    std::size_t k = 0;
+    while (k < width && (v & ((std::uint64_t{1} << (k + 1)) - 1)) == 0 &&
+           v + (std::uint64_t{2} << k) <= limit) {
+      ++k;
+    }
+    const std::uint64_t block = std::uint64_t{1} << k;
+    const std::uint64_t mask = (limit - 1) & ~(block - 1);
+    out.emplace_back(v, mask);
+    v += block;
+  }
+  return out;
+}
+
+std::string pr_elem(std::size_t i) {
+  return kPrStack + "[" + std::to_string(i) + "]";
+}
+
+}  // namespace
+
+p4::Program PersonaGenerator::generate() const {
+  const std::size_t E = cfg_.extracted_bits;
+  const std::size_t M = cfg_.meta_bits;
+  const auto ladder = cfg_.parse_ladder();
+  const auto wb_ladder = cfg_.writeback_ladder();
+
+  ProgramBuilder b("hyper4_persona");
+
+  // --- headers and metadata --------------------------------------------------
+  b.header_type("hp4_byte_t", {{"b", 8}});
+  b.header_stack("hp4_byte_t", kPrStack, cfg_.parse_max_bytes);
+  b.header_type("hp4_meta_t",
+                {{kFProgram, kProgramBits},
+                 {kFNumBytes, 8},
+                 {kFBytesExtracted, 8},
+                 {kFExtracted, E},
+                 {kFExtMeta, M},
+                 {kFValidity, kValidityBits},
+                 {kFNextTable, kNextTableBits},
+                 {kFMatchId, kMatchIdBits},
+                 {kFActionId, kActionIdBits},
+                 {kFPrimCount, 8},
+                 {"prim_idx", 8},
+                 {kFPrimType, 8},
+                 {kFVirtEgress, kVPortBits},
+                 {kFVirtIngress, kVPortBits},
+                 {kFResize, 8},
+                 {kFCsumOffset, 8},
+                 {"meter_color", 8},
+                 {kFTmp, E},
+                 {"tmp2", E}});
+  b.metadata("hp4_meta_t", kMeta);
+
+  b.field_list(kFlResubmit, {{kMeta, kFProgram},
+                             {kMeta, kFNumBytes},
+                             {kMeta, kFVirtIngress}});
+  b.field_list(kFlRecirculate, {{kMeta, kFProgram},
+                                {kMeta, kFNumBytes},
+                                {kMeta, kFVirtIngress}});
+
+  // --- parser: guarded extraction ladder ---------------------------------------
+  {
+    auto add_extract_state = [&](const std::string& name, std::size_t from,
+                                 std::size_t to, std::size_t ladder_pos) {
+      auto ps = b.parser(name);
+      for (std::size_t i = from; i < to; ++i) ps.extract(kPrStack);
+      ps.set_meta({kMeta, kFBytesExtracted}, Expr::constant(8, to));
+      if (ladder_pos + 1 >= ladder.size()) {
+        ps.to_ingress();
+        return;
+      }
+      // Continue the chain when numbytes asks for more than `to` bytes.
+      ps.select_field(kMeta, kFNumBytes);
+      const std::string next_guard = "g" + std::to_string(ladder[ladder_pos + 1]);
+      for (std::size_t j = ladder_pos + 1; j < ladder.size(); ++j) {
+        ps.when(BitVec(8, ladder[j]), next_guard);
+      }
+      ps.otherwise(p4::kParserAccept);
+    };
+
+    add_extract_state("start", 0, ladder[0], 0);
+    for (std::size_t j = 1; j < ladder.size(); ++j) {
+      const std::size_t target = ladder[j];
+      // Guard: only extract further when the packet actually has the bytes.
+      auto g = b.parser("g" + std::to_string(target));
+      g.select_field(p4::kStandardMetadata, p4::kFieldPacketLength);
+      for (auto [v, m] : ge_ranges(target, 16)) {
+        g.when_masked(BitVec(16, v), BitVec(16, m), "e" + std::to_string(target));
+      }
+      g.otherwise(p4::kParserAccept);
+      add_extract_state("e" + std::to_string(target), ladder[j - 1], target, j);
+    }
+  }
+
+  // --- actions -------------------------------------------------------------------
+  const p4::FieldRef fExtracted{kMeta, kFExtracted};
+  const p4::FieldRef fMetaW{kMeta, kFExtMeta};
+  const p4::FieldRef fTmp{kMeta, kFTmp};
+  const p4::FieldRef fTmp2{kMeta, "tmp2"};
+  const p4::FieldRef fVEgress{kMeta, kFVirtEgress};
+  const p4::FieldRef fVIngress{kMeta, kFVirtIngress};
+  const p4::FieldRef fProgram{kMeta, kFProgram};
+
+  b.action(kActSetupSkip).no_op();
+  b.action(kActSetProgram, {{"program", kProgramBits},
+                            {"numbytes", 8},
+                            {"vingress", kVPortBits}})
+      .modify_field(fProgram, Param(0))
+      .modify_field({kMeta, kFNumBytes}, Param(1))
+      .modify_field(fVIngress, Param(2));
+  b.action(kActSetProgramResub, {{"program", kProgramBits},
+                                 {"numbytes", 8},
+                                 {"vingress", kVPortBits}})
+      .modify_field(fProgram, Param(0))
+      .modify_field({kMeta, kFNumBytes}, Param(1))
+      .modify_field(fVIngress, Param(2))
+      .resubmit(kFlResubmit);
+
+  // Byte concatenation: extracted = pr[0] ... pr[n-1], left-justified so a
+  // field at byte offset o and width w sits at bits [E-8o-w, E-8o).
+  for (std::size_t n : ladder) {
+    auto a = b.action(act_concat(n));
+    for (std::size_t i = 0; i < n; ++i) {
+      a.prim(Primitive::kShiftLeft,
+             {ActionArg::of_field(fExtracted), ActionArg::of_field(fExtracted),
+              Const(16, 8)});
+      a.prim(Primitive::kBitOr,
+             {ActionArg::of_field(fExtracted), ActionArg::of_field(fExtracted),
+              F(pr_elem(i), "b")});
+    }
+    a.prim(Primitive::kShiftLeft,
+           {ActionArg::of_field(fExtracted), ActionArg::of_field(fExtracted),
+            Const(16, E - 8 * n)});
+    a.modify_field({kMeta, kFResize}, F(kMeta, kFBytesExtracted));
+  }
+
+  b.action(kActSetParse, {{"validity", kValidityBits},
+                          {"next_table", kNextTableBits},
+                          {"csum_offset", 8}})
+      .modify_field({kMeta, kFValidity}, Param(0))
+      .modify_field({kMeta, kFNextTable}, Param(1))
+      .modify_field({kMeta, kFCsumOffset}, Param(2));
+  b.action(kActParseMiss)
+      .modify_field({kMeta, kFNextTable}, Const(kNextTableBits, 0))
+      .modify_field(fVEgress, Const(kVPortBits, kVirtDrop));
+
+  b.action(kActMatchResult, {{"match_id", kMatchIdBits},
+                             {"action_id", kActionIdBits},
+                             {"prim_count", 8},
+                             {"next_table", kNextTableBits}})
+      .modify_field({kMeta, kFMatchId}, Param(0))
+      .modify_field({kMeta, kFActionId}, Param(1))
+      .modify_field({kMeta, kFPrimCount}, Param(2))
+      .modify_field({kMeta, kFNextTable}, Param(3))
+      .modify_field({kMeta, "prim_idx"}, Const(8, 1));
+  b.action(kActMatchMiss)
+      .modify_field({kMeta, kFNextTable}, Const(kNextTableBits, 0))
+      .modify_field({kMeta, kFPrimCount}, Const(8, 0));
+
+  b.action(kActLoadPrim, {{"prim_type", 8}})
+      .modify_field({kMeta, kFPrimType}, Param(0));
+
+  // modify_field emulation variants. Field-to-field moves stage through the
+  // tmp scratch field: tmp = ((src & smask) >> sshift) << dshift, then a
+  // masked modify_field into the destination.
+  b.action(kActModExtConst, {{"value", E}, {"mask", E}})
+      .modify_field_masked(fExtracted, Param(0), Param(1));
+  auto mod_via_tmp = [&](const std::string& name, const p4::FieldRef& src,
+                         std::size_t src_w, const p4::FieldRef& dst,
+                         std::size_t dst_w) {
+    b.action(name,
+             {{"smask", src_w}, {"sshift", 16}, {"dshift", 16}, {"dmask", dst_w}})
+        .bit_op(Primitive::kBitAnd, fTmp, ActionArg::of_field(src), Param(0))
+        .bit_op(Primitive::kShiftRight, fTmp, ActionArg::of_field(fTmp), Param(1))
+        .bit_op(Primitive::kShiftLeft, fTmp, ActionArg::of_field(fTmp), Param(2))
+        .modify_field_masked(dst, ActionArg::of_field(fTmp), Param(3));
+  };
+  mod_via_tmp(kActModExtExt, fExtracted, E, fExtracted, E);
+  mod_via_tmp(kActModExtMeta, fMetaW, M, fExtracted, E);
+  mod_via_tmp(kActModMetaMeta, fMetaW, M, fMetaW, M);
+  mod_via_tmp(kActModMetaExt, fExtracted, E, fMetaW, M);
+  b.action(kActModMetaConst, {{"value", M}, {"mask", M}})
+      .modify_field_masked(fMetaW, Param(0), Param(1));
+  b.action(kActModMetaVingress, {{"dshift", 16}, {"dmask", M}})
+      .modify_field(fTmp, F(kMeta, kFVirtIngress))
+      .bit_op(Primitive::kShiftLeft, fTmp, ActionArg::of_field(fTmp), Param(0))
+      .modify_field_masked(fMetaW, ActionArg::of_field(fTmp), Param(1));
+  b.action(kActModVegressConst, {{"vport", kVPortBits}})
+      .modify_field(fVEgress, Param(0));
+  b.action(kActModVegressMeta, {{"smask", M}, {"sshift", 16}})
+      .bit_op(Primitive::kBitAnd, fTmp, ActionArg::of_field(fMetaW), Param(0))
+      .bit_op(Primitive::kShiftRight, fTmp, ActionArg::of_field(fTmp), Param(1))
+      .modify_field(fVEgress, F(kMeta, kFTmp));
+  b.action(kActModVegressVingress)
+      .modify_field(fVEgress, F(kMeta, kFVirtIngress));
+
+  // add_to_field emulation: the destination slice is isolated, adjusted,
+  // and written back under mask so the carry cannot leak into neighbours.
+  auto add_via_tmp = [&](const std::string& name, const p4::FieldRef& dst,
+                         std::size_t dst_w) {
+    b.action(name, {{"delta", dst_w}, {"mask", dst_w}, {"shift", 16}})
+        .bit_op(Primitive::kBitAnd, fTmp, ActionArg::of_field(dst), Param(1))
+        .bit_op(Primitive::kShiftRight, fTmp, ActionArg::of_field(fTmp), Param(2))
+        .prim(Primitive::kAdd,
+              {ActionArg::of_field(fTmp), ActionArg::of_field(fTmp), Param(0)})
+        .bit_op(Primitive::kShiftLeft, fTmp, ActionArg::of_field(fTmp), Param(2))
+        .modify_field_masked(dst, ActionArg::of_field(fTmp), Param(1));
+  };
+  add_via_tmp(kActAddExt, fExtracted, E);
+  add_via_tmp(kActAddMeta, fMetaW, M);
+
+  b.action(kActVirtDrop).modify_field(fVEgress, Const(kVPortBits, kVirtDrop));
+  b.action(kActExecNoop).no_op();
+
+  b.action(kActResizeSet, {{"n", 8}}).modify_field({kMeta, kFResize}, Param(0));
+  b.action(kActResizeInsert,
+           {{"nbytes", 8}, {"himask", E}, {"lomask", E}, {"shift", 16}})
+      .bit_op(Primitive::kBitAnd, fTmp, ActionArg::of_field(fExtracted), Param(2))
+      .bit_op(Primitive::kShiftRight, fTmp, ActionArg::of_field(fTmp), Param(3))
+      .bit_op(Primitive::kBitAnd, fExtracted, ActionArg::of_field(fExtracted),
+              Param(1))
+      .bit_op(Primitive::kBitOr, fExtracted, ActionArg::of_field(fExtracted),
+              F(kMeta, kFTmp))
+      .add_to_field({kMeta, kFResize}, Param(0));
+  b.action(kActResizeRemove,
+           {{"nbytes_delta", 8}, {"himask", E}, {"lomask", E}, {"shift", 16}})
+      .bit_op(Primitive::kBitAnd, fTmp, ActionArg::of_field(fExtracted), Param(2))
+      .bit_op(Primitive::kShiftLeft, fTmp, ActionArg::of_field(fTmp), Param(3))
+      .bit_op(Primitive::kBitAnd, fExtracted, ActionArg::of_field(fExtracted),
+              Param(1))
+      .bit_op(Primitive::kBitOr, fExtracted, ActionArg::of_field(fExtracted),
+              F(kMeta, kFTmp))
+      .add_to_field({kMeta, kFResize}, Param(0));
+
+  b.action(kActTx).add_to_field({kMeta, "prim_idx"}, Const(8, 1));
+
+  if (cfg_.ingress_meter) {
+    b.meter(kIngressMeter, cfg_.meter_cells, cfg_.meter_rate_pps,
+            cfg_.meter_burst);
+    b.action(kActMeterCheck)
+        .prim(Primitive::kExecuteMeter,
+              {ActionArg::named(kIngressMeter), F(kMeta, kFProgram),
+               ActionArg::of_field({kMeta, "meter_color"})});
+    // Punished packets lose their program binding: every per-program table
+    // misses and the vnet default drops them.
+    b.action(kActMeterPunish)
+        .modify_field(fProgram, Const(kProgramBits, 0))
+        .drop();
+  }
+
+  b.action(kActVfwdPhys, {{"port", p4::kPortWidth}})
+      .modify_field({p4::kStandardMetadata, p4::kFieldEgressSpec}, Param(0));
+  b.action(kActVfwdVdev, {{"program", kProgramBits},
+                          {"numbytes", 8},
+                          {"vingress", kVPortBits}})
+      .modify_field(fProgram, Param(0))
+      .modify_field({kMeta, kFNumBytes}, Param(1))
+      .modify_field(fVIngress, Param(2))
+      .recirculate(kFlRecirculate);
+  b.action(kActVfwdMcast, {{"group", 16}})
+      .modify_field({p4::kStandardMetadata, p4::kFieldMcastGrp}, Param(0));
+  b.action(kActVdrop).drop();
+
+  // IPv4 checksum fix-up (the paper's protocol-specific "cheat"): a
+  // generated action per supported byte offset computes the RFC 1071 sum
+  // over the 9 non-checksum words of the header with shift/and/add
+  // primitives and splices it back into `extracted`.
+  for (std::size_t off : cfg_.ipv4_csum_offsets) {
+    if ((off + 20) * 8 > E) continue;
+    auto a = b.action(act_ipv4_csum(off));
+    a.modify_field(fTmp2, Const(E, 0));
+    for (std::size_t w = 0; w < 10; ++w) {
+      if (w == 5) continue;  // the checksum word itself
+      const std::size_t lsb = E - 8 * off - 16 * (w + 1);
+      a.prim(Primitive::kBitAnd,
+             {ActionArg::of_field(fTmp), ActionArg::of_field(fExtracted),
+              Const(BitVec::mask_range(E, lsb, 16))});
+      a.prim(Primitive::kShiftRight,
+             {ActionArg::of_field(fTmp), ActionArg::of_field(fTmp),
+              Const(16, lsb)});
+      a.prim(Primitive::kAdd,
+             {ActionArg::of_field(fTmp2), ActionArg::of_field(fTmp2),
+              F(kMeta, kFTmp)});
+    }
+    for (int fold = 0; fold < 2; ++fold) {
+      a.prim(Primitive::kShiftRight,
+             {ActionArg::of_field(fTmp), ActionArg::of_field(fTmp2),
+              Const(16, 16)});
+      a.prim(Primitive::kBitAnd,
+             {ActionArg::of_field(fTmp2), ActionArg::of_field(fTmp2),
+              Const(BitVec(E, 0xffff))});
+      a.prim(Primitive::kAdd,
+             {ActionArg::of_field(fTmp2), ActionArg::of_field(fTmp2),
+              F(kMeta, kFTmp)});
+    }
+    // One more halving in case the second fold carried, then complement.
+    a.prim(Primitive::kShiftRight,
+           {ActionArg::of_field(fTmp), ActionArg::of_field(fTmp2),
+            Const(16, 16)});
+    a.prim(Primitive::kAdd,
+           {ActionArg::of_field(fTmp2), ActionArg::of_field(fTmp2),
+            F(kMeta, kFTmp)});
+    a.prim(Primitive::kBitXor,
+           {ActionArg::of_field(fTmp2), ActionArg::of_field(fTmp2),
+            Const(BitVec(E, 0xffff))});
+    a.prim(Primitive::kBitAnd,
+           {ActionArg::of_field(fTmp2), ActionArg::of_field(fTmp2),
+            Const(BitVec(E, 0xffff))});
+    const std::size_t csum_lsb = E - 8 * off - 16 * 6;
+    a.prim(Primitive::kShiftLeft,
+           {ActionArg::of_field(fTmp2), ActionArg::of_field(fTmp2),
+            Const(16, csum_lsb)});
+    a.modify_field_masked(fExtracted, ActionArg::of_field(fTmp2),
+                          Const(BitVec::mask_range(E, csum_lsb, 16)));
+  }
+
+  // Write-back (§4.4): restore the pr stack from `extracted` at the target
+  // size — one generated action per supported byte count.
+  for (std::size_t n : wb_ladder) {
+    auto a = b.action(act_writeback(n));
+    for (std::size_t i = 0; i < n; ++i) a.add_header(pr_elem(i));
+    for (std::size_t i = n; i < cfg_.parse_max_bytes; ++i)
+      a.remove_header(pr_elem(i));
+    a.bit_op(Primitive::kShiftRight, fTmp, ActionArg::of_field(fExtracted),
+             Const(16, E - 8 * n));
+    for (std::size_t i = n; i-- > 0;) {
+      a.modify_field({pr_elem(i), "b"}, F(kMeta, kFTmp));
+      a.bit_op(Primitive::kShiftRight, fTmp, ActionArg::of_field(fTmp),
+               Const(16, 8));
+    }
+  }
+
+  // --- tables ------------------------------------------------------------------
+  b.table(tbl_setup_a())
+      .key_ternary(fProgram)
+      .key_ternary({p4::kStandardMetadata, p4::kFieldIngressPort})
+      .action_ref(kActSetProgram)
+      .action_ref(kActSetProgramResub)
+      .action_ref(kActSetupSkip)
+      .default_action(kActSetupSkip)
+      .size(4096);
+  {
+    auto t = b.table(tbl_setup_b())
+                 .key_exact({kMeta, kFBytesExtracted})
+                 .default_action(kActSetupSkip)
+                 .size(64);
+    t.action_ref(kActSetupSkip);
+    for (std::size_t n : ladder) t.action_ref(act_concat(n));
+  }
+  b.table(tbl_vparse())
+      .key_exact(fProgram)
+      .key_ternary(fExtracted)
+      .action_ref(kActSetParse)
+      .action_ref(kActParseMiss)
+      .default_action(kActParseMiss)
+      .size(4096);
+
+  for (std::size_t s = 1; s <= cfg_.num_stages; ++s) {
+    b.table(tbl_stage_match(s, MatchSource::kExtracted))
+        .key_exact(fProgram)
+        .key_ternary({kMeta, kFValidity})
+        .key_ternary(fExtracted)
+        .action_ref(kActMatchResult)
+        .action_ref(kActMatchMiss)
+        .default_action(kActMatchMiss)
+        .size(8192);
+    b.table(tbl_stage_match(s, MatchSource::kMeta))
+        .key_exact(fProgram)
+        .key_ternary({kMeta, kFValidity})
+        .key_ternary(fMetaW)
+        .action_ref(kActMatchResult)
+        .action_ref(kActMatchMiss)
+        .default_action(kActMatchMiss)
+        .size(8192);
+    b.table(tbl_stage_match(s, MatchSource::kStdMeta))
+        .key_exact(fProgram)
+        .key_ternary(fVIngress)
+        .key_ternary(fVEgress)
+        .action_ref(kActMatchResult)
+        .action_ref(kActMatchMiss)
+        .default_action(kActMatchMiss)
+        .size(8192);
+
+    for (std::size_t p = 1; p <= cfg_.max_primitives; ++p) {
+      b.table(tbl_prim_setup(s, p))
+          .key_exact(fProgram)
+          .key_exact({kMeta, kFActionId})
+          .action_ref(kActLoadPrim)
+          .default_action(
+              kActLoadPrim,
+              {BitVec(8, static_cast<std::uint64_t>(PrimType::kNoop))})
+          .size(4096);
+      b.table(tbl_prim_exec(s, p, PrimType::kMod))
+          .key_exact(fProgram)
+          .key_exact({kMeta, kFActionId})
+          .key_ternary({kMeta, kFMatchId})
+          .action_ref(kActModExtConst)
+          .action_ref(kActModExtExt)
+          .action_ref(kActModExtMeta)
+          .action_ref(kActModMetaConst)
+          .action_ref(kActModMetaMeta)
+          .action_ref(kActModMetaExt)
+          .action_ref(kActModMetaVingress)
+          .action_ref(kActModVegressConst)
+          .action_ref(kActModVegressMeta)
+          .action_ref(kActModVegressVingress)
+          .action_ref(kActExecNoop)
+          .default_action(kActExecNoop)
+          .size(8192);
+      b.table(tbl_prim_exec(s, p, PrimType::kAddSub))
+          .key_exact(fProgram)
+          .key_exact({kMeta, kFActionId})
+          .key_ternary({kMeta, kFMatchId})
+          .action_ref(kActAddExt)
+          .action_ref(kActAddMeta)
+          .action_ref(kActExecNoop)
+          .default_action(kActExecNoop)
+          .size(8192);
+      b.table(tbl_prim_exec(s, p, PrimType::kDrop))
+          .key_exact(fProgram)
+          .action_ref(kActVirtDrop)
+          .default_action(kActVirtDrop)
+          .size(64);
+      b.table(tbl_prim_exec(s, p, PrimType::kNoop))
+          .key_exact(fProgram)
+          .action_ref(kActExecNoop)
+          .default_action(kActExecNoop)
+          .size(64);
+      b.table(tbl_prim_exec(s, p, PrimType::kResize))
+          .key_exact(fProgram)
+          .key_exact({kMeta, kFActionId})
+          .key_ternary({kMeta, kFMatchId})
+          .action_ref(kActResizeSet)
+          .action_ref(kActResizeInsert)
+          .action_ref(kActResizeRemove)
+          .action_ref(kActExecNoop)
+          .default_action(kActExecNoop)
+          .size(4096);
+      b.table(tbl_prim_tx(s, p))
+          .key_exact(fProgram)
+          .action_ref(kActTx)
+          .default_action(kActTx)
+          .size(64);
+    }
+  }
+
+  if (cfg_.ingress_meter) {
+    b.table(tbl_meter())
+        .key_exact(fProgram)
+        .action_ref(kActMeterCheck)
+        .default_action(kActMeterCheck)
+        .size(64);
+    b.table(tbl_meter_drop())
+        .key_exact(fProgram)
+        .action_ref(kActMeterPunish)
+        .default_action(kActMeterPunish)
+        .size(64);
+  }
+  b.table(tbl_vnet())
+      .key_exact(fProgram)
+      .key_ternary(fVEgress)
+      .action_ref(kActVfwdPhys)
+      .action_ref(kActVfwdVdev)
+      .action_ref(kActVfwdMcast)
+      .action_ref(kActVdrop)
+      .default_action(kActVdrop)
+      .size(4096);
+  {
+    auto t = b.table(tbl_eg_csum())
+                 .key_exact({kMeta, kFCsumOffset})
+                 .default_action(kActExecNoop)
+                 .size(64);
+    t.action_ref(kActExecNoop);
+    for (std::size_t off : cfg_.ipv4_csum_offsets) {
+      if ((off + 20) * 8 > E) continue;
+      t.action_ref(act_ipv4_csum(off));
+    }
+  }
+  {
+    auto t = b.table(tbl_eg_writeback())
+                 .key_exact({kMeta, kFResize})
+                 .default_action(act_writeback(cfg_.parse_default_bytes))
+                 .size(256);
+    for (std::size_t n : wb_ladder) t.action_ref(act_writeback(n));
+  }
+
+  // --- ingress control graph ---------------------------------------------------
+  {
+    auto ing = b.ingress();
+
+    struct Slot {
+      std::size_t guard, setup, d_mod, d_add, d_drop, d_resize;
+      std::size_t e_mod, e_add, e_drop, e_resize, e_noop, tx;
+    };
+    struct Stage {
+      std::size_t sel_ext, sel_meta, sel_std;
+      std::size_t n_ext, n_meta, n_std;
+      std::vector<Slot> slots;
+    };
+
+    auto eq = [&](const std::string& field, std::size_t width,
+                  std::uint64_t value) {
+      return Expr::binary(ExprOp::kEq, Expr::field(kMeta, field),
+                          Expr::constant(width, value));
+    };
+
+    const auto nSetupA = ing.apply(tbl_setup_a());
+    const auto nResubIf = ing.branch(Expr::binary(
+        ExprOp::kLAnd,
+        Expr::binary(ExprOp::kGt, Expr::field(kMeta, kFNumBytes),
+                     Expr::field(kMeta, kFBytesExtracted)),
+        Expr::binary(ExprOp::kEq,
+                     Expr::field(p4::kStandardMetadata, p4::kFieldInstanceType),
+                     Expr::constant(8, 0))));
+    const auto nSetupB = ing.apply(tbl_setup_b());
+    const auto nVparse = ing.apply(tbl_vparse());
+
+    // Create all stage nodes first, wire afterwards.
+    std::vector<Stage> stages;
+    for (std::size_t s = 1; s <= cfg_.num_stages; ++s) {
+      Stage st{};
+      st.sel_ext = ing.branch(
+          eq(kFNextTable, kNextTableBits,
+             next_table_code(s, MatchSource::kExtracted)));
+      st.sel_meta = ing.branch(eq(kFNextTable, kNextTableBits,
+                                  next_table_code(s, MatchSource::kMeta)));
+      st.sel_std = ing.branch(eq(kFNextTable, kNextTableBits,
+                                 next_table_code(s, MatchSource::kStdMeta)));
+      st.n_ext = ing.apply(tbl_stage_match(s, MatchSource::kExtracted));
+      st.n_meta = ing.apply(tbl_stage_match(s, MatchSource::kMeta));
+      st.n_std = ing.apply(tbl_stage_match(s, MatchSource::kStdMeta));
+      for (std::size_t p = 1; p <= cfg_.max_primitives; ++p) {
+        Slot sl{};
+        sl.guard = ing.branch(
+            Expr::binary(ExprOp::kGe, Expr::field(kMeta, kFPrimCount),
+                         Expr::constant(8, p)));
+        sl.setup = ing.apply(tbl_prim_setup(s, p));
+        sl.d_mod = ing.branch(
+            eq(kFPrimType, 8, static_cast<std::uint64_t>(PrimType::kMod)));
+        sl.d_add = ing.branch(
+            eq(kFPrimType, 8, static_cast<std::uint64_t>(PrimType::kAddSub)));
+        sl.d_drop = ing.branch(
+            eq(kFPrimType, 8, static_cast<std::uint64_t>(PrimType::kDrop)));
+        sl.d_resize = ing.branch(
+            eq(kFPrimType, 8, static_cast<std::uint64_t>(PrimType::kResize)));
+        sl.e_mod = ing.apply(tbl_prim_exec(s, p, PrimType::kMod));
+        sl.e_add = ing.apply(tbl_prim_exec(s, p, PrimType::kAddSub));
+        sl.e_drop = ing.apply(tbl_prim_exec(s, p, PrimType::kDrop));
+        sl.e_resize = ing.apply(tbl_prim_exec(s, p, PrimType::kResize));
+        sl.e_noop = ing.apply(tbl_prim_exec(s, p, PrimType::kNoop));
+        sl.tx = ing.apply(tbl_prim_tx(s, p));
+        st.slots.push_back(sl);
+      }
+      stages.push_back(std::move(st));
+    }
+    const auto nVnet = ing.apply(tbl_vnet());
+
+    // Optional §4.5 ingress meter: police per-program packet rates on
+    // every full traversal (resubmit passes are exempt; the recirculation
+    // storms the paper worries about are metered).
+    std::size_t meter_entry = nSetupB;
+    if (cfg_.ingress_meter) {
+      const auto nMeter = ing.apply(tbl_meter());
+      const auto colorIf = ing.branch(eq("meter_color", 8, 2 /*red*/));
+      const auto nPunish = ing.apply(tbl_meter_drop());
+      ing.on_default(nMeter, colorIf);
+      ing.on_true(colorIf, nPunish);
+      ing.on_false(colorIf, nSetupB);
+      ing.on_default(nPunish, nSetupB);
+      meter_entry = nMeter;
+    }
+
+    // Wiring.
+    ing.on_default(nSetupA, nResubIf);
+    ing.on_true(nResubIf, p4::kEndOfControl);
+    ing.on_false(nResubIf, meter_entry);
+    ing.on_default(nSetupB, nVparse);
+    ing.on_default(nVparse, stages.front().sel_ext);
+
+    for (std::size_t i = 0; i < stages.size(); ++i) {
+      Stage& st = stages[i];
+      const std::size_t next_stage =
+          (i + 1 < stages.size()) ? stages[i + 1].sel_ext : nVnet;
+      ing.on_true(st.sel_ext, st.n_ext);
+      ing.on_false(st.sel_ext, st.sel_meta);
+      ing.on_true(st.sel_meta, st.n_meta);
+      ing.on_false(st.sel_meta, st.sel_std);
+      ing.on_true(st.sel_std, st.n_std);
+      ing.on_false(st.sel_std, next_stage);
+
+      const std::size_t first_guard = st.slots.front().guard;
+      ing.on_default(st.n_ext, first_guard);
+      ing.on_default(st.n_meta, first_guard);
+      ing.on_default(st.n_std, first_guard);
+
+      for (std::size_t p = 0; p < st.slots.size(); ++p) {
+        Slot& sl = st.slots[p];
+        const std::size_t after_slot = (p + 1 < st.slots.size())
+                                           ? st.slots[p + 1].guard
+                                           : next_stage;
+        ing.on_true(sl.guard, sl.setup);
+        ing.on_false(sl.guard, next_stage);  // action complete
+        ing.on_default(sl.setup, sl.d_mod);
+        ing.on_true(sl.d_mod, sl.e_mod);
+        ing.on_false(sl.d_mod, sl.d_add);
+        ing.on_true(sl.d_add, sl.e_add);
+        ing.on_false(sl.d_add, sl.d_drop);
+        ing.on_true(sl.d_drop, sl.e_drop);
+        ing.on_false(sl.d_drop, sl.d_resize);
+        ing.on_true(sl.d_resize, sl.e_resize);
+        ing.on_false(sl.d_resize, sl.e_noop);
+        ing.on_default(sl.e_mod, sl.tx);
+        ing.on_default(sl.e_add, sl.tx);
+        ing.on_default(sl.e_drop, sl.tx);
+        ing.on_default(sl.e_resize, sl.tx);
+        ing.on_default(sl.e_noop, sl.tx);
+        ing.on_default(sl.tx, after_slot);
+      }
+    }
+    // nVnet's default edge already ends the control.
+  }
+
+  // --- egress control ---------------------------------------------------------
+  {
+    auto eg = b.egress();
+    const auto csumIf = eg.branch(Expr::binary(
+        ExprOp::kNe, Expr::field(kMeta, kFCsumOffset), Expr::constant(8, 0)));
+    const auto nCsum = eg.apply(tbl_eg_csum());
+    const auto nWb = eg.apply(tbl_eg_writeback());
+    eg.on_true(csumIf, nCsum);
+    eg.on_false(csumIf, nWb);
+    eg.on_default(nCsum, nWb);
+  }
+
+  return b.build();
+}
+
+std::string PersonaGenerator::base_commands() const {
+  std::ostringstream os;
+  os << "# HyPer4 persona base entries (generated)\n";
+  os << "# -- setup_b: byte-concatenation ladder\n";
+  for (std::size_t n : cfg_.parse_ladder()) {
+    os << "table_add " << tbl_setup_b() << " " << act_concat(n) << " " << n
+       << " =>\n";
+  }
+  os << "# -- egress checksum fix-up offsets\n";
+  for (std::size_t off : cfg_.ipv4_csum_offsets) {
+    if ((off + 20) * 8 > cfg_.extracted_bits) continue;
+    os << "table_add " << tbl_eg_csum() << " " << act_ipv4_csum(off) << " "
+       << off << " =>\n";
+  }
+  os << "# -- egress write-back ladder\n";
+  for (std::size_t n : cfg_.writeback_ladder()) {
+    os << "table_add " << tbl_eg_writeback() << " " << act_writeback(n) << " "
+       << n << " =>\n";
+  }
+  return os.str();
+}
+
+}  // namespace hyper4::hp4

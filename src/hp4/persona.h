@@ -1,0 +1,219 @@
+// The HyPer4 persona: a generated P4 program that emulates other P4
+// programs purely through its table entries (§4 of the paper).
+//
+// PersonaGenerator plays the role of the paper's 900-LoC Python
+// configuration script: given a PersonaConfig it produces
+//   - the persona as a p4::Program (runnable on bm::Switch),
+//   - the "base" command file that initializes program-independent entries
+//     (byte-concatenation and write-back ladders, catch-alls), and
+//   - P4-14 source text of the persona (via hp4::emit_p4), whose line
+//     count reproduces Figure 7 and whose table count reproduces Figure 8.
+//
+// Persona structure (mirrors Figure 6):
+//   parser      : ladder of states extracting {default, +step, ..., max}
+//                 single-byte `pr` headers, selected by hp4_meta.numbytes
+//   setup_a     : ternary [program, ingress_port] → assign program id,
+//                 numbytes, virtual ingress port; resubmit when more bytes
+//                 are needed (a_set_program_resub)
+//   setup_b     : exact [bytes_extracted] → concatenate pr[] into the wide
+//                 `extracted` field (one generated action per ladder value)
+//   vparse      : ternary [program, extracted] → virtual parse-path
+//                 resolution: header validity bitmap, initial next_table,
+//                 IPv4-checksum offset
+//   stages 1..K : per stage, match tables per data source (extracted /
+//                 emulated metadata / standard metadata); a hit loads
+//                 match_id, action_id, prim_count and the *next* stage's
+//                 table selector
+//   slots  1..P : per (stage, slot) a setup table (action_id → primitive
+//                 type), one exec table per primitive behaviour
+//                 (mod / addsub / drop / noop / resize), and a transition
+//                 table — the paper's three tables per primitive
+//   vnet        : ternary [program, virt_egress] → physical port, next
+//                 virtual device (recirculate), or drop
+//   egress      : exact [resize] → write-back actions copying `extracted`
+//                 into the pr[] stack and resizing it (the paper's "80
+//                 actions", one per byte count)
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "p4/ir.h"
+
+namespace hyper4::hp4 {
+
+struct PersonaConfig {
+  // Maximum number of emulated match-action stages (paper test config: 4).
+  std::size_t num_stages = 4;
+  // Maximum primitives per compound action (paper test config: 9).
+  std::size_t max_primitives = 9;
+  // Parse ladder: default, step and maximum byte counts (paper: 20/10/100).
+  std::size_t parse_default_bytes = 20;
+  std::size_t parse_step_bytes = 10;
+  std::size_t parse_max_bytes = 100;
+  // Width of the consolidated extracted-data field (paper: 800 bits).
+  std::size_t extracted_bits = 800;
+  // Width of the consolidated emulated-metadata field (paper: 256 bits).
+  std::size_t meta_bits = 256;
+  // Byte offsets at which an emulated IPv4 header checksum can be fixed up
+  // (the paper's "cheat" for well-known protocols; 14 = after Ethernet).
+  std::vector<std::size_t> ipv4_csum_offsets = {14};
+  // Granularity of the generated write-back/resize actions. The paper
+  // generates one action per byte count (80 actions); we default to the
+  // parse-ladder step to keep the generated source compact (see DESIGN.md).
+  std::size_t writeback_step_bytes = 10;
+  // §4.5's proposed ingress-buffer protection: a meter at the start of the
+  // ingress pipeline, indexed by program ID, that kills traffic above a
+  // per-device threshold (protects against recirculation storms). Off by
+  // default — it adds one match stage to every traversal.
+  bool ingress_meter = false;
+  std::uint64_t meter_rate_pps = 1000;
+  std::uint64_t meter_burst = 64;
+  // Number of meter cells (bounds the number of simultaneous program IDs
+  // the meter can police).
+  std::size_t meter_cells = 1024;
+
+  // Ladder of byte counts the parser can extract: default, +step, ..., max.
+  std::vector<std::size_t> parse_ladder() const;
+  // Byte counts the write-back stage supports.
+  std::vector<std::size_t> writeback_ladder() const;
+  void validate() const;  // throws ConfigError on nonsense
+};
+
+// ---------------------------------------------------------------------------
+// Shared encodings (generator, compiler and DPMU must agree on these).
+
+// hp4_meta field names.
+inline const std::string kMeta = "hp4_meta";
+inline const std::string kFProgram = "program";
+inline const std::string kFNumBytes = "numbytes";
+inline const std::string kFBytesExtracted = "bytes_extracted";
+inline const std::string kFExtracted = "extracted";
+inline const std::string kFExtMeta = "ext_meta";
+inline const std::string kFValidity = "vvalidity";
+inline const std::string kFNextTable = "next_table";
+inline const std::string kFMatchId = "match_id";
+inline const std::string kFActionId = "action_id";
+inline const std::string kFPrimCount = "prim_count";
+inline const std::string kFPrimType = "prim_type";
+inline const std::string kFVirtEgress = "virt_egress";
+inline const std::string kFVirtIngress = "virt_ingress";
+inline const std::string kFResize = "resize";
+inline const std::string kFCsumOffset = "csum_offset";
+inline const std::string kFTmp = "tmp";
+
+inline constexpr std::size_t kProgramBits = 16;
+inline constexpr std::size_t kValidityBits = 32;
+inline constexpr std::size_t kNextTableBits = 16;
+inline constexpr std::size_t kMatchIdBits = 32;
+inline constexpr std::size_t kActionIdBits = 16;
+inline constexpr std::size_t kVPortBits = 16;
+
+// virt_egress sentinel meaning "emulated program dropped the packet".
+inline constexpr std::uint64_t kVirtDrop = 0xFFFF;
+
+// Match-table data sources within a stage.
+enum class MatchSource : std::uint64_t {
+  kExtracted = 1,  // [program, vvalidity, extracted]  (ternary)
+  kMeta = 2,       // [program, ext_meta]               (ternary)
+  kStdMeta = 3,    // [program, virt_ingress, virt_egress] (ternary)
+};
+
+// next_table encoding: stage s (1-based) with source m → s * 8 + m; 0 ends
+// match-action emulation (proceed to vnet).
+inline std::uint64_t next_table_code(std::size_t stage, MatchSource m) {
+  return stage * 8 + static_cast<std::uint64_t>(m);
+}
+
+// Primitive behaviours the persona can execute (prim_type values).
+enum class PrimType : std::uint64_t {
+  kNoop = 1,
+  kMod = 2,
+  kAddSub = 3,
+  kDrop = 4,
+  kResize = 5,
+};
+inline constexpr std::size_t kNumPrimTypes = 5;
+const char* prim_type_name(PrimType t);
+
+// --- persona action names (shared by generator, compiler, DPMU) -------------
+inline const std::string kActSetProgram = "a_set_program";
+inline const std::string kActSetProgramResub = "a_set_program_resub";
+inline const std::string kActSetupSkip = "a_setup_skip";
+inline const std::string kActSetParse = "a_set_parse";
+inline const std::string kActParseMiss = "a_parse_miss";
+inline const std::string kActMatchResult = "a_match_result";
+inline const std::string kActMatchMiss = "a_match_miss";
+inline const std::string kActLoadPrim = "a_load_prim";
+inline const std::string kActModExtConst = "a_mod_ext_const";
+inline const std::string kActModExtExt = "a_mod_ext_ext";
+inline const std::string kActModExtMeta = "a_mod_ext_meta";
+inline const std::string kActModMetaConst = "a_mod_meta_const";
+inline const std::string kActModMetaMeta = "a_mod_meta_meta";
+inline const std::string kActModMetaExt = "a_mod_meta_ext";
+inline const std::string kActModMetaVingress = "a_mod_meta_vingress";
+inline const std::string kActModVegressConst = "a_mod_vegress_const";
+inline const std::string kActModVegressMeta = "a_mod_vegress_meta";
+inline const std::string kActModVegressVingress = "a_mod_vegress_vingress";
+inline const std::string kActAddExt = "a_add_ext";
+inline const std::string kActAddMeta = "a_add_meta";
+inline const std::string kActVirtDrop = "a_virt_drop";
+inline const std::string kActExecNoop = "a_exec_noop";
+inline const std::string kActResizeSet = "a_resize_set";
+inline const std::string kActResizeInsert = "a_resize_insert";
+inline const std::string kActResizeRemove = "a_resize_remove";
+inline const std::string kActTx = "a_tx";
+inline const std::string kActVfwdPhys = "a_vfwd_phys";
+inline const std::string kActVfwdVdev = "a_vfwd_vdev";
+inline const std::string kActVfwdMcast = "a_vfwd_mcast";
+inline const std::string kActVdrop = "a_vdrop";
+inline const std::string kActMeterCheck = "a_meter_check";
+inline const std::string kActMeterPunish = "a_meter_punish";
+inline const std::string kIngressMeter = "hp4_ingress_meter";
+inline std::string act_concat(std::size_t n) {
+  return "a_concat_" + std::to_string(n);
+}
+inline std::string act_writeback(std::size_t n) {
+  return "a_wb_" + std::to_string(n);
+}
+inline std::string act_ipv4_csum(std::size_t offset) {
+  return "a_ipv4_csum_" + std::to_string(offset);
+}
+inline const std::string kFlResubmit = "fl_resubmit";
+inline const std::string kFlRecirculate = "fl_recirculate";
+inline const std::string kPrStack = "pr";
+
+// --- persona table names ----------------------------------------------------
+std::string tbl_setup_a();
+std::string tbl_setup_b();
+std::string tbl_vparse();
+std::string tbl_stage_match(std::size_t stage, MatchSource m);
+std::string tbl_prim_setup(std::size_t stage, std::size_t slot);
+std::string tbl_prim_exec(std::size_t stage, std::size_t slot, PrimType t);
+std::string tbl_prim_tx(std::size_t stage, std::size_t slot);
+std::string tbl_vnet();
+std::string tbl_meter();       // only when cfg.ingress_meter
+std::string tbl_meter_drop();  // only when cfg.ingress_meter
+std::string tbl_eg_csum();
+std::string tbl_eg_writeback();
+
+// --- the generator -----------------------------------------------------------
+class PersonaGenerator {
+ public:
+  explicit PersonaGenerator(PersonaConfig cfg);
+
+  const PersonaConfig& config() const { return cfg_; }
+
+  // The persona program (validated).
+  p4::Program generate() const;
+
+  // Program-independent base entries (CLI command text): concatenation
+  // ladder, write-back ladder, physical defaults, catch-alls.
+  std::string base_commands() const;
+
+ private:
+  PersonaConfig cfg_;
+};
+
+}  // namespace hyper4::hp4

@@ -1,0 +1,13 @@
+// RFC 1071 internet checksum (the "csum16" field-list calculation in P4-14).
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace hyper4::net {
+
+// One's-complement sum over 16-bit big-endian words; odd trailing byte is
+// padded with a zero low byte. Returns the final complemented checksum.
+std::uint16_t internet_checksum(std::span<const std::uint8_t> data);
+
+}  // namespace hyper4::net

@@ -1,0 +1,323 @@
+#include "net/headers.h"
+
+#include <cstdio>
+
+#include "net/checksum.h"
+#include "util/error.h"
+#include "util/strings.h"
+
+namespace hyper4::net {
+
+namespace {
+
+// Ethernet enforces a 60-byte minimum frame (before FCS); short frames are
+// zero-padded on the wire. The whole-packet builders reproduce this, which
+// also guarantees the HyPer4 parse ladder can always extract a program's
+// rounded byte requirement (see DESIGN.md).
+constexpr std::size_t kMinFrame = 60;
+
+void pad_min_frame(Packet& p) {
+  while (p.size() < kMinFrame) p.append_byte(0);
+}
+
+void put16(Packet& p, std::uint16_t v) {
+  p.append_byte(static_cast<std::uint8_t>(v >> 8));
+  p.append_byte(static_cast<std::uint8_t>(v & 0xff));
+}
+
+void put32(Packet& p, std::uint32_t v) {
+  put16(p, static_cast<std::uint16_t>(v >> 16));
+  put16(p, static_cast<std::uint16_t>(v & 0xffff));
+}
+
+std::uint16_t get16(std::span<const std::uint8_t> b, std::size_t i) {
+  return static_cast<std::uint16_t>(b[i] << 8 | b[i + 1]);
+}
+
+std::uint32_t get32(std::span<const std::uint8_t> b, std::size_t i) {
+  return static_cast<std::uint32_t>(get16(b, i)) << 16 | get16(b, i + 2);
+}
+
+}  // namespace
+
+MacAddr mac_from_string(const std::string& s) {
+  auto parts = util::split_keep_empty(s, ':');
+  if (parts.size() != 6)
+    throw util::ParseError("mac_from_string: expected 6 octets in '" + s + "'");
+  MacAddr m{};
+  for (std::size_t i = 0; i < 6; ++i) {
+    m[i] = static_cast<std::uint8_t>(util::parse_uint("0x" + parts[i]));
+  }
+  return m;
+}
+
+std::string mac_to_string(const MacAddr& m) {
+  char buf[18];
+  std::snprintf(buf, sizeof(buf), "%02x:%02x:%02x:%02x:%02x:%02x", m[0], m[1],
+                m[2], m[3], m[4], m[5]);
+  return buf;
+}
+
+std::uint64_t mac_to_u64(const MacAddr& m) {
+  std::uint64_t v = 0;
+  for (auto b : m) v = (v << 8) | b;
+  return v;
+}
+
+MacAddr mac_from_u64(std::uint64_t v) {
+  MacAddr m{};
+  for (std::size_t i = 6; i-- > 0;) {
+    m[i] = static_cast<std::uint8_t>(v & 0xff);
+    v >>= 8;
+  }
+  return m;
+}
+
+std::uint32_t ipv4_from_string(const std::string& s) {
+  auto parts = util::split_keep_empty(s, '.');
+  if (parts.size() != 4)
+    throw util::ParseError("ipv4_from_string: expected 4 octets in '" + s + "'");
+  std::uint32_t ip = 0;
+  for (const auto& part : parts) {
+    auto v = util::parse_uint(part);
+    if (v > 255) throw util::ParseError("ipv4_from_string: octet > 255");
+    ip = (ip << 8) | static_cast<std::uint32_t>(v);
+  }
+  return ip;
+}
+
+std::string ipv4_to_string(std::uint32_t ip) {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%u.%u.%u.%u", (ip >> 24) & 0xff,
+                (ip >> 16) & 0xff, (ip >> 8) & 0xff, ip & 0xff);
+  return buf;
+}
+
+void append_eth(Packet& p, const EthHeader& h) {
+  p.append(h.dst);
+  p.append(h.src);
+  put16(p, h.ethertype);
+}
+
+void append_arp(Packet& p, const ArpHeader& h) {
+  put16(p, h.htype);
+  put16(p, h.ptype);
+  p.append_byte(h.hlen);
+  p.append_byte(h.plen);
+  put16(p, h.oper);
+  p.append(h.sha);
+  put32(p, h.spa);
+  p.append(h.tha);
+  put32(p, h.tpa);
+}
+
+void append_ipv4(Packet& p, Ipv4Header h) {
+  Packet hdr;
+  hdr.append_byte(static_cast<std::uint8_t>(h.version << 4 | (h.ihl & 0xf)));
+  hdr.append_byte(h.dscp_ecn);
+  put16(hdr, h.total_len);
+  put16(hdr, h.identification);
+  put16(hdr, h.flags_frag);
+  hdr.append_byte(h.ttl);
+  hdr.append_byte(h.protocol);
+  put16(hdr, h.checksum);
+  put32(hdr, h.src);
+  put32(hdr, h.dst);
+  if (h.checksum == 0) {
+    const std::uint16_t c = internet_checksum(hdr.bytes());
+    hdr.mutable_bytes()[10] = static_cast<std::uint8_t>(c >> 8);
+    hdr.mutable_bytes()[11] = static_cast<std::uint8_t>(c & 0xff);
+  }
+  p.append(hdr.bytes());
+}
+
+void append_tcp(Packet& p, const TcpHeader& h) {
+  put16(p, h.src_port);
+  put16(p, h.dst_port);
+  put32(p, h.seq);
+  put32(p, h.ack);
+  p.append_byte(static_cast<std::uint8_t>(h.data_offset << 4));
+  p.append_byte(h.flags);
+  put16(p, h.window);
+  put16(p, h.checksum);
+  put16(p, h.urgent);
+}
+
+void append_udp(Packet& p, const UdpHeader& h) {
+  put16(p, h.src_port);
+  put16(p, h.dst_port);
+  put16(p, h.length);
+  put16(p, h.checksum);
+}
+
+void append_icmp(Packet& p, IcmpHeader h, std::span<const std::uint8_t> payload) {
+  Packet hdr;
+  hdr.append_byte(h.type);
+  hdr.append_byte(h.code);
+  put16(hdr, h.checksum);
+  put16(hdr, h.identifier);
+  put16(hdr, h.sequence);
+  hdr.append(payload);
+  if (h.checksum == 0) {
+    const std::uint16_t c = internet_checksum(hdr.bytes());
+    hdr.mutable_bytes()[2] = static_cast<std::uint8_t>(c >> 8);
+    hdr.mutable_bytes()[3] = static_cast<std::uint8_t>(c & 0xff);
+  }
+  p.append(hdr.bytes());
+}
+
+Packet make_arp_request(const MacAddr& sender_mac, std::uint32_t sender_ip,
+                        std::uint32_t target_ip) {
+  Packet p;
+  EthHeader eth;
+  eth.dst = MacAddr{0xff, 0xff, 0xff, 0xff, 0xff, 0xff};
+  eth.src = sender_mac;
+  eth.ethertype = kEtherTypeArp;
+  append_eth(p, eth);
+  ArpHeader arp;
+  arp.oper = kArpOpRequest;
+  arp.sha = sender_mac;
+  arp.spa = sender_ip;
+  arp.tha = MacAddr{};
+  arp.tpa = target_ip;
+  append_arp(p, arp);
+  pad_min_frame(p);
+  return p;
+}
+
+Packet make_arp_reply(const MacAddr& sender_mac, std::uint32_t sender_ip,
+                      const MacAddr& target_mac, std::uint32_t target_ip) {
+  Packet p;
+  EthHeader eth;
+  eth.dst = target_mac;
+  eth.src = sender_mac;
+  eth.ethertype = kEtherTypeArp;
+  append_eth(p, eth);
+  ArpHeader arp;
+  arp.oper = kArpOpReply;
+  arp.sha = sender_mac;
+  arp.spa = sender_ip;
+  arp.tha = target_mac;
+  arp.tpa = target_ip;
+  append_arp(p, arp);
+  pad_min_frame(p);
+  return p;
+}
+
+namespace {
+
+Packet make_ipv4_l4(const EthHeader& eth, Ipv4Header ip, std::size_t l4_len,
+                    std::size_t payload_len, std::uint8_t fill,
+                    const auto& append_l4) {
+  Packet p;
+  EthHeader e = eth;
+  e.ethertype = kEtherTypeIpv4;
+  append_eth(p, e);
+  ip.total_len =
+      static_cast<std::uint16_t>(kIpv4HeaderLen + l4_len + payload_len);
+  append_ipv4(p, ip);
+  append_l4(p);
+  for (std::size_t i = 0; i < payload_len; ++i) p.append_byte(fill);
+  pad_min_frame(p);
+  return p;
+}
+
+}  // namespace
+
+Packet make_ipv4_tcp(const EthHeader& eth, Ipv4Header ip, TcpHeader tcp,
+                     std::size_t payload_len, std::uint8_t fill) {
+  ip.protocol = kIpProtoTcp;
+  return make_ipv4_l4(eth, ip, kTcpHeaderLen, payload_len, fill,
+                      [&](Packet& p) { append_tcp(p, tcp); });
+}
+
+Packet make_ipv4_udp(const EthHeader& eth, Ipv4Header ip, UdpHeader udp,
+                     std::size_t payload_len, std::uint8_t fill) {
+  ip.protocol = kIpProtoUdp;
+  udp.length = static_cast<std::uint16_t>(kUdpHeaderLen + payload_len);
+  return make_ipv4_l4(eth, ip, kUdpHeaderLen, payload_len, fill,
+                      [&](Packet& p) { append_udp(p, udp); });
+}
+
+Packet make_ipv4_icmp_echo(const EthHeader& eth, Ipv4Header ip, IcmpHeader icmp,
+                           std::size_t payload_len, std::uint8_t fill) {
+  ip.protocol = kIpProtoIcmp;
+  std::vector<std::uint8_t> payload(payload_len, fill);
+  return make_ipv4_l4(eth, ip, kIcmpHeaderLen, payload_len, fill,
+                      [&](Packet& p) { append_icmp(p, icmp, payload); });
+}
+
+std::optional<EthHeader> read_eth(const Packet& p) {
+  if (p.size() < kEthHeaderLen) return std::nullopt;
+  auto b = p.bytes();
+  EthHeader h;
+  std::copy(b.begin(), b.begin() + 6, h.dst.begin());
+  std::copy(b.begin() + 6, b.begin() + 12, h.src.begin());
+  h.ethertype = get16(b, 12);
+  return h;
+}
+
+std::optional<ArpHeader> read_arp(const Packet& p, std::size_t offset) {
+  if (p.size() < offset + kArpHeaderLen) return std::nullopt;
+  auto b = p.bytes();
+  ArpHeader h;
+  h.htype = get16(b, offset);
+  h.ptype = get16(b, offset + 2);
+  h.hlen = b[offset + 4];
+  h.plen = b[offset + 5];
+  h.oper = get16(b, offset + 6);
+  std::copy(b.begin() + static_cast<std::ptrdiff_t>(offset + 8),
+            b.begin() + static_cast<std::ptrdiff_t>(offset + 14), h.sha.begin());
+  h.spa = get32(b, offset + 14);
+  std::copy(b.begin() + static_cast<std::ptrdiff_t>(offset + 18),
+            b.begin() + static_cast<std::ptrdiff_t>(offset + 24), h.tha.begin());
+  h.tpa = get32(b, offset + 24);
+  return h;
+}
+
+std::optional<Ipv4Header> read_ipv4(const Packet& p, std::size_t offset) {
+  if (p.size() < offset + kIpv4HeaderLen) return std::nullopt;
+  auto b = p.bytes();
+  Ipv4Header h;
+  h.version = b[offset] >> 4;
+  h.ihl = b[offset] & 0xf;
+  h.dscp_ecn = b[offset + 1];
+  h.total_len = get16(b, offset + 2);
+  h.identification = get16(b, offset + 4);
+  h.flags_frag = get16(b, offset + 6);
+  h.ttl = b[offset + 8];
+  h.protocol = b[offset + 9];
+  h.checksum = get16(b, offset + 10);
+  h.src = get32(b, offset + 12);
+  h.dst = get32(b, offset + 16);
+  return h;
+}
+
+std::optional<TcpHeader> read_tcp(const Packet& p, std::size_t offset) {
+  if (p.size() < offset + kTcpHeaderLen) return std::nullopt;
+  auto b = p.bytes();
+  TcpHeader h;
+  h.src_port = get16(b, offset);
+  h.dst_port = get16(b, offset + 2);
+  h.seq = get32(b, offset + 4);
+  h.ack = get32(b, offset + 8);
+  h.data_offset = b[offset + 12] >> 4;
+  h.flags = b[offset + 13];
+  h.window = get16(b, offset + 14);
+  h.checksum = get16(b, offset + 16);
+  h.urgent = get16(b, offset + 18);
+  return h;
+}
+
+std::optional<UdpHeader> read_udp(const Packet& p, std::size_t offset) {
+  if (p.size() < offset + kUdpHeaderLen) return std::nullopt;
+  auto b = p.bytes();
+  UdpHeader h;
+  h.src_port = get16(b, offset);
+  h.dst_port = get16(b, offset + 2);
+  h.length = get16(b, offset + 4);
+  h.checksum = get16(b, offset + 6);
+  return h;
+}
+
+}  // namespace hyper4::net

@@ -1,0 +1,138 @@
+// Protocol header constants and packet builders for the protocols the
+// paper's four network functions operate on: Ethernet, ARP, IPv4, ICMP,
+// TCP, UDP.
+//
+// These builders produce ground-truth packets for tests, examples and the
+// simulator; the P4 programs themselves define their own header layouts in
+// the IR and never depend on this file.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "net/packet.h"
+
+namespace hyper4::net {
+
+using MacAddr = std::array<std::uint8_t, 6>;
+
+// Parse "aa:bb:cc:dd:ee:ff".
+MacAddr mac_from_string(const std::string& s);
+std::string mac_to_string(const MacAddr& m);
+std::uint64_t mac_to_u64(const MacAddr& m);
+MacAddr mac_from_u64(std::uint64_t v);
+
+// Parse dotted quad "10.0.0.1" into host-order uint32.
+std::uint32_t ipv4_from_string(const std::string& s);
+std::string ipv4_to_string(std::uint32_t ip);
+
+// EtherTypes / protocol numbers.
+inline constexpr std::uint16_t kEtherTypeIpv4 = 0x0800;
+inline constexpr std::uint16_t kEtherTypeArp = 0x0806;
+inline constexpr std::uint8_t kIpProtoIcmp = 1;
+inline constexpr std::uint8_t kIpProtoTcp = 6;
+inline constexpr std::uint8_t kIpProtoUdp = 17;
+inline constexpr std::uint16_t kArpOpRequest = 1;
+inline constexpr std::uint16_t kArpOpReply = 2;
+
+inline constexpr std::size_t kEthHeaderLen = 14;
+inline constexpr std::size_t kArpHeaderLen = 28;
+inline constexpr std::size_t kIpv4HeaderLen = 20;  // no options
+inline constexpr std::size_t kTcpHeaderLen = 20;   // no options
+inline constexpr std::size_t kUdpHeaderLen = 8;
+inline constexpr std::size_t kIcmpHeaderLen = 8;
+
+struct EthHeader {
+  MacAddr dst{};
+  MacAddr src{};
+  std::uint16_t ethertype = 0;
+};
+
+struct ArpHeader {
+  std::uint16_t htype = 1;       // Ethernet
+  std::uint16_t ptype = kEtherTypeIpv4;
+  std::uint8_t hlen = 6;
+  std::uint8_t plen = 4;
+  std::uint16_t oper = kArpOpRequest;
+  MacAddr sha{};
+  std::uint32_t spa = 0;
+  MacAddr tha{};
+  std::uint32_t tpa = 0;
+};
+
+struct Ipv4Header {
+  std::uint8_t version = 4;
+  std::uint8_t ihl = 5;
+  std::uint8_t dscp_ecn = 0;
+  std::uint16_t total_len = kIpv4HeaderLen;
+  std::uint16_t identification = 0;
+  std::uint16_t flags_frag = 0;
+  std::uint8_t ttl = 64;
+  std::uint8_t protocol = 0;
+  std::uint16_t checksum = 0;  // 0 = compute on serialize
+  std::uint32_t src = 0;
+  std::uint32_t dst = 0;
+};
+
+struct TcpHeader {
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  std::uint32_t seq = 0;
+  std::uint32_t ack = 0;
+  std::uint8_t data_offset = 5;
+  std::uint8_t flags = 0;
+  std::uint16_t window = 65535;
+  std::uint16_t checksum = 0;
+  std::uint16_t urgent = 0;
+};
+
+struct UdpHeader {
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  std::uint16_t length = kUdpHeaderLen;
+  std::uint16_t checksum = 0;
+};
+
+struct IcmpHeader {
+  std::uint8_t type = 8;  // echo request
+  std::uint8_t code = 0;
+  std::uint16_t checksum = 0;  // 0 = compute on serialize
+  std::uint16_t identifier = 0;
+  std::uint16_t sequence = 0;
+};
+
+// Serializers append to a packet in network order.
+void append_eth(Packet& p, const EthHeader& h);
+void append_arp(Packet& p, const ArpHeader& h);
+// Appends the IPv4 header; if h.checksum == 0 the correct checksum is
+// computed over the serialized header.
+void append_ipv4(Packet& p, Ipv4Header h);
+void append_tcp(Packet& p, const TcpHeader& h);
+void append_udp(Packet& p, const UdpHeader& h);
+void append_icmp(Packet& p, IcmpHeader h,
+                 std::span<const std::uint8_t> payload = {});
+
+// Convenience whole-packet builders (payload appended last; ipv4.total_len
+// is fixed up automatically from the actual sizes).
+Packet make_arp_request(const MacAddr& sender_mac, std::uint32_t sender_ip,
+                        std::uint32_t target_ip);
+Packet make_arp_reply(const MacAddr& sender_mac, std::uint32_t sender_ip,
+                      const MacAddr& target_mac, std::uint32_t target_ip);
+Packet make_ipv4_tcp(const EthHeader& eth, Ipv4Header ip, TcpHeader tcp,
+                     std::size_t payload_len = 0, std::uint8_t fill = 0);
+Packet make_ipv4_udp(const EthHeader& eth, Ipv4Header ip, UdpHeader udp,
+                     std::size_t payload_len = 0, std::uint8_t fill = 0);
+Packet make_ipv4_icmp_echo(const EthHeader& eth, Ipv4Header ip, IcmpHeader icmp,
+                           std::size_t payload_len = 0, std::uint8_t fill = 0);
+
+// Lightweight decoders for assertions in tests (return nullopt when the
+// packet is too short).
+std::optional<EthHeader> read_eth(const Packet& p);
+std::optional<ArpHeader> read_arp(const Packet& p, std::size_t offset = kEthHeaderLen);
+std::optional<Ipv4Header> read_ipv4(const Packet& p, std::size_t offset = kEthHeaderLen);
+std::optional<TcpHeader> read_tcp(const Packet& p, std::size_t offset);
+std::optional<UdpHeader> read_udp(const Packet& p, std::size_t offset);
+
+}  // namespace hyper4::net

@@ -1,0 +1,17 @@
+#include "net/packet.h"
+
+namespace hyper4::net {
+
+std::string Packet::to_hex() const {
+  static const char* kHex = "0123456789abcdef";
+  std::string out;
+  out.reserve(bytes_.size() * 2 + bytes_.size() / 4);
+  for (std::size_t i = 0; i < bytes_.size(); ++i) {
+    if (i != 0 && i % 4 == 0) out.push_back(' ');
+    out.push_back(kHex[bytes_[i] >> 4]);
+    out.push_back(kHex[bytes_[i] & 0xf]);
+  }
+  return out;
+}
+
+}  // namespace hyper4::net

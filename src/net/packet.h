@@ -1,0 +1,48 @@
+// Raw packet buffer plus convenience accessors.
+//
+// A Packet is just bytes on a wire; all protocol interpretation lives in
+// header views (headers.h) or in the P4 parser (src/bm). Packets compare
+// byte-for-byte, which is how the native-vs-emulated equivalence tests
+// decide success.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace hyper4::net {
+
+class Packet {
+ public:
+  Packet() = default;
+  explicit Packet(std::vector<std::uint8_t> bytes) : bytes_(std::move(bytes)) {}
+
+  std::size_t size() const { return bytes_.size(); }
+  bool empty() const { return bytes_.empty(); }
+
+  std::span<const std::uint8_t> bytes() const { return bytes_; }
+  std::span<std::uint8_t> mutable_bytes() { return bytes_; }
+
+  std::uint8_t at(std::size_t i) const { return bytes_.at(i); }
+
+  void append(std::span<const std::uint8_t> data) {
+    bytes_.insert(bytes_.end(), data.begin(), data.end());
+  }
+  void append_byte(std::uint8_t b) { bytes_.push_back(b); }
+
+  // Drop everything past `len` bytes (P4 truncate primitive).
+  void truncate(std::size_t len) {
+    if (bytes_.size() > len) bytes_.resize(len);
+  }
+
+  bool operator==(const Packet&) const = default;
+
+  // Hex dump, two digits per byte, space-separated every 4 bytes.
+  std::string to_hex() const;
+
+ private:
+  std::vector<std::uint8_t> bytes_;
+};
+
+}  // namespace hyper4::net

@@ -1,0 +1,280 @@
+#include "p4/builder.h"
+
+#include "util/error.h"
+
+namespace hyper4::p4 {
+
+using util::ConfigError;
+
+// ---------------------------------------------------------------------------
+// ParserBuilder
+
+ParserBuilder& ParserBuilder::extract(std::string instance) {
+  s_.extracts.push_back(std::move(instance));
+  return *this;
+}
+
+ParserBuilder& ParserBuilder::set_meta(FieldRef dst, ExprPtr value) {
+  s_.sets.emplace_back(std::move(dst), std::move(value));
+  return *this;
+}
+
+ParserBuilder& ParserBuilder::select_field(std::string header, std::string field) {
+  SelectKey k;
+  k.field = FieldRef{std::move(header), std::move(field)};
+  s_.select.push_back(std::move(k));
+  return *this;
+}
+
+ParserBuilder& ParserBuilder::select_current(std::size_t offset_bits,
+                                             std::size_t width_bits) {
+  SelectKey k;
+  k.is_current = true;
+  k.current_offset = offset_bits;
+  k.current_width = width_bits;
+  s_.select.push_back(std::move(k));
+  return *this;
+}
+
+ParserBuilder& ParserBuilder::when(util::BitVec value, std::string next) {
+  ParserCase c;
+  c.value = std::move(value);
+  c.next_state = std::move(next);
+  s_.cases.push_back(std::move(c));
+  return *this;
+}
+
+ParserBuilder& ParserBuilder::when(std::uint64_t value, std::string next) {
+  // Width is fixed up at build time from the select keys; store as 64-bit
+  // now and resize in otherwise()/build. Simplest: compute width lazily is
+  // complex, so require select width here: sum is unknown until program has
+  // all instances. We store 64-bit; ir validation compares widths, so we
+  // resize when the case is added if select keys are already present and
+  // resolvable later via Program::finalize. To keep validation strict we
+  // just record the value with a sentinel width and let ProgramBuilder
+  // resize during build().
+  ParserCase c;
+  c.value = util::BitVec(64, value);
+  c.next_state = std::move(next);
+  s_.cases.push_back(std::move(c));
+  return *this;
+}
+
+ParserBuilder& ParserBuilder::when_masked(util::BitVec value, util::BitVec mask,
+                                          std::string next) {
+  ParserCase c;
+  c.value = std::move(value);
+  c.mask = std::move(mask);
+  c.next_state = std::move(next);
+  s_.cases.push_back(std::move(c));
+  return *this;
+}
+
+ParserBuilder& ParserBuilder::otherwise(std::string next) {
+  ParserCase c;
+  c.is_default = true;
+  c.next_state = std::move(next);
+  s_.cases.push_back(std::move(c));
+  return *this;
+}
+
+// ---------------------------------------------------------------------------
+// ActionBuilder / TableBuilder
+
+ActionBuilder& ActionBuilder::prim(Primitive op, std::vector<ActionArg> args) {
+  a_.body.push_back(PrimitiveCall{op, std::move(args)});
+  return *this;
+}
+
+TableBuilder& TableBuilder::key(MatchType t, FieldRef f) {
+  t_.keys.push_back(TableKey{t, std::move(f)});
+  return *this;
+}
+TableBuilder& TableBuilder::action_ref(std::string action) {
+  t_.actions.push_back(std::move(action));
+  return *this;
+}
+TableBuilder& TableBuilder::default_action(std::string action,
+                                           std::vector<util::BitVec> args) {
+  t_.default_action = std::move(action);
+  t_.default_action_args = std::move(args);
+  return *this;
+}
+TableBuilder& TableBuilder::size(std::size_t n) {
+  t_.max_size = n;
+  return *this;
+}
+TableBuilder& TableBuilder::direct_counter(std::string counter) {
+  t_.direct_counter = std::move(counter);
+  return *this;
+}
+
+// ---------------------------------------------------------------------------
+// ControlBuilder
+
+std::size_t ControlBuilder::apply(std::string table) {
+  ControlNode n;
+  n.kind = ControlNode::Kind::kApply;
+  n.table = std::move(table);
+  c_.nodes.push_back(std::move(n));
+  return c_.nodes.size() - 1;
+}
+
+ControlBuilder& ControlBuilder::then_apply(std::string table) {
+  if (c_.nodes.empty()) throw ConfigError("then_apply on empty control");
+  const std::size_t prev = c_.nodes.size() - 1;
+  const std::size_t node = apply(std::move(table));
+  ControlNode& p = c_.nodes[prev];
+  if (p.kind == ControlNode::Kind::kApply) {
+    p.next_default = node;
+  } else {
+    if (p.next_true == kEndOfControl) p.next_true = node;
+    if (p.next_false == kEndOfControl) p.next_false = node;
+  }
+  return *this;
+}
+
+std::size_t ControlBuilder::branch(ExprPtr cond) {
+  ControlNode n;
+  n.kind = ControlNode::Kind::kIf;
+  n.condition = std::move(cond);
+  c_.nodes.push_back(std::move(n));
+  return c_.nodes.size() - 1;
+}
+
+ControlBuilder& ControlBuilder::on_action(std::size_t node, std::string action,
+                                          std::size_t next) {
+  c_.nodes.at(node).on_action[std::move(action)] = next;
+  return *this;
+}
+ControlBuilder& ControlBuilder::on_hit(std::size_t node, std::size_t next) {
+  c_.nodes.at(node).on_hit = next;
+  return *this;
+}
+ControlBuilder& ControlBuilder::on_miss(std::size_t node, std::size_t next) {
+  c_.nodes.at(node).on_miss = next;
+  return *this;
+}
+ControlBuilder& ControlBuilder::on_default(std::size_t node, std::size_t next) {
+  c_.nodes.at(node).next_default = next;
+  return *this;
+}
+ControlBuilder& ControlBuilder::on_true(std::size_t node, std::size_t next) {
+  c_.nodes.at(node).next_true = next;
+  return *this;
+}
+ControlBuilder& ControlBuilder::on_false(std::size_t node, std::size_t next) {
+  c_.nodes.at(node).next_false = next;
+  return *this;
+}
+
+// ---------------------------------------------------------------------------
+// ProgramBuilder
+
+ProgramBuilder::ProgramBuilder(std::string name) {
+  p_.name = std::move(name);
+  p_.ingress.name = "ingress";
+  p_.egress.name = "egress";
+}
+
+ProgramBuilder& ProgramBuilder::header_type(std::string name,
+                                            std::vector<Field> fields) {
+  p_.header_types.push_back(HeaderType{std::move(name), std::move(fields)});
+  return *this;
+}
+
+ProgramBuilder& ProgramBuilder::header(std::string type, std::string name) {
+  p_.instances.push_back(HeaderInstance{std::move(name), std::move(type), false, 1});
+  return *this;
+}
+
+ProgramBuilder& ProgramBuilder::header_stack(std::string type, std::string name,
+                                             std::size_t count) {
+  p_.instances.push_back(
+      HeaderInstance{std::move(name), std::move(type), false, count});
+  return *this;
+}
+
+ProgramBuilder& ProgramBuilder::metadata(std::string type, std::string name) {
+  p_.instances.push_back(HeaderInstance{std::move(name), std::move(type), true, 1});
+  return *this;
+}
+
+ParserBuilder ProgramBuilder::parser(std::string state_name) {
+  p_.parser_states.push_back(ParserState{});
+  p_.parser_states.back().name = std::move(state_name);
+  return ParserBuilder(p_.parser_states.back());
+}
+
+ActionBuilder ProgramBuilder::action(std::string name,
+                                     std::vector<ActionParam> params) {
+  p_.actions.push_back(ActionDef{});
+  p_.actions.back().name = std::move(name);
+  p_.actions.back().params = std::move(params);
+  return ActionBuilder(p_.actions.back());
+}
+
+TableBuilder ProgramBuilder::table(std::string name) {
+  p_.tables.push_back(TableDef{});
+  p_.tables.back().name = std::move(name);
+  return TableBuilder(p_.tables.back());
+}
+
+ControlBuilder ProgramBuilder::ingress() { return ControlBuilder(p_.ingress); }
+ControlBuilder ProgramBuilder::egress() { return ControlBuilder(p_.egress); }
+
+ProgramBuilder& ProgramBuilder::field_list(std::string name,
+                                           std::vector<FieldRef> fields) {
+  p_.field_lists.push_back(FieldListDef{std::move(name), std::move(fields)});
+  return *this;
+}
+
+ProgramBuilder& ProgramBuilder::counter(std::string name, std::size_t instances,
+                                        std::string direct_table) {
+  p_.counters.push_back(CounterDef{std::move(name), instances, std::move(direct_table)});
+  return *this;
+}
+
+ProgramBuilder& ProgramBuilder::meter(std::string name, std::size_t instances,
+                                      std::uint64_t rate_pps, std::uint64_t burst) {
+  p_.meters.push_back(MeterDef{std::move(name), instances, rate_pps, burst});
+  return *this;
+}
+
+ProgramBuilder& ProgramBuilder::reg(std::string name, std::size_t width,
+                                    std::size_t instances) {
+  p_.registers.push_back(RegisterDef{std::move(name), width, instances});
+  return *this;
+}
+
+ProgramBuilder& ProgramBuilder::checksum(FieldRef field, std::string field_list,
+                                         ExprPtr condition) {
+  p_.calculated_fields.push_back(
+      CalculatedField{std::move(field), std::move(field_list), true,
+                      std::move(condition)});
+  return *this;
+}
+
+ProgramBuilder& ProgramBuilder::deparse_order(std::vector<std::string> order) {
+  p_.deparse_order = std::move(order);
+  return *this;
+}
+
+Program ProgramBuilder::build() {
+  // Fix up 64-bit-sentinel case values recorded by when(uint64_t) to the
+  // actual select width of their state.
+  for (auto& st : p_.parser_states) {
+    if (st.select.empty()) continue;
+    std::size_t w = 0;
+    for (const auto& k : st.select) w += k.width(p_);
+    for (auto& c : st.cases) {
+      if (!c.is_default && c.value.width() == 64 && w != 64) {
+        c.value = c.value.resized(w);
+      }
+    }
+  }
+  p_.finalize();
+  return p_;
+}
+
+}  // namespace hyper4::p4

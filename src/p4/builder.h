@@ -1,0 +1,222 @@
+// Fluent construction API for p4::Program.
+//
+// Example:
+//   ProgramBuilder b("l2_switch");
+//   b.header_type("ethernet_t", {{"dstAddr", 48}, {"srcAddr", 48},
+//                                {"etherType", 16}});
+//   b.header("ethernet_t", "ethernet");
+//   b.parser("start").extract("ethernet").to_ingress();
+//   b.action("forward", {{"port", 9}})
+//       .modify_field({"standard_metadata", "egress_spec"}, Param(0));
+//   b.table("dmac")
+//       .key_exact({"ethernet", "dstAddr"})
+//       .action_ref("forward").action_ref("bcast")
+//       .default_action("bcast");
+//   b.ingress().apply("smac").then_apply("dmac");
+//   Program p = b.build();
+#pragma once
+
+#include <initializer_list>
+
+#include "p4/ir.h"
+
+namespace hyper4::p4 {
+
+// Shorthand argument factories for action bodies.
+inline ActionArg Param(std::size_t i) { return ActionArg::param(i); }
+inline ActionArg Const(std::size_t width, std::uint64_t v) {
+  return ActionArg::constant(width, v);
+}
+inline ActionArg Const(util::BitVec v) { return ActionArg::constant(std::move(v)); }
+inline ActionArg F(std::string header, std::string field) {
+  return ActionArg::of_field(std::move(header), std::move(field));
+}
+inline ActionArg Hdr(std::string name) { return ActionArg::header(std::move(name)); }
+inline ActionArg Named(std::string name) { return ActionArg::named(std::move(name)); }
+
+class ProgramBuilder;
+
+// Builder for one parser state.
+class ParserBuilder {
+ public:
+  ParserBuilder& extract(std::string instance);
+  ParserBuilder& set_meta(FieldRef dst, ExprPtr value);
+  // Select keys (call one or more times before when()/otherwise()).
+  ParserBuilder& select_field(std::string header, std::string field);
+  ParserBuilder& select_current(std::size_t offset_bits, std::size_t width_bits);
+  // Cases.
+  ParserBuilder& when(std::uint64_t value, std::string next);
+  ParserBuilder& when(util::BitVec value, std::string next);
+  ParserBuilder& when_masked(util::BitVec value, util::BitVec mask, std::string next);
+  ParserBuilder& otherwise(std::string next);
+  // Unconditional transitions.
+  ParserBuilder& to(std::string next) { return otherwise(std::move(next)); }
+  ParserBuilder& to_ingress() { return otherwise(kParserAccept); }
+
+ private:
+  friend class ProgramBuilder;
+  explicit ParserBuilder(ParserState& s) : s_(s) {}
+  ParserState& s_;
+};
+
+// Builder for one action.
+class ActionBuilder {
+ public:
+  ActionBuilder& prim(Primitive op, std::vector<ActionArg> args);
+
+  ActionBuilder& no_op() { return prim(Primitive::kNoOp, {}); }
+  ActionBuilder& modify_field(FieldRef dst, ActionArg src) {
+    return prim(Primitive::kModifyField, {ActionArg::of_field(dst), std::move(src)});
+  }
+  ActionBuilder& modify_field_masked(FieldRef dst, ActionArg src, ActionArg mask) {
+    return prim(Primitive::kModifyField,
+                {ActionArg::of_field(dst), std::move(src), std::move(mask)});
+  }
+  ActionBuilder& add_to_field(FieldRef dst, ActionArg v) {
+    return prim(Primitive::kAddToField, {ActionArg::of_field(dst), std::move(v)});
+  }
+  ActionBuilder& subtract_from_field(FieldRef dst, ActionArg v) {
+    return prim(Primitive::kSubtractFromField,
+                {ActionArg::of_field(dst), std::move(v)});
+  }
+  ActionBuilder& bit_op(Primitive op, FieldRef dst, ActionArg a, ActionArg b) {
+    return prim(op, {ActionArg::of_field(dst), std::move(a), std::move(b)});
+  }
+  ActionBuilder& add_header(std::string h) {
+    return prim(Primitive::kAddHeader, {Hdr(std::move(h))});
+  }
+  ActionBuilder& remove_header(std::string h) {
+    return prim(Primitive::kRemoveHeader, {Hdr(std::move(h))});
+  }
+  ActionBuilder& copy_header(std::string dst, std::string src) {
+    return prim(Primitive::kCopyHeader, {Hdr(std::move(dst)), Hdr(std::move(src))});
+  }
+  ActionBuilder& drop() { return prim(Primitive::kDrop, {}); }
+  ActionBuilder& count(std::string counter, ActionArg index) {
+    return prim(Primitive::kCount, {Named(std::move(counter)), std::move(index)});
+  }
+  ActionBuilder& register_read(FieldRef dst, std::string reg, ActionArg index) {
+    return prim(Primitive::kRegisterRead,
+                {ActionArg::of_field(dst), Named(std::move(reg)), std::move(index)});
+  }
+  ActionBuilder& register_write(std::string reg, ActionArg index, ActionArg v) {
+    return prim(Primitive::kRegisterWrite,
+                {Named(std::move(reg)), std::move(index), std::move(v)});
+  }
+  ActionBuilder& resubmit(std::string field_list = "") {
+    std::vector<ActionArg> args;
+    if (!field_list.empty()) args.push_back(Named(std::move(field_list)));
+    return prim(Primitive::kResubmit, std::move(args));
+  }
+  ActionBuilder& recirculate(std::string field_list = "") {
+    std::vector<ActionArg> args;
+    if (!field_list.empty()) args.push_back(Named(std::move(field_list)));
+    return prim(Primitive::kRecirculate, std::move(args));
+  }
+  ActionBuilder& clone_i2e(ActionArg session, std::string field_list = "") {
+    std::vector<ActionArg> args{std::move(session)};
+    if (!field_list.empty()) args.push_back(Named(std::move(field_list)));
+    return prim(Primitive::kCloneIngressToEgress, std::move(args));
+  }
+  ActionBuilder& clone_e2e(ActionArg session, std::string field_list = "") {
+    std::vector<ActionArg> args{std::move(session)};
+    if (!field_list.empty()) args.push_back(Named(std::move(field_list)));
+    return prim(Primitive::kCloneEgressToEgress, std::move(args));
+  }
+  ActionBuilder& truncate(ActionArg len) {
+    return prim(Primitive::kTruncate, {std::move(len)});
+  }
+
+ private:
+  friend class ProgramBuilder;
+  explicit ActionBuilder(ActionDef& a) : a_(a) {}
+  ActionDef& a_;
+};
+
+// Builder for one table.
+class TableBuilder {
+ public:
+  TableBuilder& key(MatchType t, FieldRef f);
+  TableBuilder& key_exact(FieldRef f) { return key(MatchType::kExact, std::move(f)); }
+  TableBuilder& key_ternary(FieldRef f) { return key(MatchType::kTernary, std::move(f)); }
+  TableBuilder& key_lpm(FieldRef f) { return key(MatchType::kLpm, std::move(f)); }
+  TableBuilder& key_valid(std::string header) {
+    return key(MatchType::kValid, FieldRef{std::move(header), ""});
+  }
+  TableBuilder& key_range(FieldRef f) { return key(MatchType::kRange, std::move(f)); }
+  TableBuilder& action_ref(std::string action);
+  TableBuilder& default_action(std::string action,
+                               std::vector<util::BitVec> args = {});
+  TableBuilder& size(std::size_t n);
+  TableBuilder& direct_counter(std::string counter);
+
+ private:
+  friend class ProgramBuilder;
+  explicit TableBuilder(TableDef& t) : t_(t) {}
+  TableDef& t_;
+};
+
+// Builder for a control graph. apply()/branch() append nodes; the sequence
+// helpers wire node N's default edge to node N+1 as they go, so
+//   ctl.apply("t1").then_apply("t2")
+// runs t1 then t2 then ends.
+class ControlBuilder {
+ public:
+  // Append an apply node (entry node if first); returns its index.
+  std::size_t apply(std::string table);
+  // Append an apply node and link the previous node's default edge to it.
+  ControlBuilder& then_apply(std::string table);
+  // Append an if node with explicit successor indices (wire later).
+  std::size_t branch(ExprPtr cond);
+  // Edge wiring by node index.
+  ControlBuilder& on_action(std::size_t node, std::string action, std::size_t next);
+  ControlBuilder& on_hit(std::size_t node, std::size_t next);
+  ControlBuilder& on_miss(std::size_t node, std::size_t next);
+  ControlBuilder& on_default(std::size_t node, std::size_t next);
+  ControlBuilder& on_true(std::size_t node, std::size_t next);
+  ControlBuilder& on_false(std::size_t node, std::size_t next);
+
+  std::size_t size() const { return c_.nodes.size(); }
+
+ private:
+  friend class ProgramBuilder;
+  explicit ControlBuilder(Control& c) : c_(c) {}
+  Control& c_;
+};
+
+class ProgramBuilder {
+ public:
+  explicit ProgramBuilder(std::string name);
+
+  ProgramBuilder& header_type(std::string name, std::vector<Field> fields);
+  // Declare a packet header instance of `type` named `name`.
+  ProgramBuilder& header(std::string type, std::string name);
+  ProgramBuilder& header_stack(std::string type, std::string name, std::size_t count);
+  ProgramBuilder& metadata(std::string type, std::string name);
+
+  ParserBuilder parser(std::string state_name);
+  ActionBuilder action(std::string name, std::vector<ActionParam> params = {});
+  TableBuilder table(std::string name);
+  ControlBuilder ingress();
+  ControlBuilder egress();
+
+  ProgramBuilder& field_list(std::string name, std::vector<FieldRef> fields);
+  ProgramBuilder& counter(std::string name, std::size_t instances,
+                          std::string direct_table = "");
+  ProgramBuilder& meter(std::string name, std::size_t instances,
+                        std::uint64_t rate_pps, std::uint64_t burst);
+  ProgramBuilder& reg(std::string name, std::size_t width, std::size_t instances);
+  ProgramBuilder& checksum(FieldRef field, std::string field_list,
+                           ExprPtr condition = nullptr);
+  ProgramBuilder& deparse_order(std::vector<std::string> order);
+
+  // Finalize (derive deparse order, validate) and return the program.
+  Program build();
+  // Access the program under construction without finalizing.
+  Program& raw() { return p_; }
+
+ private:
+  Program p_;
+};
+
+}  // namespace hyper4::p4

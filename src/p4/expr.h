@@ -1,0 +1,86 @@
+// Expression trees for parser set_metadata statements and control-flow
+// conditionals (P4-14 `if (...)` in control functions).
+//
+// Expr is an immutable value type; children are shared (the tree is never
+// mutated after construction) so Programs stay cheaply copyable.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/bitvec.h"
+
+namespace hyper4::p4 {
+
+// Reference to `header.field`. `header` is a header or metadata instance
+// name; the special instance "standard_metadata" is always available.
+struct FieldRef {
+  std::string header;
+  std::string field;
+
+  bool operator==(const FieldRef&) const = default;
+  std::string str() const { return header + "." + field; }
+};
+
+enum class ExprOp {
+  kConst,     // leaf: value
+  kField,     // leaf: field
+  kValid,     // leaf: valid(header)
+  kAdd, kSub, kBitAnd, kBitOr, kBitXor, kShl, kShr,
+  kEq, kNe, kLt, kGt, kLe, kGe,
+  kLAnd, kLOr, kLNot, kBitNot,
+};
+
+class Expr;
+using ExprPtr = std::shared_ptr<const Expr>;
+
+class Expr {
+ public:
+  static ExprPtr constant(util::BitVec v) {
+    auto e = std::make_shared<Expr>();
+    e->op = ExprOp::kConst;
+    e->value = std::move(v);
+    return e;
+  }
+  static ExprPtr constant(std::size_t width, std::uint64_t v) {
+    return constant(util::BitVec(width, v));
+  }
+  static ExprPtr field(FieldRef f) {
+    auto e = std::make_shared<Expr>();
+    e->op = ExprOp::kField;
+    e->fref = std::move(f);
+    return e;
+  }
+  static ExprPtr field(std::string header, std::string fname) {
+    return field(FieldRef{std::move(header), std::move(fname)});
+  }
+  static ExprPtr valid(std::string header) {
+    auto e = std::make_shared<Expr>();
+    e->op = ExprOp::kValid;
+    e->fref = FieldRef{std::move(header), ""};
+    return e;
+  }
+  static ExprPtr unary(ExprOp op, ExprPtr a) {
+    auto e = std::make_shared<Expr>();
+    e->op = op;
+    e->children = {std::move(a)};
+    return e;
+  }
+  static ExprPtr binary(ExprOp op, ExprPtr a, ExprPtr b) {
+    auto e = std::make_shared<Expr>();
+    e->op = op;
+    e->children = {std::move(a), std::move(b)};
+    return e;
+  }
+
+  ExprOp op = ExprOp::kConst;
+  util::BitVec value;            // kConst
+  FieldRef fref;                 // kField / kValid
+  std::vector<ExprPtr> children; // interior nodes
+
+  // Human-readable rendering for diagnostics and the P4 source emitter.
+  std::string str() const;
+};
+
+}  // namespace hyper4::p4

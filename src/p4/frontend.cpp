@@ -1,0 +1,815 @@
+#include "p4/frontend.h"
+
+#include <optional>
+#include <vector>
+
+#include "util/error.h"
+#include "util/strings.h"
+
+namespace hyper4::p4 {
+
+using util::BitVec;
+using util::ParseError;
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Lexer
+
+struct Token {
+  enum class Kind { kIdent, kNumber, kPunct, kEnd };
+  Kind kind = Kind::kEnd;
+  std::string text;
+  std::uint64_t number = 0;
+  std::size_t number_digits = 0;  // hex digits, for width inference
+  bool was_hex = false;
+  std::size_t line = 0;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(const std::string& src) : src_(src) { advance(); }
+
+  const Token& peek() const { return tok_; }
+  Token next() {
+    Token t = tok_;
+    advance();
+    return t;
+  }
+
+ private:
+  void advance() {
+    // Skip whitespace and comments.
+    for (;;) {
+      while (pos_ < src_.size() &&
+             (src_[pos_] == ' ' || src_[pos_] == '\t' || src_[pos_] == '\r' ||
+              src_[pos_] == '\n')) {
+        if (src_[pos_] == '\n') ++line_;
+        ++pos_;
+      }
+      if (pos_ + 1 < src_.size() && src_[pos_] == '/' && src_[pos_ + 1] == '/') {
+        while (pos_ < src_.size() && src_[pos_] != '\n') ++pos_;
+        continue;
+      }
+      if (pos_ + 1 < src_.size() && src_[pos_] == '/' && src_[pos_ + 1] == '*') {
+        pos_ += 2;
+        while (pos_ + 1 < src_.size() &&
+               !(src_[pos_] == '*' && src_[pos_ + 1] == '/')) {
+          if (src_[pos_] == '\n') ++line_;
+          ++pos_;
+        }
+        pos_ = std::min(pos_ + 2, src_.size());
+        continue;
+      }
+      break;
+    }
+    tok_ = Token{};
+    tok_.line = line_;
+    if (pos_ >= src_.size()) {
+      tok_.kind = Token::Kind::kEnd;
+      return;
+    }
+    const char c = src_[pos_];
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      std::size_t s = pos_;
+      while (pos_ < src_.size() &&
+             (std::isalnum(static_cast<unsigned char>(src_[pos_])) ||
+              src_[pos_] == '_')) {
+        ++pos_;
+      }
+      tok_.kind = Token::Kind::kIdent;
+      tok_.text = src_.substr(s, pos_ - s);
+      return;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      std::size_t s = pos_;
+      bool hex = false;
+      if (c == '0' && pos_ + 1 < src_.size() &&
+          (src_[pos_ + 1] == 'x' || src_[pos_ + 1] == 'X')) {
+        hex = true;
+        pos_ += 2;
+        while (pos_ < src_.size() &&
+               std::isxdigit(static_cast<unsigned char>(src_[pos_]))) {
+          ++pos_;
+        }
+      } else {
+        while (pos_ < src_.size() &&
+               std::isdigit(static_cast<unsigned char>(src_[pos_]))) {
+          ++pos_;
+        }
+      }
+      tok_.kind = Token::Kind::kNumber;
+      tok_.text = src_.substr(s, pos_ - s);
+      tok_.number = util::parse_uint(tok_.text);
+      tok_.was_hex = hex;
+      tok_.number_digits = hex ? tok_.text.size() - 2 : 0;
+      return;
+    }
+    // Multi-character punctuation first.
+    for (const char* p : {"==", "!=", ">=", "<=", "&&", "||"}) {
+      if (src_.compare(pos_, 2, p) == 0) {
+        tok_.kind = Token::Kind::kPunct;
+        tok_.text = p;
+        pos_ += 2;
+        return;
+      }
+    }
+    tok_.kind = Token::Kind::kPunct;
+    tok_.text = std::string(1, c);
+    ++pos_;
+  }
+
+  const std::string& src_;
+  std::size_t pos_ = 0;
+  std::size_t line_ = 1;
+  Token tok_;
+};
+
+// ---------------------------------------------------------------------------
+// Parser
+
+class Parser {
+ public:
+  Parser(const std::string& src, std::string name) : lex_(src) {
+    prog_.name = std::move(name);
+    prog_.ingress.name = "ingress";
+    prog_.egress.name = "egress";
+  }
+
+  // Returns the raw program; parse_p4 fixes select-case widths (which need
+  // the complete instance table) before finalizing.
+  Program run() {
+    while (lex_.peek().kind != Token::Kind::kEnd) top_level();
+    return prog_;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& msg) {
+    throw ParseError("p4 parse error at line " +
+                     std::to_string(lex_.peek().line) + ": " + msg);
+  }
+
+  Token expect_ident(const char* what) {
+    if (lex_.peek().kind != Token::Kind::kIdent)
+      fail(std::string("expected ") + what + ", got '" + lex_.peek().text + "'");
+    return lex_.next();
+  }
+  std::uint64_t expect_number(const char* what) {
+    if (lex_.peek().kind != Token::Kind::kNumber)
+      fail(std::string("expected ") + what);
+    return lex_.next().number;
+  }
+  void expect_punct(const char* p) {
+    if (lex_.peek().kind != Token::Kind::kPunct || lex_.peek().text != p)
+      fail(std::string("expected '") + p + "', got '" + lex_.peek().text + "'");
+    lex_.next();
+  }
+  bool accept_punct(const char* p) {
+    if (lex_.peek().kind == Token::Kind::kPunct && lex_.peek().text == p) {
+      lex_.next();
+      return true;
+    }
+    return false;
+  }
+  bool accept_ident(const char* kw) {
+    if (lex_.peek().kind == Token::Kind::kIdent && lex_.peek().text == kw) {
+      lex_.next();
+      return true;
+    }
+    return false;
+  }
+
+  // "hdr.field" (the "hdr" part may itself be "stack[3]").
+  FieldRef parse_field_ref() {
+    std::string hdr = expect_ident("header name").text;
+    if (accept_punct("[")) {
+      hdr += "[" + std::to_string(expect_number("stack index")) + "]";
+      expect_punct("]");
+    }
+    expect_punct(".");
+    std::string fld = expect_ident("field name").text;
+    return FieldRef{std::move(hdr), std::move(fld)};
+  }
+
+  void top_level() {
+    const Token t = expect_ident("declaration");
+    const std::string& kw = t.text;
+    if (kw == "header_type") return parse_header_type();
+    if (kw == "header") return parse_instance(false);
+    if (kw == "metadata") return parse_instance(true);
+    if (kw == "field_list") return parse_field_list();
+    if (kw == "field_list_calculation") return parse_flc();
+    if (kw == "calculated_field") return parse_calculated_field();
+    if (kw == "parser") return parse_parser_state();
+    if (kw == "action") return parse_action();
+    if (kw == "table") return parse_table();
+    if (kw == "control") return parse_control();
+    if (kw == "counter") return parse_counter();
+    if (kw == "meter") return parse_meter();
+    if (kw == "register") return parse_register();
+    fail("unknown declaration '" + kw + "'");
+  }
+
+  void parse_header_type() {
+    HeaderType ht;
+    ht.name = expect_ident("header type name").text;
+    expect_punct("{");
+    expect_ident("fields");
+    expect_punct("{");
+    while (!accept_punct("}")) {
+      Field f;
+      f.name = expect_ident("field name").text;
+      expect_punct(":");
+      f.width = expect_number("field width");
+      expect_punct(";");
+      ht.fields.push_back(std::move(f));
+    }
+    expect_punct("}");
+    prog_.header_types.push_back(std::move(ht));
+  }
+
+  void parse_instance(bool metadata) {
+    HeaderInstance inst;
+    inst.type = expect_ident("type name").text;
+    inst.name = expect_ident("instance name").text;
+    inst.metadata = metadata;
+    if (accept_punct("[")) {
+      inst.stack_size = expect_number("stack size");
+      expect_punct("]");
+    }
+    expect_punct(";");
+    prog_.instances.push_back(std::move(inst));
+  }
+
+  void parse_field_list() {
+    FieldListDef fl;
+    fl.name = expect_ident("field list name").text;
+    expect_punct("{");
+    while (!accept_punct("}")) {
+      fl.fields.push_back(parse_field_ref());
+      expect_punct(";");
+    }
+    prog_.field_lists.push_back(std::move(fl));
+  }
+
+  struct Flc {
+    std::string name;
+    std::string input_list;
+  };
+  std::vector<Flc> flcs_;
+
+  void parse_flc() {
+    Flc f;
+    f.name = expect_ident("calculation name").text;
+    expect_punct("{");
+    while (!accept_punct("}")) {
+      const Token t = expect_ident("calculation item");
+      if (t.text == "input") {
+        expect_punct("{");
+        f.input_list = expect_ident("field list").text;
+        expect_punct(";");
+        expect_punct("}");
+      } else if (t.text == "algorithm") {
+        expect_punct(":");
+        const std::string algo = expect_ident("algorithm").text;
+        if (algo != "csum16")
+          fail("only the csum16 algorithm is supported, got '" + algo + "'");
+        expect_punct(";");
+      } else if (t.text == "output_width") {
+        expect_punct(":");
+        expect_number("output width");
+        expect_punct(";");
+      } else {
+        fail("unknown calculation item '" + t.text + "'");
+      }
+    }
+    flcs_.push_back(std::move(f));
+  }
+
+  void parse_calculated_field() {
+    CalculatedField cf;
+    cf.field = parse_field_ref();
+    expect_punct("{");
+    while (!accept_punct("}")) {
+      expect_ident("update");
+      const std::string calc = expect_ident("calculation name").text;
+      bool found = false;
+      for (const auto& f : flcs_) {
+        if (f.name == calc) {
+          cf.field_list = f.input_list;
+          found = true;
+        }
+      }
+      if (!found) fail("unknown field_list_calculation '" + calc + "'");
+      if (accept_ident("if")) {
+        expect_punct("(");
+        cf.update_condition = parse_condition();
+        expect_punct(")");
+      }
+      expect_punct(";");
+    }
+    prog_.calculated_fields.push_back(std::move(cf));
+  }
+
+  void parse_counter() {
+    CounterDef c;
+    c.name = expect_ident("counter name").text;
+    expect_punct("{");
+    while (!accept_punct("}")) {
+      const Token t = expect_ident("counter item");
+      expect_punct(":");
+      if (t.text == "type") {
+        expect_ident("counter type");
+      } else if (t.text == "direct") {
+        c.direct_table = expect_ident("table").text;
+      } else if (t.text == "instance_count") {
+        c.instance_count = expect_number("instances");
+      } else {
+        fail("unknown counter item '" + t.text + "'");
+      }
+      expect_punct(";");
+    }
+    prog_.counters.push_back(std::move(c));
+  }
+
+  void parse_meter() {
+    MeterDef m;
+    m.name = expect_ident("meter name").text;
+    expect_punct("{");
+    while (!accept_punct("}")) {
+      const Token t = expect_ident("meter item");
+      expect_punct(":");
+      if (t.text == "type") expect_ident("meter type");
+      else if (t.text == "instance_count") m.instance_count = expect_number("n");
+      else if (t.text == "rate_pps") m.rate_pps = expect_number("rate");
+      else if (t.text == "burst") m.burst = expect_number("burst");
+      else fail("unknown meter item '" + t.text + "'");
+      expect_punct(";");
+    }
+    prog_.meters.push_back(std::move(m));
+  }
+
+  void parse_register() {
+    RegisterDef r;
+    r.name = expect_ident("register name").text;
+    expect_punct("{");
+    while (!accept_punct("}")) {
+      const Token t = expect_ident("register item");
+      expect_punct(":");
+      if (t.text == "width") r.width = expect_number("width");
+      else if (t.text == "instance_count") r.instance_count = expect_number("n");
+      else fail("unknown register item '" + t.text + "'");
+      expect_punct(";");
+    }
+    prog_.registers.push_back(std::move(r));
+  }
+
+  // --- parser states ------------------------------------------------------------
+
+  std::string parse_state_target() {
+    const std::string n = expect_ident("parser target").text;
+    if (n == "ingress") return kParserAccept;
+    if (n == "parse_drop") return kParserDrop;
+    return n;
+  }
+
+  void parse_parser_state() {
+    ParserState st;
+    st.name = expect_ident("parser state name").text;
+    expect_punct("{");
+    for (;;) {
+      if (accept_ident("extract")) {
+        expect_punct("(");
+        std::string inst = expect_ident("header instance").text;
+        if (accept_punct("[")) {
+          if (accept_ident("next")) {
+            // extract(stack[next]) — the engine's bare-stack extract.
+          } else {
+            inst += "[" + std::to_string(expect_number("index")) + "]";
+          }
+          expect_punct("]");
+        }
+        expect_punct(")");
+        expect_punct(";");
+        st.extracts.push_back(std::move(inst));
+        continue;
+      }
+      if (accept_ident("set_metadata")) {
+        expect_punct("(");
+        FieldRef dst = parse_field_ref();
+        expect_punct(",");
+        ExprPtr value;
+        if (lex_.peek().kind == Token::Kind::kNumber) {
+          const Token n = lex_.next();
+          value = Expr::constant(BitVec(64, n.number));
+        } else {
+          value = Expr::field(parse_field_ref());
+        }
+        expect_punct(")");
+        expect_punct(";");
+        st.sets.emplace_back(std::move(dst), std::move(value));
+        continue;
+      }
+      break;
+    }
+    expect_ident("return");
+    if (accept_ident("select")) {
+      expect_punct("(");
+      std::size_t total_width = 0;
+      do {
+        SelectKey k;
+        if (accept_ident("current")) {
+          expect_punct("(");
+          k.is_current = true;
+          k.current_offset = expect_number("offset");
+          expect_punct(",");
+          k.current_width = expect_number("width");
+          expect_punct(")");
+          total_width += k.current_width;
+        } else {
+          k.field = parse_field_ref();
+          total_width = 0;  // resolved at finalize via field widths
+        }
+        st.select.push_back(std::move(k));
+      } while (accept_punct(","));
+      expect_punct(")");
+      expect_punct("{");
+      // Width: compute from the program once instances are known — the
+      // cases below use 64-bit sentinels resized in a fix-up pass.
+      while (!accept_punct("}")) {
+        ParserCase c;
+        if (accept_ident("default")) {
+          c.is_default = true;
+        } else {
+          const Token v = lex_.next();
+          if (v.kind != Token::Kind::kNumber) fail("expected case value");
+          c.value = BitVec(64, v.number);
+          if (accept_ident("mask")) {
+            const Token m = lex_.next();
+            if (m.kind != Token::Kind::kNumber) fail("expected mask value");
+            c.mask = BitVec(64, m.number);
+          }
+        }
+        expect_punct(":");
+        c.next_state = parse_state_target();
+        expect_punct(";");
+        st.cases.push_back(std::move(c));
+      }
+    } else {
+      ParserCase c;
+      c.is_default = true;
+      c.next_state = parse_state_target();
+      st.cases.push_back(std::move(c));
+      expect_punct(";");
+    }
+    expect_punct("}");
+    prog_.parser_states.push_back(std::move(st));
+  }
+
+  // --- actions --------------------------------------------------------------------
+
+  Primitive primitive_by_name(const std::string& n) {
+    static const std::pair<const char*, Primitive> kMap[] = {
+        {"no_op", Primitive::kNoOp},
+        {"modify_field", Primitive::kModifyField},
+        {"add_to_field", Primitive::kAddToField},
+        {"subtract_from_field", Primitive::kSubtractFromField},
+        {"add", Primitive::kAdd},
+        {"subtract", Primitive::kSubtract},
+        {"bit_and", Primitive::kBitAnd},
+        {"bit_or", Primitive::kBitOr},
+        {"bit_xor", Primitive::kBitXor},
+        {"shift_left", Primitive::kShiftLeft},
+        {"shift_right", Primitive::kShiftRight},
+        {"add_header", Primitive::kAddHeader},
+        {"copy_header", Primitive::kCopyHeader},
+        {"remove_header", Primitive::kRemoveHeader},
+        {"push", Primitive::kPush},
+        {"pop", Primitive::kPop},
+        {"drop", Primitive::kDrop},
+        {"truncate", Primitive::kTruncate},
+        {"count", Primitive::kCount},
+        {"execute_meter", Primitive::kExecuteMeter},
+        {"register_read", Primitive::kRegisterRead},
+        {"register_write", Primitive::kRegisterWrite},
+        {"resubmit", Primitive::kResubmit},
+        {"recirculate", Primitive::kRecirculate},
+        {"clone_ingress_pkt_to_egress", Primitive::kCloneIngressToEgress},
+        {"clone_egress_pkt_to_egress", Primitive::kCloneEgressToEgress},
+        {"generate_digest", Primitive::kGenerateDigest},
+        {"modify_field_rng_uniform", Primitive::kModifyFieldRngUniform},
+    };
+    for (const auto& [name, prim] : kMap) {
+      if (n == name) return prim;
+    }
+    fail("unknown primitive '" + n + "'");
+  }
+
+  void parse_action() {
+    ActionDef a;
+    a.name = expect_ident("action name").text;
+    expect_punct("(");
+    if (!accept_punct(")")) {
+      do {
+        ActionParam p;
+        p.name = expect_ident("parameter name").text;
+        a.params.push_back(std::move(p));
+      } while (accept_punct(","));
+      expect_punct(")");
+    }
+    expect_punct("{");
+    while (!accept_punct("}")) {
+      PrimitiveCall call;
+      const std::string pname = expect_ident("primitive").text;
+      call.op = primitive_by_name(pname);
+      expect_punct("(");
+      if (!accept_punct(")")) {
+        do {
+          call.args.push_back(parse_action_arg(a, call.op));
+        } while (accept_punct(","));
+        expect_punct(")");
+      }
+      expect_punct(";");
+      a.body.push_back(std::move(call));
+    }
+    prog_.actions.push_back(std::move(a));
+  }
+
+  ActionArg parse_action_arg(const ActionDef& a, Primitive op) {
+    if (lex_.peek().kind == Token::Kind::kNumber) {
+      const Token n = lex_.next();
+      // Width from hex digit count, else 64-bit (resized on use).
+      const std::size_t width = n.was_hex ? n.number_digits * 4 : 64;
+      return ActionArg::constant(BitVec(width, n.number));
+    }
+    const Token id = expect_ident("argument");
+    // Parameter reference?
+    for (std::size_t i = 0; i < a.params.size(); ++i) {
+      if (a.params[i].name == id.text) return ActionArg::param(i);
+    }
+    // Field reference?
+    if (lex_.peek().kind == Token::Kind::kPunct && lex_.peek().text == ".") {
+      lex_.next();
+      std::string fld = expect_ident("field").text;
+      return ActionArg::of_field(id.text, fld);
+    }
+    if (lex_.peek().kind == Token::Kind::kPunct && lex_.peek().text == "[") {
+      lex_.next();
+      const std::uint64_t idx = expect_number("stack index");
+      expect_punct("]");
+      expect_punct(".");
+      std::string fld = expect_ident("field").text;
+      return ActionArg::of_field(id.text + "[" + std::to_string(idx) + "]", fld);
+    }
+    // A bare name: header instance for header primitives, named object
+    // otherwise.
+    switch (op) {
+      case Primitive::kAddHeader:
+      case Primitive::kCopyHeader:
+      case Primitive::kRemoveHeader:
+      case Primitive::kPush:
+      case Primitive::kPop:
+        return ActionArg::header(id.text);
+      default:
+        return ActionArg::named(id.text);
+    }
+  }
+
+  // --- tables ---------------------------------------------------------------------
+
+  void parse_table() {
+    TableDef t;
+    t.name = expect_ident("table name").text;
+    expect_punct("{");
+    while (!accept_punct("}")) {
+      const Token item = expect_ident("table item");
+      if (item.text == "reads") {
+        expect_punct("{");
+        while (!accept_punct("}")) {
+          TableKey k;
+          const std::string first = expect_ident("key").text;
+          if (accept_punct(".")) {
+            k.field.header = first;
+            k.field.field = expect_ident("field").text;
+          } else {
+            k.field.header = first;  // instance, for valid matches
+          }
+          expect_punct(":");
+          const std::string mt = expect_ident("match type").text;
+          if (mt == "exact") k.type = MatchType::kExact;
+          else if (mt == "ternary") k.type = MatchType::kTernary;
+          else if (mt == "lpm") k.type = MatchType::kLpm;
+          else if (mt == "valid") k.type = MatchType::kValid;
+          else if (mt == "range") k.type = MatchType::kRange;
+          else fail("unknown match type '" + mt + "'");
+          expect_punct(";");
+          t.keys.push_back(std::move(k));
+        }
+      } else if (item.text == "actions") {
+        expect_punct("{");
+        while (!accept_punct("}")) {
+          t.actions.push_back(expect_ident("action").text);
+          expect_punct(";");
+        }
+      } else if (item.text == "default_action") {
+        expect_punct(":");
+        t.default_action = expect_ident("action").text;
+        if (accept_punct("(")) {
+          if (!accept_punct(")")) {
+            do {
+              t.default_action_args.push_back(
+                  BitVec(64, expect_number("argument")));
+            } while (accept_punct(","));
+            expect_punct(")");
+          }
+        }
+        expect_punct(";");
+      } else if (item.text == "size") {
+        expect_punct(":");
+        t.max_size = expect_number("size");
+        expect_punct(";");
+      } else if (item.text == "support_timeout") {
+        expect_punct(":");
+        expect_ident("flag");
+        expect_punct(";");
+      } else {
+        fail("unknown table item '" + item.text + "'");
+      }
+    }
+    prog_.tables.push_back(std::move(t));
+  }
+
+  // --- control --------------------------------------------------------------------
+
+  ExprPtr parse_condition() {
+    if (accept_ident("valid")) {
+      expect_punct("(");
+      const std::string h = expect_ident("header").text;
+      expect_punct(")");
+      return Expr::valid(h);
+    }
+    if (accept_ident("not")) {
+      expect_punct("(");
+      ExprPtr inner = parse_condition();
+      expect_punct(")");
+      return Expr::unary(ExprOp::kLNot, std::move(inner));
+    }
+    // field OP constant
+    FieldRef f = parse_field_ref();
+    const Token op = lex_.next();
+    ExprOp eop;
+    if (op.text == "==") eop = ExprOp::kEq;
+    else if (op.text == "!=") eop = ExprOp::kNe;
+    else if (op.text == ">") eop = ExprOp::kGt;
+    else if (op.text == "<") eop = ExprOp::kLt;
+    else if (op.text == ">=") eop = ExprOp::kGe;
+    else if (op.text == "<=") eop = ExprOp::kLe;
+    else fail("unknown comparison '" + op.text + "'");
+    const std::uint64_t v = expect_number("comparison value");
+    return Expr::binary(eop, Expr::field(std::move(f)),
+                        Expr::constant(BitVec(64, v)));
+  }
+
+  // Parse a block of statements into `ctl`; returns (entry, exits) where
+  // exits are nodes whose fall-through edge should be wired to whatever
+  // follows the block.
+  struct Block {
+    std::size_t entry = kEndOfControl;
+    std::vector<std::size_t> exits;  // apply nodes (default edge) ...
+    std::vector<std::pair<std::size_t, bool>> if_exits;  // (node, true-branch?)
+  };
+
+  Block parse_block(Control& ctl) {
+    Block blk;
+    auto link_to = [&](const Block& prev, std::size_t target) {
+      for (auto n : prev.exits) ctl.nodes[n].next_default = target;
+      for (auto [n, tr] : prev.if_exits) {
+        if (tr) ctl.nodes[n].next_true = target;
+        else ctl.nodes[n].next_false = target;
+      }
+    };
+    Block tail;  // open edges of the previous statement
+    bool first = true;
+    for (;;) {
+      if (accept_ident("apply")) {
+        expect_punct("(");
+        ControlNode n;
+        n.kind = ControlNode::Kind::kApply;
+        n.table = expect_ident("table").text;
+        expect_punct(")");
+        ctl.nodes.push_back(std::move(n));
+        const std::size_t idx = ctl.nodes.size() - 1;
+        if (first) blk.entry = idx;
+        else link_to(tail, idx);
+        first = false;
+        tail = Block{};
+        tail.exits = {idx};
+        if (accept_punct(";")) continue;
+        // apply(t) { hit { ... } miss { ... } } — clause blocks run on
+        // their outcome; a missing or empty clause falls through.
+        expect_punct("{");
+        while (!accept_punct("}")) {
+          const Token clause = expect_ident("'hit' or 'miss'");
+          const bool is_hit = clause.text == "hit";
+          if (!is_hit && clause.text != "miss")
+            fail("expected 'hit' or 'miss', got '" + clause.text + "'");
+          expect_punct("{");
+          Block cb = parse_block(ctl);
+          expect_punct("}");
+          if (cb.entry == kEndOfControl) continue;  // empty: fall through
+          if (is_hit) ctl.nodes[idx].on_hit = cb.entry;
+          else ctl.nodes[idx].on_miss = cb.entry;
+          for (auto e : cb.exits) tail.exits.push_back(e);
+          for (auto e : cb.if_exits) tail.if_exits.push_back(e);
+        }
+        continue;
+      }
+      if (accept_ident("if")) {
+        expect_punct("(");
+        ControlNode n;
+        n.kind = ControlNode::Kind::kIf;
+        n.condition = parse_condition();
+        expect_punct(")");
+        ctl.nodes.push_back(std::move(n));
+        const std::size_t idx = ctl.nodes.size() - 1;
+        if (first) blk.entry = idx;
+        else link_to(tail, idx);
+        first = false;
+
+        expect_punct("{");
+        Block then_blk = parse_block(ctl);
+        expect_punct("}");
+        Block else_blk;
+        bool has_else = false;
+        if (accept_ident("else")) {
+          has_else = true;
+          expect_punct("{");
+          else_blk = parse_block(ctl);
+          expect_punct("}");
+        }
+        ctl.nodes[idx].next_true = then_blk.entry;  // kEnd if empty block
+        ctl.nodes[idx].next_false =
+            has_else ? else_blk.entry : kEndOfControl;
+
+        tail = Block{};
+        if (then_blk.entry == kEndOfControl) {
+          tail.if_exits.emplace_back(idx, true);
+        } else {
+          tail.exits = then_blk.exits;
+          for (auto e : then_blk.if_exits) tail.if_exits.push_back(e);
+        }
+        if (!has_else || else_blk.entry == kEndOfControl) {
+          tail.if_exits.emplace_back(idx, false);
+        } else {
+          for (auto e : else_blk.exits) tail.exits.push_back(e);
+          for (auto e : else_blk.if_exits) tail.if_exits.push_back(e);
+        }
+        continue;
+      }
+      break;
+    }
+    blk.exits = tail.exits;
+    blk.if_exits = tail.if_exits;
+    if (first) blk.entry = kEndOfControl;
+    return blk;
+  }
+
+  void parse_control() {
+    const std::string name = expect_ident("control name").text;
+    Control* ctl = nullptr;
+    if (name == "ingress") ctl = &prog_.ingress;
+    else if (name == "egress") ctl = &prog_.egress;
+    else fail("control must be 'ingress' or 'egress'");
+    expect_punct("{");
+    parse_block(*ctl);
+    expect_punct("}");
+    // Blocks must start at node 0; parse_block appends in program order,
+    // which for a fresh control already begins at its entry.
+  }
+
+  Lexer lex_;
+  Program prog_;
+};
+
+}  // namespace
+
+Program parse_p4(const std::string& source, const std::string& name) {
+  Parser p(source, name);
+  Program prog = p.run();
+  // Resize sentinel 64-bit select-case values to the select width.
+  for (auto& st : prog.parser_states) {
+    if (st.select.empty()) continue;
+    std::size_t w = 0;
+    for (const auto& k : st.select) w += k.width(prog);
+    for (auto& c : st.cases) {
+      if (!c.is_default) {
+        if (c.value.width() != w) c.value = c.value.resized(w);
+        if (c.mask && c.mask->width() != w) c.mask = c.mask->resized(w);
+      }
+    }
+  }
+  prog.finalize();
+  return prog;
+}
+
+}  // namespace hyper4::p4

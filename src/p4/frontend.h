@@ -1,0 +1,29 @@
+// P4-14-subset text front end: lexer + recursive-descent parser producing
+// a p4::Program (the p4-hlir role in the paper's toolchain, Fig. 1a).
+//
+// Supported subset (enough for the paper's four network functions and
+// similar programs):
+//   header_type / header / metadata declarations
+//   field_list, field_list_calculation (csum16) + calculated_field
+//   counter / meter / register declarations
+//   parser states with extract, and return/return-select (value, value
+//     mask value, default), including `ingress` and `parse_drop` targets
+//   actions over the implemented primitive set, with parameters
+//   tables with reads (exact/ternary/lpm/valid/range), actions,
+//     default_action and size
+//   control ingress/egress: apply(t) sequences and if/else over valid()
+//     and field comparisons
+//
+// Errors are reported as util::ParseError with line numbers.
+#pragma once
+
+#include <string>
+
+#include "p4/ir.h"
+
+namespace hyper4::p4 {
+
+// Parse `source` (P4-14 subset) into a validated Program named `name`.
+Program parse_p4(const std::string& source, const std::string& name = "parsed");
+
+}  // namespace hyper4::p4

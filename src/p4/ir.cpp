@@ -1,0 +1,492 @@
+#include "p4/ir.h"
+
+#include <algorithm>
+#include <functional>
+#include <set>
+
+#include "util/error.h"
+
+namespace hyper4::p4 {
+
+using util::ConfigError;
+
+// ---------------------------------------------------------------------------
+// Expr
+
+std::string Expr::str() const {
+  switch (op) {
+    case ExprOp::kConst: return "0x" + value.to_hex();
+    case ExprOp::kField: return fref.str();
+    case ExprOp::kValid: return "valid(" + fref.header + ")";
+    case ExprOp::kLNot: return "not " + children[0]->str();
+    case ExprOp::kBitNot: return "~" + children[0]->str();
+    default: break;
+  }
+  const char* sym = "?";
+  switch (op) {
+    case ExprOp::kAdd: sym = "+"; break;
+    case ExprOp::kSub: sym = "-"; break;
+    case ExprOp::kBitAnd: sym = "&"; break;
+    case ExprOp::kBitOr: sym = "|"; break;
+    case ExprOp::kBitXor: sym = "^"; break;
+    case ExprOp::kShl: sym = "<<"; break;
+    case ExprOp::kShr: sym = ">>"; break;
+    case ExprOp::kEq: sym = "=="; break;
+    case ExprOp::kNe: sym = "!="; break;
+    case ExprOp::kLt: sym = "<"; break;
+    case ExprOp::kGt: sym = ">"; break;
+    case ExprOp::kLe: sym = "<="; break;
+    case ExprOp::kGe: sym = ">="; break;
+    case ExprOp::kLAnd: sym = "and"; break;
+    case ExprOp::kLOr: sym = "or"; break;
+    default: break;
+  }
+  return "(" + children[0]->str() + " " + sym + " " + children[1]->str() + ")";
+}
+
+// ---------------------------------------------------------------------------
+// HeaderType
+
+std::size_t HeaderType::width_bits() const {
+  std::size_t w = 0;
+  for (const auto& f : fields) w += f.width;
+  return w;
+}
+
+std::size_t HeaderType::field_offset(const std::string& field) const {
+  std::size_t off = 0;
+  for (const auto& f : fields) {
+    if (f.name == field) return off;
+    off += f.width;
+  }
+  throw ConfigError("header type '" + name + "' has no field '" + field + "'");
+}
+
+const Field& HeaderType::field_def(const std::string& field) const {
+  for (const auto& f : fields)
+    if (f.name == field) return f;
+  throw ConfigError("header type '" + name + "' has no field '" + field + "'");
+}
+
+bool HeaderType::has_field(const std::string& field) const {
+  return std::any_of(fields.begin(), fields.end(),
+                     [&](const Field& f) { return f.name == field; });
+}
+
+// ---------------------------------------------------------------------------
+// Names
+
+const char* primitive_name(Primitive p) {
+  switch (p) {
+    case Primitive::kNoOp: return "no_op";
+    case Primitive::kModifyField: return "modify_field";
+    case Primitive::kAddToField: return "add_to_field";
+    case Primitive::kSubtractFromField: return "subtract_from_field";
+    case Primitive::kAdd: return "add";
+    case Primitive::kSubtract: return "subtract";
+    case Primitive::kBitAnd: return "bit_and";
+    case Primitive::kBitOr: return "bit_or";
+    case Primitive::kBitXor: return "bit_xor";
+    case Primitive::kShiftLeft: return "shift_left";
+    case Primitive::kShiftRight: return "shift_right";
+    case Primitive::kAddHeader: return "add_header";
+    case Primitive::kCopyHeader: return "copy_header";
+    case Primitive::kRemoveHeader: return "remove_header";
+    case Primitive::kPush: return "push";
+    case Primitive::kPop: return "pop";
+    case Primitive::kDrop: return "drop";
+    case Primitive::kTruncate: return "truncate";
+    case Primitive::kCount: return "count";
+    case Primitive::kExecuteMeter: return "execute_meter";
+    case Primitive::kRegisterRead: return "register_read";
+    case Primitive::kRegisterWrite: return "register_write";
+    case Primitive::kResubmit: return "resubmit";
+    case Primitive::kRecirculate: return "recirculate";
+    case Primitive::kCloneIngressToEgress: return "clone_ingress_pkt_to_egress";
+    case Primitive::kCloneEgressToEgress: return "clone_egress_pkt_to_egress";
+    case Primitive::kGenerateDigest: return "generate_digest";
+    case Primitive::kModifyFieldRngUniform: return "modify_field_rng_uniform";
+  }
+  return "?";
+}
+
+const char* match_type_name(MatchType t) {
+  switch (t) {
+    case MatchType::kExact: return "exact";
+    case MatchType::kTernary: return "ternary";
+    case MatchType::kLpm: return "lpm";
+    case MatchType::kValid: return "valid";
+    case MatchType::kRange: return "range";
+  }
+  return "?";
+}
+
+// ---------------------------------------------------------------------------
+// ActionArg
+
+ActionArg ActionArg::constant(util::BitVec v) {
+  ActionArg a;
+  a.kind = Kind::kConst;
+  a.value = std::move(v);
+  return a;
+}
+ActionArg ActionArg::constant(std::size_t width, std::uint64_t v) {
+  return constant(util::BitVec(width, v));
+}
+ActionArg ActionArg::param(std::size_t index) {
+  ActionArg a;
+  a.kind = Kind::kParam;
+  a.param_index = index;
+  return a;
+}
+ActionArg ActionArg::of_field(FieldRef f) {
+  ActionArg a;
+  a.kind = Kind::kField;
+  a.field = std::move(f);
+  return a;
+}
+ActionArg ActionArg::of_field(std::string header, std::string field) {
+  return of_field(FieldRef{std::move(header), std::move(field)});
+}
+ActionArg ActionArg::header(std::string name) {
+  ActionArg a;
+  a.kind = Kind::kHeader;
+  a.name = std::move(name);
+  return a;
+}
+ActionArg ActionArg::named(std::string name) {
+  ActionArg a;
+  a.kind = Kind::kNamedRef;
+  a.name = std::move(name);
+  return a;
+}
+
+// ---------------------------------------------------------------------------
+// standard metadata
+
+const HeaderType& standard_metadata_type() {
+  static const HeaderType t{
+      "standard_metadata_t",
+      {
+          {kFieldIngressPort, kPortWidth},
+          {kFieldEgressSpec, kPortWidth},
+          {kFieldEgressPort, kPortWidth},
+          {kFieldInstanceType, 8},
+          {kFieldPacketLength, 16},
+          {kFieldMcastGrp, 16},
+          {kFieldEgressRid, 16},
+      }};
+  return t;
+}
+
+std::pair<std::string, std::optional<std::size_t>> split_stack_ref(
+    const std::string& instance_name) {
+  auto lb = instance_name.find('[');
+  if (lb == std::string::npos) return {instance_name, std::nullopt};
+  auto rb = instance_name.find(']', lb);
+  if (rb == std::string::npos || rb != instance_name.size() - 1)
+    throw ConfigError("malformed stack reference '" + instance_name + "'");
+  std::size_t idx = 0;
+  for (std::size_t i = lb + 1; i < rb; ++i) {
+    char c = instance_name[i];
+    if (c < '0' || c > '9')
+      throw ConfigError("malformed stack index in '" + instance_name + "'");
+    idx = idx * 10 + static_cast<std::size_t>(c - '0');
+  }
+  return {instance_name.substr(0, lb), idx};
+}
+
+// ---------------------------------------------------------------------------
+// Program lookups
+
+namespace {
+template <typename T>
+const T& find_named(const std::vector<T>& v, const std::string& name,
+                    const char* what) {
+  for (const auto& x : v)
+    if (x.name == name) return x;
+  throw ConfigError(std::string("unknown ") + what + " '" + name + "'");
+}
+}  // namespace
+
+const HeaderType& Program::header_type(const std::string& n) const {
+  if (n == standard_metadata_type().name) return standard_metadata_type();
+  return find_named(header_types, n, "header type");
+}
+const HeaderInstance& Program::instance(const std::string& n) const {
+  auto [base, idx] = split_stack_ref(n);
+  return find_named(instances, base, "header instance");
+}
+const HeaderType& Program::instance_type(const std::string& n) const {
+  if (n == kStandardMetadata) return standard_metadata_type();
+  return header_type(instance(n).type);
+}
+const ParserState& Program::parser_state(const std::string& n) const {
+  return find_named(parser_states, n, "parser state");
+}
+const ActionDef& Program::action(const std::string& n) const {
+  return find_named(actions, n, "action");
+}
+const TableDef& Program::table(const std::string& n) const {
+  return find_named(tables, n, "table");
+}
+const FieldListDef& Program::field_list(const std::string& n) const {
+  return find_named(field_lists, n, "field list");
+}
+bool Program::has_instance(const std::string& n) const {
+  if (n == kStandardMetadata) return true;
+  auto [base, idx] = split_stack_ref(n);
+  return std::any_of(instances.begin(), instances.end(),
+                     [&](const HeaderInstance& h) { return h.name == base; });
+}
+bool Program::has_parser_state(const std::string& n) const {
+  return std::any_of(parser_states.begin(), parser_states.end(),
+                     [&](const ParserState& s) { return s.name == n; });
+}
+
+std::size_t Program::field_width(const FieldRef& f) const {
+  return instance_type(f.header).field_def(f.field).width;
+}
+
+std::size_t SelectKey::width(const Program& prog) const {
+  return is_current ? current_width : prog.field_width(field);
+}
+
+// ---------------------------------------------------------------------------
+// finalize / validate
+
+namespace {
+
+// Depth-first traversal of the parser graph collecting extracted instances
+// in first-visit order; this is the deparse order rule of P4-14 (headers
+// are serialized in the order the parse graph can produce them).
+void collect_deparse_order(const Program& prog, const std::string& state_name,
+                           std::set<std::string>& visited_states,
+                           std::vector<std::string>& order,
+                           std::set<std::string>& seen) {
+  if (state_name == kParserAccept || state_name == kParserDrop) return;
+  if (!visited_states.insert(state_name).second) return;
+  const ParserState& st = prog.parser_state(state_name);
+  for (const auto& ex : st.extracts) {
+    auto [base, idx] = split_stack_ref(ex);
+    if (seen.insert(base).second) order.push_back(base);
+  }
+  for (const auto& c : st.cases) {
+    collect_deparse_order(prog, c.next_state, visited_states, order, seen);
+  }
+}
+
+}  // namespace
+
+void Program::finalize() {
+  if (deparse_order.empty() && !parser_states.empty()) {
+    std::set<std::string> visited, seen;
+    collect_deparse_order(*this, "start", visited, deparse_order, seen);
+  }
+  validate();
+}
+
+void Program::validate() const {
+  auto check_field = [&](const FieldRef& f, const std::string& ctx) {
+    if (!has_instance(f.header))
+      throw ConfigError(name + ": " + ctx + ": unknown instance '" + f.header + "'");
+    const HeaderType& t = instance_type(f.header);
+    if (!f.field.empty() && !t.has_field(f.field))
+      throw ConfigError(name + ": " + ctx + ": no field '" + f.str() + "'");
+  };
+  std::function<void(const ExprPtr&, const std::string&)> check_expr =
+      [&](const ExprPtr& e, const std::string& ctx) {
+        if (!e) return;
+        if (e->op == ExprOp::kField) check_field(e->fref, ctx);
+        if (e->op == ExprOp::kValid && !has_instance(e->fref.header))
+          throw ConfigError(name + ": " + ctx + ": unknown instance '" +
+                            e->fref.header + "'");
+        for (const auto& c : e->children) check_expr(c, ctx);
+      };
+
+  // Header instances reference known types; no duplicate names.
+  {
+    std::set<std::string> names;
+    for (const auto& inst : instances) {
+      header_type(inst.type);
+      if (!names.insert(inst.name).second)
+        throw ConfigError(name + ": duplicate instance '" + inst.name + "'");
+      if (inst.name == kStandardMetadata)
+        throw ConfigError(name + ": must not declare standard_metadata");
+      if (inst.stack_size == 0)
+        throw ConfigError(name + ": zero-sized stack '" + inst.name + "'");
+    }
+  }
+
+  // Parser states.
+  for (const auto& st : parser_states) {
+    const std::string ctx = "parser state " + st.name;
+    for (const auto& ex : st.extracts) {
+      const HeaderInstance& inst = instance(ex);
+      if (inst.metadata)
+        throw ConfigError(name + ": " + ctx + ": cannot extract metadata '" + ex + "'");
+    }
+    for (const auto& [f, e] : st.sets) {
+      check_field(f, ctx);
+      check_expr(e, ctx);
+    }
+    if (st.cases.empty())
+      throw ConfigError(name + ": " + ctx + ": no transitions");
+    std::size_t key_width = 0;
+    for (const auto& k : st.select) {
+      if (!k.is_current) check_field(k.field, ctx);
+      key_width += k.width(*this);
+    }
+    if (st.select.empty() && st.cases.size() != 1)
+      throw ConfigError(name + ": " + ctx +
+                        ": multiple cases without a select expression");
+    for (const auto& c : st.cases) {
+      if (!c.is_default && !st.select.empty() && c.value.width() != key_width)
+        throw ConfigError(name + ": " + ctx + ": case value width " +
+                          std::to_string(c.value.width()) +
+                          " != select width " + std::to_string(key_width));
+      if (c.next_state != kParserAccept && c.next_state != kParserDrop &&
+          !has_parser_state(c.next_state))
+        throw ConfigError(name + ": " + ctx + ": unknown next state '" +
+                          c.next_state + "'");
+    }
+  }
+  if (!parser_states.empty() && !has_parser_state("start"))
+    throw ConfigError(name + ": parser has no 'start' state");
+
+  // Actions.
+  auto check_named = [&](const std::string& n, const char* what) {
+    bool ok = false;
+    if (std::string(what) == "field list")
+      ok = std::any_of(field_lists.begin(), field_lists.end(),
+                       [&](const auto& x) { return x.name == n; });
+    else if (std::string(what) == "counter")
+      ok = std::any_of(counters.begin(), counters.end(),
+                       [&](const auto& x) { return x.name == n; });
+    else if (std::string(what) == "meter")
+      ok = std::any_of(meters.begin(), meters.end(),
+                       [&](const auto& x) { return x.name == n; });
+    else if (std::string(what) == "register")
+      ok = std::any_of(registers.begin(), registers.end(),
+                       [&](const auto& x) { return x.name == n; });
+    if (!ok)
+      throw ConfigError(name + ": unknown " + what + " '" + n + "'");
+  };
+
+  for (const auto& a : actions) {
+    const std::string ctx = "action " + a.name;
+    for (const auto& call : a.body) {
+      for (const auto& arg : call.args) {
+        switch (arg.kind) {
+          case ActionArg::Kind::kField:
+            check_field(arg.field, ctx);
+            break;
+          case ActionArg::Kind::kParam:
+            if (arg.param_index >= a.params.size())
+              throw ConfigError(name + ": " + ctx + ": parameter index " +
+                                std::to_string(arg.param_index) + " out of range");
+            break;
+          case ActionArg::Kind::kHeader:
+            if (!has_instance(arg.name))
+              throw ConfigError(name + ": " + ctx + ": unknown header '" +
+                                arg.name + "'");
+            break;
+          case ActionArg::Kind::kNamedRef: {
+            const char* what = nullptr;
+            switch (call.op) {
+              case Primitive::kCount: what = "counter"; break;
+              case Primitive::kExecuteMeter: what = "meter"; break;
+              case Primitive::kRegisterRead:
+              case Primitive::kRegisterWrite: what = "register"; break;
+              default: what = "field list"; break;
+            }
+            check_named(arg.name, what);
+            break;
+          }
+          case ActionArg::Kind::kConst:
+            break;
+        }
+      }
+    }
+  }
+
+  // Tables.
+  {
+    std::set<std::string> tnames;
+    for (const auto& t : tables) {
+      if (!tnames.insert(t.name).second)
+        throw ConfigError(name + ": duplicate table '" + t.name + "'");
+      const std::string ctx = "table " + t.name;
+      for (const auto& k : t.keys) {
+        if (k.type == MatchType::kValid) {
+          if (!has_instance(k.field.header))
+            throw ConfigError(name + ": " + ctx + ": unknown instance '" +
+                              k.field.header + "'");
+        } else {
+          check_field(k.field, ctx);
+        }
+      }
+      if (t.actions.empty())
+        throw ConfigError(name + ": " + ctx + ": no actions");
+      for (const auto& an : t.actions) action(an);
+      if (!t.default_action.empty()) {
+        const ActionDef& d = action(t.default_action);
+        if (d.params.size() != t.default_action_args.size())
+          throw ConfigError(name + ": " + ctx + ": default action arity");
+      }
+    }
+  }
+
+  // Controls.
+  auto check_control = [&](const Control& c) {
+    for (const auto& n : c.nodes) {
+      auto check_next = [&](std::size_t nx) {
+        if (nx != kEndOfControl && nx >= c.nodes.size())
+          throw ConfigError(name + ": control " + c.name +
+                            ": node index out of range");
+      };
+      if (n.kind == ControlNode::Kind::kApply) {
+        const TableDef& t = table(n.table);
+        for (const auto& [an, nx] : n.on_action) {
+          if (std::find(t.actions.begin(), t.actions.end(), an) ==
+              t.actions.end())
+            throw ConfigError(name + ": control " + c.name + ": table " +
+                              t.name + " has no action '" + an + "'");
+          check_next(nx);
+        }
+        if (n.on_hit) check_next(*n.on_hit);
+        if (n.on_miss) check_next(*n.on_miss);
+        check_next(n.next_default);
+      } else {
+        check_expr(n.condition, "control " + c.name);
+        check_next(n.next_true);
+        check_next(n.next_false);
+      }
+    }
+  };
+  check_control(ingress);
+  check_control(egress);
+
+  // Field lists / calculated fields / counters.
+  for (const auto& fl : field_lists)
+    for (const auto& f : fl.fields) check_field(f, "field list " + fl.name);
+  for (const auto& cf : calculated_fields) {
+    check_field(cf.field, "calculated field");
+    field_list(cf.field_list);
+    check_expr(cf.update_condition, "calculated field " + cf.field.str());
+  }
+  for (const auto& c : counters) {
+    if (!c.direct_table.empty()) table(c.direct_table);
+    else if (c.instance_count == 0)
+      throw ConfigError(name + ": counter '" + c.name + "' needs instances");
+  }
+
+  // Deparse order references extracted (non-metadata) instances.
+  for (const auto& d : deparse_order) {
+    const HeaderInstance& inst = instance(d);
+    if (inst.metadata)
+      throw ConfigError(name + ": metadata '" + d + "' in deparse order");
+  }
+}
+
+}  // namespace hyper4::p4

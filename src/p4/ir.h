@@ -1,0 +1,341 @@
+// P4 program intermediate representation (the HLIR-equivalent).
+//
+// A Program is a declarative description of a P4-14-style packet processor:
+// header types and instances, a parser graph, actions built from the P4-14
+// primitive set, match-action tables, control-flow graphs for ingress and
+// egress, stateful objects (counters, meters, registers) and calculated
+// (checksum) fields.
+//
+// Programs are built either with p4::ProgramBuilder (builder.h), by the
+// P4-14-subset text front end (frontend.h), or generated — the HyPer4
+// persona itself is a Program produced by hp4::PersonaGenerator. The
+// behavioral-model switch (src/bm) interprets Programs; it has no special
+// knowledge of HyPer4.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "p4/expr.h"
+#include "util/bitvec.h"
+
+namespace hyper4::p4 {
+
+// ---------------------------------------------------------------------------
+// Headers
+
+struct Field {
+  std::string name;
+  std::size_t width = 0;  // bits
+};
+
+struct HeaderType {
+  std::string name;
+  std::vector<Field> fields;
+
+  std::size_t width_bits() const;
+  // Bit offset of `field` from the start of the header (MSB side), as laid
+  // out on the wire. Throws ConfigError if absent.
+  std::size_t field_offset(const std::string& field) const;
+  const Field& field_def(const std::string& field) const;
+  bool has_field(const std::string& field) const;
+};
+
+struct HeaderInstance {
+  std::string name;
+  std::string type;
+  bool metadata = false;
+  // stack_size > 1 declares a header stack; elements are addressed as
+  // name[i] and extract(name) in the parser extracts the next element.
+  std::size_t stack_size = 1;
+
+  bool is_stack() const { return stack_size > 1; }
+};
+
+// ---------------------------------------------------------------------------
+// Parser
+
+// One select key: either a field of an already-extracted instance or a
+// lookahead window `current(offset, width)` relative to the parse cursor.
+struct SelectKey {
+  bool is_current = false;
+  FieldRef field;             // when !is_current
+  std::size_t current_offset = 0;  // bits, when is_current
+  std::size_t current_width = 0;   // bits, when is_current
+  std::size_t width(const struct Program& prog) const;
+};
+
+struct ParserCase {
+  // Values to compare against the concatenated select keys; `mask`, when
+  // set, is ANDed with both sides (P4-14 "value mask" syntax). A default
+  // case has is_default = true.
+  util::BitVec value;
+  std::optional<util::BitVec> mask;
+  bool is_default = false;
+  std::string next_state;  // another parser state, or kParserAccept / kParserDrop
+};
+
+inline const std::string kParserAccept = "__accept__";  // proceed to ingress
+inline const std::string kParserDrop = "__drop__";
+
+struct ParserState {
+  std::string name;
+  // Header instances to extract, in order. Extracting a stack instance
+  // extracts its next free element.
+  std::vector<std::string> extracts;
+  // set_metadata statements executed after the extracts.
+  std::vector<std::pair<FieldRef, ExprPtr>> sets;
+  // Select keys; empty means an unconditional transition via `cases[0]`.
+  std::vector<SelectKey> select;
+  std::vector<ParserCase> cases;
+};
+
+// ---------------------------------------------------------------------------
+// Actions
+
+// The P4-14 primitive set implemented by the behavioral model.
+enum class Primitive {
+  kNoOp,
+  kModifyField,            // (dst, src [, mask])
+  kAddToField,             // (dst, v)
+  kSubtractFromField,      // (dst, v)
+  kAdd,                    // (dst, a, b)
+  kSubtract,               // (dst, a, b)
+  kBitAnd, kBitOr, kBitXor,// (dst, a, b)
+  kShiftLeft, kShiftRight, // (dst, a, b)
+  kAddHeader,              // (hdr)
+  kCopyHeader,             // (dst_hdr, src_hdr)
+  kRemoveHeader,           // (hdr)
+  kPush, kPop,             // (stack, count)
+  kDrop,                   // ()
+  kTruncate,               // (len_bytes)
+  kCount,                  // (counter, index)
+  kExecuteMeter,           // (meter, index, dst_field)
+  kRegisterRead,           // (dst_field, register, index)
+  kRegisterWrite,          // (register, index, src)
+  kResubmit,               // ([field_list])
+  kRecirculate,            // ([field_list])
+  kCloneIngressToEgress,   // (session [, field_list])
+  kCloneEgressToEgress,    // (session [, field_list])
+  kGenerateDigest,         // (receiver, field_list)
+  kModifyFieldRngUniform,  // (dst, lo, hi)
+};
+
+const char* primitive_name(Primitive p);
+
+struct ActionArg {
+  enum class Kind {
+    kConst,     // literal value
+    kParam,     // index into the action's runtime parameters
+    kField,     // header.field reference
+    kHeader,    // header instance by name
+    kNamedRef,  // field list / counter / meter / register by name
+  };
+  Kind kind = Kind::kConst;
+  util::BitVec value;      // kConst
+  std::size_t param_index = 0;  // kParam
+  FieldRef field;          // kField
+  std::string name;        // kHeader / kNamedRef
+
+  static ActionArg constant(util::BitVec v);
+  static ActionArg constant(std::size_t width, std::uint64_t v);
+  static ActionArg param(std::size_t index);
+  static ActionArg of_field(FieldRef f);
+  static ActionArg of_field(std::string header, std::string field);
+  static ActionArg header(std::string name);
+  static ActionArg named(std::string name);
+};
+
+struct PrimitiveCall {
+  Primitive op = Primitive::kNoOp;
+  std::vector<ActionArg> args;
+};
+
+struct ActionParam {
+  std::string name;
+  std::size_t width = 0;  // bits; 0 = unconstrained (resized on use)
+};
+
+struct ActionDef {
+  std::string name;
+  std::vector<ActionParam> params;
+  std::vector<PrimitiveCall> body;
+};
+
+// ---------------------------------------------------------------------------
+// Tables
+
+enum class MatchType { kExact, kTernary, kLpm, kValid, kRange };
+
+const char* match_type_name(MatchType t);
+
+struct TableKey {
+  MatchType type = MatchType::kExact;
+  // For kValid, `field.header` names the instance and `field.field` is "".
+  FieldRef field;
+};
+
+struct TableDef {
+  std::string name;
+  std::vector<TableKey> keys;
+  std::vector<std::string> actions;   // names of invocable actions
+  std::string default_action;         // optional; may carry no args
+  std::vector<util::BitVec> default_action_args;
+  std::size_t max_size = 1024;
+  std::string direct_counter;         // optional counter attached per-entry
+};
+
+// ---------------------------------------------------------------------------
+// Control flow
+
+// Control graphs are node lists; node 0 of a non-empty control is the entry.
+// `next` values are node indices; kEndOfControl terminates the pipeline.
+inline constexpr std::size_t kEndOfControl = static_cast<std::size_t>(-1);
+
+struct ControlNode {
+  enum class Kind { kApply, kIf };
+  Kind kind = Kind::kApply;
+
+  // kApply
+  std::string table;
+  // Outcome edges: checked in order "action:<name>", then "hit"/"miss",
+  // then fallthrough to `next_default`.
+  std::map<std::string, std::size_t> on_action;  // action name -> node
+  std::optional<std::size_t> on_hit;
+  std::optional<std::size_t> on_miss;
+  std::size_t next_default = kEndOfControl;
+
+  // kIf
+  ExprPtr condition;
+  std::size_t next_true = kEndOfControl;
+  std::size_t next_false = kEndOfControl;
+};
+
+struct Control {
+  std::string name;
+  std::vector<ControlNode> nodes;
+  bool empty() const { return nodes.empty(); }
+};
+
+// ---------------------------------------------------------------------------
+// Stateful objects & field lists
+
+struct FieldListDef {
+  std::string name;
+  std::vector<FieldRef> fields;
+};
+
+struct CounterDef {
+  std::string name;
+  std::size_t instance_count = 0;  // 0 for direct counters
+  std::string direct_table;        // non-empty: direct-mapped to a table
+};
+
+struct MeterDef {
+  std::string name;
+  std::size_t instance_count = 1;
+  // Two-rate behaviour is simplified to a single committed rate; the result
+  // color (0 green, 1 yellow, 2 red) is written to the destination field.
+  std::uint64_t rate_pps = 1000;
+  std::uint64_t burst = 100;
+};
+
+struct RegisterDef {
+  std::string name;
+  std::size_t width = 32;
+  std::size_t instance_count = 1;
+};
+
+// Calculated field: recompute `field` over `field_list` with csum16 when
+// `update_condition` holds (used for the IPv4 header checksum).
+struct CalculatedField {
+  FieldRef field;
+  std::string field_list;
+  bool update_on_deparse = true;
+  ExprPtr update_condition;  // null = unconditional (if owning header valid)
+};
+
+// ---------------------------------------------------------------------------
+// Program
+
+struct Program {
+  std::string name;
+
+  std::vector<HeaderType> header_types;
+  std::vector<HeaderInstance> instances;  // packet headers and metadata
+  std::vector<ParserState> parser_states; // entry point: "start"
+  std::vector<ActionDef> actions;
+  std::vector<TableDef> tables;
+  Control ingress;
+  Control egress;
+  std::vector<FieldListDef> field_lists;
+  std::vector<CounterDef> counters;
+  std::vector<MeterDef> meters;
+  std::vector<RegisterDef> registers;
+  std::vector<CalculatedField> calculated_fields;
+
+  // Serialization order for deparsing. If empty, finalize() derives it from
+  // a topological traversal of the parser graph (the P4-14 rule).
+  std::vector<std::string> deparse_order;
+
+  // --- lookup helpers (throw ConfigError when missing) -------------------
+  const HeaderType& header_type(const std::string& name) const;
+  const HeaderInstance& instance(const std::string& name) const;
+  const HeaderType& instance_type(const std::string& instance_name) const;
+  const ParserState& parser_state(const std::string& name) const;
+  const ActionDef& action(const std::string& name) const;
+  const TableDef& table(const std::string& name) const;
+  const FieldListDef& field_list(const std::string& name) const;
+  bool has_instance(const std::string& name) const;
+  bool has_parser_state(const std::string& name) const;
+
+  // Width in bits of `header.field`. Understands stack element syntax
+  // "name[i]" and standard metadata.
+  std::size_t field_width(const FieldRef& f) const;
+
+  // Derive deparse_order (if unset) and run validation; throws ConfigError
+  // with a descriptive message on any dangling reference or inconsistency.
+  void finalize();
+
+  // Validation only (finalize() calls this).
+  void validate() const;
+};
+
+// The standard metadata instance every program can reference. The switch
+// provides it implicitly; programs must not declare it themselves.
+inline const std::string kStandardMetadata = "standard_metadata";
+
+// Fields of standard_metadata.
+inline constexpr std::size_t kPortWidth = 9;
+inline const std::string kFieldIngressPort = "ingress_port";
+inline const std::string kFieldEgressSpec = "egress_spec";
+inline const std::string kFieldEgressPort = "egress_port";
+inline const std::string kFieldInstanceType = "instance_type";
+inline const std::string kFieldPacketLength = "packet_length";
+inline const std::string kFieldMcastGrp = "mcast_grp";
+inline const std::string kFieldEgressRid = "egress_rid";
+
+// egress_spec value meaning "drop".
+inline constexpr std::uint64_t kDropPort = 511;
+
+// instance_type values.
+enum class InstanceType : std::uint64_t {
+  kNormal = 0,
+  kResubmit = 1,
+  kRecirculate = 2,
+  kIngressClone = 3,
+  kEgressClone = 4,
+  kReplication = 5,
+};
+
+// The HeaderType describing standard_metadata (shared by all programs).
+const HeaderType& standard_metadata_type();
+
+// Split "name[3]" into ("name", 3); plain names yield index nullopt.
+std::pair<std::string, std::optional<std::size_t>> split_stack_ref(
+    const std::string& instance_name);
+
+}  // namespace hyper4::p4

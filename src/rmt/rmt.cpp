@@ -1,0 +1,38 @@
+#include "rmt/rmt.h"
+
+namespace hyper4::rmt {
+
+std::size_t physical_stages_for(const RmtSpec& spec,
+                                const StageRequirement& s) {
+  if (s.match_bits == 0) return 1;
+  if (s.ternary) {
+    const std::size_t tcam_bits = 2 * s.match_bits;  // value + mask
+    return (tcam_bits + spec.tcam_match_bits - 1) / spec.tcam_match_bits;
+  }
+  return (s.match_bits + spec.sram_match_bits - 1) / spec.sram_match_bits;
+}
+
+FitResult fit(const RmtSpec& spec, std::size_t phv_bits_needed,
+              const std::vector<StageRequirement>& ingress,
+              const std::vector<StageRequirement>& egress) {
+  FitResult r;
+  r.phv_bits_needed = phv_bits_needed;
+  r.ingress_logical = ingress.size();
+  r.egress_logical = egress.size();
+  for (const auto& s : ingress) r.ingress_physical += physical_stages_for(spec, s);
+  for (const auto& s : egress) r.egress_physical += physical_stages_for(spec, s);
+  r.phv_fits = phv_bits_needed <= spec.phv_bits;
+  r.ingress_fits = r.ingress_physical <= spec.ingress_stages;
+  r.egress_fits = r.egress_physical <= spec.egress_stages;
+  return r;
+}
+
+std::size_t phv_bits(const p4::Program& prog) {
+  std::size_t bits = p4::standard_metadata_type().width_bits();
+  for (const auto& inst : prog.instances) {
+    bits += prog.header_type(inst.type).width_bits() * inst.stack_size;
+  }
+  return bits;
+}
+
+}  // namespace hyper4::rmt

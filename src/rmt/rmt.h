@@ -1,0 +1,62 @@
+// RMT chip resource model (Bosshart et al., SIGCOMM'13) and the §6.5
+// deployability analysis: can a given HyPer4 workload run on RMT-like
+// ASIC hardware?
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "p4/ir.h"
+
+namespace hyper4::rmt {
+
+// The published RMT reference configuration.
+struct RmtSpec {
+  std::size_t phv_bits = 4096;
+  std::size_t ingress_stages = 32;
+  std::size_t egress_stages = 32;
+  std::size_t sram_match_bits = 640;   // exact match width per stage
+  std::size_t tcam_match_bits = 640;   // ternary match width per stage
+};
+
+// One logical (HyPer4) match-action stage as exercised by a packet.
+struct StageRequirement {
+  std::string table;
+  std::size_t match_bits = 0;  // key bits offered to the match
+  bool ternary = false;        // ternary keys need value+mask TCAM bits
+};
+
+// Physical RMT stages needed to realize one logical stage: ternary matches
+// cost value+mask bits of TCAM (the paper's 800-bit match → 1600 bits → 3
+// physical stages).
+std::size_t physical_stages_for(const RmtSpec& spec, const StageRequirement& s);
+
+struct FitResult {
+  std::size_t ingress_logical = 0;
+  std::size_t ingress_physical = 0;
+  std::size_t egress_logical = 0;
+  std::size_t egress_physical = 0;
+  std::size_t phv_bits_needed = 0;
+  bool phv_fits = false;
+  bool ingress_fits = false;
+  bool egress_fits = false;
+  bool fits() const { return phv_fits && ingress_fits && egress_fits; }
+  // Percentage of ingress capacity required (the paper's "60% more than
+  // RMT's capacity" statement corresponds to 160 here).
+  std::size_t ingress_capacity_pct(const RmtSpec& spec) const {
+    return spec.ingress_stages == 0
+               ? 0
+               : ingress_physical * 100 / spec.ingress_stages;
+  }
+};
+
+FitResult fit(const RmtSpec& spec, std::size_t phv_bits_needed,
+              const std::vector<StageRequirement>& ingress,
+              const std::vector<StageRequirement>& egress);
+
+// Packet-header-vector footprint of a program: every header-instance and
+// metadata bit the pipeline carries (stack elements included).
+std::size_t phv_bits(const p4::Program& prog);
+
+}  // namespace hyper4::rmt

@@ -1,0 +1,118 @@
+#include "sim/network.h"
+
+#include <algorithm>
+#include <deque>
+
+#include "util/error.h"
+
+namespace hyper4::sim {
+
+using util::ConfigError;
+
+double CostModel::work_us(const bm::ProcessResult& r) const {
+  return fixed_us + per_match_us * static_cast<double>(r.match_count()) +
+         per_resubmit_us * static_cast<double>(r.resubmits) +
+         per_recirculate_us * static_cast<double>(r.recirculations) +
+         per_clone_us * static_cast<double>(r.clones_i2e + r.clones_e2e);
+}
+
+void Network::add_switch(const std::string& name, bm::Switch& sw) {
+  if (switches_.contains(name))
+    throw ConfigError("sim: duplicate switch '" + name + "'");
+  switches_[name] = &sw;
+  busy_[name] = 0;
+}
+
+void Network::add_host(const std::string& name, const std::string& sw,
+                       std::uint16_t port) {
+  if (!switches_.contains(sw))
+    throw ConfigError("sim: unknown switch '" + sw + "'");
+  if (hosts_.contains(name))
+    throw ConfigError("sim: duplicate host '" + name + "'");
+  hosts_[name] = HostInfo{sw, port};
+  Endpoint e;
+  e.kind = Endpoint::Kind::kHost;
+  e.name = name;
+  wires_[{sw, port}] = e;
+}
+
+void Network::link(const std::string& sw1, std::uint16_t p1,
+                   const std::string& sw2, std::uint16_t p2) {
+  if (!switches_.contains(sw1) || !switches_.contains(sw2))
+    throw ConfigError("sim: link references unknown switch");
+  Endpoint a;
+  a.kind = Endpoint::Kind::kSwitch;
+  a.name = sw2;
+  a.port = p2;
+  Endpoint b;
+  b.kind = Endpoint::Kind::kSwitch;
+  b.name = sw1;
+  b.port = p1;
+  wires_[{sw1, p1}] = a;
+  wires_[{sw2, p2}] = b;
+}
+
+std::vector<Network::Delivery> Network::send(const std::string& from_host,
+                                             const net::Packet& packet) {
+  auto hit = hosts_.find(from_host);
+  if (hit == hosts_.end())
+    throw ConfigError("sim: unknown host '" + from_host + "'");
+
+  struct Work {
+    std::string sw;
+    std::uint16_t port;
+    net::Packet packet;
+    double latency;
+    std::size_t hops;
+  };
+  std::vector<Delivery> out;
+  std::deque<Work> queue;
+  queue.push_back(Work{hit->second.sw, hit->second.port, packet, cm_.link_us, 0});
+
+  std::size_t steps = 0;
+  while (!queue.empty()) {
+    if (++steps > 256) break;  // forwarding-loop guard
+    Work w = std::move(queue.front());
+    queue.pop_front();
+    bm::Switch& sw = *switches_.at(w.sw);
+    const bm::ProcessResult res = sw.inject(w.port, w.packet);
+    const double work = cm_.work_us(res);
+    busy_[w.sw] += work;
+    for (const auto& o : res.outputs) {
+      auto wit = wires_.find({w.sw, o.port});
+      if (wit == wires_.end()) continue;  // unwired port: packet vanishes
+      const Endpoint& e = wit->second;
+      const double lat = w.latency + work + cm_.link_us;
+      if (e.kind == Endpoint::Kind::kHost) {
+        out.push_back(Delivery{e.name, o.packet, lat, w.hops + 1});
+      } else {
+        queue.push_back(Work{e.name, e.port, o.packet, lat, w.hops + 1});
+      }
+    }
+  }
+  return out;
+}
+
+double Network::busy_us(const std::string& sw) const {
+  auto it = busy_.find(sw);
+  if (it == busy_.end()) throw ConfigError("sim: unknown switch '" + sw + "'");
+  return it->second;
+}
+
+double Network::max_busy_us() const {
+  double m = 0;
+  for (const auto& [name, b] : busy_) m = std::max(m, b);
+  return m;
+}
+
+void Network::reset_busy() {
+  for (auto& [name, b] : busy_) b = 0;
+}
+
+std::vector<std::string> Network::switch_names() const {
+  std::vector<std::string> out;
+  for (const auto& [name, sw] : switches_) out.push_back(name);
+  return out;
+}
+
+}  // namespace hyper4::sim

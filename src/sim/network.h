@@ -1,0 +1,92 @@
+// Network simulator substrate for the §6.4 performance experiments.
+//
+// The paper measured iperf3 bandwidth and ping-flood latency on bmv2 inside
+// a Mininet VM; those numbers are dominated by per-packet switch work
+// (match-action stages, resubmits, recirculations). We reproduce the
+// *shape* with a topology of bm::Switch instances joined by links and a
+// cost model that prices each packet's observed processing trace. Absolute
+// numbers are calibrated to the paper's native L2 baseline; see DESIGN.md.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "bm/switch.h"
+#include "net/packet.h"
+
+namespace hyper4::sim {
+
+struct CostModel {
+  // Per-packet, per-switch costs (microseconds).
+  double fixed_us = 2.0;            // parse/deparse and framework overhead
+  double per_match_us = 25.0;       // one match-action stage
+  double per_resubmit_us = 30.0;    // extra parser pass
+  double per_recirculate_us = 40.0; // full extra pipeline traversal
+  double per_clone_us = 10.0;
+  double host_stack_us = 170.0;     // per packet, per host endpoint
+  double link_us = 1.0;             // propagation per link
+
+  // Price one switch traversal from its processing trace.
+  double work_us(const bm::ProcessResult& r) const;
+};
+
+// A topology of switches (externally owned — e.g. by hp4::Controller),
+// hosts, and port-to-port links. Packets are walked synchronously through
+// the switch graph, accumulating latency and per-switch busy time.
+class Network {
+ public:
+  explicit Network(CostModel cm = CostModel{}) : cm_(cm) {}
+
+  const CostModel& cost_model() const { return cm_; }
+
+  // The switch must outlive the Network.
+  void add_switch(const std::string& name, bm::Switch& sw);
+  void add_host(const std::string& name, const std::string& sw,
+                std::uint16_t port);
+  void link(const std::string& sw1, std::uint16_t p1, const std::string& sw2,
+            std::uint16_t p2);
+
+  struct Delivery {
+    std::string host;
+    net::Packet packet;
+    double latency_us = 0;
+    std::size_t switch_hops = 0;
+  };
+
+  // Inject from a host; returns every host delivery with its end-to-end
+  // latency. Per-switch busy time is accumulated (see busy_us).
+  std::vector<Delivery> send(const std::string& from_host,
+                             const net::Packet& packet);
+
+  // Cumulative switch processing time since the last reset (the iperf
+  // model's bottleneck measure).
+  double busy_us(const std::string& sw) const;
+  double max_busy_us() const;
+  void reset_busy();
+
+  std::vector<std::string> switch_names() const;
+
+ private:
+  struct Endpoint {
+    enum class Kind { kNone, kHost, kSwitch } kind = Kind::kNone;
+    std::string name;        // host or switch name
+    std::uint16_t port = 0;  // switch port (kSwitch)
+  };
+  struct HostInfo {
+    std::string sw;
+    std::uint16_t port;
+  };
+
+  Endpoint& endpoint(const std::string& sw, std::uint16_t port);
+
+  CostModel cm_;
+  std::map<std::string, bm::Switch*> switches_;
+  std::map<std::string, HostInfo> hosts_;
+  // (switch name, port) → where it leads.
+  std::map<std::pair<std::string, std::uint16_t>, Endpoint> wires_;
+  std::map<std::string, double> busy_;
+};
+
+}  // namespace hyper4::sim

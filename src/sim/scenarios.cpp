@@ -1,0 +1,244 @@
+#include "sim/scenarios.h"
+
+#include "apps/apps.h"
+#include "util/error.h"
+
+namespace hyper4::sim {
+
+namespace {
+
+using apps::Rule;
+
+constexpr const char* kMacH1 = "02:00:00:00:00:01";
+constexpr const char* kMacH2 = "02:00:00:00:00:02";
+constexpr const char* kMacGwL = "02:aa:00:00:00:01";  // ex1c router, left side
+constexpr const char* kMacGwR = "02:aa:00:00:00:02";  // ex1c router, right side
+constexpr const char* kIpH1 = "10.0.0.1";
+constexpr const char* kIpH2 = "10.0.1.2";
+
+hp4::VirtualRule vr(const Rule& r) {
+  return hp4::VirtualRule{r.table, r.action, r.keys, r.args, r.priority};
+}
+
+// L2 forwarding for a two-port transit switch: "left-side" MACs out port 1,
+// "right-side" MACs out port 2.
+std::vector<Rule> transit_l2_rules(const std::vector<std::string>& left,
+                                   const std::vector<std::string>& right) {
+  std::vector<Rule> rules;
+  for (const auto& m : left) rules.push_back(apps::l2_forward(m, 1));
+  for (const auto& m : right) rules.push_back(apps::l2_forward(m, 2));
+  return rules;
+}
+
+std::vector<Rule> transit_fw_rules(const std::vector<std::string>& left,
+                                   const std::vector<std::string>& right) {
+  std::vector<Rule> rules;
+  for (const auto& m : left) rules.push_back(apps::firewall_l2_forward(m, 1));
+  for (const auto& m : right) rules.push_back(apps::firewall_l2_forward(m, 2));
+  // A real filter set that the measured traffic does not hit (the paper's
+  // iperf/ping traffic passes the firewall).
+  rules.push_back(apps::firewall_block_tcp_dport(9999, 10));
+  rules.push_back(apps::firewall_block_udp_dport(9999, 11));
+  return rules;
+}
+
+std::vector<Rule> ex1c_router_rules() {
+  return {
+      apps::router_accept_mac(kMacGwL),
+      apps::router_accept_mac(kMacGwR),
+      apps::router_route("10.0.1.0", 24, kIpH2, 2),
+      apps::router_route("10.0.0.0", 24, kIpH1, 1),
+      apps::router_arp_entry(kIpH2, kMacH2),
+      apps::router_arp_entry(kIpH1, kMacH1),
+      apps::router_port_mac(2, kMacGwR),
+      apps::router_port_mac(1, kMacGwL),
+  };
+}
+
+}  // namespace
+
+bm::ProcessResult Scenario::probe_tcp() {
+  // ex1c traffic addresses the gateway; everything else addresses h2.
+  net::EthHeader eth;
+  eth.src = net::mac_from_string(kMacH1);
+  eth.dst = net::mac_from_string(name_.find("ex1c") != std::string::npos
+                                     ? kMacGwL
+                                     : kMacH2);
+  net::Ipv4Header ip;
+  ip.src = net::ipv4_from_string(kIpH1);
+  ip.dst = net::ipv4_from_string(kIpH2);
+  net::TcpHeader tcp;
+  tcp.src_port = 40000;
+  tcp.dst_port = 5001;
+  return first_switch().inject(1, net::make_ipv4_tcp(eth, ip, tcp, 64));
+}
+
+bm::ProcessResult Scenario::probe_arp() {
+  auto req = net::make_arp_request(net::mac_from_string(kMacH1),
+                                   net::ipv4_from_string(kIpH1),
+                                   net::ipv4_from_string(kIpH2));
+  return first_switch().inject(1, req);
+}
+
+bm::Switch& Scenario::first_switch() {
+  if (!first_) throw util::ConfigError("scenario has no switches");
+  return *first_;
+}
+
+std::unique_ptr<Scenario> Scenario::make(const std::string& kind, bool hyper4,
+                                         CostModel cm) {
+  auto sc = std::unique_ptr<Scenario>(new Scenario());
+  sc->name_ = kind + (hyper4 ? "/hp4" : "/native");
+  sc->net_ = std::make_unique<Network>(cm);
+  Network& net = *sc->net_;
+
+  // Creates a dataplane switch running `prog` (natively or emulated) and
+  // returns it, registered with the network under `name`.
+  auto make_dp = [&](const std::string& name, const p4::Program& prog,
+                     const std::vector<Rule>& rules,
+                     const std::vector<std::uint16_t>& ports) -> bm::Switch& {
+    if (!hyper4) {
+      sc->native_.push_back(std::make_unique<bm::Switch>(prog));
+      bm::Switch& sw = *sc->native_.back();
+      apps::apply_rules(sw, rules);
+      net.add_switch(name, sw);
+      if (!sc->first_) sc->first_ = &sw;
+      return sw;
+    }
+    sc->controllers_.push_back(std::make_unique<hp4::Controller>());
+    hp4::Controller& ctl = *sc->controllers_.back();
+    auto id = ctl.load(prog.name, prog);
+    ctl.attach_ports(id, ports);
+    for (auto p : ports) ctl.bind(id, p);
+    for (const auto& r : rules) ctl.add_rule(id, vr(r));
+    net.add_switch(name, ctl.dataplane());
+    if (!sc->first_) sc->first_ = &ctl.dataplane();
+    return ctl.dataplane();
+  };
+
+  // A persona hosting the ex1c middle composition.
+  auto make_chain_dp = [&](const std::string& name) -> bm::Switch& {
+    sc->controllers_.push_back(std::make_unique<hp4::Controller>());
+    hp4::Controller& ctl = *sc->controllers_.back();
+    auto arp = ctl.load("arp", apps::arp_proxy());
+    auto fw = ctl.load("fw", apps::firewall());
+    auto rtr = ctl.load("rtr", apps::ipv4_router());
+    ctl.chain({arp, fw, rtr}, {1, 2});
+    for (const auto& r : std::vector<Rule>{
+             apps::arp_proxy_entry("10.0.0.254", kMacGwL),
+             apps::arp_proxy_l2_forward(kMacGwL, 2),
+             apps::arp_proxy_l2_forward(kMacGwR, 1),
+             apps::arp_proxy_l2_forward(kMacH1, 1),
+             apps::arp_proxy_l2_forward(kMacH2, 2)}) {
+      ctl.add_rule(arp, vr(r));
+    }
+    for (const auto& r : transit_fw_rules({kMacGwR, kMacH1}, {kMacGwL, kMacH2})) {
+      ctl.add_rule(fw, vr(r));
+    }
+    for (const auto& r : ex1c_router_rules()) ctl.add_rule(rtr, vr(r));
+    net.add_switch(name, ctl.dataplane());
+    if (!sc->first_) sc->first_ = &ctl.dataplane();
+    return ctl.dataplane();
+  };
+
+  const bool routed = kind == "ex1c";
+
+  // --- topology wiring -------------------------------------------------------
+  if (kind == "l2_sw" || kind == "firewall") {
+    auto rules = kind == "l2_sw" ? transit_l2_rules({kMacH1}, {kMacH2})
+                                 : transit_fw_rules({kMacH1}, {kMacH2});
+    auto prog = kind == "l2_sw" ? apps::l2_switch() : apps::firewall();
+    make_dp("s1", prog, rules, {1, 2});
+    net.add_host("h1", "s1", 1);
+    net.add_host("h2", "s1", 2);
+  } else if (kind == "ex1b") {
+    make_dp("s1", apps::l2_switch(), transit_l2_rules({kMacH1}, {kMacH2}), {1, 2});
+    make_dp("s2", apps::firewall(), transit_fw_rules({kMacH1}, {kMacH2}), {1, 2});
+    make_dp("s3", apps::l2_switch(), transit_l2_rules({kMacH1}, {kMacH2}), {1, 2});
+    net.add_host("h1", "s1", 1);
+    net.link("s1", 2, "s2", 1);
+    net.link("s2", 2, "s3", 1);
+    net.add_host("h2", "s3", 2);
+  } else if (kind == "ex1c") {
+    // Edge L2 switches steer gateway-addressed traffic into the middle.
+    make_dp("s1", apps::l2_switch(),
+            transit_l2_rules({kMacH1}, {kMacGwL, kMacH2}), {1, 2});
+    if (hyper4) {
+      make_chain_dp("s2");
+      net.link("s1", 2, "s2", 1);
+      make_dp("s3", apps::l2_switch(),
+              transit_l2_rules({kMacGwR, kMacH1}, {kMacH2}), {1, 2});
+      net.link("s2", 2, "s3", 1);
+    } else {
+      // Native composition: three switches in series.
+      make_dp("s2_arp", apps::arp_proxy(),
+              {apps::arp_proxy_entry("10.0.0.254", kMacGwL),
+               apps::arp_proxy_l2_forward(kMacGwL, 2),
+               apps::arp_proxy_l2_forward(kMacGwR, 1),
+               apps::arp_proxy_l2_forward(kMacH1, 1),
+               apps::arp_proxy_l2_forward(kMacH2, 2)},
+              {1, 2});
+      make_dp("s2_fw", apps::firewall(),
+              transit_fw_rules({kMacGwR, kMacH1}, {kMacGwL, kMacH2}), {1, 2});
+      make_dp("s2_rtr", apps::ipv4_router(), ex1c_router_rules(), {1, 2});
+      make_dp("s3", apps::l2_switch(),
+              transit_l2_rules({kMacGwR, kMacH1}, {kMacH2}), {1, 2});
+      net.link("s1", 2, "s2_arp", 1);
+      net.link("s2_arp", 2, "s2_fw", 1);
+      net.link("s2_fw", 2, "s2_rtr", 1);
+      net.link("s2_rtr", 2, "s3", 1);
+    }
+    net.add_host("h1", "s1", 1);
+    net.add_host("h2", "s3", 2);
+  } else {
+    throw util::ConfigError("unknown scenario kind '" + kind + "'");
+  }
+
+  // --- traffic ------------------------------------------------------------------
+  const std::string dst_mac = routed ? kMacGwL : kMacH2;
+  sc->flow_.payload_bytes = 1400;
+  sc->flow_.make_data = [dst_mac](std::uint32_t seq) {
+    net::EthHeader eth;
+    eth.src = net::mac_from_string(kMacH1);
+    eth.dst = net::mac_from_string(dst_mac);
+    net::Ipv4Header ip;
+    ip.src = net::ipv4_from_string(kIpH1);
+    ip.dst = net::ipv4_from_string(kIpH2);
+    ip.identification = static_cast<std::uint16_t>(seq);
+    net::TcpHeader tcp;
+    tcp.src_port = 40000;
+    tcp.dst_port = 5001;
+    tcp.seq = seq * 1400;
+    return net::make_ipv4_tcp(eth, ip, tcp, 1400);
+  };
+  const std::string ack_dst = routed ? kMacGwR : kMacH1;
+  sc->flow_.make_ack = [ack_dst](std::uint32_t seq) {
+    net::EthHeader eth;
+    eth.src = net::mac_from_string(kMacH2);
+    eth.dst = net::mac_from_string(ack_dst);
+    net::Ipv4Header ip;
+    ip.src = net::ipv4_from_string(kIpH2);
+    ip.dst = net::ipv4_from_string(kIpH1);
+    net::TcpHeader tcp;
+    tcp.src_port = 5001;
+    tcp.dst_port = 40000;
+    tcp.ack = (seq + 1) * 1400;
+    tcp.flags = 0x10;
+    return net::make_ipv4_tcp(eth, ip, tcp, 0);
+  };
+  sc->echo_ = [dst_mac](std::uint32_t seq) {
+    net::EthHeader eth;
+    eth.src = net::mac_from_string(kMacH1);
+    eth.dst = net::mac_from_string(dst_mac);
+    net::Ipv4Header ip;
+    ip.src = net::ipv4_from_string(kIpH1);
+    ip.dst = net::ipv4_from_string(kIpH2);
+    net::IcmpHeader icmp;
+    icmp.identifier = 7;
+    icmp.sequence = static_cast<std::uint16_t>(seq);
+    return net::make_ipv4_icmp_echo(eth, ip, icmp, 56);
+  };
+  return sc;
+}
+
+}  // namespace hyper4::sim

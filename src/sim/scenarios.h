@@ -1,0 +1,67 @@
+// Evaluation scenarios for §6.4 / Table 5, in native and HyPer4 variants:
+//   "l2_sw"    — h1 – s1(L2 switch) – h2
+//   "firewall" — h1 – s1(firewall) – h2
+//   "ex1b"     — h1 – s1(L2) – s2(firewall) – s3(L2) – h2          (Fig. 3 B)
+//   "ex1c"     — h1 – s1(L2) – [arp→firewall→router] – s3(L2) – h2 (Fig. 3 C)
+//
+// In the native ex1c variant the middle composition runs as three switches
+// in series (the paper's §7.2 "directly embedding P4 programs in the
+// network" alternative); in the HyPer4 variant it is a single persona
+// hosting a three-device chain over virtual links.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bm/switch.h"
+#include "hp4/controller.h"
+#include "sim/network.h"
+#include "sim/traffic.h"
+
+namespace hyper4::sim {
+
+class Scenario {
+ public:
+  static std::unique_ptr<Scenario> make(const std::string& kind, bool hyper4,
+                                        CostModel cm = CostModel{});
+
+  const std::string& name() const { return name_; }
+  Network& network() { return *net_; }
+  const FlowSpec& flow() const { return flow_; }
+  net::Packet echo(std::uint32_t seq) const { return echo_(seq); }
+
+  const std::string& h1() const { return h1_; }
+  const std::string& h2() const { return h2_; }
+
+  // Convenience wrappers.
+  IperfResult iperf(std::size_t packets, util::Rng* jitter = nullptr) {
+    return run_iperf(*net_, h1_, h2_, flow_, packets, jitter);
+  }
+  PingResult ping_flood(std::size_t count, util::Rng* jitter = nullptr) {
+    return run_ping_flood(*net_, h1_, h2_, echo_, count, jitter);
+  }
+
+  // Per-packet processing probes (Tables 1 and 4): inject one worst-case
+  // packet into the first switch and return its trace.
+  bm::ProcessResult probe_tcp();
+  bm::ProcessResult probe_arp();
+
+  // The first (or only) dataplane switch.
+  bm::Switch& first_switch();
+
+ private:
+  Scenario() = default;
+
+  std::string name_;
+  std::vector<std::unique_ptr<bm::Switch>> native_;
+  std::vector<std::unique_ptr<hp4::Controller>> controllers_;
+  std::unique_ptr<Network> net_;
+  std::string h1_ = "h1", h2_ = "h2";
+  FlowSpec flow_;
+  std::function<net::Packet(std::uint32_t)> echo_;
+  bm::Switch* first_ = nullptr;
+};
+
+}  // namespace hyper4::sim

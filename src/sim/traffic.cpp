@@ -1,0 +1,130 @@
+#include "sim/traffic.h"
+
+#include <cmath>
+
+#include "net/checksum.h"
+#include "util/error.h"
+
+namespace hyper4::sim {
+
+IperfResult run_iperf(Network& net, const std::string& src,
+                      const std::string& dst, const FlowSpec& flow,
+                      std::size_t packets, util::Rng* jitter) {
+  IperfResult r;
+  net.reset_busy();
+  double host_time_us = 0;
+  for (std::uint32_t seq = 0; seq < packets; ++seq) {
+    ++r.data_sent;
+    bool delivered = false;
+    for (const auto& d : net.send(src, flow.make_data(seq))) {
+      if (d.host == dst) delivered = true;
+    }
+    if (!delivered) continue;
+    ++r.data_delivered;
+    host_time_us += net.cost_model().host_stack_us;
+    for (const auto& d : net.send(dst, flow.make_ack(seq))) {
+      if (d.host == src) ++r.acks_delivered;
+    }
+    host_time_us += net.cost_model().host_stack_us;
+  }
+  // The bottleneck switch's CPU paces the flow — the bmv2-in-a-VM model
+  // (host stacks pipeline with switch processing and never bottleneck).
+  (void)host_time_us;
+  double elapsed_us = net.max_busy_us();
+  if (elapsed_us <= 0) return r;
+  if (jitter) {
+    // ±2% run-to-run variation, mirroring the paper's σ across 10 runs.
+    const double eps =
+        (static_cast<double>(jitter->uniform(0, 4000)) - 2000.0) / 100000.0;
+    elapsed_us *= 1.0 + eps;
+  }
+  const double bits =
+      static_cast<double>(r.data_delivered * flow.payload_bytes) * 8.0;
+  r.mbps = bits / elapsed_us;  // bits per µs == Mbit/s
+  return r;
+}
+
+net::Packet make_icmp_reply_from(const net::Packet& request) {
+  auto eth = net::read_eth(request);
+  auto ip = net::read_ipv4(request);
+  if (!eth || !ip) throw util::ConfigError("sim: echo request is not IPv4");
+  net::EthHeader reth;
+  reth.src = eth->dst;
+  reth.dst = eth->src;
+  net::Ipv4Header rip;
+  rip.src = ip->dst;
+  rip.dst = ip->src;
+  rip.ttl = 64;
+  // Echo the original ICMP payload sizes; identifier/sequence come from the
+  // request so RTT attribution stays honest.
+  const std::size_t icmp_off = net::kEthHeaderLen + net::kIpv4HeaderLen;
+  std::uint16_t ident = 0, seqno = 0;
+  std::size_t payload_len = 0;
+  if (request.size() >= icmp_off + net::kIcmpHeaderLen) {
+    auto b = request.bytes();
+    ident = static_cast<std::uint16_t>(b[icmp_off + 4] << 8 | b[icmp_off + 5]);
+    seqno = static_cast<std::uint16_t>(b[icmp_off + 6] << 8 | b[icmp_off + 7]);
+    payload_len = ip->total_len >= net::kIpv4HeaderLen + net::kIcmpHeaderLen
+                      ? ip->total_len - net::kIpv4HeaderLen - net::kIcmpHeaderLen
+                      : 0;
+  }
+  net::IcmpHeader icmp;
+  icmp.type = 0;  // echo reply
+  icmp.identifier = ident;
+  icmp.sequence = seqno;
+  return net::make_ipv4_icmp_echo(reth, rip, icmp, payload_len, 0x42);
+}
+
+PingResult run_ping_flood(Network& net, const std::string& src,
+                          const std::string& dst,
+                          std::function<net::Packet(std::uint32_t)> make_echo,
+                          std::size_t count, util::Rng* jitter) {
+  PingResult r;
+  double total_us = 0;
+  for (std::uint32_t seq = 0; seq < count; ++seq) {
+    ++r.sent;
+    double rtt = 2.0 * net.cost_model().host_stack_us;
+    bool delivered = false;
+    net::Packet at_dst;
+    for (const auto& d : net.send(src, make_echo(seq))) {
+      if (d.host == dst) {
+        delivered = true;
+        rtt += d.latency_us;
+        at_dst = d.packet;
+      }
+    }
+    if (!delivered) continue;
+    bool replied = false;
+    for (const auto& d : net.send(dst, make_icmp_reply_from(at_dst))) {
+      if (d.host == src) {
+        replied = true;
+        rtt += d.latency_us;
+      }
+    }
+    if (!replied) continue;
+    ++r.replied;
+    total_us += rtt;
+  }
+  if (jitter) {
+    const double eps =
+        (static_cast<double>(jitter->uniform(0, 4000)) - 2000.0) / 100000.0;
+    total_us *= 1.0 + eps;
+  }
+  r.total_ms = total_us / 1000.0;
+  r.avg_rtt_us = r.replied ? total_us / static_cast<double>(r.replied) : 0;
+  return r;
+}
+
+Stats mean_stddev(const std::vector<double>& xs) {
+  Stats s;
+  if (xs.empty()) return s;
+  for (double x : xs) s.mean += x;
+  s.mean /= static_cast<double>(xs.size());
+  double var = 0;
+  for (double x : xs) var += (x - s.mean) * (x - s.mean);
+  var /= static_cast<double>(xs.size());
+  s.stddev = std::sqrt(var);
+  return s;
+}
+
+}  // namespace hyper4::sim

@@ -1,0 +1,68 @@
+// Traffic generators mirroring the paper's measurement tools (§6.4):
+// an iperf3-style bulk TCP flow (bandwidth) and `ping -f` (flood latency).
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "net/headers.h"
+#include "sim/network.h"
+#include "util/rng.h"
+
+namespace hyper4::sim {
+
+// --- iperf-style bandwidth ----------------------------------------------------
+
+struct FlowSpec {
+  // Build the seq-th data segment / its ACK (caller supplies addressing so
+  // the same generator drives L2-only and routed topologies).
+  std::function<net::Packet(std::uint32_t seq)> make_data;
+  std::function<net::Packet(std::uint32_t seq)> make_ack;
+  std::size_t payload_bytes = 1400;
+};
+
+struct IperfResult {
+  double mbps = 0;
+  std::size_t data_sent = 0;
+  std::size_t data_delivered = 0;
+  std::size_t acks_delivered = 0;
+};
+
+// Drive `packets` data/ACK pairs from src to dst. Throughput is goodput
+// divided by the bottleneck switch's busy time (the bmv2 CPU model). An
+// optional RNG adds small per-run jitter so repeated runs produce the
+// paper's μ/σ statistics.
+IperfResult run_iperf(Network& net, const std::string& src,
+                      const std::string& dst, const FlowSpec& flow,
+                      std::size_t packets, util::Rng* jitter = nullptr);
+
+// --- ping flood ------------------------------------------------------------------
+
+struct PingResult {
+  std::size_t sent = 0;
+  std::size_t replied = 0;
+  double total_ms = 0;    // the paper's reported column (1000 flood pings)
+  double avg_rtt_us = 0;
+};
+
+// Flood-ping: each echo waits for the previous reply (ping -f semantics).
+// The reply is synthesized at the destination host from the delivered
+// request (MAC/IP swap), so rewritten headers from routers are honoured.
+PingResult run_ping_flood(Network& net, const std::string& src,
+                          const std::string& dst,
+                          std::function<net::Packet(std::uint32_t seq)> make_echo,
+                          std::size_t count, util::Rng* jitter = nullptr);
+
+// Build the echo reply corresponding to a delivered echo request.
+net::Packet make_icmp_reply_from(const net::Packet& request);
+
+// --- small statistics helper -----------------------------------------------------
+
+struct Stats {
+  double mean = 0;
+  double stddev = 0;
+};
+Stats mean_stddev(const std::vector<double>& xs);
+
+}  // namespace hyper4::sim

@@ -1,0 +1,334 @@
+#include "util/bitvec.h"
+
+#include <algorithm>
+#include <bit>
+
+#include "util/error.h"
+
+namespace hyper4::util {
+
+BitVec::BitVec(std::size_t width) : width_(width), words_(words_for(width), 0) {}
+
+BitVec::BitVec(std::size_t width, std::uint64_t value)
+    : width_(width), words_(words_for(width), 0) {
+  if (!words_.empty()) words_[0] = value;
+  trim();
+}
+
+BitVec BitVec::ones(std::size_t width) {
+  BitVec v(width);
+  std::fill(v.words_.begin(), v.words_.end(), ~std::uint64_t{0});
+  v.trim();
+  return v;
+}
+
+BitVec BitVec::mask_range(std::size_t width, std::size_t lsb, std::size_t len) {
+  BitVec v(width);
+  if (lsb >= width) return v;
+  len = std::min(len, width - lsb);
+  v.set_slice(lsb, BitVec::ones(len));
+  return v;
+}
+
+BitVec BitVec::from_bytes(std::span<const std::uint8_t> bytes) {
+  return from_bytes(bytes, bytes.size() * 8);
+}
+
+BitVec BitVec::from_bytes(std::span<const std::uint8_t> bytes,
+                          std::size_t width) {
+  BitVec v(width);
+  // bytes[0] is most significant; bit position of byte i's LSB is
+  // 8 * (n - 1 - i) within the full byte image.
+  const std::size_t n = bytes.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t bit = 8 * (n - 1 - i);
+    if (bit >= width + 8) continue;  // entirely above the kept width
+    const std::size_t word = bit / kWordBits;
+    const std::size_t off = bit % kWordBits;
+    if (word < v.words_.size()) {
+      v.words_[word] |= static_cast<std::uint64_t>(bytes[i]) << off;
+      if (off > kWordBits - 8 && word + 1 < v.words_.size()) {
+        v.words_[word + 1] |=
+            static_cast<std::uint64_t>(bytes[i]) >> (kWordBits - off);
+      }
+    }
+  }
+  v.trim();
+  return v;
+}
+
+BitVec BitVec::from_hex(std::size_t width, const std::string& hex) {
+  std::string s = hex;
+  if (s.rfind("0x", 0) == 0 || s.rfind("0X", 0) == 0) s = s.substr(2);
+  if (s.empty()) throw ParseError("BitVec::from_hex: empty literal");
+  BitVec v(width);
+  std::size_t bit = 0;
+  for (auto it = s.rbegin(); it != s.rend(); ++it, bit += 4) {
+    char c = *it;
+    std::uint64_t d = 0;
+    if (c >= '0' && c <= '9') d = static_cast<std::uint64_t>(c - '0');
+    else if (c >= 'a' && c <= 'f') d = static_cast<std::uint64_t>(c - 'a' + 10);
+    else if (c >= 'A' && c <= 'F') d = static_cast<std::uint64_t>(c - 'A' + 10);
+    else if (c == '_') { bit -= 4; continue; }
+    else throw ParseError(std::string("BitVec::from_hex: bad digit '") + c + "'");
+    if (bit >= width) continue;
+    const std::size_t word = bit / kWordBits;
+    if (word < v.words_.size()) v.words_[word] |= d << (bit % kWordBits);
+  }
+  v.trim();
+  return v;
+}
+
+void BitVec::trim() {
+  const std::size_t rem = width_ % kWordBits;
+  if (rem != 0 && !words_.empty()) {
+    words_.back() &= (~std::uint64_t{0}) >> (kWordBits - rem);
+  }
+}
+
+bool BitVec::any() const {
+  for (auto w : words_)
+    if (w != 0) return true;
+  return false;
+}
+
+std::size_t BitVec::popcount() const {
+  std::size_t n = 0;
+  for (auto w : words_) n += static_cast<std::size_t>(std::popcount(w));
+  return n;
+}
+
+bool BitVec::get_bit(std::size_t i) const {
+  if (i >= width_) return false;
+  return (words_[i / kWordBits] >> (i % kWordBits)) & 1u;
+}
+
+void BitVec::set_bit(std::size_t i, bool v) {
+  if (i >= width_) return;
+  const std::uint64_t m = std::uint64_t{1} << (i % kWordBits);
+  if (v) words_[i / kWordBits] |= m;
+  else words_[i / kWordBits] &= ~m;
+}
+
+std::uint64_t BitVec::low_u64() const { return words_.empty() ? 0 : words_[0]; }
+
+std::uint64_t BitVec::to_u64() const {
+  for (std::size_t i = 1; i < words_.size(); ++i) {
+    if (words_[i] != 0)
+      throw ConfigError("BitVec::to_u64: value does not fit in 64 bits");
+  }
+  return low_u64();
+}
+
+std::vector<std::uint8_t> BitVec::to_bytes() const {
+  const std::size_t n = (width_ + 7) / 8;
+  std::vector<std::uint8_t> out(n, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t bit = 8 * (n - 1 - i);
+    const std::size_t word = bit / kWordBits;
+    const std::size_t off = bit % kWordBits;
+    std::uint64_t b = words_[word] >> off;
+    if (off > kWordBits - 8 && word + 1 < words_.size()) {
+      b |= words_[word + 1] << (kWordBits - off);
+    }
+    out[i] = static_cast<std::uint8_t>(b & 0xff);
+  }
+  return out;
+}
+
+std::string BitVec::to_hex() const {
+  const std::size_t digits = (width_ + 3) / 4;
+  std::string s(digits, '0');
+  static const char* kHex = "0123456789abcdef";
+  for (std::size_t d = 0; d < digits; ++d) {
+    const std::size_t bit = 4 * d;
+    const std::size_t word = bit / kWordBits;
+    const std::size_t off = bit % kWordBits;
+    const std::uint64_t nib = (words_[word] >> off) & 0xf;
+    s[digits - 1 - d] = kHex[nib];
+  }
+  return s.empty() ? std::string("0") : s;
+}
+
+std::string BitVec::to_dec() const {
+  // Repeated division by 10 over the word array (values are modest in
+  // practice; this is used for command files and messages).
+  std::vector<std::uint64_t> w = words_;
+  std::string out;
+  auto all_zero = [&]() {
+    for (auto x : w)
+      if (x) return false;
+    return true;
+  };
+  if (all_zero()) return "0";
+  while (!all_zero()) {
+    unsigned __int128 rem = 0;
+    for (std::size_t i = w.size(); i-- > 0;) {
+      unsigned __int128 cur = (rem << 64) | w[i];
+      w[i] = static_cast<std::uint64_t>(cur / 10);
+      rem = cur % 10;
+    }
+    out.push_back(static_cast<char>('0' + static_cast<int>(rem)));
+  }
+  std::reverse(out.begin(), out.end());
+  return out;
+}
+
+BitVec BitVec::resized(std::size_t width) const {
+  BitVec v(width);
+  const std::size_t n = std::min(v.words_.size(), words_.size());
+  std::copy(words_.begin(), words_.begin() + static_cast<std::ptrdiff_t>(n),
+            v.words_.begin());
+  v.trim();
+  return v;
+}
+
+BitVec BitVec::slice(std::size_t lsb, std::size_t len) const {
+  BitVec v(len);
+  for (std::size_t i = 0; i < v.words_.size(); ++i) {
+    const std::size_t bit = lsb + i * kWordBits;
+    const std::size_t word = bit / kWordBits;
+    const std::size_t off = bit % kWordBits;
+    std::uint64_t x = word < words_.size() ? words_[word] >> off : 0;
+    if (off != 0 && word + 1 < words_.size()) {
+      x |= words_[word + 1] << (kWordBits - off);
+    }
+    v.words_[i] = x;
+  }
+  v.trim();
+  return v;
+}
+
+void BitVec::set_slice(std::size_t lsb, const BitVec& v) {
+  for (std::size_t i = 0; i < v.width_; ++i) {
+    const std::size_t dst = lsb + i;
+    if (dst >= width_) break;
+    set_bit(dst, v.get_bit(i));
+  }
+}
+
+BitVec BitVec::operator&(const BitVec& o) const {
+  BitVec r(std::max(width_, o.width_));
+  for (std::size_t i = 0; i < r.words_.size(); ++i) {
+    const std::uint64_t a = i < words_.size() ? words_[i] : 0;
+    const std::uint64_t b = i < o.words_.size() ? o.words_[i] : 0;
+    r.words_[i] = a & b;
+  }
+  return r;
+}
+
+BitVec BitVec::operator|(const BitVec& o) const {
+  BitVec r(std::max(width_, o.width_));
+  for (std::size_t i = 0; i < r.words_.size(); ++i) {
+    const std::uint64_t a = i < words_.size() ? words_[i] : 0;
+    const std::uint64_t b = i < o.words_.size() ? o.words_[i] : 0;
+    r.words_[i] = a | b;
+  }
+  return r;
+}
+
+BitVec BitVec::operator^(const BitVec& o) const {
+  BitVec r(std::max(width_, o.width_));
+  for (std::size_t i = 0; i < r.words_.size(); ++i) {
+    const std::uint64_t a = i < words_.size() ? words_[i] : 0;
+    const std::uint64_t b = i < o.words_.size() ? o.words_[i] : 0;
+    r.words_[i] = a ^ b;
+  }
+  return r;
+}
+
+BitVec BitVec::operator~() const {
+  BitVec r(width_);
+  for (std::size_t i = 0; i < words_.size(); ++i) r.words_[i] = ~words_[i];
+  r.trim();
+  return r;
+}
+
+BitVec BitVec::operator<<(std::size_t n) const {
+  BitVec r(width_);
+  if (n >= width_) return r;
+  const std::size_t wshift = n / kWordBits;
+  const std::size_t bshift = n % kWordBits;
+  for (std::size_t i = r.words_.size(); i-- > 0;) {
+    std::uint64_t x = 0;
+    if (i >= wshift) {
+      x = words_[i - wshift] << bshift;
+      if (bshift != 0 && i > wshift) {
+        x |= words_[i - wshift - 1] >> (kWordBits - bshift);
+      }
+    }
+    r.words_[i] = x;
+  }
+  r.trim();
+  return r;
+}
+
+BitVec BitVec::operator>>(std::size_t n) const {
+  BitVec r(width_);
+  if (n >= width_) return r;
+  const std::size_t wshift = n / kWordBits;
+  const std::size_t bshift = n % kWordBits;
+  for (std::size_t i = 0; i < r.words_.size(); ++i) {
+    std::uint64_t x = 0;
+    if (i + wshift < words_.size()) {
+      x = words_[i + wshift] >> bshift;
+      if (bshift != 0 && i + wshift + 1 < words_.size()) {
+        x |= words_[i + wshift + 1] << (kWordBits - bshift);
+      }
+    }
+    r.words_[i] = x;
+  }
+  return r;
+}
+
+BitVec BitVec::operator+(const BitVec& o) const {
+  BitVec r(std::max(width_, o.width_));
+  unsigned __int128 carry = 0;
+  for (std::size_t i = 0; i < r.words_.size(); ++i) {
+    const std::uint64_t a = i < words_.size() ? words_[i] : 0;
+    const std::uint64_t b = i < o.words_.size() ? o.words_[i] : 0;
+    unsigned __int128 s = static_cast<unsigned __int128>(a) + b + carry;
+    r.words_[i] = static_cast<std::uint64_t>(s);
+    carry = s >> 64;
+  }
+  r.trim();
+  return r;
+}
+
+BitVec BitVec::operator-(const BitVec& o) const {
+  BitVec r(std::max(width_, o.width_));
+  // a - b = a + ~b + 1 within the result width.
+  std::uint64_t carry = 1;
+  for (std::size_t i = 0; i < r.words_.size(); ++i) {
+    const std::uint64_t a = i < words_.size() ? words_[i] : 0;
+    const std::uint64_t b = ~(i < o.words_.size() ? o.words_[i] : 0);
+    unsigned __int128 s = static_cast<unsigned __int128>(a) + b + carry;
+    r.words_[i] = static_cast<std::uint64_t>(s);
+    carry = static_cast<std::uint64_t>(s >> 64);
+  }
+  r.trim();
+  return r;
+}
+
+bool BitVec::operator==(const BitVec& o) const {
+  const std::size_t n = std::max(words_.size(), o.words_.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint64_t a = i < words_.size() ? words_[i] : 0;
+    const std::uint64_t b = i < o.words_.size() ? o.words_[i] : 0;
+    if (a != b) return false;
+  }
+  return true;
+}
+
+std::strong_ordering BitVec::operator<=>(const BitVec& o) const {
+  const std::size_t n = std::max(words_.size(), o.words_.size());
+  for (std::size_t i = n; i-- > 0;) {
+    const std::uint64_t a = i < words_.size() ? words_[i] : 0;
+    const std::uint64_t b = i < o.words_.size() ? o.words_[i] : 0;
+    if (a != b) return a < b ? std::strong_ordering::less
+                             : std::strong_ordering::greater;
+  }
+  return std::strong_ordering::equal;
+}
+
+}  // namespace hyper4::util

@@ -1,0 +1,119 @@
+// BitVec: an arbitrary-width unsigned bit vector.
+//
+// This is the workhorse value type of the whole reproduction. P4 header
+// fields, metadata fields (including HyPer4's 800-bit `extracted` and
+// 256-bit `ext_meta` fields), ternary match values and masks are all
+// BitVecs. Semantics follow bmv2's Data type: values are unsigned, all
+// arithmetic is modulo 2^width, and the representation is canonical (bits
+// above `width` are always zero).
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace hyper4::util {
+
+class BitVec {
+ public:
+  // Zero-width, zero-valued vector.
+  BitVec() = default;
+
+  // `width` bits, all zero.
+  explicit BitVec(std::size_t width);
+
+  // `width` bits holding `value` (mod 2^width).
+  BitVec(std::size_t width, std::uint64_t value);
+
+  // All-ones vector of `width` bits.
+  static BitVec ones(std::size_t width);
+
+  // A `width`-bit mask with `len` one-bits starting at bit `lsb` (bit 0 is
+  // the least significant). Bits outside [0, width) are dropped.
+  static BitVec mask_range(std::size_t width, std::size_t lsb, std::size_t len);
+
+  // Interpret `bytes` as a big-endian (network order) integer; the result
+  // has width `width` (default: 8 * bytes.size()). Extra high-order input
+  // bits beyond `width` are truncated.
+  static BitVec from_bytes(std::span<const std::uint8_t> bytes);
+  static BitVec from_bytes(std::span<const std::uint8_t> bytes,
+                           std::size_t width);
+
+  // Parse a hex string ("0x" prefix optional) into a `width`-bit vector.
+  static BitVec from_hex(std::size_t width, const std::string& hex);
+
+  std::size_t width() const { return width_; }
+  bool zero_width() const { return width_ == 0; }
+
+  // True iff any bit is set.
+  bool any() const;
+  bool is_zero() const { return !any(); }
+
+  std::size_t popcount() const;
+
+  // Bit access; bit 0 is least significant. Out-of-range get() returns
+  // false; out-of-range set() is ignored.
+  bool get_bit(std::size_t i) const;
+  void set_bit(std::size_t i, bool v);
+
+  // Value of the low 64 bits (no width requirement).
+  std::uint64_t low_u64() const;
+
+  // Value as uint64_t; throws ConfigError if any bit >= 64 is set.
+  std::uint64_t to_u64() const;
+
+  // Big-endian byte image, ceil(width/8) bytes (high-order byte first,
+  // partially-used leading byte zero-padded in its high bits).
+  std::vector<std::uint8_t> to_bytes() const;
+
+  // Lowercase hex, zero-padded to ceil(width/4) digits, no prefix.
+  std::string to_hex() const;
+
+  // Decimal string (for command files / debugging).
+  std::string to_dec() const;
+
+  // Return a copy resized to `width` (zero-extended or truncated).
+  BitVec resized(std::size_t width) const;
+
+  // `len` bits starting at bit `lsb` (bit 0 = LSB). Reads past the top are
+  // zero-filled; result width is exactly `len`.
+  BitVec slice(std::size_t lsb, std::size_t len) const;
+
+  // Overwrite `v.width()` bits starting at bit `lsb` with `v` (bits falling
+  // outside this vector are dropped).
+  void set_slice(std::size_t lsb, const BitVec& v);
+
+  // Bitwise operators. Operands of different widths are zero-extended to
+  // the larger width, which is also the result width.
+  BitVec operator&(const BitVec& o) const;
+  BitVec operator|(const BitVec& o) const;
+  BitVec operator^(const BitVec& o) const;
+  BitVec operator~() const;  // complement within width
+
+  // Logical shifts; result width unchanged.
+  BitVec operator<<(std::size_t n) const;
+  BitVec operator>>(std::size_t n) const;
+
+  // Modular arithmetic; result width = max of operand widths.
+  BitVec operator+(const BitVec& o) const;
+  BitVec operator-(const BitVec& o) const;
+
+  // Value comparison (width-independent: 8'h01 == 16'h0001).
+  bool operator==(const BitVec& o) const;
+  std::strong_ordering operator<=>(const BitVec& o) const;
+
+ private:
+  static constexpr std::size_t kWordBits = 64;
+  static std::size_t words_for(std::size_t width) {
+    return (width + kWordBits - 1) / kWordBits;
+  }
+  // Clear bits at positions >= width_ (canonical form).
+  void trim();
+
+  std::size_t width_ = 0;
+  std::vector<std::uint64_t> words_;  // little-endian word order
+};
+
+}  // namespace hyper4::util

@@ -1,0 +1,44 @@
+// Exception hierarchy shared across the HyPer4 reproduction.
+//
+// Configuration-time misuse (building an invalid IR, generating a persona
+// with impossible parameters) and runtime-API failures (bad table commands)
+// are reported as exceptions; the controller/DPMU layers catch CommandError
+// where a failed operation is an expected outcome (e.g. quota exhaustion).
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace hyper4::util {
+
+// Base class for all errors raised by this library.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+// A program/IR/persona was constructed or configured inconsistently.
+class ConfigError : public Error {
+ public:
+  explicit ConfigError(const std::string& what) : Error(what) {}
+};
+
+// Textual input (P4 source, command file) could not be parsed.
+class ParseError : public Error {
+ public:
+  explicit ParseError(const std::string& what) : Error(what) {}
+};
+
+// A runtime API operation (table add/delete, register write, ...) failed.
+class CommandError : public Error {
+ public:
+  explicit CommandError(const std::string& what) : Error(what) {}
+};
+
+// A virtual table operation was rejected by the DPMU (authorization, quota).
+class IsolationError : public Error {
+ public:
+  explicit IsolationError(const std::string& what) : Error(what) {}
+};
+
+}  // namespace hyper4::util

@@ -1,0 +1,46 @@
+// Deterministic RNG wrapper for reproducible tests and workloads.
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "util/bitvec.h"
+
+namespace hyper4::util {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x48795034u /* "HyP4" */) : eng_(seed) {}
+
+  // Uniform in [lo, hi] inclusive.
+  std::uint64_t uniform(std::uint64_t lo, std::uint64_t hi) {
+    return std::uniform_int_distribution<std::uint64_t>(lo, hi)(eng_);
+  }
+
+  bool coin(double p = 0.5) {
+    return std::bernoulli_distribution(p)(eng_);
+  }
+
+  std::vector<std::uint8_t> bytes(std::size_t n) {
+    std::vector<std::uint8_t> out(n);
+    for (auto& b : out) b = static_cast<std::uint8_t>(uniform(0, 255));
+    return out;
+  }
+
+  // Random BitVec of the given width.
+  BitVec bits(std::size_t width) {
+    BitVec v(width);
+    for (std::size_t i = 0; i < width; i += 64) {
+      v.set_slice(i, BitVec(std::min<std::size_t>(64, width - i), eng_()));
+    }
+    return v;
+  }
+
+  std::mt19937_64& engine() { return eng_; }
+
+ private:
+  std::mt19937_64 eng_;
+};
+
+}  // namespace hyper4::util

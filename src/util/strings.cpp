@@ -1,0 +1,90 @@
+#include "util/strings.h"
+
+#include "util/error.h"
+
+namespace hyper4::util {
+
+std::vector<std::string> split(std::string_view s, std::string_view seps) {
+  std::vector<std::string> out;
+  std::size_t i = 0;
+  while (i < s.size()) {
+    while (i < s.size() && seps.find(s[i]) != std::string_view::npos) ++i;
+    std::size_t j = i;
+    while (j < s.size() && seps.find(s[j]) == std::string_view::npos) ++j;
+    if (j > i) out.emplace_back(s.substr(i, j - i));
+    i = j;
+  }
+  return out;
+}
+
+std::vector<std::string> split_keep_empty(std::string_view s, char sep) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i <= s.size(); ++i) {
+    if (i == s.size() || s[i] == sep) {
+      out.emplace_back(s.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return out;
+}
+
+std::string_view trim(std::string_view s) {
+  std::size_t b = 0, e = s.size();
+  while (b < e && (s[b] == ' ' || s[b] == '\t' || s[b] == '\r' || s[b] == '\n'))
+    ++b;
+  while (e > b && (s[e - 1] == ' ' || s[e - 1] == '\t' || s[e - 1] == '\r' ||
+                   s[e - 1] == '\n'))
+    --e;
+  return s.substr(b, e - b);
+}
+
+std::string join(const std::vector<std::string>& parts, std::string_view sep) {
+  std::string out;
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    if (i) out += sep;
+    out += parts[i];
+  }
+  return out;
+}
+
+std::uint64_t parse_uint(std::string_view s) {
+  s = trim(s);
+  if (s.empty()) throw ParseError("parse_uint: empty string");
+  std::uint64_t v = 0;
+  if (s.size() > 2 && s[0] == '0' && (s[1] == 'x' || s[1] == 'X')) {
+    for (char c : s.substr(2)) {
+      std::uint64_t d;
+      if (c >= '0' && c <= '9') d = static_cast<std::uint64_t>(c - '0');
+      else if (c >= 'a' && c <= 'f') d = static_cast<std::uint64_t>(c - 'a' + 10);
+      else if (c >= 'A' && c <= 'F') d = static_cast<std::uint64_t>(c - 'A' + 10);
+      else throw ParseError("parse_uint: bad hex digit in '" + std::string(s) + "'");
+      v = (v << 4) | d;
+    }
+    return v;
+  }
+  for (char c : s) {
+    if (c < '0' || c > '9')
+      throw ParseError("parse_uint: bad digit in '" + std::string(s) + "'");
+    v = v * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  return v;
+}
+
+bool is_uint(std::string_view s) {
+  s = trim(s);
+  if (s.empty()) return false;
+  if (s.size() > 2 && s[0] == '0' && (s[1] == 'x' || s[1] == 'X')) {
+    for (char c : s.substr(2)) {
+      if (!((c >= '0' && c <= '9') || (c >= 'a' && c <= 'f') ||
+            (c >= 'A' && c <= 'F')))
+        return false;
+    }
+    return true;
+  }
+  for (char c : s)
+    if (c < '0' || c > '9') return false;
+  return true;
+}
+
+}  // namespace hyper4::util

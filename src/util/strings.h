@@ -1,0 +1,29 @@
+// Small string helpers used by the command-file tooling and the P4-14
+// front end.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace hyper4::util {
+
+// Split on any run of characters from `seps` (no empty tokens).
+std::vector<std::string> split(std::string_view s, std::string_view seps = " \t");
+
+// Split on a single separator character, keeping empty tokens.
+std::vector<std::string> split_keep_empty(std::string_view s, char sep);
+
+// Strip leading/trailing whitespace.
+std::string_view trim(std::string_view s);
+
+std::string join(const std::vector<std::string>& parts, std::string_view sep);
+
+// Parse an unsigned integer; accepts decimal or 0x-prefixed hex.
+// Throws ParseError on malformed input.
+std::uint64_t parse_uint(std::string_view s);
+
+bool is_uint(std::string_view s);
+
+}  // namespace hyper4::util

@@ -1,0 +1,320 @@
+// Native behaviour of the paper's four network functions on the
+// behavioral-model switch, including the Table 1 "native" match counts.
+#include "apps/apps.h"
+
+#include <gtest/gtest.h>
+
+#include "net/checksum.h"
+#include "util/error.h"
+
+namespace hyper4::apps {
+namespace {
+
+using net::EthHeader;
+using net::Ipv4Header;
+using net::TcpHeader;
+using net::UdpHeader;
+
+const char* kMacH1 = "02:00:00:00:00:01";
+const char* kMacH2 = "02:00:00:00:00:02";
+const char* kMacRtr = "02:aa:00:00:00:ff";
+
+net::Packet tcp_packet(const char* smac, const char* dmac, const char* sip,
+                       const char* dip, std::uint16_t dport,
+                       std::size_t payload = 64) {
+  EthHeader eth;
+  eth.src = net::mac_from_string(smac);
+  eth.dst = net::mac_from_string(dmac);
+  Ipv4Header ip;
+  ip.src = net::ipv4_from_string(sip);
+  ip.dst = net::ipv4_from_string(dip);
+  TcpHeader tcp;
+  tcp.src_port = 40000;
+  tcp.dst_port = dport;
+  return net::make_ipv4_tcp(eth, ip, tcp, payload);
+}
+
+// ---------------------------------------------------------------------------
+// L2 switch
+
+class L2SwitchTest : public ::testing::Test {
+ protected:
+  L2SwitchTest() : sw_(l2_switch()) {
+    apply_rules(sw_, {l2_forward(kMacH1, 1), l2_forward(kMacH2, 2)});
+  }
+  bm::Switch sw_;
+};
+
+TEST_F(L2SwitchTest, ForwardsKnownMac) {
+  auto res = sw_.inject(1, tcp_packet(kMacH1, kMacH2, "10.0.0.1", "10.0.0.2", 80));
+  ASSERT_EQ(res.outputs.size(), 1u);
+  EXPECT_EQ(res.outputs[0].port, 2);
+}
+
+TEST_F(L2SwitchTest, PacketUnmodified) {
+  auto pkt = tcp_packet(kMacH1, kMacH2, "10.0.0.1", "10.0.0.2", 80);
+  auto res = sw_.inject(1, pkt);
+  ASSERT_EQ(res.outputs.size(), 1u);
+  EXPECT_EQ(res.outputs[0].packet, pkt);
+}
+
+TEST_F(L2SwitchTest, UnknownMacDropped) {
+  auto res = sw_.inject(1, tcp_packet(kMacH1, "02:00:00:00:00:99", "10.0.0.1",
+                                      "10.0.0.2", 80));
+  EXPECT_TRUE(res.outputs.empty());
+  EXPECT_EQ(res.drops, 1u);
+}
+
+TEST_F(L2SwitchTest, Table1NativeMatchCountIsTwo) {
+  auto res = sw_.inject(1, tcp_packet(kMacH1, kMacH2, "10.0.0.1", "10.0.0.2", 80));
+  EXPECT_EQ(res.match_count(), 2u);  // smac + dmac (paper Table 1)
+}
+
+TEST_F(L2SwitchTest, NoTernaryMatches) {
+  auto res = sw_.inject(1, tcp_packet(kMacH1, kMacH2, "10.0.0.1", "10.0.0.2", 80));
+  EXPECT_EQ(res.ternary_match_count(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// IPv4 router
+
+class RouterTest : public ::testing::Test {
+ protected:
+  RouterTest() : sw_(ipv4_router()) {
+    apply_rules(sw_, {
+        router_accept_mac(kMacRtr),
+        router_route("10.0.1.0", 24, "10.0.1.10", 2),
+        router_route("10.0.0.0", 16, "10.0.99.1", 3),
+        router_arp_entry("10.0.1.10", kMacH2),
+        router_arp_entry("10.0.99.1", "02:00:00:00:00:63"),
+        router_port_mac(2, kMacRtr),
+        router_port_mac(3, kMacRtr),
+    });
+  }
+  bm::Switch sw_;
+};
+
+TEST_F(RouterTest, RoutesAndRewrites) {
+  auto res = sw_.inject(1, tcp_packet(kMacH1, kMacRtr, "10.0.0.1", "10.0.1.7", 80));
+  ASSERT_EQ(res.outputs.size(), 1u);
+  EXPECT_EQ(res.outputs[0].port, 2);
+  auto eth = net::read_eth(res.outputs[0].packet);
+  ASSERT_TRUE(eth);
+  EXPECT_EQ(net::mac_to_string(eth->dst), kMacH2);
+  EXPECT_EQ(net::mac_to_string(eth->src), kMacRtr);
+}
+
+TEST_F(RouterTest, DecrementsTtlAndFixesChecksum) {
+  auto res = sw_.inject(1, tcp_packet(kMacH1, kMacRtr, "10.0.0.1", "10.0.1.7", 80));
+  ASSERT_EQ(res.outputs.size(), 1u);
+  auto ip = net::read_ipv4(res.outputs[0].packet);
+  ASSERT_TRUE(ip);
+  EXPECT_EQ(ip->ttl, 63);
+  // Recomputed header checksum must verify.
+  EXPECT_EQ(net::internet_checksum(res.outputs[0].packet.bytes().subspan(
+                net::kEthHeaderLen, net::kIpv4HeaderLen)),
+            0);
+}
+
+TEST_F(RouterTest, LongestPrefixWins) {
+  // 10.0.1.x hits the /24 (port 2); 10.0.2.x falls to the /16 (port 3).
+  EXPECT_EQ(sw_.inject(1, tcp_packet(kMacH1, kMacRtr, "10.0.0.1", "10.0.1.9", 80))
+                .outputs[0].port, 2);
+  EXPECT_EQ(sw_.inject(1, tcp_packet(kMacH1, kMacRtr, "10.0.0.1", "10.0.2.9", 80))
+                .outputs[0].port, 3);
+}
+
+TEST_F(RouterTest, WrongDmacDropped) {
+  auto res = sw_.inject(1, tcp_packet(kMacH1, kMacH2, "10.0.0.1", "10.0.1.7", 80));
+  EXPECT_TRUE(res.outputs.empty());
+}
+
+TEST_F(RouterTest, NoRouteDropped) {
+  auto res = sw_.inject(1, tcp_packet(kMacH1, kMacRtr, "10.0.0.1", "99.1.2.3", 80));
+  EXPECT_TRUE(res.outputs.empty());
+}
+
+TEST_F(RouterTest, NonIpv4DroppedInParser) {
+  auto arp = net::make_arp_request(net::mac_from_string(kMacH1),
+                                   net::ipv4_from_string("10.0.0.1"),
+                                   net::ipv4_from_string("10.0.0.2"));
+  auto res = sw_.inject(1, arp);
+  EXPECT_TRUE(res.outputs.empty());
+  EXPECT_EQ(res.match_count(), 0u);
+}
+
+TEST_F(RouterTest, Table1NativeMatchCountIsFour) {
+  auto res = sw_.inject(1, tcp_packet(kMacH1, kMacRtr, "10.0.0.1", "10.0.1.7", 80));
+  EXPECT_EQ(res.match_count(), 4u);  // dmac_check, ipv4_lpm, forward, send_frame
+}
+
+// ---------------------------------------------------------------------------
+// ARP proxy
+
+class ArpProxyTest : public ::testing::Test {
+ protected:
+  ArpProxyTest() : sw_(arp_proxy()) {
+    apply_rules(sw_, {
+        arp_proxy_entry("10.0.0.2", kMacH2),
+        arp_proxy_l2_forward(kMacH1, 1),
+        arp_proxy_l2_forward(kMacH2, 2),
+    });
+  }
+  bm::Switch sw_;
+};
+
+TEST_F(ArpProxyTest, AnswersProxiedRequest) {
+  auto req = net::make_arp_request(net::mac_from_string(kMacH1),
+                                   net::ipv4_from_string("10.0.0.1"),
+                                   net::ipv4_from_string("10.0.0.2"));
+  auto res = sw_.inject(1, req);
+  ASSERT_EQ(res.outputs.size(), 1u);
+  EXPECT_EQ(res.outputs[0].port, 1);  // straight back to the requester
+  auto arp = net::read_arp(res.outputs[0].packet);
+  ASSERT_TRUE(arp);
+  EXPECT_EQ(arp->oper, net::kArpOpReply);
+  EXPECT_EQ(net::mac_to_string(arp->sha), kMacH2);
+  EXPECT_EQ(arp->spa, net::ipv4_from_string("10.0.0.2"));
+  EXPECT_EQ(arp->tpa, net::ipv4_from_string("10.0.0.1"));
+  EXPECT_EQ(net::mac_to_string(arp->tha), kMacH1);
+  auto eth = net::read_eth(res.outputs[0].packet);
+  EXPECT_EQ(net::mac_to_string(eth->dst), kMacH1);
+  EXPECT_EQ(net::mac_to_string(eth->src), kMacH2);
+}
+
+TEST_F(ArpProxyTest, IgnoresRequestForUnknownIp) {
+  auto req = net::make_arp_request(net::mac_from_string(kMacH1),
+                                   net::ipv4_from_string("10.0.0.1"),
+                                   net::ipv4_from_string("10.0.0.99"));
+  auto res = sw_.inject(1, req);
+  // Not proxied; broadcast dmac is unknown → no output, no reply.
+  for (const auto& o : res.outputs) {
+    auto arp = net::read_arp(o.packet);
+    ASSERT_TRUE(arp);
+    EXPECT_NE(arp->oper, net::kArpOpReply);
+  }
+}
+
+TEST_F(ArpProxyTest, ArpRepliesPassThroughUntouched) {
+  auto reply = net::make_arp_reply(net::mac_from_string(kMacH2),
+                                   net::ipv4_from_string("10.0.0.2"),
+                                   net::mac_from_string(kMacH1),
+                                   net::ipv4_from_string("10.0.0.1"));
+  auto res = sw_.inject(2, reply);
+  ASSERT_EQ(res.outputs.size(), 1u);
+  EXPECT_EQ(res.outputs[0].port, 1);
+  EXPECT_EQ(res.outputs[0].packet, reply);
+}
+
+TEST_F(ArpProxyTest, SwitchesNonArpTraffic) {
+  auto res = sw_.inject(1, tcp_packet(kMacH1, kMacH2, "10.0.0.1", "10.0.0.2", 80));
+  ASSERT_EQ(res.outputs.size(), 1u);
+  EXPECT_EQ(res.outputs[0].port, 2);
+}
+
+TEST_F(ArpProxyTest, Table1NativeMatchCountIsFour) {
+  auto req = net::make_arp_request(net::mac_from_string(kMacH1),
+                                   net::ipv4_from_string("10.0.0.1"),
+                                   net::ipv4_from_string("10.0.0.2"));
+  auto res = sw_.inject(1, req);
+  EXPECT_EQ(res.match_count(), 4u);  // smac, arp_resp, dmac, arp_monitor
+}
+
+TEST_F(ArpProxyTest, DirectCounterCountsArp) {
+  auto req = net::make_arp_request(net::mac_from_string(kMacH1),
+                                   net::ipv4_from_string("10.0.0.1"),
+                                   net::ipv4_from_string("10.0.0.2"));
+  sw_.inject(1, req);
+  sw_.inject(1, req);
+  EXPECT_EQ(sw_.table("arp_monitor").hit_count(), 0u);  // no entries yet
+  // Install a monitor entry and observe its direct counter.
+  bm::KeyParam v = bm::KeyParam::valid(true);
+  auto h = sw_.table_add("arp_monitor", "nop", {v}, {});
+  sw_.inject(1, req);
+  EXPECT_EQ(sw_.table("arp_monitor").entry(h).hits, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Firewall
+
+class FirewallTest : public ::testing::Test {
+ protected:
+  FirewallTest() : sw_(firewall()) {
+    apply_rules(sw_, {
+        firewall_l2_forward(kMacH1, 1),
+        firewall_l2_forward(kMacH2, 2),
+        firewall_block_tcp_dport(22, 10),
+        firewall_block_udp_dport(53, 10),
+        firewall_block_ip("10.6.6.6", "255.255.255.255", "0.0.0.0", "0.0.0.0", 20),
+    });
+  }
+  bm::Switch sw_;
+};
+
+TEST_F(FirewallTest, AllowsUnfilteredTcp) {
+  auto res = sw_.inject(1, tcp_packet(kMacH1, kMacH2, "10.0.0.1", "10.0.0.2", 80));
+  ASSERT_EQ(res.outputs.size(), 1u);
+  EXPECT_EQ(res.outputs[0].port, 2);
+}
+
+TEST_F(FirewallTest, BlocksTcpDstPort) {
+  auto res = sw_.inject(1, tcp_packet(kMacH1, kMacH2, "10.0.0.1", "10.0.0.2", 22));
+  EXPECT_TRUE(res.outputs.empty());
+}
+
+TEST_F(FirewallTest, TcpFilterDoesNotCatchUdp) {
+  EthHeader eth;
+  eth.src = net::mac_from_string(kMacH1);
+  eth.dst = net::mac_from_string(kMacH2);
+  Ipv4Header ip;
+  ip.src = net::ipv4_from_string("10.0.0.1");
+  ip.dst = net::ipv4_from_string("10.0.0.2");
+  UdpHeader udp;
+  udp.src_port = 1000;
+  udp.dst_port = 22;  // TCP 22 is blocked; UDP 22 is not
+  auto res = sw_.inject(1, net::make_ipv4_udp(eth, ip, udp, 16));
+  ASSERT_EQ(res.outputs.size(), 1u);
+
+  udp.dst_port = 53;  // UDP 53 is blocked
+  res = sw_.inject(1, net::make_ipv4_udp(eth, ip, udp, 16));
+  EXPECT_TRUE(res.outputs.empty());
+}
+
+TEST_F(FirewallTest, BlocksBySourceIp) {
+  auto res = sw_.inject(1, tcp_packet(kMacH1, kMacH2, "10.6.6.6", "10.0.0.2", 80));
+  EXPECT_TRUE(res.outputs.empty());
+}
+
+TEST_F(FirewallTest, NonIpBypassesFilters) {
+  auto arp = net::make_arp_reply(net::mac_from_string(kMacH1),
+                                 net::ipv4_from_string("10.0.0.1"),
+                                 net::mac_from_string(kMacH2),
+                                 net::ipv4_from_string("10.0.0.2"));
+  auto res = sw_.inject(1, arp);
+  ASSERT_EQ(res.outputs.size(), 1u);
+  EXPECT_EQ(res.match_count(), 1u);  // dmac only; the if(valid) skips filters
+}
+
+TEST_F(FirewallTest, Table1NativeMatchCountIsThree) {
+  auto res = sw_.inject(1, tcp_packet(kMacH1, kMacH2, "10.0.0.1", "10.0.0.2", 80));
+  EXPECT_EQ(res.match_count(), 3u);  // dmac, ip_filter, l4_filter
+}
+
+TEST_F(FirewallTest, TernaryAccountingPopulated) {
+  auto res = sw_.inject(1, tcp_packet(kMacH1, kMacH2, "10.0.0.1", "10.0.0.2", 80));
+  EXPECT_EQ(res.ternary_match_count(), 2u);  // ip_filter + l4_filter
+  EXPECT_GT(res.ternary_bits_total(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+
+TEST(AppCatalog, AllProgramsValidateAndInstantiate) {
+  for (auto& [name, prog] : all_programs()) {
+    EXPECT_NO_THROW({ bm::Switch sw(prog); }) << name;
+  }
+  EXPECT_EQ(program_by_name("l2_sw").name, "l2_switch");
+  EXPECT_THROW(program_by_name("nope"), util::ConfigError);
+}
+
+}  // namespace
+}  // namespace hyper4::apps

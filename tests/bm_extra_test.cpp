@@ -1,0 +1,233 @@
+// Additional behavioral-model coverage: egress clones, header stacks
+// (push/pop), CLI key formats and stateful commands, keyless tables, and
+// traversal accounting.
+#include <gtest/gtest.h>
+
+#include "bm/cli.h"
+#include "net/headers.h"
+#include "bm/switch.h"
+#include "p4/builder.h"
+#include "util/error.h"
+
+namespace hyper4::bm {
+namespace {
+
+using p4::Const;
+using p4::F;
+using p4::Param;
+using p4::ProgramBuilder;
+using util::BitVec;
+
+net::Packet bytes(std::initializer_list<std::uint8_t> b) {
+  return net::Packet(std::vector<std::uint8_t>(b));
+}
+
+ProgramBuilder tag_program() {
+  ProgramBuilder b("tag");
+  b.header_type("tag_t", {{"tag", 8}, {"value", 8}});
+  b.header("tag_t", "tag");
+  b.parser("start").extract("tag").to_ingress();
+  b.action("fwd", {{"port", p4::kPortWidth}})
+      .modify_field({p4::kStandardMetadata, p4::kFieldEgressSpec}, Param(0));
+  b.action("_drop").drop();
+  b.table("t")
+      .key_exact({"tag", "tag"})
+      .action_ref("fwd")
+      .action_ref("_drop")
+      .default_action("_drop");
+  b.ingress().apply("t");
+  return b;
+}
+
+TEST(SwitchCloneE2E, CloneReentersEgress) {
+  ProgramBuilder b = tag_program();
+  b.action("stamp_and_clone", {{"v", 8}})
+      .modify_field({"tag", "value"}, Param(0))
+      .clone_e2e(Const(32, 9));
+  b.action("nop").no_op();
+  // Egress: stamp the first pass and clone it; the clone (instance_type 4)
+  // must not clone again or we'd loop — key on instance_type.
+  b.table("e")
+      .key_exact({p4::kStandardMetadata, p4::kFieldInstanceType})
+      .action_ref("stamp_and_clone")
+      .action_ref("nop")
+      .default_action("nop");
+  b.egress().apply("e");
+  Switch sw(b.build());
+  sw.mirror_add(9, 5);
+  sw.table_add("t", "fwd", {KeyParam::exact(BitVec(8, 1))}, {BitVec(9, 2)});
+  sw.table_add("e", "stamp_and_clone",
+               {KeyParam::exact(BitVec(8, 0))},  // NORMAL packets only
+               {BitVec(8, 0xEE)});
+  auto res = sw.inject(0, bytes({1, 0}));
+  EXPECT_EQ(res.clones_e2e, 1u);
+  ASSERT_EQ(res.outputs.size(), 2u);
+  std::vector<std::uint16_t> ports{res.outputs[0].port, res.outputs[1].port};
+  std::sort(ports.begin(), ports.end());
+  EXPECT_EQ(ports, (std::vector<std::uint16_t>{2, 5}));
+}
+
+TEST(SwitchStacks, PushShiftsElementsUp) {
+  ProgramBuilder b("push");
+  b.header_type("b_t", {{"v", 8}});
+  b.header_stack("b_t", "st", 3);
+  b.parser("start").extract("st").extract("st").to_ingress();
+  b.action("grow", {{"port", p4::kPortWidth}})
+      .prim(p4::Primitive::kPush, {p4::Hdr("st"), Const(8, 1)})
+      .modify_field({"st[0]", "v"}, Const(8, 0x99))
+      .modify_field({p4::kStandardMetadata, p4::kFieldEgressSpec}, Param(0));
+  b.table("t").key_exact({"st[0]", "v"}).action_ref("grow");
+  b.raw().tables[0].default_action = "";
+  b.ingress().apply("t");
+  Switch sw(b.build());
+  sw.table_add("t", "grow", {KeyParam::exact(BitVec(8, 0xAA))}, {BitVec(9, 1)});
+  auto res = sw.inject(0, bytes({0xAA, 0xBB, 0xCC}));
+  ASSERT_EQ(res.outputs.size(), 1u);
+  // New element 0x99 in front; old elements shifted; payload intact.
+  EXPECT_EQ(res.outputs[0].packet, bytes({0x99, 0xAA, 0xBB, 0xCC}));
+}
+
+TEST(SwitchStacks, PopShiftsElementsDown) {
+  ProgramBuilder b("pop");
+  b.header_type("b_t", {{"v", 8}});
+  b.header_stack("b_t", "st", 3);
+  b.parser("start").extract("st").extract("st").to_ingress();
+  b.action("shrink", {{"port", p4::kPortWidth}})
+      .prim(p4::Primitive::kPop, {p4::Hdr("st"), Const(8, 1)})
+      .modify_field({p4::kStandardMetadata, p4::kFieldEgressSpec}, Param(0));
+  b.table("t").key_exact({"st[0]", "v"}).action_ref("shrink");
+  b.raw().tables[0].default_action = "";
+  b.ingress().apply("t");
+  Switch sw(b.build());
+  sw.table_add("t", "shrink", {KeyParam::exact(BitVec(8, 0xAA))}, {BitVec(9, 1)});
+  auto res = sw.inject(0, bytes({0xAA, 0xBB, 0xCC}));
+  ASSERT_EQ(res.outputs.size(), 1u);
+  EXPECT_EQ(res.outputs[0].packet, bytes({0xBB, 0xCC}));
+}
+
+TEST(SwitchKeyless, TableWithNoKeysRunsDefault) {
+  ProgramBuilder b = tag_program();
+  b.action("stamp").modify_field({"tag", "value"}, Const(8, 0x7E));
+  b.table("always").action_ref("stamp").default_action("stamp");
+  b.ingress().then_apply("always");
+  Switch sw(b.build());
+  sw.table_add("t", "fwd", {KeyParam::exact(BitVec(8, 1))}, {BitVec(9, 2)});
+  auto res = sw.inject(0, bytes({1, 0}));
+  ASSERT_EQ(res.outputs.size(), 1u);
+  EXPECT_EQ(res.outputs[0].packet, bytes({1, 0x7E}));
+}
+
+// --- CLI key formats -------------------------------------------------------------
+
+class CliFormats : public ::testing::Test {
+ protected:
+  CliFormats() {
+    ProgramBuilder b("fmt");
+    b.header_type("h_t", {{"mac", 48}, {"ip", 32}, {"port", 16}});
+    b.header("h_t", "h");
+    b.parser("start").extract("h").to_ingress();
+    b.action("fwd", {{"p", p4::kPortWidth}})
+        .modify_field({p4::kStandardMetadata, p4::kFieldEgressSpec}, Param(0));
+    b.action("nop").no_op();
+    b.table("t_lpm").key_lpm({"h", "ip"}).action_ref("fwd").default_action("nop");
+    b.table("t_rng").key_range({"h", "port"}).action_ref("fwd").default_action("nop");
+    b.table("t_mac").key_exact({"h", "mac"}).action_ref("fwd").default_action("nop");
+    auto ing = b.ingress();
+    ing.apply("t_mac");
+    ing.then_apply("t_lpm");
+    ing.then_apply("t_rng");
+    sw_ = std::make_unique<Switch>(b.build());
+  }
+  std::unique_ptr<Switch> sw_;
+};
+
+TEST_F(CliFormats, LpmSyntax) {
+  auto r = run_cli_command(*sw_, "table_add t_lpm fwd 10.1.0.0/16 => 3");
+  ASSERT_TRUE(r.ok) << r.message;
+  EXPECT_FALSE(run_cli_command(*sw_, "table_add t_lpm fwd 10.1.0.0 => 3").ok);
+}
+
+TEST_F(CliFormats, RangeSyntaxAndPriority) {
+  auto r = run_cli_command(*sw_, "table_add t_rng fwd 100->200 => 4 7");
+  ASSERT_TRUE(r.ok) << r.message;
+  // Ranges require a priority.
+  EXPECT_FALSE(run_cli_command(*sw_, "table_add t_rng fwd 100->200 => 4").ok);
+  EXPECT_FALSE(run_cli_command(*sw_, "table_add t_rng fwd 100 => 4 7").ok);
+}
+
+TEST_F(CliFormats, MacFormat) {
+  auto r = run_cli_command(*sw_, "table_add t_mac fwd aa:bb:cc:dd:ee:ff => 2");
+  ASSERT_TRUE(r.ok) << r.message;
+  net::Packet p;
+  const auto mac = net::mac_from_string("aa:bb:cc:dd:ee:ff");
+  p.append(mac);
+  for (std::uint8_t x : {10, 1, 2, 3, 0, 80}) p.append_byte(x);
+  auto res = sw_->inject(0, p);
+  ASSERT_EQ(res.outputs.size(), 1u);
+  EXPECT_EQ(res.outputs[0].port, 2);
+}
+
+TEST_F(CliFormats, DeleteAndModifyRoundTrip) {
+  auto add = run_cli_command(*sw_, "table_add t_mac fwd 0x010203040506 => 2");
+  ASSERT_TRUE(add.ok);
+  auto mod = run_cli_command(*sw_, "table_modify t_mac fwd " +
+                                       std::to_string(add.handle) + " 5");
+  EXPECT_TRUE(mod.ok) << mod.message;
+  auto del = run_cli_command(*sw_, "table_delete t_mac " +
+                                       std::to_string(add.handle));
+  EXPECT_TRUE(del.ok) << del.message;
+  EXPECT_FALSE(
+      run_cli_command(*sw_, "table_delete t_mac " + std::to_string(add.handle))
+          .ok);
+}
+
+TEST(CliStateful, RegisterAndCounterCommands) {
+  ProgramBuilder b = tag_program();
+  b.reg("r", 16, 4);
+  b.counter("c", 4);
+  b.action("touch", {{"port", p4::kPortWidth}})
+      .count("c", Const(8, 1))
+      .modify_field({p4::kStandardMetadata, p4::kFieldEgressSpec}, Param(0));
+  b.raw().tables[0].actions.push_back("touch");
+  Switch sw(b.build());
+  EXPECT_TRUE(run_cli_command(sw, "register_write r 2 0x1234").ok);
+  auto rd = run_cli_command(sw, "register_read r 2");
+  EXPECT_TRUE(rd.ok);
+  EXPECT_EQ(rd.message, "0x1234");
+  EXPECT_FALSE(run_cli_command(sw, "register_write r 99 1").ok);
+
+  run_cli_command(sw, "table_add t touch 1 => 2");
+  sw.inject(0, bytes({1, 0}));
+  auto cr = run_cli_command(sw, "counter_read c 1");
+  EXPECT_TRUE(cr.ok);
+  EXPECT_NE(cr.message.find("1 packets"), std::string::npos) << cr.message;
+  EXPECT_TRUE(run_cli_command(sw, "counter_reset c").ok);
+  EXPECT_NE(run_cli_command(sw, "counter_read c 1").message.find("0 packets"),
+            std::string::npos);
+}
+
+TEST(CliMc, GroupAndMirrorSyntax) {
+  Switch sw(tag_program().build());
+  EXPECT_TRUE(run_cli_command(sw, "mc_group_set 4 2:1 3:2").ok);
+  EXPECT_FALSE(run_cli_command(sw, "mc_group_set 4 2-1").ok);
+  EXPECT_TRUE(run_cli_command(sw, "mirroring_add 1 9").ok);
+  EXPECT_FALSE(run_cli_command(sw, "mirroring_add 1").ok);
+}
+
+TEST(SwitchStats, CumulativeCountersAndReset) {
+  Switch sw(tag_program().build());
+  sw.table_add("t", "fwd", {KeyParam::exact(BitVec(8, 1))}, {BitVec(9, 2)});
+  sw.inject(0, bytes({1, 0}));
+  sw.inject(0, bytes({9, 0}));
+  EXPECT_EQ(sw.stats().packets_in, 2u);
+  EXPECT_EQ(sw.stats().packets_out, 1u);
+  EXPECT_EQ(sw.stats().drops, 1u);
+  EXPECT_EQ(sw.table("t").applied_count(), 2u);
+  EXPECT_EQ(sw.table("t").hit_count(), 1u);
+  sw.reset_stats();
+  EXPECT_EQ(sw.stats().packets_in, 0u);
+  EXPECT_EQ(sw.table("t").applied_count(), 0u);
+}
+
+}  // namespace
+}  // namespace hyper4::bm

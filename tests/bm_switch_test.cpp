@@ -1,0 +1,636 @@
+#include "bm/switch.h"
+
+#include <gtest/gtest.h>
+
+#include "bm/cli.h"
+#include "p4/builder.h"
+#include "util/error.h"
+
+namespace hyper4::bm {
+namespace {
+
+using p4::Const;
+using p4::Expr;
+using p4::ExprOp;
+using p4::F;
+using p4::Param;
+using p4::ProgramBuilder;
+using util::BitVec;
+
+net::Packet bytes(std::initializer_list<std::uint8_t> b) {
+  return net::Packet(std::vector<std::uint8_t>(b));
+}
+
+// A one-header program: 8-bit tag + 8-bit value, forwarded by tag.
+ProgramBuilder tag_program() {
+  ProgramBuilder b("tag");
+  b.header_type("tag_t", {{"tag", 8}, {"value", 8}});
+  b.header("tag_t", "tag");
+  b.parser("start").extract("tag").to_ingress();
+  b.action("fwd", {{"port", p4::kPortWidth}})
+      .modify_field({p4::kStandardMetadata, p4::kFieldEgressSpec}, Param(0));
+  b.action("_drop").drop();
+  b.table("t")
+      .key_exact({"tag", "tag"})
+      .action_ref("fwd")
+      .action_ref("_drop")
+      .default_action("_drop");
+  b.ingress().apply("t");
+  return b;
+}
+
+TEST(SwitchBasic, ForwardByTag) {
+  Switch sw(tag_program().build());
+  sw.table_add("t", "fwd", {KeyParam::exact(BitVec(8, 7))}, {BitVec(9, 3)});
+  auto res = sw.inject(1, bytes({7, 0xaa}));
+  ASSERT_EQ(res.outputs.size(), 1u);
+  EXPECT_EQ(res.outputs[0].port, 3);
+  EXPECT_EQ(res.outputs[0].packet, bytes({7, 0xaa}));
+  EXPECT_EQ(res.match_count(), 1u);
+}
+
+TEST(SwitchBasic, DefaultActionDrops) {
+  Switch sw(tag_program().build());
+  auto res = sw.inject(1, bytes({9, 0xaa}));
+  EXPECT_TRUE(res.outputs.empty());
+  EXPECT_EQ(res.drops, 1u);
+  EXPECT_EQ(sw.stats().drops, 1u);
+}
+
+TEST(SwitchBasic, ShortPacketIsParseError) {
+  Switch sw(tag_program().build());
+  auto res = sw.inject(1, bytes({7}));
+  EXPECT_TRUE(res.outputs.empty());
+  EXPECT_EQ(res.parse_errors, 1u);
+}
+
+TEST(SwitchBasic, PayloadPreserved) {
+  Switch sw(tag_program().build());
+  sw.table_add("t", "fwd", {KeyParam::exact(BitVec(8, 1))}, {BitVec(9, 2)});
+  auto res = sw.inject(0, bytes({1, 2, 3, 4, 5, 6}));
+  ASSERT_EQ(res.outputs.size(), 1u);
+  EXPECT_EQ(res.outputs[0].packet, bytes({1, 2, 3, 4, 5, 6}));
+}
+
+TEST(SwitchBasic, ModifyFieldRewritesHeader) {
+  ProgramBuilder b = tag_program();
+  // Replace table action set: rewrite value then forward.
+  b.action("rewrite", {{"port", p4::kPortWidth}, {"v", 8}})
+      .modify_field({"tag", "value"}, Param(1))
+      .modify_field({p4::kStandardMetadata, p4::kFieldEgressSpec}, Param(0));
+  b.raw().tables[0].actions.push_back("rewrite");
+  Switch sw(b.build());
+  sw.table_add("t", "rewrite", {KeyParam::exact(BitVec(8, 1))},
+               {BitVec(9, 2), BitVec(8, 0x5c)});
+  auto res = sw.inject(0, bytes({1, 0xff, 9, 9}));
+  ASSERT_EQ(res.outputs.size(), 1u);
+  EXPECT_EQ(res.outputs[0].packet, bytes({1, 0x5c, 9, 9}));
+}
+
+TEST(SwitchBasic, ModifyFieldWithMask) {
+  ProgramBuilder b = tag_program();
+  b.action("masked", {{"port", p4::kPortWidth}})
+      .modify_field_masked({"tag", "value"}, Const(8, 0xAB), Const(8, 0x0F))
+      .modify_field({p4::kStandardMetadata, p4::kFieldEgressSpec}, Param(0));
+  b.raw().tables[0].actions.push_back("masked");
+  Switch sw(b.build());
+  sw.table_add("t", "masked", {KeyParam::exact(BitVec(8, 1))}, {BitVec(9, 2)});
+  auto res = sw.inject(0, bytes({1, 0x70}));
+  ASSERT_EQ(res.outputs.size(), 1u);
+  // value = (0x70 & ~0x0F) | (0xAB & 0x0F) = 0x7B
+  EXPECT_EQ(res.outputs[0].packet, bytes({1, 0x7b}));
+}
+
+TEST(SwitchBasic, AddToFieldWraps) {
+  ProgramBuilder b = tag_program();
+  b.action("dec", {{"port", p4::kPortWidth}})
+      .add_to_field({"tag", "value"}, Const(8, 0xff))  // -1 mod 256
+      .modify_field({p4::kStandardMetadata, p4::kFieldEgressSpec}, Param(0));
+  b.raw().tables[0].actions.push_back("dec");
+  Switch sw(b.build());
+  sw.table_add("t", "dec", {KeyParam::exact(BitVec(8, 1))}, {BitVec(9, 2)});
+  EXPECT_EQ(sw.inject(0, bytes({1, 5})).outputs[0].packet, bytes({1, 4}));
+  EXPECT_EQ(sw.inject(0, bytes({1, 0})).outputs[0].packet, bytes({1, 0xff}));
+}
+
+// --- parser behaviours -----------------------------------------------------
+
+TEST(SwitchParser, SelectWithMaskAndDefault) {
+  ProgramBuilder b("sel");
+  b.header_type("h_t", {{"a", 8}});
+  b.header_type("x_t", {{"x", 8}});
+  b.header("h_t", "h");
+  b.header("x_t", "x");
+  b.parser("start")
+      .extract("h")
+      .select_field("h", "a")
+      .when_masked(BitVec(8, 0x40), BitVec(8, 0xf0), "more")  // 0x4?
+      .otherwise(p4::kParserAccept);
+  b.parser("more").extract("x").to_ingress();
+  b.action("fwd").modify_field({p4::kStandardMetadata, p4::kFieldEgressSpec},
+                               Const(9, 1));
+  b.table("t").key_valid("x").action_ref("fwd").default_action("fwd");
+  b.ingress().apply("t");
+  Switch sw(b.build());
+
+  auto res = sw.inject(0, bytes({0x42, 0xaa, 0xbb}));
+  ASSERT_EQ(res.outputs.size(), 1u);  // x extracted
+  res = sw.inject(0, bytes({0x52, 0xaa, 0xbb}));
+  ASSERT_EQ(res.outputs.size(), 1u);  // x not extracted, default path
+}
+
+TEST(SwitchParser, CurrentLookahead) {
+  ProgramBuilder b("cur");
+  b.header_type("h_t", {{"a", 8}});
+  b.header("h_t", "h");
+  b.header("h_t", "h2");
+  b.parser("start")
+      .select_current(0, 8)  // look at first byte without extracting
+      .when(0x11, "two")
+      .otherwise("one");
+  b.parser("one").extract("h").to_ingress();
+  b.parser("two").extract("h").extract("h2").to_ingress();
+  b.action("fwd").modify_field({p4::kStandardMetadata, p4::kFieldEgressSpec},
+                               Const(9, 1));
+  b.table("t").key_valid("h2").action_ref("fwd").default_action("fwd");
+  b.ingress().apply("t");
+  Switch sw(b.build());
+
+  // 0x11 first byte → both headers extracted → payload shrinks.
+  auto res = sw.inject(0, bytes({0x11, 0x22, 0x33}));
+  ASSERT_EQ(res.outputs.size(), 1u);
+  EXPECT_EQ(res.outputs[0].packet, bytes({0x11, 0x22, 0x33}));
+}
+
+TEST(SwitchParser, HeaderStackExtraction) {
+  ProgramBuilder b("stack");
+  b.header_type("byte_t", {{"b", 8}});
+  b.header_stack("byte_t", "pr", 4);
+  // Extract two stack elements unconditionally.
+  b.parser("start").extract("pr").extract("pr").to_ingress();
+  b.action("fwd").modify_field({p4::kStandardMetadata, p4::kFieldEgressSpec},
+                               Const(9, 2));
+  b.table("t").key_exact({"pr[0]", "b"}).action_ref("fwd").default_action("fwd");
+  b.ingress().apply("t");
+  Switch sw(b.build());
+  auto res = sw.inject(0, bytes({0xaa, 0xbb, 0xcc}));
+  ASSERT_EQ(res.outputs.size(), 1u);
+  EXPECT_EQ(res.outputs[0].packet, bytes({0xaa, 0xbb, 0xcc}));
+}
+
+TEST(SwitchParser, StackOverflowIsParseError) {
+  ProgramBuilder b("stack");
+  b.header_type("byte_t", {{"b", 8}});
+  b.header_stack("byte_t", "pr", 2);
+  b.parser("start")
+      .extract("pr")
+      .extract("pr")
+      .extract("pr")  // third element of a 2-stack
+      .to_ingress();
+  b.action("nop").no_op();
+  b.table("t").key_exact({"pr[0]", "b"}).action_ref("nop").default_action("nop");
+  b.ingress().apply("t");
+  Switch sw(b.build());
+  auto res = sw.inject(0, bytes({1, 2, 3, 4}));
+  EXPECT_EQ(res.parse_errors, 1u);
+}
+
+TEST(SwitchParser, ParserDropState) {
+  ProgramBuilder b("pd");
+  b.header_type("h_t", {{"a", 8}});
+  b.header("h_t", "h");
+  b.parser("start")
+      .extract("h")
+      .select_field("h", "a")
+      .when(0xff, p4::kParserDrop)
+      .otherwise(p4::kParserAccept);
+  b.action("fwd").modify_field({p4::kStandardMetadata, p4::kFieldEgressSpec},
+                               Const(9, 1));
+  b.table("t").key_exact({"h", "a"}).action_ref("fwd").default_action("fwd");
+  b.ingress().apply("t");
+  Switch sw(b.build());
+  EXPECT_EQ(sw.inject(0, bytes({0xff, 0})).outputs.size(), 0u);
+  EXPECT_EQ(sw.inject(0, bytes({0x01, 0})).outputs.size(), 1u);
+}
+
+// --- control flow ------------------------------------------------------------
+
+TEST(SwitchControl, HitMissEdges) {
+  ProgramBuilder b("hm");
+  b.header_type("h_t", {{"a", 8}, {"out", 8}});
+  b.header("h_t", "h");
+  b.parser("start").extract("h").to_ingress();
+  b.action("nop").no_op();
+  b.action("mark", {{"v", 8}}).modify_field({"h", "out"}, Param(0));
+  b.action("fwd").modify_field({p4::kStandardMetadata, p4::kFieldEgressSpec},
+                               Const(9, 1));
+  b.table("probe").key_exact({"h", "a"}).action_ref("nop").default_action("nop");
+  b.table("on_hit").key_exact({"h", "a"}).action_ref("mark").default_action("nop");
+  b.table("on_miss").key_exact({"h", "a"}).action_ref("mark").default_action("nop");
+  b.table("send").key_exact({"h", "out"}).action_ref("fwd").default_action("fwd");
+  auto ing = b.ingress();
+  const auto n0 = ing.apply("probe");
+  const auto nh = ing.apply("on_hit");
+  const auto nm = ing.apply("on_miss");
+  const auto ns = ing.apply("send");
+  ing.on_hit(n0, nh);
+  ing.on_miss(n0, nm);
+  ing.on_default(nh, ns);
+  ing.on_default(nm, ns);
+  Switch sw(b.build());
+  sw.table_add("probe", "nop", {KeyParam::exact(BitVec(8, 1))}, {});
+  sw.table_add("on_hit", "mark", {KeyParam::exact(BitVec(8, 1))},
+               {BitVec(8, 0xAA)});
+  sw.table_add("on_miss", "mark", {KeyParam::exact(BitVec(8, 2))},
+               {BitVec(8, 0xBB)});
+
+  auto res = sw.inject(0, bytes({1, 0}));
+  ASSERT_EQ(res.outputs.size(), 1u);
+  EXPECT_EQ(res.outputs[0].packet, bytes({1, 0xAA}));
+  EXPECT_EQ(res.match_count(), 3u);  // probe, on_hit, send
+
+  res = sw.inject(0, bytes({2, 0}));
+  ASSERT_EQ(res.outputs.size(), 1u);
+  EXPECT_EQ(res.outputs[0].packet, bytes({2, 0xBB}));
+}
+
+TEST(SwitchControl, ConditionalBranch) {
+  ProgramBuilder b("br");
+  b.header_type("h_t", {{"a", 8}, {"out", 8}});
+  b.header("h_t", "h");
+  b.parser("start").extract("h").to_ingress();
+  b.action("mark", {{"v", 8}}).modify_field({"h", "out"}, Param(0));
+  b.action("fwd").modify_field({p4::kStandardMetadata, p4::kFieldEgressSpec},
+                               Const(9, 1));
+  b.table("true_t").key_exact({"h", "a"}).action_ref("mark").default_action("nopish");
+  b.raw().tables.back().default_action = "";
+  b.table("send").key_exact({"h", "out"}).action_ref("fwd").default_action("fwd");
+  auto ing = b.ingress();
+  const auto nif =
+      ing.branch(Expr::binary(ExprOp::kGt, Expr::field("h", "a"),
+                              Expr::constant(8, 10)));
+  const auto nt = ing.apply("true_t");
+  const auto ns = ing.apply("send");
+  ing.on_true(nif, nt);
+  ing.on_false(nif, ns);
+  ing.on_default(nt, ns);
+  Switch sw(b.build());
+  sw.table_add("true_t", "mark", {KeyParam::exact(BitVec(8, 20))},
+               {BitVec(8, 1)});
+
+  // a=20 > 10: true branch applies true_t (2 matches total).
+  EXPECT_EQ(sw.inject(0, bytes({20, 0})).match_count(), 2u);
+  // a=5: false branch skips true_t.
+  EXPECT_EQ(sw.inject(0, bytes({5, 0})).match_count(), 1u);
+}
+
+// --- traffic manager paths ---------------------------------------------------
+
+TEST(SwitchTm, ResubmitPreservesListedFields) {
+  ProgramBuilder b("rs");
+  b.header_type("h_t", {{"a", 8}});
+  b.header_type("m_t", {{"round", 8}});
+  b.header("h_t", "h");
+  b.metadata("m_t", "m");
+  b.field_list("keep", {{"m", "round"}});
+  b.parser("start").extract("h").to_ingress();
+  b.action("again")
+      .prim(p4::Primitive::kAddToField,
+            {p4::ActionArg::of_field("m", "round"), Const(8, 1)})
+      .resubmit("keep");
+  b.action("fwd").modify_field({p4::kStandardMetadata, p4::kFieldEgressSpec},
+                               Const(9, 4));
+  b.table("t").key_exact({"m", "round"}).action_ref("again").action_ref("fwd")
+      .default_action("fwd");
+  b.ingress().apply("t");
+  Switch sw(b.build());
+  // Rounds 0 and 1 resubmit; round 2 forwards.
+  sw.table_add("t", "again", {KeyParam::exact(BitVec(8, 0))}, {});
+  sw.table_add("t", "again", {KeyParam::exact(BitVec(8, 1))}, {});
+
+  auto res = sw.inject(0, bytes({9, 1, 2}));
+  EXPECT_EQ(res.resubmits, 2u);
+  ASSERT_EQ(res.outputs.size(), 1u);
+  EXPECT_EQ(res.outputs[0].port, 4);
+  EXPECT_EQ(res.outputs[0].packet, bytes({9, 1, 2}));
+  EXPECT_EQ(res.match_count(), 3u);
+}
+
+TEST(SwitchTm, ResubmitWithoutListLosesMetadata) {
+  ProgramBuilder b("rs2");
+  b.header_type("h_t", {{"a", 8}});
+  b.header_type("m_t", {{"round", 8}});
+  b.header("h_t", "h");
+  b.metadata("m_t", "m");
+  b.parser("start").extract("h").to_ingress();
+  b.action("again")
+      .prim(p4::Primitive::kAddToField,
+            {p4::ActionArg::of_field("m", "round"), Const(8, 1)})
+      .resubmit();
+  b.action("fwd").modify_field({p4::kStandardMetadata, p4::kFieldEgressSpec},
+                               Const(9, 4));
+  b.table("t").key_exact({"m", "round"}).action_ref("again").action_ref("fwd")
+      .default_action("fwd");
+  b.ingress().apply("t");
+  Switch sw(b.build());
+  sw.table_add("t", "again", {KeyParam::exact(BitVec(8, 0))}, {});
+
+  // Without the field list, m.round resets to 0 every pass → loop killed.
+  auto res = sw.inject(0, bytes({9}));
+  EXPECT_TRUE(res.outputs.empty());
+  EXPECT_GE(res.loop_kills, 1u);
+}
+
+TEST(SwitchTm, RecirculateReparsesRewrittenPacket) {
+  ProgramBuilder b("rc");
+  b.header_type("h_t", {{"a", 8}});
+  b.header_type("m_t", {{"seen", 8}});
+  b.header("h_t", "h");
+  b.metadata("m_t", "m");
+  b.field_list("keep", {{"m", "seen"}});
+  b.parser("start").extract("h").to_ingress();
+  // First pass: rewrite header byte and recirculate; second: forward.
+  b.action("rewrite_and_loop")
+      .modify_field({"h", "a"}, Const(8, 0x99))
+      .prim(p4::Primitive::kAddToField,
+            {p4::ActionArg::of_field("m", "seen"), Const(8, 1)})
+      .recirculate("keep");
+  b.action("fwd").modify_field({p4::kStandardMetadata, p4::kFieldEgressSpec},
+                               Const(9, 5));
+  b.table("t").key_exact({"m", "seen"}).action_ref("rewrite_and_loop")
+      .action_ref("fwd").default_action("fwd");
+  b.ingress().apply("t");
+  Switch sw(b.build());
+  sw.table_add("t", "rewrite_and_loop", {KeyParam::exact(BitVec(8, 0))}, {});
+
+  auto res = sw.inject(0, bytes({0x11, 0xfe}));
+  EXPECT_EQ(res.recirculations, 1u);
+  ASSERT_EQ(res.outputs.size(), 1u);
+  // The recirculated packet carried the rewritten header byte.
+  EXPECT_EQ(res.outputs[0].packet, bytes({0x99, 0xfe}));
+}
+
+TEST(SwitchTm, CloneI2EGoesToMirrorPort) {
+  ProgramBuilder b = tag_program();
+  b.action("fwd_and_clone", {{"port", p4::kPortWidth}})
+      .modify_field({p4::kStandardMetadata, p4::kFieldEgressSpec}, Param(0))
+      .clone_i2e(Const(32, 7));
+  b.raw().tables[0].actions.push_back("fwd_and_clone");
+  Switch sw(b.build());
+  sw.mirror_add(7, 9);
+  sw.table_add("t", "fwd_and_clone", {KeyParam::exact(BitVec(8, 1))},
+               {BitVec(9, 2)});
+  auto res = sw.inject(0, bytes({1, 0xaa}));
+  ASSERT_EQ(res.outputs.size(), 2u);
+  EXPECT_EQ(res.clones_i2e, 1u);
+  std::vector<std::uint16_t> ports{res.outputs[0].port, res.outputs[1].port};
+  std::sort(ports.begin(), ports.end());
+  EXPECT_EQ(ports, (std::vector<std::uint16_t>{2, 9}));
+}
+
+TEST(SwitchTm, CloneToUnknownSessionIsIgnored) {
+  ProgramBuilder b = tag_program();
+  b.action("fwd_and_clone", {{"port", p4::kPortWidth}})
+      .modify_field({p4::kStandardMetadata, p4::kFieldEgressSpec}, Param(0))
+      .clone_i2e(Const(32, 7));
+  b.raw().tables[0].actions.push_back("fwd_and_clone");
+  Switch sw(b.build());
+  sw.table_add("t", "fwd_and_clone", {KeyParam::exact(BitVec(8, 1))},
+               {BitVec(9, 2)});
+  auto res = sw.inject(0, bytes({1, 0xaa}));
+  EXPECT_EQ(res.outputs.size(), 1u);
+}
+
+TEST(SwitchTm, MulticastReplicates) {
+  ProgramBuilder b = tag_program();
+  b.action("mcast", {{"grp", 16}})
+      .modify_field({p4::kStandardMetadata, p4::kFieldMcastGrp}, Param(0));
+  b.raw().tables[0].actions.push_back("mcast");
+  Switch sw(b.build());
+  sw.mc_group_set(5, {{2, 1}, {3, 2}, {4, 3}});
+  sw.table_add("t", "mcast", {KeyParam::exact(BitVec(8, 1))}, {BitVec(16, 5)});
+  auto res = sw.inject(0, bytes({1, 0}));
+  EXPECT_EQ(res.multicast_copies, 3u);
+  ASSERT_EQ(res.outputs.size(), 3u);
+  std::vector<std::uint16_t> ports;
+  for (auto& o : res.outputs) ports.push_back(o.port);
+  std::sort(ports.begin(), ports.end());
+  EXPECT_EQ(ports, (std::vector<std::uint16_t>{2, 3, 4}));
+}
+
+// --- egress / deparse ---------------------------------------------------------
+
+TEST(SwitchEgress, EgressTableSeesEgressPort) {
+  ProgramBuilder b = tag_program();
+  b.action("stamp", {{"v", 8}}).modify_field({"tag", "value"}, Param(0));
+  b.action("nop").no_op();
+  b.table("e").key_exact({p4::kStandardMetadata, p4::kFieldEgressPort})
+      .action_ref("stamp").default_action("nop");
+  b.egress().apply("e");
+  Switch sw(b.build());
+  sw.table_add("t", "fwd", {KeyParam::exact(BitVec(8, 1))}, {BitVec(9, 6)});
+  sw.table_add("e", "stamp", {KeyParam::exact(BitVec(9, 6))}, {BitVec(8, 0x66)});
+  auto res = sw.inject(0, bytes({1, 0}));
+  ASSERT_EQ(res.outputs.size(), 1u);
+  EXPECT_EQ(res.outputs[0].packet, bytes({1, 0x66}));
+}
+
+TEST(SwitchEgress, RemoveHeaderShrinksPacket) {
+  ProgramBuilder b("rm");
+  b.header_type("a_t", {{"x", 8}});
+  b.header_type("b_t", {{"y", 8}});
+  b.header("a_t", "a");
+  b.header("b_t", "bh");
+  b.parser("start").extract("a").extract("bh").to_ingress();
+  b.action("strip", {{"port", p4::kPortWidth}})
+      .remove_header("a")
+      .modify_field({p4::kStandardMetadata, p4::kFieldEgressSpec}, Param(0));
+  b.table("t").key_exact({"a", "x"}).action_ref("strip").default_action("strip");
+  b.raw().tables[0].default_action = "";
+  b.ingress().apply("t");
+  Switch sw(b.build());
+  sw.table_add("t", "strip", {KeyParam::exact(BitVec(8, 1))}, {BitVec(9, 1)});
+  auto res = sw.inject(0, bytes({1, 2, 3}));
+  ASSERT_EQ(res.outputs.size(), 1u);
+  EXPECT_EQ(res.outputs[0].packet, bytes({2, 3}));
+}
+
+TEST(SwitchEgress, AddHeaderGrowsPacket) {
+  ProgramBuilder b("add");
+  b.header_type("a_t", {{"x", 8}});
+  b.header_type("b_t", {{"y", 8}});
+  b.header("b_t", "outer");  // deparsed first
+  b.header("a_t", "a");
+  b.parser("start").extract("outer").extract("a").to_ingress();
+  b.deparse_order({"outer", "a"});
+  // Parse only `a`; add `outer` in ingress.
+  b.raw().parser_states[0].extracts = {"a"};
+  b.action("encap", {{"port", p4::kPortWidth}})
+      .add_header("outer")
+      .modify_field({"outer", "y"}, Const(8, 0xEE))
+      .modify_field({p4::kStandardMetadata, p4::kFieldEgressSpec}, Param(0));
+  b.table("t").key_exact({"a", "x"}).action_ref("encap");
+  b.raw().tables[0].default_action = "";
+  b.ingress().apply("t");
+  Switch sw(b.build());
+  sw.table_add("t", "encap", {KeyParam::exact(BitVec(8, 1))}, {BitVec(9, 1)});
+  auto res = sw.inject(0, bytes({1, 7}));
+  ASSERT_EQ(res.outputs.size(), 1u);
+  EXPECT_EQ(res.outputs[0].packet, bytes({0xEE, 1, 7}));
+}
+
+TEST(SwitchEgress, TruncateLimitsLength) {
+  ProgramBuilder b = tag_program();
+  b.action("fwd_trunc", {{"port", p4::kPortWidth}})
+      .modify_field({p4::kStandardMetadata, p4::kFieldEgressSpec}, Param(0))
+      .truncate(Const(32, 3));
+  b.raw().tables[0].actions.push_back("fwd_trunc");
+  Switch sw(b.build());
+  sw.table_add("t", "fwd_trunc", {KeyParam::exact(BitVec(8, 1))},
+               {BitVec(9, 2)});
+  auto res = sw.inject(0, bytes({1, 2, 3, 4, 5, 6}));
+  ASSERT_EQ(res.outputs.size(), 1u);
+  EXPECT_EQ(res.outputs[0].packet, bytes({1, 2, 3}));
+}
+
+// --- stateful objects ----------------------------------------------------------
+
+TEST(SwitchStateful, CountersAccumulate) {
+  ProgramBuilder b = tag_program();
+  b.counter("c", 4);
+  b.action("fwd_count", {{"port", p4::kPortWidth}, {"idx", 8}})
+      .modify_field({p4::kStandardMetadata, p4::kFieldEgressSpec}, Param(0))
+      .count("c", Param(1));
+  b.raw().tables[0].actions.push_back("fwd_count");
+  Switch sw(b.build());
+  sw.table_add("t", "fwd_count", {KeyParam::exact(BitVec(8, 1))},
+               {BitVec(9, 2), BitVec(8, 3)});
+  sw.inject(0, bytes({1, 0}));
+  sw.inject(0, bytes({1, 0, 0, 0}));
+  EXPECT_EQ(sw.counter_packets("c", 3), 2u);
+  EXPECT_EQ(sw.counter_bytes("c", 3), 6u);
+  sw.counter_reset("c");
+  EXPECT_EQ(sw.counter_packets("c", 3), 0u);
+}
+
+TEST(SwitchStateful, RegistersReadWrite) {
+  ProgramBuilder b = tag_program();
+  b.reg("r", 16, 8);
+  b.action("save", {{"port", p4::kPortWidth}})
+      .register_write("r", Const(8, 2), F("tag", "value"))
+      .modify_field({p4::kStandardMetadata, p4::kFieldEgressSpec}, Param(0));
+  b.action("load", {{"port", p4::kPortWidth}})
+      .register_read({"tag", "value"}, "r", Const(8, 2))
+      .modify_field({p4::kStandardMetadata, p4::kFieldEgressSpec}, Param(0));
+  b.raw().tables[0].actions.push_back("save");
+  b.raw().tables[0].actions.push_back("load");
+  Switch sw(b.build());
+  sw.table_add("t", "save", {KeyParam::exact(BitVec(8, 1))}, {BitVec(9, 2)});
+  sw.table_add("t", "load", {KeyParam::exact(BitVec(8, 2))}, {BitVec(9, 2)});
+
+  sw.inject(0, bytes({1, 0x5a}));
+  EXPECT_EQ(sw.register_read("r", 2).to_u64(), 0x5au);
+  auto res = sw.inject(0, bytes({2, 0x00}));
+  EXPECT_EQ(res.outputs[0].packet, bytes({2, 0x5a}));
+  // External write is visible to the dataplane.
+  sw.register_write("r", 2, BitVec(16, 0x77));
+  res = sw.inject(0, bytes({2, 0x00}));
+  EXPECT_EQ(res.outputs[0].packet, bytes({2, 0x77}));
+}
+
+TEST(SwitchStateful, MeterMarksRed) {
+  ProgramBuilder b = tag_program();
+  b.meter("m", 2, /*rate_pps=*/1, /*burst=*/2);
+  b.action("metered", {{"port", p4::kPortWidth}})
+      .prim(p4::Primitive::kExecuteMeter,
+            {p4::Named("m"), Const(8, 0), p4::ActionArg::of_field("tag", "value")})
+      .modify_field({p4::kStandardMetadata, p4::kFieldEgressSpec}, Param(0));
+  b.raw().tables[0].actions.push_back("metered");
+  Switch sw(b.build());
+  sw.table_add("t", "metered", {KeyParam::exact(BitVec(8, 1))}, {BitVec(9, 2)});
+
+  // Burst of 2 at t=0: first two green (0), third red (2).
+  EXPECT_EQ(sw.inject(0, bytes({1, 9})).outputs[0].packet, bytes({1, 0}));
+  EXPECT_EQ(sw.inject(0, bytes({1, 9})).outputs[0].packet, bytes({1, 0}));
+  EXPECT_EQ(sw.inject(0, bytes({1, 9})).outputs[0].packet, bytes({1, 2}));
+  // Tokens refill with time.
+  sw.advance_time(1.5);
+  EXPECT_EQ(sw.inject(0, bytes({1, 9})).outputs[0].packet, bytes({1, 0}));
+}
+
+TEST(SwitchStateful, DigestDelivered) {
+  ProgramBuilder b = tag_program();
+  b.field_list("learn", {{"tag", "tag"}, {"tag", "value"}});
+  b.action("learn_it", {{"port", p4::kPortWidth}})
+      .prim(p4::Primitive::kGenerateDigest, {Const(32, 1), p4::Named("learn")})
+      .modify_field({p4::kStandardMetadata, p4::kFieldEgressSpec}, Param(0));
+  b.raw().tables[0].actions.push_back("learn_it");
+  Switch sw(b.build());
+  sw.table_add("t", "learn_it", {KeyParam::exact(BitVec(8, 1))}, {BitVec(9, 2)});
+  auto res = sw.inject(0, bytes({1, 0x42}));
+  ASSERT_EQ(res.digests.size(), 1u);
+  EXPECT_EQ(res.digests[0].low_values,
+            (std::vector<std::uint64_t>{1, 0x42}));
+}
+
+// --- checksum -----------------------------------------------------------------
+
+TEST(SwitchChecksum, RecomputedOnDeparse) {
+  ProgramBuilder b("ck");
+  b.header_type("h_t", {{"data", 16}, {"csum", 16}});
+  b.header("h_t", "h");
+  b.parser("start").extract("h").to_ingress();
+  b.field_list("cl", {{"h", "data"}});
+  b.checksum({"h", "csum"}, "cl");
+  b.action("bump", {{"port", p4::kPortWidth}})
+      .add_to_field({"h", "data"}, Const(16, 1))
+      .modify_field({p4::kStandardMetadata, p4::kFieldEgressSpec}, Param(0));
+  b.table("t").key_exact({"h", "data"}).action_ref("bump");
+  b.raw().tables[0].default_action = "";
+  b.ingress().apply("t");
+  Switch sw(b.build());
+  sw.table_add("t", "bump", {KeyParam::exact(BitVec(16, 0x1234))},
+               {BitVec(9, 1)});
+  auto res = sw.inject(0, bytes({0x12, 0x34, 0x00, 0x00}));
+  ASSERT_EQ(res.outputs.size(), 1u);
+  // data = 0x1235, csum16(0x1235) = ~0x1235 = 0xedca
+  EXPECT_EQ(res.outputs[0].packet, bytes({0x12, 0x35, 0xed, 0xca}));
+}
+
+// --- CLI ------------------------------------------------------------------------
+
+TEST(SwitchCli, TableAddAndInject) {
+  Switch sw(tag_program().build());
+  auto r = run_cli_command(sw, "table_add t fwd 7 => 3");
+  ASSERT_TRUE(r.ok) << r.message;
+  EXPECT_EQ(sw.inject(0, bytes({7, 0})).outputs[0].port, 3);
+}
+
+TEST(SwitchCli, ErrorsReported) {
+  Switch sw(tag_program().build());
+  EXPECT_FALSE(run_cli_command(sw, "table_add nope fwd 7 => 3").ok);
+  EXPECT_FALSE(run_cli_command(sw, "table_add t nope 7 => 3").ok);
+  EXPECT_FALSE(run_cli_command(sw, "table_add t fwd 7 3").ok);  // no =>
+  EXPECT_FALSE(run_cli_command(sw, "bogus_command").ok);
+  EXPECT_TRUE(run_cli_command(sw, "").ok);
+}
+
+TEST(SwitchCli, TextWithCommentsAndSubstitutions) {
+  Switch sw(tag_program().build());
+  const std::string text =
+      "# configure forwarding\n"
+      "\n"
+      "table_add t fwd [TAG] => [PORT]  # inline comment\n";
+  auto results = run_cli_text(sw, text, {{"[TAG]", "7"}, {"[PORT]", "5"}});
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(sw.inject(0, bytes({7, 0})).outputs[0].port, 5);
+}
+
+TEST(SwitchCli, TextFailureNamesLine) {
+  Switch sw(tag_program().build());
+  EXPECT_THROW(run_cli_text(sw, "table_add nope fwd 1 => 2\n"),
+               util::CommandError);
+}
+
+}  // namespace
+}  // namespace hyper4::bm

@@ -1,0 +1,195 @@
+#include "bm/runtime_table.h"
+
+#include <gtest/gtest.h>
+
+#include "util/error.h"
+
+namespace hyper4::bm {
+namespace {
+
+using util::BitVec;
+using util::CommandError;
+
+KeySpec exact_spec(std::size_t width, const char* name = "k") {
+  return KeySpec{p4::MatchType::kExact, 0, width, name};
+}
+KeySpec ternary_spec(std::size_t width, const char* name = "k") {
+  return KeySpec{p4::MatchType::kTernary, 0, width, name};
+}
+KeySpec lpm_spec(std::size_t width, const char* name = "k") {
+  return KeySpec{p4::MatchType::kLpm, 0, width, name};
+}
+
+TEST(RuntimeTable, ExactHitAndMiss) {
+  RuntimeTable t("t", {exact_spec(16)}, 16);
+  const auto h = t.add({KeyParam::exact(BitVec(16, 80))}, 1, {BitVec(9, 3)});
+  EXPECT_TRUE(t.has_entry(h));
+  const TableEntry* e = t.lookup({BitVec(16, 80)});
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->action, 1u);
+  EXPECT_EQ(e->action_args[0].to_u64(), 3u);
+  EXPECT_EQ(t.lookup({BitVec(16, 81)}), nullptr);
+  EXPECT_EQ(t.applied_count(), 2u);
+  EXPECT_EQ(t.hit_count(), 1u);
+}
+
+TEST(RuntimeTable, ExactDuplicateRejected) {
+  RuntimeTable t("t", {exact_spec(8)}, 16);
+  t.add({KeyParam::exact(BitVec(8, 5))}, 0, {});
+  EXPECT_THROW(t.add({KeyParam::exact(BitVec(8, 5))}, 0, {}), CommandError);
+}
+
+TEST(RuntimeTable, ArityChecked) {
+  RuntimeTable t("t", {exact_spec(8), exact_spec(8)}, 16);
+  EXPECT_THROW(t.add({KeyParam::exact(BitVec(8, 5))}, 0, {}), CommandError);
+}
+
+TEST(RuntimeTable, CapacityEnforced) {
+  RuntimeTable t("t", {exact_spec(8)}, 2);
+  t.add({KeyParam::exact(BitVec(8, 1))}, 0, {});
+  t.add({KeyParam::exact(BitVec(8, 2))}, 0, {});
+  EXPECT_THROW(t.add({KeyParam::exact(BitVec(8, 3))}, 0, {}), CommandError);
+}
+
+TEST(RuntimeTable, TernaryMaskedMatch) {
+  RuntimeTable t("t", {ternary_spec(16)}, 16);
+  t.add({KeyParam::ternary(BitVec(16, 0x1200), BitVec(16, 0xff00))}, 7, {}, 10);
+  EXPECT_NE(t.lookup({BitVec(16, 0x12ab)}), nullptr);
+  EXPECT_EQ(t.lookup({BitVec(16, 0x13ab)}), nullptr);
+}
+
+TEST(RuntimeTable, TernaryRequiresMask) {
+  RuntimeTable t("t", {ternary_spec(16)}, 16);
+  EXPECT_THROW(t.add({KeyParam::exact(BitVec(16, 1))}, 0, {}, 1), CommandError);
+}
+
+TEST(RuntimeTable, TernaryPriorityOrder) {
+  RuntimeTable t("t", {ternary_spec(8)}, 16);
+  t.add({KeyParam::ternary(BitVec(8, 0), BitVec(8, 0))}, 1, {}, 100);  // any
+  const auto h2 =
+      t.add({KeyParam::ternary(BitVec(8, 5), BitVec(8, 0xff))}, 2, {}, 1);
+  const TableEntry* e = t.lookup({BitVec(8, 5)});
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->handle, h2);  // lower priority number wins
+  e = t.lookup({BitVec(8, 6)});
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->action, 1u);
+}
+
+TEST(RuntimeTable, TernaryEqualPriorityInsertionOrder) {
+  RuntimeTable t("t", {ternary_spec(8)}, 16);
+  const auto h1 = t.add({KeyParam::ternary(BitVec(8, 0), BitVec(8, 0))}, 1, {}, 5);
+  t.add({KeyParam::ternary(BitVec(8, 0), BitVec(8, 0))}, 2, {}, 5);
+  const TableEntry* e = t.lookup({BitVec(8, 0)});
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->handle, h1);
+}
+
+TEST(RuntimeTable, LpmLongestPrefixWins) {
+  RuntimeTable t("t", {lpm_spec(32)}, 16);
+  t.add({KeyParam::lpm(BitVec(32, 0x0a000000), 8)}, 1, {});
+  const auto h24 = t.add({KeyParam::lpm(BitVec(32, 0x0a000100), 24)}, 2, {});
+  t.add({KeyParam::lpm(BitVec(32, 0), 0)}, 3, {});  // default route
+
+  const TableEntry* e = t.lookup({BitVec(32, 0x0a000105)});
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->handle, h24);
+  e = t.lookup({BitVec(32, 0x0a020304)});
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->action, 1u);
+  e = t.lookup({BitVec(32, 0xc0000001)});
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->action, 3u);  // /0 catches everything else
+}
+
+TEST(RuntimeTable, LpmPrefixTooLongRejected) {
+  RuntimeTable t("t", {lpm_spec(32)}, 16);
+  EXPECT_THROW(t.add({KeyParam::lpm(BitVec(32, 0), 33)}, 0, {}), CommandError);
+}
+
+TEST(RuntimeTable, ValidMatch) {
+  RuntimeTable t("t", {KeySpec{p4::MatchType::kValid, 0, 1, "valid(h)"}}, 4);
+  t.add({KeyParam::valid(true)}, 1, {});
+  EXPECT_NE(t.lookup({BitVec(1, 1)}), nullptr);
+  EXPECT_EQ(t.lookup({BitVec(1, 0)}), nullptr);
+}
+
+TEST(RuntimeTable, RangeMatch) {
+  RuntimeTable t("t", {KeySpec{p4::MatchType::kRange, 0, 16, "r"}}, 4);
+  t.add({KeyParam::range(BitVec(16, 1000), BitVec(16, 2000))}, 1, {}, 1);
+  EXPECT_NE(t.lookup({BitVec(16, 1000)}), nullptr);
+  EXPECT_NE(t.lookup({BitVec(16, 1500)}), nullptr);
+  EXPECT_NE(t.lookup({BitVec(16, 2000)}), nullptr);
+  EXPECT_EQ(t.lookup({BitVec(16, 999)}), nullptr);
+  EXPECT_EQ(t.lookup({BitVec(16, 2001)}), nullptr);
+}
+
+TEST(RuntimeTable, MixedExactTernaryKey) {
+  RuntimeTable t("t", {exact_spec(8, "a"), ternary_spec(8, "b")}, 16);
+  t.add({KeyParam::exact(BitVec(8, 1)),
+         KeyParam::ternary(BitVec(8, 0xf0), BitVec(8, 0xf0))},
+        1, {}, 1);
+  EXPECT_NE(t.lookup({BitVec(8, 1), BitVec(8, 0xf5)}), nullptr);
+  EXPECT_EQ(t.lookup({BitVec(8, 2), BitVec(8, 0xf5)}), nullptr);
+  EXPECT_EQ(t.lookup({BitVec(8, 1), BitVec(8, 0x05)}), nullptr);
+}
+
+TEST(RuntimeTable, DeleteRemovesEntry) {
+  RuntimeTable t("t", {exact_spec(8)}, 16);
+  const auto h = t.add({KeyParam::exact(BitVec(8, 9))}, 0, {});
+  EXPECT_NE(t.lookup({BitVec(8, 9)}), nullptr);
+  t.remove(h);
+  EXPECT_EQ(t.lookup({BitVec(8, 9)}), nullptr);
+  EXPECT_THROW(t.remove(h), CommandError);
+  // The key can be re-added after deletion.
+  EXPECT_NO_THROW(t.add({KeyParam::exact(BitVec(8, 9))}, 0, {}));
+}
+
+TEST(RuntimeTable, ModifyChangesActionArgs) {
+  RuntimeTable t("t", {exact_spec(8)}, 16);
+  const auto h = t.add({KeyParam::exact(BitVec(8, 9))}, 0, {BitVec(9, 1)});
+  t.modify(h, 2, {BitVec(9, 7)});
+  const TableEntry* e = t.lookup({BitVec(8, 9)});
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->action, 2u);
+  EXPECT_EQ(e->action_args[0].to_u64(), 7u);
+}
+
+TEST(RuntimeTable, DefaultAction) {
+  RuntimeTable t("t", {exact_spec(8)}, 16);
+  EXPECT_FALSE(t.has_default());
+  EXPECT_THROW(t.default_action(), CommandError);
+  t.set_default(4, {BitVec(8, 1)});
+  EXPECT_TRUE(t.has_default());
+  EXPECT_EQ(t.default_action(), 4u);
+}
+
+TEST(RuntimeTable, HitCountersPerEntry) {
+  RuntimeTable t("t", {exact_spec(8)}, 16);
+  const auto h = t.add({KeyParam::exact(BitVec(8, 1))}, 0, {});
+  t.lookup({BitVec(8, 1)});
+  t.lookup({BitVec(8, 1)});
+  t.lookup({BitVec(8, 2)});
+  EXPECT_EQ(t.entry(h).hits, 2u);
+  t.reset_counters();
+  EXPECT_EQ(t.entry(h).hits, 0u);
+  EXPECT_EQ(t.applied_count(), 0u);
+}
+
+TEST(RuntimeTable, WideKeys) {
+  // HyPer4-style 800-bit ternary match against extracted packet data.
+  RuntimeTable t("t", {ternary_spec(800)}, 16);
+  BitVec value(800);
+  value.set_slice(700, BitVec(16, 0x0800));
+  BitVec mask = BitVec::mask_range(800, 700, 16);
+  t.add({KeyParam::ternary(value, mask)}, 1, {}, 1);
+  BitVec pkt(800);
+  pkt.set_slice(700, BitVec(16, 0x0800));
+  pkt.set_slice(0, BitVec(64, 0xdeadbeef12345678ull));
+  EXPECT_NE(t.lookup({pkt}), nullptr);
+  pkt.set_slice(700, BitVec(16, 0x0806));
+  EXPECT_EQ(t.lookup({pkt}), nullptr);
+}
+
+}  // namespace
+}  // namespace hyper4::bm

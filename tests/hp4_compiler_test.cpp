@@ -1,0 +1,330 @@
+// Hp4Compiler unit tests: artifact structure (parse paths, numbytes, field
+// layout, stage assignment, action specs, static commands) and precise
+// rejection of unsupported target-language features (§5.3 limits).
+#include "hp4/compiler.h"
+
+#include <gtest/gtest.h>
+
+#include "apps/apps.h"
+#include "p4/builder.h"
+#include "util/strings.h"
+
+namespace hyper4::hp4 {
+namespace {
+
+using p4::Const;
+using p4::Expr;
+using p4::F;
+using p4::Param;
+using p4::ProgramBuilder;
+
+Hp4Artifact compile(const p4::Program& p) {
+  return Hp4Compiler{PersonaConfig{}}.compile(p);
+}
+
+// --- artifact structure ------------------------------------------------------
+
+TEST(CompilerArtifact, L2SwitchBasics) {
+  auto art = compile(apps::l2_switch());
+  EXPECT_EQ(art.numbytes, 20u);  // 14-byte ethernet rounds to the default
+  EXPECT_FALSE(art.needs_resubmit);
+  ASSERT_EQ(art.tables.size(), 2u);
+  EXPECT_EQ(art.tables[0].name, "smac");
+  EXPECT_EQ(art.tables[0].stage, 1u);
+  EXPECT_EQ(art.tables[0].source, MatchSource::kExtracted);
+  EXPECT_EQ(art.tables[1].name, "dmac");
+  // smac's hit entries chain to dmac's stage; dmac ends the pipeline.
+  EXPECT_EQ(art.tables[0].next_code,
+            next_table_code(2, MatchSource::kExtracted));
+  EXPECT_EQ(art.tables[1].next_code, 0u);
+  EXPECT_EQ(art.csum_offset, 0u);
+  ASSERT_EQ(art.parse_paths.size(), 1u);
+  EXPECT_FALSE(art.parse_paths[0].drops);
+}
+
+TEST(CompilerArtifact, FirewallPathsAndGuards) {
+  auto art = compile(apps::firewall());
+  EXPECT_EQ(art.numbytes, 60u);  // eth+ipv4+tcp = 54, ladder-rounded
+  EXPECT_TRUE(art.needs_resubmit);
+  // Paths: non-ip, ip-other, tcp, udp.
+  EXPECT_EQ(art.parse_paths.size(), 4u);
+  // ip_filter and l4_filter are guarded on valid(ipv4); dmac is not.
+  EXPECT_FALSE(art.table("dmac").guard.has_value());
+  ASSERT_TRUE(art.table("ip_filter").guard.has_value());
+  EXPECT_TRUE(art.table("ip_filter").guard->expect_valid);
+  EXPECT_EQ(art.table("ip_filter").guard->validity_bit,
+            art.validity_bits.at("ipv4"));
+  EXPECT_EQ(art.table("ip_filter").guard->next_code_on_skip, 0u);
+  EXPECT_TRUE(art.table("l4_filter").guard.has_value());
+}
+
+TEST(CompilerArtifact, RouterChecksumAndStdMeta) {
+  auto art = compile(apps::ipv4_router());
+  EXPECT_EQ(art.csum_offset, 14u);
+  EXPECT_EQ(art.numbytes, 40u);  // eth+ipv4 = 34, rounded
+  // send_frame (egress) lands in the stdmeta stage table.
+  EXPECT_EQ(art.table("send_frame").source, MatchSource::kStdMeta);
+  EXPECT_TRUE(art.table("send_frame").in_egress);
+  // The meta-keyed `forward` table uses the ext_meta source.
+  EXPECT_EQ(art.table("forward").source, MatchSource::kMeta);
+}
+
+TEST(CompilerArtifact, FieldLayout) {
+  auto art = compile(apps::firewall());
+  const std::size_t E = art.cfg.extracted_bits;
+  // ethernet.dstAddr occupies the top 48 bits of `extracted`.
+  const auto eth_dst = art.field_locs.at("ethernet.dstAddr");
+  EXPECT_EQ(eth_dst.domain, Domain::kExtracted);
+  EXPECT_EQ(eth_dst.lsb, E - 48);
+  EXPECT_EQ(eth_dst.width, 48u);
+  // tcp.dstPort and udp.dstPort overlap (both at byte 36).
+  EXPECT_EQ(art.field_locs.at("tcp.dstPort").lsb,
+            art.field_locs.at("udp.dstPort").lsb);
+  // Validity bits follow instance declaration order.
+  EXPECT_EQ(art.validity_bits.at("ethernet"), 0u);
+  EXPECT_EQ(art.validity_bits.at("ipv4"), 1u);
+}
+
+TEST(CompilerArtifact, MetadataPacking) {
+  auto art = compile(apps::ipv4_router());
+  const auto nhop = art.field_locs.at("meta.nhop_ipv4");
+  EXPECT_EQ(nhop.domain, Domain::kMeta);
+  EXPECT_EQ(nhop.width, 32u);
+  EXPECT_EQ(nhop.lsb, art.cfg.meta_bits - 32);
+}
+
+TEST(CompilerArtifact, ActionSpecs) {
+  auto art = compile(apps::arp_proxy());
+  const ActionSpec& reply = art.actions.at("arp_reply");
+  EXPECT_EQ(reply.prims.size(), 9u);  // the paper's nine-primitive action
+  // Primitive 4 (arp.sha = param mac) is parameter-dependent → per entry.
+  EXPECT_TRUE(reply.prims[3].per_entry);
+  // Primitive 1 (eth.dst = eth.src) is a constant-spec field move.
+  EXPECT_FALSE(reply.prims[0].per_entry);
+  EXPECT_EQ(reply.prims[0].exec_action, kActModExtExt);
+  // Primitive 9: egress_spec = ingress_port.
+  EXPECT_EQ(reply.prims[8].exec_action, kActModVegressVingress);
+  // All actions get distinct non-zero ids.
+  std::set<std::size_t> ids;
+  for (const auto& [n, a] : art.actions) {
+    EXPECT_NE(a.action_id, 0u) << n;
+    EXPECT_TRUE(ids.insert(a.action_id).second) << n;
+  }
+}
+
+TEST(CompilerArtifact, TtlDecrementIsAddSub) {
+  auto art = compile(apps::ipv4_router());
+  const ActionSpec& set_nhop = art.actions.at("set_nhop");
+  ASSERT_EQ(set_nhop.prims.size(), 3u);
+  EXPECT_EQ(set_nhop.prims[2].type, PrimType::kAddSub);
+  EXPECT_EQ(set_nhop.prims[2].exec_action, kActAddExt);
+  EXPECT_FALSE(set_nhop.prims[2].per_entry);  // constant delta
+  // forward's port parameter is vport-translated.
+  EXPECT_EQ(set_nhop.prims[1].exec_action, kActModVegressConst);
+  EXPECT_EQ(set_nhop.prims[1].args[0].kind, PrimSpec::Arg::Kind::kParamVPort);
+}
+
+TEST(CompilerArtifact, StaticCommandsCarryProgramToken) {
+  auto art = compile(apps::l2_switch());
+  ASSERT_FALSE(art.static_commands.empty());
+  for (const auto& c : art.static_commands) {
+    EXPECT_NE(c.find("[program]"), std::string::npos) << c;
+  }
+  // Intermediate rendition mentions the target and the token contract.
+  const std::string text = art.intermediate_text();
+  EXPECT_NE(text.find("l2_switch"), std::string::npos);
+  EXPECT_NE(text.find("[program]"), std::string::npos);
+}
+
+TEST(CompilerArtifact, VparseEntryPerPath) {
+  auto art = compile(apps::firewall());
+  std::size_t vparse_cmds = 0;
+  for (const auto& c : art.static_commands) {
+    if (c.find(tbl_vparse()) != std::string::npos) ++vparse_cmds;
+  }
+  EXPECT_EQ(vparse_cmds, art.parse_paths.size());
+}
+
+TEST(CompilerArtifact, UnknownTableLookupThrows) {
+  auto art = compile(apps::l2_switch());
+  EXPECT_THROW(art.table("nope"), util::ConfigError);
+}
+
+// --- unsupported-feature rejection ---------------------------------------------
+
+ProgramBuilder tiny() {
+  ProgramBuilder b("tiny");
+  b.header_type("h_t", {{"a", 8}, {"b", 8}});
+  b.header("h_t", "h");
+  b.parser("start").extract("h").to_ingress();
+  return b;
+}
+
+TEST(CompilerLimits, TooManyStages) {
+  auto b = tiny();
+  b.action("nop").no_op();
+  for (int i = 0; i < 5; ++i) {
+    b.table("t" + std::to_string(i)).key_exact({"h", "a"}).action_ref("nop")
+        .default_action("nop");
+  }
+  auto ing = b.ingress();
+  ing.apply("t0");
+  for (int i = 1; i < 5; ++i) ing.then_apply("t" + std::to_string(i));
+  EXPECT_THROW(compile(b.build()), UnsupportedFeature);  // K = 4
+}
+
+TEST(CompilerLimits, TooManyPrimitives) {
+  auto b = tiny();
+  auto a = b.action("big");
+  for (int i = 0; i < 10; ++i) a.modify_field({"h", "a"}, Const(8, 1));
+  b.table("t").key_exact({"h", "a"}).action_ref("big").default_action("big");
+  b.ingress().apply("t");
+  EXPECT_THROW(compile(b.build()), UnsupportedFeature);  // P = 9
+}
+
+TEST(CompilerLimits, RangeMatchRejected) {
+  auto b = tiny();
+  b.action("nop").no_op();
+  b.table("t").key_range({"h", "a"}).action_ref("nop").default_action("nop");
+  b.ingress().apply("t");
+  EXPECT_THROW(compile(b.build()), UnsupportedFeature);
+}
+
+TEST(CompilerLimits, UnsupportedPrimitiveNamed) {
+  auto b = tiny();
+  b.reg("r", 8, 4);
+  b.action("stateful").register_write("r", Const(8, 0), F("h", "a"));
+  b.table("t").key_exact({"h", "a"}).action_ref("stateful")
+      .default_action("stateful");
+  b.ingress().apply("t");
+  try {
+    compile(b.build());
+    FAIL() << "expected UnsupportedFeature";
+  } catch (const UnsupportedFeature& e) {
+    EXPECT_NE(std::string(e.what()).find("register_write"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(CompilerLimits, HeaderStackRejected) {
+  ProgramBuilder b("st");
+  b.header_type("h_t", {{"a", 8}});
+  b.header_stack("h_t", "stk", 4);
+  b.parser("start").extract("stk").to_ingress();
+  b.action("nop").no_op();
+  b.table("t").key_exact({"stk[0]", "a"}).action_ref("nop").default_action("nop");
+  b.ingress().apply("t");
+  EXPECT_THROW(compile(b.build()), UnsupportedFeature);
+}
+
+TEST(CompilerLimits, HitMissControlFlowRejected) {
+  auto b = tiny();
+  b.action("nop").no_op();
+  b.table("t1").key_exact({"h", "a"}).action_ref("nop").default_action("nop");
+  b.table("t2").key_exact({"h", "a"}).action_ref("nop").default_action("nop");
+  auto ing = b.ingress();
+  const auto n1 = ing.apply("t1");
+  const auto n2 = ing.apply("t2");
+  ing.on_hit(n1, n2);
+  EXPECT_THROW(compile(b.build()), UnsupportedFeature);
+}
+
+TEST(CompilerLimits, NonValidConditionRejected) {
+  auto b = tiny();
+  b.action("nop").no_op();
+  b.table("t").key_exact({"h", "a"}).action_ref("nop").default_action("nop");
+  auto ing = b.ingress();
+  const auto nif = ing.branch(Expr::binary(p4::ExprOp::kEq,
+                                           Expr::field("h", "a"),
+                                           Expr::constant(8, 3)));
+  const auto nt = ing.apply("t");
+  ing.on_true(nif, nt);
+  EXPECT_THROW(compile(b.build()), UnsupportedFeature);
+}
+
+TEST(CompilerLimits, OversizedParseRequirementRejected) {
+  ProgramBuilder b("huge");
+  b.header_type("big_t", {{"blob", 1600}});  // 200 bytes > 100-byte ladder max
+  b.header("big_t", "big");
+  b.parser("start").extract("big").to_ingress();
+  b.action("nop").no_op();
+  b.table("t").key_exact({"big", "blob"}).action_ref("nop").default_action("nop");
+  b.ingress().apply("t");
+  EXPECT_THROW(compile(b.build()), UnsupportedFeature);
+}
+
+TEST(CompilerLimits, MixedStdMetaAndPacketKeysRejected) {
+  auto b = tiny();
+  b.action("nop").no_op();
+  b.table("t")
+      .key_exact({"h", "a"})
+      .key_exact({p4::kStandardMetadata, p4::kFieldIngressPort})
+      .action_ref("nop")
+      .default_action("nop");
+  b.ingress().apply("t");
+  EXPECT_THROW(compile(b.build()), UnsupportedFeature);
+}
+
+TEST(CompilerLimits, DefaultActionWithParamsRejected) {
+  auto b = tiny();
+  b.action("setv", {{"v", 8}}).modify_field({"h", "b"}, Param(0));
+  b.table("t").key_exact({"h", "a"}).action_ref("setv")
+      .default_action("setv", {util::BitVec(8, 5)});
+  b.ingress().apply("t");
+  EXPECT_THROW(compile(b.build()), UnsupportedFeature);
+}
+
+// --- rule translation -------------------------------------------------------------
+
+TEST(TranslateRule, ProducesMatchEntryPlusPerEntryExecs) {
+  auto art = compile(apps::l2_switch());
+  VPortMap ports;
+  ports.phys_to_vport[2] = 7;
+  ports.vport_to_phys[7] = 2;
+  const auto cmds = translate_rule(
+      art, VirtualRule{"dmac", "forward", {"02:00:00:00:00:02"}, {"2"}, -1},
+      /*program_id=*/3, /*match_id=*/55, ports);
+  ASSERT_EQ(cmds.size(), 2u);  // match entry + one per-entry exec (the vport)
+  EXPECT_NE(cmds[0].find("t2_ext"), std::string::npos) << cmds[0];
+  EXPECT_NE(cmds[0].find(" 3 "), std::string::npos);   // program id, no token
+  EXPECT_NE(cmds[0].find("55"), std::string::npos);    // match id
+  EXPECT_NE(cmds[1].find("a_mod_vegress_const"), std::string::npos);
+  EXPECT_NE(cmds[1].find("=> 7 "), std::string::npos);  // vport, not port 2
+}
+
+TEST(TranslateRule, RejectsBadArityAndUnknownNames) {
+  auto art = compile(apps::l2_switch());
+  VPortMap ports;
+  EXPECT_THROW(translate_rule(art, {"dmac", "forward", {}, {"2"}, -1}, 1, 1, ports),
+               util::CommandError);
+  EXPECT_THROW(translate_rule(art, {"dmac", "zap", {"0x1"}, {}, -1}, 1, 1, ports),
+               util::CommandError);
+  EXPECT_THROW(
+      translate_rule(art, {"nope", "forward", {"0x1"}, {"2"}, -1}, 1, 1, ports),
+      util::ConfigError);
+  // Unmapped port in a port-valued argument.
+  EXPECT_THROW(translate_rule(art, {"dmac", "forward", {"0x1"}, {"9"}, -1}, 1,
+                              1, ports),
+               util::CommandError);
+}
+
+TEST(TranslateRule, LpmPrioritiesFavourLongerPrefixes) {
+  auto art = compile(apps::ipv4_router());
+  VPortMap ports;
+  ports.phys_to_vport[2] = 4;
+  ports.vport_to_phys[4] = 2;
+  auto p24 = translate_rule(
+      art, {"ipv4_lpm", "set_nhop", {"10.0.1.0/24"}, {"10.0.1.1", "2"}, -1}, 1,
+      1, ports);
+  auto p16 = translate_rule(
+      art, {"ipv4_lpm", "set_nhop", {"10.0.0.0/16"}, {"10.0.9.1", "2"}, -1}, 1,
+      2, ports);
+  // The trailing token of the match entry is the priority.
+  auto prio = [](const std::string& cmd) {
+    return util::parse_uint(util::split(cmd).back());
+  };
+  EXPECT_LT(prio(p24[0]), prio(p16[0]));  // longer prefix → higher precedence
+}
+
+}  // namespace
+}  // namespace hyper4::hp4

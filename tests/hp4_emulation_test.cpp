@@ -1,0 +1,465 @@
+// The core HyPer4 property: a persona configured by the compiler/DPMU is
+// functionally equivalent to the native program — identical packets out of
+// identical ports — for all four of the paper's network functions.
+#include <gtest/gtest.h>
+
+#include "apps/apps.h"
+#include "hp4/analysis.h"
+#include "hp4/controller.h"
+#include "net/checksum.h"
+#include "util/rng.h"
+
+namespace hyper4::hp4 {
+namespace {
+
+using apps::Rule;
+
+VirtualRule vr(const Rule& r) {
+  return VirtualRule{r.table, r.action, r.keys, r.args, r.priority};
+}
+
+const char* kMacH1 = "02:00:00:00:00:01";
+const char* kMacH2 = "02:00:00:00:00:02";
+const char* kMacH3 = "02:00:00:00:00:03";
+const char* kMacRtr = "02:aa:00:00:00:ff";
+
+net::Packet tcp_packet(const char* smac, const char* dmac, const char* sip,
+                       const char* dip, std::uint16_t dport,
+                       std::size_t payload = 64) {
+  net::EthHeader eth;
+  eth.src = net::mac_from_string(smac);
+  eth.dst = net::mac_from_string(dmac);
+  net::Ipv4Header ip;
+  ip.src = net::ipv4_from_string(sip);
+  ip.dst = net::ipv4_from_string(dip);
+  net::TcpHeader tcp;
+  tcp.src_port = 40000;
+  tcp.dst_port = dport;
+  return net::make_ipv4_tcp(eth, ip, tcp, payload);
+}
+
+// Sort outputs so multi-packet comparisons are order-insensitive.
+std::vector<std::pair<std::uint16_t, std::string>> canon(
+    const bm::ProcessResult& r) {
+  std::vector<std::pair<std::uint16_t, std::string>> out;
+  for (const auto& o : r.outputs) out.emplace_back(o.port, o.packet.to_hex());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+// Harness: the same program + rules, native and emulated, fed the same
+// packets.
+class EquivHarness {
+ public:
+  EquivHarness(const p4::Program& prog, const std::vector<Rule>& rules,
+               const std::vector<std::uint16_t>& ports)
+      : native_(prog), ctl_() {
+    vdev_ = ctl_.load(prog.name, prog);
+    ctl_.attach_ports(vdev_, ports);
+    for (auto p : ports) ctl_.bind(vdev_, p);
+    for (const auto& r : rules) {
+      apps::apply_rule(native_, r);
+      ctl_.add_rule(vdev_, vr(r));
+    }
+  }
+
+  // Inject into both and assert identical (port, bytes) outputs.
+  void expect_equal(std::uint16_t port, const net::Packet& pkt,
+                    const std::string& what) {
+    auto n = native_.inject(port, pkt);
+    auto e = ctl_.dataplane().inject(port, pkt);
+    EXPECT_EQ(canon(n), canon(e)) << what;
+    last_native_ = std::move(n);
+    last_emulated_ = std::move(e);
+  }
+
+  bm::Switch& native() { return native_; }
+  Controller& controller() { return ctl_; }
+  VdevId vdev() const { return vdev_; }
+  const bm::ProcessResult& last_native() const { return last_native_; }
+  const bm::ProcessResult& last_emulated() const { return last_emulated_; }
+
+ private:
+  bm::Switch native_;
+  Controller ctl_;
+  VdevId vdev_ = 0;
+  bm::ProcessResult last_native_, last_emulated_;
+};
+
+std::vector<Rule> l2_rules() {
+  return {apps::l2_forward(kMacH1, 1), apps::l2_forward(kMacH2, 2),
+          apps::l2_forward(kMacH3, 3)};
+}
+
+// ---------------------------------------------------------------------------
+// L2 switch
+
+class L2Equiv : public ::testing::Test {
+ protected:
+  L2Equiv() : h_(apps::l2_switch(), l2_rules(), {1, 2, 3}) {}
+  EquivHarness h_;
+};
+
+TEST_F(L2Equiv, ForwardsKnownMac) {
+  h_.expect_equal(1, tcp_packet(kMacH1, kMacH2, "10.0.0.1", "10.0.0.2", 80),
+                  "h1->h2");
+  ASSERT_EQ(h_.last_emulated().outputs.size(), 1u);
+  EXPECT_EQ(h_.last_emulated().outputs[0].port, 2);
+}
+
+TEST_F(L2Equiv, DropsUnknownMac) {
+  h_.expect_equal(1, tcp_packet(kMacH1, "02:00:00:00:00:99", "10.0.0.1",
+                                "10.0.0.2", 80),
+                  "unknown dmac");
+  EXPECT_TRUE(h_.last_emulated().outputs.empty());
+}
+
+TEST_F(L2Equiv, PayloadRidesThrough) {
+  auto pkt = tcp_packet(kMacH1, kMacH3, "10.0.0.1", "10.0.0.3", 80, 400);
+  h_.expect_equal(1, pkt, "payload");
+  ASSERT_EQ(h_.last_emulated().outputs.size(), 1u);
+  EXPECT_EQ(h_.last_emulated().outputs[0].packet, pkt);
+}
+
+TEST_F(L2Equiv, Table1EmulatedMatchCount) {
+  h_.expect_equal(1, tcp_packet(kMacH1, kMacH2, "10.0.0.1", "10.0.0.2", 80),
+                  "match count probe");
+  // Paper Table 1: l2 switch native 2, HyPer4 13.
+  EXPECT_EQ(h_.last_native().match_count(), 2u);
+  EXPECT_EQ(h_.last_emulated().match_count(), 13u);
+  EXPECT_EQ(h_.last_emulated().resubmits, 0u);  // fits the 20-byte default
+}
+
+TEST_F(L2Equiv, RandomPacketSweep) {
+  util::Rng rng(42);
+  const char* macs[] = {kMacH1, kMacH2, kMacH3, "02:00:00:00:00:99"};
+  for (int i = 0; i < 40; ++i) {
+    const char* src = macs[rng.uniform(0, 3)];
+    const char* dst = macs[rng.uniform(0, 3)];
+    auto pkt = tcp_packet(src, dst, "10.0.0.1", "10.0.0.9",
+                          static_cast<std::uint16_t>(rng.uniform(1, 65535)),
+                          rng.uniform(0, 200));
+    h_.expect_equal(static_cast<std::uint16_t>(rng.uniform(1, 3)), pkt,
+                    "sweep " + std::to_string(i));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Firewall
+
+std::vector<Rule> firewall_rules() {
+  return {
+      apps::firewall_l2_forward(kMacH1, 1),
+      apps::firewall_l2_forward(kMacH2, 2),
+      apps::firewall_block_tcp_dport(22, 10),
+      apps::firewall_block_udp_dport(53, 10),
+      apps::firewall_block_ip("10.6.6.6", "255.255.255.255", "0.0.0.0",
+                              "0.0.0.0", 20),
+  };
+}
+
+class FirewallEquiv : public ::testing::Test {
+ protected:
+  FirewallEquiv() : h_(apps::firewall(), firewall_rules(), {1, 2}) {}
+  EquivHarness h_;
+};
+
+TEST_F(FirewallEquiv, AllowsUnfilteredTcp) {
+  h_.expect_equal(1, tcp_packet(kMacH1, kMacH2, "10.0.0.1", "10.0.0.2", 80),
+                  "tcp 80");
+  ASSERT_EQ(h_.last_emulated().outputs.size(), 1u);
+  EXPECT_EQ(h_.last_emulated().outputs[0].port, 2);
+}
+
+TEST_F(FirewallEquiv, BlocksTcpPort22) {
+  h_.expect_equal(1, tcp_packet(kMacH1, kMacH2, "10.0.0.1", "10.0.0.2", 22),
+                  "tcp 22");
+  EXPECT_TRUE(h_.last_emulated().outputs.empty());
+}
+
+TEST_F(FirewallEquiv, UdpVsTcpValidityDisambiguation) {
+  net::EthHeader eth;
+  eth.src = net::mac_from_string(kMacH1);
+  eth.dst = net::mac_from_string(kMacH2);
+  net::Ipv4Header ip;
+  ip.src = net::ipv4_from_string("10.0.0.1");
+  ip.dst = net::ipv4_from_string("10.0.0.2");
+  net::UdpHeader udp;
+  udp.src_port = 1111;
+  udp.dst_port = 22;  // UDP 22 is allowed (only TCP 22 blocked)
+  h_.expect_equal(1, net::make_ipv4_udp(eth, ip, udp, 16), "udp 22");
+  EXPECT_EQ(h_.last_emulated().outputs.size(), 1u);
+  udp.dst_port = 53;  // UDP 53 is blocked
+  h_.expect_equal(1, net::make_ipv4_udp(eth, ip, udp, 16), "udp 53");
+  EXPECT_TRUE(h_.last_emulated().outputs.empty());
+}
+
+TEST_F(FirewallEquiv, BlocksBySourceIp) {
+  h_.expect_equal(1, tcp_packet(kMacH1, kMacH2, "10.6.6.6", "10.0.0.2", 80),
+                  "bad source");
+  EXPECT_TRUE(h_.last_emulated().outputs.empty());
+}
+
+TEST_F(FirewallEquiv, NonIpBypassesFilters) {
+  auto arp = net::make_arp_reply(net::mac_from_string(kMacH1),
+                                 net::ipv4_from_string("10.0.0.1"),
+                                 net::mac_from_string(kMacH2),
+                                 net::ipv4_from_string("10.0.0.2"));
+  h_.expect_equal(1, arp, "arp through firewall");
+  ASSERT_EQ(h_.last_emulated().outputs.size(), 1u);
+  EXPECT_EQ(h_.last_emulated().outputs[0].port, 2);
+}
+
+TEST_F(FirewallEquiv, Table1EmulatedMatchCountAndResubmit) {
+  h_.expect_equal(1, tcp_packet(kMacH1, kMacH2, "10.0.0.1", "10.0.0.2", 80),
+                  "probe");
+  EXPECT_EQ(h_.last_native().match_count(), 3u);
+  // Paper Table 1: firewall HyPer4 = 22; our persona layout yields 18
+  // (documented in EXPERIMENTS.md) — the shape (≈6–7×) is what matters.
+  EXPECT_EQ(h_.last_emulated().match_count(), 18u);
+  // The 54-byte requirement rounds to 60 and forces one resubmit (§6.4).
+  EXPECT_EQ(h_.last_emulated().resubmits, 1u);
+  EXPECT_EQ(h_.last_native().resubmits, 0u);
+}
+
+TEST_F(FirewallEquiv, RandomPacketSweep) {
+  util::Rng rng(7);
+  for (int i = 0; i < 40; ++i) {
+    const std::uint16_t dport =
+        rng.coin(0.3) ? 22 : static_cast<std::uint16_t>(rng.uniform(1, 65535));
+    const char* sip = rng.coin(0.2) ? "10.6.6.6" : "10.0.0.1";
+    auto pkt = tcp_packet(kMacH1, kMacH2, sip, "10.0.0.2", dport,
+                          rng.uniform(0, 300));
+    h_.expect_equal(1, pkt, "sweep " + std::to_string(i));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// ARP proxy
+
+std::vector<Rule> arp_rules() {
+  return {
+      apps::arp_proxy_entry("10.0.0.2", kMacH2),
+      apps::arp_proxy_entry("10.0.0.3", kMacH3),
+      apps::arp_proxy_l2_forward(kMacH1, 1),
+      apps::arp_proxy_l2_forward(kMacH2, 2),
+      apps::arp_proxy_l2_forward(kMacH3, 3),
+  };
+}
+
+class ArpProxyEquiv : public ::testing::Test {
+ protected:
+  ArpProxyEquiv() : h_(apps::arp_proxy(), arp_rules(), {1, 2, 3}) {}
+  EquivHarness h_;
+
+  net::Packet request(const char* smac, const char* sip, const char* tip) {
+    return net::make_arp_request(net::mac_from_string(smac),
+                                 net::ipv4_from_string(sip),
+                                 net::ipv4_from_string(tip));
+  }
+};
+
+TEST_F(ArpProxyEquiv, AnswersProxiedRequest) {
+  h_.expect_equal(1, request(kMacH1, "10.0.0.1", "10.0.0.2"), "arp for h2");
+  ASSERT_EQ(h_.last_emulated().outputs.size(), 1u);
+  EXPECT_EQ(h_.last_emulated().outputs[0].port, 1);
+  auto arp = net::read_arp(h_.last_emulated().outputs[0].packet);
+  ASSERT_TRUE(arp);
+  EXPECT_EQ(arp->oper, net::kArpOpReply);
+  EXPECT_EQ(net::mac_to_string(arp->sha), kMacH2);
+  EXPECT_EQ(arp->spa, net::ipv4_from_string("10.0.0.2"));
+}
+
+TEST_F(ArpProxyEquiv, UnknownTargetNotAnswered) {
+  h_.expect_equal(1, request(kMacH1, "10.0.0.1", "10.0.0.77"), "unknown tpa");
+  EXPECT_TRUE(h_.last_emulated().outputs.empty());
+}
+
+TEST_F(ArpProxyEquiv, SwitchesNonArpTraffic) {
+  h_.expect_equal(1, tcp_packet(kMacH1, kMacH3, "10.0.0.1", "10.0.0.3", 80),
+                  "tcp through proxy");
+  ASSERT_EQ(h_.last_emulated().outputs.size(), 1u);
+  EXPECT_EQ(h_.last_emulated().outputs[0].port, 3);
+}
+
+TEST_F(ArpProxyEquiv, Table1NinePrimitiveAction) {
+  h_.expect_equal(2, request(kMacH2, "10.0.0.2", "10.0.0.3"), "arp worst case");
+  EXPECT_EQ(h_.last_native().match_count(), 4u);
+  // Paper Table 1: arp_proxy HyPer4 = 48; our layout yields 46 (the paper's
+  // own §6.5 count is 46 ingress + 2 egress).
+  EXPECT_EQ(h_.last_emulated().match_count(), 46u);
+}
+
+TEST_F(ArpProxyEquiv, RandomSweep) {
+  util::Rng rng(11);
+  const char* ips[] = {"10.0.0.1", "10.0.0.2", "10.0.0.3", "10.0.0.99"};
+  for (int i = 0; i < 30; ++i) {
+    auto pkt = request(kMacH1, ips[rng.uniform(0, 3)], ips[rng.uniform(0, 3)]);
+    h_.expect_equal(static_cast<std::uint16_t>(rng.uniform(1, 3)), pkt,
+                    "sweep " + std::to_string(i));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// IPv4 router
+
+std::vector<Rule> router_rules() {
+  return {
+      apps::router_accept_mac(kMacRtr),
+      apps::router_route("10.0.1.0", 24, "10.0.1.10", 2),
+      apps::router_route("10.0.0.0", 16, "10.0.99.1", 3),
+      apps::router_arp_entry("10.0.1.10", kMacH2),
+      apps::router_arp_entry("10.0.99.1", kMacH3),
+      apps::router_port_mac(2, kMacRtr),
+      apps::router_port_mac(3, kMacRtr),
+  };
+}
+
+class RouterEquiv : public ::testing::Test {
+ protected:
+  RouterEquiv() : h_(apps::ipv4_router(), router_rules(), {1, 2, 3}) {}
+  EquivHarness h_;
+};
+
+TEST_F(RouterEquiv, RoutesRewritesAndFixesChecksum) {
+  h_.expect_equal(1, tcp_packet(kMacH1, kMacRtr, "10.0.0.1", "10.0.1.7", 80),
+                  "routed packet");
+  ASSERT_EQ(h_.last_emulated().outputs.size(), 1u);
+  const auto& out = h_.last_emulated().outputs[0];
+  EXPECT_EQ(out.port, 2);
+  auto ip = net::read_ipv4(out.packet);
+  ASSERT_TRUE(ip);
+  EXPECT_EQ(ip->ttl, 63);
+  EXPECT_EQ(net::internet_checksum(out.packet.bytes().subspan(
+                net::kEthHeaderLen, net::kIpv4HeaderLen)),
+            0);
+}
+
+TEST_F(RouterEquiv, LongestPrefixWinsViaDpmuPriorities) {
+  h_.expect_equal(1, tcp_packet(kMacH1, kMacRtr, "10.0.0.1", "10.0.1.9", 80),
+                  "/24 route");
+  ASSERT_EQ(h_.last_emulated().outputs.size(), 1u);
+  EXPECT_EQ(h_.last_emulated().outputs[0].port, 2);
+  h_.expect_equal(1, tcp_packet(kMacH1, kMacRtr, "10.0.0.1", "10.0.2.9", 80),
+                  "/16 route");
+  ASSERT_EQ(h_.last_emulated().outputs.size(), 1u);
+  EXPECT_EQ(h_.last_emulated().outputs[0].port, 3);
+}
+
+TEST_F(RouterEquiv, DropsWrongMacNoRouteAndNonIp) {
+  h_.expect_equal(1, tcp_packet(kMacH1, kMacH2, "10.0.0.1", "10.0.1.7", 80),
+                  "wrong dmac");
+  EXPECT_TRUE(h_.last_emulated().outputs.empty());
+  h_.expect_equal(1, tcp_packet(kMacH1, kMacRtr, "10.0.0.1", "99.9.9.9", 80),
+                  "no route");
+  EXPECT_TRUE(h_.last_emulated().outputs.empty());
+  auto arp = net::make_arp_request(net::mac_from_string(kMacH1),
+                                   net::ipv4_from_string("10.0.0.1"),
+                                   net::ipv4_from_string("10.0.0.2"));
+  h_.expect_equal(1, arp, "non-ip parser drop");
+  EXPECT_TRUE(h_.last_emulated().outputs.empty());
+}
+
+TEST_F(RouterEquiv, Table1EmulatedMatchCount) {
+  h_.expect_equal(1, tcp_packet(kMacH1, kMacRtr, "10.0.0.1", "10.0.1.7", 80),
+                  "probe");
+  EXPECT_EQ(h_.last_native().match_count(), 4u);
+  // Paper Table 1: router HyPer4 = 28; our pipeline adds the egress
+  // checksum fix-up table, yielding 29.
+  EXPECT_EQ(h_.last_emulated().match_count(), 29u);
+}
+
+TEST_F(RouterEquiv, RandomSweep) {
+  util::Rng rng(23);
+  const char* dips[] = {"10.0.1.1", "10.0.1.200", "10.0.2.3", "10.0.44.5",
+                        "172.16.0.1"};
+  for (int i = 0; i < 30; ++i) {
+    auto pkt = tcp_packet(kMacH1, rng.coin(0.8) ? kMacRtr : kMacH2, "10.0.0.1",
+                          dips[rng.uniform(0, 4)],
+                          static_cast<std::uint16_t>(rng.uniform(1, 65535)),
+                          rng.uniform(0, 128));
+    h_.expect_equal(1, pkt, "sweep " + std::to_string(i));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// DPMU isolation
+
+TEST(DpmuIsolation, UnauthorizedRequesterRejected) {
+  Controller ctl;
+  auto id = ctl.load("l2", apps::l2_switch(), "tenant_a");
+  ctl.attach_ports(id, {1, 2});
+  EXPECT_THROW(
+      ctl.dpmu().table_add(id, vr(apps::l2_forward(kMacH1, 1)), "tenant_b"),
+      util::IsolationError);
+  EXPECT_NO_THROW(
+      ctl.dpmu().table_add(id, vr(apps::l2_forward(kMacH1, 1)), "tenant_a"));
+  ctl.dpmu().authorize(id, "tenant_b");
+  EXPECT_NO_THROW(
+      ctl.dpmu().table_add(id, vr(apps::l2_forward(kMacH2, 2)), "tenant_b"));
+}
+
+TEST(DpmuIsolation, QuotaEnforced) {
+  Controller ctl;
+  auto id = ctl.dpmu().load_program(
+      "l2", ctl.compile(apps::l2_switch()), "admin", /*entry_quota=*/2);
+  ctl.attach_ports(id, {1, 2});
+  ctl.dpmu().table_add(id, vr(apps::l2_forward(kMacH1, 1)), "admin");
+  ctl.dpmu().table_add(id, vr(apps::l2_forward(kMacH2, 2)), "admin");
+  EXPECT_THROW(ctl.dpmu().table_add(id, vr(apps::l2_forward(kMacH3, 1)), "admin"),
+               util::IsolationError);
+  // Deleting frees quota.
+  ctl.dpmu().table_delete(id, 1, "admin");
+  EXPECT_NO_THROW(
+      ctl.dpmu().table_add(id, vr(apps::l2_forward(kMacH3, 1)), "admin"));
+}
+
+TEST(DpmuIsolation, EntryDeleteRestoresMiss) {
+  Controller ctl;
+  auto id = ctl.load("l2", apps::l2_switch());
+  ctl.attach_ports(id, {1, 2});
+  ctl.bind(id, 1);
+  auto vh = ctl.add_rule(id, vr(apps::l2_forward(kMacH2, 2)));
+  auto pkt = tcp_packet(kMacH1, kMacH2, "10.0.0.1", "10.0.0.2", 80);
+  EXPECT_EQ(ctl.dataplane().inject(1, pkt).outputs.size(), 1u);
+  ctl.dpmu().table_delete(id, vh, "admin");
+  EXPECT_TRUE(ctl.dataplane().inject(1, pkt).outputs.empty());
+}
+
+TEST(DpmuIsolation, TwoProgramsDoNotInterfere) {
+  // Two l2 switches with conflicting forwarding: same MAC, different port.
+  Controller ctl;
+  auto a = ctl.load("l2_a", apps::l2_switch(), "a");
+  auto b = ctl.load("l2_b", apps::l2_switch(), "b");
+  ctl.attach_ports(a, {1, 2});
+  ctl.attach_ports(b, {3, 4});
+  ctl.bind(a, 1);
+  ctl.bind(b, 3);
+  ctl.dpmu().table_add(a, vr(apps::l2_forward(kMacH2, 2)), "a");
+  ctl.dpmu().table_add(b, vr(apps::l2_forward(kMacH2, 4)), "b");
+  auto pkt = tcp_packet(kMacH1, kMacH2, "10.0.0.1", "10.0.0.2", 80);
+  auto ra = ctl.dataplane().inject(1, pkt);
+  ASSERT_EQ(ra.outputs.size(), 1u);
+  EXPECT_EQ(ra.outputs[0].port, 2);
+  auto rb = ctl.dataplane().inject(3, pkt);
+  ASSERT_EQ(rb.outputs.size(), 1u);
+  EXPECT_EQ(rb.outputs[0].port, 4);
+}
+
+TEST(DpmuIsolation, UnloadRemovesAllState) {
+  Controller ctl;
+  auto& sw = ctl.dataplane();
+  const auto baseline_vparse = sw.table(tbl_vparse()).size();
+  auto id = ctl.load("fw", apps::firewall());
+  ctl.attach_ports(id, {1, 2});
+  ctl.bind(id, 1);
+  ctl.add_rule(id, vr(apps::firewall_l2_forward(kMacH2, 2)));
+  EXPECT_GT(sw.table(tbl_vparse()).size(), baseline_vparse);
+  ctl.dpmu().unload(id);
+  EXPECT_EQ(sw.table(tbl_vparse()).size(), baseline_vparse);
+  EXPECT_EQ(sw.table(tbl_setup_a()).size(), 0u);
+  EXPECT_EQ(sw.table(tbl_vnet()).size(), 0u);
+}
+
+}  // namespace
+}  // namespace hyper4::hp4

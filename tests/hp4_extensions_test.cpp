@@ -1,0 +1,225 @@
+// Extension features beyond the paper's prototype: the §4.5 ingress
+// isolation meter (the paper's proposed ingress-buffer protection) and
+// §4.6 virtual multicast.
+#include <gtest/gtest.h>
+
+#include "apps/apps.h"
+#include "hp4/controller.h"
+#include "util/error.h"
+
+namespace hyper4::hp4 {
+namespace {
+
+using apps::Rule;
+
+VirtualRule vr(const Rule& r) {
+  return VirtualRule{r.table, r.action, r.keys, r.args, r.priority};
+}
+
+const char* kMacH1 = "02:00:00:00:00:01";
+const char* kMacH2 = "02:00:00:00:00:02";
+
+net::Packet tcp_packet(std::uint16_t dport = 80) {
+  net::EthHeader eth;
+  eth.src = net::mac_from_string(kMacH1);
+  eth.dst = net::mac_from_string(kMacH2);
+  net::Ipv4Header ip;
+  ip.src = net::ipv4_from_string("10.0.0.1");
+  ip.dst = net::ipv4_from_string("10.0.0.2");
+  net::TcpHeader tcp;
+  tcp.dst_port = dport;
+  return net::make_ipv4_tcp(eth, ip, tcp, 64);
+}
+
+PersonaConfig metered_config(std::uint64_t burst) {
+  PersonaConfig cfg;
+  cfg.ingress_meter = true;
+  cfg.meter_rate_pps = 1;  // 1 packet per abstract second
+  cfg.meter_burst = burst;
+  return cfg;
+}
+
+// ---------------------------------------------------------------------------
+// Ingress meter (§4.5)
+
+TEST(IngressMeter, DisabledByDefaultAddsNoTables) {
+  PersonaGenerator off{PersonaConfig{}};
+  PersonaConfig on_cfg;
+  on_cfg.ingress_meter = true;
+  PersonaGenerator on{on_cfg};
+  EXPECT_EQ(on.generate().tables.size(), off.generate().tables.size() + 2);
+  bool has_meter = false;
+  for (const auto& t : off.generate().tables) {
+    if (t.name == tbl_meter()) has_meter = true;
+  }
+  EXPECT_FALSE(has_meter);
+}
+
+TEST(IngressMeter, DropsAboveBurst) {
+  Controller ctl(metered_config(/*burst=*/3));
+  auto id = ctl.load("l2", apps::l2_switch());
+  ctl.attach_ports(id, {1, 2});
+  ctl.bind(id, 1);
+  ctl.add_rule(id, vr(apps::l2_forward(kMacH2, 2)));
+
+  auto pkt = tcp_packet();
+  std::size_t delivered = 0;
+  for (int i = 0; i < 10; ++i) {
+    delivered += ctl.dataplane().inject(1, pkt).outputs.size();
+  }
+  EXPECT_EQ(delivered, 3u);  // burst of 3 at time 0, rate 1/s, no time passes
+
+  // Tokens refill with time.
+  ctl.dataplane().advance_time(2.0);
+  EXPECT_EQ(ctl.dataplane().inject(1, pkt).outputs.size(), 1u);
+}
+
+TEST(IngressMeter, MetersPerProgram) {
+  Controller ctl(metered_config(/*burst=*/2));
+  auto a = ctl.load("a", apps::l2_switch());
+  auto b = ctl.load("b", apps::l2_switch());
+  ctl.attach_ports(a, {1, 2});
+  ctl.attach_ports(b, {3, 4});
+  ctl.bind(a, 1);
+  ctl.bind(b, 3);
+  ctl.add_rule(a, vr(apps::l2_forward(kMacH2, 2)));
+  ctl.add_rule(b, vr(apps::l2_forward(kMacH2, 4)));
+
+  auto pkt = tcp_packet();
+  // Exhaust device a's budget...
+  for (int i = 0; i < 5; ++i) ctl.dataplane().inject(1, pkt);
+  EXPECT_TRUE(ctl.dataplane().inject(1, pkt).outputs.empty());
+  // ...device b is unaffected (separate meter cell).
+  EXPECT_EQ(ctl.dataplane().inject(3, pkt).outputs.size(), 1u);
+}
+
+TEST(IngressMeter, PolicesRecirculationChains) {
+  // Each device in a composition has its own meter cell; traffic above the
+  // head device's threshold never enters the chain at all, bounding the
+  // ingress-buffer pressure a composition can generate (§4.5).
+  Controller ctl(metered_config(/*burst=*/8));
+  auto a = ctl.load("a", apps::l2_switch());
+  auto b = ctl.load("b", apps::l2_switch());
+  ctl.chain({a, b}, {1, 2});
+  ctl.add_rule(a, vr(apps::l2_forward(kMacH2, 2)));
+  ctl.add_rule(b, vr(apps::l2_forward(kMacH2, 2)));
+
+  auto pkt = tcp_packet();
+  std::size_t delivered = 0, recircs = 0;
+  for (int i = 0; i < 12; ++i) {
+    auto r = ctl.dataplane().inject(1, pkt);
+    delivered += r.outputs.size();
+    recircs += r.recirculations;
+  }
+  EXPECT_EQ(delivered, 8u);  // device a admits only its 8-token burst
+  // Packets killed at device a never recirculated into device b.
+  EXPECT_EQ(recircs, 8u);
+}
+
+TEST(IngressMeter, AddsOneMatchStagePerTraversal) {
+  Controller plain;
+  Controller metered(metered_config(/*burst=*/1000));
+  for (Controller* c : {&plain, &metered}) {
+    auto id = c->load("l2", apps::l2_switch());
+    c->attach_ports(id, {1, 2});
+    c->bind(id, 1);
+    c->add_rule(id, vr(apps::l2_forward(kMacH2, 2)));
+  }
+  auto pkt = tcp_packet();
+  const auto base = plain.dataplane().inject(1, pkt).match_count();
+  const auto with = metered.dataplane().inject(1, pkt).match_count();
+  EXPECT_EQ(with, base + 1);
+}
+
+// ---------------------------------------------------------------------------
+// Virtual multicast (§4.6)
+
+TEST(VirtualMulticast, ReplicatesToPortSet) {
+  Controller ctl;
+  auto id = ctl.load("l2", apps::l2_switch());
+  ctl.attach_ports(id, {1, 2, 3, 4});
+  ctl.bind(id, 1);
+  // dmac entries for h2 point at "port 2"; retarget that vport to a
+  // replication set covering ports 2, 3, 4.
+  ctl.add_rule(id, vr(apps::l2_forward(kMacH2, 2)));
+  ctl.dpmu().set_vport_target_mcast(id, 2, {2, 3, 4});
+
+  auto res = ctl.dataplane().inject(1, tcp_packet());
+  ASSERT_EQ(res.outputs.size(), 3u);
+  std::vector<std::uint16_t> ports;
+  for (const auto& o : res.outputs) ports.push_back(o.port);
+  std::sort(ports.begin(), ports.end());
+  EXPECT_EQ(ports, (std::vector<std::uint16_t>{2, 3, 4}));
+  // Every copy is the same (written-back) packet.
+  for (const auto& o : res.outputs) {
+    EXPECT_EQ(o.packet, res.outputs[0].packet);
+    EXPECT_EQ(o.packet, tcp_packet());
+  }
+}
+
+TEST(VirtualMulticast, OtherVportsUnaffected) {
+  Controller ctl;
+  auto id = ctl.load("l2", apps::l2_switch());
+  ctl.attach_ports(id, {1, 2, 3});
+  ctl.bind(id, 1);
+  ctl.bind(id, 3);
+  ctl.add_rule(id, vr(apps::l2_forward(kMacH2, 2)));
+  ctl.add_rule(id, vr(apps::l2_forward(kMacH1, 1)));
+  ctl.dpmu().set_vport_target_mcast(id, 2, {2, 3});
+
+  // h2-bound traffic is replicated; h1-bound traffic stays unicast.
+  EXPECT_EQ(ctl.dataplane().inject(1, tcp_packet()).outputs.size(), 2u);
+  net::EthHeader eth;
+  eth.src = net::mac_from_string(kMacH2);
+  eth.dst = net::mac_from_string(kMacH1);
+  auto back = net::make_ipv4_tcp(eth, net::Ipv4Header{}, net::TcpHeader{}, 32);
+  auto res = ctl.dataplane().inject(3, back);
+  ASSERT_EQ(res.outputs.size(), 1u);
+  EXPECT_EQ(res.outputs[0].port, 1);
+}
+
+// ---------------------------------------------------------------------------
+// Misconfiguration resilience: a virtual-link cycle must not wedge the
+// dataplane (the engine's traversal guard cuts it, per §4.5's ingress-buffer
+// discussion).
+
+TEST(VnetCycle, RecirculationLoopIsCutOff) {
+  Controller ctl;
+  auto a = ctl.load("a", apps::l2_switch());
+  auto b = ctl.load("b", apps::l2_switch());
+  for (auto id : {a, b}) ctl.attach_ports(id, {1, 2});
+  ctl.bind(a, 1);
+  // a's port-2 vport → b; b's port-2 vport → a: a forwarding cycle.
+  ctl.dpmu().set_vport_target_vdev(a, 2, b);
+  ctl.dpmu().set_vport_target_vdev(b, 2, a);
+  ctl.add_rule(a, vr(apps::l2_forward(kMacH2, 2)));
+  ctl.add_rule(b, vr(apps::l2_forward(kMacH2, 2)));
+
+  auto res = ctl.dataplane().inject(1, tcp_packet());
+  EXPECT_TRUE(res.outputs.empty());
+  EXPECT_GE(res.loop_kills, 1u);
+  // The dataplane still works afterwards.
+  ctl.dpmu().set_vport_target_phys(a, 2);
+  EXPECT_EQ(ctl.dataplane().inject(1, tcp_packet()).outputs.size(), 1u);
+}
+
+TEST(VnetCycle, MeterCutsLoopsEarlier) {
+  Controller ctl(metered_config(/*burst=*/5));
+  auto a = ctl.load("a", apps::l2_switch());
+  auto b = ctl.load("b", apps::l2_switch());
+  for (auto id : {a, b}) ctl.attach_ports(id, {1, 2});
+  ctl.bind(a, 1);
+  ctl.dpmu().set_vport_target_vdev(a, 2, b);
+  ctl.dpmu().set_vport_target_vdev(b, 2, a);
+  ctl.add_rule(a, vr(apps::l2_forward(kMacH2, 2)));
+  ctl.add_rule(b, vr(apps::l2_forward(kMacH2, 2)));
+
+  auto res = ctl.dataplane().inject(1, tcp_packet());
+  EXPECT_TRUE(res.outputs.empty());
+  // The meter kills the packet before the engine's traversal guard fires.
+  EXPECT_EQ(res.loop_kills, 0u);
+  EXPECT_LE(res.recirculations, 12u);
+}
+
+}  // namespace
+}  // namespace hyper4::hp4

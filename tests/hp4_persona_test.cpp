@@ -1,0 +1,128 @@
+// Persona generation invariants: structure, table counts, base entries,
+// and that the persona itself is a valid program the switch can run.
+#include "hp4/persona.h"
+
+#include <gtest/gtest.h>
+
+#include "bm/cli.h"
+#include "bm/switch.h"
+#include "hp4/p4_emit.h"
+#include "util/error.h"
+
+namespace hyper4::hp4 {
+namespace {
+
+TEST(PersonaConfig, LadderGeneration) {
+  PersonaConfig cfg;
+  EXPECT_EQ(cfg.parse_ladder(),
+            (std::vector<std::size_t>{20, 30, 40, 50, 60, 70, 80, 90, 100}));
+  cfg.parse_step_bytes = 40;
+  EXPECT_EQ(cfg.parse_ladder(), (std::vector<std::size_t>{20, 60, 100}));
+}
+
+TEST(PersonaConfig, ValidationRejectsNonsense) {
+  PersonaConfig cfg;
+  cfg.num_stages = 0;
+  EXPECT_THROW(cfg.validate(), util::ConfigError);
+  cfg = PersonaConfig{};
+  cfg.parse_default_bytes = 200;
+  EXPECT_THROW(cfg.validate(), util::ConfigError);
+  cfg = PersonaConfig{};
+  cfg.extracted_bits = 100;  // < 8 * parse_max_bytes
+  EXPECT_THROW(cfg.validate(), util::ConfigError);
+}
+
+TEST(PersonaGenerator, GeneratesValidProgram) {
+  PersonaGenerator gen{PersonaConfig{}};
+  p4::Program p = gen.generate();
+  EXPECT_EQ(p.name, "hyper4_persona");
+  EXPECT_NO_THROW(p.validate());
+}
+
+TEST(PersonaGenerator, SwitchInstantiates) {
+  PersonaGenerator gen{PersonaConfig{}};
+  bm::Switch sw(gen.generate());
+  EXPECT_TRUE(sw.has_table(tbl_setup_a()));
+  EXPECT_TRUE(sw.has_table(tbl_vparse()));
+  EXPECT_TRUE(sw.has_table(tbl_vnet()));
+  EXPECT_TRUE(sw.has_table(tbl_stage_match(1, MatchSource::kExtracted)));
+  EXPECT_TRUE(sw.has_table(tbl_prim_exec(4, 9, PrimType::kMod)));
+  EXPECT_FALSE(sw.has_table(tbl_stage_match(5, MatchSource::kExtracted)));
+}
+
+TEST(PersonaGenerator, TableCountMatchesFormula) {
+  // fixed: setup_a, setup_b, vparse, vnet, eg_csum, eg_writeback = 6
+  // per stage: 3 match tables; per (stage, slot): setup + 5 exec + tx = 7.
+  for (auto [k, p] : {std::pair<std::size_t, std::size_t>{1, 1},
+                      {2, 3},
+                      {4, 9},
+                      {5, 9}}) {
+    PersonaConfig cfg;
+    cfg.num_stages = k;
+    cfg.max_primitives = p;
+    PersonaGenerator gen{cfg};
+    const auto prog = gen.generate();
+    EXPECT_EQ(prog.tables.size(), 6 + 3 * k + 7 * k * p)
+        << "stages=" << k << " prims=" << p;
+  }
+}
+
+TEST(PersonaGenerator, TableCountGrowsLinearly) {
+  auto tables_at = [](std::size_t k, std::size_t p) {
+    PersonaConfig cfg;
+    cfg.num_stages = k;
+    cfg.max_primitives = p;
+    return PersonaGenerator{cfg}.generate().tables.size();
+  };
+  // Linear in stages at fixed primitives: equal second differences of zero.
+  const auto d1 = tables_at(2, 5) - tables_at(1, 5);
+  const auto d2 = tables_at(3, 5) - tables_at(2, 5);
+  EXPECT_EQ(d1, d2);
+  // Linear in primitives at fixed stages.
+  const auto e1 = tables_at(3, 4) - tables_at(3, 3);
+  const auto e2 = tables_at(3, 5) - tables_at(3, 4);
+  EXPECT_EQ(e1, e2);
+}
+
+TEST(PersonaGenerator, EmittedSourceGrowsWithConfig) {
+  auto loc_at = [](std::size_t k, std::size_t p) {
+    PersonaConfig cfg;
+    cfg.num_stages = k;
+    cfg.max_primitives = p;
+    return count_loc(emit_p4(PersonaGenerator{cfg}.generate()));
+  };
+  EXPECT_LT(loc_at(1, 1), loc_at(5, 1));
+  EXPECT_LT(loc_at(5, 1), loc_at(5, 9));
+}
+
+TEST(PersonaGenerator, BaseCommandsApplyCleanly) {
+  PersonaGenerator gen{PersonaConfig{}};
+  bm::Switch sw(gen.generate());
+  EXPECT_NO_THROW(bm::run_cli_text(sw, gen.base_commands()));
+  EXPECT_EQ(sw.table(tbl_setup_b()).size(), gen.config().parse_ladder().size());
+  EXPECT_EQ(sw.table(tbl_eg_writeback()).size(),
+            gen.config().writeback_ladder().size());
+}
+
+TEST(PersonaGenerator, UnconfiguredPersonaDropsEverything) {
+  PersonaGenerator gen{PersonaConfig{}};
+  bm::Switch sw(gen.generate());
+  bm::run_cli_text(sw, gen.base_commands());
+  net::Packet pkt(std::vector<std::uint8_t>(64, 0xab));
+  auto res = sw.inject(1, pkt);
+  EXPECT_TRUE(res.outputs.empty());
+  EXPECT_EQ(res.drops, 1u);
+}
+
+TEST(PersonaGenerator, SmallConfigStillValid) {
+  PersonaConfig cfg;
+  cfg.num_stages = 1;
+  cfg.max_primitives = 1;
+  cfg.parse_step_bytes = 20;
+  cfg.parse_max_bytes = 40;
+  PersonaGenerator gen{cfg};
+  EXPECT_NO_THROW({ bm::Switch sw(gen.generate()); });
+}
+
+}  // namespace
+}  // namespace hyper4::hp4

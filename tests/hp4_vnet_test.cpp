@@ -1,0 +1,313 @@
+// Virtual networking (§4.6), snapshots (§3.2) and slicing (§3.3): multiple
+// virtual devices inside one persona, composed over virtual links and
+// hot-swapped at runtime.
+#include <gtest/gtest.h>
+
+#include "apps/apps.h"
+#include "hp4/controller.h"
+#include "util/error.h"
+
+namespace hyper4::hp4 {
+namespace {
+
+using apps::Rule;
+
+VirtualRule vr(const Rule& r) {
+  return VirtualRule{r.table, r.action, r.keys, r.args, r.priority};
+}
+
+const char* kMacH1 = "02:00:00:00:00:01";
+const char* kMacH2 = "02:00:00:00:00:02";
+
+net::Packet tcp_packet(std::uint16_t dport, std::size_t payload = 64,
+                       const char* sip = "10.0.0.1",
+                       const char* dip = "10.0.0.2") {
+  net::EthHeader eth;
+  eth.src = net::mac_from_string(kMacH1);
+  eth.dst = net::mac_from_string(kMacH2);
+  net::Ipv4Header ip;
+  ip.src = net::ipv4_from_string(sip);
+  ip.dst = net::ipv4_from_string(dip);
+  net::TcpHeader tcp;
+  tcp.src_port = 40000;
+  tcp.dst_port = dport;
+  return net::make_ipv4_tcp(eth, ip, tcp, payload);
+}
+
+// ---------------------------------------------------------------------------
+// Composition: l2_switch → firewall chained inside one persona, compared
+// against the same two programs running on two physical switches in series.
+
+class ChainTest : public ::testing::Test {
+ protected:
+  ChainTest()
+      : native_l2_(apps::l2_switch()), native_fw_(apps::firewall()) {
+    // Native reference: two separate switches wired 2↔1.
+    apps::apply_rules(native_l2_, {apps::l2_forward(kMacH1, 1),
+                                   apps::l2_forward(kMacH2, 2)});
+    apps::apply_rules(native_fw_, {apps::firewall_l2_forward(kMacH1, 1),
+                                   apps::firewall_l2_forward(kMacH2, 2),
+                                   apps::firewall_block_tcp_dport(22, 10)});
+
+    // Emulated: both programs in one persona, chained over ports {1,2}.
+    l2_ = ctl_.load("l2", apps::l2_switch());
+    fw_ = ctl_.load("fw", apps::firewall());
+    ctl_.chain({l2_, fw_}, {1, 2});
+    for (const auto& r : {apps::l2_forward(kMacH1, 1),
+                          apps::l2_forward(kMacH2, 2)}) {
+      ctl_.add_rule(l2_, vr(r));
+    }
+    for (const auto& r : {apps::firewall_l2_forward(kMacH1, 1),
+                          apps::firewall_l2_forward(kMacH2, 2),
+                          apps::firewall_block_tcp_dport(22, 10)}) {
+      ctl_.add_rule(fw_, vr(r));
+    }
+  }
+
+  // Native reference: run through l2 then firewall.
+  std::vector<bm::OutputPacket> native_chain(std::uint16_t port,
+                                             const net::Packet& pkt) {
+    std::vector<bm::OutputPacket> final;
+    for (auto& o1 : native_l2_.inject(port, pkt).outputs) {
+      for (auto& o2 : native_fw_.inject(o1.port, o1.packet).outputs) {
+        final.push_back(o2);
+      }
+    }
+    return final;
+  }
+
+  bm::Switch native_l2_, native_fw_;
+  Controller ctl_;
+  VdevId l2_ = 0, fw_ = 0;
+};
+
+TEST_F(ChainTest, AllowedTrafficTraversesBothPrograms) {
+  auto pkt = tcp_packet(80);
+  auto native = native_chain(1, pkt);
+  auto res = ctl_.dataplane().inject(1, pkt);
+  ASSERT_EQ(native.size(), 1u);
+  ASSERT_EQ(res.outputs.size(), 1u);
+  EXPECT_EQ(res.outputs[0].port, native[0].port);
+  EXPECT_EQ(res.outputs[0].packet, native[0].packet);
+  // The virtual link is a recirculation (§4.6).
+  EXPECT_GE(res.recirculations, 1u);
+}
+
+TEST_F(ChainTest, FirewallInChainBlocks) {
+  auto pkt = tcp_packet(22);
+  EXPECT_TRUE(native_chain(1, pkt).empty());
+  EXPECT_TRUE(ctl_.dataplane().inject(1, pkt).outputs.empty());
+}
+
+TEST_F(ChainTest, DropInFirstProgramShortCircuits) {
+  net::EthHeader eth;
+  eth.src = net::mac_from_string(kMacH1);
+  eth.dst = net::mac_from_string("02:00:00:00:00:99");  // unknown to l2
+  net::Ipv4Header ip;
+  auto pkt = net::make_ipv4_tcp(eth, ip, net::TcpHeader{}, 32);
+  auto res = ctl_.dataplane().inject(1, pkt);
+  EXPECT_TRUE(res.outputs.empty());
+  EXPECT_EQ(res.recirculations, 0u);  // never reached the firewall
+}
+
+TEST_F(ChainTest, ThreeProgramComposition) {
+  // Extend to the paper's Ex.1 C shape: arp_proxy → firewall → router.
+  Controller ctl;
+  auto arp = ctl.load("arp", apps::arp_proxy());
+  auto fw = ctl.load("fw", apps::firewall());
+  auto rtr = ctl.load("rtr", apps::ipv4_router());
+  ctl.chain({arp, fw, rtr}, {1, 2});
+  // Directional wiring: the proxy's client-facing vport (port 1) exits
+  // physically — ARP replies turn around there — while its vport toward
+  // port 2 stays linked into the firewall.
+  ctl.dpmu().set_vport_target_phys(arp, 1);
+  ctl.add_rule(arp, vr(apps::arp_proxy_entry("10.0.0.254", "02:aa:00:00:00:ff")));
+  ctl.add_rule(arp, vr(apps::arp_proxy_l2_forward(kMacH1, 1)));
+  ctl.add_rule(arp, vr(apps::arp_proxy_l2_forward("02:aa:00:00:00:ff", 2)));
+  ctl.add_rule(fw, vr(apps::firewall_l2_forward("02:aa:00:00:00:ff", 2)));
+  ctl.add_rule(fw, vr(apps::firewall_block_tcp_dport(22, 10)));
+  ctl.add_rule(rtr, vr(apps::router_accept_mac("02:aa:00:00:00:ff")));
+  ctl.add_rule(rtr, vr(apps::router_route("10.0.1.0", 24, "10.0.1.1", 2)));
+  ctl.add_rule(rtr, vr(apps::router_arp_entry("10.0.1.1", kMacH2)));
+  ctl.add_rule(rtr, vr(apps::router_port_mac(2, "02:aa:00:00:00:fe")));
+
+  // An ARP request for the gateway is answered by the proxy directly.
+  auto req = net::make_arp_request(net::mac_from_string(kMacH1),
+                                   net::ipv4_from_string("10.0.0.1"),
+                                   net::ipv4_from_string("10.0.0.254"));
+  auto res = ctl.dataplane().inject(1, req);
+  ASSERT_EQ(res.outputs.size(), 1u);
+  EXPECT_EQ(res.outputs[0].port, 1);
+  auto arp_h = net::read_arp(res.outputs[0].packet);
+  ASSERT_TRUE(arp_h);
+  EXPECT_EQ(arp_h->oper, net::kArpOpReply);
+
+  // TCP to the gateway MAC traverses proxy → firewall → router.
+  net::EthHeader eth;
+  eth.src = net::mac_from_string(kMacH1);
+  eth.dst = net::mac_from_string("02:aa:00:00:00:ff");
+  net::Ipv4Header ip;
+  ip.src = net::ipv4_from_string("10.0.0.1");
+  ip.dst = net::ipv4_from_string("10.0.1.50");
+  net::TcpHeader tcp;
+  tcp.dst_port = 80;
+  auto pkt = net::make_ipv4_tcp(eth, ip, tcp, 64);
+  res = ctl.dataplane().inject(1, pkt);
+  ASSERT_EQ(res.outputs.size(), 1u);
+  EXPECT_EQ(res.outputs[0].port, 2);
+  EXPECT_EQ(res.recirculations, 2u);  // two virtual links traversed
+  auto out_ip = net::read_ipv4(res.outputs[0].packet);
+  ASSERT_TRUE(out_ip);
+  EXPECT_EQ(out_ip->ttl, 63);  // the router stage decremented TTL
+  auto out_eth = net::read_eth(res.outputs[0].packet);
+  EXPECT_EQ(net::mac_to_string(out_eth->dst), kMacH2);
+
+  // Blocked traffic dies at the firewall stage of the chain.
+  tcp.dst_port = 22;
+  res = ctl.dataplane().inject(1, net::make_ipv4_tcp(eth, ip, tcp, 64));
+  EXPECT_TRUE(res.outputs.empty());
+}
+
+// ---------------------------------------------------------------------------
+// Snapshots (§3.2): multiple stored configurations, hot-swapped.
+
+TEST(SnapshotTest, HotSwapBetweenStoredPrograms) {
+  Controller ctl;
+  auto l2 = ctl.load("l2", apps::l2_switch());
+  auto fw = ctl.load("fw", apps::firewall());
+  ctl.attach_ports(l2, {1, 2});
+  ctl.attach_ports(fw, {1, 2});
+  ctl.add_rule(l2, vr(apps::l2_forward(kMacH1, 1)));
+  ctl.add_rule(l2, vr(apps::l2_forward(kMacH2, 2)));
+  ctl.add_rule(fw, vr(apps::firewall_l2_forward(kMacH1, 1)));
+  ctl.add_rule(fw, vr(apps::firewall_l2_forward(kMacH2, 2)));
+  ctl.add_rule(fw, vr(apps::firewall_block_tcp_dport(80, 10)));
+
+  ctl.define_config("plain_switch", {{std::nullopt, l2}});
+  ctl.define_config("filtered", {{std::nullopt, fw}});
+
+  auto pkt = tcp_packet(80);
+
+  ctl.activate_config("plain_switch");
+  EXPECT_EQ(ctl.dataplane().inject(1, pkt).outputs.size(), 1u);
+
+  // Swapping the active snapshot is a single dataplane operation.
+  ctl.activate_config("filtered");
+  EXPECT_EQ(ctl.last_activation_ops(), 1u);
+  EXPECT_TRUE(ctl.dataplane().inject(1, pkt).outputs.empty());
+  EXPECT_EQ(ctl.active_config(), "filtered");
+
+  // Program state survived the swap: switching back restores behaviour.
+  ctl.activate_config("plain_switch");
+  EXPECT_EQ(ctl.dataplane().inject(1, pkt).outputs.size(), 1u);
+}
+
+TEST(SnapshotTest, UnknownConfigRejected) {
+  Controller ctl;
+  EXPECT_THROW(ctl.activate_config("nope"), util::ConfigError);
+}
+
+// ---------------------------------------------------------------------------
+// Slicing (§3.3): ports 1–2 are one logical device, ports 3–4 another.
+
+class SlicingTest : public ::testing::Test {
+ protected:
+  SlicingTest() {
+    l2_ = ctl_.load("slice_a_l2", apps::l2_switch(), "tenant_a");
+    fw_ = ctl_.load("slice_b_fw", apps::firewall(), "tenant_b");
+    rtr_ = ctl_.load("slice_b_rtr", apps::ipv4_router(), "tenant_b");
+    ctl_.attach_ports(l2_, {1, 2});
+    ctl_.bind(l2_, 1);
+    ctl_.bind(l2_, 2);
+    // Slice B: firewall → router over ports 3, 4.
+    ctl_.chain({fw_, rtr_}, {3, 4});
+
+    ctl_.add_rule(l2_, vr(apps::l2_forward(kMacH1, 1)), "tenant_a");
+    ctl_.add_rule(l2_, vr(apps::l2_forward(kMacH2, 2)), "tenant_a");
+    ctl_.add_rule(fw_, vr(apps::firewall_l2_forward("02:aa:00:00:00:ff", 4)),
+                  "tenant_b");
+    ctl_.add_rule(fw_, vr(apps::firewall_block_tcp_dport(23, 10)), "tenant_b");
+    ctl_.add_rule(rtr_, vr(apps::router_accept_mac("02:aa:00:00:00:ff")),
+                  "tenant_b");
+    ctl_.add_rule(rtr_, vr(apps::router_route("10.1.0.0", 16, "10.1.0.1", 4)),
+                  "tenant_b");
+    ctl_.add_rule(rtr_, vr(apps::router_arp_entry("10.1.0.1", kMacH2)),
+                  "tenant_b");
+    ctl_.add_rule(rtr_, vr(apps::router_port_mac(4, "02:aa:00:00:00:ff")),
+                  "tenant_b");
+  }
+
+  Controller ctl_;
+  VdevId l2_ = 0, fw_ = 0, rtr_ = 0;
+};
+
+TEST_F(SlicingTest, SliceASwitchesAtL2) {
+  auto res = ctl_.dataplane().inject(1, tcp_packet(23));
+  ASSERT_EQ(res.outputs.size(), 1u);
+  EXPECT_EQ(res.outputs[0].port, 2);  // TCP 23 blocked only in slice B
+}
+
+TEST_F(SlicingTest, SliceBFiltersAndRoutes) {
+  net::EthHeader eth;
+  eth.src = net::mac_from_string(kMacH1);
+  eth.dst = net::mac_from_string("02:aa:00:00:00:ff");
+  net::Ipv4Header ip;
+  ip.src = net::ipv4_from_string("10.0.0.1");
+  ip.dst = net::ipv4_from_string("10.1.2.3");
+  net::TcpHeader tcp;
+  tcp.dst_port = 80;
+  auto res = ctl_.dataplane().inject(3, net::make_ipv4_tcp(eth, ip, tcp, 64));
+  ASSERT_EQ(res.outputs.size(), 1u);
+  EXPECT_EQ(res.outputs[0].port, 4);
+  auto out_ip = net::read_ipv4(res.outputs[0].packet);
+  EXPECT_EQ(out_ip->ttl, 63);
+
+  tcp.dst_port = 23;
+  res = ctl_.dataplane().inject(3, net::make_ipv4_tcp(eth, ip, tcp, 64));
+  EXPECT_TRUE(res.outputs.empty());
+}
+
+TEST_F(SlicingTest, SlicesAreIsolated) {
+  // Traffic on slice A ports never reaches slice B's programs even when it
+  // would match B's tables; and tenants cannot modify each other's slices.
+  auto res = ctl_.dataplane().inject(1, tcp_packet(23));
+  EXPECT_FALSE(res.outputs.empty());  // not filtered by B's firewall
+  EXPECT_THROW(
+      ctl_.add_rule(l2_, vr(apps::l2_forward(kMacH2, 4)), "tenant_b"),
+      util::IsolationError);
+}
+
+// ---------------------------------------------------------------------------
+// Live update (§4.1): adding a program never disturbs active ones.
+
+TEST(LiveUpdate, LoadingProgramsDoesNotDisturbActiveOnes) {
+  Controller ctl;
+  auto l2 = ctl.load("l2", apps::l2_switch());
+  ctl.attach_ports(l2, {1, 2});
+  ctl.bind(l2, 1);
+  ctl.add_rule(l2, vr(apps::l2_forward(kMacH2, 2)));
+  auto pkt = tcp_packet(80);
+  const auto before = ctl.dataplane().inject(1, pkt);
+  ASSERT_EQ(before.outputs.size(), 1u);
+
+  // Load two more programs and populate them while l2 keeps forwarding.
+  auto fw = ctl.load("fw", apps::firewall());
+  ctl.attach_ports(fw, {3, 4});
+  ctl.bind(fw, 3);
+  ctl.add_rule(fw, vr(apps::firewall_block_tcp_dport(80, 10)));
+  auto rtr = ctl.load("rtr", apps::ipv4_router());
+  ctl.attach_ports(rtr, {5, 6});
+
+  const auto after = ctl.dataplane().inject(1, pkt);
+  ASSERT_EQ(after.outputs.size(), 1u);
+  EXPECT_EQ(after.outputs[0].packet, before.outputs[0].packet);
+  EXPECT_EQ(after.outputs[0].port, before.outputs[0].port);
+
+  // And unloading them doesn't either.
+  ctl.dpmu().unload(fw);
+  ctl.dpmu().unload(rtr);
+  EXPECT_EQ(ctl.dataplane().inject(1, pkt).outputs.size(), 1u);
+}
+
+}  // namespace
+}  // namespace hyper4::hp4

@@ -1,0 +1,148 @@
+#include "net/headers.h"
+
+#include <gtest/gtest.h>
+
+#include "net/checksum.h"
+#include "util/error.h"
+
+namespace hyper4::net {
+namespace {
+
+TEST(Mac, StringRoundTrip) {
+  MacAddr m = mac_from_string("00:11:22:aa:bb:cc");
+  EXPECT_EQ(mac_to_string(m), "00:11:22:aa:bb:cc");
+  EXPECT_EQ(mac_to_u64(m), 0x001122aabbccull);
+  EXPECT_EQ(mac_from_u64(0x001122aabbccull), m);
+}
+
+TEST(Mac, RejectsMalformed) {
+  EXPECT_THROW(mac_from_string("00:11:22:aa:bb"), util::ParseError);
+  EXPECT_THROW(mac_from_string("nonsense"), util::ParseError);
+}
+
+TEST(Ipv4, StringRoundTrip) {
+  EXPECT_EQ(ipv4_from_string("10.0.0.1"), 0x0a000001u);
+  EXPECT_EQ(ipv4_to_string(0xc0a80101u), "192.168.1.1");
+  EXPECT_THROW(ipv4_from_string("1.2.3"), util::ParseError);
+  EXPECT_THROW(ipv4_from_string("1.2.3.256"), util::ParseError);
+}
+
+TEST(Checksum, KnownVector) {
+  // RFC 1071 example-style check: header with checksum zero.
+  const std::uint8_t hdr[] = {0x45, 0x00, 0x00, 0x73, 0x00, 0x00, 0x40,
+                              0x00, 0x40, 0x11, 0x00, 0x00, 0xc0, 0xa8,
+                              0x00, 0x01, 0xc0, 0xa8, 0x00, 0xc7};
+  EXPECT_EQ(internet_checksum(hdr), 0xb861);
+}
+
+TEST(Checksum, VerifiesToZero) {
+  const std::uint8_t hdr[] = {0x45, 0x00, 0x00, 0x73, 0x00, 0x00, 0x40,
+                              0x00, 0x40, 0x11, 0xb8, 0x61, 0xc0, 0xa8,
+                              0x00, 0x01, 0xc0, 0xa8, 0x00, 0xc7};
+  EXPECT_EQ(internet_checksum(hdr), 0x0000);
+}
+
+TEST(Checksum, OddLengthPads) {
+  const std::uint8_t one[] = {0xff};
+  EXPECT_EQ(internet_checksum(one), static_cast<std::uint16_t>(~0xff00 & 0xffff));
+}
+
+TEST(ArpRequest, SerializesAndReads) {
+  MacAddr sender = mac_from_string("02:00:00:00:00:01");
+  Packet p = make_arp_request(sender, ipv4_from_string("10.0.0.1"),
+                              ipv4_from_string("10.0.0.2"));
+  EXPECT_EQ(p.size(), 60u);  // 42 bytes padded to the Ethernet minimum
+  auto eth = read_eth(p);
+  ASSERT_TRUE(eth);
+  EXPECT_EQ(eth->ethertype, kEtherTypeArp);
+  EXPECT_EQ(mac_to_u64(eth->dst), 0xffffffffffffull);
+  auto arp = read_arp(p);
+  ASSERT_TRUE(arp);
+  EXPECT_EQ(arp->oper, kArpOpRequest);
+  EXPECT_EQ(arp->spa, ipv4_from_string("10.0.0.1"));
+  EXPECT_EQ(arp->tpa, ipv4_from_string("10.0.0.2"));
+}
+
+TEST(ArpReply, Fields) {
+  MacAddr s = mac_from_string("02:00:00:00:00:0a");
+  MacAddr t = mac_from_string("02:00:00:00:00:0b");
+  Packet p = make_arp_reply(s, ipv4_from_string("10.0.0.5"), t,
+                            ipv4_from_string("10.0.0.6"));
+  auto arp = read_arp(p);
+  ASSERT_TRUE(arp);
+  EXPECT_EQ(arp->oper, kArpOpReply);
+  EXPECT_EQ(arp->sha, s);
+  EXPECT_EQ(arp->tha, t);
+}
+
+TEST(Ipv4Tcp, ChecksumAndLengthsComputed) {
+  EthHeader eth;
+  eth.src = mac_from_string("02:00:00:00:00:01");
+  eth.dst = mac_from_string("02:00:00:00:00:02");
+  Ipv4Header ip;
+  ip.src = ipv4_from_string("10.0.0.1");
+  ip.dst = ipv4_from_string("10.0.1.1");
+  TcpHeader tcp;
+  tcp.src_port = 5555;
+  tcp.dst_port = 80;
+  Packet p = make_ipv4_tcp(eth, ip, tcp, 100);
+  EXPECT_EQ(p.size(), kEthHeaderLen + kIpv4HeaderLen + kTcpHeaderLen + 100);
+
+  auto rip = read_ipv4(p);
+  ASSERT_TRUE(rip);
+  EXPECT_EQ(rip->total_len, kIpv4HeaderLen + kTcpHeaderLen + 100);
+  EXPECT_EQ(rip->protocol, kIpProtoTcp);
+  // The serialized IPv4 header must checksum to zero.
+  EXPECT_EQ(internet_checksum(p.bytes().subspan(kEthHeaderLen, kIpv4HeaderLen)),
+            0);
+  auto rtcp = read_tcp(p, kEthHeaderLen + kIpv4HeaderLen);
+  ASSERT_TRUE(rtcp);
+  EXPECT_EQ(rtcp->dst_port, 80);
+}
+
+TEST(Ipv4Udp, LengthFields) {
+  EthHeader eth;
+  Ipv4Header ip;
+  UdpHeader udp;
+  udp.src_port = 53;
+  udp.dst_port = 1234;
+  Packet p = make_ipv4_udp(eth, ip, udp, 8);
+  auto rudp = read_udp(p, kEthHeaderLen + kIpv4HeaderLen);
+  ASSERT_TRUE(rudp);
+  EXPECT_EQ(rudp->length, kUdpHeaderLen + 8);
+  auto rip = read_ipv4(p);
+  ASSERT_TRUE(rip);
+  EXPECT_EQ(rip->total_len, kIpv4HeaderLen + kUdpHeaderLen + 8);
+}
+
+TEST(IcmpEcho, ChecksumCoversPayload) {
+  EthHeader eth;
+  Ipv4Header ip;
+  IcmpHeader icmp;
+  icmp.identifier = 7;
+  icmp.sequence = 9;
+  Packet p = make_ipv4_icmp_echo(eth, ip, icmp, 32, 0xab);
+  const auto icmp_span =
+      p.bytes().subspan(kEthHeaderLen + kIpv4HeaderLen, kIcmpHeaderLen + 32);
+  EXPECT_EQ(internet_checksum(icmp_span), 0);
+}
+
+TEST(Readers, RejectShortPackets) {
+  Packet p(std::vector<std::uint8_t>(10, 0));
+  EXPECT_FALSE(read_eth(p));
+  EXPECT_FALSE(read_arp(p));
+  EXPECT_FALSE(read_ipv4(p));
+  EXPECT_FALSE(read_tcp(p, 0));
+}
+
+TEST(Packet, TruncateAndHex) {
+  Packet p(std::vector<std::uint8_t>{0xde, 0xad, 0xbe, 0xef, 0x00});
+  p.truncate(4);
+  EXPECT_EQ(p.size(), 4u);
+  EXPECT_EQ(p.to_hex(), "deadbeef");
+  p.truncate(100);  // no-op past end
+  EXPECT_EQ(p.size(), 4u);
+}
+
+}  // namespace
+}  // namespace hyper4::net

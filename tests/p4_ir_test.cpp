@@ -1,0 +1,218 @@
+#include "p4/ir.h"
+
+#include <gtest/gtest.h>
+
+#include "p4/builder.h"
+#include "util/error.h"
+
+namespace hyper4::p4 {
+namespace {
+
+using util::ConfigError;
+
+ProgramBuilder minimal_builder() {
+  ProgramBuilder b("t");
+  b.header_type("eth_t", {{"dst", 48}, {"src", 48}, {"type", 16}});
+  b.header("eth_t", "eth");
+  b.parser("start").extract("eth").to_ingress();
+  return b;
+}
+
+TEST(HeaderType, WidthAndOffsets) {
+  HeaderType t{"x", {{"a", 4}, {"b", 12}, {"c", 16}}};
+  EXPECT_EQ(t.width_bits(), 32u);
+  EXPECT_EQ(t.field_offset("a"), 0u);
+  EXPECT_EQ(t.field_offset("b"), 4u);
+  EXPECT_EQ(t.field_offset("c"), 16u);
+  EXPECT_THROW(t.field_offset("zz"), ConfigError);
+  EXPECT_TRUE(t.has_field("b"));
+  EXPECT_FALSE(t.has_field("zz"));
+}
+
+TEST(StackRef, Splits) {
+  auto [base, idx] = split_stack_ref("pr[13]");
+  EXPECT_EQ(base, "pr");
+  EXPECT_EQ(idx, 13u);
+  auto [b2, i2] = split_stack_ref("eth");
+  EXPECT_EQ(b2, "eth");
+  EXPECT_FALSE(i2.has_value());
+  EXPECT_THROW(split_stack_ref("pr[x]"), ConfigError);
+  EXPECT_THROW(split_stack_ref("pr[3]x"), ConfigError);
+}
+
+TEST(Builder, MinimalProgramValidates) {
+  Program p = minimal_builder().build();
+  EXPECT_EQ(p.name, "t");
+  ASSERT_EQ(p.deparse_order.size(), 1u);
+  EXPECT_EQ(p.deparse_order[0], "eth");
+}
+
+TEST(Builder, DeparseOrderFollowsParseGraph) {
+  ProgramBuilder b("t");
+  b.header_type("a_t", {{"x", 8}});
+  b.header_type("b_t", {{"y", 8}});
+  b.header("a_t", "a");
+  b.header("b_t", "bh");
+  b.parser("start")
+      .extract("a")
+      .select_field("a", "x")
+      .when(1, "s2")
+      .otherwise(kParserAccept);
+  b.parser("s2").extract("bh").to_ingress();
+  Program p = b.build();
+  ASSERT_EQ(p.deparse_order.size(), 2u);
+  EXPECT_EQ(p.deparse_order[0], "a");
+  EXPECT_EQ(p.deparse_order[1], "bh");
+}
+
+TEST(Validate, UnknownHeaderTypeRejected) {
+  ProgramBuilder b("t");
+  b.header("nope_t", "h");
+  EXPECT_THROW(b.build(), ConfigError);
+}
+
+TEST(Validate, DuplicateInstanceRejected) {
+  ProgramBuilder b("t");
+  b.header_type("a_t", {{"x", 8}});
+  b.header("a_t", "h");
+  b.header("a_t", "h");
+  EXPECT_THROW(b.build(), ConfigError);
+}
+
+TEST(Validate, CannotDeclareStandardMetadata) {
+  ProgramBuilder b("t");
+  b.header_type("a_t", {{"x", 8}});
+  b.metadata("a_t", kStandardMetadata);
+  EXPECT_THROW(b.build(), ConfigError);
+}
+
+TEST(Validate, ParserUnknownNextStateRejected) {
+  ProgramBuilder b("t");
+  b.header_type("a_t", {{"x", 8}});
+  b.header("a_t", "h");
+  b.parser("start").extract("h").to("missing_state");
+  EXPECT_THROW(b.build(), ConfigError);
+}
+
+TEST(Validate, ParserCannotExtractMetadata) {
+  ProgramBuilder b("t");
+  b.header_type("a_t", {{"x", 8}});
+  b.metadata("a_t", "m");
+  b.parser("start").extract("m").to_ingress();
+  EXPECT_THROW(b.build(), ConfigError);
+}
+
+TEST(Validate, SelectCaseWidthMismatchRejected) {
+  ProgramBuilder b("t");
+  b.header_type("a_t", {{"x", 8}});
+  b.header("a_t", "h");
+  b.parser("start")
+      .extract("h")
+      .select_field("h", "x")
+      .when(util::BitVec(16, 1), "start")  // 16-bit case vs 8-bit select
+      .otherwise(kParserAccept);
+  EXPECT_THROW(b.build(), ConfigError);
+}
+
+TEST(Validate, TableUnknownActionRejected) {
+  auto b = minimal_builder();
+  b.table("t1").key_exact({"eth", "dst"}).action_ref("missing");
+  EXPECT_THROW(b.build(), ConfigError);
+}
+
+TEST(Validate, TableUnknownFieldRejected) {
+  auto b = minimal_builder();
+  b.action("nop").no_op();
+  b.table("t1").key_exact({"eth", "missing"}).action_ref("nop");
+  EXPECT_THROW(b.build(), ConfigError);
+}
+
+TEST(Validate, TableWithoutActionsRejected) {
+  auto b = minimal_builder();
+  b.table("t1").key_exact({"eth", "dst"});
+  EXPECT_THROW(b.build(), ConfigError);
+}
+
+TEST(Validate, DuplicateTableRejected) {
+  auto b = minimal_builder();
+  b.action("nop").no_op();
+  b.table("t1").key_exact({"eth", "dst"}).action_ref("nop");
+  b.table("t1").key_exact({"eth", "src"}).action_ref("nop");
+  EXPECT_THROW(b.build(), ConfigError);
+}
+
+TEST(Validate, ControlEdgeToMissingActionRejected) {
+  auto b = minimal_builder();
+  b.action("nop").no_op();
+  b.action("other").no_op();
+  b.table("t1").key_exact({"eth", "dst"}).action_ref("nop");
+  auto ing = b.ingress();
+  const auto n = ing.apply("t1");
+  ing.on_action(n, "other", kEndOfControl);  // not an action of t1
+  EXPECT_THROW(b.build(), ConfigError);
+}
+
+TEST(Validate, ControlNodeIndexOutOfRangeRejected) {
+  auto b = minimal_builder();
+  b.action("nop").no_op();
+  b.table("t1").key_exact({"eth", "dst"}).action_ref("nop");
+  auto ing = b.ingress();
+  const auto n = ing.apply("t1");
+  ing.on_default(n, 99);
+  EXPECT_THROW(b.build(), ConfigError);
+}
+
+TEST(Validate, ActionParamIndexOutOfRangeRejected) {
+  auto b = minimal_builder();
+  b.action("bad", {{"p", 8}})
+      .modify_field({"eth", "dst"}, ActionArg::param(3));
+  EXPECT_THROW(b.build(), ConfigError);
+}
+
+TEST(Validate, ActionUnknownFieldListRejected) {
+  auto b = minimal_builder();
+  b.action("bad").resubmit("no_such_list");
+  EXPECT_THROW(b.build(), ConfigError);
+}
+
+TEST(Validate, CalculatedFieldChecks) {
+  auto b = minimal_builder();
+  b.field_list("fl", {{"eth", "dst"}});
+  b.checksum({"eth", "type"}, "fl");
+  EXPECT_NO_THROW(b.build());
+
+  auto b2 = minimal_builder();
+  b2.checksum({"eth", "type"}, "missing_list");
+  EXPECT_THROW(b2.build(), ConfigError);
+}
+
+TEST(Validate, CounterWithoutInstancesRejected) {
+  auto b = minimal_builder();
+  b.counter("c", 0);
+  EXPECT_THROW(b.build(), ConfigError);
+}
+
+TEST(FieldWidth, ResolvesThroughInstances) {
+  Program p = minimal_builder().build();
+  EXPECT_EQ(p.field_width({"eth", "dst"}), 48u);
+  EXPECT_EQ(p.field_width({kStandardMetadata, kFieldEgressSpec}), kPortWidth);
+  EXPECT_THROW(p.field_width({"eth", "zzz"}), ConfigError);
+}
+
+TEST(Expr, Rendering) {
+  auto e = Expr::binary(ExprOp::kLAnd, Expr::valid("ipv4"),
+                        Expr::binary(ExprOp::kEq, Expr::field("h", "f"),
+                                     Expr::constant(8, 3)));
+  EXPECT_EQ(e->str(), "(valid(ipv4) and (h.f == 0x03))");
+}
+
+TEST(StandardMetadata, TypeShape) {
+  const HeaderType& t = standard_metadata_type();
+  EXPECT_TRUE(t.has_field(kFieldIngressPort));
+  EXPECT_TRUE(t.has_field(kFieldEgressSpec));
+  EXPECT_TRUE(t.has_field(kFieldMcastGrp));
+  EXPECT_EQ(t.field_def(kFieldIngressPort).width, kPortWidth);
+}
+
+}  // namespace
+}  // namespace hyper4::p4

@@ -1,0 +1,76 @@
+// RMT resource model (§6.5): stage expansion arithmetic and the persona
+// fit analysis.
+#include "rmt/rmt.h"
+
+#include <gtest/gtest.h>
+
+#include "hp4/persona.h"
+
+namespace hyper4::rmt {
+namespace {
+
+TEST(Rmt, ExactMatchFitsOneStageUpToSramWidth) {
+  RmtSpec spec;
+  EXPECT_EQ(physical_stages_for(spec, {"t", 640, false}), 1u);
+  EXPECT_EQ(physical_stages_for(spec, {"t", 641, false}), 2u);
+  EXPECT_EQ(physical_stages_for(spec, {"t", 48, false}), 1u);
+}
+
+TEST(Rmt, TernaryCostsValuePlusMask) {
+  RmtSpec spec;
+  // 320 bits ternary → 640 TCAM bits → exactly one stage.
+  EXPECT_EQ(physical_stages_for(spec, {"t", 320, true}), 1u);
+  // The paper's example: 800-bit ternary → 1600 TCAM bits → 3 stages.
+  EXPECT_EQ(physical_stages_for(spec, {"t", 800, true}), 3u);
+}
+
+TEST(Rmt, KeylessTableStillTakesAStage) {
+  EXPECT_EQ(physical_stages_for(RmtSpec{}, {"t", 0, false}), 1u);
+}
+
+TEST(Rmt, FitAggregates) {
+  RmtSpec spec;
+  std::vector<StageRequirement> ingress(30, {"x", 64, false});
+  ingress.push_back({"wide", 800, true});  // +3
+  std::vector<StageRequirement> egress(2, {"e", 64, false});
+  auto r = fit(spec, 3312, ingress, egress);
+  EXPECT_EQ(r.ingress_logical, 31u);
+  EXPECT_EQ(r.ingress_physical, 33u);
+  EXPECT_FALSE(r.ingress_fits);  // 33 > 32
+  EXPECT_TRUE(r.egress_fits);
+  EXPECT_TRUE(r.phv_fits);
+  EXPECT_FALSE(r.fits());
+  EXPECT_EQ(r.ingress_capacity_pct(spec), 103u);
+}
+
+TEST(Rmt, PaperExampleSixtyPercentOver) {
+  // 51 physical ingress stages on a 32-stage chip ≈ 160% of capacity.
+  RmtSpec spec;
+  std::vector<StageRequirement> ingress(44, {"x", 300, false});
+  ingress.push_back({"wide1", 800, true});
+  ingress.push_back({"wide2", 800, true});
+  auto r = fit(spec, 3312, ingress, {});
+  EXPECT_EQ(r.ingress_physical, 50u);
+  EXPECT_EQ(r.ingress_capacity_pct(spec), 156u);
+}
+
+TEST(Rmt, PersonaPhvFootprintFitsRmt) {
+  // The paper reports 3312 of RMT's 4096 PHV bits; our persona layout
+  // (which carries two wide scratch fields) must still fit.
+  hp4::PersonaGenerator gen{hp4::PersonaConfig{}};
+  const std::size_t bits = phv_bits(gen.generate());
+  EXPECT_GT(bits, 3000u);
+  EXPECT_LE(bits, RmtSpec{}.phv_bits);
+}
+
+TEST(Rmt, PhvBitsCountsStacks) {
+  p4::Program p;
+  p.name = "t";
+  p.header_types.push_back(p4::HeaderType{"b_t", {{"b", 8}}});
+  p.instances.push_back(p4::HeaderInstance{"st", "b_t", false, 10});
+  EXPECT_EQ(phv_bits(p),
+            80u + p4::standard_metadata_type().width_bits());
+}
+
+}  // namespace
+}  // namespace hyper4::rmt

@@ -1,0 +1,240 @@
+#include "util/bitvec.h"
+
+#include <gtest/gtest.h>
+
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace hyper4::util {
+namespace {
+
+TEST(BitVec, DefaultIsZeroWidth) {
+  BitVec v;
+  EXPECT_EQ(v.width(), 0u);
+  EXPECT_TRUE(v.is_zero());
+}
+
+TEST(BitVec, ConstructFromValue) {
+  BitVec v(16, 0xabcd);
+  EXPECT_EQ(v.width(), 16u);
+  EXPECT_EQ(v.to_u64(), 0xabcdu);
+}
+
+TEST(BitVec, ValueTruncatedToWidth) {
+  BitVec v(8, 0x1ff);
+  EXPECT_EQ(v.to_u64(), 0xffu);
+}
+
+TEST(BitVec, OnesHasAllBitsSet) {
+  BitVec v = BitVec::ones(130);
+  EXPECT_EQ(v.popcount(), 130u);
+  EXPECT_TRUE(v.get_bit(129));
+  EXPECT_FALSE(v.get_bit(130));
+}
+
+TEST(BitVec, MaskRange) {
+  BitVec m = BitVec::mask_range(32, 8, 16);
+  EXPECT_EQ(m.to_u64(), 0x00ffff00u);
+}
+
+TEST(BitVec, MaskRangeClampsPastWidth) {
+  BitVec m = BitVec::mask_range(16, 8, 100);
+  EXPECT_EQ(m.to_u64(), 0xff00u);
+  EXPECT_TRUE(BitVec::mask_range(16, 20, 4).is_zero());
+}
+
+TEST(BitVec, FromBytesBigEndian) {
+  const std::uint8_t data[] = {0x12, 0x34, 0x56};
+  BitVec v = BitVec::from_bytes(data);
+  EXPECT_EQ(v.width(), 24u);
+  EXPECT_EQ(v.to_u64(), 0x123456u);
+}
+
+TEST(BitVec, ToBytesRoundTrip) {
+  const std::uint8_t data[] = {0xde, 0xad, 0xbe, 0xef, 0x01};
+  BitVec v = BitVec::from_bytes(data);
+  auto out = v.to_bytes();
+  EXPECT_EQ(out, std::vector<std::uint8_t>(data, data + 5));
+}
+
+TEST(BitVec, FromHexParses) {
+  BitVec v = BitVec::from_hex(32, "0xdeadBEEF");
+  EXPECT_EQ(v.to_u64(), 0xdeadbeefu);
+  EXPECT_EQ(BitVec::from_hex(16, "ff").to_u64(), 0xffu);
+}
+
+TEST(BitVec, FromHexRejectsGarbage) {
+  EXPECT_THROW(BitVec::from_hex(8, "0xzz"), ParseError);
+  EXPECT_THROW(BitVec::from_hex(8, ""), ParseError);
+}
+
+TEST(BitVec, ToHexPadsToWidth) {
+  EXPECT_EQ(BitVec(16, 0xf).to_hex(), "000f");
+  EXPECT_EQ(BitVec(9, 0x1ff).to_hex(), "1ff");
+}
+
+TEST(BitVec, ToDec) {
+  EXPECT_EQ(BitVec(8, 0).to_dec(), "0");
+  EXPECT_EQ(BitVec(64, 1234567890123ull).to_dec(), "1234567890123");
+  // 2^100 = 1267650600228229401496703205376
+  BitVec v(101);
+  v.set_bit(100, true);
+  EXPECT_EQ(v.to_dec(), "1267650600228229401496703205376");
+}
+
+TEST(BitVec, SliceBasic) {
+  BitVec v(32, 0x12345678);
+  EXPECT_EQ(v.slice(0, 8).to_u64(), 0x78u);
+  EXPECT_EQ(v.slice(8, 8).to_u64(), 0x56u);
+  EXPECT_EQ(v.slice(16, 16).to_u64(), 0x1234u);
+}
+
+TEST(BitVec, SlicePastEndZeroFills) {
+  BitVec v(16, 0xffff);
+  BitVec s = v.slice(8, 16);
+  EXPECT_EQ(s.width(), 16u);
+  EXPECT_EQ(s.to_u64(), 0x00ffu);
+}
+
+TEST(BitVec, SetSlice) {
+  BitVec v(32);
+  v.set_slice(8, BitVec(8, 0xab));
+  EXPECT_EQ(v.to_u64(), 0xab00u);
+  v.set_slice(28, BitVec(8, 0xff));  // upper bits dropped
+  EXPECT_EQ(v.to_u64(), 0xf000ab00u);
+}
+
+TEST(BitVec, SliceAcrossWordBoundary) {
+  BitVec v(128);
+  v.set_slice(60, BitVec(8, 0xa5));
+  EXPECT_EQ(v.slice(60, 8).to_u64(), 0xa5u);
+  EXPECT_EQ(v.slice(58, 12).to_u64(), 0xa5u << 2);
+}
+
+TEST(BitVec, BitwiseOps) {
+  BitVec a(16, 0xf0f0), b(16, 0x0ff0);
+  EXPECT_EQ((a & b).to_u64(), 0x00f0u);
+  EXPECT_EQ((a | b).to_u64(), 0xfff0u);
+  EXPECT_EQ((a ^ b).to_u64(), 0xff00u);
+  EXPECT_EQ((~a).to_u64(), 0x0f0fu);
+}
+
+TEST(BitVec, MixedWidthOpsZeroExtend) {
+  BitVec a(8, 0xff), b(16, 0x0100);
+  EXPECT_EQ((a | b).width(), 16u);
+  EXPECT_EQ((a | b).to_u64(), 0x01ffu);
+  EXPECT_EQ((a & b).to_u64(), 0u);
+}
+
+TEST(BitVec, Shifts) {
+  BitVec v(16, 0x00ff);
+  EXPECT_EQ((v << 4).to_u64(), 0x0ff0u);
+  EXPECT_EQ((v << 12).to_u64(), 0xf000u);
+  EXPECT_EQ((v >> 4).to_u64(), 0x000fu);
+  EXPECT_EQ((v << 16).to_u64(), 0u);
+  EXPECT_EQ((v >> 16).to_u64(), 0u);
+}
+
+TEST(BitVec, WideShiftAcrossWords) {
+  BitVec v(200, 1);
+  BitVec s = v << 150;
+  EXPECT_TRUE(s.get_bit(150));
+  EXPECT_EQ(s.popcount(), 1u);
+  EXPECT_EQ((s >> 150).to_u64(), 1u);
+}
+
+TEST(BitVec, AddWithCarryAcrossWords) {
+  BitVec a = BitVec::ones(128);
+  BitVec one(128, 1);
+  EXPECT_TRUE((a + one).is_zero());  // wraps mod 2^128
+  BitVec b(128, 0xffffffffffffffffull);
+  BitVec r = b + one;
+  EXPECT_TRUE(r.get_bit(64));
+  EXPECT_EQ(r.popcount(), 1u);
+}
+
+TEST(BitVec, SubtractWraps) {
+  BitVec a(8, 5), b(8, 7);
+  EXPECT_EQ((a - b).to_u64(), 254u);
+  EXPECT_EQ((b - a).to_u64(), 2u);
+}
+
+TEST(BitVec, ComparisonIsValueBased) {
+  EXPECT_EQ(BitVec(8, 1), BitVec(16, 1));
+  EXPECT_LT(BitVec(8, 1), BitVec(64, 2));
+  EXPECT_GT(BitVec(128, 5), BitVec(8, 4));
+}
+
+TEST(BitVec, ToU64ThrowsWhenTooWide) {
+  BitVec v(100);
+  v.set_bit(70, true);
+  EXPECT_THROW(v.to_u64(), ConfigError);
+  EXPECT_EQ(v.low_u64(), 0u);
+}
+
+TEST(BitVec, ResizedTruncatesAndExtends) {
+  BitVec v(16, 0xabcd);
+  EXPECT_EQ(v.resized(8).to_u64(), 0xcdu);
+  EXPECT_EQ(v.resized(32).to_u64(), 0xabcdu);
+  EXPECT_EQ(v.resized(32).width(), 32u);
+}
+
+TEST(BitVec, SetBitOutOfRangeIgnored) {
+  BitVec v(8);
+  v.set_bit(9, true);
+  EXPECT_TRUE(v.is_zero());
+  EXPECT_FALSE(v.get_bit(100));
+}
+
+// Property sweep: slice/set_slice round-trips at many widths and offsets.
+class BitVecSliceProperty
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(BitVecSliceProperty, SetThenGetRoundTrips) {
+  const auto [width, offset] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(width * 1000 + offset));
+  BitVec host(800);
+  BitVec payload = rng.bits(static_cast<std::size_t>(width));
+  host.set_slice(static_cast<std::size_t>(offset), payload);
+  EXPECT_EQ(host.slice(static_cast<std::size_t>(offset),
+                       static_cast<std::size_t>(width)),
+            payload);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, BitVecSliceProperty,
+    ::testing::Combine(::testing::Values(1, 7, 8, 13, 32, 48, 64, 65, 128, 200),
+                       ::testing::Values(0, 1, 7, 63, 64, 100, 512)));
+
+// Property: bytes→BitVec→bytes round trip at various sizes.
+class BitVecBytesProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(BitVecBytesProperty, RoundTrips) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()));
+  auto bytes = rng.bytes(static_cast<std::size_t>(GetParam()));
+  BitVec v = BitVec::from_bytes(bytes);
+  EXPECT_EQ(v.to_bytes(), bytes);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, BitVecBytesProperty,
+                         ::testing::Values(1, 2, 3, 7, 8, 9, 20, 64, 100, 255));
+
+// Property: (a + b) - b == a at wide widths.
+class BitVecArithProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(BitVecArithProperty, AddSubInverse) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 7919);
+  const std::size_t w = static_cast<std::size_t>(GetParam());
+  for (int i = 0; i < 20; ++i) {
+    BitVec a = rng.bits(w), b = rng.bits(w);
+    EXPECT_EQ((a + b) - b, a);
+    EXPECT_EQ((a ^ b) ^ b, a);
+    EXPECT_EQ(~~a, a);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, BitVecArithProperty,
+                         ::testing::Values(8, 16, 48, 64, 65, 256, 800));
+
+}  // namespace
+}  // namespace hyper4::util

@@ -1,0 +1,78 @@
+#include "util/strings.h"
+
+#include <gtest/gtest.h>
+
+#include "util/error.h"
+
+namespace hyper4::util {
+namespace {
+
+TEST(Split, BasicWhitespace) {
+  auto v = split("  a  bb\tccc ");
+  ASSERT_EQ(v.size(), 3u);
+  EXPECT_EQ(v[0], "a");
+  EXPECT_EQ(v[1], "bb");
+  EXPECT_EQ(v[2], "ccc");
+}
+
+TEST(Split, EmptyInput) {
+  EXPECT_TRUE(split("").empty());
+  EXPECT_TRUE(split("   \t ").empty());
+}
+
+TEST(Split, CustomSeparators) {
+  auto v = split("a:b::c", ":");
+  ASSERT_EQ(v.size(), 3u);
+  EXPECT_EQ(v[2], "c");
+}
+
+TEST(SplitKeepEmpty, KeepsEmptyTokens) {
+  auto v = split_keep_empty("a::b:", ':');
+  ASSERT_EQ(v.size(), 4u);
+  EXPECT_EQ(v[0], "a");
+  EXPECT_EQ(v[1], "");
+  EXPECT_EQ(v[2], "b");
+  EXPECT_EQ(v[3], "");
+}
+
+TEST(Trim, StripsBothEnds) {
+  EXPECT_EQ(trim("  x \r\n"), "x");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim(" \t "), "");
+  EXPECT_EQ(trim("a b"), "a b");
+}
+
+TEST(Join, WithSeparator) {
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(join({}, ","), "");
+  EXPECT_EQ(join({"x"}, ","), "x");
+}
+
+TEST(ParseUint, Decimal) {
+  EXPECT_EQ(parse_uint("0"), 0u);
+  EXPECT_EQ(parse_uint("  42 "), 42u);
+  EXPECT_EQ(parse_uint("18446744073709551615"), ~0ull);
+}
+
+TEST(ParseUint, Hex) {
+  EXPECT_EQ(parse_uint("0x0"), 0u);
+  EXPECT_EQ(parse_uint("0xDeadBeef"), 0xdeadbeefull);
+}
+
+TEST(ParseUint, Rejects) {
+  EXPECT_THROW(parse_uint(""), ParseError);
+  EXPECT_THROW(parse_uint("12a"), ParseError);
+  EXPECT_THROW(parse_uint("0xgg"), ParseError);
+  EXPECT_THROW(parse_uint("-1"), ParseError);
+}
+
+TEST(IsUint, Classification) {
+  EXPECT_TRUE(is_uint("123"));
+  EXPECT_TRUE(is_uint("0xff"));
+  EXPECT_FALSE(is_uint("1.2"));
+  EXPECT_FALSE(is_uint(""));
+  EXPECT_FALSE(is_uint("abc"));
+}
+
+}  // namespace
+}  // namespace hyper4::util
