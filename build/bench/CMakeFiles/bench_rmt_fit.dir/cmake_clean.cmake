@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_rmt_fit.dir/bench_rmt_fit.cpp.o"
+  "CMakeFiles/bench_rmt_fit.dir/bench_rmt_fit.cpp.o.d"
+  "bench_rmt_fit"
+  "bench_rmt_fit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_rmt_fit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_table2_shared.cpp" "bench/CMakeFiles/bench_table2_shared.dir/bench_table2_shared.cpp.o" "gcc" "bench/CMakeFiles/bench_table2_shared.dir/bench_table2_shared.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/hp4_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/hp4/CMakeFiles/hp4_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/hp4_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hp4_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/rmt/CMakeFiles/hp4_rmt.dir/DependInfo.cmake"
+  "/root/repo/build/src/bm/CMakeFiles/hp4_bm.dir/DependInfo.cmake"
+  "/root/repo/build/src/p4/CMakeFiles/hp4_p4.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/hp4_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/hp4_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

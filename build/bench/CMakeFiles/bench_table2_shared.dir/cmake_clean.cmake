@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_shared.dir/bench_table2_shared.cpp.o"
+  "CMakeFiles/bench_table2_shared.dir/bench_table2_shared.cpp.o.d"
+  "bench_table2_shared"
+  "bench_table2_shared.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_shared.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_unique.dir/bench_table3_unique.cpp.o"
+  "CMakeFiles/bench_table3_unique.dir/bench_table3_unique.cpp.o.d"
+  "bench_table3_unique"
+  "bench_table3_unique.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_unique.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

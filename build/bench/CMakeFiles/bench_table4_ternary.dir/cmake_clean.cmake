@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_ternary.dir/bench_table4_ternary.cpp.o"
+  "CMakeFiles/bench_table4_ternary.dir/bench_table4_ternary.cpp.o.d"
+  "bench_table4_ternary"
+  "bench_table4_ternary.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_ternary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

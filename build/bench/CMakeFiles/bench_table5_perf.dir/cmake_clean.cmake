@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_perf.dir/bench_table5_perf.cpp.o"
+  "CMakeFiles/bench_table5_perf.dir/bench_table5_perf.cpp.o.d"
+  "bench_table5_perf"
+  "bench_table5_perf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_perf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hp4_shell.dir/hp4_shell.cpp.o"
+  "CMakeFiles/hp4_shell.dir/hp4_shell.cpp.o.d"
+  "hp4_shell"
+  "hp4_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hp4_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/p4_frontend_tour.dir/p4_frontend_tour.cpp.o"
+  "CMakeFiles/p4_frontend_tour.dir/p4_frontend_tour.cpp.o.d"
+  "p4_frontend_tour"
+  "p4_frontend_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/p4_frontend_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

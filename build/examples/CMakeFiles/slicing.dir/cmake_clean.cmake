@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/slicing.dir/slicing.cpp.o"
+  "CMakeFiles/slicing.dir/slicing.cpp.o.d"
+  "slicing"
+  "slicing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slicing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snapshots_composition.dir/snapshots_composition.cpp.o"
+  "CMakeFiles/snapshots_composition.dir/snapshots_composition.cpp.o.d"
+  "snapshots_composition"
+  "snapshots_composition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snapshots_composition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/virtual_networking.dir/virtual_networking.cpp.o"
+  "CMakeFiles/virtual_networking.dir/virtual_networking.cpp.o.d"
+  "virtual_networking"
+  "virtual_networking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/virtual_networking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/arp_proxy.cpp" "src/apps/CMakeFiles/hp4_apps.dir/arp_proxy.cpp.o" "gcc" "src/apps/CMakeFiles/hp4_apps.dir/arp_proxy.cpp.o.d"
+  "/root/repo/src/apps/firewall.cpp" "src/apps/CMakeFiles/hp4_apps.dir/firewall.cpp.o" "gcc" "src/apps/CMakeFiles/hp4_apps.dir/firewall.cpp.o.d"
+  "/root/repo/src/apps/l2_switch.cpp" "src/apps/CMakeFiles/hp4_apps.dir/l2_switch.cpp.o" "gcc" "src/apps/CMakeFiles/hp4_apps.dir/l2_switch.cpp.o.d"
+  "/root/repo/src/apps/router.cpp" "src/apps/CMakeFiles/hp4_apps.dir/router.cpp.o" "gcc" "src/apps/CMakeFiles/hp4_apps.dir/router.cpp.o.d"
+  "/root/repo/src/apps/rules.cpp" "src/apps/CMakeFiles/hp4_apps.dir/rules.cpp.o" "gcc" "src/apps/CMakeFiles/hp4_apps.dir/rules.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/p4/CMakeFiles/hp4_p4.dir/DependInfo.cmake"
+  "/root/repo/build/src/bm/CMakeFiles/hp4_bm.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/hp4_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/hp4_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

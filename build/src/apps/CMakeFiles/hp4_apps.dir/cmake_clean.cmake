@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hp4_apps.dir/arp_proxy.cpp.o"
+  "CMakeFiles/hp4_apps.dir/arp_proxy.cpp.o.d"
+  "CMakeFiles/hp4_apps.dir/firewall.cpp.o"
+  "CMakeFiles/hp4_apps.dir/firewall.cpp.o.d"
+  "CMakeFiles/hp4_apps.dir/l2_switch.cpp.o"
+  "CMakeFiles/hp4_apps.dir/l2_switch.cpp.o.d"
+  "CMakeFiles/hp4_apps.dir/router.cpp.o"
+  "CMakeFiles/hp4_apps.dir/router.cpp.o.d"
+  "CMakeFiles/hp4_apps.dir/rules.cpp.o"
+  "CMakeFiles/hp4_apps.dir/rules.cpp.o.d"
+  "libhp4_apps.a"
+  "libhp4_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hp4_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bm/cli.cpp" "src/bm/CMakeFiles/hp4_bm.dir/cli.cpp.o" "gcc" "src/bm/CMakeFiles/hp4_bm.dir/cli.cpp.o.d"
+  "/root/repo/src/bm/layout.cpp" "src/bm/CMakeFiles/hp4_bm.dir/layout.cpp.o" "gcc" "src/bm/CMakeFiles/hp4_bm.dir/layout.cpp.o.d"
+  "/root/repo/src/bm/runtime_table.cpp" "src/bm/CMakeFiles/hp4_bm.dir/runtime_table.cpp.o" "gcc" "src/bm/CMakeFiles/hp4_bm.dir/runtime_table.cpp.o.d"
+  "/root/repo/src/bm/stateful.cpp" "src/bm/CMakeFiles/hp4_bm.dir/stateful.cpp.o" "gcc" "src/bm/CMakeFiles/hp4_bm.dir/stateful.cpp.o.d"
+  "/root/repo/src/bm/switch.cpp" "src/bm/CMakeFiles/hp4_bm.dir/switch.cpp.o" "gcc" "src/bm/CMakeFiles/hp4_bm.dir/switch.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/p4/CMakeFiles/hp4_p4.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/hp4_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/hp4_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hp4_bm.dir/cli.cpp.o"
+  "CMakeFiles/hp4_bm.dir/cli.cpp.o.d"
+  "CMakeFiles/hp4_bm.dir/layout.cpp.o"
+  "CMakeFiles/hp4_bm.dir/layout.cpp.o.d"
+  "CMakeFiles/hp4_bm.dir/runtime_table.cpp.o"
+  "CMakeFiles/hp4_bm.dir/runtime_table.cpp.o.d"
+  "CMakeFiles/hp4_bm.dir/stateful.cpp.o"
+  "CMakeFiles/hp4_bm.dir/stateful.cpp.o.d"
+  "CMakeFiles/hp4_bm.dir/switch.cpp.o"
+  "CMakeFiles/hp4_bm.dir/switch.cpp.o.d"
+  "libhp4_bm.a"
+  "libhp4_bm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hp4_bm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

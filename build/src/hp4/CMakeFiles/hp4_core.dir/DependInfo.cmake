@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hp4/analysis.cpp" "src/hp4/CMakeFiles/hp4_core.dir/analysis.cpp.o" "gcc" "src/hp4/CMakeFiles/hp4_core.dir/analysis.cpp.o.d"
+  "/root/repo/src/hp4/compiler.cpp" "src/hp4/CMakeFiles/hp4_core.dir/compiler.cpp.o" "gcc" "src/hp4/CMakeFiles/hp4_core.dir/compiler.cpp.o.d"
+  "/root/repo/src/hp4/controller.cpp" "src/hp4/CMakeFiles/hp4_core.dir/controller.cpp.o" "gcc" "src/hp4/CMakeFiles/hp4_core.dir/controller.cpp.o.d"
+  "/root/repo/src/hp4/dpmu.cpp" "src/hp4/CMakeFiles/hp4_core.dir/dpmu.cpp.o" "gcc" "src/hp4/CMakeFiles/hp4_core.dir/dpmu.cpp.o.d"
+  "/root/repo/src/hp4/p4_emit.cpp" "src/hp4/CMakeFiles/hp4_core.dir/p4_emit.cpp.o" "gcc" "src/hp4/CMakeFiles/hp4_core.dir/p4_emit.cpp.o.d"
+  "/root/repo/src/hp4/persona.cpp" "src/hp4/CMakeFiles/hp4_core.dir/persona.cpp.o" "gcc" "src/hp4/CMakeFiles/hp4_core.dir/persona.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/bm/CMakeFiles/hp4_bm.dir/DependInfo.cmake"
+  "/root/repo/build/src/p4/CMakeFiles/hp4_p4.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/hp4_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/hp4_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hp4_core.dir/analysis.cpp.o"
+  "CMakeFiles/hp4_core.dir/analysis.cpp.o.d"
+  "CMakeFiles/hp4_core.dir/compiler.cpp.o"
+  "CMakeFiles/hp4_core.dir/compiler.cpp.o.d"
+  "CMakeFiles/hp4_core.dir/controller.cpp.o"
+  "CMakeFiles/hp4_core.dir/controller.cpp.o.d"
+  "CMakeFiles/hp4_core.dir/dpmu.cpp.o"
+  "CMakeFiles/hp4_core.dir/dpmu.cpp.o.d"
+  "CMakeFiles/hp4_core.dir/p4_emit.cpp.o"
+  "CMakeFiles/hp4_core.dir/p4_emit.cpp.o.d"
+  "CMakeFiles/hp4_core.dir/persona.cpp.o"
+  "CMakeFiles/hp4_core.dir/persona.cpp.o.d"
+  "libhp4_core.a"
+  "libhp4_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hp4_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hp4_net.dir/checksum.cpp.o"
+  "CMakeFiles/hp4_net.dir/checksum.cpp.o.d"
+  "CMakeFiles/hp4_net.dir/headers.cpp.o"
+  "CMakeFiles/hp4_net.dir/headers.cpp.o.d"
+  "CMakeFiles/hp4_net.dir/packet.cpp.o"
+  "CMakeFiles/hp4_net.dir/packet.cpp.o.d"
+  "libhp4_net.a"
+  "libhp4_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hp4_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

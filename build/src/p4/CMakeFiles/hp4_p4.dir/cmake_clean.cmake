@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hp4_p4.dir/builder.cpp.o"
+  "CMakeFiles/hp4_p4.dir/builder.cpp.o.d"
+  "CMakeFiles/hp4_p4.dir/frontend.cpp.o"
+  "CMakeFiles/hp4_p4.dir/frontend.cpp.o.d"
+  "CMakeFiles/hp4_p4.dir/ir.cpp.o"
+  "CMakeFiles/hp4_p4.dir/ir.cpp.o.d"
+  "libhp4_p4.a"
+  "libhp4_p4.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hp4_p4.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

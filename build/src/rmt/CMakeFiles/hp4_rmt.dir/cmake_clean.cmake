@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hp4_rmt.dir/rmt.cpp.o"
+  "CMakeFiles/hp4_rmt.dir/rmt.cpp.o.d"
+  "libhp4_rmt.a"
+  "libhp4_rmt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hp4_rmt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hp4_eval.dir/scenarios.cpp.o"
+  "CMakeFiles/hp4_eval.dir/scenarios.cpp.o.d"
+  "libhp4_eval.a"
+  "libhp4_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hp4_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

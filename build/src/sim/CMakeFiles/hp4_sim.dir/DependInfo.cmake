@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/network.cpp" "src/sim/CMakeFiles/hp4_sim.dir/network.cpp.o" "gcc" "src/sim/CMakeFiles/hp4_sim.dir/network.cpp.o.d"
+  "/root/repo/src/sim/traffic.cpp" "src/sim/CMakeFiles/hp4_sim.dir/traffic.cpp.o" "gcc" "src/sim/CMakeFiles/hp4_sim.dir/traffic.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/bm/CMakeFiles/hp4_bm.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/hp4_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/hp4_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/p4/CMakeFiles/hp4_p4.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hp4_sim.dir/network.cpp.o"
+  "CMakeFiles/hp4_sim.dir/network.cpp.o.d"
+  "CMakeFiles/hp4_sim.dir/traffic.cpp.o"
+  "CMakeFiles/hp4_sim.dir/traffic.cpp.o.d"
+  "libhp4_sim.a"
+  "libhp4_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hp4_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hp4_util.dir/bitvec.cpp.o"
+  "CMakeFiles/hp4_util.dir/bitvec.cpp.o.d"
+  "CMakeFiles/hp4_util.dir/strings.cpp.o"
+  "CMakeFiles/hp4_util.dir/strings.cpp.o.d"
+  "libhp4_util.a"
+  "libhp4_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hp4_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

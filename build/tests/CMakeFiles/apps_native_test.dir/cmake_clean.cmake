@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apps_native_test.dir/apps_native_test.cpp.o"
+  "CMakeFiles/apps_native_test.dir/apps_native_test.cpp.o.d"
+  "apps_native_test"
+  "apps_native_test.pdb"
+  "apps_native_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apps_native_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

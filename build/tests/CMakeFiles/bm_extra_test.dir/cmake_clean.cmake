@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bm_extra_test.dir/bm_extra_test.cpp.o"
+  "CMakeFiles/bm_extra_test.dir/bm_extra_test.cpp.o.d"
+  "bm_extra_test"
+  "bm_extra_test.pdb"
+  "bm_extra_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bm_extra_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bm_switch_test.dir/bm_switch_test.cpp.o"
+  "CMakeFiles/bm_switch_test.dir/bm_switch_test.cpp.o.d"
+  "bm_switch_test"
+  "bm_switch_test.pdb"
+  "bm_switch_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bm_switch_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bm_table_test.dir/bm_table_test.cpp.o"
+  "CMakeFiles/bm_table_test.dir/bm_table_test.cpp.o.d"
+  "bm_table_test"
+  "bm_table_test.pdb"
+  "bm_table_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bm_table_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

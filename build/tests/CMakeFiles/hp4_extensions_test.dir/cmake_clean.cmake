@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hp4_extensions_test.dir/hp4_extensions_test.cpp.o"
+  "CMakeFiles/hp4_extensions_test.dir/hp4_extensions_test.cpp.o.d"
+  "hp4_extensions_test"
+  "hp4_extensions_test.pdb"
+  "hp4_extensions_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hp4_extensions_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

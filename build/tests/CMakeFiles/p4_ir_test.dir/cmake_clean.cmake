@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/p4_ir_test.dir/p4_ir_test.cpp.o"
+  "CMakeFiles/p4_ir_test.dir/p4_ir_test.cpp.o.d"
+  "p4_ir_test"
+  "p4_ir_test.pdb"
+  "p4_ir_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/p4_ir_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

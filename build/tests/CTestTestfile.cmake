@@ -1,0 +1,27 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/util_bitvec_test[1]_include.cmake")
+include("/root/repo/build/tests/util_strings_test[1]_include.cmake")
+include("/root/repo/build/tests/net_headers_test[1]_include.cmake")
+include("/root/repo/build/tests/p4_ir_test[1]_include.cmake")
+include("/root/repo/build/tests/bm_table_test[1]_include.cmake")
+include("/root/repo/build/tests/bm_switch_test[1]_include.cmake")
+include("/root/repo/build/tests/apps_native_test[1]_include.cmake")
+include("/root/repo/build/tests/hp4_persona_test[1]_include.cmake")
+include("/root/repo/build/tests/hp4_emulation_test[1]_include.cmake")
+include("/root/repo/build/tests/hp4_vnet_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_network_test[1]_include.cmake")
+include("/root/repo/build/tests/rmt_test[1]_include.cmake")
+include("/root/repo/build/tests/p4_frontend_test[1]_include.cmake")
+include("/root/repo/build/tests/hp4_compiler_test[1]_include.cmake")
+include("/root/repo/build/tests/hp4_extensions_test[1]_include.cmake")
+include("/root/repo/build/tests/hp4_resize_test[1]_include.cmake")
+include("/root/repo/build/tests/bm_extra_test[1]_include.cmake")
+include("/root/repo/build/tests/hp4_fuzz_test[1]_include.cmake")
+include("/root/repo/build/tests/hp4_tooling_test[1]_include.cmake")
+include("/root/repo/build/tests/hp4_ladder_test[1]_include.cmake")
+include("/root/repo/build/tests/hp4_config_equiv_test[1]_include.cmake")
