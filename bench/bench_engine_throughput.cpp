@@ -1,0 +1,190 @@
+// Engine throughput bench: single-thread vs N flow-sharded workers on the
+// L2-switch workload, written to BENCH_engine.json.
+//
+// Two throughput figures are reported per worker count:
+//
+//   wall_pps   packets / wall-clock seconds for the whole run. Honest but
+//              hardware-bound: on a single-core container (this repo's CI
+//              box has nproc=1) threads time-slice and wall_pps cannot
+//              exceed the 1-worker figure.
+//
+//   model_pps  packets / max per-worker busy time, where busy time is the
+//              wall time each worker spent inside Switch::inject(). This
+//              is the bottleneck-makespan measure — the same methodology
+//              sim::run_iperf uses (goodput / bottleneck switch busy time)
+//              for the paper's §6.4 bandwidth numbers — and is what
+//              wall-clock converges to given one core per worker. The
+//              scaling acceptance figure (>= 2x at 4 workers) is evaluated
+//              on model_pps.
+//
+// The bench also asserts the workers=1 engine path is byte-identical to
+// direct bm::Switch::inject() on the same workload before timing anything.
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bench/common.h"
+#include "engine/engine.h"
+#include "net/headers.h"
+
+namespace hyper4::bench {
+namespace {
+
+using engine::EngineOptions;
+using engine::InjectItem;
+using engine::TrafficEngine;
+
+std::vector<InjectItem> l2_workload(std::size_t flows, std::size_t per_flow) {
+  std::vector<InjectItem> items;
+  items.reserve(flows * per_flow);
+  for (std::size_t k = 0; k < per_flow; ++k) {
+    for (std::size_t f = 0; f < flows; ++f) {
+      net::EthHeader eth;
+      eth.src = net::mac_from_string(kMacH1);
+      eth.dst = net::mac_from_string(f % 2 ? kMacH1 : kMacH2);
+      net::Ipv4Header ip;
+      ip.src = net::ipv4_from_string("10.1.0.1") + static_cast<uint32_t>(f);
+      ip.dst = net::ipv4_from_string("10.2.0.1") + static_cast<uint32_t>(f);
+      ip.protocol = net::kIpProtoTcp;
+      net::TcpHeader tcp;
+      tcp.src_port = static_cast<std::uint16_t>(10000 + f);
+      tcp.dst_port = 5001;
+      tcp.seq = static_cast<std::uint32_t>(k);
+      items.push_back({static_cast<std::uint16_t>(f % 2 ? 2 : 1),
+                       net::make_ipv4_tcp(eth, ip, tcp, 64)});
+    }
+  }
+  return items;
+}
+
+struct Run {
+  std::size_t workers = 0;
+  std::size_t packets = 0;
+  double wall_s = 0;
+  double bottleneck_busy_s = 0;
+  double wall_pps = 0;
+  double model_pps = 0;
+};
+
+Run run_engine(const bm::Switch& configured, std::size_t workers,
+               const std::vector<InjectItem>& items) {
+  EngineOptions opts;
+  opts.workers = workers;
+  opts.queue_capacity = 4096;
+  opts.batch_size = 64;
+  opts.collect_results = false;  // pure throughput: no result accumulation
+  TrafficEngine eng(apps::program_by_name("l2_sw"), opts);
+  eng.sync_from(configured);
+
+  const auto t0 = std::chrono::steady_clock::now();
+  eng.inject_batch(items);
+  const engine::MergedResult m = eng.drain();
+  const auto t1 = std::chrono::steady_clock::now();
+
+  Run r;
+  r.workers = workers;
+  r.packets = m.packets;
+  r.wall_s = std::chrono::duration<double>(t1 - t0).count();
+  r.bottleneck_busy_s = eng.max_busy_seconds();
+  r.wall_pps = r.wall_s > 0 ? static_cast<double>(r.packets) / r.wall_s : 0;
+  r.model_pps = r.bottleneck_busy_s > 0
+                    ? static_cast<double>(r.packets) / r.bottleneck_busy_s
+                    : 0;
+  return r;
+}
+
+bool check_equivalence(const bm::Switch& configured,
+                       const std::vector<InjectItem>& items) {
+  bm::Switch ref(apps::program_by_name("l2_sw"));
+  ref.sync_state_from(configured);
+
+  EngineOptions opts;
+  opts.workers = 1;
+  TrafficEngine eng(apps::program_by_name("l2_sw"), opts);
+  eng.sync_from(configured);
+  eng.inject_batch(items);
+  const engine::MergedResult m = eng.drain();
+  if (m.per_packet.size() != items.size()) return false;
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    const bm::ProcessResult direct = ref.inject(items[i].port, items[i].packet);
+    const bm::ProcessResult& e = m.per_packet[i];
+    if (direct.outputs.size() != e.outputs.size()) return false;
+    for (std::size_t j = 0; j < direct.outputs.size(); ++j) {
+      if (direct.outputs[j].port != e.outputs[j].port ||
+          !(direct.outputs[j].packet == e.outputs[j].packet))
+        return false;
+    }
+    if (direct.applied.size() != e.applied.size() ||
+        direct.drops != e.drops || direct.resubmits != e.resubmits)
+      return false;
+  }
+  return true;
+}
+
+int main_impl() {
+  // The L2-switch workload: demo rules, 256 flows x 64 packets.
+  bm::Switch configured(apps::program_by_name("l2_sw"));
+  for (const auto& r : demo_rules("l2_sw")) apps::apply_rule(configured, r);
+  const auto items = l2_workload(256, 64);
+
+  std::printf("engine throughput — l2_switch, %zu packets, %u flows\n\n",
+              items.size(), 256u);
+
+  const bool equiv = check_equivalence(configured, items);
+  std::printf("workers=1 vs direct inject: %s\n\n",
+              equiv ? "byte-identical" : "DIVERGED");
+
+  std::vector<Run> runs;
+  for (std::size_t workers : {1, 2, 4, 8})
+    runs.push_back(run_engine(configured, workers, items));
+
+  const double base_model = runs[0].model_pps;
+  const double base_wall = runs[0].wall_pps;
+  std::printf("%8s %10s %12s %12s %10s %10s\n", "workers", "packets",
+              "wall_pps", "model_pps", "x(wall)", "x(model)");
+  for (const auto& r : runs) {
+    std::printf("%8zu %10zu %12.0f %12.0f %10.2f %10.2f\n", r.workers,
+                r.packets, r.wall_pps, r.model_pps,
+                base_wall > 0 ? r.wall_pps / base_wall : 0,
+                base_model > 0 ? r.model_pps / base_model : 0);
+  }
+  std::printf(
+      "\nmodel_pps = packets / bottleneck-worker busy time (the iperf\n"
+      "methodology from sim::run_iperf); wall_pps is bounded by the\n"
+      "machine's core count.\n");
+
+  std::ofstream json("BENCH_engine.json");
+  json << "{\n  \"workload\": \"l2_switch\",\n  \"packets\": " << items.size()
+       << ",\n  \"flows\": 256,\n  \"workers1_equivalent_to_direct_inject\": "
+       << (equiv ? "true" : "false") << ",\n  \"runs\": [\n";
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    const auto& r = runs[i];
+    json << "    {\"workers\": " << r.workers << ", \"packets\": " << r.packets
+         << ", \"wall_s\": " << r.wall_s
+         << ", \"bottleneck_busy_s\": " << r.bottleneck_busy_s
+         << ", \"wall_pps\": " << r.wall_pps
+         << ", \"model_pps\": " << r.model_pps << ", \"speedup_model_vs_1\": "
+         << (base_model > 0 ? r.model_pps / base_model : 0) << "}"
+         << (i + 1 < runs.size() ? "," : "") << "\n";
+  }
+  json << "  ]\n}\n";
+  std::printf("\nwrote BENCH_engine.json\n");
+
+  const Run& four = runs[2];
+  if (!equiv) {
+    std::printf("FAIL: workers=1 diverged from direct inject\n");
+    return 1;
+  }
+  if (base_model > 0 && four.model_pps / base_model < 2.0) {
+    std::printf("FAIL: model speedup at 4 workers < 2x\n");
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace hyper4::bench
+
+int main() { return hyper4::bench::main_impl(); }

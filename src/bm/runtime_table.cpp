@@ -272,6 +272,28 @@ bool RuntimeTable::entry_matches(const TableEntry& e,
   return true;
 }
 
+void RuntimeTable::clone_state_from(const RuntimeTable& src) {
+  if (keys_.size() != src.keys_.size() || name_ != src.name_)
+    throw util::CommandError("table '" + name_ +
+                             "': clone_state_from spec mismatch with '" +
+                             src.name_ + "'");
+  for (std::size_t i = 0; i < keys_.size(); ++i) {
+    if (keys_[i].type != src.keys_[i].type ||
+        keys_[i].width != src.keys_[i].width)
+      throw util::CommandError("table '" + name_ +
+                               "': clone_state_from key spec mismatch");
+  }
+  entries_ = src.entries_;
+  next_handle_ = src.next_handle_;
+  insert_seq_ = src.insert_seq_;
+  order_ = src.order_;
+  exact_index_ = src.exact_index_;
+  default_action_ = src.default_action_;
+  default_args_ = src.default_args_;
+  applied_ = src.applied_;
+  hits_ = src.hits_;
+}
+
 void RuntimeTable::reset_counters() {
   applied_ = 0;
   hits_ = 0;

@@ -89,6 +89,14 @@ class RuntimeTable {
   // `key` holds the evaluated key field values in spec order.
   const TableEntry* lookup(const std::vector<util::BitVec>& key);
 
+  // Mirror the full runtime state (entries *including handles*, insertion
+  // order, default action, hit/applied counters) of another table with the
+  // same key spec. The traffic engine uses this to build worker replicas
+  // whose entry handles stay interchangeable with the source switch's, so
+  // a handle obtained anywhere is valid everywhere. Throws CommandError on
+  // a spec mismatch.
+  void clone_state_from(const RuntimeTable& src);
+
   // Cumulative applied-count (every lookup, hit or miss).
   std::uint64_t applied_count() const { return applied_; }
   std::uint64_t hit_count() const { return hits_; }

@@ -504,6 +504,25 @@ void Switch::counter_reset(const std::string& counter) {
   counters_[named_index(counter_names_, counter, "counter")].reset();
 }
 
+void Switch::sync_state_from(const Switch& src) {
+  if (tables_.size() != src.tables_.size() ||
+      registers_.size() != src.registers_.size() ||
+      counters_.size() != src.counters_.size() ||
+      meters_.size() != src.meters_.size())
+    throw util::ConfigError(
+        "switch: sync_state_from requires switches compiled from the same "
+        "program");
+  for (std::size_t i = 0; i < tables_.size(); ++i)
+    tables_[i]->clone_state_from(*src.tables_[i]);
+  registers_ = src.registers_;
+  counters_ = src.counters_;
+  meters_ = src.meters_;
+  mirror_sessions_ = src.mirror_sessions_;
+  mcast_groups_ = src.mcast_groups_;
+  now_ = src.now_;
+  rng_state_ = src.rng_state_;
+}
+
 void Switch::reset_stats() {
   stats_ = Stats{};
   for (auto& t : tables_) t->reset_counters();

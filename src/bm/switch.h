@@ -66,6 +66,15 @@ class Switch {
   // Human-readable listing of a table's entries (bmv2's table_dump).
   std::string table_dump(const std::string& name) const;
 
+  // Mirror the full runtime state of another switch compiled from the same
+  // program: table entries (with identical handles), registers, counters,
+  // meters, mirror sessions, multicast groups, the logical clock and the
+  // RNG state. Statistics are NOT copied. This is how the traffic engine
+  // (src/engine) builds per-worker replicas that are bit-identical to the
+  // source switch; it throws ConfigError when the object inventories
+  // differ (i.e. the switches were not compiled from the same program).
+  void sync_state_from(const Switch& src);
+
   void mirror_add(std::uint32_t session, std::uint16_t port);
   void mc_group_set(std::uint16_t group,
                     std::vector<std::pair<std::uint16_t, std::uint16_t>>

@@ -1,0 +1,212 @@
+// The concurrent, batched traffic engine.
+//
+// N workers each own a *private replica* of a bm::Switch compiled from the
+// same p4::Program and carrying mirrored runtime state (tables with
+// identical entry handles, registers, meters, counters, multicast/mirror
+// config, logical clock, RNG state). Flows are sharded to workers by a
+// stable hash of the parsed 5-tuple (engine/flow.h), so all packets of a
+// flow hit the same replica in injection order — per-flow stateful
+// semantics hold with no locks on the packet path.
+//
+// Control-plane operations (table_add / table_modify / ...) fan out to
+// every replica atomically: the control thread takes every replica lock (in
+// index order, so concurrent control ops cannot deadlock), applies the
+// operation everywhere, and bumps a generation counter (epoch()). Workers
+// hold their replica lock for the duration of one batch, so a control op
+// lands between batches on every worker and never splits one.
+//
+// Determinism contract:
+//   * workers=1 is bit-identical to calling bm::Switch::inject() directly
+//     in injection order (same replica state, same order, same RNG), so
+//     every native-vs-HyPer4 equivalence test extends to the engine.
+//   * For flow-disjoint workloads (no cross-flow register/meter coupling in
+//     the P4 program), the merged per-packet trace is identical for any
+//     worker count: per-flow order is FIFO and the merge step orders
+//     results by injection sequence number.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bm/switch.h"
+#include "engine/flow.h"
+#include "engine/metrics.h"
+#include "engine/queue.h"
+#include "net/packet.h"
+#include "p4/ir.h"
+
+namespace hyper4::engine {
+
+struct EngineOptions {
+  std::size_t workers = 1;
+  // Per-worker queue capacity; producers block (backpressure) when the
+  // owning worker's queue is full.
+  std::size_t queue_capacity = 1024;
+  // Max packets a worker takes per queue pop / replica-lock hold.
+  std::size_t batch_size = 32;
+  // Keep every per-packet ProcessResult for drain(). Disable for pure
+  // throughput runs; drain() then reports numeric totals only.
+  bool collect_results = true;
+  bm::Switch::Options switch_options{};
+};
+
+struct InjectItem {
+  std::uint16_t port = 0;
+  net::Packet packet;
+};
+
+// The aggregation of all results since the last drain().
+struct MergedResult {
+  // Numeric fields are sums over all packets. With collect_results,
+  // outputs / applied / digests are concatenated in injection-sequence
+  // order (deterministic); without, they are empty.
+  bm::ProcessResult totals;
+  // Per-packet results in injection-sequence order (collect_results only).
+  std::vector<bm::ProcessResult> per_packet;
+  std::uint64_t packets = 0;
+};
+
+// Merge per-packet results (already in the desired order) into totals.
+// Exposed for tests and for callers that collect results themselves.
+MergedResult merge_results(std::vector<bm::ProcessResult> per_packet);
+
+class TrafficEngine {
+ public:
+  explicit TrafficEngine(p4::Program prog, EngineOptions opts = {});
+  ~TrafficEngine();
+
+  TrafficEngine(const TrafficEngine&) = delete;
+  TrafficEngine& operator=(const TrafficEngine&) = delete;
+
+  std::size_t workers() const { return workers_.size(); }
+  const EngineOptions& options() const { return opts_; }
+  // Read-only view of a worker's replica (diagnostics / tests). Do not use
+  // while injection is in flight unless you hold no expectations about
+  // intermediate state.
+  const bm::Switch& replica(std::size_t i) const;
+
+  // Generation counter: bumped once per control-plane fan-out.
+  std::uint64_t epoch() const {
+    return epoch_.load(std::memory_order_acquire);
+  }
+
+  // --- control plane (fans out to every replica, bumps epoch) -------------
+  // Mirror full runtime state (tables, registers, meters, counters,
+  // mcast/mirror config, clock, RNG) from a switch compiled from the same
+  // program — e.g. one already configured by a native controller or DPMU.
+  void sync_from(const bm::Switch& src);
+
+  std::uint64_t table_add(const std::string& table, const std::string& action,
+                          std::vector<bm::KeyParam> key,
+                          std::vector<util::BitVec> action_args,
+                          std::int32_t priority = -1);
+  void table_set_default(const std::string& table, const std::string& action,
+                         std::vector<util::BitVec> action_args = {});
+  void table_modify(const std::string& table, const std::string& action,
+                    std::uint64_t handle,
+                    std::vector<util::BitVec> action_args);
+  void table_delete(const std::string& table, std::uint64_t handle);
+  void mirror_add(std::uint32_t session, std::uint16_t port);
+  void mc_group_set(std::uint16_t group,
+                    std::vector<std::pair<std::uint16_t, std::uint16_t>>
+                        port_rid_pairs);
+  void register_write(const std::string& reg, std::size_t index,
+                      const util::BitVec& v);
+  void set_time(double t);
+  void advance_time(double dt);
+
+  // --- data plane ----------------------------------------------------------
+  // Worker a packet would shard to (stable across runs and worker counts
+  // modulo the worker count itself).
+  std::size_t shard_of(const net::Packet& p) const {
+    return static_cast<std::size_t>(flow_hash(p) % workers_.size());
+  }
+
+  // Enqueue one packet; blocks when the target worker's queue is full.
+  // Returns the packet's injection sequence number.
+  std::uint64_t inject(std::uint16_t port, net::Packet packet);
+  void inject_batch(std::span<const InjectItem> items);
+
+  // Block until every packet enqueued so far has been processed, then
+  // return (and clear) the merged results.
+  MergedResult drain();
+
+  // --- aggregate reads (sum across replicas) -------------------------------
+  // Registers/meters are per-flow state and live in the flow's replica;
+  // counters are additive, so the engine-wide value is the sum.
+  std::uint64_t counter_packets_total(const std::string& counter,
+                                      std::size_t index) const;
+  std::uint64_t counter_bytes_total(const std::string& counter,
+                                    std::size_t index) const;
+  bm::Switch::Stats stats_total() const;
+
+  // Cumulative *CPU* time worker `i` has spent inside Switch::inject()
+  // (per-thread clock, so co-scheduled workers on a small machine don't
+  // bill each other) — the bottleneck-makespan measure the simulator's
+  // throughput model uses.
+  double busy_seconds(std::size_t i) const;
+  double max_busy_seconds() const;
+  void reset_busy();
+
+  MetricsRegistry& metrics() { return metrics_; }
+  const MetricsRegistry& metrics() const { return metrics_; }
+
+ private:
+  struct Job {
+    std::uint64_t seq = 0;
+    std::uint16_t port = 0;
+    net::Packet packet;
+  };
+
+  struct Worker {
+    std::unique_ptr<bm::Switch> sw;
+    std::unique_ptr<BoundedQueue<Job>> queue;
+    // Held by the worker for one batch; by control fan-outs for one op.
+    std::mutex replica_mu;
+    std::mutex results_mu;
+    std::vector<std::pair<std::uint64_t, bm::ProcessResult>> results;
+    // Numeric totals accumulated even when collect_results is off.
+    bm::ProcessResult totals;
+    std::uint64_t packets = 0;  // guarded by results_mu
+    std::atomic<std::uint64_t> busy_ns{0};
+    std::thread th;
+  };
+
+  void worker_loop(Worker& w);
+  // Lock every replica in index order, run fn(switch) on each, bump epoch.
+  template <typename Fn>
+  void fan_out(Fn&& fn);
+
+  EngineOptions opts_;
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::mutex control_mu_;
+  std::atomic<std::uint64_t> epoch_{0};
+  std::atomic<std::uint64_t> enqueued_{0};
+  std::atomic<std::uint64_t> processed_{0};
+  std::mutex drain_mu_;
+  std::condition_variable drained_cv_;
+
+  MetricsRegistry metrics_;
+  // Hot-path metric handles, resolved once.
+  Counter* m_packets_ = nullptr;
+  Counter* m_outputs_ = nullptr;
+  Counter* m_drops_ = nullptr;
+  Counter* m_resubmits_ = nullptr;
+  Counter* m_recirculates_ = nullptr;
+  Counter* m_parse_errors_ = nullptr;
+  Counter* m_loop_kills_ = nullptr;
+  Counter* m_batches_ = nullptr;
+  Counter* m_backpressure_ = nullptr;
+  Counter* m_control_ops_ = nullptr;
+  Histogram* h_latency_us_ = nullptr;
+  Histogram* h_stages_ = nullptr;
+};
+
+}  // namespace hyper4::engine

@@ -1,0 +1,84 @@
+#include "engine/flow.h"
+
+#include <span>
+
+namespace hyper4::engine {
+
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ull;
+constexpr std::uint64_t kFnvPrime = 0x100000001b3ull;
+
+std::uint64_t fnv1a(std::uint64_t h, std::span<const std::uint8_t> bytes) {
+  for (std::uint8_t b : bytes) {
+    h ^= b;
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+std::uint64_t fnv1a_u32(std::uint64_t h, std::uint32_t v) {
+  const std::uint8_t b[4] = {
+      static_cast<std::uint8_t>(v >> 24), static_cast<std::uint8_t>(v >> 16),
+      static_cast<std::uint8_t>(v >> 8), static_cast<std::uint8_t>(v)};
+  return fnv1a(h, b);
+}
+
+std::uint16_t rd16(std::span<const std::uint8_t> b, std::size_t off) {
+  return static_cast<std::uint16_t>((b[off] << 8) | b[off + 1]);
+}
+
+std::uint32_t rd32(std::span<const std::uint8_t> b, std::size_t off) {
+  return (static_cast<std::uint32_t>(b[off]) << 24) |
+         (static_cast<std::uint32_t>(b[off + 1]) << 16) |
+         (static_cast<std::uint32_t>(b[off + 2]) << 8) |
+         static_cast<std::uint32_t>(b[off + 3]);
+}
+
+constexpr std::size_t kEthLen = 14;
+constexpr std::uint16_t kEtherTypeIpv4 = 0x0800;
+constexpr std::uint8_t kProtoTcp = 6;
+constexpr std::uint8_t kProtoUdp = 17;
+
+}  // namespace
+
+FlowKey flow_key(const net::Packet& p) {
+  FlowKey k;
+  const auto b = p.bytes();
+  if (b.size() < kEthLen + 20) return k;
+  if (rd16(b, 12) != kEtherTypeIpv4) return k;
+  const std::uint8_t vihl = b[kEthLen];
+  if ((vihl >> 4) != 4) return k;
+  const std::size_t ihl = static_cast<std::size_t>(vihl & 0x0f) * 4;
+  if (ihl < 20 || b.size() < kEthLen + ihl) return k;
+  k.is_ipv4 = true;
+  k.proto = b[kEthLen + 9];
+  k.src_ip = rd32(b, kEthLen + 12);
+  k.dst_ip = rd32(b, kEthLen + 16);
+  if ((k.proto == kProtoTcp || k.proto == kProtoUdp) &&
+      b.size() >= kEthLen + ihl + 4) {
+    k.src_port = rd16(b, kEthLen + ihl);
+    k.dst_port = rd16(b, kEthLen + ihl + 2);
+  }
+  return k;
+}
+
+std::uint64_t flow_hash(const FlowKey& k) {
+  std::uint64_t h = kFnvOffset;
+  h = fnv1a_u32(h, k.src_ip);
+  h = fnv1a_u32(h, k.dst_ip);
+  const std::uint8_t tail[5] = {
+      k.proto, static_cast<std::uint8_t>(k.src_port >> 8),
+      static_cast<std::uint8_t>(k.src_port),
+      static_cast<std::uint8_t>(k.dst_port >> 8),
+      static_cast<std::uint8_t>(k.dst_port)};
+  return fnv1a(h, tail);
+}
+
+std::uint64_t flow_hash(const net::Packet& p) {
+  const FlowKey k = flow_key(p);
+  if (k.is_ipv4) return flow_hash(k);
+  return fnv1a(kFnvOffset, p.bytes());
+}
+
+}  // namespace hyper4::engine

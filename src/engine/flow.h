@@ -1,0 +1,43 @@
+// Flow classification for worker sharding.
+//
+// The engine preserves per-flow stateful semantics (registers, meters,
+// per-entry counters touched by a flow) without hot-path locks by pinning
+// every flow to one worker. The pin is a stable FNV-1a hash of the parsed
+// 5-tuple — stable across runs, worker counts and platforms, so a given
+// workload shards identically everywhere (which is what makes the
+// determinism tests meaningful).
+//
+// Packets the lightweight classifier cannot interpret (non-IPv4, truncated)
+// fall back to hashing the whole frame: still deterministic, still keeps
+// byte-identical retransmissions on one worker.
+#pragma once
+
+#include <cstdint>
+
+#include "net/packet.h"
+
+namespace hyper4::engine {
+
+struct FlowKey {
+  bool is_ipv4 = false;
+  std::uint32_t src_ip = 0;
+  std::uint32_t dst_ip = 0;
+  std::uint8_t proto = 0;
+  std::uint16_t src_port = 0;  // TCP/UDP only, else 0
+  std::uint16_t dst_port = 0;
+
+  bool operator==(const FlowKey&) const = default;
+};
+
+// Parse the 5-tuple from an Ethernet frame. `is_ipv4` is false when the
+// frame is not a plain IPv4-over-Ethernet packet.
+FlowKey flow_key(const net::Packet& p);
+
+// Stable 64-bit hash of the key (FNV-1a over the tuple fields).
+std::uint64_t flow_hash(const FlowKey& k);
+
+// Hash of a packet: 5-tuple hash when parseable, whole-frame hash
+// otherwise.
+std::uint64_t flow_hash(const net::Packet& p);
+
+}  // namespace hyper4::engine

@@ -1,0 +1,112 @@
+#include "engine/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include "util/error.h"
+
+namespace hyper4::engine {
+
+Histogram::Histogram(std::vector<double> upper_bounds)
+    : bounds_(std::move(upper_bounds)), buckets_(bounds_.size() + 1) {
+  if (!std::is_sorted(bounds_.begin(), bounds_.end()) ||
+      std::adjacent_find(bounds_.begin(), bounds_.end()) != bounds_.end()) {
+    throw util::ConfigError(
+        "metrics: histogram bounds must be strictly increasing");
+  }
+}
+
+void Histogram::observe(double v) {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
+  const std::size_t idx = static_cast<std::size_t>(it - bounds_.begin());
+  buckets_[idx].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  const double micro = v * 1e6;
+  sum_micro_.fetch_add(
+      micro > 0 ? static_cast<std::uint64_t>(std::llround(micro)) : 0,
+      std::memory_order_relaxed);
+}
+
+std::uint64_t Histogram::bucket_count(std::size_t i) const {
+  return buckets_.at(i).load(std::memory_order_relaxed);
+}
+
+void Histogram::reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_micro_.store(0, std::memory_order_relaxed);
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name,
+                                      std::vector<double> upper_bounds) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>(std::move(upper_bounds));
+  return *slot;
+}
+
+namespace {
+
+// Minimal JSON number formatting: integral values print without a decimal
+// point; "inf" prints as a string (JSON has no infinity literal).
+std::string num(double v) {
+  if (std::isinf(v)) return "\"inf\"";
+  std::ostringstream os;
+  if (v == std::floor(v) && std::abs(v) < 1e15) {
+    os << static_cast<long long>(v);
+  } else {
+    os << v;
+  }
+  return os.str();
+}
+
+}  // namespace
+
+std::string MetricsRegistry::to_json() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::ostringstream os;
+  os << "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, c] : counters_) {
+    if (!first) os << ",";
+    first = false;
+    os << "\"" << name << "\":" << c->value();
+  }
+  os << "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    if (!first) os << ",";
+    first = false;
+    os << "\"" << name << "\":{\"buckets\":[";
+    const auto& bounds = h->bounds();
+    for (std::size_t i = 0; i <= bounds.size(); ++i) {
+      if (i) os << ",";
+      const double le = i < bounds.size()
+                            ? bounds[i]
+                            : std::numeric_limits<double>::infinity();
+      os << "{\"le\":" << num(le) << ",\"count\":" << h->bucket_count(i)
+         << "}";
+    }
+    os << "],\"count\":" << h->count() << ",\"sum\":" << num(h->sum())
+       << ",\"mean\":" << num(h->mean()) << "}";
+  }
+  os << "}}";
+  return os.str();
+}
+
+void MetricsRegistry::reset() {
+  std::lock_guard<std::mutex> lk(mu_);
+  for (auto& [name, c] : counters_) c->reset();
+  for (auto& [name, h] : histograms_) h->reset();
+}
+
+}  // namespace hyper4::engine

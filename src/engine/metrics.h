@@ -1,0 +1,86 @@
+// Thread-safe metrics for the traffic engine: named monotonic counters and
+// fixed-bucket histograms, dumpable as JSON.
+//
+// The registry hands out stable pointers; the engine resolves every metric
+// it touches once at construction and the per-packet path is then a couple
+// of relaxed atomic adds — no map lookups, no locks. Relaxed ordering is
+// sufficient because metrics are statistical: readers only need eventually-
+// consistent totals, and drain() (which is a full synchronization point)
+// happens-before any assertion a test makes on them.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace hyper4::engine {
+
+class Counter {
+ public:
+  void inc(std::uint64_t n = 1) { v_.fetch_add(n, std::memory_order_relaxed); }
+  std::uint64_t value() const { return v_.load(std::memory_order_relaxed); }
+  void reset() { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
+// Fixed-bucket histogram: bucket i counts observations <= bounds[i], with
+// an implicit +inf bucket at the end. Sum is kept in micro-units (the
+// observation times 1e6, rounded) so it can live in an integer atomic.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> upper_bounds);
+
+  void observe(double v);
+
+  const std::vector<double>& bounds() const { return bounds_; }
+  // Cumulative count of bucket i (observations <= bounds_[i]); index
+  // bounds_.size() is the +inf bucket == total count.
+  std::uint64_t bucket_count(std::size_t i) const;
+  std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const {
+    return static_cast<double>(sum_micro_.load(std::memory_order_relaxed)) /
+           1e6;
+  }
+  double mean() const {
+    const std::uint64_t n = count();
+    return n ? sum() / static_cast<double>(n) : 0.0;
+  }
+  void reset();
+
+ private:
+  std::vector<double> bounds_;  // strictly increasing
+  std::vector<std::atomic<std::uint64_t>> buckets_;  // bounds_.size() + 1
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_micro_{0};
+};
+
+class MetricsRegistry {
+ public:
+  // Find-or-create. Returned references stay valid for the registry's
+  // lifetime (metrics are never removed).
+  Counter& counter(const std::string& name);
+  // Bounds are fixed at first creation; a later call with the same name
+  // returns the existing histogram regardless of `upper_bounds`.
+  Histogram& histogram(const std::string& name,
+                       std::vector<double> upper_bounds);
+
+  // {"counters": {...}, "histograms": {name: {"buckets": [{"le": b,
+  // "count": n}, ...], "count": n, "sum": s, "mean": m}}}. Bucket counts
+  // are per-bucket (not cumulative); the final bucket's "le" is "inf".
+  std::string to_json() const;
+
+  void reset();
+
+ private:
+  mutable std::mutex mu_;  // guards the maps, not the metric values
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace hyper4::engine

@@ -1,0 +1,88 @@
+// Bounded multi-producer / multi-consumer work queue for the traffic
+// engine. Producers block when the queue is full (backpressure — the
+// engine's substitute for an unbounded ingress buffer), consumers pop in
+// batches to amortize synchronization over many packets.
+//
+// A mutex + two condition variables is deliberately chosen over a lock-free
+// ring: the queue is touched once per *batch* on the consumer side, so the
+// lock is far off the per-packet hot path, and the blocking semantics give
+// exact backpressure accounting for the metrics registry.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+namespace hyper4::engine {
+
+template <typename T>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(std::size_t capacity)
+      : capacity_(capacity == 0 ? 1 : capacity) {}
+
+  BoundedQueue(const BoundedQueue&) = delete;
+  BoundedQueue& operator=(const BoundedQueue&) = delete;
+
+  // Blocks while the queue is full. Returns false when the queue was
+  // closed (the item is dropped), true otherwise. When `waited` is
+  // non-null it is set to whether the producer had to block.
+  bool push(T item, bool* waited = nullptr) {
+    std::unique_lock<std::mutex> lk(mu_);
+    if (waited) *waited = closed_ ? false : q_.size() >= capacity_;
+    not_full_.wait(lk, [&] { return closed_ || q_.size() < capacity_; });
+    if (closed_) return false;
+    q_.push_back(std::move(item));
+    lk.unlock();
+    not_empty_.notify_one();
+    return true;
+  }
+
+  // Pops up to `max` items into `out` (cleared first), blocking while the
+  // queue is empty. Returns false only when the queue is closed *and*
+  // drained — the consumer's signal to exit.
+  bool pop_batch(std::vector<T>& out, std::size_t max) {
+    out.clear();
+    std::unique_lock<std::mutex> lk(mu_);
+    not_empty_.wait(lk, [&] { return closed_ || !q_.empty(); });
+    if (q_.empty()) return false;  // closed and drained
+    const std::size_t n = std::min(max == 0 ? std::size_t{1} : max, q_.size());
+    for (std::size_t i = 0; i < n; ++i) {
+      out.push_back(std::move(q_.front()));
+      q_.pop_front();
+    }
+    lk.unlock();
+    not_full_.notify_all();
+    return true;
+  }
+
+  // Wakes every blocked producer and consumer; subsequent pushes fail,
+  // pop_batch drains what remains then reports closure.
+  void close() {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      closed_ = true;
+    }
+    not_full_.notify_all();
+    not_empty_.notify_all();
+  }
+
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return q_.size();
+  }
+
+  std::size_t capacity() const { return capacity_; }
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable not_full_, not_empty_;
+  std::deque<T> q_;
+  std::size_t capacity_;
+  bool closed_ = false;
+};
+
+}  // namespace hyper4::engine

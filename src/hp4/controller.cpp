@@ -1,11 +1,22 @@
 #include "hp4/controller.h"
 
 #include <set>
+
+#include "engine/engine.h"
 #include "util/error.h"
 
 namespace hyper4::hp4 {
 
 using util::ConfigError;
+
+void Controller::attach_engine(engine::TrafficEngine* eng) {
+  engine_ = eng;
+  refresh_engine();
+}
+
+void Controller::refresh_engine() {
+  if (engine_) engine_->sync_from(*sw_);
+}
 
 Controller::Controller(PersonaConfig cfg)
     : Controller(std::move(cfg), bm::Switch::Options{}) {}
@@ -22,12 +33,16 @@ Hp4Artifact Controller::compile(const p4::Program& target) const {
 
 VdevId Controller::load(const std::string& name, const p4::Program& target,
                         const std::string& owner, std::size_t quota) {
-  return dpmu_->load_program(name, compiler_.compile(target), owner, quota);
+  const VdevId id =
+      dpmu_->load_program(name, compiler_.compile(target), owner, quota);
+  refresh_engine();
+  return id;
 }
 
 void Controller::attach_ports(VdevId id,
                               const std::vector<std::uint16_t>& ports) {
   for (auto p : ports) dpmu_->attach_port(id, p);
+  refresh_engine();
 }
 
 void Controller::chain(const std::vector<VdevId>& devices,
@@ -44,6 +59,7 @@ void Controller::chain(const std::vector<VdevId>& devices,
     }
   }
   for (auto p : ports) bind(devices.front(), p);
+  refresh_engine();
 }
 
 void Controller::bind(VdevId id, std::optional<std::uint16_t> port) {
@@ -60,6 +76,7 @@ void Controller::bind(VdevId id, std::optional<std::uint16_t> port) {
   } else {
     live_bindings_[key] = dpmu_->bind_ingress(id, port);
   }
+  refresh_engine();
 }
 
 void Controller::unload(VdevId id) {
@@ -71,11 +88,14 @@ void Controller::unload(VdevId id) {
       ++it;
     }
   }
+  refresh_engine();
 }
 
 std::uint64_t Controller::add_rule(VdevId id, const VirtualRule& rule,
                                    const std::string& requester) {
-  return dpmu_->table_add(id, rule, requester);
+  const std::uint64_t handle = dpmu_->table_add(id, rule, requester);
+  refresh_engine();
+  return handle;
 }
 
 void Controller::define_config(
@@ -113,6 +133,7 @@ void Controller::activate_config(const std::string& name) {
     }
   }
   active_config_ = name;
+  refresh_engine();
 }
 
 }  // namespace hyper4::hp4

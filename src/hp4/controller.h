@@ -19,6 +19,10 @@
 #include "hp4/dpmu.h"
 #include "hp4/persona.h"
 
+namespace hyper4::engine {
+class TrafficEngine;
+}
+
 namespace hyper4::hp4 {
 
 class Controller {
@@ -27,8 +31,19 @@ class Controller {
   Controller(PersonaConfig cfg, bm::Switch::Options opts);
 
   bm::Switch& dataplane() { return *sw_; }
+  const bm::Switch& dataplane() const { return *sw_; }
   Dpmu& dpmu() { return *dpmu_; }
+  const Dpmu& dpmu() const { return *dpmu_; }
   const PersonaGenerator& generator() const { return gen_; }
+
+  // Attach a traffic engine built from this controller's persona program.
+  // The engine's replicas are synced immediately and then re-mirrored
+  // after every controller operation that mutates the dataplane (load,
+  // unload, attach_ports, chain, bind, add_rule, activate_config) — the
+  // DPMU's persona table ops fan out to every worker replica atomically
+  // under the engine's epoch counter. Pass nullptr to detach.
+  void attach_engine(engine::TrafficEngine* eng);
+  engine::TrafficEngine* engine() const { return engine_; }
 
   // Compile `target` and load it as a virtual device.
   VdevId load(const std::string& name, const p4::Program& target,
@@ -70,10 +85,15 @@ class Controller {
   std::size_t last_activation_ops() const { return last_activation_ops_; }
 
  private:
+  // Mirror the dataplane's current state into the attached engine (no-op
+  // when none is attached).
+  void refresh_engine();
+
   PersonaGenerator gen_;
   std::unique_ptr<bm::Switch> sw_;
   std::unique_ptr<Dpmu> dpmu_;
   Hp4Compiler compiler_;
+  engine::TrafficEngine* engine_ = nullptr;
 
   using PortKey = std::int32_t;  // -1 = wildcard
   static PortKey port_key(std::optional<std::uint16_t> p) {

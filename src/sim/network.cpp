@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <deque>
 
+#include "engine/engine.h"
 #include "util/error.h"
 
 namespace hyper4::sim {
@@ -89,6 +90,62 @@ std::vector<Network::Delivery> Network::send(const std::string& from_host,
         queue.push_back(Work{e.name, e.port, o.packet, lat, w.hops + 1});
       }
     }
+  }
+  return out;
+}
+
+std::vector<std::vector<Network::Delivery>> Network::send_many(
+    const std::string& from_host, const std::vector<net::Packet>& packets,
+    engine::TrafficEngine* engine) {
+  std::vector<std::vector<Delivery>> out;
+  out.reserve(packets.size());
+
+  // Engine fast path: only when every wired port of the edge switch leads
+  // directly to a host, so one switch traversal fully determines the
+  // deliveries and the batch can be processed out of order across flows.
+  bool engine_ok = engine != nullptr;
+  std::string edge_sw;
+  if (engine_ok) {
+    auto hit = hosts_.find(from_host);
+    if (hit == hosts_.end())
+      throw ConfigError("sim: unknown host '" + from_host + "'");
+    edge_sw = hit->second.sw;
+    for (const auto& [key, ep] : wires_) {
+      if (key.first == edge_sw && ep.kind == Endpoint::Kind::kSwitch) {
+        engine_ok = false;
+        break;
+      }
+    }
+  }
+  if (!engine_ok) {
+    for (const auto& p : packets) out.push_back(send(from_host, p));
+    return out;
+  }
+
+  const std::uint16_t in_port = hosts_.at(from_host).port;
+  std::vector<engine::InjectItem> items;
+  items.reserve(packets.size());
+  for (const auto& p : packets) items.push_back({in_port, p});
+  engine->inject_batch(items);
+  engine::MergedResult merged = engine->drain();
+  if (merged.per_packet.size() != packets.size())
+    throw ConfigError(
+        "sim: engine did not return per-packet results (collect_results "
+        "off, or concurrent injections?)");
+
+  for (const auto& res : merged.per_packet) {
+    const double work = cm_.work_us(res);
+    busy_[edge_sw] += work;
+    std::vector<Delivery> dels;
+    for (const auto& o : res.outputs) {
+      auto wit = wires_.find({edge_sw, o.port});
+      if (wit == wires_.end()) continue;  // unwired port: packet vanishes
+      const Endpoint& e = wit->second;
+      if (e.kind != Endpoint::Kind::kHost) continue;
+      dels.push_back(Delivery{e.name, o.packet,
+                              cm_.link_us + work + cm_.link_us, 1});
+    }
+    out.push_back(std::move(dels));
   }
   return out;
 }

@@ -16,6 +16,10 @@
 #include "bm/switch.h"
 #include "net/packet.h"
 
+namespace hyper4::engine {
+class TrafficEngine;
+}
+
 namespace hyper4::sim {
 
 struct CostModel {
@@ -59,6 +63,19 @@ class Network {
   // latency. Per-switch busy time is accumulated (see busy_us).
   std::vector<Delivery> send(const std::string& from_host,
                              const net::Packet& packet);
+
+  // Batched send: deliveries per input packet, in input order. With a
+  // non-null engine AND a single-switch topology seen from `from_host`
+  // (every wired port of the host's edge switch leads to a host), the
+  // whole batch is pushed through the engine's flow-sharded workers and
+  // cost-model accounting is priced from the merged per-packet traces —
+  // identical deliveries, parallel substrate. The engine must have been
+  // built from the edge switch's program and sync_from()'d its state (and
+  // needs collect_results on); otherwise, or when the topology does not
+  // qualify, every packet takes the ordinary send() path.
+  std::vector<std::vector<Delivery>> send_many(
+      const std::string& from_host, const std::vector<net::Packet>& packets,
+      engine::TrafficEngine* engine = nullptr);
 
   // Cumulative switch processing time since the last reset (the iperf
   // model's bottleneck measure).

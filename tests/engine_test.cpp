@@ -1,0 +1,419 @@
+// Tests for the concurrent traffic engine (src/engine): ProcessResult
+// merge semantics, flow sharding, metrics, and — the load-bearing
+// guarantees — workers=1 bit-equivalence with direct bm::Switch::inject()
+// and worker-count-independent determinism on flow-disjoint workloads.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "apps/apps.h"
+#include "bench/common.h"
+#include "engine/engine.h"
+#include "engine/flow.h"
+#include "engine/metrics.h"
+#include "net/headers.h"
+
+namespace hyper4 {
+namespace {
+
+using engine::EngineOptions;
+using engine::InjectItem;
+using engine::TrafficEngine;
+
+// ---------------------------------------------------------------------------
+// ProcessResult comparison (the engine's equivalence currency)
+
+void expect_result_eq(const bm::ProcessResult& a, const bm::ProcessResult& b,
+                      const std::string& what) {
+  ASSERT_EQ(a.outputs.size(), b.outputs.size()) << what;
+  for (std::size_t i = 0; i < a.outputs.size(); ++i) {
+    EXPECT_EQ(a.outputs[i].port, b.outputs[i].port) << what << " output " << i;
+    EXPECT_EQ(a.outputs[i].packet, b.outputs[i].packet)
+        << what << " output " << i << " bytes";
+  }
+  ASSERT_EQ(a.applied.size(), b.applied.size()) << what;
+  for (std::size_t i = 0; i < a.applied.size(); ++i) {
+    EXPECT_EQ(a.applied[i].table, b.applied[i].table) << what;
+    EXPECT_EQ(a.applied[i].hit, b.applied[i].hit) << what;
+    EXPECT_EQ(a.applied[i].entry_handle, b.applied[i].entry_handle) << what;
+    EXPECT_EQ(a.applied[i].ternary_bits_total, b.applied[i].ternary_bits_total)
+        << what;
+    EXPECT_EQ(a.applied[i].ternary_bits_active,
+              b.applied[i].ternary_bits_active)
+        << what;
+  }
+  EXPECT_EQ(a.resubmits, b.resubmits) << what;
+  EXPECT_EQ(a.recirculations, b.recirculations) << what;
+  EXPECT_EQ(a.clones_i2e, b.clones_i2e) << what;
+  EXPECT_EQ(a.clones_e2e, b.clones_e2e) << what;
+  EXPECT_EQ(a.multicast_copies, b.multicast_copies) << what;
+  EXPECT_EQ(a.drops, b.drops) << what;
+  EXPECT_EQ(a.parse_errors, b.parse_errors) << what;
+  EXPECT_EQ(a.loop_kills, b.loop_kills) << what;
+}
+
+// A flow-disjoint workload: TCP packets spread across `flows` distinct
+// 5-tuples, `per_flow` packets each, round-robin over flows so each flow's
+// packets are interleaved (exercising per-flow FIFO). Destination MACs
+// alternate between the two demo L2 rules.
+std::vector<InjectItem> l2_workload(std::size_t flows, std::size_t per_flow) {
+  std::vector<InjectItem> items;
+  items.reserve(flows * per_flow);
+  for (std::size_t k = 0; k < per_flow; ++k) {
+    for (std::size_t f = 0; f < flows; ++f) {
+      net::EthHeader eth;
+      eth.src = net::mac_from_string(bench::kMacH1);
+      eth.dst = net::mac_from_string(f % 2 ? bench::kMacH1 : bench::kMacH2);
+      net::Ipv4Header ip;
+      ip.src = net::ipv4_from_string("10.1.0.1") + static_cast<uint32_t>(f);
+      ip.dst = net::ipv4_from_string("10.2.0.1") + static_cast<uint32_t>(f);
+      ip.protocol = net::kIpProtoTcp;
+      net::TcpHeader tcp;
+      tcp.src_port = static_cast<std::uint16_t>(10000 + f);
+      tcp.dst_port = 80;
+      tcp.seq = static_cast<std::uint32_t>(k);
+      items.push_back(
+          {static_cast<std::uint16_t>(f % 2 ? 2 : 1),
+           net::make_ipv4_tcp(eth, ip, tcp, 32)});
+    }
+  }
+  return items;
+}
+
+bm::ProcessResult fake_result(std::uint16_t port, std::uint8_t byte,
+                              std::size_t drops) {
+  bm::ProcessResult r;
+  if (drops == 0) {
+    bm::OutputPacket o;
+    o.port = port;
+    o.packet = net::Packet({byte, byte, byte});
+    r.outputs.push_back(o);
+  }
+  bm::AppliedTable t;
+  t.table = "t" + std::to_string(port);
+  t.hit = drops == 0;
+  t.ternary_bits_total = 8;
+  t.ternary_bits_active = drops == 0 ? 5 : 0;
+  t.used_ternary = true;
+  r.applied.push_back(t);
+  r.resubmits = 1;
+  r.drops = drops;
+  return r;
+}
+
+// ---------------------------------------------------------------------------
+// merge_results
+
+TEST(EngineMerge, SumsCountersAndConcatsDeterministically) {
+  std::vector<bm::ProcessResult> per;
+  per.push_back(fake_result(1, 0xaa, 0));
+  per.push_back(fake_result(2, 0xbb, 1));
+  per.push_back(fake_result(3, 0xcc, 0));
+
+  const engine::MergedResult m = engine::merge_results(per);
+  EXPECT_EQ(m.packets, 3u);
+  EXPECT_EQ(m.totals.drops, 1u);
+  EXPECT_EQ(m.totals.resubmits, 3u);
+  ASSERT_EQ(m.totals.outputs.size(), 2u);
+  // Concatenation preserves input (injection-sequence) order.
+  EXPECT_EQ(m.totals.outputs[0].port, 1);
+  EXPECT_EQ(m.totals.outputs[0].packet.at(0), 0xaa);
+  EXPECT_EQ(m.totals.outputs[1].port, 3);
+  ASSERT_EQ(m.totals.applied.size(), 3u);
+  EXPECT_EQ(m.totals.applied[0].table, "t1");
+  EXPECT_EQ(m.totals.applied[1].table, "t2");
+  EXPECT_EQ(m.totals.applied[2].table, "t3");
+  // Ternary accounting sums through the merged applied list.
+  EXPECT_EQ(m.totals.ternary_bits_total(), 24u);
+  EXPECT_EQ(m.totals.ternary_bits_active(), 10u);
+  EXPECT_EQ(m.totals.ternary_match_count(), 3u);
+  ASSERT_EQ(m.per_packet.size(), 3u);
+  expect_result_eq(m.per_packet[1], per[1], "per_packet[1]");
+}
+
+TEST(EngineMerge, EmptyInput) {
+  const engine::MergedResult m = engine::merge_results({});
+  EXPECT_EQ(m.packets, 0u);
+  EXPECT_TRUE(m.totals.outputs.empty());
+  EXPECT_EQ(m.totals.drops, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Flow classification
+
+TEST(EngineFlow, ParsesIpv4TcpFiveTuple) {
+  net::EthHeader eth;
+  eth.src = net::mac_from_string(bench::kMacH1);
+  eth.dst = net::mac_from_string(bench::kMacH2);
+  net::Ipv4Header ip;
+  ip.src = net::ipv4_from_string("10.0.0.1");
+  ip.dst = net::ipv4_from_string("10.0.0.2");
+  ip.protocol = net::kIpProtoTcp;
+  net::TcpHeader tcp;
+  tcp.src_port = 1234;
+  tcp.dst_port = 80;
+  const net::Packet p = net::make_ipv4_tcp(eth, ip, tcp, 16);
+
+  const engine::FlowKey k = engine::flow_key(p);
+  EXPECT_TRUE(k.is_ipv4);
+  EXPECT_EQ(k.src_ip, net::ipv4_from_string("10.0.0.1"));
+  EXPECT_EQ(k.dst_ip, net::ipv4_from_string("10.0.0.2"));
+  EXPECT_EQ(k.proto, net::kIpProtoTcp);
+  EXPECT_EQ(k.src_port, 1234);
+  EXPECT_EQ(k.dst_port, 80);
+}
+
+TEST(EngineFlow, HashIsStableAndPayloadIndependent) {
+  net::EthHeader eth;
+  eth.src = net::mac_from_string(bench::kMacH1);
+  eth.dst = net::mac_from_string(bench::kMacH2);
+  net::Ipv4Header ip;
+  ip.src = net::ipv4_from_string("10.0.0.1");
+  ip.dst = net::ipv4_from_string("10.0.0.2");
+  ip.protocol = net::kIpProtoUdp;
+  net::UdpHeader udp;
+  udp.src_port = 53;
+  udp.dst_port = 53;
+  const net::Packet a = net::make_ipv4_udp(eth, ip, udp, 8, 0x11);
+  const net::Packet b = net::make_ipv4_udp(eth, ip, udp, 64, 0x22);
+  // Same flow, different payloads → same shard.
+  EXPECT_EQ(engine::flow_hash(a), engine::flow_hash(b));
+
+  net::Ipv4Header ip2 = ip;
+  ip2.dst = net::ipv4_from_string("10.0.0.3");
+  const net::Packet c = net::make_ipv4_udp(eth, ip2, udp, 8, 0x11);
+  EXPECT_NE(engine::flow_hash(a), engine::flow_hash(c));
+}
+
+TEST(EngineFlow, NonIpFallsBackToFrameHash) {
+  const net::Packet arp = net::make_arp_request(
+      net::mac_from_string(bench::kMacH1), net::ipv4_from_string("10.0.0.1"),
+      net::ipv4_from_string("10.0.0.2"));
+  EXPECT_FALSE(engine::flow_key(arp).is_ipv4);
+  EXPECT_EQ(engine::flow_hash(arp), engine::flow_hash(arp));
+}
+
+// ---------------------------------------------------------------------------
+// Metrics registry
+
+TEST(EngineMetrics, CountersAndHistogramJson) {
+  engine::MetricsRegistry reg;
+  reg.counter("packets").inc(41);
+  reg.counter("packets").inc();
+  EXPECT_EQ(reg.counter("packets").value(), 42u);
+
+  engine::Histogram& h = reg.histogram("lat", {1.0, 10.0, 100.0});
+  h.observe(0.5);
+  h.observe(5.0);
+  h.observe(5000.0);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_EQ(h.bucket_count(0), 1u);  // <= 1
+  EXPECT_EQ(h.bucket_count(1), 1u);  // <= 10
+  EXPECT_EQ(h.bucket_count(2), 0u);  // <= 100
+  EXPECT_EQ(h.bucket_count(3), 1u);  // +inf
+  EXPECT_NEAR(h.sum(), 5005.5, 1e-6);
+
+  const std::string json = reg.to_json();
+  EXPECT_NE(json.find("\"packets\":42"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"lat\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"le\":\"inf\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"count\":3"), std::string::npos) << json;
+}
+
+// ---------------------------------------------------------------------------
+// workers=1 bit-equivalence with direct inject, on every equivalence-test
+// program (native side and HyPer4-persona side).
+
+TEST(EngineEquivalence, SingleWorkerMatchesDirectInjectOnAllPrograms) {
+  for (const std::string& name : bench::function_names()) {
+    bench::Harness h(name);
+
+    EngineOptions opts;
+    opts.workers = 1;
+    TrafficEngine eng(apps::program_by_name(name), opts);
+    eng.sync_from(*h.native);
+
+    std::vector<InjectItem> items;
+    items.push_back({1, bench::worst_case_packet(name)});
+    for (auto& it : l2_workload(4, 2)) items.push_back(std::move(it));
+
+    // Direct path first (the reference), on a second identical switch so
+    // stateful effects accumulate exactly as the engine replica's will.
+    bm::Switch ref(apps::program_by_name(name));
+    ref.sync_state_from(*h.native);
+    std::vector<bm::ProcessResult> direct;
+    for (const auto& it : items) direct.push_back(ref.inject(it.port, it.packet));
+
+    eng.inject_batch(items);
+    const engine::MergedResult m = eng.drain();
+    ASSERT_EQ(m.per_packet.size(), direct.size()) << name;
+    for (std::size_t i = 0; i < direct.size(); ++i) {
+      expect_result_eq(m.per_packet[i], direct[i],
+                       name + " packet " + std::to_string(i));
+    }
+  }
+}
+
+TEST(EngineEquivalence, SingleWorkerMatchesPersonaDataplane) {
+  // Engine running the *persona* program, mirrored from a controller via
+  // attach_engine: the virtualized pipeline behaves identically under the
+  // engine.
+  bench::Harness h("l2_sw");
+  EngineOptions opts;
+  opts.workers = 1;
+  TrafficEngine eng(h.ctl->generator().generate(), opts);
+  h.ctl->attach_engine(&eng);
+  const std::uint64_t epoch_before = eng.epoch();
+
+  const net::Packet probe = bench::worst_case_packet("l2_sw");
+  const bm::ProcessResult direct = h.ctl->dataplane().inject(1, probe);
+  eng.inject(1, probe);
+  const engine::MergedResult m = eng.drain();
+  ASSERT_EQ(m.per_packet.size(), 1u);
+  expect_result_eq(m.per_packet[0], direct, "persona probe");
+
+  // Controller ops keep fanning out: adding a rule bumps the epoch.
+  h.ctl->add_rule(h.vdev,
+                  bench::vr(apps::l2_forward("02:00:00:00:00:33", 3)));
+  EXPECT_GT(eng.epoch(), epoch_before);
+  h.ctl->attach_engine(nullptr);
+}
+
+// ---------------------------------------------------------------------------
+// Determinism across worker counts on a flow-disjoint workload.
+
+TEST(EngineDeterminism, OneVsEightWorkersIdenticalMergedTrace) {
+  bench::Harness h("l2_sw");
+  const auto items = l2_workload(32, 6);
+
+  auto run = [&](std::size_t workers) {
+    EngineOptions opts;
+    opts.workers = workers;
+    opts.batch_size = 8;
+    TrafficEngine eng(apps::program_by_name("l2_sw"), opts);
+    eng.sync_from(*h.native);
+    eng.inject_batch(items);
+    return eng.drain();
+  };
+
+  const engine::MergedResult a = run(1);
+  const engine::MergedResult b = run(8);
+  ASSERT_EQ(a.per_packet.size(), items.size());
+  ASSERT_EQ(b.per_packet.size(), items.size());
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    expect_result_eq(b.per_packet[i], a.per_packet[i],
+                     "packet " + std::to_string(i));
+  }
+  // And the merged concatenations agree wholesale.
+  ASSERT_EQ(a.totals.outputs.size(), b.totals.outputs.size());
+  for (std::size_t i = 0; i < a.totals.outputs.size(); ++i)
+    EXPECT_EQ(a.totals.outputs[i].packet, b.totals.outputs[i].packet);
+}
+
+TEST(EngineDeterminism, ShardingIsStable) {
+  EngineOptions opts;
+  opts.workers = 4;
+  TrafficEngine eng(apps::l2_switch(), opts);
+  const auto items = l2_workload(16, 1);
+  for (const auto& it : items)
+    EXPECT_EQ(eng.shard_of(it.packet), eng.shard_of(it.packet));
+}
+
+// ---------------------------------------------------------------------------
+// Control plane: fan-out, epochs, handle interchangeability.
+
+TEST(EngineControl, TableOpsFanOutToAllReplicas) {
+  EngineOptions opts;
+  opts.workers = 3;
+  TrafficEngine eng(apps::l2_switch(), opts);
+  EXPECT_EQ(eng.epoch(), 0u);
+
+  const std::uint64_t handle = eng.table_add(
+      "dmac", "forward",
+      {bm::KeyParam::exact(util::BitVec(
+          48, net::mac_to_u64(net::mac_from_string(bench::kMacH2))))},
+      {util::BitVec(9, 2)});
+  EXPECT_EQ(eng.epoch(), 1u);
+  for (std::size_t i = 0; i < eng.workers(); ++i)
+    EXPECT_TRUE(eng.replica(i).table("dmac").has_entry(handle)) << i;
+
+  eng.table_modify("dmac", "forward", handle, {util::BitVec(9, 3)});
+  EXPECT_EQ(eng.epoch(), 2u);
+  eng.table_delete("dmac", handle);
+  EXPECT_EQ(eng.epoch(), 3u);
+  for (std::size_t i = 0; i < eng.workers(); ++i)
+    EXPECT_FALSE(eng.replica(i).table("dmac").has_entry(handle)) << i;
+}
+
+TEST(EngineControl, SyncedHandlesAreInterchangeable) {
+  bm::Switch native(apps::l2_switch());
+  const std::uint64_t h1 =
+      apps::apply_rule(native, apps::l2_forward(bench::kMacH1, 1));
+  const std::uint64_t h2 =
+      apps::apply_rule(native, apps::l2_forward(bench::kMacH2, 2));
+
+  EngineOptions opts;
+  opts.workers = 2;
+  TrafficEngine eng(apps::l2_switch(), opts);
+  eng.sync_from(native);
+  // A handle minted by the source switch is valid on every replica...
+  eng.table_delete("dmac", h1);
+  native.table_delete("dmac", h1);
+  // ...and post-sync adds continue the same handle sequence as the source
+  // switch would.
+  const std::uint64_t h3 = eng.table_add(
+      "dmac", "forward",
+      {bm::KeyParam::exact(util::BitVec(
+          48, net::mac_to_u64(net::mac_from_string(bench::kMacH1))))},
+      {util::BitVec(9, 1)});
+  EXPECT_EQ(h3, apps::apply_rule(native, apps::l2_forward(bench::kMacH1, 1)));
+  EXPECT_NE(h3, h2);
+}
+
+// ---------------------------------------------------------------------------
+// Metrics wired through the engine.
+
+TEST(EngineMetrics, EngineCountsPacketsDropsAndStages) {
+  bench::Harness h("l2_sw");
+  EngineOptions opts;
+  opts.workers = 2;
+  TrafficEngine eng(apps::program_by_name("l2_sw"), opts);
+  eng.sync_from(*h.native);
+
+  auto items = l2_workload(8, 2);
+  // One unknown-MAC packet that the l2 demo rules drop (miss → default).
+  net::EthHeader eth;
+  eth.src = net::mac_from_string(bench::kMacH1);
+  eth.dst = net::mac_from_string("02:ff:ff:ff:ff:fe");
+  net::Ipv4Header ip;
+  ip.src = net::ipv4_from_string("10.9.9.1");
+  ip.dst = net::ipv4_from_string("10.9.9.2");
+  ip.protocol = net::kIpProtoTcp;
+  net::TcpHeader tcp;
+  tcp.src_port = 1;
+  tcp.dst_port = 2;
+  items.push_back({1, net::make_ipv4_tcp(eth, ip, tcp, 8)});
+
+  eng.inject_batch(items);
+  const engine::MergedResult m = eng.drain();
+  EXPECT_EQ(m.packets, items.size());
+
+  EXPECT_EQ(eng.metrics().counter("packets").value(), items.size());
+  EXPECT_EQ(eng.metrics().counter("drops").value(), m.totals.drops);
+  EXPECT_GE(eng.metrics().counter("batches").value(), 1u);
+  const engine::Histogram& stages =
+      eng.metrics().histogram("stages_per_packet", {});
+  EXPECT_EQ(stages.count(), items.size());
+  // l2_switch applies smac + dmac per packet.
+  EXPECT_NEAR(stages.mean(), 2.0, 1e-9);
+  const std::string json = eng.metrics().to_json();
+  EXPECT_NE(json.find("\"packet_latency_us\""), std::string::npos);
+  EXPECT_NE(json.find("\"control_ops\""), std::string::npos);
+
+  // Aggregate switch stats sum across replicas.
+  EXPECT_EQ(eng.stats_total().packets_in, items.size());
+}
+
+}  // namespace
+}  // namespace hyper4
