@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "bench/common.h"
+#include "check/trace_diff.h"
 #include "engine/engine.h"
 #include "net/headers.h"
 
@@ -95,6 +96,9 @@ Run run_engine(const bm::Switch& configured, std::size_t workers,
   return r;
 }
 
+// Full structural trace comparison (ports, final packet bytes, applied
+// tables, drop/resubmit counters, digests) via the check library's differ;
+// on mismatch the first divergence is printed and the bench fails.
 bool check_equivalence(const bm::Switch& configured,
                        const std::vector<InjectItem>& items) {
   bm::Switch ref(apps::program_by_name("l2_sw"));
@@ -106,19 +110,19 @@ bool check_equivalence(const bm::Switch& configured,
   eng.sync_from(configured);
   eng.inject_batch(items);
   const engine::MergedResult m = eng.drain();
-  if (m.per_packet.size() != items.size()) return false;
+  if (m.per_packet.size() != items.size()) {
+    std::printf("EQUIVALENCE FAILURE: %zu packets injected, %zu drained\n",
+                items.size(), m.per_packet.size());
+    return false;
+  }
   for (std::size_t i = 0; i < items.size(); ++i) {
     const bm::ProcessResult direct = ref.inject(items[i].port, items[i].packet);
-    const bm::ProcessResult& e = m.per_packet[i];
-    if (direct.outputs.size() != e.outputs.size()) return false;
-    for (std::size_t j = 0; j < direct.outputs.size(); ++j) {
-      if (direct.outputs[j].port != e.outputs[j].port ||
-          !(direct.outputs[j].packet == e.outputs[j].packet))
-        return false;
-    }
-    if (direct.applied.size() != e.applied.size() ||
-        direct.drops != e.drops || direct.resubmits != e.resubmits)
+    if (auto d = check::diff_results(direct, m.per_packet[i], i)) {
+      d->lhs = "direct";
+      d->rhs = "engine";
+      std::printf("EQUIVALENCE FAILURE: %s\n", d->str().c_str());
       return false;
+    }
   }
   return true;
 }

@@ -14,6 +14,10 @@ namespace hyper4::bm {
 struct OutputPacket {
   std::uint16_t port = 0;
   net::Packet packet;
+
+  friend bool operator==(const OutputPacket& a, const OutputPacket& b) {
+    return a.port == b.port && a.packet == b.packet;
+  }
 };
 
 // One table application (the paper's unit for "number of matches").
@@ -27,12 +31,25 @@ struct AppliedTable {
   std::size_t ternary_bits_total = 0;
   std::size_t ternary_bits_active = 0;
   bool used_ternary = false;
+
+  friend bool operator==(const AppliedTable& a, const AppliedTable& b) {
+    return a.table == b.table && a.hit == b.hit &&
+           a.entry_handle == b.entry_handle &&
+           a.ternary_bits_total == b.ternary_bits_total &&
+           a.ternary_bits_active == b.ternary_bits_active &&
+           a.used_ternary == b.used_ternary;
+  }
 };
 
 struct DigestMessage {
   std::string receiver;
   std::vector<std::string> field_names;
   std::vector<std::uint64_t> low_values;  // low 64 bits of each field
+
+  friend bool operator==(const DigestMessage& a, const DigestMessage& b) {
+    return a.receiver == b.receiver && a.field_names == b.field_names &&
+           a.low_values == b.low_values;
+  }
 };
 
 struct ProcessResult {

@@ -1,0 +1,207 @@
+#include "check/diff_runner.h"
+
+#include <sstream>
+#include <vector>
+
+#include "bm/cli.h"
+#include "bm/switch.h"
+#include "engine/engine.h"
+#include "hp4/compiler.h"
+#include "hp4/controller.h"
+#include "util/error.h"
+
+namespace hyper4::check {
+
+namespace {
+
+hp4::VirtualRule to_virtual(const GenRule& r) {
+  return hp4::VirtualRule{r.table, r.action, r.keys, r.args, r.priority};
+}
+
+void apply_native(bm::Switch& sw, const GenRule& r) {
+  const bm::CliResult res = bm::run_cli_command(sw, cli_line(r));
+  if (!res.ok)
+    throw util::CommandError("check: native rejected rule '" + cli_line(r) +
+                             "': " + res.message);
+}
+
+}  // namespace
+
+std::string DiffReport::str() const {
+  if (equivalent) {
+    std::string s = "equivalent";
+    if (!persona_ran)
+      s += " (persona skipped: " +
+           (persona_skip_reason.empty() ? std::string("disabled")
+                                        : persona_skip_reason) +
+           ")";
+    return s;
+  }
+  return divergence ? divergence->str() : std::string("diverged");
+}
+
+DiffReport DiffRunner::run(const GenCase& c) const {
+  DiffReport rep;
+  auto fail = [&](Divergence d) {
+    rep.equivalent = false;
+    rep.divergence = std::move(d);
+  };
+
+  // --- native reference, configured first ----------------------------------
+  bm::Switch native(c.program);
+  for (const auto& r : c.rules) apply_native(native, r);
+
+  // --- engine, mirroring the configured native state ------------------------
+  std::unique_ptr<engine::TrafficEngine> eng;
+  if (opts_.run_engine) {
+    engine::EngineOptions eo;
+    eo.workers = c.stateful ? 1 : std::max<std::size_t>(1, opts_.engine_workers);
+    eng = std::make_unique<engine::TrafficEngine>(c.program, eo);
+    eng->sync_from(native);
+  }
+
+  // --- persona ---------------------------------------------------------------
+  std::unique_ptr<hp4::Controller> ctl;
+  std::optional<hp4::VdevId> vdev;
+  if (opts_.run_persona) {
+    hp4::PersonaConfig pcfg;
+    pcfg.writeback_step_bytes = opts_.persona_writeback_step;
+    ctl = std::make_unique<hp4::Controller>(pcfg);
+    try {
+      vdev = ctl->load(c.program.name, c.program);
+    } catch (const hp4::UnsupportedFeature& e) {
+      rep.persona_skip_reason = e.what();
+      ctl.reset();
+    }
+    if (vdev) {
+      std::vector<std::uint16_t> ports;
+      for (std::size_t p = 1; p <= c.ports; ++p)
+        ports.push_back(static_cast<std::uint16_t>(p));
+      ctl->attach_ports(*vdev, ports);
+      for (std::uint16_t p : ports) ctl->bind(*vdev, p);
+      for (std::size_t i = 0; i < c.rules.size(); ++i) {
+        if (opts_.mutation == Mutation::kDropPersonaRule &&
+            i + 1 == c.rules.size())
+          continue;  // injected divergence: last rule never reaches the DPMU
+        try {
+          ctl->add_rule(*vdev, to_virtual(c.rules[i]));
+        } catch (const util::Error& e) {
+          // Native accepted the rule; the persona must too.
+          Divergence d;
+          d.lhs = "native";
+          d.rhs = "persona";
+          d.kind = "rule_rejected";
+          d.detail = "'" + cli_line(c.rules[i]) + "': " + e.what();
+          fail(std::move(d));
+          ctl.reset();
+          vdev.reset();
+          break;
+        }
+      }
+      rep.persona_ran = vdev.has_value();
+    }
+  }
+
+  // --- inject ----------------------------------------------------------------
+  std::vector<bm::ProcessResult> native_res;
+  native_res.reserve(c.packets.size());
+  for (const auto& pk : c.packets)
+    native_res.push_back(native.inject(pk.port, pk.packet));
+
+  if (eng) {
+    for (const auto& pk : c.packets) eng->inject(pk.port, pk.packet);
+    engine::MergedResult merged = eng->drain();
+
+    if (opts_.mutation == Mutation::kCorruptEngineByte &&
+        !merged.per_packet.empty()) {
+      bool done = false;
+      for (auto& pr : merged.per_packet) {
+        for (auto& o : pr.outputs) {
+          if (!o.packet.empty()) {
+            auto bytes = o.packet.mutable_bytes();
+            bytes[bytes.size() - 1] ^= 0xFF;
+            done = true;
+            break;
+          }
+        }
+        if (done) break;
+      }
+      if (!done)
+        merged.per_packet.front().outputs.push_back(
+            bm::OutputPacket{1, net::Packet({0xde, 0xad})});
+    }
+
+    if (merged.packets != c.packets.size()) {
+      Divergence d;
+      d.lhs = "native";
+      d.rhs = "engine";
+      d.kind = "packet_count";
+      d.detail = std::to_string(c.packets.size()) + " injected vs " +
+                 std::to_string(merged.packets) + " drained";
+      fail(std::move(d));
+      return rep;
+    }
+    for (std::size_t i = 0; i < c.packets.size() && rep.equivalent; ++i) {
+      if (auto d = diff_results(native_res[i], merged.per_packet[i], i)) {
+        d->lhs = "native";
+        d->rhs = "engine";
+        fail(std::move(*d));
+      }
+    }
+
+    // Final stateful-object comparison.
+    for (const auto& cd : c.program.counters) {
+      for (std::size_t i = 0; i < cd.instance_count && rep.equivalent; ++i) {
+        const auto np = native.counter_packets(cd.name, i);
+        const auto nb = native.counter_bytes(cd.name, i);
+        const auto ep = eng->counter_packets_total(cd.name, i);
+        const auto eb = eng->counter_bytes_total(cd.name, i);
+        if (np != ep || nb != eb) {
+          Divergence d;
+          d.lhs = "native";
+          d.rhs = "engine";
+          d.kind = "counter_state";
+          d.detail = cd.name + "[" + std::to_string(i) + "]: " +
+                     std::to_string(np) + "p/" + std::to_string(nb) +
+                     "B vs " + std::to_string(ep) + "p/" +
+                     std::to_string(eb) + "B";
+          fail(std::move(d));
+        }
+      }
+    }
+    if (eng->workers() == 1) {
+      for (const auto& rd : c.program.registers) {
+        for (std::size_t i = 0; i < rd.instance_count && rep.equivalent; ++i) {
+          const auto nv = native.register_read(rd.name, i);
+          const auto ev = eng->register_read(rd.name, i);
+          if (!(nv == ev)) {
+            Divergence d;
+            d.lhs = "native";
+            d.rhs = "engine";
+            d.kind = "register_state";
+            d.detail = rd.name + "[" + std::to_string(i) + "]: 0x" +
+                       nv.to_hex() + " vs 0x" + ev.to_hex();
+            fail(std::move(d));
+          }
+        }
+      }
+    }
+    if (!rep.equivalent) return rep;
+  }
+
+  if (ctl && vdev) {
+    for (std::size_t i = 0; i < c.packets.size(); ++i) {
+      const bm::ProcessResult pr =
+          ctl->dataplane().inject(c.packets[i].port, c.packets[i].packet);
+      if (auto d = diff_observable(native_res[i], pr, i)) {
+        d->lhs = "native";
+        d->rhs = "persona";
+        fail(std::move(*d));
+        return rep;
+      }
+    }
+  }
+  return rep;
+}
+
+}  // namespace hyper4::check

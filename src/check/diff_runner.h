@@ -1,0 +1,82 @@
+// The three-backend differential oracle.
+//
+// A (program, rules, packets) triple runs through
+//   native   bm::Switch compiled straight from the target IR,
+//   engine   engine::TrafficEngine over the same IR (state mirrored from
+//            the configured native switch via sync_from), and
+//   persona  the HyPer4 persona, loaded through hp4::Controller (compile +
+//            DPMU rule translation), ports bound 1:1.
+//
+// Comparisons:
+//   native vs engine   full structural trace equality per packet (outputs,
+//                      applied tables with handles, drop/resubmit/...
+//                      counters, digests) plus final counter totals and —
+//                      with one worker — register state. The engine's
+//                      determinism contract says these are bit-identical.
+//   native vs persona  egress-observable equality per packet (the paper's
+//                      functional-equivalence claim). Programs outside the
+//                      persona subset (counters/registers, §5.3) are
+//                      reported as skipped, not failed.
+//
+// DiffOptions::mutation injects a deliberate divergence for self-testing
+// the oracle and the reducer: a report of "equivalent" from a broken
+// checker is worthless, so the checker must be able to catch a plant.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "check/program_gen.h"
+#include "check/trace_diff.h"
+
+namespace hyper4::check {
+
+enum class Mutation {
+  kNone,
+  // Silently omit the last rule from the persona install (models a DPMU
+  // translation dropping an entry).
+  kDropPersonaRule,
+  // Corrupt one output byte in the engine's merged results (models a
+  // worker-merge bug).
+  kCorruptEngineByte,
+};
+
+struct DiffOptions {
+  std::size_t engine_workers = 4;  // pinned to 1 for stateful cases
+  bool run_engine = true;
+  bool run_persona = true;
+  // Write-back granularity for the persona under test. Defaults to the
+  // paper's per-byte resize actions so remove_header of any width is exact;
+  // the stock persona default (10) would skip off-quantum resize programs.
+  std::size_t persona_writeback_step = 1;
+  Mutation mutation = Mutation::kNone;
+};
+
+struct DiffReport {
+  bool equivalent = true;
+  // Persona participation: false when the compile rejected the program
+  // (UnsupportedFeature) — the reason is recorded, the case still counts
+  // as checked native-vs-engine.
+  bool persona_ran = false;
+  std::string persona_skip_reason;
+  std::optional<Divergence> divergence;
+
+  std::string str() const;
+};
+
+class DiffRunner {
+ public:
+  explicit DiffRunner(DiffOptions opts = {}) : opts_(opts) {}
+  const DiffOptions& options() const { return opts_; }
+
+  // Throws util::Error only on malformed inputs (a rule the *native* CLI
+  // rejects, an invalid program); backend disagreement — including a
+  // persona rule rejection — is reported, not thrown.
+  DiffReport run(const GenCase& c) const;
+
+ private:
+  DiffOptions opts_;
+};
+
+}  // namespace hyper4::check

@@ -1,0 +1,975 @@
+#include "check/program_gen.h"
+
+#include <algorithm>
+#include <map>
+#include <optional>
+#include <set>
+#include <sstream>
+
+#include "hp4/persona.h"
+#include "util/bitvec.h"
+#include "util/rng.h"
+
+namespace hyper4::check {
+
+namespace {
+
+using p4::ActionArg;
+using p4::ActionDef;
+using p4::ActionParam;
+using p4::ControlNode;
+using p4::Expr;
+using p4::FieldRef;
+using p4::HeaderInstance;
+using p4::HeaderType;
+using p4::MatchType;
+using p4::ParserCase;
+using p4::ParserState;
+using p4::Primitive;
+using p4::PrimitiveCall;
+using p4::Program;
+using p4::TableDef;
+using p4::TableKey;
+using util::BitVec;
+using util::Rng;
+
+// --- generation model -------------------------------------------------------
+
+struct GField {
+  std::string name;
+  std::size_t width = 0;
+  // Shared value pool: rule keys and packet fills draw from the same pool
+  // so generated rules actually hit.
+  std::vector<BitVec> pool;
+};
+
+struct GHeader {
+  std::string type_name;
+  std::string inst;
+  std::size_t bytes = 0;
+  std::size_t offset = 0;  // byte offset on its parse path
+  bool always = false;     // extracted on every accepting path
+  int sel = -1;            // selector field index (-1: none)
+  std::vector<GField> fields;
+};
+
+// One enumerated path through the generated parse graph.
+struct GPath {
+  std::vector<std::size_t> headers;  // indices into the header list
+  // (header index, field index) → value forced on this path (selectors).
+  std::vector<std::tuple<std::size_t, std::size_t, BitVec>> forced;
+  bool drops = false;
+  std::size_t total_bytes = 0;
+};
+
+enum class Mode { kSingle, kBranch, kChain };
+
+struct MetaField {
+  std::string name;
+  std::size_t width = 0;
+};
+
+class Gen {
+ public:
+  Gen(const GenLimits& limits, std::uint64_t seed)
+      : limits_(limits), rng_(seed * 0x9E3779B97F4A7C15ull + 0x48795034ull) {
+    out_.seed = seed;
+    out_.ports = limits.ports;
+  }
+
+  GenCase run() {
+    build_headers();
+    build_meta();
+    decide_stateful();
+    build_parser();
+    build_tables_and_control();
+    maybe_attach_stateful_prims();
+    finish_program();
+    build_rules();
+    build_packets();
+    return std::move(out_);
+  }
+
+ private:
+  // --- small helpers --------------------------------------------------------
+
+  std::size_t pick(std::initializer_list<std::size_t> xs) {
+    std::vector<std::size_t> v(xs);
+    return v[rng_.uniform(0, v.size() - 1)];
+  }
+
+  static std::string hex(const BitVec& v) { return "0x" + v.to_hex(); }
+
+  BitVec pool_or_random(const GField& f) {
+    if (!f.pool.empty() && rng_.coin(0.78))
+      return f.pool[rng_.uniform(0, f.pool.size() - 1)];
+    return rng_.bits(f.width);
+  }
+
+  // Partition `total_bits` into field widths; when `sel_width` is nonzero
+  // the last field is the selector with exactly that width.
+  std::vector<std::size_t> partition(std::size_t total_bits,
+                                     std::size_t sel_width) {
+    std::vector<std::size_t> widths;
+    std::size_t remaining = total_bits - sel_width;
+    const std::size_t menu[] = {4, 8, 12, 16, 24, 32, 48};
+    while (remaining > 0) {
+      std::vector<std::size_t> fits;
+      for (std::size_t w : menu)
+        if (w <= remaining) fits.push_back(w);
+      const std::size_t w =
+          fits.empty() ? remaining : fits[rng_.uniform(0, fits.size() - 1)];
+      widths.push_back(w);
+      remaining -= w;
+    }
+    if (sel_width > 0) widths.push_back(sel_width);
+    return widths;
+  }
+
+  GHeader make_header(const std::string& base, std::size_t bytes,
+                      std::size_t offset, bool always, bool with_selector) {
+    GHeader h;
+    h.type_name = base + "_t";
+    h.inst = base;
+    h.bytes = bytes;
+    h.offset = offset;
+    h.always = always;
+    const std::size_t sel_w = with_selector ? pick({8, 16}) : 0;
+    const auto widths = partition(8 * bytes, sel_w);
+    for (std::size_t i = 0; i < widths.size(); ++i) {
+      GField f;
+      f.name = "f" + std::to_string(i);
+      f.width = widths[i];
+      const std::size_t n_pool = rng_.uniform(2, 4);
+      for (std::size_t k = 0; k < n_pool; ++k) f.pool.push_back(rng_.bits(f.width));
+      h.fields.push_back(std::move(f));
+    }
+    if (with_selector) {
+      h.sel = static_cast<int>(h.fields.size() - 1);
+      h.fields[h.sel].name = "sel";
+    }
+    return h;
+  }
+
+  // A fresh selector case value distinct from `taken`.
+  BitVec fresh_value(std::size_t width, std::vector<BitVec>& taken) {
+    for (int tries = 0; tries < 64; ++tries) {
+      BitVec v = rng_.bits(width);
+      if (std::find(taken.begin(), taken.end(), v) == taken.end()) {
+        taken.push_back(v);
+        return v;
+      }
+    }
+    // Width >= 8 and |taken| tiny: unreachable in practice.
+    taken.push_back(BitVec(width));
+    return BitVec(width);
+  }
+
+  // --- headers & parser -----------------------------------------------------
+
+  void build_headers() {
+    mode_ = static_cast<Mode>(rng_.uniform(0, 2));
+    headers_.push_back(
+        make_header("h0", pick({6, 8, 10, 12}), 0, true, mode_ != Mode::kSingle));
+    switch (mode_) {
+      case Mode::kSingle:
+        if (rng_.coin(0.55))
+          headers_.push_back(make_header("h1", pick({4, 6, 8, 10}),
+                                         headers_[0].bytes, true, false));
+        break;
+      case Mode::kBranch: {
+        const std::size_t nb = rng_.uniform(2, 3);
+        for (std::size_t i = 0; i < nb; ++i)
+          headers_.push_back(make_header("h" + std::to_string(i + 1),
+                                         pick({4, 6, 8, 10}), headers_[0].bytes,
+                                         false, false));
+        branch_default_drops_ = rng_.coin(0.35);
+        break;
+      }
+      case Mode::kChain:
+        headers_.push_back(make_header("h1", pick({6, 8, 10}),
+                                       headers_[0].bytes, false, true));
+        headers_.push_back(make_header("h2", pick({4, 6, 8}),
+                                       headers_[0].bytes + headers_[1].bytes,
+                                       false, false));
+        break;
+    }
+  }
+
+  void build_meta() {
+    if (!rng_.coin(0.4)) return;
+    const std::size_t n = rng_.uniform(1, 2);
+    for (std::size_t i = 0; i < n; ++i) {
+      MetaField f;
+      f.name = "m" + std::to_string(i);
+      f.width = pick({8, 16, 32});
+      meta_.push_back(f);
+    }
+  }
+
+  void decide_stateful() {
+    if (limits_.allow_stateful && rng_.coin(limits_.p_stateful)) {
+      out_.stateful = true;
+      use_counter_ = rng_.coin(0.7);
+      use_register_ = !use_counter_ || rng_.coin(0.5);
+    }
+  }
+
+  // Selector pools get the case values so rules key on realistic values.
+  void note_selector_values(GHeader& h, const std::vector<BitVec>& vals) {
+    for (const BitVec& v : vals) h.fields[h.sel].pool.push_back(v);
+  }
+
+  void build_parser() {
+    auto& ps = prog_.parser_states;
+    switch (mode_) {
+      case Mode::kSingle: {
+        ParserState start;
+        start.name = "start";
+        for (const auto& h : headers_) start.extracts.push_back(h.inst);
+        start.cases.push_back(
+            ParserCase{BitVec(), std::nullopt, true, p4::kParserAccept});
+        ps.push_back(std::move(start));
+        GPath p;
+        for (std::size_t i = 0; i < headers_.size(); ++i) p.headers.push_back(i);
+        paths_.push_back(std::move(p));
+        break;
+      }
+      case Mode::kBranch: {
+        GHeader& h0 = headers_[0];
+        const std::size_t sw = h0.fields[h0.sel].width;
+        std::vector<BitVec> taken;
+        ParserState start;
+        start.name = "start";
+        start.extracts.push_back(h0.inst);
+        start.select.push_back(
+            p4::SelectKey{false, FieldRef{h0.inst, "sel"}, 0, 0});
+        for (std::size_t b = 1; b < headers_.size(); ++b) {
+          const BitVec v = fresh_value(sw, taken);
+          start.cases.push_back(
+              ParserCase{v, std::nullopt, false, "p_" + headers_[b].inst});
+          ParserState st;
+          st.name = "p_" + headers_[b].inst;
+          st.extracts.push_back(headers_[b].inst);
+          st.cases.push_back(
+              ParserCase{BitVec(), std::nullopt, true, p4::kParserAccept});
+          ps_extra_.push_back(std::move(st));
+          GPath p;
+          p.headers = {0, b};
+          p.forced.emplace_back(0, static_cast<std::size_t>(h0.sel), v);
+          paths_.push_back(std::move(p));
+        }
+        const BitVec filler = fresh_value(sw, taken);
+        start.cases.push_back(ParserCase{
+            BitVec(), std::nullopt, true,
+            branch_default_drops_ ? p4::kParserDrop : p4::kParserAccept});
+        GPath dflt;
+        dflt.headers = {0};
+        dflt.forced.emplace_back(0, static_cast<std::size_t>(h0.sel), filler);
+        dflt.drops = branch_default_drops_;
+        paths_.push_back(std::move(dflt));
+        note_selector_values(h0, taken);
+        ps.push_back(std::move(start));
+        for (auto& st : ps_extra_) ps.push_back(std::move(st));
+        ps_extra_.clear();
+        break;
+      }
+      case Mode::kChain: {
+        GHeader& h0 = headers_[0];
+        GHeader& h1 = headers_[1];
+        const std::size_t sw0 = h0.fields[h0.sel].width;
+        const std::size_t sw1 = h1.fields[h1.sel].width;
+        std::vector<BitVec> taken0, taken1;
+        const BitVec v1 = fresh_value(sw0, taken0);
+        const BitVec filler0 = fresh_value(sw0, taken0);
+        const BitVec v2 = fresh_value(sw1, taken1);
+        const BitVec filler1 = fresh_value(sw1, taken1);
+        note_selector_values(h0, taken0);
+        note_selector_values(h1, taken1);
+
+        ParserState start;
+        start.name = "start";
+        start.extracts.push_back(h0.inst);
+        start.select.push_back(
+            p4::SelectKey{false, FieldRef{h0.inst, "sel"}, 0, 0});
+        start.cases.push_back(ParserCase{v1, std::nullopt, false, "p_h1"});
+        start.cases.push_back(
+            ParserCase{BitVec(), std::nullopt, true, p4::kParserAccept});
+        ps.push_back(std::move(start));
+
+        ParserState s1;
+        s1.name = "p_h1";
+        s1.extracts.push_back(h1.inst);
+        s1.select.push_back(
+            p4::SelectKey{false, FieldRef{h1.inst, "sel"}, 0, 0});
+        s1.cases.push_back(ParserCase{v2, std::nullopt, false, "p_h2"});
+        s1.cases.push_back(
+            ParserCase{BitVec(), std::nullopt, true, p4::kParserAccept});
+        ps.push_back(std::move(s1));
+
+        ParserState s2;
+        s2.name = "p_h2";
+        s2.extracts.push_back(headers_[2].inst);
+        s2.cases.push_back(
+            ParserCase{BitVec(), std::nullopt, true, p4::kParserAccept});
+        ps.push_back(std::move(s2));
+
+        GPath full;
+        full.headers = {0, 1, 2};
+        full.forced.emplace_back(0, static_cast<std::size_t>(h0.sel), v1);
+        full.forced.emplace_back(1, static_cast<std::size_t>(h1.sel), v2);
+        paths_.push_back(std::move(full));
+        GPath two;
+        two.headers = {0, 1};
+        two.forced.emplace_back(0, static_cast<std::size_t>(h0.sel), v1);
+        two.forced.emplace_back(1, static_cast<std::size_t>(h1.sel), filler1);
+        paths_.push_back(std::move(two));
+        GPath one;
+        one.headers = {0};
+        one.forced.emplace_back(0, static_cast<std::size_t>(h0.sel), filler0);
+        paths_.push_back(std::move(one));
+        break;
+      }
+    }
+    for (auto& p : paths_) {
+      p.total_bytes = 0;
+      for (std::size_t hi : p.headers) p.total_bytes += headers_[hi].bytes;
+    }
+  }
+
+  // --- actions --------------------------------------------------------------
+
+  struct TablePlan {
+    std::string name;
+    bool terminal = false;
+    // Header whose validity guards the table via if-valid (else-arm tables
+    // record it too, with expect_valid=false); kNoGuard otherwise.
+    static constexpr std::size_t kNoGuard = static_cast<std::size_t>(-1);
+    std::size_t guard_header = kNoGuard;
+    bool guard_expect_valid = true;
+    bool std_meta = false;       // single ingress_port key
+    bool has_ternary = false;    // rules then need explicit priorities
+    // Non-always header constrained by a leading valid() key, if any.
+    std::size_t valid_keyed_header = kNoGuard;
+    TableDef def;
+  };
+
+  std::string fresh_action_name() { return "act" + std::to_string(n_actions_++); }
+
+  const std::string& shared_drop() {
+    if (drop_action_.empty()) {
+      drop_action_ = "a_drop";
+      ActionDef a;
+      a.name = drop_action_;
+      a.body.push_back(PrimitiveCall{Primitive::kDrop, {}});
+      prog_.actions.push_back(std::move(a));
+    }
+    return drop_action_;
+  }
+
+  const std::string& shared_nop() {
+    if (nop_action_.empty()) {
+      nop_action_ = "nop0";
+      ActionDef a;
+      a.name = nop_action_;
+      a.body.push_back(PrimitiveCall{Primitive::kNoOp, {}});
+      prog_.actions.push_back(std::move(a));
+    }
+    return nop_action_;
+  }
+
+  // Fields an action running under this plan may write or read:
+  // always-valid headers, the guard header (when expect_valid), and meta.
+  struct FieldMenu {
+    std::vector<FieldRef> header_fields;  // writable packet fields
+    std::vector<std::size_t> widths;
+    std::vector<FieldRef> meta_fields;
+    std::vector<std::size_t> meta_widths;
+  };
+
+  FieldMenu field_menu(const TablePlan& plan) const {
+    FieldMenu m;
+    for (std::size_t hi = 0; hi < headers_.size(); ++hi) {
+      const GHeader& h = headers_[hi];
+      const bool ok = h.always || (plan.guard_header == hi && plan.guard_expect_valid) ||
+                      plan.valid_keyed_header == hi;
+      if (!ok) continue;
+      for (const auto& f : h.fields) {
+        m.header_fields.push_back(FieldRef{h.inst, f.name});
+        m.widths.push_back(f.width);
+      }
+    }
+    for (const auto& f : meta_) {
+      m.meta_fields.push_back(FieldRef{"md", f.name});
+      m.meta_widths.push_back(f.width);
+    }
+    return m;
+  }
+
+  // Append one random persona-supported mutator primitive to `a`.
+  void add_mutator_prim(ActionDef& a, const FieldMenu& menu) {
+    const bool has_pkt = !menu.header_fields.empty();
+    const bool has_meta = !menu.meta_fields.empty();
+    if (!has_pkt && !has_meta) {
+      a.body.push_back(PrimitiveCall{Primitive::kNoOp, {}});
+      return;
+    }
+    // Pick a destination field.
+    const bool dst_meta = has_meta && (!has_pkt || rng_.coin(0.35));
+    const std::size_t di =
+        dst_meta ? rng_.uniform(0, menu.meta_fields.size() - 1)
+                 : rng_.uniform(0, menu.header_fields.size() - 1);
+    const FieldRef dst = dst_meta ? menu.meta_fields[di] : menu.header_fields[di];
+    const std::size_t dw = dst_meta ? menu.meta_widths[di] : menu.widths[di];
+
+    const std::size_t kind = rng_.uniform(0, 9);
+    PrimitiveCall call;
+    switch (kind) {
+      case 0:
+      case 1: {  // modify_field(dst, const)
+        call.op = Primitive::kModifyField;
+        call.args = {ActionArg::of_field(dst),
+                     ActionArg::constant(dw, rng_.bits(dw).low_u64())};
+        break;
+      }
+      case 2: {  // modify_field(dst, param)
+        call.op = Primitive::kModifyField;
+        call.args = {ActionArg::of_field(dst), ActionArg::param(a.params.size())};
+        a.params.push_back(ActionParam{"p" + std::to_string(a.params.size()), dw});
+        break;
+      }
+      case 3: {  // modify_field(dst, src_field), src at least as wide
+        std::vector<std::pair<FieldRef, std::size_t>> srcs;
+        for (std::size_t i = 0; i < menu.header_fields.size(); ++i)
+          if (menu.widths[i] >= dw && !(menu.header_fields[i] == dst))
+            srcs.emplace_back(menu.header_fields[i], menu.widths[i]);
+        for (std::size_t i = 0; i < menu.meta_fields.size(); ++i)
+          if (menu.meta_widths[i] >= dw && !(menu.meta_fields[i] == dst))
+            srcs.emplace_back(menu.meta_fields[i], menu.meta_widths[i]);
+        if (srcs.empty()) {
+          call.op = Primitive::kModifyField;
+          call.args = {ActionArg::of_field(dst),
+                       ActionArg::constant(dw, rng_.bits(dw).low_u64())};
+          break;
+        }
+        const FieldRef& src = srcs[rng_.uniform(0, srcs.size() - 1)].first;
+        call.op = Primitive::kModifyField;
+        call.args = {ActionArg::of_field(dst), ActionArg::of_field(src)};
+        break;
+      }
+      case 4: {  // masked modify_field(dst, const, mask)
+        call.op = Primitive::kModifyField;
+        call.args = {ActionArg::of_field(dst),
+                     ActionArg::constant(rng_.bits(dw)),
+                     ActionArg::constant(rng_.bits(dw))};
+        break;
+      }
+      case 5:
+      case 6: {  // add_to_field / subtract_from_field with const delta
+        call.op = kind == 5 ? Primitive::kAddToField
+                            : Primitive::kSubtractFromField;
+        call.args = {ActionArg::of_field(dst),
+                     ActionArg::constant(dw, rng_.uniform(1, 255))};
+        break;
+      }
+      case 7: {  // add_to_field(dst, param)
+        call.op = Primitive::kAddToField;
+        call.args = {ActionArg::of_field(dst), ActionArg::param(a.params.size())};
+        a.params.push_back(ActionParam{"p" + std::to_string(a.params.size()), dw});
+        break;
+      }
+      case 8: {  // meta.f = standard_metadata.ingress_port (meta dst only)
+        if (has_meta) {
+          const std::size_t mi = rng_.uniform(0, menu.meta_fields.size() - 1);
+          call.op = Primitive::kModifyField;
+          call.args = {
+              ActionArg::of_field(menu.meta_fields[mi]),
+              ActionArg::of_field(FieldRef{p4::kStandardMetadata,
+                                           p4::kFieldIngressPort})};
+        } else {
+          call.op = Primitive::kModifyField;
+          call.args = {ActionArg::of_field(dst),
+                       ActionArg::constant(dw, rng_.bits(dw).low_u64())};
+        }
+        break;
+      }
+      default: {  // plain const modify again (keeps the distribution tame)
+        call.op = Primitive::kModifyField;
+        call.args = {ActionArg::of_field(dst),
+                     ActionArg::constant(dw, rng_.bits(dw).low_u64())};
+        break;
+      }
+    }
+    a.body.push_back(std::move(call));
+  }
+
+  // A terminal (egress-deciding) action: mutators then egress_spec ← param.
+  std::string make_forward_action(const TablePlan& plan) {
+    ActionDef a;
+    a.name = fresh_action_name();
+    a.params.push_back(ActionParam{"port", p4::kPortWidth});
+    const FieldMenu menu = field_menu(plan);
+    const std::size_t n_mut = rng_.uniform(0, 2);
+    for (std::size_t i = 0; i < n_mut; ++i) add_mutator_prim(a, menu);
+    // Optional single-path header removal (persona RESIZE path); terminal
+    // only, so no later table reads the shifted layout.
+    if (mode_ == Mode::kSingle && headers_.size() >= 2 && rng_.coin(0.18)) {
+      a.body.push_back(PrimitiveCall{
+          Primitive::kRemoveHeader, {ActionArg::header(headers_[1].inst)}});
+    }
+    a.body.push_back(PrimitiveCall{
+        Primitive::kModifyField,
+        {ActionArg::of_field(
+             FieldRef{p4::kStandardMetadata, p4::kFieldEgressSpec}),
+         ActionArg::param(0)}});
+    const std::string name = a.name;
+    port_param_actions_[name] = 0;  // param 0 is port-valued
+    prog_.actions.push_back(std::move(a));
+    return name;
+  }
+
+  std::string make_mutator_action(const TablePlan& plan) {
+    ActionDef a;
+    a.name = fresh_action_name();
+    const FieldMenu menu = field_menu(plan);
+    const std::size_t n = rng_.uniform(1, 3);
+    for (std::size_t i = 0; i < n; ++i) add_mutator_prim(a, menu);
+    const std::string name = a.name;
+    prog_.actions.push_back(std::move(a));
+    return name;
+  }
+
+  // --- tables ---------------------------------------------------------------
+
+  void add_table_keys(TablePlan& plan) {
+    TableDef& t = plan.def;
+    if (plan.std_meta) {
+      t.keys.push_back(TableKey{
+          MatchType::kExact,
+          FieldRef{p4::kStandardMetadata, p4::kFieldIngressPort}});
+      return;
+    }
+
+    // Headers whose fields this table may key on without extra validity
+    // constraints: always-valid headers plus the guard header (if-valid arm).
+    std::vector<std::size_t> safe;
+    for (std::size_t hi = 0; hi < headers_.size(); ++hi) {
+      if (headers_[hi].always ||
+          (plan.guard_header == hi && plan.guard_expect_valid))
+        safe.push_back(hi);
+    }
+    std::vector<std::size_t> cond;  // non-always, unguarded → need valid key
+    if (plan.guard_header == TablePlan::kNoGuard) {
+      for (std::size_t hi = 0; hi < headers_.size(); ++hi)
+        if (!headers_[hi].always) cond.push_back(hi);
+    }
+
+    // Meta-only table (the persona matches those against ext_meta; mixing
+    // meta and packet keys in one table is out of the generated subset).
+    if (!meta_.empty() && rng_.coin(0.2)) {
+      const std::size_t n = std::min<std::size_t>(meta_.size(), rng_.uniform(1, 2));
+      for (std::size_t i = 0; i < n; ++i) {
+        const bool tern = rng_.coin(0.25);
+        if (tern) plan.has_ternary = true;
+        t.keys.push_back(TableKey{tern ? MatchType::kTernary : MatchType::kExact,
+                                  FieldRef{"md", meta_[i].name}});
+      }
+      return;
+    }
+
+    // Valid-only table.
+    if (!cond.empty() && rng_.coin(0.12)) {
+      const std::size_t hv = cond[rng_.uniform(0, cond.size() - 1)];
+      plan.valid_keyed_header = hv;
+      t.keys.push_back(TableKey{MatchType::kValid, FieldRef{headers_[hv].inst, ""}});
+      return;
+    }
+
+    // Single-key lpm table: rules use implicit priorities, and both
+    // backends order longest-prefix-first.
+    if (!safe.empty() && rng_.coin(0.18)) {
+      const GHeader& h = headers_[safe[rng_.uniform(0, safe.size() - 1)]];
+      std::vector<std::size_t> wide;
+      for (std::size_t i = 0; i < h.fields.size(); ++i)
+        if (h.fields[i].width >= 8) wide.push_back(i);
+      if (!wide.empty()) {
+        const GField& f = h.fields[wide[rng_.uniform(0, wide.size() - 1)]];
+        t.keys.push_back(
+            TableKey{MatchType::kLpm, FieldRef{h.inst, f.name}});
+        return;
+      }
+    }
+
+    // General packet table: optional valid-keyed conditional header plus
+    // 1..2 exact/ternary field keys.
+    std::vector<std::size_t> keyable = safe;
+    if (!cond.empty() && rng_.coin(0.35)) {
+      const std::size_t hv = cond[rng_.uniform(0, cond.size() - 1)];
+      plan.valid_keyed_header = hv;
+      t.keys.push_back(
+          TableKey{MatchType::kValid, FieldRef{headers_[hv].inst, ""}});
+      keyable.push_back(hv);
+    }
+    if (keyable.empty()) {
+      // No headers to key on (can't happen: h0 is always valid) — valid-only.
+      return;
+    }
+    const std::size_t n_keys = rng_.uniform(1, 2);
+    std::set<std::pair<std::size_t, std::size_t>> used;
+    for (std::size_t i = 0; i < n_keys; ++i) {
+      const std::size_t hi = keyable[rng_.uniform(0, keyable.size() - 1)];
+      const GHeader& h = headers_[hi];
+      const std::size_t fi = rng_.uniform(0, h.fields.size() - 1);
+      if (!used.insert({hi, fi}).second) continue;
+      const bool tern = rng_.coin(0.3);
+      if (tern) plan.has_ternary = true;
+      t.keys.push_back(TableKey{tern ? MatchType::kTernary : MatchType::kExact,
+                                FieldRef{h.inst, h.fields[fi].name}});
+    }
+    if (t.keys.empty()) {
+      // All picks collided: fall back to one exact key on h0.f0.
+      t.keys.push_back(
+          TableKey{MatchType::kExact, FieldRef{headers_[0].inst,
+                                               headers_[0].fields[0].name}});
+    }
+  }
+
+  TablePlan make_table(bool terminal, std::size_t guard_header,
+                       bool guard_expect_valid, bool std_meta) {
+    TablePlan plan;
+    plan.name = "t" + std::to_string(n_tables_++);
+    plan.terminal = terminal;
+    plan.guard_header = guard_header;
+    plan.guard_expect_valid = guard_expect_valid;
+    plan.std_meta = std_meta;
+    plan.def.name = plan.name;
+    add_table_keys(plan);
+
+    TableDef& t = plan.def;
+    if (terminal) {
+      const std::size_t n_fwd = rng_.uniform(1, 2);
+      for (std::size_t i = 0; i < n_fwd; ++i)
+        t.actions.push_back(make_forward_action(plan));
+      t.actions.push_back(shared_drop());
+      t.default_action = shared_drop();
+    } else {
+      t.actions.push_back(shared_nop());
+      const std::size_t n_mut = rng_.uniform(1, 2);
+      for (std::size_t i = 0; i < n_mut; ++i)
+        t.actions.push_back(make_mutator_action(plan));
+      t.default_action = shared_nop();
+    }
+    return plan;
+  }
+
+  void build_tables_and_control() {
+    const std::size_t stage_budget = std::min<std::size_t>(limits_.max_tables, 4);
+    std::vector<std::size_t> non_always;
+    for (std::size_t hi = 0; hi < headers_.size(); ++hi)
+      if (!headers_[hi].always) non_always.push_back(hi);
+    const bool guard =
+        !non_always.empty() && stage_budget >= 2 && rng_.coin(0.45);
+    const std::size_t n_nonterm =
+        rng_.uniform(0, stage_budget - (guard ? 2 : 1));
+
+    for (std::size_t i = 0; i < n_nonterm; ++i)
+      plans_.push_back(
+          make_table(false, TablePlan::kNoGuard, true, false));
+
+    auto& nodes = prog_.ingress.nodes;
+    for (std::size_t i = 0; i < plans_.size(); ++i) {
+      ControlNode n;
+      n.kind = ControlNode::Kind::kApply;
+      n.table = plans_[i].name;
+      n.next_default = i + 1;  // patched below for the last chain node
+      nodes.push_back(std::move(n));
+    }
+
+    if (guard) {
+      const std::size_t g = non_always[rng_.uniform(0, non_always.size() - 1)];
+      plans_.push_back(make_table(true, g, true, false));   // then-arm
+      plans_.push_back(make_table(true, g, false, false));  // else-arm
+      const std::size_t if_idx = nodes.size();
+      ControlNode iff;
+      iff.kind = ControlNode::Kind::kIf;
+      iff.condition = Expr::valid(headers_[g].inst);
+      iff.next_true = if_idx + 1;
+      iff.next_false = if_idx + 2;
+      nodes.push_back(std::move(iff));
+      ControlNode then_n;
+      then_n.kind = ControlNode::Kind::kApply;
+      then_n.table = plans_[plans_.size() - 2].name;
+      then_n.next_default = p4::kEndOfControl;
+      nodes.push_back(std::move(then_n));
+      ControlNode else_n;
+      else_n.kind = ControlNode::Kind::kApply;
+      else_n.table = plans_[plans_.size() - 1].name;
+      else_n.next_default = p4::kEndOfControl;
+      nodes.push_back(std::move(else_n));
+    } else {
+      const bool std_meta = rng_.coin(0.15);
+      plans_.push_back(make_table(true, TablePlan::kNoGuard, true, std_meta));
+      ControlNode term;
+      term.kind = ControlNode::Kind::kApply;
+      term.table = plans_.back().name;
+      term.next_default = p4::kEndOfControl;
+      nodes.push_back(std::move(term));
+    }
+    prog_.ingress.name = "ingress";
+
+    for (auto& plan : plans_) prog_.tables.push_back(plan.def);
+  }
+
+  // Sprinkle counter / register primitives onto existing mutator or
+  // forward actions (stateful cases only; the persona skips those).
+  void maybe_attach_stateful_prims() {
+    if (!out_.stateful) return;
+    if (use_counter_)
+      prog_.counters.push_back(p4::CounterDef{"cnt0", 4, ""});
+    if (use_register_)
+      prog_.registers.push_back(p4::RegisterDef{"reg0", 32, 4});
+
+    std::vector<ActionDef*> candidates;
+    for (auto& a : prog_.actions)
+      if (a.name != drop_action_) candidates.push_back(&a);
+    if (candidates.empty()) return;
+
+    auto pick_action = [&]() -> ActionDef& {
+      return *candidates[rng_.uniform(0, candidates.size() - 1)];
+    };
+    if (use_counter_) {
+      ActionDef& a = pick_action();
+      a.body.push_back(PrimitiveCall{
+          Primitive::kCount,
+          {ActionArg::named("cnt0"),
+           ActionArg::constant(32, rng_.uniform(0, 3))}});
+    }
+    if (use_register_) {
+      ActionDef& a = pick_action();
+      const std::size_t idx = rng_.uniform(0, 3);
+      a.body.push_back(PrimitiveCall{
+          Primitive::kRegisterWrite,
+          {ActionArg::named("reg0"), ActionArg::constant(32, idx),
+           ActionArg::constant(32, rng_.bits(32).low_u64())}});
+      // Read it back into a field so register state affects packet bytes.
+      std::vector<FieldRef> dsts;
+      std::vector<std::size_t> dws;
+      for (const auto& h : headers_) {
+        if (!h.always) continue;
+        for (const auto& f : h.fields) {
+          dsts.push_back(FieldRef{h.inst, f.name});
+          dws.push_back(f.width);
+        }
+      }
+      if (!dsts.empty() && rng_.coin(0.7)) {
+        ActionDef& b = pick_action();
+        const std::size_t di = rng_.uniform(0, dsts.size() - 1);
+        b.body.push_back(PrimitiveCall{
+            Primitive::kRegisterRead,
+            {ActionArg::of_field(dsts[di]), ActionArg::named("reg0"),
+             ActionArg::constant(32, rng_.uniform(0, 3))}});
+      }
+    }
+  }
+
+  void finish_program() {
+    prog_.name = "gen_" + std::to_string(out_.seed);
+    for (const auto& h : headers_) {
+      HeaderType ht;
+      ht.name = h.type_name;
+      for (const auto& f : h.fields) ht.fields.push_back(p4::Field{f.name, f.width});
+      prog_.header_types.push_back(std::move(ht));
+      prog_.instances.push_back(HeaderInstance{h.inst, h.type_name, false, 1});
+    }
+    if (!meta_.empty()) {
+      HeaderType mt;
+      mt.name = "md_t";
+      for (const auto& f : meta_) mt.fields.push_back(p4::Field{f.name, f.width});
+      prog_.header_types.push_back(std::move(mt));
+      prog_.instances.push_back(HeaderInstance{"md", "md_t", true, 1});
+    }
+    prog_.egress.name = "egress";
+    prog_.finalize();
+    out_.program = prog_;
+  }
+
+  // --- rules ----------------------------------------------------------------
+
+  std::string key_string(const TablePlan& plan, const TableKey& k) {
+    if (plan.std_meta)
+      return std::to_string(rng_.uniform(1, limits_.ports));
+    if (k.type == MatchType::kValid) return "1";
+    // Locate the field's generation model for its pool.
+    const GField* gf = nullptr;
+    std::size_t width = 0;
+    for (const auto& h : headers_) {
+      if (h.inst != k.field.header) continue;
+      for (const auto& f : h.fields)
+        if (f.name == k.field.field) {
+          gf = &f;
+          width = f.width;
+        }
+    }
+    if (gf == nullptr) {
+      // Meta field: pools are small values near zero (meta starts zeroed,
+      // mutator writes are random — zero keys make default-state hits easy).
+      for (const auto& f : meta_)
+        if (k.field.header == "md" && f.name == k.field.field) width = f.width;
+      BitVec v = rng_.coin(0.5) ? BitVec(width) : rng_.bits(width);
+      switch (k.type) {
+        case MatchType::kTernary: {
+          const BitVec m = ternary_mask(width);
+          return hex(v & m) + "&&&" + hex(m);
+        }
+        default:
+          return hex(v);
+      }
+    }
+    BitVec v = pool_or_random(*gf);
+    switch (k.type) {
+      case MatchType::kExact:
+        return hex(v);
+      case MatchType::kTernary: {
+        const BitVec m = ternary_mask(width);
+        return hex(v & m) + "&&&" + hex(m);
+      }
+      case MatchType::kLpm: {
+        const std::size_t len = rng_.uniform(1, width);
+        const BitVec m = BitVec::mask_range(width, width - len, len);
+        return hex(v & m) + "/" + std::to_string(len);
+      }
+      default:
+        return hex(v);
+    }
+  }
+
+  BitVec ternary_mask(std::size_t width) {
+    switch (rng_.uniform(0, 3)) {
+      case 0:
+        return BitVec::ones(width);
+      case 1:  // high half
+        return BitVec::mask_range(width, width - width / 2, width / 2);
+      case 2:  // low half
+        return BitVec::mask_range(width, 0, (width + 1) / 2);
+      default:
+        return rng_.bits(width);
+    }
+  }
+
+  void build_rules() {
+    for (const auto& plan : plans_) {
+      const TableDef& t = plan.def;
+      const std::size_t lo = plan.terminal ? 1 : 0;
+      const std::size_t n = rng_.uniform(lo, limits_.max_rules_per_table);
+      std::set<std::string> seen;
+      std::int32_t prio_seq = 10;
+      for (std::size_t i = 0; i < n; ++i) {
+        GenRule r;
+        r.table = t.name;
+        // Bias towards non-default actions so rules do something.
+        std::vector<std::string> cands;
+        for (const auto& a : t.actions)
+          if (a != t.default_action) cands.push_back(a);
+        if (cands.empty() || rng_.coin(0.12)) cands = t.actions;
+        r.action = cands[rng_.uniform(0, cands.size() - 1)];
+        for (const auto& k : t.keys) r.keys.push_back(key_string(plan, k));
+        std::string sig;
+        for (const auto& k : r.keys) sig += k + "|";
+        if (!seen.insert(sig).second) continue;
+        const ActionDef& ad = prog_.action(r.action);
+        auto port_it = port_param_actions_.find(r.action);
+        for (std::size_t p = 0; p < ad.params.size(); ++p) {
+          if (port_it != port_param_actions_.end() && port_it->second == p) {
+            r.args.push_back(std::to_string(rng_.uniform(1, limits_.ports)));
+          } else {
+            r.args.push_back(hex(rng_.bits(ad.params[p].width)));
+          }
+        }
+        if (plan.has_ternary) {
+          r.priority = prio_seq;
+          prio_seq += 10;
+        }
+        out_.rules.push_back(std::move(r));
+      }
+    }
+  }
+
+  // --- packets --------------------------------------------------------------
+
+  std::size_t parse_ladder_floor() const {
+    std::size_t raw = 0;
+    for (const auto& p : paths_) raw = std::max(raw, p.total_bytes);
+    for (std::size_t v : hp4::PersonaConfig{}.parse_ladder())
+      if (v >= raw) return v;
+    return raw;  // beyond the ladder — the persona will refuse; keep native sane
+  }
+
+  void build_packets() {
+    const std::size_t floor = parse_ladder_floor();
+    for (std::size_t i = 0; i < limits_.packets; ++i) {
+      const GPath& path = paths_[rng_.uniform(0, paths_.size() - 1)];
+      std::vector<std::uint8_t> bytes;
+      for (std::size_t hi : path.headers) {
+        const GHeader& h = headers_[hi];
+        BitVec hv(8 * h.bytes);
+        std::size_t msb_off = 0;
+        for (std::size_t fi = 0; fi < h.fields.size(); ++fi) {
+          const GField& f = h.fields[fi];
+          BitVec v = pool_or_random(f);
+          for (const auto& [fhi, ffi, fv] : path.forced)
+            if (fhi == hi && ffi == fi) v = fv;
+          hv.set_slice(8 * h.bytes - msb_off - f.width, v);
+          msb_off += f.width;
+        }
+        const auto hb = hv.to_bytes();
+        bytes.insert(bytes.end(), hb.begin(), hb.end());
+      }
+      const std::size_t target =
+          std::max(floor, bytes.size()) +
+          rng_.uniform(0, limits_.max_extra_payload);
+      while (bytes.size() < target)
+        bytes.push_back(static_cast<std::uint8_t>(rng_.uniform(0, 255)));
+      GenPacket pk;
+      pk.port = static_cast<std::uint16_t>(rng_.uniform(1, limits_.ports));
+      pk.packet = net::Packet(std::move(bytes));
+      out_.packets.push_back(std::move(pk));
+    }
+  }
+
+  GenLimits limits_;
+  Rng rng_;
+  GenCase out_;
+  Program prog_;
+  Mode mode_ = Mode::kSingle;
+  bool branch_default_drops_ = false;
+  std::vector<GHeader> headers_;
+  std::vector<MetaField> meta_;
+  std::vector<GPath> paths_;
+  std::vector<ParserState> ps_extra_;
+  std::vector<TablePlan> plans_;
+  std::map<std::string, std::size_t> port_param_actions_;
+  std::string drop_action_;
+  std::string nop_action_;
+  std::size_t n_actions_ = 0;
+  std::size_t n_tables_ = 0;
+  bool use_counter_ = false;
+  bool use_register_ = false;
+};
+
+}  // namespace
+
+std::string cli_line(const GenRule& r) {
+  std::ostringstream os;
+  os << "table_add " << r.table << " " << r.action;
+  for (const auto& k : r.keys) os << " " << k;
+  os << " =>";
+  for (const auto& a : r.args) os << " " << a;
+  if (r.priority >= 0) os << " " << r.priority;
+  return os.str();
+}
+
+GenCase ProgramGen::generate(std::uint64_t seed) const {
+  return Gen(limits_, seed).run();
+}
+
+}  // namespace hyper4::check

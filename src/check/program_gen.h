@@ -1,0 +1,87 @@
+// Seeded random generation of well-formed (program, rules, packets) triples
+// inside the persona-supported P4 subset (§5.3) — the input side of the
+// differential oracle (diff_runner.h).
+//
+// Every generated program is finalized/validated IR; every rule is
+// installable through both the native CLI and the DPMU; every packet is
+// long enough for the persona's parse ladder. The generator is disciplined
+// about the places where naive randomness would produce *legitimate*
+// backend disagreement rather than bugs:
+//   - tables keying fields of conditionally-parsed headers always carry a
+//     valid(h) key (the persona matches raw extracted bytes, the native
+//     switch a typed PHV — validity constraints make them agree);
+//   - actions only write fields of headers that are guaranteed valid where
+//     the action can run;
+//   - egress is always decided: the control flow ends in "terminal" tables
+//     whose actions either forward (egress_spec from an action parameter)
+//     or drop, with drop as the default action;
+//   - lpm keys appear only as the sole key of a table whose rules use
+//     implicit priorities (both backends then order longest-prefix-first);
+//     rules of tables with ternary keys carry distinct explicit priorities;
+//   - counters/registers are generated only when allow_stateful is set and
+//     mark the case stateful (the persona skips those; the oracle then pins
+//     the engine to one worker so register state stays comparable).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/packet.h"
+#include "p4/ir.h"
+
+namespace hyper4::check {
+
+struct GenLimits {
+  std::size_t ports = 4;           // physical ports 1..ports
+  std::size_t max_tables = 4;      // persona stage budget
+  std::size_t max_rules_per_table = 4;
+  std::size_t packets = 24;
+  std::size_t max_extra_payload = 24;  // random bytes past the parse ladder
+  bool allow_stateful = false;     // counters / registers
+  double p_stateful = 0.25;        // probability per case when allowed
+};
+
+// One rule in CLI value syntax — the same strings drive the native
+// `table_add` line and the DPMU's VirtualRule, so both backends install
+// literally the same entry.
+struct GenRule {
+  std::string table;
+  std::string action;
+  std::vector<std::string> keys;
+  std::vector<std::string> args;
+  std::int32_t priority = -1;
+};
+
+struct GenPacket {
+  std::uint16_t port = 0;
+  net::Packet packet;
+};
+
+struct GenCase {
+  std::uint64_t seed = 0;
+  std::size_t ports = 4;
+  p4::Program program;
+  std::vector<GenRule> rules;
+  std::vector<GenPacket> packets;
+  // Uses counters/registers: the persona backend will skip the case and
+  // the oracle pins the engine to workers=1.
+  bool stateful = false;
+};
+
+// Native CLI line installing `r` ("table_add t a k... => args... [prio]").
+std::string cli_line(const GenRule& r);
+
+class ProgramGen {
+ public:
+  explicit ProgramGen(GenLimits limits = {}) : limits_(limits) {}
+  const GenLimits& limits() const { return limits_; }
+
+  // Deterministic: same seed, same case.
+  GenCase generate(std::uint64_t seed) const;
+
+ private:
+  GenLimits limits_;
+};
+
+}  // namespace hyper4::check

@@ -1,0 +1,199 @@
+#include "check/reducer.h"
+
+#include <algorithm>
+#include <set>
+
+namespace hyper4::check {
+
+namespace {
+
+// Redirect every control edge equal to `from` to `to`, then shift edges
+// past a removed node index down by one.
+void patch_edge(std::size_t& e, std::size_t from, std::size_t to) {
+  if (e == from) e = to;
+}
+
+void shift_edge(std::size_t& e, std::size_t removed) {
+  if (e != p4::kEndOfControl && e > removed) --e;
+}
+
+void for_each_edge(p4::Control& c,
+                   const std::function<void(std::size_t&)>& fn) {
+  for (auto& n : c.nodes) {
+    for (auto& [name, tgt] : n.on_action) fn(tgt);
+    if (n.on_hit) fn(*n.on_hit);
+    if (n.on_miss) fn(*n.on_miss);
+    fn(n.next_default);
+    fn(n.next_true);
+    fn(n.next_false);
+  }
+}
+
+// Remove `table` from the program: its definition, its control node (edges
+// rerouted to the node's fallthrough) and any actions no other table uses.
+bool remove_table(p4::Program& prog, const std::string& table) {
+  auto td = std::find_if(prog.tables.begin(), prog.tables.end(),
+                         [&](const p4::TableDef& t) { return t.name == table; });
+  if (td == prog.tables.end()) return false;
+  prog.tables.erase(td);
+
+  for (p4::Control* c : {&prog.ingress, &prog.egress}) {
+    for (std::size_t idx = 0; idx < c->nodes.size();) {
+      if (c->nodes[idx].kind != p4::ControlNode::Kind::kApply ||
+          c->nodes[idx].table != table) {
+        ++idx;
+        continue;
+      }
+      const std::size_t target = c->nodes[idx].next_default;
+      for_each_edge(*c, [&](std::size_t& e) { patch_edge(e, idx, target); });
+      c->nodes.erase(c->nodes.begin() + static_cast<std::ptrdiff_t>(idx));
+      for_each_edge(*c, [&](std::size_t& e) { shift_edge(e, idx); });
+    }
+  }
+
+  // Prune actions nothing references any more.
+  std::set<std::string> referenced;
+  for (const auto& t : prog.tables) {
+    for (const auto& a : t.actions) referenced.insert(a);
+    if (!t.default_action.empty()) referenced.insert(t.default_action);
+  }
+  std::erase_if(prog.actions, [&](const p4::ActionDef& a) {
+    return !referenced.contains(a.name);
+  });
+  return true;
+}
+
+class Reducer {
+ public:
+  Reducer(GenCase best, const FailurePredicate& still_fails,
+          ReduceStats* stats)
+      : best_(std::move(best)), fails_(still_fails), stats_(stats) {}
+
+  GenCase run() {
+    for (int round = 0; round < 8; ++round) {
+      bool changed = false;
+      changed |= shrink_packets();
+      changed |= shrink_rules();
+      changed |= shrink_tables();
+      changed |= shrink_prims();
+      if (!changed) break;
+    }
+    return best_;
+  }
+
+ private:
+  bool accept(const GenCase& cand) {
+    if (stats_ != nullptr) ++stats_->attempts;
+    bool still = false;
+    try {
+      still = fails_(cand);
+    } catch (...) {
+      still = false;  // candidate broke the harness — not a repro
+    }
+    if (still) {
+      best_ = cand;
+      if (stats_ != nullptr) ++stats_->accepted;
+    }
+    return still;
+  }
+
+  bool shrink_packets() {
+    bool changed = false;
+    // Fast path: a single packet often carries the whole failure.
+    if (best_.packets.size() > 1) {
+      for (std::size_t i = 0; i < best_.packets.size(); ++i) {
+        GenCase cand = best_;
+        cand.packets = {best_.packets[i]};
+        if (accept(cand)) {
+          changed = true;
+          break;
+        }
+      }
+    }
+    for (std::size_t i = 0; i < best_.packets.size() && best_.packets.size() > 1;) {
+      GenCase cand = best_;
+      cand.packets.erase(cand.packets.begin() + static_cast<std::ptrdiff_t>(i));
+      if (accept(cand)) {
+        changed = true;
+      } else {
+        ++i;
+      }
+    }
+    return changed;
+  }
+
+  bool shrink_rules() {
+    bool changed = false;
+    for (std::size_t i = 0; i < best_.rules.size();) {
+      GenCase cand = best_;
+      cand.rules.erase(cand.rules.begin() + static_cast<std::ptrdiff_t>(i));
+      if (accept(cand)) {
+        changed = true;
+      } else {
+        ++i;
+      }
+    }
+    return changed;
+  }
+
+  bool shrink_tables() {
+    bool changed = false;
+    bool retry = true;
+    while (retry && best_.program.tables.size() > 1) {
+      retry = false;
+      for (const auto& t : best_.program.tables) {
+        GenCase cand = best_;
+        if (!remove_table(cand.program, t.name)) continue;
+        std::erase_if(cand.rules,
+                      [&](const GenRule& r) { return r.table == t.name; });
+        try {
+          cand.program.finalize();
+        } catch (...) {
+          continue;  // removal left a dangling reference — skip candidate
+        }
+        if (accept(cand)) {
+          changed = true;
+          retry = true;
+          break;  // the table list changed under us — restart the scan
+        }
+      }
+    }
+    return changed;
+  }
+
+  bool shrink_prims() {
+    bool changed = false;
+    for (std::size_t ai = 0; ai < best_.program.actions.size(); ++ai) {
+      for (std::size_t pi = 0; pi < best_.program.actions[ai].body.size();) {
+        GenCase cand = best_;
+        auto& body = cand.program.actions[ai].body;
+        body.erase(body.begin() + static_cast<std::ptrdiff_t>(pi));
+        try {
+          cand.program.finalize();
+        } catch (...) {
+          ++pi;
+          continue;
+        }
+        if (accept(cand)) {
+          changed = true;
+        } else {
+          ++pi;
+        }
+      }
+    }
+    return changed;
+  }
+
+  GenCase best_;
+  const FailurePredicate& fails_;
+  ReduceStats* stats_;
+};
+
+}  // namespace
+
+GenCase reduce(const GenCase& failing, const FailurePredicate& still_fails,
+               ReduceStats* stats) {
+  return Reducer(failing, still_fails, stats).run();
+}
+
+}  // namespace hyper4::check

@@ -1,0 +1,35 @@
+// Greedy shrinking of a failing differential case to a locally-minimal
+// repro. The reducer only proposes structurally valid candidates (tables
+// are unlinked from the control graph, orphaned actions pruned, the program
+// re-validated); the caller's `still_fails` oracle decides which candidates
+// keep the failure. A candidate that throws inside the oracle is treated as
+// "does not reproduce" and discarded.
+//
+// Passes, iterated to a fixed point:
+//   1. packets  — try each single packet alone, then greedy removal;
+//   2. rules    — greedy removal;
+//   3. tables   — remove a table, its rules and its control node;
+//   4. prims    — drop primitives from action bodies one at a time.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+#include "check/program_gen.h"
+
+namespace hyper4::check {
+
+struct ReduceStats {
+  std::size_t attempts = 0;   // oracle invocations
+  std::size_t accepted = 0;   // candidates that kept the failure
+};
+
+using FailurePredicate = std::function<bool(const GenCase&)>;
+
+// Returns a case that still satisfies `still_fails` (the input is returned
+// unchanged when nothing can be removed). `still_fails(failing)` is assumed
+// true; the reducer never re-checks the input itself.
+GenCase reduce(const GenCase& failing, const FailurePredicate& still_fails,
+               ReduceStats* stats = nullptr);
+
+}  // namespace hyper4::check

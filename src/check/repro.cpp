@@ -1,0 +1,178 @@
+#include "check/repro.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "hp4/p4_emit.h"
+#include "p4/frontend.h"
+#include "util/error.h"
+#include "util/strings.h"
+
+namespace hyper4::check {
+
+namespace {
+
+std::string hex_bytes(const net::Packet& p) {
+  static const char* d = "0123456789abcdef";
+  std::string s;
+  s.reserve(2 * p.size());
+  for (std::uint8_t b : p.bytes()) {
+    s.push_back(d[b >> 4]);
+    s.push_back(d[b & 0xf]);
+  }
+  return s;
+}
+
+net::Packet packet_from_hex(const std::string& s, std::size_t line_no) {
+  if (s.size() % 2 != 0)
+    throw util::ParseError("repro line " + std::to_string(line_no) +
+                           ": odd-length packet hex");
+  auto nib = [&](char c) -> int {
+    if (c >= '0' && c <= '9') return c - '0';
+    if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+    if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+    throw util::ParseError("repro line " + std::to_string(line_no) +
+                           ": bad hex digit '" + std::string(1, c) + "'");
+  };
+  std::vector<std::uint8_t> bytes;
+  bytes.reserve(s.size() / 2);
+  for (std::size_t i = 0; i < s.size(); i += 2)
+    bytes.push_back(static_cast<std::uint8_t>(nib(s[i]) * 16 + nib(s[i + 1])));
+  return net::Packet(std::move(bytes));
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw util::ConfigError("check: cannot read '" + path + "'");
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+}  // namespace
+
+std::string repro_commands_text(const GenCase& c) {
+  std::ostringstream os;
+  os << "# hyper4_check repro for program '" << c.program.name << "'\n";
+  os << "seed " << c.seed << "\n";
+  os << "ports " << c.ports << "\n";
+  os << "stateful " << (c.stateful ? 1 : 0) << "\n";
+  for (const auto& r : c.rules) {
+    os << "rule " << r.table << " " << r.action << " |";
+    for (const auto& k : r.keys) os << " " << k;
+    os << " |";
+    for (const auto& a : r.args) os << " " << a;
+    os << " | " << r.priority << "\n";
+  }
+  for (const auto& p : c.packets)
+    os << "packet " << p.port << " " << hex_bytes(p.packet) << "\n";
+  return os.str();
+}
+
+GenCase parse_repro(const std::string& p4_source, const std::string& commands,
+                    const std::string& name) {
+  GenCase c;
+  c.program = p4::parse_p4(p4_source, name);
+
+  std::size_t line_no = 0;
+  std::istringstream in(commands);
+  std::string line;
+  while (std::getline(in, line)) {
+    ++line_no;
+    line = util::trim(line);
+    if (line.empty() || line[0] == '#') continue;
+    const auto tok = util::split(line);
+    auto need = [&](bool cond, const std::string& what) {
+      if (!cond)
+        throw util::ParseError("repro line " + std::to_string(line_no) +
+                               ": " + what);
+    };
+    if (tok[0] == "seed") {
+      need(tok.size() == 2, "seed expects one value");
+      c.seed = util::parse_uint(tok[1]);
+    } else if (tok[0] == "ports") {
+      need(tok.size() == 2, "ports expects one value");
+      c.ports = util::parse_uint(tok[1]);
+      need(c.ports >= 1, "ports must be >= 1");
+    } else if (tok[0] == "stateful") {
+      need(tok.size() == 2, "stateful expects 0 or 1");
+      c.stateful = util::parse_uint(tok[1]) != 0;
+    } else if (tok[0] == "rule") {
+      // rule <table> <action> | keys... | args... | prio
+      need(tok.size() >= 3, "rule expects a table and an action");
+      GenRule r;
+      r.table = tok[1];
+      r.action = tok[2];
+      std::size_t section = 0;  // 0 before first '|', then keys/args/prio
+      std::int64_t prio = -1;
+      bool saw_prio = false;
+      for (std::size_t i = 3; i < tok.size(); ++i) {
+        if (tok[i] == "|") {
+          ++section;
+          continue;
+        }
+        switch (section) {
+          case 1:
+            r.keys.push_back(tok[i]);
+            break;
+          case 2:
+            r.args.push_back(tok[i]);
+            break;
+          case 3:
+            need(!saw_prio, "rule has more than one priority token");
+            prio = static_cast<std::int64_t>(
+                tok[i][0] == '-' ? -static_cast<std::int64_t>(
+                                       util::parse_uint(tok[i].substr(1)))
+                                 : static_cast<std::int64_t>(
+                                       util::parse_uint(tok[i])));
+            saw_prio = true;
+            break;
+          default:
+            need(false, "tokens before the first '|' separator");
+        }
+      }
+      need(section == 3 && saw_prio, "rule needs '| keys | args | prio'");
+      r.priority = static_cast<std::int32_t>(prio);
+      // Cross-check against the parsed program so a stale repro fails with
+      // a structured error instead of deep inside a backend.
+      if (!c.program.has_table(r.table))
+        throw util::CommandError("repro line " + std::to_string(line_no) +
+                                 ": unknown table '" + r.table + "'");
+      if (!c.program.has_action(r.action))
+        throw util::CommandError("repro line " + std::to_string(line_no) +
+                                 ": unknown action '" + r.action + "'");
+      c.rules.push_back(std::move(r));
+    } else if (tok[0] == "packet") {
+      need(tok.size() == 3, "packet expects '<port> <hex>'");
+      GenPacket p;
+      p.port = static_cast<std::uint16_t>(util::parse_uint(tok[1]));
+      p.packet = packet_from_hex(tok[2], line_no);
+      c.packets.push_back(std::move(p));
+    } else {
+      throw util::ParseError("repro line " + std::to_string(line_no) +
+                             ": unknown directive '" + tok[0] + "'");
+    }
+  }
+  return c;
+}
+
+void write_repro(const GenCase& c, const std::string& p4_path,
+                 const std::string& cmds_path) {
+  {
+    std::ofstream out(p4_path, std::ios::binary);
+    if (!out) throw util::ConfigError("check: cannot write '" + p4_path + "'");
+    out << hp4::emit_p4(c.program);
+  }
+  {
+    std::ofstream out(cmds_path, std::ios::binary);
+    if (!out)
+      throw util::ConfigError("check: cannot write '" + cmds_path + "'");
+    out << repro_commands_text(c);
+  }
+}
+
+GenCase load_repro(const std::string& p4_path, const std::string& cmds_path) {
+  return parse_repro(read_file(p4_path), read_file(cmds_path), p4_path);
+}
+
+}  // namespace hyper4::check

@@ -1,0 +1,34 @@
+// Standalone repro serialization: a failing (program, rules, packets)
+// triple becomes a `.p4` source file (hp4::emit_p4, re-read through the
+// P4-14 frontend) plus a commands file listing ports, rules and packets.
+// A committed repro replays with no dependency on the generator — the
+// regression test just loads the two files and runs the oracle.
+//
+// Commands format (one directive per line, '#' comments):
+//   seed <n>
+//   ports <n>
+//   stateful <0|1>
+//   rule <table> <action> | <key>... | <arg>... | <priority>
+//   packet <port> <hex bytes, contiguous>
+#pragma once
+
+#include <string>
+
+#include "check/program_gen.h"
+
+namespace hyper4::check {
+
+// Render the commands file body.
+std::string repro_commands_text(const GenCase& c);
+
+// Parse the two artifacts back into a runnable case. `p4_source` goes
+// through p4::parse_p4; throws util::Error subclasses on malformed input.
+GenCase parse_repro(const std::string& p4_source, const std::string& commands,
+                    const std::string& name = "repro");
+
+// File convenience wrappers.
+void write_repro(const GenCase& c, const std::string& p4_path,
+                 const std::string& cmds_path);
+GenCase load_repro(const std::string& p4_path, const std::string& cmds_path);
+
+}  // namespace hyper4::check

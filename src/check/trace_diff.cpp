@@ -1,0 +1,165 @@
+#include "check/trace_diff.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace hyper4::check {
+
+namespace {
+
+std::string hexb(std::uint8_t b) {
+  static const char* d = "0123456789abcdef";
+  return std::string{'0', 'x', d[b >> 4], d[b & 0xf]};
+}
+
+std::optional<Divergence> counter_diff(const char* kind, std::size_t a,
+                                       std::size_t b, std::size_t idx) {
+  if (a == b) return std::nullopt;
+  Divergence d;
+  d.packet_index = idx;
+  d.kind = kind;
+  d.detail = std::to_string(a) + " vs " + std::to_string(b);
+  return d;
+}
+
+}  // namespace
+
+std::string Divergence::str() const {
+  std::ostringstream os;
+  os << lhs << " vs " << rhs << ": " << kind;
+  if (packet_index != kNoPacket) os << " at packet #" << packet_index;
+  if (!detail.empty()) os << " — " << detail;
+  return os.str();
+}
+
+std::string describe_packet_diff(const net::Packet& a, const net::Packet& b) {
+  std::ostringstream os;
+  os << "len " << a.size() << " vs " << b.size();
+  const std::size_t n = std::min(a.size(), b.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    if (a.bytes()[i] != b.bytes()[i]) {
+      os << ", first difference at byte " << i << ": " << hexb(a.bytes()[i])
+         << " vs " << hexb(b.bytes()[i]);
+      return os.str();
+    }
+  }
+  if (a.size() != b.size())
+    os << ", equal up to the shorter length";
+  return os.str();
+}
+
+std::optional<Divergence> diff_results(const bm::ProcessResult& a,
+                                       const bm::ProcessResult& b,
+                                       std::size_t packet_index) {
+  auto make = [&](const char* kind, std::string detail) {
+    Divergence d;
+    d.packet_index = packet_index;
+    d.kind = kind;
+    d.detail = std::move(detail);
+    return d;
+  };
+
+  if (a.outputs.size() != b.outputs.size())
+    return make("output_count", std::to_string(a.outputs.size()) + " vs " +
+                                    std::to_string(b.outputs.size()));
+  for (std::size_t i = 0; i < a.outputs.size(); ++i) {
+    if (a.outputs[i].port != b.outputs[i].port)
+      return make("output_port",
+                  "output " + std::to_string(i) + ": port " +
+                      std::to_string(a.outputs[i].port) + " vs " +
+                      std::to_string(b.outputs[i].port));
+    if (!(a.outputs[i].packet == b.outputs[i].packet))
+      return make("output_bytes",
+                  "output " + std::to_string(i) + " on port " +
+                      std::to_string(a.outputs[i].port) + ": " +
+                      describe_packet_diff(a.outputs[i].packet,
+                                           b.outputs[i].packet));
+  }
+
+  if (a.applied.size() != b.applied.size())
+    return make("applied_count", std::to_string(a.applied.size()) + " vs " +
+                                     std::to_string(b.applied.size()));
+  for (std::size_t i = 0; i < a.applied.size(); ++i) {
+    if (!(a.applied[i] == b.applied[i])) {
+      const auto& x = a.applied[i];
+      const auto& y = b.applied[i];
+      return make("applied_tables",
+                  "application " + std::to_string(i) + ": " + x.table +
+                      (x.hit ? "/hit#" + std::to_string(x.entry_handle)
+                             : "/miss") +
+                      " vs " + y.table +
+                      (y.hit ? "/hit#" + std::to_string(y.entry_handle)
+                             : "/miss"));
+    }
+  }
+
+  if (auto d = counter_diff("drops", a.drops, b.drops, packet_index)) return d;
+  if (auto d = counter_diff("resubmits", a.resubmits, b.resubmits,
+                            packet_index))
+    return d;
+  if (auto d = counter_diff("recirculations", a.recirculations,
+                            b.recirculations, packet_index))
+    return d;
+  if (auto d = counter_diff("clones_i2e", a.clones_i2e, b.clones_i2e,
+                            packet_index))
+    return d;
+  if (auto d = counter_diff("clones_e2e", a.clones_e2e, b.clones_e2e,
+                            packet_index))
+    return d;
+  if (auto d = counter_diff("multicast_copies", a.multicast_copies,
+                            b.multicast_copies, packet_index))
+    return d;
+  if (auto d = counter_diff("parse_errors", a.parse_errors, b.parse_errors,
+                            packet_index))
+    return d;
+  if (auto d = counter_diff("loop_kills", a.loop_kills, b.loop_kills,
+                            packet_index))
+    return d;
+
+  if (!(a.digests == b.digests))
+    return make("digests", std::to_string(a.digests.size()) + " vs " +
+                               std::to_string(b.digests.size()) + " messages");
+  return std::nullopt;
+}
+
+std::optional<Divergence> diff_observable(const bm::ProcessResult& a,
+                                          const bm::ProcessResult& b,
+                                          std::size_t packet_index) {
+  auto canon = [](const bm::ProcessResult& r) {
+    std::vector<std::pair<std::uint16_t, std::string>> out;
+    out.reserve(r.outputs.size());
+    for (const auto& o : r.outputs) out.emplace_back(o.port, o.packet.to_hex());
+    std::sort(out.begin(), out.end());
+    return out;
+  };
+  const auto ca = canon(a);
+  const auto cb = canon(b);
+  if (ca == cb) return std::nullopt;
+
+  Divergence d;
+  d.packet_index = packet_index;
+  if (ca.size() != cb.size()) {
+    d.kind = "output_count";
+    d.detail = std::to_string(ca.size()) + " vs " + std::to_string(cb.size());
+    return d;
+  }
+  for (std::size_t i = 0; i < ca.size(); ++i) {
+    if (ca[i].first != cb[i].first) {
+      d.kind = "output_port";
+      d.detail = "port " + std::to_string(ca[i].first) + " vs " +
+                 std::to_string(cb[i].first);
+      return d;
+    }
+    if (ca[i].second != cb[i].second) {
+      d.kind = "output_bytes";
+      d.detail = "port " + std::to_string(ca[i].first) + ": " +
+                 describe_packet_diff(a.outputs[i].packet, b.outputs[i].packet);
+      return d;
+    }
+  }
+  d.kind = "outputs";
+  d.detail = "egress sets differ";
+  return d;
+}
+
+}  // namespace hyper4::check

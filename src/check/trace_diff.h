@@ -1,0 +1,56 @@
+// Structured first-divergence reports between two backends' behaviour,
+// built on the per-injection traces in bm/trace.h.
+//
+// Two comparison strengths:
+//   diff_results     full structural equality — outputs in order, applied
+//                    tables (names, hit/miss, entry handles, ternary bits),
+//                    drop/resubmit/clone/parse-error counters, digests.
+//                    Used native-vs-engine, where the engine's determinism
+//                    contract promises bit-identical traces.
+//   diff_observable  egress-observable equality only — the multiset of
+//                    (port, packet bytes). Used native-vs-persona, where
+//                    internal traces legitimately differ (the persona runs
+//                    its own tables) but the paper's equivalence claim
+//                    covers what leaves the switch.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "bm/trace.h"
+#include "net/packet.h"
+
+namespace hyper4::check {
+
+struct Divergence {
+  static constexpr std::size_t kNoPacket = static_cast<std::size_t>(-1);
+
+  std::string lhs;  // backend name, e.g. "native"
+  std::string rhs;  // backend name, e.g. "engine"
+  // Index of the injected packet the divergence was observed on, or
+  // kNoPacket for aggregate state (counters, registers, packet counts).
+  std::size_t packet_index = kNoPacket;
+  std::string kind;    // "output_bytes", "applied_tables", "drops", ...
+  std::string detail;  // human-readable specifics
+
+  std::string str() const;
+};
+
+// First byte-level difference between two packets, e.g.
+// "len 60 vs 60, first difference at byte 12: 0x3a vs 0x00".
+std::string describe_packet_diff(const net::Packet& a, const net::Packet& b);
+
+// Full structural comparison. Returns the first divergence found (kind and
+// detail filled in; lhs/rhs left for the caller), or nullopt when equal.
+std::optional<Divergence> diff_results(
+    const bm::ProcessResult& a, const bm::ProcessResult& b,
+    std::size_t packet_index = Divergence::kNoPacket);
+
+// Egress-observable comparison: the multiset of (port, bytes) only.
+std::optional<Divergence> diff_observable(
+    const bm::ProcessResult& a, const bm::ProcessResult& b,
+    std::size_t packet_index = Divergence::kNoPacket);
+
+}  // namespace hyper4::check

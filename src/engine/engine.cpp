@@ -292,6 +292,17 @@ std::uint64_t TrafficEngine::counter_bytes_total(const std::string& counter,
   return total;
 }
 
+util::BitVec TrafficEngine::register_read(const std::string& reg,
+                                          std::size_t index) const {
+  if (workers_.size() != 1) {
+    throw util::ConfigError(
+        "TrafficEngine::register_read: registers are per-flow replica state; "
+        "an engine-wide read needs workers=1 (have " +
+        std::to_string(workers_.size()) + ")");
+  }
+  return workers_[0]->sw->register_read(reg, index);
+}
+
 bm::Switch::Stats TrafficEngine::stats_total() const {
   bm::Switch::Stats s;
   for (const auto& w : workers_) {

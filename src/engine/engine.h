@@ -145,6 +145,11 @@ class TrafficEngine {
                                       std::size_t index) const;
   std::uint64_t counter_bytes_total(const std::string& counter,
                                     std::size_t index) const;
+  // Register state lives in the flow's replica, so an engine-wide read is
+  // well-defined only with a single worker; throws ConfigError otherwise.
+  // (The differential oracle pins workers=1 for stateful programs and uses
+  // this to compare final register state against the native switch.)
+  util::BitVec register_read(const std::string& reg, std::size_t index) const;
   bm::Switch::Stats stats_total() const;
 
   // Cumulative *CPU* time worker `i` has spent inside Switch::inject()

@@ -630,6 +630,16 @@ Hp4Artifact Hp4Compiler::compile(const Program& target) const {
             const std::string& hname = call.args[0].name;
             const p4::HeaderType& ht = target.instance_type(hname);
             const std::size_t nbytes = ht.width_bits() / 8;
+            // The egress write-back stage restores the parsed region at a
+            // byte count from the write-back ladder; a resize whose delta is
+            // off the ladder quantum would land between rungs and silently
+            // re-emit at the wrong size.
+            if (cfg_.writeback_step_bytes == 0 ||
+                nbytes % cfg_.writeback_step_bytes != 0)
+              throw UnsupportedFeature(
+                  "hp4: add/remove_header of " + std::to_string(nbytes) +
+                  " bytes; the persona write-back ladder quantum is " +
+                  std::to_string(cfg_.writeback_step_bytes) + " bytes");
             // Offset: position of the header on the path (for remove) or
             // its deparse position (for add).
             std::size_t off = 0;

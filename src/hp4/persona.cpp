@@ -32,11 +32,15 @@ std::vector<std::size_t> PersonaConfig::parse_ladder() const {
 }
 
 std::vector<std::size_t> PersonaConfig::writeback_ladder() const {
+  // Resize primitives move the write-back size off the parse ladder in
+  // multiples of writeback_step_bytes, and a removal can shrink the parsed
+  // region below the parse floor — so the ladder starts at the remainder
+  // class of the floor, not at the floor itself.
+  if (writeback_step_bytes == 0) return {parse_default_bytes};
   std::vector<std::size_t> v;
-  for (std::size_t n = parse_default_bytes; n <= parse_max_bytes;
-       n += writeback_step_bytes) {
+  for (std::size_t n = parse_default_bytes % writeback_step_bytes;
+       n <= parse_max_bytes; n += writeback_step_bytes) {
     v.push_back(n);
-    if (writeback_step_bytes == 0) break;
   }
   return v;
 }

@@ -18,7 +18,7 @@ std::string Expr::str() const {
     case ExprOp::kConst: return "0x" + value.to_hex();
     case ExprOp::kField: return fref.str();
     case ExprOp::kValid: return "valid(" + fref.header + ")";
-    case ExprOp::kLNot: return "not " + children[0]->str();
+    case ExprOp::kLNot: return "not (" + children[0]->str() + ")";
     case ExprOp::kBitNot: return "~" + children[0]->str();
     default: break;
   }
@@ -242,6 +242,14 @@ bool Program::has_instance(const std::string& n) const {
 bool Program::has_parser_state(const std::string& n) const {
   return std::any_of(parser_states.begin(), parser_states.end(),
                      [&](const ParserState& s) { return s.name == n; });
+}
+bool Program::has_table(const std::string& n) const {
+  return std::any_of(tables.begin(), tables.end(),
+                     [&](const TableDef& t) { return t.name == n; });
+}
+bool Program::has_action(const std::string& n) const {
+  return std::any_of(actions.begin(), actions.end(),
+                     [&](const ActionDef& a) { return a.name == n; });
 }
 
 std::size_t Program::field_width(const FieldRef& f) const {

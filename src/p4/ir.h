@@ -291,6 +291,8 @@ struct Program {
   const FieldListDef& field_list(const std::string& name) const;
   bool has_instance(const std::string& name) const;
   bool has_parser_state(const std::string& name) const;
+  bool has_table(const std::string& name) const;
+  bool has_action(const std::string& name) const;
 
   // Width in bits of `header.field`. Understands stack element syntax
   // "name[i]" and standard metadata.

@@ -2,12 +2,28 @@
 #pragma once
 
 #include <cstdint>
+#include <cstdlib>
 #include <random>
 #include <vector>
 
 #include "util/bitvec.h"
 
 namespace hyper4::util {
+
+// Seed override from the environment, so a CI failure is a one-command
+// repro: HP4_CHECK_SEED=<n> ./the_test. Returns `fallback` when the
+// variable is unset or unparseable. Accepts decimal or 0x-hex. Fuzz /
+// stress / check tests derive all their Rng seeds from this and print the
+// effective seed on failure.
+inline std::uint64_t env_seed(std::uint64_t fallback,
+                              const char* var = "HP4_CHECK_SEED") {
+  const char* s = std::getenv(var);
+  if (s == nullptr || *s == '\0') return fallback;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(s, &end, 0);
+  if (end == s || (end != nullptr && *end != '\0')) return fallback;
+  return static_cast<std::uint64_t>(v);
+}
 
 class Rng {
  public:

@@ -1,0 +1,138 @@
+// Engine error paths and edge cases: control-plane operations against
+// objects the loaded program does not have, empty drains, more workers
+// than flows, and backpressure with a deliberately slow consumer.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+#include "apps/apps.h"
+#include "bench/common.h"
+#include "engine/engine.h"
+#include "net/headers.h"
+#include "util/error.h"
+
+namespace hyper4 {
+namespace {
+
+using engine::EngineOptions;
+using engine::MergedResult;
+using engine::TrafficEngine;
+
+net::Packet flow_packet(std::size_t flow) {
+  net::EthHeader eth;
+  eth.src = net::mac_from_string(bench::kMacH1);
+  eth.dst = net::mac_from_string(bench::kMacH2);
+  net::Ipv4Header ip;
+  ip.src = net::ipv4_from_string("10.1.0.0") + static_cast<std::uint32_t>(flow);
+  ip.dst = net::ipv4_from_string("10.2.0.0") + static_cast<std::uint32_t>(flow);
+  ip.protocol = net::kIpProtoTcp;
+  net::TcpHeader tcp;
+  tcp.src_port = static_cast<std::uint16_t>(20000 + flow);
+  tcp.dst_port = 443;
+  return net::make_ipv4_tcp(eth, ip, tcp, 16);
+}
+
+TEST(EngineErrors, ControlOpsAgainstMissingObjectsThrow) {
+  // l2_switch has no table "acl", no counter "hits", no register "state" —
+  // every control-plane op against them must throw a structured error and
+  // leave the engine usable.
+  TrafficEngine eng(apps::l2_switch());
+  EXPECT_THROW(eng.table_add("acl", "forward", {}, {}), util::Error);
+  EXPECT_THROW(eng.table_modify("acl", "forward", 0, {}), util::Error);
+  EXPECT_THROW(eng.table_delete("acl", 0), util::Error);
+  EXPECT_THROW(eng.table_set_default("acl", "forward"), util::Error);
+  EXPECT_THROW(eng.table_delete("dmac", 424242), util::Error);  // bad handle
+  EXPECT_THROW((void)eng.counter_packets_total("hits", 0), util::Error);
+  EXPECT_THROW((void)eng.register_read("state", 0), util::Error);
+  EXPECT_THROW(eng.register_write("state", 0, util::BitVec(32, 1)),
+               util::Error);
+
+  // The engine survives: a valid op and a packet still go through.
+  bm::Switch native(apps::l2_switch());
+  apps::apply_rule(native, apps::l2_forward(bench::kMacH2, 2));
+  eng.sync_from(native);
+  eng.inject(1, flow_packet(0));
+  const MergedResult m = eng.drain();
+  EXPECT_EQ(m.packets, 1u);
+  ASSERT_EQ(m.totals.outputs.size(), 1u);
+  EXPECT_EQ(m.totals.outputs[0].port, 2);
+}
+
+TEST(EngineErrors, FailedControlOpDoesNotBumpEpoch) {
+  TrafficEngine eng(apps::l2_switch());
+  const std::uint64_t before = eng.epoch();
+  EXPECT_THROW(eng.table_add("acl", "forward", {}, {}), util::Error);
+  EXPECT_EQ(eng.epoch(), before);
+}
+
+TEST(EngineErrors, DrainWithZeroPacketsIsEmptyAndRepeatable) {
+  TrafficEngine eng(apps::l2_switch());
+  for (int i = 0; i < 3; ++i) {
+    const MergedResult m = eng.drain();
+    EXPECT_EQ(m.packets, 0u);
+    EXPECT_TRUE(m.per_packet.empty());
+    EXPECT_TRUE(m.totals.outputs.empty());
+  }
+}
+
+TEST(EngineErrors, MoreWorkersThanFlows) {
+  // 8 workers, 2 flows: most workers never see a packet; results are still
+  // complete and in injection order.
+  bm::Switch native(apps::l2_switch());
+  apps::apply_rule(native, apps::l2_forward(bench::kMacH2, 2));
+
+  EngineOptions opts;
+  opts.workers = 8;
+  TrafficEngine eng(apps::l2_switch(), opts);
+  eng.sync_from(native);
+
+  const std::size_t n = 40;
+  for (std::size_t i = 0; i < n; ++i) eng.inject(1, flow_packet(i % 2));
+  const MergedResult m = eng.drain();
+  EXPECT_EQ(m.packets, n);
+  ASSERT_EQ(m.per_packet.size(), n);
+  for (const auto& pr : m.per_packet) {
+    ASSERT_EQ(pr.outputs.size(), 1u);
+    EXPECT_EQ(pr.outputs[0].port, 2);
+  }
+}
+
+TEST(EngineErrors, RegisterReadNeedsSingleWorker) {
+  EngineOptions opts;
+  opts.workers = 2;
+  TrafficEngine eng(apps::l2_switch(), opts);
+  EXPECT_THROW((void)eng.register_read("anything", 0), util::ConfigError);
+}
+
+TEST(EngineErrors, BackpressureWithSlowConsumer) {
+  // A one-slot queue and a worker slowed by large per-batch locking: the
+  // producer must block on the full queue (backpressure_waits > 0) yet no
+  // packet is lost or reordered.
+  bm::Switch native(apps::l2_switch());
+  apps::apply_rule(native, apps::l2_forward(bench::kMacH2, 2));
+
+  EngineOptions opts;
+  opts.workers = 1;
+  opts.queue_capacity = 1;
+  opts.batch_size = 1;
+  TrafficEngine eng(apps::l2_switch(), opts);
+  eng.sync_from(native);
+
+  const std::size_t n = 256;
+  for (std::size_t i = 0; i < n; ++i) {
+    eng.inject(1, flow_packet(0));
+    if (i % 64 == 0) {
+      // Stall the consumer by hogging its replica lock briefly.
+      (void)eng.replica(0);
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
+  const MergedResult m = eng.drain();
+  EXPECT_EQ(m.packets, n);
+  EXPECT_EQ(m.totals.outputs.size(), n);
+  EXPECT_GE(eng.metrics().counter("backpressure_waits").value(), 1u);
+}
+
+}  // namespace
+}  // namespace hyper4

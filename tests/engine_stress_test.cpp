@@ -20,6 +20,7 @@
 #include "bench/common.h"
 #include "engine/engine.h"
 #include "net/headers.h"
+#include "util/rng.h"
 
 namespace hyper4 {
 namespace {
@@ -57,6 +58,14 @@ net::Packet flow_packet(std::size_t flow, std::uint32_t seq) {
 void run_stress(std::size_t workers, std::size_t producers,
                 std::size_t packets) {
   const std::size_t flows = 64;
+  // HP4_CHECK_SEED re-randomizes the packet→flow assignment (shared seed
+  // discipline with the fuzz and check suites). Precomputed so producer
+  // threads never share the Rng.
+  const std::uint64_t seed = util::env_seed(0x57E55);
+  util::Rng rng(seed);
+  std::vector<std::size_t> flow_of(packets);
+  for (auto& f : flow_of)
+    f = static_cast<std::size_t>(rng.uniform(0, flows - 1));
   bm::Switch native(apps::l2_switch());
   apps::apply_rule(native, apps::l2_forward(bench::kMacH1, 1));
   const std::uint64_t h2 =
@@ -84,7 +93,7 @@ void run_stress(std::size_t workers, std::size_t producers,
   for (std::size_t t = 0; t < producers; ++t) {
     prod.emplace_back([&, t] {
       for (std::size_t i = 0; i < per_producer; ++i) {
-        const std::size_t flow = (t * per_producer + i) % flows;
+        const std::size_t flow = flow_of[t * per_producer + i];
         eng.inject(1, flow_packet(flow, static_cast<std::uint32_t>(i)));
       }
     });
@@ -96,8 +105,8 @@ void run_stress(std::size_t workers, std::size_t producers,
   control.join();
 
   const std::size_t injected = per_producer * producers;
-  EXPECT_EQ(m.packets, injected);
-  ASSERT_EQ(m.per_packet.size(), injected);
+  EXPECT_EQ(m.packets, injected) << "seed=" << seed;
+  ASSERT_EQ(m.per_packet.size(), injected) << "seed=" << seed;
   EXPECT_EQ(m.totals.drops, 0u);
   EXPECT_EQ(m.totals.outputs.size(), injected);
   for (const auto& o : m.totals.outputs) {

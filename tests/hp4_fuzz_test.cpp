@@ -147,7 +147,10 @@ class FuzzEquivalence
 
 TEST_P(FuzzEquivalence, RandomRulesRandomPackets) {
   const auto [app, seed] = GetParam();
-  Rng rng(static_cast<std::uint64_t>(seed) * 1000003 + 17);
+  // HP4_CHECK_SEED offsets every sweep, so one env var re-randomizes the
+  // fuzz, stress and check suites together. Failures print the full seed.
+  const std::uint64_t base = util::env_seed(0);
+  Rng rng(base + static_cast<std::uint64_t>(seed) * 1000003 + 17);
   constexpr int kPool = 6;
 
   const auto rules = dedup(rand_rules(rng, app, kPool));
@@ -168,7 +171,8 @@ TEST_P(FuzzEquivalence, RandomRulesRandomPackets) {
     auto n = native.inject(port, pkt);
     auto e = ctl.dataplane().inject(port, pkt);
     ASSERT_EQ(canon(n), canon(e))
-        << app << " seed=" << seed << " packet#" << i << " in=" << pkt.to_hex();
+        << app << " seed=" << seed << " base=" << base << " packet#" << i
+        << " in=" << pkt.to_hex();
   }
 }
 
@@ -185,7 +189,8 @@ INSTANTIATE_TEST_SUITE_P(
 // Runtime churn: entries added and deleted mid-stream keep both sides in
 // lockstep (live reconfiguration, §4.1).
 TEST(FuzzChurn, AddDeleteChurnStaysEquivalent) {
-  Rng rng(0xC0FFEE);
+  const std::uint64_t churn_seed = util::env_seed(0xC0FFEE);
+  Rng rng(churn_seed);
   bm::Switch native(apps::l2_switch());
   Controller ctl;
   auto vdev = ctl.load("l2", apps::l2_switch());
@@ -226,7 +231,8 @@ TEST(FuzzChurn, AddDeleteChurnStaysEquivalent) {
       const auto port = static_cast<std::uint16_t>(rng.uniform(1, 3));
       auto n = native.inject(port, pkt);
       auto e = ctl.dataplane().inject(port, pkt);
-      ASSERT_EQ(canon(n), canon(e)) << "step " << step;
+      ASSERT_EQ(canon(n), canon(e))
+          << "step " << step << " seed=" << churn_seed;
     }
   }
 }
