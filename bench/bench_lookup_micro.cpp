@@ -1,0 +1,360 @@
+// Table lookup microbench: the compiled match index (RuntimeTable::lookup)
+// against a faithful reimplementation of the pre-index linear-scan engine,
+// per match kind and entry count, written to BENCH_lookup.json.
+//
+// The baseline reproduces the seed-era lookup exactly: exact tables probed
+// through a hex-string hash key rebuilt per lookup, everything else a
+// linear scan over (priority, insertion)-sorted handles where every probed
+// entry pays a `resized()` copy per key component plus an lpm mask rebuilt
+// with `mask_range()` — i.e. per-packet heap allocation, which is what the
+// compiled index removes. Both engines are driven over identical entries
+// and probes and must agree on every matched handle before anything is
+// timed (a mini differential oracle; hyper4_check is the full one).
+//
+// Acceptance gates (ISSUE 3): indexed >= 3x baseline on ternary@256 and
+// >= 5x on exact@1024.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <string>
+#include <tuple>
+#include <unordered_map>
+#include <vector>
+
+#include "bm/runtime_table.h"
+#include "util/rng.h"
+
+namespace hyper4::bench {
+namespace {
+
+using bm::KeyParam;
+using bm::KeySpec;
+using bm::RuntimeTable;
+using bm::TableEntry;
+using util::BitVec;
+
+// --- the pre-index lookup engine, verbatim semantics ------------------------
+
+class LegacyTable {
+ public:
+  LegacyTable(std::vector<KeySpec> keys, const RuntimeTable& src)
+      : keys_(std::move(keys)) {
+    for (const auto& k : keys_) {
+      if (k.type != p4::MatchType::kExact && k.type != p4::MatchType::kValid)
+        all_exact_ = false;
+    }
+    for (const auto h : src.handles()) {
+      entries_.emplace(h, src.entry(h));
+      if (all_exact_) exact_index_[exact_key_string(src.entry(h).key)] = h;
+    }
+    for (const auto& [h, e] : entries_) {
+      const std::int64_t prio =
+          e.priority < 0 ? (std::int64_t{1} << 40) : e.priority;
+      order_.emplace_back(prio, h, h);
+    }
+    std::sort(order_.begin(), order_.end());
+  }
+
+  const TableEntry* lookup(const std::vector<BitVec>& key) {
+    if (all_exact_) {
+      auto it = exact_index_.find(exact_key_string(key));
+      if (it == exact_index_.end()) return nullptr;
+      return &entries_.at(it->second);
+    }
+    const TableEntry* best = nullptr;
+    std::size_t best_lpm_len = 0;
+    const bool pure_lpm =
+        keys_.size() == 1 && keys_[0].type == p4::MatchType::kLpm;
+    for (const auto& [prio, seq, h] : order_) {
+      const TableEntry& e = entries_.at(h);
+      if (!entry_matches(e, key)) continue;
+      if (pure_lpm && e.priority < 0) {
+        if (!best || *e.key[0].prefix_len > best_lpm_len) {
+          best = &e;
+          best_lpm_len = *e.key[0].prefix_len;
+        }
+        continue;
+      }
+      best = &e;
+      break;
+    }
+    return best;
+  }
+
+ private:
+  bool entry_matches(const TableEntry& e,
+                     const std::vector<BitVec>& key) const {
+    for (std::size_t i = 0; i < keys_.size(); ++i) {
+      const KeySpec& spec = keys_[i];
+      const KeyParam& kp = e.key[i];
+      const BitVec v = key[i].resized(spec.width);
+      switch (spec.type) {
+        case p4::MatchType::kExact:
+        case p4::MatchType::kValid:
+          if (!(v == kp.value)) return false;
+          break;
+        case p4::MatchType::kTernary:
+          if (!((v & *kp.mask) == kp.value)) return false;
+          break;
+        case p4::MatchType::kLpm: {
+          const std::size_t plen = *kp.prefix_len;
+          if (plen == 0) break;
+          const BitVec mask =
+              BitVec::mask_range(spec.width, spec.width - plen, plen);
+          if (!((v & mask) == (kp.value & mask))) return false;
+          break;
+        }
+        case p4::MatchType::kRange:
+          if (v < kp.value || *kp.range_hi < v) return false;
+          break;
+      }
+    }
+    return true;
+  }
+
+  std::string exact_key_string(const std::vector<KeyParam>& key) const {
+    std::string s;
+    for (const auto& k : key) {
+      s += k.value.to_hex();
+      s.push_back('|');
+    }
+    return s;
+  }
+  std::string exact_key_string(const std::vector<BitVec>& key) const {
+    std::string s;
+    for (std::size_t i = 0; i < key.size(); ++i) {
+      s += key[i].resized(keys_[i].width).to_hex();
+      s.push_back('|');
+    }
+    return s;
+  }
+
+  std::vector<KeySpec> keys_;
+  bool all_exact_ = true;
+  std::map<std::uint64_t, TableEntry> entries_;
+  std::vector<std::tuple<std::int64_t, std::uint64_t, std::uint64_t>> order_;
+  std::unordered_map<std::string, std::uint64_t> exact_index_;
+};
+
+// --- scenarios --------------------------------------------------------------
+
+struct Scenario {
+  std::string kind;
+  std::size_t key_bits = 0;
+  std::vector<KeySpec> keys;
+  // Fills the table; probes are generated afterwards.
+  void (*populate)(RuntimeTable&, std::size_t, util::Rng&) = nullptr;
+  std::vector<BitVec> (*probe)(std::size_t entries, util::Rng&) = nullptr;
+};
+
+void populate_exact(RuntimeTable& t, std::size_t n, util::Rng& rng) {
+  for (std::size_t i = 0; i < n; ++i) {
+    // Spread values so the probe's hit/miss split is controlled below.
+    t.add({KeyParam::exact(BitVec(48, i * 2 + 1))}, i % 4, {BitVec(9, i)});
+  }
+  (void)rng;
+}
+std::vector<BitVec> probe_exact(std::size_t entries, util::Rng& rng) {
+  // ~50% hits (odd values are installed), ~50% misses.
+  const std::uint64_t v = rng.uniform(0, entries * 2 - 1);
+  return {BitVec(48, v)};
+}
+
+void populate_lpm(RuntimeTable& t, std::size_t n, util::Rng& rng) {
+  t.add({KeyParam::lpm(BitVec(32, 0), 0)}, 0, {});  // default route
+  for (std::size_t i = 1; i < n; ++i) {
+    const std::size_t plen = 8 * rng.uniform(1, 4);  // /8 /16 /24 /32
+    const std::uint64_t base = rng.uniform(0, (1ull << 32) - 1);
+    const std::uint64_t masked =
+        plen == 0 ? 0 : (base >> (32 - plen)) << (32 - plen);
+    t.add({KeyParam::lpm(BitVec(32, masked), plen)}, i % 4, {});
+  }
+}
+std::vector<BitVec> probe_lpm(std::size_t entries, util::Rng& rng) {
+  (void)entries;
+  return {BitVec(32, rng.uniform(0, (1ull << 32) - 1))};
+}
+
+void populate_ternary(RuntimeTable& t, std::size_t n, util::Rng& rng) {
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    // Prefix-style masks of varying specificity, distinct priorities.
+    const std::size_t mbits = 8 * rng.uniform(1, 6);
+    const std::uint64_t mask =
+        mbits >= 48 ? (1ull << 48) - 1
+                    : (((1ull << mbits) - 1) << (48 - mbits));
+    const std::uint64_t val = rng.uniform(0, (1ull << 48) - 1) & mask;
+    t.add({KeyParam::ternary(BitVec(48, val), BitVec(48, mask))}, i % 4, {},
+          static_cast<std::int32_t>(i));
+  }
+  // Catch-all so every probe terminates with a hit (worst case: full scan).
+  t.add({KeyParam::ternary(BitVec(48, 0), BitVec(48, 0))}, 0, {},
+        static_cast<std::int32_t>(n));
+}
+std::vector<BitVec> probe_ternary(std::size_t entries, util::Rng& rng) {
+  (void)entries;
+  return {BitVec(48, rng.uniform(0, (1ull << 48) - 1))};
+}
+
+// HyPer4's persona shape: one 800-bit ternary stage over extracted bytes.
+void populate_ternary_wide(RuntimeTable& t, std::size_t n, util::Rng& rng) {
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    BitVec value(800);
+    value.set_slice(700, BitVec(16, rng.uniform(0, 0xffff)));
+    const BitVec mask = BitVec::mask_range(800, 700, 16);
+    t.add({KeyParam::ternary(value, mask)}, i % 4, {},
+          static_cast<std::int32_t>(i));
+  }
+  BitVec zero(800);
+  t.add({KeyParam::ternary(zero, BitVec(800))}, 0, {},
+        static_cast<std::int32_t>(n));
+}
+std::vector<BitVec> probe_ternary_wide(std::size_t entries, util::Rng& rng) {
+  (void)entries;
+  BitVec pkt(800);
+  pkt.set_slice(700, BitVec(16, rng.uniform(0, 0xffff)));
+  pkt.set_slice(0, BitVec(64, rng.engine()()));
+  return {pkt};
+}
+
+struct Case {
+  std::string kind;
+  std::size_t entries = 0;
+  std::size_t key_bits = 0;
+  std::size_t probes = 0;
+  double baseline_pps = 0;
+  double indexed_pps = 0;
+  double speedup = 0;
+};
+
+template <typename Fn>
+double time_pps(std::size_t probes_per_pass, Fn&& pass) {
+  using clock = std::chrono::steady_clock;
+  // Warm-up pass (also populates scratch capacities), then run passes
+  // until >= 0.2 s of wall time has accumulated.
+  pass();
+  std::size_t total = 0;
+  const auto t0 = clock::now();
+  double elapsed = 0;
+  do {
+    pass();
+    total += probes_per_pass;
+    elapsed = std::chrono::duration<double>(clock::now() - t0).count();
+  } while (elapsed < 0.2);
+  return static_cast<double>(total) / elapsed;
+}
+
+Case run_case(const Scenario& s, std::size_t entries) {
+  util::Rng rng(0x10F4 + entries);
+  RuntimeTable indexed("t", s.keys, entries + 8);
+  s.populate(indexed, entries, rng);
+  LegacyTable baseline(s.keys, indexed);
+
+  constexpr std::size_t kProbes = 2048;
+  std::vector<std::vector<BitVec>> probes;
+  probes.reserve(kProbes);
+  for (std::size_t i = 0; i < kProbes; ++i)
+    probes.push_back(s.probe(entries, rng));
+
+  // Differential gate: both engines must pick the same entry everywhere.
+  for (const auto& p : probes) {
+    const TableEntry* a = baseline.lookup(p);
+    const TableEntry* b = indexed.lookup(p);
+    const std::uint64_t ha = a ? a->handle : 0;
+    const std::uint64_t hb = b ? b->handle : 0;
+    if (ha != hb) {
+      std::fprintf(stderr,
+                   "MISMATCH %s/%zu: baseline handle %llu vs indexed %llu\n",
+                   s.kind.c_str(), entries,
+                   static_cast<unsigned long long>(ha),
+                   static_cast<unsigned long long>(hb));
+      std::exit(1);
+    }
+  }
+
+  // The sink defeats dead-code elimination.
+  volatile std::uint64_t sink = 0;
+  Case c;
+  c.kind = s.kind;
+  c.entries = entries;
+  c.key_bits = s.key_bits;
+  c.probes = kProbes;
+  c.baseline_pps = time_pps(kProbes, [&] {
+    std::uint64_t acc = 0;
+    for (const auto& p : probes) {
+      const TableEntry* e = baseline.lookup(p);
+      acc += e ? e->handle : 0;
+    }
+    sink = acc;
+  });
+  c.indexed_pps = time_pps(kProbes, [&] {
+    std::uint64_t acc = 0;
+    for (const auto& p : probes) {
+      const TableEntry* e = indexed.lookup(p);
+      acc += e ? e->handle : 0;
+    }
+    sink = acc;
+  });
+  c.speedup = c.baseline_pps > 0 ? c.indexed_pps / c.baseline_pps : 0;
+  return c;
+}
+
+int main_impl() {
+  const std::vector<Scenario> scenarios = {
+      {"exact", 48, {KeySpec{p4::MatchType::kExact, 0, 48, "k"}},
+       populate_exact, probe_exact},
+      {"lpm", 32, {KeySpec{p4::MatchType::kLpm, 0, 32, "k"}},
+       populate_lpm, probe_lpm},
+      {"ternary", 48, {KeySpec{p4::MatchType::kTernary, 0, 48, "k"}},
+       populate_ternary, probe_ternary},
+      {"ternary_wide", 800, {KeySpec{p4::MatchType::kTernary, 0, 800, "k"}},
+       populate_ternary_wide, probe_ternary_wide},
+  };
+  const std::vector<std::size_t> counts = {16, 256, 1024};
+
+  std::printf("%-14s %8s %12s %12s %9s\n", "kind", "entries", "baseline_pps",
+              "indexed_pps", "speedup");
+  std::vector<Case> cases;
+  for (const auto& s : scenarios) {
+    for (const std::size_t n : counts) {
+      const Case c = run_case(s, n);
+      std::printf("%-14s %8zu %12.0f %12.0f %8.2fx\n", c.kind.c_str(),
+                  c.entries, c.baseline_pps, c.indexed_pps, c.speedup);
+      cases.push_back(c);
+    }
+  }
+
+  std::ofstream json("BENCH_lookup.json");
+  json << "{\n  \"bench\": \"lookup_micro\",\n  \"cases\": [\n";
+  for (std::size_t i = 0; i < cases.size(); ++i) {
+    const Case& c = cases[i];
+    json << "    {\"kind\": \"" << c.kind << "\", \"entries\": " << c.entries
+         << ", \"key_bits\": " << c.key_bits
+         << ", \"baseline_pps\": " << c.baseline_pps
+         << ", \"indexed_pps\": " << c.indexed_pps
+         << ", \"speedup\": " << c.speedup << "}"
+         << (i + 1 < cases.size() ? "," : "") << "\n";
+  }
+  json << "  ]\n}\n";
+  std::printf("\nwrote BENCH_lookup.json\n");
+
+  // ISSUE 3 acceptance gates.
+  int rc = 0;
+  for (const Case& c : cases) {
+    if (c.kind == "ternary" && c.entries == 256 && c.speedup < 3.0) {
+      std::printf("FAIL: ternary@256 speedup %.2fx < 3x\n", c.speedup);
+      rc = 1;
+    }
+    if (c.kind == "exact" && c.entries == 1024 && c.speedup < 5.0) {
+      std::printf("FAIL: exact@1024 speedup %.2fx < 5x\n", c.speedup);
+      rc = 1;
+    }
+  }
+  return rc;
+}
+
+}  // namespace
+}  // namespace hyper4::bench
+
+int main() { return hyper4::bench::main_impl(); }

@@ -174,6 +174,16 @@ CliResult run_cli_command(Switch& sw, const std::string& line) {
       if (tok.size() != 2) throw CommandError("table_dump: usage");
       return CliResult{true, sw.table_dump(tok[1]), 0};
     }
+    if (cmd == "table_index") {
+      // Introspection for the compiled match index: which per-kind
+      // structure serves this table and the current invalidation epoch.
+      if (tok.size() != 2) throw CommandError("table_index: usage");
+      const RuntimeTable& t = sw.table(tok[1]);
+      return CliResult{true,
+                       std::string(t.index_kind_name()) + " epoch=" +
+                           std::to_string(t.index_epoch()),
+                       0};
+    }
     if (cmd == "mirroring_add") {
       if (tok.size() != 3) throw CommandError("mirroring_add: usage");
       sw.mirror_add(static_cast<std::uint32_t>(util::parse_uint(tok[1])),

@@ -9,6 +9,7 @@
 //   table_delete <table> <handle>
 //   table_modify <table> <action> <handle> [args...]
 //   table_dump <table>
+//   table_index <table>          (compiled match-index kind + epoch)
 //   register_write <register> <index> <value>
 //   register_read <register> <index>
 //   counter_read <counter> <index>
@@ -19,7 +20,9 @@
 // Match key formats per the table's key spec: exact values as decimal,
 // 0x-hex, aa:bb:cc:dd:ee:ff or a.b.c.d; ternary as value&&&mask; lpm as
 // value/prefix_len; valid as 0/1; range as lo->hi. Tables with ternary or
-// range keys take a trailing priority (smaller wins), like bmv2.
+// range keys take a trailing priority (smaller wins), like bmv2. Pure
+// single-key lpm tables take no priority: longest prefix wins, ties by
+// insertion order (the bmv2 rule, pinned by RuntimeTable::lookup).
 #pragma once
 
 #include <map>

@@ -9,6 +9,14 @@ namespace hyper4::bm {
 using util::BitVec;
 using util::CommandError;
 
+namespace {
+// All-ones in the low `w` bit positions of a word (w in [0, 64]).
+inline std::uint64_t ones64(std::size_t w) {
+  if (w == 0) return 0;
+  return (~std::uint64_t{0}) >> (64 - w);
+}
+}  // namespace
+
 KeyParam KeyParam::exact(BitVec v) {
   KeyParam k;
   k.value = std::move(v);
@@ -45,8 +53,228 @@ RuntimeTable::RuntimeTable(std::string name, std::vector<KeySpec> keys,
     if (k.type != p4::MatchType::kExact && k.type != p4::MatchType::kValid) {
       all_exact_ = false;
     }
+    if (k.type == p4::MatchType::kRange) has_range_ = true;
+    total_width_ += k.width;
+  }
+  if (all_exact_) {
+    kind_ = IndexKind::kExactHash;
+  } else if (keys_.size() == 1 && keys_[0].type == p4::MatchType::kLpm) {
+    kind_ = IndexKind::kPureLpm;
+  } else {
+    kind_ = IndexKind::kTernaryScan;
+  }
+  use_u64_ = total_width_ <= 64 && !has_range_;
+  // LSB offset of each component in the packed image: component 0 is the
+  // most significant (matches the big-endian byte concatenation).
+  shifts_.resize(keys_.size(), 0);
+  std::size_t shift = 0;
+  for (std::size_t i = keys_.size(); i-- > 0;) {
+    shifts_[i] = shift;
+    shift += keys_[i].width;
+  }
+  // Reserve the raw-byte probe scratch once so even the first wide-key
+  // lookup allocates nothing.
+  std::size_t bytes = 0;
+  for (const auto& k : keys_) bytes += (k.width + 7) / 8;
+  probe_.reserve(bytes);
+}
+
+const char* RuntimeTable::index_kind_name() const {
+  switch (kind_) {
+    case IndexKind::kExactHash: return use_u64_ ? "exact-hash/u64" : "exact-hash";
+    case IndexKind::kPureLpm:
+      return keys_[0].width <= 64 ? "lpm-buckets/u64" : "lpm-buckets";
+    case IndexKind::kTernaryScan:
+      return use_u64_ ? "ternary-scan/u64" : "ternary-scan";
+  }
+  return "?";
+}
+
+// --- packed-u64 images ------------------------------------------------------
+
+std::uint64_t RuntimeTable::pack_key(const std::vector<BitVec>& key) const {
+  std::uint64_t v = 0;
+  for (std::size_t i = 0; i < keys_.size(); ++i) {
+    v |= key[i].low_bits_u64(keys_[i].width) << shifts_[i];
+  }
+  return v;
+}
+
+std::uint64_t RuntimeTable::pack_entry_value(
+    const std::vector<KeyParam>& key) const {
+  std::uint64_t v = 0;
+  for (std::size_t i = 0; i < keys_.size(); ++i) {
+    v |= key[i].value.low_bits_u64(keys_[i].width) << shifts_[i];
+  }
+  return v;
+}
+
+void RuntimeTable::pack_entry_scan(const TableEntry& e, std::uint64_t* value,
+                                   std::uint64_t* mask) const {
+  std::uint64_t v = 0, m = 0;
+  for (std::size_t i = 0; i < keys_.size(); ++i) {
+    const KeySpec& spec = keys_[i];
+    const KeyParam& kp = e.key[i];
+    const std::size_t w = spec.width;
+    std::uint64_t cm = 0;
+    switch (spec.type) {
+      case p4::MatchType::kExact:
+      case p4::MatchType::kValid:
+        cm = ones64(w);
+        break;
+      case p4::MatchType::kTernary:
+        cm = kp.mask->low_bits_u64(w);
+        break;
+      case p4::MatchType::kLpm:
+        cm = ones64(w) & ~ones64(w - *kp.prefix_len);
+        break;
+      case p4::MatchType::kRange:
+        // excluded from the fast path (use_u64_ is false); unreachable
+        break;
+    }
+    v |= (kp.value.low_bits_u64(w) & cm) << shifts_[i];
+    m |= cm << shifts_[i];
+  }
+  *value = v;
+  *mask = m;
+}
+
+void RuntimeTable::exact_key_bytes(const std::vector<KeyParam>& key,
+                                   std::string& out) const {
+  for (std::size_t i = 0; i < keys_.size(); ++i) {
+    key[i].value.append_bytes(out, keys_[i].width);
   }
 }
+
+void RuntimeTable::exact_key_bytes(const std::vector<BitVec>& key,
+                                   std::string& out) const {
+  for (std::size_t i = 0; i < keys_.size(); ++i) {
+    key[i].append_bytes(out, keys_[i].width);
+  }
+}
+
+// --- index maintenance ------------------------------------------------------
+
+void RuntimeTable::index_insert(TableEntry* e) {
+  switch (kind_) {
+    case IndexKind::kExactHash:
+      if (use_u64_) {
+        exact64_.emplace(pack_entry_value(e->key), e);
+      } else {
+        std::string k;
+        exact_key_bytes(e->key, k);
+        exact_raw_.emplace(std::move(k), e);
+      }
+      break;
+    case IndexKind::kPureLpm: {
+      const std::size_t w = keys_[0].width;
+      const std::size_t plen = *e->key[0].prefix_len;
+      // Buckets stay sorted by prefix length, longest first.
+      auto it = std::lower_bound(
+          lpm_buckets_.begin(), lpm_buckets_.end(), plen,
+          [](const LpmBucket& b, std::size_t p) { return b.plen > p; });
+      if (it == lpm_buckets_.end() || it->plen != plen) {
+        LpmBucket b;
+        b.plen = plen;
+        if (w <= 64) b.mask64 = ones64(w) & ~ones64(w - plen);
+        it = lpm_buckets_.insert(it, std::move(b));
+      }
+      if (w <= 64) {
+        // emplace keeps the first insertion on a duplicate prefix, which is
+        // exactly the tie-break rule (insertion order wins).
+        it->map64.emplace(
+            e->key[0].value.low_bits_u64(w) & it->mask64, e);
+      } else {
+        it->wide.push_back(e);
+      }
+      break;
+    }
+    case IndexKind::kTernaryScan: {
+      ScanRow row{prio_key(e->priority), e->handle, e};
+      auto cmp = [](const ScanRow& a, const ScanRow& b) {
+        return a.prio != b.prio ? a.prio < b.prio : a.seq < b.seq;
+      };
+      const auto pos =
+          std::upper_bound(rows_.begin(), rows_.end(), row, cmp);
+      const std::size_t idx =
+          static_cast<std::size_t>(pos - rows_.begin());
+      rows_.insert(pos, row);
+      if (use_u64_) {
+        std::uint64_t v = 0, m = 0;
+        pack_entry_scan(*e, &v, &m);
+        fast_val_.insert(fast_val_.begin() + static_cast<std::ptrdiff_t>(idx),
+                         v);
+        fast_mask_.insert(
+            fast_mask_.begin() + static_cast<std::ptrdiff_t>(idx), m);
+      }
+      break;
+    }
+  }
+}
+
+void RuntimeTable::index_erase(const TableEntry& e) {
+  switch (kind_) {
+    case IndexKind::kExactHash:
+      if (use_u64_) {
+        exact64_.erase(pack_entry_value(e.key));
+      } else {
+        probe_.clear();
+        exact_key_bytes(e.key, probe_);
+        exact_raw_.erase(probe_);
+      }
+      break;
+    case IndexKind::kPureLpm: {
+      // Rebuild just this entry's bucket from surviving entries: a removed
+      // winner may have been shadowing an identical prefix inserted later.
+      const std::size_t plen = *e.key[0].prefix_len;
+      auto it = std::find_if(
+          lpm_buckets_.begin(), lpm_buckets_.end(),
+          [&](const LpmBucket& b) { return b.plen == plen; });
+      if (it == lpm_buckets_.end()) return;
+      it->map64.clear();
+      it->wide.clear();
+      const std::size_t w = keys_[0].width;
+      for (auto& [h, other] : entries_) {
+        if (h == e.handle || *other.key[0].prefix_len != plen) continue;
+        if (w <= 64) {
+          it->map64.emplace(other.key[0].value.low_bits_u64(w) & it->mask64,
+                            &other);
+        } else {
+          it->wide.push_back(&other);
+        }
+      }
+      if (it->map64.empty() && it->wide.empty()) lpm_buckets_.erase(it);
+      break;
+    }
+    case IndexKind::kTernaryScan: {
+      for (std::size_t i = 0; i < rows_.size(); ++i) {
+        if (rows_[i].e->handle != e.handle) continue;
+        rows_.erase(rows_.begin() + static_cast<std::ptrdiff_t>(i));
+        if (use_u64_) {
+          fast_val_.erase(fast_val_.begin() + static_cast<std::ptrdiff_t>(i));
+          fast_mask_.erase(fast_mask_.begin() +
+                           static_cast<std::ptrdiff_t>(i));
+        }
+        break;
+      }
+      break;
+    }
+  }
+}
+
+void RuntimeTable::index_build() {
+  exact64_.clear();
+  exact_raw_.clear();
+  lpm_buckets_.clear();
+  rows_.clear();
+  fast_val_.clear();
+  fast_mask_.clear();
+  // Handles are monotonic in insertion order, so iterating entries_ (a map
+  // keyed by handle) replays the original insertion sequence.
+  for (auto& [h, e] : entries_) index_insert(&e);
+}
+
+// --- mutation ---------------------------------------------------------------
 
 std::uint64_t RuntimeTable::add(std::vector<KeyParam> key, std::size_t action,
                                 std::vector<BitVec> action_args,
@@ -94,9 +322,16 @@ std::uint64_t RuntimeTable::add(std::vector<KeyParam> key, std::size_t action,
     if (spec.type == p4::MatchType::kTernary) kp.value = kp.value & *kp.mask;
   }
 
-  if (all_exact_) {
-    const std::string ks = exact_key_string(key);
-    if (exact_index_.contains(ks))
+  if (kind_ == IndexKind::kExactHash) {
+    bool dup;
+    if (use_u64_) {
+      dup = exact64_.contains(pack_entry_value(key));
+    } else {
+      probe_.clear();
+      exact_key_bytes(key, probe_);
+      dup = exact_raw_.contains(probe_);
+    }
+    if (dup)
       throw CommandError("table " + name_ + ": duplicate exact match entry");
   }
 
@@ -107,13 +342,9 @@ std::uint64_t RuntimeTable::add(std::vector<KeyParam> key, std::size_t action,
   e.action = action;
   e.action_args = std::move(action_args);
   const std::uint64_t h = e.handle;
-  if (all_exact_) exact_index_[exact_key_string(e.key)] = h;
-  // Unspecified priority sorts after every explicit priority.
-  const std::int64_t prio =
-      priority < 0 ? (std::int64_t{1} << 40) : priority;
-  order_.emplace_back(prio, insert_seq_++, h);
-  entries_.emplace(h, std::move(e));
-  std::sort(order_.begin(), order_.end());
+  auto [it, inserted] = entries_.emplace(h, std::move(e));
+  index_insert(&it->second);
+  ++epoch_;
   return h;
 }
 
@@ -122,9 +353,9 @@ void RuntimeTable::remove(std::uint64_t handle) {
   if (it == entries_.end())
     throw CommandError("table " + name_ + ": no entry with handle " +
                        std::to_string(handle));
-  if (all_exact_) exact_index_.erase(exact_key_string(it->second.key));
+  index_erase(it->second);
   entries_.erase(it);
-  rebuild_order();
+  ++epoch_;
 }
 
 void RuntimeTable::modify(std::uint64_t handle, std::size_t action,
@@ -132,6 +363,9 @@ void RuntimeTable::modify(std::uint64_t handle, std::size_t action,
   TableEntry& e = mutable_entry(handle);
   e.action = action;
   e.action_args = std::move(action_args);
+  // The key (and so the index) is unchanged; only the epoch moves so
+  // replica-coherence checks still see the mutation.
+  ++epoch_;
 }
 
 bool RuntimeTable::has_entry(std::uint64_t handle) const {
@@ -164,6 +398,7 @@ std::vector<std::uint64_t> RuntimeTable::handles() const {
 void RuntimeTable::set_default(std::size_t action, std::vector<BitVec> args) {
   default_action_ = action;
   default_args_ = std::move(args);
+  ++epoch_;
 }
 
 std::size_t RuntimeTable::default_action() const {
@@ -172,72 +407,65 @@ std::size_t RuntimeTable::default_action() const {
   return *default_action_;
 }
 
-void RuntimeTable::rebuild_order() {
-  order_.clear();
-  // Preserve original priorities; re-derive insertion order from handles
-  // (handles are monotonic, so relative order is stable).
-  for (const auto& [h, e] : entries_) {
-    const std::int64_t prio =
-        e.priority < 0 ? (std::int64_t{1} << 40) : e.priority;
-    order_.emplace_back(prio, h, h);
-  }
-  std::sort(order_.begin(), order_.end());
-}
+// --- lookup -----------------------------------------------------------------
 
-std::string RuntimeTable::exact_key_string(
-    const std::vector<KeyParam>& key) const {
-  std::string s;
-  for (const auto& k : key) {
-    s += k.value.to_hex();
-    s.push_back('|');
-  }
-  return s;
-}
-
-std::string RuntimeTable::exact_key_string(
-    const std::vector<BitVec>& key) const {
-  std::string s;
-  for (std::size_t i = 0; i < key.size(); ++i) {
-    s += key[i].resized(keys_[i].width).to_hex();
-    s.push_back('|');
-  }
-  return s;
-}
-
-const TableEntry* RuntimeTable::lookup(const std::vector<BitVec>& key) {
+TableEntry* RuntimeTable::lookup(const std::vector<BitVec>& key) {
   ++applied_;
-  if (all_exact_) {
-    auto it = exact_index_.find(exact_key_string(key));
-    if (it == exact_index_.end()) return nullptr;
-    TableEntry& e = entries_.at(it->second);
-    ++e.hits;
+  if (key.size() < keys_.size())
+    throw CommandError("table " + name_ + ": lookup key arity " +
+                       std::to_string(key.size()) + " < " +
+                       std::to_string(keys_.size()));
+  TableEntry* e = find_match(key);
+  if (e) {
+    ++e->hits;
     ++hits_;
-    return &e;
   }
-  const TableEntry* best = nullptr;
-  std::size_t best_lpm_len = 0;
-  // Entries are sorted by (priority, insertion); the first match wins,
-  // except for a pure single-key lpm table where the longest prefix wins.
-  const bool pure_lpm =
-      keys_.size() == 1 && keys_[0].type == p4::MatchType::kLpm;
-  for (const auto& [prio, seq, h] : order_) {
-    const TableEntry& e = entries_.at(h);
-    if (!entry_matches(e, key)) continue;
-    if (pure_lpm && e.priority < 0) {
-      if (!best || *e.key[0].prefix_len > best_lpm_len) {
-        best = &e;
-        best_lpm_len = *e.key[0].prefix_len;
+  return e;
+}
+
+TableEntry* RuntimeTable::find_match(const std::vector<BitVec>& key) {
+  switch (kind_) {
+    case IndexKind::kExactHash: {
+      if (use_u64_) {
+        const auto it = exact64_.find(pack_key(key));
+        return it == exact64_.end() ? nullptr : it->second;
       }
-      continue;
+      probe_.clear();
+      exact_key_bytes(key, probe_);
+      const auto it = exact_raw_.find(probe_);
+      return it == exact_raw_.end() ? nullptr : it->second;
     }
-    best = &e;
-    break;
-  }
-  if (best) {
-    TableEntry& e = entries_.at(best->handle);
-    ++e.hits;
-    ++hits_;
-    return &e;
+    case IndexKind::kPureLpm: {
+      const std::size_t w = keys_[0].width;
+      if (w <= 64) {
+        const std::uint64_t k = key[0].low_bits_u64(w);
+        for (const auto& b : lpm_buckets_) {
+          const auto it = b.map64.find(k & b.mask64);
+          if (it != b.map64.end()) return it->second;
+        }
+        return nullptr;
+      }
+      for (const auto& b : lpm_buckets_) {
+        for (TableEntry* e : b.wide) {
+          if (key[0].prefix_equals(e->key[0].value, w, b.plen)) return e;
+        }
+      }
+      return nullptr;
+    }
+    case IndexKind::kTernaryScan: {
+      if (use_u64_) {
+        const std::uint64_t p = pack_key(key);
+        const std::size_t n = rows_.size();
+        for (std::size_t i = 0; i < n; ++i) {
+          if ((p & fast_mask_[i]) == fast_val_[i]) return rows_[i].e;
+        }
+        return nullptr;
+      }
+      for (const ScanRow& r : rows_) {
+        if (entry_matches(*r.e, key)) return r.e;
+      }
+      return nullptr;
+    }
   }
   return nullptr;
 }
@@ -247,25 +475,26 @@ bool RuntimeTable::entry_matches(const TableEntry& e,
   for (std::size_t i = 0; i < keys_.size(); ++i) {
     const KeySpec& spec = keys_[i];
     const KeyParam& kp = e.key[i];
-    const BitVec v = key[i].resized(spec.width);
+    const BitVec& v = key[i];
     switch (spec.type) {
       case p4::MatchType::kExact:
       case p4::MatchType::kValid:
-        if (!(v == kp.value)) return false;
+        if (!v.equals_resized(kp.value, spec.width)) return false;
         break;
       case p4::MatchType::kTernary:
-        if (!((v & *kp.mask) == kp.value)) return false;
+        // kp.value is stored pre-masked, so (v & mask) == value suffices;
+        // masked_equals masks both sides which is the same test.
+        if (!v.masked_equals(kp.value, *kp.mask)) return false;
         break;
-      case p4::MatchType::kLpm: {
-        const std::size_t plen = *kp.prefix_len;
-        if (plen == 0) break;
-        const BitVec mask =
-            util::BitVec::mask_range(spec.width, spec.width - plen, plen);
-        if (!((v & mask) == (kp.value & mask))) return false;
+      case p4::MatchType::kLpm:
+        if (!v.prefix_equals(kp.value, spec.width, *kp.prefix_len))
+          return false;
         break;
-      }
       case p4::MatchType::kRange:
-        if (v < kp.value || *kp.range_hi < v) return false;
+        if (v.compare_resized(kp.value, spec.width) == std::strong_ordering::less ||
+            kp.range_hi->compare_resized(v, spec.width) ==
+                std::strong_ordering::less)
+          return false;
         break;
     }
   }
@@ -285,13 +514,14 @@ void RuntimeTable::clone_state_from(const RuntimeTable& src) {
   }
   entries_ = src.entries_;
   next_handle_ = src.next_handle_;
-  insert_seq_ = src.insert_seq_;
-  order_ = src.order_;
-  exact_index_ = src.exact_index_;
   default_action_ = src.default_action_;
   default_args_ = src.default_args_;
   applied_ = src.applied_;
   hits_ = src.hits_;
+  // The replica's index must point into its *own* entries_ map; rebuild it
+  // and adopt the source epoch so coherence is checkable from outside.
+  index_build();
+  epoch_ = src.epoch_;
 }
 
 void RuntimeTable::reset_counters() {

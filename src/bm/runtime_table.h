@@ -1,6 +1,20 @@
 // Runtime match-action table: entry storage and lookup for the five P4-14
 // match kinds. Entries carry an action id and bound action parameters;
 // per-entry hit counters double as direct counters.
+//
+// Lookup is served by a compiled per-table match index chosen from the key
+// spec at construction time (see DESIGN.md "Compiled match indexes"):
+//   - exact/valid-only tables hash the raw canonical key bytes (packed into
+//     a single uint64 when the total key width fits in 64 bits);
+//   - pure single-key lpm tables keep per-prefix-length buckets probed
+//     longest-first;
+//   - everything else (ternary / mixed / range) scans a dense
+//     (priority, insertion)-ordered row array of entry pointers, with a
+//     packed-uint64 value/mask image fast path for keys <= 64 bits total.
+// The index is maintained incrementally on add/remove/modify, each of which
+// bumps an epoch counter; clone_state_from rebuilds the index and adopts
+// the source's epoch so engine replicas stay provably coherent. No path in
+// lookup() allocates (scratch buffers are reserved up front).
 #pragma once
 
 #include <cstdint>
@@ -35,7 +49,9 @@ struct TableEntry {
   std::uint64_t handle = 0;
   std::vector<KeyParam> key;
   // Smaller = higher precedence (bmv2 convention). Entries with equal
-  // priority match in insertion order.
+  // priority match in insertion order. In a pure single-key lpm table the
+  // priority is IGNORED for match selection (bmv2 rule: longest prefix
+  // wins, ties broken by insertion order) — see RuntimeTable::lookup.
   std::int32_t priority = 0;
   std::size_t action = 0;  // action id within the switch
   std::vector<util::BitVec> action_args;
@@ -65,6 +81,17 @@ class RuntimeTable {
   // True when every key component is exact (enables hashed lookup).
   bool all_exact() const { return all_exact_; }
 
+  // Which compiled index serves this table's lookups (fixed by the key
+  // spec at construction).
+  enum class IndexKind { kExactHash, kPureLpm, kTernaryScan };
+  IndexKind index_kind() const { return kind_; }
+  const char* index_kind_name() const;
+
+  // Bumped on every mutation (add / remove / modify / set_default);
+  // clone_state_from adopts the source's epoch, so a replica whose epoch
+  // equals its source's is guaranteed to serve the same entries.
+  std::uint64_t index_epoch() const { return epoch_; }
+
   // Insert an entry; validates arity/kinds/widths. `priority` < 0 means
   // "unspecified": ordered after all prioritized entries, by insertion.
   // Throws CommandError on validation failure or capacity exhaustion.
@@ -86,8 +113,21 @@ class RuntimeTable {
   const std::vector<util::BitVec>& default_args() const { return default_args_; }
 
   // Look up; returns the matched entry or nullptr (miss → default applies).
-  // `key` holds the evaluated key field values in spec order.
-  const TableEntry* lookup(const std::vector<util::BitVec>& key);
+  // `key` holds the evaluated key field values in spec order; it may carry
+  // extra trailing components (the switch reuses one scratch vector sized
+  // for its widest table), only the first keys().size() are read. The
+  // returned pointer is mutable so callers can update per-entry counters
+  // without a second handle lookup; entry *keys* must never be mutated
+  // through it (they are baked into the index).
+  //
+  // Match-selection rules (bmv2-compatible):
+  //   - exact/valid tables: the unique entry with equal canonical bytes;
+  //   - pure single-key lpm tables: longest matching prefix wins, ties
+  //     broken by insertion order; entry priority is ignored (bmv2 only
+  //     consults priority when a ternary or range key is present);
+  //   - everything else: first match in (priority asc, insertion) order,
+  //     entries with unspecified (< 0) priority after all explicit ones.
+  TableEntry* lookup(const std::vector<util::BitVec>& key);
 
   // Mirror the full runtime state (entries *including handles*, insertion
   // order, default action, hit/applied counters) of another table with the
@@ -105,21 +145,70 @@ class RuntimeTable {
  private:
   bool entry_matches(const TableEntry& e,
                      const std::vector<util::BitVec>& key) const;
-  std::string exact_key_string(const std::vector<KeyParam>& key) const;
-  std::string exact_key_string(const std::vector<util::BitVec>& key) const;
-  void rebuild_order();
+
+  // --- compiled match index --------------------------------------------
+  // One dense scan row: entries ordered by (priority key, insertion seq).
+  // `e` points into entries_ (std::map nodes are stable).
+  struct ScanRow {
+    std::int64_t prio = 0;
+    std::uint64_t seq = 0;
+    TableEntry* e = nullptr;
+  };
+  // One prefix length of a pure-lpm table. Fields <= 64 bits wide get a
+  // hash bucket keyed on the prefix-masked packed value; wider fields fall
+  // back to an insertion-ordered linear probe via BitVec::prefix_equals.
+  struct LpmBucket {
+    std::size_t plen = 0;
+    std::uint64_t mask64 = 0;
+    std::unordered_map<std::uint64_t, TableEntry*> map64;
+    std::vector<TableEntry*> wide;
+  };
+
+  TableEntry* find_match(const std::vector<util::BitVec>& key);
+  void index_insert(TableEntry* e);
+  void index_erase(const TableEntry& e);
+  void index_build();  // full rebuild (clone_state_from)
+  // Packed-u64 images (valid only when use_u64_ / fast path applies).
+  std::uint64_t pack_key(const std::vector<util::BitVec>& key) const;
+  std::uint64_t pack_entry_value(const std::vector<KeyParam>& key) const;
+  void pack_entry_scan(const TableEntry& e, std::uint64_t* value,
+                       std::uint64_t* mask) const;
+  // Raw canonical big-endian key bytes, appended to `out` (scratch reuse).
+  void exact_key_bytes(const std::vector<KeyParam>& key,
+                       std::string& out) const;
+  void exact_key_bytes(const std::vector<util::BitVec>& key,
+                       std::string& out) const;
+  static std::int64_t prio_key(std::int32_t priority) {
+    // Unspecified priority sorts after every explicit priority.
+    return priority < 0 ? (std::int64_t{1} << 40) : priority;
+  }
 
   std::string name_;
   std::vector<KeySpec> keys_;
   std::size_t max_size_;
   bool all_exact_ = true;
+  IndexKind kind_ = IndexKind::kTernaryScan;
+  std::size_t total_width_ = 0;    // sum of key component widths
+  bool has_range_ = false;
+  bool use_u64_ = false;           // total_width_ <= 64 and no range key
+  std::vector<std::size_t> shifts_;  // per-component LSB offset in the
+                                     // packed image (component 0 is MSB)
 
   std::map<std::uint64_t, TableEntry> entries_;  // by handle
   std::uint64_t next_handle_ = 1;
-  std::uint64_t insert_seq_ = 0;
-  // (priority, insert order, handle), kept sorted for the general path.
-  std::vector<std::tuple<std::int64_t, std::uint64_t, std::uint64_t>> order_;
-  std::unordered_map<std::string, std::uint64_t> exact_index_;
+  std::uint64_t epoch_ = 0;
+
+  // kExactHash state (one of the two maps, by use_u64_).
+  std::unordered_map<std::uint64_t, TableEntry*> exact64_;
+  std::unordered_map<std::string, TableEntry*> exact_raw_;
+  std::string probe_;  // scratch for raw-byte probes; capacity reserved
+  // kPureLpm state: buckets sorted by prefix length, longest first.
+  std::vector<LpmBucket> lpm_buckets_;
+  // kTernaryScan state: rows_ sorted by (prio, seq); fast_val_/fast_mask_
+  // are the packed images aligned with rows_ when use_u64_.
+  std::vector<ScanRow> rows_;
+  std::vector<std::uint64_t> fast_val_;
+  std::vector<std::uint64_t> fast_mask_;
 
   std::optional<std::size_t> default_action_;
   std::vector<util::BitVec> default_args_;

@@ -218,6 +218,13 @@ void Switch::compile() {
                                   t.default_action_args);
     }
   }
+  // One probe-key scratch sized for the widest table; run_control re-fills
+  // the leading components per apply (RuntimeTable::lookup only reads the
+  // first keys().size() slots).
+  std::size_t max_key_arity = 0;
+  for (const auto& t : tables_)
+    max_key_arity = std::max(max_key_arity, t->keys().size());
+  key_scratch_.resize(max_key_arity);
 
   // Parser.
   for (const auto& st : prog_.parser_states) {
@@ -870,15 +877,17 @@ void Switch::run_control(const std::vector<CompiledControlNode>& nodes,
     }
 
     RuntimeTable& t = *tables_[n.table];
-    std::vector<BitVec> key;
-    key.reserve(t.keys().size());
+    // key_scratch_ is sized once (compile()) to the widest table's key
+    // arity; component assignment reuses each BitVec's word storage, so
+    // building the probe key allocates nothing after warm-up.
     std::size_t ternary_total = 0;
     bool uses_ternary = false;
-    for (const auto& spec : t.keys()) {
+    for (std::size_t ki = 0; ki < t.keys().size(); ++ki) {
+      const KeySpec& spec = t.keys()[ki];
       if (spec.type == p4::MatchType::kValid) {
-        key.emplace_back(1, ctx.phv.valid[spec.field] ? 1 : 0);
+        key_scratch_[ki].assign(1, ctx.phv.valid[spec.field] ? 1 : 0);
       } else {
-        key.push_back(ctx.phv.fields[spec.field]);
+        key_scratch_[ki] = ctx.phv.fields[spec.field];
       }
       if (spec.type == p4::MatchType::kTernary ||
           spec.type == p4::MatchType::kLpm) {
@@ -886,7 +895,7 @@ void Switch::run_control(const std::vector<CompiledControlNode>& nodes,
         ternary_total += spec.width;
       }
     }
-    const TableEntry* entry = t.lookup(key);
+    TableEntry* entry = t.lookup(key_scratch_);
 
     AppliedTable applied;
     applied.table = t.name();
@@ -914,8 +923,7 @@ void Switch::run_control(const std::vector<CompiledControlNode>& nodes,
     if (entry) {
       exec_action(entry->action, entry->action_args, ctx, res);
       ran_action = entry->action;
-      RuntimeTable& mt = *tables_[n.table];
-      mt.mutable_entry(entry->handle).hit_bytes += ctx.packet.size();
+      entry->hit_bytes += ctx.packet.size();
     } else if (t.has_default()) {
       exec_action(t.default_action(), t.default_args(), ctx, res);
       ran_action = t.default_action();

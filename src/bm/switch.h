@@ -273,6 +273,9 @@ class Switch {
   std::unordered_map<std::string, std::size_t> action_ids_;
   std::vector<std::unique_ptr<RuntimeTable>> tables_;
   std::unordered_map<std::string, std::size_t> table_ids_;
+  // Reusable probe-key scratch for run_control (sized in compile() to the
+  // widest table's key arity; the switch is single-threaded per instance).
+  std::vector<util::BitVec> key_scratch_;
   std::vector<std::vector<std::size_t>> table_actions_;  // table → action ids
   std::vector<CompiledParserState> parser_;
   std::unordered_map<std::string, std::size_t> parser_ids_;

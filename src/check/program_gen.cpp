@@ -566,10 +566,10 @@ class Gen {
 
     // Meta-only table (the persona matches those against ext_meta; mixing
     // meta and packet keys in one table is out of the generated subset).
-    if (!meta_.empty() && rng_.coin(0.2)) {
+    if (!meta_.empty() && rng_.coin(limits_.p_meta_table)) {
       const std::size_t n = std::min<std::size_t>(meta_.size(), rng_.uniform(1, 2));
       for (std::size_t i = 0; i < n; ++i) {
-        const bool tern = rng_.coin(0.25);
+        const bool tern = rng_.coin(limits_.p_meta_ternary_key);
         if (tern) plan.has_ternary = true;
         t.keys.push_back(TableKey{tern ? MatchType::kTernary : MatchType::kExact,
                                   FieldRef{"md", meta_[i].name}});
@@ -578,7 +578,7 @@ class Gen {
     }
 
     // Valid-only table.
-    if (!cond.empty() && rng_.coin(0.12)) {
+    if (!cond.empty() && rng_.coin(limits_.p_valid_table)) {
       const std::size_t hv = cond[rng_.uniform(0, cond.size() - 1)];
       plan.valid_keyed_header = hv;
       t.keys.push_back(TableKey{MatchType::kValid, FieldRef{headers_[hv].inst, ""}});
@@ -587,7 +587,7 @@ class Gen {
 
     // Single-key lpm table: rules use implicit priorities, and both
     // backends order longest-prefix-first.
-    if (!safe.empty() && rng_.coin(0.18)) {
+    if (!safe.empty() && rng_.coin(limits_.p_lpm_table)) {
       const GHeader& h = headers_[safe[rng_.uniform(0, safe.size() - 1)]];
       std::vector<std::size_t> wide;
       for (std::size_t i = 0; i < h.fields.size(); ++i)
@@ -603,7 +603,7 @@ class Gen {
     // General packet table: optional valid-keyed conditional header plus
     // 1..2 exact/ternary field keys.
     std::vector<std::size_t> keyable = safe;
-    if (!cond.empty() && rng_.coin(0.35)) {
+    if (!cond.empty() && rng_.coin(limits_.p_valid_extra_key)) {
       const std::size_t hv = cond[rng_.uniform(0, cond.size() - 1)];
       plan.valid_keyed_header = hv;
       t.keys.push_back(
@@ -621,7 +621,7 @@ class Gen {
       const GHeader& h = headers_[hi];
       const std::size_t fi = rng_.uniform(0, h.fields.size() - 1);
       if (!used.insert({hi, fi}).second) continue;
-      const bool tern = rng_.coin(0.3);
+      const bool tern = rng_.coin(limits_.p_ternary_key);
       if (tern) plan.has_ternary = true;
       t.keys.push_back(TableKey{tern ? MatchType::kTernary : MatchType::kExact,
                                 FieldRef{h.inst, h.fields[fi].name}});

@@ -40,6 +40,17 @@ struct GenLimits {
   std::size_t max_extra_payload = 24;  // random bytes past the parse ladder
   bool allow_stateful = false;     // counters / registers
   double p_stateful = 0.25;        // probability per case when allowed
+
+  // Match-kind shaping for table keys. The defaults reproduce the original
+  // distribution; the hyper4_check `--weights exact|lpm|ternary` presets
+  // skew them to stress one compiled index kind (exact-hash, lpm-buckets
+  // or ternary-scan) at a time — the nightly CI job sweeps all three.
+  double p_meta_table = 0.2;        // meta-only table (vs packet keys)
+  double p_meta_ternary_key = 0.25; // ternary (vs exact) within a meta table
+  double p_valid_table = 0.12;      // valid(h)-only table
+  double p_lpm_table = 0.18;        // pure single-key lpm table
+  double p_valid_extra_key = 0.35;  // extra valid(h) key on a packet table
+  double p_ternary_key = 0.3;       // ternary (vs exact) per packet key
 };
 
 // One rule in CLI value syntax — the same strings drive the native

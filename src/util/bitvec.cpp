@@ -79,6 +79,13 @@ BitVec BitVec::from_hex(std::size_t width, const std::string& hex) {
   return v;
 }
 
+void BitVec::assign(std::size_t width, std::uint64_t value) {
+  width_ = width;
+  words_.assign(words_for(width), 0);  // reuses capacity when sufficient
+  if (!words_.empty()) words_[0] = value;
+  trim();
+}
+
 void BitVec::trim() {
   const std::size_t rem = width_ % kWordBits;
   if (rem != 0 && !words_.empty()) {
@@ -175,6 +182,10 @@ std::string BitVec::to_dec() const {
 }
 
 BitVec BitVec::resized(std::size_t width) const {
+  // Same width: hand back a plain copy instead of zero-filling a fresh
+  // vector and re-copying the words (and let copy elision / move kick in
+  // at call sites binding the result to a value).
+  if (width == width_) return *this;
   BitVec v(width);
   const std::size_t n = std::min(v.words_.size(), words_.size());
   std::copy(words_.begin(), words_.begin() + static_cast<std::ptrdiff_t>(n),
@@ -308,6 +319,108 @@ BitVec BitVec::operator-(const BitVec& o) const {
   }
   r.trim();
   return r;
+}
+
+namespace {
+// Word i of a BitVec's storage, zero beyond the end — the same convention
+// the binary operators use for mixed-width operands.
+inline std::uint64_t word_at(const std::vector<std::uint64_t>& w,
+                             std::size_t i) {
+  return i < w.size() ? w[i] : 0;
+}
+// All-ones in the low `rem` bit positions of a word (rem in [1, 64]).
+inline std::uint64_t low_ones(std::size_t rem) {
+  return (~std::uint64_t{0}) >> (64 - rem);
+}
+}  // namespace
+
+bool BitVec::masked_equals(const BitVec& o, const BitVec& mask) const {
+  const std::size_t n =
+      std::max({words_.size(), o.words_.size(), mask.words_.size()});
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint64_t m = word_at(mask.words_, i);
+    if (((word_at(words_, i) ^ word_at(o.words_, i)) & m) != 0) return false;
+  }
+  return true;
+}
+
+bool BitVec::prefix_equals(const BitVec& o, std::size_t width,
+                           std::size_t prefix_len) const {
+  if (prefix_len == 0 || width == 0) return true;
+  if (prefix_len > width) prefix_len = width;
+  const std::size_t lo = width - prefix_len;  // first bit of the prefix
+  const std::size_t first_word = lo / kWordBits;
+  const std::size_t last_word = (width - 1) / kWordBits;
+  for (std::size_t i = first_word; i <= last_word; ++i) {
+    std::uint64_t m = ~std::uint64_t{0};
+    if (i == first_word && lo % kWordBits != 0) {
+      m &= ~std::uint64_t{0} << (lo % kWordBits);
+    }
+    if (i == last_word && width % kWordBits != 0) {
+      m &= low_ones(width % kWordBits);
+    }
+    if (((word_at(words_, i) ^ word_at(o.words_, i)) & m) != 0) return false;
+  }
+  return true;
+}
+
+bool BitVec::equals_resized(const BitVec& o, std::size_t width) const {
+  if (width == 0) return true;
+  const std::size_t last_word = (width - 1) / kWordBits;
+  for (std::size_t i = 0; i <= last_word; ++i) {
+    std::uint64_t m = ~std::uint64_t{0};
+    if (i == last_word && width % kWordBits != 0) m = low_ones(width % kWordBits);
+    if (((word_at(words_, i) ^ word_at(o.words_, i)) & m) != 0) return false;
+  }
+  return true;
+}
+
+std::strong_ordering BitVec::compare_resized(const BitVec& o,
+                                             std::size_t width) const {
+  if (width == 0) return std::strong_ordering::equal;
+  const std::size_t last_word = (width - 1) / kWordBits;
+  for (std::size_t i = last_word + 1; i-- > 0;) {
+    std::uint64_t m = ~std::uint64_t{0};
+    if (i == last_word && width % kWordBits != 0) m = low_ones(width % kWordBits);
+    const std::uint64_t a = word_at(words_, i) & m;
+    const std::uint64_t b = word_at(o.words_, i) & m;
+    if (a != b) return a < b ? std::strong_ordering::less
+                             : std::strong_ordering::greater;
+  }
+  return std::strong_ordering::equal;
+}
+
+std::size_t BitVec::write_bytes(std::span<std::uint8_t> out,
+                                std::size_t width) const {
+  const std::size_t n = (width + 7) / 8;
+  if (out.size() < n)
+    throw ConfigError("BitVec::write_bytes: output span too small");
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t bit = 8 * (n - 1 - i);
+    std::uint64_t b = word_at(words_, bit / kWordBits) >> (bit % kWordBits);
+    if (bit % kWordBits > kWordBits - 8) {
+      b |= word_at(words_, bit / kWordBits + 1)
+           << (kWordBits - bit % kWordBits);
+    }
+    if (i == 0 && width % 8 != 0) b &= low_ones(width % 8);
+    out[i] = static_cast<std::uint8_t>(b & 0xff);
+  }
+  return n;
+}
+
+void BitVec::append_bytes(std::string& out, std::size_t width) const {
+  const std::size_t n = (width + 7) / 8;
+  const std::size_t at = out.size();
+  out.resize(at + n);
+  write_bytes(std::span<std::uint8_t>(
+                  reinterpret_cast<std::uint8_t*>(out.data()) + at, n),
+              width);
+}
+
+std::uint64_t BitVec::low_bits_u64(std::size_t width) const {
+  if (width == 0) return 0;
+  const std::uint64_t v = low_u64();
+  return width >= kWordBits ? v : (v & low_ones(width));
 }
 
 bool BitVec::operator==(const BitVec& o) const {

@@ -44,6 +44,11 @@ class BitVec {
   // Parse a hex string ("0x" prefix optional) into a `width`-bit vector.
   static BitVec from_hex(std::size_t width, const std::string& hex);
 
+  // In-place re-initialization to `width` bits holding `value` (mod
+  // 2^width), reusing the existing word storage — the allocation-free
+  // counterpart of `*this = BitVec(width, value)` for scratch vectors.
+  void assign(std::size_t width, std::uint64_t value);
+
   std::size_t width() const { return width_; }
   bool zero_width() const { return width_ == 0; }
 
@@ -103,6 +108,44 @@ class BitVec {
   // Value comparison (width-independent: 8'h01 == 16'h0001).
   bool operator==(const BitVec& o) const;
   std::strong_ordering operator<=>(const BitVec& o) const;
+
+  // --- allocation-free match helpers (the table lookup hot path) ----------
+  //
+  // These replace `resized()` / `operator&` / `mask_range()` chains in
+  // bm::RuntimeTable::lookup so a probe never constructs a temporary BitVec.
+  // All of them treat words beyond an operand's storage as zero, exactly
+  // like the binary operators do.
+
+  // (*this & mask) == (o & mask), word-wise. Because `mask` is canonical
+  // (bits >= mask.width() are zero), this also truncates both operands to
+  // the mask's width — the ternary match semantics.
+  bool masked_equals(const BitVec& o, const BitVec& mask) const;
+
+  // True when the top `prefix_len` bits of the `width`-bit images of *this
+  // and `o` agree, i.e. bits [width - prefix_len, width). Bits of either
+  // operand at positions >= width are ignored (as if both were resized to
+  // `width` first). prefix_len == 0 always matches; prefix_len > width is
+  // clamped to width.
+  bool prefix_equals(const BitVec& o, std::size_t width,
+                     std::size_t prefix_len) const;
+
+  // Equality / ordering of the low `width` bits of both operands (as if
+  // both were resized(width) first), without building the copies.
+  bool equals_resized(const BitVec& o, std::size_t width) const;
+  std::strong_ordering compare_resized(const BitVec& o,
+                                       std::size_t width) const;
+
+  // Big-endian byte image of the low `width` bits (what to_bytes() returns
+  // for a resized(width) copy), written into caller storage. The span form
+  // writes exactly ceil(width/8) bytes and returns that count (throws
+  // ConfigError if `out` is too small); the string form appends — callers
+  // reuse the string so its capacity amortizes to zero allocations.
+  std::size_t write_bytes(std::span<std::uint8_t> out, std::size_t width) const;
+  void append_bytes(std::string& out, std::size_t width) const;
+
+  // Low 64 bits truncated to `width` (width <= 64): the packed-u64 image
+  // used by the table fast paths.
+  std::uint64_t low_bits_u64(std::size_t width) const;
 
  private:
   static constexpr std::size_t kWordBits = 64;

@@ -191,5 +191,208 @@ TEST(RuntimeTable, WideKeys) {
   EXPECT_EQ(t.lookup({pkt}), nullptr);
 }
 
+// ---------------------------------------------------------------------------
+// Compiled match index: classification, invalidation, bmv2 rule pinning.
+
+TEST(RuntimeTableIndex, KindClassification) {
+  RuntimeTable exact("e", {exact_spec(16)}, 16);
+  EXPECT_EQ(exact.index_kind(), RuntimeTable::IndexKind::kExactHash);
+  RuntimeTable wide_exact("we", {exact_spec(48), exact_spec(48)}, 16);
+  EXPECT_EQ(wide_exact.index_kind(), RuntimeTable::IndexKind::kExactHash);
+  RuntimeTable lpm("l", {lpm_spec(32)}, 16);
+  EXPECT_EQ(lpm.index_kind(), RuntimeTable::IndexKind::kPureLpm);
+  RuntimeTable tern("t", {ternary_spec(16)}, 16);
+  EXPECT_EQ(tern.index_kind(), RuntimeTable::IndexKind::kTernaryScan);
+  // A mixed table (exact + lpm) cannot use the pure-LPM buckets.
+  RuntimeTable mixed("m", {exact_spec(8), lpm_spec(32)}, 16);
+  EXPECT_EQ(mixed.index_kind(), RuntimeTable::IndexKind::kTernaryScan);
+  RuntimeTable valid("v", {KeySpec{p4::MatchType::kValid, 0, 1, "v"}}, 16);
+  EXPECT_EQ(valid.index_kind(), RuntimeTable::IndexKind::kExactHash);
+}
+
+// bmv2 rule, pinned: for a pure-LPM table the longest prefix wins and
+// priority is *ignored*, even when an entry carries an explicit priority.
+// (An earlier implementation let an explicit-priority entry short-circuit
+// longest-prefix selection; this is the regression test for that bug.)
+TEST(RuntimeTableIndex, LpmExplicitPriorityDoesNotBeatLongerPrefix) {
+  RuntimeTable t("t", {lpm_spec(32)}, 16);
+  // /8 entry with the "best possible" explicit priority...
+  t.add({KeyParam::lpm(BitVec(32, 0x0a000000), 8)}, 1, {}, 0);
+  // ...must still lose to a longer /24 entry with no priority at all.
+  const auto h24 = t.add({KeyParam::lpm(BitVec(32, 0x0a0b0c00), 24)}, 2, {});
+  const TableEntry* e = t.lookup({BitVec(32, 0x0a0b0c0d)});
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->handle, h24);
+  EXPECT_EQ(e->action, 2u);
+}
+
+TEST(RuntimeTableIndex, LpmEqualPrefixInsertionOrderTieBreak) {
+  RuntimeTable t("t", {lpm_spec(32)}, 16);
+  const auto first = t.add({KeyParam::lpm(BitVec(32, 0x0a000000), 8)}, 1, {});
+  // Same prefix value+length added again via a non-canonical value (host
+  // bits set get masked at lookup): first insertion must keep winning.
+  t.add({KeyParam::lpm(BitVec(32, 0x0a000001), 8)}, 2, {});
+  const TableEntry* e = t.lookup({BitVec(32, 0x0a123456)});
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->handle, first);
+}
+
+TEST(RuntimeTableIndex, LpmDeleteUnshadowsDuplicatePrefix) {
+  RuntimeTable t("t", {lpm_spec(32)}, 16);
+  const auto a = t.add({KeyParam::lpm(BitVec(32, 0x0a000000), 8)}, 1, {});
+  const auto b = t.add({KeyParam::lpm(BitVec(32, 0x0a000000), 8)}, 2, {});
+  ASSERT_EQ(t.lookup({BitVec(32, 0x0a0000ff)})->handle, a);
+  t.remove(a);
+  // The previously-shadowed duplicate must become reachable.
+  const TableEntry* e = t.lookup({BitVec(32, 0x0a0000ff)});
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->handle, b);
+}
+
+TEST(RuntimeTableIndex, LpmWideKeysUseBuckets) {
+  // >64-bit pure-LPM (e.g. IPv6-style) goes through the wide bucket path.
+  RuntimeTable t("t", {lpm_spec(128)}, 16);
+  BitVec v16(128);
+  v16.set_slice(112, BitVec(16, 0x2001));
+  const auto h16 = t.add({KeyParam::lpm(v16, 16)}, 1, {});
+  BitVec v32(128);
+  v32.set_slice(112, BitVec(16, 0x2001));
+  v32.set_slice(96, BitVec(16, 0x0db8));
+  const auto h32 = t.add({KeyParam::lpm(v32, 32)}, 2, {});
+  BitVec probe = v32;
+  probe.set_slice(0, BitVec(64, 0x1234567890abcdefull));
+  ASSERT_NE(t.lookup({probe}), nullptr);
+  EXPECT_EQ(t.lookup({probe})->handle, h32);
+  BitVec probe2 = v16;
+  probe2.set_slice(96, BitVec(16, 0xffff));
+  ASSERT_NE(t.lookup({probe2}), nullptr);
+  EXPECT_EQ(t.lookup({probe2})->handle, h16);
+}
+
+// add -> lookup -> delete -> lookup -> re-add -> modify -> lookup, per
+// index kind: the compiled index must track every mutation (stale-index
+// bugs show up as hits on deleted entries or misses on fresh ones).
+void invalidation_roundtrip(RuntimeTable& t, std::vector<KeyParam> key,
+                            const std::vector<BitVec>& probe,
+                            std::int32_t priority) {
+  const std::uint64_t e0 = t.index_epoch();
+  const auto h = t.add(key, 0, {}, priority);
+  EXPECT_GT(t.index_epoch(), e0);
+  ASSERT_NE(t.lookup(probe), nullptr);
+  EXPECT_EQ(t.lookup(probe)->handle, h);
+
+  const std::uint64_t e1 = t.index_epoch();
+  t.remove(h);
+  EXPECT_GT(t.index_epoch(), e1);
+  EXPECT_EQ(t.lookup(probe), nullptr);
+
+  const auto h2 = t.add(key, 0, {}, priority);
+  ASSERT_NE(t.lookup(probe), nullptr);
+  EXPECT_EQ(t.lookup(probe)->handle, h2);
+
+  const std::uint64_t e2 = t.index_epoch();
+  t.modify(h2, 1, {BitVec(9, 7)});
+  EXPECT_GT(t.index_epoch(), e2);
+  const TableEntry* e = t.lookup(probe);
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->handle, h2);
+  EXPECT_EQ(e->action, 1u);
+  ASSERT_EQ(e->action_args.size(), 1u);
+  EXPECT_EQ(e->action_args[0].to_u64(), 7u);
+}
+
+TEST(RuntimeTableIndex, InvalidationExactU64) {
+  RuntimeTable t("t", {exact_spec(48)}, 16);
+  invalidation_roundtrip(t, {KeyParam::exact(BitVec(48, 42))},
+                         {BitVec(48, 42)}, -1);
+}
+
+TEST(RuntimeTableIndex, InvalidationExactWide) {
+  RuntimeTable t("t", {exact_spec(48), exact_spec(48)}, 16);
+  invalidation_roundtrip(
+      t,
+      {KeyParam::exact(BitVec(48, 0xaabbccddeeffull)),
+       KeyParam::exact(BitVec(48, 0x112233445566ull))},
+      {BitVec(48, 0xaabbccddeeffull), BitVec(48, 0x112233445566ull)}, -1);
+}
+
+TEST(RuntimeTableIndex, InvalidationLpm) {
+  RuntimeTable t("t", {lpm_spec(32)}, 16);
+  invalidation_roundtrip(t, {KeyParam::lpm(BitVec(32, 0x0a0b0000), 16)},
+                         {BitVec(32, 0x0a0b1234)}, -1);
+}
+
+TEST(RuntimeTableIndex, InvalidationTernaryFastPath) {
+  RuntimeTable t("t", {ternary_spec(48)}, 16);
+  invalidation_roundtrip(
+      t, {KeyParam::ternary(BitVec(48, 0x120000000000ull),
+                            BitVec(48, 0xff0000000000ull))},
+      {BitVec(48, 0x12deadbeef00ull)}, 5);
+}
+
+TEST(RuntimeTableIndex, InvalidationTernaryWide) {
+  RuntimeTable t("t", {ternary_spec(800)}, 16);
+  BitVec v(800);
+  v.set_slice(700, BitVec(16, 0x0800));
+  BitVec probe = v;
+  probe.set_slice(0, BitVec(64, 0x1234));
+  invalidation_roundtrip(
+      t, {KeyParam::ternary(v, BitVec::mask_range(800, 700, 16))}, {probe}, 3);
+}
+
+TEST(RuntimeTableIndex, TernaryDeleteExposesLowerPriority) {
+  RuntimeTable t("t", {ternary_spec(16)}, 16);
+  const auto hi =
+      t.add({KeyParam::ternary(BitVec(16, 0x1200), BitVec(16, 0xff00))}, 1, {},
+            1);
+  const auto lo =
+      t.add({KeyParam::ternary(BitVec(16, 0), BitVec(16, 0))}, 2, {}, 9);
+  ASSERT_EQ(t.lookup({BitVec(16, 0x12ab)})->handle, hi);
+  t.remove(hi);
+  ASSERT_EQ(t.lookup({BitVec(16, 0x12ab)})->handle, lo);
+}
+
+TEST(RuntimeTableIndex, CloneStateRebuildsIndexAndAdoptsEpoch) {
+  RuntimeTable src("t", {ternary_spec(48)}, 16);
+  RuntimeTable dst("t", {ternary_spec(48)}, 16);
+  // Mutate the source after the replica was created: add, delete, re-add.
+  const auto h1 = src.add(
+      {KeyParam::ternary(BitVec(48, 0xaa0000000000ull),
+                         BitVec(48, 0xff0000000000ull))},
+      1, {}, 2);
+  src.add({KeyParam::ternary(BitVec(48, 0), BitVec(48, 0))}, 2, {}, 9);
+  src.remove(h1);
+  src.add({KeyParam::ternary(BitVec(48, 0xbb0000000000ull),
+                             BitVec(48, 0xff0000000000ull))},
+          3, {}, 1);
+
+  dst.clone_state_from(src);
+  EXPECT_EQ(dst.index_epoch(), src.index_epoch());
+  // The replica's rebuilt index must agree with the source on every probe,
+  // including keys whose entry was deleted pre-clone.
+  for (const std::uint64_t k :
+       {0xaa1111111111ull, 0xbb2222222222ull, 0xcc3333333333ull}) {
+    const TableEntry* se = src.lookup({BitVec(48, k)});
+    const TableEntry* de = dst.lookup({BitVec(48, k)});
+    ASSERT_EQ(se == nullptr, de == nullptr) << std::hex << k;
+    if (se != nullptr) {
+      EXPECT_EQ(se->handle, de->handle) << std::hex << k;
+      EXPECT_EQ(se->action, de->action) << std::hex << k;
+    }
+  }
+  // Post-clone mutations on the replica keep its own index coherent.
+  dst.remove(dst.lookup({BitVec(48, 0xbb0000000000ull)})->handle);
+  EXPECT_EQ(dst.lookup({BitVec(48, 0xbb4444444444ull)})->action, 2u);
+}
+
+TEST(RuntimeTableIndex, ExtraTrailingKeyComponentsIgnored) {
+  // The switch hands every table the full scratch key vector; components
+  // past the table's arity must be ignored by all index paths.
+  RuntimeTable t("t", {exact_spec(16)}, 16);
+  t.add({KeyParam::exact(BitVec(16, 7))}, 1, {});
+  EXPECT_NE(t.lookup({BitVec(16, 7), BitVec(32, 999)}), nullptr);
+  EXPECT_EQ(t.lookup({BitVec(16, 8), BitVec(32, 999)}), nullptr);
+}
+
 }  // namespace
 }  // namespace hyper4::bm

@@ -2,6 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <compare>
+#include <span>
+#include <string>
+#include <vector>
+
 #include "util/error.h"
 #include "util/rng.h"
 
@@ -235,6 +241,98 @@ TEST_P(BitVecArithProperty, AddSubInverse) {
 
 INSTANTIATE_TEST_SUITE_P(Sweep, BitVecArithProperty,
                          ::testing::Values(8, 16, 48, 64, 65, 256, 800));
+
+// ---------------------------------------------------------------------------
+// Allocation-free match helpers (the compiled index's comparison kernel).
+// Each helper must agree with the equivalent resized()/mask_range()
+// formulation it replaces.
+
+TEST(BitVec, AssignReinitializesInPlace) {
+  BitVec v(800, 7);
+  v.assign(16, 0xabcd);
+  EXPECT_EQ(v.width(), 16u);
+  EXPECT_EQ(v.to_u64(), 0xabcdu);
+  v.assign(8, 0x1ff);  // value truncated to width, like the constructor
+  EXPECT_EQ(v.to_u64(), 0xffu);
+  v.assign(0, 0);
+  EXPECT_EQ(v.width(), 0u);
+}
+
+TEST(BitVec, ResizedSameWidthIsIdentity) {
+  BitVec v(48, 0xabcdef);
+  EXPECT_EQ(v.resized(48), v);
+  EXPECT_EQ(v.resized(48).width(), 48u);
+}
+
+class BitVecMatchProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(BitVecMatchProperty, MaskedEqualsAgreesWithAndCompare) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 104729);
+  const std::size_t w = static_cast<std::size_t>(GetParam());
+  for (int i = 0; i < 30; ++i) {
+    BitVec key = rng.bits(w), value = rng.bits(w), mask = rng.bits(w);
+    EXPECT_EQ(key.masked_equals(value, mask),
+              (key & mask) == (value & mask));
+    // A nearby value differing in one masked bit must not match.
+    BitVec close = key;
+    EXPECT_TRUE(close.masked_equals(key, mask));
+  }
+}
+
+TEST_P(BitVecMatchProperty, PrefixEqualsAgreesWithMaskRange) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 15485863);
+  const std::size_t w = static_cast<std::size_t>(GetParam());
+  for (int i = 0; i < 30; ++i) {
+    BitVec key = rng.bits(w), value = rng.bits(w);
+    for (const std::size_t plen :
+         {std::size_t{0}, std::size_t{1}, w / 2, w - 1, w}) {
+      const BitVec m = plen == 0 ? BitVec(w)
+                                 : BitVec::mask_range(w, w - plen, plen);
+      EXPECT_EQ(key.prefix_equals(value, w, plen),
+                (key & m) == (value & m))
+          << "w=" << w << " plen=" << plen;
+      EXPECT_TRUE(key.prefix_equals(key, w, plen));
+    }
+  }
+}
+
+TEST_P(BitVecMatchProperty, ResizedComparisonsAgreeWithAllocatingForms) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 32452843);
+  const std::size_t w = static_cast<std::size_t>(GetParam());
+  for (int i = 0; i < 30; ++i) {
+    // Probe is wider than the stored value (the switch hands the table a
+    // full-width field; entries store width-w canonical values).
+    BitVec probe = rng.bits(w + 16), value = rng.bits(w);
+    EXPECT_EQ(probe.equals_resized(value, w), probe.resized(w) == value);
+    const auto ord = probe.compare_resized(value, w);
+    const BitVec pr = probe.resized(w);
+    EXPECT_EQ(ord == std::strong_ordering::less, pr < value);
+    EXPECT_EQ(ord == std::strong_ordering::equal, pr == value);
+    EXPECT_EQ(ord == std::strong_ordering::greater, value < pr);
+  }
+}
+
+TEST_P(BitVecMatchProperty, WriteBytesMatchesResizedToBytes) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 49979687);
+  const std::size_t w = static_cast<std::size_t>(GetParam());
+  for (int i = 0; i < 10; ++i) {
+    BitVec v = rng.bits(w + 8);
+    const auto want = v.resized(w).to_bytes();
+    std::vector<std::uint8_t> got(want.size());
+    EXPECT_EQ(v.write_bytes(std::span<std::uint8_t>(got), w), want.size());
+    EXPECT_EQ(got, want);
+    std::string s;
+    v.append_bytes(s, w);
+    EXPECT_EQ(s.size(), want.size());
+    EXPECT_TRUE(std::equal(want.begin(), want.end(),
+                           reinterpret_cast<const std::uint8_t*>(s.data())));
+    EXPECT_EQ(v.low_bits_u64(std::min<std::size_t>(w, 64)),
+              v.resized(std::min<std::size_t>(w, 64)).to_u64());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, BitVecMatchProperty,
+                         ::testing::Values(8, 16, 48, 63, 64, 65, 128, 800));
 
 }  // namespace
 }  // namespace hyper4::util

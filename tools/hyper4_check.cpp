@@ -32,6 +32,9 @@ void usage() {
                "corrupt-byte\n"
                "  --stateful        allow counter/register programs "
                "(persona skips them)\n"
+               "  --weights W       match-kind preset: exact | lpm | ternary\n"
+               "                    (skews generated table keys to stress one\n"
+               "                    compiled index kind; default mixed)\n"
                "  --no-persona      skip the HyPer4 persona backend\n"
                "  --no-engine       skip the traffic-engine backend\n"
                "  --repro-dir DIR   where to write minimized repros "
@@ -93,6 +96,31 @@ int main(int argc, char** argv) {
       }
     } else if (a == "--stateful") {
       limits.allow_stateful = true;
+    } else if (a == "--weights") {
+      const std::string w = next();
+      if (w == "exact") {
+        // Nearly everything hashes: starve lpm/ternary so tables compile
+        // to the exact-hash index (u64 and raw-byte variants both appear).
+        limits.p_lpm_table = 0.02;
+        limits.p_ternary_key = 0.02;
+        limits.p_meta_ternary_key = 0.02;
+        limits.p_valid_table = 0.05;
+      } else if (w == "lpm") {
+        limits.p_lpm_table = 0.65;
+        limits.p_valid_table = 0.05;
+        limits.p_meta_table = 0.05;
+        limits.p_ternary_key = 0.1;
+      } else if (w == "ternary") {
+        limits.p_ternary_key = 0.75;
+        limits.p_meta_ternary_key = 0.6;
+        limits.p_lpm_table = 0.05;
+        limits.p_valid_table = 0.05;
+      } else {
+        std::fprintf(stderr, "hyper4_check: unknown weights '%s'\n",
+                     w.c_str());
+        usage();
+        return 2;
+      }
     } else if (a == "--no-persona") {
       opts.run_persona = false;
     } else if (a == "--no-engine") {
