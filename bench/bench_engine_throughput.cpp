@@ -70,12 +70,13 @@ struct Run {
 };
 
 Run run_engine(const bm::Switch& configured, std::size_t workers,
-               const std::vector<InjectItem>& items) {
+               const std::vector<InjectItem>& items, bool profile = false) {
   EngineOptions opts;
   opts.workers = workers;
   opts.queue_capacity = 4096;
   opts.batch_size = 64;
   opts.collect_results = false;  // pure throughput: no result accumulation
+  opts.profile = profile;
   TrafficEngine eng(apps::program_by_name("l2_sw"), opts);
   eng.sync_from(configured);
 
@@ -159,6 +160,19 @@ int main_impl() {
       "methodology from sim::run_iperf); wall_pps is bounded by the\n"
       "machine's core count.\n");
 
+  // Tracing overhead: the same single-worker run with per-stage profiling
+  // enabled (per-worker obs::PipelineTracer, two clock reads per stage per
+  // packet, no event ring). The plain runs above use no tracer at all —
+  // the hot path pays one null check per hook — so `runs` doubles as the
+  // tracing-disabled baseline.
+  const Run profiled = run_engine(configured, 1, items, /*profile=*/true);
+  const double overhead_ratio =
+      base_model > 0 ? profiled.model_pps / base_model : 0;
+  std::printf(
+      "\ntracing overhead (workers=1): plain %.0f pps, profiled %.0f pps "
+      "(%.2fx)\n",
+      base_model, profiled.model_pps, overhead_ratio);
+
   std::ofstream json("BENCH_engine.json");
   json << "{\n  \"workload\": \"l2_switch\",\n  \"packets\": " << items.size()
        << ",\n  \"flows\": 256,\n  \"workers1_equivalent_to_direct_inject\": "
@@ -173,7 +187,8 @@ int main_impl() {
          << (base_model > 0 ? r.model_pps / base_model : 0) << "}"
          << (i + 1 < runs.size() ? "," : "") << "\n";
   }
-  json << "  ]\n}\n";
+  json << "  ],\n  \"profiled_workers1_model_pps\": " << profiled.model_pps
+       << ",\n  \"profiled_over_plain_model\": " << overhead_ratio << "\n}\n";
   std::printf("\nwrote BENCH_engine.json\n");
 
   const Run& four = runs[2];
@@ -183,6 +198,13 @@ int main_impl() {
   }
   if (base_model > 0 && four.model_pps / base_model < 2.0) {
     std::printf("FAIL: model speedup at 4 workers < 2x\n");
+    return 1;
+  }
+  // Profiling reads the clock twice per stage; even so it must keep at
+  // least a quarter of the untraced throughput, else the observability
+  // layer has grown a real hot-path cost.
+  if (base_model > 0 && overhead_ratio < 0.25) {
+    std::printf("FAIL: profiled throughput < 0.25x of untraced\n");
     return 1;
   }
   return 0;

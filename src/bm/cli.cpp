@@ -3,6 +3,7 @@
 #include <sstream>
 
 #include "net/headers.h"
+#include "obs/export.h"
 #include "util/error.h"
 #include "util/strings.h"
 
@@ -205,6 +206,73 @@ CliResult run_cli_command(Switch& sw, const std::string& line) {
       sw.mc_group_set(static_cast<std::uint16_t>(util::parse_uint(tok[1])),
                       std::move(members));
       return CliResult{true, "ok", 0};
+    }
+    if (cmd == "trace") {
+      if (tok.size() < 2) throw CommandError("trace: usage");
+      const std::string& sub = tok[1];
+      if (sub == "on") {
+        obs::TracerOptions topts;
+        if (tok.size() > 2)
+          topts.capacity = static_cast<std::size_t>(util::parse_uint(tok[2]));
+        topts.record_events = true;
+        topts.record_primitives = true;
+        topts.timestamps = true;
+        sw.enable_tracing(topts);
+        return CliResult{true,
+                         "tracing on, ring capacity " +
+                             std::to_string(topts.capacity),
+                         0};
+      }
+      if (sub == "off") {
+        sw.disable_tracing();
+        return CliResult{true, "tracing off", 0};
+      }
+      obs::PipelineTracer* tr = sw.tracer();
+      if (tr == nullptr) throw CommandError("trace " + sub + ": tracing is off");
+      if (sub == "status") {
+        std::ostringstream os;
+        os << "tracing on: " << tr->size() << "/" << tr->capacity()
+           << " events buffered, " << tr->total_recorded() << " recorded, "
+           << tr->dropped() << " overwritten";
+        return CliResult{true, os.str(), 0};
+      }
+      if (sub == "dump") {
+        std::size_t limit = 0;
+        if (tok.size() > 2)
+          limit = static_cast<std::size_t>(util::parse_uint(tok[2]));
+        return CliResult{true, obs::format_events(*tr, limit), 0};
+      }
+      if (sub == "clear") {
+        tr->clear();
+        return CliResult{true, "trace buffer cleared", 0};
+      }
+      if (sub == "chrome") {
+        // about://tracing-loadable JSON for the buffered events.
+        return CliResult{true, obs::chrome_trace_json({{"switch", tr}}), 0};
+      }
+      throw CommandError("trace: unknown subcommand '" + sub + "'");
+    }
+    if (cmd == "profile") {
+      if (tok.size() != 2) throw CommandError("profile: usage");
+      const std::string& sub = tok[1];
+      if (sub == "on") {
+        obs::TracerOptions topts;
+        topts.record_events = false;
+        topts.profile = true;
+        sw.enable_tracing(topts);
+        return CliResult{true, "profiling on", 0};
+      }
+      if (sub == "off") {
+        sw.disable_tracing();
+        return CliResult{true, "profiling off", 0};
+      }
+      obs::PipelineTracer* tr = sw.tracer();
+      if (tr == nullptr || !tr->profiling())
+        throw CommandError("profile " + sub + ": profiling is off");
+      if (sub == "dump")
+        return CliResult{true,
+                         obs::profile_json(tr->profile(), tr->table_names()), 0};
+      throw CommandError("profile: unknown subcommand '" + sub + "'");
     }
     throw CommandError("unknown command '" + cmd + "'");
   } catch (const util::Error& e) {

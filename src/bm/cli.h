@@ -16,6 +16,14 @@
 //   counter_reset <counter>
 //   mirroring_add <session> <port>
 //   mc_group_set <group> <port:rid> [<port:rid> ...]
+//   trace on [capacity] | off | status | dump [N] | clear | chrome
+//   profile on | off | dump
+//
+// `trace on` attaches an obs::PipelineTracer (events + timestamps +
+// primitives) to the switch; `trace dump` prints the buffered ring,
+// `trace chrome` emits about://tracing-loadable JSON. `profile on`
+// enables per-stage/per-table latency histograms instead; `profile dump`
+// prints them as JSON.
 //
 // Match key formats per the table's key spec: exact values as decimal,
 // 0x-hex, aa:bb:cc:dd:ee:ff or a.b.c.d; ternary as value&&&mask; lpm as

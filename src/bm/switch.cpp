@@ -536,6 +536,34 @@ void Switch::reset_stats() {
 }
 
 // ---------------------------------------------------------------------------
+// Observability
+
+void Switch::set_tracer(obs::PipelineTracer* t) {
+  tracer_ = t;
+  if (!tracer_) return;
+  std::vector<std::string> tnames(tables_.size());
+  for (const auto& [name, id] : table_ids_) tnames[id] = name;
+  std::vector<std::string> anames;
+  anames.reserve(actions_.size());
+  for (const auto& a : actions_) anames.push_back(a.name);
+  std::vector<std::string> inames;
+  inames.reserve(layout_.instances().size());
+  for (const auto& info : layout_.instances()) inames.push_back(info.name);
+  tracer_->bind(std::move(tnames), std::move(anames), std::move(inames));
+}
+
+obs::PipelineTracer& Switch::enable_tracing(const obs::TracerOptions& topts) {
+  owned_tracer_ = std::make_unique<obs::PipelineTracer>(topts);
+  set_tracer(owned_tracer_.get());
+  return *owned_tracer_;
+}
+
+void Switch::disable_tracing() {
+  tracer_ = nullptr;
+  owned_tracer_.reset();
+}
+
+// ---------------------------------------------------------------------------
 // Packet path
 
 Switch::Phv Switch::fresh_phv() const {
@@ -553,6 +581,15 @@ ProcessResult Switch::inject(std::uint16_t ingress_port,
                              const net::Packet& packet) {
   ++stats_.packets_in;
   ProcessResult res;
+
+  // Hoisted tracer state: `tr` is nullptr in the common (untraced) case and
+  // every hook below is a single predicted-not-taken branch. `timing` only
+  // ever reads the clock when the tracer asked for timestamps or profiles.
+  obs::PipelineTracer* const tr = tracer_;
+  const bool timing = tr && tr->timing();
+  const bool prof = tr && tr->profiling();
+  if (tr)
+    tr->record(obs::EventKind::kInject, 0, ingress_port, 0, 0, packet.size());
 
   std::deque<Work> queue;
   {
@@ -573,6 +610,7 @@ ProcessResult Switch::inject(std::uint16_t ingress_port,
     if (++total_work > work_limit) {
       ++stats_.loop_kills;
       ++res.loop_kills;
+      if (tr) tr->record(obs::EventKind::kLoopKill, 0, 0, 0, 0, 0);
       break;
     }
     Ctx& ctx = w.ctx;
@@ -583,8 +621,12 @@ ProcessResult Switch::inject(std::uint16_t ingress_port,
         ++res.loop_kills;
         ++stats_.drops;
         ++res.drops;
+        if (tr) tr->record(obs::EventKind::kLoopKill, 0, 0, 0, 0, 0);
         continue;
       }
+      if (tr)
+        tr->begin_work(obs::EventKind::kTraversalStart, ctx.ingress_port,
+                       static_cast<std::uint64_t>(ctx.itype));
       ctx.phv = fresh_phv();
       set_field_u64(ctx.phv, f_ingress_port_, ctx.ingress_port);
       set_field_u64(ctx.phv, f_instance_type_,
@@ -595,16 +637,31 @@ ProcessResult Switch::inject(std::uint16_t ingress_port,
       }
       ctx.preserved.clear();
 
-      if (!run_parser(ctx, res)) {
+      const std::uint64_t parse_t0 = timing ? tr->clock_ns() : 0;
+      const bool parsed = run_parser(ctx, res);
+      if (tr) {
+        const std::uint64_t ns = timing ? tr->clock_ns() - parse_t0 : 0;
+        if (prof) tr->observe_stage(obs::Stage::kParser, ns);
+        tr->record(parsed ? obs::EventKind::kParserAccept
+                          : obs::EventKind::kParseError,
+                   0, 0, 0, 0, parsed ? ctx.payload_offset : 0,
+                   static_cast<std::uint32_t>(ns));
+      }
+      if (!parsed) {
         ++stats_.drops;
         ++res.drops;
+        if (tr) tr->record(obs::EventKind::kDrop, 0, 0, 0, 0, 0);
         continue;
       }
 
       run_control(ingress_, ctx, res);
+      const std::uint64_t tm_t0 = timing ? tr->clock_ns() : 0;
 
       // Ingress-to-egress clones are scheduled regardless of the original
       // packet's fate.
+      const auto observe_tm = [&] {
+        if (prof) tr->observe_stage(obs::Stage::kTm, tr->clock_ns() - tm_t0);
+      };
       for (const auto& [session, fl] : ctx.clones_i2e) {
         auto mit = mirror_sessions_.find(session);
         if (mit == mirror_sessions_.end()) continue;
@@ -619,6 +676,8 @@ ProcessResult Switch::inject(std::uint16_t ingress_port,
         queue.push_back(std::move(cw));
         ++stats_.clones;
         ++res.clones_i2e;
+        if (tr)
+          tr->record(obs::EventKind::kCloneI2E, 0, mit->second, 0, session, 0);
       }
       ctx.clones_i2e.clear();
 
@@ -633,6 +692,11 @@ ProcessResult Switch::inject(std::uint16_t ingress_port,
         if (ctx.resubmit_fl)
           rw.ctx.preserved = capture_field_list(*ctx.resubmit_fl, ctx.phv);
         queue.push_back(std::move(rw));
+        if (tr) {
+          tr->record(obs::EventKind::kResubmit, 0, rw.ctx.ingress_port, 0, 0,
+                     0);
+          observe_tm();
+        }
         continue;
       }
 
@@ -650,13 +714,21 @@ ProcessResult Switch::inject(std::uint16_t ingress_port,
             ew.egress_rid = rid;
             queue.push_back(std::move(ew));
             ++res.multicast_copies;
+            if (tr)
+              tr->record(obs::EventKind::kMulticastCopy, 0, port, 0, mcast,
+                         rid);
           }
         }
+        if (tr) observe_tm();
         continue;
       }
       if (espec == p4::kDropPort) {
         ++stats_.drops;
         ++res.drops;
+        if (tr) {
+          tr->record(obs::EventKind::kDrop, 0, 0, 0, 0, 0);
+          observe_tm();
+        }
         continue;
       }
       Work ew;
@@ -664,6 +736,11 @@ ProcessResult Switch::inject(std::uint16_t ingress_port,
       ew.ctx = std::move(ctx);
       ew.egress_port = static_cast<std::uint16_t>(espec);
       queue.push_back(std::move(ew));
+      if (tr) {
+        tr->record(obs::EventKind::kUnicast, 0,
+                   static_cast<std::uint16_t>(espec), 0, 0, 0);
+        observe_tm();
+      }
       continue;
     }
 
@@ -674,8 +751,12 @@ ProcessResult Switch::inject(std::uint16_t ingress_port,
                   static_cast<std::uint64_t>(ctx.itype));
     ctx.drop_flag = false;  // egress fate decided by egress processing
     ctx.in_egress = true;
+    if (tr)
+      tr->begin_work(obs::EventKind::kEgressStart, w.egress_port,
+                     static_cast<std::uint64_t>(ctx.itype));
 
     run_control(egress_, ctx, res);
+    const std::uint64_t etm_t0 = timing ? tr->clock_ns() : 0;
 
     for (const auto& [session, fl] : ctx.clones_e2e) {
       auto mit = mirror_sessions_.find(session);
@@ -691,17 +772,29 @@ ProcessResult Switch::inject(std::uint16_t ingress_port,
       queue.push_back(std::move(cw));
       ++stats_.clones;
       ++res.clones_e2e;
+      if (tr)
+        tr->record(obs::EventKind::kCloneE2E, obs::kFlagEgress, mit->second,
+                   0, session, 0);
     }
     ctx.clones_e2e.clear();
+    if (prof) tr->observe_stage(obs::Stage::kTm, tr->clock_ns() - etm_t0);
 
     if (ctx.drop_flag) {
       ++stats_.drops;
       ++res.drops;
+      if (tr) tr->record(obs::EventKind::kDrop, obs::kFlagEgress, 0, 0, 0, 0);
       continue;
     }
 
+    const std::uint64_t dp_t0 = timing ? tr->clock_ns() : 0;
     apply_checksums(ctx);
     net::Packet out = deparse(ctx);
+    if (tr) {
+      const std::uint64_t ns = timing ? tr->clock_ns() - dp_t0 : 0;
+      if (prof) tr->observe_stage(obs::Stage::kDeparse, ns);
+      tr->record(obs::EventKind::kDeparse, obs::kFlagEgress, 0, 0, 0,
+                 out.size(), static_cast<std::uint32_t>(ns));
+    }
 
     if (ctx.recirc_flag) {
       ++stats_.recirculations;
@@ -714,10 +807,16 @@ ProcessResult Switch::inject(std::uint16_t ingress_port,
         rw.ctx.preserved = capture_field_list(*ctx.recirc_fl, ctx.phv);
       rw.ctx.packet = std::move(out);
       queue.push_back(std::move(rw));
+      if (tr)
+        tr->record(obs::EventKind::kRecirculate, obs::kFlagEgress,
+                   w.egress_port, 0, 0, 0);
       continue;
     }
 
     ++stats_.packets_out;
+    if (tr)
+      tr->record(obs::EventKind::kEmit, obs::kFlagEgress, w.egress_port, 0, 0,
+                 out.size());
     res.outputs.push_back(OutputPacket{w.egress_port, std::move(out)});
   }
 
@@ -769,6 +868,8 @@ bool Switch::run_parser(Ctx& ctx, ProcessResult& res) {
       }
       ctx.phv.valid[inst] = 1;
       cursor += info.width_bits;
+      if (tracer_)
+        tracer_->record(obs::EventKind::kParserExtract, 0, 0, inst, 0, 0);
     }
     for (const auto& [fid, expr] : st.sets) {
       ctx.phv.fields[fid] =
@@ -867,6 +968,9 @@ void Switch::run_control(const std::vector<CompiledControlNode>& nodes,
   std::size_t idx = 0;
   std::size_t steps = 0;
   const std::size_t step_limit = nodes.size() * 4 + 64;
+  obs::PipelineTracer* const tr = tracer_;
+  const bool timing = tr && tr->timing();
+  const bool prof = tr && tr->profiling();
   while (idx != p4::kEndOfControl) {
     if (++steps > step_limit)
       throw ConfigError("control graph did not terminate (cycle?)");
@@ -895,7 +999,16 @@ void Switch::run_control(const std::vector<CompiledControlNode>& nodes,
         ternary_total += spec.width;
       }
     }
+    const std::uint64_t lk_t0 = timing ? tr->clock_ns() : 0;
     TableEntry* entry = t.lookup(key_scratch_);
+    std::uint64_t lookup_ns = 0;
+    if (timing) {
+      lookup_ns = tr->clock_ns() - lk_t0;
+      if (prof) {
+        tr->observe_stage(obs::Stage::kLookup, lookup_ns);
+        tr->observe_table(n.table, lookup_ns);
+      }
+    }
 
     AppliedTable applied;
     applied.table = t.name();
@@ -920,6 +1033,7 @@ void Switch::run_control(const std::vector<CompiledControlNode>& nodes,
     res.applied.push_back(applied);
 
     std::optional<std::size_t> ran_action;
+    const std::uint64_t act_t0 = timing ? tr->clock_ns() : 0;
     if (entry) {
       exec_action(entry->action, entry->action_args, ctx, res);
       ran_action = entry->action;
@@ -927,6 +1041,25 @@ void Switch::run_control(const std::vector<CompiledControlNode>& nodes,
     } else if (t.has_default()) {
       exec_action(t.default_action(), t.default_args(), ctx, res);
       ran_action = t.default_action();
+    }
+    std::uint64_t action_ns = 0;
+    if (timing) {
+      action_ns = tr->clock_ns() - act_t0;
+      if (prof) tr->observe_stage(obs::Stage::kAction, action_ns);
+    }
+    if (tr) {
+      std::uint8_t flags = 0;
+      if (entry) flags |= obs::kFlagHit;
+      if (ctx.in_egress) flags |= obs::kFlagEgress;
+      flags |= static_cast<std::uint8_t>(
+          (static_cast<std::uint8_t>(t.index_kind()) << obs::kFlagIndexShift) &
+          obs::kFlagIndexMask);
+      tr->record(obs::EventKind::kTableApply, flags, 0,
+                 static_cast<std::uint32_t>(n.table),
+                 entry ? entry->handle : 0,
+                 ran_action ? static_cast<std::uint64_t>(*ran_action)
+                            : obs::kNoAction,
+                 static_cast<std::uint32_t>(lookup_ns + action_ns));
     }
 
     // Successor: action edge first, then hit/miss, then default.
@@ -954,7 +1087,19 @@ void Switch::exec_action(std::size_t action_id,
                          const std::vector<BitVec>& args, Ctx& ctx,
                          ProcessResult& res) {
   const CompiledAction& a = actions_[action_id];
-  for (const auto& prim : a.body) exec_primitive(prim, args, ctx, res);
+  if (tracer_)
+    tracer_->record(obs::EventKind::kActionExec,
+                    ctx.in_egress ? obs::kFlagEgress : 0, 0,
+                    static_cast<std::uint32_t>(action_id), 0, args.size());
+  const bool rec_prims =
+      tracer_ && tracer_->options().record_primitives;
+  for (const auto& prim : a.body) {
+    if (rec_prims)
+      tracer_->record(obs::EventKind::kPrimitive,
+                      ctx.in_egress ? obs::kFlagEgress : 0, 0,
+                      static_cast<std::uint32_t>(prim.op), 0, 0);
+    exec_primitive(prim, args, ctx, res);
+  }
 }
 
 util::BitVec Switch::read_arg(const CompiledArg& a,

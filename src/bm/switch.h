@@ -23,6 +23,7 @@
 #include "bm/stateful.h"
 #include "bm/trace.h"
 #include "net/packet.h"
+#include "obs/tracer.h"
 #include "p4/ir.h"
 
 namespace hyper4::bm {
@@ -107,6 +108,21 @@ class Switch {
   };
   const Stats& stats() const { return stats_; }
   void reset_stats();
+
+  // --- observability -------------------------------------------------------
+  // Attach an external tracer (nullptr detaches). The tracer must outlive
+  // the attachment; the switch binds its table/action/instance name tables
+  // into it so exporters and the hp4 decoder can resolve event ids. When no
+  // tracer is attached the packet path pays one null-pointer check per hook
+  // site (see tests/obs_overhead_test.cpp).
+  void set_tracer(obs::PipelineTracer* t);
+  obs::PipelineTracer* tracer() const { return tracer_; }
+  // Convenience for the CLI: create (replacing any previous) an owned
+  // tracer with the given options and attach it.
+  obs::PipelineTracer& enable_tracing(const obs::TracerOptions& topts);
+  // Drops the owned tracer if one is attached; external tracers are only
+  // detached, never destroyed.
+  void disable_tracing();
 
  private:
   // ---- compiled representations ----
@@ -304,6 +320,10 @@ class Switch {
   double now_ = 0;
   Stats stats_;
   std::uint64_t rng_state_ = 0x9e3779b97f4a7c15ull;
+
+  // Observability hook: nullptr when tracing is off (the common case).
+  obs::PipelineTracer* tracer_ = nullptr;
+  std::unique_ptr<obs::PipelineTracer> owned_tracer_;  // CLI `trace on`
 };
 
 }  // namespace hyper4::bm

@@ -8,6 +8,9 @@
 #include "engine/engine.h"
 #include "hp4/compiler.h"
 #include "hp4/controller.h"
+#include "hp4/trace_decode.h"
+#include "obs/export.h"
+#include "obs/tracer.h"
 #include "util/error.h"
 
 namespace hyper4::check {
@@ -50,6 +53,20 @@ DiffReport DiffRunner::run(const GenCase& c) const {
   // --- native reference, configured first ----------------------------------
   bm::Switch native(c.program);
   for (const auto& r : c.rules) apply_native(native, r);
+
+  // Tracing, when requested. The native tracer attaches after configuration
+  // so the ring holds only packet-processing events; the persona tracer
+  // attaches right before injection for the same reason.
+  std::unique_ptr<obs::PipelineTracer> native_tr;
+  std::unique_ptr<obs::PipelineTracer> persona_tr;
+  if (opts_.trace) {
+    obs::TracerOptions topts;
+    topts.capacity = 1 << 16;
+    topts.profile = true;
+    topts.timestamps = true;
+    native_tr = std::make_unique<obs::PipelineTracer>(topts);
+    native.set_tracer(native_tr.get());
+  }
 
   // --- engine, mirroring the configured native state ------------------------
   std::unique_ptr<engine::TrafficEngine> eng;
@@ -102,6 +119,37 @@ DiffReport DiffRunner::run(const GenCase& c) const {
     }
   }
 
+  if (opts_.trace && ctl && vdev) {
+    obs::TracerOptions topts;
+    topts.capacity = 1 << 16;
+    topts.profile = true;
+    topts.timestamps = true;
+    persona_tr = std::make_unique<obs::PipelineTracer>(topts);
+    ctl->dataplane().set_tracer(persona_tr.get());
+  }
+
+  // Decode and export whatever was traced; runs at every exit point once
+  // packets have flowed.
+  auto fill_trace = [&]() {
+    if (!native_tr) return;
+    const hp4::DecodedTrace nat = hp4::decode_native_trace(*native_tr);
+    std::vector<std::pair<std::string, const obs::PipelineTracer*>> traced;
+    traced.emplace_back("native", native_tr.get());
+    if (persona_tr) traced.emplace_back("persona", persona_tr.get());
+    rep.chrome_trace = obs::chrome_trace_json(traced);
+    rep.profile_json =
+        obs::profile_json(native_tr->profile(), native_tr->table_names());
+    if (persona_tr && ctl && vdev) {
+      const hp4::TraceDecoder decoder(ctl->dpmu());
+      const hp4::DecodedTrace per = decoder.decode(*persona_tr);
+      rep.explanation = hp4::first_divergence_report(nat, per);
+    } else if (!rep.equivalent) {
+      // No persona trace to compare against (engine divergence or persona
+      // skip): give the operator the native side as context.
+      rep.explanation = "native trace (decoded):\n" + nat.serialize(false);
+    }
+  };
+
   // --- inject ----------------------------------------------------------------
   std::vector<bm::ProcessResult> native_res;
   native_res.reserve(c.packets.size());
@@ -139,6 +187,7 @@ DiffReport DiffRunner::run(const GenCase& c) const {
       d.detail = std::to_string(c.packets.size()) + " injected vs " +
                  std::to_string(merged.packets) + " drained";
       fail(std::move(d));
+      fill_trace();
       return rep;
     }
     for (std::size_t i = 0; i < c.packets.size() && rep.equivalent; ++i) {
@@ -186,7 +235,10 @@ DiffReport DiffRunner::run(const GenCase& c) const {
         }
       }
     }
-    if (!rep.equivalent) return rep;
+    if (!rep.equivalent) {
+      fill_trace();
+      return rep;
+    }
   }
 
   if (ctl && vdev) {
@@ -197,10 +249,12 @@ DiffReport DiffRunner::run(const GenCase& c) const {
         d->lhs = "native";
         d->rhs = "persona";
         fail(std::move(*d));
+        fill_trace();
         return rep;
       }
     }
   }
+  fill_trace();
   return rep;
 }
 

@@ -51,6 +51,12 @@ struct DiffOptions {
   // the stock persona default (10) would skip off-quantum resize programs.
   std::size_t persona_writeback_step = 1;
   Mutation mutation = Mutation::kNone;
+  // Attach obs::PipelineTracers (events + per-stage profile + timestamps)
+  // to the native switch and the persona dataplane, decode both traces,
+  // and fill DiffReport::explanation / chrome_trace / profile_json. Off by
+  // default: tracing every fuzz iteration costs ring memory and two clock
+  // reads per stage.
+  bool trace = false;
 };
 
 struct DiffReport {
@@ -61,6 +67,17 @@ struct DiffReport {
   bool persona_ran = false;
   std::string persona_skip_reason;
   std::optional<Divergence> divergence;
+
+  // Filled when DiffOptions::trace is set:
+  //   explanation   decoded first-divergence report (native vs persona, in
+  //                 the emulated program's vocabulary); for engine-side or
+  //                 persona-skipped divergences, the native decoded trace
+  //                 as context. "" when the traces agree.
+  //   chrome_trace  about://tracing JSON covering every traced backend.
+  //   profile_json  the native switch's per-stage latency histograms.
+  std::string explanation;
+  std::string chrome_trace;
+  std::string profile_json;
 
   std::string str() const;
 };

@@ -85,6 +85,13 @@ TrafficEngine::TrafficEngine(p4::Program prog, EngineOptions opts)
   for (std::size_t i = 0; i < opts_.workers; ++i) {
     auto w = std::make_unique<Worker>();
     w->sw = std::make_unique<bm::Switch>(prog, opts_.switch_options);
+    if (opts_.profile) {
+      obs::TracerOptions topts;
+      topts.record_events = false;  // histograms only on the worker path
+      topts.profile = true;
+      w->tracer = std::make_unique<obs::PipelineTracer>(topts);
+      w->sw->set_tracer(w->tracer.get());
+    }
     w->queue = std::make_unique<BoundedQueue<Job>>(opts_.queue_capacity);
     workers_.push_back(std::move(w));
   }
@@ -158,6 +165,43 @@ void TrafficEngine::fan_out(Fn&& fn) {
 
 void TrafficEngine::sync_from(const bm::Switch& src) {
   fan_out([&](bm::Switch& sw) { sw.sync_state_from(src); });
+}
+
+void TrafficEngine::export_profile() {
+  if (!opts_.profile) return;
+  obs::StageProfile merged;
+  std::vector<std::string> names;
+  for (auto& w : workers_) {
+    // Between-batches synchronization point: the worker holds replica_mu
+    // for the whole batch, so the profile is quiescent while we read it.
+    std::lock_guard<std::mutex> lk(w->replica_mu);
+    merged.merge(w->tracer->profile());
+    if (names.empty()) names = w->tracer->table_names();
+    w->tracer->reset_profile();
+  }
+  const std::vector<double> bounds = obs::latency_bucket_bounds();
+  const auto fold = [&](const std::string& name,
+                        const obs::LatencyHist& h) {
+    if (!h.count) return;
+    Histogram& dst = metrics_.histogram(name, bounds);
+    bool sum_folded = false;
+    for (std::size_t i = 0; i < obs::LatencyHist::kBuckets; ++i) {
+      if (!h.buckets[i]) continue;
+      dst.add(i, h.buckets[i],
+              sum_folded ? 0.0 : static_cast<double>(h.sum_ns));
+      sum_folded = true;
+    }
+  };
+  for (std::size_t s = 0; s < obs::kNumStages; ++s) {
+    fold(std::string("stage_ns_") +
+             obs::stage_name(static_cast<obs::Stage>(s)),
+         merged.stages[s]);
+  }
+  for (std::size_t t = 0; t < merged.per_table.size(); ++t) {
+    fold("table_lookup_ns." +
+             (t < names.size() ? names[t] : std::to_string(t)),
+         merged.per_table[t]);
+  }
 }
 
 std::uint64_t TrafficEngine::table_add(const std::string& table,

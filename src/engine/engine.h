@@ -54,6 +54,11 @@ struct EngineOptions {
   // Keep every per-packet ProcessResult for drain(). Disable for pure
   // throughput runs; drain() then reports numeric totals only.
   bool collect_results = true;
+  // Attach a profiling tracer (obs::PipelineTracer, events off) to every
+  // worker replica: per-stage and per-table nanosecond histograms, merged
+  // into metrics() by export_profile(). Costs two clock reads per stage per
+  // packet on the worker hot path; off by default.
+  bool profile = false;
   bm::Switch::Options switch_options{};
 };
 
@@ -163,6 +168,14 @@ class TrafficEngine {
   MetricsRegistry& metrics() { return metrics_; }
   const MetricsRegistry& metrics() const { return metrics_; }
 
+  // With options().profile: merge every worker's per-stage / per-table
+  // latency histograms into metrics() ("stage_ns_<stage>" and
+  // "table_lookup_ns.<table>" histograms, nanosecond log2 buckets) and
+  // reset the worker-side profiles so repeated exports don't double-count.
+  // Safe to call mid-run: each worker's profile is read under its replica
+  // lock, i.e. between batches. No-op when profiling is off.
+  void export_profile();
+
  private:
   struct Job {
     std::uint64_t seq = 0;
@@ -172,6 +185,9 @@ class TrafficEngine {
 
   struct Worker {
     std::unique_ptr<bm::Switch> sw;
+    // Profiling tracer attached to `sw` when EngineOptions::profile; its
+    // histograms are only touched by the owning worker under replica_mu.
+    std::unique_ptr<obs::PipelineTracer> tracer;
     std::unique_ptr<BoundedQueue<Job>> queue;
     // Held by the worker for one batch; by control fan-outs for one op.
     std::mutex replica_mu;

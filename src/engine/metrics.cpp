@@ -29,6 +29,15 @@ void Histogram::observe(double v) {
       std::memory_order_relaxed);
 }
 
+void Histogram::add(std::size_t bucket, std::uint64_t n, double value_sum) {
+  buckets_.at(bucket).fetch_add(n, std::memory_order_relaxed);
+  count_.fetch_add(n, std::memory_order_relaxed);
+  const double micro = value_sum * 1e6;
+  sum_micro_.fetch_add(
+      micro > 0 ? static_cast<std::uint64_t>(std::llround(micro)) : 0,
+      std::memory_order_relaxed);
+}
+
 std::uint64_t Histogram::bucket_count(std::size_t i) const {
   return buckets_.at(i).load(std::memory_order_relaxed);
 }
@@ -71,33 +80,49 @@ std::string num(double v) {
 
 }  // namespace
 
-std::string MetricsRegistry::to_json() const {
+MetricsSnapshot MetricsRegistry::snapshot() const {
   std::lock_guard<std::mutex> lk(mu_);
+  MetricsSnapshot snap;
+  for (const auto& [name, c] : counters_) snap.counters[name] = c->value();
+  for (const auto& [name, h] : histograms_) {
+    MetricsSnapshot::Hist hs;
+    hs.bounds = h->bounds();
+    hs.buckets.reserve(hs.bounds.size() + 1);
+    for (std::size_t i = 0; i <= hs.bounds.size(); ++i)
+      hs.buckets.push_back(h->bucket_count(i));
+    hs.count = h->count();
+    hs.sum = h->sum();
+    hs.mean = h->mean();
+    snap.histograms[name] = std::move(hs);
+  }
+  return snap;
+}
+
+std::string MetricsRegistry::to_json() const {
+  const MetricsSnapshot snap = snapshot();
   std::ostringstream os;
   os << "{\"counters\":{";
   bool first = true;
-  for (const auto& [name, c] : counters_) {
+  for (const auto& [name, v] : snap.counters) {
     if (!first) os << ",";
     first = false;
-    os << "\"" << name << "\":" << c->value();
+    os << "\"" << name << "\":" << v;
   }
   os << "},\"histograms\":{";
   first = true;
-  for (const auto& [name, h] : histograms_) {
+  for (const auto& [name, h] : snap.histograms) {
     if (!first) os << ",";
     first = false;
     os << "\"" << name << "\":{\"buckets\":[";
-    const auto& bounds = h->bounds();
-    for (std::size_t i = 0; i <= bounds.size(); ++i) {
+    for (std::size_t i = 0; i < h.buckets.size(); ++i) {
       if (i) os << ",";
-      const double le = i < bounds.size()
-                            ? bounds[i]
+      const double le = i < h.bounds.size()
+                            ? h.bounds[i]
                             : std::numeric_limits<double>::infinity();
-      os << "{\"le\":" << num(le) << ",\"count\":" << h->bucket_count(i)
-         << "}";
+      os << "{\"le\":" << num(le) << ",\"count\":" << h.buckets[i] << "}";
     }
-    os << "],\"count\":" << h->count() << ",\"sum\":" << num(h->sum())
-       << ",\"mean\":" << num(h->mean()) << "}";
+    os << "],\"count\":" << h.count << ",\"sum\":" << num(h.sum)
+       << ",\"mean\":" << num(h.mean) << "}";
   }
   os << "}}";
   return os.str();

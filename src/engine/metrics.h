@@ -37,6 +37,11 @@ class Histogram {
   explicit Histogram(std::vector<double> upper_bounds);
 
   void observe(double v);
+  // Bulk merge: add `n` observations summing to `value_sum` into bucket
+  // `bucket` (0..bounds().size(), the last being +inf). Used to fold
+  // externally-aggregated histograms (e.g. obs::LatencyHist from per-worker
+  // tracers) into a registry histogram without per-observation cost.
+  void add(std::size_t bucket, std::uint64_t n, double value_sum);
 
   const std::vector<double>& bounds() const { return bounds_; }
   // Cumulative count of bucket i (observations <= bounds_[i]); index
@@ -60,6 +65,23 @@ class Histogram {
   std::atomic<std::uint64_t> sum_micro_{0};
 };
 
+// A point-in-time copy of every metric, safe to take while writers are
+// live: counter/bucket loads are relaxed atomic reads, so a snapshot is
+// eventually consistent (per-metric totals may be mid-update relative to
+// each other) but never racy. This is what profiling tools read mid-run;
+// drain() remains the full synchronization point for exact totals.
+struct MetricsSnapshot {
+  struct Hist {
+    std::vector<double> bounds;
+    std::vector<std::uint64_t> buckets;  // bounds.size() + 1 (+inf last)
+    std::uint64_t count = 0;
+    double sum = 0;
+    double mean = 0;
+  };
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, Hist> histograms;
+};
+
 class MetricsRegistry {
  public:
   // Find-or-create. Returned references stay valid for the registry's
@@ -74,6 +96,10 @@ class MetricsRegistry {
   // "count": n}, ...], "count": n, "sum": s, "mean": m}}}. Bucket counts
   // are per-bucket (not cumulative); the final bucket's "le" is "inf".
   std::string to_json() const;
+
+  // Thread-safe live snapshot; may be called concurrently with metric
+  // updates and with counter()/histogram() registration.
+  MetricsSnapshot snapshot() const;
 
   void reset();
 

@@ -290,6 +290,22 @@ void Dpmu::authorize(VdevId id, const std::string& requester) {
   vdev(id).authorized.push_back(requester);
 }
 
+std::map<std::pair<std::string, std::uint64_t>, Dpmu::EntryOrigin>
+Dpmu::entry_origins() const {
+  std::map<std::pair<std::string, std::uint64_t>, EntryOrigin> out;
+  for (const auto& [id, v] : vdevs_) {
+    for (const auto& [table, handle] : v.static_handles)
+      out[{table, handle}] = EntryOrigin{id, 0, false};
+    for (const auto& [vh, list] : v.entries)
+      for (const auto& [table, handle] : list)
+        out[{table, handle}] = EntryOrigin{id, vh, false};
+  }
+  for (const auto& [b, binding] : bindings_)
+    out[{tbl_setup_a(), binding.handle}] =
+        EntryOrigin{binding.vdev, 0, true};
+  return out;
+}
+
 std::string Dpmu::report() const {
   std::ostringstream os;
   os << "DPMU: " << vdevs_.size() << " virtual device(s), "

@@ -1,0 +1,498 @@
+#include "hp4/trace_decode.h"
+
+#include <sstream>
+
+namespace hyper4::hp4 {
+
+namespace {
+
+using obs::EventKind;
+using obs::TraceEvent;
+
+// "t<stage>_<ext|meta|stdmeta>" → (stage, source); false otherwise.
+bool parse_stage_table(const std::string& name, std::size_t* stage,
+                       MatchSource* src) {
+  if (name.size() < 3 || name[0] != 't' || !std::isdigit(name[1]))
+    return false;
+  std::size_t i = 1;
+  std::size_t s = 0;
+  while (i < name.size() && std::isdigit(name[i]))
+    s = s * 10 + static_cast<std::size_t>(name[i++] - '0');
+  if (i >= name.size() || name[i] != '_') return false;
+  const std::string suffix = name.substr(i + 1);
+  if (suffix == "ext") {
+    *src = MatchSource::kExtracted;
+  } else if (suffix == "meta") {
+    *src = MatchSource::kMeta;
+  } else if (suffix == "stdmeta") {
+    *src = MatchSource::kStdMeta;
+  } else {
+    return false;
+  }
+  *stage = s;
+  return true;
+}
+
+// "s<stage>p<slot>_<setup|tx|noop|mod|addsub|drop|resize>" primitive table?
+bool is_prim_table(const std::string& name) {
+  if (name.size() < 4 || name[0] != 's' || !std::isdigit(name[1]))
+    return false;
+  std::size_t i = 1;
+  while (i < name.size() && std::isdigit(name[i])) ++i;
+  if (i >= name.size() || name[i] != 'p') return false;
+  ++i;
+  if (i >= name.size() || !std::isdigit(name[i])) return false;
+  while (i < name.size() && std::isdigit(name[i])) ++i;
+  return i < name.size() && name[i] == '_';
+}
+
+// The emulated table for (stage, source) in an artifact, nullptr if none.
+const TableSpec* find_table_spec(const Hp4Artifact& art, std::size_t stage,
+                                 MatchSource src) {
+  for (const auto& t : art.tables) {
+    if (t.stage == stage && t.source == src) return &t;
+  }
+  return nullptr;
+}
+
+// The emulated action with persona action_id `id`, nullptr if none.
+const ActionSpec* find_action_by_id(const Hp4Artifact& art, std::uint64_t id) {
+  if (id == 0) return nullptr;
+  for (const auto& [name, spec] : art.actions) {
+    if (spec.action_id == id) return &spec;
+  }
+  return nullptr;
+}
+
+const char* itype_str(std::uint64_t itype) {
+  switch (itype) {
+    case 0: return "normal";
+    case 1: return "ingress-clone";
+    case 2: return "egress-clone";
+    case 4: return "resubmit";
+    case 5: return "replication";
+    case 6: return "recirculate";
+  }
+  return "?";
+}
+
+}  // namespace
+
+const char* DecodedEvent::kind_name(Kind k) {
+  switch (k) {
+    case Kind::kInject: return "inject";
+    case Kind::kTraversal: return "traversal";
+    case Kind::kParseError: return "parse_error";
+    case Kind::kTableApply: return "apply";
+    case Kind::kWriteback: return "writeback";
+    case Kind::kResubmit: return "resubmit";
+    case Kind::kRecirculate: return "recirculate";
+    case Kind::kClone: return "clone";
+    case Kind::kMulticast: return "mcast_copy";
+    case Kind::kDrop: return "drop";
+    case Kind::kEmit: return "emit";
+    case Kind::kMachinery: return "machinery";
+  }
+  return "?";
+}
+
+std::string DecodedEvent::line() const {
+  std::ostringstream os;
+  os << "pkt" << packet;
+  if (!vdev.empty()) os << " [" << vdev << "]";
+  os << " " << kind_name(kind);
+  switch (kind) {
+    case Kind::kInject:
+      os << " port=" << port << " bytes=" << bytes;
+      break;
+    case Kind::kTableApply:
+      os << " " << table << (hit ? " hit" : " miss");
+      if (!action.empty()) os << " action=" << action;
+      if (vhandle) os << " vh=" << vhandle;
+      break;
+    case Kind::kWriteback:
+      os << " bytes=" << bytes;
+      break;
+    case Kind::kEmit:
+      os << " port=" << port << " bytes=" << bytes;
+      break;
+    case Kind::kMulticast:
+      os << " port=" << port;
+      break;
+    default:
+      break;
+  }
+  if (!detail.empty()) os << " (" << detail << ")";
+  return os.str();
+}
+
+std::vector<DecodedEvent> DecodedTrace::emulated_view() const {
+  std::vector<DecodedEvent> out;
+  for (const auto& e : events) {
+    if (e.machinery) continue;
+    switch (e.kind) {
+      case DecodedEvent::Kind::kInject:
+      case DecodedEvent::Kind::kTableApply:
+      case DecodedEvent::Kind::kClone:
+      case DecodedEvent::Kind::kMulticast:
+      case DecodedEvent::Kind::kDrop:
+      case DecodedEvent::Kind::kEmit:
+        out.push_back(e);
+        break;
+      default:
+        break;
+    }
+  }
+  return out;
+}
+
+std::string DecodedTrace::serialize(bool with_machinery) const {
+  std::ostringstream os;
+  if (with_machinery) {
+    for (const auto& e : events) os << e.line() << "\n";
+  } else {
+    for (const auto& e : emulated_view()) os << e.line() << "\n";
+  }
+  return os.str();
+}
+
+// ---------------------------------------------------------------------------
+// Native decode: identity on tables/actions, shared TM classification.
+
+DecodedTrace decode_native_trace(const obs::PipelineTracer& tracer) {
+  DecodedTrace out;
+  std::size_t packet = 0;
+  bool any = false;
+  for (const TraceEvent& e : tracer.events()) {
+    DecodedEvent d;
+    d.traversal = e.seq;
+    d.packet = packet == 0 ? 0 : packet - 1;
+    switch (e.kind) {
+      case EventKind::kInject:
+        d.packet = packet++;
+        d.kind = DecodedEvent::Kind::kInject;
+        d.port = e.port;
+        d.bytes = e.aux;
+        break;
+      case EventKind::kTraversalStart:
+      case EventKind::kEgressStart:
+        d.kind = DecodedEvent::Kind::kTraversal;
+        d.port = e.port;
+        d.detail = std::string(e.kind == EventKind::kEgressStart
+                                   ? "egress "
+                                   : "ingress ") +
+                   itype_str(e.aux);
+        break;
+      case EventKind::kParseError:
+        d.kind = DecodedEvent::Kind::kParseError;
+        break;
+      case EventKind::kTableApply:
+        d.kind = DecodedEvent::Kind::kTableApply;
+        d.table = tracer.table_name(e.id);
+        d.hit = e.hit();
+        // Record the action that ran, including a miss's default action —
+        // the persona decodes its compiled miss path the same way, so the
+        // two views stay comparable.
+        if (e.aux != obs::kNoAction) d.action = tracer.action_name(e.aux);
+        if (!e.hit() && !d.action.empty()) d.detail = "default action";
+        break;
+      case EventKind::kResubmit:
+        d.kind = DecodedEvent::Kind::kResubmit;
+        break;
+      case EventKind::kRecirculate:
+        d.kind = DecodedEvent::Kind::kRecirculate;
+        break;
+      case EventKind::kCloneI2E:
+      case EventKind::kCloneE2E:
+        d.kind = DecodedEvent::Kind::kClone;
+        d.port = e.port;
+        break;
+      case EventKind::kMulticastCopy:
+        d.kind = DecodedEvent::Kind::kMulticast;
+        d.port = e.port;
+        break;
+      case EventKind::kDrop:
+        d.kind = DecodedEvent::Kind::kDrop;
+        break;
+      case EventKind::kEmit:
+        d.kind = DecodedEvent::Kind::kEmit;
+        d.port = e.port;
+        d.bytes = e.aux;
+        break;
+      default:
+        continue;  // extracts / accepts / action internals: skip for native
+    }
+    if (!any && d.kind != DecodedEvent::Kind::kInject) d.packet = 0;
+    any = true;
+    out.events.push_back(std::move(d));
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Persona decode.
+
+TraceDecoder::TraceDecoder(const Dpmu& dpmu)
+    : dpmu_(dpmu), origins_(dpmu.entry_origins()) {}
+
+DecodedTrace TraceDecoder::decode(const obs::PipelineTracer& tracer) const {
+  DecodedTrace out;
+  std::size_t packet = 0;
+  VdevId cur_vdev = 0;  // 0 = not yet attributed
+
+  const auto vdev_label = [&](VdevId id) -> std::string {
+    if (id == 0 || !dpmu_.has_vdev(id)) return "";
+    return dpmu_.vdev_name(id);
+  };
+
+  for (const TraceEvent& e : tracer.events()) {
+    DecodedEvent d;
+    d.traversal = e.seq;
+    d.packet = packet == 0 ? 0 : packet - 1;
+    switch (e.kind) {
+      case EventKind::kInject:
+        d.packet = packet++;
+        d.kind = DecodedEvent::Kind::kInject;
+        d.port = e.port;
+        d.bytes = e.aux;
+        cur_vdev = 0;
+        break;
+      case EventKind::kTraversalStart:
+      case EventKind::kEgressStart:
+        d.kind = DecodedEvent::Kind::kTraversal;
+        d.machinery = true;  // persona traversal count is an artifact of
+                             // the ladder/vnet, not of the emulated program
+        d.port = e.port;
+        d.detail = std::string(e.kind == EventKind::kEgressStart
+                                   ? "egress "
+                                   : "ingress ") +
+                   itype_str(e.aux);
+        break;
+      case EventKind::kParseError:
+        d.kind = DecodedEvent::Kind::kParseError;
+        d.machinery = true;
+        break;
+      case EventKind::kTableApply: {
+        const std::string& tname = tracer.table_name(e.id);
+        // Entry-origin attribution (also tracks the current vdev across
+        // virtual-link recirculations: vparse and stage entries carry the
+        // program id of their device).
+        const Dpmu::EntryOrigin* origin = nullptr;
+        if (e.hit()) {
+          const auto oit = origins_.find({tname, e.handle});
+          if (oit != origins_.end()) {
+            origin = &oit->second;
+            cur_vdev = origin->vdev;
+          }
+        }
+        const std::string persona_action =
+            e.aux != obs::kNoAction ? tracer.action_name(e.aux) : "";
+
+        std::size_t stage = 0;
+        MatchSource src = MatchSource::kExtracted;
+        if (parse_stage_table(tname, &stage, &src)) {
+          // A persona stage table: an emulated table apply when the device
+          // has a table in this (stage, source) slot. A hit that executed
+          // a_match_result is an emulated hit; a hit on a static guard /
+          // catch-all entry (a_match_miss) is an emulated miss.
+          const Hp4Artifact* art =
+              cur_vdev && dpmu_.has_vdev(cur_vdev)
+                  ? &dpmu_.artifact(cur_vdev)
+                  : nullptr;
+          const TableSpec* spec =
+              art ? find_table_spec(*art, stage, src) : nullptr;
+          if (!spec) {
+            d.kind = DecodedEvent::Kind::kMachinery;
+            d.machinery = true;
+            d.detail = tname + (e.hit() ? " hit" : " miss");
+            break;
+          }
+          d.kind = DecodedEvent::Kind::kTableApply;
+          d.table = spec->name;
+          d.vdev = vdev_label(cur_vdev);
+          if (e.hit() && persona_action == kActMatchResult) {
+            // Translated entries (vhandle != 0) are emulated hits; static
+            // a_match_result entries are the compiled *miss path* — the
+            // emulated table's default action running — and decode as a
+            // miss, exactly like the native switch records one.
+            const bool translated = !origin || origin->vhandle != 0;
+            d.hit = translated;
+            if (translated && origin) d.vhandle = origin->vhandle;
+            if (!translated) d.detail = "default action";
+            // The matched entry's args are [match_id, action_id,
+            // prim_count, next_table]; action_id resolves the emulated
+            // action through the artifact.
+            const bm::RuntimeTable& rt = dpmu_.dataplane().table(tname);
+            if (rt.has_entry(e.handle)) {
+              const auto& args = rt.entry(e.handle).action_args;
+              if (args.size() >= 2) {
+                const std::uint64_t aid = args[1].low_u64();
+                if (const ActionSpec* as = find_action_by_id(*art, aid)) {
+                  d.action = as->name;
+                } else if (aid == 0) {
+                  d.detail = "no-op action";
+                }
+              }
+            }
+          } else {
+            d.hit = false;
+            if (e.hit() && origin && !origin->vhandle)
+              d.detail = "guard/catch-all";
+          }
+          break;
+        }
+
+        // Non-stage persona tables: machinery, decoded where informative.
+        d.machinery = true;
+        d.vdev = vdev_label(cur_vdev);
+        if (tname == tbl_eg_writeback() && e.hit() &&
+            persona_action.rfind("a_wb_", 0) == 0) {
+          d.kind = DecodedEvent::Kind::kWriteback;
+          d.bytes = std::strtoull(persona_action.c_str() + 5, nullptr, 10);
+          break;
+        }
+        d.kind = DecodedEvent::Kind::kMachinery;
+        if (tname == tbl_setup_a()) {
+          if (origin && origin->is_binding) {
+            d.detail = "steer -> " + vdev_label(origin->vdev);
+          } else {
+            d.detail = "setup_a " + persona_action;
+          }
+        } else if (tname == tbl_vparse()) {
+          d.detail = e.hit() ? "vparse path" : "vparse miss";
+        } else if (tname == tbl_vnet()) {
+          if (persona_action == kActVfwdPhys) {
+            d.detail = "vnet: forward phys";
+          } else if (persona_action == kActVfwdVdev) {
+            d.detail = "vnet: virtual link";
+          } else if (persona_action == kActVfwdMcast) {
+            d.detail = "vnet: virtual multicast";
+          } else if (persona_action == kActVdrop) {
+            d.detail = "vnet: drop";
+          } else {
+            d.detail = "vnet " + persona_action;
+          }
+        } else if (is_prim_table(tname)) {
+          d.detail = tname + " " + persona_action;
+        } else {
+          d.detail = tname + (e.hit() ? " hit" : " miss");
+        }
+        break;
+      }
+      case EventKind::kResubmit:
+        d.kind = DecodedEvent::Kind::kResubmit;
+        d.machinery = true;  // parse-ladder continuation
+        d.detail = "parse ladder";
+        break;
+      case EventKind::kRecirculate:
+        d.kind = DecodedEvent::Kind::kRecirculate;
+        d.machinery = true;  // virtual link hop
+        d.detail = "virtual link";
+        break;
+      case EventKind::kCloneI2E:
+      case EventKind::kCloneE2E:
+        d.kind = DecodedEvent::Kind::kClone;
+        d.port = e.port;
+        break;
+      case EventKind::kMulticastCopy:
+        d.kind = DecodedEvent::Kind::kMulticast;
+        d.port = e.port;
+        break;
+      case EventKind::kDrop:
+        d.kind = DecodedEvent::Kind::kDrop;
+        d.vdev = vdev_label(cur_vdev);
+        break;
+      case EventKind::kEmit:
+        d.kind = DecodedEvent::Kind::kEmit;
+        d.port = e.port;
+        d.bytes = e.aux;
+        d.vdev = vdev_label(cur_vdev);
+        break;
+      default:
+        continue;  // extracts / accepts / persona action internals
+    }
+    out.events.push_back(std::move(d));
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// First-divergence report.
+
+namespace {
+
+bool events_match(const DecodedEvent& a, const DecodedEvent& b) {
+  if (a.kind != b.kind || a.packet != b.packet) return false;
+  switch (a.kind) {
+    case DecodedEvent::Kind::kTableApply:
+      return a.table == b.table && a.hit == b.hit && a.action == b.action;
+    case DecodedEvent::Kind::kEmit:
+      return a.port == b.port && a.bytes == b.bytes;
+    case DecodedEvent::Kind::kMulticast:
+    case DecodedEvent::Kind::kClone:
+      return a.port == b.port;
+    case DecodedEvent::Kind::kInject:
+      return a.port == b.port && a.bytes == b.bytes;
+    default:
+      return true;
+  }
+}
+
+void context_lines(std::ostringstream& os, const char* label,
+                   const std::vector<DecodedEvent>& v, std::size_t upto) {
+  os << "  " << label << " context:\n";
+  const std::size_t start = upto > 5 ? upto - 5 : 0;
+  for (std::size_t i = start; i < upto && i < v.size(); ++i)
+    os << "    " << v[i].line() << "\n";
+}
+
+}  // namespace
+
+std::string first_divergence_report(const DecodedTrace& native,
+                                    const DecodedTrace& persona) {
+  const std::vector<DecodedEvent> nv = native.emulated_view();
+  const std::vector<DecodedEvent> pv = persona.emulated_view();
+  std::size_t i = 0, j = 0;
+  while (i < nv.size() || j < pv.size()) {
+    if (i < nv.size() && j < pv.size() && events_match(nv[i], pv[j])) {
+      ++i;
+      ++j;
+      continue;
+    }
+    // Structural tolerance: an unmatched table-apply *miss* on either side
+    // is a control-flow representation difference (the persona's guard
+    // entries materialize skips the native control graph never visits, and
+    // vice versa), not behaviour.
+    if (j < pv.size() && pv[j].kind == DecodedEvent::Kind::kTableApply &&
+        !pv[j].hit &&
+        !(i < nv.size() && nv[i].kind == DecodedEvent::Kind::kTableApply &&
+          nv[i].table == pv[j].table)) {
+      ++j;
+      continue;
+    }
+    if (i < nv.size() && nv[i].kind == DecodedEvent::Kind::kTableApply &&
+        !nv[i].hit &&
+        !(j < pv.size() && pv[j].kind == DecodedEvent::Kind::kTableApply &&
+          pv[j].table == nv[i].table)) {
+      ++i;
+      continue;
+    }
+    // Divergence.
+    std::ostringstream os;
+    const std::size_t pkt =
+        i < nv.size() ? nv[i].packet : (j < pv.size() ? pv[j].packet : 0);
+    os << "first divergence at packet " << pkt << ":\n";
+    os << "  native:  "
+       << (i < nv.size() ? nv[i].line() : std::string("<no more events>"))
+       << "\n";
+    os << "  persona: "
+       << (j < pv.size() ? pv[j].line() : std::string("<no more events>"))
+       << "\n";
+    context_lines(os, "native", nv, i);
+    context_lines(os, "persona", pv, j);
+    return os.str();
+  }
+  return "";
+}
+
+}  // namespace hyper4::hp4

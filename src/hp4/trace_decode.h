@@ -1,0 +1,100 @@
+// Persona-aware trace decoding (the observability half of §5–§6's
+// equivalence claim).
+//
+// An obs::PipelineTracer attached to the persona dataplane records events
+// in *persona* terms: hits in t1_ext, ladder write-backs, vnet decisions.
+// The decoder maps those back into the emulated program's vocabulary using
+// the DPMU's entry-origin reverse map (which virtual device installed each
+// persona entry) and the per-device Hp4Artifact (stage/source → emulated
+// table, persona action_id → emulated action). A trace of the *native*
+// switch running the same program decodes near-identically, so the two
+// decoded traces are directly comparable — that is what
+// first_divergence_report() and the golden-trace conformance suite do.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "hp4/dpmu.h"
+#include "obs/tracer.h"
+
+namespace hyper4::hp4 {
+
+struct DecodedEvent {
+  enum class Kind {
+    kInject,      // packet entered (emulated level)
+    kTraversal,   // a parser/egress work item began
+    kParseError,  // parser rejected the packet
+    kTableApply,  // an *emulated* table was applied
+    kWriteback,   // persona write-back ladder (bytes restored to wire)
+    kResubmit,
+    kRecirculate,
+    kClone,
+    kMulticast,   // one replication copy
+    kDrop,        // packet instance dropped (emulated level)
+    kEmit,        // packet left on a physical port
+    kMachinery,   // persona plumbing with no emulated counterpart
+  };
+  Kind kind = Kind::kMachinery;
+  // True for persona-internal events (setup/concat/vnet/ladder resubmits…).
+  // The emulated view — what native-vs-persona comparison uses — excludes
+  // machinery and structural (traversal/parse-error) events.
+  bool machinery = false;
+  std::size_t packet = 0;     // injection ordinal within the trace
+  std::uint32_t traversal = 0;
+  std::string vdev;           // emulated device name; "" = native/unknown
+  std::string table;          // emulated table (kTableApply)
+  std::string action;         // emulated action that ran
+  std::string detail;         // free-form decoding notes
+  bool hit = false;
+  std::uint16_t port = 0;
+  std::uint64_t vhandle = 0;  // virtual rule handle (persona hits)
+  std::uint64_t bytes = 0;    // emit/writeback/inject sizes
+
+  static const char* kind_name(Kind k);
+  // Stable one-line serialization (no timestamps) — the golden-trace
+  // fixture format.
+  std::string line() const;
+};
+
+struct DecodedTrace {
+  std::vector<DecodedEvent> events;
+
+  // Events both backends must agree on: inject / table applies / clones /
+  // multicast copies / drops / emits, machinery excluded.
+  std::vector<DecodedEvent> emulated_view() const;
+
+  // One line() per event; with_machinery=false restricts to the emulated
+  // view. Ends with a trailing newline when non-empty.
+  std::string serialize(bool with_machinery = true) const;
+};
+
+// Decode a native switch's trace: the identity mapping (tables and actions
+// are already in emulated terms), with TM/parser events classified the same
+// way as the persona decoder classifies theirs.
+DecodedTrace decode_native_trace(const obs::PipelineTracer& tracer);
+
+// Decodes persona traces for every device loaded into the DPMU. Snapshot
+// semantics: the decoder captures the entry-origin map at construction, so
+// build it after configuration and before decoding.
+class TraceDecoder {
+ public:
+  explicit TraceDecoder(const Dpmu& dpmu);
+
+  DecodedTrace decode(const obs::PipelineTracer& tracer) const;
+
+ private:
+  const Dpmu& dpmu_;
+  std::map<std::pair<std::string, std::uint64_t>, Dpmu::EntryOrigin> origins_;
+};
+
+// Human-readable first-divergence report between the emulated views of two
+// decoded traces (lhs is conventionally the native reference). Tolerant of
+// the one systematic structural difference — persona guard entries turn a
+// control-flow skip into an explicit miss — by skipping unmatched
+// table-apply misses on either side. Returns "" when the views agree.
+std::string first_divergence_report(const DecodedTrace& native,
+                                    const DecodedTrace& persona);
+
+}  // namespace hyper4::hp4

@@ -1,0 +1,235 @@
+#include "obs/export.h"
+
+#include <sstream>
+
+namespace hyper4::obs {
+
+namespace {
+
+const char* index_kind_str(std::uint8_t k) {
+  switch (k) {
+    case 0: return "exact";
+    case 1: return "lpm";
+    case 2: return "ternary";
+  }
+  return "?";
+}
+
+void append_json_string(std::ostringstream& os, const std::string& s) {
+  os << '"';
+  for (const char c : s) {
+    if (c == '"' || c == '\\') os << '\\';
+    os << c;
+  }
+  os << '"';
+}
+
+}  // namespace
+
+std::string format_event(const TraceEvent& e, const PipelineTracer& t) {
+  std::ostringstream os;
+  os << "[" << e.seq << "] " << event_kind_name(e.kind);
+  switch (e.kind) {
+    case EventKind::kInject:
+    case EventKind::kEmit:
+      os << " port=" << e.port << " bytes=" << e.aux;
+      break;
+    case EventKind::kTraversalStart:
+    case EventKind::kEgressStart:
+      os << " port=" << e.port << " itype=" << e.aux;
+      break;
+    case EventKind::kParserExtract:
+      os << " " << t.instance_name(e.id);
+      break;
+    case EventKind::kParserAccept:
+      os << " payload_offset=" << e.aux;
+      break;
+    case EventKind::kTableApply:
+      os << " " << t.table_name(e.id) << (e.hit() ? " hit" : " miss");
+      if (e.hit()) os << " entry=" << e.handle;
+      os << " index=" << index_kind_str(e.index_kind());
+      if (e.aux != kNoAction) os << " action=" << t.action_name(e.aux);
+      if (e.egress()) os << " (egress)";
+      break;
+    case EventKind::kActionExec:
+      os << " " << t.action_name(e.id) << " args=" << e.aux;
+      break;
+    case EventKind::kPrimitive:
+      os << " op=" << e.id;
+      break;
+    case EventKind::kCloneI2E:
+    case EventKind::kCloneE2E:
+      os << " session=" << e.handle << " port=" << e.port;
+      break;
+    case EventKind::kMulticastCopy:
+      os << " group=" << e.handle << " port=" << e.port
+         << " rid=" << e.aux;
+      break;
+    case EventKind::kUnicast:
+      os << " port=" << e.port;
+      break;
+    case EventKind::kDeparse:
+      os << " bytes=" << e.aux;
+      break;
+    case EventKind::kDrop:
+      if (e.egress()) os << " (egress)";
+      break;
+    case EventKind::kParseError:
+    case EventKind::kResubmit:
+    case EventKind::kRecirculate:
+    case EventKind::kLoopKill:
+      break;
+  }
+  if (e.dur_ns) os << " " << e.dur_ns << "ns";
+  return os.str();
+}
+
+std::string format_events(const PipelineTracer& t, std::size_t limit) {
+  const std::vector<TraceEvent> evs = t.events();
+  const std::size_t n = evs.size();
+  const std::size_t start = (limit && limit < n) ? n - limit : 0;
+  std::ostringstream os;
+  for (std::size_t i = start; i < n; ++i)
+    os << format_event(evs[i], t) << "\n";
+  if (t.dropped())
+    os << "(" << t.dropped() << " older events overwritten by ring wrap)\n";
+  return os.str();
+}
+
+namespace {
+
+const char* event_category(EventKind k) {
+  switch (k) {
+    case EventKind::kParserExtract:
+    case EventKind::kParserAccept:
+    case EventKind::kParseError:
+      return "parser";
+    case EventKind::kTableApply:
+      return "table";
+    case EventKind::kActionExec:
+    case EventKind::kPrimitive:
+      return "action";
+    case EventKind::kResubmit:
+    case EventKind::kRecirculate:
+    case EventKind::kCloneI2E:
+    case EventKind::kCloneE2E:
+    case EventKind::kMulticastCopy:
+    case EventKind::kUnicast:
+    case EventKind::kDrop:
+    case EventKind::kLoopKill:
+      return "tm";
+    case EventKind::kDeparse:
+      return "deparse";
+    default:
+      return "packet";
+  }
+}
+
+}  // namespace
+
+std::string chrome_trace_json(
+    const std::vector<std::pair<std::string, const PipelineTracer*>>&
+        tracers) {
+  std::ostringstream os;
+  os << "{\"traceEvents\":[";
+  bool first = true;
+  auto emit = [&](auto&& fn) {
+    if (!first) os << ",";
+    first = false;
+    fn();
+  };
+  for (std::size_t pid = 0; pid < tracers.size(); ++pid) {
+    const auto& [pname, tr] = tracers[pid];
+    emit([&] {
+      os << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" << pid
+         << ",\"tid\":0,\"args\":{\"name\":";
+      append_json_string(os, pname);
+      os << "}}";
+    });
+    if (!tr) continue;
+    for (const TraceEvent& e : tr->events()) {
+      emit([&] {
+        std::string name;
+        switch (e.kind) {
+          case EventKind::kTableApply:
+            name = tr->table_name(e.id) + (e.hit() ? " hit" : " miss");
+            break;
+          case EventKind::kActionExec:
+            name = tr->action_name(e.id);
+            break;
+          case EventKind::kParserExtract:
+            name = "extract " + tr->instance_name(e.id);
+            break;
+          default:
+            name = event_kind_name(e.kind);
+        }
+        os << "{\"name\":";
+        append_json_string(os, name);
+        os << ",\"cat\":\"" << event_category(e.kind) << "\"";
+        const double ts_us = static_cast<double>(e.ts_ns) / 1000.0;
+        if (e.dur_ns) {
+          // Complete slice: start so the slice *ends* at the recorded
+          // timestamp (events are recorded after the work they time).
+          const double dur_us = static_cast<double>(e.dur_ns) / 1000.0;
+          os << ",\"ph\":\"X\",\"ts\":" << (ts_us - dur_us)
+             << ",\"dur\":" << dur_us;
+        } else {
+          os << ",\"ph\":\"i\",\"s\":\"t\",\"ts\":" << ts_us;
+        }
+        os << ",\"pid\":" << pid << ",\"tid\":" << e.seq
+           << ",\"args\":{\"port\":" << e.port << ",\"aux\":" << e.aux
+           << ",\"handle\":" << e.handle << "}}";
+      });
+    }
+  }
+  os << "]}\n";
+  return os.str();
+}
+
+namespace {
+
+void hist_json(std::ostringstream& os, const LatencyHist& h) {
+  os << "{\"count\":" << h.count << ",\"sum_ns\":" << h.sum_ns
+     << ",\"mean_ns\":"
+     << (h.count ? static_cast<double>(h.sum_ns) /
+                       static_cast<double>(h.count)
+                 : 0.0)
+     << ",\"buckets\":[";
+  bool first = true;
+  for (std::size_t i = 0; i < LatencyHist::kBuckets; ++i) {
+    if (!h.buckets[i]) continue;
+    if (!first) os << ",";
+    first = false;
+    const std::uint64_t le = i == 0 ? 0 : (1ull << i) - 1;
+    os << "{\"le_ns\":" << le << ",\"count\":" << h.buckets[i] << "}";
+  }
+  os << "]}";
+}
+
+}  // namespace
+
+std::string profile_json(const StageProfile& p,
+                         const std::vector<std::string>& table_names) {
+  std::ostringstream os;
+  os << "{\"stages\":{";
+  for (std::size_t i = 0; i < kNumStages; ++i) {
+    if (i) os << ",";
+    os << "\"" << stage_name(static_cast<Stage>(i)) << "\":";
+    hist_json(os, p.stages[i]);
+  }
+  os << "},\"tables\":{";
+  bool first = true;
+  for (std::size_t i = 0; i < p.per_table.size(); ++i) {
+    if (!p.per_table[i].count) continue;
+    if (!first) os << ",";
+    first = false;
+    append_json_string(
+        os, i < table_names.size() ? table_names[i] : std::to_string(i));
+    os << ":";
+    hist_json(os, p.per_table[i]);
+  }
+  os << "}}\n";
+  return os.str();
+}
+
+}  // namespace hyper4::obs

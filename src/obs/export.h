@@ -1,0 +1,34 @@
+// Exporters for PipelineTracer data:
+//  - format_event / format_events: one-line human-readable dump (CLI).
+//  - chrome_trace_json: Chrome trace_event format ("Trace Event Format",
+//    JSON object with a traceEvents array) loadable in about://tracing /
+//    Perfetto. Each named tracer becomes one process row.
+//  - profile_json: per-stage and per-table latency histograms as JSON.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/tracer.h"
+
+namespace hyper4::obs {
+
+// "[3] table_apply ipv4_lpm hit entry=2 index=lpm action=set_nhop 412ns"
+std::string format_event(const TraceEvent& e, const PipelineTracer& t);
+
+// The most recent `limit` events, one per line (0 = all retained).
+std::string format_events(const PipelineTracer& t, std::size_t limit = 0);
+
+// Chrome trace_event JSON for one or more tracers; the pair's first member
+// names the process row ("native", "persona", "worker0", ...). Events with
+// a duration export as complete ("X") slices, the rest as instants.
+std::string chrome_trace_json(
+    const std::vector<std::pair<std::string, const PipelineTracer*>>& tracers);
+
+// {"stages":{name:{count,sum_ns,mean_ns,buckets:[{le_ns,count},...]}},
+//  "tables":{...}} — zero-count buckets are omitted.
+std::string profile_json(const StageProfile& p,
+                         const std::vector<std::string>& table_names);
+
+}  // namespace hyper4::obs

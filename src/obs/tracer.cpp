@@ -1,0 +1,163 @@
+#include "obs/tracer.h"
+
+#include <bit>
+
+namespace hyper4::obs {
+
+const char* event_kind_name(EventKind k) {
+  switch (k) {
+    case EventKind::kInject: return "inject";
+    case EventKind::kTraversalStart: return "traversal_start";
+    case EventKind::kEgressStart: return "egress_start";
+    case EventKind::kParserExtract: return "parser_extract";
+    case EventKind::kParserAccept: return "parser_accept";
+    case EventKind::kParseError: return "parse_error";
+    case EventKind::kTableApply: return "table_apply";
+    case EventKind::kActionExec: return "action_exec";
+    case EventKind::kPrimitive: return "primitive";
+    case EventKind::kResubmit: return "resubmit";
+    case EventKind::kRecirculate: return "recirculate";
+    case EventKind::kCloneI2E: return "clone_i2e";
+    case EventKind::kCloneE2E: return "clone_e2e";
+    case EventKind::kMulticastCopy: return "mcast_copy";
+    case EventKind::kUnicast: return "unicast";
+    case EventKind::kDrop: return "drop";
+    case EventKind::kLoopKill: return "loop_kill";
+    case EventKind::kDeparse: return "deparse";
+    case EventKind::kEmit: return "emit";
+  }
+  return "?";
+}
+
+const char* stage_name(Stage s) {
+  switch (s) {
+    case Stage::kParser: return "parser";
+    case Stage::kLookup: return "lookup";
+    case Stage::kAction: return "action";
+    case Stage::kTm: return "tm";
+    case Stage::kDeparse: return "deparse";
+  }
+  return "?";
+}
+
+void LatencyHist::observe(std::uint64_t ns) {
+  std::size_t idx =
+      ns == 0 ? 0 : static_cast<std::size_t>(std::bit_width(ns));
+  if (idx >= kBuckets) idx = kBuckets - 1;
+  ++buckets[idx];
+  ++count;
+  sum_ns += ns;
+}
+
+void LatencyHist::merge(const LatencyHist& o) {
+  for (std::size_t i = 0; i < kBuckets; ++i) buckets[i] += o.buckets[i];
+  count += o.count;
+  sum_ns += o.sum_ns;
+}
+
+void LatencyHist::reset() { *this = LatencyHist{}; }
+
+std::vector<double> latency_bucket_bounds() {
+  std::vector<double> b;
+  b.reserve(LatencyHist::kBuckets - 1);
+  b.push_back(0.0);
+  for (std::size_t i = 1; i + 1 < LatencyHist::kBuckets; ++i)
+    b.push_back(static_cast<double>((1ull << i) - 1));
+  return b;
+}
+
+void StageProfile::merge(const StageProfile& o) {
+  for (std::size_t i = 0; i < kNumStages; ++i) stages[i].merge(o.stages[i]);
+  if (per_table.size() < o.per_table.size())
+    per_table.resize(o.per_table.size());
+  for (std::size_t i = 0; i < o.per_table.size(); ++i)
+    per_table[i].merge(o.per_table[i]);
+}
+
+void StageProfile::reset() {
+  for (auto& s : stages) s.reset();
+  for (auto& t : per_table) t.reset();
+}
+
+PipelineTracer::PipelineTracer(TracerOptions opts)
+    : opts_(opts),
+      ring_(opts.record_events ? (opts.capacity ? opts.capacity : 1) : 0),
+      epoch_(std::chrono::steady_clock::now()) {}
+
+void PipelineTracer::bind(std::vector<std::string> table_names,
+                          std::vector<std::string> action_names,
+                          std::vector<std::string> instance_names) {
+  if (table_names != table_names_ || action_names != action_names_ ||
+      instance_names != instance_names_) {
+    clear();
+  }
+  table_names_ = std::move(table_names);
+  action_names_ = std::move(action_names);
+  instance_names_ = std::move(instance_names);
+  profile_.per_table.resize(table_names_.size());
+}
+
+std::uint32_t PipelineTracer::begin_work(EventKind k, std::uint16_t port,
+                                         std::uint64_t aux) {
+  ++cur_seq_;
+  record(k, 0, port, 0, 0, aux);
+  return cur_seq_;
+}
+
+void PipelineTracer::record(EventKind k, std::uint8_t flags,
+                            std::uint16_t port, std::uint32_t id,
+                            std::uint64_t handle, std::uint64_t aux,
+                            std::uint32_t dur_ns) {
+  if (ring_.empty()) return;  // profile-only tracer: nothing to retain
+  ++total_;
+  TraceEvent& e = ring_[head_];
+  e.kind = k;
+  e.flags = flags;
+  e.port = port;
+  e.id = id;
+  e.seq = cur_seq_;
+  e.dur_ns = dur_ns;
+  e.handle = handle;
+  e.aux = aux;
+  e.ts_ns = opts_.timestamps ? clock_ns() : 0;
+  head_ = head_ + 1 == ring_.size() ? 0 : head_ + 1;
+  if (size_ < ring_.size()) ++size_;
+}
+
+std::vector<TraceEvent> PipelineTracer::events() const {
+  std::vector<TraceEvent> out;
+  out.reserve(size_);
+  // head_ is the next write slot; the oldest retained event is at head_
+  // when the ring has wrapped, else at 0.
+  const std::size_t start = size_ == ring_.size() ? head_ : 0;
+  for (std::size_t i = 0; i < size_; ++i)
+    out.push_back(ring_[(start + i) % ring_.size()]);
+  return out;
+}
+
+void PipelineTracer::clear() {
+  head_ = 0;
+  size_ = 0;
+  total_ = 0;
+  cur_seq_ = 0;
+}
+
+namespace {
+const std::string kUnknown = "?";
+}  // namespace
+
+const std::string& PipelineTracer::table_name(std::uint32_t id) const {
+  return id < table_names_.size() ? table_names_[id] : kUnknown;
+}
+
+const std::string& PipelineTracer::action_name(std::uint64_t id) const {
+  return id < action_names_.size()
+             ? action_names_[static_cast<std::size_t>(id)]
+             : kUnknown;
+}
+
+const std::string& PipelineTracer::instance_name(std::uint32_t id) const {
+  return id < instance_names_.size() ? instance_names_[id] : kUnknown;
+}
+
+}  // namespace hyper4::obs

@@ -1,0 +1,214 @@
+// Pipeline observability: structured tracing + per-stage profiling for the
+// behavioral-model switch.
+//
+// A PipelineTracer is attached to a bm::Switch as a raw pointer; the switch
+// hot path pays exactly one predictable `if (tracer_)` branch per hook site
+// when tracing is off. When on, every hook appends one fixed-size POD
+// TraceEvent to a preallocated ring buffer (the ring wraps, keeping the most
+// recent `capacity` events and counting the overwritten ones) and/or feeds a
+// per-stage nanosecond histogram. Nothing in the record path allocates —
+// that is enforced by tests/obs_overhead_test.cpp with a counting
+// operator new.
+//
+// This header is self-contained on purpose: src/bm links against hp4_obs,
+// never the other way around, so the tracer cannot know about switch types.
+// The switch *binds* its table/action/instance name vectors into the tracer
+// once at attach time; events then carry small integer ids that exporters
+// and the hp4 trace decoder resolve through those bound names.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace hyper4::obs {
+
+// What happened. Values are stable — golden trace fixtures and the Chrome
+// exporter depend on them only through names, but keep appends at the end.
+enum class EventKind : std::uint8_t {
+  kInject = 0,       // packet entered the switch     port, aux=bytes
+  kTraversalStart,   // parser-side work item begins  port, aux=instance type
+  kEgressStart,      // egress-side work item begins  port=egress, aux=itype
+  kParserExtract,    // header extracted              id=instance
+  kParserAccept,     // parser reached accept         aux=payload offset
+  kParseError,       // parser dropped the packet
+  kTableApply,       // table looked up               id=table, handle=entry,
+                     //   flags hit/egress + index kind, aux=executed action
+                     //   id (kNoAction when the miss had no default action)
+  kActionExec,       // action body ran               id=action, aux=arg count
+  kPrimitive,        // one primitive executed        id=op code
+  kResubmit,         // TM: back to the parser
+  kRecirculate,      // TM: deparsed bytes re-parsed
+  kCloneI2E,         // TM: ingress-to-egress clone   handle=session, port
+  kCloneE2E,         // TM: egress-to-egress clone    handle=session, port
+  kMulticastCopy,    // TM: one copy of a group       handle=group, port
+  kUnicast,          // TM: scheduled to egress       port=egress_spec
+  kDrop,             // packet instance dropped
+  kLoopKill,         // traversal budget exhausted
+  kDeparse,          // headers serialized            aux=bytes out
+  kEmit,             // packet left the switch        port, aux=bytes
+};
+
+const char* event_kind_name(EventKind k);
+
+// flags bits
+inline constexpr std::uint8_t kFlagHit = 1u << 0;
+inline constexpr std::uint8_t kFlagEgress = 1u << 1;
+// Index kind of the applied table (RuntimeTable::IndexKind), 2 bits.
+inline constexpr std::uint8_t kFlagIndexShift = 2;
+inline constexpr std::uint8_t kFlagIndexMask = 0x3u << kFlagIndexShift;
+
+// Sentinel for "no action ran" in kTableApply::aux.
+inline constexpr std::uint64_t kNoAction = ~0ull;
+
+// Fixed-size POD record; 40 bytes, trivially copyable, ring-buffer friendly.
+struct TraceEvent {
+  EventKind kind = EventKind::kInject;
+  std::uint8_t flags = 0;
+  std::uint16_t port = 0;
+  std::uint32_t id = 0;       // table / action / instance / primitive id
+  std::uint32_t seq = 0;      // work-item ordinal within this tracer
+  std::uint32_t dur_ns = 0;   // duration, 0 when timestamps are off
+  std::uint64_t handle = 0;   // entry handle / clone session / mcast group
+  std::uint64_t aux = 0;      // kind-specific payload (see EventKind)
+  std::uint64_t ts_ns = 0;    // since tracer construction, 0 when off
+
+  bool hit() const { return flags & kFlagHit; }
+  bool egress() const { return flags & kFlagEgress; }
+  std::uint8_t index_kind() const {
+    return static_cast<std::uint8_t>((flags & kFlagIndexMask) >>
+                                     kFlagIndexShift);
+  }
+};
+static_assert(sizeof(TraceEvent) == 40, "keep TraceEvent cache-friendly");
+
+// Pipeline stages the profiler distinguishes. kDeparse covers checksum
+// update + deparse (they run back to back and are both "serialize" work).
+enum class Stage : std::uint8_t {
+  kParser = 0,
+  kLookup,   // table lookups only (the compiled-index hot path)
+  kAction,   // action body execution
+  kTm,       // traffic-manager bookkeeping (clones, resubmit, queueing)
+  kDeparse,
+};
+inline constexpr std::size_t kNumStages = 5;
+const char* stage_name(Stage s);
+
+// Log2-bucketed nanosecond histogram: bucket 0 counts 0ns, bucket i counts
+// [2^(i-1), 2^i - 1] ns. 40 buckets cover > 500 s. Plain (non-atomic)
+// counters — a tracer belongs to exactly one switch, and engine workers
+// only touch their replica's tracer under the replica mutex.
+struct LatencyHist {
+  static constexpr std::size_t kBuckets = 40;
+  std::uint64_t buckets[kBuckets] = {};
+  std::uint64_t count = 0;
+  std::uint64_t sum_ns = 0;
+
+  void observe(std::uint64_t ns);
+  void merge(const LatencyHist& o);
+  void reset();
+};
+
+// Upper bounds matching LatencyHist buckets for export into
+// engine::MetricsRegistry: {0, 1, 3, 7, ..., 2^(kBuckets-2) - 1}; the
+// registry's implicit +inf bucket aligns with our last bucket.
+std::vector<double> latency_bucket_bounds();
+
+// Per-stage + per-table nanosecond profile.
+struct StageProfile {
+  LatencyHist stages[kNumStages];
+  std::vector<LatencyHist> per_table;  // sized at bind()
+
+  void merge(const StageProfile& o);
+  void reset();
+};
+
+struct TracerOptions {
+  std::size_t capacity = 1u << 16;  // ring slots (events)
+  bool record_events = true;        // fill the ring
+  bool record_primitives = false;   // also one event per primitive (chatty)
+  bool profile = false;             // feed StageProfile histograms
+  // Stamp ts_ns/dur_ns on events. Implied by profile. Off = deterministic
+  // traces (golden fixtures) and no clock reads on the hot path.
+  bool timestamps = false;
+};
+
+class PipelineTracer {
+ public:
+  explicit PipelineTracer(TracerOptions opts = {});
+
+  // Called by Switch::set_tracer: copies the program's name tables so the
+  // tracer (and everything downstream: exporters, decoder) can resolve ids
+  // without reaching back into bm. Re-binding with different names clears
+  // recorded events (ids would dangle).
+  void bind(std::vector<std::string> table_names,
+            std::vector<std::string> action_names,
+            std::vector<std::string> instance_names);
+
+  const TracerOptions& options() const { return opts_; }
+  bool recording() const { return opts_.record_events; }
+  bool profiling() const { return opts_.profile; }
+  bool timing() const { return opts_.timestamps || opts_.profile; }
+
+  // ---- hot path (allocation-free) ----------------------------------------
+  // Starts a new work item (parser or egress traversal); subsequent events
+  // carry its ordinal. Returns the ordinal.
+  std::uint32_t begin_work(EventKind k, std::uint16_t port, std::uint64_t aux);
+  void record(EventKind k, std::uint8_t flags, std::uint16_t port,
+              std::uint32_t id, std::uint64_t handle, std::uint64_t aux,
+              std::uint32_t dur_ns = 0);
+  void observe_stage(Stage s, std::uint64_t ns) {
+    profile_.stages[static_cast<std::size_t>(s)].observe(ns);
+  }
+  void observe_table(std::size_t table_id, std::uint64_t ns) {
+    if (table_id < profile_.per_table.size())
+      profile_.per_table[table_id].observe(ns);
+  }
+  // Monotonic nanoseconds since tracer construction.
+  std::uint64_t clock_ns() const {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - epoch_)
+            .count());
+  }
+
+  // ---- cold path ---------------------------------------------------------
+  std::size_t size() const { return size_; }
+  std::size_t capacity() const { return ring_.size(); }
+  // Total events ever recorded / overwritten by ring wrap.
+  std::uint64_t total_recorded() const { return total_; }
+  std::uint64_t dropped() const {
+    return total_ - static_cast<std::uint64_t>(size_);
+  }
+  // Events oldest-first (chronological).
+  std::vector<TraceEvent> events() const;
+  void clear();  // events only; profile survives
+
+  const StageProfile& profile() const { return profile_; }
+  void reset_profile() { profile_.reset(); }
+
+  const std::vector<std::string>& table_names() const { return table_names_; }
+  const std::vector<std::string>& action_names() const {
+    return action_names_;
+  }
+  const std::vector<std::string>& instance_names() const {
+    return instance_names_;
+  }
+  const std::string& table_name(std::uint32_t id) const;
+  const std::string& action_name(std::uint64_t id) const;
+  const std::string& instance_name(std::uint32_t id) const;
+
+ private:
+  TracerOptions opts_;
+  std::vector<TraceEvent> ring_;  // preallocated to opts_.capacity
+  std::size_t head_ = 0;          // next write slot
+  std::size_t size_ = 0;          // valid events (<= capacity)
+  std::uint64_t total_ = 0;
+  std::uint32_t cur_seq_ = 0;
+  StageProfile profile_;
+  std::chrono::steady_clock::time_point epoch_;
+  std::vector<std::string> table_names_, action_names_, instance_names_;
+};
+
+}  // namespace hyper4::obs

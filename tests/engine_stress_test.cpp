@@ -127,6 +127,58 @@ TEST(EngineStress, ManyWorkersManyProducers) {
              env_size("ENGINE_STRESS_PACKETS", 2000));
 }
 
+// Observability under concurrency: per-worker stage profiling on, with a
+// control thread hammering export_profile() (merges worker histograms
+// under the replica locks) and MetricsRegistry::snapshot() while
+// producers inject. ThreadSanitizer-clean is the point; the content
+// assertions at the end are secondary.
+TEST(EngineStress, ProfileExportAndSnapshotRaceFree) {
+  bm::Switch native(apps::l2_switch());
+  apps::apply_rule(native, apps::l2_forward(bench::kMacH1, 1));
+  apps::apply_rule(native, apps::l2_forward(bench::kMacH2, 2));
+
+  EngineOptions opts;
+  opts.workers = env_size("ENGINE_STRESS_WORKERS", 4);
+  opts.batch_size = 16;
+  opts.profile = true;
+  TrafficEngine eng(apps::l2_switch(), opts);
+  eng.sync_from(native);
+
+  std::atomic<bool> done{false};
+  std::thread exporter([&] {
+    while (!done.load(std::memory_order_acquire)) {
+      eng.export_profile();
+      const engine::MetricsSnapshot snap = eng.metrics().snapshot();
+      (void)snap;
+      std::this_thread::yield();
+    }
+  });
+
+  const std::size_t n = env_size("ENGINE_STRESS_PACKETS", 2000);
+  std::vector<std::thread> prod;
+  for (std::size_t t = 0; t < 2; ++t) {
+    prod.emplace_back([&, t] {
+      for (std::size_t i = 0; i < n / 2; ++i)
+        eng.inject(1, flow_packet((t * 31 + i) % 64,
+                                  static_cast<std::uint32_t>(i)));
+    });
+  }
+  for (auto& th : prod) th.join();
+  const engine::MergedResult m = eng.drain();
+  done.store(true, std::memory_order_release);
+  exporter.join();
+
+  EXPECT_EQ(m.packets, (n / 2) * 2);
+  // One final export picks up whatever the racing exports left behind;
+  // the registry histogram totals must then cover every packet's parse.
+  eng.export_profile();
+  const engine::MetricsSnapshot snap = eng.metrics().snapshot();
+  const auto it = snap.histograms.find("stage_ns_parser");
+  ASSERT_NE(it, snap.histograms.end());
+  EXPECT_EQ(it->second.count, (n / 2) * 2)
+      << "stage histograms must not lose or double-count observations";
+}
+
 TEST(EngineStress, BackpressureEngages) {
   // Queue of 4 with thousands of packets from one producer: the producer
   // must outrun the consumer at least once, and nothing is dropped.

@@ -1,0 +1,214 @@
+// Golden-trace conformance suite.
+//
+// For each of the paper's four network functions, the same configuration
+// and packet set runs natively and under the HyPer4 persona with an
+// obs::PipelineTracer attached (events only, timestamps off — the decoded
+// serialization is deterministic). The decoded emulated views are pinned
+// against fixtures in tests/fixtures/golden/, and the two backends'
+// views must additionally agree per first_divergence_report().
+//
+// To regenerate the fixtures after an intentional behaviour change:
+//   HP4_UPDATE_GOLDEN=1 ./build/tests/obs_golden_test
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "apps/apps.h"
+#include "bm/switch.h"
+#include "hp4/controller.h"
+#include "hp4/trace_decode.h"
+#include "net/headers.h"
+#include "obs/tracer.h"
+
+namespace hyper4 {
+namespace {
+
+using apps::Rule;
+
+const char* kMacH1 = "02:00:00:00:00:01";
+const char* kMacH2 = "02:00:00:00:00:02";
+const char* kMacH3 = "02:00:00:00:00:03";
+const char* kMacRtr = "02:aa:00:00:00:ff";
+
+net::Packet tcp_packet(const char* smac, const char* dmac, const char* sip,
+                       const char* dip, std::uint16_t dport,
+                       std::size_t payload = 64) {
+  net::EthHeader eth;
+  eth.src = net::mac_from_string(smac);
+  eth.dst = net::mac_from_string(dmac);
+  net::Ipv4Header ip;
+  ip.src = net::ipv4_from_string(sip);
+  ip.dst = net::ipv4_from_string(dip);
+  net::TcpHeader tcp;
+  tcp.src_port = 40000;
+  tcp.dst_port = dport;
+  return net::make_ipv4_tcp(eth, ip, tcp, payload);
+}
+
+net::Packet udp_packet(std::uint16_t dport) {
+  net::EthHeader eth;
+  eth.src = net::mac_from_string(kMacH1);
+  eth.dst = net::mac_from_string(kMacH2);
+  net::Ipv4Header ip;
+  ip.src = net::ipv4_from_string("10.0.0.1");
+  ip.dst = net::ipv4_from_string("10.0.0.2");
+  net::UdpHeader udp;
+  udp.src_port = 1111;
+  udp.dst_port = dport;
+  return net::make_ipv4_udp(eth, ip, udp, 16);
+}
+
+struct Injection {
+  std::uint16_t port;
+  net::Packet packet;
+};
+
+struct TracedRun {
+  std::string native_view;   // decoded native trace, emulated view
+  std::string persona_view;  // decoded persona trace, emulated view
+  std::string divergence;    // "" when the views agree
+};
+
+// Run the program natively and emulated with tracers attached, decode
+// both traces into the emulated vocabulary.
+TracedRun run_traced(const p4::Program& prog, const std::vector<Rule>& rules,
+                     const std::vector<std::uint16_t>& ports,
+                     const std::vector<Injection>& packets) {
+  bm::Switch native(prog);
+  hp4::Controller ctl;
+  const hp4::VdevId vdev = ctl.load(prog.name, prog);
+  ctl.attach_ports(vdev, ports);
+  for (auto p : ports) ctl.bind(vdev, p);
+  for (const auto& r : rules) {
+    apps::apply_rule(native, r);
+    ctl.add_rule(vdev,
+                 hp4::VirtualRule{r.table, r.action, r.keys, r.args,
+                                  r.priority});
+  }
+
+  obs::TracerOptions topts;  // events on, timestamps off: deterministic
+  obs::PipelineTracer native_tr(topts);
+  obs::PipelineTracer persona_tr(topts);
+  native.set_tracer(&native_tr);
+  ctl.dataplane().set_tracer(&persona_tr);
+  for (const auto& in : packets) {
+    native.inject(in.port, in.packet);
+    ctl.dataplane().inject(in.port, in.packet);
+  }
+
+  const hp4::DecodedTrace dn = hp4::decode_native_trace(native_tr);
+  const hp4::TraceDecoder decoder(ctl.dpmu());
+  const hp4::DecodedTrace dp = decoder.decode(persona_tr);
+  return TracedRun{dn.serialize(false), dp.serialize(false),
+                   hp4::first_divergence_report(dn, dp)};
+}
+
+std::string golden_path(const std::string& app) {
+  return std::string(HP4_SOURCE_DIR) + "/tests/fixtures/golden/" + app +
+         ".trace";
+}
+
+// One fixture per app holding both decoded views.
+std::string fixture_body(const TracedRun& run) {
+  return "== native ==\n" + run.native_view + "== persona ==\n" +
+         run.persona_view;
+}
+
+void expect_golden(const std::string& app, const TracedRun& run) {
+  EXPECT_EQ(run.divergence, "") << app << ": backends diverged";
+  const std::string got = fixture_body(run);
+  const std::string path = golden_path(app);
+  if (std::getenv("HP4_UPDATE_GOLDEN") != nullptr) {
+    std::ofstream out(path);
+    ASSERT_TRUE(out) << "cannot write " << path;
+    out << got;
+    return;
+  }
+  std::ifstream in(path);
+  ASSERT_TRUE(in) << "missing golden fixture " << path
+                  << "; regenerate with HP4_UPDATE_GOLDEN=1";
+  std::stringstream want;
+  want << in.rdbuf();
+  EXPECT_EQ(want.str(), got)
+      << app << ": decoded trace drifted from the golden fixture. If the "
+      << "change is intentional, rerun with HP4_UPDATE_GOLDEN=1 and review "
+      << "the fixture diff.";
+}
+
+TEST(GoldenTrace, L2Switch) {
+  const std::vector<Rule> rules = {apps::l2_forward(kMacH1, 1),
+                                   apps::l2_forward(kMacH2, 2),
+                                   apps::l2_forward(kMacH3, 3)};
+  const std::vector<Injection> packets = {
+      {1, tcp_packet(kMacH1, kMacH2, "10.0.0.1", "10.0.0.2", 80)},
+      {2, tcp_packet(kMacH2, kMacH3, "10.0.0.2", "10.0.0.3", 443)},
+      {1, tcp_packet(kMacH1, "02:00:00:00:00:99", "10.0.0.1", "10.0.0.2",
+                     80)},  // unknown dmac: drop
+  };
+  expect_golden("l2_switch", run_traced(apps::l2_switch(), rules, {1, 2, 3},
+                                        packets));
+}
+
+TEST(GoldenTrace, Ipv4Router) {
+  const std::vector<Rule> rules = {
+      apps::router_accept_mac(kMacRtr),
+      apps::router_route("10.0.1.0", 24, "10.0.1.10", 2),
+      apps::router_route("10.0.0.0", 16, "10.0.99.1", 3),
+      apps::router_arp_entry("10.0.1.10", kMacH2),
+      apps::router_arp_entry("10.0.99.1", kMacH3),
+      apps::router_port_mac(2, kMacRtr),
+      apps::router_port_mac(3, kMacRtr),
+  };
+  const std::vector<Injection> packets = {
+      {1, tcp_packet(kMacH1, kMacRtr, "10.0.0.1", "10.0.1.5", 80)},   // /24
+      {1, tcp_packet(kMacH1, kMacRtr, "10.0.0.1", "10.0.55.9", 80)},  // /16
+      {1, tcp_packet(kMacH1, kMacH2, "10.0.0.1", "10.0.1.5",
+                     80)},  // wrong dmac: drop at dmac_check
+  };
+  expect_golden("ipv4_router", run_traced(apps::ipv4_router(), rules,
+                                          {1, 2, 3}, packets));
+}
+
+TEST(GoldenTrace, ArpProxy) {
+  const std::vector<Rule> rules = {
+      apps::arp_proxy_entry("10.0.0.2", kMacH2),
+      apps::arp_proxy_entry("10.0.0.3", kMacH3),
+      apps::arp_proxy_l2_forward(kMacH1, 1),
+      apps::arp_proxy_l2_forward(kMacH2, 2),
+      apps::arp_proxy_l2_forward(kMacH3, 3),
+  };
+  const std::vector<Injection> packets = {
+      {1, net::make_arp_request(net::mac_from_string(kMacH1),
+                                net::ipv4_from_string("10.0.0.1"),
+                                net::ipv4_from_string("10.0.0.2"))},
+      {1, tcp_packet(kMacH1, kMacH2, "10.0.0.1", "10.0.0.2", 80)},
+  };
+  expect_golden("arp_proxy", run_traced(apps::arp_proxy(), rules, {1, 2, 3},
+                                        packets));
+}
+
+TEST(GoldenTrace, Firewall) {
+  const std::vector<Rule> rules = {
+      apps::firewall_l2_forward(kMacH1, 1),
+      apps::firewall_l2_forward(kMacH2, 2),
+      apps::firewall_block_tcp_dport(22, 10),
+      apps::firewall_block_udp_dport(53, 10),
+      apps::firewall_block_ip("10.6.6.6", "255.255.255.255", "0.0.0.0",
+                              "0.0.0.0", 20),
+  };
+  const std::vector<Injection> packets = {
+      {1, tcp_packet(kMacH1, kMacH2, "10.0.0.1", "10.0.0.2", 80)},  // pass
+      {1, tcp_packet(kMacH1, kMacH2, "10.0.0.1", "10.0.0.2", 22)},  // block
+      {1, udp_packet(53)},                                          // block
+      {1, tcp_packet(kMacH1, kMacH2, "10.6.6.6", "10.0.0.2", 80)},  // src ip
+  };
+  expect_golden("firewall", run_traced(apps::firewall(), rules, {1, 2},
+                                       packets));
+}
+
+}  // namespace
+}  // namespace hyper4

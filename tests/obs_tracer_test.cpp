@@ -1,0 +1,199 @@
+// Unit tests for the observability core: ring-buffer semantics, histogram
+// bucketing, name binding, and the exporters — all independent of bm.
+#include <gtest/gtest.h>
+
+#include "obs/export.h"
+#include "obs/tracer.h"
+
+namespace hyper4::obs {
+namespace {
+
+TEST(TraceEventTest, PackedLayoutAndFlagAccessors) {
+  EXPECT_EQ(sizeof(TraceEvent), 40u);
+  TraceEvent e;
+  e.flags = kFlagHit | kFlagEgress |
+            static_cast<std::uint8_t>(2u << kFlagIndexShift);
+  EXPECT_TRUE(e.hit());
+  EXPECT_TRUE(e.egress());
+  EXPECT_EQ(e.index_kind(), 2u);  // ternary scan
+}
+
+TEST(RingTest, RecordsInOrderUntilCapacity) {
+  TracerOptions o;
+  o.capacity = 8;
+  PipelineTracer t(o);
+  for (std::uint32_t i = 0; i < 5; ++i)
+    t.record(EventKind::kInject, 0, static_cast<std::uint16_t>(i), i, 0, i);
+  EXPECT_EQ(t.size(), 5u);
+  EXPECT_EQ(t.total_recorded(), 5u);
+  EXPECT_EQ(t.dropped(), 0u);
+  const auto ev = t.events();
+  ASSERT_EQ(ev.size(), 5u);
+  for (std::uint32_t i = 0; i < 5; ++i) EXPECT_EQ(ev[i].id, i);
+}
+
+TEST(RingTest, WrapsKeepingMostRecentAndCountsOverwritten) {
+  TracerOptions o;
+  o.capacity = 4;
+  PipelineTracer t(o);
+  for (std::uint32_t i = 0; i < 11; ++i)
+    t.record(EventKind::kInject, 0, 0, i, 0, 0);
+  EXPECT_EQ(t.size(), 4u);
+  EXPECT_EQ(t.total_recorded(), 11u);
+  EXPECT_EQ(t.dropped(), 7u);
+  const auto ev = t.events();
+  ASSERT_EQ(ev.size(), 4u);
+  // Oldest-first across the wrap point: ids 7,8,9,10.
+  for (std::uint32_t i = 0; i < 4; ++i) EXPECT_EQ(ev[i].id, 7 + i);
+}
+
+TEST(RingTest, ClearDropsEventsButKeepsProfile) {
+  TracerOptions o;
+  o.capacity = 4;
+  o.profile = true;
+  PipelineTracer t(o);
+  t.record(EventKind::kInject, 0, 0, 0, 0, 0);
+  t.observe_stage(Stage::kParser, 100);
+  t.clear();
+  EXPECT_EQ(t.size(), 0u);
+  EXPECT_TRUE(t.events().empty());
+  EXPECT_EQ(t.profile().stages[0].count, 1u);
+}
+
+TEST(RingTest, BeginWorkStampsSequenceOnSubsequentEvents) {
+  PipelineTracer t;
+  const auto s0 = t.begin_work(EventKind::kTraversalStart, 1, 0);
+  t.record(EventKind::kParserAccept, 0, 1, 0, 0, 14);
+  const auto s1 = t.begin_work(EventKind::kTraversalStart, 1, 0);
+  t.record(EventKind::kParserAccept, 0, 1, 0, 0, 14);
+  EXPECT_NE(s0, s1);
+  const auto ev = t.events();
+  ASSERT_EQ(ev.size(), 4u);
+  EXPECT_EQ(ev[0].seq, s0);
+  EXPECT_EQ(ev[1].seq, s0);
+  EXPECT_EQ(ev[2].seq, s1);
+  EXPECT_EQ(ev[3].seq, s1);
+}
+
+TEST(RingTest, DisabledEventRecordingStillProfiles) {
+  TracerOptions o;
+  o.record_events = false;
+  o.profile = true;
+  PipelineTracer t(o);
+  t.record(EventKind::kInject, 0, 0, 0, 0, 0);
+  t.observe_stage(Stage::kLookup, 50);
+  EXPECT_EQ(t.size(), 0u);
+  EXPECT_EQ(t.total_recorded(), 0u);
+  EXPECT_EQ(t.profile().stages[1].count, 1u);
+  EXPECT_TRUE(t.timing());  // profile implies timing
+}
+
+TEST(HistTest, Log2Bucketing) {
+  LatencyHist h;
+  h.observe(0);     // bucket 0
+  h.observe(1);     // bucket 1: [1,1]
+  h.observe(2);     // bucket 2: [2,3]
+  h.observe(3);     // bucket 2
+  h.observe(1024);  // bucket 11: [1024,2047]
+  EXPECT_EQ(h.count, 5u);
+  EXPECT_EQ(h.sum_ns, 0u + 1 + 2 + 3 + 1024);
+  EXPECT_EQ(h.buckets[0], 1u);
+  EXPECT_EQ(h.buckets[1], 1u);
+  EXPECT_EQ(h.buckets[2], 2u);
+  EXPECT_EQ(h.buckets[11], 1u);
+}
+
+TEST(HistTest, MergeAndReset) {
+  LatencyHist a, b;
+  a.observe(5);
+  b.observe(5);
+  b.observe(100);
+  a.merge(b);
+  EXPECT_EQ(a.count, 3u);
+  EXPECT_EQ(a.sum_ns, 110u);
+  EXPECT_EQ(a.buckets[3], 2u);  // [4,7]
+  a.reset();
+  EXPECT_EQ(a.count, 0u);
+  EXPECT_EQ(a.buckets[3], 0u);
+}
+
+TEST(HistTest, BucketBoundsAlignWithObserve) {
+  const auto bounds = latency_bucket_bounds();
+  ASSERT_EQ(bounds.size(), LatencyHist::kBuckets - 1);
+  EXPECT_EQ(bounds[0], 0.0);
+  EXPECT_EQ(bounds[1], 1.0);
+  EXPECT_EQ(bounds[2], 3.0);
+  EXPECT_EQ(bounds[3], 7.0);
+  // observe(n) for n <= bounds[i] must land in bucket <= i.
+  LatencyHist h;
+  h.observe(7);
+  EXPECT_EQ(h.buckets[3], 1u);
+}
+
+TEST(BindTest, ResolvesNamesAndFallsBack) {
+  PipelineTracer t;
+  t.bind({"t0", "t1"}, {"a0"}, {"eth"});
+  EXPECT_EQ(t.table_name(1), "t1");
+  EXPECT_EQ(t.action_name(0), "a0");
+  EXPECT_EQ(t.instance_name(0), "eth");
+  EXPECT_EQ(t.table_name(99), "?");
+  EXPECT_EQ(t.action_name(kNoAction), "?");
+}
+
+TEST(BindTest, RebindWithDifferentNamesClearsEvents) {
+  PipelineTracer t;
+  t.bind({"t0"}, {}, {});
+  t.record(EventKind::kTableApply, kFlagHit, 0, 0, 1, 0);
+  t.bind({"t0"}, {}, {});  // identical names: events survive
+  EXPECT_EQ(t.size(), 1u);
+  t.bind({"other"}, {}, {});  // different program: ids would dangle
+  EXPECT_EQ(t.size(), 0u);
+}
+
+TEST(ExportTest, FormatEventsNamesTablesAndActions) {
+  PipelineTracer t;
+  t.bind({"ipv4_lpm"}, {"set_nhop"}, {"eth"});
+  t.record(EventKind::kTableApply,
+           kFlagHit | static_cast<std::uint8_t>(1u << kFlagIndexShift), 0, 0,
+           7, 0);
+  const std::string s = format_events(t);
+  EXPECT_NE(s.find("ipv4_lpm"), std::string::npos);
+  EXPECT_NE(s.find("hit"), std::string::npos);
+  EXPECT_NE(s.find("lpm"), std::string::npos);
+}
+
+TEST(ExportTest, ChromeTraceIsWellFormedJson) {
+  TracerOptions o;
+  o.timestamps = true;
+  PipelineTracer t(o);
+  t.bind({"t0"}, {"a0"}, {});
+  t.begin_work(EventKind::kTraversalStart, 1, 0);
+  t.record(EventKind::kTableApply, kFlagHit, 1, 0, 1, 0, 250);
+  t.record(EventKind::kEmit, 0, 2, 0, 0, 64);
+  const std::string json = chrome_trace_json({{"native", &t}});
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '\n');
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"process_name\""), std::string::npos);
+  EXPECT_NE(json.find("\"native\""), std::string::npos);
+  // The timed table apply exports as a complete slice, the emit as instant.
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);
+}
+
+TEST(ExportTest, ProfileJsonListsStagesAndTables) {
+  TracerOptions o;
+  o.profile = true;
+  PipelineTracer t(o);
+  t.bind({"dmac", "smac"}, {}, {});
+  t.observe_stage(Stage::kLookup, 120);
+  t.observe_table(1, 120);
+  const std::string json = profile_json(t.profile(), t.table_names());
+  EXPECT_NE(json.find("\"lookup\""), std::string::npos);
+  EXPECT_NE(json.find("\"smac\""), std::string::npos);
+  // Untouched tables are omitted.
+  EXPECT_EQ(json.find("\"dmac\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hyper4::obs

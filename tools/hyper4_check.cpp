@@ -12,6 +12,7 @@
 #include <cstdio>
 #include <cstring>
 #include <exception>
+#include <fstream>
 #include <string>
 
 #include "check/diff_runner.h"
@@ -42,7 +43,28 @@ void usage() {
                "  --max-seconds S   stop after S seconds even if iterations "
                "remain\n"
                "  --replay P4 CMDS  replay one serialized repro instead of "
-               "generating\n");
+               "generating\n"
+               "  --explain         trace both backends; on divergence print "
+               "a decoded\n"
+               "                    first-divergence report in the emulated "
+               "program's terms\n"
+               "  --trace-chrome F  write an about://tracing JSON of the last "
+               "case to F\n"
+               "  --profile-json F  write the native per-stage latency "
+               "histograms to F\n");
+}
+
+void write_file(const std::string& path, const std::string& body,
+                const char* what) {
+  if (path.empty() || body.empty()) return;
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "hyper4_check: cannot write %s to '%s'\n", what,
+                 path.c_str());
+    return;
+  }
+  out << body;
+  std::printf("  %s written: %s\n", what, path.c_str());
 }
 
 }  // namespace
@@ -62,6 +84,9 @@ int main(int argc, char** argv) {
   std::string repro_dir = ".";
   std::string replay_p4;
   std::string replay_cmds;
+  std::string chrome_path;
+  std::string profile_path;
+  bool explain = false;
   bool dump = false;
   GenLimits limits;
   DiffOptions opts;
@@ -132,6 +157,12 @@ int main(int argc, char** argv) {
     } else if (a == "--replay") {
       replay_p4 = next();
       replay_cmds = next();
+    } else if (a == "--explain") {
+      explain = true;
+    } else if (a == "--trace-chrome") {
+      chrome_path = next();
+    } else if (a == "--profile-json") {
+      profile_path = next();
     } else if (a == "--dump") {
       dump = true;
     } else if (a == "--help" || a == "-h") {
@@ -144,6 +175,9 @@ int main(int argc, char** argv) {
     }
   }
 
+  if (explain || !chrome_path.empty() || !profile_path.empty())
+    opts.trace = true;
+
   const DiffRunner runner(opts);
 
   if (!replay_p4.empty()) {
@@ -151,6 +185,10 @@ int main(int argc, char** argv) {
       const GenCase c = hyper4::check::load_repro(replay_p4, replay_cmds);
       const DiffReport rep = runner.run(c);
       std::printf("replay %s: %s\n", replay_p4.c_str(), rep.str().c_str());
+      if (explain && !rep.explanation.empty())
+        std::printf("%s", rep.explanation.c_str());
+      write_file(chrome_path, rep.chrome_trace, "chrome trace");
+      write_file(profile_path, rep.profile_json, "profile");
       return rep.equivalent ? 0 : 1;
     } catch (const std::exception& e) {
       std::fprintf(stderr, "hyper4_check: replay failed: %s\n", e.what());
@@ -169,6 +207,7 @@ int main(int argc, char** argv) {
   const auto t0 = std::chrono::steady_clock::now();
   std::uint64_t ran = 0;
   std::uint64_t persona_skipped = 0;
+  DiffReport last_rep;  // artifact source when every iteration is clean
   for (std::uint64_t i = 0; i < iters; ++i) {
     if (max_seconds > 0.0) {
       const std::chrono::duration<double> dt =
@@ -188,7 +227,10 @@ int main(int argc, char** argv) {
     }
     ++ran;
     if (!rep.persona_ran && opts.run_persona) ++persona_skipped;
-    if (rep.equivalent) continue;
+    if (rep.equivalent) {
+      if (opts.trace) last_rep = std::move(rep);
+      continue;
+    }
 
     std::printf("seed %llu: DIVERGENCE\n  %s\n",
                 static_cast<unsigned long long>(case_seed),
@@ -227,6 +269,10 @@ int main(int argc, char** argv) {
         minimal.program.tables.size(), minimal.rules.size(),
         minimal.packets.size(), stats.accepted, stats.attempts,
         min_rep.str().c_str(), base.c_str(), base.c_str());
+    if (explain && !min_rep.explanation.empty())
+      std::printf("%s", min_rep.explanation.c_str());
+    write_file(chrome_path, min_rep.chrome_trace, "chrome trace");
+    write_file(profile_path, min_rep.profile_json, "profile");
     return 1;
   }
 
@@ -239,5 +285,7 @@ int main(int argc, char** argv) {
       static_cast<unsigned long long>(iters),
       static_cast<unsigned long long>(seed),
       static_cast<unsigned long long>(persona_skipped), dt.count());
+  write_file(chrome_path, last_rep.chrome_trace, "chrome trace");
+  write_file(profile_path, last_rep.profile_json, "profile");
   return 0;
 }
