@@ -1,0 +1,159 @@
+// Durability bench: checkpoint write / restore latency and journal replay
+// throughput on an l2_switch store carrying a realistic rule load,
+// written to BENCH_state.json.
+//
+// Three figures:
+//
+//   checkpoint_write_ms   median wall time of DurableController::checkpoint()
+//                         (serialize + CRC + tmp/rename + prune + truncate).
+//
+//   restore_ms            wall time to construct a DurableController over a
+//                         checkpointed store (image load, vdev source
+//                         recompile, state import, short journal tail).
+//
+//   replay_ops_per_s      journal-only recovery throughput, reported with
+//                         per-record digest verification off and on (the
+//                         `digest` variant pays a full state digest per op
+//                         and is the crash-fuzzer configuration).
+//
+// Floors are deliberately loose — they gate regressions of an order of
+// magnitude (a serialization rewrite gone quadratic), not scheduler noise.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "apps/apps.h"
+#include "state/store.h"
+
+namespace hyper4::bench {
+namespace {
+
+namespace fs = std::filesystem;
+using state::DurableController;
+using state::StoreOptions;
+
+constexpr std::size_t kRules = 400;
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+hp4::VirtualRule nth_rule(std::size_t i) {
+  char mac[18];
+  std::snprintf(mac, sizeof mac, "02:00:00:%02zx:%02zx:%02zx", (i >> 16) & 0xff,
+                (i >> 8) & 0xff, i & 0xff);
+  const apps::Rule r =
+      apps::l2_forward(mac, static_cast<std::uint16_t>(1 + i % 4));
+  return hp4::VirtualRule{r.table, r.action, r.keys, r.args, r.priority};
+}
+
+// Load the l2 switch and install kRules forwarding entries.
+hp4::VdevId populate(DurableController& st) {
+  const hp4::VdevId id =
+      st.load("l2", apps::l2_switch(), "admin", kRules + 16);
+  st.attach_ports(id, {1, 2, 3, 4});
+  st.bind(id);
+  for (std::size_t i = 0; i < kRules; ++i) st.add_rule(id, nth_rule(i));
+  return id;
+}
+
+double replay_bench(const std::string& dir, std::size_t digest_every,
+                    std::size_t* replayed) {
+  fs::remove_all(dir);
+  StoreOptions opts;
+  opts.digest_every = digest_every;
+  {
+    DurableController st(dir, {}, opts);
+    populate(st);
+  }
+  const auto t0 = std::chrono::steady_clock::now();
+  DurableController st(dir, {}, opts);
+  const double s = seconds_since(t0);
+  *replayed = st.recovery().replayed;
+  fs::remove_all(dir);
+  return s > 0 ? static_cast<double>(*replayed) / s : 0;
+}
+
+int main_impl() {
+  const std::string dir =
+      (fs::temp_directory_path() / "hp4_bench_state").string();
+  fs::remove_all(dir);
+
+  // --- checkpoint write + restore -----------------------------------------
+  std::vector<double> write_ms;
+  double restore_ms = 0;
+  {
+    StoreOptions opts;
+    opts.digest_every = 16;
+    {
+      DurableController st(dir, {}, opts);
+      const hp4::VdevId id = populate(st);
+      for (int i = 0; i < 5; ++i) {
+        const auto t0 = std::chrono::steady_clock::now();
+        st.checkpoint();
+        write_ms.push_back(seconds_since(t0) * 1e3);
+        // Keep an op between images so each checkpoint covers fresh state.
+        st.add_rule(id, nth_rule(kRules + static_cast<std::size_t>(i)));
+      }
+    }
+    const auto t0 = std::chrono::steady_clock::now();
+    DurableController st(dir, {}, opts);
+    restore_ms = seconds_since(t0) * 1e3;
+    if (!st.recovery().checkpoint_loaded) {
+      std::printf("FAIL: restore did not use the checkpoint image\n");
+      return 1;
+    }
+  }
+  fs::remove_all(dir);
+  std::sort(write_ms.begin(), write_ms.end());
+  const double write_median = write_ms[write_ms.size() / 2];
+
+  // --- journal replay ------------------------------------------------------
+  std::size_t replayed_plain = 0, replayed_digest = 0;
+  const double replay_plain = replay_bench(dir, 0, &replayed_plain);
+  const double replay_digest = replay_bench(dir, 1, &replayed_digest);
+
+  std::printf("durable state — l2_switch, %zu rules\n\n", kRules);
+  std::printf("  checkpoint write (median of %zu): %8.2f ms\n",
+              write_ms.size(), write_median);
+  std::printf("  restore from checkpoint:          %8.2f ms\n", restore_ms);
+  std::printf("  journal replay (no digests):      %8.0f ops/s  (%zu ops)\n",
+              replay_plain, replayed_plain);
+  std::printf("  journal replay (digest every op): %8.0f ops/s  (%zu ops)\n",
+              replay_digest, replayed_digest);
+
+  std::ofstream json("BENCH_state.json");
+  json << "{\n  \"workload\": \"l2_switch\",\n  \"rules\": " << kRules
+       << ",\n  \"checkpoint_write_ms_median\": " << write_median
+       << ",\n  \"restore_ms\": " << restore_ms
+       << ",\n  \"replay_ops_per_s\": " << replay_plain
+       << ",\n  \"replay_ops_per_s_digest_every_op\": " << replay_digest
+       << ",\n  \"replayed_ops\": " << replayed_plain << "\n}\n";
+  std::printf("\nwrote BENCH_state.json\n");
+
+  // Floors: an order of magnitude under current figures, so they catch
+  // accidental quadratic blowups without flaking on slow CI boxes.
+  if (write_median > 2000.0) {
+    std::printf("FAIL: checkpoint write median > 2s\n");
+    return 1;
+  }
+  if (restore_ms > 5000.0) {
+    std::printf("FAIL: restore > 5s\n");
+    return 1;
+  }
+  if (replay_plain < 200.0) {
+    std::printf("FAIL: journal replay < 200 ops/s\n");
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace hyper4::bench
+
+int main() { return hyper4::bench::main_impl(); }

@@ -524,6 +524,84 @@ void RuntimeTable::clone_state_from(const RuntimeTable& src) {
   epoch_ = src.epoch_;
 }
 
+RuntimeTable::ExportedState RuntimeTable::export_state() const {
+  ExportedState s;
+  s.entries.reserve(entries_.size());
+  for (const auto& [h, e] : entries_) s.entries.push_back(e);
+  s.next_handle = next_handle_;
+  s.default_action = default_action_;
+  s.default_args = default_args_;
+  s.epoch = epoch_;
+  s.applied = applied_;
+  s.hits = hits_;
+  return s;
+}
+
+void RuntimeTable::import_state(const ExportedState& s) {
+  // Validate before touching any state so a bad image leaves the table
+  // intact (checkpoint restore wraps this in its own all-or-nothing logic,
+  // but unit callers deserve the same guarantee).
+  for (const auto& e : s.entries) {
+    if (e.key.size() != keys_.size())
+      throw CommandError("table " + name_ + ": imported entry " +
+                         std::to_string(e.handle) + " key arity " +
+                         std::to_string(e.key.size()) + " != " +
+                         std::to_string(keys_.size()));
+    if (e.handle == 0 || e.handle >= s.next_handle)
+      throw CommandError("table " + name_ + ": imported entry handle " +
+                         std::to_string(e.handle) +
+                         " outside [1, next_handle)");
+    for (std::size_t i = 0; i < e.key.size(); ++i) {
+      const KeySpec& spec = keys_[i];
+      const KeyParam& kp = e.key[i];
+      switch (spec.type) {
+        case p4::MatchType::kExact:
+        case p4::MatchType::kValid:
+          if (kp.mask || kp.prefix_len || kp.range_hi)
+            throw CommandError("table " + name_ + ": imported entry " +
+                               std::to_string(e.handle) + " key " +
+                               spec.display_name + " is not exact");
+          break;
+        case p4::MatchType::kTernary:
+          if (!kp.mask)
+            throw CommandError("table " + name_ + ": imported entry " +
+                               std::to_string(e.handle) + " key " +
+                               spec.display_name + " lacks a mask");
+          break;
+        case p4::MatchType::kLpm:
+          if (!kp.prefix_len || *kp.prefix_len > spec.width)
+            throw CommandError("table " + name_ + ": imported entry " +
+                               std::to_string(e.handle) + " key " +
+                               spec.display_name + " has a bad prefix");
+          break;
+        case p4::MatchType::kRange:
+          if (!kp.range_hi)
+            throw CommandError("table " + name_ + ": imported entry " +
+                               std::to_string(e.handle) + " key " +
+                               spec.display_name + " lacks a range hi");
+          break;
+      }
+    }
+  }
+  {
+    std::vector<std::uint64_t> hs;
+    hs.reserve(s.entries.size());
+    for (const auto& e : s.entries) hs.push_back(e.handle);
+    std::sort(hs.begin(), hs.end());
+    if (std::adjacent_find(hs.begin(), hs.end()) != hs.end())
+      throw CommandError("table " + name_ + ": duplicate imported handle");
+  }
+  entries_.clear();
+  for (const auto& e : s.entries) entries_.emplace(e.handle, e);
+  next_handle_ = s.next_handle;
+  default_action_ = s.default_action;
+  default_args_ = s.default_args;
+  applied_ = s.applied;
+  hits_ = s.hits;
+  index_build();
+  epoch_ = s.epoch;
+}
+
 void RuntimeTable::reset_counters() {
   applied_ = 0;
   hits_ = 0;

@@ -129,6 +129,30 @@ class RuntimeTable {
   //     entries with unspecified (< 0) priority after all explicit ones.
   TableEntry* lookup(const std::vector<util::BitVec>& key);
 
+  // --- durable-state export / import (src/state checkpoints) -------------
+  // A value-typed image of the full runtime state: entries in handle order
+  // (handles are monotonic, so handle order IS insertion order — which the
+  // ternary-scan tie-break depends on), the next free handle, and the
+  // default action. Exported by checkpoints, restored byte-identically on
+  // recovery: handles stay stable across a checkpoint/restore cycle, so
+  // DPMU-held (table, handle) references remain valid.
+  struct ExportedState {
+    std::vector<TableEntry> entries;
+    std::uint64_t next_handle = 1;
+    std::optional<std::size_t> default_action;
+    std::vector<util::BitVec> default_args;
+    std::uint64_t epoch = 0;
+    std::uint64_t applied = 0;
+    std::uint64_t hits = 0;
+  };
+  ExportedState export_state() const;
+  // Replace the full runtime state with a previously exported image and
+  // rebuild the compiled index. Throws CommandError when an entry does not
+  // fit this table's key spec (arity or per-kind shape mismatch) or when
+  // a handle is duplicated / >= next_handle.
+  void import_state(const ExportedState& s);
+  std::uint64_t next_handle() const { return next_handle_; }
+
   // Mirror the full runtime state (entries *including handles*, insertion
   // order, default action, hit/applied counters) of another table with the
   // same key spec. The traffic engine uses this to build worker replicas

@@ -31,6 +31,15 @@ std::uint64_t CounterArray::bytes(std::size_t index) const {
   return bytes_[index];
 }
 
+void CounterArray::set(std::size_t index, std::uint64_t packets,
+                       std::uint64_t bytes) {
+  if (index >= packets_.size())
+    throw CommandError("counter " + name_ + ": index " +
+                       std::to_string(index) + " out of range");
+  packets_[index] = packets;
+  bytes_[index] = bytes;
+}
+
 void CounterArray::reset() {
   std::fill(packets_.begin(), packets_.end(), 0);
   std::fill(bytes_.begin(), bytes_.end(), 0);
@@ -89,6 +98,23 @@ MeterColor MeterArray::execute(std::size_t index, double now) {
 
 void MeterArray::reset() {
   for (auto& b : buckets_) b = Bucket{};
+}
+
+std::vector<MeterArray::ExportedBucket> MeterArray::export_buckets() const {
+  std::vector<ExportedBucket> out;
+  out.reserve(buckets_.size());
+  for (const auto& b : buckets_)
+    out.push_back(ExportedBucket{b.tokens, b.last, b.primed});
+  return out;
+}
+
+void MeterArray::import_buckets(const std::vector<ExportedBucket>& b) {
+  if (b.size() != buckets_.size())
+    throw CommandError("meter " + name_ + ": imported bucket count " +
+                       std::to_string(b.size()) + " != " +
+                       std::to_string(buckets_.size()));
+  for (std::size_t i = 0; i < b.size(); ++i)
+    buckets_[i] = Bucket{b[i].tokens, b[i].last, b[i].primed};
 }
 
 }  // namespace hyper4::bm

@@ -21,6 +21,8 @@ class CounterArray {
   void count(std::size_t index, std::size_t bytes);
   std::uint64_t packets(std::size_t index) const;
   std::uint64_t bytes(std::size_t index) const;
+  // Checkpoint restore: overwrite one cell's cumulative counts.
+  void set(std::size_t index, std::uint64_t packets, std::uint64_t bytes);
   void reset();
 
  private:
@@ -63,6 +65,17 @@ class MeterArray {
   // abstract units: tokens accrue at rate_pps per unit).
   MeterColor execute(std::size_t index, double now);
   void reset();
+
+  // Checkpoint export/import of the full bucket state. Doubles survive a
+  // round trip bit-exactly (the state serializer stores their bit
+  // patterns), so a restored meter marks packets identically.
+  struct ExportedBucket {
+    double tokens = 0;
+    double last = 0;
+    bool primed = false;
+  };
+  std::vector<ExportedBucket> export_buckets() const;
+  void import_buckets(const std::vector<ExportedBucket>& b);
 
  private:
   struct Bucket {

@@ -5,6 +5,7 @@
 
 #include "net/checksum.h"
 #include "util/error.h"
+#include "util/strings.h"
 
 namespace hyper4::bm {
 
@@ -334,10 +335,10 @@ std::uint64_t Switch::table_add(const std::string& table,
                                 std::int32_t priority) {
   auto it = table_ids_.find(table);
   if (it == table_ids_.end())
-    throw CommandError("no table named '" + table + "'");
+    throw_no_table(table);
   auto ait = action_ids_.find(action);
   if (ait == action_ids_.end())
-    throw CommandError("no action named '" + action + "'");
+    throw_no_action(action);
   const auto& allowed = table_actions_[it->second];
   if (std::find(allowed.begin(), allowed.end(), ait->second) == allowed.end())
     throw CommandError("table '" + table + "' cannot invoke action '" +
@@ -361,10 +362,10 @@ void Switch::table_set_default(const std::string& table,
                                std::vector<BitVec> action_args) {
   auto it = table_ids_.find(table);
   if (it == table_ids_.end())
-    throw CommandError("no table named '" + table + "'");
+    throw_no_table(table);
   auto ait = action_ids_.find(action);
   if (ait == action_ids_.end())
-    throw CommandError("no action named '" + action + "'");
+    throw_no_action(action);
   const CompiledAction& ca = actions_[ait->second];
   if (action_args.size() != ca.param_widths.size())
     throw CommandError("action '" + action + "' expects " +
@@ -386,10 +387,10 @@ void Switch::table_modify(const std::string& table, const std::string& action,
                           std::vector<BitVec> action_args) {
   auto tit = table_ids_.find(table);
   if (tit == table_ids_.end())
-    throw CommandError("no table named '" + table + "'");
+    throw_no_table(table);
   auto ait = action_ids_.find(action);
   if (ait == action_ids_.end())
-    throw CommandError("no action named '" + action + "'");
+    throw_no_action(action);
   const auto& allowed = table_actions_[tit->second];
   if (std::find(allowed.begin(), allowed.end(), ait->second) == allowed.end())
     throw CommandError("table '" + table + "' cannot invoke action '" +
@@ -407,17 +408,36 @@ void Switch::table_modify(const std::string& table, const std::string& action,
   tables_[tit->second]->modify(handle, ait->second, std::move(action_args));
 }
 
+void Switch::throw_no_table(const std::string& name) const {
+  throw CommandError("no table named '" + name + "'" +
+                     util::did_you_mean(name, table_names()));
+}
+
+void Switch::throw_no_action(const std::string& name) const {
+  std::vector<std::string> names;
+  names.reserve(actions_.size());
+  for (const auto& a : actions_) names.push_back(a.name);
+  throw CommandError("no action named '" + name + "'" +
+                     util::did_you_mean(name, names));
+}
+
+std::size_t Switch::action_id(const std::string& name) const {
+  auto it = action_ids_.find(name);
+  if (it == action_ids_.end()) throw_no_action(name);
+  return it->second;
+}
+
 const RuntimeTable& Switch::table(const std::string& name) const {
   auto it = table_ids_.find(name);
   if (it == table_ids_.end())
-    throw CommandError("no table named '" + name + "'");
+    throw_no_table(name);
   return *tables_[it->second];
 }
 
 RuntimeTable& Switch::mutable_table(const std::string& name) {
   auto it = table_ids_.find(name);
   if (it == table_ids_.end())
-    throw CommandError("no table named '" + name + "'");
+    throw_no_table(name);
   return *tables_[it->second];
 }
 

@@ -95,6 +95,33 @@ class Switch {
   void set_time(double t) { now_ = t; }
   void advance_time(double dt) { now_ += dt; }
 
+  // --- durable-state hooks (src/state checkpoints) ------------------------
+  // Raw access to the stateful object inventories and switch config, used
+  // by checkpoint export/import. Each array carries its own name; mutable
+  // variants exist solely so a restore can write cells/buckets back.
+  const std::vector<RegisterArray>& register_arrays() const {
+    return registers_;
+  }
+  std::vector<RegisterArray>& mutable_register_arrays() { return registers_; }
+  const std::vector<CounterArray>& counter_arrays() const { return counters_; }
+  std::vector<CounterArray>& mutable_counter_arrays() { return counters_; }
+  const std::vector<MeterArray>& meter_arrays() const { return meters_; }
+  std::vector<MeterArray>& mutable_meter_arrays() { return meters_; }
+  const std::unordered_map<std::uint32_t, std::uint16_t>& mirror_sessions()
+      const {
+    return mirror_sessions_;
+  }
+  const std::unordered_map<
+      std::uint16_t, std::vector<std::pair<std::uint16_t, std::uint16_t>>>&
+  mc_groups() const {
+    return mcast_groups_;
+  }
+  std::uint64_t rng_state() const { return rng_state_; }
+  void set_rng_state(std::uint64_t s) { rng_state_ = s; }
+  // Compiled action id for a name; throws CommandError (with nearest-name
+  // suggestions) when unknown.
+  std::size_t action_id(const std::string& name) const;
+
   // --- statistics ----------------------------------------------------------
   struct Stats {
     std::uint64_t packets_in = 0;
@@ -245,6 +272,10 @@ class Switch {
 
   // ---- compilation ----
   void compile();
+  // Unknown-name diagnostics with nearest-candidate suggestions
+  // ("no table named 'ipv4_lpn'; did you mean 'ipv4_lpm'?").
+  [[noreturn]] void throw_no_table(const std::string& name) const;
+  [[noreturn]] void throw_no_action(const std::string& name) const;
   CompiledExpr compile_expr(const p4::ExprPtr& e) const;
   CompiledArg compile_arg(const p4::ActionArg& a, p4::Primitive op,
                           std::size_t arg_pos,

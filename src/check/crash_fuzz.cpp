@@ -1,0 +1,430 @@
+#include "check/crash_fuzz.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <sstream>
+
+#include "bm/cli.h"
+#include "bm/switch.h"
+#include "check/diff_runner.h"
+#include "check/trace_diff.h"
+#include "engine/engine.h"
+#include "hp4/compiler.h"
+#include "hp4/controller.h"
+#include "hp4/p4_emit.h"
+#include "p4/frontend.h"
+#include "state/digest.h"
+#include "state/journal.h"
+#include "state/store.h"
+#include "util/error.h"
+
+namespace hyper4::check {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+std::uint64_t splitmix(std::uint64_t& s) {
+  s += 0x9e3779b97f4a7c15ull;
+  std::uint64_t z = s;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+hp4::VirtualRule to_virtual(const GenRule& r) {
+  return hp4::VirtualRule{r.table, r.action, r.keys, r.args, r.priority};
+}
+
+// One logical unit of the op script: everything whose journal records
+// either all survive a crash or are all lost. `lsn` is the LSN of the
+// unit's last state-bearing record — the unit is recovered iff the
+// recovered journal's trusted prefix reaches it.
+struct Unit {
+  enum Kind { kLoad, kAttach, kBind, kRules, kCheckpoint } kind = kLoad;
+  std::uint64_t lsn = 0;
+  std::uint16_t port = 0;          // kBind
+  std::size_t rule_first = 0;      // kRules
+  std::size_t rule_count = 0;
+  bool txn = false;
+};
+
+std::uint64_t flat_journal_bytes(const std::string& dir) {
+  std::uint64_t total = 0;
+  for (const auto& f : state::Journal::segment_files(dir))
+    total += fs::file_size(f);
+  return total;
+}
+
+hp4::PersonaConfig fuzz_persona_config() {
+  hp4::PersonaConfig pc;
+  pc.writeback_step_bytes = 1;  // per-byte resize actions (see DiffRunner)
+  return pc;
+}
+
+state::StoreOptions fuzz_store_options() {
+  state::StoreOptions so;
+  so.segment_bytes = 4096;  // small segments so scripts exercise rotation
+  so.digest_every = 1;
+  so.fsync_every = 0;  // no markers: every record is state-bearing, so a
+                       // unit's LSN is exactly the store's last_lsn
+  return so;
+}
+
+// Drive the reference store through the seeded script. Returns the unit
+// list; *txn_window receives the flattened-journal byte range of the last
+// transaction's commit record (0,0 when the script had no transaction).
+std::vector<Unit> run_script(state::DurableController& st, const GenCase& c,
+                             std::uint64_t& rng, bool with_checkpoint,
+                             std::pair<std::uint64_t, std::uint64_t>* txn_window,
+                             bool* checkpointed) {
+  std::vector<Unit> units;
+  const hp4::VdevId id =
+      st.load_source(c.program.name, hp4::emit_p4(c.program));
+  units.push_back({Unit::kLoad, st.last_lsn()});
+
+  std::vector<std::uint16_t> ports;
+  for (std::size_t p = 1; p <= c.ports; ++p)
+    ports.push_back(static_cast<std::uint16_t>(p));
+  st.attach_ports(id, ports);
+  units.push_back({Unit::kAttach, st.last_lsn()});
+  for (std::uint16_t p : ports) {
+    st.bind(id, p);
+    Unit u{Unit::kBind, st.last_lsn()};
+    u.port = p;
+    units.push_back(u);
+  }
+
+  if (with_checkpoint) {
+    // Checkpoint after setup: the load/attach/bind records leave the
+    // journal, the rule records stay in the tail — recovery must compose
+    // image + replay.
+    st.checkpoint();
+    units.push_back({Unit::kCheckpoint, st.last_lsn()});
+    *checkpointed = true;
+  }
+
+  *txn_window = {0, 0};
+  std::size_t i = 0;
+  while (i < c.rules.size()) {
+    std::size_t group = 1;
+    if (i + 1 < c.rules.size() && splitmix(rng) % 3 == 0)
+      group = std::min<std::size_t>(2 + splitmix(rng) % 3,
+                                    c.rules.size() - i);
+    Unit u{Unit::kRules, 0};
+    u.rule_first = i;
+    u.rule_count = group;
+    if (group > 1) {
+      const std::uint64_t before = flat_journal_bytes(st.dir());
+      st.txn_begin();
+      for (std::size_t k = 0; k < group; ++k)
+        st.add_rule(id, to_virtual(c.rules[i + k]));
+      u.lsn = st.txn_commit();
+      u.txn = true;
+      *txn_window = {before, flat_journal_bytes(st.dir())};
+    } else {
+      st.add_rule(id, to_virtual(c.rules[i]));
+      u.lsn = st.last_lsn();
+    }
+    units.push_back(u);
+    i += group;
+  }
+  return units;
+}
+
+// Build the expected controller: a plain hp4::Controller that applied
+// exactly the first `count` units.
+std::unique_ptr<hp4::Controller> build_expected(const GenCase& c,
+                                                const p4::Program& canon,
+                                                const std::vector<Unit>& units,
+                                                std::size_t count) {
+  auto ctl = std::make_unique<hp4::Controller>(fuzz_persona_config());
+  hp4::VdevId id = 0;
+  for (std::size_t i = 0; i < count; ++i) {
+    const Unit& u = units[i];
+    switch (u.kind) {
+      case Unit::kLoad:
+        id = ctl->load(c.program.name, canon);
+        break;
+      case Unit::kAttach: {
+        std::vector<std::uint16_t> ports;
+        for (std::size_t p = 1; p <= c.ports; ++p)
+          ports.push_back(static_cast<std::uint16_t>(p));
+        ctl->attach_ports(id, ports);
+        break;
+      }
+      case Unit::kBind:
+        ctl->bind(id, u.port);
+        break;
+      case Unit::kRules:
+        for (std::size_t k = 0; k < u.rule_count; ++k)
+          ctl->add_rule(id, to_virtual(c.rules[u.rule_first + k]));
+        break;
+      case Unit::kCheckpoint:
+        break;  // no state effect
+    }
+  }
+  return ctl;
+}
+
+// Copy ref's on-disk store and truncate the flattened journal to keep the
+// first `offset` bytes.
+void make_crash_copy(const std::string& ref_dir, const std::string& crash_dir,
+                     std::uint64_t offset) {
+  fs::create_directories(crash_dir);
+  for (const auto& e : fs::directory_iterator(ref_dir))
+    fs::copy_file(e.path(), fs::path(crash_dir) / e.path().filename());
+  std::uint64_t acc = 0;
+  bool cut = false;
+  for (const auto& f : state::Journal::segment_files(crash_dir)) {
+    const std::uint64_t sz = fs::file_size(f);
+    if (cut) {
+      fs::remove(f);
+      continue;
+    }
+    if (acc + sz <= offset) {
+      acc += sz;
+      continue;
+    }
+    fs::resize_file(f, offset - acc);
+    cut = true;
+  }
+}
+
+std::string verify_recovery(state::DurableController& rec,
+                            hp4::Controller& expected, const GenCase& c,
+                            const std::vector<Unit>& units, std::size_t count,
+                            const CrashFuzzOptions& opts) {
+  // 1. Digest: the recovered store must be byte-for-byte the expected
+  // prefix (tables, DPMU, registers — everything control-determined).
+  const std::uint64_t dr = state::state_digest(rec.controller());
+  const std::uint64_t de = state::state_digest(expected);
+  if (dr != de)
+    return "digest mismatch: recovered " + state::digest_hex(dr) +
+           " vs expected " + state::digest_hex(de);
+
+  // Native reference over the surviving rule prefix (skipped until the
+  // load unit survives — with no vdev the persona floods nothing, and a
+  // native switch would still forward, so there is nothing to compare).
+  bool loaded = false;
+  std::vector<const GenRule*> live_rules;
+  for (std::size_t i = 0; i < count; ++i) {
+    if (units[i].kind == Unit::kLoad) loaded = true;
+    if (units[i].kind == Unit::kRules)
+      for (std::size_t k = 0; k < units[i].rule_count; ++k)
+        live_rules.push_back(&c.rules[units[i].rule_first + k]);
+  }
+
+  bool bound = false;
+  for (std::size_t i = 0; i < count; ++i)
+    if (units[i].kind == Unit::kBind) bound = true;
+
+  std::unique_ptr<bm::Switch> native;
+  std::unique_ptr<engine::TrafficEngine> eng;
+  if (loaded && bound) {
+    native = std::make_unique<bm::Switch>(c.program);
+    for (const GenRule* r : live_rules) {
+      const bm::CliResult res = bm::run_cli_command(*native, cli_line(*r));
+      if (!res.ok)
+        return "native rejected surviving rule '" + cli_line(*r) +
+               "': " + res.message;
+    }
+    if (opts.run_engine) {
+      engine::EngineOptions eo;
+      eo.workers = std::max<std::size_t>(1, opts.engine_workers);
+      eng = std::make_unique<engine::TrafficEngine>(c.program, eo);
+      eng->sync_from(*native);
+    }
+  }
+
+  // 2/3/4. Per-packet traces: recovered persona vs expected persona must
+  // be structurally identical; native (and the engine) must agree with the
+  // recovered persona on what leaves the switch.
+  bm::Switch& rec_dp = rec.controller().dataplane();
+  std::vector<bm::ProcessResult> native_res;
+  for (std::size_t i = 0; i < c.packets.size(); ++i) {
+    const auto& pk = c.packets[i];
+    const bm::ProcessResult pr = rec_dp.inject(pk.port, pk.packet);
+    const bm::ProcessResult pe = expected.dataplane().inject(pk.port, pk.packet);
+    if (auto d = diff_results(pe, pr, i)) {
+      d->lhs = "expected-persona";
+      d->rhs = "recovered-persona";
+      return d->str();
+    }
+    if (native) {
+      native_res.push_back(native->inject(pk.port, pk.packet));
+      if (auto d = diff_observable(native_res.back(), pr, i)) {
+        d->lhs = "native";
+        d->rhs = "recovered-persona";
+        return d->str();
+      }
+      if (eng) eng->inject(pk.port, pk.packet);
+    }
+  }
+  if (eng && native) {
+    // Third backend: the engine's traces must match the native ones
+    // structurally (its determinism contract), tying all three together.
+    const engine::MergedResult merged = eng->drain();
+    if (merged.packets != native_res.size())
+      return "engine drained " + std::to_string(merged.packets) + " of " +
+             std::to_string(native_res.size()) + " packets";
+    for (std::size_t i = 0; i < native_res.size(); ++i) {
+      if (auto d = diff_results(native_res[i], merged.per_packet[i], i)) {
+        d->lhs = "native";
+        d->rhs = "engine";
+        return d->str();
+      }
+    }
+  }
+  return "";
+}
+
+}  // namespace
+
+std::string CrashFuzzResult::str() const {
+  std::ostringstream os;
+  os << "crash-fuzz: " << cases << " case(s), " << skipped << " skipped, "
+     << recoveries << " recoveries (" << txn_kills << " at txn commits, "
+     << checkpoint_runs << " checkpointed runs), " << failures.size()
+     << " failure(s)";
+  for (const auto& f : failures)
+    os << "\n  seed " << f.seed << " kill@" << f.kill_offset << " [" << f.dir
+       << "]: " << f.detail;
+  return os.str();
+}
+
+CrashFuzzResult crash_fuzz(const CrashFuzzOptions& opts) {
+  if (opts.work_dir.empty())
+    throw util::ConfigError("crash_fuzz: work_dir is required");
+  fs::create_directories(opts.work_dir);
+
+  CrashFuzzResult result;
+  const ProgramGen gen(opts.limits);
+  const hp4::PersonaConfig pc = fuzz_persona_config();
+  const state::StoreOptions so = fuzz_store_options();
+
+  for (std::size_t iter = 0; iter < opts.iters; ++iter) {
+    const std::uint64_t seed = opts.seed + iter;
+    std::uint64_t rng = seed * 0x9e3779b97f4a7c15ull + 1;
+    const GenCase c = gen.generate(seed);
+    if (c.stateful) {
+      ++result.skipped;
+      continue;
+    }
+
+    // Canonical program: what the store journals and replays compiles.
+    const std::string source = hp4::emit_p4(c.program);
+    const p4::Program canon = p4::parse_p4(source, c.program.name);
+
+    // Persona support probe (the persona subset is narrower than the
+    // generator's; unsupported seeds are skipped, exactly as the
+    // differential oracle does).
+    {
+      hp4::Controller probe(pc);
+      try {
+        probe.load(c.program.name, canon);
+      } catch (const hp4::UnsupportedFeature&) {
+        ++result.skipped;
+        continue;
+      }
+    }
+    ++result.cases;
+
+    const std::string ref_dir =
+        (fs::path(opts.work_dir) / ("ref-" + std::to_string(seed))).string();
+    fs::remove_all(ref_dir);
+
+    std::vector<Unit> units;
+    std::pair<std::uint64_t, std::uint64_t> txn_window{0, 0};
+    bool checkpointed = false;
+    std::uint64_t ref_digest = 0;
+    {
+      state::DurableController ref(ref_dir, pc, so);
+      units = run_script(ref, c, rng, splitmix(rng) % 2 == 0, &txn_window,
+                         &checkpointed);
+      ref_digest = ref.digest();
+    }  // closed: segment files are complete on disk
+    if (checkpointed) ++result.checkpoint_runs;
+
+    // Sanity: the reference store and an expected-full controller must
+    // already agree, or the verifier itself is broken.
+    {
+      auto full = build_expected(c, canon, units, units.size());
+      const std::uint64_t dfull = state::state_digest(*full);
+      if (ref_digest != dfull) {
+        result.failures.push_back(
+            {seed, 0, ref_dir,
+             "self-check: uncrashed reference digest " +
+                 state::digest_hex(ref_digest) + " != expected-full " +
+                 state::digest_hex(dfull)});
+        continue;
+      }
+    }
+
+    // Kill offsets: one forced inside the last transaction's commit
+    // record, the rest uniform over the flattened journal.
+    const std::uint64_t total = flat_journal_bytes(ref_dir);
+    std::vector<std::uint64_t> kills;
+    if (txn_window.second > txn_window.first) {
+      const std::uint64_t span = txn_window.second - txn_window.first;
+      kills.push_back(txn_window.first + 1 + splitmix(rng) % std::max<std::uint64_t>(1, span / 2));
+    }
+    for (std::size_t k = 0; k < opts.kills_per_iter; ++k)
+      kills.push_back(total ? splitmix(rng) % total : 0);
+
+    for (std::size_t k = 0; k < kills.size(); ++k) {
+      const std::uint64_t off = kills[k];
+      const std::string crash_dir =
+          (fs::path(opts.work_dir) /
+           ("crash-" + std::to_string(seed) + "-" + std::to_string(k)))
+              .string();
+      fs::remove_all(crash_dir);
+      make_crash_copy(ref_dir, crash_dir, off);
+
+      std::string detail;
+      try {
+        state::DurableController rec(crash_dir, pc, so);
+        ++result.recoveries;
+        if (!rec.recovery().digest_ok)
+          detail = "recovery digest verification failed: " +
+                   rec.recovery().str();
+        if (detail.empty()) {
+          // Expected prefix: units whose state record survived.
+          std::size_t count = 0;
+          while (count < units.size() && units[count].lsn <= rec.last_lsn())
+            ++count;
+          if (count < units.size() && units[count].txn) ++result.txn_kills;
+          auto expected = build_expected(c, canon, units, count);
+          detail = verify_recovery(rec, *expected, c, units, count, opts);
+        }
+      } catch (const util::Error& e) {
+        detail = std::string("recovery threw: ") + e.what();
+      }
+
+      if (detail.empty()) {
+        fs::remove_all(crash_dir);
+      } else {
+        std::ofstream repro(fs::path(crash_dir) / "REPRO.txt");
+        repro << "seed: " << seed << "\nkill_offset: " << off
+              << "\ndetail: " << detail << "\n";
+        result.failures.push_back({seed, off, crash_dir, detail});
+      }
+    }
+
+    if (opts.verbose)
+      std::fprintf(stderr, "crash-fuzz seed %llu: %zu unit(s), %zu kill(s)%s\n",
+                   static_cast<unsigned long long>(seed), units.size(),
+                   kills.size(), checkpointed ? ", checkpointed" : "");
+    // Keep the reference dir only when one of its kills failed.
+    bool iter_failed = false;
+    for (const auto& f : result.failures)
+      if (f.seed == seed) iter_failed = true;
+    if (!iter_failed) fs::remove_all(ref_dir);
+  }
+  return result;
+}
+
+}  // namespace hyper4::check

@@ -1,0 +1,69 @@
+// Crash-point fuzzing of the durable control plane (src/state).
+//
+// Each iteration: generate a random persona-supported (program, rules,
+// packets) triple, drive a reference DurableController through a seeded
+// op script — setup, singleton rules and multi-rule transactions, with an
+// optional mid-script checkpoint — then simulate crashes by truncating a
+// copy of the journal at byte k (one forced kill inside a transaction's
+// commit record, plus random offsets across the whole journal), recover,
+// and verify the recovered store against the expected prefix:
+//   digest   state_digest equality with a freshly-built controller that
+//            applied exactly the ops whose journal records survived;
+//   persona  strict trace equality (diff_results) on the generated packet
+//            suite between the recovered and the expected persona;
+//   native   egress-observable equality (diff_observable) against a
+//            native bm::Switch holding the surviving rule prefix;
+//   engine   strict trace equality native-vs-TrafficEngine over the same
+//            prefix (the third backend of the differential oracle).
+//
+// A kill that lands inside (or before) a transaction's single kTxn record
+// must recover to the pre-transaction state — all-or-nothing is verified
+// by the same digest/trace machinery, since the expected prefix simply
+// excludes the whole batch.
+//
+// Failing crash directories are left on disk with a REPRO.txt describing
+// seed + kill offset (the CI job uploads them as artifacts).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "check/program_gen.h"
+
+namespace hyper4::check {
+
+struct CrashFuzzOptions {
+  std::uint64_t seed = 1;
+  std::size_t iters = 20;
+  std::size_t kills_per_iter = 3;  // random offsets per iteration (the
+                                   // forced in-txn kill is extra)
+  bool run_engine = true;
+  std::size_t engine_workers = 2;
+  GenLimits limits;
+  std::string work_dir;  // scratch root; created if missing
+  bool verbose = false;  // one line per iteration to stderr
+};
+
+struct CrashFailure {
+  std::uint64_t seed = 0;
+  std::uint64_t kill_offset = 0;  // flattened journal byte offset kept
+  std::string dir;                // crash dir left on disk (with REPRO.txt)
+  std::string detail;
+};
+
+struct CrashFuzzResult {
+  std::size_t cases = 0;       // iterations that ran (seed was supported)
+  std::size_t skipped = 0;     // persona-unsupported seeds
+  std::size_t recoveries = 0;  // crash+recover cycles performed
+  std::size_t txn_kills = 0;   // kills that landed at/inside a txn commit
+  std::size_t checkpoint_runs = 0;  // iterations with a mid-script checkpoint
+  std::vector<CrashFailure> failures;
+
+  bool ok() const { return failures.empty(); }
+  std::string str() const;
+};
+
+CrashFuzzResult crash_fuzz(const CrashFuzzOptions& opts);
+
+}  // namespace hyper4::check

@@ -75,6 +75,7 @@ TrafficEngine::TrafficEngine(p4::Program prog, EngineOptions opts)
   m_batches_ = &metrics_.counter("batches");
   m_backpressure_ = &metrics_.counter("backpressure_waits");
   m_control_ops_ = &metrics_.counter("control_ops");
+  m_txn_batches_ = &metrics_.counter("txn_batches");
   h_latency_us_ = &metrics_.histogram(
       "packet_latency_us",
       {1, 2, 5, 10, 20, 50, 100, 200, 500, 1000, 2000, 5000, 10000});
@@ -165,6 +166,14 @@ void TrafficEngine::fan_out(Fn&& fn) {
 
 void TrafficEngine::sync_from(const bm::Switch& src) {
   fan_out([&](bm::Switch& sw) { sw.sync_state_from(src); });
+}
+
+void TrafficEngine::apply_atomic(
+    const std::vector<std::function<void(bm::Switch&)>>& ops) {
+  fan_out([&](bm::Switch& sw) {
+    for (const auto& op : ops) op(sw);
+  });
+  m_txn_batches_->inc();
 }
 
 void TrafficEngine::export_profile() {

@@ -28,6 +28,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <span>
@@ -126,6 +127,15 @@ class TrafficEngine {
                       const util::BitVec& v);
   void set_time(double t);
   void advance_time(double dt);
+
+  // Apply a batch of control operations as ONE fan-out: all replica locks
+  // are taken, every op runs on every replica, and the epoch advances once
+  // — a worker observes either none or all of the batch (transactional
+  // propagation for src/state Txn commits). Ops must be deterministic
+  // switch mutations; an op that throws aborts the batch mid-replica, so
+  // callers needing all-or-nothing semantics validate on a source switch
+  // first and use sync_from-style mirroring instead.
+  void apply_atomic(const std::vector<std::function<void(bm::Switch&)>>& ops);
 
   // --- data plane ----------------------------------------------------------
   // Worker a packet would shard to (stable across runs and worker counts
@@ -226,6 +236,7 @@ class TrafficEngine {
   Counter* m_batches_ = nullptr;
   Counter* m_backpressure_ = nullptr;
   Counter* m_control_ops_ = nullptr;
+  Counter* m_txn_batches_ = nullptr;
   Histogram* h_latency_us_ = nullptr;
   Histogram* h_stages_ = nullptr;
 };

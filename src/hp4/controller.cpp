@@ -14,8 +14,22 @@ void Controller::attach_engine(engine::TrafficEngine* eng) {
   refresh_engine();
 }
 
-void Controller::refresh_engine() {
-  if (engine_) engine_->sync_from(*sw_);
+void Controller::refresh_engine(bool force) {
+  if (!engine_) return;
+  if (refresh_suspended_ > 0 && !force) {
+    refresh_pending_ = true;
+    return;
+  }
+  engine_->sync_from(*sw_);
+  refresh_pending_ = false;
+}
+
+void Controller::suspend_engine_refresh() { ++refresh_suspended_; }
+
+void Controller::resume_engine_refresh() {
+  if (refresh_suspended_ == 0)
+    throw ConfigError("controller: resume_engine_refresh without suspend");
+  if (--refresh_suspended_ == 0 && refresh_pending_) refresh_engine();
 }
 
 Controller::Controller(PersonaConfig cfg)
@@ -96,6 +110,56 @@ std::uint64_t Controller::add_rule(VdevId id, const VirtualRule& rule,
   const std::uint64_t handle = dpmu_->table_add(id, rule, requester);
   refresh_engine();
   return handle;
+}
+
+void Controller::delete_rule(VdevId id, std::uint64_t vhandle,
+                             const std::string& requester) {
+  dpmu_->table_delete(id, vhandle, requester);
+  refresh_engine();
+}
+
+void Controller::authorize(VdevId id, const std::string& requester) {
+  dpmu_->authorize(id, requester);
+}
+
+void Controller::register_write(const std::string& reg, std::size_t index,
+                                const util::BitVec& v) {
+  sw_->register_write(reg, index, v);
+  refresh_engine();
+}
+
+Controller::ExportedState Controller::export_state() const {
+  ExportedState s;
+  s.live_bindings.assign(live_bindings_.begin(), live_bindings_.end());
+  for (const auto& [name, bindings] : configs_) {
+    std::vector<std::pair<std::int32_t, VdevId>> bs;
+    bs.reserve(bindings.size());
+    for (const auto& [port, vdev] : bindings)
+      bs.emplace_back(port_key(port), vdev);
+    s.configs.emplace_back(name, std::move(bs));
+  }
+  s.active_config = active_config_;
+  s.last_activation_ops = last_activation_ops_;
+  return s;
+}
+
+void Controller::import_state(const ExportedState& s) {
+  live_bindings_.clear();
+  for (const auto& [key, handle] : s.live_bindings)
+    live_bindings_[key] = handle;
+  configs_.clear();
+  for (const auto& [name, bindings] : s.configs) {
+    std::vector<std::pair<std::optional<std::uint16_t>, VdevId>> bs;
+    bs.reserve(bindings.size());
+    for (const auto& [key, vdev] : bindings) {
+      std::optional<std::uint16_t> port;
+      if (key >= 0) port = static_cast<std::uint16_t>(key);
+      bs.emplace_back(port, vdev);
+    }
+    configs_[name] = std::move(bs);
+  }
+  active_config_ = s.active_config;
+  last_activation_ops_ = s.last_activation_ops;
 }
 
 void Controller::define_config(

@@ -70,6 +70,16 @@ class Controller {
   // Virtual table operation, forwarded through the DPMU.
   std::uint64_t add_rule(VdevId id, const VirtualRule& rule,
                          const std::string& requester = "admin");
+  void delete_rule(VdevId id, std::uint64_t vhandle,
+                   const std::string& requester = "admin");
+  // Grant `requester` table-operation rights on the device (owner-level
+  // management op; journaled by src/state).
+  void authorize(VdevId id, const std::string& requester);
+
+  // Persona-level register write (operator tuning of emulation state),
+  // mirrored into the attached engine like every other mutation.
+  void register_write(const std::string& reg, std::size_t index,
+                      const util::BitVec& v);
 
   // --- snapshots (§3.2) --------------------------------------------------------
   // A configuration is a set of ingress bindings. Activating a different
@@ -84,10 +94,35 @@ class Controller {
   // "a single table entry modification" per device for whole-switch swaps).
   std::size_t last_activation_ops() const { return last_activation_ops_; }
 
+  // --- transactional engine propagation (src/state) -----------------------
+  // While suspended, controller mutations do NOT mirror into the attached
+  // engine; resume performs one atomic sync, so workers observe either none
+  // or all of the suspended ops (a transaction is a single epoch bump).
+  // Suspension nests (suspend twice → resume twice).
+  void suspend_engine_refresh();
+  void resume_engine_refresh();
+  bool engine_refresh_suspended() const { return refresh_suspended_ > 0; }
+  // Force one engine sync now (used after an out-of-band dataplane import).
+  void flush_engine() { refresh_engine(true); }
+
+  // --- durable-state export / import (src/state checkpoints) --------------
+  // Controller-level management state; the dataplane and DPMU are exported
+  // separately. PortKey -1 encodes the wildcard (all-ports) binding.
+  struct ExportedState {
+    std::vector<std::pair<std::int32_t, std::uint64_t>> live_bindings;
+    std::vector<std::pair<std::string,
+                          std::vector<std::pair<std::int32_t, VdevId>>>>
+        configs;  // name → [(port key, vdev)]
+    std::string active_config;
+    std::uint64_t last_activation_ops = 0;
+  };
+  ExportedState export_state() const;
+  void import_state(const ExportedState& s);
+
  private:
   // Mirror the dataplane's current state into the attached engine (no-op
-  // when none is attached).
-  void refresh_engine();
+  // when none is attached or refresh is suspended, unless forced).
+  void refresh_engine(bool force = false);
 
   PersonaGenerator gen_;
   std::unique_ptr<bm::Switch> sw_;
@@ -105,6 +140,8 @@ class Controller {
       configs_;
   std::string active_config_;
   std::size_t last_activation_ops_ = 0;
+  int refresh_suspended_ = 0;
+  bool refresh_pending_ = false;  // a mutation happened while suspended
 };
 
 }  // namespace hyper4::hp4

@@ -306,6 +306,86 @@ Dpmu::entry_origins() const {
   return out;
 }
 
+Dpmu::ExportedState Dpmu::export_state() const {
+  ExportedState s;
+  s.vdevs.reserve(vdevs_.size());
+  for (const auto& [id, v] : vdevs_) {
+    ExportedVdev ev;
+    ev.id = id;
+    ev.name = v.name;
+    ev.owner = v.owner;
+    ev.authorized = v.authorized;
+    ev.quota = v.quota;
+    ev.vport_to_phys = v.ports.vport_to_phys;
+    ev.phys_to_vport = v.ports.phys_to_vport;
+    ev.vnet_handles = v.vnet_handles;
+    ev.mcast_groups = v.mcast_groups;
+    ev.entries = v.entries;
+    ev.static_handles = v.static_handles;
+    ev.next_vhandle = v.next_vhandle;
+    s.vdevs.push_back(std::move(ev));
+  }
+  s.bindings.reserve(bindings_.size());
+  for (const auto& [id, b] : bindings_) {
+    ExportedBinding eb;
+    eb.id = id;
+    eb.handle = b.handle;
+    eb.has_port = b.port.has_value();
+    eb.port = b.port.value_or(0);
+    eb.vdev = b.vdev;
+    s.bindings.push_back(eb);
+  }
+  s.next_id = next_id_;
+  s.next_vport = next_vport_;
+  s.next_mcast_group = next_mcast_group_;
+  s.next_match_id = next_match_id_;
+  s.next_binding = next_binding_;
+  return s;
+}
+
+void Dpmu::import_state(const ExportedState& s,
+                        const std::map<VdevId, Hp4Artifact>& artifacts) {
+  std::map<VdevId, Vdev> vdevs;
+  for (const auto& ev : s.vdevs) {
+    auto ait = artifacts.find(ev.id);
+    if (ait == artifacts.end())
+      throw ConfigError("dpmu import: no artifact for vdev " +
+                        std::to_string(ev.id));
+    Vdev v;
+    v.name = ev.name;
+    v.art = ait->second;
+    v.owner = ev.owner;
+    v.authorized = ev.authorized;
+    v.quota = ev.quota;
+    v.ports.vport_to_phys = ev.vport_to_phys;
+    v.ports.phys_to_vport = ev.phys_to_vport;
+    v.vnet_handles = ev.vnet_handles;
+    v.mcast_groups = ev.mcast_groups;
+    v.entries = ev.entries;
+    v.static_handles = ev.static_handles;
+    v.next_vhandle = ev.next_vhandle;
+    if (!vdevs.emplace(ev.id, std::move(v)).second)
+      throw ConfigError("dpmu import: duplicate vdev " + std::to_string(ev.id));
+  }
+  std::map<std::uint64_t, Binding> bindings;
+  for (const auto& eb : s.bindings) {
+    Binding b;
+    b.handle = eb.handle;
+    if (eb.has_port) b.port = eb.port;
+    b.vdev = eb.vdev;
+    if (!bindings.emplace(eb.id, b).second)
+      throw ConfigError("dpmu import: duplicate binding " +
+                        std::to_string(eb.id));
+  }
+  vdevs_ = std::move(vdevs);
+  bindings_ = std::move(bindings);
+  next_id_ = s.next_id;
+  next_vport_ = s.next_vport;
+  next_mcast_group_ = s.next_mcast_group;
+  next_match_id_ = s.next_match_id;
+  next_binding_ = s.next_binding;
+}
+
 std::string Dpmu::report() const {
   std::ostringstream os;
   os << "DPMU: " << vdevs_.size() << " virtual device(s), "

@@ -1,0 +1,538 @@
+#include "state/checkpoint.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+
+#include "hp4/controller.h"
+#include "p4/frontend.h"
+#include "state/wire.h"
+#include "util/error.h"
+
+namespace hyper4::state {
+
+namespace fs = std::filesystem;
+using util::ConfigError;
+
+namespace {
+
+constexpr char kMagic[4] = {'H', 'P', '4', 'C'};
+constexpr std::uint8_t kVersion = 1;
+
+void write_config(Writer& w, const hp4::PersonaConfig& c) {
+  w.u64(c.num_stages);
+  w.u64(c.max_primitives);
+  w.u64(c.parse_default_bytes);
+  w.u64(c.parse_step_bytes);
+  w.u64(c.parse_max_bytes);
+  w.u64(c.extracted_bits);
+  w.u64(c.meta_bits);
+  w.u32(static_cast<std::uint32_t>(c.ipv4_csum_offsets.size()));
+  for (auto o : c.ipv4_csum_offsets) w.u64(o);
+  w.u64(c.writeback_step_bytes);
+  w.b(c.ingress_meter);
+  w.u64(c.meter_rate_pps);
+  w.u64(c.meter_burst);
+  w.u64(c.meter_cells);
+}
+
+hp4::PersonaConfig read_config(Reader& r) {
+  hp4::PersonaConfig c;
+  c.num_stages = r.u64();
+  c.max_primitives = r.u64();
+  c.parse_default_bytes = r.u64();
+  c.parse_step_bytes = r.u64();
+  c.parse_max_bytes = r.u64();
+  c.extracted_bits = r.u64();
+  c.meta_bits = r.u64();
+  c.ipv4_csum_offsets.clear();
+  const std::uint32_t n = r.u32();
+  for (std::uint32_t i = 0; i < n; ++i) c.ipv4_csum_offsets.push_back(r.u64());
+  c.writeback_step_bytes = r.u64();
+  c.ingress_meter = r.b();
+  c.meter_rate_pps = r.u64();
+  c.meter_burst = r.u64();
+  c.meter_cells = r.u64();
+  return c;
+}
+
+bool config_equal(const hp4::PersonaConfig& a, const hp4::PersonaConfig& b) {
+  return a.num_stages == b.num_stages && a.max_primitives == b.max_primitives &&
+         a.parse_default_bytes == b.parse_default_bytes &&
+         a.parse_step_bytes == b.parse_step_bytes &&
+         a.parse_max_bytes == b.parse_max_bytes &&
+         a.extracted_bits == b.extracted_bits && a.meta_bits == b.meta_bits &&
+         a.ipv4_csum_offsets == b.ipv4_csum_offsets &&
+         a.writeback_step_bytes == b.writeback_step_bytes &&
+         a.ingress_meter == b.ingress_meter &&
+         a.meter_rate_pps == b.meter_rate_pps &&
+         a.meter_burst == b.meter_burst && a.meter_cells == b.meter_cells;
+}
+
+void write_key_param(Writer& w, const bm::KeyParam& k) {
+  w.bitvec(k.value);
+  w.b(k.mask.has_value());
+  if (k.mask) w.bitvec(*k.mask);
+  w.b(k.prefix_len.has_value());
+  if (k.prefix_len) w.u64(*k.prefix_len);
+  w.b(k.range_hi.has_value());
+  if (k.range_hi) w.bitvec(*k.range_hi);
+}
+
+bm::KeyParam read_key_param(Reader& r) {
+  bm::KeyParam k;
+  k.value = r.bitvec();
+  if (r.b()) k.mask = r.bitvec();
+  if (r.b()) k.prefix_len = r.u64();
+  if (r.b()) k.range_hi = r.bitvec();
+  return k;
+}
+
+void write_dpmu(Writer& w, const hp4::Dpmu::ExportedState& s) {
+  w.u32(static_cast<std::uint32_t>(s.vdevs.size()));
+  for (const auto& v : s.vdevs) {
+    w.u64(v.id);
+    w.str(v.name);
+    w.str(v.owner);
+    w.u32(static_cast<std::uint32_t>(v.authorized.size()));
+    for (const auto& a : v.authorized) w.str(a);
+    w.u64(v.quota);
+    w.u32(static_cast<std::uint32_t>(v.vport_to_phys.size()));
+    for (const auto& [vp, ph] : v.vport_to_phys) {
+      w.u64(vp);
+      w.u16(ph);
+    }
+    w.u32(static_cast<std::uint32_t>(v.phys_to_vport.size()));
+    for (const auto& [ph, vp] : v.phys_to_vport) {
+      w.u16(ph);
+      w.u64(vp);
+    }
+    w.u32(static_cast<std::uint32_t>(v.vnet_handles.size()));
+    for (const auto& [vp, h] : v.vnet_handles) {
+      w.u64(vp);
+      w.u64(h);
+    }
+    w.u32(static_cast<std::uint32_t>(v.mcast_groups.size()));
+    for (auto g : v.mcast_groups) w.u16(g);
+    w.u32(static_cast<std::uint32_t>(v.entries.size()));
+    for (const auto& [vh, list] : v.entries) {
+      w.u64(vh);
+      w.u32(static_cast<std::uint32_t>(list.size()));
+      for (const auto& [table, handle] : list) {
+        w.str(table);
+        w.u64(handle);
+      }
+    }
+    w.u32(static_cast<std::uint32_t>(v.static_handles.size()));
+    for (const auto& [table, handle] : v.static_handles) {
+      w.str(table);
+      w.u64(handle);
+    }
+    w.u64(v.next_vhandle);
+  }
+  w.u32(static_cast<std::uint32_t>(s.bindings.size()));
+  for (const auto& b : s.bindings) {
+    w.u64(b.id);
+    w.u64(b.handle);
+    w.b(b.has_port);
+    w.u16(b.port);
+    w.u64(b.vdev);
+  }
+  w.u64(s.next_id);
+  w.u64(s.next_vport);
+  w.u16(s.next_mcast_group);
+  w.u64(s.next_match_id);
+  w.u64(s.next_binding);
+}
+
+hp4::Dpmu::ExportedState read_dpmu(Reader& r) {
+  hp4::Dpmu::ExportedState s;
+  const std::uint32_t nv = r.u32();
+  for (std::uint32_t i = 0; i < nv; ++i) {
+    hp4::Dpmu::ExportedVdev v;
+    v.id = r.u64();
+    v.name = r.str();
+    v.owner = r.str();
+    const std::uint32_t na = r.u32();
+    for (std::uint32_t j = 0; j < na; ++j) v.authorized.push_back(r.str());
+    v.quota = r.u64();
+    const std::uint32_t nvp = r.u32();
+    for (std::uint32_t j = 0; j < nvp; ++j) {
+      const std::uint64_t vp = r.u64();
+      v.vport_to_phys[vp] = r.u16();
+    }
+    const std::uint32_t npv = r.u32();
+    for (std::uint32_t j = 0; j < npv; ++j) {
+      const std::uint16_t ph = r.u16();
+      v.phys_to_vport[ph] = r.u64();
+    }
+    const std::uint32_t nvh = r.u32();
+    for (std::uint32_t j = 0; j < nvh; ++j) {
+      const std::uint64_t vp = r.u64();
+      v.vnet_handles[vp] = r.u64();
+    }
+    const std::uint32_t nmg = r.u32();
+    for (std::uint32_t j = 0; j < nmg; ++j) v.mcast_groups.push_back(r.u16());
+    const std::uint32_t ne = r.u32();
+    for (std::uint32_t j = 0; j < ne; ++j) {
+      const std::uint64_t vh = r.u64();
+      const std::uint32_t nl = r.u32();
+      std::vector<std::pair<std::string, std::uint64_t>> list;
+      for (std::uint32_t k = 0; k < nl; ++k) {
+        std::string table = r.str();
+        const std::uint64_t handle = r.u64();
+        list.emplace_back(std::move(table), handle);
+      }
+      v.entries[vh] = std::move(list);
+    }
+    const std::uint32_t ns = r.u32();
+    for (std::uint32_t j = 0; j < ns; ++j) {
+      std::string table = r.str();
+      const std::uint64_t handle = r.u64();
+      v.static_handles.emplace_back(std::move(table), handle);
+    }
+    v.next_vhandle = r.u64();
+    s.vdevs.push_back(std::move(v));
+  }
+  const std::uint32_t nb = r.u32();
+  for (std::uint32_t i = 0; i < nb; ++i) {
+    hp4::Dpmu::ExportedBinding b;
+    b.id = r.u64();
+    b.handle = r.u64();
+    b.has_port = r.b();
+    b.port = r.u16();
+    b.vdev = r.u64();
+    s.bindings.push_back(b);
+  }
+  s.next_id = r.u64();
+  s.next_vport = r.u64();
+  s.next_mcast_group = r.u16();
+  s.next_match_id = r.u64();
+  s.next_binding = r.u64();
+  return s;
+}
+
+}  // namespace
+
+std::string serialize_state(const hp4::Controller& ctl,
+                            const std::map<hp4::VdevId, std::string>& sources,
+                            std::uint64_t lsn) {
+  Writer w;
+  w.u64(lsn);
+  write_config(w, ctl.generator().config());
+
+  w.u32(static_cast<std::uint32_t>(sources.size()));
+  for (const auto& [id, src] : sources) {
+    w.u64(id);
+    w.str(src);
+  }
+
+  write_dpmu(w, ctl.dpmu().export_state());
+
+  const hp4::Controller::ExportedState cs = ctl.export_state();
+  w.u32(static_cast<std::uint32_t>(cs.live_bindings.size()));
+  for (const auto& [key, handle] : cs.live_bindings) {
+    w.i32(key);
+    w.u64(handle);
+  }
+  w.u32(static_cast<std::uint32_t>(cs.configs.size()));
+  for (const auto& [name, bindings] : cs.configs) {
+    w.str(name);
+    w.u32(static_cast<std::uint32_t>(bindings.size()));
+    for (const auto& [key, vdev] : bindings) {
+      w.i32(key);
+      w.u64(vdev);
+    }
+  }
+  w.str(cs.active_config);
+  w.u64(cs.last_activation_ops);
+
+  // Dataplane runtime state.
+  const bm::Switch& sw = ctl.dataplane();
+  std::vector<std::string> tables = sw.table_names();
+  std::sort(tables.begin(), tables.end());
+  w.u32(static_cast<std::uint32_t>(tables.size()));
+  for (const auto& name : tables) {
+    const bm::RuntimeTable::ExportedState ts = sw.table(name).export_state();
+    w.str(name);
+    w.u64(ts.next_handle);
+    w.b(ts.default_action.has_value());
+    if (ts.default_action) w.u64(*ts.default_action);
+    w.u32(static_cast<std::uint32_t>(ts.default_args.size()));
+    for (const auto& a : ts.default_args) w.bitvec(a);
+    w.u64(ts.epoch);
+    w.u64(ts.applied);
+    w.u64(ts.hits);
+    w.u32(static_cast<std::uint32_t>(ts.entries.size()));
+    for (const auto& e : ts.entries) {
+      w.u64(e.handle);
+      w.u32(static_cast<std::uint32_t>(e.key.size()));
+      for (const auto& k : e.key) write_key_param(w, k);
+      w.i32(e.priority);
+      w.u64(e.action);
+      w.u32(static_cast<std::uint32_t>(e.action_args.size()));
+      for (const auto& a : e.action_args) w.bitvec(a);
+      w.u64(e.hits);
+      w.u64(e.hit_bytes);
+    }
+  }
+
+  w.u32(static_cast<std::uint32_t>(sw.register_arrays().size()));
+  for (const auto& reg : sw.register_arrays()) {
+    w.str(reg.name());
+    w.u32(static_cast<std::uint32_t>(reg.size()));
+    for (std::size_t i = 0; i < reg.size(); ++i) w.bitvec(reg.read(i));
+  }
+  w.u32(static_cast<std::uint32_t>(sw.counter_arrays().size()));
+  for (const auto& c : sw.counter_arrays()) {
+    w.str(c.name());
+    w.u32(static_cast<std::uint32_t>(c.size()));
+    for (std::size_t i = 0; i < c.size(); ++i) {
+      w.u64(c.packets(i));
+      w.u64(c.bytes(i));
+    }
+  }
+  w.u32(static_cast<std::uint32_t>(sw.meter_arrays().size()));
+  for (const auto& m : sw.meter_arrays()) {
+    w.str(m.name());
+    const auto buckets = m.export_buckets();
+    w.u32(static_cast<std::uint32_t>(buckets.size()));
+    for (const auto& b : buckets) {
+      w.f64(b.tokens);
+      w.f64(b.last);
+      w.b(b.primed);
+    }
+  }
+
+  std::vector<std::pair<std::uint32_t, std::uint16_t>> mirrors(
+      sw.mirror_sessions().begin(), sw.mirror_sessions().end());
+  std::sort(mirrors.begin(), mirrors.end());
+  w.u32(static_cast<std::uint32_t>(mirrors.size()));
+  for (const auto& [session, port] : mirrors) {
+    w.u32(session);
+    w.u16(port);
+  }
+  std::vector<std::pair<std::uint16_t,
+                        std::vector<std::pair<std::uint16_t, std::uint16_t>>>>
+      groups(sw.mc_groups().begin(), sw.mc_groups().end());
+  std::sort(groups.begin(), groups.end());
+  w.u32(static_cast<std::uint32_t>(groups.size()));
+  for (const auto& [group, members] : groups) {
+    w.u16(group);
+    w.u32(static_cast<std::uint32_t>(members.size()));
+    for (const auto& [port, rid] : members) {
+      w.u16(port);
+      w.u16(rid);
+    }
+  }
+
+  w.f64(sw.now());
+  w.u64(sw.rng_state());
+  return w.take();
+}
+
+CheckpointImage apply_state(const std::string& body, hp4::Controller& ctl) {
+  Reader r(body);
+  CheckpointImage img;
+  img.lsn = r.u64();
+
+  const hp4::PersonaConfig cfg = read_config(r);
+  if (!config_equal(cfg, ctl.generator().config()))
+    throw ConfigError(
+        "checkpoint: image was taken under a different PersonaConfig than "
+        "the restoring controller's");
+
+  const std::uint32_t nsrc = r.u32();
+  for (std::uint32_t i = 0; i < nsrc; ++i) {
+    const hp4::VdevId id = r.u64();
+    img.vdev_sources[id] = r.str();
+  }
+
+  const hp4::Dpmu::ExportedState dp = read_dpmu(r);
+
+  hp4::Controller::ExportedState cs;
+  const std::uint32_t nlb = r.u32();
+  for (std::uint32_t i = 0; i < nlb; ++i) {
+    const std::int32_t key = r.i32();
+    cs.live_bindings.emplace_back(key, r.u64());
+  }
+  const std::uint32_t ncfg = r.u32();
+  for (std::uint32_t i = 0; i < ncfg; ++i) {
+    std::string name = r.str();
+    const std::uint32_t nb = r.u32();
+    std::vector<std::pair<std::int32_t, hp4::VdevId>> bs;
+    for (std::uint32_t j = 0; j < nb; ++j) {
+      const std::int32_t key = r.i32();
+      bs.emplace_back(key, r.u64());
+    }
+    cs.configs.emplace_back(std::move(name), std::move(bs));
+  }
+  cs.active_config = r.str();
+  cs.last_activation_ops = r.u64();
+
+  // Recompile every vdev's target from its checkpointed source. The
+  // compiler is deterministic, so rule translation after restore behaves
+  // exactly as before the crash.
+  std::map<hp4::VdevId, hp4::Hp4Artifact> artifacts;
+  for (const auto& v : dp.vdevs) {
+    auto sit = img.vdev_sources.find(v.id);
+    if (sit == img.vdev_sources.end())
+      throw ConfigError("checkpoint: no target source for vdev " +
+                        std::to_string(v.id));
+    artifacts.emplace(
+        v.id, ctl.compile(p4::parse_p4(sit->second, v.name)));
+  }
+
+  ctl.dpmu().import_state(dp, artifacts);
+  ctl.import_state(cs);
+
+  bm::Switch& sw = ctl.dataplane();
+  const std::uint32_t ntables = r.u32();
+  for (std::uint32_t i = 0; i < ntables; ++i) {
+    const std::string name = r.str();
+    bm::RuntimeTable::ExportedState ts;
+    ts.next_handle = r.u64();
+    if (r.b()) ts.default_action = r.u64();
+    const std::uint32_t nda = r.u32();
+    for (std::uint32_t j = 0; j < nda; ++j)
+      ts.default_args.push_back(r.bitvec());
+    ts.epoch = r.u64();
+    ts.applied = r.u64();
+    ts.hits = r.u64();
+    const std::uint32_t ne = r.u32();
+    for (std::uint32_t j = 0; j < ne; ++j) {
+      bm::TableEntry e;
+      e.handle = r.u64();
+      const std::uint32_t nk = r.u32();
+      for (std::uint32_t k = 0; k < nk; ++k)
+        e.key.push_back(read_key_param(r));
+      e.priority = r.i32();
+      e.action = r.u64();
+      const std::uint32_t na = r.u32();
+      for (std::uint32_t k = 0; k < na; ++k)
+        e.action_args.push_back(r.bitvec());
+      e.hits = r.u64();
+      e.hit_bytes = r.u64();
+      ts.entries.push_back(std::move(e));
+    }
+    sw.mutable_table(name).import_state(ts);
+  }
+
+  const std::uint32_t nreg = r.u32();
+  auto& regs = sw.mutable_register_arrays();
+  for (std::uint32_t i = 0; i < nreg; ++i) {
+    const std::string name = r.str();
+    const std::uint32_t size = r.u32();
+    auto it = std::find_if(regs.begin(), regs.end(),
+                           [&](const auto& a) { return a.name() == name; });
+    if (it == regs.end() || it->size() != size)
+      throw ConfigError("checkpoint: register array '" + name +
+                        "' does not match the persona");
+    for (std::uint32_t j = 0; j < size; ++j) it->write(j, r.bitvec());
+  }
+  const std::uint32_t ncnt = r.u32();
+  auto& counters = sw.mutable_counter_arrays();
+  for (std::uint32_t i = 0; i < ncnt; ++i) {
+    const std::string name = r.str();
+    const std::uint32_t size = r.u32();
+    auto it = std::find_if(counters.begin(), counters.end(),
+                           [&](const auto& a) { return a.name() == name; });
+    if (it == counters.end() || it->size() != size)
+      throw ConfigError("checkpoint: counter array '" + name +
+                        "' does not match the persona");
+    for (std::uint32_t j = 0; j < size; ++j) {
+      const std::uint64_t pkts = r.u64();
+      it->set(j, pkts, r.u64());
+    }
+  }
+  const std::uint32_t nmet = r.u32();
+  auto& meters = sw.mutable_meter_arrays();
+  for (std::uint32_t i = 0; i < nmet; ++i) {
+    const std::string name = r.str();
+    const std::uint32_t size = r.u32();
+    auto it = std::find_if(meters.begin(), meters.end(),
+                           [&](const auto& a) { return a.name() == name; });
+    if (it == meters.end() || it->size() != size)
+      throw ConfigError("checkpoint: meter array '" + name +
+                        "' does not match the persona");
+    std::vector<bm::MeterArray::ExportedBucket> buckets(size);
+    for (auto& b : buckets) {
+      b.tokens = r.f64();
+      b.last = r.f64();
+      b.primed = r.b();
+    }
+    it->import_buckets(buckets);
+  }
+
+  const std::uint32_t nmir = r.u32();
+  for (std::uint32_t i = 0; i < nmir; ++i) {
+    const std::uint32_t session = r.u32();
+    sw.mirror_add(session, r.u16());
+  }
+  const std::uint32_t nmc = r.u32();
+  for (std::uint32_t i = 0; i < nmc; ++i) {
+    const std::uint16_t group = r.u16();
+    const std::uint32_t nmem = r.u32();
+    std::vector<std::pair<std::uint16_t, std::uint16_t>> members;
+    for (std::uint32_t j = 0; j < nmem; ++j) {
+      const std::uint16_t port = r.u16();
+      members.emplace_back(port, r.u16());
+    }
+    sw.mc_group_set(group, std::move(members));
+  }
+
+  sw.set_time(r.f64());
+  sw.set_rng_state(r.u64());
+
+  // One atomic engine sync: replicas jump from whatever they served to the
+  // restored image in a single epoch.
+  ctl.flush_engine();
+  return img;
+}
+
+void write_checkpoint_file(const std::string& path, const std::string& body) {
+  Writer w;
+  for (char c : kMagic) w.u8(static_cast<std::uint8_t>(c));
+  w.u8(kVersion);
+  w.u8(0);
+  w.u8(0);
+  w.u8(0);
+  w.u32(crc32(body));
+  std::string out = w.take();
+  out.append(body);
+
+  // Write-to-temp + rename: a crash mid-checkpoint leaves either the old
+  // file set or the new one, never a torn image under the final name.
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (!f) throw ConfigError("checkpoint: cannot create " + tmp);
+  const std::size_t n = std::fwrite(out.data(), 1, out.size(), f);
+  std::fflush(f);
+  std::fclose(f);
+  if (n != out.size()) throw ConfigError("checkpoint: short write to " + tmp);
+  fs::rename(tmp, path);
+}
+
+std::string read_checkpoint_file(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (!f) throw ConfigError("checkpoint: cannot open " + path);
+  std::string bytes;
+  char buf[1 << 16];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) bytes.append(buf, n);
+  std::fclose(f);
+  if (bytes.size() < 12 || std::memcmp(bytes.data(), kMagic, 4) != 0)
+    throw ConfigError("checkpoint: " + path + " is not a checkpoint image");
+  if (static_cast<std::uint8_t>(bytes[4]) != kVersion)
+    throw ConfigError("checkpoint: " + path + " has unsupported version " +
+                      std::to_string(static_cast<std::uint8_t>(bytes[4])));
+  Reader r(std::string_view(bytes).substr(8, 4));
+  const std::uint32_t crc = r.u32();
+  const std::string body = bytes.substr(12);
+  if (crc32(body) != crc)
+    throw ConfigError("checkpoint: " + path + " failed its CRC check");
+  return body;
+}
+
+}  // namespace hyper4::state

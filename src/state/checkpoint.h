@@ -1,0 +1,56 @@
+// Checkpoints: full serialization of one controller's durable state to a
+// versioned, CRC-guarded binary image (see DESIGN.md "Durability &
+// transactions" for the exact layout).
+//
+// An image holds the persona configuration (verified on restore — a
+// checkpoint only restores onto a controller generated from the same
+// PersonaConfig), the target P4 source of every loaded virtual device
+// (programs are persisted as source and recompiled on restore; the
+// compiler is deterministic, so the recompiled artifact translates rules
+// exactly as the original did), the DPMU + controller management state,
+// and the complete dataplane runtime state: every table's entries with
+// their original handles, registers, counters, meter buckets, mirror
+// sessions, multicast groups, the logical clock and the RNG state.
+//
+// serialize_state()/apply_state() work on in-memory byte strings — the
+// transaction layer uses them to stage a rollback image without touching
+// disk; write/read_checkpoint_file add the file framing (magic + CRC).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "hp4/dpmu.h"
+
+namespace hyper4::hp4 {
+class Controller;
+}
+
+namespace hyper4::state {
+
+struct CheckpointImage {
+  std::uint64_t lsn = 0;  // journal position the image covers
+  std::map<hp4::VdevId, std::string> vdev_sources;  // target P4 per vdev
+};
+
+// Serialize the controller's full durable state (plus the per-vdev target
+// sources, which the controller itself does not retain) into an image
+// body covering journal position `lsn`.
+std::string serialize_state(const hp4::Controller& ctl,
+                            const std::map<hp4::VdevId, std::string>& sources,
+                            std::uint64_t lsn);
+
+// Wholesale-replace `ctl`'s state with a serialized image. `ctl` must be
+// built from the same PersonaConfig the image records (ConfigError
+// otherwise). Safe on a controller that already carries state (the
+// transaction rollback path); ends with one forced engine sync so an
+// attached traffic engine observes the restored state atomically.
+CheckpointImage apply_state(const std::string& body, hp4::Controller& ctl);
+
+// File framing: magic "HP4C", version byte, CRC-32 of the body.
+void write_checkpoint_file(const std::string& path, const std::string& body);
+// Throws ConfigError on missing file / bad magic / CRC mismatch.
+std::string read_checkpoint_file(const std::string& path);
+
+}  // namespace hyper4::state

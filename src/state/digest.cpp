@@ -1,0 +1,148 @@
+#include "state/digest.h"
+
+#include <algorithm>
+
+#include "hp4/controller.h"
+#include "state/wire.h"
+
+namespace hyper4::state {
+
+namespace {
+
+std::uint64_t fnv1a(const std::string& bytes) {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (unsigned char c : bytes) {
+    h ^= c;
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+void write_key_param(Writer& w, const bm::KeyParam& k) {
+  w.bitvec(k.value);
+  w.b(k.mask.has_value());
+  if (k.mask) w.bitvec(*k.mask);
+  w.b(k.prefix_len.has_value());
+  if (k.prefix_len) w.u64(*k.prefix_len);
+  w.b(k.range_hi.has_value());
+  if (k.range_hi) w.bitvec(*k.range_hi);
+}
+
+}  // namespace
+
+std::uint64_t state_digest(const hp4::Controller& ctl) {
+  Writer w;
+
+  // DPMU management state.
+  const hp4::Dpmu::ExportedState dp = ctl.dpmu().export_state();
+  w.u32(static_cast<std::uint32_t>(dp.vdevs.size()));
+  for (const auto& v : dp.vdevs) {
+    w.u64(v.id);
+    w.str(v.name);
+    w.str(v.owner);
+    w.u32(static_cast<std::uint32_t>(v.authorized.size()));
+    for (const auto& a : v.authorized) w.str(a);
+    w.u64(v.quota);
+    w.u32(static_cast<std::uint32_t>(v.vport_to_phys.size()));
+    for (const auto& [vp, ph] : v.vport_to_phys) {
+      w.u64(vp);
+      w.u16(ph);
+    }
+    w.u32(static_cast<std::uint32_t>(v.vnet_handles.size()));
+    for (const auto& [vp, h] : v.vnet_handles) {
+      w.u64(vp);
+      w.u64(h);
+    }
+    w.u32(static_cast<std::uint32_t>(v.mcast_groups.size()));
+    for (auto g : v.mcast_groups) w.u16(g);
+    w.u32(static_cast<std::uint32_t>(v.entries.size()));
+    for (const auto& [vh, list] : v.entries) {
+      w.u64(vh);
+      w.u32(static_cast<std::uint32_t>(list.size()));
+      for (const auto& [table, handle] : list) {
+        w.str(table);
+        w.u64(handle);
+      }
+    }
+    w.u32(static_cast<std::uint32_t>(v.static_handles.size()));
+    for (const auto& [table, handle] : v.static_handles) {
+      w.str(table);
+      w.u64(handle);
+    }
+    w.u64(v.next_vhandle);
+  }
+  w.u32(static_cast<std::uint32_t>(dp.bindings.size()));
+  for (const auto& b : dp.bindings) {
+    w.u64(b.id);
+    w.u64(b.handle);
+    w.b(b.has_port);
+    w.u16(b.port);
+    w.u64(b.vdev);
+  }
+  w.u64(dp.next_id);
+  w.u64(dp.next_vport);
+  w.u16(dp.next_mcast_group);
+  w.u64(dp.next_match_id);
+  w.u64(dp.next_binding);
+
+  // Controller management state.
+  const hp4::Controller::ExportedState cs = ctl.export_state();
+  w.u32(static_cast<std::uint32_t>(cs.live_bindings.size()));
+  for (const auto& [key, handle] : cs.live_bindings) {
+    w.i32(key);
+    w.u64(handle);
+  }
+  w.u32(static_cast<std::uint32_t>(cs.configs.size()));
+  for (const auto& [name, bindings] : cs.configs) {
+    w.str(name);
+    w.u32(static_cast<std::uint32_t>(bindings.size()));
+    for (const auto& [key, vdev] : bindings) {
+      w.i32(key);
+      w.u64(vdev);
+    }
+  }
+  w.str(cs.active_config);
+
+  // Dataplane match state: every table's entries, keys, actions, defaults.
+  // Hit counters are excluded (traffic-mutable); handles and next_handle
+  // are included (the DPMU's references depend on them).
+  const bm::Switch& sw = ctl.dataplane();
+  std::vector<std::string> tables = sw.table_names();
+  std::sort(tables.begin(), tables.end());
+  for (const auto& name : tables) {
+    const bm::RuntimeTable& t = sw.table(name);
+    const bm::RuntimeTable::ExportedState ts = t.export_state();
+    w.str(name);
+    w.u64(ts.next_handle);
+    w.b(ts.default_action.has_value());
+    if (ts.default_action) w.u64(*ts.default_action);
+    w.u32(static_cast<std::uint32_t>(ts.default_args.size()));
+    for (const auto& a : ts.default_args) w.bitvec(a);
+    w.u32(static_cast<std::uint32_t>(ts.entries.size()));
+    for (const auto& e : ts.entries) {
+      w.u64(e.handle);
+      w.u32(static_cast<std::uint32_t>(e.key.size()));
+      for (const auto& k : e.key) write_key_param(w, k);
+      w.i32(e.priority);
+      w.u64(e.action);
+      w.u32(static_cast<std::uint32_t>(e.action_args.size()));
+      for (const auto& a : e.action_args) w.bitvec(a);
+    }
+  }
+
+  // Register cells (control-written persona tuning state).
+  for (const auto& r : sw.register_arrays()) {
+    w.str(r.name());
+    for (std::size_t i = 0; i < r.size(); ++i) w.bitvec(r.read(i));
+  }
+
+  return fnv1a(w.bytes());
+}
+
+std::string digest_hex(std::uint64_t d) {
+  char buf[20];
+  std::snprintf(buf, sizeof buf, "%016llx", static_cast<unsigned long long>(d));
+  return buf;
+}
+
+}  // namespace hyper4::state

@@ -1,0 +1,31 @@
+// Control-plane state digest.
+//
+// A 64-bit FNV-1a hash over a canonical serialization of everything the
+// control plane determines: the DPMU's management state (vdevs, bindings,
+// id counters), the controller's snapshot/config state, every persona
+// table's entries (handles, keys, priorities, actions, arguments, default
+// actions — but NOT hit counters, which traffic mutates), and register
+// cells. Two controllers with equal digests install byte-identical match
+// state, so they process any packet identically.
+//
+// The journal embeds the pre-apply digest in records (every
+// StoreOptions::digest_every ops): recovery recomputes the digest as it
+// replays and any divergence — a non-deterministic op, a corrupted record
+// body that still passed CRC — is caught at the exact LSN it appears.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace hyper4::hp4 {
+class Controller;
+}
+
+namespace hyper4::state {
+
+std::uint64_t state_digest(const hp4::Controller& ctl);
+
+// 16 hex digits, for reports and the hyper4_state CLI.
+std::string digest_hex(std::uint64_t d);
+
+}  // namespace hyper4::state

@@ -1,0 +1,305 @@
+#include "state/journal.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+
+#include "state/wire.h"
+#include "util/error.h"
+
+#ifdef _WIN32
+#include <io.h>
+#else
+#include <unistd.h>
+#endif
+
+namespace hyper4::state {
+
+namespace fs = std::filesystem;
+using util::ConfigError;
+
+namespace {
+
+constexpr char kMagic[4] = {'H', 'P', '4', 'J'};
+constexpr std::uint8_t kVersion = 1;
+constexpr std::size_t kSegmentHeaderBytes = 16;
+constexpr std::size_t kFrameHeaderBytes = 8;  // u32 len + u32 crc
+
+std::string segment_name(std::uint64_t first_lsn) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "journal-%016llx.hp4j",
+                static_cast<unsigned long long>(first_lsn));
+  return buf;
+}
+
+std::string read_file(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (!f) throw ConfigError("journal: cannot open " + path);
+  std::string out;
+  char buf[1 << 16];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) out.append(buf, n);
+  std::fclose(f);
+  return out;
+}
+
+std::string frame(const Record& r) {
+  Writer w;
+  w.u64(r.lsn);
+  w.u8(static_cast<std::uint8_t>(r.type));
+  w.u8(r.has_digest ? 1 : 0);
+  w.u64(r.digest);
+  std::string payload = w.take();
+  payload.append(r.body);
+
+  Writer f;
+  f.u32(static_cast<std::uint32_t>(payload.size()));
+  f.u32(crc32(payload));
+  std::string out = f.take();
+  out.append(payload);
+  return out;
+}
+
+// Decode one frame starting at `pos`. Returns false (without touching
+// `rec`) when the bytes from `pos` do not contain a full, CRC-clean frame.
+bool decode_frame(const std::string& bytes, std::size_t pos, Record* rec,
+                  std::size_t* frame_bytes) {
+  if (bytes.size() - pos < kFrameHeaderBytes) return false;
+  Reader hdr(std::string_view(bytes).substr(pos, kFrameHeaderBytes));
+  const std::uint32_t len = hdr.u32();
+  const std::uint32_t crc = hdr.u32();
+  if (len < 18) return false;  // payload header alone is 18 bytes
+  if (bytes.size() - pos - kFrameHeaderBytes < len) return false;  // torn
+  const std::string_view payload =
+      std::string_view(bytes).substr(pos + kFrameHeaderBytes, len);
+  if (crc32(std::span<const std::uint8_t>(
+          reinterpret_cast<const std::uint8_t*>(payload.data()),
+          payload.size())) != crc)
+    return false;
+  Reader r(payload);
+  rec->lsn = r.u64();
+  rec->type = static_cast<RecordType>(r.u8());
+  rec->has_digest = r.u8() != 0;
+  rec->digest = r.u64();
+  rec->body = std::string(payload.substr(r.pos()));
+  *frame_bytes = kFrameHeaderBytes + len;
+  return true;
+}
+
+struct SegmentInfo {
+  std::string path;
+  std::uint64_t first_lsn = 0;
+};
+
+std::vector<SegmentInfo> list_segments(const std::string& dir) {
+  std::vector<SegmentInfo> out;
+  if (!fs::exists(dir)) return out;
+  for (const auto& e : fs::directory_iterator(dir)) {
+    const std::string name = e.path().filename().string();
+    unsigned long long lsn = 0;
+    // Exact-name match: sscanf alone would also accept stray suffixes
+    // (editor backups, tmp files) that merely start like a segment.
+    if (std::sscanf(name.c_str(), "journal-%16llx.hp4j", &lsn) == 1 &&
+        name == segment_name(lsn)) {
+      out.push_back({e.path().string(), lsn});
+    }
+  }
+  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    return a.first_lsn < b.first_lsn;
+  });
+  return out;
+}
+
+// Validate a segment header; returns the first_lsn or nullopt on garbage.
+bool parse_header(const std::string& bytes, std::uint64_t* first_lsn) {
+  if (bytes.size() < kSegmentHeaderBytes) return false;
+  if (std::memcmp(bytes.data(), kMagic, 4) != 0) return false;
+  if (static_cast<std::uint8_t>(bytes[4]) != kVersion) return false;
+  Reader r(std::string_view(bytes).substr(8, 8));
+  *first_lsn = r.u64();
+  return true;
+}
+
+}  // namespace
+
+Journal::Journal(std::string dir, JournalOptions opts, std::uint64_t next_lsn)
+    : dir_(std::move(dir)), opts_(opts), next_lsn_(next_lsn) {
+  fs::create_directories(dir_);
+  // Find the tail: scan and truncate any untrusted suffix in place so the
+  // on-disk journal ends exactly at the last valid record.
+  const auto segs = list_segments(dir_);
+  if (!segs.empty()) {
+    const ScanResult sr = scan(dir_, 0);
+    if (sr.last_lsn >= next_lsn_) next_lsn_ = sr.last_lsn + 1;
+    // Truncate the first segment containing untrusted bytes and delete all
+    // segments after it.
+    bool corrupt_seen = false;
+    for (const auto& seg : segs) {
+      if (corrupt_seen) {
+        fs::remove(seg.path);
+        continue;
+      }
+      const std::string bytes = read_file(seg.path);
+      std::uint64_t first = 0;
+      if (!parse_header(bytes, &first)) {
+        fs::remove(seg.path);
+        corrupt_seen = true;
+        continue;
+      }
+      std::size_t pos = kSegmentHeaderBytes;
+      Record rec;
+      std::size_t fb = 0;
+      while (pos < bytes.size() && decode_frame(bytes, pos, &rec, &fb))
+        pos += fb;
+      if (pos < bytes.size()) {
+        fs::resize_file(seg.path, pos);
+        corrupt_seen = true;
+      }
+    }
+    // Re-open the newest surviving segment for append.
+    const auto alive = list_segments(dir_);
+    if (!alive.empty()) {
+      const auto& tail = alive.back();
+      f_ = std::fopen(tail.path.c_str(), "ab");
+      if (!f_) throw ConfigError("journal: cannot append to " + tail.path);
+      current_path_ = tail.path;
+      current_bytes_ = fs::file_size(tail.path);
+      return;
+    }
+  }
+  open_segment(next_lsn_);
+}
+
+Journal::~Journal() { close_segment(); }
+
+void Journal::open_segment(std::uint64_t first_lsn) {
+  close_segment();
+  current_path_ = (fs::path(dir_) / segment_name(first_lsn)).string();
+  f_ = std::fopen(current_path_.c_str(), "wb");
+  if (!f_) throw ConfigError("journal: cannot create " + current_path_);
+  Writer w;
+  for (char c : kMagic) w.u8(static_cast<std::uint8_t>(c));
+  w.u8(kVersion);
+  w.u8(0);
+  w.u8(0);
+  w.u8(0);
+  w.u64(first_lsn);
+  const std::string hdr = w.take();
+  std::fwrite(hdr.data(), 1, hdr.size(), f_);
+  std::fflush(f_);
+  current_bytes_ = hdr.size();
+}
+
+void Journal::close_segment() {
+  if (f_) {
+    std::fflush(f_);
+    std::fclose(f_);
+    f_ = nullptr;
+  }
+}
+
+std::uint64_t Journal::append(RecordType type, const std::string& body,
+                              bool has_digest, std::uint64_t digest) {
+  if (current_bytes_ >= opts_.segment_bytes) open_segment(next_lsn_);
+  Record rec;
+  rec.lsn = next_lsn_++;
+  rec.type = type;
+  rec.has_digest = has_digest;
+  rec.digest = digest;
+  rec.body = body;
+  const std::string bytes = frame(rec);
+  if (std::fwrite(bytes.data(), 1, bytes.size(), f_) != bytes.size())
+    throw ConfigError("journal: short write to " + current_path_ + ": " +
+                      std::strerror(errno));
+  std::fflush(f_);
+  current_bytes_ += bytes.size();
+  return rec.lsn;
+}
+
+std::uint64_t Journal::mark_fsync_point() {
+  const std::uint64_t lsn = append(RecordType::kFsyncPoint, "");
+  if (opts_.fsync) {
+#ifndef _WIN32
+    fsync(fileno(f_));
+#endif
+  }
+  return lsn;
+}
+
+void Journal::truncate_up_to(std::uint64_t lsn) {
+  // Rotate so the active segment starts after `lsn`; then any older
+  // segment whose successor starts at or below lsn+1 is fully covered.
+  if (last_lsn() <= lsn) open_segment(next_lsn_);
+  const auto segs = list_segments(dir_);
+  for (std::size_t i = 0; i + 1 < segs.size(); ++i) {
+    if (segs[i + 1].first_lsn <= lsn + 1 && segs[i].path != current_path_)
+      fs::remove(segs[i].path);
+  }
+}
+
+ScanResult Journal::scan(const std::string& dir, std::uint64_t min_lsn) {
+  ScanResult out;
+  out.last_lsn = min_lsn;
+  const auto segs = list_segments(dir);
+  bool corrupt_seen = false;
+  std::uint64_t prev_lsn = min_lsn;
+  for (const auto& seg : segs) {
+    const std::string bytes = read_file(seg.path);
+    if (corrupt_seen) {
+      ++out.dropped_segments;
+      out.dropped_bytes += bytes.size();
+      out.warnings.push_back("dropped whole segment after corruption: " +
+                             seg.path + " (" + std::to_string(bytes.size()) +
+                             " bytes)");
+      continue;
+    }
+    std::uint64_t first = 0;
+    if (!parse_header(bytes, &first)) {
+      corrupt_seen = true;
+      ++out.dropped_segments;
+      out.dropped_bytes += bytes.size();
+      out.warnings.push_back("bad segment header: " + seg.path);
+      continue;
+    }
+    std::size_t pos = kSegmentHeaderBytes;
+    while (pos < bytes.size()) {
+      Record rec;
+      std::size_t fb = 0;
+      if (!decode_frame(bytes, pos, &rec, &fb)) {
+        corrupt_seen = true;
+        out.dropped_bytes += bytes.size() - pos;
+        out.warnings.push_back(
+            "torn or corrupt record in " + seg.path + " at byte " +
+            std::to_string(pos) + "; dropped " +
+            std::to_string(bytes.size() - pos) + " trailing bytes");
+        break;
+      }
+      if (rec.lsn <= prev_lsn) {
+        // Records at or below min_lsn are checkpoint-covered and expected;
+        // anything else with a non-increasing LSN is a genuine duplicate
+        // (e.g. a copied segment file) and must not be re-applied.
+        if (rec.lsn > min_lsn) {
+          ++out.skipped_duplicates;
+          out.warnings.push_back("skipped duplicate LSN " +
+                                 std::to_string(rec.lsn) + " in " + seg.path);
+        }
+        pos += fb;
+        continue;
+      }
+      prev_lsn = rec.lsn;
+      out.last_lsn = rec.lsn;
+      out.records.push_back(std::move(rec));
+      pos += fb;
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> Journal::segment_files(const std::string& dir) {
+  std::vector<std::string> out;
+  for (const auto& seg : list_segments(dir)) out.push_back(seg.path);
+  return out;
+}
+
+}  // namespace hyper4::state

@@ -1,0 +1,117 @@
+// The write-ahead journal (see DESIGN.md "Durability & transactions").
+//
+// A journal is a directory of segment files `journal-<first-lsn>.hp4j`,
+// each a 16-byte header followed by length-prefixed, CRC-guarded records:
+//
+//   segment header:  "HP4J" u8 version  u8[3] pad  u64 first_lsn
+//   record:          u32 payload_len  u32 crc32(payload)  payload
+//   payload:         u64 lsn  u8 type  u8 has_digest  u64 digest  body
+//
+// Appends go to the newest segment; when it exceeds `segment_bytes` the
+// next append opens a fresh segment (rotation). Every append flushes to
+// the OS; `mark_fsync_point()` additionally appends a kFsyncPoint record
+// and fsync()s the file, so everything up to (and including) the marker is
+// known durable.
+//
+// scan() is the recovery reader: it walks segments in LSN order, verifies
+// every frame, and stops at the first invalid one — a torn length/payload
+// (crash mid-append) or a CRC mismatch (corruption). Everything after the
+// first invalid frame is untrusted and reported as dropped, even if later
+// bytes happen to frame correctly: a journal is a prefix-trusted medium.
+// Records whose LSN is not strictly increasing (e.g. a duplicated segment
+// file) are skipped and counted, never re-applied.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace hyper4::state {
+
+enum class RecordType : std::uint8_t {
+  kOp = 1,         // one journaled control-plane operation
+  kTxn = 2,        // a committed transaction: body is the op batch
+  kFsyncPoint = 3, // durability marker (empty body)
+};
+
+struct Record {
+  std::uint64_t lsn = 0;
+  RecordType type = RecordType::kOp;
+  // Pre-apply state digest: the digest of the store's state *before* this
+  // record's operation is applied (0 / false when digests are disabled).
+  // Recovery verifies it against the state it has rebuilt so far.
+  bool has_digest = false;
+  std::uint64_t digest = 0;
+  std::string body;
+};
+
+struct JournalOptions {
+  std::size_t segment_bytes = 256 * 1024;  // rotate past this size
+  bool fsync = false;  // real fsync() at fsync points (tests leave it off)
+};
+
+// Result of a recovery scan. `records` is the trusted prefix.
+struct ScanResult {
+  std::vector<Record> records;
+  std::uint64_t last_lsn = 0;       // highest trusted LSN (0 when none)
+  std::uint64_t dropped_bytes = 0;  // untrusted bytes after the first
+                                    // invalid frame (all segments)
+  std::size_t dropped_segments = 0; // whole segments after a corrupt one
+  std::size_t skipped_duplicates = 0;  // non-increasing-LSN records skipped
+  std::vector<std::string> warnings;   // human-readable drop descriptions
+};
+
+class Journal {
+ public:
+  // Opens `dir` (created if missing) for appending. Scans existing
+  // segments to find the tail and TRUNCATES any torn/corrupt suffix in
+  // place, so the on-disk journal always ends at the last valid record.
+  // `next_lsn` seeds LSN assignment when the journal is empty (a store
+  // recovering from a checkpoint passes checkpoint_lsn + 1).
+  Journal(std::string dir, JournalOptions opts, std::uint64_t next_lsn = 1);
+  ~Journal();
+
+  Journal(const Journal&) = delete;
+  Journal& operator=(const Journal&) = delete;
+
+  // Append one record; assigns and returns its LSN. The frame is written
+  // and flushed (fflush) before return — write-ahead means the caller
+  // applies the operation only after this returns.
+  std::uint64_t append(RecordType type, const std::string& body,
+                       bool has_digest = false, std::uint64_t digest = 0);
+
+  // Append a kFsyncPoint marker and fsync the segment (when opts.fsync).
+  std::uint64_t mark_fsync_point();
+
+  std::uint64_t next_lsn() const { return next_lsn_; }
+  std::uint64_t last_lsn() const { return next_lsn_ - 1; }
+  const std::string& dir() const { return dir_; }
+
+  // Delete whole segments all of whose records have LSN <= `lsn`
+  // (checkpoint truncation). The active tail segment is never deleted;
+  // instead the journal rotates first so the boundary is clean.
+  void truncate_up_to(std::uint64_t lsn);
+
+  // Recovery read of `dir` (see class comment). Records with LSN <=
+  // `min_lsn` (already covered by a checkpoint) are dropped silently.
+  // Static: recovery scans before a Journal is opened for append.
+  static ScanResult scan(const std::string& dir, std::uint64_t min_lsn = 0);
+
+  // Segment files in LSN order (absolute paths) — for journal-dump and the
+  // crash fuzzer's kill-offset selection.
+  static std::vector<std::string> segment_files(const std::string& dir);
+
+ private:
+  void open_segment(std::uint64_t first_lsn);
+  void close_segment();
+
+  std::string dir_;
+  JournalOptions opts_;
+  std::uint64_t next_lsn_ = 1;
+  std::FILE* f_ = nullptr;
+  std::string current_path_;
+  std::size_t current_bytes_ = 0;
+};
+
+}  // namespace hyper4::state

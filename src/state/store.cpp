@@ -1,0 +1,535 @@
+#include "state/store.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <sstream>
+
+#include "hp4/p4_emit.h"
+#include "p4/frontend.h"
+#include "state/checkpoint.h"
+#include "state/digest.h"
+#include "state/wire.h"
+#include "util/error.h"
+
+namespace hyper4::state {
+
+namespace fs = std::filesystem;
+using util::ConfigError;
+
+namespace {
+
+enum class OpCode : std::uint8_t {
+  kLoad = 1,
+  kUnload = 2,
+  kAttachPorts = 3,
+  kChain = 4,
+  kBind = 5,
+  kAddRule = 6,
+  kDeleteRule = 7,
+  kAuthorize = 8,
+  kRegisterWrite = 9,
+  kDefineConfig = 10,
+  kActivateConfig = 11,
+};
+
+std::string checkpoint_name(std::uint64_t lsn) {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "checkpoint-%016llx.hp4c",
+                static_cast<unsigned long long>(lsn));
+  return buf;
+}
+
+void expect_id(const char* what, std::uint64_t expected, std::uint64_t got) {
+  if (expected != got)
+    throw ConfigError(std::string("replay determinism violation: ") + what +
+                      " expected id " + std::to_string(expected) + ", got " +
+                      std::to_string(got));
+}
+
+}  // namespace
+
+std::string RecoveryReport::str() const {
+  std::ostringstream os;
+  if (checkpoint_loaded)
+    os << "checkpoint: " << checkpoint_file << " (lsn " << checkpoint_lsn
+       << ")\n";
+  else
+    os << "checkpoint: none\n";
+  os << "replayed: " << replayed << " record(s), " << replay_failures
+     << " deterministic failure(s)\n";
+  os << "digests: " << digests_checked << " checked, "
+     << (digest_ok ? "all ok" : "MISMATCH (replay stopped)") << "\n";
+  if (dropped_bytes || dropped_segments)
+    os << "dropped: " << dropped_bytes << " untrusted byte(s), "
+       << dropped_segments << " whole segment(s)\n";
+  if (skipped_duplicates)
+    os << "skipped: " << skipped_duplicates << " duplicate-LSN record(s)\n";
+  for (const auto& w : warnings) os << "warning: " << w << "\n";
+  return os.str();
+}
+
+DurableController::DurableController(std::string dir, hp4::PersonaConfig cfg,
+                                     StoreOptions opts)
+    : dir_(std::move(dir)), opts_(opts) {
+  fs::create_directories(dir_);
+  controller_ = std::make_unique<hp4::Controller>(cfg);
+  recover(cfg);
+}
+
+DurableController::~DurableController() = default;
+
+std::uint64_t DurableController::digest() const {
+  return state_digest(*controller_);
+}
+
+void DurableController::recover(const hp4::PersonaConfig&) {
+  // 1. Newest loadable checkpoint (fall back to the previous image when
+  // the newest is torn/corrupt — checkpoints are written tmp+rename, but a
+  // disk can still hand back garbage).
+  std::uint64_t start_lsn = 0;
+  for (const auto& path : checkpoint_files(dir_)) {
+    try {
+      const std::string body = read_checkpoint_file(path);
+      const CheckpointImage img = apply_state(body, *controller_);
+      sources_ = img.vdev_sources;
+      start_lsn = img.lsn;
+      recovery_.checkpoint_loaded = true;
+      recovery_.checkpoint_file = path;
+      recovery_.checkpoint_lsn = img.lsn;
+      break;
+    } catch (const util::Error& e) {
+      recovery_.warnings.push_back("unusable checkpoint " + path + ": " +
+                                   e.what());
+    }
+  }
+
+  // 2. Scan the journal tail BEFORE opening it for append (the open
+  // truncates the untrusted suffix in place; scanning first preserves the
+  // drop accounting for the report).
+  const ScanResult sr = Journal::scan(dir_, start_lsn);
+  recovery_.skipped_duplicates = sr.skipped_duplicates;
+  recovery_.dropped_bytes = sr.dropped_bytes;
+  recovery_.dropped_segments = sr.dropped_segments;
+  for (const auto& w : sr.warnings) recovery_.warnings.push_back(w);
+
+  journal_ = std::make_unique<Journal>(
+      dir_, JournalOptions{opts_.segment_bytes, opts_.fsync}, start_lsn + 1);
+
+  // 3. Replay the trusted prefix.
+  for (const Record& rec : sr.records) {
+    if (!recovery_.digest_ok) break;
+    replay(rec);
+  }
+}
+
+void DurableController::replay(const Record& rec) {
+  if (rec.type == RecordType::kFsyncPoint) return;
+
+  if (rec.has_digest) {
+    ++recovery_.digests_checked;
+    const std::uint64_t have = state_digest(*controller_);
+    if (have != rec.digest) {
+      recovery_.digest_ok = false;
+      recovery_.warnings.push_back(
+          "state digest mismatch before lsn " + std::to_string(rec.lsn) +
+          ": journal says " + digest_hex(rec.digest) + ", recovered state is " +
+          digest_hex(have) + "; replay stopped");
+      return;
+    }
+  }
+
+  if (rec.type == RecordType::kOp) {
+    try {
+      dispatch(rec.body);
+    } catch (const util::Error& e) {
+      // The op failed when it was first issued too (the journal is written
+      // before the apply); the DPMU rolled it back then and now.
+      ++recovery_.replay_failures;
+      recovery_.warnings.push_back("lsn " + std::to_string(rec.lsn) +
+                                   " re-failed on replay (as it did live): " +
+                                   e.what());
+    }
+    ++recovery_.replayed;
+    return;
+  }
+
+  if (rec.type == RecordType::kTxn) {
+    // All-or-nothing: a committed transaction's ops all succeeded live, so
+    // replay failing partway means corruption that beat the CRC — restore
+    // the pre-txn image rather than leave a half-applied batch.
+    Reader r(rec.body);
+    const std::uint32_t n = r.u32();
+    const std::string snapshot =
+        serialize_state(*controller_, sources_, rec.lsn);
+    try {
+      for (std::uint32_t i = 0; i < n; ++i) dispatch(r.str());
+    } catch (const util::Error& e) {
+      sources_ = apply_state(snapshot, *controller_).vdev_sources;
+      ++recovery_.replay_failures;
+      recovery_.warnings.push_back(
+          "txn at lsn " + std::to_string(rec.lsn) +
+          " failed mid-replay and was rolled back whole: " + e.what());
+    }
+    ++recovery_.replayed;
+    return;
+  }
+
+  recovery_.warnings.push_back("unknown record type at lsn " +
+                               std::to_string(rec.lsn) + "; ignored");
+}
+
+std::uint64_t DurableController::run_op(const std::string& body) {
+  if (in_txn_) {
+    std::uint64_t result = 0;
+    try {
+      result = dispatch(body);
+    } catch (...) {
+      txn_abort();
+      throw;
+    }
+    txn_ops_.push_back(body);
+    return result;
+  }
+
+  // Write-ahead: the record is on disk (flushed) before the apply.
+  bool with_digest = false;
+  std::uint64_t digest = 0;
+  if (opts_.digest_every && ++ops_since_digest_ >= opts_.digest_every) {
+    with_digest = true;
+    digest = state_digest(*controller_);
+    ops_since_digest_ = 0;
+  }
+  journal_->append(RecordType::kOp, body, with_digest, digest);
+  const std::uint64_t result = dispatch(body);
+  if (opts_.fsync_every && ++ops_since_fsync_ >= opts_.fsync_every) {
+    journal_->mark_fsync_point();
+    ops_since_fsync_ = 0;
+  }
+  return result;
+}
+
+std::uint64_t DurableController::dispatch(const std::string& body) {
+  Reader r(body);
+  const OpCode op = static_cast<OpCode>(r.u8());
+  switch (op) {
+    case OpCode::kLoad: {
+      const std::string name = r.str();
+      const std::string source = r.str();
+      const std::string owner = r.str();
+      const std::uint64_t quota = r.u64();
+      const std::uint64_t expected = r.u64();
+      const p4::Program prog = p4::parse_p4(source, name);
+      const hp4::VdevId id = controller_->load(name, prog, owner, quota);
+      expect_id("load", expected, id);
+      sources_[id] = source;
+      return id;
+    }
+    case OpCode::kUnload: {
+      const hp4::VdevId id = r.u64();
+      controller_->unload(id);
+      sources_.erase(id);
+      return 0;
+    }
+    case OpCode::kAttachPorts: {
+      const hp4::VdevId id = r.u64();
+      const std::uint32_t n = r.u32();
+      std::vector<std::uint16_t> ports;
+      for (std::uint32_t i = 0; i < n; ++i) ports.push_back(r.u16());
+      controller_->attach_ports(id, ports);
+      return 0;
+    }
+    case OpCode::kChain: {
+      const std::uint32_t nd = r.u32();
+      std::vector<hp4::VdevId> devices;
+      for (std::uint32_t i = 0; i < nd; ++i) devices.push_back(r.u64());
+      const std::uint32_t np = r.u32();
+      std::vector<std::uint16_t> ports;
+      for (std::uint32_t i = 0; i < np; ++i) ports.push_back(r.u16());
+      controller_->chain(devices, ports);
+      return 0;
+    }
+    case OpCode::kBind: {
+      const hp4::VdevId id = r.u64();
+      const bool has_port = r.b();
+      const std::uint16_t port = r.u16();
+      controller_->bind(id, has_port ? std::optional<std::uint16_t>(port)
+                                     : std::nullopt);
+      return 0;
+    }
+    case OpCode::kAddRule: {
+      const hp4::VdevId id = r.u64();
+      const std::string requester = r.str();
+      hp4::VirtualRule rule;
+      rule.table = r.str();
+      rule.action = r.str();
+      const std::uint32_t nk = r.u32();
+      for (std::uint32_t i = 0; i < nk; ++i) rule.keys.push_back(r.str());
+      const std::uint32_t na = r.u32();
+      for (std::uint32_t i = 0; i < na; ++i) rule.args.push_back(r.str());
+      rule.priority = r.i32();
+      const std::uint64_t expected = r.u64();
+      const std::uint64_t vh = controller_->add_rule(id, rule, requester);
+      expect_id("add_rule", expected, vh);
+      return vh;
+    }
+    case OpCode::kDeleteRule: {
+      const hp4::VdevId id = r.u64();
+      const std::uint64_t vh = r.u64();
+      controller_->delete_rule(id, vh, r.str());
+      return 0;
+    }
+    case OpCode::kAuthorize: {
+      const hp4::VdevId id = r.u64();
+      controller_->authorize(id, r.str());
+      return 0;
+    }
+    case OpCode::kRegisterWrite: {
+      const std::string reg = r.str();
+      const std::uint64_t index = r.u64();
+      controller_->register_write(reg, index, r.bitvec());
+      return 0;
+    }
+    case OpCode::kDefineConfig: {
+      const std::string name = r.str();
+      const std::uint32_t n = r.u32();
+      std::vector<std::pair<std::optional<std::uint16_t>, hp4::VdevId>> bs;
+      for (std::uint32_t i = 0; i < n; ++i) {
+        const std::int32_t key = r.i32();
+        const hp4::VdevId vdev = r.u64();
+        bs.emplace_back(key < 0 ? std::optional<std::uint16_t>()
+                                : std::optional<std::uint16_t>(
+                                      static_cast<std::uint16_t>(key)),
+                        vdev);
+      }
+      controller_->define_config(name, std::move(bs));
+      return 0;
+    }
+    case OpCode::kActivateConfig: {
+      controller_->activate_config(r.str());
+      return 0;
+    }
+  }
+  throw ConfigError("journal: unknown opcode " +
+                    std::to_string(static_cast<unsigned>(op)));
+}
+
+hp4::VdevId DurableController::load(const std::string& name,
+                                    const p4::Program& target,
+                                    const std::string& owner,
+                                    std::size_t quota) {
+  // Canonicalize through source: the journal stores P4 text, so the live
+  // apply must compile the same text a replay would (emit→parse roundtrip).
+  return load_source(name, hp4::emit_p4(target), owner, quota);
+}
+
+hp4::VdevId DurableController::load_source(const std::string& name,
+                                           const std::string& source,
+                                           const std::string& owner,
+                                           std::size_t quota) {
+  Writer w;
+  w.u8(static_cast<std::uint8_t>(OpCode::kLoad));
+  w.str(name);
+  w.str(source);
+  w.str(owner);
+  w.u64(quota);
+  w.u64(controller_->dpmu().next_vdev_id());
+  return run_op(w.take());
+}
+
+void DurableController::unload(hp4::VdevId id) {
+  Writer w;
+  w.u8(static_cast<std::uint8_t>(OpCode::kUnload));
+  w.u64(id);
+  run_op(w.take());
+}
+
+void DurableController::attach_ports(hp4::VdevId id,
+                                     const std::vector<std::uint16_t>& ports) {
+  Writer w;
+  w.u8(static_cast<std::uint8_t>(OpCode::kAttachPorts));
+  w.u64(id);
+  w.u32(static_cast<std::uint32_t>(ports.size()));
+  for (auto p : ports) w.u16(p);
+  run_op(w.take());
+}
+
+void DurableController::chain(const std::vector<hp4::VdevId>& devices,
+                              const std::vector<std::uint16_t>& ports) {
+  Writer w;
+  w.u8(static_cast<std::uint8_t>(OpCode::kChain));
+  w.u32(static_cast<std::uint32_t>(devices.size()));
+  for (auto d : devices) w.u64(d);
+  w.u32(static_cast<std::uint32_t>(ports.size()));
+  for (auto p : ports) w.u16(p);
+  run_op(w.take());
+}
+
+void DurableController::bind(hp4::VdevId id,
+                             std::optional<std::uint16_t> port) {
+  Writer w;
+  w.u8(static_cast<std::uint8_t>(OpCode::kBind));
+  w.u64(id);
+  w.b(port.has_value());
+  w.u16(port.value_or(0));
+  run_op(w.take());
+}
+
+std::uint64_t DurableController::add_rule(hp4::VdevId id,
+                                          const hp4::VirtualRule& rule,
+                                          const std::string& requester) {
+  Writer w;
+  w.u8(static_cast<std::uint8_t>(OpCode::kAddRule));
+  w.u64(id);
+  w.str(requester);
+  w.str(rule.table);
+  w.str(rule.action);
+  w.u32(static_cast<std::uint32_t>(rule.keys.size()));
+  for (const auto& k : rule.keys) w.str(k);
+  w.u32(static_cast<std::uint32_t>(rule.args.size()));
+  for (const auto& a : rule.args) w.str(a);
+  w.i32(rule.priority);
+  w.u64(controller_->dpmu().next_vhandle(id));
+  return run_op(w.take());
+}
+
+void DurableController::delete_rule(hp4::VdevId id, std::uint64_t vhandle,
+                                    const std::string& requester) {
+  Writer w;
+  w.u8(static_cast<std::uint8_t>(OpCode::kDeleteRule));
+  w.u64(id);
+  w.u64(vhandle);
+  w.str(requester);
+  run_op(w.take());
+}
+
+void DurableController::authorize(hp4::VdevId id,
+                                  const std::string& requester) {
+  Writer w;
+  w.u8(static_cast<std::uint8_t>(OpCode::kAuthorize));
+  w.u64(id);
+  w.str(requester);
+  run_op(w.take());
+}
+
+void DurableController::register_write(const std::string& reg,
+                                       std::size_t index,
+                                       const util::BitVec& v) {
+  Writer w;
+  w.u8(static_cast<std::uint8_t>(OpCode::kRegisterWrite));
+  w.str(reg);
+  w.u64(index);
+  w.bitvec(v);
+  run_op(w.take());
+}
+
+void DurableController::define_config(
+    const std::string& name,
+    std::vector<std::pair<std::optional<std::uint16_t>, hp4::VdevId>>
+        bindings) {
+  Writer w;
+  w.u8(static_cast<std::uint8_t>(OpCode::kDefineConfig));
+  w.str(name);
+  w.u32(static_cast<std::uint32_t>(bindings.size()));
+  for (const auto& [port, vdev] : bindings) {
+    w.i32(port ? static_cast<std::int32_t>(*port) : -1);
+    w.u64(vdev);
+  }
+  run_op(w.take());
+}
+
+void DurableController::activate_config(const std::string& name) {
+  Writer w;
+  w.u8(static_cast<std::uint8_t>(OpCode::kActivateConfig));
+  w.str(name);
+  run_op(w.take());
+}
+
+void DurableController::txn_begin() {
+  if (in_txn_) throw ConfigError("txn_begin: transaction already open");
+  txn_snapshot_ = serialize_state(*controller_, sources_, journal_->last_lsn());
+  txn_digest_ = state_digest(*controller_);
+  txn_ops_.clear();
+  in_txn_ = true;
+  controller_->suspend_engine_refresh();
+}
+
+std::uint64_t DurableController::txn_commit() {
+  if (!in_txn_) throw ConfigError("txn_commit: no open transaction");
+  Writer w;
+  w.u32(static_cast<std::uint32_t>(txn_ops_.size()));
+  for (const auto& op : txn_ops_) w.str(op);
+  // The whole batch is ONE record: either its frame lands intact (the
+  // transaction is durable) or recovery never sees any of it.
+  const std::uint64_t lsn =
+      journal_->append(RecordType::kTxn, w.take(), true, txn_digest_);
+  journal_->mark_fsync_point();
+  ops_since_fsync_ = 0;
+  in_txn_ = false;
+  txn_ops_.clear();
+  txn_snapshot_.clear();
+  controller_->resume_engine_refresh();  // one sync = one epoch bump
+  return lsn;
+}
+
+void DurableController::txn_abort() {
+  if (!in_txn_) throw ConfigError("txn_abort: no open transaction");
+  sources_ = apply_state(txn_snapshot_, *controller_).vdev_sources;
+  in_txn_ = false;
+  txn_ops_.clear();
+  txn_snapshot_.clear();
+  controller_->resume_engine_refresh();
+}
+
+std::uint64_t DurableController::checkpoint() {
+  if (in_txn_)
+    throw ConfigError("checkpoint: refusing inside an open transaction");
+  const std::uint64_t lsn = journal_->last_lsn();
+  const std::string body = serialize_state(*controller_, sources_, lsn);
+  const std::string path = (fs::path(dir_) / checkpoint_name(lsn)).string();
+  write_checkpoint_file(path, body);
+  // Keep the newest two images: the new one plus one fallback in case the
+  // new file is later found unreadable. The journal is truncated only up
+  // to the OLDEST retained image — falling back to it must still find
+  // every record since its LSN, or the fallback would silently lose the
+  // ops between the two checkpoints.
+  const auto files = checkpoint_files(dir_);
+  for (std::size_t i = 2; i < files.size(); ++i) fs::remove(files[i]);
+  std::uint64_t oldest_retained = lsn;
+  for (const auto& f : checkpoint_files(dir_)) {
+    unsigned long long l = 0;
+    if (std::sscanf(fs::path(f).filename().string().c_str(),
+                    "checkpoint-%16llx.hp4c", &l) == 1)
+      oldest_retained = std::min<std::uint64_t>(oldest_retained, l);
+  }
+  journal_->truncate_up_to(oldest_retained);
+  return lsn;
+}
+
+void DurableController::sync() {
+  journal_->mark_fsync_point();
+  ops_since_fsync_ = 0;
+}
+
+std::vector<std::string> DurableController::checkpoint_files(
+    const std::string& dir) {
+  std::vector<std::pair<std::uint64_t, std::string>> found;
+  if (fs::exists(dir)) {
+    for (const auto& e : fs::directory_iterator(dir)) {
+      const std::string name = e.path().filename().string();
+      unsigned long long lsn = 0;
+      // sscanf ignores trailing characters; require an exact-name match so
+      // leftover tmp files never count as images.
+      if (std::sscanf(name.c_str(), "checkpoint-%16llx.hp4c", &lsn) == 1 &&
+          name == checkpoint_name(lsn))
+        found.emplace_back(lsn, e.path().string());
+    }
+  }
+  std::sort(found.begin(), found.end(),
+            [](const auto& a, const auto& b) { return a.first > b.first; });
+  std::vector<std::string> out;
+  for (auto& [lsn, path] : found) out.push_back(std::move(path));
+  return out;
+}
+
+}  // namespace hyper4::state

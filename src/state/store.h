@@ -1,0 +1,159 @@
+// The durable control plane: a hp4::Controller whose every management
+// operation is write-ahead journaled, checkpointable, and recoverable
+// after a crash at any byte (see DESIGN.md "Durability & transactions").
+//
+// Operation protocol (WAL): each op is encoded to a self-contained binary
+// body carrying the ids the DPMU is *expected* to assign (peeked before
+// apply), appended to the journal, and only then applied. The controller
+// is a deterministic state machine, so replaying the journal over the
+// checkpoint image reproduces the exact pre-crash state — including ops
+// that failed live, which deterministically fail again during replay (the
+// DPMU rolls back partial installs, so a failed op is a no-op both times).
+//
+// Transactions: between txn_begin() and txn_commit(), ops apply
+// immediately (so later ops in the batch see earlier ones) but are
+// journaled as ONE kTxn record at commit, and engine propagation is
+// suspended — replicas observe the whole batch as a single epoch bump.
+// Any op failure (or txn_abort()) restores the in-memory snapshot staged
+// at txn_begin. A crash before the commit record lands recovers to the
+// pre-transaction state: all-or-nothing falls out of record atomicity.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "hp4/controller.h"
+#include "state/journal.h"
+
+namespace hyper4::state {
+
+struct StoreOptions {
+  std::size_t segment_bytes = 256 * 1024;  // journal rotation threshold
+  bool fsync = false;        // real fsync() at fsync points
+  std::size_t digest_every = 1;  // embed a pre-apply digest every N op
+                                 // records (0 = never); recovery verifies
+  std::size_t fsync_every = 16;  // fsync-point marker every N ops (0 = never)
+};
+
+// What crash recovery found and did. `str()` renders the operator summary
+// the hyper4_state CLI prints.
+struct RecoveryReport {
+  bool checkpoint_loaded = false;
+  std::string checkpoint_file;        // empty when none
+  std::uint64_t checkpoint_lsn = 0;
+  std::size_t replayed = 0;           // op/txn records applied
+  std::size_t replay_failures = 0;    // records that failed live too
+  std::size_t skipped_duplicates = 0;
+  std::uint64_t dropped_bytes = 0;    // untrusted journal suffix
+  std::size_t dropped_segments = 0;
+  std::size_t digests_checked = 0;
+  bool digest_ok = true;              // false stops replay at the mismatch
+  std::vector<std::string> warnings;
+  std::string str() const;
+};
+
+// A controller plus its durability machinery, rooted at a directory that
+// holds journal segments and checkpoint images. Constructing one either
+// initializes a fresh store or recovers the existing one (checkpoint +
+// journal tail); recovery() reports which happened.
+class DurableController {
+ public:
+  DurableController(std::string dir, hp4::PersonaConfig cfg = {},
+                    StoreOptions opts = {});
+  ~DurableController();
+
+  DurableController(const DurableController&) = delete;
+  DurableController& operator=(const DurableController&) = delete;
+
+  hp4::Controller& controller() { return *controller_; }
+  const hp4::Controller& controller() const { return *controller_; }
+  const RecoveryReport& recovery() const { return recovery_; }
+  const std::string& dir() const { return dir_; }
+  std::uint64_t last_lsn() const { return journal_->last_lsn(); }
+  std::uint64_t digest() const;
+
+  // --- journaled operations (mirror hp4::Controller's surface) -----------
+  hp4::VdevId load(const std::string& name, const p4::Program& target,
+                   const std::string& owner = "admin",
+                   std::size_t quota = 1024);
+  // Load from P4 source text. This is the canonical path: load() emits the
+  // program back to source first, so the live store and a replaying store
+  // compile the identical text.
+  hp4::VdevId load_source(const std::string& name, const std::string& source,
+                          const std::string& owner = "admin",
+                          std::size_t quota = 1024);
+  void unload(hp4::VdevId id);
+  void attach_ports(hp4::VdevId id, const std::vector<std::uint16_t>& ports);
+  void chain(const std::vector<hp4::VdevId>& devices,
+             const std::vector<std::uint16_t>& ports);
+  void bind(hp4::VdevId id, std::optional<std::uint16_t> port = std::nullopt);
+  std::uint64_t add_rule(hp4::VdevId id, const hp4::VirtualRule& rule,
+                         const std::string& requester = "admin");
+  void delete_rule(hp4::VdevId id, std::uint64_t vhandle,
+                   const std::string& requester = "admin");
+  void authorize(hp4::VdevId id, const std::string& requester);
+  void register_write(const std::string& reg, std::size_t index,
+                      const util::BitVec& v);
+  void define_config(
+      const std::string& name,
+      std::vector<std::pair<std::optional<std::uint16_t>, hp4::VdevId>>
+          bindings);
+  void activate_config(const std::string& name);
+
+  // --- transactions -------------------------------------------------------
+  void txn_begin();
+  // Journal the batch as one record and sync the engine once. Returns the
+  // commit LSN.
+  std::uint64_t txn_commit();
+  void txn_abort();
+  bool in_txn() const { return in_txn_; }
+
+  // --- checkpoint ---------------------------------------------------------
+  // Serialize full state to checkpoint-<lsn>.hp4c (written atomically via
+  // tmp+rename), truncate the journal up to that LSN, and prune all but
+  // the two newest images. Returns the covered LSN. Rejected inside a
+  // transaction (ConfigError).
+  std::uint64_t checkpoint();
+
+  // Force an fsync point now.
+  void sync();
+
+  // The target P4 source of every loaded vdev (what checkpoints persist).
+  const std::map<hp4::VdevId, std::string>& vdev_sources() const {
+    return sources_;
+  }
+
+  // Checkpoint images in `dir`, newest (highest LSN) first.
+  static std::vector<std::string> checkpoint_files(const std::string& dir);
+
+ private:
+  // Decode one op body and apply it to the controller; verifies the
+  // expected-id fields (ConfigError "replay determinism violation" on
+  // mismatch). Returns the assigned id for load/add_rule, else 0.
+  std::uint64_t dispatch(const std::string& body);
+  // Journal-then-apply for one encoded op (or buffer it when in a txn).
+  std::uint64_t run_op(const std::string& body);
+  void recover(const hp4::PersonaConfig& cfg);
+  void replay(const Record& rec);
+
+  std::string dir_;
+  StoreOptions opts_;
+  std::unique_ptr<hp4::Controller> controller_;
+  std::unique_ptr<Journal> journal_;
+  std::map<hp4::VdevId, std::string> sources_;
+  RecoveryReport recovery_;
+
+  std::size_t ops_since_digest_ = 0;
+  std::size_t ops_since_fsync_ = 0;
+
+  bool in_txn_ = false;
+  std::string txn_snapshot_;            // serialize_state image at begin
+  std::uint64_t txn_digest_ = 0;        // pre-txn digest (commit record)
+  std::vector<std::string> txn_ops_;    // encoded bodies, apply order
+};
+
+}  // namespace hyper4::state

@@ -1,0 +1,124 @@
+#include "state/wire.h"
+
+#include <array>
+#include <bit>
+#include <cstring>
+
+#include "util/error.h"
+
+namespace hyper4::state {
+
+namespace {
+
+std::array<std::uint32_t, 256> make_crc_table() {
+  std::array<std::uint32_t, 256> t{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k)
+      c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    t[i] = c;
+  }
+  return t;
+}
+
+const std::array<std::uint32_t, 256>& crc_table() {
+  static const auto t = make_crc_table();
+  return t;
+}
+
+}  // namespace
+
+std::uint32_t crc32(std::span<const std::uint8_t> data) {
+  const auto& t = crc_table();
+  std::uint32_t c = 0xFFFFFFFFu;
+  for (std::uint8_t b : data) c = t[(c ^ b) & 0xFF] ^ (c >> 8);
+  return c ^ 0xFFFFFFFFu;
+}
+
+std::uint32_t crc32(const std::string& data) {
+  return crc32(std::span<const std::uint8_t>(
+      reinterpret_cast<const std::uint8_t*>(data.data()), data.size()));
+}
+
+void Writer::u8(std::uint8_t v) { out_.push_back(static_cast<char>(v)); }
+
+void Writer::u16(std::uint16_t v) {
+  for (int i = 0; i < 2; ++i) u8(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void Writer::u32(std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) u8(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void Writer::u64(std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) u8(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void Writer::i32(std::int32_t v) { u32(static_cast<std::uint32_t>(v)); }
+
+void Writer::f64(double v) { u64(std::bit_cast<std::uint64_t>(v)); }
+
+void Writer::str(const std::string& s) {
+  u32(static_cast<std::uint32_t>(s.size()));
+  out_.append(s);
+}
+
+void Writer::bitvec(const util::BitVec& v) {
+  u32(static_cast<std::uint32_t>(v.width()));
+  for (std::uint8_t byte : v.to_bytes()) u8(byte);
+}
+
+void Reader::need(std::size_t n) const {
+  if (data_.size() - pos_ < n)
+    throw util::ParseError("wire: short read at offset " +
+                           std::to_string(pos_) + " (need " +
+                           std::to_string(n) + ", have " +
+                           std::to_string(data_.size() - pos_) + ")");
+}
+
+std::uint8_t Reader::u8() {
+  need(1);
+  return static_cast<std::uint8_t>(data_[pos_++]);
+}
+
+std::uint16_t Reader::u16() {
+  std::uint16_t v = 0;
+  for (int i = 0; i < 2; ++i) v |= static_cast<std::uint16_t>(u8()) << (8 * i);
+  return v;
+}
+
+std::uint32_t Reader::u32() {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(u8()) << (8 * i);
+  return v;
+}
+
+std::uint64_t Reader::u64() {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(u8()) << (8 * i);
+  return v;
+}
+
+std::int32_t Reader::i32() { return static_cast<std::int32_t>(u32()); }
+
+double Reader::f64() { return std::bit_cast<double>(u64()); }
+
+std::string Reader::str() {
+  const std::uint32_t n = u32();
+  need(n);
+  std::string s(data_.substr(pos_, n));
+  pos_ += n;
+  return s;
+}
+
+util::BitVec Reader::bitvec() {
+  const std::uint32_t width = u32();
+  const std::size_t nbytes = (width + 7) / 8;
+  need(nbytes);
+  std::vector<std::uint8_t> bytes(nbytes);
+  std::memcpy(bytes.data(), data_.data() + pos_, nbytes);
+  pos_ += nbytes;
+  return util::BitVec::from_bytes(bytes, width);
+}
+
+}  // namespace hyper4::state

@@ -1,0 +1,77 @@
+// Binary wire format for the durable control plane (journal records and
+// checkpoint images): a little-endian length-checked writer/reader pair
+// plus the CRC-32 (ISO-HDLC polynomial, the zlib one) that guards every
+// journal record and checkpoint file.
+//
+// The format is deliberately dumb: fixed-width integers, length-prefixed
+// strings, and BitVecs as (width, big-endian bytes). Dumb formats recover
+// well — a reader can always tell "ran out of bytes" apart from "decoded
+// garbage", which is what the journal's torn-tail detection needs.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/bitvec.h"
+
+namespace hyper4::state {
+
+// CRC-32 over `data` (polynomial 0xEDB88320, init/final xor 0xFFFFFFFF —
+// identical to zlib's crc32()), so journal files are checkable with
+// standard tools.
+std::uint32_t crc32(std::span<const std::uint8_t> data);
+std::uint32_t crc32(const std::string& data);
+
+class Writer {
+ public:
+  const std::string& bytes() const { return out_; }
+  std::string take() { return std::move(out_); }
+  std::size_t size() const { return out_.size(); }
+
+  void u8(std::uint8_t v);
+  void u16(std::uint16_t v);
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  void i32(std::int32_t v);
+  void b(bool v) { u8(v ? 1 : 0); }
+  // Bit pattern of an IEEE double (meters' token buckets survive a
+  // checkpoint round trip bit-exactly).
+  void f64(double v);
+  void str(const std::string& s);  // u32 length + raw bytes
+  void bitvec(const util::BitVec& v);  // u32 width + big-endian bytes
+
+ private:
+  std::string out_;
+};
+
+// Reader over a byte string. Every accessor throws util::ParseError when
+// the remaining bytes cannot satisfy it — short reads are errors, never
+// silent zero-fills.
+class Reader {
+ public:
+  explicit Reader(std::string_view data) : data_(data) {}
+
+  bool done() const { return pos_ == data_.size(); }
+  std::size_t remaining() const { return data_.size() - pos_; }
+  std::size_t pos() const { return pos_; }
+
+  std::uint8_t u8();
+  std::uint16_t u16();
+  std::uint32_t u32();
+  std::uint64_t u64();
+  std::int32_t i32();
+  bool b() { return u8() != 0; }
+  double f64();
+  std::string str();
+  util::BitVec bitvec();
+
+ private:
+  void need(std::size_t n) const;
+  std::string_view data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace hyper4::state

@@ -1,5 +1,8 @@
 #include "util/strings.h"
 
+#include <algorithm>
+#include <utility>
+
 #include "util/error.h"
 
 namespace hyper4::util {
@@ -69,6 +72,55 @@ std::uint64_t parse_uint(std::string_view s) {
     v = v * 10 + static_cast<std::uint64_t>(c - '0');
   }
   return v;
+}
+
+std::size_t edit_distance(std::string_view a, std::string_view b) {
+  if (a.size() > b.size()) std::swap(a, b);
+  std::vector<std::size_t> row(a.size() + 1);
+  for (std::size_t i = 0; i <= a.size(); ++i) row[i] = i;
+  for (std::size_t j = 1; j <= b.size(); ++j) {
+    std::size_t diag = row[0];
+    row[0] = j;
+    for (std::size_t i = 1; i <= a.size(); ++i) {
+      const std::size_t sub = diag + (a[i - 1] == b[j - 1] ? 0 : 1);
+      diag = row[i];
+      row[i] = std::min({row[i] + 1, row[i - 1] + 1, sub});
+    }
+  }
+  return row[a.size()];
+}
+
+std::vector<std::string> nearest_names(
+    std::string_view name, const std::vector<std::string>& candidates,
+    std::size_t max_results) {
+  const std::size_t cutoff = std::max<std::size_t>(2, name.size() / 3);
+  std::vector<std::pair<std::size_t, std::string>> scored;
+  for (const auto& c : candidates) {
+    if (c == name) continue;
+    const std::size_t d = edit_distance(name, c);
+    if (d <= cutoff) scored.emplace_back(d, c);
+  }
+  std::sort(scored.begin(), scored.end());
+  std::vector<std::string> out;
+  for (const auto& [d, c] : scored) {
+    if (out.size() >= max_results) break;
+    out.push_back(c);
+  }
+  return out;
+}
+
+std::string did_you_mean(std::string_view name,
+                         const std::vector<std::string>& candidates,
+                         std::size_t max_results) {
+  const auto near = nearest_names(name, candidates, max_results);
+  if (near.empty()) return "";
+  std::string out = "; did you mean ";
+  for (std::size_t i = 0; i < near.size(); ++i) {
+    if (i) out += i + 1 == near.size() ? " or " : ", ";
+    out += "'" + near[i] + "'";
+  }
+  out += "?";
+  return out;
 }
 
 bool is_uint(std::string_view s) {

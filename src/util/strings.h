@@ -26,4 +26,22 @@ std::uint64_t parse_uint(std::string_view s);
 
 bool is_uint(std::string_view s);
 
+// Levenshtein edit distance (insert / delete / substitute, unit costs).
+std::size_t edit_distance(std::string_view a, std::string_view b);
+
+// The candidates nearest to `name` by edit distance, closest first (ties
+// broken lexicographically), filtered to distances small enough to be a
+// plausible typo (<= max(2, |name|/3)). At most `max_results` entries.
+// Used by the runtime CLI to turn "no table named 'ipv4_lpn'" into an
+// actionable message naming 'ipv4_lpm'.
+std::vector<std::string> nearest_names(std::string_view name,
+                                       const std::vector<std::string>& candidates,
+                                       std::size_t max_results = 3);
+
+// Render a nearest_names() result as "; did you mean 'a' or 'b'?" — empty
+// string when there are no plausible candidates.
+std::string did_you_mean(std::string_view name,
+                         const std::vector<std::string>& candidates,
+                         std::size_t max_results = 3);
+
 }  // namespace hyper4::util

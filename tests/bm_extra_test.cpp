@@ -229,5 +229,38 @@ TEST(SwitchStats, CumulativeCountersAndReset) {
   EXPECT_EQ(sw.table("t").applied_count(), 0u);
 }
 
+// Unknown-name errors name the nearest real candidates so a typo in a
+// command file is a one-glance fix, not a schema hunt.
+TEST(CliErrors, UnknownTableSuggestsNearestName) {
+  auto b = tag_program();
+  Switch sw(b.build());
+  const CliResult r = run_cli_command(sw, "table_add tt fwd 1 => 2");
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.message.find("no table named 'tt'"), std::string::npos)
+      << r.message;
+  EXPECT_NE(r.message.find("did you mean 't'"), std::string::npos)
+      << r.message;
+}
+
+TEST(CliErrors, UnknownActionSuggestsNearestName) {
+  auto b = tag_program();
+  Switch sw(b.build());
+  const CliResult r = run_cli_command(sw, "table_add t fwdd 1 => 2");
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.message.find("no action named 'fwdd'"), std::string::npos)
+      << r.message;
+  EXPECT_NE(r.message.find("did you mean 'fwd'"), std::string::npos)
+      << r.message;
+}
+
+TEST(CliErrors, HopelessTypoGetsNoSuggestion) {
+  auto b = tag_program();
+  Switch sw(b.build());
+  const CliResult r =
+      run_cli_command(sw, "table_add zzzzzzzzzz fwd 1 => 2");
+  EXPECT_FALSE(r.ok);
+  EXPECT_EQ(r.message.find("did you mean"), std::string::npos) << r.message;
+}
+
 }  // namespace
 }  // namespace hyper4::bm

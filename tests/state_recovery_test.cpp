@@ -1,0 +1,308 @@
+// Crash recovery: truncation at arbitrary byte offsets, CRC and digest
+// corruption, mid-transaction crashes, and checkpoint fallback. These
+// tests perform frame surgery on the on-disk journal, so they pin the
+// wire layout: 16-byte segment header, then frames of
+// u32 len + u32 crc + payload, payload = u64 lsn + u8 type +
+// u8 has_digest + u64 digest + body.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <map>
+
+#include "apps/apps.h"
+#include "state/digest.h"
+#include "state/journal.h"
+#include "state/store.h"
+#include "state/wire.h"
+#include "util/error.h"
+
+namespace hyper4::state {
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr std::size_t kSegHdr = 16;
+constexpr std::size_t kFrameHdr = 8;
+
+hp4::VirtualRule vr(const apps::Rule& r) {
+  return hp4::VirtualRule{r.table, r.action, r.keys, r.args, r.priority};
+}
+
+std::string read_file(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  EXPECT_NE(f, nullptr) << path;
+  std::string out;
+  char buf[1 << 14];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) out.append(buf, n);
+  std::fclose(f);
+  return out;
+}
+
+void write_file(const std::string& path, const std::string& bytes) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr) << path;
+  ASSERT_EQ(std::fwrite(bytes.data(), 1, bytes.size(), f), bytes.size());
+  std::fclose(f);
+}
+
+struct FrameLoc {
+  std::size_t pos = 0;  // frame start (the u32 len field)
+  std::uint32_t len = 0;
+  std::uint64_t lsn = 0;
+  std::uint8_t type = 0;
+  bool has_digest = false;
+};
+
+// Walk a segment's frames without CRC checking (the tests corrupt CRCs).
+std::vector<FrameLoc> frames(const std::string& bytes) {
+  std::vector<FrameLoc> out;
+  std::size_t pos = kSegHdr;
+  while (pos + kFrameHdr <= bytes.size()) {
+    Reader hdr(std::string_view(bytes).substr(pos, kFrameHdr));
+    const std::uint32_t len = hdr.u32();
+    if (len < 18 || pos + kFrameHdr + len > bytes.size()) break;
+    Reader p(std::string_view(bytes).substr(pos + kFrameHdr, 18));
+    FrameLoc fl;
+    fl.pos = pos;
+    fl.len = len;
+    fl.lsn = p.u64();
+    fl.type = p.u8();
+    fl.has_digest = p.u8() != 0;
+    out.push_back(fl);
+    pos += kFrameHdr + len;
+  }
+  return out;
+}
+
+// Recompute and patch the CRC of the frame at `fl` (after body surgery).
+void refresh_crc(std::string* bytes, const FrameLoc& fl) {
+  const std::string_view payload =
+      std::string_view(*bytes).substr(fl.pos + kFrameHdr, fl.len);
+  Writer w;
+  w.u32(crc32(std::span<const std::uint8_t>(
+      reinterpret_cast<const std::uint8_t*>(payload.data()), payload.size())));
+  bytes->replace(fl.pos + 4, 4, w.take());
+}
+
+class RecoveryTest : public ::testing::Test {
+ protected:
+  RecoveryTest() {
+    dir_ = (fs::temp_directory_path() /
+            ("hp4_recovery_test_" +
+             std::string(::testing::UnitTest::GetInstance()
+                             ->current_test_info()
+                             ->name())))
+               .string();
+    fs::remove_all(dir_);
+  }
+  ~RecoveryTest() override { fs::remove_all(dir_); }
+
+  // One journal segment (no rotation, no fsync markers), a digest on
+  // every record so recovery verifies continuously.
+  StoreOptions opts() const {
+    StoreOptions o;
+    o.digest_every = 1;
+    o.fsync_every = 0;
+    return o;
+  }
+
+  // Run the canonical script, recording the store digest after every op
+  // keyed by that op's LSN. Returns the single segment's path.
+  std::string run_script(std::map<std::uint64_t, std::uint64_t>* digest_at) {
+    DurableController st(dir_, {}, opts());
+    (*digest_at)[0] = st.digest();
+    const hp4::VdevId id = st.load("l2", apps::l2_switch());
+    (*digest_at)[st.last_lsn()] = st.digest();
+    st.attach_ports(id, {1, 2});
+    (*digest_at)[st.last_lsn()] = st.digest();
+    st.bind(id);
+    (*digest_at)[st.last_lsn()] = st.digest();
+    for (int i = 1; i <= 4; ++i) {
+      st.add_rule(id, vr(apps::l2_forward(
+                             "02:00:00:00:00:0" + std::to_string(i), 1)));
+      (*digest_at)[st.last_lsn()] = st.digest();
+    }
+    const auto segs = Journal::segment_files(dir_);
+    EXPECT_EQ(segs.size(), 1u);
+    return segs[0];
+  }
+
+  std::string dir_;
+};
+
+TEST_F(RecoveryTest, TruncationAtEveryFrameBoundaryRecoversThePrefix) {
+  std::map<std::uint64_t, std::uint64_t> digest_at;
+  const std::string seg = run_script(&digest_at);
+  const std::string bytes = read_file(seg);
+  const auto fls = frames(bytes);
+  ASSERT_GE(fls.size(), 7u);
+
+  // Chop mid-frame at each boundary+3: every cut must land exactly on the
+  // state as of the previous record. Iterate high-to-low so each recovery's
+  // in-place truncation of the torn suffix doesn't hide later cut points.
+  for (std::size_t i = fls.size(); i-- > 0;) {
+    fs::resize_file(seg, fls[i].pos + 3);
+    DurableController st(dir_, {}, opts());
+    const std::uint64_t lsn = st.last_lsn();
+    ASSERT_TRUE(digest_at.count(lsn)) << "no digest recorded for lsn " << lsn;
+    EXPECT_EQ(st.digest(), digest_at[lsn]) << "cut inside frame " << i;
+    EXPECT_TRUE(st.recovery().digest_ok);
+    EXPECT_GT(st.recovery().dropped_bytes, 0u);
+  }
+}
+
+TEST_F(RecoveryTest, FlippedCrcByteRecoversToTheRecordBefore) {
+  std::map<std::uint64_t, std::uint64_t> digest_at;
+  const std::string seg = run_script(&digest_at);
+  std::string bytes = read_file(seg);
+  const auto fls = frames(bytes);
+  ASSERT_GE(fls.size(), 4u);
+  const FrameLoc& victim = fls[3];
+  bytes[victim.pos + kFrameHdr + victim.len - 1] ^= 0x5a;  // last body byte
+  write_file(seg, bytes);
+
+  DurableController st(dir_, {}, opts());
+  EXPECT_EQ(st.last_lsn(), victim.lsn - 1);
+  EXPECT_EQ(st.digest(), digest_at[victim.lsn - 1]);
+  EXPECT_TRUE(st.recovery().digest_ok);
+  EXPECT_GT(st.recovery().dropped_bytes, 0u);
+  EXPECT_FALSE(st.recovery().warnings.empty());
+}
+
+TEST_F(RecoveryTest, StoredDigestMismatchStopsReplayAndReports) {
+  std::map<std::uint64_t, std::uint64_t> digest_at;
+  const std::string seg = run_script(&digest_at);
+  std::string bytes = read_file(seg);
+  const auto fls = frames(bytes);
+  ASSERT_GE(fls.size(), 4u);
+  // Corrupt the embedded pre-apply digest of frame 3 and re-seal the CRC,
+  // so the frame is wire-valid but semantically wrong — only the digest
+  // verification can catch it.
+  const FrameLoc& victim = fls[3];
+  ASSERT_TRUE(victim.has_digest);
+  bytes[victim.pos + kFrameHdr + 10] ^= 0xff;
+  refresh_crc(&bytes, victim);
+  write_file(seg, bytes);
+
+  DurableController st(dir_, {}, opts());
+  EXPECT_FALSE(st.recovery().digest_ok);
+  // Replay stopped right before the poisoned record.
+  EXPECT_EQ(st.digest(), digest_at[victim.lsn - 1]);
+  EXPECT_FALSE(st.recovery().warnings.empty());
+}
+
+TEST_F(RecoveryTest, MidTransactionCrashIsAllOrNothing) {
+  std::uint64_t pre_txn = 0;
+  std::size_t commit_frame_pos = 0;
+  {
+    DurableController st(dir_, {}, opts());
+    const hp4::VdevId id = st.load("l2", apps::l2_switch());
+    st.attach_ports(id, {1, 2});
+    st.bind(id);
+    st.add_rule(id, vr(apps::l2_forward("02:00:00:00:00:01", 1)));
+    pre_txn = st.digest();
+
+    st.txn_begin();
+    st.add_rule(id, vr(apps::l2_forward("02:00:00:00:00:02", 2)));
+    st.add_rule(id, vr(apps::l2_forward("02:00:00:00:00:03", 2)));
+    st.txn_commit();
+    EXPECT_NE(st.digest(), pre_txn);
+  }
+  const auto segs = Journal::segment_files(dir_);
+  ASSERT_EQ(segs.size(), 1u);
+  const std::string bytes = read_file(segs[0]);
+  for (const auto& fl : frames(bytes))
+    if (fl.type == static_cast<std::uint8_t>(RecordType::kTxn))
+      commit_frame_pos = fl.pos;
+  ASSERT_GT(commit_frame_pos, 0u);
+
+  // The crash lands inside the commit record: the transaction must vanish
+  // entirely, not partially.
+  fs::resize_file(segs[0], commit_frame_pos + kFrameHdr + 5);
+  DurableController st(dir_, {}, opts());
+  EXPECT_EQ(st.digest(), pre_txn);
+  EXPECT_TRUE(st.recovery().digest_ok);
+}
+
+TEST_F(RecoveryTest, CommittedTransactionSurvivesCrashAfterCommit) {
+  std::uint64_t post_txn = 0;
+  {
+    DurableController st(dir_, {}, opts());
+    const hp4::VdevId id = st.load("l2", apps::l2_switch());
+    st.attach_ports(id, {1, 2});
+    st.bind(id);
+    st.txn_begin();
+    st.add_rule(id, vr(apps::l2_forward("02:00:00:00:00:02", 2)));
+    st.add_rule(id, vr(apps::l2_forward("02:00:00:00:00:03", 2)));
+    st.txn_commit();
+    post_txn = st.digest();
+  }
+  DurableController st(dir_, {}, opts());
+  EXPECT_EQ(st.digest(), post_txn);
+  EXPECT_TRUE(st.recovery().digest_ok);
+}
+
+TEST_F(RecoveryTest, CorruptNewestCheckpointFallsBackToTheOlderImage) {
+  std::uint64_t live = 0;
+  {
+    DurableController st(dir_, {}, opts());
+    const hp4::VdevId id = st.load("l2", apps::l2_switch());
+    st.attach_ports(id, {1, 2});
+    st.bind(id);
+    st.add_rule(id, vr(apps::l2_forward("02:00:00:00:00:01", 1)));
+    st.checkpoint();
+    st.add_rule(id, vr(apps::l2_forward("02:00:00:00:00:02", 2)));
+    st.checkpoint();
+    st.add_rule(id, vr(apps::l2_forward("02:00:00:00:00:03", 2)));
+    live = st.digest();
+  }
+  auto cks = DurableController::checkpoint_files(dir_);
+  ASSERT_EQ(cks.size(), 2u);
+  std::string bytes = read_file(cks[0]);  // newest first
+  bytes[bytes.size() / 2] ^= 0xff;
+  write_file(cks[0], bytes);
+
+  // The older image plus the journal gap (which checkpoint() deliberately
+  // retains — truncation only reaches the OLDEST kept image) must rebuild
+  // the exact pre-crash state.
+  DurableController st(dir_, {}, opts());
+  EXPECT_TRUE(st.recovery().checkpoint_loaded);
+  EXPECT_EQ(st.recovery().checkpoint_file, cks[1]);
+  EXPECT_EQ(st.digest(), live);
+  EXPECT_TRUE(st.recovery().digest_ok);
+  EXPECT_FALSE(st.recovery().warnings.empty());
+}
+
+TEST_F(RecoveryTest, BothCheckpointsCorruptFallsBackToFullReplay) {
+  std::uint64_t live = 0;
+  {
+    DurableController st(dir_, {}, opts());
+    const hp4::VdevId id = st.load("l2", apps::l2_switch());
+    st.attach_ports(id, {1, 2});
+    st.bind(id);
+    st.checkpoint();
+    st.add_rule(id, vr(apps::l2_forward("02:00:00:00:00:01", 1)));
+    st.checkpoint();
+    live = st.digest();
+  }
+  for (const auto& ck : DurableController::checkpoint_files(dir_)) {
+    std::string bytes = read_file(ck);
+    bytes[bytes.size() / 2] ^= 0xff;
+    write_file(ck, bytes);
+  }
+  // With no usable image the journal alone cannot rebuild: the first
+  // checkpoint already truncated the early records. The embedded pre-apply
+  // digest on the first surviving record must catch the gap rather than
+  // letting replay run against the wrong base state.
+  DurableController st(dir_, {}, opts());
+  EXPECT_FALSE(st.recovery().checkpoint_loaded);
+  EXPECT_GE(st.recovery().warnings.size(), 2u);  // one per rejected image
+  EXPECT_FALSE(st.recovery().digest_ok);
+  EXPECT_EQ(st.recovery().replayed, 0u);
+  EXPECT_NE(st.digest(), live);
+}
+
+}  // namespace
+}  // namespace hyper4::state

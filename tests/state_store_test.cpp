@@ -1,0 +1,271 @@
+// DurableController behaviour: journal-then-apply round trips across a
+// reopen, checkpoints with journal truncation, transactions (atomic
+// commit, abort, failure rollback) and their single-epoch propagation to
+// an attached traffic engine.
+#include "state/store.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "apps/apps.h"
+#include "engine/engine.h"
+#include "state/digest.h"
+#include "state/journal.h"
+#include "util/error.h"
+
+namespace hyper4::state {
+namespace {
+
+namespace fs = std::filesystem;
+
+hp4::VirtualRule vr(const apps::Rule& r) {
+  return hp4::VirtualRule{r.table, r.action, r.keys, r.args, r.priority};
+}
+
+net::Packet eth_packet(const char* smac, const char* dmac) {
+  net::EthHeader eth;
+  eth.src = net::mac_from_string(smac);
+  eth.dst = net::mac_from_string(dmac);
+  net::Ipv4Header ip;
+  ip.src = net::ipv4_from_string("10.0.0.1");
+  ip.dst = net::ipv4_from_string("10.0.0.2");
+  net::TcpHeader tcp;
+  tcp.src_port = 40000;
+  tcp.dst_port = 80;
+  return net::make_ipv4_tcp(eth, ip, tcp, 64);
+}
+
+class StoreTest : public ::testing::Test {
+ protected:
+  StoreTest() {
+    dir_ = (fs::temp_directory_path() /
+            ("hp4_store_test_" + std::string(::testing::UnitTest::GetInstance()
+                                                 ->current_test_info()
+                                                 ->name())))
+               .string();
+    fs::remove_all(dir_);
+  }
+  ~StoreTest() override { fs::remove_all(dir_); }
+
+  // A store with the l2 switch loaded on ports 1..3 and one rule.
+  hp4::VdevId setup_l2(DurableController& st) {
+    const hp4::VdevId id = st.load("l2", apps::l2_switch());
+    st.attach_ports(id, {1, 2, 3});
+    st.bind(id);
+    st.add_rule(id, vr(apps::l2_forward("02:00:00:00:00:01", 1)));
+    return id;
+  }
+
+  std::string dir_;
+};
+
+TEST_F(StoreTest, FreshStoreHasCleanRecovery) {
+  DurableController st(dir_);
+  EXPECT_FALSE(st.recovery().checkpoint_loaded);
+  EXPECT_EQ(st.recovery().replayed, 0u);
+  EXPECT_TRUE(st.recovery().digest_ok);
+  EXPECT_EQ(st.last_lsn(), 0u);
+}
+
+TEST_F(StoreTest, OpsSurviveReopenByteForByte) {
+  std::uint64_t live_digest = 0;
+  {
+    DurableController st(dir_);
+    const hp4::VdevId id = setup_l2(st);
+    st.add_rule(id, vr(apps::l2_forward("02:00:00:00:00:02", 2)));
+    st.authorize(id, "alice");
+    live_digest = st.digest();
+  }
+  DurableController st(dir_);
+  EXPECT_FALSE(st.recovery().checkpoint_loaded);
+  EXPECT_GE(st.recovery().replayed, 5u);  // load, attach, bind, 2 rules, auth
+  EXPECT_TRUE(st.recovery().digest_ok);
+  EXPECT_GT(st.recovery().digests_checked, 0u);
+  EXPECT_EQ(st.digest(), live_digest);
+  // The recovered persona forwards: dst 02:00:00:00:00:02 out of port 2.
+  const auto res = st.controller().dataplane().inject(
+      1, eth_packet("02:00:00:00:00:01", "02:00:00:00:00:02"));
+  ASSERT_EQ(res.outputs.size(), 1u);
+  EXPECT_EQ(res.outputs[0].port, 2);
+}
+
+TEST_F(StoreTest, FailedOpsReplayAsFailuresWithoutDivergence) {
+  std::uint64_t live_digest = 0;
+  {
+    DurableController st(dir_);
+    const hp4::VdevId id = setup_l2(st);
+    // A rule against a table the target does not have: journaled first,
+    // fails on apply, and must fail identically during replay.
+    EXPECT_THROW(
+        st.add_rule(id, hp4::VirtualRule{"no_such_table", "fwd", {}, {}, -1}),
+        util::Error);
+    st.add_rule(id, vr(apps::l2_forward("02:00:00:00:00:03", 3)));
+    live_digest = st.digest();
+  }
+  DurableController st(dir_);
+  EXPECT_EQ(st.recovery().replay_failures, 1u);
+  EXPECT_TRUE(st.recovery().digest_ok);
+  EXPECT_EQ(st.digest(), live_digest);
+}
+
+TEST_F(StoreTest, CheckpointTruncatesJournalAndRestores) {
+  std::uint64_t live_digest = 0;
+  std::uint64_t ck_lsn = 0;
+  {
+    DurableController st(dir_);
+    const hp4::VdevId id = setup_l2(st);
+    ck_lsn = st.checkpoint();
+    ASSERT_EQ(DurableController::checkpoint_files(dir_).size(), 1u);
+    st.add_rule(id, vr(apps::l2_forward("02:00:00:00:00:02", 2)));
+    live_digest = st.digest();
+  }
+  DurableController st(dir_);
+  EXPECT_TRUE(st.recovery().checkpoint_loaded);
+  EXPECT_EQ(st.recovery().checkpoint_lsn, ck_lsn);
+  EXPECT_EQ(st.recovery().replayed, 1u);  // only the post-checkpoint rule
+  EXPECT_TRUE(st.recovery().digest_ok);
+  EXPECT_EQ(st.digest(), live_digest);
+}
+
+TEST_F(StoreTest, KeepsTwoCheckpointsAndJournalCoversTheOlder) {
+  DurableController st(dir_);
+  const hp4::VdevId id = setup_l2(st);
+  const std::uint64_t ck1 = st.checkpoint();
+  st.add_rule(id, vr(apps::l2_forward("02:00:00:00:00:02", 2)));
+  st.checkpoint();
+  st.add_rule(id, vr(apps::l2_forward("02:00:00:00:00:03", 3)));
+  st.checkpoint();
+  EXPECT_EQ(DurableController::checkpoint_files(dir_).size(), 2u);
+  // The journal still reaches back past the OLDER retained image, so a
+  // fallback restore replays the gap instead of silently losing it.
+  const ScanResult sr = Journal::scan(dir_, ck1);
+  std::size_t ops = 0;
+  for (const auto& r : sr.records)
+    if (r.type != RecordType::kFsyncPoint) ++ops;
+  EXPECT_GE(ops, 2u);
+}
+
+TEST_F(StoreTest, TxnCommitIsOneRecordAndOneEngineEpoch) {
+  DurableController st(dir_);
+  const hp4::VdevId id = setup_l2(st);
+
+  engine::TrafficEngine eng(st.controller().dataplane().program(),
+                            engine::EngineOptions{});
+  st.controller().attach_engine(&eng);
+  const std::uint64_t epoch0 = eng.epoch();
+  const std::size_t records0 = Journal::scan(dir_).records.size();
+
+  st.txn_begin();
+  EXPECT_TRUE(st.in_txn());
+  st.add_rule(id, vr(apps::l2_forward("02:00:00:00:00:02", 2)));
+  st.add_rule(id, vr(apps::l2_forward("02:00:00:00:00:03", 3)));
+  // Nothing journaled and nothing propagated until commit.
+  EXPECT_EQ(Journal::scan(dir_).records.size(), records0);
+  EXPECT_EQ(eng.epoch(), epoch0);
+  st.txn_commit();
+  EXPECT_FALSE(st.in_txn());
+  EXPECT_EQ(eng.epoch(), epoch0 + 1);  // the whole batch is one bump
+
+  // One kTxn record (plus its fsync marker).
+  const auto recs = Journal::scan(dir_).records;
+  std::size_t txns = 0;
+  for (const auto& r : recs)
+    if (r.type == RecordType::kTxn) ++txns;
+  EXPECT_EQ(txns, 1u);
+
+  // Both rules visible through the engine.
+  eng.inject(1, eth_packet("02:00:00:00:00:01", "02:00:00:00:00:03"));
+  const engine::MergedResult m = eng.drain();
+  ASSERT_EQ(m.per_packet.size(), 1u);
+  ASSERT_EQ(m.per_packet[0].outputs.size(), 1u);
+  EXPECT_EQ(m.per_packet[0].outputs[0].port, 3);
+  st.controller().attach_engine(nullptr);
+}
+
+TEST_F(StoreTest, TxnAbortRestoresPreTxnState) {
+  DurableController st(dir_);
+  const hp4::VdevId id = setup_l2(st);
+  const std::uint64_t before = st.digest();
+  const std::size_t records0 = Journal::scan(dir_).records.size();
+
+  st.txn_begin();
+  const std::uint64_t aborted_vh =
+      st.add_rule(id, vr(apps::l2_forward("02:00:00:00:00:02", 2)));
+  st.add_rule(id, vr(apps::l2_forward("02:00:00:00:00:03", 3)));
+  EXPECT_NE(st.digest(), before);  // ops apply immediately inside the txn
+  st.txn_abort();
+
+  EXPECT_FALSE(st.in_txn());
+  EXPECT_EQ(st.digest(), before);
+  EXPECT_EQ(Journal::scan(dir_).records.size(), records0);
+  // The vhandle sequence rewinds with the rollback: the next rule gets the
+  // handle the first aborted rule had been assigned.
+  const std::uint64_t vh =
+      st.add_rule(id, vr(apps::l2_forward("02:00:00:00:00:04", 2)));
+  EXPECT_EQ(vh, aborted_vh);
+}
+
+TEST_F(StoreTest, TxnOpFailureAutoAbortsWhole) {
+  DurableController st(dir_);
+  const hp4::VdevId id = setup_l2(st);
+  const std::uint64_t before = st.digest();
+
+  st.txn_begin();
+  st.add_rule(id, vr(apps::l2_forward("02:00:00:00:00:02", 2)));
+  EXPECT_THROW(
+      st.add_rule(id, hp4::VirtualRule{"no_such_table", "fwd", {}, {}, -1}),
+      util::Error);
+  // The failing op aborted the whole transaction, including the good rule.
+  EXPECT_FALSE(st.in_txn());
+  EXPECT_EQ(st.digest(), before);
+}
+
+TEST_F(StoreTest, TxnGuards) {
+  DurableController st(dir_);
+  EXPECT_THROW(st.txn_commit(), util::ConfigError);
+  EXPECT_THROW(st.txn_abort(), util::ConfigError);
+  st.txn_begin();
+  EXPECT_THROW(st.txn_begin(), util::ConfigError);
+  EXPECT_THROW(st.checkpoint(), util::ConfigError);
+  st.txn_abort();
+}
+
+TEST_F(StoreTest, ConfigOpsAreJournaled) {
+  std::uint64_t live_digest = 0;
+  std::string active;
+  {
+    DurableController st(dir_);
+    const hp4::VdevId l2 = st.load("l2", apps::l2_switch());
+    st.attach_ports(l2, {1, 2, 3});
+    const hp4::VdevId fw = st.load("fw", apps::firewall());
+    st.attach_ports(fw, {1, 2, 3});
+    st.define_config("switching", {{std::nullopt, l2}});
+    st.define_config("filtering", {{std::nullopt, fw}});
+    st.activate_config("switching");
+    st.activate_config("filtering");
+    live_digest = st.digest();
+    active = st.controller().active_config();
+  }
+  DurableController st(dir_);
+  EXPECT_EQ(st.digest(), live_digest);
+  EXPECT_EQ(st.controller().active_config(), active);
+  EXPECT_EQ(st.vdev_sources().size(), 2u);
+}
+
+TEST_F(StoreTest, UnloadSurvivesReopen) {
+  std::uint64_t live_digest = 0;
+  {
+    DurableController st(dir_);
+    const hp4::VdevId id = setup_l2(st);
+    st.unload(id);
+    EXPECT_TRUE(st.vdev_sources().empty());
+    live_digest = st.digest();
+  }
+  DurableController st(dir_);
+  EXPECT_EQ(st.digest(), live_digest);
+  EXPECT_TRUE(st.vdev_sources().empty());
+}
+
+}  // namespace
+}  // namespace hyper4::state

@@ -74,5 +74,36 @@ TEST(IsUint, Classification) {
   EXPECT_FALSE(is_uint("abc"));
 }
 
+TEST(EditDistance, Basics) {
+  EXPECT_EQ(edit_distance("", ""), 0u);
+  EXPECT_EQ(edit_distance("abc", "abc"), 0u);
+  EXPECT_EQ(edit_distance("", "abc"), 3u);
+  EXPECT_EQ(edit_distance("abc", ""), 3u);
+  EXPECT_EQ(edit_distance("kitten", "sitting"), 3u);
+  EXPECT_EQ(edit_distance("dmac", "dmca"), 2u);  // transposition = 2 units
+  EXPECT_EQ(edit_distance("ipv4_lpn", "ipv4_lpm"), 1u);
+}
+
+TEST(NearestNames, FiltersToPlausibleTyposClosestFirst) {
+  const std::vector<std::string> cands = {"dmac", "smac", "ipv4_lpm",
+                                          "forward"};
+  // One substitution away from both mac tables; closest-first with ties
+  // broken lexicographically.
+  EXPECT_EQ(nearest_names("dmak", cands),
+            (std::vector<std::string>{"dmac", "smac"}));
+  // Nothing within max(2, |name|/3) of a completely unrelated name.
+  EXPECT_TRUE(nearest_names("xyzzy_quux", cands).empty());
+  // max_results caps the list.
+  EXPECT_EQ(nearest_names("dmak", cands, 1),
+            (std::vector<std::string>{"dmac"}));
+}
+
+TEST(DidYouMean, RendersSuggestionClause) {
+  const std::vector<std::string> cands = {"dmac", "smac"};
+  EXPECT_EQ(did_you_mean("dmca", cands), "; did you mean 'dmac'?");
+  EXPECT_EQ(did_you_mean("dmak", cands), "; did you mean 'dmac' or 'smac'?");
+  EXPECT_EQ(did_you_mean("completely_else", cands), "");
+}
+
 }  // namespace
 }  // namespace hyper4::util

@@ -1,0 +1,176 @@
+// hyper4_state: operator CLI for the durable control plane (src/state).
+//
+//   hyper4_state checkpoint DIR         recover DIR, write a checkpoint,
+//                                       truncate the journal
+//   hyper4_state recover DIR            recover DIR and print the report
+//   hyper4_state journal-dump DIR       decode the journal's trusted prefix
+//   hyper4_state verify DIR             recover and verify the state digest
+//                                       against the journal's embedded ones
+//   hyper4_state fuzz [options]         crash-point fuzzing (see --help)
+//
+// Exit codes: 0 ok, 1 verification/fuzz failure, 2 usage or I/O error.
+#include <cstdio>
+#include <cstring>
+#include <exception>
+#include <string>
+
+#include "check/crash_fuzz.h"
+#include "state/digest.h"
+#include "state/journal.h"
+#include "state/store.h"
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace {
+
+using hyper4::state::DurableController;
+using hyper4::state::Journal;
+using hyper4::state::Record;
+using hyper4::state::RecordType;
+using hyper4::state::ScanResult;
+
+void usage() {
+  std::fprintf(
+      stderr,
+      "usage: hyper4_state <command> [args]\n"
+      "  checkpoint DIR     recover the store at DIR, write a fresh\n"
+      "                     checkpoint image and truncate the journal\n"
+      "  recover DIR        recover the store at DIR, print the recovery\n"
+      "                     report and the resulting state digest\n"
+      "  journal-dump DIR   decode and print the journal's trusted prefix\n"
+      "  verify DIR         recover DIR; exit 1 when any embedded digest\n"
+      "                     failed verification during replay\n"
+      "  fuzz [options]     crash-point fuzzing of recovery\n"
+      "    --seed N         base seed (default: $HP4_CHECK_SEED or 1)\n"
+      "    --iters N        iterations (default 20)\n"
+      "    --kills N        random kill offsets per iteration (default 3)\n"
+      "    --work-dir DIR   scratch directory (default ./crashfuzz)\n"
+      "    --workers N      engine worker threads (default 2)\n"
+      "    --no-engine      skip the traffic-engine backend\n"
+      "    --verbose        one line per iteration\n");
+}
+
+const char* record_type_name(RecordType t) {
+  switch (t) {
+    case RecordType::kOp:
+      return "op";
+    case RecordType::kTxn:
+      return "txn";
+    case RecordType::kFsyncPoint:
+      return "fsync";
+  }
+  return "?";
+}
+
+int cmd_recover(const std::string& dir, bool verify_only) {
+  DurableController st(dir);
+  const auto& rep = st.recovery();
+  std::printf("%s", rep.str().c_str());
+  std::printf("last lsn: %llu\nstate digest: %s\n",
+              static_cast<unsigned long long>(st.last_lsn()),
+              hyper4::state::digest_hex(st.digest()).c_str());
+  if (verify_only)
+    return rep.digest_ok ? 0 : 1;
+  return 0;
+}
+
+int cmd_checkpoint(const std::string& dir) {
+  DurableController st(dir);
+  const std::uint64_t lsn = st.checkpoint();
+  std::printf("checkpoint written at lsn %llu (digest %s)\n",
+              static_cast<unsigned long long>(lsn),
+              hyper4::state::digest_hex(st.digest()).c_str());
+  return 0;
+}
+
+int cmd_journal_dump(const std::string& dir) {
+  const ScanResult sr = Journal::scan(dir);
+  for (const Record& r : sr.records) {
+    std::printf("lsn %-8llu %-5s %6zu byte(s)",
+                static_cast<unsigned long long>(r.lsn),
+                record_type_name(r.type), r.body.size());
+    if (r.has_digest)
+      std::printf("  pre-digest %s",
+                  hyper4::state::digest_hex(r.digest).c_str());
+    std::printf("\n");
+  }
+  std::printf("%zu record(s), last lsn %llu\n", sr.records.size(),
+              static_cast<unsigned long long>(sr.last_lsn));
+  if (sr.dropped_bytes || sr.dropped_segments)
+    std::printf("dropped: %llu untrusted byte(s), %zu whole segment(s)\n",
+                static_cast<unsigned long long>(sr.dropped_bytes),
+                sr.dropped_segments);
+  for (const auto& w : sr.warnings) std::printf("warning: %s\n", w.c_str());
+  return 0;
+}
+
+int cmd_fuzz(int argc, char** argv) {
+  hyper4::check::CrashFuzzOptions opts;
+  opts.seed = hyper4::util::env_seed(1);
+  opts.work_dir = "crashfuzz";
+  for (int i = 0; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "hyper4_state: %s needs a value\n", a.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (a == "--seed") {
+      opts.seed = std::strtoull(next(), nullptr, 0);
+    } else if (a == "--iters") {
+      opts.iters = std::strtoull(next(), nullptr, 0);
+    } else if (a == "--kills") {
+      opts.kills_per_iter = std::strtoull(next(), nullptr, 0);
+    } else if (a == "--work-dir") {
+      opts.work_dir = next();
+    } else if (a == "--workers") {
+      opts.engine_workers = std::strtoull(next(), nullptr, 0);
+    } else if (a == "--no-engine") {
+      opts.run_engine = false;
+    } else if (a == "--verbose") {
+      opts.verbose = true;
+    } else {
+      std::fprintf(stderr, "hyper4_state: unknown fuzz option '%s'\n",
+                   a.c_str());
+      usage();
+      return 2;
+    }
+  }
+  const hyper4::check::CrashFuzzResult res = hyper4::check::crash_fuzz(opts);
+  std::printf("%s\n", res.str().c_str());
+  return res.ok() ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    usage();
+    return 2;
+  }
+  const std::string cmd = argv[1];
+  try {
+    if (cmd == "--help" || cmd == "-h") {
+      usage();
+      return 0;
+    }
+    if (cmd == "fuzz") return cmd_fuzz(argc - 2, argv + 2);
+    if (argc < 3) {
+      usage();
+      return 2;
+    }
+    const std::string dir = argv[2];
+    if (cmd == "checkpoint") return cmd_checkpoint(dir);
+    if (cmd == "recover") return cmd_recover(dir, false);
+    if (cmd == "verify") return cmd_recover(dir, true);
+    if (cmd == "journal-dump") return cmd_journal_dump(dir);
+    std::fprintf(stderr, "hyper4_state: unknown command '%s'\n", cmd.c_str());
+    usage();
+    return 2;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "hyper4_state: %s\n", e.what());
+    return 2;
+  }
+}
