@@ -187,17 +187,45 @@ int main_impl() {
          << (base_model > 0 ? r.model_pps / base_model : 0) << "}"
          << (i + 1 < runs.size() ? "," : "") << "\n";
   }
+  // wall_pps non-regression floors, relative to the 1-worker model figure:
+  // wall-clock includes queue handoff and thread scheduling, so it is never
+  // the full model_pps, but a collapse below these ratios means the engine
+  // is burning its budget outside Switch::inject (queue contention, merge
+  // overhead). The 4-worker floor is laxer because on a small container the
+  // workers time-slice a shared core.
+  const double wall1_floor = 0.5, wall4_floor = 0.25;
+  const Run& four = runs[2];
+  const bool wall1_ok =
+      base_model <= 0 || runs[0].wall_pps >= wall1_floor * base_model;
+  const bool wall4_ok =
+      base_model <= 0 || four.wall_pps >= wall4_floor * base_model;
+
   json << "  ],\n  \"profiled_workers1_model_pps\": " << profiled.model_pps
-       << ",\n  \"profiled_over_plain_model\": " << overhead_ratio << "\n}\n";
+       << ",\n  \"profiled_over_plain_model\": " << overhead_ratio
+       << ",\n  \"floors\": {\"wall1_over_model1_min\": " << wall1_floor
+       << ", \"wall4_over_model1_min\": " << wall4_floor
+       << ", \"wall1_over_model1\": "
+       << (base_model > 0 ? runs[0].wall_pps / base_model : 0)
+       << ", \"wall4_over_model1\": "
+       << (base_model > 0 ? four.wall_pps / base_model : 0)
+       << ", \"wall1_ok\": " << (wall1_ok ? "true" : "false")
+       << ", \"wall4_ok\": " << (wall4_ok ? "true" : "false") << "}\n}\n";
   std::printf("\nwrote BENCH_engine.json\n");
 
-  const Run& four = runs[2];
   if (!equiv) {
     std::printf("FAIL: workers=1 diverged from direct inject\n");
     return 1;
   }
   if (base_model > 0 && four.model_pps / base_model < 2.0) {
     std::printf("FAIL: model speedup at 4 workers < 2x\n");
+    return 1;
+  }
+  if (!wall1_ok) {
+    std::printf("FAIL: wall_pps[1w] < %.2fx of model_pps[1w]\n", wall1_floor);
+    return 1;
+  }
+  if (!wall4_ok) {
+    std::printf("FAIL: wall_pps[4w] < %.2fx of model_pps[1w]\n", wall4_floor);
     return 1;
   }
   // Profiling reads the clock twice per stage; even so it must keep at

@@ -3,6 +3,7 @@
 #include "apps/apps.h"
 #include "bm/cli.h"
 #include "util/error.h"
+#include "util/strings.h"
 
 namespace hyper4::apps {
 
@@ -20,7 +21,10 @@ p4::Program program_by_name(const std::string& name) {
   if (name == "router" || name == "ipv4_router") return ipv4_router();
   if (name == "arp_proxy") return arp_proxy();
   if (name == "firewall") return firewall();
-  throw util::ConfigError("unknown app program '" + name + "'");
+  throw util::ConfigError(
+      "unknown app program '" + name + "'" +
+      util::did_you_mean(name, {"l2_sw", "l2_switch", "router", "ipv4_router",
+                                "arp_proxy", "firewall"}));
 }
 
 Rule l2_forward(const std::string& mac, std::uint16_t port) {

@@ -120,7 +120,8 @@ CliResult do_table_add(Switch& sw, const std::vector<std::string>& tok) {
 
 }  // namespace
 
-CliResult run_cli_command(Switch& sw, const std::string& line) {
+CliResult run_cli_command(Switch& sw, const std::string& line,
+                          const CliExtensions* ext) {
   try {
     const auto tok = util::split(util::trim(line));
     if (tok.empty()) return CliResult{true, "", 0};
@@ -273,6 +274,10 @@ CliResult run_cli_command(Switch& sw, const std::string& line) {
         return CliResult{true,
                          obs::profile_json(tr->profile(), tr->table_names()), 0};
       throw CommandError("profile: unknown subcommand '" + sub + "'");
+    }
+    if (ext != nullptr) {
+      auto it = ext->commands.find(cmd);
+      if (it != ext->commands.end()) return it->second(sw, tok);
     }
     throw CommandError("unknown command '" + cmd + "'");
   } catch (const util::Error& e) {

@@ -33,6 +33,7 @@
 // insertion order (the bmv2 rule, pinned by RuntimeTable::lookup).
 #pragma once
 
+#include <functional>
 #include <map>
 #include <string>
 #include <vector>
@@ -47,9 +48,21 @@ struct CliResult {
   std::uint64_t handle = 0;  // entry handle for table_add
 };
 
+// Extension commands registered by higher layers (e.g. the src/vm `vm`
+// command). The dispatcher consults extensions only after every built-in
+// fails to match, so extensions cannot shadow core commands. A handler
+// receives the full token list (handler name included) and may throw
+// util::Error; the dispatcher converts that to ok=false like any built-in.
+struct CliExtensions {
+  std::map<std::string,
+           std::function<CliResult(Switch&, const std::vector<std::string>&)>>
+      commands;
+};
+
 // Execute a single command. Returns ok=false (with message) on failure
 // instead of throwing, so command files can report per-line errors.
-CliResult run_cli_command(Switch& sw, const std::string& line);
+CliResult run_cli_command(Switch& sw, const std::string& line,
+                          const CliExtensions* ext = nullptr);
 
 // Execute a multi-line command text: '#' comments and blank lines are
 // skipped; occurrences of each substitution key (e.g. "[program]") are

@@ -561,6 +561,10 @@ void Switch::reset_stats() {
 void Switch::set_tracer(obs::PipelineTracer* t) {
   tracer_ = t;
   if (!tracer_) return;
+  bind_tracer_names(*tracer_);
+}
+
+void Switch::bind_tracer_names(obs::PipelineTracer& t) const {
   std::vector<std::string> tnames(tables_.size());
   for (const auto& [name, id] : table_ids_) tnames[id] = name;
   std::vector<std::string> anames;
@@ -569,7 +573,13 @@ void Switch::set_tracer(obs::PipelineTracer* t) {
   std::vector<std::string> inames;
   inames.reserve(layout_.instances().size());
   for (const auto& info : layout_.instances()) inames.push_back(info.name);
-  tracer_->bind(std::move(tnames), std::move(anames), std::move(inames));
+  t.bind(std::move(tnames), std::move(anames), std::move(inames));
+}
+
+std::size_t Switch::table_index(const std::string& name) const {
+  auto it = table_ids_.find(name);
+  if (it == table_ids_.end()) throw_no_table(name);
+  return it->second;
 }
 
 obs::PipelineTracer& Switch::enable_tracing(const obs::TracerOptions& topts) {

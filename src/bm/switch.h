@@ -144,6 +144,12 @@ class Switch {
   // site (see tests/obs_overhead_test.cpp).
   void set_tracer(obs::PipelineTracer* t);
   obs::PipelineTracer* tracer() const { return tracer_; }
+  // Bind this switch's table/action/instance name tables into an external
+  // tracer without attaching it — used by alternative execution backends
+  // (src/vm) so their events resolve through the same names as ours.
+  void bind_tracer_names(obs::PipelineTracer& t) const;
+  // Compiled table id for a name (the id kTableApply events carry).
+  std::size_t table_index(const std::string& name) const;
   // Convenience for the CLI: create (replacing any previous) an owned
   // tracer with the given options and attach it.
   obs::PipelineTracer& enable_tracing(const obs::TracerOptions& topts);

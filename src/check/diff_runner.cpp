@@ -12,6 +12,7 @@
 #include "obs/export.h"
 #include "obs/tracer.h"
 #include "util/error.h"
+#include "vm/vm.h"
 
 namespace hyper4::check {
 
@@ -38,6 +39,10 @@ std::string DiffReport::str() const {
            (persona_skip_reason.empty() ? std::string("disabled")
                                         : persona_skip_reason) +
            ")";
+    else if (!vm_ran)
+      s += " (vm skipped)";
+    else if (vm_fallbacks > 0)
+      s += " (vm fallbacks: " + std::to_string(vm_fallbacks) + ")";
     return s;
   }
   return divergence ? divergence->str() : std::string("diverged");
@@ -80,9 +85,9 @@ DiffReport DiffRunner::run(const GenCase& c) const {
   // --- persona ---------------------------------------------------------------
   std::unique_ptr<hp4::Controller> ctl;
   std::optional<hp4::VdevId> vdev;
+  hp4::PersonaConfig pcfg;
+  pcfg.writeback_step_bytes = opts_.persona_writeback_step;
   if (opts_.run_persona) {
-    hp4::PersonaConfig pcfg;
-    pcfg.writeback_step_bytes = opts_.persona_writeback_step;
     ctl = std::make_unique<hp4::Controller>(pcfg);
     try {
       vdev = ctl->load(c.program.name, c.program);
@@ -241,11 +246,13 @@ DiffReport DiffRunner::run(const GenCase& c) const {
     }
   }
 
+  std::vector<bm::ProcessResult> persona_res;
   if (ctl && vdev) {
+    persona_res.reserve(c.packets.size());
     for (std::size_t i = 0; i < c.packets.size(); ++i) {
-      const bm::ProcessResult pr =
-          ctl->dataplane().inject(c.packets[i].port, c.packets[i].packet);
-      if (auto d = diff_observable(native_res[i], pr, i)) {
+      persona_res.push_back(
+          ctl->dataplane().inject(c.packets[i].port, c.packets[i].packet));
+      if (auto d = diff_observable(native_res[i], persona_res[i], i)) {
         d->lhs = "native";
         d->rhs = "persona";
         fail(std::move(*d));
@@ -253,6 +260,54 @@ DiffReport DiffRunner::run(const GenCase& c) const {
         return rep;
       }
     }
+  }
+
+  // --- bytecode tier vs interpreted persona ---------------------------------
+  // Same dataplane, same packets; the persona pipeline is stateless across
+  // injections (hit counters only), so re-running them is exact. The tracer
+  // is detached first so a VM fallback's restart-inject can't append
+  // duplicate events to the persona ring fill_trace() decodes.
+  if (opts_.run_vm && ctl && vdev && rep.equivalent) {
+    if (persona_tr) ctl->dataplane().set_tracer(nullptr);
+    vm::VmExecutor vm(ctl->dataplane(), pcfg);
+    for (std::size_t i = 0; i < c.packets.size(); ++i) {
+      const bm::ProcessResult vr =
+          vm.process(c.packets[i].port, c.packets[i].packet);
+      if (auto d = diff_observable(persona_res[i], vr, i)) {
+        d->lhs = "persona";
+        d->rhs = "vm";
+        fail(std::move(*d));
+        break;
+      }
+      const bm::ProcessResult& pr = persona_res[i];
+      if (pr.drops != vr.drops || pr.resubmits != vr.resubmits ||
+          pr.recirculations != vr.recirculations ||
+          pr.parse_errors != vr.parse_errors ||
+          pr.loop_kills != vr.loop_kills ||
+          pr.multicast_copies != vr.multicast_copies) {
+        Divergence d;
+        d.lhs = "persona";
+        d.rhs = "vm";
+        d.kind = "tm_counters";
+        d.packet_index = i;
+        d.detail = "drops " + std::to_string(pr.drops) + "/" +
+                   std::to_string(vr.drops) + " resubmits " +
+                   std::to_string(pr.resubmits) + "/" +
+                   std::to_string(vr.resubmits) + " recirculations " +
+                   std::to_string(pr.recirculations) + "/" +
+                   std::to_string(vr.recirculations) + " parse_errors " +
+                   std::to_string(pr.parse_errors) + "/" +
+                   std::to_string(vr.parse_errors) + " loop_kills " +
+                   std::to_string(pr.loop_kills) + "/" +
+                   std::to_string(vr.loop_kills) + " multicast_copies " +
+                   std::to_string(pr.multicast_copies) + "/" +
+                   std::to_string(vr.multicast_copies);
+        fail(std::move(d));
+        break;
+      }
+    }
+    rep.vm_ran = true;
+    rep.vm_fallbacks = vm.stats().packets_fallback;
   }
   fill_trace();
   return rep;

@@ -1,11 +1,14 @@
-// The three-backend differential oracle.
+// The four-backend differential oracle.
 //
 // A (program, rules, packets) triple runs through
 //   native   bm::Switch compiled straight from the target IR,
 //   engine   engine::TrafficEngine over the same IR (state mirrored from
-//            the configured native switch via sync_from), and
+//            the configured native switch via sync_from),
 //   persona  the HyPer4 persona, loaded through hp4::Controller (compile +
-//            DPMU rule translation), ports bound 1:1.
+//            DPMU rule translation), ports bound 1:1, and
+//   vm       vm::VmExecutor over the same persona dataplane — the compiled
+//            bytecode tier, compared packet-by-packet against the
+//            interpreted persona (observable outputs + TM counters).
 //
 // Comparisons:
 //   native vs engine   full structural trace equality per packet (outputs,
@@ -17,6 +20,13 @@
 //                      functional-equivalence claim). Programs outside the
 //                      persona subset (counters/registers, §5.3) are
 //                      reported as skipped, not failed.
+//   persona vs vm      egress-observable equality plus TM-counter equality
+//                      (drops, resubmits, recirculations, parse errors,
+//                      loop kills, multicast copies) per packet. The VM's
+//                      transparent fallback means a packet outside the
+//                      compiled tier still compares equal — fallbacks are
+//                      surfaced in DiffReport::vm_fallbacks; divergence
+//                      means a genuine bytecode bug.
 //
 // DiffOptions::mutation injects a deliberate divergence for self-testing
 // the oracle and the reducer: a report of "equivalent" from a broken
@@ -46,6 +56,10 @@ struct DiffOptions {
   std::size_t engine_workers = 4;  // pinned to 1 for stateful cases
   bool run_engine = true;
   bool run_persona = true;
+  // Run the bytecode tier against the interpreted persona. Requires the
+  // persona to have run (implicitly off when run_persona is false or the
+  // program is outside the persona subset).
+  bool run_vm = true;
   // Write-back granularity for the persona under test. Defaults to the
   // paper's per-byte resize actions so remove_header of any width is exact;
   // the stock persona default (10) would skip off-quantum resize programs.
@@ -66,6 +80,10 @@ struct DiffReport {
   // as checked native-vs-engine.
   bool persona_ran = false;
   std::string persona_skip_reason;
+  // VM participation: true when the bytecode tier processed the case's
+  // packets (possibly via per-packet fallback, counted below).
+  bool vm_ran = false;
+  std::uint64_t vm_fallbacks = 0;
   std::optional<Divergence> divergence;
 
   // Filled when DiffOptions::trace is set:

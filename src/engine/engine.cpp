@@ -121,7 +121,8 @@ void TrafficEngine::worker_loop(Worker& w) {
       std::lock_guard<std::mutex> replica_lock(w.replica_mu);
       for (auto& job : batch) {
         const std::uint64_t t0 = thread_cpu_ns();
-        bm::ProcessResult r = w.sw->inject(job.port, job.packet);
+        bm::ProcessResult r = w.path ? w.path->process(job.port, job.packet)
+                                     : w.sw->inject(job.port, job.packet);
         const std::uint64_t ns = thread_cpu_ns() - t0;
         w.busy_ns.fetch_add(ns, std::memory_order_relaxed);
         h_latency_us_->observe(static_cast<double>(ns) / 1e3);
@@ -166,6 +167,18 @@ void TrafficEngine::fan_out(Fn&& fn) {
 
 void TrafficEngine::sync_from(const bm::Switch& src) {
   fan_out([&](bm::Switch& sw) { sw.sync_state_from(src); });
+}
+
+void TrafficEngine::set_packet_path(PacketPathFactory factory) {
+  std::lock_guard<std::mutex> control_lock(control_mu_);
+  std::vector<std::unique_lock<std::mutex>> replica_locks;
+  replica_locks.reserve(workers_.size());
+  for (auto& w : workers_) replica_locks.emplace_back(w->replica_mu);
+  for (auto& w : workers_) {
+    w->path = factory ? factory(*w->sw) : nullptr;
+  }
+  epoch_.fetch_add(1, std::memory_order_release);
+  m_control_ops_->inc();
 }
 
 void TrafficEngine::apply_atomic(

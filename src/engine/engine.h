@@ -83,6 +83,22 @@ struct MergedResult {
 // Exposed for tests and for callers that collect results themselves.
 MergedResult merge_results(std::vector<bm::ProcessResult> per_packet);
 
+// An alternative per-worker packet path (tiered execution, src/vm). When a
+// factory is installed, each worker builds one instance over its private
+// replica and routes packets through it instead of Switch::inject(); the
+// path reads the replica's live tables, so control-plane fan-outs apply to
+// it unchanged. A path must match inject() observably (outputs + TM
+// counters) for the engine's determinism contract to hold.
+class PacketPath {
+ public:
+  virtual ~PacketPath() = default;
+  virtual bm::ProcessResult process(std::uint16_t port,
+                                    const net::Packet& packet) = 0;
+};
+
+using PacketPathFactory =
+    std::function<std::unique_ptr<PacketPath>(bm::Switch&)>;
+
 class TrafficEngine {
  public:
   explicit TrafficEngine(p4::Program prog, EngineOptions opts = {});
@@ -127,6 +143,13 @@ class TrafficEngine {
                       const util::BitVec& v);
   void set_time(double t);
   void advance_time(double dt);
+
+  // Install (or, with nullptr, remove) an alternative packet path. Fans out
+  // like a control op: every worker gets a fresh instance built over its
+  // replica, swapped in between batches. The factory must be thread-safe to
+  // call concurrently (one call per worker under that worker's replica
+  // lock).
+  void set_packet_path(PacketPathFactory factory);
 
   // Apply a batch of control operations as ONE fan-out: all replica locks
   // are taken, every op runs on every replica, and the epoch advances once
@@ -195,6 +218,9 @@ class TrafficEngine {
 
   struct Worker {
     std::unique_ptr<bm::Switch> sw;
+    // Alternative packet path (set_packet_path); nullptr = Switch::inject.
+    // Only touched under replica_mu, like the replica itself.
+    std::unique_ptr<PacketPath> path;
     // Profiling tracer attached to `sw` when EngineOptions::profile; its
     // histograms are only touched by the owning worker under replica_mu.
     std::unique_ptr<obs::PipelineTracer> tracer;

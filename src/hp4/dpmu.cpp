@@ -17,17 +17,29 @@ Dpmu::Dpmu(bm::Switch& sw, const PersonaGenerator& gen)
   bm::run_cli_text(sw_, gen.base_commands());
 }
 
+std::string Dpmu::no_vdev_message(VdevId id) const {
+  std::string msg = "dpmu: no virtual device " + std::to_string(id);
+  if (vdevs_.empty()) return msg + " (none loaded)";
+  std::vector<std::string> ids;
+  std::string listing;
+  for (const auto& [vid, v] : vdevs_) {
+    ids.push_back(std::to_string(vid));
+    if (!listing.empty()) listing += ", ";
+    listing += std::to_string(vid) + " ('" + v.name + "')";
+  }
+  return msg + util::did_you_mean(std::to_string(id), ids) +
+         " (loaded: " + listing + ")";
+}
+
 Dpmu::Vdev& Dpmu::vdev(VdevId id) {
   auto it = vdevs_.find(id);
-  if (it == vdevs_.end())
-    throw ConfigError("dpmu: no virtual device " + std::to_string(id));
+  if (it == vdevs_.end()) throw ConfigError(no_vdev_message(id));
   return it->second;
 }
 
 const Dpmu::Vdev& Dpmu::vdev(VdevId id) const {
   auto it = vdevs_.find(id);
-  if (it == vdevs_.end())
-    throw ConfigError("dpmu: no virtual device " + std::to_string(id));
+  if (it == vdevs_.end()) throw ConfigError(no_vdev_message(id));
   return it->second;
 }
 

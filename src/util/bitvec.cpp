@@ -7,6 +7,14 @@
 
 namespace hyper4::util {
 
+namespace {
+// All-ones in the low `rem` bit positions of a word (rem in [1, 64)).
+// Usable above the match-helper section, which keeps its own copy.
+inline std::uint64_t low_ones_inline(std::size_t rem) {
+  return (~std::uint64_t{0}) >> (64 - rem);
+}
+}  // namespace
+
 BitVec::BitVec(std::size_t width) : width_(width), words_(words_for(width), 0) {}
 
 BitVec::BitVec(std::size_t width, std::uint64_t value)
@@ -83,6 +91,124 @@ void BitVec::assign(std::size_t width, std::uint64_t value) {
   width_ = width;
   words_.assign(words_for(width), 0);  // reuses capacity when sufficient
   if (!words_.empty()) words_[0] = value;
+  trim();
+}
+
+void BitVec::assign(const BitVec& o) {
+  width_ = o.width_;
+  words_.assign(o.words_.begin(), o.words_.end());  // reuses capacity
+}
+
+void BitVec::set_width(std::size_t width) {
+  width_ = width;
+  words_.resize(words_for(width), 0);  // shrink keeps capacity
+  trim();
+}
+
+void BitVec::and_assign(const BitVec& o) {
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    words_[i] &= i < o.words_.size() ? o.words_[i] : 0;
+  }
+}
+
+void BitVec::or_assign(const BitVec& o) {
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    words_[i] |= i < o.words_.size() ? o.words_[i] : 0;
+  }
+  trim();
+}
+
+void BitVec::xor_assign(const BitVec& o) {
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    words_[i] ^= i < o.words_.size() ? o.words_[i] : 0;
+  }
+  trim();
+}
+
+void BitVec::andnot_assign(const BitVec& o) {
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    words_[i] &= ~(i < o.words_.size() ? o.words_[i] : 0);
+  }
+}
+
+void BitVec::shl_assign(std::size_t n) {
+  if (n == 0) return;
+  if (n >= width_) {
+    std::fill(words_.begin(), words_.end(), 0);
+    return;
+  }
+  const std::size_t wshift = n / kWordBits;
+  const std::size_t bshift = n % kWordBits;
+  for (std::size_t i = words_.size(); i-- > 0;) {
+    std::uint64_t x = 0;
+    if (i >= wshift) {
+      x = words_[i - wshift] << bshift;
+      if (bshift != 0 && i > wshift) {
+        x |= words_[i - wshift - 1] >> (kWordBits - bshift);
+      }
+    }
+    words_[i] = x;
+  }
+  trim();
+}
+
+void BitVec::shr_assign(std::size_t n) {
+  if (n == 0) return;
+  if (n >= width_) {
+    std::fill(words_.begin(), words_.end(), 0);
+    return;
+  }
+  const std::size_t wshift = n / kWordBits;
+  const std::size_t bshift = n % kWordBits;
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    std::uint64_t x = 0;
+    if (i + wshift < words_.size()) {
+      x = words_[i + wshift] >> bshift;
+      if (bshift != 0 && i + wshift + 1 < words_.size()) {
+        x |= words_[i + wshift + 1] << (kWordBits - bshift);
+      }
+    }
+    words_[i] = x;
+  }
+}
+
+void BitVec::add_assign(const BitVec& o) {
+  unsigned __int128 carry = 0;
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    const std::uint64_t b = i < o.words_.size() ? o.words_[i] : 0;
+    unsigned __int128 s = static_cast<unsigned __int128>(words_[i]) + b + carry;
+    words_[i] = static_cast<std::uint64_t>(s);
+    carry = s >> 64;
+  }
+  trim();
+}
+
+std::uint64_t BitVec::bits_u64(std::size_t lsb, std::size_t len) const {
+  if (len == 0) return 0;
+  const std::size_t word = lsb / kWordBits;
+  const std::size_t off = lsb % kWordBits;
+  std::uint64_t x = word < words_.size() ? words_[word] >> off : 0;
+  if (off != 0 && word + 1 < words_.size()) {
+    x |= words_[word + 1] << (kWordBits - off);
+  }
+  return len >= kWordBits ? x : (x & low_ones_inline(len));
+}
+
+void BitVec::set_bits_u64(std::size_t lsb, std::size_t len, std::uint64_t v) {
+  if (len == 0 || lsb >= width_) return;
+  len = std::min(len, std::min<std::size_t>(kWordBits, width_ - lsb));
+  const std::uint64_t m =
+      len >= kWordBits ? ~std::uint64_t{0} : low_ones_inline(len);
+  v &= m;
+  const std::size_t word = lsb / kWordBits;
+  const std::size_t off = lsb % kWordBits;
+  words_[word] = (words_[word] & ~(m << off)) | (v << off);
+  if (off != 0 && off + len > kWordBits && word + 1 < words_.size()) {
+    const std::size_t hi = off + len - kWordBits;  // bits spilling over
+    const std::uint64_t hm = low_ones_inline(hi);
+    words_[word + 1] =
+        (words_[word + 1] & ~hm) | ((v >> (kWordBits - off)) & hm);
+  }
   trim();
 }
 

@@ -49,6 +49,37 @@ class BitVec {
   // counterpart of `*this = BitVec(width, value)` for scratch vectors.
   void assign(std::size_t width, std::uint64_t value);
 
+  // In-place copy of `o` (width and value), reusing word storage.
+  void assign(const BitVec& o);
+
+  // In-place resize (zero-extend or truncate), reusing word storage: the
+  // allocation-free counterpart of `*this = this->resized(width)`.
+  void set_width(std::size_t width);
+
+  // --- in-place compound operators (the VM kernel scratch path) -----------
+  //
+  // All keep this vector's width; `o` is treated as resized to it (extra
+  // high operand bits ignored, missing words read as zero), matching what
+  // the binary operators produce after a resized() on the result.
+
+  void and_assign(const BitVec& o);     // *this &= o
+  void or_assign(const BitVec& o);      // *this |= o
+  void xor_assign(const BitVec& o);     // *this ^= o
+  void andnot_assign(const BitVec& o);  // *this &= ~o (within width)
+  void shl_assign(std::size_t n);       // *this <<= n
+  void shr_assign(std::size_t n);       // *this >>= n
+  void add_assign(const BitVec& o);     // *this += o (mod 2^width)
+
+  // `len` bits (len <= 64) starting at bit `lsb`, as a u64. Reads past the
+  // top are zero-filled; the slice() counterpart that never materializes a
+  // BitVec.
+  std::uint64_t bits_u64(std::size_t lsb, std::size_t len) const;
+
+  // Overwrite `len` bits (len <= 64) starting at bit `lsb` with the low
+  // `len` bits of `v`; bits falling outside [0, width) are dropped. The
+  // set_slice() counterpart for u64-sized payloads.
+  void set_bits_u64(std::size_t lsb, std::size_t len, std::uint64_t v);
+
   std::size_t width() const { return width_; }
   bool zero_width() const { return width_ == 0; }
 

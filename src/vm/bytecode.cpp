@@ -1,0 +1,247 @@
+#include "vm/bytecode.h"
+
+#include <cstring>
+#include <sstream>
+
+#include "util/error.h"
+
+namespace hyper4::vm {
+
+const char* reg_name(Reg r) {
+  switch (r) {
+    case kRProgram: return "program";
+    case kRNumBytes: return "numbytes";
+    case kRBytesExt: return "bytes_ext";
+    case kRValidity: return "validity";
+    case kRNext: return "next";
+    case kRMatchId: return "match_id";
+    case kRActionId: return "action_id";
+    case kRPrimCount: return "prim_count";
+    case kRVIngress: return "vingress";
+    case kRVEgress: return "vegress";
+    case kRResize: return "resize";
+    case kRCsum: return "csum_off";
+    case kRegCount: break;
+  }
+  return "r?";
+}
+
+const char* lookup_mode_name(LookupMode m) {
+  switch (m) {
+    case LookupMode::kSetupB: return "setup_b";
+    case LookupMode::kVparse: return "vparse";
+    case LookupMode::kStageExt: return "stage_ext";
+    case LookupMode::kStageMeta: return "stage_meta";
+    case LookupMode::kStageStd: return "stage_std";
+    case LookupMode::kVnet: return "vnet";
+    case LookupMode::kEgCsum: return "eg_csum";
+    case LookupMode::kEgWriteback: return "eg_writeback";
+    case LookupMode::kModeCount: break;
+  }
+  return "mode?";
+}
+
+const char* op_name(Op o) {
+  switch (o) {
+    case Op::kHalt: return "halt";
+    case Op::kLookup: return "lookup";
+    case Op::kPrims: return "prims";
+    case Op::kJeq: return "jeq";
+    case Op::kJmp: return "jmp";
+    case Op::kFallback: return "fallback";
+    case Op::kOpCount: break;
+  }
+  return "op?";
+}
+
+std::string Unit::disassemble() const {
+  std::ostringstream os;
+  os << "; unit program=" << program << " stages=" << num_stages
+     << " max_primitives=" << max_primitives << " pr_headers=" << pr_headers
+     << " epoch_sum=" << pruned_epoch_sum << "\n";
+  for (std::size_t pc = 0; pc < code.size(); ++pc) {
+    if (pc == egress_pc) os << "egress:\n";
+    const Instr& in = code[pc];
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%04zu  ", pc);
+    os << buf;
+    switch (static_cast<Op>(in.op)) {
+      case Op::kHalt:
+        os << "halt";
+        break;
+      case Op::kLookup:
+        os << "lookup " << lookup_mode_name(static_cast<LookupMode>(in.mode))
+           << " ";
+        os << (in.a < tables.size() ? tables[in.a]
+                                    : "<bad table #" + std::to_string(in.a) +
+                                          ">");
+        break;
+      case Op::kPrims:
+        os << "prims stage=" << in.a << " slots=" << in.b
+           << " tables@" << in.c;
+        break;
+      case Op::kJeq:
+        os << "jeq " << reg_name(static_cast<Reg>(in.mode)) << ", " << in.b
+           << " -> " << in.c;
+        break;
+      case Op::kJmp:
+        os << "jmp -> " << in.c;
+        break;
+      case Op::kFallback:
+        os << "fallback reason=" << in.b;
+        break;
+      default:
+        os << "op?" << static_cast<int>(in.op);
+        break;
+    }
+    os << "\n";
+  }
+  if (!tables.empty()) {
+    os << "; tables:\n";
+    for (std::size_t i = 0; i < tables.size(); ++i)
+      os << ";   [" << i << "] " << tables[i] << "\n";
+  }
+  return os.str();
+}
+
+namespace {
+
+constexpr char kMagic[8] = {'H', 'P', '4', 'V', 'M', '0', '0', '1'};
+
+void put_u16(std::vector<std::uint8_t>& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v & 0xff));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i)
+    out.push_back(static_cast<std::uint8_t>((v >> (8 * i)) & 0xff));
+}
+
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i)
+    out.push_back(static_cast<std::uint8_t>((v >> (8 * i)) & 0xff));
+}
+
+struct Reader {
+  const std::vector<std::uint8_t>& b;
+  std::size_t at = 0;
+
+  void need(std::size_t n) const {
+    if (at + n > b.size())
+      throw util::ParseError("vm: truncated bytecode stream at byte " +
+                             std::to_string(at) + " (need " +
+                             std::to_string(n) + " more, have " +
+                             std::to_string(b.size() - at) + ")");
+  }
+  std::uint8_t u8() {
+    need(1);
+    return b[at++];
+  }
+  std::uint16_t u16() {
+    need(2);
+    std::uint16_t v = static_cast<std::uint16_t>(b[at]) |
+                      static_cast<std::uint16_t>(b[at + 1]) << 8;
+    at += 2;
+    return v;
+  }
+  std::uint32_t u32() {
+    need(4);
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(b[at + i]) << (8 * i);
+    at += 4;
+    return v;
+  }
+  std::uint64_t u64() {
+    need(8);
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(b[at + i]) << (8 * i);
+    at += 8;
+    return v;
+  }
+};
+
+// A hostile count field must not drive a multi-gigabyte reserve before the
+// stream length has had a chance to contradict it.
+constexpr std::uint32_t kMaxCount = 1u << 20;
+
+std::uint32_t checked_count(std::uint32_t n, const char* what) {
+  if (n > kMaxCount)
+    throw util::ParseError(std::string("vm: implausible ") + what +
+                           " count " + std::to_string(n));
+  return n;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encode(const Unit& u) {
+  std::vector<std::uint8_t> out;
+  out.insert(out.end(), kMagic, kMagic + sizeof kMagic);
+  put_u16(out, u.program);
+  put_u16(out, u.num_stages);
+  put_u16(out, u.max_primitives);
+  put_u16(out, u.pr_headers);
+  put_u32(out, u.egress_pc);
+  put_u64(out, u.pruned_epoch_sum);
+  put_u32(out, static_cast<std::uint32_t>(u.code.size()));
+  for (const Instr& in : u.code) {
+    out.push_back(in.op);
+    out.push_back(in.mode);
+    put_u16(out, in.a);
+    put_u32(out, in.b);
+    put_u32(out, in.c);
+  }
+  put_u32(out, static_cast<std::uint32_t>(u.tables.size()));
+  for (const std::string& t : u.tables) {
+    put_u16(out, static_cast<std::uint16_t>(t.size()));
+    out.insert(out.end(), t.begin(), t.end());
+  }
+  put_u32(out, static_cast<std::uint32_t>(u.prim_tables.size()));
+  for (std::uint32_t v : u.prim_tables) put_u32(out, v);
+  return out;
+}
+
+Unit decode(const std::vector<std::uint8_t>& bytes) {
+  Reader r{bytes};
+  r.need(sizeof kMagic);
+  if (std::memcmp(bytes.data(), kMagic, sizeof kMagic) != 0)
+    throw util::ParseError("vm: bad bytecode magic (not an HP4VM001 stream)");
+  r.at = sizeof kMagic;
+
+  Unit u;
+  u.program = r.u16();
+  u.num_stages = r.u16();
+  u.max_primitives = r.u16();
+  u.pr_headers = r.u16();
+  u.egress_pc = r.u32();
+  u.pruned_epoch_sum = r.u64();
+  const std::uint32_t ninstr = checked_count(r.u32(), "instruction");
+  u.code.reserve(ninstr);
+  for (std::uint32_t i = 0; i < ninstr; ++i) {
+    Instr in;
+    in.op = r.u8();
+    in.mode = r.u8();
+    in.a = r.u16();
+    in.b = r.u32();
+    in.c = r.u32();
+    u.code.push_back(in);
+  }
+  const std::uint32_t ntab = checked_count(r.u32(), "table");
+  u.tables.reserve(ntab);
+  for (std::uint32_t i = 0; i < ntab; ++i) {
+    const std::uint16_t len = r.u16();
+    r.need(len);
+    u.tables.emplace_back(reinterpret_cast<const char*>(bytes.data()) + r.at,
+                          len);
+    r.at += len;
+  }
+  const std::uint32_t nprim = checked_count(r.u32(), "prim-table");
+  u.prim_tables.reserve(nprim);
+  for (std::uint32_t i = 0; i < nprim; ++i) u.prim_tables.push_back(r.u32());
+  if (r.at != bytes.size())
+    throw util::ParseError("vm: " + std::to_string(bytes.size() - r.at) +
+                           " trailing byte(s) after bytecode stream");
+  return u;
+}
+
+}  // namespace hyper4::vm

@@ -1,0 +1,133 @@
+// Flat bytecode for the tiered-execution backend (ROADMAP item 2).
+//
+// A Unit is the compiled form of ONE virtual device's traversal through the
+// persona: the stage-dispatch ladder collapsed to conditional branches on
+// the next_table register, every reachable (stage, source) match block laid
+// out linearly, and the primitive-slot machinery reduced to a single kPrims
+// op per block. Table lookups stay LIVE — they reuse the compiled match
+// indexes of bm::RuntimeTable (PR 3), so entry add/delete/modify is picked
+// up immediately — but everything the compiler *pruned by content* (which
+// stages are reachable, how many primitive slots a block can run) is baked,
+// and the Unit records the epoch sum of the tables it was pruned from so
+// the executor can detect staleness and recompile (see DESIGN.md "Tiered
+// execution").
+//
+// Units serialize (encode/decode with a magic + version header) so the
+// verifier can be tested against hostile byte streams, and disassemble for
+// debuggability (`vm disasm` in the bm CLI).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace hyper4::vm {
+
+// Narrow (u64) register file. Wide state (extracted / ext_meta / tmp) is
+// addressed implicitly by the kernels, never by bytecode operands.
+enum Reg : std::uint8_t {
+  kRProgram = 0,   // hp4_meta.program        (16)
+  kRNumBytes,      // hp4_meta.numbytes       (8)
+  kRBytesExt,      // hp4_meta.bytes_extracted(8)
+  kRValidity,      // hp4_meta.vvalidity      (32)
+  kRNext,          // hp4_meta.next_table     (16)
+  kRMatchId,       // hp4_meta.match_id       (32)
+  kRActionId,      // hp4_meta.action_id      (16)
+  kRPrimCount,     // hp4_meta.prim_count     (8)
+  kRVIngress,      // hp4_meta.virt_ingress   (16)
+  kRVEgress,       // hp4_meta.virt_egress    (16)
+  kRResize,        // hp4_meta.resize         (8)
+  kRCsum,          // hp4_meta.csum_offset    (8)
+  kRegCount,
+};
+
+const char* reg_name(Reg r);
+
+// Key-construction / miss-semantics selector for kLookup.
+enum class LookupMode : std::uint8_t {
+  kSetupB = 0,   // exact   [bytes_extracted]
+  kVparse,       // ternary [program, extracted]
+  kStageExt,     // ternary [program, vvalidity, extracted]
+  kStageMeta,    // ternary [program, vvalidity, ext_meta]
+  kStageStd,     // ternary [program, virt_ingress, virt_egress]
+  kVnet,         // ternary [program, virt_egress]
+  kEgCsum,       // exact   [csum_offset]
+  kEgWriteback,  // exact   [resize]
+  kModeCount,
+};
+
+const char* lookup_mode_name(LookupMode m);
+
+enum class Op : std::uint8_t {
+  kHalt = 0,   // end of section (ingress → traffic manager, egress → deparse)
+  kLookup,     // a = table registry index, mode = LookupMode
+  kPrims,      // a = stage, b = slot limit, c = base into prim_tables
+  kJeq,        // mode = Reg, b = immediate, c = target pc
+  kJmp,        // c = target pc
+  kFallback,   // b = reason code; abort bytecode, re-run via Switch::inject
+  kOpCount,
+};
+
+const char* op_name(Op o);
+
+struct Instr {
+  std::uint8_t op = 0;    // Op
+  std::uint8_t mode = 0;  // LookupMode for kLookup, Reg for kJeq
+  std::uint16_t a = 0;    // table index / stage
+  std::uint32_t b = 0;    // immediate / slot limit / reason
+  std::uint32_t c = 0;    // jump target / prim_tables base
+
+  friend bool operator==(const Instr&, const Instr&) = default;
+};
+
+// Tables referenced per primitive slot, in prim_tables order.
+inline constexpr std::size_t kPrimSlotTables = 7;
+enum PrimSlotTable : std::size_t {
+  kPtSetup = 0,  // tbl_prim_setup  [program, action_id] → prim_type
+  kPtMod,        // tbl_prim_exec …kMod    [program, action_id, match_id]
+  kPtAdd,        //                …kAddSub [program, action_id, match_id]
+  kPtDrop,       //                …kDrop   [program]
+  kPtResize,     //                …kResize [program, action_id, match_id]
+  kPtNoop,       //                …kNoop   [program]
+  kPtTx,         // tbl_prim_tx    [program]
+};
+
+struct Unit {
+  std::uint16_t program = 0;  // vdev program id this unit was compiled for
+  std::uint32_t egress_pc = 0;
+  std::vector<Instr> code;
+  // Table-name registry; kLookup.a and prim_tables values index into it.
+  std::vector<std::string> tables;
+  // Flattened (stage, slot) → kPrimSlotTables registry indexes; kPrims.c is
+  // a base into this array, covering kPrims.b slots.
+  std::vector<std::uint32_t> prim_tables;
+  // Structural bounds the unit was compiled against (checked by verify()).
+  std::uint16_t num_stages = 0;
+  std::uint16_t max_primitives = 0;
+  // Number of pr[] single-byte header instances the persona parses — the
+  // unit's "header id" space; writeback can never address beyond it.
+  std::uint16_t pr_headers = 0;
+  // Epoch sum over the pruning inputs (vparse + stage tables) at compile
+  // time; the executor compares it against the live sum per packet.
+  std::uint64_t pruned_epoch_sum = 0;
+
+  std::string disassemble() const;
+};
+
+// Serialized form: "HP4VM001" magic, then little-endian fields. Total size
+// is self-describing; decode() throws util::ParseError on truncation, bad
+// magic, or count fields that disagree with the stream length.
+std::vector<std::uint8_t> encode(const Unit& u);
+Unit decode(const std::vector<std::uint8_t>& bytes);
+
+// Structural verification; returns the list of violated invariants (empty
+// when the unit is well-formed). verify_or_throw wraps it in ConfigError.
+// Invariants (see DESIGN.md): every opcode/mode/register id in range, every
+// jump target and egress_pc inside the code, every table reference inside
+// the registry, prim slot windows inside prim_tables, no fall-through past
+// the end of code, and structural bounds (stage ≤ num_stages, slot limit ≤
+// max_primitives, pr_headers sane).
+std::vector<std::string> verify(const Unit& u);
+void verify_or_throw(const Unit& u);
+
+}  // namespace hyper4::vm

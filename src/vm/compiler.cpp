@@ -1,0 +1,320 @@
+#include "vm/compiler.h"
+
+#include <algorithm>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "bm/switch.h"
+#include "util/error.h"
+
+namespace hyper4::vm {
+
+namespace {
+
+using hp4::MatchSource;
+
+// Label-based assembler: emit with symbolic targets, patch once the layout
+// is final.
+class Asm {
+ public:
+  std::size_t label() {
+    targets_.push_back(kUnbound);
+    return targets_.size() - 1;
+  }
+  void bind(std::size_t label) { targets_[label] = code_.size(); }
+
+  void lookup(LookupMode m, std::uint16_t table) {
+    Instr in;
+    in.op = static_cast<std::uint8_t>(Op::kLookup);
+    in.mode = static_cast<std::uint8_t>(m);
+    in.a = table;
+    code_.push_back(in);
+  }
+  void prims(std::uint16_t stage, std::uint32_t limit, std::uint32_t base) {
+    Instr in;
+    in.op = static_cast<std::uint8_t>(Op::kPrims);
+    in.a = stage;
+    in.b = limit;
+    in.c = base;
+    code_.push_back(in);
+  }
+  void jeq(Reg r, std::uint32_t imm, std::size_t label) {
+    Instr in;
+    in.op = static_cast<std::uint8_t>(Op::kJeq);
+    in.mode = static_cast<std::uint8_t>(r);
+    in.b = imm;
+    in.c = 0;
+    fixups_.emplace_back(code_.size(), label);
+    code_.push_back(in);
+  }
+  void jmp(std::size_t label) {
+    Instr in;
+    in.op = static_cast<std::uint8_t>(Op::kJmp);
+    fixups_.emplace_back(code_.size(), label);
+    code_.push_back(in);
+  }
+  void halt() {
+    Instr in;
+    in.op = static_cast<std::uint8_t>(Op::kHalt);
+    code_.push_back(in);
+  }
+
+  std::size_t pc() const { return code_.size(); }
+
+  std::vector<Instr> finish() {
+    for (const auto& [pc, label] : fixups_) {
+      if (targets_[label] == kUnbound)
+        throw util::ConfigError("vm: internal: unbound label in compiler");
+      code_[pc].c = static_cast<std::uint32_t>(targets_[label]);
+    }
+    return std::move(code_);
+  }
+
+ private:
+  static constexpr std::size_t kUnbound = ~std::size_t{0};
+  std::vector<Instr> code_;
+  std::vector<std::size_t> targets_;
+  std::vector<std::pair<std::size_t, std::size_t>> fixups_;
+};
+
+const bm::RuntimeTable& persona_table(const bm::Switch& sw,
+                                      const std::string& name) {
+  if (!sw.has_table(name))
+    throw util::ConfigError("vm: switch is not a persona (no table '" + name +
+                            "')");
+  return sw.table(name);
+}
+
+// Does this entry's first key component (exact program id) select `program`?
+bool entry_is_program(const bm::TableEntry& e, std::uint16_t program) {
+  if (e.key.empty()) return false;
+  return e.key[0].value == util::BitVec(hp4::kProgramBits, program);
+}
+
+struct SourceInfo {
+  bool reachable = false;
+  std::vector<std::uint64_t> next_codes;  // codes its entries can emit
+  std::uint32_t slot_limit = 0;           // max prim_count over entries
+};
+
+}  // namespace
+
+std::uint64_t pruning_epoch_sum(const bm::Switch& sw,
+                                const hp4::PersonaConfig& cfg) {
+  std::uint64_t sum = persona_table(sw, hp4::tbl_vparse()).index_epoch();
+  for (std::size_t s = 1; s <= cfg.num_stages; ++s) {
+    for (MatchSource m : {MatchSource::kExtracted, MatchSource::kMeta,
+                          MatchSource::kStdMeta}) {
+      sum += persona_table(sw, hp4::tbl_stage_match(s, m)).index_epoch();
+    }
+  }
+  return sum;
+}
+
+Unit compile_unit(const bm::Switch& sw, const hp4::PersonaConfig& cfg,
+                  std::uint16_t program) {
+  if (cfg.ingress_meter)
+    throw util::ConfigError(
+        "vm: personas with the ingress meter are outside the compiled tier");
+
+  const std::size_t num_stages = cfg.num_stages;
+  const MatchSource kSources[] = {MatchSource::kExtracted, MatchSource::kMeta,
+                                  MatchSource::kStdMeta};
+
+  // --- enumerate pruning inputs -------------------------------------------
+  // vparse: the initial next_table codes this program can start with. The
+  // default (a_parse_miss) and any a_parse_miss entry yield code 0 (straight
+  // to vnet), which never needs a dispatch test.
+  std::vector<std::uint64_t> init_codes;
+  {
+    const bm::RuntimeTable& vp = persona_table(sw, hp4::tbl_vparse());
+    auto collect = [&](std::size_t action,
+                       const std::vector<util::BitVec>& args) {
+      const std::string& name = sw.action_name(action);
+      if (name == hp4::kActSetParse) {
+        if (args.size() >= 2) init_codes.push_back(args[1].low_u64());
+      } else if (name != hp4::kActParseMiss) {
+        throw util::ConfigError("vm: unexpected action '" + name +
+                                "' in vparse");
+      }
+    };
+    for (std::uint64_t h : vp.handles()) {
+      const bm::TableEntry& e = vp.entry(h);
+      if (!entry_is_program(e, program)) continue;
+      collect(e.action, e.action_args);
+    }
+    if (vp.has_default()) collect(vp.default_action(), vp.default_args());
+  }
+
+  // Stage tables: per (stage, source), the codes its a_match_result entries
+  // can emit and the largest prim_count they can load.
+  std::vector<SourceInfo> info(num_stages * 3);
+  auto slot_of = [&](std::size_t stage, std::size_t mi) -> SourceInfo& {
+    return info[(stage - 1) * 3 + mi];
+  };
+  for (std::size_t s = 1; s <= num_stages; ++s) {
+    for (std::size_t mi = 0; mi < 3; ++mi) {
+      const bm::RuntimeTable& t =
+          persona_table(sw, hp4::tbl_stage_match(s, kSources[mi]));
+      SourceInfo& si = slot_of(s, mi);
+      auto collect = [&](std::size_t action,
+                         const std::vector<util::BitVec>& args) {
+        const std::string& name = sw.action_name(action);
+        if (name == hp4::kActMatchResult) {
+          if (args.size() >= 4) {
+            si.next_codes.push_back(args[3].low_u64());
+            si.slot_limit = std::max(
+                si.slot_limit, static_cast<std::uint32_t>(args[2].low_u64()));
+          }
+        } else if (name != hp4::kActMatchMiss) {
+          throw util::ConfigError("vm: unexpected action '" + name + "' in " +
+                                  t.name());
+        }
+      };
+      for (std::uint64_t h : t.handles()) {
+        const bm::TableEntry& e = t.entry(h);
+        if (!entry_is_program(e, program)) continue;
+        collect(e.action, e.action_args);
+      }
+      if (t.has_default()) collect(t.default_action(), t.default_args());
+      si.slot_limit = std::min(
+          si.slot_limit, static_cast<std::uint32_t>(cfg.max_primitives));
+    }
+  }
+
+  // --- reachability closure ------------------------------------------------
+  // A code c = stage*8 + source reaches a block only when the stage/source
+  // decode to a real selector; anything else falls through the persona's
+  // dispatch chain to vnet, so it prunes away here too.
+  auto decode_code = [&](std::uint64_t c)
+      -> std::optional<std::pair<std::size_t, std::size_t>> {
+    const std::size_t s = static_cast<std::size_t>(c / 8);
+    const std::size_t m = static_cast<std::size_t>(c % 8);
+    if (s < 1 || s > num_stages || m < 1 || m > 3) return std::nullopt;
+    return std::make_pair(s, m - 1);
+  };
+  std::vector<std::uint64_t> work = init_codes;
+  while (!work.empty()) {
+    const std::uint64_t c = work.back();
+    work.pop_back();
+    const auto sm = decode_code(c);
+    if (!sm) continue;
+    SourceInfo& si = slot_of(sm->first, sm->second);
+    if (si.reachable) continue;
+    si.reachable = true;
+    for (std::uint64_t n : si.next_codes) work.push_back(n);
+  }
+
+  // --- unit scaffolding ----------------------------------------------------
+  Unit u;
+  u.program = program;
+  u.num_stages = static_cast<std::uint16_t>(num_stages);
+  u.max_primitives = static_cast<std::uint16_t>(cfg.max_primitives);
+  u.pr_headers = static_cast<std::uint16_t>(cfg.parse_max_bytes);
+  u.pruned_epoch_sum = pruning_epoch_sum(sw, cfg);
+
+  std::map<std::string, std::uint16_t> table_idx;
+  auto tid = [&](const std::string& name) -> std::uint16_t {
+    auto it = table_idx.find(name);
+    if (it != table_idx.end()) return it->second;
+    persona_table(sw, name);  // existence check
+    const std::uint16_t id = static_cast<std::uint16_t>(u.tables.size());
+    u.tables.push_back(name);
+    table_idx.emplace(name, id);
+    return id;
+  };
+
+  // Primitive-slot table windows, one per stage with any reachable block
+  // (the slot chain is shared by a stage's three source tables).
+  std::vector<std::uint32_t> stage_base(num_stages + 1, 0);
+  for (std::size_t s = 1; s <= num_stages; ++s) {
+    std::uint32_t stage_limit = 0;
+    for (std::size_t mi = 0; mi < 3; ++mi) {
+      if (slot_of(s, mi).reachable)
+        stage_limit = std::max(stage_limit, slot_of(s, mi).slot_limit);
+    }
+    stage_base[s] = static_cast<std::uint32_t>(u.prim_tables.size());
+    for (std::uint32_t p = 1; p <= stage_limit; ++p) {
+      u.prim_tables.push_back(tid(hp4::tbl_prim_setup(s, p)));
+      u.prim_tables.push_back(tid(hp4::tbl_prim_exec(s, p, hp4::PrimType::kMod)));
+      u.prim_tables.push_back(
+          tid(hp4::tbl_prim_exec(s, p, hp4::PrimType::kAddSub)));
+      u.prim_tables.push_back(
+          tid(hp4::tbl_prim_exec(s, p, hp4::PrimType::kDrop)));
+      u.prim_tables.push_back(
+          tid(hp4::tbl_prim_exec(s, p, hp4::PrimType::kResize)));
+      u.prim_tables.push_back(
+          tid(hp4::tbl_prim_exec(s, p, hp4::PrimType::kNoop)));
+      u.prim_tables.push_back(tid(hp4::tbl_prim_tx(s, p)));
+    }
+  }
+
+  // --- code emission -------------------------------------------------------
+  Asm a;
+  const LookupMode kStageModes[] = {LookupMode::kStageExt,
+                                    LookupMode::kStageMeta,
+                                    LookupMode::kStageStd};
+  // One dispatch label per resume position (1..num_stages+1) plus one label
+  // per reachable block.
+  std::vector<std::size_t> dispatch(num_stages + 2);
+  for (std::size_t pos = 1; pos <= num_stages + 1; ++pos)
+    dispatch[pos] = a.label();
+  std::vector<std::size_t> block(num_stages * 3);
+  for (std::size_t s = 1; s <= num_stages; ++s)
+    for (std::size_t mi = 0; mi < 3; ++mi)
+      if (slot_of(s, mi).reachable) block[(s - 1) * 3 + mi] = a.label();
+  const std::size_t vnet = a.label();
+
+  // Ingress: setup_b concat, vparse, then the dispatch ladder.
+  a.lookup(LookupMode::kSetupB, tid(hp4::tbl_setup_b()));
+  a.lookup(LookupMode::kVparse, tid(hp4::tbl_vparse()));
+
+  // Dispatch sections: position pos tests every reachable (s, m) with
+  // s >= pos, exactly the persona's sel_ext → sel_meta → sel_std →
+  // next-stage chain with the unreachable selectors pruned away.
+  for (std::size_t pos = 1; pos <= num_stages + 1; ++pos) {
+    a.bind(dispatch[pos]);
+    for (std::size_t s = pos; s <= num_stages; ++s) {
+      for (std::size_t mi = 0; mi < 3; ++mi) {
+        if (!slot_of(s, mi).reachable) continue;
+        a.jeq(kRNext,
+              static_cast<std::uint32_t>(hp4::next_table_code(s, kSources[mi])),
+              block[(s - 1) * 3 + mi]);
+      }
+    }
+    a.jmp(vnet);
+  }
+
+  for (std::size_t s = 1; s <= num_stages; ++s) {
+    for (std::size_t mi = 0; mi < 3; ++mi) {
+      const SourceInfo& si = slot_of(s, mi);
+      if (!si.reachable) continue;
+      a.bind(block[(s - 1) * 3 + mi]);
+      a.lookup(kStageModes[mi], tid(hp4::tbl_stage_match(s, kSources[mi])));
+      a.prims(static_cast<std::uint16_t>(s), si.slot_limit, stage_base[s]);
+      a.jmp(dispatch[s + 1]);
+    }
+  }
+
+  a.bind(vnet);
+  a.lookup(LookupMode::kVnet, tid(hp4::tbl_vnet()));
+  a.halt();
+
+  // Egress: checksum fix-up (only when csum_offset != 0), then write-back.
+  const std::size_t egress_at = a.pc();
+  const std::size_t wb = a.label();
+  a.jeq(kRCsum, 0, wb);
+  a.lookup(LookupMode::kEgCsum, tid(hp4::tbl_eg_csum()));
+  a.bind(wb);
+  a.lookup(LookupMode::kEgWriteback, tid(hp4::tbl_eg_writeback()));
+  a.halt();
+
+  u.egress_pc = static_cast<std::uint32_t>(egress_at);
+  u.code = a.finish();
+  verify_or_throw(u);
+  return u;
+}
+
+}  // namespace hyper4::vm

@@ -1,0 +1,37 @@
+// Per-vdev bytecode compiler: flattens one program's traversal through a
+// configured persona switch into a vm::Unit (see bytecode.h).
+//
+// Inputs are the LIVE persona tables: the compiler enumerates the vparse
+// and per-stage match entries installed for `program` to compute which
+// (stage, source) blocks are reachable and how many primitive slots each
+// can run, then emits a linear dispatch ladder covering exactly that set.
+// The epoch sum of those tables is recorded in the unit; the executor
+// recompiles when it drifts (a rule add/delete can change reachability).
+//
+// Throws util::ConfigError when the persona configuration is outside the
+// compiled tier's envelope (ingress meter enabled, a pruning table carrying
+// an unrecognized action, a missing persona table) — the executor treats
+// that as "fall back to the interpreted persona", never as a hard error.
+#pragma once
+
+#include <cstdint>
+
+#include "hp4/persona.h"
+#include "vm/bytecode.h"
+
+namespace hyper4::bm {
+class Switch;
+}
+
+namespace hyper4::vm {
+
+Unit compile_unit(const bm::Switch& sw, const hp4::PersonaConfig& cfg,
+                  std::uint16_t program);
+
+// The live epoch sum over the same tables compile_unit prunes from
+// (vparse + every stage match table); compared against
+// Unit::pruned_epoch_sum to detect staleness.
+std::uint64_t pruning_epoch_sum(const bm::Switch& sw,
+                                const hp4::PersonaConfig& cfg);
+
+}  // namespace hyper4::vm

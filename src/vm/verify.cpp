@@ -1,0 +1,105 @@
+// Bytecode verifier: every invariant the executor's dispatch loop relies on
+// is checked once here, so the loop itself can index arrays unchecked.
+#include <string>
+#include <vector>
+
+#include "util/error.h"
+#include "vm/bytecode.h"
+
+namespace hyper4::vm {
+
+std::vector<std::string> verify(const Unit& u) {
+  std::vector<std::string> bad;
+  auto at = [](std::size_t pc) { return "pc " + std::to_string(pc) + ": "; };
+
+  if (u.code.empty()) {
+    bad.push_back("empty code section");
+    return bad;
+  }
+  if (u.egress_pc >= u.code.size())
+    bad.push_back("egress_pc " + std::to_string(u.egress_pc) +
+                  " outside code (size " + std::to_string(u.code.size()) +
+                  ")");
+  if (u.num_stages == 0) bad.push_back("num_stages is zero");
+  if (u.pr_headers == 0) bad.push_back("pr_headers is zero");
+
+  for (std::size_t pc = 0; pc < u.code.size(); ++pc) {
+    const Instr& in = u.code[pc];
+    const Op op = static_cast<Op>(in.op);
+    switch (op) {
+      case Op::kHalt:
+      case Op::kFallback:
+        break;
+      case Op::kLookup:
+        if (in.mode >= static_cast<std::uint8_t>(LookupMode::kModeCount))
+          bad.push_back(at(pc) + "lookup mode " + std::to_string(in.mode) +
+                        " out of range");
+        if (in.a >= u.tables.size())
+          bad.push_back(at(pc) + "table id " + std::to_string(in.a) +
+                        " outside registry (size " +
+                        std::to_string(u.tables.size()) + ")");
+        break;
+      case Op::kPrims: {
+        if (in.a == 0 || in.a > u.num_stages)
+          bad.push_back(at(pc) + "stage " + std::to_string(in.a) +
+                        " outside [1, " + std::to_string(u.num_stages) + "]");
+        if (in.b > u.max_primitives)
+          bad.push_back(at(pc) + "slot limit " + std::to_string(in.b) +
+                        " exceeds max_primitives " +
+                        std::to_string(u.max_primitives));
+        const std::uint64_t end =
+            static_cast<std::uint64_t>(in.c) +
+            static_cast<std::uint64_t>(in.b) * kPrimSlotTables;
+        if (end > u.prim_tables.size()) {
+          bad.push_back(at(pc) + "prim slot window [" + std::to_string(in.c) +
+                        ", " + std::to_string(end) +
+                        ") outside prim_tables (size " +
+                        std::to_string(u.prim_tables.size()) + ")");
+        } else {
+          for (std::uint64_t i = in.c; i < end; ++i) {
+            if (u.prim_tables[i] >= u.tables.size()) {
+              bad.push_back(at(pc) + "prim table id " +
+                            std::to_string(u.prim_tables[i]) +
+                            " outside registry (size " +
+                            std::to_string(u.tables.size()) + ")");
+              break;
+            }
+          }
+        }
+        break;
+      }
+      case Op::kJeq:
+        if (in.mode >= kRegCount)
+          bad.push_back(at(pc) + "register id " + std::to_string(in.mode) +
+                        " out of range (register file has " +
+                        std::to_string(static_cast<int>(kRegCount)) + ")");
+        [[fallthrough]];
+      case Op::kJmp:
+        if (in.c >= u.code.size())
+          bad.push_back(at(pc) + "jump target " + std::to_string(in.c) +
+                        " outside code (size " +
+                        std::to_string(u.code.size()) + ")");
+        break;
+      default:
+        bad.push_back(at(pc) + "invalid opcode " + std::to_string(in.op));
+        break;
+    }
+    // No implicit fall-through past the end: the last instruction must end
+    // control flow itself.
+    if (pc + 1 == u.code.size() && op != Op::kHalt && op != Op::kJmp &&
+        op != Op::kFallback)
+      bad.push_back(at(pc) + "code falls through past the end (last op is " +
+                    std::string(op_name(op)) + ")");
+  }
+  return bad;
+}
+
+void verify_or_throw(const Unit& u) {
+  const std::vector<std::string> bad = verify(u);
+  if (bad.empty()) return;
+  std::string msg = "vm: bytecode verification failed:";
+  for (const std::string& s : bad) msg += "\n  " + s;
+  throw util::ConfigError(msg);
+}
+
+}  // namespace hyper4::vm

@@ -1,0 +1,1150 @@
+#include "vm/vm.h"
+
+#include <algorithm>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "p4/ir.h"
+#include "util/error.h"
+#include "vm/compiler.h"
+
+namespace hyper4::vm {
+
+namespace {
+
+// Thrown by bail(): aborts the bytecode attempt for the current packet and
+// makes process() restart it through the interpreted persona.
+struct FallbackSignal {
+  const char* reason;
+};
+
+constexpr std::uint64_t kEspecMask = (1u << p4::kPortWidth) - 1;
+
+}  // namespace
+
+// Per-process() transient state: one traversal's register file, scalar
+// standard-metadata mirror, and flags. The wide vectors (ext/meta/tmp) live
+// on the executor so their storage persists across packets.
+struct VmExecutor::RunState {
+  bm::ProcessResult* res = nullptr;
+  obs::PipelineTracer* tr = nullptr;
+  bool timing = false;
+  bool prof = false;
+
+  std::uint64_t regs[kRegCount] = {};
+  std::uint64_t espec = 0;      // standard_metadata.egress_spec (9 bits)
+  std::uint64_t mcast = 0;      // standard_metadata.mcast_grp (16 bits)
+  std::uint64_t prim_type = 0;  // hp4_meta.prim_type (8 bits)
+  bool resubmit_flag = false;
+  bool recirc_flag = false;
+  bool in_egress = false;
+
+  const std::uint8_t* pkt = nullptr;  // current traversal's input bytes
+  std::size_t pkt_size = 0;
+  std::size_t payload_offset = 0;  // bytes the parser consumed
+
+  bool wb_ran = false;      // a write-back action executed in egress
+  std::uint32_t wb_len = 0;  // its byte count
+};
+
+// ---------------------------------------------------------------------------
+// Construction
+
+VmExecutor::VmExecutor(bm::Switch& sw, hp4::PersonaConfig cfg)
+    : sw_(sw), cfg_(std::move(cfg)) {
+  cfg_.validate();
+  auto need = [&](const std::string& name) -> bm::RuntimeTable& {
+    if (!sw_.has_table(name))
+      throw util::ConfigError("vm: switch is not a persona (no table '" +
+                              name + "')");
+    return sw_.mutable_table(name);
+  };
+
+  pruning_tables_.push_back(&need(hp4::tbl_vparse()));
+  for (std::size_t s = 1; s <= cfg_.num_stages; ++s) {
+    for (hp4::MatchSource m :
+         {hp4::MatchSource::kExtracted, hp4::MatchSource::kMeta,
+          hp4::MatchSource::kStdMeta}) {
+      pruning_tables_.push_back(&need(hp4::tbl_stage_match(s, m)));
+    }
+  }
+  setup_a_ = &need(hp4::tbl_setup_a());
+  setup_a_id_ = static_cast<std::uint32_t>(sw_.table_index(hp4::tbl_setup_a()));
+
+  for (auto inst : sw_.layout().stack_elements(hp4::kPrStack))
+    pr_instance_ids_.push_back(static_cast<std::uint32_t>(inst));
+
+  // Kernel registry: compiled action id → reimplemented body. Names absent
+  // from the program (e.g. meter actions when the meter is off) are skipped;
+  // any id that stays kUnknown triggers fallback if it ever executes.
+  auto bind_kernel = [&](const std::string& name, Kernel k,
+                         std::uint32_t arg = 0) {
+    std::size_t id;
+    try {
+      id = sw_.action_id(name);
+    } catch (const util::Error&) {
+      return;
+    }
+    if (id >= kernels_.size()) kernels_.resize(id + 1);
+    kernels_[id] = KernelRef{k, arg};
+  };
+  bind_kernel(hp4::kActSetupSkip, Kernel::kNoop);
+  bind_kernel(hp4::kActExecNoop, Kernel::kNoop);
+  bind_kernel(hp4::kActTx, Kernel::kNoop);
+  bind_kernel(hp4::kActSetProgram, Kernel::kSetProgram);
+  bind_kernel(hp4::kActSetProgramResub, Kernel::kSetProgramResub);
+  bind_kernel(hp4::kActSetParse, Kernel::kSetParse);
+  bind_kernel(hp4::kActParseMiss, Kernel::kParseMiss);
+  bind_kernel(hp4::kActMatchResult, Kernel::kMatchResult);
+  bind_kernel(hp4::kActMatchMiss, Kernel::kMatchMiss);
+  bind_kernel(hp4::kActLoadPrim, Kernel::kLoadPrim);
+  bind_kernel(hp4::kActModExtConst, Kernel::kModExtConst);
+  bind_kernel(hp4::kActModExtExt, Kernel::kModExtExt);
+  bind_kernel(hp4::kActModExtMeta, Kernel::kModExtMeta);
+  bind_kernel(hp4::kActModMetaConst, Kernel::kModMetaConst);
+  bind_kernel(hp4::kActModMetaMeta, Kernel::kModMetaMeta);
+  bind_kernel(hp4::kActModMetaExt, Kernel::kModMetaExt);
+  bind_kernel(hp4::kActModMetaVingress, Kernel::kModMetaVingress);
+  bind_kernel(hp4::kActModVegressConst, Kernel::kModVegressConst);
+  bind_kernel(hp4::kActModVegressMeta, Kernel::kModVegressMeta);
+  bind_kernel(hp4::kActModVegressVingress, Kernel::kModVegressVingress);
+  bind_kernel(hp4::kActAddExt, Kernel::kAddExt);
+  bind_kernel(hp4::kActAddMeta, Kernel::kAddMeta);
+  bind_kernel(hp4::kActVirtDrop, Kernel::kVirtDrop);
+  bind_kernel(hp4::kActResizeSet, Kernel::kResizeSet);
+  bind_kernel(hp4::kActResizeInsert, Kernel::kResizeInsert);
+  bind_kernel(hp4::kActResizeRemove, Kernel::kResizeRemove);
+  bind_kernel(hp4::kActVfwdPhys, Kernel::kVfwdPhys);
+  bind_kernel(hp4::kActVfwdVdev, Kernel::kVfwdVdev);
+  bind_kernel(hp4::kActVfwdMcast, Kernel::kVfwdMcast);
+  bind_kernel(hp4::kActVdrop, Kernel::kVdrop);
+  for (std::size_t n : cfg_.parse_ladder())
+    bind_kernel(hp4::act_concat(n), Kernel::kConcat,
+                static_cast<std::uint32_t>(n));
+  for (std::size_t n : cfg_.writeback_ladder())
+    bind_kernel(hp4::act_writeback(n), Kernel::kWriteback,
+                static_cast<std::uint32_t>(n));
+  for (std::size_t off : cfg_.ipv4_csum_offsets)
+    bind_kernel(hp4::act_ipv4_csum(off), Kernel::kIpv4Csum,
+                static_cast<std::uint32_t>(off));
+
+  ladder_ = cfg_.parse_ladder();
+  ebits_ = cfg_.extracted_bits;
+  mbits_ = cfg_.meta_bits;
+  ext_ = util::BitVec(ebits_);
+  meta_ = util::BitVec(mbits_);
+  tmp_ = util::BitVec(ebits_);
+  key_scratch_.resize(3);  // widest persona key arity
+}
+
+void VmExecutor::set_tracer(obs::PipelineTracer* t) {
+  tracer_ = t;
+  if (tracer_) sw_.bind_tracer_names(*tracer_);
+}
+
+// ---------------------------------------------------------------------------
+// Compilation cache
+
+std::uint64_t VmExecutor::live_epoch_sum() const {
+  std::uint64_t sum = 0;
+  for (const bm::RuntimeTable* t : pruning_tables_) sum += t->index_epoch();
+  return sum;
+}
+
+VmExecutor::BoundUnit VmExecutor::bind(Unit u) const {
+  BoundUnit bu;
+  bu.tables.reserve(u.tables.size());
+  bu.table_ids.reserve(u.tables.size());
+  for (const std::string& name : u.tables) {
+    bu.tables.push_back(&sw_.mutable_table(name));
+    bu.table_ids.push_back(static_cast<std::uint32_t>(sw_.table_index(name)));
+  }
+  bu.unit = std::move(u);
+  return bu;
+}
+
+VmExecutor::BoundUnit& VmExecutor::bound_unit(std::uint16_t program) {
+  const std::uint64_t live = live_epoch_sum();
+  auto it = units_.find(program);
+  if (it != units_.end() && it->second.unit.pruned_epoch_sum == live)
+    return it->second;
+
+  auto fit = failed_at_epoch_.find(program);
+  if (fit != failed_at_epoch_.end()) {
+    if (fit->second == live)
+      throw util::ConfigError(
+          "vm: program " + std::to_string(program) +
+          " is outside the compiled tier (memoized at current epoch)");
+    failed_at_epoch_.erase(fit);
+  }
+
+  try {
+    Unit u = compile_unit(sw_, cfg_, program);
+    if (ever_compiled_.count(program) != 0)
+      ++stats_.recompiles;
+    else
+      ++stats_.compiles;
+    ever_compiled_.insert(program);
+    auto [pos, inserted] = units_.insert_or_assign(program, bind(std::move(u)));
+    (void)inserted;
+    return pos->second;
+  } catch (const util::Error&) {
+    ++stats_.compile_failures;
+    failed_at_epoch_[program] = live;
+    throw;
+  }
+}
+
+const Unit& VmExecutor::unit(std::uint16_t program) {
+  return bound_unit(program).unit;
+}
+
+std::string VmExecutor::disassemble(std::uint16_t program) {
+  return bound_unit(program).unit.disassemble();
+}
+
+void VmExecutor::invalidate() {
+  units_.clear();
+  failed_at_epoch_.clear();
+}
+
+// ---------------------------------------------------------------------------
+// Work-slot pool
+
+std::uint32_t VmExecutor::alloc_slot() {
+  if (!free_slots_.empty()) {
+    const std::uint32_t idx = free_slots_.back();
+    free_slots_.pop_back();
+    return idx;
+  }
+  slots_.emplace_back();
+  return static_cast<std::uint32_t>(slots_.size() - 1);
+}
+
+void VmExecutor::reset_pool() {
+  queue_.clear();
+  free_slots_.clear();
+  free_slots_.reserve(slots_.size());
+  for (std::size_t i = slots_.size(); i-- > 0;)
+    free_slots_.push_back(static_cast<std::uint32_t>(i));
+}
+
+// ---------------------------------------------------------------------------
+// Fallback
+
+void VmExecutor::bail(const char* reason) { throw FallbackSignal{reason}; }
+
+bm::ProcessResult VmExecutor::run_fallback(std::uint16_t port,
+                                           const net::Packet& packet,
+                                           const char* reason) {
+  ++stats_.packets_fallback;
+  ++stats_.fallback_reasons[reason];
+  return sw_.inject(port, packet);
+}
+
+// ---------------------------------------------------------------------------
+// Table application (interpreter-exact accounting)
+
+void VmExecutor::build_key(LookupMode mode, const bm::RuntimeTable& t,
+                           RunState& rs) {
+  const auto& ks = t.keys();
+  auto scalar = [&](std::size_t i, std::uint64_t v) {
+    key_scratch_[i].assign(ks[i].width, v);
+  };
+  switch (mode) {
+    case LookupMode::kSetupB:
+      if (ks.size() != 1) bail("key-arity");
+      scalar(0, rs.regs[kRBytesExt]);
+      break;
+    case LookupMode::kVparse:
+      if (ks.size() != 2) bail("key-arity");
+      scalar(0, rs.regs[kRProgram]);
+      key_scratch_[1].assign(ext_);
+      break;
+    case LookupMode::kStageExt:
+      if (ks.size() != 3) bail("key-arity");
+      scalar(0, rs.regs[kRProgram]);
+      scalar(1, rs.regs[kRValidity]);
+      key_scratch_[2].assign(ext_);
+      break;
+    case LookupMode::kStageMeta:
+      if (ks.size() != 3) bail("key-arity");
+      scalar(0, rs.regs[kRProgram]);
+      scalar(1, rs.regs[kRValidity]);
+      key_scratch_[2].assign(meta_);
+      break;
+    case LookupMode::kStageStd:
+      if (ks.size() != 3) bail("key-arity");
+      scalar(0, rs.regs[kRProgram]);
+      scalar(1, rs.regs[kRVIngress]);
+      scalar(2, rs.regs[kRVEgress]);
+      break;
+    case LookupMode::kVnet:
+      if (ks.size() != 2) bail("key-arity");
+      scalar(0, rs.regs[kRProgram]);
+      scalar(1, rs.regs[kRVEgress]);
+      break;
+    case LookupMode::kEgCsum:
+      if (ks.size() != 1) bail("key-arity");
+      scalar(0, rs.regs[kRCsum]);
+      break;
+    case LookupMode::kEgWriteback:
+      if (ks.size() != 1) bail("key-arity");
+      scalar(0, rs.regs[kRResize]);
+      break;
+    default:
+      bail("bad-lookup-mode");
+  }
+}
+
+void VmExecutor::apply_filled(bm::RuntimeTable* t, std::uint32_t table_id,
+                              RunState& rs) {
+  const auto& keys = t->keys();
+  std::size_t ternary_total = 0;
+  bool uses_ternary = false;
+  for (const auto& spec : keys) {
+    if (spec.type == p4::MatchType::kTernary ||
+        spec.type == p4::MatchType::kLpm) {
+      uses_ternary = true;
+      ternary_total += spec.width;
+    }
+  }
+
+  const std::uint64_t lk_t0 = rs.timing ? rs.tr->clock_ns() : 0;
+  bm::TableEntry* entry = t->lookup(key_scratch_);
+  std::uint64_t lookup_ns = 0;
+  if (rs.timing) {
+    lookup_ns = rs.tr->clock_ns() - lk_t0;
+    if (rs.prof) {
+      rs.tr->observe_stage(obs::Stage::kLookup, lookup_ns);
+      rs.tr->observe_table(table_id, lookup_ns);
+    }
+  }
+
+  bm::AppliedTable applied;
+  applied.table = t->name();
+  applied.hit = entry != nullptr;
+  applied.used_ternary = uses_ternary;
+  applied.ternary_bits_total = uses_ternary ? ternary_total : 0;
+  if (entry) {
+    applied.entry_handle = entry->handle;
+    if (uses_ternary) {
+      std::size_t active = 0;
+      for (std::size_t i = 0; i < keys.size(); ++i) {
+        const auto& spec = keys[i];
+        if (spec.type == p4::MatchType::kTernary && entry->key[i].mask) {
+          active += entry->key[i].mask->popcount();
+        } else if (spec.type == p4::MatchType::kLpm) {
+          active += *entry->key[i].prefix_len;
+        }
+      }
+      applied.ternary_bits_active = active;
+    }
+  }
+  rs.res->applied.push_back(applied);
+
+  std::size_t ran_action = 0;
+  bool ran = false;
+  const std::uint64_t act_t0 = rs.timing ? rs.tr->clock_ns() : 0;
+  if (entry) {
+    exec_kernel(entry->action, entry->action_args, rs);
+    ran_action = entry->action;
+    ran = true;
+    entry->hit_bytes += rs.pkt_size;
+  } else if (t->has_default()) {
+    exec_kernel(t->default_action(), t->default_args(), rs);
+    ran_action = t->default_action();
+    ran = true;
+  }
+  std::uint64_t action_ns = 0;
+  if (rs.timing) {
+    action_ns = rs.tr->clock_ns() - act_t0;
+    if (rs.prof) rs.tr->observe_stage(obs::Stage::kAction, action_ns);
+  }
+  if (rs.tr) {
+    std::uint8_t flags = 0;
+    if (entry) flags |= obs::kFlagHit;
+    if (rs.in_egress) flags |= obs::kFlagEgress;
+    flags |= static_cast<std::uint8_t>(
+        (static_cast<std::uint8_t>(t->index_kind()) << obs::kFlagIndexShift) &
+        obs::kFlagIndexMask);
+    rs.tr->record(obs::EventKind::kTableApply, flags, 0, table_id,
+                  entry ? entry->handle : 0,
+                  ran ? static_cast<std::uint64_t>(ran_action) : obs::kNoAction,
+                  static_cast<std::uint32_t>(lookup_ns + action_ns));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Action kernels
+
+void VmExecutor::exec_kernel(std::size_t action_id,
+                             const std::vector<util::BitVec>& args,
+                             RunState& rs) {
+  if (rs.tr)
+    rs.tr->record(obs::EventKind::kActionExec,
+                  rs.in_egress ? obs::kFlagEgress : 0, 0,
+                  static_cast<std::uint32_t>(action_id), 0, args.size());
+
+  const KernelRef k =
+      action_id < kernels_.size() ? kernels_[action_id] : KernelRef{};
+  auto need = [&](std::size_t n) {
+    if (args.size() < n) bail("action-args");
+  };
+  auto* regs = rs.regs;
+
+  // tmp = ((src zero-extended to E) & smask) >> sshift << dshift, then
+  // dst = (dst & ~dmask) | (tmp & dmask) — the persona's mod_via_tmp.
+  auto mod_via = [&](const util::BitVec& src, util::BitVec& dst) {
+    tmp_.assign(src);
+    tmp_.set_width(ebits_);
+    tmp_.and_assign(args[0]);
+    tmp_.shr_assign(args[1].low_u64());
+    tmp_.shl_assign(args[2].low_u64());
+    dst.andnot_assign(args[3]);
+    tmp_.and_assign(args[3]);
+    dst.or_assign(tmp_);
+  };
+  // tmp = (dst & mask) >> shift; tmp += delta (mod 2^E); tmp <<= shift;
+  // dst = (dst & ~mask) | (tmp & mask) — the persona's add_via_tmp.
+  auto add_via = [&](util::BitVec& dst) {
+    tmp_.assign(dst);
+    tmp_.set_width(ebits_);
+    tmp_.and_assign(args[1]);
+    tmp_.shr_assign(args[2].low_u64());
+    tmp_.add_assign(args[0]);
+    tmp_.shl_assign(args[2].low_u64());
+    dst.andnot_assign(args[1]);
+    tmp_.and_assign(args[1]);
+    dst.or_assign(tmp_);
+  };
+
+  switch (k.id) {
+    case Kernel::kNoop:
+      break;
+    case Kernel::kSetProgram:
+      need(3);
+      regs[kRProgram] = args[0].low_u64() & 0xffff;
+      regs[kRNumBytes] = args[1].low_u64() & 0xff;
+      regs[kRVIngress] = args[2].low_u64() & 0xffff;
+      break;
+    case Kernel::kSetProgramResub:
+      need(3);
+      regs[kRProgram] = args[0].low_u64() & 0xffff;
+      regs[kRNumBytes] = args[1].low_u64() & 0xff;
+      regs[kRVIngress] = args[2].low_u64() & 0xffff;
+      rs.resubmit_flag = true;
+      break;
+    case Kernel::kConcat: {
+      // extracted = pr[0] .. pr[n-1], left-justified; unextracted pr bytes
+      // read as zero (their PHV fields were never written).
+      const std::uint32_t n = k.arg;
+      if (8u * n > ebits_) bail("concat-width");
+      ext_.assign(ebits_, 0);
+      for (std::uint32_t i = 0; i < n; ++i) {
+        const std::uint8_t byte =
+            i < rs.payload_offset ? rs.pkt[i] : std::uint8_t{0};
+        if (byte != 0) ext_.set_bits_u64(ebits_ - 8 * (i + 1), 8, byte);
+      }
+      regs[kRResize] = regs[kRBytesExt] & 0xff;
+      break;
+    }
+    case Kernel::kSetParse:
+      need(3);
+      regs[kRValidity] = args[0].low_u64() & 0xffffffff;
+      regs[kRNext] = args[1].low_u64() & 0xffff;
+      regs[kRCsum] = args[2].low_u64() & 0xff;
+      break;
+    case Kernel::kParseMiss:
+      regs[kRNext] = 0;
+      regs[kRVEgress] = hp4::kVirtDrop;
+      break;
+    case Kernel::kMatchResult:
+      need(4);
+      regs[kRMatchId] = args[0].low_u64() & 0xffffffff;
+      regs[kRActionId] = args[1].low_u64() & 0xffff;
+      regs[kRPrimCount] = args[2].low_u64() & 0xff;
+      regs[kRNext] = args[3].low_u64() & 0xffff;
+      break;
+    case Kernel::kMatchMiss:
+      regs[kRNext] = 0;
+      regs[kRPrimCount] = 0;
+      break;
+    case Kernel::kLoadPrim:
+      need(1);
+      rs.prim_type = args[0].low_u64() & 0xff;
+      break;
+    case Kernel::kModExtConst:
+      need(2);
+      ext_.andnot_assign(args[1]);
+      tmp_.assign(args[0]);
+      tmp_.and_assign(args[1]);
+      ext_.or_assign(tmp_);
+      break;
+    case Kernel::kModExtExt:
+      need(4);
+      mod_via(ext_, ext_);
+      break;
+    case Kernel::kModExtMeta:
+      need(4);
+      mod_via(meta_, ext_);
+      break;
+    case Kernel::kModMetaConst:
+      need(2);
+      meta_.andnot_assign(args[1]);
+      tmp_.assign(args[0]);
+      tmp_.and_assign(args[1]);
+      meta_.or_assign(tmp_);
+      break;
+    case Kernel::kModMetaMeta:
+      need(4);
+      mod_via(meta_, meta_);
+      break;
+    case Kernel::kModMetaExt:
+      need(4);
+      mod_via(ext_, meta_);
+      break;
+    case Kernel::kModMetaVingress:
+      need(2);
+      tmp_.assign(ebits_, regs[kRVIngress]);
+      tmp_.shl_assign(args[0].low_u64());
+      meta_.andnot_assign(args[1]);
+      tmp_.and_assign(args[1]);
+      meta_.or_assign(tmp_);
+      break;
+    case Kernel::kModVegressConst:
+      need(1);
+      regs[kRVEgress] = args[0].low_u64() & 0xffff;
+      break;
+    case Kernel::kModVegressMeta:
+      need(2);
+      tmp_.assign(meta_);
+      tmp_.set_width(ebits_);
+      tmp_.and_assign(args[0]);
+      tmp_.shr_assign(args[1].low_u64());
+      regs[kRVEgress] = tmp_.bits_u64(0, 16);
+      break;
+    case Kernel::kModVegressVingress:
+      regs[kRVEgress] = regs[kRVIngress];
+      break;
+    case Kernel::kAddExt:
+      need(3);
+      add_via(ext_);
+      break;
+    case Kernel::kAddMeta:
+      need(3);
+      add_via(meta_);
+      break;
+    case Kernel::kVirtDrop:
+      regs[kRVEgress] = hp4::kVirtDrop;
+      break;
+    case Kernel::kResizeSet:
+      need(1);
+      regs[kRResize] = args[0].low_u64() & 0xff;
+      break;
+    case Kernel::kResizeInsert:
+      need(4);
+      tmp_.assign(ext_);
+      tmp_.and_assign(args[2]);
+      tmp_.shr_assign(args[3].low_u64());
+      ext_.and_assign(args[1]);
+      ext_.or_assign(tmp_);
+      regs[kRResize] = (regs[kRResize] + args[0].low_u64()) & 0xff;
+      break;
+    case Kernel::kResizeRemove:
+      need(4);
+      tmp_.assign(ext_);
+      tmp_.and_assign(args[2]);
+      tmp_.shl_assign(args[3].low_u64());
+      ext_.and_assign(args[1]);
+      ext_.or_assign(tmp_);
+      regs[kRResize] = (regs[kRResize] + args[0].low_u64()) & 0xff;
+      break;
+    case Kernel::kVfwdPhys:
+      need(1);
+      rs.espec = args[0].low_u64() & kEspecMask;
+      break;
+    case Kernel::kVfwdVdev:
+      need(3);
+      regs[kRProgram] = args[0].low_u64() & 0xffff;
+      regs[kRNumBytes] = args[1].low_u64() & 0xff;
+      regs[kRVIngress] = args[2].low_u64() & 0xffff;
+      rs.recirc_flag = true;
+      break;
+    case Kernel::kVfwdMcast:
+      need(1);
+      rs.mcast = args[0].low_u64() & 0xffff;
+      break;
+    case Kernel::kVdrop:
+      // The drop primitive: egress would set the drop flag, but the persona
+      // never references a_vdrop from an egress table — treat it as outside
+      // the tier if it somehow shows up there.
+      if (rs.in_egress) bail("egress-drop");
+      rs.espec = p4::kDropPort;
+      break;
+    case Kernel::kIpv4Csum: {
+      // RFC 1071 over the 9 non-checksum words of the IPv4 header at byte
+      // offset `arg` in `extracted`, folded exactly like the generated
+      // action: two masked folds, one unmasked carry add, complement.
+      const std::size_t off = k.arg;
+      if ((off + 20) * 8 > ebits_) bail("csum-offset");
+      std::uint64_t sum = 0;
+      for (std::size_t w = 0; w < 10; ++w) {
+        if (w == 5) continue;
+        sum += ext_.bits_u64(ebits_ - 8 * off - 16 * (w + 1), 16);
+      }
+      sum = (sum & 0xffff) + (sum >> 16);
+      sum = (sum & 0xffff) + (sum >> 16);
+      sum = sum + (sum >> 16);
+      sum = (sum ^ 0xffff) & 0xffff;
+      ext_.set_bits_u64(ebits_ - 8 * off - 96, 16, sum);
+      break;
+    }
+    case Kernel::kWriteback:
+      if (8u * k.arg > ebits_) bail("writeback-width");
+      rs.wb_ran = true;
+      rs.wb_len = k.arg;
+      break;
+    case Kernel::kUnknown:
+    default:
+      bail("unknown-action");
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Parser (host loop mirroring the persona's guarded extraction ladder)
+
+bool VmExecutor::run_parser(const VmWork& w, RunState& rs) {
+  (void)w;
+  std::size_t extracted = 0;
+  auto extend_to = [&](std::size_t target) -> bool {
+    for (std::size_t i = extracted; i < target; ++i) {
+      // Mirror the interpreter: bounds are checked per single-byte header,
+      // before its extract event.
+      if (i >= rs.pkt_size || i >= pr_instance_ids_.size()) {
+        ++rs.res->parse_errors;
+        return false;
+      }
+      if (rs.tr)
+        rs.tr->record(obs::EventKind::kParserExtract, 0, 0,
+                      pr_instance_ids_[i], 0, 0);
+    }
+    extracted = target;
+    return true;
+  };
+
+  if (!extend_to(ladder_[0])) return false;
+  const std::uint64_t numbytes = rs.regs[kRNumBytes] & 0xff;
+  std::size_t pos = 0;
+  while (pos + 1 < ladder_.size()) {
+    // Select: continue only when numbytes names a deeper ladder value.
+    bool deeper = false;
+    for (std::size_t j = pos + 1; j < ladder_.size(); ++j) {
+      if (numbytes == ladder_[j]) {
+        deeper = true;
+        break;
+      }
+    }
+    if (!deeper) break;
+    // Guard: the persona compares the low 16 bits of packet_length.
+    const std::size_t target = ladder_[pos + 1];
+    if ((rs.pkt_size & 0xffff) < target) break;
+    if (!extend_to(target)) return false;
+    ++pos;
+  }
+
+  rs.regs[kRBytesExt] = extracted & 0xff;
+  rs.payload_offset = extracted;
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Bytecode dispatch
+
+void VmExecutor::run_prims(const BoundUnit& bu, const Instr& in,
+                           RunState& rs) {
+  auto* regs = rs.regs;
+  for (std::uint32_t p = 1; p <= in.b; ++p) {
+    // Slot guard: (prim_count >= p) false skips every remaining slot.
+    if (regs[kRPrimCount] < p) break;
+    const std::size_t base = in.c + std::size_t{p - 1} * kPrimSlotTables;
+    if (base + kPrimSlotTables > bu.unit.prim_tables.size())
+      bail("prim-window");
+    const std::uint32_t* win = &bu.unit.prim_tables[base];
+
+    // Setup: [program, action_id] → prim_type (default: noop).
+    {
+      bm::RuntimeTable* t = bu.tables[win[kPtSetup]];
+      const auto& ks = t->keys();
+      if (ks.size() != 2) bail("key-arity");
+      key_scratch_[0].assign(ks[0].width, regs[kRProgram]);
+      key_scratch_[1].assign(ks[1].width, regs[kRActionId]);
+      apply_filled(t, bu.table_ids[win[kPtSetup]], rs);
+    }
+
+    // Exec: dispatch on the loaded primitive type, exactly like the
+    // persona's if-ladder (anything unrecognized runs the noop table).
+    std::size_t which;
+    switch (rs.prim_type) {
+      case static_cast<std::uint64_t>(hp4::PrimType::kMod):
+        which = kPtMod;
+        break;
+      case static_cast<std::uint64_t>(hp4::PrimType::kAddSub):
+        which = kPtAdd;
+        break;
+      case static_cast<std::uint64_t>(hp4::PrimType::kDrop):
+        which = kPtDrop;
+        break;
+      case static_cast<std::uint64_t>(hp4::PrimType::kResize):
+        which = kPtResize;
+        break;
+      default:
+        which = kPtNoop;
+        break;
+    }
+    {
+      bm::RuntimeTable* t = bu.tables[win[which]];
+      const auto& ks = t->keys();
+      if (which == kPtMod || which == kPtAdd || which == kPtResize) {
+        if (ks.size() != 3) bail("key-arity");
+        key_scratch_[0].assign(ks[0].width, regs[kRProgram]);
+        key_scratch_[1].assign(ks[1].width, regs[kRActionId]);
+        key_scratch_[2].assign(ks[2].width, regs[kRMatchId]);
+      } else {
+        if (ks.size() != 1) bail("key-arity");
+        key_scratch_[0].assign(ks[0].width, regs[kRProgram]);
+      }
+      apply_filled(t, bu.table_ids[win[which]], rs);
+    }
+
+    // Transition: [program] (counters/trace only; the action is a_tx).
+    {
+      bm::RuntimeTable* t = bu.tables[win[kPtTx]];
+      const auto& ks = t->keys();
+      if (ks.size() != 1) bail("key-arity");
+      key_scratch_[0].assign(ks[0].width, regs[kRProgram]);
+      apply_filled(t, bu.table_ids[win[kPtTx]], rs);
+    }
+  }
+}
+
+void VmExecutor::run_code(const BoundUnit& bu, std::uint32_t start_pc,
+                          RunState& rs) {
+  const auto& code = bu.unit.code;
+  std::size_t pc = start_pc;
+  std::size_t steps = 0;
+  const std::size_t step_limit = code.size() * 8 + 64;
+  while (true) {
+    if (pc >= code.size()) bail("pc-overrun");
+    if (++steps > step_limit) bail("runaway-bytecode");
+    const Instr& in = code[pc];
+    switch (static_cast<Op>(in.op)) {
+      case Op::kHalt:
+        return;
+      case Op::kLookup: {
+        if (in.a >= bu.tables.size()) bail("table-index");
+        bm::RuntimeTable* t = bu.tables[in.a];
+        build_key(static_cast<LookupMode>(in.mode), *t, rs);
+        apply_filled(t, bu.table_ids[in.a], rs);
+        ++pc;
+        break;
+      }
+      case Op::kPrims:
+        run_prims(bu, in, rs);
+        ++pc;
+        break;
+      case Op::kJeq:
+        if (in.mode >= kRegCount) bail("bad-register");
+        pc = (rs.regs[in.mode] == in.b) ? in.c : pc + 1;
+        break;
+      case Op::kJmp:
+        pc = in.c;
+        break;
+      case Op::kFallback:
+        bail("bytecode-fallback");
+      default:
+        bail("bad-opcode");
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// The host traversal loop (mirrors Switch::inject's traffic manager)
+
+void VmExecutor::run(std::uint16_t port, const net::Packet& packet,
+                     bm::ProcessResult& res) {
+  RunState rs;
+  rs.res = &res;
+  rs.tr = tracer_;
+  rs.timing = tracer_ && tracer_->timing();
+  rs.prof = tracer_ && tracer_->profiling();
+  obs::PipelineTracer* const tr = rs.tr;
+
+  if (tr)
+    tr->record(obs::EventKind::kInject, 0, port, 0, 0, packet.size());
+
+  reset_pool();
+  {
+    const std::uint32_t s = alloc_slot();
+    VmWork& w = slots_[s];
+    w.where = VmWork::Where::kParser;
+    w.packet.assign(packet.bytes().begin(), packet.bytes().end());
+    w.ingress_port = port;
+    w.itype = p4::InstanceType::kNormal;
+    w.has_preserved = false;
+    queue_.push_back(s);
+  }
+
+  std::size_t head = 0;
+  std::size_t parser_entries = 0;
+  std::size_t total_work = 0;
+  const std::size_t max_traversals = sw_.options().max_traversals;
+  const std::size_t work_limit = max_traversals * 8;
+
+  while (head < queue_.size()) {
+    const std::uint32_t si = queue_[head++];
+    if (++total_work > work_limit) {
+      ++res.loop_kills;
+      if (tr) tr->record(obs::EventKind::kLoopKill, 0, 0, 0, 0, 0);
+      break;
+    }
+
+    if (slots_[si].where == VmWork::Where::kParser) {
+      if (++parser_entries > max_traversals) {
+        ++res.loop_kills;
+        ++res.drops;
+        if (tr) tr->record(obs::EventKind::kLoopKill, 0, 0, 0, 0, 0);
+        continue;
+      }
+      {
+        const VmWork& w = slots_[si];
+        if (tr)
+          tr->begin_work(obs::EventKind::kTraversalStart, w.ingress_port,
+                         static_cast<std::uint64_t>(w.itype));
+
+        // Fresh traversal state (the interpreter's fresh_phv + preserved).
+        std::fill(rs.regs, rs.regs + kRegCount, 0);
+        ext_.assign(ebits_, 0);
+        meta_.assign(mbits_, 0);
+        rs.espec = 0;
+        rs.mcast = 0;
+        rs.prim_type = 0;
+        rs.resubmit_flag = false;
+        rs.recirc_flag = false;
+        rs.in_egress = false;
+        rs.wb_ran = false;
+        rs.wb_len = 0;
+        if (w.has_preserved) {
+          rs.regs[kRProgram] = w.p_program & 0xffff;
+          rs.regs[kRNumBytes] = w.p_numbytes & 0xff;
+          rs.regs[kRVIngress] = w.p_vingress & 0xffff;
+        }
+        rs.pkt = w.packet.data();
+        rs.pkt_size = w.packet.size();
+        rs.payload_offset = 0;
+
+        const std::uint64_t parse_t0 = rs.timing ? tr->clock_ns() : 0;
+        const bool parsed = run_parser(w, rs);
+        if (tr) {
+          const std::uint64_t ns = rs.timing ? tr->clock_ns() - parse_t0 : 0;
+          if (rs.prof) tr->observe_stage(obs::Stage::kParser, ns);
+          tr->record(parsed ? obs::EventKind::kParserAccept
+                            : obs::EventKind::kParseError,
+                     0, 0, 0, 0, parsed ? rs.payload_offset : 0,
+                     static_cast<std::uint32_t>(ns));
+        }
+        if (!parsed) {
+          ++res.drops;
+          if (tr) tr->record(obs::EventKind::kDrop, 0, 0, 0, 0, 0);
+          continue;
+        }
+
+        // Ingress: setup_a in the host prologue, then the compiled ladder.
+        {
+          const auto& ks = setup_a_->keys();
+          if (ks.size() != 2) bail("key-arity");
+          key_scratch_[0].assign(ks[0].width, rs.regs[kRProgram]);
+          key_scratch_[1].assign(ks[1].width, w.ingress_port);
+          apply_filled(setup_a_, setup_a_id_, rs);
+        }
+        // The persona's resubmit-IF: when more bytes are needed on a
+        // first-pass packet, ingress ends here (the TM resubmits below).
+        const bool resub_end =
+            (rs.regs[kRNumBytes] > rs.regs[kRBytesExt]) &&
+            w.itype == p4::InstanceType::kNormal;
+        if (!resub_end) {
+          const BoundUnit& bu =
+              bound_unit(static_cast<std::uint16_t>(rs.regs[kRProgram]));
+          run_code(bu, 0, rs);
+        }
+      }
+
+      // ---- ingress-side traffic manager ----
+      const std::uint64_t tm_t0 = rs.timing ? tr->clock_ns() : 0;
+      const auto observe_tm = [&] {
+        if (rs.prof)
+          tr->observe_stage(obs::Stage::kTm, tr->clock_ns() - tm_t0);
+      };
+      const std::uint16_t program_now =
+          static_cast<std::uint16_t>(rs.regs[kRProgram]);
+
+      if (rs.resubmit_flag) {
+        ++res.resubmits;
+        const std::uint32_t nsl = alloc_slot();
+        VmWork& nw = slots_[nsl];
+        VmWork& ow = slots_[si];
+        nw.where = VmWork::Where::kParser;
+        nw.packet.swap(ow.packet);
+        nw.ingress_port = ow.ingress_port;
+        nw.itype = p4::InstanceType::kResubmit;
+        nw.has_preserved = true;
+        nw.p_program = rs.regs[kRProgram];
+        nw.p_numbytes = rs.regs[kRNumBytes];
+        nw.p_vingress = rs.regs[kRVIngress];
+        queue_.push_back(nsl);
+        if (tr) {
+          tr->record(obs::EventKind::kResubmit, 0, nw.ingress_port, 0, 0, 0);
+          observe_tm();
+        }
+        continue;
+      }
+
+      if (rs.mcast != 0) {
+        auto git =
+            sw_.mc_groups().find(static_cast<std::uint16_t>(rs.mcast));
+        if (git != sw_.mc_groups().end()) {
+          for (const auto& [mport, rid] : git->second) {
+            const std::uint32_t nsl = alloc_slot();
+            VmWork& nw = slots_[nsl];
+            VmWork& ow = slots_[si];
+            nw.where = VmWork::Where::kEgress;
+            nw.packet = ow.packet;  // replication copies the packet
+            nw.ingress_port = ow.ingress_port;
+            nw.itype = p4::InstanceType::kReplication;
+            std::copy(rs.regs, rs.regs + kRegCount, nw.regs);
+            nw.ext.assign(ext_);
+            nw.recirc_flag = rs.recirc_flag;
+            nw.egress_port = mport;
+            nw.egress_rid = rid;
+            nw.payload_offset = rs.payload_offset;
+            nw.unit_program = program_now;
+            queue_.push_back(nsl);
+            ++res.multicast_copies;
+            if (tr)
+              tr->record(obs::EventKind::kMulticastCopy, 0, mport, 0,
+                         rs.mcast, rid);
+          }
+        }
+        if (tr) observe_tm();
+        continue;
+      }
+
+      if (rs.espec == p4::kDropPort) {
+        ++res.drops;
+        if (tr) {
+          tr->record(obs::EventKind::kDrop, 0, 0, 0, 0, 0);
+          observe_tm();
+        }
+        continue;
+      }
+
+      {
+        const std::uint32_t nsl = alloc_slot();
+        VmWork& nw = slots_[nsl];
+        VmWork& ow = slots_[si];
+        nw.where = VmWork::Where::kEgress;
+        nw.packet.swap(ow.packet);
+        nw.ingress_port = ow.ingress_port;
+        nw.itype = ow.itype;  // unicast keeps the traversal's instance type
+        std::copy(rs.regs, rs.regs + kRegCount, nw.regs);
+        nw.ext.assign(ext_);
+        nw.recirc_flag = rs.recirc_flag;
+        nw.egress_port = static_cast<std::uint16_t>(rs.espec);
+        nw.egress_rid = 0;
+        nw.payload_offset = rs.payload_offset;
+        nw.unit_program = program_now;
+        queue_.push_back(nsl);
+        if (tr) {
+          tr->record(obs::EventKind::kUnicast, 0, nw.egress_port, 0, 0, 0);
+          observe_tm();
+        }
+      }
+      continue;
+    }
+
+    // ---- egress ----
+    {
+      const VmWork& w = slots_[si];
+      std::copy(w.regs, w.regs + kRegCount, rs.regs);
+      ext_.assign(w.ext);
+      rs.recirc_flag = w.recirc_flag;
+      rs.resubmit_flag = false;
+      rs.in_egress = true;
+      rs.prim_type = 0;
+      rs.pkt = w.packet.data();
+      rs.pkt_size = w.packet.size();
+      rs.payload_offset = w.payload_offset;
+      rs.wb_ran = false;
+      rs.wb_len = 0;
+      if (tr)
+        tr->begin_work(obs::EventKind::kEgressStart, w.egress_port,
+                       static_cast<std::uint64_t>(w.itype));
+
+      const BoundUnit& bu = bound_unit(w.unit_program);
+      run_code(bu, bu.unit.egress_pc, rs);
+    }
+    const std::uint64_t etm_t0 = rs.timing ? tr->clock_ns() : 0;
+    if (rs.prof) tr->observe_stage(obs::Stage::kTm, tr->clock_ns() - etm_t0);
+
+    // Deparse: with a write-back, the emitted headers are the top wb_len
+    // bytes of `extracted`; without one, the parsed bytes are untouched.
+    const std::uint64_t dp_t0 = rs.timing ? tr->clock_ns() : 0;
+    out_scratch_.clear();
+    {
+      const VmWork& w = slots_[si];
+      if (rs.wb_ran) {
+        for (std::uint32_t i = 0; i < rs.wb_len; ++i)
+          out_scratch_.push_back(static_cast<std::uint8_t>(
+              ext_.bits_u64(ebits_ - 8 * (std::size_t{i} + 1), 8)));
+        out_scratch_.insert(out_scratch_.end(),
+                            w.packet.begin() +
+                                static_cast<std::ptrdiff_t>(rs.payload_offset),
+                            w.packet.end());
+      } else {
+        out_scratch_.insert(out_scratch_.end(), w.packet.begin(),
+                            w.packet.end());
+      }
+    }
+    if (tr) {
+      const std::uint64_t ns = rs.timing ? tr->clock_ns() - dp_t0 : 0;
+      if (rs.prof) tr->observe_stage(obs::Stage::kDeparse, ns);
+      tr->record(obs::EventKind::kDeparse, obs::kFlagEgress, 0, 0, 0,
+                 out_scratch_.size(), static_cast<std::uint32_t>(ns));
+    }
+
+    if (rs.recirc_flag) {
+      ++res.recirculations;
+      const std::uint16_t from_port = slots_[si].egress_port;
+      const std::uint32_t nsl = alloc_slot();
+      VmWork& nw = slots_[nsl];
+      nw.where = VmWork::Where::kParser;
+      nw.packet.assign(out_scratch_.begin(), out_scratch_.end());
+      nw.ingress_port = from_port;
+      nw.itype = p4::InstanceType::kRecirculate;
+      nw.has_preserved = true;
+      nw.p_program = rs.regs[kRProgram];
+      nw.p_numbytes = rs.regs[kRNumBytes];
+      nw.p_vingress = rs.regs[kRVIngress];
+      queue_.push_back(nsl);
+      if (tr)
+        tr->record(obs::EventKind::kRecirculate, obs::kFlagEgress, from_port,
+                   0, 0, 0);
+      continue;
+    }
+
+    const std::uint16_t out_port = slots_[si].egress_port;
+    if (tr)
+      tr->record(obs::EventKind::kEmit, obs::kFlagEgress, out_port, 0, 0,
+                 out_scratch_.size());
+    res.outputs.push_back(bm::OutputPacket{
+        out_port, net::Packet(std::vector<std::uint8_t>(out_scratch_.begin(),
+                                                        out_scratch_.end()))});
+  }
+}
+
+bm::ProcessResult VmExecutor::process(std::uint16_t port,
+                                      const net::Packet& packet) {
+  // Constructs the compiled tier cannot express, detected up front (before
+  // any tracer event): the ingress meter changes the control graph, and
+  // per-primitive event recording has no bytecode equivalent.
+  if (cfg_.ingress_meter) return run_fallback(port, packet, "ingress-meter");
+  if (tracer_ && tracer_->options().record_primitives)
+    return run_fallback(port, packet, "record-primitives");
+
+  bm::ProcessResult res;
+  try {
+    run(port, packet, res);
+  } catch (const FallbackSignal& f) {
+    return run_fallback(port, packet, f.reason);
+  } catch (const util::Error&) {
+    // Unit compilation refused the program (unknown construct, epoch-
+    // memoized failure, missing persona table): interpreted tier.
+    return run_fallback(port, packet, "compile");
+  }
+  ++stats_.packets_bytecode;
+  return res;
+}
+
+// ---------------------------------------------------------------------------
+// Engine integration
+
+engine::PacketPathFactory engine_fast_path(hp4::PersonaConfig cfg) {
+  return [cfg](bm::Switch& sw) -> std::unique_ptr<engine::PacketPath> {
+    return std::make_unique<VmExecutor>(sw, cfg);
+  };
+}
+
+// ---------------------------------------------------------------------------
+// CLI
+
+bm::CliExtensions vm_cli_extensions(VmExecutor& vm) {
+  bm::CliExtensions ext;
+  ext.commands["vm"] = [&vm](bm::Switch& sw, const std::vector<std::string>&
+                                                 tok) -> bm::CliResult {
+    (void)sw;
+    if (tok.size() < 2)
+      throw util::CommandError(
+          "vm: usage: vm status | vm stats | vm compile <program> | "
+          "vm disasm <program>");
+    const std::string& sub = tok[1];
+    auto prog_arg = [&]() -> std::uint16_t {
+      if (tok.size() < 3)
+        throw util::CommandError("vm " + sub + ": missing <program>");
+      try {
+        const unsigned long v = std::stoul(tok[2], nullptr, 0);
+        if (v > 0xffff) throw util::CommandError("");
+        return static_cast<std::uint16_t>(v);
+      } catch (const util::Error&) {
+        throw util::CommandError("vm " + sub + ": program id out of range: " +
+                                 tok[2]);
+      } catch (const std::exception&) {
+        throw util::CommandError("vm " + sub + ": bad program id '" + tok[2] +
+                                 "'");
+      }
+    };
+
+    std::ostringstream os;
+    if (sub == "status") {
+      const auto& st = vm.stats();
+      os << "vm: " << vm.cached_units() << " cached unit(s), "
+         << st.compiles << " compile(s), " << st.recompiles
+         << " recompile(s), " << st.compile_failures << " failure(s)";
+    } else if (sub == "stats") {
+      const auto& st = vm.stats();
+      os << "packets_bytecode=" << st.packets_bytecode
+         << " packets_fallback=" << st.packets_fallback
+         << " compiles=" << st.compiles << " recompiles=" << st.recompiles
+         << " compile_failures=" << st.compile_failures;
+      for (const auto& [reason, n] : st.fallback_reasons)
+        os << " fallback[" << reason << "]=" << n;
+    } else if (sub == "compile") {
+      const Unit& u = vm.unit(prog_arg());
+      os << "compiled program " << u.program << ": " << u.code.size()
+         << " instruction(s), " << u.tables.size() << " table(s), epoch sum "
+         << u.pruned_epoch_sum;
+    } else if (sub == "disasm") {
+      os << vm.disassemble(prog_arg());
+    } else {
+      throw util::CommandError("vm: unknown subcommand '" + sub + "'");
+    }
+    bm::CliResult r;
+    r.ok = true;
+    r.message = os.str();
+    return r;
+  };
+  return ext;
+}
+
+}  // namespace hyper4::vm

@@ -1,0 +1,234 @@
+// Tiered execution: the flat VM backend (see DESIGN.md "Tiered execution").
+//
+// VmExecutor runs packets through a persona-configured bm::Switch WITHOUT
+// the control-graph interpreter: per virtual device (program id) it compiles
+// a vm::Unit (compiler.h) — the persona's dispatch ladder flattened to
+// conditional branches on the next_table register — and drives it with a
+// tight dispatch loop over a u64 register file plus three wide scratch
+// BitVecs (extracted / ext_meta / tmp). Table lookups stay LIVE against the
+// switch's RuntimeTables (reusing the compiled match indexes), so rule
+// add/delete/modify is picked up immediately; only content-derived pruning
+// (reachable stages, slot limits) is baked, guarded by an epoch sum the
+// executor re-checks per traversal.
+//
+// Transparency contract: process() is observably equivalent to
+// Switch::inject() (outputs + TM counters, and tracer events / stage
+// profiles when a tracer is attached). Any construct outside the compiled
+// tier's envelope — compile failure, unknown action id at exec time, an
+// ingress meter — makes the executor FALL BACK to the interpreted persona
+// for that packet via Switch::inject(), counted in stats(), never silently
+// wrong. Fallback restarts the whole packet, so persona table hit counters
+// can be bumped twice for a fallen-back packet (a documented diagnostics-
+// only deviation); outputs and TM counters are always taken from exactly
+// one tier.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "bm/cli.h"
+#include "bm/switch.h"
+#include "engine/engine.h"
+#include "hp4/persona.h"
+#include "net/packet.h"
+#include "vm/bytecode.h"
+
+namespace hyper4::vm {
+
+struct VmStats {
+  std::uint64_t packets_bytecode = 0;  // fully served by the compiled tier
+  std::uint64_t packets_fallback = 0;  // restarted via Switch::inject
+  std::uint64_t compiles = 0;          // first-time unit compiles
+  std::uint64_t recompiles = 0;        // epoch-drift recompiles
+  std::uint64_t compile_failures = 0;  // compile attempts that threw
+  // Why packets fell back, by reason string (bounded: reasons are a small
+  // fixed set of code sites).
+  std::map<std::string, std::uint64_t> fallback_reasons;
+};
+
+class VmExecutor : public engine::PacketPath {
+ public:
+  // The switch must be (or be configured as) a HyPer4 persona generated
+  // from `cfg`; constructs that are merely *absent* (no entries yet) are
+  // fine — units compile lazily per program id on first use.
+  VmExecutor(bm::Switch& sw, hp4::PersonaConfig cfg);
+
+  // Observably equivalent to sw.inject(port, packet); see header comment.
+  bm::ProcessResult process(std::uint16_t port,
+                            const net::Packet& packet) override;
+
+  const VmStats& stats() const { return stats_; }
+  const bm::Switch& switch_ref() const { return sw_; }
+  const hp4::PersonaConfig& config() const { return cfg_; }
+
+  // Attach an external tracer (nullptr detaches). The switch's name tables
+  // are bound into it, so events resolve exactly like Switch-emitted ones.
+  void set_tracer(obs::PipelineTracer* t);
+  obs::PipelineTracer* tracer() const { return tracer_; }
+
+  // Compile (or fetch the cached, epoch-fresh) unit for a program id.
+  // Throws util::ConfigError when the program is outside the compiled
+  // tier's envelope — the packet path treats that as fallback.
+  const Unit& unit(std::uint16_t program);
+  // Human-readable bytecode listing for `vm disasm` / debugging.
+  std::string disassemble(std::uint16_t program);
+  // Drop every cached unit (next packet recompiles).
+  void invalidate();
+  std::size_t cached_units() const { return units_.size(); }
+
+ private:
+  // Action kernels: the persona's action bodies reimplemented over the VM
+  // register file. kUnknown marks an action id the executor has no kernel
+  // for (a non-persona action installed at runtime) → fallback.
+  enum class Kernel : std::uint8_t {
+    kNoop = 0,       // a_setup_skip / a_exec_noop / a_tx
+    kSetProgram,
+    kSetProgramResub,
+    kConcat,         // arg = byte count
+    kSetParse,
+    kParseMiss,
+    kMatchResult,
+    kMatchMiss,
+    kLoadPrim,
+    kModExtConst,
+    kModExtExt,
+    kModExtMeta,
+    kModMetaConst,
+    kModMetaMeta,
+    kModMetaExt,
+    kModMetaVingress,
+    kModVegressConst,
+    kModVegressMeta,
+    kModVegressVingress,
+    kAddExt,
+    kAddMeta,
+    kVirtDrop,
+    kResizeSet,
+    kResizeInsert,
+    kResizeRemove,
+    kVfwdPhys,
+    kVfwdVdev,
+    kVfwdMcast,
+    kVdrop,
+    kIpv4Csum,       // arg = byte offset
+    kWriteback,      // arg = byte count
+    kUnknown,
+  };
+  struct KernelRef {
+    Kernel id = Kernel::kUnknown;
+    std::uint32_t arg = 0;
+  };
+
+  // A compiled unit bound to this switch: table pointers and tracer table
+  // ids resolved once so the packet path does no name lookups.
+  struct BoundUnit {
+    Unit unit;
+    std::vector<bm::RuntimeTable*> tables;   // by unit table registry index
+    std::vector<std::uint32_t> table_ids;    // tracer ids, same indexing
+  };
+
+  // One queued packet instance (parser- or egress-side). Slots are pooled
+  // across packets; the wide vectors keep their capacity, so the steady
+  // state allocates nothing but output packets.
+  struct VmWork {
+    enum class Where : std::uint8_t { kParser, kEgress } where =
+        Where::kParser;
+    std::vector<std::uint8_t> packet;  // traversal bytes (parser: input;
+                                       // egress: bytes that were parsed)
+    std::uint16_t ingress_port = 0;
+    p4::InstanceType itype = p4::InstanceType::kNormal;
+    // Parser-side: preserved resubmit/recirculate field list
+    // {program, numbytes, virt_ingress}.
+    bool has_preserved = false;
+    std::uint64_t p_program = 0, p_numbytes = 0, p_vingress = 0;
+    // Egress-side snapshot (state as at end of ingress).
+    std::uint64_t regs[kRegCount] = {};
+    util::BitVec ext;
+    bool recirc_flag = false;
+    std::uint16_t egress_port = 0;
+    std::uint16_t egress_rid = 0;
+    std::size_t payload_offset = 0;
+    std::uint16_t unit_program = 0;  // unit whose egress section applies
+  };
+
+  // ---- compilation / caching ----
+  BoundUnit& bound_unit(std::uint16_t program);  // throws ConfigError
+  BoundUnit bind(Unit u) const;
+  std::uint64_t live_epoch_sum() const;
+
+  // ---- packet path ----
+  struct RunState;  // per-process() transient view (defined in vm.cpp)
+  void run(std::uint16_t port, const net::Packet& packet,
+           bm::ProcessResult& res);
+  bm::ProcessResult run_fallback(std::uint16_t port, const net::Packet& packet,
+                                 const char* reason);
+  bool run_parser(const VmWork& w, RunState& rs);
+  void run_code(const BoundUnit& bu, std::uint32_t pc, RunState& rs);
+  void run_prims(const BoundUnit& bu, const Instr& in, RunState& rs);
+  // key_scratch_ must already hold the probe key; applies the table with
+  // the interpreter's exact accounting (AppliedTable, kTableApply/
+  // kActionExec events, profile hooks, hit_bytes) and runs the kernel.
+  void apply_filled(bm::RuntimeTable* t, std::uint32_t table_id, RunState& rs);
+  void build_key(LookupMode mode, const bm::RuntimeTable& t, RunState& rs);
+  void exec_kernel(std::size_t action_id,
+                   const std::vector<util::BitVec>& args, RunState& rs);
+
+  [[noreturn]] void bail(const char* reason);  // throws FallbackSignal
+
+  bm::Switch& sw_;
+  hp4::PersonaConfig cfg_;
+  VmStats stats_;
+  obs::PipelineTracer* tracer_ = nullptr;
+
+  // action id → kernel, indexed by compiled action id. Built in the ctor
+  // from the persona's known action names; ids not found stay kUnknown.
+  std::vector<KernelRef> kernels_;
+
+  // Pruning tables (vparse + stage match tables), resolved once for the
+  // per-traversal epoch staleness check.
+  std::vector<const bm::RuntimeTable*> pruning_tables_;
+  // setup_a, resolved once (applied by the host prologue, ternary
+  // [program, ingress_port]).
+  bm::RuntimeTable* setup_a_ = nullptr;
+  std::uint32_t setup_a_id_ = 0;
+  // pr[] stack element instance ids for kParserExtract events.
+  std::vector<std::uint32_t> pr_instance_ids_;
+
+  std::map<std::uint16_t, BoundUnit> units_;
+  // Programs ever compiled (distinguishes recompiles from first compiles).
+  std::set<std::uint16_t> ever_compiled_;
+  // Programs whose compile failed at the current epoch sum — memoized so a
+  // hot fallback path doesn't recompile per packet.
+  std::map<std::uint16_t, std::uint64_t> failed_at_epoch_;
+
+  // Cached config-derived constants.
+  std::vector<std::size_t> ladder_;  // cfg_.parse_ladder()
+  std::size_t ebits_ = 0;            // cfg_.extracted_bits
+  std::size_t mbits_ = 0;            // cfg_.meta_bits
+
+  // ---- pooled per-packet machinery ----
+  std::vector<VmWork> slots_;
+  std::vector<std::uint32_t> free_slots_;
+  std::vector<std::uint32_t> queue_;  // FIFO of slot indexes
+  std::vector<util::BitVec> key_scratch_;
+  util::BitVec ext_, meta_, tmp_;
+  std::vector<std::uint8_t> out_scratch_;
+
+  std::uint32_t alloc_slot();
+  void reset_pool();
+};
+
+// PacketPath factory for TrafficEngine::set_packet_path: every worker gets
+// a VmExecutor over its private replica.
+engine::PacketPathFactory engine_fast_path(hp4::PersonaConfig cfg);
+
+// `vm` CLI command family for bm::run_cli_command extensions:
+//   vm status | vm compile <program> | vm disasm <program> | vm stats
+// The returned extensions reference `vm` and must not outlive it.
+bm::CliExtensions vm_cli_extensions(VmExecutor& vm);
+
+}  // namespace hyper4::vm

@@ -1,0 +1,506 @@
+// Tiered execution (src/vm): bytecode verifier rejections, encode/decode
+// round-trips, epoch-staleness recompiles, tier equivalence on the paper's
+// four functions (plus resubmit / recirculation / multicast / checksum /
+// write-back paths), transparent fallback accounting, the engine fast path
+// and the `vm` CLI command family.
+#include <gtest/gtest.h>
+
+#include "bench/common.h"
+#include "bm/cli.h"
+#include "check/trace_diff.h"
+#include "engine/engine.h"
+#include "hp4/controller.h"
+#include "net/headers.h"
+#include "util/error.h"
+#include "vm/bytecode.h"
+#include "vm/compiler.h"
+#include "vm/vm.h"
+
+namespace hyper4::vm {
+namespace {
+
+using bench::Harness;
+
+net::Packet tcp_packet(std::uint16_t dport) {
+  net::EthHeader eth;
+  eth.src = net::mac_from_string(bench::kMacH1);
+  eth.dst = net::mac_from_string(bench::kMacH2);
+  net::Ipv4Header ip;
+  ip.src = net::ipv4_from_string("10.0.0.1");
+  ip.dst = net::ipv4_from_string("10.0.0.2");
+  net::TcpHeader tcp;
+  tcp.src_port = 40000;
+  tcp.dst_port = dport;
+  return net::make_ipv4_tcp(eth, ip, tcp, 64);
+}
+
+// Observable + TM-counter comparison between the interpreted persona and
+// the VM tier; returns true (and passes EXPECT) when they agree.
+void expect_tiers_equal(const bm::ProcessResult& persona,
+                        const bm::ProcessResult& vm, const std::string& what) {
+  auto d = check::diff_observable(persona, vm, 0);
+  EXPECT_FALSE(d.has_value()) << what << ": " << (d ? d->str() : "");
+  EXPECT_EQ(persona.drops, vm.drops) << what;
+  EXPECT_EQ(persona.resubmits, vm.resubmits) << what;
+  EXPECT_EQ(persona.recirculations, vm.recirculations) << what;
+  EXPECT_EQ(persona.parse_errors, vm.parse_errors) << what;
+  EXPECT_EQ(persona.loop_kills, vm.loop_kills) << what;
+  EXPECT_EQ(persona.multicast_copies, vm.multicast_copies) << what;
+}
+
+// A minimal structurally-valid unit for verifier tests.
+Unit tiny_unit() {
+  Unit u;
+  u.program = 7;
+  u.num_stages = 2;
+  u.max_primitives = 3;
+  u.pr_headers = 100;
+  u.tables = {"t_a", "t_b"};
+  u.prim_tables = {0, 1, 0, 1, 0, 1, 0};  // one slot window
+  u.code.push_back(Instr{static_cast<std::uint8_t>(Op::kLookup),
+                         static_cast<std::uint8_t>(LookupMode::kSetupB), 0, 0,
+                         0});
+  u.code.push_back(Instr{static_cast<std::uint8_t>(Op::kHalt), 0, 0, 0, 0});
+  u.egress_pc = 1;
+  return u;
+}
+
+// ---------------------------------------------------------------------------
+// Bytecode container: round-trip and decode rejections
+
+TEST(VmBytecode, EncodeDecodeRoundTrip) {
+  const Unit u = tiny_unit();
+  const std::vector<std::uint8_t> bytes = encode(u);
+  const Unit v = decode(bytes);
+  EXPECT_EQ(v.program, u.program);
+  EXPECT_EQ(v.egress_pc, u.egress_pc);
+  EXPECT_EQ(v.num_stages, u.num_stages);
+  EXPECT_EQ(v.max_primitives, u.max_primitives);
+  EXPECT_EQ(v.pr_headers, u.pr_headers);
+  EXPECT_EQ(v.tables, u.tables);
+  EXPECT_EQ(v.prim_tables, u.prim_tables);
+  ASSERT_EQ(v.code.size(), u.code.size());
+  for (std::size_t i = 0; i < u.code.size(); ++i) {
+    EXPECT_EQ(v.code[i].op, u.code[i].op) << i;
+    EXPECT_EQ(v.code[i].mode, u.code[i].mode) << i;
+    EXPECT_EQ(v.code[i].a, u.code[i].a) << i;
+    EXPECT_EQ(v.code[i].b, u.code[i].b) << i;
+    EXPECT_EQ(v.code[i].c, u.code[i].c) << i;
+  }
+}
+
+TEST(VmBytecode, DecodeRejectsTruncation) {
+  const std::vector<std::uint8_t> bytes = encode(tiny_unit());
+  // Chop at every prefix boundary class: inside the magic, inside the
+  // header, inside the code section, and one byte short of complete.
+  for (std::size_t keep :
+       {std::size_t{0}, std::size_t{4}, std::size_t{12}, bytes.size() / 2,
+        bytes.size() - 1}) {
+    const std::vector<std::uint8_t> cut(bytes.begin(),
+                                        bytes.begin() +
+                                            static_cast<std::ptrdiff_t>(keep));
+    EXPECT_THROW(decode(cut), util::ParseError) << "kept " << keep;
+  }
+}
+
+TEST(VmBytecode, DecodeRejectsBadMagic) {
+  std::vector<std::uint8_t> bytes = encode(tiny_unit());
+  bytes[0] ^= 0xFF;
+  EXPECT_THROW(decode(bytes), util::ParseError);
+}
+
+// ---------------------------------------------------------------------------
+// Verifier rejections
+
+TEST(VmVerify, AcceptsTinyUnit) {
+  EXPECT_TRUE(verify(tiny_unit()).empty());
+  EXPECT_NO_THROW(verify_or_throw(tiny_unit()));
+}
+
+TEST(VmVerify, RejectsEmptyCode) {
+  Unit u = tiny_unit();
+  u.code.clear();
+  EXPECT_FALSE(verify(u).empty());
+  EXPECT_THROW(verify_or_throw(u), util::ConfigError);
+}
+
+TEST(VmVerify, RejectsOutOfRangeRegister) {
+  Unit u = tiny_unit();
+  u.code.insert(u.code.begin(),
+                Instr{static_cast<std::uint8_t>(Op::kJeq),
+                      static_cast<std::uint8_t>(kRegCount), 0, 0, 1});
+  ++u.egress_pc;
+  EXPECT_THROW(verify_or_throw(u), util::ConfigError);
+}
+
+TEST(VmVerify, RejectsOutOfRangeTableIndex) {
+  Unit u = tiny_unit();
+  u.code[0].a = static_cast<std::uint32_t>(u.tables.size());  // one past
+  EXPECT_THROW(verify_or_throw(u), util::ConfigError);
+}
+
+TEST(VmVerify, RejectsOutOfRangeLookupMode) {
+  Unit u = tiny_unit();
+  u.code[0].mode = static_cast<std::uint8_t>(LookupMode::kModeCount);
+  EXPECT_THROW(verify_or_throw(u), util::ConfigError);
+}
+
+TEST(VmVerify, RejectsJumpTargetOutsideProgram) {
+  Unit u = tiny_unit();
+  u.code.insert(u.code.begin(),
+                Instr{static_cast<std::uint8_t>(Op::kJmp), 0, 0, 0,
+                      static_cast<std::uint32_t>(u.code.size() + 5)});
+  ++u.egress_pc;
+  EXPECT_THROW(verify_or_throw(u), util::ConfigError);
+}
+
+TEST(VmVerify, RejectsEgressPcOutsideProgram) {
+  Unit u = tiny_unit();
+  u.egress_pc = static_cast<std::uint32_t>(u.code.size());
+  EXPECT_THROW(verify_or_throw(u), util::ConfigError);
+}
+
+TEST(VmVerify, RejectsFallThroughPastEnd) {
+  Unit u = tiny_unit();
+  u.code.pop_back();  // drop the trailing halt: last op is now a lookup
+  u.egress_pc = 0;
+  EXPECT_THROW(verify_or_throw(u), util::ConfigError);
+}
+
+TEST(VmVerify, RejectsInvalidOpcode) {
+  Unit u = tiny_unit();
+  u.code[0].op = 0xEE;
+  EXPECT_THROW(verify_or_throw(u), util::ConfigError);
+}
+
+TEST(VmVerify, RejectsPrimWindowOutsideRegistry) {
+  Unit u = tiny_unit();
+  // Slot window [0, 7) exists but claims 2 slots -> [0, 14) overruns.
+  u.code.insert(u.code.begin(),
+                Instr{static_cast<std::uint8_t>(Op::kPrims), 0, 1, 2, 0});
+  ++u.egress_pc;
+  EXPECT_THROW(verify_or_throw(u), util::ConfigError);
+}
+
+// ---------------------------------------------------------------------------
+// Compilation from a live persona
+
+TEST(VmCompiler, CompilesPersonaProgramAndDisassembles) {
+  Harness h("l2_sw");
+  VmExecutor vm(h.ctl->dataplane(), h.ctl->generator().config());
+  const Unit& u = vm.unit(static_cast<std::uint16_t>(h.vdev));
+  EXPECT_FALSE(u.code.empty());
+  EXPECT_GT(u.egress_pc, 0u);
+  EXPECT_TRUE(verify(u).empty());
+
+  const std::string dis = vm.disassemble(static_cast<std::uint16_t>(h.vdev));
+  EXPECT_NE(dis.find("lookup"), std::string::npos);
+  EXPECT_NE(dis.find("halt"), std::string::npos);
+  EXPECT_NE(dis.find("egress:"), std::string::npos);
+}
+
+TEST(VmCompiler, NonPersonaSwitchRejected) {
+  bm::Switch plain(apps::program_by_name("l2_sw"));
+  EXPECT_THROW(VmExecutor(plain, hp4::PersonaConfig{}), util::ConfigError);
+}
+
+TEST(VmCompiler, CompileThenMutateRecompilesAtNextPacket) {
+  Harness h("l2_sw");
+  bm::Switch& dp = h.ctl->dataplane();
+  VmExecutor vm(dp, h.ctl->generator().config());
+  const net::Packet probe = bench::worst_case_packet("l2_sw");
+
+  vm.process(1, probe);
+  EXPECT_EQ(vm.stats().compiles, 1u);
+  EXPECT_EQ(vm.stats().recompiles, 0u);
+  const std::uint64_t epoch0 =
+      vm.unit(static_cast<std::uint16_t>(h.vdev)).pruned_epoch_sum;
+
+  // Mutate a pruned table through the DPMU: the next packet must observe
+  // the epoch drift and recompile rather than run stale bytecode.
+  h.ctl->add_rule(h.vdev,
+                  bench::vr(apps::l2_forward("02:00:00:00:00:42", 3)));
+  const bm::ProcessResult persona = dp.inject(1, probe);
+  const bm::ProcessResult tier = vm.process(1, probe);
+  expect_tiers_equal(persona, tier, "post-mutation probe");
+  EXPECT_EQ(vm.stats().recompiles, 1u);
+  EXPECT_GT(vm.unit(static_cast<std::uint16_t>(h.vdev)).pruned_epoch_sum,
+            epoch0);
+  EXPECT_EQ(vm.stats().packets_fallback, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Tier equivalence
+
+TEST(VmEquivalence, FourFunctionsWorstCase) {
+  for (const std::string& name : bench::function_names()) {
+    Harness h(name);
+    bm::Switch& dp = h.ctl->dataplane();
+    VmExecutor vm(dp, h.ctl->generator().config());
+    const net::Packet probe = bench::worst_case_packet(name);
+    for (std::uint16_t port : {std::uint16_t{1}, std::uint16_t{2}}) {
+      const bm::ProcessResult persona = dp.inject(port, probe);
+      const bm::ProcessResult tier = vm.process(port, probe);
+      expect_tiers_equal(persona, tier,
+                         name + " port " + std::to_string(port));
+    }
+    EXPECT_EQ(vm.stats().packets_fallback, 0u) << name;
+    EXPECT_GE(vm.stats().packets_bytecode, 2u) << name;
+  }
+}
+
+TEST(VmEquivalence, FirewallDropPath) {
+  Harness h("firewall");
+  bm::Switch& dp = h.ctl->dataplane();
+  VmExecutor vm(dp, h.ctl->generator().config());
+  const net::Packet blocked = tcp_packet(22);  // demo rules block dport 22
+  const bm::ProcessResult persona = dp.inject(1, blocked);
+  const bm::ProcessResult tier = vm.process(1, blocked);
+  EXPECT_TRUE(tier.outputs.empty());
+  expect_tiers_equal(persona, tier, "blocked tcp/22");
+}
+
+TEST(VmEquivalence, ResubmitOnDeepParse) {
+  // The firewall parses eth+ip+tcp (54B) — deeper than the persona's
+  // 20-byte first parse pass — so every packet takes the resubmit path.
+  Harness h("firewall");
+  bm::Switch& dp = h.ctl->dataplane();
+  VmExecutor vm(dp, h.ctl->generator().config());
+  const bm::ProcessResult tier =
+      vm.process(1, bench::worst_case_packet("firewall"));
+  EXPECT_GT(tier.resubmits, 0u);
+  EXPECT_EQ(vm.stats().packets_fallback, 0u);
+}
+
+TEST(VmEquivalence, ChainRecirculates) {
+  // l2_switch -> firewall chained inside one persona: crossing the virtual
+  // link is a recirculation, exercising a_vfwd_vdev + preserved metadata.
+  hp4::Controller ctl;
+  const hp4::VdevId l2 = ctl.load("l2", apps::l2_switch());
+  const hp4::VdevId fw = ctl.load("fw", apps::firewall());
+  ctl.chain({l2, fw}, {1, 2});
+  for (const auto& r :
+       {apps::l2_forward(bench::kMacH1, 1), apps::l2_forward(bench::kMacH2, 2)})
+    ctl.add_rule(l2, bench::vr(r));
+  for (const auto& r : {apps::firewall_l2_forward(bench::kMacH1, 1),
+                        apps::firewall_l2_forward(bench::kMacH2, 2),
+                        apps::firewall_block_tcp_dport(22, 10)})
+    ctl.add_rule(fw, bench::vr(r));
+
+  bm::Switch& dp = ctl.dataplane();
+  VmExecutor vm(dp, ctl.generator().config());
+
+  const net::Packet allowed = tcp_packet(80);
+  bm::ProcessResult persona = dp.inject(1, allowed);
+  bm::ProcessResult tier = vm.process(1, allowed);
+  EXPECT_GT(tier.recirculations, 0u);
+  EXPECT_FALSE(tier.outputs.empty());
+  expect_tiers_equal(persona, tier, "chained allowed");
+
+  const net::Packet blocked = tcp_packet(22);
+  persona = dp.inject(1, blocked);
+  tier = vm.process(1, blocked);
+  EXPECT_TRUE(tier.outputs.empty());
+  expect_tiers_equal(persona, tier, "chained blocked");
+  EXPECT_EQ(vm.stats().packets_fallback, 0u);
+}
+
+TEST(VmEquivalence, MulticastReplication) {
+  Harness h("l2_sw");
+  bm::Switch& dp = h.ctl->dataplane();
+  // Retarget the vport behind phys port 2 at a replication group {2, 3}.
+  h.ctl->dpmu().set_vport_target_mcast(h.vdev, 2, {2, 3});
+  VmExecutor vm(dp, h.ctl->generator().config());
+
+  const net::Packet probe = bench::worst_case_packet("l2_sw");  // -> port 2
+  const bm::ProcessResult persona = dp.inject(1, probe);
+  const bm::ProcessResult tier = vm.process(1, probe);
+  EXPECT_EQ(tier.multicast_copies, 2u);
+  EXPECT_EQ(tier.outputs.size(), 2u);
+  expect_tiers_equal(persona, tier, "mcast probe");
+  EXPECT_EQ(vm.stats().packets_fallback, 0u);
+}
+
+TEST(VmEquivalence, RouterChecksumAndWriteback) {
+  // The router decrements TTL and rewrites MACs: the deparse write-back and
+  // the generated ipv4 checksum action must both match the interpreter
+  // byte-for-byte.
+  Harness h("router");
+  bm::Switch& dp = h.ctl->dataplane();
+  VmExecutor vm(dp, h.ctl->generator().config());
+  const net::Packet probe = bench::worst_case_packet("router");
+  const bm::ProcessResult persona = dp.inject(1, probe);
+  const bm::ProcessResult tier = vm.process(1, probe);
+  ASSERT_FALSE(persona.outputs.empty());
+  ASSERT_EQ(tier.outputs.size(), persona.outputs.size());
+  // The routed packet differs from the input (TTL, MACs, checksum), so this
+  // is a real write-back, not a pass-through.
+  EXPECT_NE(std::vector<std::uint8_t>(tier.outputs[0].packet.bytes().begin(),
+                                      tier.outputs[0].packet.bytes().end()),
+            std::vector<std::uint8_t>(probe.bytes().begin(),
+                                      probe.bytes().end()));
+  expect_tiers_equal(persona, tier, "router probe");
+  EXPECT_EQ(vm.stats().packets_fallback, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Transparent fallback
+
+TEST(VmFallback, IngressMeterOutsideTier) {
+  hp4::PersonaConfig cfg;
+  cfg.ingress_meter = true;
+  hp4::Controller ctl(cfg);
+  const hp4::VdevId v = ctl.load("l2", apps::l2_switch());
+  ctl.attach_ports(v, {1, 2});
+  for (std::uint16_t p : {1, 2}) ctl.bind(v, p);
+  for (const auto& r :
+       {apps::l2_forward(bench::kMacH1, 1), apps::l2_forward(bench::kMacH2, 2)})
+    ctl.add_rule(v, bench::vr(r));
+
+  bm::Switch& dp = ctl.dataplane();
+  VmExecutor vm(dp, cfg);
+  const net::Packet probe = bench::worst_case_packet("l2_sw");
+  const bm::ProcessResult persona = dp.inject(1, probe);
+  const bm::ProcessResult tier = vm.process(1, probe);
+  expect_tiers_equal(persona, tier, "metered probe");
+  EXPECT_EQ(vm.stats().packets_bytecode, 0u);
+  EXPECT_EQ(vm.stats().packets_fallback, 1u);
+  EXPECT_EQ(vm.stats().fallback_reasons.at("ingress-meter"), 1u);
+}
+
+TEST(VmFallback, RecordPrimitivesOutsideTier) {
+  Harness h("l2_sw");
+  bm::Switch& dp = h.ctl->dataplane();
+  VmExecutor vm(dp, h.ctl->generator().config());
+
+  obs::TracerOptions topts;
+  topts.record_primitives = true;
+  obs::PipelineTracer tr(topts);
+  vm.set_tracer(&tr);
+
+  vm.process(1, bench::worst_case_packet("l2_sw"));
+  EXPECT_EQ(vm.stats().packets_fallback, 1u);
+  EXPECT_EQ(vm.stats().fallback_reasons.at("record-primitives"), 1u);
+
+  // Detach: the next packet runs on bytecode again.
+  vm.set_tracer(nullptr);
+  vm.process(1, bench::worst_case_packet("l2_sw"));
+  EXPECT_EQ(vm.stats().packets_bytecode, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Tracer conformance: the VM emits the interpreter's exact event stream
+
+TEST(VmTracer, EventStreamMatchesInterpreter) {
+  // Deterministic tracers (no timestamps): every event the interpreter
+  // records for a traversal — inject, parser extracts, accepts, table
+  // applies with hit/index flags and handles, action execs, TM verdicts,
+  // deparse, emit — must appear identically from the VM tier, so the trace
+  // decoder and golden-trace tooling work unchanged on compiled packets.
+  for (const std::string& name : bench::function_names()) {
+    Harness h(name);
+    bm::Switch& dp = h.ctl->dataplane();
+    VmExecutor vm(dp, h.ctl->generator().config());
+    const net::Packet probe = bench::worst_case_packet(name);
+    vm.process(1, probe);  // compile outside the traced window
+
+    obs::TracerOptions topts;
+    topts.timestamps = false;
+    obs::PipelineTracer interp_tr(topts);
+    dp.set_tracer(&interp_tr);
+    dp.inject(1, probe);
+    dp.set_tracer(nullptr);
+
+    obs::PipelineTracer vm_tr(topts);
+    vm.set_tracer(&vm_tr);
+    vm.process(1, probe);
+    vm.set_tracer(nullptr);
+
+    const std::vector<obs::TraceEvent> a = interp_tr.events();
+    const std::vector<obs::TraceEvent> b = vm_tr.events();
+    ASSERT_EQ(a.size(), b.size()) << name;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(static_cast<int>(a[i].kind), static_cast<int>(b[i].kind))
+          << name << " event " << i;
+      EXPECT_EQ(a[i].flags, b[i].flags) << name << " event " << i;
+      EXPECT_EQ(a[i].port, b[i].port) << name << " event " << i;
+      EXPECT_EQ(a[i].id, b[i].id) << name << " event " << i;
+      EXPECT_EQ(a[i].seq, b[i].seq) << name << " event " << i;
+      EXPECT_EQ(a[i].handle, b[i].handle) << name << " event " << i;
+      EXPECT_EQ(a[i].aux, b[i].aux) << name << " event " << i;
+    }
+    EXPECT_EQ(vm.stats().packets_fallback, 0u) << name;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Engine integration
+
+TEST(VmEngine, FastPathMatchesDirectPersona) {
+  Harness h("l2_sw");
+  engine::EngineOptions opts;
+  opts.workers = 2;
+  engine::TrafficEngine eng(h.ctl->generator().generate(), opts);
+  h.ctl->attach_engine(&eng);
+  eng.set_packet_path(engine_fast_path(h.ctl->generator().config()));
+
+  const net::Packet probe = bench::worst_case_packet("l2_sw");
+  const bm::ProcessResult direct = h.ctl->dataplane().inject(1, probe);
+  for (int i = 0; i < 8; ++i) eng.inject(1, probe);
+  const engine::MergedResult m = eng.drain();
+  ASSERT_EQ(m.per_packet.size(), 8u);
+  for (std::size_t i = 0; i < m.per_packet.size(); ++i) {
+    auto d = check::diff_observable(direct, m.per_packet[i], i);
+    EXPECT_FALSE(d.has_value()) << (d ? d->str() : "");
+  }
+
+  // Clearing the path restores the interpreted pipeline.
+  eng.set_packet_path(nullptr);
+  eng.inject(1, probe);
+  const engine::MergedResult m2 = eng.drain();
+  ASSERT_EQ(m2.per_packet.size(), 1u);
+  auto d = check::diff_observable(direct, m2.per_packet[0], 0);
+  EXPECT_FALSE(d.has_value()) << (d ? d->str() : "");
+  h.ctl->attach_engine(nullptr);
+}
+
+// ---------------------------------------------------------------------------
+// CLI
+
+TEST(VmCli, CommandFamily) {
+  Harness h("l2_sw");
+  bm::Switch& dp = h.ctl->dataplane();
+  VmExecutor vm(dp, h.ctl->generator().config());
+  const bm::CliExtensions ext = vm_cli_extensions(vm);
+  const std::string prog = std::to_string(h.vdev);
+
+  bm::CliResult r = bm::run_cli_command(dp, "vm status", &ext);
+  EXPECT_TRUE(r.ok) << r.message;
+  EXPECT_NE(r.message.find("0 cached unit(s)"), std::string::npos)
+      << r.message;
+
+  r = bm::run_cli_command(dp, "vm compile " + prog, &ext);
+  EXPECT_TRUE(r.ok) << r.message;
+  EXPECT_NE(r.message.find("compiled program"), std::string::npos);
+
+  r = bm::run_cli_command(dp, "vm disasm " + prog, &ext);
+  EXPECT_TRUE(r.ok) << r.message;
+  EXPECT_NE(r.message.find("lookup"), std::string::npos);
+
+  r = bm::run_cli_command(dp, "vm stats", &ext);
+  EXPECT_TRUE(r.ok) << r.message;
+  EXPECT_NE(r.message.find("packets_bytecode="), std::string::npos);
+
+  // Errors surface as ok=false through the CLI's util::Error conversion.
+  EXPECT_FALSE(bm::run_cli_command(dp, "vm", &ext).ok);
+  EXPECT_FALSE(bm::run_cli_command(dp, "vm bogus", &ext).ok);
+  EXPECT_FALSE(bm::run_cli_command(dp, "vm compile", &ext).ok);
+  EXPECT_FALSE(bm::run_cli_command(dp, "vm compile notanumber", &ext).ok);
+  EXPECT_FALSE(bm::run_cli_command(dp, "vm compile 99999", &ext).ok);
+
+  // Without the extension table the command is unknown.
+  EXPECT_FALSE(bm::run_cli_command(dp, "vm status").ok);
+}
+
+}  // namespace
+}  // namespace hyper4::vm

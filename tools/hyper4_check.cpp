@@ -2,8 +2,8 @@
 //
 // Generates random P4-14 programs inside the persona's supported envelope,
 // runs each (program, rules, packets) triple through the native switch, the
-// HyPer4 persona and the concurrent traffic engine, and diffs the observable
-// behaviour. On divergence the case is shrunk to a locally-minimal repro and
+// HyPer4 persona, the concurrent traffic engine and the persona's compiled
+// bytecode tier (src/vm), and diffs the observable behaviour. On divergence the case is shrunk to a locally-minimal repro and
 // written out as a standalone .p4 + commands pair that `--replay` (or the
 // check_repro regression test) can re-run without the generator.
 //
@@ -36,8 +36,13 @@ void usage() {
                "  --weights W       match-kind preset: exact | lpm | ternary\n"
                "                    (skews generated table keys to stress one\n"
                "                    compiled index kind; default mixed)\n"
-               "  --no-persona      skip the HyPer4 persona backend\n"
+               "  --backends B      comma list of backends to run: any of\n"
+               "                    native,persona,engine,vm or 'all'\n"
+               "                    (native always runs; vm implies persona;\n"
+               "                    default all)\n"
+               "  --no-persona      skip the HyPer4 persona backend (and vm)\n"
                "  --no-engine       skip the traffic-engine backend\n"
+               "  --no-vm           skip the bytecode-tier backend\n"
                "  --repro-dir DIR   where to write minimized repros "
                "(default '.')\n"
                "  --max-seconds S   stop after S seconds even if iterations "
@@ -146,10 +151,44 @@ int main(int argc, char** argv) {
         usage();
         return 2;
       }
+    } else if (a == "--backends") {
+      const std::string b = next();
+      if (b != "all") {
+        opts.run_engine = false;
+        opts.run_persona = false;
+        opts.run_vm = false;
+        std::size_t pos = 0;
+        while (pos <= b.size()) {
+          const std::size_t comma = b.find(',', pos);
+          const std::string one =
+              b.substr(pos, comma == std::string::npos ? b.size() - pos
+                                                       : comma - pos);
+          if (one == "native") {
+            // always the reference; nothing to enable
+          } else if (one == "engine") {
+            opts.run_engine = true;
+          } else if (one == "persona") {
+            opts.run_persona = true;
+          } else if (one == "vm") {
+            opts.run_vm = true;
+            opts.run_persona = true;  // vm diffs against the persona
+          } else {
+            std::fprintf(stderr, "hyper4_check: unknown backend '%s'\n",
+                         one.c_str());
+            usage();
+            return 2;
+          }
+          if (comma == std::string::npos) break;
+          pos = comma + 1;
+        }
+      }
     } else if (a == "--no-persona") {
       opts.run_persona = false;
+      opts.run_vm = false;
     } else if (a == "--no-engine") {
       opts.run_engine = false;
+    } else if (a == "--no-vm") {
+      opts.run_vm = false;
     } else if (a == "--repro-dir") {
       repro_dir = next();
     } else if (a == "--max-seconds") {
@@ -207,6 +246,7 @@ int main(int argc, char** argv) {
   const auto t0 = std::chrono::steady_clock::now();
   std::uint64_t ran = 0;
   std::uint64_t persona_skipped = 0;
+  std::uint64_t vm_fallback_total = 0;
   DiffReport last_rep;  // artifact source when every iteration is clean
   for (std::uint64_t i = 0; i < iters; ++i) {
     if (max_seconds > 0.0) {
@@ -227,6 +267,7 @@ int main(int argc, char** argv) {
     }
     ++ran;
     if (!rep.persona_ran && opts.run_persona) ++persona_skipped;
+    vm_fallback_total += rep.vm_fallbacks;
     if (rep.equivalent) {
       if (opts.trace) last_rep = std::move(rep);
       continue;
@@ -280,11 +321,12 @@ int main(int argc, char** argv) {
       std::chrono::steady_clock::now() - t0;
   std::printf(
       "hyper4_check: %llu/%llu iterations equivalent (seed base %llu, "
-      "%llu persona-skipped, %.1fs)\n",
+      "%llu persona-skipped, %llu vm-fallback packets, %.1fs)\n",
       static_cast<unsigned long long>(ran),
       static_cast<unsigned long long>(iters),
       static_cast<unsigned long long>(seed),
-      static_cast<unsigned long long>(persona_skipped), dt.count());
+      static_cast<unsigned long long>(persona_skipped),
+      static_cast<unsigned long long>(vm_fallback_total), dt.count());
   write_file(chrome_path, last_rep.chrome_trace, "chrome trace");
   write_file(profile_path, last_rep.profile_json, "profile");
   return 0;
