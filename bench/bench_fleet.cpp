@@ -1,0 +1,175 @@
+// Fleet-scale scenario bench: multi-tenant NF chains on one persona with
+// live control-plane reconfiguration, written to BENCH_fleet.json.
+//
+// Each cell of a (tenants x chain-depth x reconfig-rate) matrix hosts the
+// full tenant fleet (src/scenarios), then times waves of canonical-flow
+// traffic through the concurrent engine while the configured reconfig mix
+// (per-wave churn transactions and transactional hot-swaps of whole tenant
+// chains) lands between inject and drain. Throughput is drained packets per
+// second over the timed waves only — fleet setup is excluded.
+//
+// Correctness gates before any number counts: every wave must deliver every
+// tenant's canonical flow (a hot-swap that drops packets is not "fast"),
+// and reconfig cells must have advanced the engine epoch by exactly the
+// number of transactions issued (no silently skipped or split epochs).
+//
+// Acceptance floor: every cell must clear its pps floor, including the
+// headline 100-tenant x depth-3 cell with hot-swap churn. Floors are set
+// ~4-5x below measured dev-container throughput so the gate catches
+// order-of-magnitude regressions (an accidental full-fleet resync per
+// packet, a lost engine worker), not machine jitter.
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "scenarios/fleet.h"
+
+namespace hyper4::bench {
+namespace {
+
+struct Cell {
+  std::string name;
+  std::size_t tenants = 0;
+  std::size_t depth = 0;
+  std::size_t churn_per_wave = 0;  // churn ops per wave (one tenant)
+  bool swap_per_wave = false;      // one hot-swap txn per wave
+  double pps_floor = 0;
+};
+
+struct CellResult {
+  Cell cell;
+  std::uint64_t packets = 0;
+  std::uint64_t swaps = 0;
+  std::size_t churn_ops = 0;
+  double seconds = 0;
+  double pps = 0;
+  bool delivered = true;
+  bool epochs_ok = true;
+  bool ok = false;
+};
+
+constexpr std::size_t kWarmupWaves = 2;
+constexpr std::size_t kTimedWaves = 24;
+constexpr std::size_t kPacketsPerTenant = 4;
+
+CellResult run_cell(const Cell& cell) {
+  CellResult res;
+  res.cell = cell;
+
+  scenarios::FleetOptions fo;
+  fo.tenants = cell.tenants;
+  fo.chain_depth = cell.depth;
+  fo.seed = 1;
+  scenarios::ScenarioFleet fleet(fo);
+
+  auto wave = [&](std::size_t w) {
+    fleet.inject_wave(kPacketsPerTenant);
+    std::uint64_t txns = 0;
+    if (cell.churn_per_wave > 0) {
+      res.churn_ops += fleet.churn_tenant(w % fleet.tenants(),
+                                          cell.churn_per_wave);
+      ++txns;  // churn_tenant is one transaction = one epoch
+    }
+    if (cell.swap_per_wave) {
+      fleet.hot_swap(w % fleet.tenants());
+      ++res.swaps;
+      ++txns;
+    }
+    const scenarios::WaveResult r = fleet.drain_wave();
+    if (!r.all_delivered) res.delivered = false;
+    res.packets += r.drained;
+    return txns;
+  };
+
+  for (std::size_t w = 0; w < kWarmupWaves; ++w) wave(w);
+  res.packets = 0;
+  res.churn_ops = 0;
+  res.swaps = 0;
+
+  const std::uint64_t epoch0 = fleet.engine().epoch();
+  std::uint64_t txns = 0;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (std::size_t w = 0; w < kTimedWaves; ++w) txns += wave(kWarmupWaves + w);
+  res.seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  res.epochs_ok = fleet.engine().epoch() == epoch0 + txns;
+  res.pps = res.seconds > 0 ? static_cast<double>(res.packets) / res.seconds
+                            : 0;
+  res.ok = res.delivered && res.epochs_ok && res.pps >= cell.pps_floor;
+  return res;
+}
+
+int main_impl() {
+  // Floors ~4-5x below dev-container measurements (see header comment).
+  const std::vector<Cell> matrix = {
+      {"t8_d2_steady", 8, 2, 0, false, 2000},
+      {"t8_d2_churn", 8, 2, 8, false, 1000},
+      {"t32_d3_churn_swap", 32, 3, 8, true, 800},
+      {"t100_d3_steady", 100, 3, 0, false, 900},
+      {"t100_d3_churn_swap", 100, 3, 8, true, 500},
+  };
+
+  std::printf("fleet bench — tenants x depth x reconfig, pps over %zu timed "
+              "waves\n\n",
+              kTimedWaves);
+  std::printf("%22s %8s %6s %8s %6s %10s %10s %5s\n", "cell", "tenants",
+              "depth", "packets", "swaps", "pps", "floor", "ok");
+
+  std::vector<CellResult> results;
+  for (const auto& cell : matrix) {
+    CellResult r = run_cell(cell);
+    std::printf("%22s %8zu %6zu %8llu %6llu %10.0f %10.0f %5s\n",
+                r.cell.name.c_str(), r.cell.tenants, r.cell.depth,
+                static_cast<unsigned long long>(r.packets),
+                static_cast<unsigned long long>(r.swaps), r.pps,
+                r.cell.pps_floor, r.ok ? "yes" : "NO");
+    results.push_back(std::move(r));
+  }
+
+  std::ofstream json("BENCH_fleet.json");
+  json << "{\n  \"timed_waves\": " << kTimedWaves
+       << ",\n  \"packets_per_tenant_per_wave\": " << kPacketsPerTenant
+       << ",\n  \"cells\": [\n";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const auto& r = results[i];
+    json << "    {\"name\": \"" << r.cell.name
+         << "\", \"tenants\": " << r.cell.tenants
+         << ", \"depth\": " << r.cell.depth
+         << ", \"churn_per_wave\": " << r.cell.churn_per_wave
+         << ", \"hot_swap_per_wave\": " << (r.cell.swap_per_wave ? "true"
+                                                                 : "false")
+         << ", \"packets\": " << r.packets << ", \"hot_swaps\": " << r.swaps
+         << ", \"churn_ops\": " << r.churn_ops
+         << ", \"seconds\": " << r.seconds << ", \"pps\": " << r.pps
+         << ", \"pps_floor\": " << r.cell.pps_floor
+         << ", \"all_delivered\": " << (r.delivered ? "true" : "false")
+         << ", \"epochs_ok\": " << (r.epochs_ok ? "true" : "false")
+         << ", \"ok\": " << (r.ok ? "true" : "false") << "}"
+         << (i + 1 < results.size() ? "," : "") << "\n";
+  }
+  json << "  ]\n}\n";
+  std::printf("\nwrote BENCH_fleet.json\n");
+
+  bool all_ok = true;
+  for (const auto& r : results) {
+    if (r.ok) continue;
+    all_ok = false;
+    if (!r.delivered)
+      std::printf("FAIL: %s dropped tenant flows\n", r.cell.name.c_str());
+    else if (!r.epochs_ok)
+      std::printf("FAIL: %s epoch count drifted from issued transactions\n",
+                  r.cell.name.c_str());
+    else
+      std::printf("FAIL: %s pps %.0f < %.0f floor\n", r.cell.name.c_str(),
+                  r.pps, r.cell.pps_floor);
+  }
+  return all_ok ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace hyper4::bench
+
+int main() { return hyper4::bench::main_impl(); }

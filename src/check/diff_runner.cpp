@@ -1,5 +1,7 @@
 #include "check/diff_runner.h"
 
+#include <algorithm>
+#include <memory>
 #include <sstream>
 #include <vector>
 
@@ -113,7 +115,8 @@ DiffReport DiffRunner::run(const GenCase& c) const {
           d.lhs = "native";
           d.rhs = "persona";
           d.kind = "rule_rejected";
-          d.detail = "'" + cli_line(c.rules[i]) + "': " + e.what();
+          d.detail = "vdev '" + c.program.name + "' rule '" +
+                     cli_line(c.rules[i]) + "': " + e.what();
           fail(std::move(d));
           ctl.reset();
           vdev.reset();
@@ -290,7 +293,8 @@ DiffReport DiffRunner::run(const GenCase& c) const {
         d.rhs = "vm";
         d.kind = "tm_counters";
         d.packet_index = i;
-        d.detail = "drops " + std::to_string(pr.drops) + "/" +
+        d.detail = "vdev '" + c.program.name + "': drops " +
+                   std::to_string(pr.drops) + "/" +
                    std::to_string(vr.drops) + " resubmits " +
                    std::to_string(pr.resubmits) + "/" +
                    std::to_string(vr.resubmits) + " recirculations " +
@@ -310,6 +314,227 @@ DiffReport DiffRunner::run(const GenCase& c) const {
     rep.vm_fallbacks = vm.stats().packets_fallback;
   }
   fill_trace();
+  return rep;
+}
+
+std::string tm_divergence_vdev(const std::vector<std::string>& link_names,
+                               std::uint64_t lhs_recirculations,
+                               std::uint64_t rhs_recirculations) {
+  if (link_names.empty()) return "?";
+  // Each inter-link hop is one recirculation, so a packet that completed R
+  // recirculations on both sides before the counters parted ways was inside
+  // link R (0-based) when they did. When the counts themselves differ, the
+  // smaller one is the last hop both executions agree on.
+  const std::uint64_t hop = std::min(lhs_recirculations, rhs_recirculations);
+  const std::size_t idx = static_cast<std::size_t>(
+      std::min<std::uint64_t>(hop, link_names.size() - 1));
+  return link_names[idx];
+}
+
+DiffReport DiffRunner::run_chain(const ChainCase& c) const {
+  DiffReport rep;
+  auto fail = [&](Divergence d) {
+    rep.equivalent = false;
+    rep.divergence = std::move(d);
+  };
+  if (c.links.empty())
+    throw util::ConfigError("check: chain case has no links");
+
+  // --- native reference: one switch per link, cascaded in series -----------
+  std::vector<std::unique_ptr<bm::Switch>> natives;
+  for (const auto& l : c.links) {
+    auto sw = std::make_unique<bm::Switch>(l.program);
+    for (const auto& r : l.rules) apply_native(*sw, r);
+    natives.push_back(std::move(sw));
+  }
+  // Every output of link i feeds link i+1 at the same port — the physical
+  // wiring Controller::chain() emulates with recirculations.
+  auto native_chain = [&](std::uint16_t port, const net::Packet& pkt) {
+    std::vector<bm::OutputPacket> cur =
+        natives[0]->inject(port, pkt).outputs;
+    for (std::size_t i = 1; i < natives.size(); ++i) {
+      std::vector<bm::OutputPacket> next;
+      for (auto& o : cur)
+        for (auto& o2 : natives[i]->inject(o.port, o.packet).outputs)
+          next.push_back(std::move(o2));
+      cur = std::move(next);
+    }
+    bm::ProcessResult res;
+    res.outputs = std::move(cur);
+    return res;
+  };
+  std::vector<bm::ProcessResult> native_res;
+  native_res.reserve(c.packets.size());
+  for (const auto& pk : c.packets)
+    native_res.push_back(native_chain(pk.port, pk.packet));
+
+  // --- persona: every link in ONE persona, composed via chain() ------------
+  hp4::PersonaConfig pcfg;
+  pcfg.writeback_step_bytes = opts_.persona_writeback_step;
+  auto ctl = std::make_unique<hp4::Controller>(pcfg);
+  std::vector<hp4::VdevId> vdevs;
+  std::vector<std::string> names;
+  for (const auto& l : c.links) names.push_back(l.name);
+  for (const auto& l : c.links) {
+    try {
+      vdevs.push_back(ctl->load(l.name, l.program));
+    } catch (const hp4::UnsupportedFeature& e) {
+      // One link outside the subset skips the whole composition.
+      rep.persona_skip_reason = "link '" + l.name + "': " + e.what();
+      return rep;
+    }
+  }
+  std::vector<std::uint16_t> ports;
+  for (std::size_t p = 1; p <= c.ports; ++p)
+    ports.push_back(static_cast<std::uint16_t>(p));
+  ctl->chain(vdevs, ports);
+
+  // kDropPersonaRule drops the chain's very last rule (last link that has
+  // any) — the plant the oracle and reducer must catch and keep.
+  std::size_t drop_link = c.links.size();
+  if (opts_.mutation == Mutation::kDropPersonaRule) {
+    for (std::size_t li = c.links.size(); li-- > 0;) {
+      if (!c.links[li].rules.empty()) {
+        drop_link = li;
+        break;
+      }
+    }
+  }
+  for (std::size_t li = 0; li < c.links.size(); ++li) {
+    const auto& l = c.links[li];
+    for (std::size_t i = 0; i < l.rules.size(); ++i) {
+      if (li == drop_link && i + 1 == l.rules.size()) continue;
+      try {
+        ctl->add_rule(vdevs[li], to_virtual(l.rules[i]));
+      } catch (const util::Error& e) {
+        Divergence d;
+        d.lhs = "native";
+        d.rhs = "persona";
+        d.kind = "rule_rejected";
+        d.detail = "vdev '" + l.name + "' rule '" + cli_line(l.rules[i]) +
+                   "': " + e.what();
+        fail(std::move(d));
+        return rep;
+      }
+    }
+  }
+  rep.persona_ran = true;
+
+  // --- engine over the persona program, mirrored while pristine ------------
+  std::unique_ptr<engine::TrafficEngine> eng;
+  if (opts_.run_engine) {
+    engine::EngineOptions eo;
+    eo.workers = std::max<std::size_t>(1, opts_.engine_workers);
+    eng = std::make_unique<engine::TrafficEngine>(
+        ctl->dataplane().program(), eo);
+    eng->sync_from(ctl->dataplane());
+  }
+
+  // --- persona vs native ----------------------------------------------------
+  std::vector<bm::ProcessResult> persona_res;
+  persona_res.reserve(c.packets.size());
+  for (std::size_t i = 0; i < c.packets.size(); ++i) {
+    persona_res.push_back(
+        ctl->dataplane().inject(c.packets[i].port, c.packets[i].packet));
+    if (auto d = diff_observable(native_res[i], persona_res[i], i)) {
+      d->lhs = "native";
+      d->rhs = "persona";
+      d->detail = "chain of " + std::to_string(c.links.size()) +
+                  " (front '" + names.front() + "'): " + d->detail;
+      fail(std::move(*d));
+      return rep;
+    }
+  }
+
+  // --- engine vs persona: full structural equality --------------------------
+  if (eng) {
+    for (const auto& pk : c.packets) eng->inject(pk.port, pk.packet);
+    engine::MergedResult merged = eng->drain();
+
+    if (opts_.mutation == Mutation::kCorruptEngineByte &&
+        !merged.per_packet.empty()) {
+      bool done = false;
+      for (auto& pr : merged.per_packet) {
+        for (auto& o : pr.outputs) {
+          if (!o.packet.empty()) {
+            auto bytes = o.packet.mutable_bytes();
+            bytes[bytes.size() - 1] ^= 0xFF;
+            done = true;
+            break;
+          }
+        }
+        if (done) break;
+      }
+      if (!done)
+        merged.per_packet.front().outputs.push_back(
+            bm::OutputPacket{1, net::Packet({0xde, 0xad})});
+    }
+
+    if (merged.packets != c.packets.size()) {
+      Divergence d;
+      d.lhs = "persona";
+      d.rhs = "engine";
+      d.kind = "packet_count";
+      d.detail = std::to_string(c.packets.size()) + " injected vs " +
+                 std::to_string(merged.packets) + " drained";
+      fail(std::move(d));
+      return rep;
+    }
+    for (std::size_t i = 0; i < c.packets.size(); ++i) {
+      if (auto d = diff_results(persona_res[i], merged.per_packet[i], i)) {
+        d->lhs = "persona";
+        d->rhs = "engine";
+        fail(std::move(*d));
+        return rep;
+      }
+    }
+  }
+
+  // --- bytecode tier vs interpreted persona ---------------------------------
+  if (opts_.run_vm) {
+    vm::VmExecutor vm(ctl->dataplane(), pcfg);
+    for (std::size_t i = 0; i < c.packets.size(); ++i) {
+      const bm::ProcessResult vr =
+          vm.process(c.packets[i].port, c.packets[i].packet);
+      if (auto d = diff_observable(persona_res[i], vr, i)) {
+        d->lhs = "persona";
+        d->rhs = "vm";
+        fail(std::move(*d));
+        break;
+      }
+      const bm::ProcessResult& pr = persona_res[i];
+      if (pr.drops != vr.drops || pr.resubmits != vr.resubmits ||
+          pr.recirculations != vr.recirculations ||
+          pr.parse_errors != vr.parse_errors ||
+          pr.loop_kills != vr.loop_kills ||
+          pr.multicast_copies != vr.multicast_copies) {
+        Divergence d;
+        d.lhs = "persona";
+        d.rhs = "vm";
+        d.kind = "tm_counters";
+        d.packet_index = i;
+        d.detail =
+            "vdev '" +
+            tm_divergence_vdev(names, pr.recirculations, vr.recirculations) +
+            "': drops " + std::to_string(pr.drops) + "/" +
+            std::to_string(vr.drops) + " resubmits " +
+            std::to_string(pr.resubmits) + "/" +
+            std::to_string(vr.resubmits) + " recirculations " +
+            std::to_string(pr.recirculations) + "/" +
+            std::to_string(vr.recirculations) + " parse_errors " +
+            std::to_string(pr.parse_errors) + "/" +
+            std::to_string(vr.parse_errors) + " loop_kills " +
+            std::to_string(pr.loop_kills) + "/" +
+            std::to_string(vr.loop_kills) + " multicast_copies " +
+            std::to_string(pr.multicast_copies) + "/" +
+            std::to_string(vr.multicast_copies);
+        fail(std::move(d));
+        break;
+      }
+    }
+    rep.vm_ran = true;
+    rep.vm_fallbacks = vm.stats().packets_fallback;
+  }
   return rep;
 }
 

@@ -36,6 +36,7 @@
 #include <cstdint>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "check/program_gen.h"
 #include "check/trace_diff.h"
@@ -110,8 +111,34 @@ class DiffRunner {
   // persona rule rejection — is reported, not thrown.
   DiffReport run(const GenCase& c) const;
 
+  // Chained multi-vdev oracle: the same four backends over a composition.
+  //   native   one bm::Switch per link, cascaded in series — every output
+  //            of link i re-injected into link i+1 on the same port, the
+  //            final link's outputs observable (hp4_vnet semantics);
+  //   persona  ONE persona hosting every link, composed with
+  //            Controller::chain() — inter-link hops are recirculations;
+  //   engine   TrafficEngine over the persona program, state mirrored from
+  //            the configured persona dataplane, full structural diff
+  //            against the persona's per-packet results;
+  //   vm       VmExecutor over the persona dataplane (the bytecode tier
+  //            runs the chain through its vfwd kernel), observable + TM
+  //            counter equality against the interpreted persona.
+  // Divergence messages attribute the failure to a *vdev name* (which link
+  // of the chain), not just a packet index. A link outside the persona
+  // subset skips the whole case (persona_skip_reason names the link).
+  DiffReport run_chain(const ChainCase& c) const;
+
  private:
   DiffOptions opts_;
 };
+
+// Which vdev a persona-vs-vm TM-counter divergence happened in: the hop
+// where the two executions stopped agreeing is the smaller recirculation
+// count (each inter-link hop is one recirculation), clamped to the chain.
+// Exposed for direct testing; run_chain uses it to name the vdev in
+// "tm_counters" divergences.
+std::string tm_divergence_vdev(const std::vector<std::string>& link_names,
+                               std::uint64_t lhs_recirculations,
+                               std::uint64_t rhs_recirculations);
 
 }  // namespace hyper4::check

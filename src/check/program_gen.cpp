@@ -8,6 +8,7 @@
 
 #include "hp4/persona.h"
 #include "util/bitvec.h"
+#include "util/error.h"
 #include "util/rng.h"
 
 namespace hyper4::check {
@@ -970,6 +971,36 @@ std::string cli_line(const GenRule& r) {
 
 GenCase ProgramGen::generate(std::uint64_t seed) const {
   return Gen(limits_, seed).run();
+}
+
+ChainCase ProgramGen::generate_chain(std::uint64_t seed,
+                                     std::size_t depth) const {
+  if (depth < 1)
+    throw util::ConfigError("check: chain depth must be >= 1");
+  ChainCase cc;
+  cc.seed = seed;
+  cc.ports = limits_.ports;
+
+  // The persona skips stateful programs entirely, which for a chain would
+  // skip the whole composition — generate every link stateless.
+  GenLimits link_limits = limits_;
+  link_limits.allow_stateful = false;
+  const ProgramGen link_gen(link_limits);
+
+  for (std::size_t i = 0; i < depth; ++i) {
+    // Sub-seed derivation: a large odd stride keeps link seeds within one
+    // chain distinct and makes collisions with the sequential single-case
+    // seed walk (seed, seed+1, ...) practically impossible.
+    const std::uint64_t sub = seed * 0x100000001B3ull + i * 0x9E37ull + i;
+    GenCase c = link_gen.generate(sub);
+    ChainLink link;
+    link.name = "l" + std::to_string(i) + "_" + c.program.name;
+    link.program = std::move(c.program);
+    link.rules = std::move(c.rules);
+    if (i == 0) cc.packets = std::move(c.packets);
+    cc.links.push_back(std::move(link));
+  }
+  return cc;
 }
 
 }  // namespace hyper4::check

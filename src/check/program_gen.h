@@ -80,6 +80,26 @@ struct GenCase {
   bool stateful = false;
 };
 
+// One position of a generated multi-vdev chain: an independently generated
+// program (its own parser, tables, rules) plus the vdev name it loads
+// under. Chain cases are always stateless — the chained oracle compares
+// the persona, and the persona skips stateful programs.
+struct ChainLink {
+  std::string name;  // vdev name, unique within the chain
+  p4::Program program;
+  std::vector<GenRule> rules;
+};
+
+struct ChainCase {
+  std::uint64_t seed = 0;
+  std::size_t ports = 4;
+  std::vector<ChainLink> links;  // front first
+  // Injected into the front link; downstream links parse whatever bytes
+  // the upstream programs emit — exactly the cross-program coverage a
+  // single-vdev case can't produce.
+  std::vector<GenPacket> packets;
+};
+
 // Native CLI line installing `r` ("table_add t a k... => args... [prio]").
 std::string cli_line(const GenRule& r);
 
@@ -90,6 +110,12 @@ class ProgramGen {
 
   // Deterministic: same seed, same case.
   GenCase generate(std::uint64_t seed) const;
+
+  // A chain of `depth` independently generated stateless programs sharing
+  // one port space, plus the front link's packet battery. Deterministic in
+  // (seed, depth); link sub-seeds are derived so links never repeat within
+  // a chain and chains never collide with single-program seeds.
+  ChainCase generate_chain(std::uint64_t seed, std::size_t depth) const;
 
  private:
   GenLimits limits_;

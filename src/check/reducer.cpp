@@ -196,4 +196,109 @@ GenCase reduce(const GenCase& failing, const FailurePredicate& still_fails,
   return Reducer(failing, still_fails, stats).run();
 }
 
+namespace {
+
+class ChainReducer {
+ public:
+  ChainReducer(ChainCase best, const ChainFailurePredicate& still_fails,
+               ReduceStats* stats)
+      : best_(std::move(best)), fails_(still_fails), stats_(stats) {}
+
+  ChainCase run() {
+    for (int round = 0; round < 8; ++round) {
+      bool changed = false;
+      changed |= shrink_links();
+      changed |= shrink_packets();
+      changed |= shrink_rules();
+      if (!changed) break;
+    }
+    return best_;
+  }
+
+ private:
+  bool accept(const ChainCase& cand) {
+    if (stats_ != nullptr) ++stats_->attempts;
+    bool still = false;
+    try {
+      still = fails_(cand);
+    } catch (...) {
+      still = false;
+    }
+    if (still) {
+      best_ = cand;
+      if (stats_ != nullptr) ++stats_->accepted;
+    }
+    return still;
+  }
+
+  bool shrink_links() {
+    bool changed = false;
+    for (std::size_t i = 0; i < best_.links.size() && best_.links.size() > 1;) {
+      ChainCase cand = best_;
+      cand.links.erase(cand.links.begin() + static_cast<std::ptrdiff_t>(i));
+      if (accept(cand)) {
+        changed = true;
+      } else {
+        ++i;
+      }
+    }
+    return changed;
+  }
+
+  bool shrink_packets() {
+    bool changed = false;
+    if (best_.packets.size() > 1) {
+      for (std::size_t i = 0; i < best_.packets.size(); ++i) {
+        ChainCase cand = best_;
+        cand.packets = {best_.packets[i]};
+        if (accept(cand)) {
+          changed = true;
+          break;
+        }
+      }
+    }
+    for (std::size_t i = 0;
+         i < best_.packets.size() && best_.packets.size() > 1;) {
+      ChainCase cand = best_;
+      cand.packets.erase(cand.packets.begin() +
+                         static_cast<std::ptrdiff_t>(i));
+      if (accept(cand)) {
+        changed = true;
+      } else {
+        ++i;
+      }
+    }
+    return changed;
+  }
+
+  bool shrink_rules() {
+    bool changed = false;
+    for (std::size_t li = 0; li < best_.links.size(); ++li) {
+      for (std::size_t i = 0; i < best_.links[li].rules.size();) {
+        ChainCase cand = best_;
+        auto& rules = cand.links[li].rules;
+        rules.erase(rules.begin() + static_cast<std::ptrdiff_t>(i));
+        if (accept(cand)) {
+          changed = true;
+        } else {
+          ++i;
+        }
+      }
+    }
+    return changed;
+  }
+
+  ChainCase best_;
+  const ChainFailurePredicate& fails_;
+  ReduceStats* stats_;
+};
+
+}  // namespace
+
+ChainCase reduce_chain(const ChainCase& failing,
+                       const ChainFailurePredicate& still_fails,
+                       ReduceStats* stats) {
+  return ChainReducer(failing, still_fails, stats).run();
+}
+
 }  // namespace hyper4::check

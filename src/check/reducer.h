@@ -32,4 +32,17 @@ using FailurePredicate = std::function<bool(const GenCase&)>;
 GenCase reduce(const GenCase& failing, const FailurePredicate& still_fails,
                ReduceStats* stats = nullptr);
 
+// Chain-case shrinking, same contract. Passes, iterated to a fixed point:
+//   1. links   — remove a whole link (shorten the composition) while at
+//                least two remain;
+//   2. packets — try each single packet alone, then greedy removal;
+//   3. rules   — greedy removal per link.
+// Per-link table/primitive shrinking is intentionally left to the
+// single-program reducer: chain failures are about composition, and the
+// repro stays more readable with intact link programs.
+using ChainFailurePredicate = std::function<bool(const ChainCase&)>;
+ChainCase reduce_chain(const ChainCase& failing,
+                       const ChainFailurePredicate& still_fails,
+                       ReduceStats* stats = nullptr);
+
 }  // namespace hyper4::check

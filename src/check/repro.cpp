@@ -1,5 +1,6 @@
 #include "check/repro.h"
 
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 
@@ -9,6 +10,8 @@
 #include "util/strings.h"
 
 namespace hyper4::check {
+
+namespace fs = std::filesystem;
 
 namespace {
 
@@ -173,6 +176,198 @@ void write_repro(const GenCase& c, const std::string& p4_path,
 
 GenCase load_repro(const std::string& p4_path, const std::string& cmds_path) {
   return parse_repro(read_file(p4_path), read_file(cmds_path), p4_path);
+}
+
+// --- chained repros ---------------------------------------------------------
+
+std::string chain_repro_commands_text(const ChainCase& c) {
+  std::ostringstream os;
+  os << "# hyper4_check chain repro (" << c.links.size() << " links)\n";
+  os << "chain " << c.links.size() << "\n";
+  os << "seed " << c.seed << "\n";
+  os << "ports " << c.ports << "\n";
+  for (std::size_t i = 0; i < c.links.size(); ++i)
+    os << "link " << i << " " << c.links[i].name << " link" << i << ".p4\n";
+  for (std::size_t i = 0; i < c.links.size(); ++i) {
+    for (const auto& r : c.links[i].rules) {
+      os << "crule " << i << " " << r.table << " " << r.action << " |";
+      for (const auto& k : r.keys) os << " " << k;
+      os << " |";
+      for (const auto& a : r.args) os << " " << a;
+      os << " | " << r.priority << "\n";
+    }
+  }
+  for (const auto& p : c.packets)
+    os << "packet " << p.port << " " << hex_bytes(p.packet) << "\n";
+  return os.str();
+}
+
+std::string write_chain_repro(const ChainCase& c, const std::string& base) {
+  for (std::size_t i = 0; i < c.links.size(); ++i) {
+    const std::string path = base + ".link" + std::to_string(i) + ".p4";
+    std::ofstream out(path, std::ios::binary);
+    if (!out) throw util::ConfigError("check: cannot write '" + path + "'");
+    out << hp4::emit_p4(c.links[i].program);
+  }
+  const std::string cmds_path = base + ".cmds";
+  std::ofstream out(cmds_path, std::ios::binary);
+  if (!out)
+    throw util::ConfigError("check: cannot write '" + cmds_path + "'");
+  // The commands file references link p4 files by basename; rewrite them to
+  // carry the base's filename stem so several repros can share a directory.
+  std::string body = chain_repro_commands_text(c);
+  const std::string stem = fs::path(base).filename().string();
+  std::string fixed;
+  std::istringstream in(body);
+  std::string line;
+  while (std::getline(in, line)) {
+    const auto tok = util::split(line);
+    if (tok.size() == 4 && tok[0] == "link")
+      line = "link " + tok[1] + " " + tok[2] + " " + stem + ".link" + tok[1] +
+             ".p4";
+    fixed += line;
+    fixed += "\n";
+  }
+  out << fixed;
+  return cmds_path;
+}
+
+ChainCase load_chain_repro(const std::string& cmds_path) {
+  const std::string commands = read_file(cmds_path);
+  const fs::path dir = fs::path(cmds_path).parent_path();
+
+  ChainCase c;
+  std::size_t declared = 0;
+  std::size_t line_no = 0;
+  std::istringstream in(commands);
+  std::string line;
+  while (std::getline(in, line)) {
+    ++line_no;
+    line = util::trim(line);
+    if (line.empty() || line[0] == '#') continue;
+    const auto tok = util::split(line);
+    auto need = [&](bool cond, const std::string& what) {
+      if (!cond)
+        throw util::ParseError("chain repro line " + std::to_string(line_no) +
+                               ": " + what);
+    };
+    if (tok[0] == "chain") {
+      need(tok.size() == 2, "chain expects a depth");
+      declared = util::parse_uint(tok[1]);
+      need(declared >= 1, "chain depth must be >= 1");
+    } else if (tok[0] == "seed") {
+      need(tok.size() == 2, "seed expects one value");
+      c.seed = util::parse_uint(tok[1]);
+    } else if (tok[0] == "ports") {
+      need(tok.size() == 2, "ports expects one value");
+      c.ports = util::parse_uint(tok[1]);
+      need(c.ports >= 1, "ports must be >= 1");
+    } else if (tok[0] == "link") {
+      need(tok.size() == 4, "link expects '<index> <name> <p4-file>'");
+      const std::size_t idx = util::parse_uint(tok[1]);
+      need(idx == c.links.size(),
+           "link indices must be dense and in order (got " + tok[1] +
+               ", expected " + std::to_string(c.links.size()) + ")");
+      ChainLink l;
+      l.name = tok[2];
+      const fs::path p4_path =
+          fs::path(tok[3]).is_absolute() ? fs::path(tok[3]) : dir / tok[3];
+      l.program = p4::parse_p4(read_file(p4_path.string()), l.name);
+      c.links.push_back(std::move(l));
+    } else if (tok[0] == "crule") {
+      need(tok.size() >= 4, "crule expects a link index, table and action");
+      const std::size_t idx = util::parse_uint(tok[1]);
+      need(idx < c.links.size(), "crule link index out of range");
+      GenRule r;
+      r.table = tok[2];
+      r.action = tok[3];
+      std::size_t section = 0;
+      std::int64_t prio = -1;
+      bool saw_prio = false;
+      for (std::size_t i = 4; i < tok.size(); ++i) {
+        if (tok[i] == "|") {
+          ++section;
+          continue;
+        }
+        switch (section) {
+          case 1:
+            r.keys.push_back(tok[i]);
+            break;
+          case 2:
+            r.args.push_back(tok[i]);
+            break;
+          case 3:
+            need(!saw_prio, "crule has more than one priority token");
+            prio = static_cast<std::int64_t>(
+                tok[i][0] == '-' ? -static_cast<std::int64_t>(
+                                       util::parse_uint(tok[i].substr(1)))
+                                 : static_cast<std::int64_t>(
+                                       util::parse_uint(tok[i])));
+            saw_prio = true;
+            break;
+          default:
+            need(false, "tokens before the first '|' separator");
+        }
+      }
+      need(section == 3 && saw_prio, "crule needs '| keys | args | prio'");
+      r.priority = static_cast<std::int32_t>(prio);
+      if (!c.links[idx].program.has_table(r.table))
+        throw util::CommandError("chain repro line " +
+                                 std::to_string(line_no) +
+                                 ": unknown table '" + r.table + "' in link " +
+                                 std::to_string(idx));
+      if (!c.links[idx].program.has_action(r.action))
+        throw util::CommandError(
+            "chain repro line " + std::to_string(line_no) +
+            ": unknown action '" + r.action + "' in link " +
+            std::to_string(idx));
+      c.links[idx].rules.push_back(std::move(r));
+    } else if (tok[0] == "packet") {
+      need(tok.size() == 3, "packet expects '<port> <hex>'");
+      GenPacket p;
+      p.port = static_cast<std::uint16_t>(util::parse_uint(tok[1]));
+      p.packet = packet_from_hex(tok[2], line_no);
+      c.packets.push_back(std::move(p));
+    } else {
+      throw util::ParseError("chain repro line " + std::to_string(line_no) +
+                             ": unknown directive '" + tok[0] + "'");
+    }
+  }
+  if (c.links.empty())
+    throw util::ParseError("chain repro '" + cmds_path +
+                           "' declares no links");
+  if (declared != c.links.size())
+    throw util::ParseError(
+        "chain repro '" + cmds_path + "' declares depth " +
+        std::to_string(declared) + " but lists " +
+        std::to_string(c.links.size()) + " links");
+  return c;
+}
+
+std::string replay_file_hint(const std::string& path) {
+  try {
+    const fs::path p(path);
+    if (fs::exists(p)) {
+      if (fs::is_directory(p))
+        return "'" + path + "' is a directory, not a repro file";
+      return "'" + path + "' exists but could not be parsed as a repro";
+    }
+    fs::path dir = p.parent_path();
+    if (dir.empty()) dir = ".";
+    std::string msg = "'" + path + "' does not exist";
+    if (!fs::is_directory(dir)) {
+      msg += " (nor does directory '" + dir.string() + "')";
+      return msg;
+    }
+    std::vector<std::string> siblings;
+    for (const auto& e : fs::directory_iterator(dir))
+      if (e.is_regular_file())
+        siblings.push_back(e.path().filename().string());
+    msg += util::did_you_mean(p.filename().string(), siblings);
+    return msg;
+  } catch (const std::exception& e) {
+    return "'" + path + "' could not be inspected: " + e.what();
+  }
 }
 
 }  // namespace hyper4::check

@@ -31,4 +31,27 @@ void write_repro(const GenCase& c, const std::string& p4_path,
                  const std::string& cmds_path);
 GenCase load_repro(const std::string& p4_path, const std::string& cmds_path);
 
+// --- chained repros ---------------------------------------------------------
+// A chain repro is ONE commands file plus one .p4 per link:
+//   chain <depth>
+//   seed <n>
+//   ports <n>
+//   link <index> <vdev-name> <p4-file>
+//   crule <link-index> <table> <action> | <key>... | <arg>... | <priority>
+//   packet <port> <hex bytes>
+// Link p4 paths are written (and resolved on load) relative to the commands
+// file's directory, so a repro directory moves as a unit.
+std::string chain_repro_commands_text(const ChainCase& c);
+
+// Writes `<base>.cmds` plus `<base>.link<i>.p4` per link; returns the
+// commands path.
+std::string write_chain_repro(const ChainCase& c, const std::string& base);
+ChainCase load_chain_repro(const std::string& cmds_path);
+
+// Friendly diagnosis for a replay pointed at a missing or unreadable repro
+// artifact: says what is wrong with `path` and suggests near-miss filenames
+// from the same directory (util::nearest_names over the sibling files).
+// Returns a complete error message; never throws.
+std::string replay_file_hint(const std::string& path);
+
 }  // namespace hyper4::check

@@ -181,6 +181,17 @@ void TrafficEngine::set_packet_path(PacketPathFactory factory) {
   m_control_ops_->inc();
 }
 
+std::map<std::string, std::uint64_t> TrafficEngine::packet_path_diagnostics()
+    const {
+  std::map<std::string, std::uint64_t> sum;
+  for (const auto& w : workers_) {
+    std::lock_guard<std::mutex> lk(w->replica_mu);
+    if (!w->path) continue;
+    for (const auto& [k, v] : w->path->diagnostics()) sum[k] += v;
+  }
+  return sum;
+}
+
 void TrafficEngine::apply_atomic(
     const std::vector<std::function<void(bm::Switch&)>>& ops) {
   fan_out([&](bm::Switch& sw) {

@@ -29,6 +29,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <span>
@@ -94,6 +95,12 @@ class PacketPath {
   virtual ~PacketPath() = default;
   virtual bm::ProcessResult process(std::uint16_t port,
                                     const net::Packet& packet) = 0;
+  // Implementation-defined counters (tier hit/fallback counts, compile
+  // stats, ...). Keys are stable identifiers; values are cumulative. The
+  // engine sums these across workers in packet_path_diagnostics().
+  virtual std::map<std::string, std::uint64_t> diagnostics() const {
+    return {};
+  }
 };
 
 using PacketPathFactory =
@@ -150,6 +157,11 @@ class TrafficEngine {
   // call concurrently (one call per worker under that worker's replica
   // lock).
   void set_packet_path(PacketPathFactory factory);
+
+  // Sum of every worker path's diagnostics() (empty map when no alternative
+  // packet path is installed). Taken under each worker's replica lock, so
+  // the read lands between batches — safe to call mid-run.
+  std::map<std::string, std::uint64_t> packet_path_diagnostics() const;
 
   // Apply a batch of control operations as ONE fan-out: all replica locks
   // are taken, every op runs on every replica, and the epoch advances once

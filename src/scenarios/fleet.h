@@ -1,0 +1,181 @@
+// The multi-tenant scenario fleet (ROADMAP item 3): hundreds of tenants,
+// each owning a chain of production NFs (nf.h) composed over virtual links,
+// all hosted by ONE persona switch and driven live — traffic through the
+// concurrent engine while the control plane churns tables, hot-swaps a
+// tenant's NF transactionally, and snapshots/restores tenant slices.
+//
+// Invariant the fleet asserts the virtualization layer against: every
+// tenant's canonical flow is delivered on its egress port on every wave,
+// regardless of what live operations ran in between — churn entries never
+// match the flow, hot-swaps recompute the chain's flow rules inside the
+// same transaction (one engine epoch), and restores are transactional too.
+//
+// The fleet runs over a plain hp4::Controller or, with
+// FleetOptions::durable_dir set, a state::DurableController — every
+// management op then flows through the WAL, and hot-swap/restore use real
+// transactions (journal commit + single-epoch engine propagation), which is
+// what the soak tests crash and recover.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "engine/engine.h"
+#include "hp4/controller.h"
+#include "scenarios/nf.h"
+#include "state/store.h"
+
+namespace hyper4::scenarios {
+
+struct FleetOptions {
+  std::size_t tenants = 8;
+  // NFs per tenant chain, 1..4 (4 distinct kinds leaves a spare kind for
+  // hot-swap; the catalog has 5).
+  std::size_t chain_depth = 2;
+  std::size_t engine_workers = 4;
+  // Route packets through the VM bytecode tier on every engine worker.
+  bool vm_path = false;
+  std::uint64_t seed = 1;
+  // Non-empty: host the fleet on a DurableController rooted here.
+  std::string durable_dir;
+  state::StoreOptions store;
+  hp4::PersonaConfig persona;
+  // Entries a tenant's churn window retains before deleting the oldest.
+  std::size_t churn_window = 64;
+};
+
+// Per-wave traffic accounting.
+struct WaveResult {
+  std::uint64_t injected = 0;
+  std::uint64_t drained = 0;
+  // Canonical-flow packets seen on each tenant's egress port.
+  std::vector<std::uint64_t> delivered;
+  std::uint64_t drops = 0;
+  std::uint64_t parse_errors = 0;
+  std::uint64_t recirculations = 0;
+  // True when every tenant's canonical flow was fully delivered.
+  bool all_delivered = true;
+};
+
+class ScenarioFleet {
+ public:
+  explicit ScenarioFleet(FleetOptions opts);
+  ~ScenarioFleet();
+
+  ScenarioFleet(const ScenarioFleet&) = delete;
+  ScenarioFleet& operator=(const ScenarioFleet&) = delete;
+
+  struct Tenant {
+    TenantPlan plan;
+    std::vector<NfKind> chain;       // composition order, front first
+    std::vector<hp4::VdevId> vdevs;  // same order
+    std::uint16_t in_port = 0, out_port = 0;
+    net::Packet flow_packet;  // canonical client→VIP TCP segment
+    std::uint64_t swaps = 0;
+    std::uint32_t next_flow = 1;  // churn allocation counter
+  };
+
+  const FleetOptions& options() const { return opts_; }
+  std::size_t tenants() const { return tenants_.size(); }
+  const Tenant& tenant(std::size_t i) const;
+
+  hp4::Controller& controller() { return *ctl_; }
+  // nullptr when the fleet is not durable.
+  state::DurableController* store() { return store_.get(); }
+  engine::TrafficEngine& engine() { return *eng_; }
+
+  // --- traffic -------------------------------------------------------------
+  // Enqueue `packets_per_tenant` copies of every tenant's canonical flow
+  // packet; returns the number injected. Safe to interleave with the live
+  // operations below — that is the point.
+  std::uint64_t inject_wave(std::size_t packets_per_tenant);
+  // Block until the engine is drained and account deliveries per tenant.
+  WaveResult drain_wave();
+
+  // --- live operations ------------------------------------------------------
+  // `ops` rounds of realistic control churn on tenant `i`: allocate a NAT
+  // binding / pin an LB connection / install an ACL deny / flip a limiter
+  // verdict / tag a flow, deleting the oldest entries past the churn
+  // window. None of the entries matches the canonical flow. Returns the
+  // number of table operations issued.
+  std::size_t churn_tenant(std::size_t i, std::size_t ops);
+
+  // Replace one NF of tenant `i`'s chain with a catalog kind not currently
+  // in the chain: load the new program, rewire the chain, recompute every
+  // chain position's flow rules, unload the old vdev — all in ONE
+  // transaction (single journal record when durable, single engine epoch).
+  // Returns the new vdev id.
+  hp4::VdevId hot_swap(std::size_t i);
+
+  // Value snapshot of tenant `i`'s slice: chain kinds plus every installed
+  // rule, in order.
+  struct SnapRule {
+    hp4::VirtualRule rule;
+    bool flow = false;  // canonical-flow rule (vs churn entry)
+  };
+  struct SliceSnapshot {
+    std::size_t tenant = 0;
+    std::vector<NfKind> chain;
+    std::vector<std::vector<SnapRule>> rules;  // per chain position
+  };
+  SliceSnapshot snapshot_tenant(std::size_t i) const;
+  // Transactionally restore the slice: swap back any position whose kind
+  // changed since the snapshot, then reset every position's rules to the
+  // snapshot image. Other tenants' state is untouched (the S4 regression).
+  void restore_tenant(std::size_t i, const SliceSnapshot& snap);
+
+  // Per-vdev installed-rule count (bookkeeping view, for tests).
+  std::size_t installed_rules(std::size_t i, std::size_t pos) const;
+
+  // One-line fleet summary (tenants, vdevs, entries, epochs).
+  std::string report() const;
+
+ private:
+  struct Installed {
+    std::uint64_t vhandle = 0;
+    hp4::VirtualRule rule;
+    bool flow = false;  // canonical-flow rule (vs churn entry)
+  };
+  struct TenantState {
+    Tenant pub;
+    std::vector<std::vector<Installed>> installed;  // per chain position
+  };
+
+  // Op router: through the durable store when present, else the controller.
+  hp4::VdevId op_load(const std::string& name, const p4::Program& prog);
+  void op_unload(hp4::VdevId id);
+  void op_chain(const std::vector<hp4::VdevId>& devices,
+                const std::vector<std::uint16_t>& ports);
+  std::uint64_t op_add_rule(hp4::VdevId id, const hp4::VirtualRule& rule);
+  void op_delete_rule(hp4::VdevId id, std::uint64_t vhandle);
+  void txn_begin();
+  void txn_commit();
+
+  void setup_tenant(std::size_t i);
+  // Recompute and (re)install the canonical-flow rules for every position
+  // of tenant `i`'s chain, deleting stale flow rules first. Caller wraps in
+  // a txn when atomicity matters.
+  void install_flow_rules(TenantState& t);
+  void delete_rules(TenantState& t, std::size_t pos, bool flow_only);
+  std::string vdev_basename(std::size_t tenant, std::size_t pos,
+                            NfKind k) const;
+
+  FleetOptions opts_;
+  std::unique_ptr<state::DurableController> store_;
+  std::unique_ptr<hp4::Controller> owned_ctl_;  // when not durable
+  hp4::Controller* ctl_ = nullptr;
+  std::unique_ptr<engine::TrafficEngine> eng_;
+  std::vector<TenantState> tenants_;
+  std::uint64_t name_salt_ = 0;  // uniquifies reloaded vdev names
+  std::uint64_t wave_injected_ = 0;           // since last drain
+  std::size_t wave_injected_per_tenant_ = 0;  // last inject_wave argument
+};
+
+// Convert an apps/scenarios Rule to the DPMU's VirtualRule.
+hp4::VirtualRule to_virtual_rule(const Rule& r);
+
+}  // namespace hyper4::scenarios

@@ -1,0 +1,584 @@
+#include "scenarios/nf.h"
+
+#include "net/headers.h"
+#include "p4/builder.h"
+#include "util/error.h"
+#include "util/strings.h"
+
+namespace hyper4::scenarios {
+
+using namespace p4;
+
+namespace {
+
+// Shared outer header layout; one deparsed packet reparses in the next NF.
+void common_headers(ProgramBuilder& b) {
+  b.header_type("ethernet_t",
+                {{"dstAddr", 48}, {"srcAddr", 48}, {"etherType", 16}});
+  b.header_type("ipv4_t", {{"version", 4},
+                           {"ihl", 4},
+                           {"diffserv", 8},
+                           {"totalLen", 16},
+                           {"identification", 16},
+                           {"flags", 3},
+                           {"fragOffset", 13},
+                           {"ttl", 8},
+                           {"protocol", 8},
+                           {"hdrChecksum", 16},
+                           {"srcAddr", 32},
+                           {"dstAddr", 32}});
+  b.header_type("tcp_t", {{"srcPort", 16},
+                          {"dstPort", 16},
+                          {"seqNo", 32},
+                          {"ackNo", 32},
+                          {"dataOffset", 4},
+                          {"res", 4},
+                          {"flags", 8},
+                          {"window", 16},
+                          {"checksum", 16},
+                          {"urgentPtr", 16}});
+  b.header_type("udp_t", {{"srcPort", 16},
+                          {"dstPort", 16},
+                          {"length_", 16},
+                          {"checksum", 16}});
+  b.header("ethernet_t", "ethernet");
+  b.header("ipv4_t", "ipv4");
+  b.header("tcp_t", "tcp");
+  b.header("udp_t", "udp");
+}
+
+// Rewriting any IPv4 field means the deparser must refresh hdrChecksum —
+// and the persona's emulation only handles the standard list/offset.
+void ipv4_checksum(ProgramBuilder& b) {
+  b.field_list("ipv4_checksum_list",
+               {{"ipv4", "version"},
+                {"ipv4", "ihl"},
+                {"ipv4", "diffserv"},
+                {"ipv4", "totalLen"},
+                {"ipv4", "identification"},
+                {"ipv4", "flags"},
+                {"ipv4", "fragOffset"},
+                {"ipv4", "ttl"},
+                {"ipv4", "protocol"},
+                {"ipv4", "srcAddr"},
+                {"ipv4", "dstAddr"}});
+  b.checksum({"ipv4", "hdrChecksum"}, "ipv4_checksum_list");
+}
+
+}  // namespace
+
+// --- programs ---------------------------------------------------------------
+
+Program stateful_nat() {
+  ProgramBuilder b("nat");
+  common_headers(b);
+
+  // A NAT only fronts IPv4; TCP carries the translated ports.
+  b.parser("start")
+      .extract("ethernet")
+      .select_field("ethernet", "etherType")
+      .when(net::kEtherTypeIpv4, "parse_ipv4")
+      .otherwise(kParserDrop);
+  b.parser("parse_ipv4")
+      .extract("ipv4")
+      .select_field("ipv4", "protocol")
+      .when(net::kIpProtoTcp, "parse_tcp")
+      .otherwise(kParserAccept);
+  b.parser("parse_tcp").extract("tcp").to_ingress();
+
+  b.action("nop").no_op();
+  b.action("_drop").drop();
+  b.action("forward", {{"port", kPortWidth}})
+      .modify_field({kStandardMetadata, kFieldEgressSpec}, Param(0));
+  b.action("snat_rewrite", {{"src_ip", 32}, {"src_port", 16}})
+      .modify_field({"ipv4", "srcAddr"}, Param(0))
+      .modify_field({"tcp", "srcPort"}, Param(1));
+  b.action("dnat_rewrite", {{"dst_ip", 32}, {"dst_port", 16}})
+      .modify_field({"ipv4", "dstAddr"}, Param(0))
+      .modify_field({"tcp", "dstPort"}, Param(1));
+
+  // Outbound bindings key on the inside source; the validity bit keeps
+  // non-TCP traffic on the miss path in both backends.
+  b.table("snat")
+      .key_valid("tcp")
+      .key_exact({"ipv4", "srcAddr"})
+      .key_exact({"tcp", "srcPort"})
+      .action_ref("snat_rewrite")
+      .action_ref("nop")
+      .default_action("nop");
+  // Inbound: the public (ip, port) of an allocated binding maps back.
+  b.table("dnat")
+      .key_valid("tcp")
+      .key_exact({"ipv4", "dstAddr"})
+      .key_exact({"tcp", "dstPort"})
+      .action_ref("dnat_rewrite")
+      .action_ref("nop")
+      .default_action("nop");
+  // Routing happens after dnat so inbound packets route to the inside host.
+  b.table("nat_fwd")
+      .key_exact({"ipv4", "dstAddr"})
+      .action_ref("forward")
+      .action_ref("_drop")
+      .default_action("_drop");
+
+  auto ing = b.ingress();
+  ing.apply("snat");
+  ing.then_apply("dnat");
+  ing.then_apply("nat_fwd");
+
+  ipv4_checksum(b);
+  return b.build();
+}
+
+Program l4_balancer() {
+  ProgramBuilder b("lb");
+  common_headers(b);
+
+  b.parser("start")
+      .extract("ethernet")
+      .select_field("ethernet", "etherType")
+      .when(net::kEtherTypeIpv4, "parse_ipv4")
+      .otherwise(kParserDrop);
+  b.parser("parse_ipv4")
+      .extract("ipv4")
+      .select_field("ipv4", "protocol")
+      .when(net::kIpProtoTcp, "parse_tcp")
+      .otherwise(kParserAccept);
+  b.parser("parse_tcp").extract("tcp").to_ingress();
+
+  b.action("nop").no_op();
+  b.action("_drop").drop();
+  b.action("forward", {{"port", kPortWidth}})
+      .modify_field({kStandardMetadata, kFieldEgressSpec}, Param(0));
+  b.action("to_backend", {{"backend_ip", 32}, {"backend_mac", 48}})
+      .modify_field({"ipv4", "dstAddr"}, Param(0))
+      .modify_field({"ethernet", "dstAddr"}, Param(1));
+
+  // Established connections are pinned to their backend regardless of the
+  // current VIP schedule; a conn hit rewrites dst so vip then misses.
+  b.table("conn")
+      .key_valid("tcp")
+      .key_exact({"ipv4", "srcAddr"})
+      .key_exact({"tcp", "srcPort"})
+      .action_ref("to_backend")
+      .action_ref("nop")
+      .default_action("nop");
+  b.table("vip")
+      .key_valid("tcp")
+      .key_exact({"ipv4", "dstAddr"})
+      .key_exact({"tcp", "dstPort"})
+      .action_ref("to_backend")
+      .action_ref("nop")
+      .default_action("nop");
+  b.table("lb_fwd")
+      .key_exact({"ipv4", "dstAddr"})
+      .action_ref("forward")
+      .action_ref("_drop")
+      .default_action("_drop");
+
+  auto ing = b.ingress();
+  ing.apply("conn");
+  ing.then_apply("vip");
+  ing.then_apply("lb_fwd");
+
+  ipv4_checksum(b);
+  return b.build();
+}
+
+Program acl_firewall() {
+  ProgramBuilder b("acl");
+  common_headers(b);
+
+  // An ACL box forwards at L2, so non-IPv4 frames pass to the dmac table.
+  b.parser("start")
+      .extract("ethernet")
+      .select_field("ethernet", "etherType")
+      .when(net::kEtherTypeIpv4, "parse_ipv4")
+      .otherwise(kParserAccept);
+  b.parser("parse_ipv4")
+      .extract("ipv4")
+      .select_field("ipv4", "protocol")
+      .when(net::kIpProtoTcp, "parse_tcp")
+      .when(net::kIpProtoUdp, "parse_udp")
+      .otherwise(kParserAccept);
+  b.parser("parse_tcp").extract("tcp").to_ingress();
+  b.parser("parse_udp").extract("udp").to_ingress();
+
+  b.action("nop").no_op();
+  b.action("_drop").drop();
+  b.action("deny").drop();
+  b.action("forward", {{"port", kPortWidth}})
+      .modify_field({kStandardMetadata, kFieldEgressSpec}, Param(0));
+
+  b.table("acl_fwd")
+      .key_exact({"ethernet", "dstAddr"})
+      .action_ref("forward")
+      .action_ref("_drop")
+      .default_action("_drop");
+  b.table("acl_ip")
+      .key_ternary({"ipv4", "srcAddr"})
+      .key_ternary({"ipv4", "dstAddr"})
+      .key_ternary({"ipv4", "protocol"})
+      .action_ref("deny")
+      .action_ref("nop")
+      .default_action("nop");
+  b.table("acl_l4")
+      .key_valid("tcp")
+      .key_ternary({"tcp", "dstPort"})
+      .key_valid("udp")
+      .key_ternary({"udp", "dstPort"})
+      .action_ref("deny")
+      .action_ref("nop")
+      .default_action("nop");
+
+  // deny runs after forward so its egress_spec rewrite (the P4-14 drop
+  // encoding) wins.
+  auto ing = b.ingress();
+  const std::size_t n_fwd = ing.apply("acl_fwd");
+  const std::size_t n_if = ing.branch(Expr::valid("ipv4"));
+  const std::size_t n_ip = ing.apply("acl_ip");
+  const std::size_t n_l4 = ing.apply("acl_l4");
+  ing.on_default(n_fwd, n_if);
+  ing.on_true(n_if, n_ip);
+  ing.on_false(n_if, p4::kEndOfControl);
+  ing.on_default(n_ip, n_l4);
+  return b.build();
+}
+
+Program rate_limiter() {
+  ProgramBuilder b("limiter");
+  common_headers(b);
+
+  b.parser("start")
+      .extract("ethernet")
+      .select_field("ethernet", "etherType")
+      .when(net::kEtherTypeIpv4, "parse_ipv4")
+      .otherwise(kParserAccept);
+  b.parser("parse_ipv4").extract("ipv4").to_ingress();
+
+  b.action("nop").no_op();
+  b.action("_drop").drop();
+  b.action("forward", {{"port", kPortWidth}})
+      .modify_field({kStandardMetadata, kFieldEgressSpec}, Param(0));
+  b.action("police_drop").drop();
+  // Over-burst but under-limit traffic is re-marked, not dropped.
+  b.action("police_mark", {{"dscp", 8}})
+      .modify_field({"ipv4", "diffserv"}, Param(0));
+
+  b.table("lim_fwd")
+      .key_exact({"ethernet", "dstAddr"})
+      .action_ref("forward")
+      .action_ref("_drop")
+      .default_action("_drop");
+  // Per-source verdict; the token-bucket arithmetic lives in the fleet
+  // controller, which flips entries between the three actions.
+  b.table("limit")
+      .key_ternary({"ipv4", "srcAddr"})
+      .action_ref("police_drop")
+      .action_ref("police_mark")
+      .action_ref("nop")
+      .default_action("nop");
+
+  auto ing = b.ingress();
+  const std::size_t n_fwd = ing.apply("lim_fwd");
+  const std::size_t n_if = ing.branch(Expr::valid("ipv4"));
+  const std::size_t n_lim = ing.apply("limit");
+  ing.on_default(n_fwd, n_if);
+  ing.on_true(n_if, n_lim);
+  ing.on_false(n_if, p4::kEndOfControl);
+
+  ipv4_checksum(b);
+  return b.build();
+}
+
+Program telemetry_tagger() {
+  ProgramBuilder b("tagger");
+  common_headers(b);
+
+  b.parser("start")
+      .extract("ethernet")
+      .select_field("ethernet", "etherType")
+      .when(net::kEtherTypeIpv4, "parse_ipv4")
+      .otherwise(kParserAccept);
+  b.parser("parse_ipv4").extract("ipv4").to_ingress();
+
+  b.action("nop").no_op();
+  b.action("_drop").drop();
+  b.action("forward", {{"port", kPortWidth}})
+      .modify_field({kStandardMetadata, kFieldEgressSpec}, Param(0));
+  // Flow id rides in ipv4.identification (no extra header: the persona
+  // would need add_header, which is outside its envelope).
+  b.action("tag_flow", {{"flow_id", 16}})
+      .modify_field({"ipv4", "identification"}, Param(0));
+  // Hop mark: diffserv counts traversed taggers, TTL decrements as at a
+  // real hop (add 0xff mod 2^8).
+  b.action("mark_hop")
+      .add_to_field({"ipv4", "diffserv"}, Const(8, 1))
+      .add_to_field({"ipv4", "ttl"}, Const(8, 0xff));
+
+  b.table("tag_fwd")
+      .key_exact({"ethernet", "dstAddr"})
+      .action_ref("forward")
+      .action_ref("_drop")
+      .default_action("_drop");
+  b.table("int_tag")
+      .key_exact({"ipv4", "dstAddr"})
+      .action_ref("tag_flow")
+      .action_ref("nop")
+      .default_action("nop");
+  b.table("int_hop")
+      .key_valid("ipv4")
+      .action_ref("mark_hop")
+      .action_ref("nop")
+      .default_action("nop");
+
+  auto ing = b.ingress();
+  const std::size_t n_fwd = ing.apply("tag_fwd");
+  const std::size_t n_if = ing.branch(Expr::valid("ipv4"));
+  const std::size_t n_tag = ing.apply("int_tag");
+  const std::size_t n_hop = ing.apply("int_hop");
+  ing.on_default(n_fwd, n_if);
+  ing.on_true(n_if, n_tag);
+  ing.on_false(n_if, p4::kEndOfControl);
+  ing.on_default(n_tag, n_hop);
+
+  ipv4_checksum(b);
+  return b.build();
+}
+
+// --- catalog ----------------------------------------------------------------
+
+const std::vector<NfKind>& nf_catalog() {
+  static const std::vector<NfKind> cat{NfKind::kNat, NfKind::kBalancer,
+                                       NfKind::kAcl, NfKind::kLimiter,
+                                       NfKind::kTagger};
+  return cat;
+}
+
+std::string nf_name(NfKind k) {
+  switch (k) {
+    case NfKind::kNat: return "nat";
+    case NfKind::kBalancer: return "lb";
+    case NfKind::kAcl: return "acl";
+    case NfKind::kLimiter: return "limiter";
+    case NfKind::kTagger: return "tagger";
+  }
+  return "?";
+}
+
+p4::Program nf_program(NfKind k) {
+  switch (k) {
+    case NfKind::kNat: return stateful_nat();
+    case NfKind::kBalancer: return l4_balancer();
+    case NfKind::kAcl: return acl_firewall();
+    case NfKind::kLimiter: return rate_limiter();
+    case NfKind::kTagger: return telemetry_tagger();
+  }
+  throw util::ConfigError("scenarios: bad NfKind");
+}
+
+NfKind nf_by_name(const std::string& name) {
+  for (NfKind k : nf_catalog())
+    if (nf_name(k) == name) return k;
+  std::vector<std::string> names;
+  for (NfKind k : nf_catalog()) names.push_back(nf_name(k));
+  throw util::ConfigError("unknown network function '" + name + "'" +
+                          util::did_you_mean(name, names));
+}
+
+// --- rule constructors ------------------------------------------------------
+
+Rule nat_snat(const std::string& inside_ip, std::uint16_t inside_port,
+              const std::string& nat_ip, std::uint16_t nat_port) {
+  return Rule{"snat",
+              "snat_rewrite",
+              {"1", inside_ip, std::to_string(inside_port)},
+              {nat_ip, std::to_string(nat_port)},
+              -1};
+}
+
+Rule nat_dnat(const std::string& nat_ip, std::uint16_t nat_port,
+              const std::string& inside_ip, std::uint16_t inside_port) {
+  return Rule{"dnat",
+              "dnat_rewrite",
+              {"1", nat_ip, std::to_string(nat_port)},
+              {inside_ip, std::to_string(inside_port)},
+              -1};
+}
+
+Rule nat_route(const std::string& dst_ip, std::uint16_t port) {
+  return Rule{"nat_fwd", "forward", {dst_ip}, {std::to_string(port)}, -1};
+}
+
+Rule lb_conn(const std::string& src_ip, std::uint16_t src_port,
+             const std::string& backend_ip, const std::string& backend_mac) {
+  return Rule{"conn",
+              "to_backend",
+              {"1", src_ip, std::to_string(src_port)},
+              {backend_ip, backend_mac},
+              -1};
+}
+
+Rule lb_vip(const std::string& vip, std::uint16_t vip_port,
+            const std::string& backend_ip, const std::string& backend_mac) {
+  return Rule{"vip",
+              "to_backend",
+              {"1", vip, std::to_string(vip_port)},
+              {backend_ip, backend_mac},
+              -1};
+}
+
+Rule lb_route(const std::string& dst_ip, std::uint16_t port) {
+  return Rule{"lb_fwd", "forward", {dst_ip}, {std::to_string(port)}, -1};
+}
+
+Rule acl_forward(const std::string& dst_mac, std::uint16_t port) {
+  return Rule{"acl_fwd", "forward", {dst_mac}, {std::to_string(port)}, -1};
+}
+
+Rule acl_deny_src(const std::string& src_ip, const std::string& src_mask,
+                  std::int32_t priority) {
+  return Rule{"acl_ip",
+              "deny",
+              {src_ip + "&&&" + src_mask, "0&&&0", "0&&&0"},
+              {},
+              priority};
+}
+
+Rule acl_deny_tcp_dport(std::uint16_t dport, std::int32_t priority) {
+  return Rule{"acl_l4",
+              "deny",
+              {"1", std::to_string(dport) + "&&&0xffff", "0", "0&&&0"},
+              {},
+              priority};
+}
+
+Rule limiter_forward(const std::string& dst_mac, std::uint16_t port) {
+  return Rule{"lim_fwd", "forward", {dst_mac}, {std::to_string(port)}, -1};
+}
+
+Rule limiter_permit(const std::string& src_ip, std::int32_t priority) {
+  return Rule{
+      "limit", "nop", {src_ip + "&&&255.255.255.255"}, {}, priority};
+}
+
+Rule limiter_mark(const std::string& src_ip, std::uint8_t dscp,
+                  std::int32_t priority) {
+  return Rule{"limit",
+              "police_mark",
+              {src_ip + "&&&255.255.255.255"},
+              {std::to_string(dscp)},
+              priority};
+}
+
+Rule limiter_drop(const std::string& src_ip, std::int32_t priority) {
+  return Rule{
+      "limit", "police_drop", {src_ip + "&&&255.255.255.255"}, {}, priority};
+}
+
+Rule tagger_forward(const std::string& dst_mac, std::uint16_t port) {
+  return Rule{"tag_fwd", "forward", {dst_mac}, {std::to_string(port)}, -1};
+}
+
+Rule tagger_tag(const std::string& dst_ip, std::uint16_t flow_id) {
+  return Rule{"int_tag", "tag_flow", {dst_ip}, {std::to_string(flow_id)}, -1};
+}
+
+Rule tagger_hop() { return Rule{"int_hop", "mark_hop", {"1"}, {}, -1}; }
+
+// --- canonical tenant flow ---------------------------------------------------
+
+TenantPlan make_tenant_plan(std::uint32_t tenant) {
+  TenantPlan t;
+  t.id = tenant;
+  const std::uint32_t hi = (tenant >> 8) & 0xFF, lo = tenant & 0xFF;
+  auto mac = [&](std::uint8_t tail) {
+    char buf[18];
+    std::snprintf(buf, sizeof buf, "02:%02x:%02x:%02x:00:%02x",
+                  (tenant >> 16) & 0xFF, hi, lo, tail);
+    return std::string(buf);
+  };
+  auto ip = [&](std::uint8_t net, std::uint8_t tail) {
+    return std::to_string(net) + "." + std::to_string(hi) + "." +
+           std::to_string(lo) + "." + std::to_string(tail);
+  };
+  t.client_mac = mac(0x01);
+  t.server_mac = mac(0x02);
+  t.backend_mac = mac(0x03);
+  t.client_ip = ip(10, 1);
+  t.vip = ip(10, 2);
+  t.backend_ip = ip(10, 3);
+  t.nat_ip = ip(172, 4);
+  t.flow_src_port = static_cast<std::uint16_t>(40000 + (tenant % 20000));
+  t.vip_port = 80;
+  t.nat_port = static_cast<std::uint16_t>(20000 + (tenant % 10000));
+  return t;
+}
+
+FlowView initial_flow_view(const TenantPlan& t) {
+  FlowView v;
+  v.dst_mac = t.server_mac;
+  v.src_mac = t.client_mac;
+  v.src_ip = t.client_ip;
+  v.dst_ip = t.vip;
+  v.src_port = t.flow_src_port;
+  v.dst_port = t.vip_port;
+  return v;
+}
+
+std::vector<Rule> nf_flow_rules(NfKind k, const TenantPlan& t, FlowView& view,
+                                std::uint16_t egress_port) {
+  std::vector<Rule> rules;
+  switch (k) {
+    case NfKind::kNat:
+      rules.push_back(nat_snat(view.src_ip, view.src_port, t.nat_ip,
+                               t.nat_port));
+      rules.push_back(nat_dnat(t.nat_ip, t.nat_port, view.src_ip,
+                               view.src_port));
+      view.src_ip = t.nat_ip;
+      view.src_port = t.nat_port;
+      rules.push_back(nat_route(view.dst_ip, egress_port));
+      break;
+    case NfKind::kBalancer:
+      rules.push_back(lb_conn(view.src_ip, view.src_port, t.backend_ip,
+                              t.backend_mac));
+      rules.push_back(lb_vip(view.dst_ip, view.dst_port, t.backend_ip,
+                             t.backend_mac));
+      view.dst_ip = t.backend_ip;
+      view.dst_mac = t.backend_mac;
+      rules.push_back(lb_route(view.dst_ip, egress_port));
+      break;
+    case NfKind::kAcl:
+      rules.push_back(acl_forward(view.dst_mac, egress_port));
+      // Denies a real deployment would carry; neither matches the flow.
+      rules.push_back(acl_deny_src("192.168.0.0", "255.255.0.0", 10));
+      rules.push_back(acl_deny_tcp_dport(23, 11));
+      break;
+    case NfKind::kLimiter:
+      rules.push_back(limiter_forward(view.dst_mac, egress_port));
+      rules.push_back(limiter_permit(view.src_ip, 10));
+      break;
+    case NfKind::kTagger:
+      rules.push_back(tagger_forward(view.dst_mac, egress_port));
+      rules.push_back(
+          tagger_tag(view.dst_ip, static_cast<std::uint16_t>(t.id & 0xFFFF)));
+      rules.push_back(tagger_hop());
+      break;
+  }
+  return rules;
+}
+
+net::Packet tenant_flow_packet(const TenantPlan& t, std::size_t payload) {
+  net::EthHeader eth;
+  eth.src = net::mac_from_string(t.client_mac);
+  eth.dst = net::mac_from_string(t.server_mac);
+  net::Ipv4Header ip;
+  ip.src = net::ipv4_from_string(t.client_ip);
+  ip.dst = net::ipv4_from_string(t.vip);
+  net::TcpHeader tcp;
+  tcp.src_port = t.flow_src_port;
+  tcp.dst_port = t.vip_port;
+  return net::make_ipv4_tcp(eth, ip, tcp, payload);
+}
+
+}  // namespace hyper4::scenarios

@@ -1,0 +1,141 @@
+// Production-grade network functions for the multi-tenant scenario fleet
+// (ROADMAP item 3). Five NFs beyond the paper's §6 apps, drawn from the
+// applied-research catalog (PAPERS.md): stateful NAT, L4 load balancer,
+// ACL firewall, token-bucket rate limiter, in-band telemetry tagger.
+//
+// Every program stays inside the persona-supported subset (§5.3): no
+// registers, counters or meters in the dataplane — flow state (NAT
+// bindings, LB connection entries, rate-limit verdicts) lives in
+// match-action tables driven by the control plane, SDN style. That is what
+// makes the fleet's live table churn honest: "stateful" here means the
+// controller continuously installs/updates per-flow entries while traffic
+// flows, exactly the operation mix a virtualized data plane must absorb.
+//
+// All five NFs share one outer header layout (ethernet/ipv4/tcp/udp), so
+// any permutation composes into a vdev chain: a packet deparsed by one NF
+// reparses cleanly in the next. Each NF ends in a terminal forwarding table
+// (default drop), so egress is always decided.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "apps/apps.h"
+#include "p4/ir.h"
+
+namespace hyper4::scenarios {
+
+using apps::Rule;
+
+// --- NF catalog -------------------------------------------------------------
+
+enum class NfKind {
+  kNat,       // "nat": SNAT/DNAT with control-plane port allocation
+  kBalancer,  // "lb": VIP → backend with per-connection tracking entries
+  kAcl,       // "acl": L2 forward + IP/L4 ternary access control
+  kLimiter,   // "limiter": per-source verdicts driven by token buckets
+  kTagger,    // "tagger": in-band telemetry (flow id + hop marking)
+};
+inline constexpr std::size_t kNfCount = 5;
+
+const std::vector<NfKind>& nf_catalog();
+std::string nf_name(NfKind k);
+p4::Program nf_program(NfKind k);
+// Throws ConfigError with a did-you-mean on unknown names.
+NfKind nf_by_name(const std::string& name);
+
+// --- programs ---------------------------------------------------------------
+
+// SNAT/DNAT: snat (src ip/port rewrite, keyed on inside src), dnat (dst
+// rewrite, keyed on outside dst — the reverse path of an allocated
+// binding), nat_fwd (ipv4.dstAddr → port, default drop). The control plane
+// allocates a public (ip, port) per new flow and installs the snat+dnat
+// pair — the paper-era "stateful NAT" with the state in the DPMU's tables.
+p4::Program stateful_nat();
+
+// L4 load balancer: conn (per-connection pin, keyed on client src),
+// vip (VIP:port → backend dst ip/mac rewrite), lb_fwd (ipv4.dstAddr →
+// port). Connection tracking = the control plane pinning each observed
+// connection to its backend so reschedules don't break established flows.
+p4::Program l4_balancer();
+
+// ACL firewall: acl_fwd (dmac → port), acl_ip (ternary src/dst/proto),
+// acl_l4 (validity-gated ternary TCP/UDP dports). Deny actions run after
+// forwarding so the drop verdict wins (P4-14 drop = egress_spec rewrite).
+p4::Program acl_firewall();
+
+// Token-bucket DDoS rate limiter: lim_fwd (dmac → port), limit (ternary
+// per-source verdict: permit / police_mark DSCP / police_drop). The bucket
+// arithmetic runs in the fleet controller off entry hit counts; refills and
+// verdict flips are table churn at the reconfig rate.
+p4::Program rate_limiter();
+
+// In-band telemetry tagger: tag_fwd (dmac → port), int_tag (flow id into
+// ipv4.identification), int_hop (hop mark: diffserv increment + TTL
+// decrement), so a chain position is visible in the packet itself.
+p4::Program telemetry_tagger();
+
+// --- per-NF rule constructors ----------------------------------------------
+
+Rule nat_snat(const std::string& inside_ip, std::uint16_t inside_port,
+              const std::string& nat_ip, std::uint16_t nat_port);
+Rule nat_dnat(const std::string& nat_ip, std::uint16_t nat_port,
+              const std::string& inside_ip, std::uint16_t inside_port);
+Rule nat_route(const std::string& dst_ip, std::uint16_t port);
+
+Rule lb_conn(const std::string& src_ip, std::uint16_t src_port,
+             const std::string& backend_ip, const std::string& backend_mac);
+Rule lb_vip(const std::string& vip, std::uint16_t vip_port,
+            const std::string& backend_ip, const std::string& backend_mac);
+Rule lb_route(const std::string& dst_ip, std::uint16_t port);
+
+Rule acl_forward(const std::string& dst_mac, std::uint16_t port);
+Rule acl_deny_src(const std::string& src_ip, const std::string& src_mask,
+                  std::int32_t priority);
+Rule acl_deny_tcp_dport(std::uint16_t dport, std::int32_t priority);
+
+Rule limiter_forward(const std::string& dst_mac, std::uint16_t port);
+Rule limiter_permit(const std::string& src_ip, std::int32_t priority);
+Rule limiter_mark(const std::string& src_ip, std::uint8_t dscp,
+                  std::int32_t priority);
+Rule limiter_drop(const std::string& src_ip, std::int32_t priority);
+
+Rule tagger_forward(const std::string& dst_mac, std::uint16_t port);
+Rule tagger_tag(const std::string& dst_ip, std::uint16_t flow_id);
+Rule tagger_hop();
+
+// --- canonical tenant flow ---------------------------------------------------
+
+// Addressing for one tenant's canonical client→server TCP flow. Derived
+// deterministically from the tenant index so plans never collide.
+struct TenantPlan {
+  std::uint32_t id = 0;
+  std::string client_mac, server_mac, backend_mac;
+  std::string client_ip, vip, backend_ip, nat_ip;
+  std::uint16_t flow_src_port = 0, vip_port = 0, nat_port = 0;
+};
+TenantPlan make_tenant_plan(std::uint32_t tenant);
+
+// The canonical flow's header values as seen at one chain position. NFs
+// that rewrite headers advance the view; the fleet walks it front-to-back
+// so every chain position's rules key on the values that actually arrive.
+struct FlowView {
+  std::string dst_mac, src_mac;
+  std::string src_ip, dst_ip;
+  std::uint16_t src_port = 0, dst_port = 0;
+};
+FlowView initial_flow_view(const TenantPlan& t);
+
+// Rules that make `view`'s flow traverse NF `k` and leave on `egress_port`,
+// advancing `view` past the NF's rewrites (NAT source rewrite, LB backend
+// rewrite). Includes the realistic non-flow entries (ACL denies, limiter
+// verdict) the fleet churns.
+std::vector<Rule> nf_flow_rules(NfKind k, const TenantPlan& t, FlowView& view,
+                                std::uint16_t egress_port);
+
+// The canonical flow packet entering the chain (client → VIP TCP segment
+// with `payload` extra bytes).
+net::Packet tenant_flow_packet(const TenantPlan& t, std::size_t payload = 32);
+
+}  // namespace hyper4::scenarios

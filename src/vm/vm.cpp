@@ -210,6 +210,19 @@ void VmExecutor::invalidate() {
   failed_at_epoch_.clear();
 }
 
+std::map<std::string, std::uint64_t> VmExecutor::diagnostics() const {
+  std::map<std::string, std::uint64_t> d;
+  d["packets_bytecode"] = stats_.packets_bytecode;
+  d["packets_fallback"] = stats_.packets_fallback;
+  d["compiles"] = stats_.compiles;
+  d["recompiles"] = stats_.recompiles;
+  d["compile_failures"] = stats_.compile_failures;
+  d["cached_units"] = units_.size();
+  for (const auto& [reason, n] : stats_.fallback_reasons)
+    d["fallback." + reason] += n;
+  return d;
+}
+
 // ---------------------------------------------------------------------------
 // Work-slot pool
 

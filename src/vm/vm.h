@@ -62,6 +62,12 @@ class VmExecutor : public engine::PacketPath {
                             const net::Packet& packet) override;
 
   const VmStats& stats() const { return stats_; }
+
+  // engine::PacketPath diagnostics: stats() flattened to stable keys
+  // (fallback reasons as "fallback.<reason>") so the engine can aggregate
+  // tier behavior across workers without knowing the VM's types.
+  std::map<std::string, std::uint64_t> diagnostics() const override;
+
   const bm::Switch& switch_ref() const { return sw_; }
   const hp4::PersonaConfig& config() const { return cfg_; }
 

@@ -1,0 +1,202 @@
+// The chained multi-vdev differential oracle (ISSUE 7): generation
+// determinism, four-backend equivalence over seeded chains, mutation
+// catching, vdev-name attribution (S2), chain repro round-trips, the chain
+// reducer, and the friendly replay-file hint (S1).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "check/diff_runner.h"
+#include "check/program_gen.h"
+#include "check/reducer.h"
+#include "check/repro.h"
+#include "util/error.h"
+
+namespace fs = std::filesystem;
+
+namespace hyper4::check {
+namespace {
+
+ChainCase gen_chain(std::uint64_t seed, std::size_t depth) {
+  return ProgramGen().generate_chain(seed, depth);
+}
+
+TEST(ChainGen, DeterministicAndDistinctLinks) {
+  const ChainCase a = gen_chain(7, 3);
+  const ChainCase b = gen_chain(7, 3);
+  ASSERT_EQ(a.links.size(), 3u);
+  EXPECT_EQ(chain_repro_commands_text(a), chain_repro_commands_text(b));
+  // Links are independently generated programs with distinct names.
+  EXPECT_NE(a.links[0].name, a.links[1].name);
+  EXPECT_NE(a.links[1].name, a.links[2].name);
+  EXPECT_FALSE(a.packets.empty());
+  // Chains are always stateless (the persona would skip the whole case).
+  for (const auto& l : a.links) {
+    EXPECT_TRUE(l.program.counters.empty()) << l.name;
+    EXPECT_TRUE(l.program.registers.empty()) << l.name;
+  }
+}
+
+TEST(ChainDiff, SeededChainsAreEquivalentAcrossAllBackends) {
+  const DiffRunner runner;
+  std::size_t checked = 0;
+  std::size_t skipped = 0;
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    const ChainCase c = gen_chain(seed, 2 + (seed % 2));
+    const DiffReport rep = runner.run_chain(c);
+    ASSERT_TRUE(rep.equivalent) << "seed " << seed << ": " << rep.str();
+    if (rep.persona_ran) {
+      ++checked;
+      EXPECT_TRUE(rep.vm_ran) << "seed " << seed;
+    } else {
+      ++skipped;
+    }
+  }
+  // The generator targets the persona envelope; most chains must actually
+  // exercise all four backends.
+  EXPECT_GT(checked, skipped);
+}
+
+TEST(ChainDiff, DropRuleMutationIsCaught) {
+  DiffOptions opts;
+  opts.mutation = Mutation::kDropPersonaRule;
+  const DiffRunner runner(opts);
+  const DiffRunner clean;
+  bool caught = false;
+  for (std::uint64_t seed = 1; seed <= 30 && !caught; ++seed) {
+    const ChainCase c = gen_chain(seed, 2);
+    if (!clean.run_chain(c).equivalent) continue;  // only plant on clean
+    const DiffReport rep = runner.run_chain(c);
+    if (!rep.persona_ran) continue;
+    if (!rep.equivalent) {
+      caught = true;
+      ASSERT_TRUE(rep.divergence.has_value());
+      EXPECT_EQ(rep.divergence->rhs, "persona");
+    }
+  }
+  EXPECT_TRUE(caught) << "drop-rule plant never diverged a chain";
+}
+
+TEST(ChainDiff, CorruptEngineByteMutationIsCaught) {
+  DiffOptions opts;
+  opts.mutation = Mutation::kCorruptEngineByte;
+  const DiffRunner runner(opts);
+  bool caught = false;
+  for (std::uint64_t seed = 1; seed <= 20 && !caught; ++seed) {
+    const DiffReport rep = runner.run_chain(gen_chain(seed, 2));
+    if (!rep.persona_ran) continue;
+    if (!rep.equivalent) {
+      caught = true;
+      ASSERT_TRUE(rep.divergence.has_value());
+      EXPECT_EQ(rep.divergence->rhs, "engine");
+    }
+  }
+  EXPECT_TRUE(caught) << "corrupt-byte plant never diverged a chain";
+}
+
+TEST(ChainDiff, TmDivergenceAttributionNamesTheVdev) {
+  const std::vector<std::string> names = {"l0_nat", "l1_acl", "l2_tag"};
+  // Agreeing recirculation counts: the packet was inside that link.
+  EXPECT_EQ(tm_divergence_vdev(names, 0, 0), "l0_nat");
+  EXPECT_EQ(tm_divergence_vdev(names, 1, 1), "l1_acl");
+  EXPECT_EQ(tm_divergence_vdev(names, 2, 2), "l2_tag");
+  // Disagreeing counts: the smaller one is the last agreed hop.
+  EXPECT_EQ(tm_divergence_vdev(names, 2, 1), "l1_acl");
+  EXPECT_EQ(tm_divergence_vdev(names, 0, 2), "l0_nat");
+  // Clamped to the chain (extra recirculations past the last hop, e.g. a
+  // resubmitting final link).
+  EXPECT_EQ(tm_divergence_vdev(names, 9, 7), "l2_tag");
+  EXPECT_EQ(tm_divergence_vdev({}, 1, 1), "?");
+}
+
+TEST(ChainRepro, RoundTripsThroughDisk) {
+  const ChainCase c = gen_chain(11, 3);
+  const std::string base = testing::TempDir() + "/chain_repro_rt";
+  const std::string cmds = write_chain_repro(c, base);
+  const ChainCase back = load_chain_repro(cmds);
+
+  ASSERT_EQ(back.links.size(), c.links.size());
+  for (std::size_t i = 0; i < c.links.size(); ++i) {
+    EXPECT_EQ(back.links[i].name, c.links[i].name);
+    EXPECT_EQ(back.links[i].rules.size(), c.links[i].rules.size());
+  }
+  EXPECT_EQ(back.packets.size(), c.packets.size());
+  EXPECT_EQ(back.seed, c.seed);
+  EXPECT_EQ(back.ports, c.ports);
+
+  // The reloaded case must behave identically through the oracle.
+  const DiffRunner runner;
+  EXPECT_EQ(runner.run_chain(back).equivalent,
+            runner.run_chain(c).equivalent);
+}
+
+TEST(ChainRepro, LoadRejectsMalformedFiles) {
+  const std::string dir = testing::TempDir() + "/chain_repro_bad";
+  fs::create_directories(dir);
+  {
+    std::ofstream out(dir + "/bad.cmds");
+    out << "chain 2\nlink 0 a missing0.p4\n";
+  }
+  EXPECT_THROW(load_chain_repro(dir + "/bad.cmds"), util::Error);
+  EXPECT_THROW(load_chain_repro(dir + "/nonexistent.cmds"), util::Error);
+}
+
+TEST(ChainReduce, ShrinksWhilePinningTheDivergence) {
+  DiffOptions opts;
+  opts.mutation = Mutation::kDropPersonaRule;
+  const DiffRunner runner(opts);
+  const DiffRunner clean;
+
+  for (std::uint64_t seed = 1; seed <= 40; ++seed) {
+    const ChainCase c = gen_chain(seed, 2);
+    if (!clean.run_chain(c).equivalent) continue;
+    const DiffReport rep = runner.run_chain(c);
+    if (rep.equivalent || !rep.persona_ran) continue;
+
+    const Divergence want = *rep.divergence;
+    ReduceStats stats;
+    const ChainCase minimal = reduce_chain(
+        c,
+        [&](const ChainCase& cand) {
+          const DiffReport r = runner.run_chain(cand);
+          return !r.equivalent && r.divergence &&
+                 r.divergence->kind == want.kind &&
+                 clean.run_chain(cand).equivalent;
+        },
+        &stats);
+    EXPECT_GT(stats.attempts, 0u);
+    // Still fails the same way, and got no bigger.
+    EXPECT_FALSE(runner.run_chain(minimal).equivalent);
+    EXPECT_LE(minimal.packets.size(), c.packets.size());
+    std::size_t rules_before = 0, rules_after = 0;
+    for (const auto& l : c.links) rules_before += l.rules.size();
+    for (const auto& l : minimal.links) rules_after += l.rules.size();
+    EXPECT_LE(rules_after, rules_before);
+    return;  // one reduced case is enough
+  }
+  GTEST_SKIP() << "no divergent chain seed found in range";
+}
+
+TEST(ReplayHint, SuggestsSiblingReproFiles) {
+  const std::string dir = testing::TempDir() + "/replay_hint";
+  fs::create_directories(dir);
+  { std::ofstream out(dir + "/repro_41.cmds"); out << "seed 41\n"; }
+  { std::ofstream out(dir + "/repro_41.p4"); out << "// p4\n"; }
+
+  const std::string hint = replay_file_hint(dir + "/repro_42.cmds");
+  EXPECT_NE(hint.find("does not exist"), std::string::npos) << hint;
+  EXPECT_NE(hint.find("repro_41.cmds"), std::string::npos) << hint;
+
+  // Missing directory: says so instead of suggesting.
+  const std::string nodir = replay_file_hint(dir + "/nope/x.cmds");
+  EXPECT_NE(nodir.find("does not exist"), std::string::npos) << nodir;
+
+  // A directory path is diagnosed as such.
+  const std::string isdir = replay_file_hint(dir);
+  EXPECT_NE(isdir.find("directory"), std::string::npos) << isdir;
+}
+
+}  // namespace
+}  // namespace hyper4::check

@@ -1,0 +1,178 @@
+// Slice isolation under load (ISSUE 7 / S4): snapshotting and restoring
+// one tenant's slice — with churn and a hot-swap in between, and traffic
+// flowing throughout — must leave every OTHER tenant untouched: their DPMU
+// table state (entries, handles, counters-to-come), their per-entry hit
+// behavior, and the VM tier serving their packets.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "bm/switch.h"
+#include "scenarios/fleet.h"
+#include "vm/vm.h"
+
+namespace hyper4 {
+namespace {
+
+using scenarios::FleetOptions;
+using scenarios::ScenarioFleet;
+
+FleetOptions iso_opts() {
+  FleetOptions o;
+  o.tenants = 4;
+  o.chain_depth = 2;
+  o.engine_workers = 2;
+  return o;
+}
+
+// Sum of per-entry hit counters, across every engine replica, for every
+// persona entry the DPMU attributes to one of tenant `i`'s vdevs (static
+// program entries, translated rules, and ingress bindings alike).
+std::uint64_t tenant_hits(ScenarioFleet& fleet, std::size_t i) {
+  const auto& vdevs = fleet.tenant(i).vdevs;
+  const std::set<hp4::VdevId> mine(vdevs.begin(), vdevs.end());
+  // (persona table) -> handles owned by this tenant.
+  std::map<std::string, std::set<std::uint64_t>> owned;
+  for (const auto& [key, origin] : fleet.controller().dpmu().entry_origins())
+    if (mine.count(origin.vdev)) owned[key.first].insert(key.second);
+
+  std::uint64_t total = 0;
+  for (std::size_t w = 0; w < fleet.engine().workers(); ++w) {
+    const bm::Switch& rep = fleet.engine().replica(w);
+    for (const auto& [table, handles] : owned)
+      for (const auto& e : rep.table(table).export_state().entries)
+        if (handles.count(e.handle)) total += e.hits;
+  }
+  return total;
+}
+
+// Hit delta each "other" tenant accrues over one quiescent wave (no
+// control ops inside the window, so replica counters are not re-mirrored).
+std::vector<std::uint64_t> wave_hit_deltas(ScenarioFleet& fleet,
+                                           std::size_t skip,
+                                           std::size_t packets) {
+  std::vector<std::uint64_t> before(fleet.tenants());
+  for (std::size_t t = 0; t < fleet.tenants(); ++t)
+    if (t != skip) before[t] = tenant_hits(fleet, t);
+  fleet.inject_wave(packets);
+  EXPECT_TRUE(fleet.drain_wave().all_delivered);
+  std::vector<std::uint64_t> delta(fleet.tenants());
+  for (std::size_t t = 0; t < fleet.tenants(); ++t)
+    if (t != skip) delta[t] = tenant_hits(fleet, t) - before[t];
+  return delta;
+}
+
+// The DPMU's exported image of one vdev, reduced to the fields that define
+// the slice: virtual-rule map, static handles, vports, id counter.
+struct VdevImage {
+  std::map<std::uint64_t, std::vector<std::pair<std::string, std::uint64_t>>>
+      entries;
+  std::vector<std::pair<std::string, std::uint64_t>> static_handles;
+  std::map<std::uint64_t, std::uint16_t> vport_to_phys;
+  std::uint64_t next_vhandle = 0;
+  bool operator==(const VdevImage&) const = default;
+};
+
+std::map<hp4::VdevId, VdevImage> other_tenant_images(ScenarioFleet& fleet,
+                                                     std::size_t skip) {
+  std::set<hp4::VdevId> skipped(fleet.tenant(skip).vdevs.begin(),
+                                fleet.tenant(skip).vdevs.end());
+  std::map<hp4::VdevId, VdevImage> out;
+  for (const auto& v : fleet.controller().dpmu().export_state().vdevs) {
+    if (skipped.count(v.id)) continue;
+    out[v.id] = VdevImage{v.entries, v.static_handles, v.vport_to_phys,
+                          v.next_vhandle};
+  }
+  return out;
+}
+
+TEST(ScenarioIsolation, SnapshotRestoreLeavesOtherTenantsUntouched) {
+  ScenarioFleet fleet(iso_opts());
+  const std::size_t kVictim = 0;
+
+  fleet.inject_wave(2);  // warm every path
+  ASSERT_TRUE(fleet.drain_wave().all_delivered);
+
+  const auto images_before = other_tenant_images(fleet, kVictim);
+  std::vector<std::vector<scenarios::NfKind>> chains_before;
+  for (std::size_t t = 0; t < fleet.tenants(); ++t)
+    chains_before.push_back(fleet.tenant(t).chain);
+  const auto delta_before = wave_hit_deltas(fleet, kVictim, 3);
+
+  // The S4 sequence: snapshot, mutate hard, restore — all under load.
+  const auto snap = fleet.snapshot_tenant(kVictim);
+  fleet.inject_wave(1);
+  fleet.churn_tenant(kVictim, 15);
+  fleet.hot_swap(kVictim);
+  ASSERT_TRUE(fleet.drain_wave().all_delivered);
+  fleet.inject_wave(1);
+  fleet.restore_tenant(kVictim, snap);
+  ASSERT_TRUE(fleet.drain_wave().all_delivered);
+
+  // Other tenants' DPMU state: bit-identical images, same vdev ids, same
+  // virtual handles, same vports, same id counters.
+  EXPECT_EQ(other_tenant_images(fleet, kVictim), images_before);
+  for (std::size_t t = 0; t < fleet.tenants(); ++t)
+    if (t != kVictim) EXPECT_EQ(fleet.tenant(t).chain, chains_before[t]);
+
+  // Other tenants' per-entry hit behavior: an identical wave accrues the
+  // identical hit deltas it did before the snapshot/restore cycle.
+  const auto delta_after = wave_hit_deltas(fleet, kVictim, 3);
+  for (std::size_t t = 0; t < fleet.tenants(); ++t) {
+    if (t == kVictim) continue;
+    EXPECT_GT(delta_before[t], 0u) << "tenant " << t;
+    EXPECT_EQ(delta_after[t], delta_before[t]) << "tenant " << t;
+  }
+
+  // The victim is back to its snapshot image.
+  EXPECT_EQ(fleet.tenant(kVictim).chain, snap.chain);
+  for (std::size_t pos = 0; pos < snap.chain.size(); ++pos)
+    EXPECT_EQ(fleet.installed_rules(kVictim, pos), snap.rules[pos].size());
+}
+
+TEST(ScenarioIsolation, RestoreKeepsVmTierServingOtherTenants) {
+  FleetOptions o = iso_opts();
+  o.vm_path = true;
+  ScenarioFleet fleet(o);
+
+  fleet.inject_wave(2);
+  ASSERT_TRUE(fleet.drain_wave().all_delivered);
+  const auto diag0 = fleet.engine().packet_path_diagnostics();
+  ASSERT_EQ(diag0.at("packets_fallback"), 0u);
+  ASSERT_GT(diag0.at("cached_units"), 0u);
+
+  const auto snap = fleet.snapshot_tenant(1);
+  fleet.churn_tenant(1, 10);
+  fleet.hot_swap(1);
+  fleet.inject_wave(2);
+  ASSERT_TRUE(fleet.drain_wave().all_delivered);
+  fleet.restore_tenant(1, snap);
+
+  // After the restore cycle the VM still serves every tenant from
+  // bytecode: zero fallbacks, zero compile failures, and all units back in
+  // cache once traffic touches them again.
+  fleet.inject_wave(2);
+  ASSERT_TRUE(fleet.drain_wave().all_delivered);
+  const auto diag = fleet.engine().packet_path_diagnostics();
+  EXPECT_EQ(diag.at("packets_fallback"), 0u);
+  EXPECT_EQ(diag.at("compile_failures"), 0u);
+  EXPECT_GE(diag.at("cached_units"), diag0.at("cached_units"));
+  for (const auto& [k, v] : diag)
+    if (k.rfind("fallback.", 0) == 0) EXPECT_EQ(v, 0u) << k;
+}
+
+TEST(ScenarioIsolation, ChurnOnOneTenantNeverLeaksIntoOthers) {
+  ScenarioFleet fleet(iso_opts());
+  const auto images_before = other_tenant_images(fleet, 2);
+  fleet.inject_wave(1);
+  fleet.churn_tenant(2, 40);  // heavy churn, window-bounded
+  ASSERT_TRUE(fleet.drain_wave().all_delivered);
+  EXPECT_EQ(other_tenant_images(fleet, 2), images_before);
+}
+
+}  // namespace
+}  // namespace hyper4

@@ -1,0 +1,181 @@
+// Hot-swap-under-load soak (ISSUE 7 / S3): engine traffic keeps flowing
+// while one tenant's program is transactionally swapped 100 times. Asserts
+// the epoch-per-commit contract (zero dropped or coalesced engine epochs),
+// digest-clean recovery from a crash torn mid-swap, and that the VM tier's
+// per-reason fallback counters stay stable across every swap.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <map>
+#include <string>
+
+#include "scenarios/fleet.h"
+#include "state/digest.h"
+#include "state/journal.h"
+#include "vm/vm.h"
+
+namespace fs = std::filesystem;
+
+namespace hyper4 {
+namespace {
+
+using scenarios::FleetOptions;
+using scenarios::ScenarioFleet;
+using scenarios::WaveResult;
+
+constexpr std::size_t kSwaps = 100;
+
+std::uint64_t journal_bytes(const std::string& dir) {
+  std::uint64_t total = 0;
+  for (const auto& f : state::Journal::segment_files(dir))
+    total += fs::file_size(f);
+  return total;
+}
+
+// Copy `src` and truncate the journal to its first `keep` bytes — the
+// moral equivalent of the machine dying that many bytes into the WAL.
+void crash_copy(const std::string& src, const std::string& dst,
+                std::uint64_t keep) {
+  fs::remove_all(dst);
+  fs::create_directories(dst);
+  for (const auto& e : fs::directory_iterator(src))
+    fs::copy_file(e.path(), fs::path(dst) / e.path().filename());
+  std::uint64_t acc = 0;
+  bool cut = false;
+  for (const auto& f : state::Journal::segment_files(dst)) {
+    const std::uint64_t sz = fs::file_size(f);
+    if (cut) {
+      fs::remove(f);
+    } else if (acc + sz <= keep) {
+      acc += sz;
+    } else {
+      fs::resize_file(f, keep - acc);
+      cut = true;
+    }
+  }
+}
+
+TEST(ScenarioSoak, HundredHotSwapsUnderLoadDropNoEpochs) {
+  FleetOptions o;
+  o.tenants = 4;
+  o.chain_depth = 3;
+  o.engine_workers = 2;
+  o.vm_path = true;
+  ScenarioFleet fleet(o);
+
+  // Fallback counters at rest: the fleet programs must be fully inside the
+  // compiled tier's envelope.
+  fleet.inject_wave(2);
+  ASSERT_TRUE(fleet.drain_wave().all_delivered);
+  const auto diag0 = fleet.engine().packet_path_diagnostics();
+  ASSERT_EQ(diag0.at("packets_fallback"), 0u);
+
+  std::uint64_t delivered_waves = 0;
+  for (std::size_t s = 0; s < kSwaps; ++s) {
+    const std::size_t t = s % fleet.tenants();
+    const std::uint64_t epoch_before = fleet.engine().epoch();
+
+    fleet.inject_wave(1);      // packets in flight...
+    fleet.hot_swap(t);         // ...while the txn swap lands
+    const WaveResult w = fleet.drain_wave();
+
+    ASSERT_TRUE(w.all_delivered) << "swap " << s << " broke tenant traffic";
+    ++delivered_waves;
+    // Exactly one epoch per commit: none dropped, none coalesced, no
+    // hidden extra syncs from the swap's load/chain/rule churn.
+    ASSERT_EQ(fleet.engine().epoch(), epoch_before + 1)
+        << "swap " << s << " was not a single engine epoch";
+  }
+  EXPECT_EQ(delivered_waves, kSwaps);
+
+  // Per-reason fallback stability: after 100 swaps the VM tier must not
+  // have started falling back for any reason, and its compile counters
+  // must have tracked the swaps (each swap invalidates via sync).
+  const auto diag = fleet.engine().packet_path_diagnostics();
+  EXPECT_EQ(diag.at("packets_fallback"), 0u);
+  for (const auto& [k, v] : diag) {
+    if (k.rfind("fallback.", 0) == 0)
+      EXPECT_EQ(v, 0u) << "fallback reason appeared under soak: " << k;
+  }
+  EXPECT_GT(diag.at("packets_bytecode"), diag0.at("packets_bytecode"));
+  EXPECT_GT(diag.at("compiles") + diag.at("recompiles"), 0u);
+  EXPECT_EQ(diag.at("compile_failures"), 0u);
+}
+
+TEST(ScenarioSoak, MidSwapCrashRecoversDigestClean) {
+  const std::string dir = testing::TempDir() + "/soak_crash_store";
+  const std::string crash_dir = testing::TempDir() + "/soak_crash_cut";
+  fs::remove_all(dir);
+
+  std::uint64_t digest_before_swap = 0;
+  std::uint64_t bytes_before_swap = 0;
+  {
+    FleetOptions o;
+    o.tenants = 3;
+    o.chain_depth = 2;
+    o.engine_workers = 2;
+    o.durable_dir = dir;
+    ScenarioFleet fleet(o);
+
+    // A few committed swaps and churn first, so recovery replays a
+    // non-trivial prefix, with live traffic throughout.
+    for (std::size_t s = 0; s < 5; ++s) {
+      fleet.inject_wave(1);
+      fleet.hot_swap(s % fleet.tenants());
+      fleet.churn_tenant(s % fleet.tenants(), 5);
+      ASSERT_TRUE(fleet.drain_wave().all_delivered);
+    }
+
+    digest_before_swap = fleet.store()->digest();
+    bytes_before_swap = journal_bytes(dir);
+
+    // The swap whose commit record the crash will tear.
+    fleet.hot_swap(1);
+    ASSERT_GT(journal_bytes(dir), bytes_before_swap);
+    ASSERT_NE(fleet.store()->digest(), digest_before_swap);
+  }
+
+  // Crash one byte into the swap's commit record: the torn tail must be
+  // dropped and the store must recover to exactly the pre-swap state.
+  crash_copy(dir, crash_dir, bytes_before_swap + 1);
+  state::DurableController rec(crash_dir);
+  EXPECT_TRUE(rec.recovery().digest_ok)
+      << rec.recovery().str();
+  EXPECT_GT(rec.recovery().dropped_bytes, 0u);
+  EXPECT_EQ(rec.digest(), digest_before_swap);
+
+  // And a crash *after* the commit record keeps the swap.
+  const std::string crash_dir2 = testing::TempDir() + "/soak_crash_keep";
+  crash_copy(dir, crash_dir2, journal_bytes(dir));
+  state::DurableController rec2(crash_dir2);
+  EXPECT_TRUE(rec2.recovery().digest_ok);
+  EXPECT_NE(rec2.digest(), digest_before_swap);
+}
+
+TEST(ScenarioSoak, SwapStormAcrossAllTenantsStaysConsistent) {
+  // Every tenant swapped every round, traffic interleaved — the fleet
+  // must keep the one-persona invariant (tenants x depth vdevs, no leaks).
+  FleetOptions o;
+  o.tenants = 5;
+  o.chain_depth = 3;
+  o.engine_workers = 2;
+  ScenarioFleet fleet(o);
+  const std::size_t expect_vdevs = o.tenants * o.chain_depth;
+
+  for (std::size_t round = 0; round < 8; ++round) {
+    fleet.inject_wave(1);
+    for (std::size_t t = 0; t < fleet.tenants(); ++t) fleet.hot_swap(t);
+    ASSERT_TRUE(fleet.drain_wave().all_delivered) << "round " << round;
+    ASSERT_EQ(fleet.controller().dpmu().vdev_ids().size(), expect_vdevs)
+        << "vdev leak after round " << round;
+  }
+  // 8 rounds x 5 tenants of swaps actually happened.
+  std::size_t swaps = 0;
+  for (std::size_t t = 0; t < fleet.tenants(); ++t)
+    swaps += fleet.tenant(t).swaps;
+  EXPECT_EQ(swaps, 40u);
+}
+
+}  // namespace
+}  // namespace hyper4

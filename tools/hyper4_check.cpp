@@ -43,12 +43,21 @@ void usage() {
                "  --no-persona      skip the HyPer4 persona backend (and vm)\n"
                "  --no-engine       skip the traffic-engine backend\n"
                "  --no-vm           skip the bytecode-tier backend\n"
+               "  --chain N         chained mode: every case is a chain of N\n"
+               "                    generated programs composed in ONE "
+               "persona\n"
+               "                    (native = cascaded switches, engine/vm "
+               "over\n"
+               "                    the persona; divergences name the vdev)\n"
                "  --repro-dir DIR   where to write minimized repros "
                "(default '.')\n"
                "  --max-seconds S   stop after S seconds even if iterations "
                "remain\n"
                "  --replay P4 CMDS  replay one serialized repro instead of "
                "generating\n"
+               "  --replay-chain C  replay one chain repro (.cmds; link .p4 "
+               "files\n"
+               "                    resolve relative to it)\n"
                "  --explain         trace both backends; on divergence print "
                "a decoded\n"
                "                    first-divergence report in the emulated "
@@ -85,10 +94,12 @@ int main(int argc, char** argv) {
 
   std::uint64_t seed = hyper4::util::env_seed(1);
   std::uint64_t iters = 100;
+  std::size_t chain_depth = 0;  // 0 = single-program mode
   double max_seconds = 0.0;
   std::string repro_dir = ".";
   std::string replay_p4;
   std::string replay_cmds;
+  std::string replay_chain;
   std::string chrome_path;
   std::string profile_path;
   bool explain = false;
@@ -196,6 +207,14 @@ int main(int argc, char** argv) {
     } else if (a == "--replay") {
       replay_p4 = next();
       replay_cmds = next();
+    } else if (a == "--replay-chain") {
+      replay_chain = next();
+    } else if (a == "--chain") {
+      chain_depth = std::strtoull(next(), nullptr, 0);
+      if (chain_depth < 1) {
+        std::fprintf(stderr, "hyper4_check: --chain needs a depth >= 1\n");
+        return 2;
+      }
     } else if (a == "--explain") {
       explain = true;
     } else if (a == "--trace-chrome") {
@@ -220,6 +239,16 @@ int main(int argc, char** argv) {
   const DiffRunner runner(opts);
 
   if (!replay_p4.empty()) {
+    // Friendly fast path: diagnose a missing/misnamed artifact (with
+    // did-you-mean over the repro directory) before any parsing runs.
+    for (const std::string& f : {replay_p4, replay_cmds}) {
+      std::ifstream probe(f, std::ios::binary);
+      if (!probe) {
+        std::fprintf(stderr, "hyper4_check: cannot replay: %s\n",
+                     hyper4::check::replay_file_hint(f).c_str());
+        return 2;
+      }
+    }
     try {
       const GenCase c = hyper4::check::load_repro(replay_p4, replay_cmds);
       const DiffReport rep = runner.run(c);
@@ -230,12 +259,119 @@ int main(int argc, char** argv) {
       write_file(profile_path, rep.profile_json, "profile");
       return rep.equivalent ? 0 : 1;
     } catch (const std::exception& e) {
-      std::fprintf(stderr, "hyper4_check: replay failed: %s\n", e.what());
+      std::fprintf(stderr, "hyper4_check: replay failed: %s\n  (%s)\n",
+                   e.what(),
+                   hyper4::check::replay_file_hint(replay_cmds).c_str());
+      return 2;
+    }
+  }
+
+  if (!replay_chain.empty()) {
+    {
+      std::ifstream probe(replay_chain, std::ios::binary);
+      if (!probe) {
+        std::fprintf(stderr, "hyper4_check: cannot replay chain: %s\n",
+                     hyper4::check::replay_file_hint(replay_chain).c_str());
+        return 2;
+      }
+    }
+    try {
+      const hyper4::check::ChainCase c =
+          hyper4::check::load_chain_repro(replay_chain);
+      const DiffReport rep = runner.run_chain(c);
+      std::printf("replay-chain %s (%zu links): %s\n", replay_chain.c_str(),
+                  c.links.size(), rep.str().c_str());
+      return rep.equivalent ? 0 : 1;
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "hyper4_check: chain replay failed: %s\n  (%s)\n",
+                   e.what(),
+                   hyper4::check::replay_file_hint(replay_chain).c_str());
       return 2;
     }
   }
 
   const ProgramGen gen(limits);
+
+  if (chain_depth >= 1) {
+    const auto t0 = std::chrono::steady_clock::now();
+    std::uint64_t ran = 0;
+    std::uint64_t persona_skipped = 0;
+    std::uint64_t vm_fallback_total = 0;
+    for (std::uint64_t i = 0; i < iters; ++i) {
+      if (max_seconds > 0.0) {
+        const std::chrono::duration<double> dt =
+            std::chrono::steady_clock::now() - t0;
+        if (dt.count() >= max_seconds) break;
+      }
+      const std::uint64_t case_seed = seed + i;
+      hyper4::check::ChainCase c;
+      DiffReport rep;
+      try {
+        c = gen.generate_chain(case_seed, chain_depth);
+        rep = runner.run_chain(c);
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "chain seed %llu: harness error: %s\n",
+                     static_cast<unsigned long long>(case_seed), e.what());
+        return 1;
+      }
+      ++ran;
+      if (!rep.persona_ran) ++persona_skipped;
+      vm_fallback_total += rep.vm_fallbacks;
+      if (rep.equivalent) continue;
+
+      std::printf("chain seed %llu: DIVERGENCE\n  %s\n",
+                  static_cast<unsigned long long>(case_seed),
+                  rep.str().c_str());
+      const hyper4::check::Divergence want = *rep.divergence;
+      DiffOptions clean_opts = opts;
+      clean_opts.mutation = Mutation::kNone;
+      const DiffRunner clean_runner(clean_opts);
+      hyper4::check::ReduceStats stats;
+      const hyper4::check::ChainCase minimal = hyper4::check::reduce_chain(
+          c,
+          [&](const hyper4::check::ChainCase& cand) {
+            const DiffReport r = runner.run_chain(cand);
+            if (r.equivalent || !r.divergence ||
+                r.divergence->lhs != want.lhs ||
+                r.divergence->rhs != want.rhs ||
+                r.divergence->kind != want.kind)
+              return false;
+            if (opts.mutation != Mutation::kNone &&
+                !clean_runner.run_chain(cand).equivalent)
+              return false;
+            return true;
+          },
+          &stats);
+      const DiffReport min_rep = runner.run_chain(minimal);
+      const std::string base =
+          repro_dir + "/chain_repro_" + std::to_string(case_seed);
+      const std::string cmds = hyper4::check::write_chain_repro(minimal, base);
+      std::size_t min_rules = 0;
+      for (const auto& l : minimal.links) min_rules += l.rules.size();
+      std::printf(
+          "  reduced: %zu links, %zu rules, %zu packets "
+          "(%zu/%zu shrink attempts accepted)\n"
+          "  minimal: %s\n"
+          "  repro written: %s (+ link .p4 files)\n",
+          minimal.links.size(), min_rules, minimal.packets.size(),
+          stats.accepted, stats.attempts, min_rep.str().c_str(),
+          cmds.c_str());
+      return 1;
+    }
+    const std::chrono::duration<double> dt =
+        std::chrono::steady_clock::now() - t0;
+    std::printf(
+        "hyper4_check: %llu/%llu chained iterations equivalent "
+        "(depth %zu, seed base %llu, %llu persona-skipped, "
+        "%llu vm-fallback packets, %.1fs)\n",
+        static_cast<unsigned long long>(ran),
+        static_cast<unsigned long long>(iters), chain_depth,
+        static_cast<unsigned long long>(seed),
+        static_cast<unsigned long long>(persona_skipped),
+        static_cast<unsigned long long>(vm_fallback_total), dt.count());
+    return 0;
+  }
+
   if (dump) {
     const GenCase c = gen.generate(seed);
     hyper4::check::write_repro(c, "dump_" + std::to_string(seed) + ".p4",
