@@ -1,0 +1,73 @@
+// Per-worker packet-buffer arena: kills the per-packet allocation/copy on
+// the injection path by recycling net::Packet buffers through the result
+// path.
+//
+// Lifecycle of a buffer: inject_batch() acquires one (copying the caller's
+// bytes into reused capacity), the Job carries it through the shard ring to
+// the worker, and after Switch::inject() the worker recycles it back over a
+// dedicated SPSC return ring (worker = single producer; the injector,
+// serialized by the engine's inject lock, = single consumer). A fixed stock
+// sized above the maximum in-flight count (shard ring capacity + worker
+// batch) seeds circulation, so once every buffer has grown to the workload's
+// packet size the steady-state acquire never touches the heap — enforced by
+// tests/engine_alloc_test.cpp with the operator-new counter pattern.
+//
+// Overflow on the return ring (possible when callers also push extra
+// buffers through TrafficEngine::inject, which moves the caller's own
+// packet into circulation) simply drops the buffer — correct, just a lost
+// recycling opportunity, counted nowhere because it cannot occur on the
+// inject_batch steady state the allocation gate defends.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "engine/ring.h"
+#include "net/packet.h"
+
+namespace hyper4::engine {
+
+class PacketArena {
+ public:
+  // `fresh_allocs` (optional) counts acquires that found neither a recycled
+  // buffer nor stock — each one is a heap allocation on the inject path.
+  explicit PacketArena(std::size_t stock, Counter* fresh_allocs = nullptr)
+      : returns_(ring_pow2_capacity(stock == 0 ? 1 : 2 * stock)),
+        fresh_allocs_(fresh_allocs) {
+    stock_.resize(stock);
+  }
+
+  PacketArena(const PacketArena&) = delete;
+  PacketArena& operator=(const PacketArena&) = delete;
+
+  // Injector side: a buffer holding a copy of `bytes`, reusing recycled
+  // capacity when available.
+  net::Packet acquire(std::span<const std::uint8_t> bytes) {
+    net::Packet p;
+    if (!returns_.try_pop_one(p)) {
+      if (!stock_.empty()) {
+        p = std::move(stock_.back());
+        stock_.pop_back();
+      } else if (fresh_allocs_) {
+        fresh_allocs_->inc();
+      }
+    }
+    p.assign(bytes);
+    return p;
+  }
+
+  // Worker side: hand a spent buffer back (dropped when the return ring is
+  // full).
+  void recycle(net::Packet&& p) { returns_.try_push_one(std::move(p)); }
+
+  // Buffers currently parked (diagnostics/tests).
+  std::size_t idle() const { return stock_.size() + returns_.size(); }
+
+ private:
+  SpscRing<net::Packet> returns_;
+  std::vector<net::Packet> stock_;  // injector-private free list
+  Counter* fresh_allocs_;
+};
+
+}  // namespace hyper4::engine

@@ -4,6 +4,11 @@
 #include <chrono>
 #include <ctime>
 
+#if defined(__linux__)
+#include <pthread.h>
+#include <sched.h>
+#endif
+
 #include "util/error.h"
 
 namespace hyper4::engine {
@@ -30,6 +35,13 @@ std::uint64_t thread_cpu_ns() {
 #endif
 }
 
+std::uint64_t wall_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
 void accumulate(bm::ProcessResult& into, const bm::ProcessResult& r) {
   into.resubmits += r.resubmits;
   into.recirculations += r.recirculations;
@@ -39,6 +51,20 @@ void accumulate(bm::ProcessResult& into, const bm::ProcessResult& r) {
   into.drops += r.drops;
   into.parse_errors += r.parse_errors;
   into.loop_kills += r.loop_kills;
+}
+
+void pin_to_core(std::size_t index) {
+#if defined(__linux__)
+  const unsigned n = std::thread::hardware_concurrency();
+  if (n == 0) return;
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  CPU_SET(static_cast<int>(index % n), &set);
+  // Best effort: a restricted cpuset (container) may reject the mask.
+  (void)pthread_setaffinity_np(pthread_self(), sizeof(set), &set);
+#else
+  (void)index;
+#endif
 }
 
 }  // namespace
@@ -74,6 +100,12 @@ TrafficEngine::TrafficEngine(p4::Program prog, EngineOptions opts)
   m_loop_kills_ = &metrics_.counter("loop_kills");
   m_batches_ = &metrics_.counter("batches");
   m_backpressure_ = &metrics_.counter("backpressure_waits");
+  m_consumer_waits_ = &metrics_.counter("consumer_waits");
+  m_queue_prod_wakeups_ = &metrics_.counter("queue_producer_wakeups");
+  m_queue_cons_wakeups_ = &metrics_.counter("queue_consumer_wakeups");
+  m_merge_stall_ns_ = &metrics_.counter("merge_stall_ns");
+  m_drain_wait_ns_ = &metrics_.counter("drain_wait_ns");
+  m_arena_fresh_ = &metrics_.counter("arena_fresh_allocs");
   m_control_ops_ = &metrics_.counter("control_ops");
   m_txn_batches_ = &metrics_.counter("txn_batches");
   h_latency_us_ = &metrics_.histogram(
@@ -81,10 +113,18 @@ TrafficEngine::TrafficEngine(p4::Program prog, EngineOptions opts)
       {1, 2, 5, 10, 20, 50, 100, 200, 500, 1000, 2000, 5000, 10000});
   h_stages_ = &metrics_.histogram(
       "stages_per_packet", {0, 1, 2, 3, 4, 6, 8, 12, 16, 24, 32, 48, 64});
+  reorder_.set_stall_counter(m_merge_stall_ns_);
+
+  // Arena stock must exceed the worst-case in-flight buffer count (full
+  // shard ring + one batch being processed + one batch staged) so a warmed
+  // steady state never needs a fresh allocation.
+  const std::size_t stock =
+      std::max<std::size_t>(opts_.queue_capacity, 1) + 2 * opts_.batch_size;
 
   workers_.reserve(opts_.workers);
   for (std::size_t i = 0; i < opts_.workers; ++i) {
     auto w = std::make_unique<Worker>();
+    w->index = i;
     w->sw = std::make_unique<bm::Switch>(prog, opts_.switch_options);
     if (opts_.profile) {
       obs::TracerOptions topts;
@@ -93,7 +133,15 @@ TrafficEngine::TrafficEngine(p4::Program prog, EngineOptions opts)
       w->tracer = std::make_unique<obs::PipelineTracer>(topts);
       w->sw->set_tracer(w->tracer.get());
     }
-    w->queue = std::make_unique<BoundedQueue<Job>>(opts_.queue_capacity);
+    if (opts_.use_mutex_queue) {
+      w->queue = std::make_unique<BoundedQueue<Job>>(
+          opts_.queue_capacity, m_queue_prod_wakeups_, m_queue_cons_wakeups_);
+    } else {
+      w->ring = std::make_unique<SpscRing<Job>>(
+          opts_.queue_capacity, m_backpressure_, m_consumer_waits_);
+    }
+    w->arena = std::make_unique<PacketArena>(stock, m_arena_fresh_);
+    w->stage.reserve(opts_.batch_size);
     workers_.push_back(std::move(w));
   }
   for (auto& w : workers_) {
@@ -102,7 +150,10 @@ TrafficEngine::TrafficEngine(p4::Program prog, EngineOptions opts)
 }
 
 TrafficEngine::~TrafficEngine() {
-  for (auto& w : workers_) w->queue->close();
+  for (auto& w : workers_) {
+    if (w->ring) w->ring->close();
+    if (w->queue) w->queue->close();
+  }
   for (auto& w : workers_) {
     if (w->th.joinable()) w->th.join();
   }
@@ -115,8 +166,15 @@ const bm::Switch& TrafficEngine::replica(std::size_t i) const {
 }
 
 void TrafficEngine::worker_loop(Worker& w) {
+  if (opts_.pin_workers) pin_to_core(w.index);
   std::vector<Job> batch;
-  while (w.queue->pop_batch(batch, opts_.batch_size)) {
+  batch.reserve(opts_.batch_size);
+  std::vector<std::pair<std::uint64_t, bm::ProcessResult>> completed;
+  if (opts_.collect_results) completed.reserve(opts_.batch_size);
+  for (;;) {
+    const bool alive = w.ring ? w.ring->pop_batch(batch, opts_.batch_size)
+                              : w.queue->pop_batch(batch, opts_.batch_size);
+    if (!alive) break;
     {
       std::lock_guard<std::mutex> replica_lock(w.replica_mu);
       for (auto& job : batch) {
@@ -135,12 +193,20 @@ void TrafficEngine::worker_loop(Worker& w) {
         m_parse_errors_->inc(r.parse_errors);
         m_loop_kills_->inc(r.loop_kills);
 
-        std::lock_guard<std::mutex> results_lock(w.results_mu);
-        ++w.packets;
-        accumulate(w.totals, r);
-        if (opts_.collect_results) w.results.emplace_back(job.seq, std::move(r));
+        if (opts_.collect_results) {
+          completed.emplace_back(job.seq, std::move(r));
+        } else {
+          std::lock_guard<std::mutex> results_lock(w.results_mu);
+          ++w.packets;
+          accumulate(w.totals, r);
+        }
       }
     }
+    // Stream the batch into the deterministic merge (emits every result
+    // whose predecessors are all done) before recycling buffers, so a
+    // drainer woken by the reorder buffer observes fully-processed state.
+    if (!completed.empty()) reorder_.deliver(completed);
+    for (auto& job : batch) w.arena->recycle(std::move(job.packet));
     m_batches_->inc();
     processed_.fetch_add(batch.size(), std::memory_order_acq_rel);
     // Take the drain lock (empty section) so a drainer that just evaluated
@@ -308,51 +374,83 @@ std::uint64_t TrafficEngine::inject(std::uint16_t port, net::Packet packet) {
   const std::size_t shard = shard_of(packet);
   const std::uint64_t seq =
       enqueued_.fetch_add(1, std::memory_order_acq_rel);
-  bool waited = false;
-  workers_[shard]->queue->push(Job{seq, port, std::move(packet)}, &waited);
-  if (waited) m_backpressure_->inc();
+  Worker& w = *workers_[shard];
+  Job job{seq, port, std::move(packet)};
+  if (w.queue) {
+    bool waited = false;
+    w.queue->push(std::move(job), &waited);
+    if (waited) m_backpressure_->inc();
+  } else {
+    std::lock_guard<std::mutex> lk(w.prod_mu);
+    w.ring->push(&job, 1);
+  }
   return seq;
 }
 
+void TrafficEngine::flush_stage(Worker& w) {
+  if (w.stage.empty()) return;
+  if (w.queue) {
+    for (auto& job : w.stage) {
+      bool waited = false;
+      w.queue->push(std::move(job), &waited);
+      if (waited) m_backpressure_->inc();
+    }
+  } else {
+    std::lock_guard<std::mutex> lk(w.prod_mu);
+    w.ring->push(w.stage.data(), w.stage.size());
+  }
+  w.stage.clear();
+}
+
 void TrafficEngine::inject_batch(std::span<const InjectItem> items) {
-  for (const auto& item : items) inject(item.port, item.packet);
+  std::lock_guard<std::mutex> inject_lock(inject_mu_);
+  for (const auto& item : items) {
+    Worker& w = *workers_[shard_of(item.packet)];
+    const std::uint64_t seq =
+        enqueued_.fetch_add(1, std::memory_order_acq_rel);
+    w.stage.push_back(
+        Job{seq, item.port, w.arena->acquire(item.packet.bytes())});
+    if (w.stage.size() >= opts_.batch_size) flush_stage(w);
+  }
+  for (auto& w : workers_) flush_stage(*w);
 }
 
 MergedResult TrafficEngine::drain() {
   const std::uint64_t target = enqueued_.load(std::memory_order_acquire);
+  if (opts_.collect_results) {
+    const std::uint64_t t0 = wall_ns();
+    reorder_.wait_emitted(target);
+    m_drain_wait_ns_->inc(wall_ns() - t0);
+    return reorder_.take_ready();
+  }
+  const std::uint64_t t0 = wall_ns();
   {
     std::unique_lock<std::mutex> lk(drain_mu_);
     drained_cv_.wait(lk, [&] {
       return processed_.load(std::memory_order_acquire) >= target;
     });
   }
+  m_drain_wait_ns_->inc(wall_ns() - t0);
   // All workers are now between batches for everything enqueued before the
-  // call; collect under the results locks.
-  std::vector<std::pair<std::uint64_t, bm::ProcessResult>> all;
-  bm::ProcessResult totals;
-  std::uint64_t packets = 0;
+  // call; collect the numeric totals under the results locks.
+  MergedResult m;
   for (auto& w : workers_) {
     std::lock_guard<std::mutex> lk(w->results_mu);
-    packets += w->packets;
-    accumulate(totals, w->totals);
-    all.insert(all.end(), std::make_move_iterator(w->results.begin()),
-               std::make_move_iterator(w->results.end()));
-    w->results.clear();
+    m.packets += w->packets;
+    accumulate(m.totals, w->totals);
     w->totals = bm::ProcessResult{};
     w->packets = 0;
   }
-  std::sort(all.begin(), all.end(),
-            [](const auto& a, const auto& b) { return a.first < b.first; });
-  if (opts_.collect_results) {
-    std::vector<bm::ProcessResult> ordered;
-    ordered.reserve(all.size());
-    for (auto& [seq, r] : all) ordered.push_back(std::move(r));
-    return merge_results(std::move(ordered));
-  }
-  MergedResult m;
-  m.totals = std::move(totals);
-  m.packets = packets;
   return m;
+}
+
+MergedResult TrafficEngine::collect_ready() {
+  if (!opts_.collect_results) {
+    throw ConfigError(
+        "TrafficEngine::collect_ready needs collect_results=true");
+  }
+  reorder_.wait_any_ready(enqueued_.load(std::memory_order_acquire));
+  return reorder_.take_ready();
 }
 
 std::uint64_t TrafficEngine::counter_packets_total(const std::string& counter,

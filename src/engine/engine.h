@@ -8,6 +8,21 @@
 // flow hit the same replica in injection order — per-flow stateful
 // semantics hold with no locks on the packet path.
 //
+// Data path (rebuilt for real wall-clock scaling — see DESIGN.md):
+//   * one cacheline-padded SPSC ring per worker (ring.h) with batched
+//     push/pop and a condvar slow path only when full/empty; producers are
+//     serialized per ring by a tiny mutex, uncontended for one injector;
+//   * a per-worker packet arena (arena.h) recycles net::Packet buffers from
+//     the result path back to inject_batch(), so the steady-state inject
+//     path performs zero heap allocations;
+//   * a sequence-numbered reorder buffer (reorder.h) streams the
+//     deterministic merge: results emit in injection order as the next
+//     sequence completes instead of being sorted behind a whole-wave
+//     barrier at drain();
+//   * optional core-affinity pinning of workers (EngineOptions::pin_workers).
+// The mutex-guarded BoundedQueue survives as a selectable fallback channel
+// (EngineOptions::use_mutex_queue) with identical semantics.
+//
 // Control-plane operations (table_add / table_modify / ...) fan out to
 // every replica atomically: the control thread takes every replica lock (in
 // index order, so concurrent control ops cannot deadlock), applies the
@@ -21,8 +36,8 @@
 //     every native-vs-HyPer4 equivalence test extends to the engine.
 //   * For flow-disjoint workloads (no cross-flow register/meter coupling in
 //     the P4 program), the merged per-packet trace is identical for any
-//     worker count: per-flow order is FIFO and the merge step orders
-//     results by injection sequence number.
+//     worker count: per-flow order is FIFO and results emit in injection-
+//     sequence order.
 #pragma once
 
 #include <atomic>
@@ -38,9 +53,12 @@
 #include <vector>
 
 #include "bm/switch.h"
+#include "engine/arena.h"
 #include "engine/flow.h"
 #include "engine/metrics.h"
 #include "engine/queue.h"
+#include "engine/reorder.h"
+#include "engine/ring.h"
 #include "net/packet.h"
 #include "p4/ir.h"
 
@@ -48,10 +66,10 @@ namespace hyper4::engine {
 
 struct EngineOptions {
   std::size_t workers = 1;
-  // Per-worker queue capacity; producers block (backpressure) when the
-  // owning worker's queue is full.
+  // Per-worker shard-ring capacity (rounded up to a power of two);
+  // producers block (backpressure) when the owning worker's ring is full.
   std::size_t queue_capacity = 1024;
-  // Max packets a worker takes per queue pop / replica-lock hold.
+  // Max packets a worker takes per ring pop / replica-lock hold.
   std::size_t batch_size = 32;
   // Keep every per-packet ProcessResult for drain(). Disable for pure
   // throughput runs; drain() then reports numeric totals only.
@@ -61,6 +79,11 @@ struct EngineOptions {
   // into metrics() by export_profile(). Costs two clock reads per stage per
   // packet on the worker hot path; off by default.
   bool profile = false;
+  // Pin worker i to core i % hardware_concurrency (Linux; no-op elsewhere).
+  bool pin_workers = false;
+  // Use the mutex-guarded BoundedQueue instead of the SPSC ring for the
+  // shard hand-off — the fallback/differential path; semantics identical.
+  bool use_mutex_queue = false;
   bm::Switch::Options switch_options{};
 };
 
@@ -69,16 +92,7 @@ struct InjectItem {
   net::Packet packet;
 };
 
-// The aggregation of all results since the last drain().
-struct MergedResult {
-  // Numeric fields are sums over all packets. With collect_results,
-  // outputs / applied / digests are concatenated in injection-sequence
-  // order (deterministic); without, they are empty.
-  bm::ProcessResult totals;
-  // Per-packet results in injection-sequence order (collect_results only).
-  std::vector<bm::ProcessResult> per_packet;
-  std::uint64_t packets = 0;
-};
+// MergedResult lives in reorder.h (the streaming merge produces it).
 
 // Merge per-packet results (already in the desired order) into totals.
 // Exposed for tests and for callers that collect results themselves.
@@ -179,14 +193,28 @@ class TrafficEngine {
     return static_cast<std::size_t>(flow_hash(p) % workers_.size());
   }
 
-  // Enqueue one packet; blocks when the target worker's queue is full.
-  // Returns the packet's injection sequence number.
+  // Enqueue one packet (moved through, no copy); blocks when the target
+  // worker's ring is full. Returns the packet's injection sequence number.
   std::uint64_t inject(std::uint16_t port, net::Packet packet);
+  // Enqueue a batch: flow-shards producer-side with per-shard staging (one
+  // ring push per staged run, not per packet) and copies each packet into
+  // an arena-recycled buffer — allocation-free at steady state. Concurrent
+  // inject_batch calls serialize on an internal lock; interleave with
+  // inject() freely.
   void inject_batch(std::span<const InjectItem> items);
 
   // Block until every packet enqueued so far has been processed, then
-  // return (and clear) the merged results.
+  // return (and clear) the merged results (streamed in injection-sequence
+  // order; no end-of-wave sort).
   MergedResult drain();
+
+  // Streaming consumption (collect_results only; throws ConfigError
+  // otherwise): block until at least one not-yet-taken result is ready or
+  // everything enqueued so far has been emitted, then return (and clear)
+  // the ordered ready prefix — possibly empty when fully caught up. Lets a
+  // caller overlap result processing with packet processing instead of
+  // waiting for the whole wave.
+  MergedResult collect_ready();
 
   // --- aggregate reads (sum across replicas) -------------------------------
   // Registers/meters are per-flow state and live in the flow's replica;
@@ -229,6 +257,7 @@ class TrafficEngine {
   };
 
   struct Worker {
+    std::size_t index = 0;
     std::unique_ptr<bm::Switch> sw;
     // Alternative packet path (set_packet_path); nullptr = Switch::inject.
     // Only touched under replica_mu, like the replica itself.
@@ -236,12 +265,25 @@ class TrafficEngine {
     // Profiling tracer attached to `sw` when EngineOptions::profile; its
     // histograms are only touched by the owning worker under replica_mu.
     std::unique_ptr<obs::PipelineTracer> tracer;
+    // Shard hand-off: the SPSC ring, or the BoundedQueue fallback when
+    // EngineOptions::use_mutex_queue (exactly one is non-null).
+    std::unique_ptr<SpscRing<Job>> ring;
     std::unique_ptr<BoundedQueue<Job>> queue;
+    // Serializes ring producers (the ring itself is SPSC). Uncontended in
+    // the single-injector pattern; inject_batch holds it once per staged
+    // run, not per packet.
+    std::mutex prod_mu;
+    // Packet-buffer recycler (worker produces spent buffers, inject_batch
+    // consumes them under inject_mu_).
+    std::unique_ptr<PacketArena> arena;
+    // inject_batch staging (guarded by inject_mu_): jobs accumulated for
+    // this shard, flushed as one ring push.
+    std::vector<Job> stage;
     // Held by the worker for one batch; by control fan-outs for one op.
     std::mutex replica_mu;
+    // Numeric totals accumulated when collect_results is off (with
+    // collect_results the reorder buffer owns all accounting).
     std::mutex results_mu;
-    std::vector<std::pair<std::uint64_t, bm::ProcessResult>> results;
-    // Numeric totals accumulated even when collect_results is off.
     bm::ProcessResult totals;
     std::uint64_t packets = 0;  // guarded by results_mu
     std::atomic<std::uint64_t> busy_ns{0};
@@ -249,6 +291,7 @@ class TrafficEngine {
   };
 
   void worker_loop(Worker& w);
+  void flush_stage(Worker& w);
   // Lock every replica in index order, run fn(switch) on each, bump epoch.
   template <typename Fn>
   void fan_out(Fn&& fn);
@@ -256,11 +299,14 @@ class TrafficEngine {
   EngineOptions opts_;
   std::vector<std::unique_ptr<Worker>> workers_;
   std::mutex control_mu_;
+  // Serializes inject_batch callers (staging buffers + arena consumer side).
+  std::mutex inject_mu_;
   std::atomic<std::uint64_t> epoch_{0};
   std::atomic<std::uint64_t> enqueued_{0};
   std::atomic<std::uint64_t> processed_{0};
   std::mutex drain_mu_;
   std::condition_variable drained_cv_;
+  ReorderBuffer reorder_;
 
   MetricsRegistry metrics_;
   // Hot-path metric handles, resolved once.
@@ -273,6 +319,12 @@ class TrafficEngine {
   Counter* m_loop_kills_ = nullptr;
   Counter* m_batches_ = nullptr;
   Counter* m_backpressure_ = nullptr;
+  Counter* m_consumer_waits_ = nullptr;
+  Counter* m_queue_prod_wakeups_ = nullptr;
+  Counter* m_queue_cons_wakeups_ = nullptr;
+  Counter* m_merge_stall_ns_ = nullptr;
+  Counter* m_drain_wait_ns_ = nullptr;
+  Counter* m_arena_fresh_ = nullptr;
   Counter* m_control_ops_ = nullptr;
   Counter* m_txn_batches_ = nullptr;
   Histogram* h_latency_us_ = nullptr;

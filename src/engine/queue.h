@@ -1,12 +1,21 @@
-// Bounded multi-producer / multi-consumer work queue for the traffic
-// engine. Producers block when the queue is full (backpressure — the
-// engine's substitute for an unbounded ingress buffer), consumers pop in
-// batches to amortize synchronization over many packets.
+// Bounded multi-producer / multi-consumer work queue — the traffic
+// engine's *fallback* shard channel (EngineOptions::use_mutex_queue) and
+// the reference semantics for the SPSC ring (ring.h) that replaced it on
+// the hot path. Producers block when the queue is full (backpressure),
+// consumers pop in batches to amortize synchronization over many packets.
 //
-// A mutex + two condition variables is deliberately chosen over a lock-free
-// ring: the queue is touched once per *batch* on the consumer side, so the
-// lock is far off the per-packet hot path, and the blocking semantics give
-// exact backpressure accounting for the metrics registry.
+// A mutex + two condition variables is deliberately kept here: the blocking
+// semantics give exact backpressure accounting, and having a second,
+// differently-synchronized implementation of the same contract keeps the
+// ring honest (the engine's determinism tests run against both).
+//
+// Wakeup discipline: pop_batch frees exactly n slots, so it wakes at most
+// n blocked producers (notify_one per freed slot) instead of notify_all —
+// the old thundering herd woke every producer for one slot and each loser
+// re-took the mutex just to sleep again. close() is the only notify_all.
+// Optional counters record actual producer/consumer wakeups (returns from
+// a condvar wait, including spurious ones) for the engine's
+// MetricsRegistry.
 #pragma once
 
 #include <condition_variable>
@@ -16,13 +25,19 @@
 #include <utility>
 #include <vector>
 
+#include "engine/metrics.h"
+
 namespace hyper4::engine {
 
 template <typename T>
 class BoundedQueue {
  public:
-  explicit BoundedQueue(std::size_t capacity)
-      : capacity_(capacity == 0 ? 1 : capacity) {}
+  explicit BoundedQueue(std::size_t capacity,
+                        Counter* producer_wakeups = nullptr,
+                        Counter* consumer_wakeups = nullptr)
+      : capacity_(capacity == 0 ? 1 : capacity),
+        producer_wakeups_(producer_wakeups),
+        consumer_wakeups_(consumer_wakeups) {}
 
   BoundedQueue(const BoundedQueue&) = delete;
   BoundedQueue& operator=(const BoundedQueue&) = delete;
@@ -33,7 +48,10 @@ class BoundedQueue {
   bool push(T item, bool* waited = nullptr) {
     std::unique_lock<std::mutex> lk(mu_);
     if (waited) *waited = closed_ ? false : q_.size() >= capacity_;
-    not_full_.wait(lk, [&] { return closed_ || q_.size() < capacity_; });
+    while (!closed_ && q_.size() >= capacity_) {
+      not_full_.wait(lk);
+      if (producer_wakeups_) producer_wakeups_->inc();
+    }
     if (closed_) return false;
     q_.push_back(std::move(item));
     lk.unlock();
@@ -47,7 +65,10 @@ class BoundedQueue {
   bool pop_batch(std::vector<T>& out, std::size_t max) {
     out.clear();
     std::unique_lock<std::mutex> lk(mu_);
-    not_empty_.wait(lk, [&] { return closed_ || !q_.empty(); });
+    while (!closed_ && q_.empty()) {
+      not_empty_.wait(lk);
+      if (consumer_wakeups_) consumer_wakeups_->inc();
+    }
     if (q_.empty()) return false;  // closed and drained
     const std::size_t n = std::min(max == 0 ? std::size_t{1} : max, q_.size());
     for (std::size_t i = 0; i < n; ++i) {
@@ -55,7 +76,8 @@ class BoundedQueue {
       q_.pop_front();
     }
     lk.unlock();
-    not_full_.notify_all();
+    // n slots freed admit at most n blocked producers.
+    for (std::size_t i = 0; i < n; ++i) not_full_.notify_one();
     return true;
   }
 
@@ -83,6 +105,8 @@ class BoundedQueue {
   std::deque<T> q_;
   std::size_t capacity_;
   bool closed_ = false;
+  Counter* producer_wakeups_;
+  Counter* consumer_wakeups_;
 };
 
 }  // namespace hyper4::engine

@@ -1,0 +1,97 @@
+#include "engine/reorder.h"
+
+#include <chrono>
+
+namespace hyper4::engine {
+
+namespace {
+
+void accumulate_counts(bm::ProcessResult& into, const bm::ProcessResult& r) {
+  into.resubmits += r.resubmits;
+  into.recirculations += r.recirculations;
+  into.clones_i2e += r.clones_i2e;
+  into.clones_e2e += r.clones_e2e;
+  into.multicast_copies += r.multicast_copies;
+  into.drops += r.drops;
+  into.parse_errors += r.parse_errors;
+  into.loop_kills += r.loop_kills;
+}
+
+std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+void ReorderBuffer::emit_locked(bm::ProcessResult&& r) {
+  accumulate_counts(ready_.totals, r);
+  ready_.totals.outputs.insert(ready_.totals.outputs.end(), r.outputs.begin(),
+                               r.outputs.end());
+  ready_.totals.applied.insert(ready_.totals.applied.end(), r.applied.begin(),
+                               r.applied.end());
+  ready_.totals.digests.insert(ready_.totals.digests.end(), r.digests.begin(),
+                               r.digests.end());
+  ready_.per_packet.push_back(std::move(r));
+  ++ready_.packets;
+  ++next_;
+}
+
+void ReorderBuffer::deliver(
+    std::vector<std::pair<std::uint64_t, bm::ProcessResult>>& batch) {
+  if (batch.empty()) return;
+  const std::uint64_t t0 = stall_ns_ ? now_ns() : 0;
+  bool emitted = false;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    for (auto& [seq, r] : batch) {
+      if (seq == next_) {
+        emit_locked(std::move(r));
+        emitted = true;
+      } else {
+        pending_.emplace(seq, std::move(r));
+      }
+    }
+    // A just-emitted sequence may unblock buffered successors.
+    while (!pending_.empty() && pending_.begin()->first == next_) {
+      emit_locked(std::move(pending_.begin()->second));
+      pending_.erase(pending_.begin());
+      emitted = true;
+    }
+  }
+  batch.clear();
+  if (emitted) emitted_cv_.notify_all();
+  if (stall_ns_) stall_ns_->inc(now_ns() - t0);
+}
+
+std::uint64_t ReorderBuffer::next_seq() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return next_;
+}
+
+std::size_t ReorderBuffer::pending() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return pending_.size();
+}
+
+void ReorderBuffer::wait_emitted(std::uint64_t target) {
+  std::unique_lock<std::mutex> lk(mu_);
+  emitted_cv_.wait(lk, [&] { return next_ >= target; });
+}
+
+void ReorderBuffer::wait_any_ready(std::uint64_t target) {
+  std::unique_lock<std::mutex> lk(mu_);
+  emitted_cv_.wait(
+      lk, [&] { return !ready_.per_packet.empty() || next_ >= target; });
+}
+
+MergedResult ReorderBuffer::take_ready() {
+  std::lock_guard<std::mutex> lk(mu_);
+  MergedResult out = std::move(ready_);
+  ready_ = MergedResult{};
+  return out;
+}
+
+}  // namespace hyper4::engine

@@ -1,0 +1,82 @@
+// Streaming deterministic merge: a sequence-numbered reorder buffer.
+//
+// Workers deliver completed (injection sequence, ProcessResult) batches in
+// whatever order they finish; the buffer emits results the moment the next
+// expected sequence completes — appending to an ordered ready list and a
+// running MergedResult — instead of barriering on the whole wave and
+// sorting at drain() time. drain() therefore only waits for the last
+// straggler and moves the already-ordered data out; a streaming consumer
+// (TrafficEngine::collect_ready, sim::Network::send_many) can take the
+// emitted prefix while later packets are still in flight.
+//
+// Out-of-order residence is bounded by the engine's in-flight packet count
+// (sum of shard-ring capacities + one batch per worker): a producer blocked
+// on a full shard ring stops the global sequence from advancing, so the
+// pending map can never grow past what the rings admit.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "bm/trace.h"
+#include "engine/metrics.h"
+
+namespace hyper4::engine {
+
+// The aggregation of all results since the last drain().
+struct MergedResult {
+  // Numeric fields are sums over all packets. With collect_results,
+  // outputs / applied / digests are concatenated in injection-sequence
+  // order (deterministic); without, they are empty.
+  bm::ProcessResult totals;
+  // Per-packet results in injection-sequence order (collect_results only).
+  std::vector<bm::ProcessResult> per_packet;
+  std::uint64_t packets = 0;
+};
+
+class ReorderBuffer {
+ public:
+  // `stall_ns` (optional) accumulates wall nanoseconds workers spend inside
+  // deliver() — lock wait plus insert/emit — the merge-stall share of the
+  // serial-fraction evidence in BENCH_engine.json.
+  explicit ReorderBuffer(Counter* stall_ns = nullptr) : stall_ns_(stall_ns) {}
+  // Install/replace the stall counter (call before any deliver()).
+  void set_stall_counter(Counter* c) { stall_ns_ = c; }
+
+  ReorderBuffer(const ReorderBuffer&) = delete;
+  ReorderBuffer& operator=(const ReorderBuffer&) = delete;
+
+  // Deliver a batch of completed results (any order; sequences must be
+  // unique). Moves the results in; `batch` is left cleared.
+  void deliver(std::vector<std::pair<std::uint64_t, bm::ProcessResult>>& batch);
+
+  // Every sequence < next_seq() has been emitted into the ready prefix.
+  std::uint64_t next_seq() const;
+  std::size_t pending() const;
+
+  // Block until every sequence < `target` has been emitted.
+  void wait_emitted(std::uint64_t target);
+  // Block until the untaken ready prefix is non-empty OR every sequence
+  // < `target` has been emitted (whichever first).
+  void wait_any_ready(std::uint64_t target);
+
+  // Move out everything emitted so far (ordered per-packet results plus the
+  // incrementally merged totals). next_seq() keeps counting across takes.
+  MergedResult take_ready();
+
+ private:
+  void emit_locked(bm::ProcessResult&& r);
+
+  mutable std::mutex mu_;
+  std::condition_variable emitted_cv_;
+  std::uint64_t next_ = 0;  // next sequence to emit
+  std::map<std::uint64_t, bm::ProcessResult> pending_;
+  MergedResult ready_;  // emitted, not yet taken
+  Counter* stall_ns_;
+};
+
+}  // namespace hyper4::engine

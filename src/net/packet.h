@@ -29,6 +29,13 @@ class Packet {
   void append(std::span<const std::uint8_t> data) {
     bytes_.insert(bytes_.end(), data.begin(), data.end());
   }
+  // Replace the contents with a copy of `data`, reusing the existing
+  // capacity — the engine's packet arena recycles buffers through this, so
+  // a warmed buffer absorbs a new packet without touching the heap.
+  void assign(std::span<const std::uint8_t> data) {
+    bytes_.assign(data.begin(), data.end());
+  }
+  std::size_t capacity() const { return bytes_.capacity(); }
   void append_byte(std::uint8_t b) { bytes_.push_back(b); }
 
   // Drop everything past `len` bytes (P4 truncate primitive).

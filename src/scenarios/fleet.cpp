@@ -40,6 +40,7 @@ ScenarioFleet::ScenarioFleet(FleetOptions opts) : opts_(opts) {
   engine::EngineOptions eo;
   eo.workers = std::max<std::size_t>(1, opts_.engine_workers);
   eo.collect_results = true;
+  eo.pin_workers = opts_.pin_workers;
   eng_ = std::make_unique<engine::TrafficEngine>(ctl_->dataplane().program(),
                                                  eo);
   ctl_->attach_engine(eng_.get());  // initial sync

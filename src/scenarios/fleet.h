@@ -37,6 +37,9 @@ struct FleetOptions {
   // hot-swap; the catalog has 5).
   std::size_t chain_depth = 2;
   std::size_t engine_workers = 4;
+  // Pin engine workers to cores (EngineOptions::pin_workers) — wall-clock
+  // scaling runs on machines with cores to spare; harmless elsewhere.
+  bool pin_workers = false;
   // Route packets through the VM bytecode tier on every engine worker.
   bool vm_path = false;
   std::uint64_t seed = 1;

@@ -127,25 +127,37 @@ std::vector<std::vector<Network::Delivery>> Network::send_many(
   items.reserve(packets.size());
   for (const auto& p : packets) items.push_back({in_port, p});
   engine->inject_batch(items);
-  engine::MergedResult merged = engine->drain();
-  if (merged.per_packet.size() != packets.size())
-    throw ConfigError(
-        "sim: engine did not return per-packet results (collect_results "
-        "off, or concurrent injections?)");
-
-  for (const auto& res : merged.per_packet) {
-    const double work = cm_.work_us(res);
-    busy_[edge_sw] += work;
-    std::vector<Delivery> dels;
-    for (const auto& o : res.outputs) {
-      auto wit = wires_.find({edge_sw, o.port});
-      if (wit == wires_.end()) continue;  // unwired port: packet vanishes
-      const Endpoint& e = wit->second;
-      if (e.kind != Endpoint::Kind::kHost) continue;
-      dels.push_back(Delivery{e.name, o.packet,
-                              cm_.link_us + work + cm_.link_us, 1});
+  // Stream results out as the reorder buffer emits them (injection-sequence
+  // order), overlapping delivery bookkeeping with packet processing instead
+  // of barriering on the whole wave.
+  std::size_t got = 0;
+  while (got < packets.size()) {
+    engine::MergedResult part = engine->collect_ready();
+    if (part.packets == 0 && got < packets.size()) {
+      // Caught up with everything enqueued but the wave is short: another
+      // caller drained our results or collect_results is off.
+      throw ConfigError(
+          "sim: engine did not return per-packet results (collect_results "
+          "off, or concurrent injections?)");
     }
-    out.push_back(std::move(dels));
+    got += part.per_packet.size();
+    if (got > packets.size())
+      throw ConfigError("sim: engine returned foreign results (concurrent "
+                        "injections during send_many?)");
+    for (const auto& res : part.per_packet) {
+      const double work = cm_.work_us(res);
+      busy_[edge_sw] += work;
+      std::vector<Delivery> dels;
+      for (const auto& o : res.outputs) {
+        auto wit = wires_.find({edge_sw, o.port});
+        if (wit == wires_.end()) continue;  // unwired port: packet vanishes
+        const Endpoint& e = wit->second;
+        if (e.kind != Endpoint::Kind::kHost) continue;
+        dels.push_back(Delivery{e.name, o.packet,
+                                cm_.link_us + work + cm_.link_us, 1});
+      }
+      out.push_back(std::move(dels));
+    }
   }
   return out;
 }
