@@ -1,0 +1,96 @@
+// gen_1 (generated P4-14 source)
+
+header_type h0_t {
+    fields {
+        f0 : 32;
+        sel : 16;
+    }
+}
+
+header_type h1_t {
+    fields {
+        f0 : 24;
+        f1 : 8;
+    }
+}
+
+header_type h2_t {
+    fields {
+        f0 : 4;
+        f1 : 32;
+        f2 : 8;
+        f3 : 4;
+    }
+}
+
+header_type h3_t {
+    fields {
+        f0 : 24;
+        f1 : 12;
+        f2 : 12;
+        f3 : 8;
+        f4 : 4;
+        f5 : 4;
+    }
+}
+
+header h0_t h0;
+header h1_t h1;
+header h2_t h2;
+header h3_t h3;
+
+parser start {
+    extract(h0);
+    return select(h0.sel) {
+        0x07ca : p_h1;
+        0x1161 : p_h2;
+        0xe11a : p_h3;
+        default : ingress;
+    }
+}
+
+parser p_h1 {
+    extract(h1);
+    return ingress;
+}
+
+parser p_h2 {
+    extract(h2);
+    return ingress;
+}
+
+parser p_h3 {
+    extract(h3);
+    return ingress;
+}
+
+action act2(port) {
+    modify_field(standard_metadata.egress_spec, port);
+}
+
+action act3(port) {
+}
+
+action a_drop() {
+}
+
+table t1 {
+    reads {
+        h0.f0 : exact;
+    }
+    actions {
+        act2;
+        act3;
+        a_drop;
+    }
+    default_action : a_drop;
+    size : 1024;
+}
+
+control ingress {
+    apply(t1);
+}
+
+control egress {
+}
+

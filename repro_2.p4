@@ -1,0 +1,50 @@
+// gen_2 (generated P4-14 source)
+
+header_type h0_t {
+    fields {
+        f0 : 8;
+        f1 : 32;
+        f2 : 12;
+        f3 : 32;
+        f4 : 8;
+        f5 : 4;
+    }
+}
+
+header h0_t h0;
+
+parser start {
+    extract(h0);
+    return ingress;
+}
+
+action act1(port, p1) {
+    modify_field(standard_metadata.egress_spec, port);
+}
+
+action act2(port) {
+}
+
+action a_drop() {
+}
+
+table t1 {
+    reads {
+        h0.f5 : exact;
+    }
+    actions {
+        act1;
+        act2;
+        a_drop;
+    }
+    default_action : a_drop;
+    size : 1024;
+}
+
+control ingress {
+    apply(t1);
+}
+
+control egress {
+}
+

@@ -1,0 +1,173 @@
+#include "abi/wire.h"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+#include "util/error.h"
+
+namespace hyper4::abi {
+
+namespace {
+
+bool write_all(int fd, const void* data, std::size_t len) {
+  const char* p = static_cast<const char*>(data);
+  while (len > 0) {
+    const ssize_t n = ::write(fd, p, len);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    p += n;
+    len -= static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+// 1 = ok, 0 = clean EOF before any byte, -1 = error/short read.
+int read_all(int fd, void* data, std::size_t len) {
+  char* p = static_cast<char*>(data);
+  std::size_t got = 0;
+  while (got < len) {
+    const ssize_t n = ::read(fd, p + got, len - got);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return -1;
+    }
+    if (n == 0) return got == 0 ? 0 : -1;
+    got += static_cast<std::size_t>(n);
+  }
+  return 1;
+}
+
+}  // namespace
+
+bool write_frame(int fd, const std::string& payload) {
+  if (payload.size() > kMaxFrame)
+    throw util::ConfigError("wire frame exceeds 64 MiB");
+  std::uint8_t hdr[4];
+  const std::uint32_t n = static_cast<std::uint32_t>(payload.size());
+  hdr[0] = static_cast<std::uint8_t>(n);
+  hdr[1] = static_cast<std::uint8_t>(n >> 8);
+  hdr[2] = static_cast<std::uint8_t>(n >> 16);
+  hdr[3] = static_cast<std::uint8_t>(n >> 24);
+  return write_all(fd, hdr, 4) &&
+         (payload.empty() || write_all(fd, payload.data(), payload.size()));
+}
+
+bool read_frame(int fd, std::string& payload) {
+  std::uint8_t hdr[4];
+  const int rc = read_all(fd, hdr, 4);
+  if (rc == 0) return false;  // clean EOF between frames
+  if (rc < 0) throw util::Error("wire: short read on frame header");
+  const std::uint32_t n = static_cast<std::uint32_t>(hdr[0]) |
+                          (static_cast<std::uint32_t>(hdr[1]) << 8) |
+                          (static_cast<std::uint32_t>(hdr[2]) << 16) |
+                          (static_cast<std::uint32_t>(hdr[3]) << 24);
+  if (n > kMaxFrame) throw util::Error("wire: frame exceeds 64 MiB");
+  payload.resize(n);
+  if (n > 0 && read_all(fd, payload.data(), n) != 1)
+    throw util::Error("wire: short read on frame payload");
+  return true;
+}
+
+void split_payload(const std::string& payload, std::string& head,
+                   std::string& body) {
+  const auto nl = payload.find('\n');
+  if (nl == std::string::npos) {
+    head = payload;
+    body.clear();
+  } else {
+    head = payload.substr(0, nl);
+    body = payload.substr(nl + 1);
+  }
+}
+
+std::string to_hex(const std::uint8_t* data, std::size_t len) {
+  static const char* kDigits = "0123456789abcdef";
+  std::string out;
+  out.reserve(len * 2);
+  for (std::size_t i = 0; i < len; ++i) {
+    out.push_back(kDigits[data[i] >> 4]);
+    out.push_back(kDigits[data[i] & 0xf]);
+  }
+  return out;
+}
+
+std::string from_hex(const std::string& hex) {
+  if (hex.size() % 2 != 0) throw util::Error("odd-length hex string");
+  auto nibble = [](char c) -> int {
+    if (c >= '0' && c <= '9') return c - '0';
+    if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+    if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+    throw util::Error(std::string("bad hex digit '") + c + "'");
+  };
+  std::string out;
+  out.reserve(hex.size() / 2);
+  for (std::size_t i = 0; i < hex.size(); i += 2)
+    out.push_back(static_cast<char>((nibble(hex[i]) << 4) |
+                                    nibble(hex[i + 1])));
+  return out;
+}
+
+DaemonClient::DaemonClient(const std::string& socket_path, int retries,
+                           int retry_ms) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (socket_path.size() >= sizeof(addr.sun_path))
+    throw util::ConfigError("socket path too long: " + socket_path);
+  std::memcpy(addr.sun_path, socket_path.c_str(), socket_path.size() + 1);
+  for (int attempt = 0;; ++attempt) {
+    fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd_ < 0) throw util::Error("socket(): " + std::string(strerror(errno)));
+    if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) ==
+        0)
+      return;
+    ::close(fd_);
+    fd_ = -1;
+    if (attempt >= retries)
+      throw util::Error("cannot connect to " + socket_path + ": " +
+                        strerror(errno));
+    std::this_thread::sleep_for(std::chrono::milliseconds(retry_ms));
+  }
+}
+
+DaemonClient::~DaemonClient() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+DaemonClient::Response DaemonClient::request(const std::string& line,
+                                             const std::string& body) {
+  std::string payload = line;
+  if (!body.empty()) {
+    payload.push_back('\n');
+    payload += body;
+  }
+  if (!write_frame(fd_, payload))
+    throw util::Error("daemon connection lost on send");
+  std::string resp;
+  if (!read_frame(fd_, resp))
+    throw util::Error("daemon connection closed before response");
+  Response r;
+  std::string head;
+  split_payload(resp, head, r.body);
+  if (head.rfind("ok", 0) == 0 && (head.size() == 2 || head[2] == ' ')) {
+    r.ok = true;
+    r.head = head.size() > 3 ? head.substr(3) : "";
+  } else if (head.rfind("err ", 0) == 0) {
+    r.ok = false;
+    const auto sp = head.find(' ', 4);
+    r.code = std::stoi(head.substr(4, sp - 4));
+    r.head = sp == std::string::npos ? "" : head.substr(sp + 1);
+  } else {
+    throw util::Error("malformed daemon response: " + head);
+  }
+  return r;
+}
+
+}  // namespace hyper4::abi

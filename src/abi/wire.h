@@ -1,0 +1,71 @@
+// The hyper4d wire protocol: length-prefixed frames over a unix-domain
+// stream socket (DESIGN.md "Embeddable service surface").
+//
+// Framing (both directions): a 4-byte little-endian payload length,
+// followed by that many payload bytes. Frames larger than kMaxFrame are a
+// protocol error and close the connection.
+//
+// Request payload: one command line — "cmd arg1 arg2 ..." — optionally
+// followed by '\n' and a free-form body (P4 source for load/hot-swap,
+// "port hexbytes" lines for inject, a hex image for restore).
+//
+// Response payload: status line "ok[ head fields]" or "err <code> <message>"
+// (code is the negative H4_ERR_* value of the failing ABI call), optionally
+// followed by '\n' and a body (metrics JSON, drained packets, reports).
+//
+// This header is a C++ convenience for the daemon and its test harnesses;
+// it is NOT part of the stable C ABI and is not installed.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace hyper4::abi {
+
+inline constexpr std::size_t kMaxFrame = 64u << 20;  // 64 MiB
+
+// Blocking frame I/O on a connected stream socket. write_frame returns
+// false on a closed/failed peer; read_frame returns false on clean EOF and
+// throws util::Error on a malformed length or a short read mid-frame.
+bool write_frame(int fd, const std::string& payload);
+bool read_frame(int fd, std::string& payload);
+
+// Split a request/response payload into its first line and the body after
+// the first '\n' (empty when none).
+void split_payload(const std::string& payload, std::string& head,
+                   std::string& body);
+
+// Hex codec for packet bytes on the wire (lowercase, two digits per byte).
+std::string to_hex(const std::uint8_t* data, std::size_t len);
+std::string from_hex(const std::string& hex);  // throws util::Error
+
+// A blocking client for the daemon. Connects on construction (retrying
+// `retries` times, `retry_ms` apart, so a just-spawned daemon has time to
+// bind). Closes the socket on destruction.
+class DaemonClient {
+ public:
+  DaemonClient(const std::string& socket_path, int retries = 100,
+               int retry_ms = 50);
+  ~DaemonClient();
+
+  DaemonClient(const DaemonClient&) = delete;
+  DaemonClient& operator=(const DaemonClient&) = delete;
+
+  struct Response {
+    bool ok = false;
+    int code = 0;       // H4_ERR_* on err responses
+    std::string head;   // status line past "ok "/the error message
+    std::string body;
+  };
+
+  // Send "line[\n body]", await the response frame. Throws util::Error on
+  // a transport failure (daemon died mid-request).
+  Response request(const std::string& line, const std::string& body = "");
+
+  int fd() const { return fd_; }
+
+ private:
+  int fd_ = -1;
+};
+
+}  // namespace hyper4::abi

@@ -1,0 +1,608 @@
+// Conformance suite for the stable C ABI (include/hyper4/hyper4.h).
+//
+// Exercises EVERY exported function on its success path and on every
+// documented error path: null/stale handles, double-destroy, buffer-too-
+// small NOSPACE (with required-size agreement), wrong-configuration
+// rejections, and error-code/h4_err_str agreement. Also pins ABI
+// stability: the header's H4_API declarations, the committed allowlist
+// (tests/fixtures/abi_symbols.txt) and the shared library's dynamic
+// symbol table must all name the same set, and the header must compile
+// as strict C11 (tests/abi_header_c11.c, compiled with the C toolchain,
+// drives a probe through C linkage).
+#include <hyper4/hyper4.h>
+
+#include <dlfcn.h>
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <regex>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+extern "C" int h4_header_c_probe(void);
+
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "cannot read " << path;
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+std::string l2_source() {
+  return read_file(std::string(HP4_SOURCE_DIR) + "/examples/p4/l2_switch.p4");
+}
+std::string firewall_source() {
+  return read_file(std::string(HP4_SOURCE_DIR) + "/examples/p4/firewall.p4");
+}
+
+// A 64-byte ethernet frame (the persona parser wants full-size frames).
+std::vector<uint8_t> frame(const std::array<uint8_t, 6>& dst,
+                           const std::array<uint8_t, 6>& src) {
+  std::vector<uint8_t> b(64, 0);
+  std::memcpy(b.data(), dst.data(), 6);
+  std::memcpy(b.data() + 6, src.data(), 6);
+  b[12] = 0x08;
+  b[13] = 0x00;
+  return b;
+}
+
+constexpr std::array<uint8_t, 6> kMacA{0, 0, 0, 0, 0, 1};
+constexpr std::array<uint8_t, 6> kMacB{0, 0, 0, 0, 0, 2};
+
+// Instance with l2_switch loaded on ports 1,2, bound to all ingress, and a
+// dmac rule forwarding MacB -> port 2.
+struct Fixture {
+  h4_instance* inst = nullptr;
+  h4_vdev vdev = 0;
+
+  explicit Fixture(const h4_options* opt = nullptr) {
+    h4_options o;
+    h4_options_init(&o);
+    if (opt) o = *opt;
+    EXPECT_EQ(H4_OK, h4_open(&o, &inst));
+    const std::string src = l2_source();
+    EXPECT_EQ(H4_OK, h4_vdev_load(inst, "l2", src.c_str(), &vdev));
+    const uint16_t ports[] = {1, 2};
+    EXPECT_EQ(H4_OK, h4_vdev_attach_ports(inst, vdev, ports, 2));
+    EXPECT_EQ(H4_OK, h4_vdev_bind(inst, vdev, -1));
+    const char* keys[] = {"00:00:00:00:00:02"};
+    const char* args[] = {"2"};
+    uint64_t handle = 0;
+    EXPECT_EQ(H4_OK, h4_rule_add(inst, vdev, "dmac", "forward", keys, 1,
+                                 args, 1, -1, &handle));
+  }
+  ~Fixture() {
+    if (inst) h4_close(inst);
+  }
+};
+
+std::string fetch(h4_instance* inst,
+                  int (*fn)(h4_instance*, char*, size_t, size_t*)) {
+  size_t need = 0;
+  int rc = fn(inst, nullptr, 0, &need);
+  EXPECT_TRUE(rc == H4_OK || rc == H4_ERR_NOSPACE);
+  std::string buf(need, '\0');
+  EXPECT_EQ(H4_OK, fn(inst, buf.data(), buf.size(), &need));
+  buf.resize(need > 0 ? need - 1 : 0);
+  return buf;
+}
+
+// ---- ABI stability -------------------------------------------------------
+
+std::set<std::string> header_symbols() {
+  const std::string hdr =
+      read_file(std::string(HP4_SOURCE_DIR) + "/include/hyper4/hyper4.h");
+  // Every exported function is declared "H4_API <ret> h4_name(".
+  std::set<std::string> out;
+  const std::regex decl(R"(H4_API[^;]*?\b(h4_[a-z0-9_]+)\s*\()");
+  for (auto it = std::sregex_iterator(hdr.begin(), hdr.end(), decl);
+       it != std::sregex_iterator(); ++it)
+    out.insert((*it)[1]);
+  return out;
+}
+
+std::set<std::string> allowlist_symbols() {
+  std::ifstream in(std::string(HP4_SOURCE_DIR) +
+                   "/tests/fixtures/abi_symbols.txt");
+  EXPECT_TRUE(in.good());
+  std::set<std::string> out;
+  for (std::string line; std::getline(in, line);) {
+    if (line.empty() || line[0] == '#') continue;
+    out.insert(line);
+  }
+  return out;
+}
+
+TEST(AbiStability, HeaderMatchesCommittedAllowlist) {
+  const auto header = header_symbols();
+  const auto allow = allowlist_symbols();
+  EXPECT_EQ(allow, header)
+      << "include/hyper4/hyper4.h and tests/fixtures/abi_symbols.txt "
+         "disagree: an ABI change must update both deliberately";
+  EXPECT_EQ(25u, allow.size());
+}
+
+TEST(AbiStability, EverySymbolExportedWithCLinkage) {
+  for (const std::string& sym : allowlist_symbols())
+    EXPECT_NE(nullptr, ::dlsym(RTLD_DEFAULT, sym.c_str()))
+        << sym << " not found in the dynamic symbol table — dropped from "
+        << "the shared library or C++-mangled";
+}
+
+TEST(AbiStability, HeaderCompilesAndRunsAsC11) {
+  // h4_header_c_probe is compiled from tests/abi_header_c11.c as strict
+  // C11; a nonzero value identifies the failing step.
+  EXPECT_EQ(0, h4_header_c_probe());
+}
+
+TEST(AbiStability, VersionMacrosMatchRuntime) {
+  int32_t maj = -1, min = -1, pat = -1;
+  EXPECT_EQ(H4_OK, h4_version(&maj, &min, &pat));
+  EXPECT_EQ(H4_VERSION_MAJOR, maj);
+  EXPECT_EQ(H4_VERSION_MINOR, min);
+  EXPECT_EQ(H4_VERSION_PATCH, pat);
+  // Any pointer may be NULL.
+  EXPECT_EQ(H4_OK, h4_version(nullptr, nullptr, nullptr));
+}
+
+TEST(AbiStability, ErrStrNamesEveryCodeAndNeverReturnsNull) {
+  const std::pair<int, const char*> codes[] = {
+      {H4_OK, "H4_OK"},
+      {H4_ERR_ARG, "H4_ERR_ARG"},
+      {H4_ERR_HANDLE, "H4_ERR_HANDLE"},
+      {H4_ERR_PARSE, "H4_ERR_PARSE"},
+      {H4_ERR_CONFIG, "H4_ERR_CONFIG"},
+      {H4_ERR_COMMAND, "H4_ERR_COMMAND"},
+      {H4_ERR_ISOLATION, "H4_ERR_ISOLATION"},
+      {H4_ERR_NOSPACE, "H4_ERR_NOSPACE"},
+      {H4_ERR_STATE, "H4_ERR_STATE"},
+      {H4_ERR_INTERNAL, "H4_ERR_INTERNAL"},
+  };
+  for (const auto& [code, name] : codes) {
+    const char* s = h4_err_str(code);
+    ASSERT_NE(nullptr, s);
+    EXPECT_NE(nullptr, std::strstr(s, name))
+        << "h4_err_str(" << code << ") = '" << s << "' does not name "
+        << name;
+  }
+  // Unknown codes still get a string.
+  EXPECT_NE(nullptr, h4_err_str(-1234));
+  EXPECT_NE(nullptr, h4_err_str(77));
+}
+
+// ---- lifecycle and handle staleness --------------------------------------
+
+TEST(AbiLifecycle, OpenCloseAndNullArgs) {
+  h4_options opts;
+  EXPECT_EQ(H4_ERR_ARG, h4_options_init(nullptr));
+  EXPECT_EQ(H4_OK, h4_options_init(&opts));
+  h4_instance* inst = nullptr;
+  EXPECT_EQ(H4_ERR_ARG, h4_open(nullptr, &inst));
+  EXPECT_EQ(H4_ERR_ARG, h4_open(&opts, nullptr));
+  EXPECT_EQ(H4_OK, h4_open(&opts, &inst));
+  ASSERT_NE(nullptr, inst);
+  EXPECT_EQ(H4_OK, h4_close(inst));
+}
+
+TEST(AbiLifecycle, DoubleCloseAndStaleInstanceAreHandleErrors) {
+  h4_options opts;
+  h4_options_init(&opts);
+  h4_instance* inst = nullptr;
+  ASSERT_EQ(H4_OK, h4_open(&opts, &inst));
+  ASSERT_EQ(H4_OK, h4_close(inst));
+  EXPECT_EQ(H4_ERR_HANDLE, h4_close(inst));  // double-destroy
+  // Every entry point detects the stale instance.
+  uint64_t u64 = 0;
+  size_t need = 0;
+  char buf[64];
+  h4_vdev vd = 0;
+  h4_drain_stats stats;
+  EXPECT_EQ(H4_ERR_HANDLE, h4_close(nullptr));
+  EXPECT_EQ(H4_ERR_HANDLE, h4_last_error(inst, buf, sizeof(buf), &need));
+  EXPECT_EQ(H4_ERR_HANDLE, h4_compile(inst, "x", buf, sizeof(buf), &need));
+  EXPECT_EQ(H4_ERR_HANDLE, h4_vdev_load(inst, "a", "x", &vd));
+  EXPECT_EQ(H4_ERR_HANDLE, h4_vdev_unload(inst, 1));
+  EXPECT_EQ(H4_ERR_HANDLE, h4_vdev_attach_ports(inst, 1, nullptr, 0));
+  EXPECT_EQ(H4_ERR_HANDLE, h4_vdev_bind(inst, 1, -1));
+  EXPECT_EQ(H4_ERR_HANDLE, h4_chain(inst, nullptr, 0, nullptr, 0));
+  EXPECT_EQ(H4_ERR_HANDLE, h4_rule_add(inst, 1, "t", "a", nullptr, 0,
+                                       nullptr, 0, -1, &u64));
+  EXPECT_EQ(H4_ERR_HANDLE, h4_rule_delete(inst, 1, 1));
+  EXPECT_EQ(H4_ERR_HANDLE, h4_vdev_hot_swap(inst, 1, "x", &vd));
+  EXPECT_EQ(H4_ERR_HANDLE, h4_snapshot(inst, buf, sizeof(buf), &need));
+  EXPECT_EQ(H4_ERR_HANDLE, h4_restore(inst, buf, 1));
+  EXPECT_EQ(H4_ERR_HANDLE, h4_state_digest(inst, &u64));
+  EXPECT_EQ(H4_ERR_HANDLE, h4_checkpoint(inst, &u64));
+  EXPECT_EQ(H4_ERR_HANDLE,
+            h4_recovery_report(inst, buf, sizeof(buf), &need));
+  EXPECT_EQ(H4_ERR_HANDLE, h4_inject_batch(inst, nullptr, 0));
+  EXPECT_EQ(H4_ERR_HANDLE, h4_drain(inst, &stats));
+  EXPECT_EQ(H4_ERR_HANDLE, h4_drain_outputs(inst, nullptr, 0, nullptr, 0,
+                                            &need, &need));
+  EXPECT_EQ(H4_ERR_HANDLE, h4_metrics_json(inst, buf, sizeof(buf), &need));
+  EXPECT_EQ(H4_ERR_HANDLE,
+            h4_diagnostics_json(inst, buf, sizeof(buf), &need));
+}
+
+TEST(AbiLifecycle, UnloadedVdevIdGoesStale) {
+  Fixture fx;
+  h4_vdev second = 0;
+  const std::string fw = firewall_source();
+  ASSERT_EQ(H4_OK, h4_vdev_load(fx.inst, "fw", fw.c_str(), &second));
+  ASSERT_EQ(H4_OK, h4_vdev_unload(fx.inst, second));
+  const uint16_t ports[] = {1};
+  uint64_t handle = 0;
+  EXPECT_EQ(H4_ERR_HANDLE, h4_vdev_unload(fx.inst, second));
+  EXPECT_EQ(H4_ERR_HANDLE,
+            h4_vdev_attach_ports(fx.inst, second, ports, 1));
+  EXPECT_EQ(H4_ERR_HANDLE, h4_vdev_bind(fx.inst, second, -1));
+  EXPECT_EQ(H4_ERR_HANDLE, h4_rule_add(fx.inst, second, "dmac", "forward",
+                                       nullptr, 0, nullptr, 0, -1, &handle));
+  EXPECT_EQ(H4_ERR_HANDLE, h4_rule_delete(fx.inst, second, 1));
+  h4_vdev out = 0;
+  EXPECT_EQ(H4_ERR_HANDLE,
+            h4_vdev_hot_swap(fx.inst, second, fw.c_str(), &out));
+  EXPECT_EQ(H4_ERR_HANDLE, h4_chain(fx.inst, &second, 1, ports, 1));
+  // Vdev id 0 is never valid.
+  EXPECT_EQ(H4_ERR_HANDLE, h4_vdev_unload(fx.inst, 0));
+}
+
+// ---- errors and last_error -----------------------------------------------
+
+TEST(AbiErrors, ParseFailureCarriesDetailInLastError) {
+  Fixture fx;
+  char buf[16];
+  size_t need = 0;
+  EXPECT_EQ(H4_ERR_PARSE,
+            h4_compile(fx.inst, "not p4 at all", buf, sizeof(buf), &need));
+  h4_vdev vd = 0;
+  EXPECT_EQ(H4_ERR_PARSE,
+            h4_vdev_load(fx.inst, "bad", "also not p4", &vd));
+  // last_error: NOSPACE sets required, a big-enough buffer round-trips.
+  EXPECT_EQ(H4_ERR_NOSPACE, h4_last_error(fx.inst, buf, 1, &need));
+  EXPECT_GT(need, 1u);
+  std::string msg(need, '\0');
+  ASSERT_EQ(H4_OK, h4_last_error(fx.inst, msg.data(), msg.size(), &need));
+  EXPECT_NE(std::string::npos, msg.find("parse"));
+  EXPECT_EQ(H4_ERR_ARG, h4_last_error(fx.inst, nullptr, 8, &need));
+}
+
+TEST(AbiErrors, NullArgumentChecks) {
+  Fixture fx;
+  size_t need = 0;
+  h4_vdev vd = 0;
+  uint64_t u64 = 0;
+  EXPECT_EQ(H4_ERR_ARG, h4_compile(fx.inst, nullptr, nullptr, 0, &need));
+  EXPECT_EQ(H4_ERR_ARG, h4_vdev_load(fx.inst, nullptr, "x", &vd));
+  EXPECT_EQ(H4_ERR_ARG, h4_vdev_load(fx.inst, "n", nullptr, &vd));
+  EXPECT_EQ(H4_ERR_ARG, h4_vdev_load(fx.inst, "n", "x", nullptr));
+  EXPECT_EQ(H4_ERR_ARG,
+            h4_vdev_attach_ports(fx.inst, fx.vdev, nullptr, 3));
+  EXPECT_EQ(H4_ERR_ARG, h4_rule_add(fx.inst, fx.vdev, nullptr, "a", nullptr,
+                                    0, nullptr, 0, -1, &u64));
+  EXPECT_EQ(H4_ERR_ARG, h4_rule_add(fx.inst, fx.vdev, "t", nullptr, nullptr,
+                                    0, nullptr, 0, -1, &u64));
+  EXPECT_EQ(H4_ERR_ARG, h4_vdev_hot_swap(fx.inst, fx.vdev, nullptr, &vd));
+  EXPECT_EQ(H4_ERR_ARG, h4_vdev_hot_swap(fx.inst, fx.vdev, "x", nullptr));
+  EXPECT_EQ(H4_ERR_ARG, h4_state_digest(fx.inst, nullptr));
+  EXPECT_EQ(H4_ERR_ARG, h4_inject_batch(fx.inst, nullptr, 2));
+  EXPECT_EQ(H4_ERR_ARG, h4_restore(fx.inst, nullptr, 4));
+  EXPECT_EQ(H4_ERR_ARG, h4_chain(fx.inst, nullptr, 2, nullptr, 0));
+}
+
+TEST(AbiErrors, CommandAndConfigMappings) {
+  Fixture fx;
+  uint64_t handle = 0;
+  const char* keys[] = {"00:00:00:00:00:09"};
+  const char* args[] = {"1"};
+  // Unknown table is a configuration-namespace miss (H4_ERR_CONFIG); a
+  // stale rule handle is a runtime command failure (H4_ERR_COMMAND).
+  EXPECT_EQ(H4_ERR_CONFIG,
+            h4_rule_add(fx.inst, fx.vdev, "no_such_table", "forward", keys,
+                        1, args, 1, -1, &handle));
+  EXPECT_EQ(H4_ERR_COMMAND, h4_rule_delete(fx.inst, fx.vdev, 999999));
+  // Duplicate vdev name -> H4_ERR_CONFIG.
+  h4_vdev vd = 0;
+  const std::string src = l2_source();
+  EXPECT_EQ(H4_ERR_CONFIG, h4_vdev_load(fx.inst, "l2", src.c_str(), &vd));
+  // Durable-only calls on an in-memory instance -> H4_ERR_CONFIG.
+  uint64_t lsn = 0;
+  EXPECT_EQ(H4_ERR_CONFIG, h4_checkpoint(fx.inst, &lsn));
+  char buf[256];
+  size_t need = 0;
+  EXPECT_EQ(H4_ERR_CONFIG,
+            h4_recovery_report(fx.inst, buf, sizeof(buf), &need));
+}
+
+// ---- buffer protocol (NOSPACE) -------------------------------------------
+
+TEST(AbiBuffers, NospaceReturnsRequiredSizeForEveryStringCall) {
+  Fixture fx;
+  int (*string_calls[])(h4_instance*, char*, size_t, size_t*) = {
+      h4_metrics_json, h4_diagnostics_json, h4_last_error};
+  for (auto* fn : string_calls) {
+    size_t need = 0;
+    ASSERT_EQ(H4_ERR_NOSPACE, fn(fx.inst, nullptr, 0, &need));
+    ASSERT_GT(need, 0u);
+    std::string buf(need, '\0');
+    size_t need2 = 0;
+    ASSERT_EQ(H4_OK, fn(fx.inst, buf.data(), buf.size(), &need2));
+    EXPECT_EQ(need, need2);
+    EXPECT_EQ('\0', buf[need2 - 1]) << "strings must be NUL-terminated";
+  }
+  // h4_compile uses the same protocol.
+  const std::string src = l2_source();
+  size_t need = 0;
+  ASSERT_EQ(H4_ERR_NOSPACE,
+            h4_compile(fx.inst, src.c_str(), nullptr, 0, &need));
+  std::string buf(need, '\0');
+  ASSERT_EQ(H4_OK,
+            h4_compile(fx.inst, src.c_str(), buf.data(), buf.size(), &need));
+  EXPECT_NE(std::string::npos, buf.find("\"tables\":2"));
+  // required output pointer itself is mandatory.
+  EXPECT_EQ(H4_ERR_ARG, h4_metrics_json(fx.inst, nullptr, 0, nullptr));
+}
+
+TEST(AbiBuffers, SnapshotNospaceThenExactSize) {
+  Fixture fx;
+  size_t need = 0;
+  ASSERT_EQ(H4_ERR_NOSPACE, h4_snapshot(fx.inst, nullptr, 0, &need));
+  ASSERT_GT(need, 0u);
+  std::vector<char> img(need);
+  char tiny[4];
+  EXPECT_EQ(H4_ERR_NOSPACE, h4_snapshot(fx.inst, tiny, sizeof(tiny), &need));
+  EXPECT_EQ(img.size(), need);
+  ASSERT_EQ(H4_OK, h4_snapshot(fx.inst, img.data(), img.size(), &need));
+  EXPECT_EQ(img.size(), need);
+}
+
+// ---- snapshot / restore / digest -----------------------------------------
+
+TEST(AbiState, SnapshotRestoreRoundTripsDigest) {
+  Fixture fx;
+  uint64_t before = 0;
+  ASSERT_EQ(H4_OK, h4_state_digest(fx.inst, &before));
+
+  size_t need = 0;
+  ASSERT_EQ(H4_ERR_NOSPACE, h4_snapshot(fx.inst, nullptr, 0, &need));
+  std::vector<char> img(need);
+  ASSERT_EQ(H4_OK, h4_snapshot(fx.inst, img.data(), img.size(), &need));
+
+  // Mutate: one more rule changes the digest.
+  const char* keys[] = {"00:00:00:00:00:03"};
+  const char* args[] = {"1"};
+  uint64_t handle = 0;
+  ASSERT_EQ(H4_OK, h4_rule_add(fx.inst, fx.vdev, "dmac", "forward", keys, 1,
+                               args, 1, -1, &handle));
+  uint64_t mutated = 0;
+  ASSERT_EQ(H4_OK, h4_state_digest(fx.inst, &mutated));
+  EXPECT_NE(before, mutated);
+
+  // Restore brings the digest back.
+  ASSERT_EQ(H4_OK, h4_restore(fx.inst, img.data(), img.size()));
+  uint64_t after = 0;
+  ASSERT_EQ(H4_OK, h4_state_digest(fx.inst, &after));
+  EXPECT_EQ(before, after);
+
+  // Garbage image is a state error, not a crash.
+  EXPECT_EQ(H4_ERR_STATE, h4_restore(fx.inst, "garbage-image", 13));
+}
+
+TEST(AbiState, DurableInstanceRecoversAndRejectsRestore) {
+  const std::string dir =
+      (fs::temp_directory_path() / "h4_abi_durable_test").string();
+  fs::remove_all(dir);
+  h4_options opts;
+  h4_options_init(&opts);
+  opts.durable_dir = dir.c_str();
+
+  uint64_t digest_before = 0;
+  {
+    h4_instance* inst = nullptr;
+    ASSERT_EQ(H4_OK, h4_open(&opts, &inst));
+    h4_vdev vd = 0;
+    const std::string src = l2_source();
+    ASSERT_EQ(H4_OK, h4_vdev_load(inst, "l2", src.c_str(), &vd));
+    const uint16_t ports[] = {1, 2};
+    ASSERT_EQ(H4_OK, h4_vdev_attach_ports(inst, vd, ports, 2));
+    ASSERT_EQ(H4_OK, h4_vdev_bind(inst, vd, -1));
+    const char* keys[] = {"00:00:00:00:00:02"};
+    const char* args[] = {"2"};
+    uint64_t handle = 0;
+    ASSERT_EQ(H4_OK, h4_rule_add(inst, vd, "dmac", "forward", keys, 1, args,
+                                 1, -1, &handle));
+    uint64_t lsn = 0;
+    EXPECT_EQ(H4_OK, h4_checkpoint(inst, &lsn));
+    ASSERT_EQ(H4_OK, h4_state_digest(inst, &digest_before));
+    // Restore is checkpoint/journal's job on a durable instance.
+    char img[4] = {0};
+    EXPECT_EQ(H4_ERR_CONFIG, h4_restore(inst, img, sizeof(img)));
+    ASSERT_EQ(H4_OK, h4_close(inst));
+  }
+  {
+    h4_instance* inst = nullptr;
+    ASSERT_EQ(H4_OK, h4_open(&opts, &inst));
+    uint64_t digest_after = 0;
+    ASSERT_EQ(H4_OK, h4_state_digest(inst, &digest_after));
+    EXPECT_EQ(digest_before, digest_after);
+    // The recovery report exists and mentions the digest check.
+    const std::string rep = fetch(inst, h4_recovery_report);
+    EXPECT_NE(std::string::npos, rep.find("digest"));
+    // The recovered vdev id from snapshot time works again.
+    const char* keys[] = {"00:00:00:00:00:04"};
+    const char* args[] = {"1"};
+    uint64_t handle = 0;
+    EXPECT_EQ(H4_OK, h4_rule_add(inst, 1, "dmac", "forward", keys, 1, args,
+                                 1, -1, &handle));
+    ASSERT_EQ(H4_OK, h4_close(inst));
+  }
+  fs::remove_all(dir);
+}
+
+// ---- data plane ----------------------------------------------------------
+
+TEST(AbiDataPlane, InjectDrainAndOutputs) {
+  Fixture fx;
+  const auto fwd = frame(kMacB, kMacA);   // dmac rule -> port 2
+  const auto drop = frame(kMacA, kMacB);  // no rule -> default _drop
+  const h4_packet pkts[] = {
+      {1, fwd.data(), fwd.size()},
+      {1, drop.data(), drop.size()},
+  };
+  ASSERT_EQ(H4_OK, h4_inject_batch(fx.inst, pkts, 2));
+  h4_drain_stats st{};
+  ASSERT_EQ(H4_OK, h4_drain(fx.inst, &st));
+  EXPECT_EQ(2u, st.packets);
+  EXPECT_EQ(1u, st.outputs);
+  EXPECT_EQ(1u, st.drops);
+  EXPECT_EQ(0u, st.parse_errors);
+  EXPECT_GT(st.epoch, 0u);
+  // NULL stats is allowed.
+  ASSERT_EQ(H4_OK, h4_inject_batch(fx.inst, pkts, 1));
+  ASSERT_EQ(H4_OK, h4_drain(fx.inst, nullptr));
+
+  // Outputs: NOSPACE sets both sizes without consuming; the exact-size
+  // call takes everything (both drains' outputs, injection order).
+  size_t nout = 0, nbytes = 0;
+  ASSERT_EQ(H4_ERR_NOSPACE,
+            h4_drain_outputs(fx.inst, nullptr, 0, nullptr, 0, &nout,
+                             &nbytes));
+  EXPECT_EQ(2u, nout);
+  EXPECT_EQ(2 * fwd.size(), nbytes);
+  std::vector<h4_output> outs(nout);
+  std::vector<uint8_t> bytes(nbytes);
+  ASSERT_EQ(H4_OK,
+            h4_drain_outputs(fx.inst, outs.data(), outs.size(), bytes.data(),
+                             bytes.size(), &nout, &nbytes));
+  ASSERT_EQ(2u, nout);
+  for (size_t i = 0; i < nout; ++i) {
+    EXPECT_EQ(2, outs[i].port);
+    ASSERT_EQ(fwd.size(), outs[i].len);
+    EXPECT_EQ(0, std::memcmp(bytes.data() + outs[i].offset, fwd.data(),
+                             fwd.size()));
+  }
+  // The set was consumed: an empty take succeeds with zero counts.
+  ASSERT_EQ(H4_OK, h4_drain_outputs(fx.inst, outs.data(), outs.size(),
+                                    bytes.data(), bytes.size(), &nout,
+                                    &nbytes));
+  EXPECT_EQ(0u, nout);
+  EXPECT_EQ(0u, nbytes);
+  // Zero-length batches are fine.
+  EXPECT_EQ(H4_OK, h4_inject_batch(fx.inst, nullptr, 0));
+}
+
+TEST(AbiDataPlane, DrainOutputsRejectedWithoutCollectResults) {
+  h4_options opts;
+  h4_options_init(&opts);
+  opts.collect_results = 0;
+  Fixture fx(&opts);
+  const auto fwd = frame(kMacB, kMacA);
+  const h4_packet pkts[] = {{1, fwd.data(), fwd.size()}};
+  ASSERT_EQ(H4_OK, h4_inject_batch(fx.inst, pkts, 1));
+  ASSERT_EQ(H4_OK, h4_drain(fx.inst, nullptr));
+  size_t nout = 0, nbytes = 0;
+  EXPECT_EQ(H4_ERR_CONFIG, h4_drain_outputs(fx.inst, nullptr, 0, nullptr, 0,
+                                            &nout, &nbytes));
+}
+
+TEST(AbiDataPlane, EngineOptionsAreHonored) {
+  h4_options opts;
+  h4_options_init(&opts);
+  opts.workers = 3;
+  opts.vm_fast_path = 1;
+  Fixture fx(&opts);
+  const auto fwd = frame(kMacB, kMacA);
+  std::vector<h4_packet> pkts(32, h4_packet{1, fwd.data(), fwd.size()});
+  ASSERT_EQ(H4_OK, h4_inject_batch(fx.inst, pkts.data(), pkts.size()));
+  h4_drain_stats st{};
+  ASSERT_EQ(H4_OK, h4_drain(fx.inst, &st));
+  EXPECT_EQ(32u, st.packets);
+  const std::string diag = fetch(fx.inst, h4_diagnostics_json);
+  EXPECT_NE(std::string::npos, diag.find("\"workers\":3"));
+  // The VM tier actually ran: bytecode packets show up in packet_path.
+  EXPECT_NE(std::string::npos, diag.find("packets_bytecode"));
+}
+
+// ---- hot swap and chaining -----------------------------------------------
+
+TEST(AbiTopology, HotSwapKeepsPortsAndBindings) {
+  Fixture fx;
+  const std::string fw = firewall_source();
+  h4_vdev nid = 0;
+  ASSERT_EQ(H4_OK, h4_vdev_hot_swap(fx.inst, fx.vdev, fw.c_str(), &nid));
+  EXPECT_NE(fx.vdev, nid);
+  // Old id is stale.
+  EXPECT_EQ(H4_ERR_HANDLE, h4_vdev_bind(fx.inst, fx.vdev, -1));
+  // Rules are not carried: re-add against the new program, then traffic
+  // flows through the swapped device without re-attaching or re-binding.
+  const char* keys[] = {"00:00:00:00:00:02"};
+  const char* args[] = {"2"};
+  uint64_t handle = 0;
+  ASSERT_EQ(H4_OK, h4_rule_add(fx.inst, nid, "dmac", "forward", keys, 1,
+                               args, 1, -1, &handle));
+  const auto fwd = frame(kMacB, kMacA);
+  const h4_packet pkts[] = {{1, fwd.data(), fwd.size()}};
+  ASSERT_EQ(H4_OK, h4_inject_batch(fx.inst, pkts, 1));
+  h4_drain_stats st{};
+  ASSERT_EQ(H4_OK, h4_drain(fx.inst, &st));
+  EXPECT_EQ(1u, st.packets);
+  EXPECT_EQ(1u, st.outputs);
+  // A swap to unparsable source fails cleanly and keeps the old device.
+  h4_vdev bad = 0;
+  EXPECT_EQ(H4_ERR_PARSE, h4_vdev_hot_swap(fx.inst, nid, "not p4", &bad));
+  ASSERT_EQ(H4_OK, h4_inject_batch(fx.inst, pkts, 1));
+  ASSERT_EQ(H4_OK, h4_drain(fx.inst, &st));
+  EXPECT_EQ(1u, st.outputs);
+}
+
+TEST(AbiTopology, ChainTwoDevices) {
+  h4_options opts;
+  h4_options_init(&opts);
+  h4_instance* inst = nullptr;
+  ASSERT_EQ(H4_OK, h4_open(&opts, &inst));
+  const std::string l2 = l2_source();
+  const std::string fw = firewall_source();
+  h4_vdev a = 0, b = 0;
+  ASSERT_EQ(H4_OK, h4_vdev_load(inst, "fw", fw.c_str(), &a));
+  ASSERT_EQ(H4_OK, h4_vdev_load(inst, "l2", l2.c_str(), &b));
+  const h4_vdev chain[] = {a, b};
+  const uint16_t ports[] = {1, 2};
+  ASSERT_EQ(H4_OK, h4_chain(inst, chain, 2, ports, 2));
+  // fw forwards MacB to its vport; l2 then forwards to physical port 2.
+  const char* fkeys[] = {"00:00:00:00:00:02"};
+  const char* fargs[] = {"1"};
+  uint64_t handle = 0;
+  const char* bargs[] = {"2"};
+  ASSERT_EQ(H4_OK, h4_rule_add(inst, a, "dmac", "forward", fkeys, 1, fargs,
+                               1, -1, &handle));
+  ASSERT_EQ(H4_OK, h4_rule_add(inst, b, "dmac", "forward", fkeys, 1, bargs,
+                               1, -1, &handle));
+  const auto fwd = frame(kMacB, kMacA);
+  const h4_packet pkts[] = {{1, fwd.data(), fwd.size()}};
+  ASSERT_EQ(H4_OK, h4_inject_batch(inst, pkts, 1));
+  h4_drain_stats st{};
+  ASSERT_EQ(H4_OK, h4_drain(inst, &st));
+  EXPECT_EQ(1u, st.outputs);
+  size_t nout = 0, nbytes = 0;
+  h4_drain_outputs(inst, nullptr, 0, nullptr, 0, &nout, &nbytes);
+  std::vector<h4_output> outs(nout);
+  std::vector<uint8_t> bytes(nbytes);
+  ASSERT_EQ(H4_OK, h4_drain_outputs(inst, outs.data(), outs.size(),
+                                    bytes.data(), bytes.size(), &nout,
+                                    &nbytes));
+  ASSERT_EQ(1u, nout);
+  EXPECT_EQ(2, outs[0].port);
+  ASSERT_EQ(H4_OK, h4_close(inst));
+}
+
+}  // namespace

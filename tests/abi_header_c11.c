@@ -1,0 +1,25 @@
+/* Compiled as strict C11 (CMAKE_C_STANDARD 11, no extensions): the stable
+ * header must be consumable by a plain C toolchain, and the shared library
+ * must satisfy C linkage. The probe runs a tiny success path end to end;
+ * the C++ conformance suite calls it and checks the result. */
+#include <hyper4/hyper4.h>
+
+#include <string.h>
+
+int h4_header_c_probe(void) {
+  int32_t major = -1, minor = -1, patch = -1;
+  if (h4_version(&major, &minor, &patch) != H4_OK) return 1;
+  if (major != H4_VERSION_MAJOR || minor != H4_VERSION_MINOR ||
+      patch != H4_VERSION_PATCH)
+    return 2;
+  if (h4_err_str(H4_ERR_PARSE) == NULL) return 3;
+  h4_options opts;
+  if (h4_options_init(&opts) != H4_OK) return 4;
+  h4_instance* inst = NULL;
+  if (h4_open(&opts, &inst) != H4_OK || inst == NULL) return 5;
+  uint64_t digest = 0;
+  if (h4_state_digest(inst, &digest) != H4_OK) return 6;
+  if (h4_close(inst) != H4_OK) return 7;
+  if (h4_close(inst) != H4_ERR_HANDLE) return 8; /* stale handle detected */
+  return 0;
+}

@@ -1,0 +1,160 @@
+// The ABI overhead gate (ISSUE 9): crossing the C boundary must not cost
+// allocations on the hot path. At steady state h4_inject_batch() — which
+// has to COPY caller bytes into engine-owned packets — performs exactly as
+// many producer-thread heap allocations as the native C++ inject_batch():
+// zero. The ABI keeps a persistent staging vector whose net::Packet
+// buffers absorb the bytes via capacity-reusing assign(), so after warm-up
+// neither the vector nor any packet buffer grows.
+//
+// Same thread_local operator-new counter harness as engine_alloc_test:
+// worker-thread allocations are legitimate; only the calling thread is the
+// path under test. The executable's operator new interposes over the
+// shared library's allocations too, so the ABI side is fully counted.
+#include <hyper4/hyper4.h>
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <new>
+#include <sstream>
+#include <vector>
+
+#include "apps/apps.h"
+#include "engine/engine.h"
+
+namespace {
+thread_local std::size_t t_alloc_count = 0;
+}  // namespace
+
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+#endif
+
+void* operator new(std::size_t n) {
+  ++t_alloc_count;
+  if (void* p = std::malloc(n ? n : 1)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t n) { return ::operator new(n); }
+void* operator new(std::size_t n, const std::nothrow_t&) noexcept {
+  ++t_alloc_count;
+  return std::malloc(n ? n : 1);
+}
+void* operator new[](std::size_t n, const std::nothrow_t& t) noexcept {
+  return ::operator new(n, t);
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+
+namespace hyper4 {
+namespace {
+
+// 64-byte frames over a few flows so both engine shards see traffic.
+std::vector<std::vector<uint8_t>> workload(std::size_t count) {
+  std::vector<std::vector<uint8_t>> frames;
+  frames.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    std::vector<uint8_t> b(64, 0);
+    b[5] = static_cast<uint8_t>(1 + i % 4);   // dst mac low byte
+    b[11] = static_cast<uint8_t>(9 + i % 7);  // src mac low byte (flow id)
+    b[12] = 0x08;
+    frames.push_back(std::move(b));
+  }
+  return frames;
+}
+
+std::string l2_source() {
+  std::ifstream in(std::string(HP4_SOURCE_DIR) + "/examples/p4/l2_switch.p4");
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+// Steady-state producer-thread allocations of one native inject_batch.
+std::size_t native_steady_allocs() {
+  engine::EngineOptions opts;
+  opts.workers = 2;
+  opts.queue_capacity = 256;
+  opts.batch_size = 32;
+  opts.collect_results = false;
+  engine::TrafficEngine eng(apps::l2_switch(), opts);
+
+  const auto frames = workload(64);
+  std::vector<engine::InjectItem> items;
+  items.reserve(frames.size());
+  for (std::size_t i = 0; i < frames.size(); ++i) {
+    net::Packet p;
+    p.assign({frames[i].data(), frames[i].size()});
+    items.push_back({static_cast<uint16_t>(1 + i % 2), std::move(p)});
+  }
+  for (int wave = 0; wave < 4; ++wave) {
+    eng.inject_batch(items);
+    (void)eng.drain();
+  }
+  const std::size_t before = t_alloc_count;
+  eng.inject_batch(items);
+  const std::size_t during = t_alloc_count - before;
+  (void)eng.drain();
+  return during;
+}
+
+// Steady-state producer-thread allocations of one h4_inject_batch with the
+// same engine geometry and workload.
+std::size_t abi_steady_allocs() {
+  h4_options opts;
+  EXPECT_EQ(H4_OK, h4_options_init(&opts));
+  opts.workers = 2;
+  opts.queue_capacity = 256;
+  opts.batch_size = 32;
+  opts.collect_results = 0;
+  h4_instance* inst = nullptr;
+  EXPECT_EQ(H4_OK, h4_open(&opts, &inst));
+  const std::string src = l2_source();
+  h4_vdev vd = 0;
+  EXPECT_EQ(H4_OK, h4_vdev_load(inst, "l2", src.c_str(), &vd));
+  const uint16_t ports[] = {1, 2};
+  EXPECT_EQ(H4_OK, h4_vdev_attach_ports(inst, vd, ports, 2));
+  EXPECT_EQ(H4_OK, h4_vdev_bind(inst, vd, -1));
+
+  const auto frames = workload(64);
+  std::vector<h4_packet> pkts;
+  pkts.reserve(frames.size());
+  for (std::size_t i = 0; i < frames.size(); ++i)
+    pkts.push_back(h4_packet{static_cast<uint16_t>(1 + i % 2),
+                             frames[i].data(), frames[i].size()});
+  for (int wave = 0; wave < 4; ++wave) {
+    EXPECT_EQ(H4_OK, h4_inject_batch(inst, pkts.data(), pkts.size()));
+    EXPECT_EQ(H4_OK, h4_drain(inst, nullptr));
+  }
+  const std::size_t before = t_alloc_count;
+  const int rc = h4_inject_batch(inst, pkts.data(), pkts.size());
+  const std::size_t during = t_alloc_count - before;
+  EXPECT_EQ(H4_OK, rc);
+  EXPECT_EQ(H4_OK, h4_drain(inst, nullptr));
+  EXPECT_EQ(H4_OK, h4_close(inst));
+  return during;
+}
+
+TEST(AbiOverheadTest, SteadyStateInjectBatchMatchesNativeAllocCount) {
+  const std::size_t native = native_steady_allocs();
+  const std::size_t abi = abi_steady_allocs();
+  // The native steady state is zero (engine_alloc_test's gate); the ABI
+  // must not add a single allocation on top of it.
+  EXPECT_EQ(0u, native);
+  EXPECT_EQ(native, abi)
+      << "h4_inject_batch allocates at steady state where the native "
+         "inject_batch does not — the C boundary grew a per-call cost";
+}
+
+}  // namespace
+}  // namespace hyper4

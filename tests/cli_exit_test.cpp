@@ -1,0 +1,130 @@
+// Exit-code contract of the tools/ binaries, exercised end to end on the
+// real executables. One convention across all four:
+//
+//   0  success
+//   1  usage error   (message + usage on stderr; --help prints usage on
+//                     stdout and exits 0)
+//   2  runtime error (I/O failures, store corruption, harness errors)
+//   3  findings      (divergence, delivery failure, digest/fuzz failure)
+//
+// CI's smoke jobs and operator scripts branch on these — renumbering is a
+// breaking change to every caller, which is exactly why this test exists.
+#include <sys/wait.h>
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+
+namespace fs = std::filesystem;
+
+namespace {
+
+struct RunResult {
+  int code = -1;
+  std::string out;  // stdout only; stderr goes to /dev/null or a file
+};
+
+// Run a shell command, capture its stdout and decoded exit code.
+RunResult run(const std::string& cmd) {
+  RunResult r;
+  std::FILE* p = ::popen(cmd.c_str(), "r");
+  if (!p) return r;
+  char buf[4096];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), p)) > 0) r.out.append(buf, n);
+  const int st = ::pclose(p);
+  r.code = WIFEXITED(st) ? WEXITSTATUS(st) : -WTERMSIG(st);
+  return r;
+}
+
+const std::string kCheck = HP4_CHECK_PATH;
+const std::string kFleet = HP4_FLEET_PATH;
+const std::string kState = HP4_STATE_PATH;
+const std::string kDaemon = HP4_HYPER4D_PATH;
+
+TEST(CliExit, HelpPrintsUsageOnStdoutAndExitsZero) {
+  for (const std::string& bin : {kCheck, kFleet, kState, kDaemon}) {
+    const RunResult r = run(bin + " --help 2>/dev/null");
+    EXPECT_EQ(0, r.code) << bin;
+    EXPECT_NE(std::string::npos, r.out.find("usage:"))
+        << bin << " --help must print usage on STDOUT";
+  }
+}
+
+TEST(CliExit, UsageErrorsExitOneWithStderrMessage) {
+  const std::string cases[] = {
+      kCheck + " --no-such-flag",
+      kCheck + " --seed",              // flag missing its value
+      kCheck + " --mutate bogus",
+      kCheck + " --weights bogus",
+      kCheck + " --backends bogus",
+      kCheck + " --chain 0",
+      kFleet + " --no-such-flag",
+      kFleet + " --tenants",           // flag missing its value
+      kState + "",                     // no command at all
+      kState + " no-such-command",
+      kState + " recover",             // command missing its DIR
+      kState + " fuzz --no-such-flag",
+      kDaemon + " --no-such-flag",
+      kDaemon + " --socket",           // flag missing its value
+      kDaemon + " --socket /tmp/x.sock",  // --store missing
+  };
+  for (const std::string& c : cases) {
+    // stdout must NOT carry the usage text on errors; stderr must.
+    const RunResult quiet = run(c + " 2>/dev/null");
+    EXPECT_EQ(1, quiet.code) << c;
+    EXPECT_EQ(std::string::npos, quiet.out.find("usage:")) << c;
+    const RunResult loud = run(c + " 2>&1 >/dev/null");
+    EXPECT_NE(std::string::npos, loud.out.find("usage:"))
+        << c << " must print usage on stderr";
+  }
+}
+
+TEST(CliExit, RuntimeErrorsExitTwo) {
+  const std::string missing =
+      (fs::temp_directory_path() / "h4_cli_exit_no_such_store").string();
+  fs::remove_all(missing);
+  // hyper4_state on a store path that cannot be recovered.
+  EXPECT_EQ(2, run(kState + " recover /dev/null/not-a-dir 2>/dev/null").code);
+  // hyper4_check replaying artifacts that do not exist.
+  EXPECT_EQ(2, run(kCheck + " --replay /no/such.p4 /no/such.cmds "
+                            "2>/dev/null")
+                   .code);
+  EXPECT_EQ(2, run(kCheck + " --replay-chain /no/such.cmds 2>/dev/null").code);
+  // hyper4d on an unbindable socket path.
+  EXPECT_EQ(2, run(kDaemon + " --socket /dev/null/x.sock --store " + missing +
+                   " 2>/dev/null")
+                   .code);
+  fs::remove_all(missing);
+}
+
+TEST(CliExit, FindingsExitThree) {
+  const std::string fixtures = std::string(HP4_SOURCE_DIR) + "/tests/fixtures";
+  // A caught divergence (the committed mutation repro) is a finding.
+  const RunResult diverge =
+      run(kCheck + " --replay " + fixtures + "/check_repro_drop_rule.p4 " +
+          fixtures + "/check_repro_drop_rule.cmds --mutate drop-rule "
+          "2>/dev/null");
+  EXPECT_EQ(3, diverge.code);
+  EXPECT_NE(std::string::npos, diverge.out.find("native vs persona"));
+}
+
+TEST(CliExit, SuccessPathsExitZero) {
+  // The cheapest real run of each binary.
+  EXPECT_EQ(0, run(kCheck + " --seed 1 --iters 2 2>/dev/null").code);
+  EXPECT_EQ(0, run(kFleet + " --tenants 2 --depth 1 --waves 1 --quiet "
+                            "2>/dev/null")
+                   .code);
+  const std::string store =
+      (fs::temp_directory_path() / "h4_cli_exit_store").string();
+  fs::remove_all(store);
+  // An empty store recovers to an empty state: still exit 0.
+  EXPECT_EQ(0, run(kState + " recover " + store + " 2>/dev/null").code);
+  EXPECT_EQ(0, run(kState + " verify " + store + " 2>/dev/null").code);
+  fs::remove_all(store);
+}
+
+}  // namespace

@@ -7,7 +7,8 @@
 // written out as a standalone .p4 + commands pair that `--replay` (or the
 // check_repro regression test) can re-run without the generator.
 //
-// Exit codes: 0 all iterations equivalent, 1 divergence found, 2 usage error.
+// Exit codes (shared convention across tools/): 0 all iterations
+// equivalent, 1 usage error, 2 runtime/harness error, 3 divergence found.
 #include <chrono>
 #include <cstdio>
 #include <cstring>
@@ -23,8 +24,8 @@
 
 namespace {
 
-void usage() {
-  std::fprintf(stderr,
+void usage(std::FILE* to) {
+  std::fprintf(to,
                "usage: hyper4_check [options]\n"
                "  --seed N          base seed (default: $HP4_CHECK_SEED or 1)\n"
                "  --iters N         iterations to run (default 100)\n"
@@ -112,8 +113,8 @@ int main(int argc, char** argv) {
     auto next = [&]() -> const char* {
       if (i + 1 >= argc) {
         std::fprintf(stderr, "hyper4_check: %s needs a value\n", a.c_str());
-        usage();
-        std::exit(2);
+        usage(stderr);
+        std::exit(1);
       }
       return argv[++i];
     };
@@ -132,8 +133,8 @@ int main(int argc, char** argv) {
       } else {
         std::fprintf(stderr, "hyper4_check: unknown mutation '%s'\n",
                      m.c_str());
-        usage();
-        return 2;
+        usage(stderr);
+        return 1;
       }
     } else if (a == "--stateful") {
       limits.allow_stateful = true;
@@ -159,8 +160,8 @@ int main(int argc, char** argv) {
       } else {
         std::fprintf(stderr, "hyper4_check: unknown weights '%s'\n",
                      w.c_str());
-        usage();
-        return 2;
+        usage(stderr);
+        return 1;
       }
     } else if (a == "--backends") {
       const std::string b = next();
@@ -186,8 +187,8 @@ int main(int argc, char** argv) {
           } else {
             std::fprintf(stderr, "hyper4_check: unknown backend '%s'\n",
                          one.c_str());
-            usage();
-            return 2;
+            usage(stderr);
+            return 1;
           }
           if (comma == std::string::npos) break;
           pos = comma + 1;
@@ -213,7 +214,8 @@ int main(int argc, char** argv) {
       chain_depth = std::strtoull(next(), nullptr, 0);
       if (chain_depth < 1) {
         std::fprintf(stderr, "hyper4_check: --chain needs a depth >= 1\n");
-        return 2;
+        usage(stderr);
+        return 1;
       }
     } else if (a == "--explain") {
       explain = true;
@@ -224,12 +226,12 @@ int main(int argc, char** argv) {
     } else if (a == "--dump") {
       dump = true;
     } else if (a == "--help" || a == "-h") {
-      usage();
+      usage(stdout);
       return 0;
     } else {
       std::fprintf(stderr, "hyper4_check: unknown option '%s'\n", a.c_str());
-      usage();
-      return 2;
+      usage(stderr);
+      return 1;
     }
   }
 
@@ -257,7 +259,7 @@ int main(int argc, char** argv) {
         std::printf("%s", rep.explanation.c_str());
       write_file(chrome_path, rep.chrome_trace, "chrome trace");
       write_file(profile_path, rep.profile_json, "profile");
-      return rep.equivalent ? 0 : 1;
+      return rep.equivalent ? 0 : 3;
     } catch (const std::exception& e) {
       std::fprintf(stderr, "hyper4_check: replay failed: %s\n  (%s)\n",
                    e.what(),
@@ -281,7 +283,7 @@ int main(int argc, char** argv) {
       const DiffReport rep = runner.run_chain(c);
       std::printf("replay-chain %s (%zu links): %s\n", replay_chain.c_str(),
                   c.links.size(), rep.str().c_str());
-      return rep.equivalent ? 0 : 1;
+      return rep.equivalent ? 0 : 3;
     } catch (const std::exception& e) {
       std::fprintf(stderr, "hyper4_check: chain replay failed: %s\n  (%s)\n",
                    e.what(),
@@ -312,7 +314,7 @@ int main(int argc, char** argv) {
       } catch (const std::exception& e) {
         std::fprintf(stderr, "chain seed %llu: harness error: %s\n",
                      static_cast<unsigned long long>(case_seed), e.what());
-        return 1;
+        return 2;
       }
       ++ran;
       if (!rep.persona_ran) ++persona_skipped;
@@ -356,7 +358,7 @@ int main(int argc, char** argv) {
           minimal.links.size(), min_rules, minimal.packets.size(),
           stats.accepted, stats.attempts, min_rep.str().c_str(),
           cmds.c_str());
-      return 1;
+      return 3;
     }
     const std::chrono::duration<double> dt =
         std::chrono::steady_clock::now() - t0;
@@ -399,7 +401,7 @@ int main(int argc, char** argv) {
     } catch (const std::exception& e) {
       std::fprintf(stderr, "seed %llu: harness error: %s\n",
                    static_cast<unsigned long long>(case_seed), e.what());
-      return 1;
+      return 2;
     }
     ++ran;
     if (!rep.persona_ran && opts.run_persona) ++persona_skipped;
@@ -450,7 +452,7 @@ int main(int argc, char** argv) {
       std::printf("%s", min_rep.explanation.c_str());
     write_file(chrome_path, min_rep.chrome_trace, "chrome trace");
     write_file(profile_path, min_rep.profile_json, "profile");
-    return 1;
+    return 3;
   }
 
   const std::chrono::duration<double> dt =

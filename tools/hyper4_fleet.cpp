@@ -4,7 +4,8 @@
 // entries, transactionally hot-swaps tenant programs and snapshot/restores
 // tenant slices.
 //
-// Exit codes: 0 every wave fully delivered, 1 delivery failure, 2 usage.
+// Exit codes (shared convention across tools/): 0 every wave fully
+// delivered, 1 usage error, 2 runtime error, 3 delivery failure.
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -16,9 +17,9 @@
 
 namespace {
 
-void usage() {
+void usage(std::FILE* to) {
   std::fprintf(
-      stderr,
+      to,
       "usage: hyper4_fleet [options]\n"
       "  --tenants N         tenants to host (default 8)\n"
       "  --depth N           NFs per tenant chain, 1..4 (default 2)\n"
@@ -59,8 +60,8 @@ int main(int argc, char** argv) {
     auto next = [&]() -> const char* {
       if (i + 1 >= argc) {
         std::fprintf(stderr, "hyper4_fleet: %s needs a value\n", a.c_str());
-        usage();
-        std::exit(2);
+        usage(stderr);
+        std::exit(1);
       }
       return argv[++i];
     };
@@ -89,12 +90,12 @@ int main(int argc, char** argv) {
     } else if (a == "--quiet") {
       quiet = true;
     } else if (a == "--help" || a == "-h") {
-      usage();
+      usage(stdout);
       return 0;
     } else {
       std::fprintf(stderr, "hyper4_fleet: unknown option '%s'\n", a.c_str());
-      usage();
-      return 2;
+      usage(stderr);
+      return 1;
     }
   }
 
@@ -155,7 +156,7 @@ int main(int argc, char** argv) {
           static_cast<unsigned long long>(diag.at("compiles")),
           static_cast<unsigned long long>(diag.at("recompiles")));
     }
-    return ok ? 0 : 1;
+    return ok ? 0 : 3;
   } catch (const hyper4::util::Error& e) {
     std::fprintf(stderr, "hyper4_fleet: %s\n", e.what());
     return 2;

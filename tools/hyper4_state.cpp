@@ -8,7 +8,8 @@
 //                                       against the journal's embedded ones
 //   hyper4_state fuzz [options]         crash-point fuzzing (see --help)
 //
-// Exit codes: 0 ok, 1 verification/fuzz failure, 2 usage or I/O error.
+// Exit codes (shared convention across tools/): 0 ok, 1 usage error,
+// 2 runtime/I-O error, 3 verification or fuzz failure.
 #include <cstdio>
 #include <cstring>
 #include <exception>
@@ -29,16 +30,16 @@ using hyper4::state::Record;
 using hyper4::state::RecordType;
 using hyper4::state::ScanResult;
 
-void usage() {
+void usage(std::FILE* to) {
   std::fprintf(
-      stderr,
+      to,
       "usage: hyper4_state <command> [args]\n"
       "  checkpoint DIR     recover the store at DIR, write a fresh\n"
       "                     checkpoint image and truncate the journal\n"
       "  recover DIR        recover the store at DIR, print the recovery\n"
       "                     report and the resulting state digest\n"
       "  journal-dump DIR   decode and print the journal's trusted prefix\n"
-      "  verify DIR         recover DIR; exit 1 when any embedded digest\n"
+      "  verify DIR         recover DIR; exit 3 when any embedded digest\n"
       "                     failed verification during replay\n"
       "  fuzz [options]     crash-point fuzzing of recovery\n"
       "    --seed N         base seed (default: $HP4_CHECK_SEED or 1)\n"
@@ -70,7 +71,7 @@ int cmd_recover(const std::string& dir, bool verify_only) {
               static_cast<unsigned long long>(st.last_lsn()),
               hyper4::state::digest_hex(st.digest()).c_str());
   if (verify_only)
-    return rep.digest_ok ? 0 : 1;
+    return rep.digest_ok ? 0 : 3;
   return 0;
 }
 
@@ -113,7 +114,7 @@ int cmd_fuzz(int argc, char** argv) {
     auto next = [&]() -> const char* {
       if (i + 1 >= argc) {
         std::fprintf(stderr, "hyper4_state: %s needs a value\n", a.c_str());
-        std::exit(2);
+        std::exit(1);
       }
       return argv[++i];
     };
@@ -134,32 +135,32 @@ int cmd_fuzz(int argc, char** argv) {
     } else {
       std::fprintf(stderr, "hyper4_state: unknown fuzz option '%s'\n",
                    a.c_str());
-      usage();
-      return 2;
+      usage(stderr);
+      return 1;
     }
   }
   const hyper4::check::CrashFuzzResult res = hyper4::check::crash_fuzz(opts);
   std::printf("%s\n", res.str().c_str());
-  return res.ok() ? 0 : 1;
+  return res.ok() ? 0 : 3;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 2) {
-    usage();
-    return 2;
+    usage(stderr);
+    return 1;
   }
   const std::string cmd = argv[1];
   try {
     if (cmd == "--help" || cmd == "-h") {
-      usage();
+      usage(stdout);
       return 0;
     }
     if (cmd == "fuzz") return cmd_fuzz(argc - 2, argv + 2);
     if (argc < 3) {
-      usage();
-      return 2;
+      usage(stderr);
+      return 1;
     }
     const std::string dir = argv[2];
     if (cmd == "checkpoint") return cmd_checkpoint(dir);
@@ -167,8 +168,8 @@ int main(int argc, char** argv) {
     if (cmd == "verify") return cmd_recover(dir, true);
     if (cmd == "journal-dump") return cmd_journal_dump(dir);
     std::fprintf(stderr, "hyper4_state: unknown command '%s'\n", cmd.c_str());
-    usage();
-    return 2;
+    usage(stderr);
+    return 1;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "hyper4_state: %s\n", e.what());
     return 2;

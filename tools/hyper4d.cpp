@@ -1,0 +1,466 @@
+// hyper4d: the long-running HyPer4 daemon — the virtualization layer as a
+// service. Wraps the stable C ABI (include/hyper4/hyper4.h) behind the
+// length-prefixed request/response wire protocol (src/abi/wire.h) on a
+// unix-domain socket, with the durable store underneath: every management
+// operation is write-ahead journaled before it is acknowledged, so a
+// SIGKILLed daemon restarted on the same --store recovers digest-clean
+// from checkpoint + journal tail (tests/daemon_soak_test.cpp drives this
+// black-box).
+//
+// By design this file speaks ONLY the C ABI — it is the first consumer of
+// the embeddable service surface and proves the boundary is real.
+//
+// Commands (request first line; <<body means the frame body is used):
+//   ping                              liveness probe
+//   compile <<p4-source               compile-check, returns summary JSON
+//   load <name> <<p4-source           load vdev, returns id
+//   unload <id>
+//   attach <id> <p1,p2,...>
+//   bind <id> <port|-1>
+//   chain <id1,id2,...> <p1,p2,...>
+//   rule-add <id> <table> <action> <nkeys> <k...> <nargs> <a...> <prio>
+//   rule-del <id> <handle>
+//   hot-swap <id> <<p4-source         returns new id
+//   inject <<lines "port hexbytes"    enqueue a batch
+//   drain                             returns totals + output packets
+//   metrics                           engine metrics JSON
+//   diag                              engine/tier diagnostics JSON
+//   digest                            16-hex control-plane state digest
+//   snapshot                          returns hex state image
+//   checkpoint                        write checkpoint, returns lsn
+//   recovery                          startup recovery report
+//   shutdown                          clean exit (responds, then stops)
+//
+// Exit codes: 0 clean shutdown, 1 usage error, 2 runtime error.
+#include <signal.h>
+#include <sys/socket.h>
+#include <sys/stat.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "abi/wire.h"
+#include "hyper4/hyper4.h"
+#include "util/error.h"
+
+namespace {
+
+using hyper4::abi::from_hex;
+using hyper4::abi::read_frame;
+using hyper4::abi::split_payload;
+using hyper4::abi::to_hex;
+using hyper4::abi::write_frame;
+
+volatile sig_atomic_t g_stop = 0;
+void on_signal(int) { g_stop = 1; }
+
+void usage(std::FILE* to) {
+  std::fprintf(to,
+               "usage: hyper4d --socket PATH --store DIR [options]\n"
+               "  --socket PATH    unix socket to listen on (required)\n"
+               "  --store DIR      durable store directory (required);\n"
+               "                   recovered on startup if it exists\n"
+               "  --workers N      engine worker threads (default 2)\n"
+               "  --queue N        per-worker ring capacity\n"
+               "  --batch N        max packets per worker batch\n"
+               "  --vm             route packets through the VM bytecode "
+               "tier\n"
+               "  --pin            pin engine workers to cores\n"
+               "  --quiet          no startup banner\n");
+}
+
+// The ABI's error text for the last failing call, for err responses.
+std::string last_error_text(h4_instance* inst) {
+  char small[256];
+  size_t need = 0;
+  int rc = h4_last_error(inst, small, sizeof(small), &need);
+  if (rc == H4_OK) return small;
+  if (rc == H4_ERR_NOSPACE) {
+    std::string big(need, '\0');
+    if (h4_last_error(inst, big.data(), big.size(), &need) == H4_OK) {
+      big.resize(need > 0 ? need - 1 : 0);  // drop the NUL
+      return big;
+    }
+  }
+  return "(no error detail)";
+}
+
+std::string err_response(h4_instance* inst, int code) {
+  return "err " + std::to_string(code) + " " + last_error_text(inst);
+}
+
+// Fetch a string-producing ABI call via the grow-on-NOSPACE dance.
+template <typename Fn>
+int fetch_string(Fn&& fn, std::string& out) {
+  size_t need = 0;
+  int rc = fn(nullptr, 0, &need);
+  if (rc != H4_OK && rc != H4_ERR_NOSPACE) return rc;
+  std::string buf(need, '\0');
+  rc = fn(buf.data(), buf.size(), &need);
+  if (rc != H4_OK) return rc;
+  buf.resize(need > 0 ? need - 1 : 0);
+  out = std::move(buf);
+  return H4_OK;
+}
+
+std::vector<std::string> split_ws(const std::string& line) {
+  std::vector<std::string> out;
+  std::istringstream is(line);
+  for (std::string tok; is >> tok;) out.push_back(tok);
+  return out;
+}
+
+std::vector<std::string> split_csv(const std::string& s) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (char c : s) {
+    if (c == ',') {
+      out.push_back(cur);
+      cur.clear();
+    } else {
+      cur.push_back(c);
+    }
+  }
+  out.push_back(cur);
+  return out;
+}
+
+// One request → one response payload. Sets *stop on "shutdown".
+std::string handle(h4_instance* inst, const std::string& payload,
+                   bool* stop) {
+  std::string line, body;
+  split_payload(payload, line, body);
+  const std::vector<std::string> tok = split_ws(line);
+  if (tok.empty()) return "err " + std::to_string(H4_ERR_ARG) + " empty command";
+  const std::string& cmd = tok[0];
+  try {
+    if (cmd == "ping") return "ok pong";
+    if (cmd == "shutdown") {
+      *stop = true;
+      return "ok bye";
+    }
+    if (cmd == "compile") {
+      std::string summary;
+      const int rc = fetch_string(
+          [&](char* b, size_t c, size_t* r) {
+            return h4_compile(inst, body.c_str(), b, c, r);
+          },
+          summary);
+      if (rc != H4_OK) return err_response(inst, rc);
+      return "ok\n" + summary;
+    }
+    if (cmd == "load" && tok.size() == 2) {
+      h4_vdev id = 0;
+      const int rc = h4_vdev_load(inst, tok[1].c_str(), body.c_str(), &id);
+      if (rc != H4_OK) return err_response(inst, rc);
+      return "ok " + std::to_string(id);
+    }
+    if (cmd == "unload" && tok.size() == 2) {
+      const int rc = h4_vdev_unload(inst, std::stoull(tok[1]));
+      if (rc != H4_OK) return err_response(inst, rc);
+      return "ok";
+    }
+    if (cmd == "attach" && tok.size() == 3) {
+      std::vector<uint16_t> ports;
+      for (const std::string& p : split_csv(tok[2]))
+        ports.push_back(static_cast<uint16_t>(std::stoul(p)));
+      const int rc = h4_vdev_attach_ports(inst, std::stoull(tok[1]),
+                                          ports.data(), ports.size());
+      if (rc != H4_OK) return err_response(inst, rc);
+      return "ok";
+    }
+    if (cmd == "bind" && tok.size() == 3) {
+      const int rc = h4_vdev_bind(inst, std::stoull(tok[1]),
+                                  static_cast<int32_t>(std::stol(tok[2])));
+      if (rc != H4_OK) return err_response(inst, rc);
+      return "ok";
+    }
+    if (cmd == "chain" && tok.size() == 3) {
+      std::vector<h4_vdev> devs;
+      for (const std::string& d : split_csv(tok[1]))
+        devs.push_back(std::stoull(d));
+      std::vector<uint16_t> ports;
+      for (const std::string& p : split_csv(tok[2]))
+        ports.push_back(static_cast<uint16_t>(std::stoul(p)));
+      const int rc = h4_chain(inst, devs.data(), devs.size(), ports.data(),
+                              ports.size());
+      if (rc != H4_OK) return err_response(inst, rc);
+      return "ok";
+    }
+    if (cmd == "rule-add" && tok.size() >= 6) {
+      // rule-add <id> <table> <action> <nkeys> <k...> <nargs> <a...> <prio>
+      std::size_t at = 4;
+      const std::size_t nkeys = std::stoull(tok[at++]);
+      if (tok.size() < at + nkeys + 1)
+        return "err " + std::to_string(H4_ERR_ARG) + " truncated rule-add";
+      std::vector<const char*> keys;
+      for (std::size_t i = 0; i < nkeys; ++i)
+        keys.push_back(tok[at++].c_str());
+      const std::size_t nargs = std::stoull(tok[at++]);
+      if (tok.size() != at + nargs + 1)
+        return "err " + std::to_string(H4_ERR_ARG) + " truncated rule-add";
+      std::vector<const char*> args;
+      for (std::size_t i = 0; i < nargs; ++i)
+        args.push_back(tok[at++].c_str());
+      const int32_t prio = static_cast<int32_t>(std::stol(tok[at]));
+      uint64_t handle = 0;
+      const int rc = h4_rule_add(inst, std::stoull(tok[1]), tok[2].c_str(),
+                                 tok[3].c_str(), keys.data(), keys.size(),
+                                 args.data(), args.size(), prio, &handle);
+      if (rc != H4_OK) return err_response(inst, rc);
+      return "ok " + std::to_string(handle);
+    }
+    if (cmd == "rule-del" && tok.size() == 3) {
+      const int rc =
+          h4_rule_delete(inst, std::stoull(tok[1]), std::stoull(tok[2]));
+      if (rc != H4_OK) return err_response(inst, rc);
+      return "ok";
+    }
+    if (cmd == "hot-swap" && tok.size() == 2) {
+      h4_vdev nid = 0;
+      const int rc =
+          h4_vdev_hot_swap(inst, std::stoull(tok[1]), body.c_str(), &nid);
+      if (rc != H4_OK) return err_response(inst, rc);
+      return "ok " + std::to_string(nid);
+    }
+    if (cmd == "inject") {
+      std::vector<std::pair<uint16_t, std::string>> raw;
+      std::istringstream is(body);
+      for (std::string l; std::getline(is, l);) {
+        if (l.empty()) continue;
+        const auto sp = l.find(' ');
+        if (sp == std::string::npos)
+          return "err " + std::to_string(H4_ERR_ARG) +
+                 " inject line needs 'port hexbytes'";
+        raw.emplace_back(static_cast<uint16_t>(std::stoul(l.substr(0, sp))),
+                         from_hex(l.substr(sp + 1)));
+      }
+      std::vector<h4_packet> pkts;
+      pkts.reserve(raw.size());
+      for (const auto& [port, bytes] : raw)
+        pkts.push_back(h4_packet{
+            port, reinterpret_cast<const uint8_t*>(bytes.data()),
+            bytes.size()});
+      const int rc = h4_inject_batch(inst, pkts.data(), pkts.size());
+      if (rc != H4_OK) return err_response(inst, rc);
+      return "ok " + std::to_string(pkts.size());
+    }
+    if (cmd == "drain") {
+      h4_drain_stats st;
+      int rc = h4_drain(inst, &st);
+      if (rc != H4_OK) return err_response(inst, rc);
+      size_t nout = 0, nbytes = 0;
+      rc = h4_drain_outputs(inst, nullptr, 0, nullptr, 0, &nout, &nbytes);
+      std::string out_body;
+      if (rc == H4_ERR_NOSPACE) {
+        std::vector<h4_output> outs(nout);
+        std::vector<uint8_t> bytes(nbytes);
+        rc = h4_drain_outputs(inst, outs.data(), outs.size(), bytes.data(),
+                              bytes.size(), &nout, &nbytes);
+        if (rc != H4_OK) return err_response(inst, rc);
+        for (size_t i = 0; i < nout; ++i)
+          out_body += std::to_string(outs[i].port) + " " +
+                      to_hex(bytes.data() + outs[i].offset, outs[i].len) +
+                      "\n";
+      } else if (rc != H4_OK && rc != H4_ERR_CONFIG) {
+        // H4_ERR_CONFIG = collect_results off: totals-only response.
+        return err_response(inst, rc);
+      }
+      std::ostringstream os;
+      os << "ok packets=" << st.packets << " outputs=" << st.outputs
+         << " drops=" << st.drops << " parse_errors=" << st.parse_errors
+         << " resubmits=" << st.resubmits
+         << " recirculations=" << st.recirculations << " epoch=" << st.epoch;
+      return out_body.empty() ? os.str() : os.str() + "\n" + out_body;
+    }
+    if (cmd == "metrics" || cmd == "diag" || cmd == "recovery" ||
+        cmd == "snapshot") {
+      std::string out;
+      int rc;
+      if (cmd == "metrics") {
+        rc = fetch_string(
+            [&](char* b, size_t c, size_t* r) {
+              return h4_metrics_json(inst, b, c, r);
+            },
+            out);
+      } else if (cmd == "diag") {
+        rc = fetch_string(
+            [&](char* b, size_t c, size_t* r) {
+              return h4_diagnostics_json(inst, b, c, r);
+            },
+            out);
+      } else if (cmd == "recovery") {
+        rc = fetch_string(
+            [&](char* b, size_t c, size_t* r) {
+              return h4_recovery_report(inst, b, c, r);
+            },
+            out);
+      } else {  // snapshot
+        size_t need = 0;
+        rc = h4_snapshot(inst, nullptr, 0, &need);
+        if (rc == H4_OK || rc == H4_ERR_NOSPACE) {
+          std::string img(need, '\0');
+          rc = h4_snapshot(inst, img.data(), img.size(), &need);
+          if (rc == H4_OK)
+            out = to_hex(reinterpret_cast<const uint8_t*>(img.data()),
+                         img.size());
+        }
+      }
+      if (rc != H4_OK) return err_response(inst, rc);
+      return "ok\n" + out;
+    }
+    if (cmd == "digest") {
+      uint64_t d = 0;
+      const int rc = h4_state_digest(inst, &d);
+      if (rc != H4_OK) return err_response(inst, rc);
+      char hex[17];
+      std::snprintf(hex, sizeof(hex), "%016llx",
+                    static_cast<unsigned long long>(d));
+      return std::string("ok ") + hex;
+    }
+    if (cmd == "checkpoint") {
+      uint64_t lsn = 0;
+      const int rc = h4_checkpoint(inst, &lsn);
+      if (rc != H4_OK) return err_response(inst, rc);
+      return "ok " + std::to_string(lsn);
+    }
+  } catch (const std::exception& e) {
+    return "err " + std::to_string(H4_ERR_ARG) + " bad request: " + e.what();
+  }
+  return "err " + std::to_string(H4_ERR_ARG) + " unknown command '" + cmd +
+         "'";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string socket_path;
+  std::string store_dir;
+  h4_options opts;
+  h4_options_init(&opts);
+  opts.workers = 2;
+  bool quiet = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "hyper4d: %s needs a value\n", a.c_str());
+        usage(stderr);
+        std::exit(1);
+      }
+      return argv[++i];
+    };
+    if (a == "--socket") {
+      socket_path = next();
+    } else if (a == "--store") {
+      store_dir = next();
+    } else if (a == "--workers") {
+      opts.workers = static_cast<uint32_t>(std::strtoul(next(), nullptr, 0));
+    } else if (a == "--queue") {
+      opts.queue_capacity =
+          static_cast<uint32_t>(std::strtoul(next(), nullptr, 0));
+    } else if (a == "--batch") {
+      opts.batch_size =
+          static_cast<uint32_t>(std::strtoul(next(), nullptr, 0));
+    } else if (a == "--vm") {
+      opts.vm_fast_path = 1;
+    } else if (a == "--pin") {
+      opts.pin_workers = 1;
+    } else if (a == "--quiet") {
+      quiet = true;
+    } else if (a == "--help" || a == "-h") {
+      usage(stdout);
+      return 0;
+    } else {
+      std::fprintf(stderr, "hyper4d: unknown option '%s'\n", a.c_str());
+      usage(stderr);
+      return 1;
+    }
+  }
+  if (socket_path.empty() || store_dir.empty()) {
+    std::fprintf(stderr, "hyper4d: --socket and --store are required\n");
+    usage(stderr);
+    return 1;
+  }
+
+  opts.durable_dir = store_dir.c_str();
+  h4_instance* inst = nullptr;
+  int rc = h4_open(&opts, &inst);
+  if (rc != H4_OK) {
+    std::fprintf(stderr, "hyper4d: cannot open store '%s': %s\n",
+                 store_dir.c_str(), h4_err_str(rc));
+    return 2;
+  }
+
+  // Bind the socket. A stale socket file from a killed daemon is expected
+  // — remove it (the store, not the socket, is the source of truth).
+  ::unlink(socket_path.c_str());
+  const int lfd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (lfd < 0 || socket_path.size() >= sizeof(addr.sun_path)) {
+    std::fprintf(stderr, "hyper4d: bad socket path '%s'\n",
+                 socket_path.c_str());
+    h4_close(inst);
+    return 2;
+  }
+  std::memcpy(addr.sun_path, socket_path.c_str(), socket_path.size() + 1);
+  if (::bind(lfd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 ||
+      ::listen(lfd, 8) != 0) {
+    std::fprintf(stderr, "hyper4d: cannot listen on '%s': %s\n",
+                 socket_path.c_str(), strerror(errno));
+    ::close(lfd);
+    h4_close(inst);
+    return 2;
+  }
+
+  signal(SIGINT, on_signal);
+  signal(SIGTERM, on_signal);
+  signal(SIGPIPE, SIG_IGN);
+
+  if (!quiet) {
+    std::string rep;
+    fetch_string(
+        [&](char* b, size_t c, size_t* r) {
+          return h4_recovery_report(inst, b, c, r);
+        },
+        rep);
+    std::fprintf(stderr, "hyper4d: listening on %s (store %s)\n%s",
+                 socket_path.c_str(), store_dir.c_str(), rep.c_str());
+  }
+
+  bool stop = false;
+  while (!stop && !g_stop) {
+    const int cfd = ::accept(lfd, nullptr, nullptr);
+    if (cfd < 0) {
+      if (errno == EINTR) continue;
+      std::fprintf(stderr, "hyper4d: accept: %s\n", strerror(errno));
+      break;
+    }
+    try {
+      std::string payload;
+      while (!stop && read_frame(cfd, payload)) {
+        const std::string resp = handle(inst, payload, &stop);
+        if (!write_frame(cfd, resp)) break;
+      }
+    } catch (const std::exception& e) {
+      // Protocol error on this connection only; keep serving.
+      std::fprintf(stderr, "hyper4d: connection error: %s\n", e.what());
+    }
+    ::close(cfd);
+  }
+
+  ::close(lfd);
+  ::unlink(socket_path.c_str());
+  h4_close(inst);
+  if (!quiet) std::fprintf(stderr, "hyper4d: shut down cleanly\n");
+  return 0;
+}
