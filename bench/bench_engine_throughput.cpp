@@ -342,7 +342,8 @@ int main_impl(int argc, char** argv) {
       !four || base_model <= 0 || four->wall_pps >= wall4_floor * base_model;
 
   std::ofstream json("BENCH_engine.json");
-  json << "{\n  \"workload\": \"l2_switch\",\n  \"packets\": " << items.size()
+  json << "{\n  \"host\": " << host_block_json(/*pin_workers=*/true)
+       << ",\n  \"workload\": \"l2_switch\",\n  \"packets\": " << items.size()
        << ",\n  \"flows\": 256,\n  \"nproc\": " << nproc
        << ",\n  \"reps\": " << reps
        << ",\n  \"workers1_equivalent_to_direct_inject\": "

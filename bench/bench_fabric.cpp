@@ -1,0 +1,180 @@
+// Fabric scaling bench: aggregate packets-per-second over a replicated
+// line fabric at 1, 2 and 4 nodes, written to BENCH_fabric.json.
+//
+// Each node runs its own switch on its own thread (src/fabric), all nodes
+// replicate the same l2 program + rules, and each node gets a dedicated
+// injector thread pushing disjoint local traffic (host a -> host b on the
+// same node). Aggregate pps = total packets / wall-clock for the whole
+// fleet, best of --reps repetitions. Since the nodes share nothing on the
+// data path — per-node stores, per-node switches, per-node inboxes — the
+// fabric is embarrassingly parallel and wall-clock throughput must scale
+// with node count up to the core count:
+//
+//   wall-clock gate: on a machine with >= 4 cores, 4-node aggregate pps
+//   must reach 2x the 1-node figure. Below 4 cores the gate deactivates
+//   with a printed notice ("active": false in the JSON) — wall-clock
+//   cannot scale past the cores the container has.
+//
+// Usage: bench_fabric [--packets N] [--waves W] [--reps R]
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/common.h"
+#include "fabric/fabric.h"
+#include "hp4/p4_emit.h"
+
+namespace hyper4::bench {
+namespace {
+
+namespace fs = std::filesystem;
+namespace fabric = hyper4::fabric;
+
+struct Run {
+  std::size_t nodes = 0;
+  std::size_t packets = 0;  // total across the fleet
+  double seconds = 0;       // best rep
+  double pps = 0;
+  double speedup = 0;  // vs the 1-node run
+};
+
+double one_rep(std::size_t nodes, std::size_t packets_per_node,
+               std::size_t waves, const std::string& store) {
+  fs::remove_all(store);
+  fabric::FabricOptions fo;
+  fo.store_dir = store;
+  fo.topology = fabric::FabricTopology::line(nodes);
+  fabric::FabricController ctl(fo);
+
+  const auto vdev =
+      ctl.load_source("l2_sw", hp4::emit_p4(apps::program_by_name("l2_sw")));
+  ctl.attach_ports(vdev, {1, 2});
+  ctl.bind(vdev, 1);
+  ctl.bind(vdev, 2);
+  ctl.add_rule(vdev, vr(apps::l2_forward(kMacH1, 1)));
+  ctl.add_rule(vdev, vr(apps::l2_forward(kMacH2, 2)));
+
+  const net::Packet pkt = worst_case_packet("l2_sw");
+
+  // Warm every node's persona before timing.
+  for (std::size_t i = 0; i < nodes; ++i)
+    ctl.inject_at(i, 1, pkt);
+  ctl.drain();
+  ctl.take_deliveries();
+
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<std::thread> injectors;
+  injectors.reserve(nodes);
+  for (std::size_t i = 0; i < nodes; ++i) {
+    injectors.emplace_back([&, i] {
+      for (std::size_t w = 0; w < waves; ++w)
+        for (std::size_t k = 0; k < packets_per_node; ++k)
+          ctl.inject_at(i, 1, pkt);
+    });
+  }
+  for (auto& t : injectors) t.join();
+  ctl.drain();
+  const double s = std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - t0)
+                       .count();
+  fs::remove_all(store);
+  return s;
+}
+
+int main_impl(int argc, char** argv) {
+  std::size_t packets = 2000;
+  std::size_t waves = 4;
+  std::size_t reps = 3;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--packets" && i + 1 < argc) packets = std::strtoull(argv[++i], nullptr, 0);
+    else if (a == "--waves" && i + 1 < argc) waves = std::strtoull(argv[++i], nullptr, 0);
+    else if (a == "--reps" && i + 1 < argc) reps = std::strtoull(argv[++i], nullptr, 0);
+    else {
+      std::fprintf(stderr, "usage: bench_fabric [--packets N] [--waves W] "
+                           "[--reps R]\n");
+      return 1;
+    }
+  }
+
+  const unsigned nproc = std::thread::hardware_concurrency();
+  const std::string store =
+      (fs::temp_directory_path() / "hp4_bench_fabric").string();
+
+  std::printf("fabric bench — line fabric, %zu pkts x %zu waves per node, "
+              "best of %zu (nproc %u)\n\n",
+              packets, waves, reps, nproc);
+  std::printf("%6s %10s %10s %12s %9s\n", "nodes", "packets", "seconds",
+              "agg_pps", "speedup");
+
+  std::vector<Run> runs;
+  for (const std::size_t n : {std::size_t{1}, std::size_t{2}, std::size_t{4}}) {
+    Run r;
+    r.nodes = n;
+    r.packets = n * packets * waves;
+    double best = 0;
+    for (std::size_t rep = 0; rep < reps; ++rep) {
+      const double s = one_rep(n, packets, waves, store);
+      if (best == 0 || s < best) best = s;
+    }
+    r.seconds = best;
+    r.pps = best > 0 ? static_cast<double>(r.packets) / best : 0;
+    r.speedup = runs.empty() || runs.front().pps <= 0
+                    ? 1.0
+                    : r.pps / runs.front().pps;
+    std::printf("%6zu %10zu %10.3f %12.0f %8.2fx\n", r.nodes, r.packets,
+                r.seconds, r.pps, r.speedup);
+    runs.push_back(r);
+  }
+
+  // The wall-clock scaling gate (see header comment).
+  const bool gate_active = nproc >= 4;
+  const double floor = 2.0;
+  const double speedup4 = runs.back().speedup;
+  const bool gate_ok = !gate_active || speedup4 >= floor;
+
+  std::ofstream json("BENCH_fabric.json");
+  json << "{\n  \"host\": " << host_block_json()
+       << ",\n  \"topology\": \"line\",\n  \"packets_per_node\": "
+       << packets * waves << ",\n  \"reps\": " << reps << ",\n  \"runs\": [\n";
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    const Run& r = runs[i];
+    json << "    {\"nodes\": " << r.nodes << ", \"packets\": " << r.packets
+         << ", \"seconds\": " << r.seconds << ", \"agg_pps\": " << r.pps
+         << ", \"speedup_vs_1\": " << r.speedup << "}"
+         << (i + 1 < runs.size() ? "," : "") << "\n";
+  }
+  json << "  ],\n  \"wall_scaling\": {\"active\": "
+       << (gate_active ? "true" : "false") << ", \"floor\": " << floor
+       << ", \"speedup_4node\": " << speedup4
+       << ", \"ok\": " << (gate_ok ? "true" : "false") << "}\n}\n";
+  std::printf("\nwrote BENCH_fabric.json\n");
+
+  if (!gate_active) {
+    std::printf("NOTICE: wall-clock scaling gate skipped — %u core(s) < 4, "
+                "a fleet cannot scale past the machine\n",
+                nproc);
+    return 0;
+  }
+  if (!gate_ok) {
+    std::printf("FAIL: 4-node aggregate pps only %.2fx the single-node "
+                "figure (floor %.1fx)\n",
+                speedup4, floor);
+    return 1;
+  }
+  std::printf("wall-clock scaling gate: 4-node %.2fx >= %.1fx floor\n",
+              speedup4, floor);
+  return 0;
+}
+
+}  // namespace
+}  // namespace hyper4::bench
+
+int main(int argc, char** argv) {
+  return hyper4::bench::main_impl(argc, argv);
+}

@@ -24,6 +24,7 @@
 #include <string>
 #include <vector>
 
+#include "bench/common.h"
 #include "scenarios/fleet.h"
 
 namespace hyper4::bench {
@@ -130,7 +131,8 @@ int main_impl() {
   }
 
   std::ofstream json("BENCH_fleet.json");
-  json << "{\n  \"timed_waves\": " << kTimedWaves
+  json << "{\n  \"host\": " << host_block_json()
+       << ",\n  \"timed_waves\": " << kTimedWaves
        << ",\n  \"packets_per_tenant_per_wave\": " << kPacketsPerTenant
        << ",\n  \"cells\": [\n";
   for (std::size_t i = 0; i < results.size(); ++i) {

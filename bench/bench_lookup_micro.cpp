@@ -23,6 +23,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "bench/common.h"
 #include "bm/runtime_table.h"
 #include "util/rng.h"
 
@@ -326,7 +327,8 @@ int main_impl() {
   }
 
   std::ofstream json("BENCH_lookup.json");
-  json << "{\n  \"bench\": \"lookup_micro\",\n  \"cases\": [\n";
+  json << "{\n  \"host\": " << host_block_json()
+       << ",\n  \"bench\": \"lookup_micro\",\n  \"cases\": [\n";
   for (std::size_t i = 0; i < cases.size(); ++i) {
     const Case& c = cases[i];
     json << "    {\"kind\": \"" << c.kind << "\", \"entries\": " << c.entries

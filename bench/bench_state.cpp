@@ -26,6 +26,7 @@
 #include <string>
 #include <vector>
 
+#include "bench/common.h"
 #include "apps/apps.h"
 #include "state/store.h"
 
@@ -128,7 +129,8 @@ int main_impl() {
               replay_digest, replayed_digest);
 
   std::ofstream json("BENCH_state.json");
-  json << "{\n  \"workload\": \"l2_switch\",\n  \"rules\": " << kRules
+  json << "{\n  \"host\": " << host_block_json()
+       << ",\n  \"workload\": \"l2_switch\",\n  \"rules\": " << kRules
        << ",\n  \"checkpoint_write_ms_median\": " << write_median
        << ",\n  \"restore_ms\": " << restore_ms
        << ",\n  \"replay_ops_per_s\": " << replay_plain

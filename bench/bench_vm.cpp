@@ -108,7 +108,8 @@ int main_impl() {
   }
 
   std::ofstream json("BENCH_vm.json");
-  json << "{\n  \"speedup_floor\": " << kSpeedupFloor
+  json << "{\n  \"host\": " << host_block_json()
+       << ",\n  \"speedup_floor\": " << kSpeedupFloor
        << ",\n  \"timed_iters\": " << kTimedIters << ",\n  \"apps\": [\n";
   for (std::size_t i = 0; i < results.size(); ++i) {
     const auto& r = results[i];

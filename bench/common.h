@@ -6,12 +6,29 @@
 #include <cstdio>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "apps/apps.h"
 #include "hp4/controller.h"
 
 namespace hyper4::bench {
+
+// The common `host` block every BENCH_*.json carries, so numbers from
+// different machines (or sanitizer builds) are never compared blind:
+//   {"nproc": N, "pin_workers": bool, "sanitizer": "none"|"address,..."}
+// `pin_workers` is whatever the bench actually passed to its engines.
+inline std::string host_block_json(bool pin_workers = false) {
+#ifdef HP4_SANITIZER
+  const std::string san = HP4_SANITIZER;
+#else
+  const std::string san = "none";
+#endif
+  return std::string("{\"nproc\": ") +
+         std::to_string(std::thread::hardware_concurrency()) +
+         ", \"pin_workers\": " + (pin_workers ? "true" : "false") +
+         ", \"sanitizer\": \"" + san + "\"}";
+}
 
 inline constexpr const char* kMacH1 = "02:00:00:00:00:01";
 inline constexpr const char* kMacH2 = "02:00:00:00:00:02";

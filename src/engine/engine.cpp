@@ -193,6 +193,8 @@ void TrafficEngine::worker_loop(Worker& w) {
         m_parse_errors_->inc(r.parse_errors);
         m_loop_kills_->inc(r.loop_kills);
 
+        if (w.egress) (*w.egress)(job.seq, r);
+
         if (opts_.collect_results) {
           completed.emplace_back(job.seq, std::move(r));
         } else {
@@ -243,6 +245,18 @@ void TrafficEngine::set_packet_path(PacketPathFactory factory) {
   for (auto& w : workers_) {
     w->path = factory ? factory(*w->sw) : nullptr;
   }
+  epoch_.fetch_add(1, std::memory_order_release);
+  m_control_ops_->inc();
+}
+
+void TrafficEngine::set_egress_hook(EgressHook hook) {
+  std::lock_guard<std::mutex> control_lock(control_mu_);
+  std::vector<std::unique_lock<std::mutex>> replica_locks;
+  replica_locks.reserve(workers_.size());
+  for (auto& w : workers_) replica_locks.emplace_back(w->replica_mu);
+  const auto shared =
+      hook ? std::make_shared<const EgressHook>(std::move(hook)) : nullptr;
+  for (auto& w : workers_) w->egress = shared;
   epoch_.fetch_add(1, std::memory_order_release);
   m_control_ops_->inc();
 }

@@ -120,6 +120,16 @@ class PacketPath {
 using PacketPathFactory =
     std::function<std::unique_ptr<PacketPath>(bm::Switch&)>;
 
+// Streaming link egress hand-off (src/fabric): called on the worker thread
+// once per packet, right after processing, with the packet's injection
+// sequence and its full result. A fabric node routes each output to a peer
+// link or host endpoint as it completes, without waiting for drain(). The
+// hook runs under the worker's replica lock and must not call back into
+// this engine's control plane (deadlock); it must be thread-safe across
+// workers.
+using EgressHook =
+    std::function<void(std::uint64_t seq, const bm::ProcessResult& result)>;
+
 class TrafficEngine {
  public:
   explicit TrafficEngine(p4::Program prog, EngineOptions opts = {});
@@ -171,6 +181,11 @@ class TrafficEngine {
   // call concurrently (one call per worker under that worker's replica
   // lock).
   void set_packet_path(PacketPathFactory factory);
+
+  // Install (or, with nullptr, remove) the per-packet egress hand-off hook.
+  // Fans out like a control op (all replica locks, one epoch bump), so the
+  // swap lands between batches on every worker.
+  void set_egress_hook(EgressHook hook);
 
   // Sum of every worker path's diagnostics() (empty map when no alternative
   // packet path is installed). Taken under each worker's replica lock, so
@@ -262,6 +277,9 @@ class TrafficEngine {
     // Alternative packet path (set_packet_path); nullptr = Switch::inject.
     // Only touched under replica_mu, like the replica itself.
     std::unique_ptr<PacketPath> path;
+    // Egress hand-off hook (set_egress_hook); shared across workers, the
+    // per-worker copy is swapped under replica_mu like `path`.
+    std::shared_ptr<const EgressHook> egress;
     // Profiling tracer attached to `sw` when EngineOptions::profile; its
     // histograms are only touched by the owning worker under replica_mu.
     std::unique_ptr<obs::PipelineTracer> tracer;

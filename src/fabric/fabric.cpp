@@ -1,0 +1,918 @@
+#include "fabric/fabric.h"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/stat.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <set>
+#include <sstream>
+
+#include "abi/wire.h"
+#include "state/digest.h"
+#include "util/error.h"
+
+namespace hyper4::fabric {
+
+using util::ConfigError;
+using util::Error;
+using util::ParseError;
+
+namespace {
+
+net::Packet to_packet(const std::string& s) {
+  return net::Packet(std::vector<std::uint8_t>(s.begin(), s.end()));
+}
+
+std::string packet_bytes(const net::Packet& p) {
+  const auto b = p.bytes();
+  return std::string(b.begin(), b.end());
+}
+
+std::string node_dir(const std::string& root, std::size_t id) {
+  return root + "/node" + std::to_string(id);
+}
+
+// Shear `n` bytes off the newest journal segment — a torn final record,
+// like a kill mid-append (crash_node's tear_journal_tail).
+void tear_journal(const std::string& dir, std::size_t n = 3) {
+  const auto segs = state::Journal::segment_files(dir);
+  if (segs.empty()) return;
+  struct stat st{};
+  if (::stat(segs.back().c_str(), &st) != 0) return;
+  if (static_cast<std::size_t>(st.st_size) <= n) return;
+  if (::truncate(segs.back().c_str(),
+                 st.st_size - static_cast<off_t>(n)) != 0) {
+    throw ConfigError("fabric: could not tear journal tail of " + segs.back());
+  }
+}
+
+}  // namespace
+
+FabricController::FabricController(FabricOptions opts)
+    : opts_(std::move(opts)) {
+  std::signal(SIGPIPE, SIG_IGN);
+  const FabricTopology& topo = opts_.topology;
+  if (topo.nodes == 0) throw ConfigError("fabric: topology has no nodes");
+  quorum_ = opts_.quorum == 0 ? topo.nodes : opts_.quorum;
+  if (quorum_ > topo.nodes)
+    throw ConfigError("fabric: quorum " + std::to_string(quorum_) +
+                      " exceeds node count " + std::to_string(topo.nodes));
+  if (opts_.store_dir.empty()) throw ConfigError("fabric: store_dir required");
+
+  leader_ = std::make_unique<state::DurableController>(
+      opts_.store_dir + "/leader", opts_.node.persona, opts_.leader_store);
+
+  wirings_.resize(topo.nodes);
+  for (const auto& w : topo.wires) {
+    if (w.a >= topo.nodes || w.b >= topo.nodes)
+      throw ConfigError("fabric: wire references node out of range");
+    wirings_[w.a].links[w.a_port] = {static_cast<std::uint32_t>(w.b),
+                                     w.b_port};
+    wirings_[w.b].links[w.b_port] = {static_cast<std::uint32_t>(w.a),
+                                     w.a_port};
+  }
+  for (const auto& h : topo.hosts) {
+    if (h.node >= topo.nodes)
+      throw ConfigError("fabric: host '" + h.name + "' on unknown node");
+    wirings_[h.node].hosts[h.port] = h.name;
+    host_index_[h.name] = {h.node, h.port};
+    host_by_port_[{h.node, h.port}] = h.name;
+  }
+
+  const std::set<std::size_t> remote(opts_.remote_nodes.begin(),
+                                     opts_.remote_nodes.end());
+  for (std::size_t i = 0; i < topo.nodes; ++i) {
+    auto s = std::make_unique<Slot>();
+    s->id = i;
+    if (!remote.contains(i)) {
+      NodeOptions no = opts_.node;
+      no.store_dir = node_dir(opts_.store_dir, i);
+      s->local = std::make_unique<FabricNode>(static_cast<std::uint32_t>(i),
+                                              no, this);
+      s->local->set_wiring(wirings_[i]);
+      s->local->start();
+      s->alive.store(true, std::memory_order_release);
+      s->shipped = s->acked = s->local->last_lsn();
+      s->last_digest = s->local->digest();
+    } else {
+      s->alive.store(false, std::memory_order_release);
+    }
+    slots_.push_back(std::move(s));
+  }
+  {
+    // Catch up nodes whose stores recovered ahead of/behind the leader.
+    std::lock_guard<std::mutex> lk(control_mu_);
+    ship_all_locked();
+  }
+  repair_th_ = std::thread([this] { repair_loop(); });
+}
+
+FabricController::~FabricController() {
+  {
+    std::lock_guard<std::mutex> lk(repair_mu_);
+    repair_stop_ = true;
+  }
+  repair_cv_.notify_all();
+  if (repair_th_.joinable()) repair_th_.join();
+  for (auto& s : slots_) {
+    if (s->fd >= 0) {
+      Frame bye;
+      bye.type = FrameType::kShutdown;
+      send_frame(*s, bye);
+      ::shutdown(s->fd, SHUT_RDWR);
+    }
+    if (s->reader.joinable()) s->reader.join();
+    if (s->fd >= 0) {
+      ::close(s->fd);
+      s->fd = -1;
+    }
+    if (s->local) s->local->stop();
+  }
+}
+
+// --- replicated control plane ----------------------------------------------
+
+std::uint64_t FabricController::run_replicated(
+    const std::function<std::uint64_t()>& op) {
+  std::uint64_t result = 0;
+  std::uint64_t target = 0;
+  {
+    std::lock_guard<std::mutex> lk(control_mu_);
+    try {
+      result = op();
+    } catch (...) {
+      // A failed op is still journaled (deterministic re-failure on
+      // replay); keep the replicas in lockstep before rethrowing.
+      if (!leader_->in_txn()) ship_all_locked();
+      throw;
+    }
+    if (leader_->in_txn()) return result;  // buffered until txn_commit
+    target = leader_->last_lsn();
+    ship_all_locked();
+  }
+  await_quorum(target);
+  epoch_.fetch_add(1, std::memory_order_acq_rel);
+  return result;
+}
+
+hp4::VdevId FabricController::load_source(const std::string& name,
+                                          const std::string& source,
+                                          const std::string& owner,
+                                          std::size_t quota) {
+  return static_cast<hp4::VdevId>(run_replicated(
+      [&] { return leader_->load_source(name, source, owner, quota); }));
+}
+
+void FabricController::attach_ports(hp4::VdevId id,
+                                    const std::vector<std::uint16_t>& ports) {
+  run_replicated([&] {
+    leader_->attach_ports(id, ports);
+    return 0;
+  });
+}
+
+void FabricController::bind(hp4::VdevId id, std::optional<std::uint16_t> port) {
+  run_replicated([&] {
+    leader_->bind(id, port);
+    return 0;
+  });
+}
+
+void FabricController::chain(const std::vector<hp4::VdevId>& devices,
+                             const std::vector<std::uint16_t>& ports) {
+  run_replicated([&] {
+    leader_->chain(devices, ports);
+    return 0;
+  });
+}
+
+std::uint64_t FabricController::add_rule(hp4::VdevId id,
+                                         const hp4::VirtualRule& rule,
+                                         const std::string& requester) {
+  return run_replicated([&] { return leader_->add_rule(id, rule, requester); });
+}
+
+void FabricController::delete_rule(hp4::VdevId id, std::uint64_t vhandle,
+                                   const std::string& requester) {
+  run_replicated([&] {
+    leader_->delete_rule(id, vhandle, requester);
+    return 0;
+  });
+}
+
+void FabricController::register_write(const std::string& reg,
+                                      std::size_t index,
+                                      const util::BitVec& v) {
+  run_replicated([&] {
+    leader_->register_write(reg, index, v);
+    return 0;
+  });
+}
+
+void FabricController::txn_begin() {
+  std::lock_guard<std::mutex> lk(control_mu_);
+  leader_->txn_begin();
+}
+
+std::uint64_t FabricController::txn_commit() {
+  std::uint64_t target;
+  {
+    std::lock_guard<std::mutex> lk(control_mu_);
+    target = leader_->txn_commit();
+    ship_all_locked();
+  }
+  await_quorum(target);
+  epoch_.fetch_add(1, std::memory_order_acq_rel);
+  return target;
+}
+
+void FabricController::txn_abort() {
+  std::lock_guard<std::mutex> lk(control_mu_);
+  leader_->txn_abort();
+}
+
+void FabricController::ship_tail(Slot& s) {
+  if (!s.alive.load(std::memory_order_acquire) ||
+      !s.connected.load(std::memory_order_acquire))
+    return;
+  auto tail = state::Journal::tail_from(leader_->dir(), s.shipped);
+  state::Record rec;
+  const std::uint64_t e = epoch_.load(std::memory_order_acquire) + 1;
+  while (tail.next(&rec)) {
+    if (s.local) {
+      Msg m;
+      m.kind = Msg::Kind::kApply;
+      m.rec = rec;
+      m.epoch = e;
+      if (!s.local->post(std::move(m))) return;  // stopping under us
+    } else {
+      Frame f;
+      f.type = FrameType::kApply;
+      f.epoch = e;
+      f.record = rec;
+      send_frame(s, f);
+      if (!s.alive.load(std::memory_order_acquire)) return;
+    }
+    s.shipped = rec.lsn;
+  }
+}
+
+void FabricController::ship_all_locked() {
+  for (auto& s : slots_) ship_tail(*s);
+}
+
+void FabricController::await_quorum(std::uint64_t target_lsn) {
+  std::unique_lock<std::mutex> lk(ack_mu_);
+  const auto acked = [&] {
+    std::size_t n = 0;
+    for (const auto& s : slots_) {
+      if (s->alive.load(std::memory_order_acquire) &&
+          s->connected.load(std::memory_order_acquire) &&
+          s->acked >= target_lsn)
+        ++n;
+    }
+    return n;
+  };
+  if (!ack_cv_.wait_for(lk, std::chrono::milliseconds(opts_.commit_timeout_ms),
+                        [&] { return acked() >= quorum_; })) {
+    throw ConfigError(
+        "fabric: commit of lsn " + std::to_string(target_lsn) +
+        " timed out with " + std::to_string(acked()) + "/" +
+        std::to_string(quorum_) +
+        " replica acks — below quorum the fabric blocks rather than diverge");
+  }
+  std::uint64_t c = committed_lsn_.load(std::memory_order_relaxed);
+  while (target_lsn > c && !committed_lsn_.compare_exchange_weak(
+                               c, target_lsn, std::memory_order_acq_rel)) {
+  }
+}
+
+// --- data plane --------------------------------------------------------------
+
+std::uint64_t FabricController::inject(const std::string& host,
+                                       const net::Packet& p) {
+  auto it = host_index_.find(host);
+  if (it == host_index_.end())
+    throw ConfigError("fabric: unknown host '" + host + "'");
+  return inject_at(it->second.first, it->second.second, p);
+}
+
+std::uint64_t FabricController::inject_at(std::size_t node, std::uint16_t port,
+                                          const net::Packet& p) {
+  if (node >= slots_.size())
+    throw ConfigError("fabric: node " + std::to_string(node) +
+                      " out of range");
+  {
+    std::unique_lock<std::mutex> lk(fly_mu_);
+    fly_cv_.wait(lk,
+                 [&] { return inflight_total_ < opts_.inflight_watermark; });
+  }
+  const std::uint64_t seq = seq_.fetch_add(1, std::memory_order_acq_rel) + 1;
+  route_to(node, PacketMsg{seq, port, 0, p});
+  return seq;
+}
+
+void FabricController::drain() {
+  std::unique_lock<std::mutex> lk(fly_mu_);
+  fly_cv_.wait(lk, [&] { return inflight_total_ == 0; });
+}
+
+std::vector<FabricDelivery> FabricController::take_deliveries() {
+  std::lock_guard<std::mutex> lk(deliver_mu_);
+  std::vector<FabricDelivery> out;
+  out.swap(deliveries_);
+  return out;
+}
+
+void FabricController::route_to(std::size_t dst, PacketMsg&& pkt) {
+  Slot& s = *slots_.at(dst);
+  {
+    std::lock_guard<std::mutex> lk(fly_mu_);
+    if (!s.alive.load(std::memory_order_acquire)) return;  // dead node: drop
+    ++inflight_total_;
+    ++s.inflight;
+  }
+  if (s.local) {
+    Msg m;
+    m.kind = Msg::Kind::kPacket;
+    m.pkt = std::move(pkt);
+    if (s.local->post(std::move(m))) return;
+    // Node closed between the check and the post: undo the accounting
+    // (mark_dead may have zeroed it already).
+    bool notify = false;
+    {
+      std::lock_guard<std::mutex> lk(fly_mu_);
+      if (s.inflight > 0) {
+        --s.inflight;
+        --inflight_total_;
+        notify = true;
+      }
+    }
+    if (notify) fly_cv_.notify_all();
+  } else {
+    Frame f;
+    f.type = FrameType::kPacket;
+    f.seq = pkt.seq;
+    f.dst_node = static_cast<std::uint32_t>(dst);
+    f.port = pkt.port;
+    f.hops = pkt.hops;
+    f.bytes = packet_bytes(pkt.packet);
+    send_frame(s, f);
+  }
+}
+
+// --- membership & fault injection -------------------------------------------
+
+void FabricController::disconnect(std::size_t node) {
+  slots_.at(node)->connected.store(false, std::memory_order_release);
+  ack_cv_.notify_all();
+}
+
+void FabricController::reconnect(std::size_t node) {
+  Slot& s = *slots_.at(node);
+  if (!s.alive.load(std::memory_order_acquire))
+    throw ConfigError("fabric: node " + std::to_string(node) +
+                      " is dead; restart it instead");
+  s.connected.store(true, std::memory_order_release);
+  std::lock_guard<std::mutex> lk(control_mu_);
+  {
+    std::lock_guard<std::mutex> ak(ack_mu_);
+    s.shipped = std::min(s.shipped, s.acked);
+  }
+  ship_tail(s);
+}
+
+void FabricController::crash_node(std::size_t node, bool tear_journal_tail) {
+  Slot& s = *slots_.at(node);
+  if (s.local) {
+    s.alive.store(false, std::memory_order_release);
+    s.connected.store(false, std::memory_order_release);
+    s.local->halt();  // drops the inbox backlog, like a SIGKILL would
+    const std::string dir = s.local->store().dir();
+    s.local.reset();
+    mark_dead(s);
+    if (tear_journal_tail) tear_journal(dir);
+  } else {
+    Frame f;
+    f.type = FrameType::kCrash;
+    send_frame(s, f);
+    mark_dead(s);
+    if (s.fd >= 0) ::shutdown(s.fd, SHUT_RDWR);
+    if (s.reader.joinable()) s.reader.join();
+    if (s.fd >= 0) {
+      ::close(s.fd);
+      s.fd = -1;
+    }
+  }
+}
+
+void FabricController::restart_node(std::size_t node) {
+  Slot& s = *slots_.at(node);
+  if (s.local || s.fd >= 0)
+    throw ConfigError("fabric: node " + std::to_string(node) +
+                      " is still running");
+  NodeOptions no = opts_.node;
+  no.store_dir = node_dir(opts_.store_dir, node);
+  s.local = std::make_unique<FabricNode>(static_cast<std::uint32_t>(node), no,
+                                         this);
+  s.local->set_wiring(wirings_[node]);
+  s.local->start();
+  const std::uint64_t lsn = s.local->last_lsn();
+  {
+    std::lock_guard<std::mutex> ak(ack_mu_);
+    s.acked = lsn;
+    s.last_digest = s.local->digest();
+  }
+  s.alive.store(true, std::memory_order_release);
+  s.connected.store(true, std::memory_order_release);
+  std::lock_guard<std::mutex> lk(control_mu_);
+  s.shipped = lsn;
+  ship_tail(s);
+}
+
+void FabricController::attach_remote(std::size_t node, int fd) {
+  Slot& s = *slots_.at(node);
+  if (s.local)
+    throw ConfigError("fabric: node " + std::to_string(node) +
+                      " is in-process");
+  if (s.reader.joinable()) s.reader.join();  // previous incarnation's reader
+  if (s.fd >= 0) {
+    ::close(s.fd);
+    s.fd = -1;
+  }
+  std::string payload;
+  if (!abi::read_frame(fd, payload))
+    throw ConfigError("fabric: remote node hung up before hello");
+  const Frame hello = decode(payload);
+  if (hello.type != FrameType::kHello || hello.node != node)
+    throw ConfigError("fabric: bad hello from remote node " +
+                      std::to_string(node));
+  Frame cfg;
+  cfg.type = FrameType::kConfig;
+  for (const auto& [port, l] : wirings_[node].links)
+    cfg.links.push_back({port, l.dst_node, l.dst_port});
+  for (const auto& [port, h] : wirings_[node].hosts)
+    cfg.host_ports.emplace_back(port, h);
+  if (!abi::write_frame(fd, encode(cfg)))
+    throw ConfigError("fabric: remote node rejected config");
+  s.fd = fd;
+  {
+    std::lock_guard<std::mutex> ak(ack_mu_);
+    s.acked = hello.lsn;
+    s.last_digest = hello.digest;
+  }
+  s.alive.store(true, std::memory_order_release);
+  s.connected.store(true, std::memory_order_release);
+  Slot* sp = &s;
+  s.reader = std::thread([this, sp] { remote_reader(*sp); });
+  std::lock_guard<std::mutex> lk(control_mu_);
+  s.shipped = hello.lsn;
+  ship_tail(s);
+}
+
+bool FabricController::alive(std::size_t node) const {
+  return slots_.at(node)->alive.load(std::memory_order_acquire);
+}
+
+void FabricController::mark_dead(Slot& s) {
+  s.alive.store(false, std::memory_order_release);
+  s.connected.store(false, std::memory_order_release);
+  {
+    std::lock_guard<std::mutex> lk(fly_mu_);
+    inflight_total_ -= s.inflight;
+    s.inflight = 0;
+  }
+  fly_cv_.notify_all();
+  ack_cv_.notify_all();
+  status_cv_.notify_all();
+}
+
+// --- transports --------------------------------------------------------------
+
+void FabricController::send_frame(Slot& s, const Frame& f) {
+  if (s.fd < 0) return;
+  bool ok = false;
+  {
+    std::lock_guard<std::mutex> lk(s.write_mu);
+    ok = abi::write_frame(s.fd, encode(f));
+  }
+  if (!ok) mark_dead(s);
+}
+
+void FabricController::remote_reader(Slot& s) {
+  const int fd = s.fd;
+  std::string payload;
+  try {
+    while (abi::read_frame(fd, payload)) {
+      const Frame f = decode(payload);
+      switch (f.type) {
+        case FrameType::kAck:
+          on_ack(f.node, f.lsn, f.digest);
+          break;
+        case FrameType::kResend:
+          on_resend(f.node, f.lsn);
+          break;
+        case FrameType::kDone:
+          on_done(f.node, f.count);
+          break;
+        case FrameType::kDeliver:
+          on_deliver(f.node, f.port, host_name(f.node, f.port),
+                     PacketMsg{f.seq, f.port, f.hops, to_packet(f.bytes)});
+          break;
+        case FrameType::kPacket:
+          route_to(f.dst_node,
+                   PacketMsg{f.seq, f.port, f.hops, to_packet(f.bytes)});
+          break;
+        case FrameType::kStatus: {
+          {
+            std::lock_guard<std::mutex> lk(status_mu_);
+            s.status = f;
+            s.status_ready = true;
+          }
+          status_cv_.notify_all();
+          break;
+        }
+        default:
+          break;
+      }
+    }
+  } catch (const Error&) {
+    // Torn transport frame / garbled body: the stream is unusable.
+  }
+  mark_dead(s);
+}
+
+// --- NodeCallbacks -----------------------------------------------------------
+
+void FabricController::on_ack(std::uint32_t node, std::uint64_t lsn,
+                              std::uint64_t digest) {
+  Slot& s = *slots_.at(node);
+  if (!s.connected.load(std::memory_order_acquire)) return;
+  {
+    std::lock_guard<std::mutex> lk(ack_mu_);
+    if (lsn >= s.acked) {
+      s.acked = lsn;
+      s.last_digest = digest;
+    }
+  }
+  ack_cv_.notify_all();
+}
+
+void FabricController::on_resend(std::uint32_t node, std::uint64_t from_lsn) {
+  {
+    std::lock_guard<std::mutex> lk(repair_mu_);
+    repair_queue_.emplace_back(node, from_lsn);
+  }
+  repair_cv_.notify_one();
+}
+
+void FabricController::on_deliver(std::uint32_t node, std::uint16_t port,
+                                  const std::string& host, PacketMsg&& pkt) {
+  std::lock_guard<std::mutex> lk(deliver_mu_);
+  deliveries_.push_back(
+      {pkt.seq, node, port, host, std::move(pkt.packet)});
+}
+
+void FabricController::forward(std::uint32_t src_node, std::uint32_t dst_node,
+                               PacketMsg&& pkt) {
+  (void)src_node;
+  if (dst_node >= slots_.size()) return;
+  route_to(dst_node, std::move(pkt));
+}
+
+void FabricController::on_done(std::uint32_t node, std::uint32_t packets) {
+  Slot& s = *slots_.at(node);
+  {
+    std::lock_guard<std::mutex> lk(fly_mu_);
+    const std::uint64_t n = std::min<std::uint64_t>(packets, s.inflight);
+    s.inflight -= n;
+    inflight_total_ -= n;
+  }
+  fly_cv_.notify_all();
+}
+
+void FabricController::repair_loop() {
+  for (;;) {
+    std::vector<std::pair<std::size_t, std::uint64_t>> q;
+    {
+      std::unique_lock<std::mutex> lk(repair_mu_);
+      repair_cv_.wait(lk,
+                      [&] { return repair_stop_ || !repair_queue_.empty(); });
+      if (repair_stop_) return;
+      q.swap(repair_queue_);
+    }
+    std::lock_guard<std::mutex> lk(control_mu_);
+    for (const auto& [id, from] : q) {
+      Slot& s = *slots_.at(id);
+      s.shipped = std::min(s.shipped, from);
+      ship_tail(s);
+    }
+  }
+}
+
+// --- introspection -----------------------------------------------------------
+
+std::uint64_t FabricController::leader_digest() {
+  std::lock_guard<std::mutex> lk(control_mu_);
+  return leader_->digest();
+}
+
+std::uint64_t FabricController::node_acked_lsn(std::size_t node) const {
+  std::lock_guard<std::mutex> lk(ack_mu_);
+  return slots_.at(node)->acked;
+}
+
+std::uint64_t FabricController::node_acked_digest(std::size_t node) const {
+  std::lock_guard<std::mutex> lk(ack_mu_);
+  return slots_.at(node)->last_digest;
+}
+
+FabricNode& FabricController::node(std::size_t i) {
+  Slot& s = *slots_.at(i);
+  if (!s.local)
+    throw ConfigError("fabric: node " + std::to_string(i) +
+                      " is not in-process");
+  return *s.local;
+}
+
+std::string FabricController::host_name(std::size_t node,
+                                        std::uint16_t port) const {
+  auto it = host_by_port_.find({node, port});
+  return it == host_by_port_.end() ? "?" : it->second;
+}
+
+std::string FabricController::status_json() {
+  for (auto& s : slots_) {
+    if (!s->local && s->alive.load(std::memory_order_acquire)) {
+      {
+        std::lock_guard<std::mutex> lk(status_mu_);
+        s->status_ready = false;
+      }
+      Frame f;
+      f.type = FrameType::kStatusReq;
+      send_frame(*s, f);
+    }
+  }
+  std::map<std::string, std::uint64_t> totals;
+  std::ostringstream nodes_os;
+  bool first = true;
+  for (auto& s : slots_) {
+    std::string nj;
+    if (s->local) {
+      nj = s->local->status_json();
+      for (const auto& [k, v] : s->local->counters()) totals[k] += v;
+    } else if (s->alive.load(std::memory_order_acquire)) {
+      std::unique_lock<std::mutex> lk(status_mu_);
+      status_cv_.wait_for(lk, std::chrono::seconds(2), [&] {
+        return s->status_ready ||
+               !s->alive.load(std::memory_order_acquire);
+      });
+      if (s->status_ready) {
+        for (const auto& [k, v] : s->status.counters) totals[k] += v;
+        nj = s->status.metrics_json;
+      }
+    }
+    if (nj.empty())
+      nj = "{\"node\": " + std::to_string(s->id) + ", \"alive\": false}";
+    nodes_os << (first ? "" : ", ") << nj;
+    first = false;
+  }
+  std::uint64_t inflight;
+  {
+    std::lock_guard<std::mutex> lk(fly_mu_);
+    inflight = inflight_total_;
+  }
+  std::ostringstream os;
+  os << "{\"fabric\": {\"nodes\": " << slots_.size()
+     << ", \"quorum\": " << quorum_ << ", \"epoch\": " << epoch()
+     << ", \"committed_lsn\": " << committed_lsn() << ", \"leader_digest\": \""
+     << state::digest_hex(leader_digest()) << "\", \"inflight\": " << inflight
+     << "}, \"totals\": {";
+  first = true;
+  for (const auto& [k, v] : totals) {
+    os << (first ? "" : ", ") << "\"" << k << "\": " << v;
+    first = false;
+  }
+  os << "}, \"nodes\": [" << nodes_os.str() << "]}";
+  return os.str();
+}
+
+// --- follower process side ---------------------------------------------------
+
+namespace {
+
+class SocketCallbacks : public NodeCallbacks {
+ public:
+  explicit SocketCallbacks(int fd) : fd_(fd) {}
+
+  // Write failures are deliberately ignored here: when the controller goes
+  // away the serve loop sees EOF and shuts the node down.
+  void send(const Frame& f) {
+    std::lock_guard<std::mutex> lk(mu_);
+    abi::write_frame(fd_, encode(f));
+  }
+
+  void on_ack(std::uint32_t node, std::uint64_t lsn,
+              std::uint64_t digest) override {
+    Frame f;
+    f.type = FrameType::kAck;
+    f.node = node;
+    f.lsn = lsn;
+    f.digest = digest;
+    send(f);
+  }
+  void on_resend(std::uint32_t node, std::uint64_t from_lsn) override {
+    Frame f;
+    f.type = FrameType::kResend;
+    f.node = node;
+    f.lsn = from_lsn;
+    send(f);
+  }
+  void on_deliver(std::uint32_t node, std::uint16_t port, const std::string&,
+                  PacketMsg&& pkt) override {
+    Frame f;
+    f.type = FrameType::kDeliver;
+    f.node = node;
+    f.seq = pkt.seq;
+    f.port = port;
+    f.hops = pkt.hops;
+    f.bytes = packet_bytes(pkt.packet);
+    send(f);
+  }
+  void forward(std::uint32_t src_node, std::uint32_t dst_node,
+               PacketMsg&& pkt) override {
+    Frame f;
+    f.type = FrameType::kPacket;
+    f.node = src_node;
+    f.seq = pkt.seq;
+    f.dst_node = dst_node;
+    f.port = pkt.port;
+    f.hops = pkt.hops;
+    f.bytes = packet_bytes(pkt.packet);
+    send(f);
+  }
+  void on_done(std::uint32_t node, std::uint32_t packets) override {
+    Frame f;
+    f.type = FrameType::kDone;
+    f.node = node;
+    f.count = packets;
+    send(f);
+  }
+
+ private:
+  int fd_;
+  std::mutex mu_;
+};
+
+}  // namespace
+
+void serve_node(int fd, std::uint32_t id, NodeOptions opts) {
+  std::signal(SIGPIPE, SIG_IGN);
+  SocketCallbacks cb(fd);
+  FabricNode node(id, std::move(opts), &cb);
+  node.start();
+  {
+    Frame hello;
+    hello.type = FrameType::kHello;
+    hello.node = id;
+    hello.lsn = node.last_lsn();
+    hello.digest = node.digest();
+    hello.epoch = node.epoch();
+    cb.send(hello);
+  }
+  std::string payload;
+  bool running = true;
+  while (running) {
+    bool more;
+    try {
+      more = abi::read_frame(fd, payload);
+    } catch (const Error&) {
+      break;  // torn transport framing — stream unusable
+    }
+    if (!more) break;
+    Frame f;
+    try {
+      f = decode(payload);
+    } catch (const ParseError&) {
+      // Torn/garbled replication record: ask for the tail again instead of
+      // applying garbage.
+      Frame r;
+      r.type = FrameType::kResend;
+      r.node = id;
+      r.lsn = node.last_lsn();
+      cb.send(r);
+      continue;
+    }
+    switch (f.type) {
+      case FrameType::kConfig: {
+        NodeWiring w;
+        for (const auto& l : f.links)
+          w.links[l.port] = {l.dst_node, l.dst_port};
+        for (const auto& [port, host] : f.host_ports) w.hosts[port] = host;
+        node.set_wiring(std::move(w));
+        break;
+      }
+      case FrameType::kApply: {
+        Msg m;
+        m.kind = Msg::Kind::kApply;
+        m.rec = f.record;
+        m.epoch = f.epoch;
+        node.post(std::move(m));
+        break;
+      }
+      case FrameType::kPacket: {
+        Msg m;
+        m.kind = Msg::Kind::kPacket;
+        m.pkt = PacketMsg{f.seq, f.port, f.hops, to_packet(f.bytes)};
+        node.post(std::move(m));
+        break;
+      }
+      case FrameType::kStatusReq: {
+        Frame st;
+        st.type = FrameType::kStatus;
+        st.node = id;
+        st.lsn = node.last_lsn();
+        st.digest = node.digest();
+        st.epoch = node.epoch();
+        st.counters = node.counters();
+        st.metrics_json = node.status_json();
+        cb.send(st);
+        break;
+      }
+      case FrameType::kShutdown:
+        running = false;
+        break;
+      case FrameType::kCrash:
+        std::_Exit(9);
+      default:
+        break;
+    }
+  }
+  node.stop();
+}
+
+// --- unix-socket plumbing ----------------------------------------------------
+
+namespace {
+
+sockaddr_un make_addr(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path))
+    throw ConfigError("fabric: socket path too long: " + path);
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  return addr;
+}
+
+}  // namespace
+
+int listen_unix(const std::string& path) {
+  ::unlink(path.c_str());
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) throw Error("fabric: socket(): " + std::string(strerror(errno)));
+  sockaddr_un addr = make_addr(path);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const int e = errno;
+    ::close(fd);
+    throw Error("fabric: bind(" + path + "): " + std::string(strerror(e)));
+  }
+  if (::listen(fd, 16) != 0) {
+    const int e = errno;
+    ::close(fd);
+    throw Error("fabric: listen(" + path + "): " + std::string(strerror(e)));
+  }
+  return fd;
+}
+
+int accept_unix(int listen_fd, int timeout_ms) {
+  pollfd p{listen_fd, POLLIN, 0};
+  const int r = ::poll(&p, 1, timeout_ms);
+  if (r == 0) throw Error("fabric: accept timed out");
+  if (r < 0) throw Error("fabric: poll(): " + std::string(strerror(errno)));
+  const int fd = ::accept(listen_fd, nullptr, nullptr);
+  if (fd < 0) throw Error("fabric: accept(): " + std::string(strerror(errno)));
+  return fd;
+}
+
+int connect_unix(const std::string& path, int retries, int retry_ms) {
+  sockaddr_un addr = make_addr(path);
+  for (int i = 0; i < retries; ++i) {
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0)
+      throw Error("fabric: socket(): " + std::string(strerror(errno)));
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) == 0)
+      return fd;
+    ::close(fd);
+    ::usleep(static_cast<useconds_t>(retry_ms) * 1000);
+  }
+  throw Error("fabric: could not connect to " + path);
+}
+
+}  // namespace hyper4::fabric

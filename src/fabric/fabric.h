@@ -1,0 +1,241 @@
+// The replicated multi-switch fabric (DESIGN.md "Fabric").
+//
+// A FabricController drives N FabricNode replicas with epoch-consistent
+// control-plane updates: every management op is journaled on the leader
+// store (the PR 5 DurableController), the journal tail is shipped to each
+// replica over its replication channel, and the op commits — the call
+// returns — only once a configurable quorum of replicas has acked the
+// op's LSN. Below quorum, commits BLOCK (and time out with ConfigError);
+// they never silently diverge.
+//
+// A replica that falls behind (gap, torn stream, crash) is repaired by
+// reshipping its journal tail from its last acked LSN — recovery of a
+// killed follower is literally the single-node path (checkpoint + journal
+// tail) followed by a tail catch-up, and digests embedded in the records
+// verify the follower byte-for-byte along the way.
+//
+// Transports: in-process nodes hand messages through their MPSC inboxes
+// directly; remote nodes (serve_node, in another process) speak
+// fabric::Frame bodies inside src/abi length-prefixed frames over a unix
+// stream socket. The controller treats both identically.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "fabric/node.h"
+#include "fabric/topology.h"
+#include "fabric/wire.h"
+
+namespace hyper4::fabric {
+
+struct FabricOptions {
+  // Root directory: the leader store lives at <store_dir>/leader, node i's
+  // at <store_dir>/node<i>.
+  std::string store_dir;
+  FabricTopology topology;
+  // Replicas that must ack an op's LSN before it commits; 0 = all nodes.
+  std::size_t quorum = 0;
+  int commit_timeout_ms = 5000;
+  // Template for every node (store_dir is overridden per node; persona and
+  // store options are shared with the leader so replay is deterministic).
+  NodeOptions node;
+  state::StoreOptions leader_store{};
+  // Node ids served by external processes (attach_remote) instead of being
+  // constructed in-process.
+  std::vector<std::size_t> remote_nodes;
+  // Max packet traversals in flight fabric-wide; inject() blocks at the
+  // watermark. Keep it below NodeOptions::inbox_capacity so a node's inbox
+  // always has room for control records (see DESIGN.md).
+  std::size_t inflight_watermark = 1024;
+};
+
+struct FabricDelivery {
+  std::uint64_t seq = 0;
+  std::uint32_t node = 0;
+  std::uint16_t port = 0;
+  std::string host;
+  net::Packet packet;
+};
+
+class FabricController : public NodeCallbacks {
+ public:
+  explicit FabricController(FabricOptions opts);
+  ~FabricController();
+
+  FabricController(const FabricController&) = delete;
+  FabricController& operator=(const FabricController&) = delete;
+
+  const FabricTopology& topology() const { return opts_.topology; }
+  std::size_t nodes() const { return slots_.size(); }
+
+  // --- replicated control plane -------------------------------------------
+  // Each op journals on the leader, ships to every live replica, and
+  // returns after quorum ack (ConfigError on timeout — below quorum the
+  // fabric refuses to commit). Inside a transaction ops buffer on the
+  // leader and ship as ONE kTxn record at txn_commit().
+  hp4::VdevId load_source(const std::string& name, const std::string& source,
+                          const std::string& owner = "admin",
+                          std::size_t quota = 1024);
+  void attach_ports(hp4::VdevId id, const std::vector<std::uint16_t>& ports);
+  void bind(hp4::VdevId id, std::optional<std::uint16_t> port = std::nullopt);
+  void chain(const std::vector<hp4::VdevId>& devices,
+             const std::vector<std::uint16_t>& ports);
+  std::uint64_t add_rule(hp4::VdevId id, const hp4::VirtualRule& rule,
+                         const std::string& requester = "admin");
+  void delete_rule(hp4::VdevId id, std::uint64_t vhandle,
+                   const std::string& requester = "admin");
+  void register_write(const std::string& reg, std::size_t index,
+                      const util::BitVec& v);
+  void txn_begin();
+  std::uint64_t txn_commit();
+  void txn_abort();
+
+  // --- data plane ----------------------------------------------------------
+  // Inject at a topology host (or a raw node/port). Blocks while the
+  // fabric-wide inflight count sits at the watermark. Returns the fabric
+  // sequence number.
+  std::uint64_t inject(const std::string& host, const net::Packet& p);
+  std::uint64_t inject_at(std::size_t node, std::uint16_t port,
+                          const net::Packet& p);
+  // Wait until every injected packet has finished every traversal.
+  void drain();
+  std::vector<FabricDelivery> take_deliveries();
+
+  // --- membership & fault injection ---------------------------------------
+  // Stop shipping to / ignoring acks from a node (network partition). The
+  // node stays up; reconnect() reships its tail.
+  void disconnect(std::size_t node);
+  void reconnect(std::size_t node);
+  // Local node: halt it (drop inbox backlog, like SIGKILL) and destroy it;
+  // optionally tear the final bytes off its journal (torn-record crash).
+  // Remote node: send kCrash (the server _exit()s) and mark it dead.
+  void crash_node(std::size_t node, bool tear_journal_tail = false);
+  // Rebuild a crashed local node from its store directory (checkpoint +
+  // journal tail recovery) and catch it up from its recovered LSN.
+  void restart_node(std::size_t node);
+  // Handshake an external serve_node process over a connected socket fd
+  // (takes ownership of fd): reads kHello, ships wiring + journal tail.
+  void attach_remote(std::size_t node, int fd);
+  bool alive(std::size_t node) const;
+
+  // --- introspection -------------------------------------------------------
+  std::uint64_t committed_lsn() const {
+    return committed_lsn_.load(std::memory_order_acquire);
+  }
+  std::uint64_t epoch() const { return epoch_.load(std::memory_order_acquire); }
+  std::uint64_t leader_digest();
+  std::uint64_t node_acked_lsn(std::size_t node) const;
+  std::uint64_t node_acked_digest(std::size_t node) const;
+  state::DurableController& leader() { return *leader_; }
+  FabricNode& node(std::size_t i);
+  // Fabric-wide JSON: {"fabric": {...}, "totals": {summed counters},
+  // "nodes": [per-node status]}. Remote nodes are polled with kStatusReq.
+  std::string status_json();
+
+  // --- NodeCallbacks (node threads / remote readers call these) -----------
+  void on_ack(std::uint32_t node, std::uint64_t lsn,
+              std::uint64_t digest) override;
+  void on_resend(std::uint32_t node, std::uint64_t from_lsn) override;
+  void on_deliver(std::uint32_t node, std::uint16_t port,
+                  const std::string& host, PacketMsg&& pkt) override;
+  void forward(std::uint32_t src_node, std::uint32_t dst_node,
+               PacketMsg&& pkt) override;
+  void on_done(std::uint32_t node, std::uint32_t packets) override;
+
+ private:
+  struct Slot {
+    std::size_t id = 0;
+    std::unique_ptr<FabricNode> local;  // null for remote slots
+    int fd = -1;                        // remote transport
+    std::thread reader;
+    std::mutex write_mu;  // serializes frames onto fd
+    std::atomic<bool> alive{false};
+    std::atomic<bool> connected{true};
+    std::uint64_t shipped = 0;  // last LSN sent (control_mu_)
+    std::uint64_t acked = 0;    // last LSN acked (ack_mu_)
+    std::uint64_t last_digest = 0;  // digest at `acked` (ack_mu_)
+    std::uint64_t inflight = 0;     // traversals pending here (fly_mu_)
+    // kStatus reply (status_mu_).
+    bool status_ready = false;
+    Frame status;
+  };
+
+  std::uint64_t run_replicated(const std::function<std::uint64_t()>& op);
+  // Ship the leader journal tail past slot.shipped (control_mu_ held).
+  void ship_tail(Slot& s);
+  void ship_all_locked();
+  void await_quorum(std::uint64_t target_lsn);
+  void send_frame(Slot& s, const Frame& f);
+  void remote_reader(Slot& s);
+  // Inflight bookkeeping + hand the packet to a node (local post or remote
+  // kPacket frame).
+  void route_to(std::size_t dst, PacketMsg&& pkt);
+  void mark_dead(Slot& s);
+  void repair_loop();
+  std::string host_name(std::size_t node, std::uint16_t port) const;
+
+  FabricOptions opts_;
+  std::unique_ptr<state::DurableController> leader_;
+  std::vector<std::unique_ptr<Slot>> slots_;
+  std::vector<NodeWiring> wirings_;
+  std::map<std::string, std::pair<std::size_t, std::uint16_t>> host_index_;
+  std::map<std::pair<std::size_t, std::uint16_t>, std::string> host_by_port_;
+
+  // Leader journal + shipping cursors. NEVER held across a quorum wait.
+  std::mutex control_mu_;
+
+  mutable std::mutex ack_mu_;
+  std::condition_variable ack_cv_;
+  std::atomic<std::uint64_t> committed_lsn_{0};
+  std::atomic<std::uint64_t> epoch_{0};
+
+  // Fabric-wide inflight traversal accounting.
+  std::mutex fly_mu_;
+  std::condition_variable fly_cv_;
+  std::uint64_t inflight_total_ = 0;
+
+  std::mutex deliver_mu_;
+  std::vector<FabricDelivery> deliveries_;
+  std::atomic<std::uint64_t> seq_{0};
+
+  std::mutex status_mu_;
+  std::condition_variable status_cv_;
+
+  // Resend repair runs on its own thread so a node thread reporting a gap
+  // never ships records into its own (possibly full) inbox.
+  std::mutex repair_mu_;
+  std::condition_variable repair_cv_;
+  std::vector<std::pair<std::size_t, std::uint64_t>> repair_queue_;
+  bool repair_stop_ = false;
+  std::thread repair_th_;
+
+  std::size_t quorum_ = 0;
+};
+
+// --- follower process side -------------------------------------------------
+// Serve one FabricNode over a connected stream socket until the peer hangs
+// up or sends kShutdown: writes kHello, then dispatches kConfig / kApply /
+// kPacket / kStatusReq frames into the node and relays its callbacks back
+// as kAck / kResend / kDeliver / kPacket / kDone. A torn frame on the
+// replication stream (decode ParseError) answers kResend from the node's
+// journal tail instead of applying garbage. kCrash calls _exit(9).
+void serve_node(int fd, std::uint32_t id, NodeOptions opts);
+
+// Unix-socket plumbing shared by hyper4_fabric and the tests. listen_unix
+// unlinks a stale path first; connect_unix retries while the server binds;
+// accept_unix polls with a timeout. All throw util::Error on failure.
+int listen_unix(const std::string& path);
+int accept_unix(int listen_fd, int timeout_ms = 10000);
+int connect_unix(const std::string& path, int retries = 100, int retry_ms = 50);
+
+}  // namespace hyper4::fabric

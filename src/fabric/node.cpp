@@ -1,0 +1,242 @@
+#include "fabric/node.h"
+
+#include <sstream>
+#include <utility>
+
+#include "engine/engine.h"
+#include "state/digest.h"
+#include "util/error.h"
+
+namespace hyper4::fabric {
+
+using util::ConfigError;
+
+FabricNode::FabricNode(std::uint32_t id, NodeOptions opts, NodeCallbacks* cb)
+    : id_(id),
+      opts_(std::move(opts)),
+      cb_(cb),
+      inbox_(opts_.inbox_capacity),
+      m_packets_(&metrics_.counter("packets")),
+      m_outputs_(&metrics_.counter("outputs")),
+      m_deliveries_(&metrics_.counter("deliveries")),
+      m_forwards_(&metrics_.counter("forwards")),
+      m_drops_unwired_(&metrics_.counter("drops_unwired")),
+      m_loop_kills_(&metrics_.counter("loop_kills")),
+      m_applied_(&metrics_.counter("applied_records")),
+      m_duplicates_(&metrics_.counter("duplicate_records")),
+      m_gaps_(&metrics_.counter("gap_events")),
+      m_acks_(&metrics_.counter("acks")) {
+  if (!cb_) throw ConfigError("fabric node: null callbacks");
+  if (opts_.store_dir.empty())
+    throw ConfigError("fabric node: store_dir required");
+  store_ = std::make_unique<state::DurableController>(
+      opts_.store_dir, opts_.persona, opts_.store);
+  if (opts_.engine_workers > 0) {
+    engine::EngineOptions eo;
+    eo.workers = opts_.engine_workers;
+    eo.collect_results = false;  // the egress hook is the result path
+    eo.pin_workers = opts_.pin_workers;
+    engine_ = std::make_unique<engine::TrafficEngine>(
+        store_->controller().dataplane().program(), eo);
+    store_->controller().attach_engine(engine_.get());
+    engine_->set_egress_hook(
+        [this](std::uint64_t eseq, const bm::ProcessResult& r) {
+          Pending p;
+          {
+            std::lock_guard<std::mutex> lk(pending_mu_);
+            auto it = pending_.find(eseq);
+            if (it == pending_.end()) return;  // not a fabric packet
+            p = it->second;
+            pending_.erase(it);
+          }
+          m_packets_->inc();
+          route(p.seq, p.hops, r);
+          cb_->on_done(id_, 1);
+        });
+  }
+}
+
+FabricNode::~FabricNode() {
+  stop();
+  if (engine_) {
+    store_->controller().attach_engine(nullptr);
+    engine_.reset();
+  }
+}
+
+void FabricNode::set_wiring(NodeWiring wiring) {
+  auto snap = std::make_shared<const NodeWiring>(std::move(wiring));
+  std::lock_guard<std::mutex> lk(wiring_mu_);
+  wiring_ = std::move(snap);
+}
+
+void FabricNode::start() {
+  if (started_) return;
+  started_ = true;
+  th_ = std::thread([this] { run(); });
+}
+
+void FabricNode::stop() {
+  inbox_.close();
+  if (th_.joinable()) th_.join();
+  started_ = false;
+}
+
+void FabricNode::halt() {
+  halt_.store(true, std::memory_order_release);
+  stop();
+}
+
+bool FabricNode::post(Msg&& m) { return inbox_.push(std::move(m)); }
+
+std::uint64_t FabricNode::digest() {
+  std::lock_guard<std::mutex> lk(dp_mu_);
+  return store_->digest();
+}
+
+std::map<std::string, std::uint64_t> FabricNode::counters() {
+  auto snap = metrics_.snapshot();
+  return snap.counters;
+}
+
+std::string FabricNode::status_json() {
+  std::uint64_t d, lsn;
+  {
+    std::lock_guard<std::mutex> lk(dp_mu_);
+    d = store_->digest();
+    lsn = store_->last_lsn();
+  }
+  std::ostringstream os;
+  os << "{\"node\": " << id_ << ", \"lsn\": " << lsn << ", \"digest\": \""
+     << state::digest_hex(d) << "\", \"epoch\": " << epoch() << ", \"mode\": \""
+     << (engine_ ? "engine" : "direct") << "\", \"metrics\": "
+     << metrics_.to_json() << "}";
+  return os.str();
+}
+
+bm::ProcessResult FabricNode::process_sync(std::uint16_t port,
+                                           const net::Packet& p) {
+  std::lock_guard<std::mutex> lk(dp_mu_);
+  return store_->controller().dataplane().inject(port, p);
+}
+
+void FabricNode::run() {
+  std::vector<Msg> batch;
+  while (inbox_.pop_batch(batch, opts_.batch)) {
+    if (halt_.load(std::memory_order_acquire)) return;
+    for (auto& m : batch) {
+      switch (m.kind) {
+        case Msg::Kind::kApply:
+          handle_apply(m);
+          break;
+        case Msg::Kind::kPacket:
+          handle_packet(std::move(m.pkt));
+          break;
+        case Msg::Kind::kStop:
+          return;
+      }
+    }
+  }
+}
+
+void FabricNode::handle_apply(const Msg& m) {
+  state::ReplicaApply res;
+  std::uint64_t lsn = 0, d = 0;
+  try {
+    std::lock_guard<std::mutex> lk(dp_mu_);
+    res = store_->apply_replicated(m.rec);
+    lsn = store_->last_lsn();
+    if (res != state::ReplicaApply::kGap) d = store_->digest();
+  } catch (const util::Error&) {
+    // Divergence (digest mismatch): nothing was journaled; withholding the
+    // ack keeps this replica out of the quorum instead of poisoning it.
+    metrics_.counter("replica_divergence").inc();
+    return;
+  }
+  switch (res) {
+    case state::ReplicaApply::kApplied: {
+      m_applied_->inc();
+      std::uint64_t e = epoch_.load(std::memory_order_relaxed);
+      while (m.epoch > e &&
+             !epoch_.compare_exchange_weak(e, m.epoch,
+                                           std::memory_order_acq_rel)) {
+      }
+      m_acks_->inc();
+      cb_->on_ack(id_, lsn, d);
+      break;
+    }
+    case state::ReplicaApply::kDuplicate:
+      // Retransmit (leader restart / post-resend overlap): already in the
+      // journal; re-ack the tail so the leader's quorum math advances.
+      m_duplicates_->inc();
+      m_acks_->inc();
+      cb_->on_ack(id_, lsn, d);
+      break;
+    case state::ReplicaApply::kGap:
+      m_gaps_->inc();
+      cb_->on_resend(id_, lsn);
+      break;
+  }
+}
+
+void FabricNode::handle_packet(PacketMsg&& pkt) {
+  if (engine_) {
+    const std::uint16_t port = pkt.port;
+    std::uint64_t want;
+    {
+      // Pre-register the fabric metadata under the seq the engine is about
+      // to assign (this thread is the sole injector, so seqs are assigned
+      // in call order) — the egress hook may fire before inject returns.
+      std::lock_guard<std::mutex> lk(pending_mu_);
+      want = engine_next_seq_++;
+      pending_[want] = Pending{pkt.seq, pkt.hops};
+    }
+    const std::uint64_t got = engine_->inject(port, std::move(pkt.packet));
+    if (got != want)
+      throw ConfigError("fabric node: engine seq skew (foreign injector?)");
+    return;
+  }
+  bm::ProcessResult r;
+  {
+    std::lock_guard<std::mutex> lk(dp_mu_);
+    r = store_->controller().dataplane().inject(pkt.port, pkt.packet);
+  }
+  m_packets_->inc();
+  route(pkt.seq, pkt.hops, r);
+  cb_->on_done(id_, 1);
+}
+
+void FabricNode::route(std::uint64_t seq, std::uint32_t hops,
+                       const bm::ProcessResult& r) {
+  std::shared_ptr<const NodeWiring> w;
+  {
+    std::lock_guard<std::mutex> lk(wiring_mu_);
+    w = wiring_;
+  }
+  m_outputs_->inc(r.outputs.size());
+  for (const auto& o : r.outputs) {
+    if (w) {
+      auto hit = w->hosts.find(o.port);
+      if (hit != w->hosts.end()) {
+        m_deliveries_->inc();
+        cb_->on_deliver(id_, o.port, hit->second,
+                        PacketMsg{seq, o.port, hops + 1, o.packet});
+        continue;
+      }
+      auto lit = w->links.find(o.port);
+      if (lit != w->links.end()) {
+        if (hops + 1 > opts_.max_hops) {
+          m_loop_kills_->inc();
+          continue;
+        }
+        m_forwards_->inc();
+        cb_->forward(id_, lit->second.dst_node,
+                     PacketMsg{seq, lit->second.dst_port, hops + 1, o.packet});
+        continue;
+      }
+    }
+    m_drops_unwired_->inc();
+  }
+}
+
+}  // namespace hyper4::fabric

@@ -1,0 +1,110 @@
+#include "fabric/topology.h"
+
+#include <sstream>
+
+#include "util/error.h"
+
+namespace hyper4::fabric {
+
+using util::ConfigError;
+
+namespace {
+
+void host_pair(FabricTopology& t, std::size_t node) {
+  const std::string i = std::to_string(node);
+  t.hosts.push_back({"h" + i + "a", node, 1});
+  t.hosts.push_back({"h" + i + "b", node, 2});
+}
+
+}  // namespace
+
+FabricTopology FabricTopology::line(std::size_t n) {
+  if (n == 0) throw ConfigError("topology: line needs >= 1 node");
+  FabricTopology t;
+  t.preset = "line";
+  t.nodes = n;
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    t.wires.push_back({i, static_cast<std::uint16_t>(kTrunkBase + 1), i + 1,
+                       kTrunkBase});
+  }
+  for (std::size_t i = 0; i < n; ++i) host_pair(t, i);
+  return t;
+}
+
+FabricTopology FabricTopology::tree(std::size_t fanout, std::size_t n) {
+  if (fanout == 0 || n == 0)
+    throw ConfigError("topology: tree needs fanout >= 1 and >= 1 node");
+  FabricTopology t;
+  t.preset = "tree";
+  t.nodes = n;
+  for (std::size_t c = 1; c < n; ++c) {
+    const std::size_t p = (c - 1) / fanout;
+    const std::uint16_t slot = static_cast<std::uint16_t>((c - 1) % fanout);
+    t.wires.push_back(
+        {p, static_cast<std::uint16_t>(kTrunkBase + 1 + slot), c, kTrunkBase});
+  }
+  for (std::size_t i = 0; i < n; ++i) host_pair(t, i);
+  return t;
+}
+
+FabricTopology FabricTopology::fat_tree(std::size_t k) {
+  if (k < 2 || k % 2 != 0)
+    throw ConfigError("topology: fat-tree needs an even k >= 2");
+  const std::size_t half = k / 2;
+  FabricTopology t;
+  t.preset = "fat-tree";
+  // Pod p: edges at p*k + j, aggs at p*k + half + j; cores after the pods.
+  const std::size_t core_base = k * k;
+  t.nodes = k * k + half * half;
+  for (std::size_t p = 0; p < k; ++p) {
+    for (std::size_t j = 0; j < half; ++j) {
+      const std::size_t edge = p * k + j;
+      for (std::size_t i = 0; i < half; ++i) {
+        const std::size_t agg = p * k + half + i;
+        t.wires.push_back({edge, static_cast<std::uint16_t>(kTrunkBase + i),
+                           agg, static_cast<std::uint16_t>(kTrunkBase + j)});
+      }
+      for (std::size_t m = 0; m < half; ++m) {
+        t.hosts.push_back({"h" + std::to_string(p) + "_" + std::to_string(j) +
+                               "_" + std::to_string(m),
+                           edge, static_cast<std::uint16_t>(1 + m)});
+      }
+    }
+    for (std::size_t i = 0; i < half; ++i) {
+      const std::size_t agg = p * k + half + i;
+      for (std::size_t c = 0; c < half; ++c) {
+        const std::size_t core = core_base + i * half + c;
+        t.wires.push_back(
+            {agg, static_cast<std::uint16_t>(kTrunkBase + half + c), core,
+             static_cast<std::uint16_t>(kTrunkBase + p)});
+      }
+    }
+  }
+  return t;
+}
+
+FabricTopology FabricTopology::by_name(const std::string& preset,
+                                       std::size_t nodes) {
+  if (preset == "line") return line(nodes);
+  if (preset == "tree") return tree(2, nodes);
+  if (preset == "fat-tree") {
+    std::size_t k = 2;
+    while (k * k + (k / 2) * (k / 2) < nodes) k += 2;
+    return fat_tree(k);
+  }
+  throw ConfigError("topology: unknown preset '" + preset +
+                    "' (line | tree | fat-tree)");
+}
+
+std::string FabricTopology::describe() const {
+  std::ostringstream os;
+  os << "preset: " << preset << "\nnodes: " << nodes << "\n";
+  for (const auto& w : wires)
+    os << "wire: n" << w.a << ":p" << w.a_port << " <-> n" << w.b << ":p"
+       << w.b_port << "\n";
+  for (const auto& h : hosts)
+    os << "host: " << h.name << " @ n" << h.node << ":p" << h.port << "\n";
+  return os.str();
+}
+
+}  // namespace hyper4::fabric

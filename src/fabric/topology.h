@@ -1,0 +1,65 @@
+// Fabric topologies: which node each host hangs off and which trunk ports
+// wire nodes to each other (DESIGN.md "Fabric").
+//
+// Port conventions: host-facing ports are low (1, 2, ...) so the demo rule
+// sets (bench/common.h) forward locally unchanged; inter-node trunk ports
+// start at kTrunkBase and never collide with them. Every node in a fabric
+// replicates the same control state, so a rule targeting a trunk port
+// moves a packet one hop in the same direction on every node — which is
+// exactly how a line stretches an L2 program across N switches.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace hyper4::fabric {
+
+inline constexpr std::uint16_t kTrunkBase = 100;
+
+struct FabricTopology {
+  struct Wire {
+    std::size_t a = 0;
+    std::uint16_t a_port = 0;
+    std::size_t b = 0;
+    std::uint16_t b_port = 0;
+  };
+  struct Host {
+    std::string name;
+    std::size_t node = 0;
+    std::uint16_t port = 0;
+  };
+
+  std::string preset = "custom";
+  std::size_t nodes = 0;
+  std::vector<Wire> wires;
+  std::vector<Host> hosts;
+
+  // line(n): node i's trunk port kTrunkBase faces node i-1, kTrunkBase+1
+  // faces node i+1. Hosts h<i>a / h<i>b on ports 1 / 2 of every node.
+  static FabricTopology line(std::size_t n);
+
+  // tree(fanout, n): complete fanout-ary tree truncated to n nodes, BFS
+  // numbering (root 0, parent(i) = (i-1)/fanout). A child's uplink is
+  // kTrunkBase; the parent faces child slot s on kTrunkBase+1+s. Hosts
+  // h<i>a / h<i>b on ports 1 / 2 of every node.
+  static FabricTopology tree(std::size_t fanout, std::size_t n);
+
+  // fat_tree(k): the k-pod fat tree (k even): (k/2)^2 core switches, k
+  // pods of k/2 aggregation + k/2 edge switches, k/2 hosts per edge
+  // switch (h<pod>_<edge>_<m> on ports 1..k/2). Edge j reaches pod agg i
+  // on port kTrunkBase+i; agg i reaches core i*(k/2)+c on port
+  // kTrunkBase+k/2+c; core n faces pod p on port kTrunkBase+p.
+  static FabricTopology fat_tree(std::size_t k);
+
+  // "line" | "tree" | "fat-tree" with a target node count (tree uses
+  // fanout 2; fat-tree picks the smallest even k whose fabric has at
+  // least `nodes` switches). Throws ConfigError on an unknown preset.
+  static FabricTopology by_name(const std::string& preset, std::size_t nodes);
+
+  // Human-readable listing (the `hyper4_fabric topology` output).
+  std::string describe() const;
+};
+
+}  // namespace hyper4::fabric

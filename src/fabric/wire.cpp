@@ -1,0 +1,173 @@
+#include "fabric/wire.h"
+
+#include "state/wire.h"
+#include "util/error.h"
+
+namespace hyper4::fabric {
+
+using state::Reader;
+using state::Writer;
+using util::ParseError;
+
+std::string encode(const Frame& f) {
+  Writer w;
+  w.u8(static_cast<std::uint8_t>(f.type));
+  switch (f.type) {
+    case FrameType::kHello:
+      w.u32(f.node);
+      w.u64(f.lsn);
+      w.u64(f.digest);
+      w.u64(f.epoch);
+      break;
+    case FrameType::kConfig:
+      w.u32(static_cast<std::uint32_t>(f.links.size()));
+      for (const auto& l : f.links) {
+        w.u16(l.port);
+        w.u32(l.dst_node);
+        w.u16(l.dst_port);
+      }
+      w.u32(static_cast<std::uint32_t>(f.host_ports.size()));
+      for (const auto& [port, host] : f.host_ports) {
+        w.u16(port);
+        w.str(host);
+      }
+      break;
+    case FrameType::kApply:
+      w.u64(f.epoch);
+      w.u64(f.record.lsn);
+      w.u8(static_cast<std::uint8_t>(f.record.type));
+      w.b(f.record.has_digest);
+      w.u64(f.record.digest);
+      w.str(f.record.body);
+      break;
+    case FrameType::kAck:
+      w.u32(f.node);
+      w.u64(f.lsn);
+      w.u64(f.digest);
+      break;
+    case FrameType::kResend:
+      w.u32(f.node);
+      w.u64(f.lsn);
+      break;
+    case FrameType::kPacket:
+    case FrameType::kDeliver:
+      w.u32(f.node);
+      w.u64(f.seq);
+      w.u32(f.dst_node);
+      w.u16(f.port);
+      w.u32(f.hops);
+      w.str(f.bytes);
+      break;
+    case FrameType::kDone:
+      w.u32(f.node);
+      w.u32(f.count);
+      break;
+    case FrameType::kStatusReq:
+    case FrameType::kShutdown:
+    case FrameType::kCrash:
+      break;
+    case FrameType::kStatus:
+      w.u32(f.node);
+      w.u64(f.lsn);
+      w.u64(f.digest);
+      w.u64(f.epoch);
+      w.u32(static_cast<std::uint32_t>(f.counters.size()));
+      for (const auto& [name, v] : f.counters) {
+        w.str(name);
+        w.u64(v);
+      }
+      w.str(f.metrics_json);
+      break;
+  }
+  return w.take();
+}
+
+Frame decode(const std::string& bytes) {
+  Reader r(bytes);
+  Frame f;
+  const std::uint8_t t = r.u8();
+  if (t < 1 || t > static_cast<std::uint8_t>(FrameType::kCrash))
+    throw ParseError("fabric frame: unknown type " + std::to_string(t));
+  f.type = static_cast<FrameType>(t);
+  switch (f.type) {
+    case FrameType::kHello:
+      f.node = r.u32();
+      f.lsn = r.u64();
+      f.digest = r.u64();
+      f.epoch = r.u64();
+      break;
+    case FrameType::kConfig: {
+      const std::uint32_t nl = r.u32();
+      for (std::uint32_t i = 0; i < nl; ++i) {
+        Frame::LinkPort l;
+        l.port = r.u16();
+        l.dst_node = r.u32();
+        l.dst_port = r.u16();
+        f.links.push_back(l);
+      }
+      const std::uint32_t nh = r.u32();
+      for (std::uint32_t i = 0; i < nh; ++i) {
+        const std::uint16_t port = r.u16();
+        f.host_ports.emplace_back(port, r.str());
+      }
+      break;
+    }
+    case FrameType::kApply: {
+      f.epoch = r.u64();
+      f.record.lsn = r.u64();
+      const std::uint8_t rt = r.u8();
+      if (rt < 1 || rt > static_cast<std::uint8_t>(state::RecordType::kFsyncPoint))
+        throw ParseError("fabric frame: bad record type " + std::to_string(rt));
+      f.record.type = static_cast<state::RecordType>(rt);
+      f.record.has_digest = r.b();
+      f.record.digest = r.u64();
+      f.record.body = r.str();
+      break;
+    }
+    case FrameType::kAck:
+      f.node = r.u32();
+      f.lsn = r.u64();
+      f.digest = r.u64();
+      break;
+    case FrameType::kResend:
+      f.node = r.u32();
+      f.lsn = r.u64();
+      break;
+    case FrameType::kPacket:
+    case FrameType::kDeliver:
+      f.node = r.u32();
+      f.seq = r.u64();
+      f.dst_node = r.u32();
+      f.port = r.u16();
+      f.hops = r.u32();
+      f.bytes = r.str();
+      break;
+    case FrameType::kDone:
+      f.node = r.u32();
+      f.count = r.u32();
+      break;
+    case FrameType::kStatusReq:
+    case FrameType::kShutdown:
+    case FrameType::kCrash:
+      break;
+    case FrameType::kStatus: {
+      f.node = r.u32();
+      f.lsn = r.u64();
+      f.digest = r.u64();
+      f.epoch = r.u64();
+      const std::uint32_t n = r.u32();
+      for (std::uint32_t i = 0; i < n; ++i) {
+        std::string name = r.str();
+        f.counters[name] = r.u64();
+      }
+      f.metrics_json = r.str();
+      break;
+    }
+  }
+  if (!r.done())
+    throw ParseError("fabric frame: " + std::to_string(r.remaining()) +
+                     " trailing bytes");
+  return f;
+}
+
+}  // namespace hyper4::fabric

@@ -1,0 +1,78 @@
+// The fabric replication/link frame codec. Frames ride the same transports
+// everywhere: in-process links pass decoded messages directly, and the
+// unix-socket transport carries these bodies inside src/abi length-prefixed
+// frames (abi::write_frame / read_frame) — one framing discipline for the
+// daemon and the fabric.
+//
+// The replication channel (kApply / kAck / kResend) ships verbatim
+// state::Journal records: a follower's journal stays a byte-equivalent
+// replay log of the leader's, which is what makes checkpoint + journal
+// tail recovery work unchanged on a fabric member.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "state/journal.h"
+
+namespace hyper4::fabric {
+
+enum class FrameType : std::uint8_t {
+  kHello = 1,      // node → ctl: id, last_lsn, digest, epoch (handshake)
+  kConfig = 2,     // ctl → node: port wiring (links + host ports)
+  kApply = 3,      // ctl → node: epoch + one leader journal record
+  kAck = 4,        // node → ctl: id, applied lsn, post-apply digest
+  kResend = 5,     // node → ctl: id, from_lsn — gap detected, reship
+  kPacket = 6,     // either way: a routed packet (seq, dst node/port, hops)
+  kDeliver = 7,    // node → ctl: host delivery
+  kDone = 8,       // node → ctl: `count` packets finished at this node
+  kStatusReq = 9,  // ctl → node
+  kStatus = 10,    // node → ctl: lsn/digest/epoch + counters + metrics JSON
+  kShutdown = 11,  // ctl → node: clean exit
+  kCrash = 12,     // ctl → node: _exit() immediately (kill test hook)
+};
+
+struct Frame {
+  FrameType type = FrameType::kHello;
+
+  std::uint32_t node = 0;    // sender id (hello/ack/resend/deliver/status)
+  std::uint64_t lsn = 0;     // hello/ack: applied tail; resend: from_lsn
+  std::uint64_t digest = 0;  // hello/ack/status
+  std::uint64_t epoch = 0;   // hello/apply/status
+
+  state::Record record;  // kApply
+
+  // kConfig
+  struct LinkPort {
+    std::uint16_t port = 0;
+    std::uint32_t dst_node = 0;
+    std::uint16_t dst_port = 0;
+  };
+  std::vector<LinkPort> links;
+  std::vector<std::pair<std::uint16_t, std::string>> host_ports;
+
+  // kPacket / kDeliver
+  std::uint64_t seq = 0;
+  std::uint32_t dst_node = 0;
+  std::uint16_t port = 0;
+  std::uint32_t hops = 0;
+  std::string bytes;
+
+  std::uint32_t count = 0;  // kDone
+
+  // kStatus
+  std::map<std::string, std::uint64_t> counters;
+  std::string metrics_json;
+};
+
+std::string encode(const Frame& f);
+
+// Throws util::ParseError on a truncated or garbled body — a torn final
+// record on the replication stream is detected here, and the receiver
+// requests a resend instead of applying a partial record.
+Frame decode(const std::string& bytes);
+
+}  // namespace hyper4::fabric

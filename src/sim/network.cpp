@@ -24,6 +24,15 @@ void Network::add_switch(const std::string& name, bm::Switch& sw) {
   busy_[name] = 0;
 }
 
+void Network::add_delegate_switch(const std::string& name, SwitchDelegate fn) {
+  if (switches_.contains(name))
+    throw ConfigError("sim: duplicate switch '" + name + "'");
+  if (!fn) throw ConfigError("sim: null delegate for switch '" + name + "'");
+  switches_[name] = nullptr;
+  delegates_[name] = std::move(fn);
+  busy_[name] = 0;
+}
+
 void Network::add_host(const std::string& name, const std::string& sw,
                        std::uint16_t port) {
   if (!switches_.contains(sw))
@@ -75,8 +84,11 @@ std::vector<Network::Delivery> Network::send(const std::string& from_host,
     if (++steps > 256) break;  // forwarding-loop guard
     Work w = std::move(queue.front());
     queue.pop_front();
-    bm::Switch& sw = *switches_.at(w.sw);
-    const bm::ProcessResult res = sw.inject(w.port, w.packet);
+    const auto del = delegates_.find(w.sw);
+    const bm::ProcessResult res =
+        del != delegates_.end()
+            ? del->second(w.port, w.packet)
+            : switches_.at(w.sw)->inject(w.port, w.packet);
     const double work = cm_.work_us(res);
     busy_[w.sw] += work;
     for (const auto& o : res.outputs) {
@@ -110,6 +122,7 @@ std::vector<std::vector<Network::Delivery>> Network::send_many(
     if (hit == hosts_.end())
       throw ConfigError("sim: unknown host '" + from_host + "'");
     edge_sw = hit->second.sw;
+    if (delegates_.contains(edge_sw)) engine_ok = false;
     for (const auto& [key, ep] : wires_) {
       if (key.first == edge_sw && ep.kind == Endpoint::Kind::kSwitch) {
         engine_ok = false;

@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <string>
 #include <vector>
@@ -47,6 +48,16 @@ class Network {
 
   // The switch must outlive the Network.
   void add_switch(const std::string& name, bm::Switch& sw);
+
+  // A switch endpoint served by an external processor — e.g. a fabric
+  // node, which may run the traversal on its own engine workers or in a
+  // separate process. send() routes traversals of `name` through `fn`
+  // instead of a locally-owned bm::Switch; the delegate participates in
+  // links, host attachment and busy accounting like an ordinary switch
+  // but disables the send_many engine fast path for topologies it edges.
+  using SwitchDelegate =
+      std::function<bm::ProcessResult(std::uint16_t port, const net::Packet&)>;
+  void add_delegate_switch(const std::string& name, SwitchDelegate fn);
   void add_host(const std::string& name, const std::string& sw,
                 std::uint16_t port);
   void link(const std::string& sw1, std::uint16_t p1, const std::string& sw2,
@@ -99,7 +110,10 @@ class Network {
   Endpoint& endpoint(const std::string& sw, std::uint16_t port);
 
   CostModel cm_;
+  // A delegate switch has a nullptr entry here and its processor in
+  // delegates_; every name-keyed lookup (links, hosts, busy) is shared.
   std::map<std::string, bm::Switch*> switches_;
+  std::map<std::string, SwitchDelegate> delegates_;
   std::map<std::string, HostInfo> hosts_;
   // (switch name, port) → where it leads.
   std::map<std::pair<std::string, std::uint16_t>, Endpoint> wires_;

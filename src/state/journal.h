@@ -84,6 +84,13 @@ class Journal {
   // Append a kFsyncPoint marker and fsync the segment (when opts.fsync).
   std::uint64_t mark_fsync_point();
 
+  // Append a record that already carries its LSN — replication: a follower
+  // persists the leader's records verbatim so its own journal stays a
+  // byte-equivalent replay log. The LSN must be exactly next_lsn();
+  // followers detect duplicates and gaps *before* calling this (see
+  // DurableController::apply_replicated).
+  void append_record(const Record& rec);
+
   std::uint64_t next_lsn() const { return next_lsn_; }
   std::uint64_t last_lsn() const { return next_lsn_ - 1; }
   const std::string& dir() const { return dir_; }
@@ -101,6 +108,38 @@ class Journal {
   // Segment files in LSN order (absolute paths) — for journal-dump and the
   // crash fuzzer's kill-offset selection.
   static std::vector<std::string> segment_files(const std::string& dir);
+
+  // Streaming reader over the trusted record prefix of a journal directory,
+  // yielding records with LSN > from_lsn in order — the replication-channel
+  // primitive: a leader ships tail_from(follower_acked_lsn) without
+  // materializing the whole journal the way scan() does. Same trust rules
+  // as scan(): the stream ends at the first torn/corrupt frame
+  // (truncated() tells a caller the tail was cut short, so a shipping
+  // leader can distinguish "caught up" from "journal ends dirty"), and
+  // non-increasing LSNs beyond from_lsn are skipped and counted.
+  class TailReader {
+   public:
+    // Yield the next record into `rec`; false at end of the trusted prefix.
+    bool next(Record* rec);
+    bool truncated() const { return truncated_; }
+    std::size_t skipped_duplicates() const { return skipped_duplicates_; }
+
+   private:
+    friend class Journal;
+    TailReader(const std::string& dir, std::uint64_t from_lsn);
+    bool advance_segment();
+
+    std::vector<std::string> segments_;
+    std::size_t seg_ = 0;
+    std::string bytes_;
+    std::size_t pos_ = 0;
+    std::uint64_t from_lsn_ = 0;
+    std::uint64_t prev_lsn_ = 0;
+    std::size_t skipped_duplicates_ = 0;
+    bool truncated_ = false;
+    bool done_ = false;
+  };
+  static TailReader tail_from(const std::string& dir, std::uint64_t from_lsn);
 
  private:
   void open_segment(std::uint64_t first_lsn);

@@ -445,6 +445,50 @@ void DurableController::activate_config(const std::string& name) {
   run_op(w.take());
 }
 
+ReplicaApply DurableController::apply_replicated(const Record& rec) {
+  if (in_txn_)
+    throw ConfigError("apply_replicated: refusing inside an open transaction");
+  const std::uint64_t next = journal_->next_lsn();
+  if (rec.lsn < next) return ReplicaApply::kDuplicate;
+  if (rec.lsn > next) return ReplicaApply::kGap;
+
+  if (rec.has_digest) {
+    const std::uint64_t have = state_digest(*controller_);
+    if (have != rec.digest)
+      throw ConfigError("replication digest mismatch at lsn " +
+                        std::to_string(rec.lsn) + ": leader journaled " +
+                        digest_hex(rec.digest) + ", follower state is " +
+                        digest_hex(have));
+  }
+
+  // Journal first: the local journal is the byte-equivalent replay log a
+  // killed follower recovers from before asking the leader for more.
+  journal_->append_record(rec);
+
+  if (rec.type == RecordType::kOp) {
+    try {
+      dispatch(rec.body);
+    } catch (const util::Error&) {
+      // Deterministic failure: the op failed on the leader too and was
+      // rolled back there; both journals keep the record.
+    }
+  } else if (rec.type == RecordType::kTxn) {
+    Reader r(rec.body);
+    const std::uint32_t n = r.u32();
+    const std::string snapshot =
+        serialize_state(*controller_, sources_, rec.lsn);
+    controller_->suspend_engine_refresh();
+    try {
+      for (std::uint32_t i = 0; i < n; ++i) dispatch(r.str());
+    } catch (const util::Error&) {
+      sources_ = apply_state(snapshot, *controller_).vdev_sources;
+    }
+    controller_->resume_engine_refresh();  // whole batch = one epoch bump
+  }
+  // kFsyncPoint: journaled only, nothing to apply.
+  return ReplicaApply::kApplied;
+}
+
 void DurableController::txn_begin() {
   if (in_txn_) throw ConfigError("txn_begin: transaction already open");
   txn_snapshot_ = serialize_state(*controller_, sources_, journal_->last_lsn());

@@ -56,6 +56,14 @@ struct RecoveryReport {
   std::string str() const;
 };
 
+// Outcome of applying one replicated leader record on a follower.
+enum class ReplicaApply : std::uint8_t {
+  kApplied = 0,    // journaled locally and dispatched
+  kDuplicate = 1,  // LSN already present (retransmit); skipped, not re-applied
+  kGap = 2,        // LSN beyond the follower's tail: records are missing —
+                   // the caller must request a resend, never apply past a hole
+};
+
 // A controller plus its durability machinery, rooted at a directory that
 // holds journal segments and checkpoint images. Constructing one either
 // initializes a fresh store or recovers the existing one (checkpoint +
@@ -103,6 +111,18 @@ class DurableController {
       std::vector<std::pair<std::optional<std::uint16_t>, hp4::VdevId>>
           bindings);
   void activate_config(const std::string& name);
+
+  // --- replication (src/fabric) -------------------------------------------
+  // Apply one leader journal record on this store acting as a follower:
+  // the record is persisted verbatim into the local journal (so follower
+  // recovery replays the exact leader history — checkpoint + journal tail,
+  // the single-node path) and then dispatched. kOp records tolerate
+  // deterministic re-failure exactly like replay; kTxn bodies apply
+  // all-or-nothing under one engine epoch; kFsyncPoint is journaled only.
+  // When the record embeds a pre-apply digest it is verified against this
+  // store's state first — a mismatch means the follower diverged and
+  // throws ConfigError before anything is journaled.
+  ReplicaApply apply_replicated(const Record& rec);
 
   // --- transactions -------------------------------------------------------
   void txn_begin();

@@ -44,9 +44,10 @@ const std::string kCheck = HP4_CHECK_PATH;
 const std::string kFleet = HP4_FLEET_PATH;
 const std::string kState = HP4_STATE_PATH;
 const std::string kDaemon = HP4_HYPER4D_PATH;
+const std::string kFabric = HP4_FABRIC_PATH;
 
 TEST(CliExit, HelpPrintsUsageOnStdoutAndExitsZero) {
-  for (const std::string& bin : {kCheck, kFleet, kState, kDaemon}) {
+  for (const std::string& bin : {kCheck, kFleet, kState, kDaemon, kFabric}) {
     const RunResult r = run(bin + " --help 2>/dev/null");
     EXPECT_EQ(0, r.code) << bin;
     EXPECT_NE(std::string::npos, r.out.find("usage:"))
@@ -71,6 +72,13 @@ TEST(CliExit, UsageErrorsExitOneWithStderrMessage) {
       kDaemon + " --no-such-flag",
       kDaemon + " --socket",           // flag missing its value
       kDaemon + " --socket /tmp/x.sock",  // --store missing
+      kFabric + "",                       // no command at all
+      kFabric + " no-such-command",
+      kFabric + " status",                // --store missing
+      kFabric + " kill",                  // --pid-file missing
+      kFabric + " run --transport bogus",
+      kFabric + " run --kill-node 9 --nodes 2",  // victim out of range
+      kFabric + " topology --no-such-flag",
   };
   for (const std::string& c : cases) {
     // stdout must NOT carry the usage text on errors; stderr must.
@@ -80,6 +88,24 @@ TEST(CliExit, UsageErrorsExitOneWithStderrMessage) {
     const RunResult loud = run(c + " 2>&1 >/dev/null");
     EXPECT_NE(std::string::npos, loud.out.find("usage:"))
         << c << " must print usage on stderr";
+  }
+}
+
+TEST(CliExit, FabricSuggestsNearbySubcommands) {
+  // Typos within edit distance get a did-you-mean hint on stderr.
+  const struct {
+    const char* typo;
+    const char* want;
+  } cases[] = {{"runn", "run"},
+               {"topolog", "topology"},
+               {"statsu", "status"},
+               {"kil", "kill"}};
+  for (const auto& c : cases) {
+    const RunResult r =
+        run(kFabric + " " + c.typo + " 2>&1 >/dev/null");
+    EXPECT_NE(std::string::npos,
+              r.out.find(std::string("did you mean '") + c.want + "'"))
+        << c.typo;
   }
 }
 
@@ -98,6 +124,11 @@ TEST(CliExit, RuntimeErrorsExitTwo) {
   EXPECT_EQ(2, run(kDaemon + " --socket /dev/null/x.sock --store " + missing +
                    " 2>/dev/null")
                    .code);
+  // hyper4_fabric status on an unreadable store; kill with an empty pid file.
+  EXPECT_EQ(2, run(kFabric + " status --store /dev/null/not-a-dir "
+                             "2>/dev/null")
+                   .code);
+  EXPECT_EQ(2, run(kFabric + " kill --pid-file /dev/null 2>/dev/null").code);
   fs::remove_all(missing);
 }
 
@@ -125,6 +156,17 @@ TEST(CliExit, SuccessPathsExitZero) {
   EXPECT_EQ(0, run(kState + " recover " + store + " 2>/dev/null").code);
   EXPECT_EQ(0, run(kState + " verify " + store + " 2>/dev/null").code);
   fs::remove_all(store);
+  // hyper4_fabric: topology print and the cheapest real replicated run.
+  EXPECT_EQ(0, run(kFabric + " topology --preset line --nodes 2 "
+                             "2>/dev/null")
+                   .code);
+  const std::string fab =
+      (fs::temp_directory_path() / "h4_cli_exit_fabric").string();
+  fs::remove_all(fab);
+  EXPECT_EQ(0, run(kFabric + " run --nodes 2 --waves 1 --packets 2 --store " +
+                   fab + " 2>/dev/null")
+                   .code);
+  fs::remove_all(fab);
 }
 
 }  // namespace

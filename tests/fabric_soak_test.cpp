@@ -1,0 +1,106 @@
+// Env-scaled fabric kill/recover soak: a 3-node line fabric under
+// continuous control-plane churn and packet waves, with a follower
+// crashed (alternating clean and torn-journal crashes) and restarted
+// every cycle. Each cycle ends only when every replica has acked the
+// leader tail with the leader's digest — a single divergence fails the
+// run.
+//
+//   HP4_SOAK_SECONDS   duration (default 5; the CI smoke job sets 60,
+//                      the nightly soak 600 via the `soak`-labeled
+//                      fabric_soak_nightly ctest).
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+#include <thread>
+
+#include "apps/apps.h"
+#include "bench/common.h"
+#include "fabric/fabric.h"
+#include "hp4/p4_emit.h"
+
+namespace hyper4 {
+namespace {
+
+namespace fs = std::filesystem;
+
+int soak_seconds() {
+  if (const char* s = std::getenv("HP4_SOAK_SECONDS")) {
+    const int v = std::atoi(s);
+    if (v > 0) return v;
+  }
+  return 5;
+}
+
+TEST(FabricSoak, KillRecoverLoop) {
+  const std::string dir =
+      (fs::temp_directory_path() / "hp4_fabric_soak").string();
+  fs::remove_all(dir);
+
+  fabric::FabricOptions fo;
+  fo.store_dir = dir;
+  fo.topology = fabric::FabricTopology::line(3);
+  fo.quorum = 2;  // stay writable with one follower down
+  fabric::FabricController ctl(fo);
+
+  const auto vdev = ctl.load_source(
+      "l2_sw", hp4::emit_p4(apps::program_by_name("l2_sw")));
+  ctl.attach_ports(vdev, {1, 2});
+  ctl.bind(vdev, 1);
+  ctl.bind(vdev, 2);
+  ctl.add_rule(vdev, bench::vr(apps::l2_forward(bench::kMacH1, 1)));
+  ctl.add_rule(vdev, bench::vr(apps::l2_forward(bench::kMacH2, 2)));
+  const net::Packet pkt = bench::worst_case_packet("l2_sw");
+
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::seconds(soak_seconds());
+  std::uint64_t cycles = 0;
+  std::uint64_t handle = 0;
+  while (std::chrono::steady_clock::now() < deadline) {
+    const std::size_t victim = 1 + cycles % 2;  // followers 1 and 2
+    const bool tear = cycles % 4 == 3;          // torn-journal crash mix
+
+    ctl.crash_node(victim, tear);
+
+    // Keep the fabric busy while the victim is down: churn a rule and
+    // push a wave at the survivors.
+    if (handle) ctl.delete_rule(vdev, handle);
+    handle = ctl.add_rule(
+        vdev, bench::vr(apps::l2_forward(
+                  "02:00:00:00:09:" + std::string(cycles % 100 < 10 ? "0" : "")
+                      + std::to_string(cycles % 100),
+                  static_cast<std::uint16_t>(1 + cycles % 2))));
+    for (int k = 0; k < 8; ++k) {
+      ctl.inject("h0a", pkt);
+      ctl.inject(victim == 1 ? "h2a" : "h1a", pkt);
+    }
+    ctl.drain();
+
+    ctl.restart_node(victim);
+    const auto catchup = std::chrono::steady_clock::now() +
+                         std::chrono::seconds(10);
+    while (ctl.node_acked_lsn(victim) < ctl.leader().last_lsn() &&
+           std::chrono::steady_clock::now() < catchup)
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+
+    const std::uint64_t want = ctl.leader_digest();
+    for (std::size_t i = 0; i < 3; ++i) {
+      ASSERT_EQ(ctl.leader().last_lsn(), ctl.node_acked_lsn(i))
+          << "cycle " << cycles << " node " << i << " never caught up";
+      ASSERT_EQ(want, ctl.node_acked_digest(i))
+          << "cycle " << cycles << " node " << i << " diverged";
+    }
+    ++cycles;
+  }
+  ctl.take_deliveries();
+  std::printf("fabric soak: %llu kill/recover cycles, leader lsn %llu\n",
+              static_cast<unsigned long long>(cycles),
+              static_cast<unsigned long long>(ctl.leader().last_lsn()));
+  EXPECT_GT(cycles, 0u);
+  fs::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace hyper4

@@ -1,0 +1,555 @@
+// The replicated multi-switch fabric (src/fabric): topology presets, the
+// frame codec (including torn-frame rejection), the replication primitives
+// (tail_from streaming, duplicate/gap outcomes, wire surgery on the
+// journal), and full FabricController runs over both transports — local
+// packet delivery, multi-hop trunk traversal, engine-mode equivalence,
+// crash + torn-journal recovery, quorum-loss blocking, merged metrics and
+// sim::Network delegation.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "apps/apps.h"
+#include "bench/common.h"
+#include "fabric/fabric.h"
+#include "fabric/topology.h"
+#include "fabric/wire.h"
+#include "hp4/p4_emit.h"
+#include "sim/network.h"
+#include "state/journal.h"
+#include "state/store.h"
+#include "util/error.h"
+
+namespace hyper4 {
+namespace {
+
+namespace fs = std::filesystem;
+using fabric::FabricController;
+using fabric::FabricOptions;
+using fabric::FabricTopology;
+using fabric::Frame;
+using fabric::FrameType;
+using state::DurableController;
+using state::Journal;
+using state::ReplicaApply;
+
+std::string temp_dir(const std::string& tag) {
+  const std::string d =
+      (fs::temp_directory_path() / ("hp4_fabric_test_" + tag)).string();
+  fs::remove_all(d);
+  return d;
+}
+
+// --- topology ---------------------------------------------------------------
+
+TEST(FabricTopology, LineTreeAndFatTreeShapes) {
+  const FabricTopology line = FabricTopology::line(4);
+  EXPECT_EQ(4u, line.nodes);
+  EXPECT_EQ(3u, line.wires.size());
+  EXPECT_EQ(8u, line.hosts.size());  // two hosts per node
+
+  const FabricTopology tree = FabricTopology::tree(2, 7);
+  EXPECT_EQ(7u, tree.nodes);
+  EXPECT_EQ(6u, tree.wires.size());  // n-1 edges in a tree
+
+  const FabricTopology fat = FabricTopology::fat_tree(2);
+  // k=2: 1 core + 2 pods x (1 agg + 1 edge) = 5 switches.
+  EXPECT_EQ(5u, fat.nodes);
+  // Hosts hang only off edge switches.
+  for (const auto& h : fat.hosts) EXPECT_LT(h.port, fabric::kTrunkBase);
+
+  EXPECT_THROW(FabricTopology::by_name("mesh", 4), util::ConfigError);
+  // by_name("fat-tree", n) picks the smallest even k covering n switches.
+  EXPECT_EQ(5u, FabricTopology::by_name("fat-tree", 4).nodes);
+}
+
+TEST(FabricTopology, TrunkPortsNeverCollideWithHostPorts) {
+  for (const auto& topo :
+       {FabricTopology::line(4), FabricTopology::tree(2, 5),
+        FabricTopology::fat_tree(4)}) {
+    for (const auto& w : topo.wires) {
+      EXPECT_GE(w.a_port, fabric::kTrunkBase);
+      EXPECT_GE(w.b_port, fabric::kTrunkBase);
+    }
+    for (const auto& h : topo.hosts) EXPECT_LT(h.port, fabric::kTrunkBase);
+  }
+}
+
+// --- frame codec ------------------------------------------------------------
+
+TEST(FabricWire, RoundTripsReplicationAndPacketFrames) {
+  Frame apply;
+  apply.type = FrameType::kApply;
+  apply.epoch = 7;
+  apply.record.lsn = 42;
+  apply.record.type = state::RecordType::kOp;
+  apply.record.has_digest = true;
+  apply.record.digest = 0xdeadbeef;
+  apply.record.body = std::string("op-bytes\x00with-nul", 17);
+  const Frame apply2 = fabric::decode(fabric::encode(apply));
+  EXPECT_EQ(FrameType::kApply, apply2.type);
+  EXPECT_EQ(7u, apply2.epoch);
+  EXPECT_EQ(42u, apply2.record.lsn);
+  EXPECT_TRUE(apply2.record.has_digest);
+  EXPECT_EQ(0xdeadbeefu, apply2.record.digest);
+  EXPECT_EQ(apply.record.body, apply2.record.body);
+
+  Frame pkt;
+  pkt.type = FrameType::kPacket;
+  pkt.seq = 99;
+  pkt.dst_node = 3;
+  pkt.port = 101;
+  pkt.hops = 2;
+  pkt.bytes = std::string("\x01\x02\x00\x03", 4);
+  const Frame pkt2 = fabric::decode(fabric::encode(pkt));
+  EXPECT_EQ(99u, pkt2.seq);
+  EXPECT_EQ(3u, pkt2.dst_node);
+  EXPECT_EQ(101u, pkt2.port);
+  EXPECT_EQ(2u, pkt2.hops);
+  EXPECT_EQ(pkt.bytes, pkt2.bytes);
+
+  Frame cfg;
+  cfg.type = FrameType::kConfig;
+  cfg.links = {{100, 1, 101}, {101, 2, 100}};
+  cfg.host_ports = {{1, "h0a"}, {2, "h0b"}};
+  const Frame cfg2 = fabric::decode(fabric::encode(cfg));
+  ASSERT_EQ(2u, cfg2.links.size());
+  EXPECT_EQ(1u, cfg2.links[0].dst_node);
+  EXPECT_EQ(101u, cfg2.links[0].dst_port);
+  ASSERT_EQ(2u, cfg2.host_ports.size());
+  EXPECT_EQ("h0b", cfg2.host_ports[1].second);
+
+  Frame status;
+  status.type = FrameType::kStatus;
+  status.node = 2;
+  status.lsn = 10;
+  status.digest = 0xabc;
+  status.counters = {{"packets", 5}, {"acks", 10}};
+  status.metrics_json = "{\"counters\":{}}";
+  const Frame status2 = fabric::decode(fabric::encode(status));
+  EXPECT_EQ(status.counters, status2.counters);
+  EXPECT_EQ(status.metrics_json, status2.metrics_json);
+}
+
+TEST(FabricWire, TornAndGarbledFramesThrowParseError) {
+  Frame apply;
+  apply.type = FrameType::kApply;
+  apply.record.lsn = 5;
+  apply.record.body = "0123456789";
+  const std::string good = fabric::encode(apply);
+
+  // A torn final record on the replication stream: every truncation point
+  // must throw, never yield a half-applied record.
+  for (std::size_t cut = 1; cut < good.size(); ++cut) {
+    EXPECT_THROW(fabric::decode(good.substr(0, cut)), util::ParseError)
+        << "cut at " << cut;
+  }
+  // Trailing garbage is as suspect as a missing tail.
+  EXPECT_THROW(fabric::decode(good + "x"), util::ParseError);
+  // A frame type outside the enum range.
+  std::string bad = good;
+  bad[0] = '\x7f';
+  EXPECT_THROW(fabric::decode(bad), util::ParseError);
+  EXPECT_THROW(fabric::decode(""), util::ParseError);
+}
+
+// --- replication primitives (wire surgery) ----------------------------------
+
+// A leader store with a few ops journaled, plus the scanned records.
+struct LeaderFixture {
+  std::string dir;
+  std::unique_ptr<DurableController> st;
+  std::vector<state::Record> records;
+
+  explicit LeaderFixture(const std::string& tag) : dir(temp_dir(tag)) {
+    st = std::make_unique<DurableController>(dir);
+    const auto id = st->load("l2", apps::l2_switch(), "admin", 64);
+    st->attach_ports(id, {1, 2});
+    st->bind(id);
+    for (int i = 0; i < 4; ++i)
+      st->add_rule(id, bench::vr(apps::l2_forward(
+                           "02:00:00:00:01:0" + std::to_string(i),
+                           static_cast<std::uint16_t>(1 + i % 2))));
+    records = Journal::scan(dir).records;
+  }
+  ~LeaderFixture() { fs::remove_all(dir); }
+};
+
+TEST(FabricReplication, DuplicateLsnIsSkippedAndGapIsRefused) {
+  LeaderFixture leader("dupgap_leader");
+  const std::string fdir = temp_dir("dupgap_follower");
+  DurableController follower(fdir);
+
+  // In-order apply: every record lands.
+  for (const auto& r : leader.records)
+    EXPECT_EQ(ReplicaApply::kApplied, follower.apply_replicated(r));
+  EXPECT_EQ(leader.st->last_lsn(), follower.last_lsn());
+  EXPECT_EQ(leader.st->digest(), follower.digest());
+
+  // A retransmitted record (duplicate LSN) is skipped, not re-applied.
+  EXPECT_EQ(ReplicaApply::kDuplicate,
+            follower.apply_replicated(leader.records.back()));
+  EXPECT_EQ(leader.st->digest(), follower.digest());
+
+  // A record past the follower's tail (gap) is refused — the caller must
+  // resend the missing range, never apply over a hole.
+  state::Record future = leader.records.back();
+  future.lsn += 3;
+  EXPECT_EQ(ReplicaApply::kGap, follower.apply_replicated(future));
+  EXPECT_EQ(leader.st->last_lsn(), follower.last_lsn());
+  fs::remove_all(fdir);
+}
+
+TEST(FabricReplication, TailFromStreamsExactlyThePastLsnSuffix) {
+  LeaderFixture leader("tail_leader");
+  ASSERT_GE(leader.records.size(), 4u);
+  const std::uint64_t from = leader.records[2].lsn;
+
+  auto tail = Journal::tail_from(leader.dir, from);
+  std::vector<state::Record> got;
+  state::Record rec;
+  while (tail.next(&rec)) got.push_back(rec);
+  EXPECT_FALSE(tail.truncated());
+
+  std::vector<std::uint64_t> want;
+  for (const auto& r : leader.records)
+    if (r.lsn > from) want.push_back(r.lsn);
+  ASSERT_EQ(want.size(), got.size());
+  for (std::size_t i = 0; i < want.size(); ++i) {
+    EXPECT_EQ(want[i], got[i].lsn);
+    EXPECT_EQ(leader.records[leader.records.size() - want.size() + i].body,
+              got[i].body);
+  }
+}
+
+TEST(FabricReplication, TornFinalRecordEndsTheTrustedPrefix) {
+  LeaderFixture leader("torn_leader");
+  const auto segments = Journal::segment_files(leader.dir);
+  ASSERT_FALSE(segments.empty());
+
+  // Wire surgery: cut bytes off the newest segment so its final record is
+  // torn, exactly what a crash mid-append leaves behind.
+  const std::string& last_seg = segments.back();
+  const auto size = fs::file_size(last_seg);
+  ASSERT_GT(size, 4u);
+  fs::resize_file(last_seg, size - 3);
+
+  auto tail = Journal::tail_from(leader.dir, 0);
+  std::vector<std::uint64_t> lsns;
+  state::Record rec;
+  while (tail.next(&rec)) lsns.push_back(rec.lsn);
+  EXPECT_TRUE(tail.truncated());
+  // The trusted prefix is everything but the torn record.
+  ASSERT_EQ(leader.records.size() - 1, lsns.size());
+  for (std::size_t i = 0; i < lsns.size(); ++i)
+    EXPECT_EQ(leader.records[i].lsn, lsns[i]);
+}
+
+// --- fabric runs ------------------------------------------------------------
+
+constexpr const char* kMacRelay = "02:00:00:00:00:aa";
+
+// Stand up a line fabric with the l2 program and local forwarding rules
+// replicated to every node.
+struct FabricFixture {
+  std::string dir;
+  FabricOptions fo;
+  std::unique_ptr<FabricController> ctl;
+  hp4::VdevId vdev = 0;
+
+  FabricFixture(const std::string& tag, std::size_t nodes,
+                std::size_t workers = 0, std::size_t quorum = 0,
+                int timeout_ms = 5000)
+      : dir(temp_dir(tag)) {
+    fo.store_dir = dir;
+    fo.topology = FabricTopology::line(nodes);
+    fo.quorum = quorum;
+    fo.commit_timeout_ms = timeout_ms;
+    fo.node.engine_workers = workers;
+    ctl = std::make_unique<FabricController>(fo);
+    vdev = ctl->load_source(
+        "l2_sw", hp4::emit_p4(apps::program_by_name("l2_sw")));
+    std::vector<std::uint16_t> ports{1, 2, fabric::kTrunkBase,
+                                     fabric::kTrunkBase + 1};
+    ctl->attach_ports(vdev, ports);
+    for (const auto p : ports) ctl->bind(vdev, p);
+    ctl->add_rule(vdev, bench::vr(apps::l2_forward(bench::kMacH1, 1)));
+    ctl->add_rule(vdev, bench::vr(apps::l2_forward(bench::kMacH2, 2)));
+  }
+  ~FabricFixture() {
+    ctl.reset();
+    fs::remove_all(dir);
+  }
+
+  net::Packet packet_to(const char* dst_mac) const {
+    net::EthHeader eth;
+    eth.src = net::mac_from_string(bench::kMacH1);
+    eth.dst = net::mac_from_string(dst_mac);
+    net::Ipv4Header ip;
+    ip.src = net::ipv4_from_string("10.0.0.1");
+    ip.dst = net::ipv4_from_string("10.0.0.2");
+    net::TcpHeader tcp;
+    tcp.src_port = 40000;
+    return net::make_ipv4_tcp(eth, ip, tcp, 64);
+  }
+
+  void expect_converged() {
+    const std::uint64_t want = ctl->leader_digest();
+    for (std::size_t i = 0; i < ctl->nodes(); ++i) {
+      EXPECT_EQ(ctl->leader().last_lsn(), ctl->node_acked_lsn(i)) << i;
+      EXPECT_EQ(want, ctl->node_acked_digest(i)) << i;
+    }
+  }
+
+  bool wait_acked(std::size_t node, std::uint64_t lsn, int ms = 10000) {
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::milliseconds(ms);
+    while (std::chrono::steady_clock::now() < deadline) {
+      if (ctl->node_acked_lsn(node) >= lsn) return true;
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    return false;
+  }
+};
+
+TEST(Fabric, TwoNodeRingDeliversLocallyAndConverges) {
+  FabricFixture f("ring2", 2);
+  for (int k = 0; k < 8; ++k) {
+    f.ctl->inject("h0a", f.packet_to(bench::kMacH2));
+    f.ctl->inject("h1a", f.packet_to(bench::kMacH2));
+  }
+  f.ctl->drain();
+  const auto dels = f.ctl->take_deliveries();
+  EXPECT_EQ(16u, dels.size());
+  for (const auto& d : dels) EXPECT_EQ(2u, d.port);  // h?b is port 2
+  f.expect_converged();
+  EXPECT_EQ(f.ctl->leader().last_lsn(), f.ctl->committed_lsn());
+}
+
+TEST(Fabric, MultiHopRelayCrossesTheTrunk) {
+  FabricFixture f("relay", 3);
+  // Every replica forwards the relay MAC one hop down the line; the last
+  // node's unwired "next" trunk port absorbs it.
+  f.ctl->add_rule(f.vdev, bench::vr(apps::l2_forward(
+                              kMacRelay, fabric::kTrunkBase + 1)));
+  for (int k = 0; k < 4; ++k) f.ctl->inject("h0a", f.packet_to(kMacRelay));
+  f.ctl->drain();
+
+  const auto c0 = f.ctl->node(0).counters();
+  const auto c1 = f.ctl->node(1).counters();
+  const auto c2 = f.ctl->node(2).counters();
+  EXPECT_EQ(4u, c0.at("forwards"));
+  EXPECT_EQ(4u, c1.at("forwards"));
+  EXPECT_EQ(4u, c2.at("drops_unwired"));
+  EXPECT_EQ(0u, f.ctl->take_deliveries().size());
+  f.expect_converged();
+}
+
+TEST(Fabric, EngineModeMatchesDirectMode) {
+  std::uint64_t direct_digest = 0;
+  std::size_t direct_deliveries = 0;
+  {
+    FabricFixture f("engine_a", 2, /*workers=*/0);
+    for (int k = 0; k < 12; ++k)
+      f.ctl->inject("h0a", f.packet_to(bench::kMacH2));
+    f.ctl->drain();
+    direct_deliveries = f.ctl->take_deliveries().size();
+    direct_digest = f.ctl->leader_digest();
+    f.expect_converged();
+  }
+  {
+    FabricFixture f("engine_b", 2, /*workers=*/2);
+    for (int k = 0; k < 12; ++k)
+      f.ctl->inject("h0a", f.packet_to(bench::kMacH2));
+    f.ctl->drain();
+    EXPECT_EQ(direct_deliveries, f.ctl->take_deliveries().size());
+    EXPECT_EQ(direct_digest, f.ctl->leader_digest());
+    f.expect_converged();
+  }
+}
+
+TEST(Fabric, CrashedFollowerCatchesUpDigestClean) {
+  FabricFixture f("crash", 3, 0, /*quorum=*/2);
+  f.ctl->inject("h0a", f.packet_to(bench::kMacH2));
+  f.ctl->drain();
+
+  f.ctl->crash_node(1);
+  EXPECT_FALSE(f.ctl->alive(1));
+  // The fabric keeps committing at quorum 2 while node 1 is down.
+  for (int i = 0; i < 3; ++i)
+    f.ctl->add_rule(f.vdev, bench::vr(apps::l2_forward(
+                                "02:00:00:00:02:0" + std::to_string(i), 2)));
+  f.ctl->inject("h0a", f.packet_to(bench::kMacH2));
+  f.ctl->inject("h2a", f.packet_to(bench::kMacH2));
+  f.ctl->drain();
+
+  // Restart: store recovery (checkpoint + journal tail) + shipped tail.
+  f.ctl->restart_node(1);
+  EXPECT_TRUE(f.ctl->alive(1));
+  ASSERT_TRUE(f.wait_acked(1, f.ctl->leader().last_lsn()));
+  f.expect_converged();
+}
+
+TEST(Fabric, TornJournalFollowerStillRecovers) {
+  FabricFixture f("torn", 2, 0, /*quorum=*/1);
+  for (int i = 0; i < 3; ++i)
+    f.ctl->add_rule(f.vdev, bench::vr(apps::l2_forward(
+                                "02:00:00:00:03:0" + std::to_string(i), 1)));
+  // Crash node 1 AND tear the final bytes off its journal — restart must
+  // truncate the torn suffix and re-fetch it from the leader.
+  f.ctl->crash_node(1, /*tear_journal_tail=*/true);
+  f.ctl->add_rule(f.vdev, bench::vr(apps::l2_forward("02:00:00:00:03:99", 2)));
+  f.ctl->restart_node(1);
+  ASSERT_TRUE(f.wait_acked(1, f.ctl->leader().last_lsn()));
+  f.expect_converged();
+}
+
+TEST(Fabric, BelowQuorumCommitsBlockUntilReconnect) {
+  FabricFixture f("quorum", 2, 0, /*quorum=*/2, /*timeout_ms=*/300);
+  f.ctl->disconnect(1);
+  // With only 1 of 2 replicas reachable the fabric refuses to commit.
+  EXPECT_THROW(f.ctl->add_rule(f.vdev, bench::vr(apps::l2_forward(
+                                           "02:00:00:00:04:01", 1))),
+               util::ConfigError);
+  f.ctl->reconnect(1);
+  ASSERT_TRUE(f.wait_acked(1, f.ctl->leader().last_lsn()));
+  // Back at quorum, commits flow again and the fabric converges.
+  f.ctl->add_rule(f.vdev, bench::vr(apps::l2_forward("02:00:00:00:04:02", 2)));
+  f.expect_converged();
+}
+
+TEST(Fabric, SocketTransportRunsServeNodeOutOfProcessStyle) {
+  const std::string dir = temp_dir("socket");
+  FabricOptions fo;
+  fo.store_dir = dir;
+  fo.topology = FabricTopology::line(2);
+  fo.remote_nodes = {1};  // node 1 lives behind a socket
+
+  const std::string sock = dir + "/node1.sock";
+  fs::create_directories(dir);
+  const int lfd = fabric::listen_unix(sock);
+  // serve_node on its own thread stands in for the separate process; the
+  // byte stream is identical either way.
+  std::thread server([&] {
+    fabric::NodeOptions no;
+    no.store_dir = dir + "/node1";
+    const int fd = fabric::connect_unix(sock);
+    fabric::serve_node(fd, 1, std::move(no));
+    ::close(fd);
+  });
+
+  {
+    FabricController ctl(fo);
+    ctl.attach_remote(1, fabric::accept_unix(lfd));
+    const auto vdev = ctl.load_source(
+        "l2_sw", hp4::emit_p4(apps::program_by_name("l2_sw")));
+    ctl.attach_ports(vdev, {1, 2});
+    ctl.bind(vdev, 1);
+    ctl.bind(vdev, 2);
+    ctl.add_rule(vdev, bench::vr(apps::l2_forward(bench::kMacH2, 2)));
+
+    net::EthHeader eth;
+    eth.src = net::mac_from_string(bench::kMacH1);
+    eth.dst = net::mac_from_string(bench::kMacH2);
+    net::Ipv4Header ip;
+    ip.src = net::ipv4_from_string("10.0.0.1");
+    ip.dst = net::ipv4_from_string("10.0.0.2");
+    net::TcpHeader tcp;
+    const net::Packet pkt = net::make_ipv4_tcp(eth, ip, tcp, 64);
+    for (int k = 0; k < 6; ++k) {
+      ctl.inject("h0a", pkt);
+      ctl.inject("h1a", pkt);  // lands on the remote node
+    }
+    ctl.drain();
+    EXPECT_EQ(12u, ctl.take_deliveries().size());
+    const std::uint64_t want = ctl.leader_digest();
+    EXPECT_EQ(want, ctl.node_acked_digest(0));
+    EXPECT_EQ(want, ctl.node_acked_digest(1));
+  }  // dtor sends kShutdown; serve_node returns
+  server.join();
+  ::close(lfd);
+  fs::remove_all(dir);
+}
+
+TEST(Fabric, StatusJsonMergesPerNodeMetrics) {
+  FabricFixture f("status", 2);
+  for (int k = 0; k < 4; ++k) f.ctl->inject("h0a", f.packet_to(bench::kMacH2));
+  f.ctl->drain();
+  const std::string j = f.ctl->status_json();
+  EXPECT_NE(std::string::npos, j.find("\"fabric\""));
+  EXPECT_NE(std::string::npos, j.find("\"totals\""));
+  EXPECT_NE(std::string::npos, j.find("\"nodes\""));
+  EXPECT_NE(std::string::npos, j.find("\"applied_records\""));
+  EXPECT_NE(std::string::npos, j.find("\"leader_digest\""));
+  // Both per-node blocks are present.
+  EXPECT_NE(std::string::npos, j.find("\"node\": 0"));
+  EXPECT_NE(std::string::npos, j.find("\"node\": 1"));
+}
+
+// --- sim::Network delegation ------------------------------------------------
+
+TEST(Fabric, SimNetworkDelegatesASwitchToAFabricNode) {
+  // A fabric node can stand in for one switch of a simulated network: the
+  // Network routes traversals of "s1" through FabricNode::process_sync.
+  const std::string dir = temp_dir("sim_delegate");
+
+  struct NullCb : fabric::NodeCallbacks {
+    void on_ack(std::uint32_t, std::uint64_t, std::uint64_t) override {}
+    void on_resend(std::uint32_t, std::uint64_t) override {}
+    void on_deliver(std::uint32_t, std::uint16_t, const std::string&,
+                    fabric::PacketMsg&&) override {}
+    void forward(std::uint32_t, std::uint32_t, fabric::PacketMsg&&) override {}
+    void on_done(std::uint32_t, std::uint32_t) override {}
+  } cb;
+
+  fabric::NodeOptions no;
+  no.store_dir = dir;
+  fabric::FabricNode node(0, no, &cb);
+  const auto vdev =
+      node.store().load("l2", apps::l2_switch(), "admin", 64);
+  node.store().attach_ports(vdev, {1, 2});
+  node.store().bind(vdev);
+  node.store().add_rule(vdev, bench::vr(apps::l2_forward(bench::kMacH1, 1)));
+  node.store().add_rule(vdev, bench::vr(apps::l2_forward(bench::kMacH2, 2)));
+
+  sim::Network net;
+  net.add_delegate_switch("s1", [&](std::uint16_t port, const net::Packet& p) {
+    return node.process_sync(port, p);
+  });
+  net.add_host("h1", "s1", 1);
+  net.add_host("h2", "s1", 2);
+
+  const net::Packet pkt = bench::worst_case_packet("l2_sw");
+  const auto dels = net.send("h1", pkt);
+  ASSERT_EQ(1u, dels.size());
+  EXPECT_EQ("h2", dels[0].host);
+  fs::remove_all(dir);
+}
+
+// --- BENCH_fabric.json shape ------------------------------------------------
+
+TEST(BenchFabricShape, CommittedJsonCarriesHostBlockAndTrajectory) {
+  // The committed trajectory file: the common host block every BENCH_*.json
+  // now embeds, plus the 1/2/4-node runs and the wall-clock scaling gate.
+  std::ifstream in(std::string(HP4_SOURCE_DIR) + "/BENCH_fabric.json");
+  ASSERT_TRUE(in.good()) << "BENCH_fabric.json must be committed";
+  std::string j((std::istreambuf_iterator<char>(in)),
+                std::istreambuf_iterator<char>());
+  for (const char* key :
+       {"\"host\"", "\"nproc\"", "\"pin_workers\"", "\"sanitizer\"",
+        "\"runs\"", "\"nodes\": 1", "\"nodes\": 2", "\"nodes\": 4",
+        "\"agg_pps\"", "\"speedup_vs_1\"", "\"wall_scaling\"", "\"active\"",
+        "\"speedup_4node\""}) {
+    EXPECT_NE(std::string::npos, j.find(key)) << key;
+  }
+}
+
+}  // namespace
+}  // namespace hyper4

@@ -1,0 +1,500 @@
+// hyper4_fabric: operator CLI for the replicated multi-switch fabric
+// (src/fabric).
+//
+//   hyper4_fabric topology [options]    print a topology preset
+//   hyper4_fabric run [options]         drive a fabric: replicate a
+//                                       program + rules to every node,
+//                                       push packet waves, optionally
+//                                       kill/restart a follower, verify
+//                                       digest convergence
+//   hyper4_fabric node [options]        serve one follower over a unix
+//                                       socket (the `run --transport
+//                                       socket` child process)
+//   hyper4_fabric status [options]      offline-recover a node or leader
+//                                       store and print its report
+//   hyper4_fabric kill [options]        SIGKILL a follower by pid file
+//
+// Exit codes (shared convention across tools/): 0 ok, 1 usage error,
+// 2 runtime/I-O error, 3 verification failure (digest divergence or a
+// follower that failed to catch up).
+#include <signal.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <exception>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "apps/apps.h"
+#include "bench/common.h"
+#include "fabric/fabric.h"
+#include "fabric/topology.h"
+#include "hp4/p4_emit.h"
+#include "state/digest.h"
+#include "state/store.h"
+#include "util/error.h"
+#include "util/strings.h"
+
+namespace {
+
+namespace fabric = hyper4::fabric;
+namespace state = hyper4::state;
+namespace apps = hyper4::apps;
+namespace bench = hyper4::bench;
+namespace net = hyper4::net;
+
+// A MAC routed out the "next node" trunk port on every replica: since all
+// nodes share the control state, a relay packet hops the line node by node
+// (per-node TM verdict → link) until the last node's unwired trunk drops it.
+constexpr const char* kMacRelay = "02:00:00:00:00:aa";
+
+void usage(std::FILE* to) {
+  std::fprintf(
+      to,
+      "usage: hyper4_fabric <command> [options]\n"
+      "  topology --preset P --nodes N   print the wiring of a preset\n"
+      "                                  (line | tree | fat-tree)\n"
+      "  run [options]                   drive a replicated fabric\n"
+      "    --preset P --nodes N          topology (default line, 2 nodes)\n"
+      "    --waves W --packets K         traffic per wave per node (3, 8)\n"
+      "    --workers N                   engine workers per node (0=direct)\n"
+      "    --quorum Q                    acks required to commit (0=all)\n"
+      "    --transport ring|socket       in-process rings or one process\n"
+      "                                  per node over unix sockets\n"
+      "    --store DIR                   store root (default fabric_run;\n"
+      "                                  wiped first)\n"
+      "    --kill-node I --kill-wave W   crash follower I after wave W,\n"
+      "                                  restart it one wave later\n"
+      "    --tear                        also tear the victim's journal\n"
+      "                                  tail (torn-record crash)\n"
+      "    --status                      print fabric status JSON at end\n"
+      "  node --id N --store DIR --connect PATH [--workers N]\n"
+      "                                  serve one follower (child mode)\n"
+      "  status --store DIR              offline recovery report + digest\n"
+      "  kill --pid-file FILE            SIGKILL the process in FILE\n");
+}
+
+const char* need(int argc, char** argv, int& i, const std::string& flag) {
+  if (i + 1 >= argc) {
+    std::fprintf(stderr, "hyper4_fabric: %s needs a value\n", flag.c_str());
+    usage(stderr);
+    std::exit(1);
+  }
+  return argv[++i];
+}
+
+int cmd_topology(int argc, char** argv) {
+  std::string preset = "line";
+  std::size_t nodes = 2;
+  for (int i = 0; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--preset") preset = need(argc, argv, i, a);
+    else if (a == "--nodes") nodes = std::strtoull(need(argc, argv, i, a), nullptr, 0);
+    else {
+      std::fprintf(stderr, "hyper4_fabric: unknown topology option '%s'\n",
+                   a.c_str());
+      usage(stderr);
+      return 1;
+    }
+  }
+  const auto topo = fabric::FabricTopology::by_name(preset, nodes);
+  std::fputs(topo.describe().c_str(), stdout);
+  return 0;
+}
+
+int cmd_status(int argc, char** argv) {
+  std::string dir;
+  for (int i = 0; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--store") dir = need(argc, argv, i, a);
+    else {
+      std::fprintf(stderr, "hyper4_fabric: unknown status option '%s'\n",
+                   a.c_str());
+      usage(stderr);
+      return 1;
+    }
+  }
+  if (dir.empty()) {
+    std::fprintf(stderr, "hyper4_fabric: status needs --store DIR\n");
+    usage(stderr);
+    return 1;
+  }
+  state::DurableController st(dir);
+  std::printf("%s", st.recovery().str().c_str());
+  std::printf("last lsn: %llu\nstate digest: %s\n",
+              static_cast<unsigned long long>(st.last_lsn()),
+              state::digest_hex(st.digest()).c_str());
+  return 0;
+}
+
+int cmd_kill(int argc, char** argv) {
+  std::string file;
+  for (int i = 0; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--pid-file") file = need(argc, argv, i, a);
+    else {
+      std::fprintf(stderr, "hyper4_fabric: unknown kill option '%s'\n",
+                   a.c_str());
+      usage(stderr);
+      return 1;
+    }
+  }
+  if (file.empty()) {
+    std::fprintf(stderr, "hyper4_fabric: kill needs --pid-file FILE\n");
+    usage(stderr);
+    return 1;
+  }
+  std::ifstream in(file);
+  pid_t pid = 0;
+  if (!(in >> pid) || pid <= 0) {
+    std::fprintf(stderr, "hyper4_fabric: no pid in %s\n", file.c_str());
+    return 2;
+  }
+  if (::kill(pid, SIGKILL) != 0) {
+    std::fprintf(stderr, "hyper4_fabric: kill(%d): %s\n", pid,
+                 std::strerror(errno));
+    return 2;
+  }
+  std::printf("killed %d\n", pid);
+  return 0;
+}
+
+int cmd_node(int argc, char** argv) {
+  std::uint32_t id = 0;
+  bool have_id = false;
+  std::string store, connect, pid_file;
+  std::size_t workers = 0;
+  for (int i = 0; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--id") {
+      id = static_cast<std::uint32_t>(
+          std::strtoul(need(argc, argv, i, a), nullptr, 0));
+      have_id = true;
+    } else if (a == "--store") store = need(argc, argv, i, a);
+    else if (a == "--connect") connect = need(argc, argv, i, a);
+    else if (a == "--workers") workers = std::strtoull(need(argc, argv, i, a), nullptr, 0);
+    else if (a == "--pid-file") pid_file = need(argc, argv, i, a);
+    else {
+      std::fprintf(stderr, "hyper4_fabric: unknown node option '%s'\n",
+                   a.c_str());
+      usage(stderr);
+      return 1;
+    }
+  }
+  if (!have_id || store.empty() || connect.empty()) {
+    std::fprintf(stderr,
+                 "hyper4_fabric: node needs --id N --store DIR --connect PATH\n");
+    usage(stderr);
+    return 1;
+  }
+  if (!pid_file.empty()) {
+    std::ofstream out(pid_file);
+    out << ::getpid() << "\n";
+  }
+  fabric::NodeOptions opts;
+  opts.store_dir = store;
+  opts.engine_workers = workers;
+  const int fd = fabric::connect_unix(connect);
+  fabric::serve_node(fd, id, std::move(opts));
+  ::close(fd);
+  return 0;
+}
+
+struct RunConfig {
+  std::string preset = "line";
+  std::size_t nodes = 2;
+  std::size_t waves = 3;
+  std::size_t packets = 8;
+  std::size_t workers = 0;
+  std::size_t quorum = 0;
+  std::string transport = "ring";
+  std::string store = "fabric_run";
+  int kill_node = -1;
+  std::size_t kill_wave = 1;
+  bool tear = false;
+  bool print_status = false;
+};
+
+// One spawned `hyper4_fabric node` follower (socket transport).
+struct Child {
+  pid_t pid = -1;
+  int listen_fd = -1;
+  std::string sock_path;
+  std::string pid_path;
+};
+
+pid_t spawn_node(const char* self, std::size_t id, const RunConfig& cfg,
+                 const Child& c) {
+  const pid_t pid = ::fork();
+  if (pid < 0) throw hyper4::util::Error("fork failed");
+  if (pid == 0) {
+    const std::string ids = std::to_string(id);
+    const std::string ws = std::to_string(cfg.workers);
+    const std::string store = cfg.store + "/node" + ids;
+    ::execl(self, self, "node", "--id", ids.c_str(), "--store", store.c_str(),
+            "--connect", c.sock_path.c_str(), "--workers", ws.c_str(),
+            static_cast<char*>(nullptr));
+    std::perror("execl");
+    std::_Exit(2);
+  }
+  std::ofstream out(c.pid_path);
+  out << pid << "\n";
+  return pid;
+}
+
+bool wait_caught_up(fabric::FabricController& ctl, std::size_t node,
+                    std::uint64_t target, int timeout_ms) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms);
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (ctl.node_acked_lsn(node) >= target) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  return false;
+}
+
+int cmd_run(const char* self, int argc, char** argv) {
+  RunConfig cfg;
+  for (int i = 0; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--preset") cfg.preset = need(argc, argv, i, a);
+    else if (a == "--nodes") cfg.nodes = std::strtoull(need(argc, argv, i, a), nullptr, 0);
+    else if (a == "--waves") cfg.waves = std::strtoull(need(argc, argv, i, a), nullptr, 0);
+    else if (a == "--packets") cfg.packets = std::strtoull(need(argc, argv, i, a), nullptr, 0);
+    else if (a == "--workers") cfg.workers = std::strtoull(need(argc, argv, i, a), nullptr, 0);
+    else if (a == "--quorum") cfg.quorum = std::strtoull(need(argc, argv, i, a), nullptr, 0);
+    else if (a == "--transport") cfg.transport = need(argc, argv, i, a);
+    else if (a == "--store") cfg.store = need(argc, argv, i, a);
+    else if (a == "--kill-node") cfg.kill_node = std::atoi(need(argc, argv, i, a));
+    else if (a == "--kill-wave") cfg.kill_wave = std::strtoull(need(argc, argv, i, a), nullptr, 0);
+    else if (a == "--tear") cfg.tear = true;
+    else if (a == "--status") cfg.print_status = true;
+    else {
+      std::fprintf(stderr, "hyper4_fabric: unknown run option '%s'\n",
+                   a.c_str());
+      usage(stderr);
+      return 1;
+    }
+  }
+  if (cfg.transport != "ring" && cfg.transport != "socket") {
+    std::fprintf(stderr, "hyper4_fabric: --transport must be ring or socket\n");
+    usage(stderr);
+    return 1;
+  }
+  const bool killing = cfg.kill_node >= 0;
+  if (killing && static_cast<std::size_t>(cfg.kill_node) >= cfg.nodes) {
+    std::fprintf(stderr, "hyper4_fabric: --kill-node out of range\n");
+    usage(stderr);
+    return 1;
+  }
+
+  std::filesystem::remove_all(cfg.store);
+  std::filesystem::create_directories(cfg.store);
+
+  fabric::FabricOptions fo;
+  fo.store_dir = cfg.store;
+  fo.topology = fabric::FabricTopology::by_name(cfg.preset, cfg.nodes);
+  // With a planned kill and no explicit quorum, commit at N-1 so the
+  // fabric stays writable while the victim is down.
+  fo.quorum = cfg.quorum ? cfg.quorum
+                         : (killing && cfg.nodes > 1 ? cfg.nodes - 1 : 0);
+  fo.node.engine_workers = cfg.workers;
+  const bool socket_mode = cfg.transport == "socket";
+  if (socket_mode)
+    for (std::size_t i = 0; i < fo.topology.nodes; ++i)
+      fo.remote_nodes.push_back(i);
+
+  const std::size_t n_nodes = fo.topology.nodes;
+  fabric::FabricController ctl(fo);
+
+  std::vector<Child> children(n_nodes);
+  if (socket_mode) {
+    for (std::size_t i = 0; i < n_nodes; ++i) {
+      Child& c = children[i];
+      c.sock_path = cfg.store + "/node" + std::to_string(i) + ".sock";
+      c.pid_path = cfg.store + "/node" + std::to_string(i) + ".pid";
+      c.listen_fd = fabric::listen_unix(c.sock_path);
+      c.pid = spawn_node(self, i, cfg, c);
+      ctl.attach_remote(i, fabric::accept_unix(c.listen_fd));
+    }
+  }
+
+  // Replicated control plane: the l2 program, every port, the demo rules.
+  const auto vdev = ctl.load_source(
+      "l2_sw", hyper4::hp4::emit_p4(apps::program_by_name("l2_sw")));
+  std::vector<std::uint16_t> ports{1, 2};
+  {
+    std::set<std::uint16_t> trunk;
+    for (const auto& w : fo.topology.wires) {
+      trunk.insert(w.a_port);
+      trunk.insert(w.b_port);
+    }
+    ports.insert(ports.end(), trunk.begin(), trunk.end());
+  }
+  ctl.attach_ports(vdev, ports);
+  for (const std::uint16_t p : ports) ctl.bind(vdev, p);
+  ctl.add_rule(vdev, bench::vr(apps::l2_forward(bench::kMacH1, 1)));
+  ctl.add_rule(vdev, bench::vr(apps::l2_forward(bench::kMacH2, 2)));
+  if (n_nodes > 1)
+    ctl.add_rule(vdev, bench::vr(apps::l2_forward(
+                           kMacRelay, fabric::kTrunkBase + 1)));
+
+  // One injection host per node (the first host the topology puts there).
+  std::vector<std::string> entry(n_nodes);
+  for (const auto& h : fo.topology.hosts)
+    if (entry[h.node].empty()) entry[h.node] = h.name;
+
+  net::EthHeader eth;
+  eth.src = net::mac_from_string(bench::kMacH1);
+  eth.dst = net::mac_from_string(bench::kMacH2);
+  net::Ipv4Header ip;
+  ip.src = net::ipv4_from_string("10.0.0.1");
+  ip.dst = net::ipv4_from_string("10.0.0.2");
+  net::TcpHeader tcp;
+  tcp.src_port = 40000;
+  const net::Packet local_pkt = net::make_ipv4_tcp(eth, ip, tcp, 64);
+  eth.dst = net::mac_from_string(kMacRelay);
+  const net::Packet relay_pkt = net::make_ipv4_tcp(eth, ip, tcp, 64);
+
+  std::size_t injected = 0;
+  for (std::size_t w = 0; w < cfg.waves; ++w) {
+    for (std::size_t i = 0; i < n_nodes; ++i) {
+      if (entry[i].empty() || !ctl.alive(i)) continue;
+      for (std::size_t k = 0; k < cfg.packets; ++k) {
+        ctl.inject(entry[i], local_pkt);
+        ++injected;
+      }
+    }
+    if (n_nodes > 1 && !entry[0].empty() && ctl.alive(0)) {
+      ctl.inject(entry[0], relay_pkt);
+      ++injected;
+    }
+    // A control op per wave keeps the journal moving, so a killed node
+    // has records to miss and catch up on.
+    const auto h = ctl.add_rule(
+        vdev, bench::vr(apps::l2_forward("02:00:00:00:07:" +
+                                             std::string(w < 10 ? "0" : "") +
+                                             std::to_string(w),
+                                         2)));
+    (void)h;
+    ctl.drain();
+
+    if (killing && w == cfg.kill_wave) {
+      const std::size_t victim = static_cast<std::size_t>(cfg.kill_node);
+      std::printf("killing node %zu after wave %zu\n", victim, w);
+      if (socket_mode) {
+        ::kill(children[victim].pid, SIGKILL);
+        int st = 0;
+        ::waitpid(children[victim].pid, &st, 0);
+        // Give the controller's reader a moment to observe the EOF.
+        for (int t = 0; t < 100 && ctl.alive(victim); ++t)
+          std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      } else {
+        ctl.crash_node(victim, cfg.tear);
+      }
+    }
+    if (killing && w == cfg.kill_wave + 1 && w + 1 < cfg.waves) {
+      const std::size_t victim = static_cast<std::size_t>(cfg.kill_node);
+      std::printf("restarting node %zu after wave %zu\n", victim, w);
+      if (socket_mode) {
+        Child& c = children[victim];
+        c.pid = spawn_node(self, victim, cfg, c);
+        ctl.attach_remote(victim, fabric::accept_unix(c.listen_fd));
+      } else {
+        ctl.restart_node(victim);
+      }
+    }
+  }
+
+  if (killing && !ctl.alive(static_cast<std::size_t>(cfg.kill_node))) {
+    // Killed on the last waves with no restart slot: bring it back now.
+    const std::size_t victim = static_cast<std::size_t>(cfg.kill_node);
+    if (socket_mode) {
+      Child& c = children[victim];
+      c.pid = spawn_node(self, victim, cfg, c);
+      ctl.attach_remote(victim, fabric::accept_unix(c.listen_fd));
+    } else {
+      ctl.restart_node(victim);
+    }
+  }
+
+  // Convergence: every node must ack the leader's tail with its digest.
+  const std::uint64_t tail = ctl.leader().last_lsn();
+  int rc = 0;
+  for (std::size_t i = 0; i < n_nodes; ++i) {
+    if (!wait_caught_up(ctl, i, tail, 10000)) {
+      std::fprintf(stderr,
+                   "hyper4_fabric: node %zu stuck at lsn %llu (leader %llu)\n",
+                   i, static_cast<unsigned long long>(ctl.node_acked_lsn(i)),
+                   static_cast<unsigned long long>(tail));
+      rc = 3;
+    }
+  }
+  ctl.drain();
+  const std::uint64_t want = ctl.leader_digest();
+  for (std::size_t i = 0; i < n_nodes && rc == 0; ++i) {
+    const std::uint64_t got = ctl.node_acked_digest(i);
+    if (got != want) {
+      std::fprintf(stderr, "hyper4_fabric: node %zu digest %s != leader %s\n",
+                   i, state::digest_hex(got).c_str(),
+                   state::digest_hex(want).c_str());
+      rc = 3;
+    }
+  }
+
+  const auto deliveries = ctl.take_deliveries();
+  std::printf("fabric: %zu node(s), %zu wave(s), %zu injected, %zu delivered, "
+              "leader lsn %llu, digest %s%s\n",
+              n_nodes, cfg.waves, injected, deliveries.size(),
+              static_cast<unsigned long long>(tail),
+              state::digest_hex(want).c_str(),
+              rc == 0 ? ", all replicas converged" : "");
+  if (cfg.print_status) std::printf("%s\n", ctl.status_json().c_str());
+
+  if (socket_mode) {
+    for (auto& c : children) {
+      if (c.listen_fd >= 0) ::close(c.listen_fd);
+    }
+  }
+  return rc;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    usage(stderr);
+    return 1;
+  }
+  const std::string cmd = argv[1];
+  try {
+    if (cmd == "--help" || cmd == "-h") {
+      usage(stdout);
+      return 0;
+    }
+    if (cmd == "topology") return cmd_topology(argc - 2, argv + 2);
+    if (cmd == "run") return cmd_run(argv[0], argc - 2, argv + 2);
+    if (cmd == "node") return cmd_node(argc - 2, argv + 2);
+    if (cmd == "status") return cmd_status(argc - 2, argv + 2);
+    if (cmd == "kill") return cmd_kill(argc - 2, argv + 2);
+    std::fprintf(stderr, "hyper4_fabric: unknown command '%s'%s\n",
+                 cmd.c_str(),
+                 hyper4::util::did_you_mean(
+                     cmd, {"topology", "run", "node", "status", "kill"})
+                     .c_str());
+    usage(stderr);
+    return 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "hyper4_fabric: %s\n", e.what());
+    return 2;
+  }
+}
